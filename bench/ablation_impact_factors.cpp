@@ -1,0 +1,183 @@
+// Ablation benches for the paper's Fig. 3 ("I/O performance impact factors"):
+// each sweep isolates one factor the knowledge cycle is supposed to make
+// visible — transfer size, I/O interface, file layout (shared vs
+// file-per-process vs collective), stripe width, and task scaling. The rows
+// are produced by real JUBE sweeps through the whole cycle (generate ->
+// extract -> persist), then read back from the knowledge database, so the
+// bench doubles as an end-to-end pipeline exercise.
+#include <cstdio>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/cycle/cycle.hpp"
+#include "src/fs/stripe.hpp"
+#include "src/usage/config_generator.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+/// Runs a one-parameter JUBE sweep and prints mean write/read bandwidth per
+/// value, pulled back out of the repository.
+void run_sweep(const std::string& title, const std::string& base_command,
+               const std::string& option, const std::string& parameter,
+               const std::vector<std::string>& values,
+               iokc::cycle::SimEnvironment& env) {
+  iokc::cycle::KnowledgeCycle cycle(
+      env, "bench_artifacts/ablation_workspace/" + parameter,
+      iokc::persist::RepoTarget::parse("mem:"));
+  const iokc::jube::JubeBenchmarkConfig config =
+      iokc::usage::generate_jube_config(
+          parameter + "-sweep", base_command,
+          {{option, iokc::usage::SweepDimension{parameter, values}}});
+  cycle.generate(config);
+  cycle.extract_and_persist();
+
+  iokc::util::TextTable table;
+  table.set_header({parameter, "write MiB/s", "read MiB/s"});
+  table.set_alignment({iokc::util::Align::kLeft, iokc::util::Align::kRight,
+                       iokc::util::Align::kRight});
+  const auto ids = cycle.stored_knowledge_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const iokc::knowledge::Knowledge k =
+        cycle.repository().load_knowledge(ids[i]);
+    const auto* write = k.find_summary("write");
+    const auto* read = k.find_summary("read");
+    table.add_row({values[i],
+                   iokc::util::format_double(
+                       write != nullptr ? write->mean_bw_mib : 0.0, 1),
+                   iokc::util::format_double(
+                       read != nullptr ? read->mean_bw_mib : 0.0, 1)});
+  }
+  std::printf("--- %s ---\n%s\n", title.c_str(), table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  // Fresh workspace: stale outputs from earlier invocations must not be
+  // re-extracted.
+  std::filesystem::remove_all("bench_artifacts/ablation_workspace");
+  std::printf("=== Ablations: Fig. 3 I/O performance impact factors ===\n\n");
+
+  {
+    iokc::cycle::SimEnvironment env;
+    run_sweep("transfer size (POSIX, file-per-process, 40 tasks)",
+              "ior -a posix -b 4m -t 2m -s 8 -F -C -i 1 -N 40 -o /scratch/ts",
+              "-t", "transfer", {"64k", "256k", "1m", "2m", "4m"}, env);
+  }
+  {
+    // Small transfers expose the per-call software cost of each layer.
+    iokc::cycle::SimEnvironment env;
+    run_sweep("I/O interface (64k transfers, file-per-process)",
+              "ior -a posix -b 4m -t 64k -s 4 -F -C -i 1 -N 40 -o "
+              "/scratch/api",
+              "-a", "api", {"POSIX", "MPIIO", "HDF5"}, env);
+  }
+  {
+    // Starting at two nodes: below that, IOR's -C cannot shift ranks off
+    // the writing node and re-reads are (faithfully) served by the page
+    // cache — a caveat of the real benchmark too.
+    iokc::cycle::SimEnvironment env;
+    run_sweep("task scaling (POSIX, file-per-process)",
+              "ior -a posix -b 4m -t 2m -s 8 -F -C -i 1 -N 40 -o /scratch/n",
+              "-N", "tasks", {"40", "80", "160", "320"}, env);
+  }
+
+  // File layout: shared vs file-per-process vs collective (small strided
+  // records — where two-phase I/O pays off).
+  {
+    std::printf("--- file layout (MPIIO, 47008-byte records, 40 tasks) "
+                "---\n");
+    iokc::util::TextTable table;
+    table.set_header({"layout", "write MiB/s", "read MiB/s"});
+    table.set_alignment({iokc::util::Align::kLeft, iokc::util::Align::kRight,
+                         iokc::util::Align::kRight});
+    const std::pair<const char*, const char*> layouts[] = {
+        {"shared independent",
+         "ior -a mpiio -b 47008 -t 47008 -s 40 -C -i 1 -N 40 -o /scratch/sh"},
+        {"shared collective",
+         "ior -a mpiio -c -b 47008 -t 47008 -s 40 -C -i 1 -N 40 -o "
+         "/scratch/co"},
+        {"file-per-process",
+         "ior -a mpiio -b 47008 -t 47008 -s 40 -F -C -i 1 -N 40 -o "
+         "/scratch/fp"},
+    };
+    for (const auto& [label, command] : layouts) {
+      iokc::cycle::SimEnvironment env;
+      iokc::cycle::KnowledgeCycle cycle(
+          env, std::string("bench_artifacts/ablation_workspace/layout_") +
+                   label[0] + label[7],
+          iokc::persist::RepoTarget::parse("mem:"));
+      cycle.generate_command("layout", command);
+      cycle.extract_and_persist();
+      const iokc::knowledge::Knowledge k = cycle.repository().load_knowledge(
+          cycle.stored_knowledge_ids().front());
+      table.add_row(
+          {label,
+           iokc::util::format_double(k.find_summary("write")->mean_bw_mib, 1),
+           iokc::util::format_double(k.find_summary("read")->mean_bw_mib,
+                                     1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  // Aggregator count (MPI-IO hint cb_nodes): the SCTuner-style tunable of
+  // Fig. 3. It matters when the aggregator NICs, not the storage back-end,
+  // are the bottleneck — modelled here as a 10GbE commodity cluster.
+  {
+    iokc::cycle::SimEnvironmentConfig config;
+    config.cluster.node.nic_bytes_per_sec = 1.2e9;  // 10GbE
+    config.pfs.default_stripe.num_targets = 12;     // back-end outruns a NIC
+    iokc::cycle::SimEnvironment env(config);
+    run_sweep("aggregators (collective MPIIO on a 10GbE cluster, 40 tasks)",
+              "ior -a mpiio -c -b 1m -t 1m -s 8 -C -w -i 1 -N 40 "
+              "-O romio_cb_write=enable -o /scratch/agg",
+              "-O", "hints",
+              {"romio_cb_write=enable;cb_nodes=1;cb_buffer_size=16777216",
+               "romio_cb_write=enable;cb_nodes=2;cb_buffer_size=16777216",
+               "romio_cb_write=enable;cb_nodes=0;cb_buffer_size=16777216"},
+              env);
+  }
+
+  // Stripe width: not an IOR option but a file-system setting, so this sweep
+  // reconfigures the default stripe between cycles.
+  {
+    std::printf("--- stripe width (PFS default stripe, 2m transfers, 40 "
+                "tasks, shared file) ---\n");
+    iokc::util::TextTable table;
+    table.set_header({"stripe targets", "write MiB/s", "read MiB/s"});
+    table.set_alignment({iokc::util::Align::kRight, iokc::util::Align::kRight,
+                         iokc::util::Align::kRight});
+    for (const std::uint32_t width : {1u, 2u, 4u, 8u, 12u}) {
+      iokc::cycle::SimEnvironmentConfig config;
+      config.pfs.default_stripe.num_targets = width;
+      iokc::cycle::SimEnvironment env(config);
+      iokc::cycle::KnowledgeCycle cycle(
+          env,
+          "bench_artifacts/ablation_workspace/stripe" + std::to_string(width),
+          iokc::persist::RepoTarget::parse("mem:"));
+      cycle.generate_command(
+          "stripe", "ior -a mpiio -b 4m -t 2m -s 8 -C -i 1 -N 40 -o "
+                    "/scratch/st");
+      cycle.extract_and_persist();
+      const iokc::knowledge::Knowledge k = cycle.repository().load_knowledge(
+          cycle.stored_knowledge_ids().front());
+      table.add_row(
+          {std::to_string(width),
+           iokc::util::format_double(k.find_summary("write")->mean_bw_mib, 1),
+           iokc::util::format_double(k.find_summary("read")->mean_bw_mib,
+                                     1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("expected shapes: bandwidth rises with transfer size and "
+              "stripe width until the\nback-end saturates; POSIX <= MPIIO "
+              "overhead < HDF5 overhead; collective buffering\nwins on tiny "
+              "shared-file records; task scaling saturates at the storage "
+              "limit.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Microbenchmarks of the substrates (google-benchmark): discrete-event
+// throughput, parallel-file-system operation rate, SQL engine, parsers, JSON,
+// and the statistics kernels. These bound the cost of the knowledge cycle's
+// own machinery, independent of any paper figure.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/stats.hpp"
+#include "src/db/database.hpp"
+#include "src/extract/parsers.hpp"
+#include "src/fs/pfs.hpp"
+#include "src/generators/ior.hpp"
+#include "src/iostack/client.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/util/json.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    iokc::sim::EventQueue queue;
+    for (std::size_t i = 0; i < events; ++i) {
+      queue.schedule_in(static_cast<double>(i % 97) * 1e-6, [] {});
+    }
+    queue.run();
+    benchmark::DoNotOptimize(queue.executed_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_PfsWritePath(benchmark::State& state) {
+  for (auto _ : state) {
+    iokc::sim::EventQueue queue;
+    iokc::sim::ClusterSpec cluster_spec;
+    cluster_spec.node_count = 2;
+    iokc::sim::Cluster cluster(queue, cluster_spec, 1);
+    iokc::fs::ParallelFileSystem pfs(cluster,
+                                     iokc::fs::PfsSpec::fuchs_beegfs());
+    pfs.create("/f", 0, [](iokc::sim::SimTime) {});
+    queue.run();
+    for (int i = 0; i < 64; ++i) {
+      pfs.write("/f", static_cast<std::uint64_t>(i) << 20, 1 << 20, 0,
+                [](iokc::sim::SimTime) {});
+    }
+    queue.run();
+    benchmark::DoNotOptimize(pfs.bytes_written());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PfsWritePath);
+
+void BM_IorSmallRun(benchmark::State& state) {
+  const std::string command =
+      "ior -a posix -b 1m -t 256k -s 2 -F -i 1 -N 8 -o /scratch/b -k";
+  for (auto _ : state) {
+    iokc::sim::EventQueue queue;
+    iokc::sim::ClusterSpec cluster_spec;
+    cluster_spec.node_count = 2;
+    iokc::sim::Cluster cluster(queue, cluster_spec, 1);
+    iokc::fs::ParallelFileSystem pfs(cluster,
+                                     iokc::fs::PfsSpec::fuchs_beegfs());
+    const iokc::gen::IorConfig config = iokc::gen::parse_ior_command(command);
+    iokc::iostack::IoClient client(pfs, config.api);
+    iokc::gen::IorBenchmark bench(client, config,
+                                  iokc::gen::block_rank_mapping({0, 1}, 8));
+    benchmark::DoNotOptimize(bench.run().ops.size());
+  }
+}
+BENCHMARK(BM_IorSmallRun);
+
+void BM_DbInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    iokc::db::Database db;
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, a TEXT, b REAL)");
+    for (int i = 0; i < 256; ++i) {
+      db.execute("INSERT INTO t (a, b) VALUES ('row', " +
+                 std::to_string(i) + ".5)");
+    }
+    benchmark::DoNotOptimize(db.last_insert_rowid());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_DbInsert);
+
+void BM_DbIndexedSelect(benchmark::State& state) {
+  iokc::db::Database db;
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, k INTEGER, v REAL)");
+  db.execute("CREATE INDEX idx_k ON t (k)");
+  for (int i = 0; i < 4096; ++i) {
+    db.execute("INSERT INTO t (k, v) VALUES (" + std::to_string(i % 64) +
+               ", 1.0)");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.execute("SELECT * FROM t WHERE k = 17").size());
+  }
+}
+BENCHMARK(BM_DbIndexedSelect);
+
+void BM_SqlParse(benchmark::State& state) {
+  const std::string sql =
+      "SELECT a, t2.b FROM t INNER JOIN t2 ON t.id = t2.t_id "
+      "WHERE a > 3 AND (b = 'x' OR NOT c < 2) ORDER BY a DESC LIMIT 10";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iokc::db::parse_sql(sql));
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_IorOutputParse(benchmark::State& state) {
+  // A realistic 6-iteration report generated once.
+  iokc::sim::EventQueue queue;
+  iokc::sim::ClusterSpec cluster_spec;
+  cluster_spec.node_count = 2;
+  iokc::sim::Cluster cluster(queue, cluster_spec, 1);
+  iokc::fs::ParallelFileSystem pfs(cluster, iokc::fs::PfsSpec::fuchs_beegfs());
+  const iokc::gen::IorConfig config = iokc::gen::parse_ior_command(
+      "ior -a posix -b 1m -t 256k -s 2 -F -i 6 -N 8 -o /scratch/p -k");
+  iokc::iostack::IoClient client(pfs, config.api);
+  iokc::gen::IorBenchmark bench(client, config,
+                                iokc::gen::block_rank_mapping({0, 1}, 8));
+  const std::string output = bench.run().render_output();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iokc::extract::parse_ior_output(output));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(output.size()));
+}
+BENCHMARK(BM_IorOutputParse);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  iokc::util::JsonObject obj;
+  for (int i = 0; i < 32; ++i) {
+    iokc::util::JsonArray arr;
+    for (int j = 0; j < 8; ++j) {
+      arr.push_back(iokc::util::JsonValue(static_cast<double>(i * j) * 1.5));
+    }
+    obj.emplace_back("series" + std::to_string(i),
+                     iokc::util::JsonValue(std::move(arr)));
+  }
+  const std::string doc = iokc::util::JsonValue(std::move(obj)).dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iokc::util::parse_json(doc).dump());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(doc.size()));
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+void BM_BoxplotStats(benchmark::State& state) {
+  iokc::util::Rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(rng.normal(2850.0, 120.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iokc::analysis::boxplot(values));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_BoxplotStats);
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Anomaly detection — the paper's Example II, end to end.
+//
+// Scenario A: a competing job bursts onto the shared storage back-end during
+//             one iteration of an IOR run; the per-iteration visualization
+//             and the statistical detectors expose it.
+// Scenario B: a silently degraded node drags down the IO500 boundary test
+//             cases; the Liem-et-al. bounding box and cross-run comparison
+//             identify the likely cause ("a broken node").
+#include <cstdio>
+#include <filesystem>
+
+#include "src/analysis/anomaly.hpp"
+#include "src/analysis/bounding_box.hpp"
+#include "src/analysis/charts.hpp"
+#include "src/cycle/cycle.hpp"
+
+namespace {
+
+void scenario_interference() {
+  std::printf("--- scenario A: interference burst during iteration 2 ---\n");
+  iokc::cycle::SimEnvironment env;
+  // Iterations are ~5.3 s each here; the burst covers iteration 2's write.
+  env.interference().add_window(
+      {5.4, 13.0, 0.6, "competing I/O-heavy job on /scratch"});
+
+  iokc::cycle::KnowledgeCycle cycle(
+      env, "example_artifacts/anomaly/interference",
+      iokc::persist::RepoTarget::parse("mem:"));
+  cycle.generate_command(
+      "burst", "ior -a mpiio -b 4m -t 2m -s 12 -F -C -e -i 4 -N 80 "
+               "-o /scratch/an -k");
+  cycle.extract_and_persist();
+
+  const std::int64_t id = cycle.stored_knowledge_ids().front();
+  std::printf("%s\n", cycle.explorer().render_iteration_details(id).c_str());
+
+  const iokc::knowledge::Knowledge k = cycle.repository().load_knowledge(id);
+  const iokc::analysis::AnomalyReport report =
+      iokc::analysis::detect_in_knowledge(k);
+  std::printf("detectors say:\n%s\n", report.render().c_str());
+
+  iokc::analysis::save_svg(
+      "example_artifacts/anomaly/iterations.svg",
+      iokc::analysis::render_svg_line(
+          cycle.explorer().iteration_chart(id, "bw_mib")));
+}
+
+void scenario_degraded_node() {
+  std::printf("--- scenario B: degraded node vs the IO500 bounding box ---\n");
+  const char* command =
+      "io500 -N 40 -o /scratch/io500 --easy-bytes 64m --hard-bytes 4m "
+      "--easy-files 100 --hard-files 50";
+
+  auto run = [command](bool degraded) {
+    iokc::cycle::SimEnvironmentConfig config;
+    config.cluster.degraded_rate_fraction = 0.05;
+    iokc::cycle::SimEnvironment env(config);
+    if (degraded) {
+      env.cluster().set_health(1, iokc::sim::NodeHealth::kDegraded);
+    }
+    iokc::cycle::KnowledgeCycle cycle(
+        env,
+        std::string("example_artifacts/anomaly/io500_") +
+            (degraded ? "degraded" : "healthy"),
+        iokc::persist::RepoTarget::parse("mem:"));
+    cycle.generate_command("io500", command);
+    cycle.extract_and_persist();
+    return cycle.repository().load_io500(cycle.stored_io500_ids().front());
+  };
+
+  const iokc::knowledge::Io500Knowledge healthy = run(false);
+  const iokc::knowledge::Io500Knowledge degraded = run(true);
+
+  // The expectation box comes from the healthy system...
+  const iokc::analysis::BoundingBox2D box =
+      iokc::analysis::make_bounding_box(healthy);
+  // ...and the degraded run's "application-level" numbers land outside it.
+  const double app_bw = degraded.find_testcase("ior-easy-write")->value;
+  const double app_md = degraded.find_testcase("mdtest-easy-write")->value;
+  const iokc::analysis::BoxPlacement placement =
+      iokc::analysis::place_application(box, app_bw, app_md);
+  std::printf("%s\n",
+              iokc::analysis::render_bounding_box(box, &placement).c_str());
+
+  const iokc::analysis::AnomalyReport comparison =
+      iokc::analysis::compare_io500_runs(healthy, degraded, 0.25);
+  std::printf("cross-run comparison:\n%s\n", comparison.render().c_str());
+  std::printf("=> ior-easy collapses while ior-hard barely moves: the "
+              "bottleneck sits on a\n   single client node, not the storage "
+              "back-end — \"a broken node\".\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::filesystem::remove_all("example_artifacts/anomaly");
+  scenario_interference();
+  scenario_degraded_node();
+  return 0;
+}

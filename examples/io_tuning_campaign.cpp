@@ -1,0 +1,71 @@
+// An I/O tuning campaign: the offline-optimization use case of Section IV.
+// A JUBE sweep populates the knowledge base with runs across APIs, transfer
+// sizes, and layouts; the recommendation module then advises a user whose
+// application matches the *worst* pattern, and the prediction module
+// estimates the bandwidth of a configuration that was never run.
+#include <cstdio>
+#include <filesystem>
+
+#include "src/cycle/cycle.hpp"
+#include "src/usage/prediction.hpp"
+#include "src/usage/recommendation.hpp"
+
+int main() {
+  std::filesystem::remove_all("example_artifacts/tuning");
+  iokc::cycle::SimEnvironment env;
+  iokc::cycle::KnowledgeCycle cycle(
+      env, "example_artifacts/tuning",
+      iokc::persist::RepoTarget::parse("mem:"));
+
+  // Populate the knowledge base with a 2-dimensional sweep (the "training
+  // set" role the paper assigns to systematic benchmarking).
+  std::printf("running the benchmarking campaign (api x transfer sweep)...\n");
+  iokc::jube::JubeBenchmarkConfig campaign;
+  campaign.name = "campaign";
+  campaign.space.add_csv("api", "POSIX,MPIIO");
+  campaign.space.add_csv("transfer", "64k,256k,1m,2m");
+  campaign.steps.push_back(iokc::jube::JubeStep{
+      "run", "ior -a $api -b 4m -t $transfer -s 6 -F -C -i 1 -N 40 "
+             "-o /scratch/camp_$api$transfer"});
+  cycle.generate(campaign);
+  cycle.extract_and_persist();
+  std::printf("knowledge base now holds %zu runs\n\n",
+              cycle.repository().knowledge_ids().size());
+
+  // A user shows up with the worst configuration of the space.
+  const iokc::gen::IorConfig user_config = iokc::gen::parse_ior_command(
+      "ior -a POSIX -b 4m -t 64k -s 6 -F -C -i 1 -N 40 -o /scratch/mine");
+  std::printf("user's configuration: %s\n\n",
+              user_config.render_command().c_str());
+
+  // Recommendation module (offline optimization).
+  const iokc::usage::RecommendationReport recommendations =
+      iokc::usage::recommend(cycle.repository(), user_config);
+  std::printf("%s\n", recommendations.render().c_str());
+
+  // Performance prediction: linear regression + k-NN over the knowledge
+  // base, queried for a configuration that was never benchmarked (512k).
+  const auto samples =
+      iokc::usage::build_training_set(cycle.repository(), "write");
+  std::printf("training set: %zu samples\n", samples.size());
+  const iokc::usage::BandwidthPredictor predictor =
+      iokc::usage::BandwidthPredictor::fit(samples);
+  const iokc::usage::ConfigFeatures query =
+      iokc::usage::ConfigFeatures::from_command(
+          "ior -a MPIIO -b 4m -t 512k -s 6 -F -C -i 1 -N 40 -o /scratch/q");
+  std::printf("prediction for unseen '-a MPIIO -t 512k':\n");
+  std::printf("  linear regression: %8.1f MiB/s\n", predictor.predict(query));
+  std::printf("  3-NN estimate:     %8.1f MiB/s\n",
+              iokc::usage::knn_predict(samples, query, 3));
+
+  // Ground truth: actually run it and close the loop.
+  cycle.generate_command(
+      "truth", "ior -a MPIIO -b 4m -t 512k -s 6 -F -C -w -i 1 -N 40 "
+               "-o /scratch/truth");
+  cycle.extract_and_persist();
+  const iokc::knowledge::Knowledge truth = cycle.repository().load_knowledge(
+      cycle.stored_knowledge_ids().back());
+  std::printf("  measured:          %8.1f MiB/s\n",
+              truth.find_summary("write")->mean_bw_mib);
+  return 0;
+}

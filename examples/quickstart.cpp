@@ -1,0 +1,70 @@
+// Quickstart: one pass through all five phases of the I/O knowledge cycle.
+//
+//   $ ./build/examples/quickstart
+//
+// 1. Generation  — run an IOR benchmark on the simulated cluster (via the
+//                  JUBE-style runner, which lays out a workspace on disk).
+// 2. Extraction  — parse the benchmark output plus system/file-system
+//                  snapshots into a knowledge object.
+// 3. Persistence — store the object in the relational knowledge database.
+// 4. Analysis    — render the knowledge view and an iteration chart.
+// 5. Usage       — derive a new benchmark configuration from the stored one.
+#include <cstdio>
+#include <filesystem>
+
+#include "src/analysis/charts.hpp"
+#include "src/cycle/cycle.hpp"
+#include "src/usage/config_generator.hpp"
+
+int main() {
+  std::filesystem::remove_all("example_artifacts/quickstart");
+
+  // The simulated environment: a FUCHS-CSC-like cluster with a BeeGFS-like
+  // parallel file system (see DESIGN.md for the substitution rationale).
+  iokc::cycle::SimEnvironment env;
+
+  // The cycle facade owns workspace, database, and explorer.
+  iokc::cycle::KnowledgeCycle cycle(
+      env, "example_artifacts/quickstart",
+      iokc::persist::RepoTarget::parse(
+          "file:example_artifacts/quickstart/knowledge.db"));
+
+  // Phase 1: generation.
+  std::printf("[1/5] generating: running IOR on the simulated cluster...\n");
+  cycle.generate_command(
+      "quickstart",
+      "ior -a mpiio -b 4m -t 2m -s 10 -F -C -e -i 3 -N 40 -o /scratch/qs -k");
+
+  // Phases 2 + 3: extraction + persistence.
+  std::printf("[2/5] extracting benchmark output from the workspace...\n");
+  const iokc::extract::ExtractionResult extracted = cycle.extract_and_persist();
+  std::printf("[3/5] persisted %zu knowledge object(s) to the database\n",
+              extracted.total());
+
+  // Phase 4: analysis.
+  const std::int64_t id = cycle.stored_knowledge_ids().front();
+  std::printf("[4/5] analysis — the knowledge viewer:\n\n%s\n",
+              cycle.explorer().render_knowledge_view(id).c_str());
+  const iokc::analysis::Chart chart =
+      cycle.explorer().iteration_chart(id, "bw_mib");
+  iokc::analysis::save_svg("example_artifacts/quickstart/iterations.svg",
+                           iokc::analysis::render_svg_line(chart));
+  std::printf("%s\n", iokc::analysis::render_ascii_bar(chart).c_str());
+
+  // Phase 5: usage — knowledge begets knowledge.
+  const auto commands = cycle.repository().list_commands();
+  iokc::usage::IorOverrides overrides;
+  overrides.transfer_size = 4ull << 20;
+  overrides.test_file = "/scratch/qs2";
+  const std::string next =
+      iokc::usage::create_configuration(commands.front().second, overrides);
+  std::printf("[5/5] usage — 'create configuration' produced the next run:\n"
+              "      %s\n\n",
+              next.c_str());
+
+  cycle.save();
+  std::printf("database:  example_artifacts/quickstart/knowledge.db\n");
+  std::printf("chart:     example_artifacts/quickstart/iterations.svg\n");
+  std::printf("workspace: example_artifacts/quickstart/quickstart/\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Workload generation and replay — the fifth-phase use case "the knowledge
+// obtained ... can be used to generate ... synthetic workload for simulation
+// and thus drive the simulation".
+//
+// A HACC-IO checkpoint run produces knowledge; an IOR run produces more; a
+// synthetic trace is generated from the IOR knowledge object's pattern and
+// replayed against the simulator, closing the loop knowledge -> workload ->
+// new measurement.
+#include <cstdio>
+#include <filesystem>
+
+#include "src/cycle/cycle.hpp"
+#include "src/cycle/replay.hpp"
+#include "src/usage/workload_generator.hpp"
+
+int main() {
+  std::filesystem::remove_all("example_artifacts/replay");
+  iokc::cycle::SimEnvironment env;
+  iokc::cycle::KnowledgeCycle cycle(
+      env, "example_artifacts/replay",
+      iokc::persist::RepoTarget::parse("mem:"));
+
+  // Knowledge sources: a checkpoint/restart kernel and an IOR pattern.
+  std::printf("generating knowledge (HACC-IO checkpoint + IOR pattern)...\n");
+  cycle.generate_command(
+      "hacc", "hacc_io -p 2000000 -a MPIIO -m file-per-process -i 1 -N 40 "
+              "-o /scratch/hacc/part");
+  cycle.generate_command(
+      "ior", "ior -a posix -b 4m -t 1m -s 8 -F -C -i 1 -N 40 -o /scratch/wr "
+             "-k");
+  cycle.extract_and_persist();
+
+  for (const std::int64_t id : cycle.stored_knowledge_ids()) {
+    const iokc::knowledge::Knowledge k = cycle.repository().load_knowledge(id);
+    const auto* write = k.find_summary("write");
+    std::printf("  #%lld %-8s write %8.1f MiB/s\n",
+                static_cast<long long>(id), k.benchmark.c_str(),
+                write != nullptr ? write->mean_bw_mib : 0.0);
+  }
+
+  // Generate a synthetic trace from the IOR knowledge object: same volume
+  // and file layout, lognormally jittered request sizes.
+  const iokc::knowledge::Knowledge source = cycle.repository().load_knowledge(
+      cycle.stored_knowledge_ids().back());
+  const iokc::usage::SyntheticTrace trace =
+      iokc::usage::generate_trace(source, /*seed=*/2026);
+  std::printf("\nsynthetic trace: %zu ops, %.1f MiB written, %.1f MiB read\n",
+              trace.ops.size(),
+              static_cast<double>(trace.total_bytes_written()) / (1 << 20),
+              static_cast<double>(trace.total_bytes_read()) / (1 << 20));
+
+  // Replay it on the simulator (driving the simulation with generated load).
+  const iokc::cycle::ReplayResult replay =
+      iokc::cycle::replay_trace(env, trace);
+  std::printf("replay: %.2f s simulated, write %.1f MiB/s, read %.1f MiB/s, "
+              "%llu ops executed\n",
+              replay.duration_sec, replay.write_bw_mib, replay.read_bw_mib,
+              static_cast<unsigned long long>(replay.ops_executed));
+
+  // Derived configurations for the next campaign.
+  std::printf("\nderived configurations for the next campaign:\n");
+  for (const iokc::gen::IorConfig& config :
+       iokc::usage::generate_similar_configs(source, 4, /*seed=*/7)) {
+    std::printf("  %s\n", config.render_command().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,260 @@
+#include "src/analysis/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/analysis/stats.hpp"
+#include "src/util/summary_stats.hpp"
+
+namespace iokc::analysis {
+
+std::string to_string(AnomalySeverity severity) {
+  switch (severity) {
+    case AnomalySeverity::kInfo: return "info";
+    case AnomalySeverity::kWarning: return "warning";
+    case AnomalySeverity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+void AnomalyReport::merge(AnomalyReport other) {
+  for (Anomaly& anomaly : other.anomalies) {
+    anomalies.push_back(std::move(anomaly));
+  }
+}
+
+std::string AnomalyReport::render() const {
+  if (anomalies.empty()) {
+    return "no anomalies detected\n";
+  }
+  std::string out;
+  for (const Anomaly& anomaly : anomalies) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "[%s] %s @ %s: value %.3f vs reference %.3f (%+.1f%%) — %s\n",
+                  to_string(anomaly.severity).c_str(), anomaly.metric.c_str(),
+                  anomaly.location.c_str(), anomaly.value, anomaly.reference,
+                  anomaly.deviation * 100.0, anomaly.description.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+Anomaly make_anomaly(const std::string& metric, std::size_t index,
+                     double value, double reference,
+                     const std::string& description) {
+  Anomaly anomaly;
+  anomaly.metric = metric;
+  anomaly.location = "iteration " + std::to_string(index);
+  anomaly.value = value;
+  anomaly.reference = reference;
+  anomaly.deviation = reference != 0.0 ? value / reference - 1.0 : 0.0;
+  anomaly.severity = std::abs(anomaly.deviation) >= 0.5
+                         ? AnomalySeverity::kCritical
+                         : AnomalySeverity::kWarning;
+  anomaly.description = description;
+  return anomaly;
+}
+
+}  // namespace
+
+namespace {
+
+/// Very tight samples make Tukey fences and z-scores hypersensitive: a run
+/// whose iterations agree to 0.1% would flag 1% wobble. Deviations below
+/// this relative floor are never reported.
+constexpr double kMinRelativeDeviation = 0.05;
+
+bool material(double value, double reference) {
+  return reference == 0.0 ||
+         std::abs(value / reference - 1.0) >= kMinRelativeDeviation;
+}
+
+}  // namespace
+
+AnomalyReport detect_iqr_outliers(const std::string& metric,
+                                  std::span<const double> values, double k) {
+  AnomalyReport report;
+  if (values.size() < 4) {
+    return report;  // quartiles are meaningless below four samples
+  }
+  const BoxplotStats box = boxplot(values);
+  const double fence_low = box.q1 - k * box.iqr();
+  const double fence_high = box.q3 + k * box.iqr();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if ((values[i] < fence_low || values[i] > fence_high) &&
+        material(values[i], box.median)) {
+      report.anomalies.push_back(make_anomaly(
+          metric, i, values[i], box.median,
+          "outside Tukey fences (k=" + std::to_string(k).substr(0, 4) + ")"));
+    }
+  }
+  return report;
+}
+
+AnomalyReport detect_zscore(const std::string& metric,
+                            std::span<const double> values, double threshold) {
+  AnomalyReport report;
+  if (values.size() < 3) {
+    return report;
+  }
+  const std::vector<double> scores = z_scores(values);
+  const double mean = util::summarize(values).mean;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (std::abs(scores[i]) >= threshold && material(values[i], mean)) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "|z| = %.2f", std::abs(scores[i]));
+      report.anomalies.push_back(
+          make_anomaly(metric, i, values[i], mean, buf));
+    }
+  }
+  return report;
+}
+
+AnomalyReport detect_relative_drop(const std::string& metric,
+                                   std::span<const double> values,
+                                   double fraction) {
+  AnomalyReport report;
+  if (values.size() < 3) {
+    return report;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Median of the other samples, so the candidate cannot mask itself.
+    std::vector<double> others;
+    others.reserve(values.size() - 1);
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      if (j != i) {
+        others.push_back(values[j]);
+      }
+    }
+    const double reference = util::median(others);
+    if (reference > 0.0 && values[i] < fraction * reference) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "below %.0f%% of the median of the other iterations",
+                    fraction * 100.0);
+      report.anomalies.push_back(
+          make_anomaly(metric, i, values[i], reference, buf));
+    }
+  }
+  return report;
+}
+
+AnomalyReport detect_in_knowledge(const knowledge::Knowledge& knowledge) {
+  AnomalyReport report;
+  for (const knowledge::OpSummary& summary : knowledge.summaries) {
+    std::vector<double> bws;
+    std::vector<double> ops;
+    for (const knowledge::OpResult& result : summary.results) {
+      bws.push_back(result.bw_mib);
+      ops.push_back(result.iops);
+    }
+    report.merge(
+        detect_relative_drop(summary.operation + " bw_mib", bws));
+    report.merge(detect_iqr_outliers(summary.operation + " bw_mib", bws));
+    report.merge(detect_relative_drop(summary.operation + " iops", ops));
+  }
+  // Deduplicate (same metric+location found by several detectors).
+  std::vector<Anomaly> unique;
+  for (Anomaly& anomaly : report.anomalies) {
+    const bool seen = std::any_of(
+        unique.begin(), unique.end(), [&anomaly](const Anomaly& other) {
+          return other.metric == anomaly.metric &&
+                 other.location == anomaly.location;
+        });
+    if (!seen) {
+      unique.push_back(std::move(anomaly));
+    }
+  }
+  report.anomalies = std::move(unique);
+  return report;
+}
+
+AnomalyReport compare_io500_runs(const knowledge::Io500Knowledge& reference,
+                                 const knowledge::Io500Knowledge& probe,
+                                 double tolerance) {
+  AnomalyReport report;
+  for (const knowledge::Io500Testcase& testcase : probe.testcases) {
+    const knowledge::Io500Testcase* base =
+        reference.find_testcase(testcase.name);
+    if (base == nullptr || base->value <= 0.0) {
+      continue;
+    }
+    const double deviation = testcase.value / base->value - 1.0;
+    if (std::abs(deviation) > tolerance) {
+      Anomaly anomaly;
+      anomaly.metric = testcase.name + " (" + testcase.unit + ")";
+      anomaly.location = "testcase " + testcase.name;
+      anomaly.value = testcase.value;
+      anomaly.reference = base->value;
+      anomaly.deviation = deviation;
+      anomaly.severity = std::abs(deviation) > 2.0 * tolerance
+                             ? AnomalySeverity::kCritical
+                             : AnomalySeverity::kWarning;
+      anomaly.description = deviation < 0.0
+                                ? "regressed against the reference run"
+                                : "improved against the reference run";
+      report.anomalies.push_back(std::move(anomaly));
+    }
+  }
+  return report;
+}
+
+AnomalyReport detect_box_violation(const BoundingBox2D& box, double app_bw_gib,
+                                   double app_md_kiops) {
+  AnomalyReport report;
+  const BoxPlacement placement =
+      place_application(box, app_bw_gib, app_md_kiops);
+  if (!placement.within_bandwidth) {
+    Anomaly anomaly;
+    anomaly.metric = box.bandwidth.dimension;
+    anomaly.location = "bounding box";
+    anomaly.value = app_bw_gib;
+    anomaly.reference =
+        app_bw_gib < box.bandwidth.lower ? box.bandwidth.lower
+                                         : box.bandwidth.upper;
+    anomaly.deviation =
+        anomaly.reference != 0.0 ? app_bw_gib / anomaly.reference - 1.0 : 0.0;
+    anomaly.severity = app_bw_gib < box.bandwidth.lower
+                           ? AnomalySeverity::kCritical
+                           : AnomalySeverity::kInfo;
+    anomaly.description = placement.assessment;
+    report.anomalies.push_back(std::move(anomaly));
+  }
+  if (!placement.within_metadata) {
+    Anomaly anomaly;
+    anomaly.metric = box.metadata.dimension;
+    anomaly.location = "bounding box";
+    anomaly.value = app_md_kiops;
+    anomaly.reference = app_md_kiops < box.metadata.lower
+                            ? box.metadata.lower
+                            : box.metadata.upper;
+    anomaly.deviation =
+        anomaly.reference != 0.0 ? app_md_kiops / anomaly.reference - 1.0 : 0.0;
+    anomaly.severity = app_md_kiops < box.metadata.lower
+                           ? AnomalySeverity::kCritical
+                           : AnomalySeverity::kInfo;
+    anomaly.description = placement.assessment;
+    report.anomalies.push_back(std::move(anomaly));
+  }
+  return report;
+}
+
+AnomalyReport with_job_context(AnomalyReport report,
+                               const knowledge::Knowledge& knowledge) {
+  if (!knowledge.job.has_value()) {
+    return report;
+  }
+  const knowledge::JobInfoRecord& job = *knowledge.job;
+  const std::string context = " [job " + std::to_string(job.job_id) + " (" +
+                              job.job_name + ") on " + job.node_list + "]";
+  for (Anomaly& anomaly : report.anomalies) {
+    anomaly.description += context;
+  }
+  return report;
+}
+
+}  // namespace iokc::analysis

@@ -1,0 +1,79 @@
+// Anomaly detection (the paper's Example II): statistical outlier detectors
+// over per-iteration knowledge, cross-run IO500 comparison, and bounding-box
+// violations.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/analysis/bounding_box.hpp"
+#include "src/knowledge/io500_knowledge.hpp"
+#include "src/knowledge/knowledge.hpp"
+
+namespace iokc::analysis {
+
+enum class AnomalySeverity { kInfo, kWarning, kCritical };
+
+std::string to_string(AnomalySeverity severity);
+
+/// One detected anomaly.
+struct Anomaly {
+  std::string metric;       // e.g. "write bw_mib"
+  std::string location;     // e.g. "iteration 1" or "testcase ior-easy-read"
+  double value = 0.0;
+  double reference = 0.0;   // the expectation it deviates from
+  double deviation = 0.0;   // relative deviation (value/reference - 1)
+  AnomalySeverity severity = AnomalySeverity::kWarning;
+  std::string description;
+};
+
+/// A collection of findings.
+struct AnomalyReport {
+  std::vector<Anomaly> anomalies;
+
+  bool empty() const { return anomalies.empty(); }
+  std::size_t size() const { return anomalies.size(); }
+  void merge(AnomalyReport other);
+  std::string render() const;
+};
+
+/// Flags samples outside the Tukey fences (k * IQR beyond the quartiles).
+/// Deviations below 5% of the median are suppressed as immaterial.
+AnomalyReport detect_iqr_outliers(const std::string& metric,
+                                  std::span<const double> values,
+                                  double k = 1.5);
+
+/// Flags samples with |z| >= threshold. Deviations below 5% of the mean are
+/// suppressed as immaterial.
+AnomalyReport detect_zscore(const std::string& metric,
+                            std::span<const double> values,
+                            double threshold = 2.5);
+
+/// Flags samples below `fraction` of the median of the *other* samples —
+/// the paper's observation style ("less than half the average throughput").
+AnomalyReport detect_relative_drop(const std::string& metric,
+                                   std::span<const double> values,
+                                   double fraction = 0.5);
+
+/// Runs the iteration-level detectors over every operation summary of a
+/// knowledge object (bandwidth and ops series).
+AnomalyReport detect_in_knowledge(const knowledge::Knowledge& knowledge);
+
+/// Compares an IO500 run against a reference run; flags test cases deviating
+/// by more than `tolerance` (relative).
+AnomalyReport compare_io500_runs(const knowledge::Io500Knowledge& reference,
+                                 const knowledge::Io500Knowledge& probe,
+                                 double tolerance = 0.3);
+
+/// Flags application measurements falling outside a bounding box.
+AnomalyReport detect_box_violation(const BoundingBox2D& box, double app_bw_gib,
+                                   double app_md_kiops);
+
+/// Annotates every finding with the run's workload-manager context (job id
+/// and node list) when the knowledge object carries one — "providing context
+/// between anomaly and causes".
+AnomalyReport with_job_context(AnomalyReport report,
+                               const knowledge::Knowledge& knowledge);
+
+}  // namespace iokc::analysis

@@ -1,0 +1,223 @@
+#include "src/analysis/bounding_box.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::analysis {
+
+double BoundingBox1D::position(double value) const {
+  const double range = std::max(upper - lower, 1e-12);
+  return (value - lower) / range;
+}
+
+namespace {
+
+double testcase_value(const knowledge::Io500Knowledge& run,
+                      const std::string& name) {
+  const knowledge::Io500Testcase* testcase = run.find_testcase(name);
+  if (testcase == nullptr) {
+    throw ConfigError("IO500 run lacks boundary test case '" + name + "'");
+  }
+  return testcase->value;
+}
+
+}  // namespace
+
+BoundingBox1D make_bandwidth_box(const knowledge::Io500Knowledge& run,
+                                 const std::string& access) {
+  BoundingBox1D box;
+  box.dimension = "bandwidth-" + access;
+  box.unit = "GiB/s";
+  box.lower = testcase_value(run, "ior-hard-" + access);
+  box.upper = testcase_value(run, "ior-easy-" + access);
+  if (box.lower > box.upper) {
+    std::swap(box.lower, box.upper);  // an inverted box is itself an anomaly
+  }
+  return box;
+}
+
+BoundingBox1D make_metadata_box(const knowledge::Io500Knowledge& run,
+                                const std::string& op) {
+  BoundingBox1D box;
+  box.dimension = "metadata-" + op;
+  box.unit = "kIOPS";
+  box.lower = testcase_value(run, "mdtest-hard-" + op);
+  box.upper = testcase_value(run, "mdtest-easy-" + op);
+  if (box.lower > box.upper) {
+    std::swap(box.lower, box.upper);
+  }
+  return box;
+}
+
+BoundingBox2D make_bounding_box(const knowledge::Io500Knowledge& run) {
+  BoundingBox2D box;
+  box.bandwidth = make_bandwidth_box(run, "write");
+  box.metadata = make_metadata_box(run, "write");
+  return box;
+}
+
+BoxPlacement place_application(const BoundingBox2D& box, double app_bw_gib,
+                               double app_md_kiops) {
+  BoxPlacement placement;
+  placement.bandwidth_position = box.bandwidth.position(app_bw_gib);
+  placement.metadata_position = box.metadata.position(app_md_kiops);
+  placement.within_bandwidth = box.bandwidth.contains(app_bw_gib);
+  placement.within_metadata = box.metadata.contains(app_md_kiops);
+  if (placement.within_bandwidth && placement.within_metadata) {
+    placement.assessment =
+        "within expectations; tuning potential toward the easy bounds";
+  } else if (app_bw_gib < box.bandwidth.lower ||
+             app_md_kiops < box.metadata.lower) {
+    placement.assessment =
+        "below the suboptimal bound: anomaly or severe access-pattern issue";
+  } else {
+    placement.assessment =
+        "above the optimized bound: measurement likely cache-affected";
+  }
+  return placement;
+}
+
+std::string render_bounding_box(const BoundingBox2D& box,
+                                const BoxPlacement* placement) {
+  char buf[256];
+  std::string out = "IO500 expectation bounding box\n";
+  std::snprintf(buf, sizeof buf, "  %-16s [%10.4f .. %10.4f] %s\n",
+                box.bandwidth.dimension.c_str(), box.bandwidth.lower,
+                box.bandwidth.upper, box.bandwidth.unit.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  %-16s [%10.4f .. %10.4f] %s\n",
+                box.metadata.dimension.c_str(), box.metadata.lower,
+                box.metadata.upper, box.metadata.unit.c_str());
+  out += buf;
+  if (placement != nullptr) {
+    std::snprintf(buf, sizeof buf,
+                  "  application: bw at %.0f%%%s, md at %.0f%%%s of the box\n",
+                  placement->bandwidth_position * 100.0,
+                  placement->within_bandwidth ? "" : " (outside)",
+                  placement->metadata_position * 100.0,
+                  placement->within_metadata ? "" : " (outside)");
+    out += buf;
+    out += "  assessment: " + placement->assessment + "\n";
+  }
+  return out;
+}
+
+std::string render_svg_bounding_box(
+    const BoundingBox2D& box,
+    const std::vector<BoxApplicationPoint>& applications, int width,
+    int height) {
+  // Plot range: the box plus margin, extended to include every application.
+  double x_min = box.bandwidth.lower;
+  double x_max = box.bandwidth.upper;
+  double y_min = box.metadata.lower;
+  double y_max = box.metadata.upper;
+  for (const BoxApplicationPoint& application : applications) {
+    x_min = std::min(x_min, application.bw_gib);
+    x_max = std::max(x_max, application.bw_gib);
+    y_min = std::min(y_min, application.md_kiops);
+    y_max = std::max(y_max, application.md_kiops);
+  }
+  const double x_pad = std::max((x_max - x_min) * 0.15, 1e-6);
+  const double y_pad = std::max((y_max - y_min) * 0.15, 1e-6);
+  x_min -= x_pad;
+  x_max += x_pad;
+  y_min = std::max(0.0, y_min - y_pad);
+  y_max += y_pad;
+
+  const double margin = 64.0;
+  const double plot_w = width - 2 * margin;
+  const double plot_h = height - 2 * margin;
+  auto map_x = [&](double v) {
+    return margin + plot_w * (v - x_min) / (x_max - x_min);
+  };
+  auto map_y = [&](double v) {
+    return height - margin - plot_h * (v - y_min) / (y_max - y_min);
+  };
+
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+                "height=\"%d\" font-family=\"sans-serif\" font-size=\"12\">\n"
+                "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n",
+                width, height);
+  out += buf;
+  out += "<text x=\"" + std::to_string(width / 2) +
+         "\" y=\"22\" text-anchor=\"middle\" font-weight=\"bold\">IO500 "
+         "expectation bounding box</text>\n";
+
+  // Axes.
+  std::snprintf(buf, sizeof buf,
+                "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                "stroke=\"#333\"/>\n",
+                margin, height - margin, width - margin, height - margin);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                "stroke=\"#333\"/>\n",
+                margin, height - margin, margin, margin);
+  out += buf;
+  out += "<text x=\"" + std::to_string(width / 2) + "\" y=\"" +
+         std::to_string(height - 12) + "\" text-anchor=\"middle\">" +
+         box.bandwidth.dimension + " (" + box.bandwidth.unit + ")</text>\n";
+  std::snprintf(buf, sizeof buf,
+                "<text x=\"18\" y=\"%.1f\" text-anchor=\"middle\" "
+                "transform=\"rotate(-90 18 %.1f)\">%s (%s)</text>\n",
+                height / 2.0, height / 2.0, box.metadata.dimension.c_str(),
+                box.metadata.unit.c_str());
+  out += buf;
+
+  // The box itself.
+  const double bx = map_x(box.bandwidth.lower);
+  const double by = map_y(box.metadata.upper);
+  const double bw = map_x(box.bandwidth.upper) - bx;
+  const double bh = map_y(box.metadata.lower) - by;
+  std::snprintf(buf, sizeof buf,
+                "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+                "fill=\"#4e79a7\" fill-opacity=\"0.18\" stroke=\"#4e79a7\" "
+                "stroke-width=\"2\"/>\n",
+                bx, by, bw, bh);
+  out += buf;
+  // Bound annotations.
+  std::snprintf(buf, sizeof buf,
+                "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\">easy "
+                "(%.3f, %.3f)</text>\n",
+                bx + bw + 4, by + 4, box.bandwidth.upper, box.metadata.upper);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" "
+                "text-anchor=\"end\">hard (%.3f, %.3f)</text>\n",
+                bx - 4, by + bh + 12, box.bandwidth.lower,
+                box.metadata.lower);
+  out += buf;
+
+  // Application markers.
+  for (std::size_t i = 0; i < applications.size(); ++i) {
+    const BoxApplicationPoint& application = applications[i];
+    const bool inside =
+        box.bandwidth.contains(application.bw_gib) &&
+        box.metadata.contains(application.md_kiops);
+    const double px = map_x(application.bw_gib);
+    const double py = map_y(application.md_kiops);
+    std::snprintf(buf, sizeof buf,
+                  "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"5\" fill=\"%s\"/>\n",
+                  px, py, inside ? "#59a14f" : "#e15759");
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\">%s</text>\n",
+                  px + 8, py + 4,
+                  util::replace_all(
+                      util::replace_all(application.label, "&", "&amp;"), "<",
+                      "&lt;")
+                      .c_str());
+    out += buf;
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace iokc::analysis

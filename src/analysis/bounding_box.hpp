@@ -1,0 +1,80 @@
+// The IO500 performance bounding box after Liem et al. (the paper's Section
+// II-B and the Fig. 6 use case): ior-easy / ior-hard bound the bandwidth
+// dimension and mdtest-easy / mdtest-hard bound the metadata dimension,
+// giving users a realistic expectation window for application I/O and a
+// reference frame for anomaly detection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/knowledge/io500_knowledge.hpp"
+
+namespace iokc::analysis {
+
+/// One dimension of the expectation box.
+struct BoundingBox1D {
+  std::string dimension;  // e.g. "bandwidth-write"
+  std::string unit;       // "GiB/s" or "kIOPS"
+  double lower = 0.0;     // the "hard" (suboptimal-pattern) bound
+  double upper = 0.0;     // the "easy" (optimized-pattern) bound
+
+  bool contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+  /// Normalized position of a value inside the box (0 = lower, 1 = upper;
+  /// values outside map below 0 / above 1).
+  double position(double value) const;
+};
+
+/// The two-dimensional box of Liem et al.
+struct BoundingBox2D {
+  BoundingBox1D bandwidth;
+  BoundingBox1D metadata;
+};
+
+/// Builds the bandwidth dimension from ior-easy-<access> / ior-hard-<access>.
+/// `access` is "write" or "read". Throws ConfigError when the run lacks the
+/// boundary test cases.
+BoundingBox1D make_bandwidth_box(const knowledge::Io500Knowledge& run,
+                                 const std::string& access);
+
+/// Builds the metadata dimension from mdtest-easy-<op> / mdtest-hard-<op>
+/// (`op` is "write", "stat", or "delete").
+BoundingBox1D make_metadata_box(const knowledge::Io500Knowledge& run,
+                                const std::string& op);
+
+/// The standard 2-D box (write bandwidth x create metadata).
+BoundingBox2D make_bounding_box(const knowledge::Io500Knowledge& run);
+
+/// Where an application's measurements land in the box.
+struct BoxPlacement {
+  double bandwidth_position = 0.0;
+  double metadata_position = 0.0;
+  bool within_bandwidth = false;
+  bool within_metadata = false;
+  std::string assessment;  // human-readable verdict
+};
+
+/// Maps application-level measurements (GiB/s, kIOPS) into the box.
+BoxPlacement place_application(const BoundingBox2D& box, double app_bw_gib,
+                               double app_md_kiops);
+
+/// Renders a box (with optional placement) as a text panel.
+std::string render_bounding_box(const BoundingBox2D& box,
+                                const BoxPlacement* placement = nullptr);
+
+/// Renders the two-dimensional expectation box as SVG (the outlook's
+/// bounding-box chart type): bandwidth on x, metadata on y, the box spanning
+/// [lower, upper] on both axes, and optional application markers.
+struct BoxApplicationPoint {
+  std::string label;
+  double bw_gib = 0.0;
+  double md_kiops = 0.0;
+};
+std::string render_svg_bounding_box(
+    const BoundingBox2D& box,
+    const std::vector<BoxApplicationPoint>& applications = {},
+    int width = 560, int height = 560);
+
+}  // namespace iokc::analysis

@@ -1,0 +1,469 @@
+#include "src/analysis/charts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::analysis {
+
+namespace {
+
+constexpr const char* kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f",
+                                    "#e15759", "#76b7b2", "#edc948"};
+constexpr int kMarginLeft = 64;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 36;
+constexpr int kMarginBottom = 56;
+
+std::string escape(const std::string& text) {
+  return util::replace_all(
+      util::replace_all(util::replace_all(text, "&", "&amp;"), "<", "&lt;"),
+      ">", "&gt;");
+}
+
+std::string fmt(double value) {
+  char buf[48];
+  if (std::abs(value) >= 1000.0 || value == std::floor(value)) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", value);
+  }
+  return buf;
+}
+
+struct Frame {
+  int width;
+  int height;
+  double y_min;
+  double y_max;
+
+  double plot_width() const {
+    return static_cast<double>(width - kMarginLeft - kMarginRight);
+  }
+  double plot_height() const {
+    return static_cast<double>(height - kMarginTop - kMarginBottom);
+  }
+  double map_y(double value) const {
+    const double range = std::max(y_max - y_min, 1e-12);
+    return static_cast<double>(kMarginTop) +
+           plot_height() * (1.0 - (value - y_min) / range);
+  }
+};
+
+std::string svg_header(int width, int height) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+                "height=\"%d\" viewBox=\"0 0 %d %d\" font-family=\"sans-serif\""
+                " font-size=\"12\">\n",
+                width, height, width, height);
+  return std::string(buf) +
+         "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+}
+
+std::string text_at(double x, double y, const std::string& content,
+                    const char* anchor = "middle", int size = 12,
+                    const char* extra = "") {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"%s\" "
+                "font-size=\"%d\" %s>",
+                x, y, anchor, size, extra);
+  return std::string(buf) + escape(content) + "</text>\n";
+}
+
+std::string line_at(double x1, double y1, double x2, double y2,
+                    const char* stroke = "#333", double width = 1.0) {
+  char buf[200];
+  std::snprintf(buf, sizeof buf,
+                "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                "stroke=\"%s\" stroke-width=\"%.1f\"/>\n",
+                x1, y1, x2, y2, stroke, width);
+  return buf;
+}
+
+/// Axes, ticks, labels, and title common to every chart.
+std::string chart_scaffold(const Frame& frame, const std::string& title,
+                           const std::string& x_label,
+                           const std::string& y_label) {
+  std::string out;
+  out += text_at(frame.width / 2.0, 20, title, "middle", 14,
+                 "font-weight=\"bold\"");
+  const double x0 = kMarginLeft;
+  const double x1 = frame.width - kMarginRight;
+  const double y0 = frame.map_y(frame.y_min);
+  const double y1 = frame.map_y(frame.y_max);
+  out += line_at(x0, y0, x1, y0);  // x axis
+  out += line_at(x0, y0, x0, y1);  // y axis
+  // 5 y ticks with grid lines.
+  for (int t = 0; t <= 5; ++t) {
+    const double value =
+        frame.y_min + (frame.y_max - frame.y_min) * t / 5.0;
+    const double y = frame.map_y(value);
+    out += line_at(x0 - 4, y, x0, y);
+    if (t > 0) {
+      out += line_at(x0, y, x1, y, "#ddd", 0.5);
+    }
+    out += text_at(x0 - 8, y + 4, fmt(value), "end", 11);
+  }
+  if (!x_label.empty()) {
+    out += text_at((x0 + x1) / 2.0, frame.height - 8, x_label);
+  }
+  if (!y_label.empty()) {
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "<text x=\"14\" y=\"%.1f\" text-anchor=\"middle\" "
+                  "font-size=\"12\" transform=\"rotate(-90 14 %.1f)\">",
+                  (y0 + y1) / 2.0, (y0 + y1) / 2.0);
+    out += std::string(buf) + escape(y_label) + "</text>\n";
+  }
+  return out;
+}
+
+std::string legend(const std::vector<Series>& series, int width) {
+  std::string out;
+  double x = width - kMarginRight - 110.0;
+  double y = kMarginTop + 4.0;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "<rect x=\"%.1f\" y=\"%.1f\" width=\"10\" height=\"10\" "
+                  "fill=\"%s\"/>\n",
+                  x, y - 9, kPalette[s % std::size(kPalette)]);
+    out += buf;
+    out += text_at(x + 14, y, series[s].label, "start", 11);
+    y += 16;
+  }
+  return out;
+}
+
+Frame make_frame(int width, int height, double min_value, double max_value,
+                 bool zero_base) {
+  Frame frame{width, height, min_value, max_value};
+  if (zero_base && frame.y_min > 0.0) {
+    frame.y_min = 0.0;
+  }
+  if (frame.y_max <= frame.y_min) {
+    frame.y_max = frame.y_min + 1.0;
+  }
+  // Headroom for markers and the legend.
+  frame.y_max += (frame.y_max - frame.y_min) * 0.08;
+  return frame;
+}
+
+void data_range(const std::vector<Series>& series, double& min_value,
+                double& max_value) {
+  min_value = 0.0;
+  max_value = 1.0;
+  bool first = true;
+  for (const Series& s : series) {
+    for (const double v : s.values) {
+      if (first) {
+        min_value = v;
+        max_value = v;
+        first = false;
+      } else {
+        min_value = std::min(min_value, v);
+        max_value = std::max(max_value, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Chart::validate() const {
+  if (categories.empty()) {
+    throw ConfigError("chart '" + title + "' has no categories");
+  }
+  for (const Series& s : series) {
+    if (s.values.size() != categories.size()) {
+      throw ConfigError("chart '" + title + "': series '" + s.label + "' has " +
+                        std::to_string(s.values.size()) + " values for " +
+                        std::to_string(categories.size()) + " categories");
+    }
+  }
+}
+
+std::string render_svg_line(const Chart& chart, int width, int height) {
+  chart.validate();
+  double min_value = 0.0;
+  double max_value = 1.0;
+  data_range(chart.series, min_value, max_value);
+  const Frame frame = make_frame(width, height, min_value, max_value, true);
+
+  std::string out = svg_header(width, height);
+  out += chart_scaffold(frame, chart.title, chart.x_label, chart.y_label);
+
+  const double step =
+      frame.plot_width() / std::max<std::size_t>(chart.categories.size(), 1);
+  for (std::size_t c = 0; c < chart.categories.size(); ++c) {
+    const double x = kMarginLeft + step * (static_cast<double>(c) + 0.5);
+    out += text_at(x, height - kMarginBottom + 16, chart.categories[c],
+                   "middle", 11);
+  }
+  for (std::size_t s = 0; s < chart.series.size(); ++s) {
+    const char* color = kPalette[s % std::size(kPalette)];
+    std::string points;
+    for (std::size_t c = 0; c < chart.series[s].values.size(); ++c) {
+      const double x = kMarginLeft + step * (static_cast<double>(c) + 0.5);
+      const double y = frame.map_y(chart.series[s].values[c]);
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.1f,%.1f ", x, y);
+      points += buf;
+      char marker[160];
+      std::snprintf(marker, sizeof marker,
+                    "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n",
+                    x, y, color);
+      out += marker;
+    }
+    out += "<polyline fill=\"none\" stroke=\"" + std::string(color) +
+           "\" stroke-width=\"2\" points=\"" + points + "\"/>\n";
+  }
+  out += legend(chart.series, width);
+  out += "</svg>\n";
+  return out;
+}
+
+std::string render_svg_bar(const Chart& chart, int width, int height) {
+  chart.validate();
+  double min_value = 0.0;
+  double max_value = 1.0;
+  data_range(chart.series, min_value, max_value);
+  const Frame frame = make_frame(width, height, std::min(min_value, 0.0),
+                                 max_value, true);
+
+  std::string out = svg_header(width, height);
+  out += chart_scaffold(frame, chart.title, chart.x_label, chart.y_label);
+
+  const double group_step =
+      frame.plot_width() / std::max<std::size_t>(chart.categories.size(), 1);
+  const double bar_width =
+      group_step * 0.8 / std::max<std::size_t>(chart.series.size(), 1);
+  const double baseline = frame.map_y(std::max(frame.y_min, 0.0));
+  for (std::size_t c = 0; c < chart.categories.size(); ++c) {
+    const double group_x =
+        kMarginLeft + group_step * static_cast<double>(c) + group_step * 0.1;
+    out += text_at(group_x + group_step * 0.4, height - kMarginBottom + 16,
+                   chart.categories[c], "middle", 11);
+    for (std::size_t s = 0; s < chart.series.size(); ++s) {
+      const double value = chart.series[s].values[c];
+      const double y = frame.map_y(value);
+      const double top = std::min(y, baseline);
+      const double h = std::abs(baseline - y);
+      char buf[240];
+      std::snprintf(buf, sizeof buf,
+                    "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\""
+                    " fill=\"%s\"/>\n",
+                    group_x + bar_width * static_cast<double>(s), top,
+                    bar_width * 0.92, h, kPalette[s % std::size(kPalette)]);
+      out += buf;
+    }
+  }
+  out += legend(chart.series, width);
+  out += "</svg>\n";
+  return out;
+}
+
+std::string render_svg_boxplot(const BoxplotChart& chart, int width,
+                               int height) {
+  if (chart.boxes.empty()) {
+    throw ConfigError("boxplot chart '" + chart.title + "' has no boxes");
+  }
+  double min_value = chart.boxes.front().second.min;
+  double max_value = chart.boxes.front().second.max;
+  for (const auto& [label, box] : chart.boxes) {
+    min_value = std::min(min_value, box.min);
+    max_value = std::max(max_value, box.max);
+    for (const double v : box.outliers) {
+      min_value = std::min(min_value, v);
+      max_value = std::max(max_value, v);
+    }
+  }
+  const Frame frame = make_frame(width, height, min_value, max_value, true);
+
+  std::string out = svg_header(width, height);
+  out += chart_scaffold(frame, chart.title, "", chart.y_label);
+
+  const double step = frame.plot_width() / static_cast<double>(
+                                               chart.boxes.size());
+  for (std::size_t b = 0; b < chart.boxes.size(); ++b) {
+    const auto& [label, box] = chart.boxes[b];
+    const double cx = kMarginLeft + step * (static_cast<double>(b) + 0.5);
+    const double half = std::min(step * 0.3, 40.0);
+    const char* color = kPalette[b % std::size(kPalette)];
+
+    const double y_min = frame.map_y(box.min);
+    const double y_q1 = frame.map_y(box.q1);
+    const double y_med = frame.map_y(box.median);
+    const double y_q3 = frame.map_y(box.q3);
+    const double y_max = frame.map_y(box.max);
+
+    out += line_at(cx, y_min, cx, y_q1, "#333");            // lower whisker
+    out += line_at(cx, y_q3, cx, y_max, "#333");            // upper whisker
+    out += line_at(cx - half * 0.6, y_min, cx + half * 0.6, y_min, "#333");
+    out += line_at(cx - half * 0.6, y_max, cx + half * 0.6, y_max, "#333");
+    char buf[240];
+    std::snprintf(buf, sizeof buf,
+                  "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+                  "fill=\"%s\" fill-opacity=\"0.5\" stroke=\"#333\"/>\n",
+                  cx - half, y_q3, half * 2.0, std::max(y_q1 - y_q3, 1.0),
+                  color);
+    out += buf;
+    out += line_at(cx - half, y_med, cx + half, y_med, "#000", 2.0);
+    for (const double v : box.outliers) {
+      char marker[160];
+      std::snprintf(marker, sizeof marker,
+                    "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" fill=\"none\" "
+                    "stroke=\"%s\"/>\n",
+                    cx, frame.map_y(v), color);
+      out += marker;
+    }
+    out += text_at(cx, frame.height - kMarginBottom + 16, label, "middle", 11);
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+void HeatmapChart::validate() const {
+  if (rows.empty() || columns.empty()) {
+    throw ConfigError("heatmap '" + title + "' needs rows and columns");
+  }
+  if (values.size() != rows.size()) {
+    throw ConfigError("heatmap '" + title + "': value grid has " +
+                      std::to_string(values.size()) + " rows for " +
+                      std::to_string(rows.size()) + " labels");
+  }
+  for (const auto& row : values) {
+    if (row.size() != columns.size()) {
+      throw ConfigError("heatmap '" + title + "': ragged value grid");
+    }
+  }
+}
+
+std::string render_svg_heatmap(const HeatmapChart& chart, int width,
+                               int height) {
+  chart.validate();
+  double min_value = chart.values[0][0];
+  double max_value = chart.values[0][0];
+  for (const auto& row : chart.values) {
+    for (const double v : row) {
+      min_value = std::min(min_value, v);
+      max_value = std::max(max_value, v);
+    }
+  }
+  const double range = std::max(max_value - min_value, 1e-12);
+
+  std::string out = svg_header(width, height);
+  out += text_at(width / 2.0, 20, chart.title, "middle", 14,
+                 "font-weight=\"bold\"");
+  const double x0 = kMarginLeft;
+  const double y0 = kMarginTop;
+  const double cell_w =
+      (width - kMarginLeft - kMarginRight) /
+      static_cast<double>(chart.columns.size());
+  const double cell_h = (height - kMarginTop - kMarginBottom) /
+                        static_cast<double>(chart.rows.size());
+
+  for (std::size_t r = 0; r < chart.rows.size(); ++r) {
+    out += text_at(x0 - 8, y0 + cell_h * (static_cast<double>(r) + 0.6),
+                   chart.rows[r], "end", 11);
+    for (std::size_t c = 0; c < chart.columns.size(); ++c) {
+      const double v = chart.values[r][c];
+      const double normalized = (v - min_value) / range;
+      // White -> saturated blue ramp.
+      const int red = static_cast<int>(255.0 - 177.0 * normalized);
+      const int green = static_cast<int>(255.0 - 134.0 * normalized);
+      const int blue = static_cast<int>(255.0 - 88.0 * normalized);
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" "
+                    "height=\"%.1f\" fill=\"rgb(%d,%d,%d)\" "
+                    "stroke=\"#fff\"/>\n",
+                    x0 + cell_w * static_cast<double>(c),
+                    y0 + cell_h * static_cast<double>(r), cell_w, cell_h, red,
+                    green, blue);
+      out += buf;
+      out += text_at(x0 + cell_w * (static_cast<double>(c) + 0.5),
+                     y0 + cell_h * (static_cast<double>(r) + 0.6), fmt(v),
+                     "middle", 10,
+                     normalized > 0.6 ? "fill=\"#fff\"" : "fill=\"#222\"");
+    }
+  }
+  for (std::size_t c = 0; c < chart.columns.size(); ++c) {
+    out += text_at(x0 + cell_w * (static_cast<double>(c) + 0.5),
+                   height - kMarginBottom + 16, chart.columns[c], "middle",
+                   11);
+  }
+  if (!chart.x_label.empty()) {
+    out += text_at((x0 + width - kMarginRight) / 2.0, height - 8,
+                   chart.x_label);
+  }
+  if (!chart.y_label.empty()) {
+    char buf[200];
+    const double mid = y0 + (height - kMarginTop - kMarginBottom) / 2.0;
+    std::snprintf(buf, sizeof buf,
+                  "<text x=\"14\" y=\"%.1f\" text-anchor=\"middle\" "
+                  "font-size=\"12\" transform=\"rotate(-90 14 %.1f)\">",
+                  mid, mid);
+    out += std::string(buf) + escape(chart.y_label) + "</text>\n";
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+std::string render_ascii_bar(const Chart& chart, int bar_width) {
+  chart.validate();
+  double min_value = 0.0;
+  double max_value = 1.0;
+  data_range(chart.series, min_value, max_value);
+  max_value = std::max(max_value, 1e-12);
+
+  std::size_t label_width = 0;
+  for (const std::string& category : chart.categories) {
+    for (const Series& s : chart.series) {
+      label_width =
+          std::max(label_width, category.size() + s.label.size() + 1);
+    }
+  }
+
+  std::string out = chart.title + "\n";
+  for (std::size_t c = 0; c < chart.categories.size(); ++c) {
+    for (const Series& s : chart.series) {
+      const double value = s.values[c];
+      const int filled = static_cast<int>(
+          std::round(std::max(value, 0.0) / max_value * bar_width));
+      std::string label = chart.categories[c];
+      if (!s.label.empty()) {
+        label += "/" + s.label;
+      }
+      out += util::pad_right(label, label_width + 1);
+      out += "|" + std::string(static_cast<std::size_t>(filled), '#');
+      out += " " + fmt(value) + "\n";
+    }
+  }
+  return out;
+}
+
+void save_svg(const std::string& path, const std::string& svg) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent);
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError("cannot write SVG file: " + path);
+  }
+  out << svg;
+  if (!out) {
+    throw IoError("failed writing SVG file: " + path);
+  }
+}
+
+}  // namespace iokc::analysis

@@ -1,0 +1,69 @@
+// Chart rendering for the headless knowledge explorer. The paper's web GUI
+// shows interactive charts and exports them as image files; this build
+// renders SVG directly (line, grouped bar, boxplot) plus an ASCII bar chart
+// for terminals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/stats.hpp"
+
+namespace iokc::analysis {
+
+/// One plotted series.
+struct Series {
+  std::string label;
+  std::vector<double> values;  // one value per category
+};
+
+/// A categorical chart (iterations, configurations, ... on the x axis).
+struct Chart {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::string> categories;
+  std::vector<Series> series;
+
+  /// Throws ConfigError when series lengths disagree with categories.
+  void validate() const;
+};
+
+/// A boxplot chart (one box per labelled group).
+struct BoxplotChart {
+  std::string title;
+  std::string y_label;
+  std::vector<std::pair<std::string, BoxplotStats>> boxes;
+};
+
+/// A heat map (the outlook's "additional chart types, including heat map"):
+/// one cell per (row, column) pair, e.g. transfer size x task count -> MiB/s.
+struct HeatmapChart {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<std::string> columns;
+  std::vector<std::string> rows;
+  std::vector<std::vector<double>> values;  // [row][column]
+
+  /// Throws ConfigError when the value grid disagrees with the labels.
+  void validate() const;
+};
+
+/// SVG renderers. Dimensions are the outer pixel size.
+std::string render_svg_line(const Chart& chart, int width = 720,
+                            int height = 420);
+std::string render_svg_bar(const Chart& chart, int width = 720,
+                           int height = 420);
+std::string render_svg_boxplot(const BoxplotChart& chart, int width = 720,
+                               int height = 420);
+std::string render_svg_heatmap(const HeatmapChart& chart, int width = 720,
+                               int height = 420);
+
+/// Terminal rendering: one bar per (category, series) pair.
+std::string render_ascii_bar(const Chart& chart, int bar_width = 48);
+
+/// Writes an SVG document to a file (creating parent directories).
+void save_svg(const std::string& path, const std::string& svg);
+
+}  // namespace iokc::analysis

@@ -1,0 +1,288 @@
+#include "src/analysis/explorer.hpp"
+
+#include <cstdio>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+namespace iokc::analysis {
+
+double op_result_metric(const knowledge::OpResult& result,
+                        const std::string& metric) {
+  if (metric == "bw_mib") return result.bw_mib;
+  if (metric == "iops") return result.iops;
+  if (metric == "latency_sec") return result.latency_sec;
+  if (metric == "open_sec") return result.open_sec;
+  if (metric == "wrrd_sec") return result.wrrd_sec;
+  if (metric == "close_sec") return result.close_sec;
+  if (metric == "total_sec") return result.total_sec;
+  throw ConfigError("unknown per-iteration metric '" + metric + "'");
+}
+
+double op_summary_metric(const knowledge::OpSummary& summary,
+                         const std::string& metric) {
+  if (metric == "mean_bw_mib") return summary.mean_bw_mib;
+  if (metric == "max_bw_mib") return summary.max_bw_mib;
+  if (metric == "min_bw_mib") return summary.min_bw_mib;
+  if (metric == "stddev_bw_mib") return summary.stddev_bw_mib;
+  if (metric == "mean_ops") return summary.mean_ops;
+  if (metric == "max_ops") return summary.max_ops;
+  if (metric == "min_ops") return summary.min_ops;
+  if (metric == "mean_time_sec") return summary.mean_time_sec;
+  throw ConfigError("unknown summary metric '" + metric + "'");
+}
+
+std::string KnowledgeExplorer::render_knowledge_view(std::int64_t id) {
+  const knowledge::Knowledge k = repository_.load_knowledge(id);
+  std::string out;
+  out += "Knowledge object #" + std::to_string(id) + "\n";
+  out += "  command   : " + k.command + "\n";
+  out += "  benchmark : " + k.benchmark + "\n";
+  out += "  api       : " + k.api + "\n";
+  out += "  test file : " + k.test_file + "\n";
+  out += "  tasks     : " + std::to_string(k.num_tasks) + " on " +
+         std::to_string(k.num_nodes) + " node(s)\n";
+  out += std::string("  access    : ") +
+         (k.file_per_process ? "file-per-process" : "single-shared-file") +
+         "\n";
+  if (k.filesystem.has_value()) {
+    const knowledge::FileSystemInfo& f = *k.filesystem;
+    out += "  file system:\n";
+    out += "    name / entry  : " + f.fs_name + " / " + f.entry_id + "\n";
+    out += "    metadata node : " + std::to_string(f.metadata_node) + "\n";
+    out += "    stripe        : " + f.stripe_pattern + ", chunk " +
+           util::format_bytes(f.chunk_size) + ", " +
+           std::to_string(f.num_targets) + " targets, pool " +
+           std::to_string(f.storage_pool) + "\n";
+  }
+  if (k.job.has_value()) {
+    const knowledge::JobInfoRecord& j = *k.job;
+    out += "  job context (Slurm):\n";
+    out += "    JobId " + std::to_string(j.job_id) + " (" + j.job_name +
+           "), partition " + j.partition + ", user " + j.user + "\n";
+    out += "    " + std::to_string(j.num_tasks) + " tasks on " +
+           std::to_string(j.num_nodes) + " node(s): " + j.node_list + "\n";
+  }
+  if (k.system.has_value()) {
+    const knowledge::SystemInfoRecord& s = *k.system;
+    out += "  system:\n";
+    out += "    host  : " + s.hostname + " (" + s.os_release + ")\n";
+    out += "    cpu   : " + s.cpu_model + ", " +
+           std::to_string(s.total_cores) + " cores @ " +
+           util::format_double(s.frequency_mhz, 0) + " MHz\n";
+    out += "    memory: " + util::format_bytes(s.memory_bytes) + ", L3 " +
+           std::to_string(s.l3_kib) + " KiB\n";
+  }
+  util::TextTable table;
+  table.set_header({"operation", "api", "max(MiB/s)", "min(MiB/s)",
+                    "mean(MiB/s)", "stddev", "mean(OPs)", "mean(s)"});
+  table.set_alignment({util::Align::kLeft, util::Align::kLeft,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight});
+  for (const knowledge::OpSummary& summary : k.summaries) {
+    table.add_row({summary.operation, summary.api,
+                   util::format_double(summary.max_bw_mib, 2),
+                   util::format_double(summary.min_bw_mib, 2),
+                   util::format_double(summary.mean_bw_mib, 2),
+                   util::format_double(summary.stddev_bw_mib, 2),
+                   util::format_double(summary.mean_ops, 2),
+                   util::format_double(summary.mean_time_sec, 4)});
+  }
+  out += table.render();
+  return out;
+}
+
+std::string KnowledgeExplorer::render_iteration_details(std::int64_t id) {
+  const knowledge::Knowledge k = repository_.load_knowledge(id);
+  util::TextTable table;
+  table.set_header({"operation", "iter", "bw(MiB/s)", "IOPS", "latency(s)",
+                    "open(s)", "wr/rd(s)", "close(s)", "total(s)"});
+  table.set_alignment({util::Align::kLeft, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight, util::Align::kRight,
+                       util::Align::kRight});
+  for (const knowledge::OpSummary& summary : k.summaries) {
+    for (const knowledge::OpResult& result : summary.results) {
+      table.add_row({summary.operation, std::to_string(result.iteration),
+                     util::format_double(result.bw_mib, 2),
+                     util::format_double(result.iops, 2),
+                     util::format_double(result.latency_sec, 5),
+                     util::format_double(result.open_sec, 5),
+                     util::format_double(result.wrrd_sec, 5),
+                     util::format_double(result.close_sec, 5),
+                     util::format_double(result.total_sec, 5)});
+    }
+  }
+  return table.render();
+}
+
+Chart KnowledgeExplorer::iteration_chart(std::int64_t id,
+                                         const std::string& metric) {
+  const knowledge::Knowledge k = repository_.load_knowledge(id);
+  Chart chart;
+  chart.title = metric + " per iteration (knowledge #" + std::to_string(id) +
+                ")";
+  chart.x_label = "iteration";
+  chart.y_label = metric;
+  std::size_t iterations = 0;
+  for (const knowledge::OpSummary& summary : k.summaries) {
+    iterations = std::max(iterations, summary.results.size());
+  }
+  for (std::size_t i = 0; i < iterations; ++i) {
+    chart.categories.push_back(std::to_string(i + 1));
+  }
+  for (const knowledge::OpSummary& summary : k.summaries) {
+    Series series;
+    series.label = summary.operation;
+    series.values.assign(iterations, 0.0);
+    for (std::size_t i = 0;
+         i < summary.results.size() && i < iterations; ++i) {
+      series.values[i] = op_result_metric(summary.results[i], metric);
+    }
+    chart.series.push_back(std::move(series));
+  }
+  return chart;
+}
+
+Chart KnowledgeExplorer::comparison_chart(
+    const std::vector<std::int64_t>& ids, const std::string& metric,
+    const std::vector<std::string>& operations) {
+  Chart chart;
+  chart.title = "comparison: " + metric;
+  chart.x_label = "knowledge object";
+  chart.y_label = metric;
+  std::vector<knowledge::Knowledge> objects;
+  for (const std::int64_t id : ids) {
+    objects.push_back(repository_.load_knowledge(id));
+    chart.categories.push_back("#" + std::to_string(id));
+  }
+  for (const std::string& operation : operations) {
+    Series series;
+    series.label = operation;
+    for (const knowledge::Knowledge& k : objects) {
+      const knowledge::OpSummary* summary = k.find_summary(operation);
+      series.values.push_back(
+          summary != nullptr ? op_summary_metric(*summary, metric) : 0.0);
+    }
+    chart.series.push_back(std::move(series));
+  }
+  return chart;
+}
+
+BoxplotChart KnowledgeExplorer::overview_boxplot(
+    const std::vector<std::int64_t>& ids, const std::string& operation,
+    const std::string& metric) {
+  BoxplotChart chart;
+  chart.title = "overview: " + operation + " " + metric;
+  chart.y_label = metric;
+  for (const std::int64_t id : ids) {
+    const knowledge::Knowledge k = repository_.load_knowledge(id);
+    const knowledge::OpSummary* summary = k.find_summary(operation);
+    if (summary == nullptr || summary->results.empty()) {
+      continue;
+    }
+    std::vector<double> values;
+    values.reserve(summary->results.size());
+    for (const knowledge::OpResult& result : summary->results) {
+      values.push_back(op_result_metric(result, metric));
+    }
+    chart.boxes.emplace_back("#" + std::to_string(id), boxplot(values));
+  }
+  if (chart.boxes.empty()) {
+    throw ConfigError("no knowledge object provides operation '" + operation +
+                      "'");
+  }
+  return chart;
+}
+
+std::vector<std::int64_t> KnowledgeExplorer::filter_ids(
+    const std::string& sql_tail) {
+  std::string sql = "SELECT id FROM performances";
+  const std::string trimmed{util::trim(sql_tail)};
+  if (!trimmed.empty()) {
+    const std::string lower = util::to_lower(trimmed);
+    if (util::starts_with(lower, "order") || util::starts_with(lower, "limit")) {
+      sql += " " + trimmed;
+    } else {
+      sql += " WHERE " + trimmed;
+    }
+  }
+  const db::ResultSet rows = repository_.database().execute(sql);
+  std::vector<std::int64_t> ids;
+  ids.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    ids.push_back(rows.at(r, "id").as_integer());
+  }
+  return ids;
+}
+
+std::string KnowledgeExplorer::render_io500_view(std::int64_t iofh_id) {
+  const knowledge::Io500Knowledge k = repository_.load_io500(iofh_id);
+  std::string out;
+  out += "IO500 knowledge object #" + std::to_string(iofh_id) + "\n";
+  out += "  command : " + k.command + "\n";
+  out += "  tasks   : " + std::to_string(k.num_tasks) + " on " +
+         std::to_string(k.num_nodes) + " node(s)\n";
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "  score   : bw %.4f GiB/s | md %.4f kIOPS | total %.4f\n",
+                k.score_bw_gib, k.score_md_kiops, k.score_total);
+  out += buf;
+  util::TextTable table;
+  table.set_header({"testcase", "value", "unit", "time(s)"});
+  table.set_alignment({util::Align::kLeft, util::Align::kRight,
+                       util::Align::kLeft, util::Align::kRight});
+  for (const knowledge::Io500Testcase& testcase : k.testcases) {
+    table.add_row({testcase.name, util::format_double(testcase.value, 4),
+                   testcase.unit, util::format_double(testcase.time_sec, 3)});
+  }
+  out += table.render();
+  return out;
+}
+
+Chart KnowledgeExplorer::io500_testcase_chart(std::int64_t iofh_id) {
+  const knowledge::Io500Knowledge k = repository_.load_io500(iofh_id);
+  Chart chart;
+  chart.title = "IO500 run #" + std::to_string(iofh_id);
+  chart.x_label = "testcase";
+  chart.y_label = "GiB/s | kIOPS";
+  Series series;
+  series.label = "value";
+  for (const knowledge::Io500Testcase& testcase : k.testcases) {
+    chart.categories.push_back(testcase.name);
+    series.values.push_back(testcase.value);
+  }
+  chart.series.push_back(std::move(series));
+  return chart;
+}
+
+BoxplotChart KnowledgeExplorer::io500_boundary_boxplot(
+    const std::vector<std::int64_t>& ids) {
+  static constexpr const char* kBoundaryCases[] = {
+      "ior-easy-write", "ior-hard-write", "ior-easy-read", "ior-hard-read"};
+  BoxplotChart chart;
+  chart.title = "IO500 boundary test cases";
+  chart.y_label = "GiB/s";
+  for (const char* name : kBoundaryCases) {
+    std::vector<double> values;
+    for (const std::int64_t id : ids) {
+      const knowledge::Io500Knowledge k = repository_.load_io500(id);
+      if (const knowledge::Io500Testcase* testcase = k.find_testcase(name)) {
+        values.push_back(testcase->value);
+      }
+    }
+    if (!values.empty()) {
+      chart.boxes.emplace_back(name, boxplot(values));
+    }
+  }
+  if (chart.boxes.empty()) {
+    throw ConfigError("no IO500 boundary test cases among the selected runs");
+  }
+  return chart;
+}
+
+}  // namespace iokc::analysis

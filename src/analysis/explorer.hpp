@@ -1,0 +1,87 @@
+// The knowledge explorer (phase 4): the headless counterpart of the paper's
+// web-based analysis tool. It reads from a KnowledgeRepository (the "global"
+// database) or directly from knowledge objects ("local data"), and offers:
+//  - the knowledge viewer: everything about one run at a glance,
+//  - per-iteration detail tables and charts (the paper's Fig. 5 view),
+//  - comparison across knowledge objects with runtime-selectable axes,
+//  - overview boxplots of selected objects' throughput,
+//  - filtering/sorting through SQL WHERE clauses,
+//  - the IO500 viewer with scores and test cases (Fig. 6 view).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/charts.hpp"
+#include "src/knowledge/io500_knowledge.hpp"
+#include "src/knowledge/knowledge.hpp"
+#include "src/persist/repository.hpp"
+
+namespace iokc::analysis {
+
+/// Per-iteration metric accessor. Valid names: bw_mib, iops, latency_sec,
+/// open_sec, wrrd_sec, close_sec, total_sec. Throws ConfigError otherwise.
+double op_result_metric(const knowledge::OpResult& result,
+                        const std::string& metric);
+
+/// Per-summary (aggregate) metric accessor. Valid names: mean_bw_mib,
+/// max_bw_mib, min_bw_mib, stddev_bw_mib, mean_ops, max_ops, min_ops,
+/// mean_time_sec.
+double op_summary_metric(const knowledge::OpSummary& summary,
+                         const std::string& metric);
+
+/// The explorer bound to a repository.
+class KnowledgeExplorer {
+ public:
+  explicit KnowledgeExplorer(persist::KnowledgeRepository& repository)
+      : repository_(repository) {}
+
+  // -- Knowledge viewer --------------------------------------------------
+
+  /// Full text panel for one knowledge object: run parameters, file-system
+  /// info, system info, and the per-operation summary table.
+  std::string render_knowledge_view(std::int64_t id);
+
+  /// Per-operation, per-iteration detail table.
+  std::string render_iteration_details(std::int64_t id);
+
+  /// Chart of a per-iteration metric with one series per operation — the
+  /// paper's Fig. 5 ("throughput and number of ops over 6 iterations").
+  Chart iteration_chart(std::int64_t id, const std::string& metric);
+
+  // -- Comparison --------------------------------------------------------
+
+  /// Comparison across knowledge objects: x axis = the objects, series = the
+  /// selected operation(s), values = the selected aggregate metric. Axes are
+  /// chosen at call time, matching the GUI's runtime axis selection.
+  Chart comparison_chart(const std::vector<std::int64_t>& ids,
+                         const std::string& metric,
+                         const std::vector<std::string>& operations);
+
+  /// Overview boxplot: per selected object, the distribution of a
+  /// per-iteration metric for one operation.
+  BoxplotChart overview_boxplot(const std::vector<std::int64_t>& ids,
+                                const std::string& operation,
+                                const std::string& metric = "bw_mib");
+
+  /// Filtering/sorting: SQL tail against the performances table, e.g.
+  /// "num_tasks = 80 ORDER BY start_time DESC". Returns matching ids.
+  std::vector<std::int64_t> filter_ids(const std::string& sql_tail);
+
+  // -- IO500 viewer --------------------------------------------------------
+
+  /// Score + test case panel of one IO500 run.
+  std::string render_io500_view(std::int64_t iofh_id);
+
+  /// Bar chart of every test case value of one IO500 run.
+  Chart io500_testcase_chart(std::int64_t iofh_id);
+
+  /// Fig. 6: boxplots of the four boundary test cases across several runs.
+  BoxplotChart io500_boundary_boxplot(const std::vector<std::int64_t>& ids);
+
+ private:
+  persist::KnowledgeRepository& repository_;
+};
+
+}  // namespace iokc::analysis

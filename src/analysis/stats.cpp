@@ -1,0 +1,162 @@
+#include "src/analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+#include "src/util/summary_stats.hpp"
+
+namespace iokc::analysis {
+
+BoxplotStats boxplot(std::span<const double> values) {
+  if (values.empty()) {
+    throw ConfigError("boxplot of empty sample");
+  }
+  BoxplotStats stats;
+  stats.q1 = util::percentile(values, 25.0);
+  stats.median = util::percentile(values, 50.0);
+  stats.q3 = util::percentile(values, 75.0);
+  stats.mean = util::summarize(values).mean;
+  const double fence_low = stats.q1 - 1.5 * stats.iqr();
+  const double fence_high = stats.q3 + 1.5 * stats.iqr();
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.back();
+  stats.max = sorted.front();
+  for (const double v : sorted) {
+    if (v < fence_low || v > fence_high) {
+      stats.outliers.push_back(v);
+    } else {
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+    }
+  }
+  if (stats.outliers.size() == sorted.size()) {
+    // Degenerate: everything outlying (can't happen with Tukey fences, but
+    // keep the invariant min <= max).
+    stats.min = sorted.front();
+    stats.max = sorted.back();
+  }
+  return stats;
+}
+
+std::vector<double> z_scores(std::span<const double> values) {
+  const auto stats = util::summarize(values);
+  std::vector<double> scores(values.size(), 0.0);
+  if (stats.stddev <= 0.0) {
+    return scores;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    scores[i] = (values[i] - stats.mean) / stats.stddev;
+  }
+  return scores;
+}
+
+LinearModel fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw ConfigError("linear fit needs >= 2 paired points");
+  }
+  const double n = static_cast<double>(x.size());
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_xy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+    sum_xx += x[i] * x[i];
+    sum_xy += x[i] * y[i];
+  }
+  const double denom = n * sum_xx - sum_x * sum_x;
+  if (std::abs(denom) < 1e-12) {
+    throw ConfigError("linear fit: x has zero variance");
+  }
+  LinearModel model;
+  model.slope = (n * sum_xy - sum_x * sum_y) / denom;
+  model.intercept = (sum_y - model.slope * sum_x) / n;
+
+  const double mean_y = sum_y / n;
+  double ss_tot = 0.0;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double predicted = model.predict(x[i]);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+    ss_res += (y[i] - predicted) * (y[i] - predicted);
+  }
+  model.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return model;
+}
+
+std::vector<double> fit_multilinear(
+    const std::vector<std::vector<double>>& rows, std::span<const double> y,
+    double ridge) {
+  if (rows.empty() || rows.size() != y.size()) {
+    throw ConfigError("multilinear fit: shape mismatch");
+  }
+  const std::size_t features = rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != features) {
+      throw ConfigError("multilinear fit: ragged design matrix");
+    }
+  }
+  const std::size_t dims = features + 1;  // + intercept
+  // Normal equations: (X^T X) b = X^T y, with X prefixed by a ones column.
+  std::vector<std::vector<double>> ata(dims, std::vector<double>(dims, 0.0));
+  std::vector<double> aty(dims, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<double> x(dims);
+    x[0] = 1.0;
+    for (std::size_t f = 0; f < features; ++f) {
+      x[f + 1] = rows[r][f];
+    }
+    for (std::size_t i = 0; i < dims; ++i) {
+      for (std::size_t j = 0; j < dims; ++j) {
+        ata[i][j] += x[i] * x[j];
+      }
+      aty[i] += x[i] * y[r];
+    }
+  }
+  if (ridge > 0.0) {
+    double trace = 0.0;
+    for (std::size_t i = 0; i < dims; ++i) {
+      trace += ata[i][i];
+    }
+    const double lambda = ridge * std::max(trace / static_cast<double>(dims),
+                                           1.0);
+    for (std::size_t i = 0; i < dims; ++i) {
+      ata[i][i] += lambda;
+    }
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < dims; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < dims; ++r) {
+      if (std::abs(ata[r][col]) > std::abs(ata[pivot][col])) {
+        pivot = r;
+      }
+    }
+    if (std::abs(ata[pivot][col]) < 1e-12) {
+      throw ConfigError("multilinear fit: singular system");
+    }
+    std::swap(ata[col], ata[pivot]);
+    std::swap(aty[col], aty[pivot]);
+    for (std::size_t r = 0; r < dims; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const double factor = ata[r][col] / ata[col][col];
+      for (std::size_t c = col; c < dims; ++c) {
+        ata[r][c] -= factor * ata[col][c];
+      }
+      aty[r] -= factor * aty[col];
+    }
+  }
+  std::vector<double> coefficients(dims);
+  for (std::size_t i = 0; i < dims; ++i) {
+    coefficients[i] = aty[i] / ata[i][i];
+  }
+  return coefficients;
+}
+
+}  // namespace iokc::analysis

@@ -1,0 +1,55 @@
+// Analysis-phase statistics: boxplot (five-number summary with Tukey fences),
+// z-scores, and ordinary least-squares linear regression (the predictive
+// model named in the paper's outlook).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace iokc::analysis {
+
+/// Five-number summary plus Tukey outliers, as the knowledge explorer's
+/// overview boxplots display them.
+struct BoxplotStats {
+  double min = 0.0;  // lowest non-outlier (lower whisker)
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;  // highest non-outlier (upper whisker)
+  double mean = 0.0;
+  std::vector<double> outliers;  // beyond 1.5 * IQR fences
+
+  double iqr() const { return q3 - q1; }
+};
+
+/// Computes the boxplot summary. Throws ConfigError on empty input.
+BoxplotStats boxplot(std::span<const double> values);
+
+/// Z-scores of each sample against the sample mean/stddev. A zero stddev
+/// yields all-zero scores.
+std::vector<double> z_scores(std::span<const double> values);
+
+/// Simple linear model y = intercept + slope * x.
+struct LinearModel {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+
+  double predict(double x) const { return intercept + slope * x; }
+};
+
+/// Ordinary least squares over (x, y) pairs; needs >= 2 points and non-zero
+/// x variance (throws ConfigError otherwise).
+LinearModel fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Multiple linear regression y = b0 + b1*x1 + ... via normal equations with
+/// Gaussian elimination. `rows` is the design matrix without the intercept
+/// column. `ridge` > 0 adds Tikhonov regularization (scaled by the normal
+/// matrix trace), which keeps constant or collinear features — common in
+/// real knowledge bases — from making the system singular. Throws
+/// ConfigError on shape mismatch or (with ridge == 0) a singular system.
+std::vector<double> fit_multilinear(
+    const std::vector<std::vector<double>>& rows,
+    std::span<const double> y, double ridge = 0.0);
+
+}  // namespace iokc::analysis

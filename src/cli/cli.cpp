@@ -1,0 +1,335 @@
+#include "src/cli/cli.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/analysis/anomaly.hpp"
+#include "src/analysis/charts.hpp"
+#include "src/cycle/cycle.hpp"
+#include "src/usage/prediction.hpp"
+#include "src/usage/recommendation.hpp"
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+namespace iokc::cli {
+
+namespace {
+
+struct GlobalOptions {
+  std::string db = "mem:";
+  std::string workspace = "iokc_workspace";
+  std::uint64_t seed = 0x10C5EED;
+};
+
+/// A CLI invocation's bundle: environment + cycle, built lazily because
+/// database-only commands (sql, list, ...) don't need a simulator.
+struct Session {
+  explicit Session(const GlobalOptions& options)
+      : env(make_env_config(options)),
+        cycle(env, options.workspace,
+              persist::RepoTarget::parse(options.db)) {}
+
+  static cycle::SimEnvironmentConfig make_env_config(
+      const GlobalOptions& options) {
+    cycle::SimEnvironmentConfig config;
+    config.seed = options.seed;
+    return config;
+  }
+
+  cycle::SimEnvironment env;
+  cycle::KnowledgeCycle cycle;
+};
+
+std::string join_from(const std::vector<std::string>& args, std::size_t from) {
+  std::vector<std::string> rest(args.begin() + static_cast<std::ptrdiff_t>(from),
+                                args.end());
+  return util::join(rest, " ");
+}
+
+std::int64_t parse_id(const std::string& text) {
+  return util::parse_i64(text);
+}
+
+std::string read_file_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmd_run(Session& session, const std::vector<std::string>& args,
+            std::size_t from, std::ostream& out) {
+  const std::string command = join_from(args, from);
+  if (command.empty()) {
+    throw ConfigError("run: missing benchmark command");
+  }
+  const std::string name = util::split_ws(command).front();
+  session.cycle.generate_command(name, command);
+  const extract::ExtractionResult extracted =
+      session.cycle.extract_and_persist();
+  out << "stored " << extracted.total() << " knowledge object(s)\n";
+  for (const std::int64_t id : session.cycle.stored_knowledge_ids()) {
+    out << session.cycle.explorer().render_knowledge_view(id) << "\n";
+    const analysis::AnomalyReport report = analysis::with_job_context(
+        analysis::detect_in_knowledge(
+            session.cycle.repository().load_knowledge(id)),
+        session.cycle.repository().load_knowledge(id));
+    if (!report.empty()) {
+      out << "anomalies:\n" << report.render();
+    }
+  }
+  for (const std::int64_t id : session.cycle.stored_io500_ids()) {
+    out << session.cycle.explorer().render_io500_view(id) << "\n";
+  }
+  session.cycle.save();
+  return 0;
+}
+
+int cmd_sweep(Session& session, const std::string& config_path,
+              std::ostream& out) {
+  const jube::JubeBenchmarkConfig config =
+      jube::JubeBenchmarkConfig::from_xml_text(read_file_text(config_path));
+  const jube::JubeRunResult run = session.cycle.generate(config);
+  const extract::ExtractionResult extracted =
+      session.cycle.extract_and_persist();
+  out << "executed " << run.packages.size() << " work package(s), stored "
+      << extracted.total() << " knowledge object(s)\n";
+  session.cycle.save();
+  return 0;
+}
+
+int cmd_extract(Session& session, const std::string& path, std::ostream& out) {
+  extract::KnowledgeExtractor extractor;
+  extract::ExtractionResult result;
+  if (std::filesystem::is_directory(path)) {
+    result = extractor.extract_workspace(path);
+  } else {
+    result = extractor.extract_file(path);
+  }
+  for (const knowledge::Knowledge& k : result.knowledge) {
+    session.cycle.repository().store(k);
+  }
+  for (const knowledge::Io500Knowledge& k : result.io500) {
+    session.cycle.repository().store(k);
+  }
+  out << "extracted " << result.total() << " knowledge object(s), skipped "
+      << result.skipped.size() << " unrecognized source(s)\n";
+  session.cycle.save();
+  return 0;
+}
+
+int cmd_list(Session& session, std::ostream& out) {
+  util::TextTable table;
+  table.set_header({"kind", "id", "command"});
+  for (const auto& [id, command] :
+       session.cycle.repository().list_commands()) {
+    table.add_row({"knowledge", std::to_string(id), command});
+  }
+  for (const std::int64_t id : session.cycle.repository().io500_ids()) {
+    table.add_row({"io500", std::to_string(id),
+                   session.cycle.repository().load_io500(id).command});
+  }
+  out << table.render();
+  return 0;
+}
+
+int cmd_compare(Session& session, const std::vector<std::string>& args,
+                std::size_t from, std::ostream& out) {
+  if (args.size() < from + 3) {
+    throw ConfigError("compare: need <metric> <operation> <id...>");
+  }
+  const std::string metric = args[from];
+  const std::string operation = args[from + 1];
+  std::vector<std::int64_t> ids;
+  for (std::size_t i = from + 2; i < args.size(); ++i) {
+    ids.push_back(parse_id(args[i]));
+  }
+  const analysis::Chart chart =
+      session.cycle.explorer().comparison_chart(ids, metric, {operation});
+  out << render_ascii_bar(chart);
+  return 0;
+}
+
+int cmd_recommend(Session& session, const std::vector<std::string>& args,
+                  std::size_t from, std::ostream& out) {
+  const gen::IorConfig target =
+      gen::parse_ior_command(join_from(args, from));
+  out << usage::recommend(session.cycle.repository(), target).render();
+  return 0;
+}
+
+int cmd_predict(Session& session, const std::vector<std::string>& args,
+                std::size_t from, std::ostream& out) {
+  const std::string command = join_from(args, from);
+  const usage::ConfigFeatures query =
+      usage::ConfigFeatures::from_command(command);
+  const auto samples =
+      usage::build_training_set(session.cycle.repository(), "write");
+  if (samples.empty()) {
+    throw ConfigError("predict: the knowledge base holds no IOR write runs");
+  }
+  out << "training samples: " << samples.size() << "\n";
+  if (samples.size() >= 8) {
+    const usage::BandwidthPredictor predictor =
+        usage::BandwidthPredictor::fit(samples);
+    out << "linear regression: "
+        << util::format_double(predictor.predict(query), 1) << " MiB/s\n";
+  } else {
+    out << "linear regression: (needs >= 8 samples)\n";
+  }
+  out << "3-NN estimate:     "
+      << util::format_double(usage::knn_predict(samples, query, 3), 1)
+      << " MiB/s\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string usage_text() {
+  return
+      "usage: iokc [--db <url>] [--workspace <dir>] [--seed <n>] <command>\n"
+      "\n"
+      "commands:\n"
+      "  run <benchmark command...>    run + extract + persist + view\n"
+      "  sweep <config.xml>            run a JUBE configuration file\n"
+      "  extract <path>                extract a workspace or output file\n"
+      "  list                          stored knowledge objects\n"
+      "  view <id>                     knowledge viewer\n"
+      "  iters <id>                    per-iteration details\n"
+      "  io500 <id>                    IO500 viewer\n"
+      "  compare <metric> <op> <id..>  comparison chart\n"
+      "  sql <statement...>            query the knowledge database\n"
+      "  export-csv <table>            CSV of one table to stdout\n"
+      "  export-json <id> <file>       knowledge object -> JSON file\n"
+      "  import-json <file>            JSON file -> knowledge database\n"
+      "  recommend <ior command...>    tuning advice from the database\n"
+      "  predict <ior command...>      bandwidth prediction\n"
+      "  help                          this text\n"
+      "\n"
+      "database urls: mem: | file:<path> | <path> | remote://<share>/<db>\n";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  GlobalOptions options;
+  std::size_t i = 0;
+  try {
+    // Global flags.
+    while (i < args.size() && util::starts_with(args[i], "--")) {
+      const std::string& flag = args[i];
+      auto need_value = [&]() -> const std::string& {
+        if (i + 1 >= args.size()) {
+          throw ConfigError(flag + " needs a value");
+        }
+        return args[++i];
+      };
+      if (flag == "--db") {
+        options.db = need_value();
+      } else if (flag == "--workspace") {
+        options.workspace = need_value();
+      } else if (flag == "--seed") {
+        options.seed = static_cast<std::uint64_t>(
+            util::parse_i64(need_value()));
+      } else {
+        throw ConfigError("unknown flag " + flag);
+      }
+      ++i;
+    }
+    if (i >= args.size() || args[i] == "help") {
+      out << usage_text();
+      return i >= args.size() ? 1 : 0;
+    }
+    const std::string command = args[i++];
+    auto need_arg = [&](const char* what) -> const std::string& {
+      if (i >= args.size()) {
+        throw ConfigError(command + ": missing " + what);
+      }
+      return args[i];
+    };
+
+    Session session(options);
+    if (command == "run") {
+      return cmd_run(session, args, i, out);
+    }
+    if (command == "sweep") {
+      return cmd_sweep(session, need_arg("config path"), out);
+    }
+    if (command == "extract") {
+      return cmd_extract(session, need_arg("path"), out);
+    }
+    if (command == "list") {
+      return cmd_list(session, out);
+    }
+    if (command == "view") {
+      out << session.cycle.explorer().render_knowledge_view(
+                 parse_id(need_arg("id")))
+          << "\n";
+      return 0;
+    }
+    if (command == "iters") {
+      out << session.cycle.explorer().render_iteration_details(
+          parse_id(need_arg("id")));
+      return 0;
+    }
+    if (command == "io500") {
+      out << session.cycle.explorer().render_io500_view(
+                 parse_id(need_arg("id")))
+          << "\n";
+      return 0;
+    }
+    if (command == "compare") {
+      return cmd_compare(session, args, i, out);
+    }
+    if (command == "sql") {
+      const std::string statement = join_from(args, i);
+      if (util::trim(statement).empty()) {
+        throw ConfigError("sql: missing statement");
+      }
+      const db::ResultSet rows =
+          session.cycle.repository().database().execute(statement);
+      if (!rows.columns.empty()) {
+        out << rows.render_table();
+      }
+      session.cycle.save();
+      return 0;
+    }
+    if (command == "export-csv") {
+      out << session.cycle.repository().export_csv(need_arg("table"));
+      return 0;
+    }
+    if (command == "export-json") {
+      const std::int64_t id = parse_id(need_arg("id"));
+      ++i;
+      session.cycle.repository().export_knowledge_json(id, need_arg("file"));
+      out << "exported knowledge #" << id << "\n";
+      return 0;
+    }
+    if (command == "import-json") {
+      const std::int64_t id =
+          session.cycle.repository().import_json_file(need_arg("file"));
+      out << "imported as #" << id << "\n";
+      session.cycle.save();
+      return 0;
+    }
+    if (command == "recommend") {
+      return cmd_recommend(session, args, i, out);
+    }
+    if (command == "predict") {
+      return cmd_predict(session, args, i, out);
+    }
+    throw ConfigError("unknown command '" + command + "'");
+  } catch (const ConfigError& error) {
+    err << "error: " << error.what() << "\n\n" << usage_text();
+    return 1;
+  } catch (const Error& error) {
+    err << "error: " << error.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace iokc::cli

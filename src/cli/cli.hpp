@@ -1,0 +1,37 @@
+// The iokc command-line front-end: every phase of the knowledge cycle as a
+// subcommand, against a persistent knowledge database. The core is a plain
+// function over argument vectors and streams so tests can drive it without a
+// process boundary; `tools` builds the thin main() around it.
+//
+//   iokc [--db <url>] [--workspace <dir>] [--seed <n>] <command> [args...]
+//
+//   run <benchmark command...>   phase 1+2+3: run, extract, persist, view
+//   sweep <config.xml>           phase 1+2+3 over a JUBE configuration file
+//   extract <path>               phase 2+3 on an existing workspace/file
+//   list                         stored knowledge objects and IO500 runs
+//   view <id> | iters <id>       knowledge viewer / per-iteration details
+//   io500 <id>                   IO500 viewer
+//   compare <metric> <op> <id..> comparison chart (ASCII)
+//   sql <statement...>           raw SQL against the knowledge database
+//   export-csv <table>           CSV of one table to stdout
+//   export-json <id> <file>      knowledge object -> JSON file
+//   import-json <file>           JSON file -> knowledge database
+//   recommend <ior command...>   tuning advice mined from the database
+//   predict <ior command...>     bandwidth prediction from the database
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace iokc::cli {
+
+/// Executes one CLI invocation. Returns the process exit code (0 on
+/// success, 1 on usage errors, 2 on runtime failures).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+/// The usage text (printed by `help` and on usage errors).
+std::string usage_text();
+
+}  // namespace iokc::cli

@@ -1,0 +1,11 @@
+// Thin process wrapper around the CLI core.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return iokc::cli::run_cli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,56 @@
+#include "src/cycle/cycle.hpp"
+
+#include <algorithm>
+
+namespace iokc::cycle {
+
+KnowledgeCycle::KnowledgeCycle(SimEnvironment& env,
+                               std::filesystem::path workspace,
+                               const persist::RepoTarget& target,
+                               ExecutorOptions executor_options)
+    : env_(env),
+      workspace_(std::move(workspace)),
+      runner_(workspace_, make_executor_registry(env, executor_options)),
+      repository_(target),
+      explorer_(repository_) {}
+
+jube::JubeRunResult KnowledgeCycle::generate(
+    const jube::JubeBenchmarkConfig& config) {
+  return runner_.run(config);
+}
+
+jube::JubeRunResult KnowledgeCycle::generate_command(
+    const std::string& benchmark_name, const std::string& command) {
+  jube::JubeBenchmarkConfig config;
+  config.name = benchmark_name;
+  config.outpath = benchmark_name;
+  config.steps.push_back(jube::JubeStep{"run", command});
+  return generate(config);
+}
+
+extract::ExtractionResult KnowledgeCycle::extract_and_persist() {
+  extract::KnowledgeExtractor extractor;
+  extract::ExtractionResult result;
+  for (const std::filesystem::path& output :
+       jube::JubeRunner::discover_outputs(workspace_)) {
+    if (std::find(extracted_outputs_.begin(), extracted_outputs_.end(),
+                  output) != extracted_outputs_.end()) {
+      continue;
+    }
+    extracted_outputs_.push_back(output);
+    result.merge(extractor.extract_file(output));
+    const std::filesystem::path darshan = output.parent_path() / "darshan.log";
+    if (std::filesystem::exists(darshan)) {
+      result.merge(extractor.extract_file(darshan));
+    }
+  }
+  for (const knowledge::Knowledge& k : result.knowledge) {
+    knowledge_ids_.push_back(repository_.store(k));
+  }
+  for (const knowledge::Io500Knowledge& k : result.io500) {
+    io500_ids_.push_back(repository_.store(k));
+  }
+  return result;
+}
+
+}  // namespace iokc::cycle

@@ -1,0 +1,82 @@
+// The KnowledgeCycle facade: one object wiring all five phases of the paper's
+// workflow against a simulated environment.
+//
+//   KnowledgeCycle cycle(env, "workspace", RepoTarget::parse("file:k.db"));
+//   cycle.generate_command("fig5", "ior -a mpiio -b 4m -t 2m -s 40 ...");
+//   cycle.extract_and_persist();                       // phases 2 + 3
+//   cycle.explorer().render_knowledge_view(id);        // phase 4
+//   usage::create_configuration(...);                  // phase 5 -> phase 1
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/explorer.hpp"
+#include "src/cycle/environment.hpp"
+#include "src/cycle/executors.hpp"
+#include "src/extract/extractor.hpp"
+#include "src/jube/runner.hpp"
+#include "src/persist/repository.hpp"
+
+namespace iokc::cycle {
+
+/// The facade. Owns the workspace runner, the repository, and the explorer;
+/// the environment is borrowed and must outlive the cycle.
+class KnowledgeCycle {
+ public:
+  KnowledgeCycle(SimEnvironment& env, std::filesystem::path workspace,
+                 const persist::RepoTarget& target,
+                 ExecutorOptions executor_options = {});
+
+  // -- Phase 1: generation ------------------------------------------------
+
+  /// Runs a JUBE benchmark configuration in the workspace.
+  jube::JubeRunResult generate(const jube::JubeBenchmarkConfig& config);
+
+  /// Convenience: wraps one command into a single-step benchmark.
+  jube::JubeRunResult generate_command(const std::string& benchmark_name,
+                                       const std::string& command);
+
+  // -- Phases 2 + 3: extraction + persistence -----------------------------
+
+  /// Extracts every completed output in the workspace, stores each object,
+  /// and returns the extraction result. Ids of stored objects are appended
+  /// to stored_knowledge_ids() / stored_io500_ids(). Already-extracted
+  /// outputs are skipped on subsequent calls (tracked per stdout path).
+  extract::ExtractionResult extract_and_persist();
+
+  const std::vector<std::int64_t>& stored_knowledge_ids() const {
+    return knowledge_ids_;
+  }
+  const std::vector<std::int64_t>& stored_io500_ids() const {
+    return io500_ids_;
+  }
+
+  // -- Phase 4: analysis ----------------------------------------------------
+
+  analysis::KnowledgeExplorer& explorer() { return explorer_; }
+  persist::KnowledgeRepository& repository() { return repository_; }
+
+  // -- Infrastructure -------------------------------------------------------
+
+  SimEnvironment& environment() { return env_; }
+  const std::filesystem::path& workspace() const { return workspace_; }
+
+  /// Persists the repository to its file target (no-op for in-memory).
+  void save() { repository_.save(); }
+
+ private:
+  SimEnvironment& env_;
+  std::filesystem::path workspace_;
+  jube::JubeRunner runner_;
+  persist::KnowledgeRepository repository_;
+  analysis::KnowledgeExplorer explorer_;
+  std::vector<std::filesystem::path> extracted_outputs_;
+  std::vector<std::int64_t> knowledge_ids_;
+  std::vector<std::int64_t> io500_ids_;
+};
+
+}  // namespace iokc::cycle

@@ -1,0 +1,40 @@
+#include "src/cycle/environment.hpp"
+
+#include <algorithm>
+
+#include "src/generators/ior.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::cycle {
+
+SimEnvironment::SimEnvironment(SimEnvironmentConfig config)
+    : config_(std::move(config)) {
+  cluster_ = std::make_unique<sim::Cluster>(queue_, config_.cluster,
+                                            config_.seed);
+  pfs_ = std::make_unique<fs::ParallelFileSystem>(*cluster_, config_.pfs);
+  pfs_->attach_interference(interference_);
+}
+
+std::vector<std::size_t> SimEnvironment::rank_mapping(std::uint32_t tasks) {
+  if (tasks == 0) {
+    throw iokc::ConfigError("rank mapping needs at least one task");
+  }
+  const auto cores = static_cast<std::uint32_t>(
+      std::max(config_.cluster.node.cpu.total_cores(), 1));
+  // Slurm-style fill: as many nodes as the core count requires.
+  const std::size_t needed = (tasks + cores - 1) / cores;
+  const std::vector<std::size_t> nodes =
+      cluster_->allocate_nodes(std::max<std::size_t>(needed, 1));
+  return gen::block_rank_mapping(nodes, tasks);
+}
+
+std::string SimEnvironment::sysinfo_text() {
+  const sim::SystemInfo info = sim::collect_system_info(config_.cluster, 0);
+  return sim::render_sysinfo_summary(info);
+}
+
+std::string SimEnvironment::fsinfo_text(const std::string& path) {
+  return "fs: " + config_.pfs.name + "\n" + pfs_->render_entry_info(path);
+}
+
+}  // namespace iokc::cycle

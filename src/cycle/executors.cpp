@@ -1,0 +1,173 @@
+#include "src/cycle/executors.hpp"
+
+#include <cstdio>
+
+#include "src/generators/darshan.hpp"
+#include "src/generators/haccio.hpp"
+#include "src/generators/io500.hpp"
+#include "src/generators/ior.hpp"
+#include "src/generators/mdtest.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::cycle {
+
+namespace {
+
+/// Entry info of the IOR test file. When the run removed its files, a probe
+/// file is created at the same path (same placement hash, same stripe
+/// defaults), inspected, and removed again.
+std::string capture_ior_fsinfo(SimEnvironment& env,
+                               const gen::IorConfig& config) {
+  std::string path = config.test_file;
+  if (config.file_per_process) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".%08u", 0u);
+    path += suffix;
+  }
+  auto& pfs = env.pfs();
+  auto& queue = env.queue();
+  const bool probe = !pfs.exists(path);
+  if (probe) {
+    pfs.create(path, 0, [](sim::SimTime) {});
+    queue.run();
+  }
+  const std::string text = env.fsinfo_text(path);
+  if (probe) {
+    pfs.unlink(path, 0, [](sim::SimTime) {});
+    queue.run();
+  }
+  return text;
+}
+
+
+/// Registers the run with the Slurm-like context and renders jobinfo.txt.
+std::string capture_jobinfo(SimEnvironment& env, const std::string& job_name,
+                            const std::vector<std::size_t>& mapping,
+                            std::uint32_t num_tasks) {
+  const sim::SlurmJobInfo job = env.slurm().register_job(
+      job_name, mapping, num_tasks, env.queue().now());
+  return job.render_scontrol();
+}
+
+}  // namespace
+
+jube::ExecutionOutput run_ior_command(SimEnvironment& env,
+                                      const std::string& command,
+                                      const ExecutorOptions& options) {
+  const gen::IorConfig config = gen::parse_ior_command(command);
+  config.validate();
+  const std::vector<std::size_t> mapping = env.rank_mapping(config.num_tasks);
+  iostack::IoClient client(env.pfs(), config.api, config.hints);
+  gen::IorBenchmark bench(client, config, mapping);
+
+  gen::DarshanProfiler profiler(config.api);
+  if (options.with_darshan) {
+    bench.set_profiler(&profiler);
+  }
+
+  const gen::IorRunResult result = bench.run();
+
+  jube::ExecutionOutput output;
+  output.stdout_text = result.render_output();
+  if (options.with_sysinfo) {
+    output.extra_files.emplace_back("sysinfo.txt", env.sysinfo_text());
+  }
+  if (options.with_jobinfo) {
+    output.extra_files.emplace_back(
+        "jobinfo.txt", capture_jobinfo(env, "ior", mapping, config.num_tasks));
+  }
+  if (options.with_fsinfo) {
+    output.extra_files.emplace_back("fsinfo.txt",
+                                    capture_ior_fsinfo(env, config));
+  }
+  if (options.with_darshan) {
+    output.extra_files.emplace_back("darshan.log", profiler.render_log());
+  }
+  return output;
+}
+
+jube::ExecutionOutput run_mdtest_command(SimEnvironment& env,
+                                         const std::string& command,
+                                         const ExecutorOptions& options) {
+  const gen::MdtestConfig config = gen::parse_mdtest_command(command);
+  config.validate();
+  const std::vector<std::size_t> mapping = env.rank_mapping(config.num_tasks);
+  iostack::IoClient client(env.pfs(), iostack::IoApi::kPosix);
+  gen::MdtestBenchmark bench(client, config, mapping);
+  const gen::MdtestRunResult result = bench.run();
+
+  jube::ExecutionOutput output;
+  output.stdout_text = result.render_output();
+  if (options.with_sysinfo) {
+    output.extra_files.emplace_back("sysinfo.txt", env.sysinfo_text());
+  }
+  if (options.with_jobinfo) {
+    output.extra_files.emplace_back(
+        "jobinfo.txt", capture_jobinfo(env, "mdtest", mapping, config.num_tasks));
+  }
+  return output;
+}
+
+jube::ExecutionOutput run_io500_command(SimEnvironment& env,
+                                        const std::string& command,
+                                        const ExecutorOptions& options) {
+  const gen::Io500Config config = gen::parse_io500_command(command);
+  config.validate();
+  const std::vector<std::size_t> mapping = env.rank_mapping(config.num_tasks);
+  iostack::IoClient client(env.pfs(), iostack::IoApi::kPosix);
+  gen::Io500Benchmark bench(client, config, mapping);
+  const gen::Io500Result result = bench.run();
+
+  jube::ExecutionOutput output;
+  output.stdout_text = result.render_output();
+  if (options.with_sysinfo) {
+    output.extra_files.emplace_back("sysinfo.txt", env.sysinfo_text());
+  }
+  if (options.with_jobinfo) {
+    output.extra_files.emplace_back(
+        "jobinfo.txt", capture_jobinfo(env, "io500", mapping, config.num_tasks));
+  }
+  return output;
+}
+
+jube::ExecutionOutput run_haccio_command(SimEnvironment& env,
+                                         const std::string& command,
+                                         const ExecutorOptions& options) {
+  const gen::HaccIoConfig config = gen::parse_haccio_command(command);
+  config.validate();
+  const std::vector<std::size_t> mapping = env.rank_mapping(config.num_tasks);
+  iostack::IoClient client(env.pfs(), config.api);
+  gen::HaccIoBenchmark bench(client, config, mapping);
+  const gen::HaccIoRunResult result = bench.run();
+
+  jube::ExecutionOutput output;
+  output.stdout_text = result.render_output();
+  if (options.with_sysinfo) {
+    output.extra_files.emplace_back("sysinfo.txt", env.sysinfo_text());
+  }
+  if (options.with_jobinfo) {
+    output.extra_files.emplace_back(
+        "jobinfo.txt", capture_jobinfo(env, "hacc_io", mapping, config.num_tasks));
+  }
+  return output;
+}
+
+jube::ExecutorRegistry make_executor_registry(SimEnvironment& env,
+                                              ExecutorOptions options) {
+  jube::ExecutorRegistry registry;
+  registry.register_executor("ior", [&env, options](const std::string& cmd) {
+    return run_ior_command(env, cmd, options);
+  });
+  registry.register_executor("mdtest", [&env, options](const std::string& cmd) {
+    return run_mdtest_command(env, cmd, options);
+  });
+  registry.register_executor("io500", [&env, options](const std::string& cmd) {
+    return run_io500_command(env, cmd, options);
+  });
+  registry.register_executor("hacc_io", [&env, options](const std::string& cmd) {
+    return run_haccio_command(env, cmd, options);
+  });
+  return registry;
+}
+
+}  // namespace iokc::cycle

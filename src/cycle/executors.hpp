@@ -1,0 +1,47 @@
+// Command executors binding the benchmark engines to a SimEnvironment. The
+// JUBE runner dispatches "ior ...", "mdtest ...", "io500 ...", and
+// "hacc_io ..." commands here; each execution returns the benchmark's text
+// report plus sysinfo/fsinfo snapshots (and a Darshan log when profiling is
+// enabled) as extra files for the extraction phase.
+#pragma once
+
+#include "src/cycle/environment.hpp"
+#include "src/jube/runner.hpp"
+
+namespace iokc::cycle {
+
+/// Options for the executor set.
+struct ExecutorOptions {
+  /// Attach a Darshan-style profiler to IOR runs and emit "darshan.log".
+  bool with_darshan = false;
+  /// Emit "sysinfo.txt" beside each output.
+  bool with_sysinfo = true;
+  /// Emit "fsinfo.txt" (BeeGFS entry info of the test file) for IOR runs.
+  bool with_fsinfo = true;
+  /// Emit "jobinfo.txt" (Slurm-style job context) beside each output.
+  bool with_jobinfo = true;
+};
+
+/// Runs one IOR command against the environment; returns the report and the
+/// configured extra files.
+jube::ExecutionOutput run_ior_command(SimEnvironment& env,
+                                      const std::string& command,
+                                      const ExecutorOptions& options = {});
+
+/// Same for mdtest / io500 / hacc_io.
+jube::ExecutionOutput run_mdtest_command(SimEnvironment& env,
+                                         const std::string& command,
+                                         const ExecutorOptions& options = {});
+jube::ExecutionOutput run_io500_command(SimEnvironment& env,
+                                        const std::string& command,
+                                        const ExecutorOptions& options = {});
+jube::ExecutionOutput run_haccio_command(SimEnvironment& env,
+                                         const std::string& command,
+                                         const ExecutorOptions& options = {});
+
+/// Builds the registry with all four executors bound to `env`. The
+/// environment must outlive the registry.
+jube::ExecutorRegistry make_executor_registry(SimEnvironment& env,
+                                              ExecutorOptions options = {});
+
+}  // namespace iokc::cycle

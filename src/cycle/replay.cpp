@@ -1,0 +1,96 @@
+#include "src/cycle/replay.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/util/units.hpp"
+
+namespace iokc::cycle {
+
+ReplayResult replay_trace(SimEnvironment& env,
+                          const usage::SyntheticTrace& trace) {
+  using usage::TraceOp;
+  auto& pfs = env.pfs();
+  auto& queue = env.queue();
+  const std::vector<std::size_t> mapping =
+      env.rank_mapping(std::max<std::uint32_t>(trace.num_tasks, 1));
+
+  // Split the trace into per-rank sequential programs.
+  std::map<std::uint32_t, std::vector<const TraceOp*>> programs;
+  for (const TraceOp& op : trace.ops) {
+    programs[op.rank].push_back(&op);
+  }
+
+  // Pre-create every file at its first open so concurrent opens are safe.
+  std::set<std::string> files;
+  for (const TraceOp& op : trace.ops) {
+    if (op.kind == TraceOp::Kind::kOpen && !pfs.exists(op.file) &&
+        files.insert(op.file).second) {
+      pfs.create(op.file, mapping[op.rank % mapping.size()],
+                 [](sim::SimTime) {});
+    }
+  }
+  queue.run();
+
+  const double start = queue.now();
+  ReplayResult result;
+
+  for (auto& [rank, ops] : programs) {
+    const std::size_t node = mapping[rank % mapping.size()];
+    auto issue = std::make_shared<std::function<void(std::size_t)>>();
+    *issue = [&pfs, &result, ops, node, issue](std::size_t index) {
+      if (index == ops.size()) {
+        return;
+      }
+      const TraceOp& op = *ops[index];
+      auto next = [&result, issue, index](sim::SimTime) {
+        ++result.ops_executed;
+        (*issue)(index + 1);
+      };
+      switch (op.kind) {
+        case TraceOp::Kind::kOpen:
+          pfs.open(op.file, node, std::move(next));
+          break;
+        case TraceOp::Kind::kWrite:
+          pfs.write(op.file, op.offset, op.length, node, std::move(next));
+          break;
+        case TraceOp::Kind::kRead:
+          pfs.read(op.file, op.offset, op.length, node, std::move(next));
+          break;
+        case TraceOp::Kind::kFsync:
+          pfs.fsync(op.file, node, std::move(next));
+          break;
+        case TraceOp::Kind::kClose:
+          // Close is a client-side operation; charge a scheduling tick.
+          pfs.cluster().queue().schedule_in(1.0e-6, [next] {
+            next(0.0);
+          });
+          break;
+      }
+    };
+    (*issue)(0);
+  }
+  queue.run();
+  result.duration_sec = queue.now() - start;
+
+  if (result.duration_sec > 0.0) {
+    result.write_bw_mib = util::to_mib_per_sec(trace.total_bytes_written(),
+                                               result.duration_sec);
+    result.read_bw_mib =
+        util::to_mib_per_sec(trace.total_bytes_read(), result.duration_sec);
+  }
+
+  // Clean the namespace for the next experiment.
+  for (const std::string& file : files) {
+    if (pfs.exists(file)) {
+      pfs.unlink(file, 0, [](sim::SimTime) {});
+    }
+  }
+  queue.run();
+  return result;
+}
+
+}  // namespace iokc::cycle

@@ -1,0 +1,26 @@
+// Synthetic-trace replay: drives a generated workload (phase 5's "synthetic
+// workload for simulation") through the simulated I/O stack, closing the
+// knowledge cycle — knowledge begets workloads begets knowledge.
+#pragma once
+
+#include <cstdint>
+
+#include "src/cycle/environment.hpp"
+#include "src/usage/workload_generator.hpp"
+
+namespace iokc::cycle {
+
+/// Replay measurements.
+struct ReplayResult {
+  double duration_sec = 0.0;
+  double write_bw_mib = 0.0;
+  double read_bw_mib = 0.0;
+  std::uint64_t ops_executed = 0;
+};
+
+/// Replays the trace (per-rank op order preserved, ranks concurrent) against
+/// the environment. Files are created on first open and removed afterwards.
+ReplayResult replay_trace(SimEnvironment& env,
+                          const usage::SyntheticTrace& trace);
+
+}  // namespace iokc::cycle

@@ -1,0 +1,530 @@
+#include "src/db/database.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/csv.hpp"
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/table.hpp"
+
+namespace iokc::db {
+
+const Value& ResultSet::at(std::size_t row, const std::string& column) const {
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] == column) {
+      if (row >= rows.size()) {
+        throw DbError("result row " + std::to_string(row) + " out of range");
+      }
+      return rows[row][c];
+    }
+  }
+  throw DbError("result set has no column '" + column + "'");
+}
+
+std::string ResultSet::render_table() const {
+  util::TextTable table;
+  table.set_header(columns);
+  for (const Row& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& value : row) {
+      cells.push_back(value.is_null() ? "NULL" : value.render_raw());
+    }
+    table.add_row(std::move(cells));
+  }
+  return table.render();
+}
+
+std::string ResultSet::render_csv() const {
+  util::CsvWriter writer;
+  writer.add_row(columns);
+  for (const Row& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& value : row) {
+      cells.push_back(value.render_raw());
+    }
+    writer.add_row(cells);
+  }
+  return writer.text();
+}
+
+ResultSet Database::execute(std::string_view sql) {
+  return execute_statement(parse_sql(sql));
+}
+
+void Database::execute_script(std::string_view script) {
+  for (const Statement& statement : parse_sql_script(script)) {
+    execute_statement(statement);
+  }
+}
+
+bool Database::has_table(const std::string& name) const {
+  return tables_.contains(name);
+}
+
+Table& Database::require_table(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw DbError("no such table '" + name + "'");
+  }
+  return *it->second;
+}
+
+const Table& Database::require_table(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw DbError("no such table '" + name + "'");
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+ResultSet Database::execute_statement(const Statement& statement) {
+  return std::visit(
+      [this](const auto& stmt) -> ResultSet {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          if (tables_.contains(stmt.schema.name)) {
+            if (stmt.if_not_exists) {
+              return {};
+            }
+            throw DbError("table '" + stmt.schema.name + "' already exists");
+          }
+          for (const ColumnDef& column : stmt.schema.columns) {
+            if (column.references.has_value()) {
+              const Table& referenced = require_table(column.references->table);
+              referenced.schema().column_index(column.references->column);
+            }
+          }
+          tables_.emplace(stmt.schema.name,
+                          std::make_unique<Table>(stmt.schema));
+          // Index FK columns: joins and referential checks hit them often.
+          for (const ColumnDef& column : stmt.schema.columns) {
+            if (column.references.has_value()) {
+              tables_.at(stmt.schema.name)->create_index(column.name);
+            }
+          }
+          return {};
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          require_table(stmt.table).create_index(stmt.column);
+          return {};
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          run_insert(stmt);
+          return {};
+        } else if constexpr (std::is_same_v<T, SelectStmt>) {
+          return run_select(stmt);
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          run_update(stmt);
+          return {};
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          run_delete(stmt);
+          return {};
+        } else {
+          static_assert(std::is_same_v<T, DropTableStmt>);
+          if (!tables_.contains(stmt.table)) {
+            if (stmt.if_exists) {
+              return ResultSet{};
+            }
+            throw DbError("no such table '" + stmt.table + "'");
+          }
+          for (const auto& [name, table] : tables_) {
+            if (name == stmt.table) {
+              continue;
+            }
+            for (const ColumnDef& column : table->schema().columns) {
+              if (column.references.has_value() &&
+                  column.references->table == stmt.table) {
+                throw DbError("cannot drop '" + stmt.table +
+                              "': referenced by '" + name + "." + column.name +
+                              "'");
+              }
+            }
+          }
+          tables_.erase(stmt.table);
+          return ResultSet{};
+        }
+      },
+      statement);
+}
+
+void Database::check_foreign_keys(const TableSchema& schema, const Row& row) {
+  for (std::size_t i = 0; i < schema.columns.size(); ++i) {
+    const ColumnDef& column = schema.columns[i];
+    if (!column.references.has_value() || row[i].is_null()) {
+      continue;
+    }
+    const Table& referenced = require_table(column.references->table);
+    if (!referenced.contains(column.references->column, row[i])) {
+      throw DbError("foreign key violation: " + schema.name + "." +
+                    column.name + " = " + row[i].render() +
+                    " has no match in " + column.references->table + "." +
+                    column.references->column);
+    }
+  }
+}
+
+void Database::check_no_references(const std::string& table, const Value& key,
+                                   const std::string& key_column) {
+  for (const auto& [name, other] : tables_) {
+    for (const ColumnDef& column : other->schema().columns) {
+      if (column.references.has_value() && column.references->table == table &&
+          column.references->column == key_column &&
+          other->contains(column.name, key)) {
+        throw DbError("cannot delete " + table + " row with " + key_column +
+                      " = " + key.render() + ": referenced by " + name + "." +
+                      column.name);
+      }
+    }
+  }
+}
+
+void Database::run_insert(const InsertStmt& stmt) {
+  Table& table = require_table(stmt.table);
+  for (const std::vector<Value>& values : stmt.rows) {
+    // Build the full row first so FK checks see defaults applied.
+    Row row_copy = values;
+    const std::int64_t rowid = table.insert(stmt.columns, std::move(row_copy));
+    // The inserted row is the last one; validate its FKs, rolling back on
+    // violation to keep the table consistent.
+    try {
+      check_foreign_keys(table.schema(), table.rows().back());
+    } catch (const DbError&) {
+      table.remove_rows({table.row_count() - 1});
+      throw;
+    }
+    last_insert_rowid_ = rowid;
+  }
+}
+
+namespace {
+
+/// Combined projection environment for (joined) rows.
+struct Projection {
+  std::vector<std::string> qualified;  // "table.column" per combined slot
+  std::vector<std::string> bare;       // "column" per combined slot
+};
+
+Projection make_projection(const Table& left, const Table* right) {
+  Projection projection;
+  for (const ColumnDef& column : left.schema().columns) {
+    projection.qualified.push_back(left.schema().name + "." + column.name);
+    projection.bare.push_back(column.name);
+  }
+  if (right != nullptr) {
+    for (const ColumnDef& column : right->schema().columns) {
+      projection.qualified.push_back(right->schema().name + "." + column.name);
+      projection.bare.push_back(column.name);
+    }
+  }
+  return projection;
+}
+
+std::size_t resolve_column(const Projection& projection,
+                           const std::string& name) {
+  std::size_t found = SIZE_MAX;
+  for (std::size_t i = 0; i < projection.qualified.size(); ++i) {
+    if (projection.qualified[i] == name || projection.bare[i] == name) {
+      if (found != SIZE_MAX) {
+        throw DbError("ambiguous column '" + name + "'");
+      }
+      found = i;
+    }
+  }
+  if (found == SIZE_MAX) {
+    throw DbError("unknown column '" + name + "'");
+  }
+  return found;
+}
+
+EvalContext bind_row(const Projection& projection, const Row& row) {
+  EvalContext context;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    context.bind(projection.qualified[i], &row[i]);
+    context.bind(projection.bare[i], &row[i]);
+  }
+  return context;
+}
+
+}  // namespace
+
+ResultSet Database::run_select(const SelectStmt& stmt) {
+  Table& left = require_table(stmt.table);
+  Table* right = stmt.join.has_value()
+                     ? &require_table(stmt.join->table)
+                     : nullptr;
+  const Projection projection = make_projection(left, right);
+
+  // Materialize candidate combined rows.
+  std::vector<Row> combined;
+  if (right == nullptr) {
+    // Single table: try an index shortcut for top-level equality predicates.
+    std::vector<std::size_t> candidates;
+    bool used_index = false;
+    if (stmt.where != nullptr) {
+      for (const ColumnDef& column : left.schema().columns) {
+        if (!left.has_index(column.name)) {
+          continue;
+        }
+        const Value* literal =
+            find_equality_literal(stmt.where.get(), column.name);
+        if (literal == nullptr) {
+          literal = find_equality_literal(
+              stmt.where.get(), left.schema().name + "." + column.name);
+        }
+        if (literal != nullptr) {
+          candidates = left.lookup(column.name, *literal);
+          used_index = true;
+          break;
+        }
+      }
+    }
+    if (used_index) {
+      for (const std::size_t r : candidates) {
+        combined.push_back(left.rows()[r]);
+      }
+    } else {
+      combined = left.rows();
+    }
+  } else {
+    // Nested-loop join probing the right table through lookup() (which uses
+    // an index when one exists on the join column).
+    const std::string& left_name = stmt.join->left_column;
+    const std::string& right_name = stmt.join->right_column;
+    // Decide which side each ON operand belongs to.
+    auto strip = [](const std::string& name) {
+      const std::size_t dot = name.find('.');
+      return dot == std::string::npos ? name : name.substr(dot + 1);
+    };
+    auto belongs_to = [&strip](const Table& table, const std::string& name) {
+      return table.schema().find_column(strip(name)).has_value() &&
+             (name.find('.') == std::string::npos ||
+              name.substr(0, name.find('.')) == table.schema().name);
+    };
+    std::string left_col;
+    std::string right_col;
+    if (belongs_to(left, left_name) && belongs_to(*right, right_name)) {
+      left_col = strip(left_name);
+      right_col = strip(right_name);
+    } else if (belongs_to(left, right_name) && belongs_to(*right, left_name)) {
+      left_col = strip(right_name);
+      right_col = strip(left_name);
+    } else {
+      throw DbError("cannot resolve join condition " + left_name + " = " +
+                    right_name);
+    }
+    const std::size_t left_idx = left.schema().column_index(left_col);
+    for (const Row& lrow : left.rows()) {
+      for (const std::size_t r : right->lookup(right_col, lrow[left_idx])) {
+        Row joined = lrow;
+        const Row& rrow = right->rows()[r];
+        joined.insert(joined.end(), rrow.begin(), rrow.end());
+        combined.push_back(std::move(joined));
+      }
+    }
+  }
+
+  // WHERE filter.
+  std::vector<Row> filtered;
+  if (stmt.where != nullptr) {
+    for (Row& row : combined) {
+      if (stmt.where->evaluate_bool(bind_row(projection, row))) {
+        filtered.push_back(std::move(row));
+      }
+    }
+  } else {
+    filtered = std::move(combined);
+  }
+
+  // ORDER BY.
+  if (!stmt.order_by.empty()) {
+    std::vector<std::size_t> keys;
+    keys.reserve(stmt.order_by.size());
+    for (const OrderBy& order : stmt.order_by) {
+      keys.push_back(resolve_column(projection, order.column));
+    }
+    std::stable_sort(filtered.begin(), filtered.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (std::size_t k = 0; k < keys.size(); ++k) {
+                         const auto ordering = a[keys[k]] <=> b[keys[k]];
+                         if (ordering == std::partial_ordering::equivalent) {
+                           continue;
+                         }
+                         const bool less =
+                             ordering == std::partial_ordering::less;
+                         return stmt.order_by[k].descending ? !less : less;
+                       }
+                       return false;
+                     });
+  }
+
+  // LIMIT.
+  if (stmt.limit.has_value() && filtered.size() > *stmt.limit) {
+    filtered.resize(*stmt.limit);
+  }
+
+  // Projection.
+  ResultSet result;
+  if (stmt.columns.empty()) {
+    result.columns =
+        right == nullptr ? projection.bare : projection.qualified;
+    result.rows = std::move(filtered);
+  } else {
+    std::vector<std::size_t> slots;
+    for (const std::string& column : stmt.columns) {
+      slots.push_back(resolve_column(projection, column));
+      result.columns.push_back(column);
+    }
+    result.rows.reserve(filtered.size());
+    for (const Row& row : filtered) {
+      Row projected;
+      projected.reserve(slots.size());
+      for (const std::size_t slot : slots) {
+        projected.push_back(row[slot]);
+      }
+      result.rows.push_back(std::move(projected));
+    }
+  }
+  return result;
+}
+
+void Database::run_update(const UpdateStmt& stmt) {
+  Table& table = require_table(stmt.table);
+  const Projection projection = make_projection(table, nullptr);
+  std::vector<std::size_t> matches;
+  for (std::size_t r = 0; r < table.rows().size(); ++r) {
+    if (stmt.where == nullptr ||
+        stmt.where->evaluate_bool(bind_row(projection, table.rows()[r]))) {
+      matches.push_back(r);
+    }
+  }
+  for (const std::size_t r : matches) {
+    for (const auto& [column, value] : stmt.assignments) {
+      const std::size_t c = table.schema().column_index(column);
+      if (table.schema().columns[c].primary_key) {
+        const auto existing = table.lookup(column, value);
+        if (!existing.empty() && !(existing.size() == 1 && existing[0] == r)) {
+          throw DbError("UPDATE would duplicate primary key " +
+                        value.render() + " in '" + stmt.table + "'");
+        }
+      }
+      table.update_cell(r, c, value);
+    }
+    check_foreign_keys(table.schema(), table.rows()[r]);
+  }
+}
+
+void Database::run_delete(const DeleteStmt& stmt) {
+  Table& table = require_table(stmt.table);
+  const Projection projection = make_projection(table, nullptr);
+  const auto pk = table.schema().primary_key_index();
+  std::vector<std::size_t> matches;
+  for (std::size_t r = 0; r < table.rows().size(); ++r) {
+    if (stmt.where == nullptr ||
+        stmt.where->evaluate_bool(bind_row(projection, table.rows()[r]))) {
+      if (pk.has_value()) {
+        check_no_references(stmt.table, table.rows()[r][*pk],
+                            table.schema().columns[*pk].name);
+      }
+      matches.push_back(r);
+    }
+  }
+  table.remove_rows(matches);
+}
+
+std::string Database::dump() const {
+  std::string out = "-- iokc database dump v1\n";
+  // Emit parents before children so FK checks pass on reload: repeatedly
+  // emit tables whose references are already emitted.
+  std::vector<std::string> pending = table_names();
+  std::vector<std::string> emitted;
+  while (!pending.empty()) {
+    bool progress = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      const Table& table = require_table(*it);
+      bool ready = true;
+      for (const ColumnDef& column : table.schema().columns) {
+        if (column.references.has_value() &&
+            column.references->table != table.schema().name &&
+            std::find(emitted.begin(), emitted.end(),
+                      column.references->table) == emitted.end()) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        ++it;
+        continue;
+      }
+      out += table.schema().render_create() + "\n";
+      for (const Row& row : table.rows()) {
+        out += "INSERT INTO " + table.schema().name + " VALUES (";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          if (c != 0) {
+            out += ", ";
+          }
+          out += row[c].render();
+        }
+        out += ");\n";
+      }
+      emitted.push_back(*it);
+      it = pending.erase(it);
+      progress = true;
+    }
+    if (!progress) {
+      throw DbError("cyclic foreign-key dependencies; cannot dump");
+    }
+  }
+  return out;
+}
+
+void Database::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError("cannot open database file for writing: " + path);
+  }
+  out << dump();
+  if (!out) {
+    throw IoError("failed writing database file: " + path);
+  }
+}
+
+Database Database::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot open database file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string script = buffer.str();
+  // Strip comment lines.
+  std::string cleaned;
+  for (const std::string& line : util::split_lines(script)) {
+    if (!util::starts_with(util::trim(line), "--")) {
+      cleaned += line;
+      cleaned += '\n';
+    }
+  }
+  Database database;
+  database.execute_script(cleaned);
+  return database;
+}
+
+Database Database::open(const std::string& path) {
+  if (std::filesystem::exists(path)) {
+    return load(path);
+  }
+  return Database{};
+}
+
+}  // namespace iokc::db

@@ -1,0 +1,83 @@
+// The embedded relational database: executes the SQL subset against typed
+// tables with primary/foreign-key enforcement and secondary indexes, and
+// persists itself as a SQL dump (the same way `sqlite3 .dump` round-trips a
+// database). This is the substrate the paper's persistence phase plugs into
+// in place of SQLite.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/db/sql.hpp"
+#include "src/db/table.hpp"
+
+namespace iokc::db {
+
+/// Rows returned by a SELECT.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  bool empty() const { return rows.empty(); }
+  std::size_t size() const { return rows.size(); }
+  /// Value at (row, column name); throws DbError for unknown columns.
+  const Value& at(std::size_t row, const std::string& column) const;
+  /// Renders an aligned text table (the CLI knowledge viewer output).
+  std::string render_table() const;
+  /// Renders CSV (header + rows).
+  std::string render_csv() const;
+};
+
+/// The database.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Parses and executes one statement. SELECT fills the returned ResultSet;
+  /// other statements return an empty set.
+  ResultSet execute(std::string_view sql);
+
+  /// Executes a ';'-separated script (errors abort at the failing statement).
+  void execute_script(std::string_view script);
+
+  /// Primary key assigned by the most recent INSERT.
+  std::int64_t last_insert_rowid() const { return last_insert_rowid_; }
+
+  bool has_table(const std::string& name) const;
+  Table& require_table(const std::string& name);
+  const Table& require_table(const std::string& name) const;
+  std::vector<std::string> table_names() const;
+
+  /// Serializes the database as an executable SQL script.
+  std::string dump() const;
+  /// Writes dump() to a file; throws IoError on failure.
+  void save(const std::string& path) const;
+  /// Loads a dump written by save(). Throws IoError / ParseError / DbError.
+  static Database load(const std::string& path);
+  /// Loads `path` when it exists, otherwise returns an empty database.
+  static Database open(const std::string& path);
+
+ private:
+  ResultSet execute_statement(const Statement& statement);
+  ResultSet run_select(const SelectStmt& stmt);
+  void run_insert(const InsertStmt& stmt);
+  void run_update(const UpdateStmt& stmt);
+  void run_delete(const DeleteStmt& stmt);
+  void check_foreign_keys(const TableSchema& schema, const Row& row);
+  void check_no_references(const std::string& table, const Value& key,
+                           const std::string& key_column);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::int64_t last_insert_rowid_ = 0;
+};
+
+}  // namespace iokc::db

@@ -1,0 +1,154 @@
+#include "src/db/expr.hpp"
+
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace iokc::db {
+
+void EvalContext::bind(const std::string& name, const Value* value) {
+  bindings_.emplace_back(name, value);
+}
+
+const Value& EvalContext::lookup(const std::string& name) const {
+  const Value* found = nullptr;
+  for (const auto& [bound_name, value] : bindings_) {
+    if (bound_name == name) {
+      if (found != nullptr && found != value) {
+        throw DbError("ambiguous column reference '" + name + "'");
+      }
+      found = value;
+    }
+  }
+  if (found == nullptr) {
+    throw DbError("unknown column '" + name + "'");
+  }
+  return *found;
+}
+
+namespace {
+
+bool truthy(const Value& value) {
+  if (value.is_null()) {
+    return false;
+  }
+  if (value.is_text()) {
+    return !value.as_text().empty();
+  }
+  return value.as_real() != 0.0;
+}
+
+Value compare(Expr::Op op, const Value& lhs, const Value& rhs) {
+  // SQL three-valued logic collapses to false for NULL comparisons here.
+  if (lhs.is_null() || rhs.is_null()) {
+    return Value(static_cast<std::int64_t>(
+        op == Expr::Op::kEq ? (lhs.is_null() && rhs.is_null()) : 0));
+  }
+  const auto ordering = lhs <=> rhs;
+  bool result = false;
+  switch (op) {
+    case Expr::Op::kEq: result = ordering == std::partial_ordering::equivalent; break;
+    case Expr::Op::kNe: result = ordering != std::partial_ordering::equivalent; break;
+    case Expr::Op::kLt: result = ordering == std::partial_ordering::less; break;
+    case Expr::Op::kLe:
+      result = ordering == std::partial_ordering::less ||
+               ordering == std::partial_ordering::equivalent;
+      break;
+    case Expr::Op::kGt: result = ordering == std::partial_ordering::greater; break;
+    case Expr::Op::kGe:
+      result = ordering == std::partial_ordering::greater ||
+               ordering == std::partial_ordering::equivalent;
+      break;
+    default:
+      throw DbError("compare() called with a logic operator");
+  }
+  return Value(static_cast<std::int64_t>(result));
+}
+
+}  // namespace
+
+Value Expr::evaluate(const EvalContext& context) const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal;
+    case Kind::kColumn:
+      return context.lookup(column);
+    case Kind::kNot:
+      return Value(static_cast<std::int64_t>(!rhs->evaluate_bool(context)));
+    case Kind::kBinary:
+      switch (op) {
+        case Op::kAnd:
+          return Value(static_cast<std::int64_t>(
+              lhs->evaluate_bool(context) && rhs->evaluate_bool(context)));
+        case Op::kOr:
+          return Value(static_cast<std::int64_t>(
+              lhs->evaluate_bool(context) || rhs->evaluate_bool(context)));
+        default:
+          return compare(op, lhs->evaluate(context), rhs->evaluate(context));
+      }
+  }
+  throw DbError("corrupt expression node");
+}
+
+bool Expr::evaluate_bool(const EvalContext& context) const {
+  return truthy(evaluate(context));
+}
+
+ExprPtr make_literal(Value value) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kLiteral;
+  expr->literal = std::move(value);
+  return expr;
+}
+
+ExprPtr make_column(std::string name) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kColumn;
+  expr->column = std::move(name);
+  return expr;
+}
+
+ExprPtr make_binary(Expr::Op op, ExprPtr lhs, ExprPtr rhs) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kBinary;
+  expr->op = op;
+  expr->lhs = std::move(lhs);
+  expr->rhs = std::move(rhs);
+  return expr;
+}
+
+ExprPtr make_not(ExprPtr operand) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kNot;
+  expr->rhs = std::move(operand);
+  return expr;
+}
+
+const Value* find_equality_literal(const Expr* expr,
+                                   const std::string& column) {
+  if (expr == nullptr || expr->kind != Expr::Kind::kBinary) {
+    return nullptr;
+  }
+  if (expr->op == Expr::Op::kAnd) {
+    if (const Value* v = find_equality_literal(expr->lhs.get(), column)) {
+      return v;
+    }
+    return find_equality_literal(expr->rhs.get(), column);
+  }
+  if (expr->op != Expr::Op::kEq) {
+    return nullptr;
+  }
+  const Expr* l = expr->lhs.get();
+  const Expr* r = expr->rhs.get();
+  if (l->kind == Expr::Kind::kColumn && l->column == column &&
+      r->kind == Expr::Kind::kLiteral) {
+    return &r->literal;
+  }
+  if (r->kind == Expr::Kind::kColumn && r->column == column &&
+      l->kind == Expr::Kind::kLiteral) {
+    return &l->literal;
+  }
+  return nullptr;
+}
+
+}  // namespace iokc::db

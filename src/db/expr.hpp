@@ -1,0 +1,55 @@
+// WHERE-clause expression AST and evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/value.hpp"
+
+namespace iokc::db {
+
+/// Name -> value binding for one candidate row. Column names may be bare
+/// ("id") or qualified ("performances.id"); both are registered when rows of
+/// joined tables are evaluated.
+class EvalContext {
+ public:
+  void bind(const std::string& name, const Value* value);
+  /// Resolves a column reference; throws DbError for unknown or ambiguous
+  /// names (a name bound twice with different slots is ambiguous).
+  const Value& lookup(const std::string& name) const;
+
+ private:
+  std::vector<std::pair<std::string, const Value*>> bindings_;
+};
+
+/// Expression node.
+struct Expr {
+  enum class Kind { kLiteral, kColumn, kBinary, kNot };
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;          // kLiteral
+  std::string column;     // kColumn
+  Op op = Op::kEq;        // kBinary
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;  // also the operand of kNot
+
+  /// Evaluates to a Value (comparisons/logic yield INTEGER 0/1).
+  Value evaluate(const EvalContext& context) const;
+  /// Evaluates and interprets as a condition (NULL and 0 are false).
+  bool evaluate_bool(const EvalContext& context) const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr make_literal(Value value);
+ExprPtr make_column(std::string name);
+ExprPtr make_binary(Expr::Op op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr make_not(ExprPtr operand);
+
+/// If `expr` is a conjunction containing `column = <literal>` at the top
+/// level, returns the literal (used by the index-lookup planner).
+const Value* find_equality_literal(const Expr* expr, const std::string& column);
+
+}  // namespace iokc::db

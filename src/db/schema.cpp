@@ -1,0 +1,56 @@
+#include "src/db/schema.hpp"
+
+#include "src/util/error.hpp"
+
+namespace iokc::db {
+
+std::size_t TableSchema::column_index(const std::string& column) const {
+  if (const auto index = find_column(column)) {
+    return *index;
+  }
+  throw DbError("table '" + name + "' has no column '" + column + "'");
+}
+
+std::optional<std::size_t> TableSchema::find_column(
+    const std::string& column) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> TableSchema::primary_key_index() const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].primary_key) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string TableSchema::render_create() const {
+  std::string out = "CREATE TABLE " + name + " (";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const ColumnDef& column = columns[i];
+    if (i != 0) {
+      out += ", ";
+    }
+    out += column.name + " " + to_string(column.type);
+    if (column.primary_key) {
+      out += " PRIMARY KEY";
+    }
+    if (column.not_null) {
+      out += " NOT NULL";
+    }
+    if (column.references.has_value()) {
+      out += " REFERENCES " + column.references->table + "(" +
+             column.references->column + ")";
+    }
+  }
+  out += ");";
+  return out;
+}
+
+}  // namespace iokc::db

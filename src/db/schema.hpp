@@ -1,0 +1,46 @@
+// Table schemas: column definitions with primary-key, NOT NULL, and
+// foreign-key (REFERENCES) constraints, serializable back to CREATE TABLE
+// statements for database file persistence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/db/value.hpp"
+
+namespace iokc::db {
+
+/// A REFERENCES constraint.
+struct ForeignKey {
+  std::string table;
+  std::string column;
+};
+
+/// One column definition.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+  bool primary_key = false;
+  bool not_null = false;
+  std::optional<ForeignKey> references;
+};
+
+/// A table schema.
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  /// Index of a column by name; throws DbError when unknown.
+  std::size_t column_index(const std::string& column) const;
+  /// Index of a column by name; nullopt when unknown.
+  std::optional<std::size_t> find_column(const std::string& column) const;
+  /// Index of the PRIMARY KEY column; nullopt when the table has none.
+  std::optional<std::size_t> primary_key_index() const;
+
+  /// Renders "CREATE TABLE name (col TYPE PRIMARY KEY, ...);".
+  std::string render_create() const;
+};
+
+}  // namespace iokc::db

@@ -1,0 +1,523 @@
+#include "src/db/sql.hpp"
+
+#include <cctype>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::db {
+
+namespace {
+
+enum class TokenKind { kKeywordOrIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier/keyword (original case) or symbol
+  std::string upper;  // uppercase form for keyword comparison
+  Value value;        // kNumber / kString
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  const Token& current() const { return current_; }
+
+  Token take() {
+    Token token = std::move(current_);
+    advance();
+    return token;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("SQL at offset " + std::to_string(pos_) + ": " + message);
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    if (pos_ >= text_.size()) {
+      current_.kind = TokenKind::kEnd;
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokenKind::kKeywordOrIdent;
+      current_.text = std::string(text_.substr(start, pos_ - start));
+      current_.upper = current_.text;
+      for (char& ch : current_.upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      const std::size_t start = pos_;
+      if (c == '-') {
+        ++pos_;
+      }
+      bool is_real = false;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++pos_;
+        } else if (d == '.' || d == 'e' || d == 'E' ||
+                   ((d == '+' || d == '-') && pos_ > start &&
+                    (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))) {
+          is_real = true;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      const std::string token{text_.substr(start, pos_ - start)};
+      current_.kind = TokenKind::kNumber;
+      current_.value = is_real ? Value(util::parse_f64(token))
+                               : Value(util::parse_i64(token));
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string out;
+      while (true) {
+        if (pos_ >= text_.size()) {
+          fail("unterminated string literal");
+        }
+        const char d = text_[pos_++];
+        if (d == '\'') {
+          if (pos_ < text_.size() && text_[pos_] == '\'') {
+            out += '\'';
+            ++pos_;
+          } else {
+            break;
+          }
+        } else {
+          out += d;
+        }
+      }
+      current_.kind = TokenKind::kString;
+      current_.value = Value(std::move(out));
+      return;
+    }
+    // Symbols, including two-character comparison operators.
+    static constexpr std::string_view kTwoChar[] = {"<=", ">=", "!=", "<>"};
+    for (const std::string_view two : kTwoChar) {
+      if (text_.substr(pos_, 2) == two) {
+        current_.kind = TokenKind::kSymbol;
+        current_.text = std::string(two);
+        pos_ += 2;
+        return;
+      }
+    }
+    current_.kind = TokenKind::kSymbol;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view sql) : lexer_(sql) {}
+
+  Statement parse_statement() {
+    const Token& token = lexer_.current();
+    if (token.kind != TokenKind::kKeywordOrIdent) {
+      lexer_.fail("expected a statement keyword");
+    }
+    Statement statement = [&]() -> Statement {
+      if (token.upper == "CREATE") {
+        return parse_create();
+      }
+      if (token.upper == "INSERT") {
+        return parse_insert();
+      }
+      if (token.upper == "SELECT") {
+        return parse_select();
+      }
+      if (token.upper == "UPDATE") {
+        return parse_update();
+      }
+      if (token.upper == "DELETE") {
+        return parse_delete();
+      }
+      if (token.upper == "DROP") {
+        return parse_drop();
+      }
+      lexer_.fail("unsupported statement '" + token.text + "'");
+    }();
+    accept_symbol(";");
+    if (lexer_.current().kind != TokenKind::kEnd) {
+      lexer_.fail("trailing tokens after statement");
+    }
+    return statement;
+  }
+
+ private:
+  bool accept_keyword(std::string_view keyword) {
+    if (lexer_.current().kind == TokenKind::kKeywordOrIdent &&
+        lexer_.current().upper == keyword) {
+      lexer_.take();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_keyword(std::string_view keyword) {
+    if (!accept_keyword(keyword)) {
+      lexer_.fail("expected " + std::string(keyword));
+    }
+  }
+
+  bool accept_symbol(std::string_view symbol) {
+    if (lexer_.current().kind == TokenKind::kSymbol &&
+        lexer_.current().text == symbol) {
+      lexer_.take();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_symbol(std::string_view symbol) {
+    if (!accept_symbol(symbol)) {
+      lexer_.fail("expected '" + std::string(symbol) + "'");
+    }
+  }
+
+  std::string expect_identifier(const char* what) {
+    if (lexer_.current().kind != TokenKind::kKeywordOrIdent) {
+      lexer_.fail(std::string("expected ") + what);
+    }
+    return lexer_.take().text;
+  }
+
+  /// Identifier with optional qualification: name or table.name.
+  std::string expect_column_ref() {
+    std::string name = expect_identifier("column name");
+    if (accept_symbol(".")) {
+      name += "." + expect_identifier("column name after '.'");
+    }
+    return name;
+  }
+
+  Value expect_literal() {
+    const Token& token = lexer_.current();
+    if (token.kind == TokenKind::kNumber || token.kind == TokenKind::kString) {
+      return lexer_.take().value;
+    }
+    if (token.kind == TokenKind::kKeywordOrIdent && token.upper == "NULL") {
+      lexer_.take();
+      return Value();
+    }
+    lexer_.fail("expected a literal value");
+  }
+
+  Statement parse_create() {
+    expect_keyword("CREATE");
+    if (accept_keyword("INDEX")) {
+      CreateIndexStmt stmt;
+      stmt.index_name = expect_identifier("index name");
+      expect_keyword("ON");
+      stmt.table = expect_identifier("table name");
+      expect_symbol("(");
+      stmt.column = expect_identifier("column name");
+      expect_symbol(")");
+      return stmt;
+    }
+    expect_keyword("TABLE");
+    CreateTableStmt stmt;
+    if (accept_keyword("IF")) {
+      expect_keyword("NOT");
+      expect_keyword("EXISTS");
+      stmt.if_not_exists = true;
+    }
+    stmt.schema.name = expect_identifier("table name");
+    expect_symbol("(");
+    while (true) {
+      ColumnDef column;
+      column.name = expect_identifier("column name");
+      column.type = column_type_from_string(expect_identifier("column type"));
+      while (true) {
+        if (accept_keyword("PRIMARY")) {
+          expect_keyword("KEY");
+          column.primary_key = true;
+        } else if (accept_keyword("NOT")) {
+          expect_keyword("NULL");
+          column.not_null = true;
+        } else if (accept_keyword("REFERENCES")) {
+          ForeignKey fk;
+          fk.table = expect_identifier("referenced table");
+          expect_symbol("(");
+          fk.column = expect_identifier("referenced column");
+          expect_symbol(")");
+          column.references = fk;
+        } else {
+          break;
+        }
+      }
+      stmt.schema.columns.push_back(std::move(column));
+      if (accept_symbol(",")) {
+        continue;
+      }
+      expect_symbol(")");
+      break;
+    }
+    if (stmt.schema.columns.empty()) {
+      lexer_.fail("table needs at least one column");
+    }
+    return stmt;
+  }
+
+  Statement parse_insert() {
+    expect_keyword("INSERT");
+    expect_keyword("INTO");
+    InsertStmt stmt;
+    stmt.table = expect_identifier("table name");
+    if (accept_symbol("(")) {
+      while (true) {
+        stmt.columns.push_back(expect_identifier("column name"));
+        if (accept_symbol(",")) {
+          continue;
+        }
+        expect_symbol(")");
+        break;
+      }
+    }
+    expect_keyword("VALUES");
+    while (true) {
+      expect_symbol("(");
+      std::vector<Value> row;
+      while (true) {
+        row.push_back(expect_literal());
+        if (accept_symbol(",")) {
+          continue;
+        }
+        expect_symbol(")");
+        break;
+      }
+      stmt.rows.push_back(std::move(row));
+      if (!accept_symbol(",")) {
+        break;
+      }
+    }
+    return stmt;
+  }
+
+  Statement parse_select() {
+    expect_keyword("SELECT");
+    SelectStmt stmt;
+    if (!accept_symbol("*")) {
+      while (true) {
+        stmt.columns.push_back(expect_column_ref());
+        if (!accept_symbol(",")) {
+          break;
+        }
+      }
+    }
+    expect_keyword("FROM");
+    stmt.table = expect_identifier("table name");
+    if (accept_keyword("INNER") || lexer_.current().upper == "JOIN") {
+      expect_keyword("JOIN");
+      JoinClause join;
+      join.table = expect_identifier("joined table");
+      expect_keyword("ON");
+      join.left_column = expect_column_ref();
+      expect_symbol("=");
+      join.right_column = expect_column_ref();
+      stmt.join = std::move(join);
+    }
+    if (accept_keyword("WHERE")) {
+      stmt.where = parse_expr();
+    }
+    if (accept_keyword("ORDER")) {
+      expect_keyword("BY");
+      while (true) {
+        OrderBy order;
+        order.column = expect_column_ref();
+        if (accept_keyword("DESC")) {
+          order.descending = true;
+        } else {
+          accept_keyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(order));
+        if (!accept_symbol(",")) {
+          break;
+        }
+      }
+    }
+    if (accept_keyword("LIMIT")) {
+      const Value limit = expect_literal();
+      if (!limit.is_integer() || limit.as_integer() < 0) {
+        lexer_.fail("LIMIT must be a non-negative integer");
+      }
+      stmt.limit = static_cast<std::size_t>(limit.as_integer());
+    }
+    return stmt;
+  }
+
+  Statement parse_update() {
+    expect_keyword("UPDATE");
+    UpdateStmt stmt;
+    stmt.table = expect_identifier("table name");
+    expect_keyword("SET");
+    while (true) {
+      std::string column = expect_identifier("column name");
+      expect_symbol("=");
+      stmt.assignments.emplace_back(std::move(column), expect_literal());
+      if (!accept_symbol(",")) {
+        break;
+      }
+    }
+    if (accept_keyword("WHERE")) {
+      stmt.where = parse_expr();
+    }
+    return stmt;
+  }
+
+  Statement parse_delete() {
+    expect_keyword("DELETE");
+    expect_keyword("FROM");
+    DeleteStmt stmt;
+    stmt.table = expect_identifier("table name");
+    if (accept_keyword("WHERE")) {
+      stmt.where = parse_expr();
+    }
+    return stmt;
+  }
+
+  Statement parse_drop() {
+    expect_keyword("DROP");
+    expect_keyword("TABLE");
+    DropTableStmt stmt;
+    if (accept_keyword("IF")) {
+      expect_keyword("EXISTS");
+      stmt.if_exists = true;
+    }
+    stmt.table = expect_identifier("table name");
+    return stmt;
+  }
+
+  // expr := or_term; or_term := and_term (OR and_term)*;
+  // and_term := unary (AND unary)*; unary := NOT unary | comparison;
+  // comparison := primary (op primary)?; primary := literal | column | (expr)
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (accept_keyword("OR")) {
+      lhs = make_binary(Expr::Op::kOr, std::move(lhs), parse_and());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_unary();
+    while (accept_keyword("AND")) {
+      lhs = make_binary(Expr::Op::kAnd, std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (accept_keyword("NOT")) {
+      return make_not(parse_unary());
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr lhs = parse_primary();
+    const Token& token = lexer_.current();
+    if (token.kind != TokenKind::kSymbol) {
+      return lhs;
+    }
+    Expr::Op op;
+    if (token.text == "=") {
+      op = Expr::Op::kEq;
+    } else if (token.text == "!=" || token.text == "<>") {
+      op = Expr::Op::kNe;
+    } else if (token.text == "<") {
+      op = Expr::Op::kLt;
+    } else if (token.text == "<=") {
+      op = Expr::Op::kLe;
+    } else if (token.text == ">") {
+      op = Expr::Op::kGt;
+    } else if (token.text == ">=") {
+      op = Expr::Op::kGe;
+    } else {
+      return lhs;
+    }
+    lexer_.take();
+    return make_binary(op, std::move(lhs), parse_primary());
+  }
+
+  ExprPtr parse_primary() {
+    const Token& token = lexer_.current();
+    if (token.kind == TokenKind::kNumber || token.kind == TokenKind::kString) {
+      return make_literal(lexer_.take().value);
+    }
+    if (token.kind == TokenKind::kSymbol && token.text == "(") {
+      lexer_.take();
+      ExprPtr inner = parse_expr();
+      expect_symbol(")");
+      return inner;
+    }
+    if (token.kind == TokenKind::kKeywordOrIdent) {
+      if (token.upper == "NULL") {
+        lexer_.take();
+        return make_literal(Value());
+      }
+      return make_column(expect_column_ref());
+    }
+    lexer_.fail("expected an expression");
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Statement parse_sql(std::string_view sql) {
+  return Parser(sql).parse_statement();
+}
+
+std::vector<Statement> parse_sql_script(std::string_view script) {
+  std::vector<Statement> statements;
+  std::string fragment;
+  bool in_string = false;
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const char c = script[i];
+    if (c == '\'') {
+      in_string = !in_string;
+      fragment += c;
+    } else if (c == ';' && !in_string) {
+      if (!util::trim(fragment).empty()) {
+        statements.push_back(parse_sql(fragment));
+      }
+      fragment.clear();
+    } else {
+      fragment += c;
+    }
+  }
+  if (!util::trim(fragment).empty()) {
+    statements.push_back(parse_sql(fragment));
+  }
+  return statements;
+}
+
+}  // namespace iokc::db

@@ -1,0 +1,92 @@
+// The SQL subset: lexer, statement AST, and recursive-descent parser.
+//
+// Supported statements (enough to host the paper's nine-table schema and the
+// knowledge explorer's queries):
+//   CREATE TABLE [IF NOT EXISTS] t (col TYPE [PRIMARY KEY] [NOT NULL]
+//                                   [REFERENCES t2(col)], ...)
+//   CREATE INDEX idx ON t (col)
+//   INSERT INTO t [(cols)] VALUES (v, ...) [, (v, ...) ...]
+//   SELECT *|cols FROM t [INNER JOIN t2 ON a = b] [WHERE expr]
+//          [ORDER BY col [ASC|DESC], ...] [LIMIT n]
+//   UPDATE t SET col = value, ... [WHERE expr]
+//   DELETE FROM t [WHERE expr]
+//   DROP TABLE [IF EXISTS] t
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/db/expr.hpp"
+#include "src/db/schema.hpp"
+#include "src/db/value.hpp"
+
+namespace iokc::db {
+
+struct CreateTableStmt {
+  TableSchema schema;
+  bool if_not_exists = false;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::string column;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty -> all columns in order
+  std::vector<std::vector<Value>> rows;
+};
+
+struct JoinClause {
+  std::string table;
+  std::string left_column;   // qualified or bare
+  std::string right_column;
+};
+
+struct OrderBy {
+  std::string column;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  std::vector<std::string> columns;  // empty -> "*"
+  std::string table;
+  std::optional<JoinClause> join;
+  ExprPtr where;  // may be null
+  std::vector<OrderBy> order_by;
+  std::optional<std::size_t> limit;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct DropTableStmt {
+  std::string table;
+  bool if_exists = false;
+};
+
+using Statement = std::variant<CreateTableStmt, CreateIndexStmt, InsertStmt,
+                               SelectStmt, UpdateStmt, DeleteStmt,
+                               DropTableStmt>;
+
+/// Parses exactly one statement (a trailing ';' is allowed).
+Statement parse_sql(std::string_view sql);
+
+/// Splits on statement-terminating semicolons (string-literal aware) and
+/// parses each; empty fragments are skipped.
+std::vector<Statement> parse_sql_script(std::string_view script);
+
+}  // namespace iokc::db

@@ -1,0 +1,167 @@
+#include "src/db/table.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace iokc::db {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  if (schema_.columns.empty()) {
+    throw DbError("table '" + schema_.name + "' has no columns");
+  }
+  // A PRIMARY KEY column is always indexed: uniqueness checks and FK
+  // existence checks hit it on every insert.
+  if (const auto pk = schema_.primary_key_index()) {
+    create_index(schema_.columns[*pk].name);
+  }
+}
+
+std::int64_t Table::insert(const std::vector<std::string>& columns,
+                           Row values) {
+  Row row(schema_.columns.size());
+  if (columns.empty()) {
+    if (values.size() != schema_.columns.size()) {
+      throw DbError("INSERT into '" + schema_.name + "' expects " +
+                    std::to_string(schema_.columns.size()) + " values, got " +
+                    std::to_string(values.size()));
+    }
+    row = std::move(values);
+  } else {
+    if (columns.size() != values.size()) {
+      throw DbError("INSERT column/value count mismatch for '" + schema_.name +
+                    "'");
+    }
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      row[schema_.column_index(columns[i])] = std::move(values[i]);
+    }
+  }
+
+  const auto pk = schema_.primary_key_index();
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& column = schema_.columns[i];
+    // Auto-assign an INTEGER PRIMARY KEY left NULL.
+    if (pk.has_value() && i == *pk && row[i].is_null() &&
+        column.type == ColumnType::kInteger) {
+      row[i] = Value(next_rowid_);
+    }
+    row[i] = row[i].coerce(column.type);
+    if (row[i].is_null() && (column.not_null || column.primary_key)) {
+      throw DbError("column '" + column.name + "' of '" + schema_.name +
+                    "' must not be NULL");
+    }
+  }
+
+  std::int64_t returned = static_cast<std::int64_t>(rows_.size());
+  if (pk.has_value()) {
+    const Value& key = row[*pk];
+    if (!lookup(schema_.columns[*pk].name, key).empty()) {
+      throw DbError("duplicate primary key " + key.render() + " in '" +
+                    schema_.name + "'");
+    }
+    if (key.is_integer()) {
+      returned = key.as_integer();
+      next_rowid_ = std::max(next_rowid_, key.as_integer() + 1);
+    }
+  }
+
+  rows_.push_back(std::move(row));
+  index_row(rows_.size() - 1);
+  return returned;
+}
+
+void Table::create_index(const std::string& column) {
+  schema_.column_index(column);  // validates the name
+  indexes_[column] = HashIndex{};
+  const std::size_t col = schema_.column_index(column);
+  HashIndex& index = indexes_[column];
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    index.emplace(rows_[r][col], r);
+  }
+}
+
+bool Table::has_index(const std::string& column) const {
+  return indexes_.contains(column);
+}
+
+std::vector<std::size_t> Table::lookup(const std::string& column,
+                                       const Value& value) const {
+  std::vector<std::size_t> matches;
+  const auto index_it = indexes_.find(column);
+  if (index_it != indexes_.end()) {
+    const auto [begin, end] = index_it->second.equal_range(value);
+    for (auto it = begin; it != end; ++it) {
+      matches.push_back(it->second);
+    }
+    std::sort(matches.begin(), matches.end());
+    return matches;
+  }
+  const std::size_t col = schema_.column_index(column);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (rows_[r][col] == value) {
+      matches.push_back(r);
+    }
+  }
+  return matches;
+}
+
+void Table::update_cell(std::size_t row, std::size_t column, Value value) {
+  if (row >= rows_.size() || column >= schema_.columns.size()) {
+    throw DbError("update_cell out of range on '" + schema_.name + "'");
+  }
+  const ColumnDef& def = schema_.columns[column];
+  value = value.coerce(def.type);
+  if (value.is_null() && (def.not_null || def.primary_key)) {
+    throw DbError("column '" + def.name + "' of '" + schema_.name +
+                  "' must not be NULL");
+  }
+  const auto index_it = indexes_.find(def.name);
+  if (index_it != indexes_.end()) {
+    auto [begin, end] = index_it->second.equal_range(rows_[row][column]);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == row) {
+        index_it->second.erase(it);
+        break;
+      }
+    }
+    index_it->second.emplace(value, row);
+  }
+  rows_[row][column] = std::move(value);
+}
+
+void Table::remove_rows(const std::vector<std::size_t>& ascending_indices) {
+  if (ascending_indices.empty()) {
+    return;
+  }
+  for (auto it = ascending_indices.rbegin(); it != ascending_indices.rend();
+       ++it) {
+    if (*it >= rows_.size()) {
+      throw DbError("remove_rows index out of range on '" + schema_.name + "'");
+    }
+    rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  rebuild_indexes();
+}
+
+bool Table::contains(const std::string& column, const Value& value) const {
+  return !lookup(column, value).empty();
+}
+
+void Table::rebuild_indexes() {
+  for (auto& [column, index] : indexes_) {
+    index.clear();
+    const std::size_t col = schema_.column_index(column);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      index.emplace(rows_[r][col], r);
+    }
+  }
+}
+
+void Table::index_row(std::size_t row) {
+  for (auto& [column, index] : indexes_) {
+    const std::size_t col = schema_.column_index(column);
+    index.emplace(rows_[row][col], row);
+  }
+}
+
+}  // namespace iokc::db

@@ -1,0 +1,68 @@
+// In-memory table storage: typed rows, auto-increment INTEGER PRIMARY KEY,
+// uniqueness enforcement, and secondary hash indexes for equality lookups.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/schema.hpp"
+#include "src/db/value.hpp"
+
+namespace iokc::db {
+
+using Row = std::vector<Value>;
+
+/// One table.
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Inserts one row given a column list (empty = schema order). Missing
+  /// columns become NULL; an INTEGER PRIMARY KEY left NULL is auto-assigned.
+  /// Returns the row's primary-key value (or the row index when the table
+  /// has no integer primary key). Enforces types, NOT NULL, and PK
+  /// uniqueness; foreign keys are enforced by the Database.
+  std::int64_t insert(const std::vector<std::string>& columns, Row values);
+
+  /// Creates (or re-creates) a hash index on `column`.
+  void create_index(const std::string& column);
+  bool has_index(const std::string& column) const;
+
+  /// Row indices whose `column` equals `value`; uses the index when present,
+  /// otherwise scans.
+  std::vector<std::size_t> lookup(const std::string& column,
+                                  const Value& value) const;
+
+  /// Updates cell (row, column) maintaining indexes. No constraint checks
+  /// beyond type coercion (callers re-validate PKs when touching them).
+  void update_cell(std::size_t row, std::size_t column, Value value);
+
+  /// Removes rows by ascending indices and rebuilds indexes.
+  void remove_rows(const std::vector<std::size_t>& ascending_indices);
+
+  /// True if any row has `value` in `column` (FK existence checks).
+  bool contains(const std::string& column, const Value& value) const;
+
+ private:
+  struct ValueHash {
+    std::size_t operator()(const Value& v) const { return v.hash(); }
+  };
+  using HashIndex = std::unordered_multimap<Value, std::size_t, ValueHash>;
+
+  void rebuild_indexes();
+  void index_row(std::size_t row);
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::map<std::string, HashIndex> indexes_;  // column name -> index
+  std::int64_t next_rowid_ = 1;
+};
+
+}  // namespace iokc::db

@@ -1,0 +1,163 @@
+#include "src/db/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::db {
+
+std::string to_string(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInteger: return "INTEGER";
+    case ColumnType::kReal: return "REAL";
+    case ColumnType::kText: return "TEXT";
+  }
+  return "?";
+}
+
+ColumnType column_type_from_string(const std::string& text) {
+  const std::string upper = util::to_lower(text);
+  if (upper == "integer" || upper == "int") {
+    return ColumnType::kInteger;
+  }
+  if (upper == "real" || upper == "double" || upper == "float") {
+    return ColumnType::kReal;
+  }
+  if (upper == "text" || upper == "varchar" || upper == "string") {
+    return ColumnType::kText;
+  }
+  throw DbError("unknown column type '" + text + "'");
+}
+
+std::int64_t Value::as_integer() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return *i;
+  }
+  throw DbError("value " + render() + " is not an integer");
+}
+
+double Value::as_real() const {
+  if (const auto* d = std::get_if<double>(&value_)) {
+    return *d;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  throw DbError("value " + render() + " is not numeric");
+}
+
+const std::string& Value::as_text() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) {
+    return *s;
+  }
+  throw DbError("value " + render() + " is not text");
+}
+
+bool Value::matches(ColumnType type) const {
+  if (is_null()) {
+    return true;  // nullability is checked separately
+  }
+  switch (type) {
+    case ColumnType::kInteger: return is_integer();
+    case ColumnType::kReal: return is_real() || is_integer();
+    case ColumnType::kText: return is_text();
+  }
+  return false;
+}
+
+Value Value::coerce(ColumnType type) const {
+  if (is_null()) {
+    return Value();
+  }
+  if (type == ColumnType::kReal && is_integer()) {
+    return Value(static_cast<double>(as_integer()));
+  }
+  if (!matches(type)) {
+    throw DbError("cannot store " + render() + " in a " + to_string(type) +
+                  " column");
+  }
+  return *this;
+}
+
+std::string Value::render() const {
+  if (is_null()) {
+    return "NULL";
+  }
+  if (is_text()) {
+    return "'" + util::replace_all(as_text(), "'", "''") + "'";
+  }
+  return render_raw();
+}
+
+std::string Value::render_raw() const {
+  if (is_null()) {
+    return "";
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&value_)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", *d);
+    return buf;
+  }
+  return as_text();
+}
+
+namespace {
+
+int type_rank(const Value& v) {
+  if (v.is_null()) {
+    return 0;
+  }
+  if (v.is_integer() || v.is_real()) {
+    return 1;
+  }
+  return 2;
+}
+
+}  // namespace
+
+std::partial_ordering Value::operator<=>(const Value& other) const {
+  const int lhs_rank = type_rank(*this);
+  const int rhs_rank = type_rank(other);
+  if (lhs_rank != rhs_rank) {
+    return lhs_rank <=> rhs_rank;
+  }
+  switch (lhs_rank) {
+    case 0:
+      return std::partial_ordering::equivalent;
+    case 1: {
+      if (is_integer() && other.is_integer()) {
+        return as_integer() <=> other.as_integer();
+      }
+      return as_real() <=> other.as_real();
+    }
+    default:
+      return as_text() <=> other.as_text();
+  }
+}
+
+bool Value::operator==(const Value& other) const {
+  return (*this <=> other) == std::partial_ordering::equivalent;
+}
+
+std::size_t Value::hash() const {
+  if (is_null()) {
+    return 0x9E3779B9u;
+  }
+  if (is_text()) {
+    return std::hash<std::string>{}(as_text());
+  }
+  // Integers and equal-valued reals must hash identically.
+  const double d = as_real();
+  if (d == std::floor(d) && std::abs(d) < 1e18) {
+    return std::hash<std::int64_t>{}(static_cast<std::int64_t>(d));
+  }
+  return std::hash<double>{}(d);
+}
+
+}  // namespace iokc::db

@@ -1,0 +1,63 @@
+// Database values and column types (SQLite-flavoured: INTEGER, REAL, TEXT,
+// plus NULL), with total ordering and text rendering.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace iokc::db {
+
+/// Column type.
+enum class ColumnType { kInteger, kReal, kText };
+
+std::string to_string(ColumnType type);
+ColumnType column_type_from_string(const std::string& text);
+
+/// A dynamically-typed cell value.
+class Value {
+ public:
+  Value() : value_(nullptr) {}
+  Value(std::nullptr_t) : value_(nullptr) {}
+  Value(std::int64_t i) : value_(i) {}
+  Value(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : value_(d) {}
+  Value(const char* s) : value_(std::string(s)) {}
+  Value(std::string s) : value_(std::move(s)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_integer() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_real() const { return std::holds_alternative<double>(value_); }
+  bool is_text() const { return std::holds_alternative<std::string>(value_); }
+
+  /// Typed accessors; throw DbError on type mismatch. as_real accepts
+  /// integers (numeric affinity).
+  std::int64_t as_integer() const;
+  double as_real() const;
+  const std::string& as_text() const;
+
+  /// True if the value is compatible with (or coercible to) `type`.
+  /// Integers are acceptable for REAL columns.
+  bool matches(ColumnType type) const;
+  /// Coerces to the column type (int->real); throws DbError when impossible.
+  Value coerce(ColumnType type) const;
+
+  /// SQL-ish rendering: NULL, 42, 3.14, 'text'.
+  std::string render() const;
+  /// Raw text (no quotes) for CSV export.
+  std::string render_raw() const;
+
+  /// Total ordering: NULL < numbers < text; numbers compare numerically
+  /// across INTEGER/REAL.
+  std::partial_ordering operator<=>(const Value& other) const;
+  bool operator==(const Value& other) const;
+
+  /// Stable hash consistent with operator== (for hash indexes).
+  std::size_t hash() const;
+
+ private:
+  std::variant<std::nullptr_t, std::int64_t, double, std::string> value_;
+};
+
+}  // namespace iokc::db

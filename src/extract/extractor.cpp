@@ -1,0 +1,124 @@
+#include "src/extract/extractor.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/jube/runner.hpp"
+#include "src/util/error.hpp"
+#include "src/util/log.hpp"
+
+namespace iokc::extract {
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+void ExtractionResult::merge(ExtractionResult other) {
+  for (auto& k : other.knowledge) {
+    knowledge.push_back(std::move(k));
+  }
+  for (auto& k : other.io500) {
+    io500.push_back(std::move(k));
+  }
+  for (auto& path : other.skipped) {
+    skipped.push_back(std::move(path));
+  }
+}
+
+ExtractionResult KnowledgeExtractor::extract_text(
+    std::string_view text, const std::filesystem::path& origin) const {
+  ExtractionResult result;
+  switch (sniff_format(text)) {
+    case SourceFormat::kIor:
+      result.knowledge.push_back(parse_ior_output(text));
+      break;
+    case SourceFormat::kMdtest:
+      result.knowledge.push_back(parse_mdtest_output(text));
+      break;
+    case SourceFormat::kIo500:
+      result.io500.push_back(parse_io500_output(text));
+      break;
+    case SourceFormat::kHaccIo:
+      result.knowledge.push_back(parse_haccio_output(text));
+      break;
+    case SourceFormat::kDarshan:
+      result.knowledge.push_back(darshan_to_knowledge(parse_darshan_log(text)));
+      break;
+    case SourceFormat::kUnknown:
+      result.skipped.push_back(origin);
+      util::log_info() << "extractor: skipping unrecognized source "
+                       << origin.string();
+      break;
+  }
+  return result;
+}
+
+ExtractionResult KnowledgeExtractor::extract_file(
+    const std::filesystem::path& path) const {
+  ExtractionResult result = extract_text(read_file(path), path);
+
+  // Attach sibling snapshots when present.
+  const std::filesystem::path dir = path.parent_path();
+  const std::filesystem::path sysinfo_path = dir / kSysinfoFile;
+  const std::filesystem::path fsinfo_path = dir / kFsinfoFile;
+  if (std::filesystem::exists(sysinfo_path)) {
+    const knowledge::SystemInfoRecord record =
+        parse_sysinfo(read_file(sysinfo_path));
+    for (auto& k : result.knowledge) {
+      k.system = record;
+    }
+    for (auto& k : result.io500) {
+      k.system = record;
+    }
+  }
+  const std::filesystem::path jobinfo_path = dir / kJobinfoFile;
+  if (std::filesystem::exists(jobinfo_path)) {
+    const knowledge::JobInfoRecord record =
+        parse_jobinfo(read_file(jobinfo_path));
+    for (auto& k : result.knowledge) {
+      k.job = record;
+    }
+  }
+  if (std::filesystem::exists(fsinfo_path)) {
+    // First line carries the file-system name: "fs: <name>".
+    const std::string text = read_file(fsinfo_path);
+    std::string fs_name = "unknown";
+    const std::size_t newline = text.find('\n');
+    const std::string first = text.substr(0, newline);
+    if (first.rfind("fs: ", 0) == 0) {
+      fs_name = first.substr(4);
+    }
+    const knowledge::FileSystemInfo info = parse_fsinfo(text, fs_name);
+    for (auto& k : result.knowledge) {
+      k.filesystem = info;
+    }
+  }
+  return result;
+}
+
+ExtractionResult KnowledgeExtractor::extract_workspace(
+    const std::filesystem::path& root) const {
+  ExtractionResult result;
+  for (const std::filesystem::path& output :
+       jube::JubeRunner::discover_outputs(root)) {
+    result.merge(extract_file(output));
+    // A Darshan log captured alongside the benchmark is its own source.
+    const std::filesystem::path darshan = output.parent_path() / "darshan.log";
+    if (std::filesystem::exists(darshan)) {
+      result.merge(extract_file(darshan));
+    }
+  }
+  return result;
+}
+
+}  // namespace iokc::extract

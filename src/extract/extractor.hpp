@@ -1,0 +1,50 @@
+// The knowledge extractor (phase 2 of the cycle). Runs manually on a single
+// output file or automatically over a JUBE workspace ("if the path is not
+// specified, our tool automatically searches in the JUBE workspace for
+// available benchmark results"), sniffing the format of each source and
+// attaching sibling system-info and file-system-info snapshots.
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+#include <vector>
+
+#include "src/extract/parsers.hpp"
+#include "src/knowledge/io500_knowledge.hpp"
+#include "src/knowledge/knowledge.hpp"
+
+namespace iokc::extract {
+
+/// Everything one extraction pass produced.
+struct ExtractionResult {
+  std::vector<knowledge::Knowledge> knowledge;
+  std::vector<knowledge::Io500Knowledge> io500;
+  std::vector<std::filesystem::path> skipped;  // unrecognized sources
+
+  std::size_t total() const { return knowledge.size() + io500.size(); }
+  void merge(ExtractionResult other);
+};
+
+/// The extractor.
+class KnowledgeExtractor {
+ public:
+  /// Names of the sibling snapshot files the extractor looks for.
+  static constexpr const char* kSysinfoFile = "sysinfo.txt";
+  static constexpr const char* kFsinfoFile = "fsinfo.txt";
+  static constexpr const char* kJobinfoFile = "jobinfo.txt";
+
+  /// Dispatches one output document on its sniffed format. IO500 documents
+  /// land in `io500`; unknown formats are recorded in `skipped` (with the
+  /// given path for reporting).
+  ExtractionResult extract_text(std::string_view text,
+                                const std::filesystem::path& origin = {}) const;
+
+  /// Extracts one file plus sibling sysinfo.txt / fsinfo.txt snapshots.
+  ExtractionResult extract_file(const std::filesystem::path& path) const;
+
+  /// Auto-discovers every completed output under a JUBE workspace tree and
+  /// extracts each.
+  ExtractionResult extract_workspace(const std::filesystem::path& root) const;
+};
+
+}  // namespace iokc::extract

@@ -1,0 +1,592 @@
+#include "src/extract/parsers.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/units.hpp"
+
+namespace iokc::extract {
+
+namespace {
+
+using util::contains;
+using util::parse_f64;
+using util::parse_i64;
+using util::split;
+using util::split_lines;
+using util::split_ws;
+using util::starts_with;
+using util::trim;
+
+/// "key        : value" -> value (empty when the line doesn't match).
+std::string colon_value(std::string_view line, std::string_view key) {
+  const std::string_view t = trim(line);
+  if (!starts_with(t, key)) {
+    return {};
+  }
+  const std::size_t colon = t.find(':', key.size());
+  if (colon == std::string_view::npos) {
+    return {};
+  }
+  // Ensure only whitespace between the key and the colon.
+  const std::string_view between = t.substr(key.size(), colon - key.size());
+  if (!trim(between).empty()) {
+    return {};
+  }
+  return std::string(trim(t.substr(colon + 1)));
+}
+
+}  // namespace
+
+knowledge::Knowledge parse_ior_output(std::string_view text) {
+  knowledge::Knowledge k;
+  k.benchmark = "IOR";
+  bool in_results = false;
+  bool saw_results_header = false;
+  std::map<std::string, knowledge::OpSummary> summaries;
+
+  for (const std::string& line : split_lines(text)) {
+    const std::string_view t = trim(line);
+    if (t.empty()) {
+      continue;
+    }
+    if (std::string v = colon_value(line, "Command line"); !v.empty()) {
+      k.command = v;
+    } else if (std::string v = colon_value(line, "api"); !v.empty()) {
+      k.api = v;
+    } else if (std::string v = colon_value(line, "test filename"); !v.empty()) {
+      k.test_file = v;
+    } else if (std::string v = colon_value(line, "access"); !v.empty()) {
+      k.file_per_process = v == "file-per-process";
+    } else if (std::string v = colon_value(line, "tasks"); !v.empty()) {
+      k.num_tasks = static_cast<std::uint32_t>(parse_i64(v));
+    } else if (std::string v = colon_value(line, "nodes"); !v.empty()) {
+      k.num_nodes = static_cast<std::uint32_t>(parse_i64(v));
+    } else if (std::string v = colon_value(line, "Began"); !v.empty()) {
+      if (starts_with(v, "t+")) {
+        k.start_time = parse_f64(v.substr(2));
+      }
+    } else if (std::string v = colon_value(line, "Finished"); !v.empty()) {
+      if (starts_with(v, "t+")) {
+        k.end_time = parse_f64(v.substr(2));
+      }
+    } else if (starts_with(t, "Results:")) {
+      in_results = true;
+    } else if (starts_with(t, "Summary of all tests:")) {
+      in_results = false;
+    } else if (in_results) {
+      if (starts_with(t, "access")) {
+        saw_results_header = true;
+        continue;
+      }
+      if (starts_with(t, "---") || !saw_results_header) {
+        continue;
+      }
+      const std::vector<std::string> fields = split_ws(t);
+      if (fields.size() < 11 ||
+          (fields[0] != "write" && fields[0] != "read")) {
+        continue;
+      }
+      knowledge::OpResult result;
+      result.bw_mib = parse_f64(fields[1]);
+      result.iops = parse_f64(fields[2]);
+      result.latency_sec = parse_f64(fields[3]);
+      result.open_sec = parse_f64(fields[6]);
+      result.wrrd_sec = parse_f64(fields[7]);
+      result.close_sec = parse_f64(fields[8]);
+      result.total_sec = parse_f64(fields[9]);
+      result.iteration = static_cast<int>(parse_i64(fields[10]));
+      knowledge::OpSummary& summary = summaries[fields[0]];
+      summary.operation = fields[0];
+      summary.results.push_back(result);
+    }
+  }
+
+  if (k.command.empty()) {
+    throw ParseError("IOR output has no 'Command line' field");
+  }
+  if (summaries.empty()) {
+    throw ParseError("IOR output has no result lines");
+  }
+  // Keep write before read for stable presentation.
+  for (const char* op : {"write", "read"}) {
+    const auto it = summaries.find(op);
+    if (it != summaries.end()) {
+      it->second.api = k.api;
+      it->second.recompute();
+      k.summaries.push_back(std::move(it->second));
+    }
+  }
+  return k;
+}
+
+knowledge::Knowledge parse_mdtest_output(std::string_view text) {
+  knowledge::Knowledge k;
+  k.benchmark = "mdtest";
+  k.api = "POSIX";
+  for (const std::string& line : split_lines(text)) {
+    const std::string_view t = trim(line);
+    if (starts_with(t, "mdtest-")) {
+      const auto fields = split_ws(t);
+      // "mdtest-... was launched with <N> total task(s) on <M> node(s)"
+      for (std::size_t i = 0; i + 1 < fields.size(); ++i) {
+        if (fields[i] == "with") {
+          k.num_tasks = static_cast<std::uint32_t>(parse_i64(fields[i + 1]));
+        }
+        if (fields[i] == "on") {
+          k.num_nodes = static_cast<std::uint32_t>(parse_i64(fields[i + 1]));
+        }
+      }
+    } else if (std::string v = colon_value(line, "Command line used");
+               !v.empty()) {
+      k.command = v;
+    } else {
+      // "   File creation          :      4300.123  4300.123 ..."
+      static const std::pair<const char*, const char*> kOps[] = {
+          {"File creation", "create"},
+          {"File stat", "stat"},
+          {"File read", "read"},
+          {"File removal", "removal"},
+      };
+      for (const auto& [label, op] : kOps) {
+        if (!starts_with(t, label)) {
+          continue;
+        }
+        const std::size_t colon = t.find(':');
+        if (colon == std::string_view::npos) {
+          continue;
+        }
+        const auto numbers = split_ws(t.substr(colon + 1));
+        if (numbers.size() < 4) {
+          throw ParseError("mdtest summary line for '" + std::string(label) +
+                           "' is truncated");
+        }
+        knowledge::OpSummary summary;
+        summary.operation = op;
+        summary.api = k.api;
+        summary.max_ops = parse_f64(numbers[0]);
+        summary.min_ops = parse_f64(numbers[1]);
+        summary.mean_ops = parse_f64(numbers[2]);
+        summary.stddev_ops = parse_f64(numbers[3]);
+        k.summaries.push_back(std::move(summary));
+      }
+    }
+  }
+  if (k.command.empty()) {
+    throw ParseError("mdtest output has no 'Command line used' field");
+  }
+  if (k.summaries.empty()) {
+    throw ParseError("mdtest output has no SUMMARY rates");
+  }
+  return k;
+}
+
+knowledge::Io500Knowledge parse_io500_output(std::string_view text) {
+  knowledge::Io500Knowledge k;
+  bool saw_score = false;
+  for (const std::string& line : split_lines(text)) {
+    const std::string_view t = trim(line);
+    if (starts_with(t, "[CONFIG]")) {
+      const auto fields = split_ws(t.substr(8));
+      if (fields.size() >= 2 && fields[0] == "tasks") {
+        k.num_tasks = static_cast<std::uint32_t>(parse_i64(fields[1]));
+      } else if (fields.size() >= 2 && fields[0] == "nodes") {
+        k.num_nodes = static_cast<std::uint32_t>(parse_i64(fields[1]));
+      } else if (!fields.empty() && fields[0] == "command") {
+        k.command = std::string(trim(t.substr(t.find("command") + 7)));
+      }
+    } else if (starts_with(t, "[RESULT]")) {
+      // "[RESULT]  ior-easy-write  2.123456 GiB/s : time 12.345 seconds"
+      const auto fields = split_ws(t.substr(8));
+      if (fields.size() < 7) {
+        throw ParseError("truncated IO500 [RESULT] line: " + line);
+      }
+      knowledge::Io500Testcase testcase;
+      testcase.name = fields[0];
+      testcase.value = parse_f64(fields[1]);
+      testcase.unit = fields[2];
+      testcase.time_sec = parse_f64(fields[5]);
+      k.testcases.push_back(std::move(testcase));
+    } else if (starts_with(t, "[SCORE")) {
+      // "[SCORE ] Bandwidth 1.2 GiB/s : IOPS 3.4 kiops : TOTAL 2.0"
+      const auto fields = split_ws(t);
+      for (std::size_t i = 0; i + 1 < fields.size(); ++i) {
+        if (fields[i] == "Bandwidth") {
+          k.score_bw_gib = parse_f64(fields[i + 1]);
+        } else if (fields[i] == "IOPS") {
+          k.score_md_kiops = parse_f64(fields[i + 1]);
+        } else if (fields[i] == "TOTAL") {
+          k.score_total = parse_f64(fields[i + 1]);
+        }
+      }
+      saw_score = true;
+    }
+  }
+  if (k.testcases.empty() || !saw_score) {
+    throw ParseError("IO500 output lacks [RESULT] lines or the [SCORE ] line");
+  }
+  if (k.command.empty()) {
+    k.command = "io500";
+  }
+  return k;
+}
+
+knowledge::Knowledge parse_haccio_output(std::string_view text) {
+  knowledge::Knowledge k;
+  k.benchmark = "HACC-IO";
+  knowledge::OpSummary write_summary;
+  write_summary.operation = "write";
+  knowledge::OpSummary read_summary;
+  read_summary.operation = "read";
+  bool in_table = false;
+  for (const std::string& line : split_lines(text)) {
+    const std::string_view t = trim(line);
+    if (std::string v = colon_value(line, "Command line"); !v.empty()) {
+      k.command = v;
+    } else if (std::string v = colon_value(line, "API"); !v.empty()) {
+      k.api = v;
+    } else if (std::string v = colon_value(line, "Tasks"); !v.empty()) {
+      k.num_tasks = static_cast<std::uint32_t>(parse_i64(v));
+    } else if (std::string v = colon_value(line, "Nodes"); !v.empty()) {
+      k.num_nodes = static_cast<std::uint32_t>(parse_i64(v));
+    } else if (starts_with(t, "iter")) {
+      in_table = true;
+    } else if (in_table && !t.empty()) {
+      const auto fields = split_ws(t);
+      if (fields.size() < 5) {
+        continue;
+      }
+      const int iteration = static_cast<int>(parse_i64(fields[0]));
+      knowledge::OpResult write_result;
+      write_result.iteration = iteration;
+      write_result.bw_mib = parse_f64(fields[1]);
+      write_result.wrrd_sec = parse_f64(fields[3]);
+      write_result.total_sec = write_result.wrrd_sec;
+      write_summary.results.push_back(write_result);
+      knowledge::OpResult read_result;
+      read_result.iteration = iteration;
+      read_result.bw_mib = parse_f64(fields[2]);
+      read_result.wrrd_sec = parse_f64(fields[4]);
+      read_result.total_sec = read_result.wrrd_sec;
+      read_summary.results.push_back(read_result);
+    }
+  }
+  if (k.command.empty()) {
+    throw ParseError("HACC-IO output has no 'Command line' field");
+  }
+  if (write_summary.results.empty()) {
+    throw ParseError("HACC-IO output has no iteration table");
+  }
+  write_summary.api = k.api;
+  read_summary.api = k.api;
+  write_summary.recompute();
+  read_summary.recompute();
+  k.summaries.push_back(std::move(write_summary));
+  k.summaries.push_back(std::move(read_summary));
+  return k;
+}
+
+std::uint64_t DarshanLog::total_bytes_written() const {
+  std::uint64_t total = 0;
+  for (const auto& [file, counters] : files) {
+    total += counters.bytes_written;
+  }
+  return total;
+}
+
+std::uint64_t DarshanLog::total_bytes_read() const {
+  std::uint64_t total = 0;
+  for (const auto& [file, counters] : files) {
+    total += counters.bytes_read;
+  }
+  return total;
+}
+
+DarshanLog parse_darshan_log(std::string_view text) {
+  DarshanLog log;
+  bool saw_header = false;
+  for (const std::string& line : split_lines(text)) {
+    const std::string_view t = trim(line);
+    if (t.empty()) {
+      continue;
+    }
+    if (starts_with(t, "#")) {
+      if (std::string v = colon_value(t.substr(1), "darshan log version");
+          !v.empty()) {
+        saw_header = true;
+      } else if (std::string v = colon_value(t.substr(1), "exe"); !v.empty()) {
+        log.command = v;
+      } else if (std::string v = colon_value(t.substr(1), "nprocs");
+                 !v.empty()) {
+        log.nprocs = static_cast<std::uint32_t>(parse_i64(v));
+      } else if (std::string v = colon_value(t.substr(1), "module");
+                 !v.empty()) {
+        log.module = v;
+      }
+      continue;
+    }
+    const auto fields = split_ws(t);
+    if (fields.size() != 5) {
+      throw ParseError("bad Darshan counter line: " + line);
+    }
+    const std::string& file = fields[2];
+    const std::string& counter = fields[3];
+    const auto value = static_cast<std::uint64_t>(parse_i64(fields[4]));
+    DarshanLog::Counters& counters = log.files[file];
+    if (counter.ends_with("_OPENS")) {
+      counters.opens = value;
+    } else if (counter.ends_with("_CLOSES")) {
+      counters.closes = value;
+    } else if (counter.ends_with("_WRITES")) {
+      counters.writes = value;
+    } else if (counter.ends_with("_READS")) {
+      counters.reads = value;
+    } else if (counter.ends_with("_BYTES_WRITTEN")) {
+      counters.bytes_written = value;
+    } else if (counter.ends_with("_BYTES_READ")) {
+      counters.bytes_read = value;
+    } else if (counter.ends_with("_MAX_WRITE_SIZE")) {
+      counters.max_write_size = value;
+    } else if (counter.ends_with("_MAX_READ_SIZE")) {
+      counters.max_read_size = value;
+    } else {
+      throw ParseError("unknown Darshan counter '" + counter + "'");
+    }
+  }
+  if (!saw_header) {
+    throw ParseError("missing Darshan log header");
+  }
+  return log;
+}
+
+knowledge::Knowledge darshan_to_knowledge(const DarshanLog& log) {
+  knowledge::Knowledge k;
+  k.benchmark = "darshan";
+  k.command = log.command;
+  k.api = log.module;
+  k.num_tasks = log.nprocs;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  for (const auto& [file, counters] : log.files) {
+    writes += counters.writes;
+    reads += counters.reads;
+  }
+  knowledge::OpSummary write_summary;
+  write_summary.operation = "write";
+  write_summary.api = log.module;
+  write_summary.mean_ops = static_cast<double>(writes);
+  write_summary.mean_bw_mib =
+      static_cast<double>(log.total_bytes_written()) / (1024.0 * 1024.0);
+  knowledge::OpSummary read_summary;
+  read_summary.operation = "read";
+  read_summary.api = log.module;
+  read_summary.mean_ops = static_cast<double>(reads);
+  read_summary.mean_bw_mib =
+      static_cast<double>(log.total_bytes_read()) / (1024.0 * 1024.0);
+  k.summaries.push_back(std::move(write_summary));
+  k.summaries.push_back(std::move(read_summary));
+  return k;
+}
+
+knowledge::SystemInfoRecord parse_sysinfo(std::string_view text) {
+  knowledge::SystemInfoRecord record;
+  bool saw_any = false;
+  for (const std::string& line : split_lines(text)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    const std::string key{trim(line.substr(0, colon))};
+    const std::string value{trim(line.substr(colon + 1))};
+    saw_any = true;
+    if (key == "hostname") {
+      record.hostname = value;
+    } else if (key == "os_release") {
+      record.os_release = value;
+    } else if (key == "cpu_model") {
+      record.cpu_model = value;
+    } else if (key == "sockets") {
+      record.sockets = static_cast<int>(parse_i64(value));
+    } else if (key == "cores_per_socket") {
+      record.cores_per_socket = static_cast<int>(parse_i64(value));
+    } else if (key == "total_cores") {
+      record.total_cores = static_cast<int>(parse_i64(value));
+    } else if (key == "frequency_mhz") {
+      record.frequency_mhz = parse_f64(value);
+    } else if (key == "l1d_kib") {
+      record.l1d_kib = static_cast<std::uint64_t>(parse_i64(value));
+    } else if (key == "l2_kib") {
+      record.l2_kib = static_cast<std::uint64_t>(parse_i64(value));
+    } else if (key == "l3_kib") {
+      record.l3_kib = static_cast<std::uint64_t>(parse_i64(value));
+    } else if (key == "memory_bytes") {
+      record.memory_bytes = static_cast<std::uint64_t>(parse_i64(value));
+    } else if (key == "interconnect") {
+      record.interconnect = value;
+    }
+    // Unknown keys are tolerated: future providers may add fields.
+  }
+  if (!saw_any) {
+    throw ParseError("system info snapshot is empty");
+  }
+  return record;
+}
+
+namespace {
+
+/// `lfs getstripe` dialect (Lustre).
+knowledge::FileSystemInfo parse_lustre_fsinfo(std::string_view text,
+                                              const std::string& fs_name) {
+  knowledge::FileSystemInfo info;
+  info.fs_name = fs_name;
+  info.entry_type = "file";
+  for (const std::string& line : split_lines(text)) {
+    const std::string_view t = trim(line);
+    if (std::string v = colon_value(t, "lmm_stripe_count"); !v.empty()) {
+      info.num_targets = static_cast<std::uint32_t>(parse_i64(v));
+    } else if (std::string v = colon_value(t, "lmm_stripe_size"); !v.empty()) {
+      info.chunk_size = static_cast<std::uint64_t>(parse_i64(v));
+    } else if (std::string v = colon_value(t, "lmm_pattern"); !v.empty()) {
+      info.stripe_pattern = v == "raid0" ? "RAID0" : v;
+    } else if (std::string v = colon_value(t, "lmm_fid"); !v.empty()) {
+      // "[0x200000400:0x<entry>:0x0]" -> middle token without the 0x prefix
+      const auto fields = split(v, ':');
+      if (fields.size() == 3 && fields[1].size() > 2) {
+        info.entry_id = fields[1].substr(2);
+      }
+    } else if (std::string v = colon_value(t, "lmm_pool"); !v.empty()) {
+      if (starts_with(v, "pool")) {
+        info.storage_pool =
+            static_cast<std::uint32_t>(parse_i64(v.substr(4)));
+      }
+    }
+  }
+  // Lustre's getstripe does not name the MDT; the model's files all resolve
+  // through MDT0 equivalently.
+  info.metadata_node = 1;
+  if (info.entry_id.empty()) {
+    throw ParseError("Lustre file-system info lacks an lmm_fid");
+  }
+  return info;
+}
+
+}  // namespace
+
+knowledge::FileSystemInfo parse_fsinfo(std::string_view text,
+                                       const std::string& fs_name) {
+  if (contains(text, "lmm_stripe_count")) {
+    return parse_lustre_fsinfo(text, fs_name);
+  }
+  knowledge::FileSystemInfo info;
+  info.fs_name = fs_name;
+  for (const std::string& line : split_lines(text)) {
+    const std::string_view t = trim(line);
+    if (std::string v = colon_value(t, "Entry type"); !v.empty()) {
+      info.entry_type = v;
+    } else if (std::string v = colon_value(t, "EntryID"); !v.empty()) {
+      info.entry_id = v;
+    } else if (std::string v = colon_value(t, "Metadata node"); !v.empty()) {
+      // "meta2 [ID: 2]"
+      const std::size_t id = v.find("[ID:");
+      if (id != std::string::npos) {
+        const std::size_t close = v.find(']', id);
+        info.metadata_node = static_cast<std::uint32_t>(
+            parse_i64(trim(v.substr(id + 4, close - id - 4))));
+      }
+    } else if (std::string v = colon_value(t, "+ Type"); !v.empty()) {
+      info.stripe_pattern = v;
+    } else if (std::string v = colon_value(t, "+ Chunksize"); !v.empty()) {
+      // "512K" in IOR token form
+      std::string token = v;
+      std::transform(token.begin(), token.end(), token.begin(), [](char c) {
+        return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      });
+      info.chunk_size = util::parse_size(token);
+    } else if (std::string v = colon_value(t, "+ Number of storage targets");
+               !v.empty()) {
+      // "desired: 4; actual: 4"
+      const std::size_t actual = v.find("actual:");
+      if (actual != std::string::npos) {
+        info.num_targets = static_cast<std::uint32_t>(
+            parse_i64(trim(v.substr(actual + 7))));
+      }
+    } else if (std::string v = colon_value(t, "+ Storage Pool"); !v.empty()) {
+      // "1 (Default)"
+      const auto fields = split_ws(v);
+      if (!fields.empty()) {
+        info.storage_pool = static_cast<std::uint32_t>(parse_i64(fields[0]));
+      }
+    }
+  }
+  if (info.entry_id.empty()) {
+    throw ParseError("file-system info lacks an EntryID");
+  }
+  return info;
+}
+
+knowledge::JobInfoRecord parse_jobinfo(std::string_view text) {
+  knowledge::JobInfoRecord record;
+  bool saw_job_id = false;
+  for (const std::string& line : split_lines(text)) {
+    for (const std::string& token : split_ws(line)) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        continue;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "JobId") {
+        record.job_id = static_cast<std::uint64_t>(parse_i64(value));
+        saw_job_id = true;
+      } else if (key == "JobName") {
+        record.job_name = value;
+      } else if (key == "Partition") {
+        record.partition = value;
+      } else if (key == "UserId") {
+        record.user = value;
+      } else if (key == "NumNodes") {
+        record.num_nodes = static_cast<std::uint32_t>(parse_i64(value));
+      } else if (key == "NumTasks") {
+        record.num_tasks = static_cast<std::uint32_t>(parse_i64(value));
+      } else if (key == "NodeList") {
+        record.node_list = value;
+      } else if (key == "SubmitTime" && starts_with(value, "t+")) {
+        record.submit_time = parse_f64(value.substr(2));
+      } else if (key == "StartTime" && starts_with(value, "t+")) {
+        record.start_time = parse_f64(value.substr(2));
+      }
+    }
+  }
+  if (!saw_job_id) {
+    throw ParseError("job info snapshot lacks a JobId");
+  }
+  return record;
+}
+
+SourceFormat sniff_format(std::string_view text) {
+  const auto lines = split_lines(text.substr(0, std::min<std::size_t>(
+                                                     text.size(), 4096)));
+  for (const std::string& line : lines) {
+    const std::string_view t = trim(line);
+    if (starts_with(t, "IOR-")) {
+      return SourceFormat::kIor;
+    }
+    if (starts_with(t, "mdtest-")) {
+      return SourceFormat::kMdtest;
+    }
+    if (starts_with(t, "IO500 version")) {
+      return SourceFormat::kIo500;
+    }
+    if (starts_with(t, "HACC-IO")) {
+      return SourceFormat::kHaccIo;
+    }
+    if (starts_with(t, "# darshan log version")) {
+      return SourceFormat::kDarshan;
+    }
+  }
+  return SourceFormat::kUnknown;
+}
+
+}  // namespace iokc::extract

@@ -1,0 +1,77 @@
+// Text parsers for every knowledge source: IOR, mdtest, IO500, HACC-IO,
+// Darshan-style logs, plus the system-info and file-system-info snapshots.
+// These operate strictly on the text the generation phase wrote to disk —
+// the extraction phase never peeks at in-memory benchmark structs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/knowledge/io500_knowledge.hpp"
+#include "src/knowledge/knowledge.hpp"
+
+namespace iokc::extract {
+
+/// Parses an IOR report (render_output format) into a knowledge object with
+/// one OpSummary per access direction and per-iteration OpResults.
+/// Throws ParseError on malformed reports.
+knowledge::Knowledge parse_ior_output(std::string_view text);
+
+/// Parses an mdtest "SUMMARY rate" report. Rates land in the ops fields of
+/// the summaries ("File creation" -> operation "create", etc.).
+knowledge::Knowledge parse_mdtest_output(std::string_view text);
+
+/// Parses an IO500 report ([RESULT] lines + [SCORE ] line).
+knowledge::Io500Knowledge parse_io500_output(std::string_view text);
+
+/// Parses a HACC-IO report into a knowledge object with write/read summaries.
+knowledge::Knowledge parse_haccio_output(std::string_view text);
+
+/// One parsed Darshan-style log.
+struct DarshanLog {
+  std::string command;
+  std::uint32_t nprocs = 0;
+  std::string module;  // "POSIX" or "MPIIO"
+  struct Counters {
+    std::uint64_t opens = 0;
+    std::uint64_t closes = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t max_write_size = 0;
+    std::uint64_t max_read_size = 0;
+  };
+  std::map<std::string, Counters> files;
+
+  std::uint64_t total_bytes_written() const;
+  std::uint64_t total_bytes_read() const;
+};
+
+/// Parses a Darshan-style counter log (the PyDarshan role).
+DarshanLog parse_darshan_log(std::string_view text);
+
+/// Converts a Darshan log into a knowledge object (volume-oriented summary:
+/// op counts and byte totals; no timing, as Darshan counters carry none here).
+knowledge::Knowledge darshan_to_knowledge(const DarshanLog& log);
+
+/// Parses the render_sysinfo_summary "key: value" snapshot.
+knowledge::SystemInfoRecord parse_sysinfo(std::string_view text);
+
+/// Parses file-system entry info in either the BeeGFS dialect ("Entry type:
+/// ... Stripe pattern details") or the Lustre `lfs getstripe` dialect
+/// (auto-detected). `fs_name` tags the result (the mount's file-system name).
+knowledge::FileSystemInfo parse_fsinfo(std::string_view text,
+                                       const std::string& fs_name);
+
+/// Parses an `scontrol show job`-style snapshot ("JobId=.. JobName=.." plus
+/// NodeList/NumNodes/NumTasks lines) into the job record.
+knowledge::JobInfoRecord parse_jobinfo(std::string_view text);
+
+/// Source format sniffing for workspace auto-discovery.
+enum class SourceFormat { kIor, kMdtest, kIo500, kHaccIo, kDarshan, kUnknown };
+SourceFormat sniff_format(std::string_view text);
+
+}  // namespace iokc::extract

@@ -1,0 +1,64 @@
+#include "src/fs/page_cache.hpp"
+
+#include <algorithm>
+
+namespace iokc::fs {
+
+void PageCache::add_bytes(std::size_t node, const std::string& path,
+                          std::uint64_t bytes) {
+  NodeCache& cache = nodes_[node];
+  const std::uint64_t budget = capacity_ - std::min(capacity_, cache.used);
+  const std::uint64_t admitted = std::min(bytes, budget);
+  if (admitted == 0) {
+    return;
+  }
+  cache.files[path] += admitted;
+  cache.used += admitted;
+}
+
+std::uint64_t PageCache::bytes_cached(std::size_t node,
+                                      const std::string& path) const {
+  const auto node_it = nodes_.find(node);
+  if (node_it == nodes_.end()) {
+    return 0;
+  }
+  const auto file_it = node_it->second.files.find(path);
+  return file_it == node_it->second.files.end() ? 0 : file_it->second;
+}
+
+bool PageCache::resident(std::size_t node, const std::string& path,
+                         std::uint64_t file_size) const {
+  return file_size > 0 && bytes_cached(node, path) >= file_size;
+}
+
+void PageCache::invalidate(const std::string& path) {
+  for (auto& [node, cache] : nodes_) {
+    const auto it = cache.files.find(path);
+    if (it != cache.files.end()) {
+      cache.used -= std::min(cache.used, it->second);
+      cache.files.erase(it);
+    }
+  }
+}
+
+void PageCache::invalidate_node(std::size_t node) { nodes_.erase(node); }
+
+void PageCache::invalidate_others(const std::string& path, std::size_t writer) {
+  for (auto& [node, cache] : nodes_) {
+    if (node == writer) {
+      continue;
+    }
+    const auto it = cache.files.find(path);
+    if (it != cache.files.end()) {
+      cache.used -= std::min(cache.used, it->second);
+      cache.files.erase(it);
+    }
+  }
+}
+
+std::uint64_t PageCache::used_bytes(std::size_t node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0 : it->second.used;
+}
+
+}  // namespace iokc::fs

@@ -1,0 +1,56 @@
+// A deliberately coarse page-cache model: it tracks, per compute node, how
+// many bytes of each file are resident from previous writes or reads on that
+// node. A read is a cache hit only when the node holds the whole file, so a
+// rank that wrote a *shared* file caches only its own portion while a
+// file-per-process writer caches its entire file. That is exactly the effect
+// IOR's -C (reorderTasksConstant) flag exists to defeat, so the model captures
+// the performance cliff that matters for the paper's experiments without
+// tracking individual pages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace iokc::fs {
+
+/// Tracks per-node resident byte counts with a per-node capacity budget.
+class PageCache {
+ public:
+  explicit PageCache(std::uint64_t capacity_bytes_per_node)
+      : capacity_(capacity_bytes_per_node) {}
+
+  /// Records that `node` gained `bytes` of `path` (after a write or read).
+  /// Bytes beyond the node budget simply don't become resident — a coarse
+  /// stand-in for eviction.
+  void add_bytes(std::size_t node, const std::string& path,
+                 std::uint64_t bytes);
+
+  /// Bytes of `path` resident on `node`.
+  std::uint64_t bytes_cached(std::size_t node, const std::string& path) const;
+
+  /// True when the node holds at least `file_size` bytes of the file.
+  bool resident(std::size_t node, const std::string& path,
+                std::uint64_t file_size) const;
+
+  /// Drops `path` everywhere (unlink) or a node's whole cache.
+  void invalidate(const std::string& path);
+  void invalidate_node(std::size_t node);
+
+  /// Drops `path` on every node except `writer` — cache coherence on write:
+  /// a node that rewrites a file leaves remote stale copies invalid.
+  void invalidate_others(const std::string& path, std::size_t writer);
+
+  std::uint64_t used_bytes(std::size_t node) const;
+
+ private:
+  struct NodeCache {
+    std::unordered_map<std::string, std::uint64_t> files;
+    std::uint64_t used = 0;
+  };
+
+  std::uint64_t capacity_;
+  std::unordered_map<std::size_t, NodeCache> nodes_;
+};
+
+}  // namespace iokc::fs

@@ -1,0 +1,197 @@
+// The parallel file system model (BeeGFS-flavoured): metadata servers,
+// storage targets, storage pools, striped data placement, a page-cache model,
+// and BeeGFS-style entry-info text for the knowledge extractor.
+//
+// All operations are asynchronous against the cluster's event queue; data
+// requests traverse client NIC -> storage fabric -> storage target, so
+// contention and stragglers emerge from queueing rather than formulas.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fs/page_cache.hpp"
+#include "src/fs/stripe.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/sim/interference.hpp"
+
+namespace iokc::fs {
+
+/// One storage target (an OST/storage daemon with its RAID volume).
+struct TargetSpec {
+  double write_bytes_per_sec = 280.0e6;
+  double read_bytes_per_sec = 320.0e6;
+  double op_overhead_sec = 4.0e-4;
+};
+
+/// A named group of targets; files are striped within one pool.
+struct StoragePoolSpec {
+  std::uint32_t id = 1;
+  std::string name = "Default";
+  std::vector<std::uint32_t> target_ids;
+};
+
+/// Which real parallel file system the model mimics; governs the dialect of
+/// the entry-info text the knowledge extractor parses (the paper's outlook
+/// names Lustre as the next file system to integrate).
+enum class PfsFlavor { kBeeGfs, kLustre };
+
+std::string to_string(PfsFlavor flavor);
+
+/// Whole-file-system shape.
+struct PfsSpec {
+  PfsFlavor flavor = PfsFlavor::kBeeGfs;
+  std::string name = "beegfs-sim";
+  std::string mount_point = "/scratch";
+  std::size_t num_metadata_servers = 2;
+  std::vector<TargetSpec> targets = std::vector<TargetSpec>(12);
+  std::vector<StoragePoolSpec> pools;  // empty -> one default pool of all
+  StripeConfig default_stripe;
+
+  // Metadata service times (per operation, before queueing).
+  double mds_create_sec = 4.5e-4;
+  double mds_open_sec = 1.8e-4;
+  double mds_stat_sec = 1.5e-4;
+  double mds_unlink_sec = 3.0e-4;
+  double mds_mkdir_sec = 4.0e-4;
+
+  // fsync: one metadata commit plus a flush touched on every stripe target.
+  double fsync_flush_bytes = 64 * 1024;
+
+  /// Service-time multiplier for writes not aligned to 4 KiB blocks
+  /// (read-modify-write plus range locking on the target). This is what
+  /// makes ior-hard-style tiny unaligned shared-file writes collapse.
+  double unaligned_write_penalty = 4.0;
+
+  /// Per-node page-cache budget (half of node RAM by default).
+  std::uint64_t page_cache_bytes_per_node = 64ull * 1024 * 1024 * 1024;
+
+  /// The BeeGFS installation backing FUCHS-CSC's /scratch, scaled so that
+  /// large parallel jobs see roughly 3 GB/s of write bandwidth as in the
+  /// paper's Fig. 5.
+  static PfsSpec fuchs_beegfs();
+
+  /// A Lustre-flavoured equivalent (same performance shape, `lfs
+  /// getstripe`-style entry info) for the outlook's multi-file-system story.
+  static PfsSpec lustre_scratch();
+};
+
+enum class EntryType { kFile, kDirectory };
+
+std::string to_string(EntryType type);
+
+/// A namespace entry with its placement decision.
+struct FsEntry {
+  std::string path;
+  EntryType type = EntryType::kFile;
+  std::string entry_id;
+  std::uint32_t metadata_node = 0;  // 1-based MDS id
+  StripeConfig stripe;
+  std::vector<std::uint32_t> target_ids;  // actual stripe set (files only)
+  std::uint64_t size = 0;
+  std::size_t creator_node = 0;
+};
+
+/// The file system bound to a simulated cluster.
+class ParallelFileSystem {
+ public:
+  using Callback = std::function<void(sim::SimTime)>;
+
+  ParallelFileSystem(sim::Cluster& cluster, PfsSpec spec);
+
+  ParallelFileSystem(const ParallelFileSystem&) = delete;
+  ParallelFileSystem& operator=(const ParallelFileSystem&) = delete;
+
+  // -- Metadata operations (async; complete through an MDS queue). --
+
+  /// Creates a directory. Parent directories are implied (no -p semantics
+  /// needed by the benchmarks). Fails (throws SimError) if the path exists.
+  void mkdir(const std::string& path, std::size_t node, Callback done);
+
+  /// Creates a file with the default or an overriding stripe configuration.
+  void create(const std::string& path, std::size_t node, Callback done,
+              std::optional<StripeConfig> stripe = std::nullopt);
+
+  /// Opens an existing entry (metadata lookup).
+  void open(const std::string& path, std::size_t node, Callback done);
+
+  /// Stats an existing entry.
+  void stat(const std::string& path, std::size_t node, Callback done);
+
+  /// Removes a file and invalidates caches.
+  void unlink(const std::string& path, std::size_t node, Callback done);
+
+  // -- Data operations. --
+
+  /// Writes [offset, offset+length) from `node` into `path` (must exist).
+  void write(const std::string& path, std::uint64_t offset,
+             std::uint64_t length, std::size_t node, Callback done);
+
+  /// Reads [offset, offset+length) (must be within the file size) to `node`.
+  /// Page-cache-resident files are served from node memory.
+  void read(const std::string& path, std::uint64_t offset,
+            std::uint64_t length, std::size_t node, Callback done);
+
+  /// Commits a file: metadata update plus a flush op on each stripe target.
+  void fsync(const std::string& path, std::size_t node, Callback done);
+
+  // -- Introspection / control. --
+
+  bool exists(const std::string& path) const;
+  const FsEntry* find_entry(const std::string& path) const;
+
+  /// BeeGFS "getentryinfo"-style text for the extractor.
+  std::string render_entry_info(const std::string& path) const;
+
+  /// Degrades one target to `fraction` of nominal rate (anomaly injection).
+  void set_target_degraded(std::uint32_t target_id, double fraction);
+
+  /// Applies an interference schedule to every target (shared back-end load).
+  /// The schedule must outlive the file system.
+  void attach_interference(const sim::InterferenceSchedule& schedule);
+
+  const PfsSpec& spec() const { return spec_; }
+  sim::Cluster& cluster() { return cluster_; }
+  std::size_t target_count() const { return target_pipes_.size(); }
+  sim::BandwidthPipe& target_pipe(std::uint32_t target_id);
+  PageCache& page_cache() { return page_cache_; }
+
+  std::uint64_t metadata_ops() const { return metadata_ops_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+
+  void set_default_stripe(const StripeConfig& stripe);
+
+ private:
+  struct DataPlan;
+
+  std::size_t mds_for_create(const std::string& path) const;
+  std::size_t mds_for_lookup(const std::string& path) const;
+  void submit_mds(std::size_t mds, double service_time, Callback done);
+  FsEntry& require_file(const std::string& path, const char* op);
+  std::vector<std::uint32_t> place_stripe(const std::string& path,
+                                          const StripeConfig& stripe) const;
+  void transfer_spans(const FsEntry& entry, std::uint64_t offset,
+                      std::uint64_t length, std::size_t node, bool is_write,
+                      Callback done);
+
+  sim::Cluster& cluster_;
+  PfsSpec spec_;
+  std::vector<std::unique_ptr<sim::QueuedResource>> mds_;
+  std::vector<std::unique_ptr<sim::BandwidthPipe>> target_pipes_;
+  std::vector<double> target_degradation_;  // 1.0 = healthy
+  const sim::InterferenceSchedule* interference_ = nullptr;
+  std::unordered_map<std::string, FsEntry> entries_;
+  PageCache page_cache_;
+  std::uint64_t next_entry_seq_ = 1;
+  std::uint64_t metadata_ops_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace iokc::fs

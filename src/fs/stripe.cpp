@@ -1,0 +1,75 @@
+#include "src/fs/stripe.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/units.hpp"
+
+namespace iokc::fs {
+
+std::string to_string(StripePattern pattern) {
+  switch (pattern) {
+    case StripePattern::kRaid0: return "RAID0";
+    case StripePattern::kBuddyMirror: return "Buddy Mirror";
+  }
+  return "?";
+}
+
+StripePattern stripe_pattern_from_string(const std::string& text) {
+  const std::string lower = util::to_lower(text);
+  if (lower == "raid0") {
+    return StripePattern::kRaid0;
+  }
+  if (lower == "buddy mirror" || lower == "buddymirror") {
+    return StripePattern::kBuddyMirror;
+  }
+  throw ParseError("unknown stripe pattern '" + text + "'");
+}
+
+std::vector<ChunkSpan> split_into_chunks(const StripeConfig& stripe,
+                                         std::uint64_t offset,
+                                         std::uint64_t length) {
+  if (stripe.chunk_size == 0) {
+    throw ConfigError("stripe chunk size must be positive");
+  }
+  std::vector<ChunkSpan> spans;
+  std::uint64_t position = offset;
+  const std::uint64_t end = offset + length;
+  while (position < end) {
+    const std::uint64_t chunk_index = position / stripe.chunk_size;
+    const std::uint64_t in_chunk = position % stripe.chunk_size;
+    const std::uint64_t span =
+        std::min(stripe.chunk_size - in_chunk, end - position);
+    spans.push_back(ChunkSpan{chunk_index, in_chunk, span});
+    position += span;
+  }
+  return spans;
+}
+
+std::uint32_t chunk_to_stripe_slot(const StripeConfig& stripe,
+                                   std::uint64_t chunk_index,
+                                   std::uint32_t actual_targets) {
+  if (actual_targets == 0) {
+    throw ConfigError("stripe needs at least one actual target");
+  }
+  const std::uint32_t width = std::min(stripe.num_targets, actual_targets);
+  return static_cast<std::uint32_t>(chunk_index % std::max(width, 1u));
+}
+
+std::string render_stripe_details(const StripeConfig& stripe,
+                                  std::uint32_t actual_targets) {
+  const std::uint32_t actual = std::min(stripe.num_targets, actual_targets);
+  std::string out;
+  out += "Stripe pattern details:\n";
+  out += "+ Type: " + to_string(stripe.pattern) + "\n";
+  out += "+ Chunksize: " + util::format_size_token(stripe.chunk_size) + "\n";
+  out += "+ Number of storage targets: desired: " +
+         std::to_string(stripe.num_targets) +
+         "; actual: " + std::to_string(actual) + "\n";
+  out += "+ Storage Pool: " + std::to_string(stripe.storage_pool) +
+         (stripe.storage_pool == 1 ? " (Default)" : "") + "\n";
+  return out;
+}
+
+}  // namespace iokc::fs

@@ -1,0 +1,57 @@
+// Striping model of the parallel file system (BeeGFS-flavoured): chunk size,
+// stripe width, pattern, and the mapping from file offsets to storage-target
+// chunks. Also renders/parses the "Stripe pattern details" text the knowledge
+// extractor consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iokc::fs {
+
+/// Stripe pattern type. RAID0 stripes chunks round-robin; BuddyMirror writes
+/// every chunk to a mirror pair (halving effective write bandwidth).
+enum class StripePattern { kRaid0, kBuddyMirror };
+
+std::string to_string(StripePattern pattern);
+StripePattern stripe_pattern_from_string(const std::string& text);
+
+/// Per-file striping configuration.
+struct StripeConfig {
+  std::uint64_t chunk_size = 512 * 1024;  // BeeGFS default 512K
+  std::uint32_t num_targets = 4;          // desired stripe width
+  StripePattern pattern = StripePattern::kRaid0;
+  std::uint32_t storage_pool = 1;
+
+  bool operator==(const StripeConfig&) const = default;
+};
+
+/// One contiguous piece of an I/O request that lands on a single target chunk.
+struct ChunkSpan {
+  std::uint64_t chunk_index = 0;  // global chunk number within the file
+  std::uint64_t offset_in_chunk = 0;
+  std::uint64_t length = 0;
+};
+
+/// Splits [offset, offset+length) into chunk-aligned spans.
+std::vector<ChunkSpan> split_into_chunks(const StripeConfig& stripe,
+                                         std::uint64_t offset,
+                                         std::uint64_t length);
+
+/// Maps a chunk to a storage-target slot in [0, actual_targets): round-robin
+/// over the stripe set starting at the file's first target.
+std::uint32_t chunk_to_stripe_slot(const StripeConfig& stripe,
+                                   std::uint64_t chunk_index,
+                                   std::uint32_t actual_targets);
+
+/// Renders BeeGFS-getentryinfo-style stripe details, e.g.
+///   Stripe pattern details:
+///   + Type: RAID0
+///   + Chunksize: 512K
+///   + Number of storage targets: desired: 4; actual: 4
+///   + Storage Pool: 1 (Default)
+std::string render_stripe_details(const StripeConfig& stripe,
+                                  std::uint32_t actual_targets);
+
+}  // namespace iokc::fs

@@ -1,0 +1,72 @@
+#include "src/generators/darshan.hpp"
+
+#include <algorithm>
+
+namespace iokc::gen {
+
+void DarshanProfiler::record_open(std::uint32_t rank, const std::string& file) {
+  (void)rank;
+  auto& record = records_[file];
+  record.file = file;
+  ++record.opens;
+}
+
+void DarshanProfiler::record_close(std::uint32_t rank,
+                                   const std::string& file) {
+  (void)rank;
+  auto& record = records_[file];
+  record.file = file;
+  ++record.closes;
+}
+
+void DarshanProfiler::record_transfer(std::uint32_t rank,
+                                      const std::string& file,
+                                      std::uint64_t bytes, bool is_write) {
+  (void)rank;
+  auto& record = records_[file];
+  record.file = file;
+  if (is_write) {
+    ++record.writes;
+    record.bytes_written += bytes;
+    record.max_write_size = std::max(record.max_write_size, bytes);
+  } else {
+    ++record.reads;
+    record.bytes_read += bytes;
+    record.max_read_size = std::max(record.max_read_size, bytes);
+  }
+}
+
+void DarshanProfiler::set_job_metadata(std::string command,
+                                       std::uint32_t nprocs) {
+  command_ = std::move(command);
+  nprocs_ = nprocs;
+}
+
+std::string DarshanProfiler::render_log() const {
+  const std::string module =
+      api_ == iostack::IoApi::kPosix ? "POSIX" : "MPIIO";
+  std::string out;
+  out += "# darshan log version: 3.41-sim\n";
+  out += "# exe: " + command_ + "\n";
+  out += "# nprocs: " + std::to_string(nprocs_) + "\n";
+  out += "# module: " + module + "\n";
+  out += "#<module>\t<rank>\t<file>\t<counter>\t<value>\n";
+  auto emit = [&](const std::string& file, const std::string& counter,
+                  std::uint64_t value) {
+    out += module + "\t-1\t" + file + "\t" + module + "_" + counter + "\t" +
+           std::to_string(value) + "\n";
+  };
+  for (const auto& [file, record] : records_) {
+    emit(file, "OPENS", record.opens);
+    emit(file, "CLOSES", record.closes);
+    emit(file, "WRITES", record.writes);
+    emit(file, "READS", record.reads);
+    emit(file, "BYTES_WRITTEN", record.bytes_written);
+    emit(file, "BYTES_READ", record.bytes_read);
+    emit(file, "MAX_WRITE_SIZE", record.max_write_size);
+    emit(file, "MAX_READ_SIZE", record.max_read_size);
+  }
+  return out;
+}
+
+}  // namespace iokc::gen

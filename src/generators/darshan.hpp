@@ -1,0 +1,60 @@
+// A Darshan-style I/O characterization profiler. Benchmark engines notify it
+// of opens/transfers/closes; it aggregates per-file counters (the POSIX_* /
+// MPIIO_* counter names Darshan users know) and renders a darshan-parser-like
+// text log that the extraction phase can interpret — the role PyDarshan plays
+// in the paper's prototype.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/iostack/pattern.hpp"
+
+namespace iokc::gen {
+
+/// Aggregated counters for one file (Darshan "shared record", rank -1).
+struct DarshanFileRecord {
+  std::string file;
+  std::uint64_t opens = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t max_write_size = 0;
+  std::uint64_t max_read_size = 0;
+};
+
+/// The profiler. One instance per instrumented job run.
+class DarshanProfiler {
+ public:
+  explicit DarshanProfiler(iostack::IoApi api) : api_(api) {}
+
+  void record_open(std::uint32_t rank, const std::string& file);
+  void record_close(std::uint32_t rank, const std::string& file);
+  void record_transfer(std::uint32_t rank, const std::string& file,
+                       std::uint64_t bytes, bool is_write);
+  void set_job_metadata(std::string command, std::uint32_t nprocs);
+
+  const std::map<std::string, DarshanFileRecord>& records() const {
+    return records_;
+  }
+  std::uint32_t nprocs() const { return nprocs_; }
+
+  /// Renders the darshan-parser-shaped log:
+  ///   # darshan log version: 3.41-sim
+  ///   # exe: ior -a MPIIO ...
+  ///   # nprocs: 80
+  ///   <MODULE> -1 <file> <COUNTER> <value>
+  std::string render_log() const;
+
+ private:
+  iostack::IoApi api_;
+  std::string command_;
+  std::uint32_t nprocs_ = 0;
+  std::map<std::string, DarshanFileRecord> records_;
+};
+
+}  // namespace iokc::gen

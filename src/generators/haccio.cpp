@@ -1,0 +1,217 @@
+#include "src/generators/haccio.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/units.hpp"
+
+namespace iokc::gen {
+
+void HaccIoConfig::validate() const {
+  if (particles_per_rank == 0) {
+    throw ConfigError("hacc-io: particle count must be positive");
+  }
+  if (num_tasks == 0) {
+    throw ConfigError("hacc-io: task count must be positive");
+  }
+  if (api == iostack::IoApi::kHdf5) {
+    throw ConfigError("hacc-io supports POSIX and MPIIO only");
+  }
+  if (file_mode == iostack::FileMode::kFilePerGroup && group_size == 0) {
+    throw ConfigError("hacc-io: group size must be positive");
+  }
+  if (transfer_size == 0) {
+    throw ConfigError("hacc-io: transfer size must be positive");
+  }
+  if (iterations <= 0) {
+    throw ConfigError("hacc-io: iteration count must be positive");
+  }
+}
+
+std::string HaccIoConfig::render_command() const {
+  std::string cmd = "hacc_io -p " + std::to_string(particles_per_rank);
+  cmd += " -a " + iostack::to_string(api);
+  cmd += " -m " + iostack::to_string(file_mode);
+  if (file_mode == iostack::FileMode::kFilePerGroup) {
+    cmd += " -g " + std::to_string(group_size);
+  }
+  cmd += " -i " + std::to_string(iterations);
+  cmd += " -N " + std::to_string(num_tasks);
+  cmd += " -o " + base_path;
+  return cmd;
+}
+
+HaccIoConfig parse_haccio_command(const std::string& command) {
+  const std::vector<std::string> tokens = util::split_ws(command);
+  HaccIoConfig config;
+  std::size_t i = 0;
+  if (i < tokens.size() && tokens[i] == "hacc_io") {
+    ++i;
+  }
+  auto need_value = [&](const std::string& option) -> const std::string& {
+    if (i + 1 >= tokens.size()) {
+      throw ParseError("hacc_io option " + option + " needs a value");
+    }
+    return tokens[++i];
+  };
+  for (; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token == "-p") {
+      config.particles_per_rank =
+          static_cast<std::uint64_t>(util::parse_i64(need_value(token)));
+    } else if (token == "-a") {
+      config.api = iostack::api_from_string(need_value(token));
+    } else if (token == "-m") {
+      config.file_mode = iostack::file_mode_from_string(need_value(token));
+    } else if (token == "-g") {
+      config.group_size =
+          static_cast<std::uint32_t>(util::parse_i64(need_value(token)));
+    } else if (token == "-i") {
+      config.iterations = static_cast<int>(util::parse_i64(need_value(token)));
+    } else if (token == "-N") {
+      config.num_tasks =
+          static_cast<std::uint32_t>(util::parse_i64(need_value(token)));
+    } else if (token == "-o") {
+      config.base_path = need_value(token);
+    } else {
+      throw ParseError("unknown hacc_io option '" + token + "'");
+    }
+  }
+  return config;
+}
+
+std::string HaccIoRunResult::render_output() const {
+  std::string out;
+  out += "HACC-IO+sim checkpoint/restart kernel\n";
+  out += "Command line        : " + config.render_command() + "\n";
+  out += "Mode                : " + iostack::to_string(config.file_mode) + "\n";
+  out += "API                 : " + iostack::to_string(config.api) + "\n";
+  out += "Particles per rank  : " + std::to_string(config.particles_per_rank) +
+         "\n";
+  out += "Tasks               : " + std::to_string(config.num_tasks) + "\n";
+  out += "Nodes               : " + std::to_string(num_nodes) + "\n";
+  out += "Bytes per rank      : " + std::to_string(config.bytes_per_rank()) +
+         "\n\n";
+  out += "iter  write(MiB/s)  read(MiB/s)  write(s)   read(s)\n";
+  for (std::size_t i = 0; i < iterations.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%-5zu %-13.2f %-12.2f %-10.4f %-10.4f\n",
+                  i, iterations[i].write_bw_mib, iterations[i].read_bw_mib,
+                  iterations[i].write_sec, iterations[i].read_sec);
+    out += buf;
+  }
+  return out;
+}
+
+HaccIoBenchmark::HaccIoBenchmark(iostack::IoClient& client,
+                                 HaccIoConfig config,
+                                 std::vector<std::size_t> rank_nodes)
+    : client_(client),
+      config_(std::move(config)),
+      rank_nodes_(std::move(rank_nodes)) {
+  config_.validate();
+  if (rank_nodes_.size() != config_.num_tasks) {
+    throw ConfigError("hacc-io: rank-to-node map size != task count");
+  }
+}
+
+std::string HaccIoBenchmark::file_for_rank(std::uint32_t rank) const {
+  switch (config_.file_mode) {
+    case iostack::FileMode::kSharedFile:
+      return config_.base_path;
+    case iostack::FileMode::kFilePerProcess:
+      return config_.base_path + "." + std::to_string(rank);
+    case iostack::FileMode::kFilePerGroup:
+      return config_.base_path + ".g" +
+             std::to_string(rank / config_.group_size);
+  }
+  return config_.base_path;
+}
+
+std::uint64_t HaccIoBenchmark::offset_for_rank(std::uint32_t rank) const {
+  switch (config_.file_mode) {
+    case iostack::FileMode::kSharedFile:
+      return config_.bytes_per_rank() * rank;
+    case iostack::FileMode::kFilePerProcess:
+      return 0;
+    case iostack::FileMode::kFilePerGroup:
+      return config_.bytes_per_rank() * (rank % config_.group_size);
+  }
+  return 0;
+}
+
+double HaccIoBenchmark::run_transfer_phase(bool is_write) {
+  auto& queue = client_.pfs().cluster().queue();
+  const double start = queue.now();
+  const std::uint64_t bytes = config_.bytes_per_rank();
+  for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+    const std::string path = file_for_rank(rank);
+    const std::uint64_t base = offset_for_rank(rank);
+    const std::size_t node = rank_nodes_[rank];
+    auto issue = std::make_shared<std::function<void(std::uint64_t)>>();
+    *issue = [this, path, base, bytes, node, issue,
+              is_write](std::uint64_t done_bytes) {
+      if (done_bytes == bytes) {
+        return;
+      }
+      const std::uint64_t len =
+          std::min(config_.transfer_size, bytes - done_bytes);
+      auto next = [issue, done_bytes, len](sim::SimTime) {
+        (*issue)(done_bytes + len);
+      };
+      if (is_write) {
+        client_.write(path, base + done_bytes, len, node, next);
+      } else {
+        client_.read(path, base + done_bytes, len, node, next);
+      }
+    };
+    (*issue)(0);
+  }
+  queue.run();
+  return queue.now() - start;
+}
+
+HaccIoRunResult HaccIoBenchmark::run() {
+  auto& pfs = client_.pfs();
+  auto& queue = pfs.cluster().queue();
+  HaccIoRunResult result;
+  result.config = config_;
+  result.num_nodes = static_cast<std::uint32_t>(
+      std::set<std::size_t>(rank_nodes_.begin(), rank_nodes_.end()).size());
+
+  // Create the checkpoint files (one per rank/group, or the shared file).
+  std::set<std::string> files;
+  for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+    files.insert(file_for_rank(rank));
+  }
+  for (const std::string& path : files) {
+    if (!pfs.exists(path)) {
+      client_.open(path, rank_nodes_[0], /*create=*/true, [](sim::SimTime) {});
+    }
+  }
+  queue.run();
+
+  const double total_mib =
+      static_cast<double>(config_.bytes_per_rank()) *
+      static_cast<double>(config_.num_tasks) / static_cast<double>(util::kMiB);
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    HaccIoIterationResult it;
+    it.write_sec = run_transfer_phase(/*is_write=*/true);
+    it.write_bw_mib = it.write_sec > 0.0 ? total_mib / it.write_sec : 0.0;
+    it.read_sec = run_transfer_phase(/*is_write=*/false);
+    it.read_bw_mib = it.read_sec > 0.0 ? total_mib / it.read_sec : 0.0;
+    result.iterations.push_back(it);
+  }
+
+  for (const std::string& path : files) {
+    pfs.unlink(path, rank_nodes_[0], [](sim::SimTime) {});
+  }
+  queue.run();
+  return result;
+}
+
+}  // namespace iokc::gen

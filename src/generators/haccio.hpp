@@ -1,0 +1,76 @@
+// A HACC-IO-style checkpoint/restart benchmark: every rank writes its
+// particle payload (9 variables x 4 bytes + 2 bytes per particle = 38 bytes,
+// as in the HACC I/O kernel) and reads it back, under single-shared-file,
+// file-per-process, or file-per-group modes and POSIX or MPI-IO interfaces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/iostack/client.hpp"
+#include "src/iostack/pattern.hpp"
+
+namespace iokc::gen {
+
+/// HACC-IO configuration.
+struct HaccIoConfig {
+  std::uint64_t particles_per_rank = 1'000'000;
+  std::uint32_t num_tasks = 1;
+  iostack::IoApi api = iostack::IoApi::kPosix;  // POSIX or MPIIO
+  iostack::FileMode file_mode = iostack::FileMode::kFilePerProcess;
+  std::uint32_t group_size = 8;  // ranks per file in file-per-group mode
+  std::string base_path = "/scratch/hacc/part";
+  std::uint64_t transfer_size = 8ull * 1024 * 1024;  // client buffering unit
+  int iterations = 1;
+
+  static constexpr std::uint64_t kBytesPerParticle = 38;
+
+  std::uint64_t bytes_per_rank() const {
+    return particles_per_rank * kBytesPerParticle;
+  }
+
+  void validate() const;
+  std::string render_command() const;
+};
+
+/// Parses a "hacc_io ..." command line (the render_command dialect).
+HaccIoConfig parse_haccio_command(const std::string& command);
+
+/// One iteration's checkpoint (write) and restart (read) measurements.
+struct HaccIoIterationResult {
+  double write_bw_mib = 0.0;
+  double read_bw_mib = 0.0;
+  double write_sec = 0.0;
+  double read_sec = 0.0;
+};
+
+/// A complete HACC-IO run.
+struct HaccIoRunResult {
+  HaccIoConfig config;
+  std::uint32_t num_nodes = 0;
+  std::vector<HaccIoIterationResult> iterations;
+
+  /// Text report parsed by the knowledge extractor.
+  std::string render_output() const;
+};
+
+/// The engine; same event-queue contract as IorBenchmark.
+class HaccIoBenchmark {
+ public:
+  HaccIoBenchmark(iostack::IoClient& client, HaccIoConfig config,
+                  std::vector<std::size_t> rank_nodes);
+
+  HaccIoRunResult run();
+
+ private:
+  std::string file_for_rank(std::uint32_t rank) const;
+  std::uint64_t offset_for_rank(std::uint32_t rank) const;
+  double run_transfer_phase(bool is_write);
+
+  iostack::IoClient& client_;
+  HaccIoConfig config_;
+  std::vector<std::size_t> rank_nodes_;
+};
+
+}  // namespace iokc::gen

@@ -1,0 +1,315 @@
+#include "src/generators/io500.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/summary_stats.hpp"
+#include "src/util/units.hpp"
+
+namespace iokc::gen {
+
+void Io500Config::validate() const {
+  if (num_tasks == 0) {
+    throw ConfigError("io500: task count must be positive");
+  }
+  if (base_dir.empty()) {
+    throw ConfigError("io500: base dir must not be empty");
+  }
+  if (ior_easy_bytes_per_rank == 0 || ior_hard_bytes_per_rank == 0) {
+    throw ConfigError("io500: ior workload sizes must be positive");
+  }
+  if (mdtest_easy_files_per_rank == 0 || mdtest_hard_files_per_rank == 0) {
+    throw ConfigError("io500: mdtest file counts must be positive");
+  }
+}
+
+std::string Io500Config::render_command() const {
+  std::string cmd = "io500 -N " + std::to_string(num_tasks);
+  cmd += " -o " + base_dir;
+  cmd += " --easy-bytes " + util::format_size_token(ior_easy_bytes_per_rank);
+  cmd += " --hard-bytes " + util::format_size_token(ior_hard_bytes_per_rank);
+  cmd += " --easy-files " + std::to_string(mdtest_easy_files_per_rank);
+  cmd += " --hard-files " + std::to_string(mdtest_hard_files_per_rank);
+  return cmd;
+}
+
+Io500Config parse_io500_command(const std::string& command) {
+  const std::vector<std::string> tokens = util::split_ws(command);
+  Io500Config config;
+  std::size_t i = 0;
+  if (i < tokens.size() && tokens[i] == "io500") {
+    ++i;
+  }
+  auto need_value = [&](const std::string& option) -> const std::string& {
+    if (i + 1 >= tokens.size()) {
+      throw ParseError("io500 option " + option + " needs a value");
+    }
+    return tokens[++i];
+  };
+  for (; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token == "-N") {
+      config.num_tasks =
+          static_cast<std::uint32_t>(util::parse_i64(need_value(token)));
+    } else if (token == "-o") {
+      config.base_dir = need_value(token);
+    } else if (token == "--easy-bytes") {
+      config.ior_easy_bytes_per_rank = util::parse_size(need_value(token));
+    } else if (token == "--hard-bytes") {
+      config.ior_hard_bytes_per_rank = util::parse_size(need_value(token));
+    } else if (token == "--easy-files") {
+      config.mdtest_easy_files_per_rank =
+          static_cast<std::uint32_t>(util::parse_i64(need_value(token)));
+    } else if (token == "--hard-files") {
+      config.mdtest_hard_files_per_rank =
+          static_cast<std::uint32_t>(util::parse_i64(need_value(token)));
+    } else {
+      throw ParseError("unknown io500 option '" + token + "'");
+    }
+  }
+  return config;
+}
+
+const Io500PhaseResult* Io500Result::find_phase(const std::string& name) const {
+  for (const auto& phase : phases) {
+    if (phase.name == name) {
+      return &phase;
+    }
+  }
+  return nullptr;
+}
+
+std::string Io500Result::render_output() const {
+  std::string out = "IO500 version io500-sim-1.0\n";
+  out += "[CONFIG] command " + config.render_command() + "\n";
+  out += "[CONFIG] tasks " + std::to_string(config.num_tasks) + "\n";
+  out += "[CONFIG] nodes " + std::to_string(num_nodes) + "\n";
+  for (const auto& phase : phases) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "[RESULT] %20s %15.6f %s : time %.3f seconds\n",
+                  phase.name.c_str(), phase.value, phase.unit.c_str(),
+                  phase.time_sec);
+    out += buf;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "[SCORE ] Bandwidth %.6f GiB/s : IOPS %.6f kiops : TOTAL %.6f\n",
+                score_bw_gib, score_md_kiops, score_total);
+  out += buf;
+  return out;
+}
+
+Io500Benchmark::Io500Benchmark(iostack::IoClient& client, Io500Config config,
+                               std::vector<std::size_t> rank_nodes)
+    : client_(client),
+      config_(std::move(config)),
+      rank_nodes_(std::move(rank_nodes)) {
+  config_.validate();
+  if (rank_nodes_.size() != config_.num_tasks) {
+    throw ConfigError("io500: rank-to-node map size != task count");
+  }
+}
+
+IorConfig Io500Benchmark::ior_easy_config(bool write) const {
+  IorConfig config;
+  config.api = iostack::IoApi::kPosix;
+  config.file_per_process = true;
+  config.transfer_size = config_.ior_easy_transfer;
+  config.block_size = config_.ior_easy_bytes_per_rank;
+  config.segments = 1;
+  config.iterations = 1;
+  config.num_tasks = config_.num_tasks;
+  config.test_file = config_.base_dir + "/ior_easy/ior_file_easy";
+  config.keep_file = true;
+  // The real IO500 defeats the page cache with data volumes far beyond node
+  // memory; the scaled simulation uses IOR's -C rank reordering instead.
+  config.reorder_tasks = true;
+  config.write_file = write;
+  config.read_file = !write;
+  config.fsync = write;
+  return config;
+}
+
+IorConfig Io500Benchmark::ior_hard_config(bool write) const {
+  IorConfig config;
+  config.api = iostack::IoApi::kMpiio;
+  config.file_per_process = false;
+  config.transfer_size = config_.ior_hard_transfer;
+  config.block_size = config_.ior_hard_transfer;
+  config.segments = static_cast<std::uint32_t>(
+      config_.ior_hard_bytes_per_rank / config_.ior_hard_transfer);
+  config.iterations = 1;
+  config.num_tasks = config_.num_tasks;
+  config.test_file = config_.base_dir + "/ior_hard/IOR_file";
+  config.keep_file = true;
+  config.reorder_tasks = true;
+  config.write_file = write;
+  config.read_file = !write;
+  config.fsync = write;
+  return config;
+}
+
+MdtestConfig Io500Benchmark::mdtest_config(bool easy, const char* phase) const {
+  MdtestConfig config;
+  config.num_tasks = config_.num_tasks;
+  config.iterations = 1;
+  config.files_per_rank = easy ? config_.mdtest_easy_files_per_rank
+                               : config_.mdtest_hard_files_per_rank;
+  config.unique_dir_per_task = easy;
+  config.base_dir = config_.base_dir + (easy ? "/mdt_easy" : "/mdt_hard");
+  config.write_bytes = easy ? 0 : config_.mdtest_hard_write_bytes;
+  const std::string p = phase;
+  config.do_create = p == "write";
+  config.do_stat = p == "stat";
+  config.do_read = p == "read";
+  config.do_remove = p == "delete";
+  return config;
+}
+
+Io500PhaseResult Io500Benchmark::run_ior(const std::string& name,
+                                         const IorConfig& config) {
+  IorBenchmark bench(client_, config, rank_nodes_);
+  const IorRunResult run = bench.run();
+  if (run.ops.empty()) {
+    throw iokc::SimError("io500: ior phase '" + name + "' produced no result");
+  }
+  const IorOpResult& op = run.ops.front();
+  Io500PhaseResult phase;
+  phase.name = name;
+  phase.value = op.bw_mib / 1024.0;
+  phase.unit = "GiB/s";
+  phase.time_sec = op.total_sec;
+  return phase;
+}
+
+Io500PhaseResult Io500Benchmark::run_mdtest(const std::string& name, bool easy,
+                                            const char* phase_name) {
+  MdtestBenchmark bench(client_, mdtest_config(easy, phase_name), rank_nodes_);
+  const MdtestRunResult run = bench.run();
+  const MdtestIterationResult& rates = run.iterations.front();
+  double rate = 0.0;
+  const std::string p = phase_name;
+  if (p == "write") {
+    rate = rates.creation_rate;
+  } else if (p == "stat") {
+    rate = rates.stat_rate;
+  } else if (p == "read") {
+    rate = rates.read_rate;
+  } else {
+    rate = rates.removal_rate;
+  }
+  const double total_files =
+      static_cast<double>(run.config.files_per_rank) *
+      static_cast<double>(run.config.num_tasks);
+  Io500PhaseResult phase;
+  phase.name = name;
+  phase.value = rate / 1000.0;
+  phase.unit = "kIOPS";
+  phase.time_sec = rate > 0.0 ? total_files / rate : 0.0;
+  return phase;
+}
+
+Io500PhaseResult Io500Benchmark::run_find() {
+  // The find phase walks the namespace created so far; the model charges one
+  // metadata operation per directory-block of 64 entries, issued across the
+  // participating ranks.
+  auto& pfs = client_.pfs();
+  auto& queue = pfs.cluster().queue();
+  const double start = queue.now();
+  // ~16 entries per directory-block read keeps the simulated find rate in
+  // the realistic 50-150 kIOPS band for a small cluster.
+  const std::uint64_t scan_ops = std::max<std::uint64_t>(
+      1, (namespace_entries_ + 15) / 16);
+  for (std::uint64_t op = 0; op < scan_ops; ++op) {
+    const std::size_t node = rank_nodes_[op % rank_nodes_.size()];
+    pfs.stat(config_.base_dir, node, [](sim::SimTime) {});
+  }
+  queue.run();
+  const double wall = queue.now() - start;
+  Io500PhaseResult phase;
+  phase.name = "find";
+  phase.value = wall > 0.0
+                    ? static_cast<double>(namespace_entries_) / wall / 1000.0
+                    : 0.0;
+  phase.unit = "kIOPS";
+  phase.time_sec = wall;
+  return phase;
+}
+
+void Io500Benchmark::cleanup() {
+  auto& pfs = client_.pfs();
+  auto& queue = pfs.cluster().queue();
+  const IorConfig easy = ior_easy_config(true);
+  for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".%08u", rank);
+    const std::string path = easy.test_file + suffix;
+    if (pfs.exists(path)) {
+      pfs.unlink(path, rank_nodes_[rank], [](sim::SimTime) {});
+    }
+  }
+  const std::string hard_file = ior_hard_config(true).test_file;
+  if (pfs.exists(hard_file)) {
+    pfs.unlink(hard_file, rank_nodes_[0], [](sim::SimTime) {});
+  }
+  queue.run();
+}
+
+Io500Result Io500Benchmark::run() {
+  auto& pfs = client_.pfs();
+  auto& queue = pfs.cluster().queue();
+  // Benchmark directory tree.
+  for (const char* dir : {"", "/ior_easy", "/ior_hard"}) {
+    const std::string path = config_.base_dir + dir;
+    if (!pfs.exists(path)) {
+      pfs.mkdir(path, rank_nodes_[0], [](sim::SimTime) {});
+    }
+  }
+  queue.run();
+
+  Io500Result result;
+  result.config = config_;
+  result.num_nodes = static_cast<std::uint32_t>(
+      std::set<std::size_t>(rank_nodes_.begin(), rank_nodes_.end()).size());
+
+  result.phases.push_back(run_ior("ior-easy-write", ior_easy_config(true)));
+  result.phases.push_back(run_mdtest("mdtest-easy-write", true, "write"));
+  result.phases.push_back(run_ior("ior-hard-write", ior_hard_config(true)));
+  result.phases.push_back(run_mdtest("mdtest-hard-write", false, "write"));
+
+  namespace_entries_ =
+      static_cast<std::uint64_t>(config_.num_tasks) *
+          (config_.mdtest_easy_files_per_rank +
+           config_.mdtest_hard_files_per_rank) +
+      config_.num_tasks /* ior-easy files */ + 1 /* ior-hard file */;
+  result.phases.push_back(run_find());
+
+  result.phases.push_back(run_ior("ior-easy-read", ior_easy_config(false)));
+  result.phases.push_back(run_mdtest("mdtest-easy-stat", true, "stat"));
+  result.phases.push_back(run_ior("ior-hard-read", ior_hard_config(false)));
+  result.phases.push_back(run_mdtest("mdtest-hard-stat", false, "stat"));
+  result.phases.push_back(run_mdtest("mdtest-easy-delete", true, "delete"));
+  result.phases.push_back(run_mdtest("mdtest-hard-read", false, "read"));
+  result.phases.push_back(run_mdtest("mdtest-hard-delete", false, "delete"));
+
+  std::vector<double> bw_values;
+  std::vector<double> md_values;
+  for (const auto& phase : result.phases) {
+    if (phase.unit == "GiB/s") {
+      bw_values.push_back(phase.value);
+    } else {
+      md_values.push_back(phase.value);
+    }
+  }
+  result.score_bw_gib = util::geometric_mean(bw_values);
+  result.score_md_kiops = util::geometric_mean(md_values);
+  result.score_total = std::sqrt(result.score_bw_gib * result.score_md_kiops);
+
+  cleanup();
+  return result;
+}
+
+}  // namespace iokc::gen

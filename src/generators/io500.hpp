@@ -1,0 +1,89 @@
+// An IO500-style benchmark composed of the IOR and mdtest engines plus a
+// namespace-scan ("find") phase, with the official twelve result lines and
+// the geometric-mean scoring rule. Workload sizes are scaled down from the
+// official stonewalled run so a laptop-scale simulation finishes quickly;
+// the relative shape (easy >> hard, write vs read asymmetry) is what matters
+// for the paper's bounding-box use case.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/generators/ior.hpp"
+#include "src/generators/mdtest.hpp"
+#include "src/iostack/client.hpp"
+
+namespace iokc::gen {
+
+/// IO500 configuration.
+struct Io500Config {
+  std::uint32_t num_tasks = 1;
+  std::string base_dir = "/scratch/io500";
+
+  // Scaled workload knobs.
+  std::uint64_t ior_easy_bytes_per_rank = 256ull * 1024 * 1024;
+  std::uint64_t ior_easy_transfer = 2ull * 1024 * 1024;
+  std::uint64_t ior_hard_bytes_per_rank = 8ull * 1024 * 1024;
+  std::uint64_t ior_hard_transfer = 47008;  // official ior-hard record size
+  std::uint32_t mdtest_easy_files_per_rank = 400;
+  std::uint32_t mdtest_hard_files_per_rank = 200;
+  std::uint64_t mdtest_hard_write_bytes = 3901;  // official
+
+  void validate() const;
+  std::string render_command() const;
+};
+
+/// Parses an "io500 ..." command line ("io500 -N <tasks> [-o <basedir>]
+/// [--easy-bytes <size>] [--hard-bytes <size>] [--easy-files <n>]
+/// [--hard-files <n>]").
+Io500Config parse_io500_command(const std::string& command);
+
+/// One [RESULT] line.
+struct Io500PhaseResult {
+  std::string name;   // e.g. "ior-easy-write"
+  double value = 0.0; // GiB/s for ior phases, kIOPS otherwise
+  std::string unit;   // "GiB/s" or "kIOPS"
+  double time_sec = 0.0;
+};
+
+/// A complete IO500 run with its score triple.
+struct Io500Result {
+  Io500Config config;
+  std::uint32_t num_nodes = 0;
+  std::vector<Io500PhaseResult> phases;
+  double score_bw_gib = 0.0;   // geometric mean of the four ior phases
+  double score_md_kiops = 0.0; // geometric mean of the md/find phases
+  double score_total = 0.0;    // sqrt(bw * md)
+
+  const Io500PhaseResult* find_phase(const std::string& name) const;
+
+  /// io500-shaped report ("[RESULT] ..." lines plus "[SCORE ] ...").
+  std::string render_output() const;
+};
+
+/// The engine: runs all twelve phases in the official order.
+class Io500Benchmark {
+ public:
+  Io500Benchmark(iostack::IoClient& client, Io500Config config,
+                 std::vector<std::size_t> rank_nodes);
+
+  Io500Result run();
+
+ private:
+  IorConfig ior_easy_config(bool write) const;
+  IorConfig ior_hard_config(bool write) const;
+  MdtestConfig mdtest_config(bool easy, const char* phase) const;
+  Io500PhaseResult run_ior(const std::string& name, const IorConfig& config);
+  Io500PhaseResult run_mdtest(const std::string& name, bool easy,
+                              const char* phase);
+  Io500PhaseResult run_find();
+  void cleanup();
+
+  iostack::IoClient& client_;
+  Io500Config config_;
+  std::vector<std::size_t> rank_nodes_;
+  std::uint64_t namespace_entries_ = 0;  // entries visible to the find phase
+};
+
+}  // namespace iokc::gen

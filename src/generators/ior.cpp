@@ -1,0 +1,640 @@
+#include "src/generators/ior.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "src/generators/darshan.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/summary_stats.hpp"
+#include "src/util/units.hpp"
+
+namespace iokc::gen {
+
+void IorConfig::validate() const {
+  if (transfer_size == 0 || block_size == 0) {
+    throw ConfigError("ior: block and transfer size must be positive");
+  }
+  if (block_size % transfer_size != 0) {
+    throw ConfigError("ior: block size must be a multiple of transfer size");
+  }
+  if (segments == 0) {
+    throw ConfigError("ior: segment count must be positive");
+  }
+  if (iterations <= 0) {
+    throw ConfigError("ior: iteration count must be positive");
+  }
+  if (num_tasks == 0) {
+    throw ConfigError("ior: task count must be positive");
+  }
+  if (test_file.empty()) {
+    throw ConfigError("ior: test file path must not be empty");
+  }
+  if (collective && file_per_process) {
+    throw ConfigError("ior: collective I/O requires a shared file (-c without -F)");
+  }
+  if (deadline_secs < 0) {
+    throw ConfigError("ior: stonewalling deadline must be non-negative");
+  }
+  if (random_offsets && collective) {
+    throw ConfigError("ior: -z is not supported with collective I/O (-c)");
+  }
+}
+
+std::string IorConfig::render_command() const {
+  std::string cmd = "ior -a " + iostack::to_string(api);
+  cmd += " -b " + util::format_size_token(block_size);
+  cmd += " -t " + util::format_size_token(transfer_size);
+  cmd += " -s " + std::to_string(segments);
+  if (file_per_process) {
+    cmd += " -F";
+  }
+  if (reorder_tasks) {
+    cmd += " -C";
+  }
+  if (fsync) {
+    cmd += " -e";
+  }
+  if (collective) {
+    cmd += " -c";
+  }
+  if (random_offsets) {
+    cmd += " -z";
+  }
+  if (deadline_secs > 0) {
+    cmd += " -D " + std::to_string(deadline_secs);
+  }
+  if (hints_set) {
+    cmd += " -O " + iostack::render_hints(hints);
+  }
+  if (write_file) {
+    cmd += " -w";
+  }
+  if (read_file) {
+    cmd += " -r";
+  }
+  cmd += " -i " + std::to_string(iterations);
+  cmd += " -N " + std::to_string(num_tasks);
+  cmd += " -o " + test_file;
+  if (keep_file) {
+    cmd += " -k";
+  }
+  return cmd;
+}
+
+IorConfig parse_ior_command(const std::string& command) {
+  const std::vector<std::string> tokens = util::split_ws(command);
+  IorConfig config;
+  std::size_t i = 0;
+  if (i < tokens.size() && (tokens[i] == "ior" || tokens[i].ends_with("/ior"))) {
+    ++i;
+  }
+  auto need_value = [&](const std::string& option) -> const std::string& {
+    if (i + 1 >= tokens.size()) {
+      throw ParseError("ior option " + option + " needs a value");
+    }
+    return tokens[++i];
+  };
+  for (; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token == "-a") {
+      config.api = iostack::api_from_string(need_value(token));
+    } else if (token == "-b") {
+      config.block_size = util::parse_size(need_value(token));
+    } else if (token == "-t") {
+      config.transfer_size = util::parse_size(need_value(token));
+    } else if (token == "-s") {
+      config.segments =
+          static_cast<std::uint32_t>(util::parse_i64(need_value(token)));
+    } else if (token == "-i") {
+      config.iterations = static_cast<int>(util::parse_i64(need_value(token)));
+    } else if (token == "-N") {
+      config.num_tasks =
+          static_cast<std::uint32_t>(util::parse_i64(need_value(token)));
+    } else if (token == "-o") {
+      config.test_file = need_value(token);
+    } else if (token == "-F") {
+      config.file_per_process = true;
+    } else if (token == "-C") {
+      config.reorder_tasks = true;
+    } else if (token == "-e") {
+      config.fsync = true;
+    } else if (token == "-k") {
+      config.keep_file = true;
+    } else if (token == "-w") {
+      config.write_file = true;
+    } else if (token == "-r") {
+      config.read_file = true;
+    } else if (token == "-c") {
+      config.collective = true;
+    } else if (token == "-z") {
+      config.random_offsets = true;
+    } else if (token == "-D") {
+      config.deadline_secs = static_cast<int>(util::parse_i64(need_value(token)));
+    } else if (token == "-O") {
+      config.hints = iostack::parse_hints(need_value(token));
+      config.hints_set = true;
+    } else {
+      throw ParseError("unknown ior option '" + token + "'");
+    }
+  }
+  return config;
+}
+
+std::vector<const IorOpResult*> IorRunResult::ops_for(
+    const std::string& access) const {
+  std::vector<const IorOpResult*> out;
+  for (const auto& op : ops) {
+    if (op.access == access) {
+      out.push_back(&op);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string summary_line(const std::string& access,
+                         const std::vector<const IorOpResult*>& ops,
+                         const IorConfig& config, std::uint32_t tasks_per_node) {
+  std::vector<double> bws;
+  std::vector<double> iopses;
+  std::vector<double> times;
+  for (const IorOpResult* op : ops) {
+    bws.push_back(op->bw_mib);
+    iopses.push_back(op->iops);
+    times.push_back(op->total_sec);
+  }
+  const auto bw = util::summarize(bws);
+  const auto io = util::summarize(iopses);
+  const auto tm = util::summarize(times);
+  const double agg_mib =
+      static_cast<double>(config.bytes_per_rank()) *
+      static_cast<double>(config.num_tasks) / static_cast<double>(util::kMiB);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "%-9s %10.2f %10.2f %10.2f %9.2f %10.2f %10.2f %10.2f %9.2f %9.5f "
+      "%d %u %u %d %d %d %u %llu %llu %.1f %s",
+      access.c_str(), bw.max, bw.min, bw.mean, bw.stddev, io.max, io.min,
+      io.mean, io.stddev, tm.mean, 0, config.num_tasks, tasks_per_node,
+      config.iterations, config.file_per_process ? 1 : 0,
+      config.reorder_tasks ? 1 : 0, config.segments,
+      static_cast<unsigned long long>(config.block_size),
+      static_cast<unsigned long long>(config.transfer_size), agg_mib,
+      iostack::to_string(config.api).c_str());
+  return buf;
+}
+
+}  // namespace
+
+std::string IorRunResult::render_output() const {
+  const IorConfig& c = config;
+  const std::uint32_t tasks_per_node =
+      num_nodes == 0 ? c.num_tasks : (c.num_tasks + num_nodes - 1) / num_nodes;
+  std::string out;
+  out += "IOR-3.3.0+sim: MPI Coordinated Test of Parallel I/O\n";
+  out += "Began               : t+" + util::format_seconds(start_time) + "\n";
+  out += "Command line        : " + c.render_command() + "\n";
+  out += "Machine             : Linux sim-cluster\n";
+  out += "\nOptions: \n";
+  out += "api                 : " + iostack::to_string(c.api) + "\n";
+  out += "test filename       : " + c.test_file + "\n";
+  out += std::string("access              : ") +
+         (c.file_per_process ? "file-per-process" : "single-shared-file") + "\n";
+  out += std::string("type                : ") +
+         (c.collective ? "collective" : "independent") + "\n";
+  out += "segments            : " + std::to_string(c.segments) + "\n";
+  out += std::string("ordering in a file  : ") +
+         (c.random_offsets ? "random offsets" : "sequential") + "\n";
+  if (c.deadline_secs > 0) {
+    out += "stonewallingTime    : " + std::to_string(c.deadline_secs) + "\n";
+  }
+  out += std::string("ordering inter file : ") +
+         (c.reorder_tasks ? "constant task offset" : "no tasks offsets") + "\n";
+  if (c.reorder_tasks) {
+    out += "task offset         : " + std::to_string(tasks_per_node) + "\n";
+  }
+  out += "nodes               : " + std::to_string(num_nodes) + "\n";
+  out += "tasks               : " + std::to_string(c.num_tasks) + "\n";
+  out += "clients per node    : " + std::to_string(tasks_per_node) + "\n";
+  out += "repetitions         : " + std::to_string(c.iterations) + "\n";
+  out += "xfersize            : " + util::format_bytes(c.transfer_size) + "\n";
+  out += "blocksize           : " + util::format_bytes(c.block_size) + "\n";
+  out += "aggregate filesize  : " +
+         util::format_bytes(c.bytes_per_rank() * c.num_tasks) + "\n";
+  if (c.fsync) {
+    out += "fsync               : 1\n";
+  }
+  if (c.hints_set) {
+    out += "hints               : " + iostack::render_hints(c.hints) + "\n";
+  }
+  out += "\nResults: \n\n";
+  out +=
+      "access    bw(MiB/s)  IOPS       Latency(s)  block(KiB) xfer(KiB)  "
+      "open(s)    wr/rd(s)   close(s)   total(s)   iter\n";
+  out +=
+      "------    ---------  ----       ----------  ---------- ---------  "
+      "--------   --------   --------   --------   ----\n";
+  for (const IorOpResult& op : ops) {
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "%-9s %-10.2f %-10.2f %-11.6f %-10llu %-10llu %-10.6f "
+                  "%-10.6f %-10.6f %-10.6f %d\n",
+                  op.access.c_str(), op.bw_mib, op.iops, op.latency_sec,
+                  static_cast<unsigned long long>(op.block_kib),
+                  static_cast<unsigned long long>(op.xfer_kib), op.open_sec,
+                  op.wrrd_sec, op.close_sec, op.total_sec, op.iteration);
+    out += buf;
+  }
+  out += "\nSummary of all tests:\n";
+  out +=
+      "Operation  Max(MiB)   Min(MiB)  Mean(MiB)    StdDev   Max(OPs)   "
+      "Min(OPs)  Mean(OPs)    StdDev   Mean(s) Test# #Tasks tPN reps fPP "
+      "reord segcnt blksiz xsize aggs(MiB) API\n";
+  const auto writes = ops_for("write");
+  const auto reads = ops_for("read");
+  if (!writes.empty()) {
+    out += summary_line("write", writes, c, tasks_per_node) + "\n";
+  }
+  if (!reads.empty()) {
+    out += summary_line("read", reads, c, tasks_per_node) + "\n";
+  }
+  out += "\nFinished            : t+" + util::format_seconds(end_time) + "\n";
+  return out;
+}
+
+IorBenchmark::IorBenchmark(iostack::IoClient& client, IorConfig config,
+                           std::vector<std::size_t> rank_nodes)
+    : client_(client),
+      config_(std::move(config)),
+      rank_nodes_(std::move(rank_nodes)) {
+  config_.validate();
+  if (rank_nodes_.size() != config_.num_tasks) {
+    throw ConfigError("ior: rank-to-node map size (" +
+                      std::to_string(rank_nodes_.size()) +
+                      ") != task count (" + std::to_string(config_.num_tasks) +
+                      ")");
+  }
+}
+
+std::string IorBenchmark::file_for_rank(std::uint32_t rank) const {
+  if (!config_.file_per_process) {
+    return config_.test_file;
+  }
+  char suffix[32];
+  std::snprintf(suffix, sizeof suffix, ".%08u", rank);
+  return config_.test_file + suffix;
+}
+
+std::uint64_t IorBenchmark::offset_for(std::uint32_t rank,
+                                       std::uint32_t segment,
+                                       std::uint64_t transfer_index) const {
+  const std::uint64_t in_block = transfer_index * config_.transfer_size;
+  if (config_.file_per_process) {
+    return static_cast<std::uint64_t>(segment) * config_.block_size + in_block;
+  }
+  // Shared file, segmented layout: |seg0: rank0 block, rank1 block, ...|seg1:...
+  const std::uint64_t segment_span =
+      static_cast<std::uint64_t>(config_.num_tasks) * config_.block_size;
+  return static_cast<std::uint64_t>(segment) * segment_span +
+         static_cast<std::uint64_t>(rank) * config_.block_size + in_block;
+}
+
+std::vector<std::uint64_t> IorBenchmark::transfer_order(
+    std::uint32_t rank) const {
+  std::vector<std::uint64_t> order(config_.transfers_per_rank());
+  for (std::uint64_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  if (config_.random_offsets) {
+    // Deterministic per rank and test file, independent of the sim RNG.
+    std::uint64_t seed = 0xcbf29ce484222325ull ^ (rank * 0x100000001b3ull);
+    for (const char c : config_.test_file) {
+      seed = (seed ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+    }
+    util::Rng rng(seed);
+    rng.shuffle(order);
+  }
+  return order;
+}
+
+std::uint32_t IorBenchmark::read_source_rank(std::uint32_t rank) const {
+  if (!config_.reorder_tasks) {
+    return rank;
+  }
+  // IOR -C: read the data written by the rank `tasksPerNode` away, so the
+  // read cannot be served from the local page cache.
+  std::uint32_t tasks_on_first_node = 0;
+  for (const std::size_t node : rank_nodes_) {
+    if (node == rank_nodes_.front()) {
+      ++tasks_on_first_node;
+    }
+  }
+  return (rank + std::max(tasks_on_first_node, 1u)) % config_.num_tasks;
+}
+
+double IorBenchmark::run_open_phase(bool create) {
+  auto& queue = client_.pfs().cluster().queue();
+  const double phase_start = queue.now();
+  if (config_.file_per_process) {
+    for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+      const std::string path = file_for_rank(rank);
+      const bool do_create = create && !client_.pfs().exists(path);
+      client_.open(path, rank_nodes_[rank], do_create, [](sim::SimTime) {});
+      if (profiler_ != nullptr) {
+        profiler_->record_open(rank, path);
+      }
+    }
+    queue.run();
+    return queue.now() - phase_start;
+  }
+  // Shared file: rank 0 creates, everyone else opens afterwards.
+  const std::string path = config_.test_file;
+  const bool do_create = create && !client_.pfs().exists(path);
+  client_.open(path, rank_nodes_[0], do_create, [](sim::SimTime) {});
+  if (profiler_ != nullptr) {
+    profiler_->record_open(0, path);
+  }
+  queue.run();
+  for (std::uint32_t rank = 1; rank < config_.num_tasks; ++rank) {
+    client_.open(path, rank_nodes_[rank], false, [](sim::SimTime) {});
+    if (profiler_ != nullptr) {
+      profiler_->record_open(rank, path);
+    }
+  }
+  queue.run();
+  return queue.now() - phase_start;
+}
+
+IorBenchmark::PhaseStats IorBenchmark::run_transfer_phase(bool is_write) {
+  auto& queue = client_.pfs().cluster().queue();
+  const double phase_start = queue.now();
+  const double deadline =
+      config_.deadline_secs > 0
+          ? phase_start + static_cast<double>(config_.deadline_secs)
+          : 0.0;
+  PhaseStats stats;
+  const std::uint64_t transfers = config_.transfers_per_rank();
+  const std::uint64_t per_block = config_.block_size / config_.transfer_size;
+
+  if (is_write) {
+    transfers_written_.assign(config_.num_tasks, 0);
+  }
+
+  if (config_.collective && !config_.file_per_process) {
+    // Collective rounds: one MPI_File_{write,read}_all per transfer step.
+    // Rounds are issued back-to-back; each round is one "op" latency-wise.
+    // A stonewalling deadline stops new rounds (all ranks stop together).
+    const std::uint64_t round_limit =
+        is_write || transfers_written_.empty()
+            ? transfers
+            : std::min<std::uint64_t>(transfers, transfers_written_[0]);
+    auto issue_round = std::make_shared<std::function<void(std::uint64_t)>>();
+    *issue_round = [this, round_limit, per_block, issue_round, &stats,
+                    is_write, deadline](std::uint64_t step) {
+      auto& q = client_.pfs().cluster().queue();
+      if (step == round_limit || (deadline > 0.0 && q.now() >= deadline)) {
+        if (is_write) {
+          transfers_written_.assign(config_.num_tasks, step);
+        }
+        return;
+      }
+      const auto segment = static_cast<std::uint32_t>(step / per_block);
+      const std::uint64_t in_block = step % per_block;
+      std::vector<iostack::CollectiveRequest> requests;
+      requests.reserve(config_.num_tasks);
+      for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+        const std::uint32_t source =
+            is_write ? rank : read_source_rank(rank);
+        requests.push_back(iostack::CollectiveRequest{
+            offset_for(source, segment, in_block), config_.transfer_size,
+            rank_nodes_[rank]});
+        if (profiler_ != nullptr) {
+          profiler_->record_transfer(rank, config_.test_file,
+                                     config_.transfer_size, is_write);
+        }
+      }
+      const double round_start = q.now();
+      auto continuation = [this, issue_round, step, &stats,
+                           round_start](sim::SimTime t) {
+        stats.latency_sum += t - round_start;
+        ++stats.op_count;
+        stats.bytes_moved +=
+            static_cast<std::uint64_t>(config_.num_tasks) *
+            config_.transfer_size;
+        (*issue_round)(step + 1);
+      };
+      if (is_write) {
+        client_.write_collective(config_.test_file, requests, continuation);
+      } else {
+        client_.read_collective(config_.test_file, requests, continuation);
+      }
+    };
+    (*issue_round)(0);
+    queue.run();
+    stats.wall_sec = queue.now() - phase_start;
+    return stats;
+  }
+
+  // Independent transfers: one sequential chain per rank, visiting transfer
+  // steps in the (possibly shuffled) per-source order. A read phase after a
+  // stonewalled write reads back only what its source rank wrote.
+  for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+    const std::uint32_t source = is_write ? rank : read_source_rank(rank);
+    const std::string path = file_for_rank(source);
+    const std::size_t node = rank_nodes_[rank];
+    auto order = std::make_shared<std::vector<std::uint64_t>>(
+        transfer_order(source));
+    std::uint64_t limit = order->size();
+    if (!is_write && source < transfers_written_.size() &&
+        config_.do_write()) {
+      limit = std::min<std::uint64_t>(limit, transfers_written_[source]);
+    }
+    auto issue = std::make_shared<std::function<void(std::uint64_t)>>();
+    *issue = [this, path, node, source, limit, per_block, order, issue,
+              &stats, is_write, deadline](std::uint64_t index) {
+      auto& q = client_.pfs().cluster().queue();
+      if (index == limit || (deadline > 0.0 && q.now() >= deadline)) {
+        if (is_write) {
+          transfers_written_[source] = index;
+        }
+        return;
+      }
+      const std::uint64_t step = (*order)[index];
+      const auto segment = static_cast<std::uint32_t>(step / per_block);
+      const std::uint64_t in_block = step % per_block;
+      const std::uint64_t offset = offset_for(source, segment, in_block);
+      const double op_start = q.now();
+      auto continuation = [this, issue, index, &stats,
+                           op_start](sim::SimTime t) {
+        stats.latency_sum += t - op_start;
+        ++stats.op_count;
+        stats.bytes_moved += config_.transfer_size;
+        (*issue)(index + 1);
+      };
+      if (profiler_ != nullptr) {
+        profiler_->record_transfer(source, path, config_.transfer_size,
+                                   is_write);
+      }
+      if (is_write) {
+        client_.write(path, offset, config_.transfer_size, node, continuation);
+      } else {
+        client_.read(path, offset, config_.transfer_size, node, continuation);
+      }
+    };
+    (*issue)(0);
+  }
+  queue.run();
+  stats.wall_sec = queue.now() - phase_start;
+  return stats;
+}
+
+double IorBenchmark::run_fsync_phase() {
+  auto& queue = client_.pfs().cluster().queue();
+  const double phase_start = queue.now();
+  if (config_.file_per_process) {
+    for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+      client_.fsync(file_for_rank(rank), rank_nodes_[rank], [](sim::SimTime) {});
+    }
+  } else {
+    client_.fsync(config_.test_file, rank_nodes_[0], [](sim::SimTime) {});
+  }
+  queue.run();
+  return queue.now() - phase_start;
+}
+
+double IorBenchmark::run_close_phase() {
+  auto& queue = client_.pfs().cluster().queue();
+  const double phase_start = queue.now();
+  if (config_.file_per_process) {
+    for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+      const std::string path = file_for_rank(rank);
+      client_.close(path, rank_nodes_[rank], [](sim::SimTime) {});
+      if (profiler_ != nullptr) {
+        profiler_->record_close(rank, path);
+      }
+    }
+  } else {
+    for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+      client_.close(config_.test_file, rank_nodes_[rank], [](sim::SimTime) {});
+      if (profiler_ != nullptr) {
+        profiler_->record_close(rank, config_.test_file);
+      }
+    }
+  }
+  queue.run();
+  return queue.now() - phase_start;
+}
+
+void IorBenchmark::run_remove_phase() {
+  auto& queue = client_.pfs().cluster().queue();
+  if (config_.file_per_process) {
+    for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+      const std::string path = file_for_rank(rank);
+      if (client_.pfs().exists(path)) {
+        client_.pfs().unlink(path, rank_nodes_[rank], [](sim::SimTime) {});
+      }
+    }
+  } else if (client_.pfs().exists(config_.test_file)) {
+    client_.pfs().unlink(config_.test_file, rank_nodes_[0], [](sim::SimTime) {});
+  }
+  queue.run();
+}
+
+IorRunResult IorBenchmark::run() {
+  auto& queue = client_.pfs().cluster().queue();
+  IorRunResult result;
+  result.config = config_;
+  result.start_time = queue.now();
+  result.num_nodes = static_cast<std::uint32_t>(
+      std::set<std::size_t>(rank_nodes_.begin(), rank_nodes_.end()).size());
+
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    if (config_.do_write()) {
+      const double open_sec = run_open_phase(/*create=*/true);
+      PhaseStats stats = run_transfer_phase(/*is_write=*/true);
+      if (config_.fsync) {
+        stats.wall_sec += run_fsync_phase();  // IOR folds fsync into write time
+      }
+      const double close_sec = run_close_phase();
+
+      IorOpResult op;
+      op.access = "write";
+      op.open_sec = open_sec;
+      op.wrrd_sec = stats.wall_sec;
+      op.close_sec = close_sec;
+      op.total_sec = open_sec + stats.wall_sec + close_sec;
+      op.bw_mib = util::to_mib_per_sec(stats.bytes_moved, op.total_sec);
+      op.iops = stats.wall_sec > 0.0
+                    ? static_cast<double>(stats.op_count) / stats.wall_sec
+                    : 0.0;
+      op.latency_sec = stats.op_count > 0
+                           ? stats.latency_sum /
+                                 static_cast<double>(stats.op_count)
+                           : 0.0;
+      op.block_kib = config_.block_size / util::kKiB;
+      op.xfer_kib = config_.transfer_size / util::kKiB;
+      op.iteration = iteration;
+      result.ops.push_back(op);
+    }
+
+    if (config_.do_read()) {
+      const double open_sec = run_open_phase(/*create=*/!config_.do_write());
+      const PhaseStats stats = run_transfer_phase(/*is_write=*/false);
+      const double close_sec = run_close_phase();
+
+      IorOpResult op;
+      op.access = "read";
+      op.open_sec = open_sec;
+      op.wrrd_sec = stats.wall_sec;
+      op.close_sec = close_sec;
+      op.total_sec = open_sec + stats.wall_sec + close_sec;
+      op.bw_mib = util::to_mib_per_sec(stats.bytes_moved, op.total_sec);
+      op.iops = stats.wall_sec > 0.0
+                    ? static_cast<double>(stats.op_count) / stats.wall_sec
+                    : 0.0;
+      op.latency_sec = stats.op_count > 0
+                           ? stats.latency_sum /
+                                 static_cast<double>(stats.op_count)
+                           : 0.0;
+      op.block_kib = config_.block_size / util::kKiB;
+      op.xfer_kib = config_.transfer_size / util::kKiB;
+      op.iteration = iteration;
+      result.ops.push_back(op);
+    }
+
+    if (!config_.keep_file) {
+      run_remove_phase();
+    }
+  }
+
+  result.end_time = queue.now();
+  if (profiler_ != nullptr) {
+    profiler_->set_job_metadata(config_.render_command(), config_.num_tasks);
+  }
+  return result;
+}
+
+std::vector<std::size_t> block_rank_mapping(
+    const std::vector<std::size_t>& nodes, std::uint32_t num_tasks) {
+  if (nodes.empty()) {
+    throw ConfigError("rank mapping needs at least one node");
+  }
+  std::vector<std::size_t> mapping;
+  mapping.reserve(num_tasks);
+  const std::uint32_t per_node =
+      (num_tasks + static_cast<std::uint32_t>(nodes.size()) - 1) /
+      static_cast<std::uint32_t>(nodes.size());
+  for (std::uint32_t rank = 0; rank < num_tasks; ++rank) {
+    mapping.push_back(nodes[std::min<std::size_t>(
+        rank / std::max(per_node, 1u), nodes.size() - 1)]);
+  }
+  return mapping;
+}
+
+}  // namespace iokc::gen

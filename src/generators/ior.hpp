@@ -1,0 +1,150 @@
+// An IOR-compatible benchmark engine running against the simulated I/O stack.
+//
+// It honours the option subset the paper exercises (-a -b -t -s -F -C -e -i
+// -o -k plus -w/-r/-c/-N), reproduces IOR's phase structure (open, write/read,
+// fsync, close, with barriers between phases), and renders an IOR-3.x-shaped
+// text report that the knowledge extractor parses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/iostack/client.hpp"
+#include "src/iostack/hints.hpp"
+#include "src/iostack/pattern.hpp"
+
+namespace iokc::gen {
+
+class DarshanProfiler;
+
+/// The IOR configuration (mirrors IOR command-line semantics).
+struct IorConfig {
+  iostack::IoApi api = iostack::IoApi::kPosix;  // -a
+  std::uint64_t block_size = 1024 * 1024;       // -b
+  std::uint64_t transfer_size = 256 * 1024;     // -t
+  std::uint32_t segments = 1;                   // -s
+  bool file_per_process = false;                // -F
+  bool reorder_tasks = false;                   // -C
+  bool fsync = false;                           // -e
+  int iterations = 1;                           // -i
+  std::string test_file = "/scratch/testFile";  // -o
+  bool keep_file = false;                       // -k
+  bool write_file = false;                      // -w (both default when unset)
+  bool read_file = false;                       // -r
+  bool collective = false;                      // -c
+  std::uint32_t num_tasks = 1;                  // -N (taken from MPI normally)
+  int deadline_secs = 0;                        // -D (stonewalling; 0 = off)
+  bool random_offsets = false;                  // -z
+  /// MPI-IO hints (real IOR takes them via IOR_HINT__MPI__* variables; this
+  /// dialect accepts "-O cb_nodes=4;cb_buffer_size=8388608;..." tokens).
+  iostack::MpiioHints hints;
+  bool hints_set = false;                       // -O given
+
+  bool do_write() const { return write_file || !read_file; }
+  bool do_read() const { return read_file || !write_file; }
+
+  /// Bytes moved by one rank in one phase.
+  std::uint64_t bytes_per_rank() const {
+    return static_cast<std::uint64_t>(segments) * block_size;
+  }
+  /// Transfers issued by one rank in one phase.
+  std::uint64_t transfers_per_rank() const {
+    return static_cast<std::uint64_t>(segments) * (block_size / transfer_size);
+  }
+
+  /// Validates invariants IOR enforces (block multiple of transfer, ...).
+  /// Throws ConfigError on violation.
+  void validate() const;
+
+  /// Renders the equivalent command line ("ior -a MPIIO -b 4m ...").
+  std::string render_command() const;
+};
+
+/// Parses an "ior ..." command line (as stored in the knowledge database or
+/// typed by a user). Throws ParseError on unknown options.
+IorConfig parse_ior_command(const std::string& command);
+
+/// One result line (one access direction of one iteration).
+struct IorOpResult {
+  std::string access;  // "write" or "read"
+  double bw_mib = 0.0;
+  double iops = 0.0;
+  double latency_sec = 0.0;
+  std::uint64_t block_kib = 0;
+  std::uint64_t xfer_kib = 0;
+  double open_sec = 0.0;
+  double wrrd_sec = 0.0;
+  double close_sec = 0.0;
+  double total_sec = 0.0;
+  int iteration = 0;
+};
+
+/// A complete IOR run (all iterations).
+struct IorRunResult {
+  IorConfig config;
+  std::uint32_t num_nodes = 0;
+  std::vector<IorOpResult> ops;
+  double start_time = 0.0;  // simulated seconds
+  double end_time = 0.0;
+
+  std::vector<const IorOpResult*> ops_for(const std::string& access) const;
+
+  /// Renders the IOR-3.x-shaped report (options block, per-iteration result
+  /// lines, and the "Summary of all tests" block).
+  std::string render_output() const;
+};
+
+/// The engine. Drives the event queue itself; the queue must be otherwise
+/// idle when run() is called (one benchmark at a time per simulation).
+class IorBenchmark {
+ public:
+  /// `rank_nodes[r]` is the node hosting rank r; its size must equal
+  /// config.num_tasks (throws ConfigError otherwise).
+  IorBenchmark(iostack::IoClient& client, IorConfig config,
+               std::vector<std::size_t> rank_nodes);
+
+  /// Optional Darshan-style profiler notified of every I/O operation.
+  void set_profiler(DarshanProfiler* profiler) { profiler_ = profiler; }
+
+  /// Executes all iterations and returns the collected results.
+  IorRunResult run();
+
+ private:
+  struct PhaseStats {
+    double wall_sec = 0.0;
+    double latency_sum = 0.0;
+    std::uint64_t op_count = 0;
+    std::uint64_t bytes_moved = 0;
+  };
+
+  std::string file_for_rank(std::uint32_t rank) const;
+  std::uint64_t offset_for(std::uint32_t rank, std::uint32_t segment,
+                           std::uint64_t transfer_index) const;
+  /// Rank whose *file/region* rank `r` reads (identity unless -C).
+  std::uint32_t read_source_rank(std::uint32_t rank) const;
+  /// The order rank `r` visits its transfer steps (-z shuffles it).
+  std::vector<std::uint64_t> transfer_order(std::uint32_t rank) const;
+
+  double run_open_phase(bool create);
+  PhaseStats run_transfer_phase(bool is_write);
+  double run_fsync_phase();
+  double run_close_phase();
+  void run_remove_phase();
+
+  iostack::IoClient& client_;
+  IorConfig config_;
+  std::vector<std::size_t> rank_nodes_;
+  DarshanProfiler* profiler_ = nullptr;
+  /// Transfers each rank completed in the latest write phase; a stonewalled
+  /// (-D) read phase reads back only what its source rank actually wrote.
+  std::vector<std::uint64_t> transfers_written_;
+};
+
+/// Convenience: block-assigns `num_tasks` ranks onto `nodes` (Slurm default
+/// placement: ranks 0..ppn-1 on the first node, and so on).
+std::vector<std::size_t> block_rank_mapping(
+    const std::vector<std::size_t>& nodes, std::uint32_t num_tasks);
+
+}  // namespace iokc::gen

@@ -1,0 +1,254 @@
+#include "src/generators/mdtest.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/summary_stats.hpp"
+
+namespace iokc::gen {
+
+void MdtestConfig::validate() const {
+  if (files_per_rank == 0) {
+    throw ConfigError("mdtest: files per rank must be positive");
+  }
+  if (num_tasks == 0) {
+    throw ConfigError("mdtest: task count must be positive");
+  }
+  if (iterations <= 0) {
+    throw ConfigError("mdtest: iteration count must be positive");
+  }
+  if (base_dir.empty()) {
+    throw ConfigError("mdtest: base directory must not be empty");
+  }
+  if (do_read && write_bytes == 0) {
+    throw ConfigError("mdtest: read phase requires write_bytes > 0");
+  }
+}
+
+std::string MdtestConfig::render_command() const {
+  std::string cmd = "mdtest -n " + std::to_string(files_per_rank);
+  if (unique_dir_per_task) {
+    cmd += " -u";
+  }
+  if (write_bytes > 0) {
+    cmd += " -w " + std::to_string(write_bytes);
+  }
+  if (do_read) {
+    cmd += " -e " + std::to_string(write_bytes);
+  }
+  cmd += " -i " + std::to_string(iterations);
+  cmd += " -N " + std::to_string(num_tasks);
+  cmd += " -d " + base_dir;
+  return cmd;
+}
+
+MdtestConfig parse_mdtest_command(const std::string& command) {
+  const std::vector<std::string> tokens = util::split_ws(command);
+  MdtestConfig config;
+  std::size_t i = 0;
+  if (i < tokens.size() && tokens[i] == "mdtest") {
+    ++i;
+  }
+  auto need_value = [&](const std::string& option) -> const std::string& {
+    if (i + 1 >= tokens.size()) {
+      throw ParseError("mdtest option " + option + " needs a value");
+    }
+    return tokens[++i];
+  };
+  for (; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token == "-n") {
+      config.files_per_rank =
+          static_cast<std::uint32_t>(util::parse_i64(need_value(token)));
+    } else if (token == "-u") {
+      config.unique_dir_per_task = true;
+    } else if (token == "-w") {
+      config.write_bytes =
+          static_cast<std::uint64_t>(util::parse_i64(need_value(token)));
+    } else if (token == "-e") {
+      config.write_bytes =
+          static_cast<std::uint64_t>(util::parse_i64(need_value(token)));
+      config.do_read = true;
+    } else if (token == "-i") {
+      config.iterations = static_cast<int>(util::parse_i64(need_value(token)));
+    } else if (token == "-N") {
+      config.num_tasks =
+          static_cast<std::uint32_t>(util::parse_i64(need_value(token)));
+    } else if (token == "-d") {
+      config.base_dir = need_value(token);
+    } else {
+      throw ParseError("unknown mdtest option '" + token + "'");
+    }
+  }
+  return config;
+}
+
+std::string MdtestRunResult::render_output() const {
+  auto collect = [this](double MdtestIterationResult::* member) {
+    std::vector<double> values;
+    for (const auto& iteration : iterations) {
+      values.push_back(iteration.*member);
+    }
+    return util::summarize(values);
+  };
+  std::string out;
+  out += "mdtest-3.4.0+sim was launched with " +
+         std::to_string(config.num_tasks) + " total task(s) on " +
+         std::to_string(num_nodes) + " node(s)\n";
+  out += "Command line used: " + config.render_command() + "\n";
+  out += "\nSUMMARY rate: (of " + std::to_string(iterations.size()) +
+         " iterations)\n";
+  out +=
+      "   Operation                     Max            Min           Mean    "
+      "    Std Dev\n";
+  out +=
+      "   ---------                     ---            ---           ----    "
+      "    -------\n";
+  auto emit = [&out](const char* name, const util::SummaryStats& stats) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "   %-20s :%15.3f%15.3f%15.3f%15.3f\n",
+                  name, stats.max, stats.min, stats.mean, stats.stddev);
+    out += buf;
+  };
+  if (config.do_create) {
+    emit("File creation", collect(&MdtestIterationResult::creation_rate));
+  }
+  if (config.do_stat) {
+    emit("File stat", collect(&MdtestIterationResult::stat_rate));
+  }
+  if (config.do_read) {
+    emit("File read", collect(&MdtestIterationResult::read_rate));
+  }
+  if (config.do_remove) {
+    emit("File removal", collect(&MdtestIterationResult::removal_rate));
+  }
+  return out;
+}
+
+MdtestBenchmark::MdtestBenchmark(iostack::IoClient& client,
+                                 MdtestConfig config,
+                                 std::vector<std::size_t> rank_nodes)
+    : client_(client),
+      config_(std::move(config)),
+      rank_nodes_(std::move(rank_nodes)) {
+  config_.validate();
+  if (rank_nodes_.size() != config_.num_tasks) {
+    throw ConfigError("mdtest: rank-to-node map size != task count");
+  }
+}
+
+std::string MdtestBenchmark::dir_path(std::uint32_t rank) const {
+  if (!config_.unique_dir_per_task) {
+    return config_.base_dir;
+  }
+  return config_.base_dir + "/task." + std::to_string(rank);
+}
+
+std::string MdtestBenchmark::file_path(std::uint32_t rank,
+                                       std::uint32_t index) const {
+  return dir_path(rank) + "/file." + std::to_string(rank) + "." +
+         std::to_string(index);
+}
+
+void MdtestBenchmark::ensure_dirs() {
+  if (dirs_created_) {
+    return;
+  }
+  auto& pfs = client_.pfs();
+  auto& queue = pfs.cluster().queue();
+  if (!pfs.exists(config_.base_dir)) {
+    pfs.mkdir(config_.base_dir, rank_nodes_[0], [](sim::SimTime) {});
+  }
+  if (config_.unique_dir_per_task) {
+    for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+      if (!pfs.exists(dir_path(rank))) {
+        pfs.mkdir(dir_path(rank), rank_nodes_[rank], [](sim::SimTime) {});
+      }
+    }
+  }
+  queue.run();
+  dirs_created_ = true;
+}
+
+double MdtestBenchmark::run_phase(Phase phase) {
+  auto& pfs = client_.pfs();
+  auto& queue = pfs.cluster().queue();
+  const double phase_start = queue.now();
+
+  for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
+    const std::size_t node = rank_nodes_[rank];
+    auto issue = std::make_shared<std::function<void(std::uint32_t)>>();
+    *issue = [this, &pfs, rank, node, phase, issue](std::uint32_t index) {
+      if (index == config_.files_per_rank) {
+        return;
+      }
+      const std::string path = file_path(rank, index);
+      auto next = [issue, index](sim::SimTime) { (*issue)(index + 1); };
+      switch (phase) {
+        case Phase::kCreate:
+          pfs.create(path, node, [this, &pfs, path, node,
+                                  next = std::move(next)](sim::SimTime t) {
+            if (config_.write_bytes > 0) {
+              pfs.write(path, 0, config_.write_bytes, node, next);
+            } else {
+              next(t);
+            }
+          });
+          break;
+        case Phase::kStat:
+          pfs.stat(path, node, std::move(next));
+          break;
+        case Phase::kRead:
+          pfs.open(path, node, [this, &pfs, path, node,
+                                next = std::move(next)](sim::SimTime) {
+            pfs.read(path, 0, config_.write_bytes, node, next);
+          });
+          break;
+        case Phase::kRemove:
+          pfs.unlink(path, node, std::move(next));
+          break;
+      }
+    };
+    (*issue)(0);
+  }
+  queue.run();
+  return queue.now() - phase_start;
+}
+
+MdtestRunResult MdtestBenchmark::run() {
+  MdtestRunResult result;
+  result.config = config_;
+  result.num_nodes = static_cast<std::uint32_t>(
+      std::set<std::size_t>(rank_nodes_.begin(), rank_nodes_.end()).size());
+  ensure_dirs();
+
+  const double total_files = static_cast<double>(config_.files_per_rank) *
+                             static_cast<double>(config_.num_tasks);
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    MdtestIterationResult rates;
+    if (config_.do_create) {
+      const double wall = run_phase(Phase::kCreate);
+      rates.creation_rate = wall > 0.0 ? total_files / wall : 0.0;
+    }
+    if (config_.do_stat) {
+      const double wall = run_phase(Phase::kStat);
+      rates.stat_rate = wall > 0.0 ? total_files / wall : 0.0;
+    }
+    if (config_.do_read) {
+      const double wall = run_phase(Phase::kRead);
+      rates.read_rate = wall > 0.0 ? total_files / wall : 0.0;
+    }
+    if (config_.do_remove) {
+      const double wall = run_phase(Phase::kRemove);
+      rates.removal_rate = wall > 0.0 ? total_files / wall : 0.0;
+    }
+    result.iterations.push_back(rates);
+  }
+  return result;
+}
+
+}  // namespace iokc::gen

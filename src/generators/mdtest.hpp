@@ -1,0 +1,79 @@
+// An mdtest-compatible metadata benchmark: file create/stat/read/removal
+// phases over per-rank or shared directories. The "easy" IO500 flavour uses a
+// unique directory per task (spreading load over metadata servers); the
+// "hard" flavour uses one shared directory plus a small write per file, which
+// serializes on a single metadata server — the contrast Fig. 6's bounding box
+// is built from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/iostack/client.hpp"
+
+namespace iokc::gen {
+
+/// mdtest configuration (mirrors mdtest command-line semantics).
+struct MdtestConfig {
+  std::uint32_t files_per_rank = 1000;       // -n
+  bool unique_dir_per_task = false;          // -u
+  std::string base_dir = "/scratch/mdtest";  // -d
+  std::uint64_t write_bytes = 0;             // -w (bytes written at create)
+  std::uint32_t num_tasks = 1;
+  int iterations = 1;                        // -i
+  bool do_create = true;
+  bool do_stat = true;
+  bool do_read = false;                      // -E style read phase
+  bool do_remove = true;
+
+  void validate() const;
+  std::string render_command() const;
+};
+
+/// Parses an "mdtest ..." command line (the render_command dialect).
+MdtestConfig parse_mdtest_command(const std::string& command);
+
+/// Rates (ops/sec) of one iteration.
+struct MdtestIterationResult {
+  double creation_rate = 0.0;
+  double stat_rate = 0.0;
+  double read_rate = 0.0;
+  double removal_rate = 0.0;
+};
+
+/// A complete mdtest run.
+struct MdtestRunResult {
+  MdtestConfig config;
+  std::uint32_t num_nodes = 0;
+  std::vector<MdtestIterationResult> iterations;
+
+  /// mdtest-style "SUMMARY rate" text report.
+  std::string render_output() const;
+};
+
+/// The engine; same event-queue contract as IorBenchmark.
+class MdtestBenchmark {
+ public:
+  MdtestBenchmark(iostack::IoClient& client, MdtestConfig config,
+                  std::vector<std::size_t> rank_nodes);
+
+  MdtestRunResult run();
+
+  /// Path of file `index` of rank `rank` (used by IO500's find phase).
+  std::string file_path(std::uint32_t rank, std::uint32_t index) const;
+  /// Directory of one rank (shared base dir unless unique_dir_per_task).
+  std::string dir_path(std::uint32_t rank) const;
+
+ private:
+  enum class Phase { kCreate, kStat, kRead, kRemove };
+  double run_phase(Phase phase);
+  void ensure_dirs();
+
+  iostack::IoClient& client_;
+  MdtestConfig config_;
+  std::vector<std::size_t> rank_nodes_;
+  bool dirs_created_ = false;
+};
+
+}  // namespace iokc::gen

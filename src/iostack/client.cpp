@@ -1,0 +1,259 @@
+#include "src/iostack/client.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace iokc::iostack {
+
+ApiCosts default_api_costs(IoApi api) {
+  switch (api) {
+    case IoApi::kPosix:
+      return ApiCosts{5.0e-6, 2.0e-6, 3.0e-6};
+    case IoApi::kMpiio:
+      return ApiCosts{4.0e-5, 1.5e-5, 2.5e-5};
+    case IoApi::kHdf5:
+      return ApiCosts{2.5e-4, 3.0e-5, 1.8e-4};
+  }
+  return ApiCosts{};
+}
+
+IoClient::IoClient(fs::ParallelFileSystem& pfs, IoApi api, MpiioHints hints)
+    : pfs_(pfs), api_(api), hints_(hints), costs_(default_api_costs(api)) {}
+
+void IoClient::after_overhead(double overhead, std::function<void()> action) {
+  if (overhead <= 0.0) {
+    action();
+    return;
+  }
+  pfs_.cluster().queue().schedule_in(overhead, std::move(action));
+}
+
+void IoClient::open(const std::string& path, std::size_t node, bool create,
+                    Callback done) {
+  after_overhead(costs_.open_sec, [this, path, node, create,
+                                   done = std::move(done)]() mutable {
+    if (create) {
+      pfs_.create(path, node, [this, path, node,
+                               done = std::move(done)](sim::SimTime t) mutable {
+        if (api_ == IoApi::kHdf5) {
+          // HDF5 writes its superblock/root-group header on create.
+          pfs_.write(path, 0, 2048, node, std::move(done));
+        } else {
+          done(t);
+        }
+      });
+    } else {
+      pfs_.open(path, node, std::move(done));
+    }
+  });
+}
+
+void IoClient::write(const std::string& path, std::uint64_t offset,
+                     std::uint64_t length, std::size_t node, Callback done) {
+  after_overhead(costs_.per_op_sec,
+                 [this, path, offset, length, node, done = std::move(done)] {
+                   pfs_.write(path, offset, length, node, done);
+                 });
+}
+
+void IoClient::read(const std::string& path, std::uint64_t offset,
+                    std::uint64_t length, std::size_t node, Callback done) {
+  after_overhead(costs_.per_op_sec,
+                 [this, path, offset, length, node, done = std::move(done)] {
+                   pfs_.read(path, offset, length, node, done);
+                 });
+}
+
+std::vector<std::size_t> IoClient::pick_aggregators(
+    const std::vector<CollectiveRequest>& requests) const {
+  std::vector<std::size_t> nodes;
+  for (const auto& request : requests) {
+    if (std::find(nodes.begin(), nodes.end(), request.node) == nodes.end()) {
+      nodes.push_back(request.node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  const std::size_t limit =
+      hints_.cb_nodes == 0 ? nodes.size()
+                           : std::min<std::size_t>(hints_.cb_nodes, nodes.size());
+  nodes.resize(std::max<std::size_t>(limit, 1));
+  return nodes;
+}
+
+namespace {
+
+/// Join-counter for fan-out phases.
+struct Join {
+  std::size_t remaining = 0;
+  sim::SimTime last = 0.0;
+  std::function<void(sim::SimTime)> done;
+};
+
+std::function<void(sim::SimTime)> make_joiner(std::shared_ptr<Join> join) {
+  return [join = std::move(join)](sim::SimTime t) {
+    join->last = std::max(join->last, t);
+    if (--join->remaining == 0) {
+      join->done(join->last);
+    }
+  };
+}
+
+}  // namespace
+
+void IoClient::two_phase(const std::string& path,
+                         const std::vector<CollectiveRequest>& requests,
+                         bool is_write, Callback done) {
+  if (requests.empty()) {
+    throw ConfigError("collective call with no requests");
+  }
+  const std::vector<std::size_t> aggregators = pick_aggregators(requests);
+
+  // Coalesce the rank requests into contiguous data runs (two-phase I/O
+  // touches only real data — holes in a strided pattern are never written),
+  // then split runs into cb_buffer_size aggregated accesses.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> runs;  // offset, len
+  {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted;
+    sorted.reserve(requests.size());
+    for (const auto& request : requests) {
+      sorted.emplace_back(request.offset, request.length);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [offset, length] : sorted) {
+      if (!runs.empty() &&
+          offset <= runs.back().first + runs.back().second) {
+        const std::uint64_t end =
+            std::max(runs.back().first + runs.back().second, offset + length);
+        runs.back().second = end - runs.back().first;
+      } else {
+        runs.emplace_back(offset, length);
+      }
+    }
+  }
+  const std::uint64_t piece = std::max<std::uint64_t>(hints_.cb_buffer_size, 1);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> accesses;
+  for (const auto& [offset, length] : runs) {
+    for (std::uint64_t done_bytes = 0; done_bytes < length;
+         done_bytes += piece) {
+      accesses.emplace_back(offset + done_bytes,
+                            std::min(piece, length - done_bytes));
+    }
+  }
+
+  auto issue_file_phase = [this, path, accesses, aggregators](
+                              Callback phase_done, bool phase_is_write) {
+    auto join = std::make_shared<Join>();
+    join->remaining = accesses.size();
+    join->done = std::move(phase_done);
+    auto joiner = make_joiner(join);
+    for (std::size_t index = 0; index < accesses.size(); ++index) {
+      const auto [offset, length] = accesses[index];
+      const std::size_t agg = aggregators[index % aggregators.size()];
+      if (phase_is_write) {
+        pfs_.write(path, offset, length, agg, joiner);
+      } else {
+        pfs_.read(path, offset, length, agg, joiner);
+      }
+    }
+  };
+
+  // Shuffle: every rank's buffer crosses its NIC and the fabric once.
+  auto issue_shuffle = [this, requests](Callback phase_done) {
+    auto join = std::make_shared<Join>();
+    join->remaining = requests.size();
+    join->done = std::move(phase_done);
+    auto joiner = make_joiner(join);
+    for (const auto& request : requests) {
+      auto& nic = pfs_.cluster().nic(request.node);
+      auto& fabric = pfs_.cluster().fabric();
+      const std::uint64_t bytes = request.length;
+      nic.transfer(bytes, [&fabric, bytes, joiner](sim::SimTime) {
+        fabric.transfer(bytes, joiner);
+      });
+    }
+  };
+
+  const double overhead =
+      costs_.per_op_sec * static_cast<double>(requests.size());
+  if (is_write) {
+    after_overhead(overhead, [issue_shuffle, issue_file_phase,
+                              done = std::move(done)]() mutable {
+      issue_shuffle([issue_file_phase, done = std::move(done)](sim::SimTime) {
+        issue_file_phase(done, /*phase_is_write=*/true);
+      });
+    });
+  } else {
+    after_overhead(overhead, [issue_shuffle, issue_file_phase,
+                              done = std::move(done)]() mutable {
+      issue_file_phase(
+          [issue_shuffle, done = std::move(done)](sim::SimTime) {
+            issue_shuffle(done);
+          },
+          /*phase_is_write=*/false);
+    });
+  }
+}
+
+void IoClient::write_collective(const std::string& path,
+                                const std::vector<CollectiveRequest>& requests,
+                                Callback done) {
+  const bool buffered =
+      hints_.collective_buffering && api_ != IoApi::kPosix;
+  if (!buffered) {
+    auto join = std::make_shared<Join>();
+    join->remaining = requests.size();
+    join->done = std::move(done);
+    auto joiner = make_joiner(join);
+    for (const auto& request : requests) {
+      write(path, request.offset, request.length, request.node, joiner);
+    }
+    return;
+  }
+  two_phase(path, requests, /*is_write=*/true, std::move(done));
+}
+
+void IoClient::read_collective(const std::string& path,
+                               const std::vector<CollectiveRequest>& requests,
+                               Callback done) {
+  const bool buffered =
+      hints_.collective_buffering && api_ != IoApi::kPosix;
+  if (!buffered) {
+    auto join = std::make_shared<Join>();
+    join->remaining = requests.size();
+    join->done = std::move(done);
+    auto joiner = make_joiner(join);
+    for (const auto& request : requests) {
+      read(path, request.offset, request.length, request.node, joiner);
+    }
+    return;
+  }
+  two_phase(path, requests, /*is_write=*/false, std::move(done));
+}
+
+void IoClient::fsync(const std::string& path, std::size_t node,
+                     Callback done) {
+  after_overhead(costs_.per_op_sec, [this, path, node, done = std::move(done)] {
+    pfs_.fsync(path, node, done);
+  });
+}
+
+void IoClient::close(const std::string& path, std::size_t node,
+                     Callback done) {
+  after_overhead(costs_.close_sec, [this, path, node,
+                                    done = std::move(done)]() mutable {
+    if (api_ == IoApi::kHdf5 && pfs_.exists(path)) {
+      // Metadata-cache flush: a small tail write plus a metadata commit.
+      pfs_.write(path, 0, 4096, node, std::move(done));
+    } else {
+      pfs_.cluster().queue().schedule_in(
+          0.0, [this, done = std::move(done)] {
+            done(pfs_.cluster().queue().now());
+          });
+    }
+  });
+}
+
+}  // namespace iokc::iostack

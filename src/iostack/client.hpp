@@ -1,0 +1,93 @@
+// The I/O stack client: the layer benchmark engines program against.
+//
+// It maps POSIX / MPI-IO / HDF5 semantics onto the parallel file system:
+//  - POSIX: thin pass-through with negligible software overhead.
+//  - MPI-IO independent: pass-through plus MPI software overhead per call.
+//  - MPI-IO collective: two-phase I/O — ranks shuffle data to aggregator
+//    nodes over the fabric, aggregators issue large contiguous transfers of
+//    cb_buffer_size. This is where small strided shared-file patterns win.
+//  - HDF5: layered on MPI-IO; adds metadata traffic at open/close and a
+//    small software cost per dataset access.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fs/pfs.hpp"
+#include "src/iostack/hints.hpp"
+#include "src/iostack/pattern.hpp"
+
+namespace iokc::iostack {
+
+/// Per-API software costs (client-side library overhead, not storage time).
+struct ApiCosts {
+  double open_sec = 0.0;
+  double per_op_sec = 0.0;
+  double close_sec = 0.0;
+};
+
+/// Returns the default software costs of an API layer.
+ApiCosts default_api_costs(IoApi api);
+
+/// One rank's piece of a collective operation.
+struct CollectiveRequest {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::size_t node = 0;
+};
+
+/// A client session for one job run. All operations are asynchronous; the
+/// callback receives the simulated completion time.
+class IoClient {
+ public:
+  using Callback = fs::ParallelFileSystem::Callback;
+
+  IoClient(fs::ParallelFileSystem& pfs, IoApi api, MpiioHints hints = {});
+
+  IoApi api() const { return api_; }
+  const MpiioHints& hints() const { return hints_; }
+  fs::ParallelFileSystem& pfs() { return pfs_; }
+
+  /// Opens (optionally creating) a file. HDF5 adds superblock I/O.
+  void open(const std::string& path, std::size_t node, bool create,
+            Callback done);
+
+  /// Independent write/read of one contiguous region from one rank.
+  void write(const std::string& path, std::uint64_t offset,
+             std::uint64_t length, std::size_t node, Callback done);
+  void read(const std::string& path, std::uint64_t offset,
+            std::uint64_t length, std::size_t node, Callback done);
+
+  /// Collective write/read: all ranks' requests for one collective call.
+  /// With collective buffering disabled this degenerates to independent ops.
+  void write_collective(const std::string& path,
+                        const std::vector<CollectiveRequest>& requests,
+                        Callback done);
+  void read_collective(const std::string& path,
+                       const std::vector<CollectiveRequest>& requests,
+                       Callback done);
+
+  /// Commits file data (IOR -e). Maps to fs fsync plus API overhead.
+  void fsync(const std::string& path, std::size_t node, Callback done);
+
+  /// Closes the file. HDF5 flushes its metadata cache.
+  void close(const std::string& path, std::size_t node, Callback done);
+
+ private:
+  /// Runs `action` after the API's software overhead has elapsed.
+  void after_overhead(double overhead, std::function<void()> action);
+  void two_phase(const std::string& path,
+                 const std::vector<CollectiveRequest>& requests, bool is_write,
+                 Callback done);
+  std::vector<std::size_t> pick_aggregators(
+      const std::vector<CollectiveRequest>& requests) const;
+
+  fs::ParallelFileSystem& pfs_;
+  IoApi api_;
+  MpiioHints hints_;
+  ApiCosts costs_;
+};
+
+}  // namespace iokc::iostack

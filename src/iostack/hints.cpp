@@ -1,0 +1,42 @@
+#include "src/iostack/hints.hpp"
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::iostack {
+
+std::string render_hints(const MpiioHints& hints) {
+  std::string out;
+  out += "romio_cb_write=";
+  out += hints.collective_buffering ? "enable" : "disable";
+  out += ";cb_nodes=" + std::to_string(hints.cb_nodes);
+  out += ";cb_buffer_size=" + std::to_string(hints.cb_buffer_size);
+  return out;
+}
+
+MpiioHints parse_hints(const std::string& text) {
+  MpiioHints hints;
+  if (util::trim(text).empty()) {
+    return hints;
+  }
+  for (const std::string& pair : util::split(text, ';')) {
+    const auto kv = util::split(pair, '=');
+    if (kv.size() != 2) {
+      throw ParseError("bad hint pair '" + pair + "'");
+    }
+    const std::string key = util::to_lower(std::string(util::trim(kv[0])));
+    const std::string value{util::trim(kv[1])};
+    if (key == "romio_cb_write" || key == "romio_cb_read") {
+      hints.collective_buffering = util::to_lower(value) == "enable";
+    } else if (key == "cb_nodes") {
+      hints.cb_nodes = static_cast<std::uint32_t>(util::parse_i64(value));
+    } else if (key == "cb_buffer_size") {
+      hints.cb_buffer_size = static_cast<std::uint64_t>(util::parse_i64(value));
+    } else {
+      throw ParseError("unknown MPI-IO hint '" + key + "'");
+    }
+  }
+  return hints;
+}
+
+}  // namespace iokc::iostack

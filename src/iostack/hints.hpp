@@ -1,0 +1,29 @@
+// MPI-IO hints: the tunables the paper's optimization use case manipulates
+// (collective buffering, aggregator count, buffer size). Serializable to the
+// "key=value;key=value" form stored in the knowledge database.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iokc::iostack {
+
+/// The subset of ROMIO hints the model honours.
+struct MpiioHints {
+  /// Enable two-phase collective buffering for collective operations.
+  bool collective_buffering = true;
+  /// Number of aggregator nodes; 0 means "one per compute node".
+  std::uint32_t cb_nodes = 0;
+  /// Aggregated transfer granularity.
+  std::uint64_t cb_buffer_size = 16ull * 1024 * 1024;
+
+  bool operator==(const MpiioHints&) const = default;
+};
+
+/// Renders "romio_cb_write=enable;cb_nodes=4;cb_buffer_size=16777216".
+std::string render_hints(const MpiioHints& hints);
+
+/// Parses the render_hints format; unknown keys raise ParseError.
+MpiioHints parse_hints(const std::string& text);
+
+}  // namespace iokc::iostack

@@ -1,0 +1,77 @@
+#include "src/iostack/pattern.hpp"
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::iostack {
+
+std::string to_string(IoApi api) {
+  switch (api) {
+    case IoApi::kPosix: return "POSIX";
+    case IoApi::kMpiio: return "MPIIO";
+    case IoApi::kHdf5: return "HDF5";
+  }
+  return "?";
+}
+
+IoApi api_from_string(const std::string& text) {
+  const std::string lower = util::to_lower(text);
+  if (lower == "posix") {
+    return IoApi::kPosix;
+  }
+  if (lower == "mpiio" || lower == "mpi-io") {
+    return IoApi::kMpiio;
+  }
+  if (lower == "hdf5") {
+    return IoApi::kHdf5;
+  }
+  throw ParseError("unknown I/O API '" + text + "'");
+}
+
+std::string to_string(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::kSequential: return "sequential";
+    case AccessPattern::kRandom: return "random";
+    case AccessPattern::kStrided: return "strided";
+  }
+  return "?";
+}
+
+AccessPattern access_pattern_from_string(const std::string& text) {
+  const std::string lower = util::to_lower(text);
+  if (lower == "sequential") {
+    return AccessPattern::kSequential;
+  }
+  if (lower == "random") {
+    return AccessPattern::kRandom;
+  }
+  if (lower == "strided") {
+    return AccessPattern::kStrided;
+  }
+  throw ParseError("unknown access pattern '" + text + "'");
+}
+
+std::string to_string(FileMode mode) {
+  switch (mode) {
+    case FileMode::kSharedFile: return "single-shared-file";
+    case FileMode::kFilePerProcess: return "file-per-process";
+    case FileMode::kFilePerGroup: return "file-per-group";
+  }
+  return "?";
+}
+
+FileMode file_mode_from_string(const std::string& text) {
+  const std::string lower = util::to_lower(text);
+  if (lower == "single-shared-file" || lower == "shared") {
+    return FileMode::kSharedFile;
+  }
+  if (lower == "file-per-process" || lower == "fpp") {
+    return FileMode::kFilePerProcess;
+  }
+  if (lower == "file-per-group" || lower == "fpg") {
+    return FileMode::kFilePerGroup;
+  }
+  throw ParseError("unknown file mode '" + text + "'");
+}
+
+}  // namespace iokc::iostack

@@ -1,0 +1,28 @@
+// I/O interface and access-pattern vocabulary shared by benchmark engines,
+// the knowledge model, and the analysis/usage phases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iokc::iostack {
+
+/// The I/O interface used by an application or benchmark.
+enum class IoApi { kPosix, kMpiio, kHdf5 };
+
+std::string to_string(IoApi api);            // "POSIX", "MPIIO", "HDF5"
+IoApi api_from_string(const std::string& text);  // case-insensitive
+
+/// Spatial access pattern of a workload.
+enum class AccessPattern { kSequential, kRandom, kStrided };
+
+std::string to_string(AccessPattern pattern);
+AccessPattern access_pattern_from_string(const std::string& text);
+
+/// File sharing mode (HACC-IO vocabulary; IOR's -F maps to kFilePerProcess).
+enum class FileMode { kSharedFile, kFilePerProcess, kFilePerGroup };
+
+std::string to_string(FileMode mode);
+FileMode file_mode_from_string(const std::string& text);
+
+}  // namespace iokc::iostack

@@ -1,0 +1,102 @@
+#include "src/jube/parameters.hpp"
+
+#include <cctype>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::jube {
+
+void ParameterSpace::add(Parameter parameter) {
+  if (parameter.name.empty()) {
+    throw ConfigError("parameter needs a name");
+  }
+  if (parameter.values.empty()) {
+    throw ConfigError("parameter '" + parameter.name + "' needs values");
+  }
+  for (const Parameter& existing : parameters_) {
+    if (existing.name == parameter.name) {
+      throw ConfigError("duplicate parameter '" + parameter.name + "'");
+    }
+  }
+  parameters_.push_back(std::move(parameter));
+}
+
+void ParameterSpace::add_csv(const std::string& name,
+                             const std::string& csv_values) {
+  Parameter parameter;
+  parameter.name = name;
+  for (const std::string& value : util::split(csv_values, ',')) {
+    parameter.values.emplace_back(util::trim(value));
+  }
+  add(std::move(parameter));
+}
+
+std::vector<Assignment> ParameterSpace::expand() const {
+  std::vector<Assignment> assignments{Assignment{}};
+  for (const Parameter& parameter : parameters_) {
+    std::vector<Assignment> next;
+    next.reserve(assignments.size() * parameter.values.size());
+    for (const Assignment& base : assignments) {
+      for (const std::string& value : parameter.values) {
+        Assignment extended = base;
+        extended[parameter.name] = value;
+        next.push_back(std::move(extended));
+      }
+    }
+    assignments = std::move(next);
+  }
+  return assignments;
+}
+
+std::size_t ParameterSpace::size() const {
+  std::size_t count = 1;
+  for (const Parameter& parameter : parameters_) {
+    count *= parameter.values.size();
+  }
+  return count;
+}
+
+std::string substitute(const std::string& templ, const Assignment& assignment) {
+  std::string out;
+  for (std::size_t i = 0; i < templ.size(); ++i) {
+    if (templ[i] != '$') {
+      out += templ[i];
+      continue;
+    }
+    if (i + 1 < templ.size() && templ[i + 1] == '$') {
+      out += '$';
+      ++i;
+      continue;
+    }
+    std::string name;
+    if (i + 1 < templ.size() && templ[i + 1] == '{') {
+      const std::size_t close = templ.find('}', i + 2);
+      if (close == std::string::npos) {
+        throw ConfigError("unterminated ${...} in template");
+      }
+      name = templ.substr(i + 2, close - i - 2);
+      i = close;
+    } else {
+      std::size_t j = i + 1;
+      while (j < templ.size() &&
+             (std::isalnum(static_cast<unsigned char>(templ[j])) ||
+              templ[j] == '_')) {
+        ++j;
+      }
+      name = templ.substr(i + 1, j - i - 1);
+      i = j - 1;
+    }
+    if (name.empty()) {
+      throw ConfigError("empty parameter reference in template");
+    }
+    const auto it = assignment.find(name);
+    if (it == assignment.end()) {
+      throw ConfigError("unknown parameter '$" + name + "' in template");
+    }
+    out += it->second;
+  }
+  return out;
+}
+
+}  // namespace iokc::jube

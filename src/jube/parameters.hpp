@@ -1,0 +1,47 @@
+// JUBE-style parameter sets: named parameters with value lists, cartesian
+// expansion into work packages, and $name template substitution in step
+// commands.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace iokc::jube {
+
+/// One parameter with its sweep values.
+struct Parameter {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+/// One concrete assignment of every parameter (a JUBE "work package").
+using Assignment = std::map<std::string, std::string>;
+
+/// An ordered collection of parameters.
+class ParameterSpace {
+ public:
+  /// Adds a parameter; duplicate names raise ConfigError.
+  void add(Parameter parameter);
+
+  /// Convenience: comma-separated value list ("1m,2m,4m").
+  void add_csv(const std::string& name, const std::string& csv_values);
+
+  const std::vector<Parameter>& parameters() const { return parameters_; }
+
+  /// Cartesian product in declaration order (first parameter varies slowest).
+  /// An empty space expands to one empty assignment.
+  std::vector<Assignment> expand() const;
+
+  /// Number of assignments expand() would produce.
+  std::size_t size() const;
+
+ private:
+  std::vector<Parameter> parameters_;
+};
+
+/// Substitutes $name and ${name} occurrences from the assignment. Unknown
+/// parameters raise ConfigError; "$$" escapes a literal '$'.
+std::string substitute(const std::string& templ, const Assignment& assignment);
+
+}  // namespace iokc::jube

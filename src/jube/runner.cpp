@@ -1,0 +1,215 @@
+#include "src/jube/runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::jube {
+
+namespace {
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError("cannot write " + path.string());
+  }
+  out << content;
+  if (!out) {
+    throw IoError("failed writing " + path.string());
+  }
+}
+
+}  // namespace
+
+JubeBenchmarkConfig JubeBenchmarkConfig::from_xml(const XmlNode& root) {
+  const XmlNode* bench = &root;
+  if (root.name == "jube") {
+    bench = root.find_child("benchmark");
+    if (bench == nullptr) {
+      throw ParseError("JUBE config has no <benchmark> element");
+    }
+  } else if (root.name != "benchmark") {
+    throw ParseError("expected <jube> or <benchmark> root, got <" + root.name +
+                     ">");
+  }
+  JubeBenchmarkConfig config;
+  config.name = bench->attribute("name");
+  if (const std::string* outpath = bench->find_attribute("outpath")) {
+    config.outpath = *outpath;
+  }
+  for (const XmlNode* set : bench->children_named("parameterset")) {
+    for (const XmlNode* parameter : set->children_named("parameter")) {
+      config.space.add_csv(parameter->attribute("name"),
+                           std::string(util::trim(parameter->text)));
+    }
+  }
+  for (const XmlNode* step : bench->children_named("step")) {
+    config.steps.push_back(JubeStep{
+        step->attribute("name"), std::string(util::trim(step->text))});
+  }
+  if (config.steps.empty()) {
+    throw ParseError("JUBE benchmark '" + config.name + "' has no steps");
+  }
+  return config;
+}
+
+JubeBenchmarkConfig JubeBenchmarkConfig::from_xml_text(const std::string& text) {
+  return from_xml(parse_xml(text));
+}
+
+std::string JubeBenchmarkConfig::to_xml() const {
+  std::string out;
+  out += "<jube>\n";
+  out += "  <benchmark name=\"" + xml_escape(name) + "\" outpath=\"" +
+         xml_escape(outpath) + "\">\n";
+  if (!space.parameters().empty()) {
+    out += "    <parameterset name=\"sweep\">\n";
+    for (const Parameter& parameter : space.parameters()) {
+      out += "      <parameter name=\"" + xml_escape(parameter.name) + "\">" +
+             xml_escape(util::join(parameter.values, ",")) + "</parameter>\n";
+    }
+    out += "    </parameterset>\n";
+  }
+  for (const JubeStep& step : steps) {
+    out += "    <step name=\"" + xml_escape(step.name) + "\">" +
+           xml_escape(step.command_template) + "</step>\n";
+  }
+  out += "  </benchmark>\n";
+  out += "</jube>\n";
+  return out;
+}
+
+void ExecutorRegistry::register_executor(std::string program,
+                                         CommandExecutor executor) {
+  if (!executor) {
+    throw ConfigError("executor for '" + program + "' is empty");
+  }
+  executors_[std::move(program)] = std::move(executor);
+}
+
+const CommandExecutor* ExecutorRegistry::find(const std::string& program) const {
+  const auto it = executors_.find(program);
+  return it == executors_.end() ? nullptr : &it->second;
+}
+
+JubeRunner::JubeRunner(std::filesystem::path workspace_root,
+                       ExecutorRegistry registry)
+    : root_(std::move(workspace_root)), registry_(std::move(registry)) {}
+
+int JubeRunner::next_run_id(const std::filesystem::path& bench_dir) const {
+  int next = 0;
+  if (std::filesystem::exists(bench_dir)) {
+    for (const auto& entry : std::filesystem::directory_iterator(bench_dir)) {
+      if (!entry.is_directory()) {
+        continue;
+      }
+      const std::string stem = entry.path().filename().string();
+      try {
+        next = std::max(next, static_cast<int>(util::parse_i64(stem)) + 1);
+      } catch (const ParseError&) {
+        // non-numeric directory; ignore
+      }
+    }
+  }
+  return next;
+}
+
+JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config) {
+  const std::filesystem::path bench_dir = root_ / config.outpath;
+  std::filesystem::create_directories(bench_dir);
+  JubeRunResult result;
+  result.run_id = next_run_id(bench_dir);
+  char run_name[16];
+  std::snprintf(run_name, sizeof run_name, "%06d", result.run_id);
+  result.run_dir = bench_dir / run_name;
+  std::filesystem::create_directories(result.run_dir);
+  write_file(result.run_dir / "configuration.xml", config.to_xml());
+
+  const std::vector<Assignment> assignments = config.space.expand();
+  int wp_id = 0;
+  for (const Assignment& assignment : assignments) {
+    for (const JubeStep& step : config.steps) {
+      const std::string command =
+          substitute(step.command_template, assignment);
+      const std::vector<std::string> tokens = util::split_ws(command);
+      if (tokens.empty()) {
+        throw ConfigError("step '" + step.name + "' expands to empty command");
+      }
+      const CommandExecutor* executor = registry_.find(tokens.front());
+      if (executor == nullptr) {
+        throw ConfigError("no executor registered for '" + tokens.front() +
+                          "'");
+      }
+
+      char wp_name[64];
+      std::snprintf(wp_name, sizeof wp_name, "%06d_%s", wp_id,
+                    step.name.c_str());
+      const std::filesystem::path wp_dir = result.run_dir / wp_name;
+      std::filesystem::create_directories(wp_dir);
+
+      std::string parameters_text;
+      for (const auto& [key, value] : assignment) {
+        parameters_text += key + ": " + value + "\n";
+      }
+      write_file(wp_dir / "parameters.txt", parameters_text);
+      write_file(wp_dir / "command.txt", command + "\n");
+
+      const ExecutionOutput output = (*executor)(command);
+      write_file(wp_dir / "stdout", output.stdout_text);
+      for (const auto& [name, data] : output.extra_files) {
+        write_file(wp_dir / name, data);
+      }
+      write_file(wp_dir / "done", "");
+
+      WorkPackageResult package;
+      package.work_package = wp_id;
+      package.parameters = assignment;
+      package.step_name = step.name;
+      package.command = command;
+      package.dir = wp_dir;
+      package.stdout_path = wp_dir / "stdout";
+      result.packages.push_back(std::move(package));
+    }
+    ++wp_id;
+  }
+  return result;
+}
+
+std::vector<std::filesystem::path> JubeRunner::discover_outputs(
+    const std::filesystem::path& root) {
+  std::vector<std::filesystem::path> outputs;
+  if (!std::filesystem::exists(root)) {
+    return outputs;
+  }
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file() ||
+        entry.path().filename() != "stdout") {
+      continue;
+    }
+    if (std::filesystem::exists(entry.path().parent_path() / "done")) {
+      outputs.push_back(entry.path());
+    }
+  }
+  std::sort(outputs.begin(), outputs.end());
+  return outputs;
+}
+
+}  // namespace iokc::jube

@@ -1,0 +1,108 @@
+// The JUBE-style benchmarking environment: a benchmark configuration (XML or
+// programmatic) expands over its parameter space into work packages; each
+// package's step commands run through registered executors; outputs land in a
+// JUBE-shaped workspace tree that the knowledge extractor can auto-discover:
+//
+//   <workspace>/<outpath>/<run id>/<wp id>_<step>/parameters.txt
+//                                               /command.txt
+//                                               /stdout
+//                                               /done
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/jube/parameters.hpp"
+#include "src/jube/xml.hpp"
+
+namespace iokc::jube {
+
+/// One step of a benchmark: a command template executed per work package.
+struct JubeStep {
+  std::string name;
+  std::string command_template;  // "$param" placeholders allowed
+};
+
+/// A benchmark description (the <benchmark> element of a JUBE config).
+struct JubeBenchmarkConfig {
+  std::string name;
+  std::string outpath = "bench_run";
+  ParameterSpace space;
+  std::vector<JubeStep> steps;
+
+  /// Parses <jube><benchmark>...</benchmark></jube> (or a bare <benchmark>).
+  static JubeBenchmarkConfig from_xml(const XmlNode& root);
+  static JubeBenchmarkConfig from_xml_text(const std::string& text);
+
+  /// Serializes back to the XML dialect (used by the config generator).
+  std::string to_xml() const;
+};
+
+/// What one command execution produced: the stdout text plus optional extra
+/// files (system snapshots, profiler logs) written beside it.
+struct ExecutionOutput {
+  std::string stdout_text;
+  std::vector<std::pair<std::string, std::string>> extra_files;  // name, data
+};
+
+/// Executes one command. The command's first token selects the executor
+/// ("ior", "io500", "mdtest", ...).
+using CommandExecutor =
+    std::function<ExecutionOutput(const std::string& command)>;
+
+/// Maps program names to executors.
+class ExecutorRegistry {
+ public:
+  void register_executor(std::string program, CommandExecutor executor);
+  /// nullptr when the program is unknown.
+  const CommandExecutor* find(const std::string& program) const;
+
+ private:
+  std::map<std::string, CommandExecutor> executors_;
+};
+
+/// One executed work package step.
+struct WorkPackageResult {
+  int work_package = 0;
+  Assignment parameters;
+  std::string step_name;
+  std::string command;
+  std::filesystem::path dir;
+  std::filesystem::path stdout_path;
+};
+
+/// One completed benchmark run.
+struct JubeRunResult {
+  int run_id = 0;
+  std::filesystem::path run_dir;
+  std::vector<WorkPackageResult> packages;
+};
+
+/// The runner.
+class JubeRunner {
+ public:
+  JubeRunner(std::filesystem::path workspace_root, ExecutorRegistry registry);
+
+  /// Expands, executes, and persists a benchmark. Throws ConfigError when a
+  /// step's program has no registered executor; throws IoError on filesystem
+  /// failures.
+  JubeRunResult run(const JubeBenchmarkConfig& config);
+
+  const std::filesystem::path& workspace_root() const { return root_; }
+
+  /// Finds every completed step output ("stdout" beside a "done" marker)
+  /// under a workspace tree — the extractor's automatic search.
+  static std::vector<std::filesystem::path> discover_outputs(
+      const std::filesystem::path& root);
+
+ private:
+  int next_run_id(const std::filesystem::path& bench_dir) const;
+
+  std::filesystem::path root_;
+  ExecutorRegistry registry_;
+};
+
+}  // namespace iokc::jube

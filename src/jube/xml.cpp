@@ -1,0 +1,250 @@
+#include "src/jube/xml.hpp"
+
+#include <cctype>
+
+#include "src/util/error.hpp"
+
+namespace iokc::jube {
+
+const std::string* XmlNode::find_attribute(std::string_view attr) const {
+  for (const auto& [key, value] : attributes) {
+    if (key == attr) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+const std::string& XmlNode::attribute(std::string_view attr) const {
+  if (const std::string* value = find_attribute(attr)) {
+    return *value;
+  }
+  throw ParseError("XML element <" + name + "> missing attribute '" +
+                   std::string(attr) + "'");
+}
+
+const XmlNode* XmlNode::find_child(std::string_view child_name) const {
+  for (const XmlNode& child : children) {
+    if (child.name == child_name) {
+      return &child;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    std::string_view child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& child : children) {
+    if (child.name == child_name) {
+      out.push_back(&child);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  XmlNode parse_document() {
+    skip_prolog();
+    XmlNode root = parse_element();
+    skip_misc();
+    if (pos_ != text_.size()) {
+      fail("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("XML at offset " + std::to_string(pos_) + ": " + message);
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw ParseError("XML: unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void skip_ws() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_comment() {
+    const std::size_t end = text_.find("-->", pos_);
+    if (end == std::string_view::npos) {
+      fail("unterminated comment");
+    }
+    pos_ = end + 3;
+  }
+
+  void skip_prolog() {
+    skip_misc();
+  }
+
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (consume("<?")) {
+        const std::size_t end = text_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          fail("unterminated XML declaration");
+        }
+        pos_ = end + 2;
+      } else if (consume("<!--")) {
+        skip_comment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == '.' || c == ':') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      fail("expected a name");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        fail("unterminated entity");
+      }
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out += '&';
+      } else if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else {
+        fail("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') {
+      fail("attribute value must be quoted");
+    }
+    ++pos_;
+    const std::size_t start = pos_;
+    while (!at_end() && text_[pos_] != quote) {
+      ++pos_;
+    }
+    if (at_end()) {
+      fail("unterminated attribute value");
+    }
+    const std::string value =
+        decode_entities(text_.substr(start, pos_ - start));
+    ++pos_;
+    return value;
+  }
+
+  XmlNode parse_element() {
+    if (!consume("<")) {
+      fail("expected '<'");
+    }
+    XmlNode node;
+    node.name = parse_name();
+    while (true) {
+      skip_ws();
+      if (consume("/>")) {
+        return node;
+      }
+      if (consume(">")) {
+        break;
+      }
+      std::string attr = parse_name();
+      skip_ws();
+      if (!consume("=")) {
+        fail("expected '=' after attribute name");
+      }
+      skip_ws();
+      node.attributes.emplace_back(std::move(attr), parse_attribute_value());
+    }
+    // Content: text, children, comments, until matching close tag.
+    while (true) {
+      if (at_end()) {
+        fail("unterminated element <" + node.name + ">");
+      }
+      if (consume("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (text_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        const std::string close = parse_name();
+        if (close != node.name) {
+          fail("mismatched close tag </" + close + "> for <" + node.name + ">");
+        }
+        skip_ws();
+        if (!consume(">")) {
+          fail("expected '>' in close tag");
+        }
+        return node;
+      }
+      if (peek() == '<') {
+        node.children.push_back(parse_element());
+        continue;
+      }
+      const std::size_t start = pos_;
+      while (!at_end() && text_[pos_] != '<') {
+        ++pos_;
+      }
+      node.text += decode_entities(text_.substr(start, pos_ - start));
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+XmlNode parse_xml(std::string_view text) {
+  return XmlParser(text).parse_document();
+}
+
+}  // namespace iokc::jube

@@ -1,0 +1,35 @@
+// A small XML subset parser for JUBE-style configuration files: elements,
+// attributes, text content, comments, and XML declarations. No namespaces,
+// CDATA, or DTDs — the JUBE configuration dialect needs none of them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace iokc::jube {
+
+/// One XML element.
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<XmlNode> children;
+  std::string text;  // concatenated character data directly inside this node
+
+  /// Attribute lookup; returns nullptr when absent.
+  const std::string* find_attribute(std::string_view attr) const;
+  /// Attribute lookup with a required value; throws ParseError when absent.
+  const std::string& attribute(std::string_view attr) const;
+  /// First child element with the given name; nullptr when absent.
+  const XmlNode* find_child(std::string_view child_name) const;
+  /// All child elements with the given name.
+  std::vector<const XmlNode*> children_named(std::string_view child_name) const;
+};
+
+/// Parses a document and returns its root element.
+/// Throws ParseError with offset information on malformed input.
+XmlNode parse_xml(std::string_view text);
+
+}  // namespace iokc::jube

@@ -1,0 +1,71 @@
+#include "src/knowledge/io500_knowledge.hpp"
+
+namespace iokc::knowledge {
+
+namespace {
+
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+}  // namespace
+
+const Io500Testcase* Io500Knowledge::find_testcase(
+    const std::string& name) const {
+  for (const Io500Testcase& testcase : testcases) {
+    if (testcase.name == name) {
+      return &testcase;
+    }
+  }
+  return nullptr;
+}
+
+util::JsonValue Io500Knowledge::to_json() const {
+  JsonObject obj;
+  obj.emplace_back("command", JsonValue(command));
+  obj.emplace_back("num_tasks", JsonValue(static_cast<std::int64_t>(num_tasks)));
+  obj.emplace_back("num_nodes", JsonValue(static_cast<std::int64_t>(num_nodes)));
+  obj.emplace_back("score_bw_gib", JsonValue(score_bw_gib));
+  obj.emplace_back("score_md_kiops", JsonValue(score_md_kiops));
+  obj.emplace_back("score_total", JsonValue(score_total));
+  JsonArray cases;
+  for (const Io500Testcase& testcase : testcases) {
+    JsonObject c;
+    c.emplace_back("name", JsonValue(testcase.name));
+    c.emplace_back("options", JsonValue(testcase.options));
+    c.emplace_back("value", JsonValue(testcase.value));
+    c.emplace_back("unit", JsonValue(testcase.unit));
+    c.emplace_back("time_sec", JsonValue(testcase.time_sec));
+    cases.push_back(JsonValue(std::move(c)));
+  }
+  obj.emplace_back("testcases", JsonValue(std::move(cases)));
+  if (system.has_value()) {
+    obj.emplace_back("system", system_info_to_json(*system));
+  }
+  return JsonValue(std::move(obj));
+}
+
+Io500Knowledge Io500Knowledge::from_json(const util::JsonValue& json) {
+  Io500Knowledge k;
+  k.command = json.at("command").as_string();
+  k.num_tasks = static_cast<std::uint32_t>(json.at("num_tasks").as_int());
+  k.num_nodes = static_cast<std::uint32_t>(json.at("num_nodes").as_int());
+  k.score_bw_gib = json.at("score_bw_gib").as_double();
+  k.score_md_kiops = json.at("score_md_kiops").as_double();
+  k.score_total = json.at("score_total").as_double();
+  for (const JsonValue& c : json.at("testcases").as_array()) {
+    Io500Testcase testcase;
+    testcase.name = c.at("name").as_string();
+    testcase.options = c.at("options").as_string();
+    testcase.value = c.at("value").as_double();
+    testcase.unit = c.at("unit").as_string();
+    testcase.time_sec = c.at("time_sec").as_double();
+    k.testcases.push_back(std::move(testcase));
+  }
+  if (const JsonValue* sys = json.find("system")) {
+    k.system = system_info_from_json(*sys);
+  }
+  return k;
+}
+
+}  // namespace iokc::knowledge

@@ -1,0 +1,48 @@
+// The IO500 knowledge object. The paper keeps IO500 knowledge separate from
+// the IOR knowledge object ("we decide to first separate our knowledge object
+// from the knowledge object used in IO500"); it maps to the IOFHsRuns /
+// IOFHsScores / IOFHsTestcases / IOFHsOptions / IOFHsResults tables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/knowledge/knowledge.hpp"
+#include "src/util/json.hpp"
+
+namespace iokc::knowledge {
+
+/// One executed IO500 test case with its options and result
+/// (IOFHsTestcases + IOFHsOptions + IOFHsResults).
+struct Io500Testcase {
+  std::string name;     // e.g. "ior-easy-write"
+  std::string options;  // textual options used for the test case
+  double value = 0.0;   // GiB/s or kIOPS
+  std::string unit;
+  double time_sec = 0.0;
+
+  bool operator==(const Io500Testcase&) const = default;
+};
+
+/// A complete IO500 run (IOFHsRuns + IOFHsScores + children).
+struct Io500Knowledge {
+  std::string command;
+  std::uint32_t num_tasks = 0;
+  std::uint32_t num_nodes = 0;
+  double score_bw_gib = 0.0;
+  double score_md_kiops = 0.0;
+  double score_total = 0.0;
+  std::vector<Io500Testcase> testcases;
+  std::optional<SystemInfoRecord> system;
+
+  bool operator==(const Io500Knowledge&) const = default;
+
+  const Io500Testcase* find_testcase(const std::string& name) const;
+
+  util::JsonValue to_json() const;
+  static Io500Knowledge from_json(const util::JsonValue& json);
+};
+
+}  // namespace iokc::knowledge

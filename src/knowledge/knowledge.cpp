@@ -1,0 +1,267 @@
+#include "src/knowledge/knowledge.hpp"
+
+#include <vector>
+
+#include "src/util/summary_stats.hpp"
+
+namespace iokc::knowledge {
+
+namespace {
+
+using util::JsonArray;
+using util::JsonObject;
+using util::JsonValue;
+
+JsonValue op_result_to_json(const OpResult& r) {
+  JsonObject obj;
+  obj.emplace_back("iteration", JsonValue(static_cast<std::int64_t>(r.iteration)));
+  obj.emplace_back("bw_mib", JsonValue(r.bw_mib));
+  obj.emplace_back("iops", JsonValue(r.iops));
+  obj.emplace_back("latency_sec", JsonValue(r.latency_sec));
+  obj.emplace_back("open_sec", JsonValue(r.open_sec));
+  obj.emplace_back("wrrd_sec", JsonValue(r.wrrd_sec));
+  obj.emplace_back("close_sec", JsonValue(r.close_sec));
+  obj.emplace_back("total_sec", JsonValue(r.total_sec));
+  return JsonValue(std::move(obj));
+}
+
+OpResult op_result_from_json(const JsonValue& json) {
+  OpResult r;
+  r.iteration = static_cast<int>(json.at("iteration").as_int());
+  r.bw_mib = json.at("bw_mib").as_double();
+  r.iops = json.at("iops").as_double();
+  r.latency_sec = json.at("latency_sec").as_double();
+  r.open_sec = json.at("open_sec").as_double();
+  r.wrrd_sec = json.at("wrrd_sec").as_double();
+  r.close_sec = json.at("close_sec").as_double();
+  r.total_sec = json.at("total_sec").as_double();
+  return r;
+}
+
+JsonValue summary_to_json(const OpSummary& s) {
+  JsonObject obj;
+  obj.emplace_back("operation", JsonValue(s.operation));
+  obj.emplace_back("api", JsonValue(s.api));
+  obj.emplace_back("max_bw_mib", JsonValue(s.max_bw_mib));
+  obj.emplace_back("min_bw_mib", JsonValue(s.min_bw_mib));
+  obj.emplace_back("mean_bw_mib", JsonValue(s.mean_bw_mib));
+  obj.emplace_back("stddev_bw_mib", JsonValue(s.stddev_bw_mib));
+  obj.emplace_back("max_ops", JsonValue(s.max_ops));
+  obj.emplace_back("min_ops", JsonValue(s.min_ops));
+  obj.emplace_back("mean_ops", JsonValue(s.mean_ops));
+  obj.emplace_back("stddev_ops", JsonValue(s.stddev_ops));
+  obj.emplace_back("mean_time_sec", JsonValue(s.mean_time_sec));
+  JsonArray results;
+  for (const OpResult& r : s.results) {
+    results.push_back(op_result_to_json(r));
+  }
+  obj.emplace_back("results", JsonValue(std::move(results)));
+  return JsonValue(std::move(obj));
+}
+
+OpSummary summary_from_json(const JsonValue& json) {
+  OpSummary s;
+  s.operation = json.at("operation").as_string();
+  s.api = json.at("api").as_string();
+  s.max_bw_mib = json.at("max_bw_mib").as_double();
+  s.min_bw_mib = json.at("min_bw_mib").as_double();
+  s.mean_bw_mib = json.at("mean_bw_mib").as_double();
+  s.stddev_bw_mib = json.at("stddev_bw_mib").as_double();
+  s.max_ops = json.at("max_ops").as_double();
+  s.min_ops = json.at("min_ops").as_double();
+  s.mean_ops = json.at("mean_ops").as_double();
+  s.stddev_ops = json.at("stddev_ops").as_double();
+  s.mean_time_sec = json.at("mean_time_sec").as_double();
+  for (const JsonValue& r : json.at("results").as_array()) {
+    s.results.push_back(op_result_from_json(r));
+  }
+  return s;
+}
+
+JsonValue fs_info_to_json(const FileSystemInfo& f) {
+  JsonObject obj;
+  obj.emplace_back("fs_name", JsonValue(f.fs_name));
+  obj.emplace_back("entry_type", JsonValue(f.entry_type));
+  obj.emplace_back("entry_id", JsonValue(f.entry_id));
+  obj.emplace_back("metadata_node",
+                   JsonValue(static_cast<std::int64_t>(f.metadata_node)));
+  obj.emplace_back("stripe_pattern", JsonValue(f.stripe_pattern));
+  obj.emplace_back("chunk_size",
+                   JsonValue(static_cast<std::int64_t>(f.chunk_size)));
+  obj.emplace_back("num_targets",
+                   JsonValue(static_cast<std::int64_t>(f.num_targets)));
+  obj.emplace_back("storage_pool",
+                   JsonValue(static_cast<std::int64_t>(f.storage_pool)));
+  return JsonValue(std::move(obj));
+}
+
+FileSystemInfo fs_info_from_json(const JsonValue& json) {
+  FileSystemInfo f;
+  f.fs_name = json.at("fs_name").as_string();
+  f.entry_type = json.at("entry_type").as_string();
+  f.entry_id = json.at("entry_id").as_string();
+  f.metadata_node =
+      static_cast<std::uint32_t>(json.at("metadata_node").as_int());
+  f.stripe_pattern = json.at("stripe_pattern").as_string();
+  f.chunk_size = static_cast<std::uint64_t>(json.at("chunk_size").as_int());
+  f.num_targets = static_cast<std::uint32_t>(json.at("num_targets").as_int());
+  f.storage_pool = static_cast<std::uint32_t>(json.at("storage_pool").as_int());
+  return f;
+}
+
+}  // namespace
+
+util::JsonValue system_info_to_json(const SystemInfoRecord& s) {
+  JsonObject obj;
+  obj.emplace_back("hostname", JsonValue(s.hostname));
+  obj.emplace_back("os_release", JsonValue(s.os_release));
+  obj.emplace_back("cpu_model", JsonValue(s.cpu_model));
+  obj.emplace_back("sockets", JsonValue(static_cast<std::int64_t>(s.sockets)));
+  obj.emplace_back("cores_per_socket",
+                   JsonValue(static_cast<std::int64_t>(s.cores_per_socket)));
+  obj.emplace_back("total_cores",
+                   JsonValue(static_cast<std::int64_t>(s.total_cores)));
+  obj.emplace_back("frequency_mhz", JsonValue(s.frequency_mhz));
+  obj.emplace_back("l1d_kib", JsonValue(static_cast<std::int64_t>(s.l1d_kib)));
+  obj.emplace_back("l2_kib", JsonValue(static_cast<std::int64_t>(s.l2_kib)));
+  obj.emplace_back("l3_kib", JsonValue(static_cast<std::int64_t>(s.l3_kib)));
+  obj.emplace_back("memory_bytes",
+                   JsonValue(static_cast<std::int64_t>(s.memory_bytes)));
+  obj.emplace_back("interconnect", JsonValue(s.interconnect));
+  return JsonValue(std::move(obj));
+}
+
+SystemInfoRecord system_info_from_json(const util::JsonValue& json) {
+  SystemInfoRecord s;
+  s.hostname = json.at("hostname").as_string();
+  s.os_release = json.at("os_release").as_string();
+  s.cpu_model = json.at("cpu_model").as_string();
+  s.sockets = static_cast<int>(json.at("sockets").as_int());
+  s.cores_per_socket = static_cast<int>(json.at("cores_per_socket").as_int());
+  s.total_cores = static_cast<int>(json.at("total_cores").as_int());
+  s.frequency_mhz = json.at("frequency_mhz").as_double();
+  s.l1d_kib = static_cast<std::uint64_t>(json.at("l1d_kib").as_int());
+  s.l2_kib = static_cast<std::uint64_t>(json.at("l2_kib").as_int());
+  s.l3_kib = static_cast<std::uint64_t>(json.at("l3_kib").as_int());
+  s.memory_bytes = static_cast<std::uint64_t>(json.at("memory_bytes").as_int());
+  s.interconnect = json.at("interconnect").as_string();
+  return s;
+}
+
+util::JsonValue job_info_to_json(const JobInfoRecord& j) {
+  JsonObject obj;
+  obj.emplace_back("job_id", JsonValue(static_cast<std::int64_t>(j.job_id)));
+  obj.emplace_back("job_name", JsonValue(j.job_name));
+  obj.emplace_back("partition", JsonValue(j.partition));
+  obj.emplace_back("user", JsonValue(j.user));
+  obj.emplace_back("num_nodes",
+                   JsonValue(static_cast<std::int64_t>(j.num_nodes)));
+  obj.emplace_back("num_tasks",
+                   JsonValue(static_cast<std::int64_t>(j.num_tasks)));
+  obj.emplace_back("node_list", JsonValue(j.node_list));
+  obj.emplace_back("submit_time", JsonValue(j.submit_time));
+  obj.emplace_back("start_time", JsonValue(j.start_time));
+  return JsonValue(std::move(obj));
+}
+
+JobInfoRecord job_info_from_json(const util::JsonValue& json) {
+  JobInfoRecord j;
+  j.job_id = static_cast<std::uint64_t>(json.at("job_id").as_int());
+  j.job_name = json.at("job_name").as_string();
+  j.partition = json.at("partition").as_string();
+  j.user = json.at("user").as_string();
+  j.num_nodes = static_cast<std::uint32_t>(json.at("num_nodes").as_int());
+  j.num_tasks = static_cast<std::uint32_t>(json.at("num_tasks").as_int());
+  j.node_list = json.at("node_list").as_string();
+  j.submit_time = json.at("submit_time").as_double();
+  j.start_time = json.at("start_time").as_double();
+  return j;
+}
+
+void OpSummary::recompute() {
+  std::vector<double> bws;
+  std::vector<double> iopses;
+  std::vector<double> times;
+  for (const OpResult& r : results) {
+    bws.push_back(r.bw_mib);
+    iopses.push_back(r.iops);
+    times.push_back(r.total_sec);
+  }
+  const auto bw = util::summarize(bws);
+  const auto io = util::summarize(iopses);
+  const auto tm = util::summarize(times);
+  max_bw_mib = bw.max;
+  min_bw_mib = bw.min;
+  mean_bw_mib = bw.mean;
+  stddev_bw_mib = bw.stddev;
+  max_ops = io.max;
+  min_ops = io.min;
+  mean_ops = io.mean;
+  stddev_ops = io.stddev;
+  mean_time_sec = tm.mean;
+}
+
+const OpSummary* Knowledge::find_summary(const std::string& operation) const {
+  for (const OpSummary& summary : summaries) {
+    if (summary.operation == operation) {
+      return &summary;
+    }
+  }
+  return nullptr;
+}
+
+util::JsonValue Knowledge::to_json() const {
+  JsonObject obj;
+  obj.emplace_back("command", JsonValue(command));
+  obj.emplace_back("benchmark", JsonValue(benchmark));
+  obj.emplace_back("api", JsonValue(api));
+  obj.emplace_back("test_file", JsonValue(test_file));
+  obj.emplace_back("file_per_process", JsonValue(file_per_process));
+  obj.emplace_back("start_time", JsonValue(start_time));
+  obj.emplace_back("end_time", JsonValue(end_time));
+  obj.emplace_back("num_tasks", JsonValue(static_cast<std::int64_t>(num_tasks)));
+  obj.emplace_back("num_nodes", JsonValue(static_cast<std::int64_t>(num_nodes)));
+  JsonArray summary_array;
+  for (const OpSummary& s : summaries) {
+    summary_array.push_back(summary_to_json(s));
+  }
+  obj.emplace_back("summaries", JsonValue(std::move(summary_array)));
+  if (filesystem.has_value()) {
+    obj.emplace_back("filesystem", fs_info_to_json(*filesystem));
+  }
+  if (system.has_value()) {
+    obj.emplace_back("system", system_info_to_json(*system));
+  }
+  if (job.has_value()) {
+    obj.emplace_back("job", job_info_to_json(*job));
+  }
+  return JsonValue(std::move(obj));
+}
+
+Knowledge Knowledge::from_json(const util::JsonValue& json) {
+  Knowledge k;
+  k.command = json.at("command").as_string();
+  k.benchmark = json.at("benchmark").as_string();
+  k.api = json.at("api").as_string();
+  k.test_file = json.at("test_file").as_string();
+  k.file_per_process = json.at("file_per_process").as_bool();
+  k.start_time = json.at("start_time").as_double();
+  k.end_time = json.at("end_time").as_double();
+  k.num_tasks = static_cast<std::uint32_t>(json.at("num_tasks").as_int());
+  k.num_nodes = static_cast<std::uint32_t>(json.at("num_nodes").as_int());
+  for (const JsonValue& s : json.at("summaries").as_array()) {
+    k.summaries.push_back(summary_from_json(s));
+  }
+  if (const JsonValue* fs = json.find("filesystem")) {
+    k.filesystem = fs_info_from_json(*fs);
+  }
+  if (const JsonValue* sys = json.find("system")) {
+    k.system = system_info_from_json(*sys);
+  }
+  if (const JsonValue* job = json.find("job")) {
+    k.job = job_info_from_json(*job);
+  }
+  return k;
+}
+
+}  // namespace iokc::knowledge

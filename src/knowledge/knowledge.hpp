@@ -1,0 +1,144 @@
+// The Knowledge object — the paper's central data structure (Section V-B):
+// "parameters describing the I/O pattern and the obtained benchmark results",
+// extended with file-system settings and system statistics. It is the unit
+// that is extracted (phase 2), persisted (phase 3), analyzed (phase 4), and
+// used (phase 5).
+//
+// The model mirrors the paper's database schema:
+//   Knowledge      -> performances row
+//   OpSummary      -> summaries row (per operation, FK performance_id)
+//   OpResult       -> results rows (per iteration, FK summary_id)
+//   FileSystemInfo -> filesystems row
+//   SystemInfoRecord is carried along and stored with the knowledge object.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/json.hpp"
+
+namespace iokc::knowledge {
+
+/// One per-iteration measurement of one operation (a `results` row).
+struct OpResult {
+  int iteration = 0;
+  double bw_mib = 0.0;
+  double iops = 0.0;
+  double latency_sec = 0.0;
+  double open_sec = 0.0;
+  double wrrd_sec = 0.0;
+  double close_sec = 0.0;
+  double total_sec = 0.0;
+
+  bool operator==(const OpResult&) const = default;
+};
+
+/// Per-operation statistics over all iterations (a `summaries` row), with
+/// the individual results attached ("we have decided to store individual
+/// results, instead of storing only the summary").
+struct OpSummary {
+  std::string operation;  // "write", "read", "create", "stat", ...
+  std::string api;        // interface used for this operation
+  double max_bw_mib = 0.0;
+  double min_bw_mib = 0.0;
+  double mean_bw_mib = 0.0;
+  double stddev_bw_mib = 0.0;
+  double max_ops = 0.0;
+  double min_ops = 0.0;
+  double mean_ops = 0.0;
+  double stddev_ops = 0.0;
+  double mean_time_sec = 0.0;
+  std::vector<OpResult> results;
+
+  bool operator==(const OpSummary&) const = default;
+
+  /// Recomputes the aggregate fields from `results`.
+  void recompute();
+};
+
+/// Parallel-file-system settings of the test file (a `filesystems` row).
+struct FileSystemInfo {
+  std::string fs_name;      // e.g. "beegfs-sim"
+  std::string entry_type;   // "file" / "directory"
+  std::string entry_id;
+  std::uint32_t metadata_node = 0;
+  std::string stripe_pattern;  // RAID scheme, e.g. "RAID0"
+  std::uint64_t chunk_size = 0;
+  std::uint32_t num_targets = 0;
+  std::uint32_t storage_pool = 0;
+
+  bool operator==(const FileSystemInfo&) const = default;
+};
+
+/// System statistics captured at runtime (from the /proc-style provider).
+struct SystemInfoRecord {
+  std::string hostname;
+  std::string os_release;
+  std::string cpu_model;
+  int sockets = 0;
+  int cores_per_socket = 0;
+  int total_cores = 0;
+  double frequency_mhz = 0.0;
+  std::uint64_t l1d_kib = 0;
+  std::uint64_t l2_kib = 0;
+  std::uint64_t l3_kib = 0;
+  std::uint64_t memory_bytes = 0;
+  std::string interconnect;
+
+  bool operator==(const SystemInfoRecord&) const = default;
+};
+
+/// Workload-manager context of a run (the outlook's "information from
+/// workload managers such as Slurm, thus providing context between anomaly
+/// and causes"). Maps to the jobinfos table.
+struct JobInfoRecord {
+  std::uint64_t job_id = 0;
+  std::string job_name;
+  std::string partition;
+  std::string user;
+  std::uint32_t num_nodes = 0;
+  std::uint32_t num_tasks = 0;
+  std::string node_list;
+  double submit_time = 0.0;
+  double start_time = 0.0;
+
+  bool operator==(const JobInfoRecord&) const = default;
+};
+
+/// JSON round trip for the system record (shared with Io500Knowledge).
+util::JsonValue system_info_to_json(const SystemInfoRecord& record);
+SystemInfoRecord system_info_from_json(const util::JsonValue& json);
+
+/// JSON round trip for the job record.
+util::JsonValue job_info_to_json(const JobInfoRecord& record);
+JobInfoRecord job_info_from_json(const util::JsonValue& json);
+
+/// The knowledge object (a `performances` row plus children).
+struct Knowledge {
+  std::string command;    // command line used for the run
+  std::string benchmark;  // "IOR", "HACC-IO", "mdtest", ...
+  std::string api;
+  std::string test_file;
+  bool file_per_process = false;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  std::uint32_t num_tasks = 0;
+  std::uint32_t num_nodes = 0;
+  std::vector<OpSummary> summaries;
+  std::optional<FileSystemInfo> filesystem;
+  std::optional<SystemInfoRecord> system;
+  std::optional<JobInfoRecord> job;
+
+  bool operator==(const Knowledge&) const = default;
+
+  const OpSummary* find_summary(const std::string& operation) const;
+
+  /// JSON round trip (the "local knowledge object" exchange format of the
+  /// knowledge explorer).
+  util::JsonValue to_json() const;
+  static Knowledge from_json(const util::JsonValue& json);
+};
+
+}  // namespace iokc::knowledge

@@ -1,0 +1,633 @@
+#include "src/persist/repository.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::persist {
+
+namespace {
+
+std::string quote(const std::string& text) {
+  return db::Value(text).render();
+}
+
+std::string real(double value) {
+  return db::Value(value).render_raw().empty()
+             ? "0"
+             : db::Value(value).render_raw();
+}
+
+}  // namespace
+
+RepoTarget RepoTarget::parse(const std::string& url,
+                             const std::string& remote_root) {
+  RepoTarget target;
+  if (url == "mem:" || url == "mem" || url.empty()) {
+    target.kind = Kind::kMemory;
+    return target;
+  }
+  if (util::starts_with(url, "file:")) {
+    target.kind = Kind::kFile;
+    target.path = url.substr(5);
+    return target;
+  }
+  if (util::starts_with(url, "remote://")) {
+    if (remote_root.empty()) {
+      throw ConfigError("remote:// URL needs a remote root directory");
+    }
+    target.kind = Kind::kFile;
+    target.path = remote_root + "/" + url.substr(9);
+    return target;
+  }
+  if (util::contains(url, "://")) {
+    throw ConfigError("unsupported repository URL scheme in '" + url + "'");
+  }
+  target.kind = Kind::kFile;
+  target.path = url;
+  return target;
+}
+
+std::string knowledge_schema_sql() {
+  return R"sql(
+CREATE TABLE IF NOT EXISTS performances (
+  id INTEGER PRIMARY KEY,
+  command TEXT NOT NULL,
+  benchmark TEXT,
+  api TEXT,
+  test_file TEXT,
+  file_per_proc INTEGER,
+  num_tasks INTEGER,
+  num_nodes INTEGER,
+  start_time REAL,
+  end_time REAL
+);
+CREATE TABLE IF NOT EXISTS summaries (
+  id INTEGER PRIMARY KEY,
+  performance_id INTEGER NOT NULL REFERENCES performances(id),
+  operation TEXT NOT NULL,
+  api TEXT,
+  max_bw_mib REAL,
+  min_bw_mib REAL,
+  mean_bw_mib REAL,
+  stddev_bw_mib REAL,
+  max_ops REAL,
+  min_ops REAL,
+  mean_ops REAL,
+  stddev_ops REAL,
+  mean_time_sec REAL
+);
+CREATE TABLE IF NOT EXISTS results (
+  id INTEGER PRIMARY KEY,
+  summary_id INTEGER NOT NULL REFERENCES summaries(id),
+  iteration INTEGER,
+  bw_mib REAL,
+  iops REAL,
+  latency_sec REAL,
+  open_sec REAL,
+  wrrd_sec REAL,
+  close_sec REAL,
+  total_sec REAL
+);
+CREATE TABLE IF NOT EXISTS filesystems (
+  id INTEGER PRIMARY KEY,
+  performance_id INTEGER NOT NULL REFERENCES performances(id),
+  fs_name TEXT,
+  entry_type TEXT,
+  entry_id TEXT,
+  metadata_node INTEGER,
+  stripe_pattern TEXT,
+  chunk_size INTEGER,
+  num_targets INTEGER,
+  storage_pool INTEGER
+);
+CREATE TABLE IF NOT EXISTS IOFHsRuns (
+  id INTEGER PRIMARY KEY,
+  command TEXT,
+  num_tasks INTEGER,
+  num_nodes INTEGER
+);
+CREATE TABLE IF NOT EXISTS IOFHsScores (
+  id INTEGER PRIMARY KEY,
+  IOFH_id INTEGER NOT NULL REFERENCES IOFHsRuns(id),
+  score_bw REAL,
+  score_md REAL,
+  score_total REAL
+);
+CREATE TABLE IF NOT EXISTS IOFHsTestcases (
+  id INTEGER PRIMARY KEY,
+  IOFH_id INTEGER NOT NULL REFERENCES IOFHsRuns(id),
+  name TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS IOFHsOptions (
+  id INTEGER PRIMARY KEY,
+  testcase_id INTEGER NOT NULL REFERENCES IOFHsTestcases(id),
+  options TEXT
+);
+CREATE TABLE IF NOT EXISTS IOFHsResults (
+  id INTEGER PRIMARY KEY,
+  testcase_id INTEGER NOT NULL REFERENCES IOFHsTestcases(id),
+  value REAL,
+  unit TEXT,
+  time_sec REAL
+);
+CREATE TABLE IF NOT EXISTS jobinfos (
+  id INTEGER PRIMARY KEY,
+  performance_id INTEGER NOT NULL REFERENCES performances(id),
+  job_id INTEGER,
+  job_name TEXT,
+  partition TEXT,
+  user TEXT,
+  num_nodes INTEGER,
+  num_tasks INTEGER,
+  node_list TEXT,
+  submit_time REAL,
+  start_time REAL
+);
+CREATE TABLE IF NOT EXISTS systeminfos (
+  id INTEGER PRIMARY KEY,
+  performance_id INTEGER REFERENCES performances(id),
+  IOFH_id INTEGER REFERENCES IOFHsRuns(id),
+  hostname TEXT,
+  os_release TEXT,
+  cpu_model TEXT,
+  sockets INTEGER,
+  cores_per_socket INTEGER,
+  total_cores INTEGER,
+  frequency_mhz REAL,
+  l1d_kib INTEGER,
+  l2_kib INTEGER,
+  l3_kib INTEGER,
+  memory_bytes INTEGER,
+  interconnect TEXT
+);
+)sql";
+}
+
+KnowledgeRepository::KnowledgeRepository() : KnowledgeRepository(RepoTarget{}) {}
+
+KnowledgeRepository::KnowledgeRepository(const RepoTarget& target)
+    : target_(target) {
+  if (target_.kind == RepoTarget::Kind::kFile) {
+    db_ = db::Database::open(target_.path);
+  }
+  db_.execute_script(knowledge_schema_sql());
+}
+
+namespace {
+
+std::string insert_systeminfo_sql(const knowledge::SystemInfoRecord& s,
+                                  const std::string& fk_column,
+                                  std::int64_t fk_value) {
+  std::string sql =
+      "INSERT INTO systeminfos (" + fk_column +
+      ", hostname, os_release, cpu_model, sockets, cores_per_socket, "
+      "total_cores, frequency_mhz, l1d_kib, l2_kib, l3_kib, memory_bytes, "
+      "interconnect) VALUES (";
+  sql += std::to_string(fk_value);
+  sql += ", " + quote(s.hostname);
+  sql += ", " + quote(s.os_release);
+  sql += ", " + quote(s.cpu_model);
+  sql += ", " + std::to_string(s.sockets);
+  sql += ", " + std::to_string(s.cores_per_socket);
+  sql += ", " + std::to_string(s.total_cores);
+  sql += ", " + real(s.frequency_mhz);
+  sql += ", " + std::to_string(s.l1d_kib);
+  sql += ", " + std::to_string(s.l2_kib);
+  sql += ", " + std::to_string(s.l3_kib);
+  sql += ", " + std::to_string(s.memory_bytes);
+  sql += ", " + quote(s.interconnect) + ")";
+  return sql;
+}
+
+}  // namespace
+
+std::int64_t KnowledgeRepository::store(const knowledge::Knowledge& k) {
+  std::string sql =
+      "INSERT INTO performances (command, benchmark, api, test_file, "
+      "file_per_proc, num_tasks, num_nodes, start_time, end_time) VALUES (";
+  sql += quote(k.command);
+  sql += ", " + quote(k.benchmark);
+  sql += ", " + quote(k.api);
+  sql += ", " + quote(k.test_file);
+  sql += ", " + std::string(k.file_per_process ? "1" : "0");
+  sql += ", " + std::to_string(k.num_tasks);
+  sql += ", " + std::to_string(k.num_nodes);
+  sql += ", " + real(k.start_time);
+  sql += ", " + real(k.end_time) + ")";
+  db_.execute(sql);
+  const std::int64_t performance_id = db_.last_insert_rowid();
+
+  for (const knowledge::OpSummary& summary : k.summaries) {
+    std::string summary_sql =
+        "INSERT INTO summaries (performance_id, operation, api, max_bw_mib, "
+        "min_bw_mib, mean_bw_mib, stddev_bw_mib, max_ops, min_ops, mean_ops, "
+        "stddev_ops, mean_time_sec) VALUES (";
+    summary_sql += std::to_string(performance_id);
+    summary_sql += ", " + quote(summary.operation);
+    summary_sql += ", " + quote(summary.api);
+    summary_sql += ", " + real(summary.max_bw_mib);
+    summary_sql += ", " + real(summary.min_bw_mib);
+    summary_sql += ", " + real(summary.mean_bw_mib);
+    summary_sql += ", " + real(summary.stddev_bw_mib);
+    summary_sql += ", " + real(summary.max_ops);
+    summary_sql += ", " + real(summary.min_ops);
+    summary_sql += ", " + real(summary.mean_ops);
+    summary_sql += ", " + real(summary.stddev_ops);
+    summary_sql += ", " + real(summary.mean_time_sec) + ")";
+    db_.execute(summary_sql);
+    const std::int64_t summary_id = db_.last_insert_rowid();
+
+    for (const knowledge::OpResult& result : summary.results) {
+      std::string result_sql =
+          "INSERT INTO results (summary_id, iteration, bw_mib, iops, "
+          "latency_sec, open_sec, wrrd_sec, close_sec, total_sec) VALUES (";
+      result_sql += std::to_string(summary_id);
+      result_sql += ", " + std::to_string(result.iteration);
+      result_sql += ", " + real(result.bw_mib);
+      result_sql += ", " + real(result.iops);
+      result_sql += ", " + real(result.latency_sec);
+      result_sql += ", " + real(result.open_sec);
+      result_sql += ", " + real(result.wrrd_sec);
+      result_sql += ", " + real(result.close_sec);
+      result_sql += ", " + real(result.total_sec) + ")";
+      db_.execute(result_sql);
+    }
+  }
+
+  if (k.filesystem.has_value()) {
+    const knowledge::FileSystemInfo& f = *k.filesystem;
+    std::string fs_sql =
+        "INSERT INTO filesystems (performance_id, fs_name, entry_type, "
+        "entry_id, metadata_node, stripe_pattern, chunk_size, num_targets, "
+        "storage_pool) VALUES (";
+    fs_sql += std::to_string(performance_id);
+    fs_sql += ", " + quote(f.fs_name);
+    fs_sql += ", " + quote(f.entry_type);
+    fs_sql += ", " + quote(f.entry_id);
+    fs_sql += ", " + std::to_string(f.metadata_node);
+    fs_sql += ", " + quote(f.stripe_pattern);
+    fs_sql += ", " + std::to_string(f.chunk_size);
+    fs_sql += ", " + std::to_string(f.num_targets);
+    fs_sql += ", " + std::to_string(f.storage_pool) + ")";
+    db_.execute(fs_sql);
+  }
+
+  if (k.system.has_value()) {
+    db_.execute(
+        insert_systeminfo_sql(*k.system, "performance_id", performance_id));
+  }
+
+  if (k.job.has_value()) {
+    const knowledge::JobInfoRecord& j = *k.job;
+    std::string job_sql =
+        "INSERT INTO jobinfos (performance_id, job_id, job_name, partition, "
+        "user, num_nodes, num_tasks, node_list, submit_time, start_time) "
+        "VALUES (";
+    job_sql += std::to_string(performance_id);
+    job_sql += ", " + std::to_string(j.job_id);
+    job_sql += ", " + quote(j.job_name);
+    job_sql += ", " + quote(j.partition);
+    job_sql += ", " + quote(j.user);
+    job_sql += ", " + std::to_string(j.num_nodes);
+    job_sql += ", " + std::to_string(j.num_tasks);
+    job_sql += ", " + quote(j.node_list);
+    job_sql += ", " + real(j.submit_time);
+    job_sql += ", " + real(j.start_time) + ")";
+    db_.execute(job_sql);
+  }
+  return performance_id;
+}
+
+std::int64_t KnowledgeRepository::store(const knowledge::Io500Knowledge& k) {
+  std::string sql = "INSERT INTO IOFHsRuns (command, num_tasks, num_nodes) VALUES (";
+  sql += quote(k.command);
+  sql += ", " + std::to_string(k.num_tasks);
+  sql += ", " + std::to_string(k.num_nodes) + ")";
+  db_.execute(sql);
+  const std::int64_t iofh_id = db_.last_insert_rowid();
+
+  db_.execute("INSERT INTO IOFHsScores (IOFH_id, score_bw, score_md, "
+              "score_total) VALUES (" +
+              std::to_string(iofh_id) + ", " + real(k.score_bw_gib) + ", " +
+              real(k.score_md_kiops) + ", " + real(k.score_total) + ")");
+
+  for (const knowledge::Io500Testcase& testcase : k.testcases) {
+    db_.execute("INSERT INTO IOFHsTestcases (IOFH_id, name) VALUES (" +
+                std::to_string(iofh_id) + ", " + quote(testcase.name) + ")");
+    const std::int64_t testcase_id = db_.last_insert_rowid();
+    db_.execute("INSERT INTO IOFHsOptions (testcase_id, options) VALUES (" +
+                std::to_string(testcase_id) + ", " + quote(testcase.options) +
+                ")");
+    db_.execute("INSERT INTO IOFHsResults (testcase_id, value, unit, "
+                "time_sec) VALUES (" +
+                std::to_string(testcase_id) + ", " + real(testcase.value) +
+                ", " + quote(testcase.unit) + ", " + real(testcase.time_sec) +
+                ")");
+  }
+
+  if (k.system.has_value()) {
+    db_.execute(insert_systeminfo_sql(*k.system, "IOFH_id", iofh_id));
+  }
+  return iofh_id;
+}
+
+namespace {
+
+knowledge::SystemInfoRecord system_from_row(const db::ResultSet& rows,
+                                            std::size_t r) {
+  knowledge::SystemInfoRecord s;
+  s.hostname = rows.at(r, "hostname").as_text();
+  s.os_release = rows.at(r, "os_release").as_text();
+  s.cpu_model = rows.at(r, "cpu_model").as_text();
+  s.sockets = static_cast<int>(rows.at(r, "sockets").as_integer());
+  s.cores_per_socket =
+      static_cast<int>(rows.at(r, "cores_per_socket").as_integer());
+  s.total_cores = static_cast<int>(rows.at(r, "total_cores").as_integer());
+  s.frequency_mhz = rows.at(r, "frequency_mhz").as_real();
+  s.l1d_kib = static_cast<std::uint64_t>(rows.at(r, "l1d_kib").as_integer());
+  s.l2_kib = static_cast<std::uint64_t>(rows.at(r, "l2_kib").as_integer());
+  s.l3_kib = static_cast<std::uint64_t>(rows.at(r, "l3_kib").as_integer());
+  s.memory_bytes =
+      static_cast<std::uint64_t>(rows.at(r, "memory_bytes").as_integer());
+  s.interconnect = rows.at(r, "interconnect").as_text();
+  return s;
+}
+
+}  // namespace
+
+knowledge::Knowledge KnowledgeRepository::load_knowledge(
+    std::int64_t performance_id) {
+  const db::ResultSet perf = db_.execute(
+      "SELECT * FROM performances WHERE id = " + std::to_string(performance_id));
+  if (perf.empty()) {
+    throw DbError("no knowledge object with id " +
+                  std::to_string(performance_id));
+  }
+  knowledge::Knowledge k;
+  k.command = perf.at(0, "command").as_text();
+  k.benchmark = perf.at(0, "benchmark").as_text();
+  k.api = perf.at(0, "api").as_text();
+  k.test_file = perf.at(0, "test_file").as_text();
+  k.file_per_process = perf.at(0, "file_per_proc").as_integer() != 0;
+  k.num_tasks =
+      static_cast<std::uint32_t>(perf.at(0, "num_tasks").as_integer());
+  k.num_nodes =
+      static_cast<std::uint32_t>(perf.at(0, "num_nodes").as_integer());
+  k.start_time = perf.at(0, "start_time").as_real();
+  k.end_time = perf.at(0, "end_time").as_real();
+
+  const db::ResultSet summaries =
+      db_.execute("SELECT * FROM summaries WHERE performance_id = " +
+                  std::to_string(performance_id) + " ORDER BY id");
+  for (std::size_t s = 0; s < summaries.size(); ++s) {
+    knowledge::OpSummary summary;
+    const std::int64_t summary_id = summaries.at(s, "id").as_integer();
+    summary.operation = summaries.at(s, "operation").as_text();
+    summary.api = summaries.at(s, "api").as_text();
+    summary.max_bw_mib = summaries.at(s, "max_bw_mib").as_real();
+    summary.min_bw_mib = summaries.at(s, "min_bw_mib").as_real();
+    summary.mean_bw_mib = summaries.at(s, "mean_bw_mib").as_real();
+    summary.stddev_bw_mib = summaries.at(s, "stddev_bw_mib").as_real();
+    summary.max_ops = summaries.at(s, "max_ops").as_real();
+    summary.min_ops = summaries.at(s, "min_ops").as_real();
+    summary.mean_ops = summaries.at(s, "mean_ops").as_real();
+    summary.stddev_ops = summaries.at(s, "stddev_ops").as_real();
+    summary.mean_time_sec = summaries.at(s, "mean_time_sec").as_real();
+
+    const db::ResultSet results =
+        db_.execute("SELECT * FROM results WHERE summary_id = " +
+                    std::to_string(summary_id) + " ORDER BY iteration");
+    for (std::size_t r = 0; r < results.size(); ++r) {
+      knowledge::OpResult result;
+      result.iteration =
+          static_cast<int>(results.at(r, "iteration").as_integer());
+      result.bw_mib = results.at(r, "bw_mib").as_real();
+      result.iops = results.at(r, "iops").as_real();
+      result.latency_sec = results.at(r, "latency_sec").as_real();
+      result.open_sec = results.at(r, "open_sec").as_real();
+      result.wrrd_sec = results.at(r, "wrrd_sec").as_real();
+      result.close_sec = results.at(r, "close_sec").as_real();
+      result.total_sec = results.at(r, "total_sec").as_real();
+      summary.results.push_back(result);
+    }
+    k.summaries.push_back(std::move(summary));
+  }
+
+  const db::ResultSet fs =
+      db_.execute("SELECT * FROM filesystems WHERE performance_id = " +
+                  std::to_string(performance_id));
+  if (!fs.empty()) {
+    knowledge::FileSystemInfo info;
+    info.fs_name = fs.at(0, "fs_name").as_text();
+    info.entry_type = fs.at(0, "entry_type").as_text();
+    info.entry_id = fs.at(0, "entry_id").as_text();
+    info.metadata_node =
+        static_cast<std::uint32_t>(fs.at(0, "metadata_node").as_integer());
+    info.stripe_pattern = fs.at(0, "stripe_pattern").as_text();
+    info.chunk_size =
+        static_cast<std::uint64_t>(fs.at(0, "chunk_size").as_integer());
+    info.num_targets =
+        static_cast<std::uint32_t>(fs.at(0, "num_targets").as_integer());
+    info.storage_pool =
+        static_cast<std::uint32_t>(fs.at(0, "storage_pool").as_integer());
+    k.filesystem = info;
+  }
+
+  const db::ResultSet sys =
+      db_.execute("SELECT * FROM systeminfos WHERE performance_id = " +
+                  std::to_string(performance_id));
+  if (!sys.empty()) {
+    k.system = system_from_row(sys, 0);
+  }
+
+  const db::ResultSet job =
+      db_.execute("SELECT * FROM jobinfos WHERE performance_id = " +
+                  std::to_string(performance_id));
+  if (!job.empty()) {
+    knowledge::JobInfoRecord j;
+    j.job_id = static_cast<std::uint64_t>(job.at(0, "job_id").as_integer());
+    j.job_name = job.at(0, "job_name").as_text();
+    j.partition = job.at(0, "partition").as_text();
+    j.user = job.at(0, "user").as_text();
+    j.num_nodes = static_cast<std::uint32_t>(job.at(0, "num_nodes").as_integer());
+    j.num_tasks = static_cast<std::uint32_t>(job.at(0, "num_tasks").as_integer());
+    j.node_list = job.at(0, "node_list").as_text();
+    j.submit_time = job.at(0, "submit_time").as_real();
+    j.start_time = job.at(0, "start_time").as_real();
+    k.job = j;
+  }
+  return k;
+}
+
+knowledge::Io500Knowledge KnowledgeRepository::load_io500(
+    std::int64_t iofh_id) {
+  const db::ResultSet run = db_.execute("SELECT * FROM IOFHsRuns WHERE id = " +
+                                        std::to_string(iofh_id));
+  if (run.empty()) {
+    throw DbError("no IO500 knowledge object with id " +
+                  std::to_string(iofh_id));
+  }
+  knowledge::Io500Knowledge k;
+  k.command = run.at(0, "command").as_text();
+  k.num_tasks = static_cast<std::uint32_t>(run.at(0, "num_tasks").as_integer());
+  k.num_nodes = static_cast<std::uint32_t>(run.at(0, "num_nodes").as_integer());
+
+  const db::ResultSet scores = db_.execute(
+      "SELECT * FROM IOFHsScores WHERE IOFH_id = " + std::to_string(iofh_id));
+  if (!scores.empty()) {
+    k.score_bw_gib = scores.at(0, "score_bw").as_real();
+    k.score_md_kiops = scores.at(0, "score_md").as_real();
+    k.score_total = scores.at(0, "score_total").as_real();
+  }
+
+  const db::ResultSet cases =
+      db_.execute("SELECT * FROM IOFHsTestcases WHERE IOFH_id = " +
+                  std::to_string(iofh_id) + " ORDER BY id");
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    knowledge::Io500Testcase testcase;
+    const std::int64_t testcase_id = cases.at(c, "id").as_integer();
+    testcase.name = cases.at(c, "name").as_text();
+    const db::ResultSet options =
+        db_.execute("SELECT * FROM IOFHsOptions WHERE testcase_id = " +
+                    std::to_string(testcase_id));
+    if (!options.empty()) {
+      testcase.options = options.at(0, "options").as_text();
+    }
+    const db::ResultSet results =
+        db_.execute("SELECT * FROM IOFHsResults WHERE testcase_id = " +
+                    std::to_string(testcase_id));
+    if (!results.empty()) {
+      testcase.value = results.at(0, "value").as_real();
+      testcase.unit = results.at(0, "unit").as_text();
+      testcase.time_sec = results.at(0, "time_sec").as_real();
+    }
+    k.testcases.push_back(std::move(testcase));
+  }
+
+  const db::ResultSet sys = db_.execute(
+      "SELECT * FROM systeminfos WHERE IOFH_id = " + std::to_string(iofh_id));
+  if (!sys.empty()) {
+    k.system = system_from_row(sys, 0);
+  }
+  return k;
+}
+
+std::vector<std::int64_t> KnowledgeRepository::knowledge_ids() {
+  const db::ResultSet rows =
+      db_.execute("SELECT id FROM performances ORDER BY id");
+  std::vector<std::int64_t> ids;
+  ids.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    ids.push_back(rows.at(r, "id").as_integer());
+  }
+  return ids;
+}
+
+std::vector<std::int64_t> KnowledgeRepository::io500_ids() {
+  const db::ResultSet rows = db_.execute("SELECT id FROM IOFHsRuns ORDER BY id");
+  std::vector<std::int64_t> ids;
+  ids.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    ids.push_back(rows.at(r, "id").as_integer());
+  }
+  return ids;
+}
+
+std::vector<std::pair<std::int64_t, std::string>>
+KnowledgeRepository::list_commands() {
+  const db::ResultSet rows =
+      db_.execute("SELECT id, command FROM performances ORDER BY id");
+  std::vector<std::pair<std::int64_t, std::string>> commands;
+  commands.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    commands.emplace_back(rows.at(r, "id").as_integer(),
+                          rows.at(r, "command").as_text());
+  }
+  return commands;
+}
+
+void KnowledgeRepository::remove_knowledge(std::int64_t performance_id) {
+  const std::string id = std::to_string(performance_id);
+  const db::ResultSet summaries = db_.execute(
+      "SELECT id FROM summaries WHERE performance_id = " + id);
+  for (std::size_t s = 0; s < summaries.size(); ++s) {
+    db_.execute("DELETE FROM results WHERE summary_id = " +
+                std::to_string(summaries.at(s, "id").as_integer()));
+  }
+  db_.execute("DELETE FROM summaries WHERE performance_id = " + id);
+  db_.execute("DELETE FROM filesystems WHERE performance_id = " + id);
+  db_.execute("DELETE FROM systeminfos WHERE performance_id = " + id);
+  db_.execute("DELETE FROM jobinfos WHERE performance_id = " + id);
+  db_.execute("DELETE FROM performances WHERE id = " + id);
+}
+
+void KnowledgeRepository::save() {
+  if (target_.kind != RepoTarget::Kind::kFile) {
+    return;
+  }
+  save_as(target_.path);
+}
+
+void KnowledgeRepository::save_as(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent);
+  }
+  db_.save(path);
+}
+
+std::string KnowledgeRepository::export_csv(const std::string& table) {
+  return db_.execute("SELECT * FROM " + table).render_csv();
+}
+
+namespace {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot read " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError("cannot write " + path);
+  }
+  out << text;
+  if (!out) {
+    throw IoError("failed writing " + path);
+  }
+}
+
+}  // namespace
+
+std::int64_t KnowledgeRepository::import_json_file(const std::string& path) {
+  const util::JsonValue json = util::parse_json(read_text_file(path));
+  // IO500 objects carry "testcases"; IOR-style objects carry "summaries".
+  if (json.find("testcases") != nullptr) {
+    return store(knowledge::Io500Knowledge::from_json(json));
+  }
+  return store(knowledge::Knowledge::from_json(json));
+}
+
+void KnowledgeRepository::export_knowledge_json(std::int64_t performance_id,
+                                                const std::string& path) {
+  write_text_file(path, load_knowledge(performance_id).to_json().dump(2) + "\n");
+}
+
+void KnowledgeRepository::export_io500_json(std::int64_t iofh_id,
+                                            const std::string& path) {
+  write_text_file(path, load_io500(iofh_id).to_json().dump(2) + "\n");
+}
+
+}  // namespace iokc::persist

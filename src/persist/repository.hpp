@@ -1,0 +1,92 @@
+// The persistence phase (phase 3): maps knowledge objects onto the paper's
+// relational schema and stores them in the embedded database.
+//
+// Tables (exactly the paper's Section V-C):
+//   performances, summaries (FK performance_id), results (FK summary_id),
+//   filesystems (FK performance_id) — the IOR-style knowledge object;
+//   IOFHsRuns, IOFHsScores, IOFHsTestcases, IOFHsOptions, IOFHsResults —
+//   the separated IO500 knowledge object (FK IOFH_id / testcase_id);
+//   systeminfos — system statistics attached to either kind of object.
+//
+// The database target is either in-memory, a local file, or a "remote" URL.
+// The paper's remote target is a SQL connection URL; this build substitutes a
+// shared-directory root (e.g. a parallel file system mount), which preserves
+// the local/global split the architecture calls for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/db/database.hpp"
+#include "src/knowledge/io500_knowledge.hpp"
+#include "src/knowledge/knowledge.hpp"
+
+namespace iokc::persist {
+
+/// Where a repository lives.
+struct RepoTarget {
+  enum class Kind { kMemory, kFile };
+  Kind kind = Kind::kMemory;
+  std::string path;  // meaningful for kFile
+
+  /// Parses "mem:", "file:<path>", "remote://<share>/<name>" (resolved
+  /// against `remote_root`), or a bare filesystem path.
+  static RepoTarget parse(const std::string& url,
+                          const std::string& remote_root = {});
+};
+
+/// DDL creating the full knowledge schema (idempotent: IF NOT EXISTS).
+std::string knowledge_schema_sql();
+
+/// The knowledge repository.
+class KnowledgeRepository {
+ public:
+  /// Opens (creating if needed) a repository at the target.
+  explicit KnowledgeRepository(const RepoTarget& target);
+  /// In-memory repository.
+  KnowledgeRepository();
+
+  /// Stores a knowledge object; returns the new performances.id.
+  std::int64_t store(const knowledge::Knowledge& knowledge);
+  /// Stores an IO500 knowledge object; returns the new IOFHsRuns.id.
+  std::int64_t store(const knowledge::Io500Knowledge& knowledge);
+
+  /// Reassembles a knowledge object from its rows. Throws DbError when the
+  /// id is unknown.
+  knowledge::Knowledge load_knowledge(std::int64_t performance_id);
+  knowledge::Io500Knowledge load_io500(std::int64_t iofh_id);
+
+  std::vector<std::int64_t> knowledge_ids();
+  std::vector<std::int64_t> io500_ids();
+  /// (id, command) pairs — what the knowledge viewer's command selector shows.
+  std::vector<std::pair<std::int64_t, std::string>> list_commands();
+
+  /// Deletes a knowledge object and its children.
+  void remove_knowledge(std::int64_t performance_id);
+
+  /// Persists the repository to its file target (no-op path override allowed).
+  void save();
+  void save_as(const std::string& path);
+
+  /// CSV export of one table (the paper's "saved e.g. as a CSV file").
+  std::string export_csv(const std::string& table);
+
+  /// Manual knowledge exchange (the explorer's "local data" mode and the
+  /// outlook's "add knowledge manually"): JSON files holding one knowledge
+  /// object. import sniffs the kind (IOR-style vs IO500) from the fields and
+  /// returns the new id; export writes the object as pretty-printed JSON.
+  std::int64_t import_json_file(const std::string& path);
+  void export_knowledge_json(std::int64_t performance_id,
+                             const std::string& path);
+  void export_io500_json(std::int64_t iofh_id, const std::string& path);
+
+  db::Database& database() { return db_; }
+
+ private:
+  db::Database db_;
+  RepoTarget target_;
+};
+
+}  // namespace iokc::persist

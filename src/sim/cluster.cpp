@@ -1,0 +1,107 @@
+#include "src/sim/cluster.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace iokc::sim {
+
+ClusterSpec ClusterSpec::fuchs_csc() {
+  ClusterSpec spec;
+  spec.name = "FUCHS-CSC-sim";
+  spec.node_count = 198;
+  spec.node = NodeSpec{};  // defaults already describe FUCHS-CSC nodes
+  spec.fabric_bytes_per_sec = 27.0e9;
+  spec.interconnect = "InfiniBand FDR";
+  return spec;
+}
+
+Cluster::Cluster(EventQueue& queue, ClusterSpec spec, std::uint64_t seed)
+    : queue_(queue), spec_(std::move(spec)), rng_(seed) {
+  if (spec_.node_count == 0) {
+    throw iokc::SimError("cluster needs at least one node");
+  }
+  nics_.reserve(spec_.node_count);
+  for (std::size_t n = 0; n < spec_.node_count; ++n) {
+    auto pipe = std::make_unique<BandwidthPipe>(
+        queue_, spec_.name + "/node" + std::to_string(n) + "/nic",
+        spec_.node.nic_bytes_per_sec, spec_.node.nic_op_overhead_sec);
+    // Health is consulted at service start so mid-run degradation applies to
+    // transfers that begin after the health change.
+    pipe->set_rate_multiplier([this, n](SimTime) {
+      switch (health_[n]) {
+        case NodeHealth::kHealthy: return 1.0;
+        case NodeHealth::kDegraded: return spec_.degraded_rate_fraction;
+        case NodeHealth::kBroken: return 1e-6;
+      }
+      return 1.0;
+    });
+    nics_.push_back(std::move(pipe));
+  }
+  fabric_ = std::make_unique<BandwidthPipe>(
+      queue_, spec_.name + "/fabric",
+      spec_.fabric_bytes_per_sec / static_cast<double>(spec_.fabric_lanes),
+      spec_.fabric_op_overhead_sec, spec_.fabric_lanes);
+  health_.assign(spec_.node_count, NodeHealth::kHealthy);
+}
+
+void Cluster::check_node(std::size_t node) const {
+  if (node >= spec_.node_count) {
+    throw iokc::SimError("node id " + std::to_string(node) +
+                         " out of range (cluster has " +
+                         std::to_string(spec_.node_count) + " nodes)");
+  }
+}
+
+BandwidthPipe& Cluster::nic(std::size_t node) {
+  check_node(node);
+  return *nics_[node];
+}
+
+NodeHealth Cluster::health(std::size_t node) const {
+  check_node(node);
+  return health_[node];
+}
+
+void Cluster::set_health(std::size_t node, NodeHealth health) {
+  check_node(node);
+  health_[node] = health;
+}
+
+std::size_t Cluster::healthy_node_count() const {
+  std::size_t count = 0;
+  for (const NodeHealth h : health_) {
+    if (h == NodeHealth::kHealthy) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::size_t> Cluster::allocate_nodes(std::size_t count) const {
+  std::vector<std::size_t> nodes;
+  nodes.reserve(count);
+  // A resource manager does not schedule onto broken (drained) nodes, but a
+  // *degraded* node looks healthy to it — that is exactly the Fig. 6 story.
+  for (std::size_t n = 0; n < spec_.node_count && nodes.size() < count; ++n) {
+    if (health_[n] != NodeHealth::kBroken) {
+      nodes.push_back(n);
+    }
+  }
+  if (nodes.size() < count) {
+    throw iokc::SimError("cannot allocate " + std::to_string(count) +
+                         " nodes; only " + std::to_string(nodes.size()) +
+                         " usable");
+  }
+  return nodes;
+}
+
+double Cluster::jitter() {
+  if (spec_.jitter_sigma <= 0.0) {
+    return 1.0;
+  }
+  // Lognormal with median 1.0; sigma ~0.02 gives ~2% run-to-run variation.
+  return rng_.lognormal(0.0, spec_.jitter_sigma);
+}
+
+}  // namespace iokc::sim

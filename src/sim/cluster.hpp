@@ -1,0 +1,115 @@
+// The simulated HPC cluster: node specifications, per-node NICs, the storage
+// fabric, node health (for broken/degraded-node anomaly scenarios), and node
+// allocation. The default specification mirrors the paper's FUCHS-CSC system
+// (198 nodes, 2x Xeon E5-2670 v2, 20 cores/node, 128 GB RAM, InfiniBand FDR,
+// 27 GB/s aggregate storage bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+#include "src/sim/resource.hpp"
+#include "src/util/rng.hpp"
+
+namespace iokc::sim {
+
+/// CPU description surfaced through the system-info provider.
+struct ProcessorSpec {
+  std::string model = "Intel(R) Xeon(R) CPU E5-2670 v2 @ 2.50GHz";
+  int sockets = 2;
+  int cores_per_socket = 10;
+  double frequency_mhz = 2500.0;
+  std::uint64_t l1d_kib = 32;
+  std::uint64_t l2_kib = 256;
+  std::uint64_t l3_kib = 25600;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+};
+
+/// Per-node hardware model.
+struct NodeSpec {
+  ProcessorSpec cpu;
+  std::uint64_t memory_bytes = 128ull * 1024 * 1024 * 1024;
+  /// InfiniBand FDR 4x: 56 Gbit/s signalling, ~6 GB/s effective payload.
+  double nic_bytes_per_sec = 6.0e9;
+  double nic_op_overhead_sec = 2.0e-6;
+  /// Memory bandwidth used to model page-cache hits.
+  double memory_bytes_per_sec = 12.0e9;
+};
+
+/// Health used by anomaly scenarios. A degraded node serves at a fraction of
+/// its NIC rate; a broken node must not be allocated.
+enum class NodeHealth { kHealthy, kDegraded, kBroken };
+
+/// Whole-system shape.
+struct ClusterSpec {
+  std::string name = "sim-cluster";
+  std::size_t node_count = 4;
+  NodeSpec node;
+  /// Aggregate bandwidth between compute nodes and the storage system.
+  double fabric_bytes_per_sec = 27.0e9;
+  double fabric_op_overhead_sec = 1.0e-6;
+  /// Fabric lanes: the fluid model serializes per lane; multiple lanes let
+  /// concurrent streams share the aggregate without artificial convoying.
+  std::size_t fabric_lanes = 16;
+  std::string interconnect = "InfiniBand FDR";
+  std::string os_release = "Linux 4.18.0-sim";
+  /// Degraded nodes serve at this fraction of nominal NIC rate.
+  double degraded_rate_fraction = 0.25;
+  /// Relative sigma of lognormal service-time jitter applied by clients.
+  double jitter_sigma = 0.02;
+
+  /// The FUCHS-CSC system from the paper's Section V-E.
+  static ClusterSpec fuchs_csc();
+};
+
+/// A simulated cluster bound to an event queue. Owns per-node NIC pipes and
+/// the shared storage fabric pipe. Node health is mutable at any sim time and
+/// takes effect for subsequently started transfers.
+class Cluster {
+ public:
+  Cluster(EventQueue& queue, ClusterSpec spec, std::uint64_t seed);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterSpec& spec() const { return spec_; }
+  EventQueue& queue() { return queue_; }
+  util::Rng& rng() { return rng_; }
+
+  std::size_t node_count() const { return spec_.node_count; }
+
+  /// NIC pipe of a node (throws SimError for out-of-range ids).
+  BandwidthPipe& nic(std::size_t node);
+  /// The shared compute<->storage fabric.
+  BandwidthPipe& fabric() { return *fabric_; }
+
+  NodeHealth health(std::size_t node) const;
+  void set_health(std::size_t node, NodeHealth health);
+  std::size_t healthy_node_count() const;
+
+  /// Picks `count` nodes for a job in id order. Broken nodes are excluded
+  /// (the resource manager drains them), but *degraded* nodes are allocated
+  /// like healthy ones — a silently slow node looks fine to the scheduler,
+  /// which is exactly the Fig. 6 anomaly story. Throws SimError when not
+  /// enough non-broken nodes exist.
+  std::vector<std::size_t> allocate_nodes(std::size_t count) const;
+
+  /// Lognormal service jitter factor around 1.0 (sigma from the spec).
+  double jitter();
+
+ private:
+  void check_node(std::size_t node) const;
+
+  EventQueue& queue_;
+  ClusterSpec spec_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<BandwidthPipe>> nics_;
+  std::unique_ptr<BandwidthPipe> fabric_;
+  std::vector<NodeHealth> health_;
+};
+
+}  // namespace iokc::sim

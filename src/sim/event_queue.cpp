@@ -1,0 +1,37 @@
+#include "src/sim/event_queue.hpp"
+
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace iokc::sim {
+
+void EventQueue::schedule_at(SimTime when, Action action) {
+  if (when < now_) {
+    when = now_;  // clamp: an event can never fire in the past
+  }
+  heap_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Action action) {
+  schedule_at(now_ + (delay > 0.0 ? delay : 0.0), std::move(action));
+}
+
+void EventQueue::run(std::uint64_t max_events) {
+  while (!heap_.empty()) {
+    if (executed_ >= max_events) {
+      throw iokc::SimError("event budget exhausted (" +
+                           std::to_string(max_events) +
+                           " events); model is likely divergent");
+    }
+    // priority_queue::top() is const; move out via const_cast on the action,
+    // which is safe because the element is popped immediately afterwards.
+    Event event = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.action();
+  }
+}
+
+}  // namespace iokc::sim

@@ -1,0 +1,63 @@
+// The discrete-event core. Everything time-dependent in the simulated cluster
+// (NIC transfers, storage-target service, metadata ops, interference windows)
+// is an event on this queue. Ties are broken by insertion order so runs are
+// fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace iokc::sim {
+
+/// Simulated time in seconds since scenario start.
+using SimTime = double;
+
+/// A deterministic discrete-event queue.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `when` (>= now, clamped).
+  void schedule_at(SimTime when, Action action);
+
+  /// Schedules `action` to run `delay` seconds from now (delay >= 0, clamped).
+  void schedule_in(SimTime delay, Action action);
+
+  /// Runs events in time order until the queue is empty. Events may schedule
+  /// further events. Throws SimError if more than `max_events` fire
+  /// (runaway-model guard).
+  void run(std::uint64_t max_events = 500'000'000ull);
+
+  /// Number of events executed so far (across all run() calls).
+  std::uint64_t executed_events() const { return executed_; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace iokc::sim

@@ -1,0 +1,33 @@
+#include "src/sim/interference.hpp"
+
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace iokc::sim {
+
+void InterferenceSchedule::add_window(InterferenceWindow window) {
+  if (window.end <= window.start) {
+    throw iokc::SimError("interference window must have end > start");
+  }
+  if (window.severity < 0.0 || window.severity >= 1.0) {
+    throw iokc::SimError("interference severity must be in [0, 1)");
+  }
+  windows_.push_back(std::move(window));
+}
+
+double InterferenceSchedule::multiplier_at(SimTime t) const {
+  double multiplier = 1.0;
+  for (const auto& window : windows_) {
+    if (t >= window.start && t < window.end) {
+      multiplier *= 1.0 - window.severity;
+    }
+  }
+  return multiplier;
+}
+
+BandwidthPipe::RateMultiplier InterferenceSchedule::as_multiplier() const {
+  return [this](SimTime t) { return multiplier_at(t); };
+}
+
+}  // namespace iokc::sim

@@ -1,0 +1,44 @@
+// Time-windowed interference (competing jobs, burst congestion) and its
+// mapping onto BandwidthPipe rate multipliers. This is how anomaly scenarios
+// (e.g. the iteration-2 throughput collapse of the paper's Fig. 5) are
+// injected without touching benchmark code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/resource.hpp"
+
+namespace iokc::sim {
+
+/// One interference window: during [start, end) the affected resource loses
+/// `severity` (in [0, 1)) of its capacity.
+struct InterferenceWindow {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  double severity = 0.0;
+  std::string cause;  // free text, surfaced by anomaly-analysis reports
+};
+
+/// An ordered set of interference windows convertible to a rate multiplier.
+class InterferenceSchedule {
+ public:
+  /// Adds a window; throws SimError for end <= start or severity outside
+  /// [0, 1).
+  void add_window(InterferenceWindow window);
+
+  /// Product of (1 - severity) over all windows active at `t`; 1.0 when idle.
+  double multiplier_at(SimTime t) const;
+
+  /// A copyable callback suitable for BandwidthPipe::set_rate_multiplier.
+  /// The schedule must outlive the pipe's use of the callback.
+  BandwidthPipe::RateMultiplier as_multiplier() const;
+
+  const std::vector<InterferenceWindow>& windows() const { return windows_; }
+  bool empty() const { return windows_.empty(); }
+
+ private:
+  std::vector<InterferenceWindow> windows_;
+};
+
+}  // namespace iokc::sim

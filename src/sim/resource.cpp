@@ -1,0 +1,75 @@
+#include "src/sim/resource.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace iokc::sim {
+
+QueuedResource::QueuedResource(EventQueue& queue, std::string name,
+                               std::size_t capacity)
+    : queue_(queue), name_(std::move(name)) {
+  if (capacity == 0) {
+    throw iokc::SimError("resource '" + name_ + "' needs capacity >= 1");
+  }
+  slot_free_at_.assign(capacity, 0.0);
+}
+
+void QueuedResource::submit(SimTime service_time,
+                            std::function<void(SimTime)> done) {
+  if (service_time < 0.0) {
+    throw iokc::SimError("negative service time on resource '" + name_ + "'");
+  }
+  auto slot = std::min_element(slot_free_at_.begin(), slot_free_at_.end());
+  const SimTime start = std::max(queue_.now(), *slot);
+  const SimTime finish = start + service_time;
+  *slot = finish;
+  busy_time_ += service_time;
+  queue_.schedule_at(finish, [this, finish, done = std::move(done)] {
+    ++completed_ops_;
+    done(finish);
+  });
+}
+
+SimTime QueuedResource::earliest_start() const {
+  const SimTime free_at =
+      *std::min_element(slot_free_at_.begin(), slot_free_at_.end());
+  return std::max(queue_.now(), free_at);
+}
+
+BandwidthPipe::BandwidthPipe(EventQueue& queue, std::string name,
+                             double rate_bytes_per_sec,
+                             double per_op_overhead_sec, std::size_t capacity)
+    : resource_(queue, name, capacity),
+      queue_(queue),
+      name_(std::move(name)),
+      rate_(rate_bytes_per_sec),
+      overhead_(per_op_overhead_sec) {
+  if (rate_ <= 0.0) {
+    throw iokc::SimError("pipe '" + name_ + "' needs a positive rate");
+  }
+  if (overhead_ < 0.0) {
+    throw iokc::SimError("pipe '" + name_ + "' has negative op overhead");
+  }
+}
+
+void BandwidthPipe::transfer(std::uint64_t bytes,
+                             std::function<void(SimTime)> done, double jitter) {
+  if (jitter <= 0.0) {
+    jitter = 1.0;
+  }
+  const SimTime start = resource_.earliest_start();
+  double multiplier = multiplier_ ? multiplier_(start) : 1.0;
+  multiplier = std::clamp(multiplier, 1e-6, 1e6);
+  const double service =
+      (overhead_ + static_cast<double>(bytes) / (rate_ * multiplier)) * jitter;
+  transferred_bytes_ += bytes;
+  resource_.submit(service, std::move(done));
+}
+
+void BandwidthPipe::set_rate_multiplier(RateMultiplier multiplier) {
+  multiplier_ = std::move(multiplier);
+}
+
+}  // namespace iokc::sim

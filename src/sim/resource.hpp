@@ -1,0 +1,85 @@
+// Queueing resources for the discrete-event model.
+//
+// Two shapes cover everything in the cluster:
+//  - QueuedResource: `capacity` parallel service slots with caller-provided
+//    service times (metadata servers, CPU-bound stages).
+//  - BandwidthPipe: a byte-rate resource (NIC, fabrics, storage targets) with
+//    a per-operation overhead, an optional time-varying rate multiplier
+//    (interference, degradation), and jitter hooks supplied by the caller.
+//
+// Both are non-preemptive FIFO: contention and saturation *emerge* from slot
+// availability rather than from closed-form formulas.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+
+namespace iokc::sim {
+
+/// A FIFO resource with a fixed number of parallel service slots.
+class QueuedResource {
+ public:
+  /// `capacity` must be >= 1 (throws SimError otherwise).
+  QueuedResource(EventQueue& queue, std::string name, std::size_t capacity);
+
+  /// Enqueues a request that occupies one slot for `service_time` seconds and
+  /// then invokes `done` with the completion time.
+  void submit(SimTime service_time, std::function<void(SimTime)> done);
+
+  /// The earliest time a new request could begin service.
+  SimTime earliest_start() const;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t completed_ops() const { return completed_ops_; }
+  /// Total busy slot-seconds accumulated; used for utilization reporting.
+  double busy_time() const { return busy_time_; }
+
+ private:
+  EventQueue& queue_;
+  std::string name_;
+  std::vector<SimTime> slot_free_at_;
+  std::uint64_t completed_ops_ = 0;
+  double busy_time_ = 0.0;
+};
+
+/// A byte-rate resource: requests serialize through `capacity` lanes, each
+/// draining at `rate_bytes_per_sec`, plus a fixed per-operation overhead.
+class BandwidthPipe {
+ public:
+  /// Multiplier on the nominal rate, evaluated at service start; values in
+  /// (0, 1] model slowdowns (interference windows, degraded hardware).
+  using RateMultiplier = std::function<double(SimTime)>;
+
+  BandwidthPipe(EventQueue& queue, std::string name,
+                double rate_bytes_per_sec, double per_op_overhead_sec,
+                std::size_t capacity = 1);
+
+  /// Transfers `bytes` through the pipe; `done` fires at completion time.
+  /// `jitter` (>= 0, typically ~1.0) scales this request's service time.
+  void transfer(std::uint64_t bytes, std::function<void(SimTime)> done,
+                double jitter = 1.0);
+
+  /// Installs a time-varying rate multiplier (replaces any previous one).
+  void set_rate_multiplier(RateMultiplier multiplier);
+
+  const std::string& name() const { return name_; }
+  double nominal_rate() const { return rate_; }
+  std::uint64_t transferred_bytes() const { return transferred_bytes_; }
+  std::uint64_t completed_ops() const { return resource_.completed_ops(); }
+  double busy_time() const { return resource_.busy_time(); }
+
+ private:
+  QueuedResource resource_;
+  EventQueue& queue_;
+  std::string name_;
+  double rate_;
+  double overhead_;
+  RateMultiplier multiplier_;
+  std::uint64_t transferred_bytes_ = 0;
+};
+
+}  // namespace iokc::sim

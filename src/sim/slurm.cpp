@@ -1,0 +1,74 @@
+#include "src/sim/slurm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "src/util/strings.hpp"
+
+namespace iokc::sim {
+
+std::string SlurmJobInfo::render_scontrol() const {
+  std::string out;
+  out += "JobId=" + std::to_string(job_id) + " JobName=" + job_name + "\n";
+  out += "   UserId=" + user + " Partition=" + partition + "\n";
+  out += "   JobState=COMPLETED Reason=None\n";
+  out += "   SubmitTime=t+" + util::format_double(submit_time, 3) +
+         " StartTime=t+" + util::format_double(start_time, 3) + "\n";
+  out += "   NumNodes=" + std::to_string(num_nodes) +
+         " NumTasks=" + std::to_string(num_tasks) + "\n";
+  out += "   NodeList=" + node_list + "\n";
+  return out;
+}
+
+std::string compress_node_list(const std::string& prefix,
+                               std::vector<std::size_t> nodes) {
+  if (nodes.empty()) {
+    return prefix + "[]";
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::string ranges;
+  std::size_t run_start = nodes.front();
+  std::size_t previous = nodes.front();
+  auto flush = [&ranges, &run_start](std::size_t run_end) {
+    char buf[32];
+    if (!ranges.empty()) {
+      ranges += ',';
+    }
+    if (run_start == run_end) {
+      std::snprintf(buf, sizeof buf, "%03zu", run_start);
+      ranges += buf;
+    } else {
+      std::snprintf(buf, sizeof buf, "%03zu-%03zu", run_start, run_end);
+      ranges += buf;
+    }
+  };
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i] != previous + 1) {
+      flush(previous);
+      run_start = nodes[i];
+    }
+    previous = nodes[i];
+  }
+  flush(previous);
+  return prefix + "[" + ranges + "]";
+}
+
+SlurmJobInfo SlurmContext::register_job(const std::string& job_name,
+                                        const std::vector<std::size_t>& nodes,
+                                        std::uint32_t num_tasks, double now,
+                                        const std::string& node_prefix) {
+  SlurmJobInfo info;
+  info.job_id = next_job_id_++;
+  info.job_name = job_name;
+  info.num_nodes = static_cast<std::uint32_t>(
+      std::set<std::size_t>(nodes.begin(), nodes.end()).size());
+  info.num_tasks = num_tasks;
+  info.node_list = compress_node_list(node_prefix, nodes);
+  info.submit_time = now;
+  info.start_time = now;
+  return info;
+}
+
+}  // namespace iokc::sim

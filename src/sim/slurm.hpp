@@ -1,0 +1,55 @@
+// A Slurm-like workload-manager context. The paper's outlook plans "to
+// collect further information from workload managers such as Slurm, thus
+// providing context between anomaly and causes": this module assigns job ids
+// to benchmark runs, records their allocation, and renders an
+// `scontrol show job`-style snapshot the knowledge extractor parses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iokc::sim {
+
+/// One registered job.
+struct SlurmJobInfo {
+  std::uint64_t job_id = 0;
+  std::string job_name;
+  std::string partition = "parallel";
+  std::string user = "iokc";
+  std::uint32_t num_nodes = 0;
+  std::uint32_t num_tasks = 0;
+  std::string node_list;     // compressed, e.g. "node[000-003]"
+  double submit_time = 0.0;  // simulated seconds
+  double start_time = 0.0;
+
+  /// `scontrol show job`-style text ("JobId=.. JobName=.." lines).
+  std::string render_scontrol() const;
+};
+
+/// Compresses node ids into Slurm bracket notation: {0,1,2,5} on prefix
+/// "node" -> "node[000-002,005]".
+std::string compress_node_list(const std::string& prefix,
+                               std::vector<std::size_t> nodes);
+
+/// Assigns monotonically increasing job ids and builds job records.
+class SlurmContext {
+ public:
+  explicit SlurmContext(std::uint64_t first_job_id = 4242)
+      : next_job_id_(first_job_id), first_id_(first_job_id) {}
+
+  /// Registers one job. `nodes` is the allocation; `now` the simulated
+  /// submit/start time (the model starts jobs immediately).
+  SlurmJobInfo register_job(const std::string& job_name,
+                            const std::vector<std::size_t>& nodes,
+                            std::uint32_t num_tasks, double now,
+                            const std::string& node_prefix = "node");
+
+  std::uint64_t jobs_registered() const { return next_job_id_ - first_id_; }
+
+ private:
+  std::uint64_t next_job_id_;
+  std::uint64_t first_id_;
+};
+
+}  // namespace iokc::sim

@@ -1,0 +1,72 @@
+#include "src/sim/sysinfo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/strings.hpp"
+#include "src/util/units.hpp"
+
+namespace iokc::sim {
+
+SystemInfo collect_system_info(const ClusterSpec& spec, std::size_t node) {
+  SystemInfo info;
+  char host[64];
+  std::snprintf(host, sizeof host, "%s-node%03zu", spec.name.c_str(), node);
+  info.hostname = host;
+  info.os_release = spec.os_release;
+  info.cpu_model = spec.node.cpu.model;
+  info.sockets = spec.node.cpu.sockets;
+  info.cores_per_socket = spec.node.cpu.cores_per_socket;
+  info.total_cores = spec.node.cpu.total_cores();
+  info.frequency_mhz = spec.node.cpu.frequency_mhz;
+  info.l1d_kib = spec.node.cpu.l1d_kib;
+  info.l2_kib = spec.node.cpu.l2_kib;
+  info.l3_kib = spec.node.cpu.l3_kib;
+  info.memory_bytes = spec.node.memory_bytes;
+  info.interconnect = spec.interconnect;
+  return info;
+}
+
+std::string render_proc_cpuinfo(const SystemInfo& info) {
+  std::string out;
+  for (int core = 0; core < info.total_cores; ++core) {
+    out += "processor\t: " + std::to_string(core) + "\n";
+    out += "model name\t: " + info.cpu_model + "\n";
+    out += "cpu MHz\t\t: " + util::format_double(info.frequency_mhz, 3) + "\n";
+    out += "cache size\t: " + std::to_string(info.l3_kib) + " KB\n";
+    out += "physical id\t: " +
+           std::to_string(core / std::max(info.cores_per_socket, 1)) + "\n";
+    out += "cpu cores\t: " + std::to_string(info.cores_per_socket) + "\n";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_proc_meminfo(const SystemInfo& info) {
+  const std::uint64_t total_kib = info.memory_bytes / util::kKiB;
+  std::string out;
+  out += "MemTotal:       " + std::to_string(total_kib) + " kB\n";
+  out += "MemFree:        " + std::to_string(total_kib * 9 / 10) + " kB\n";
+  out += "MemAvailable:   " + std::to_string(total_kib * 95 / 100) + " kB\n";
+  out += "Cached:         " + std::to_string(total_kib / 20) + " kB\n";
+  return out;
+}
+
+std::string render_sysinfo_summary(const SystemInfo& info) {
+  std::string out;
+  out += "hostname: " + info.hostname + "\n";
+  out += "os_release: " + info.os_release + "\n";
+  out += "cpu_model: " + info.cpu_model + "\n";
+  out += "sockets: " + std::to_string(info.sockets) + "\n";
+  out += "cores_per_socket: " + std::to_string(info.cores_per_socket) + "\n";
+  out += "total_cores: " + std::to_string(info.total_cores) + "\n";
+  out += "frequency_mhz: " + util::format_double(info.frequency_mhz, 1) + "\n";
+  out += "l1d_kib: " + std::to_string(info.l1d_kib) + "\n";
+  out += "l2_kib: " + std::to_string(info.l2_kib) + "\n";
+  out += "l3_kib: " + std::to_string(info.l3_kib) + "\n";
+  out += "memory_bytes: " + std::to_string(info.memory_bytes) + "\n";
+  out += "interconnect: " + info.interconnect + "\n";
+  return out;
+}
+
+}  // namespace iokc::sim

@@ -1,0 +1,42 @@
+// System-information provider. The paper's extractor reads processor, cache,
+// and memory data from /proc; this module renders the equivalent snapshot for
+// a simulated node (both a /proc-style dump and a compact key:value summary)
+// so the extraction phase can parse real text rather than peeking at structs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/cluster.hpp"
+
+namespace iokc::sim {
+
+/// A snapshot of one node's system configuration.
+struct SystemInfo {
+  std::string hostname;
+  std::string os_release;
+  std::string cpu_model;
+  int sockets = 0;
+  int cores_per_socket = 0;
+  int total_cores = 0;
+  double frequency_mhz = 0.0;
+  std::uint64_t l1d_kib = 0;
+  std::uint64_t l2_kib = 0;
+  std::uint64_t l3_kib = 0;
+  std::uint64_t memory_bytes = 0;
+  std::string interconnect;
+};
+
+/// Builds the snapshot for node `node` of `cluster`.
+SystemInfo collect_system_info(const ClusterSpec& spec, std::size_t node);
+
+/// Renders a /proc/cpuinfo-shaped dump (one stanza per logical core).
+std::string render_proc_cpuinfo(const SystemInfo& info);
+
+/// Renders a /proc/meminfo-shaped dump.
+std::string render_proc_meminfo(const SystemInfo& info);
+
+/// Renders the compact "key: value" summary the knowledge extractor parses.
+std::string render_sysinfo_summary(const SystemInfo& info);
+
+}  // namespace iokc::sim

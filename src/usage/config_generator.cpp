@@ -1,0 +1,88 @@
+#include "src/usage/config_generator.hpp"
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::usage {
+
+gen::IorConfig apply_overrides(gen::IorConfig config,
+                               const IorOverrides& overrides) {
+  if (overrides.api.has_value()) {
+    config.api = *overrides.api;
+  }
+  if (overrides.block_size.has_value()) {
+    config.block_size = *overrides.block_size;
+  }
+  if (overrides.transfer_size.has_value()) {
+    config.transfer_size = *overrides.transfer_size;
+  }
+  if (overrides.segments.has_value()) {
+    config.segments = *overrides.segments;
+  }
+  if (overrides.num_tasks.has_value()) {
+    config.num_tasks = *overrides.num_tasks;
+  }
+  if (overrides.iterations.has_value()) {
+    config.iterations = *overrides.iterations;
+  }
+  if (overrides.file_per_process.has_value()) {
+    config.file_per_process = *overrides.file_per_process;
+  }
+  if (overrides.collective.has_value()) {
+    config.collective = *overrides.collective;
+  }
+  if (overrides.test_file.has_value()) {
+    config.test_file = *overrides.test_file;
+  }
+  return config;
+}
+
+std::string create_configuration(const std::string& stored_command,
+                                 const IorOverrides& overrides) {
+  gen::IorConfig config =
+      apply_overrides(gen::parse_ior_command(stored_command), overrides);
+  config.validate();
+  return config.render_command();
+}
+
+jube::JubeBenchmarkConfig generate_jube_config(
+    const std::string& name, const std::string& base_command,
+    const std::vector<std::pair<std::string, SweepDimension>>& option_sweeps) {
+  // Validate the base command parses at all.
+  gen::parse_ior_command(base_command).validate();
+
+  std::vector<std::string> tokens = util::split_ws(base_command);
+  jube::JubeBenchmarkConfig config;
+  config.name = name;
+  config.outpath = name;
+
+  for (const auto& [option, sweep] : option_sweeps) {
+    if (sweep.values.empty()) {
+      throw ConfigError("sweep dimension '" + sweep.parameter +
+                        "' has no values");
+    }
+    bool patched = false;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i] == option) {
+        tokens[i + 1] = "$" + sweep.parameter;
+        patched = true;
+        break;
+      }
+    }
+    if (!patched) {
+      // Option absent from the base command: append it.
+      tokens.push_back(option);
+      tokens.push_back("$" + sweep.parameter);
+    }
+    jube::Parameter parameter;
+    parameter.name = sweep.parameter;
+    parameter.values = sweep.values;
+    config.space.add(std::move(parameter));
+  }
+
+  config.steps.push_back(
+      jube::JubeStep{"run", util::join(tokens, " ")});
+  return config;
+}
+
+}  // namespace iokc::usage

@@ -1,0 +1,58 @@
+// New-knowledge generation (the paper's Example I): load a stored benchmark
+// command, modify it ("the previously applied command is selected and then
+// loaded from the corresponding configuration in the view and can be modified
+// as required"), and emit a new command — or a whole JUBE sweep configuration
+// — whose execution feeds the next turn of the knowledge cycle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/generators/ior.hpp"
+#include "src/jube/runner.hpp"
+
+namespace iokc::usage {
+
+/// The modifications a user can apply to a loaded IOR configuration before
+/// "create configuration". Unset fields keep the stored value.
+struct IorOverrides {
+  std::optional<iostack::IoApi> api;
+  std::optional<std::uint64_t> block_size;
+  std::optional<std::uint64_t> transfer_size;
+  std::optional<std::uint32_t> segments;
+  std::optional<std::uint32_t> num_tasks;
+  std::optional<int> iterations;
+  std::optional<bool> file_per_process;
+  std::optional<bool> collective;
+  std::optional<std::string> test_file;
+};
+
+/// Applies overrides to a configuration.
+gen::IorConfig apply_overrides(gen::IorConfig config,
+                               const IorOverrides& overrides);
+
+/// The "create configuration" button: stored command + overrides -> new
+/// command string (validated).
+std::string create_configuration(const std::string& stored_command,
+                                 const IorOverrides& overrides);
+
+/// One swept dimension for a generated JUBE configuration.
+struct SweepDimension {
+  std::string parameter;              // e.g. "transfer"
+  std::vector<std::string> values;    // e.g. {"1m", "2m", "4m"}
+};
+
+/// Generates a JUBE benchmark configuration around a base command: each sweep
+/// dimension must correspond to a $parameter placeholder patched into the
+/// command. Example:
+///   base    "ior -a mpiio -b 4m -t 2m -s 40 -N 80 -o /scratch/f"
+///   sweep   {"transfer", {"1m","2m","4m"}} patching option "-t"
+/// yields a config whose step command is the base with "-t $transfer".
+jube::JubeBenchmarkConfig generate_jube_config(
+    const std::string& name, const std::string& base_command,
+    const std::vector<std::pair<std::string, SweepDimension>>&
+        option_sweeps /* option flag -> dimension */);
+
+}  // namespace iokc::usage

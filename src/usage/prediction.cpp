@@ -1,0 +1,149 @@
+#include "src/usage/prediction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/stats.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::usage {
+
+ConfigFeatures ConfigFeatures::from_config(const gen::IorConfig& config) {
+  ConfigFeatures features;
+  features.log2_transfer = std::log2(
+      std::max<double>(static_cast<double>(config.transfer_size), 1.0));
+  features.log2_block =
+      std::log2(std::max<double>(static_cast<double>(config.block_size), 1.0));
+  features.log2_segments =
+      std::log2(std::max<double>(static_cast<double>(config.segments), 1.0));
+  features.tasks = static_cast<double>(config.num_tasks);
+  features.file_per_process = config.file_per_process ? 1.0 : 0.0;
+  features.api_mpiio = config.api == iostack::IoApi::kMpiio ? 1.0 : 0.0;
+  features.api_hdf5 = config.api == iostack::IoApi::kHdf5 ? 1.0 : 0.0;
+  return features;
+}
+
+ConfigFeatures ConfigFeatures::from_command(const std::string& command) {
+  return from_config(gen::parse_ior_command(command));
+}
+
+std::vector<double> ConfigFeatures::as_vector() const {
+  return {log2_transfer, log2_block,       log2_segments, tasks,
+          file_per_process, api_mpiio, api_hdf5};
+}
+
+std::vector<TrainingSample> build_training_set(
+    persist::KnowledgeRepository& repository, const std::string& operation) {
+  std::vector<TrainingSample> samples;
+  for (const std::int64_t id : repository.knowledge_ids()) {
+    const knowledge::Knowledge k = repository.load_knowledge(id);
+    if (k.benchmark != "IOR") {
+      continue;
+    }
+    const knowledge::OpSummary* summary = k.find_summary(operation);
+    if (summary == nullptr || summary->mean_bw_mib <= 0.0) {
+      continue;
+    }
+    TrainingSample sample;
+    try {
+      sample.features = ConfigFeatures::from_command(k.command);
+    } catch (const ParseError&) {
+      continue;  // foreign command dialect; skip
+    }
+    sample.mean_bw_mib = summary->mean_bw_mib;
+    sample.operation = operation;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+BandwidthPredictor BandwidthPredictor::fit(
+    const std::vector<TrainingSample>& samples) {
+  if (samples.size() < 8) {
+    throw ConfigError("bandwidth predictor needs >= 8 training samples, got " +
+                      std::to_string(samples.size()));
+  }
+  std::vector<std::vector<double>> design;
+  std::vector<double> targets;
+  design.reserve(samples.size());
+  targets.reserve(samples.size());
+  for (const TrainingSample& sample : samples) {
+    design.push_back(sample.features.as_vector());
+    targets.push_back(sample.mean_bw_mib);
+  }
+  BandwidthPredictor predictor;
+  // Small ridge term: training sets mined from a repository routinely have
+  // constant features (every run used the same API, say), which would make
+  // an unregularized normal system singular.
+  predictor.coefficients_ =
+      analysis::fit_multilinear(design, targets, /*ridge=*/1e-8);
+  return predictor;
+}
+
+double BandwidthPredictor::predict(const ConfigFeatures& features) const {
+  const std::vector<double> x = features.as_vector();
+  double y = coefficients_.at(0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y += coefficients_.at(i + 1) * x[i];
+  }
+  return std::max(y, 0.0);
+}
+
+double knn_predict(const std::vector<TrainingSample>& samples,
+                   const ConfigFeatures& query, std::size_t k) {
+  if (samples.empty()) {
+    throw ConfigError("k-NN prediction over an empty sample set");
+  }
+  const std::size_t dims = query.as_vector().size();
+
+  // Standardize each feature over the sample set to keep distances sane.
+  std::vector<double> mean(dims, 0.0);
+  std::vector<double> stddev(dims, 0.0);
+  for (const TrainingSample& sample : samples) {
+    const std::vector<double> x = sample.features.as_vector();
+    for (std::size_t d = 0; d < dims; ++d) {
+      mean[d] += x[d];
+    }
+  }
+  for (double& m : mean) {
+    m /= static_cast<double>(samples.size());
+  }
+  for (const TrainingSample& sample : samples) {
+    const std::vector<double> x = sample.features.as_vector();
+    for (std::size_t d = 0; d < dims; ++d) {
+      stddev[d] += (x[d] - mean[d]) * (x[d] - mean[d]);
+    }
+  }
+  for (double& s : stddev) {
+    s = std::sqrt(s / static_cast<double>(samples.size()));
+    if (s < 1e-9) {
+      s = 1.0;  // constant feature: neutral scaling
+    }
+  }
+
+  auto distance = [&](const ConfigFeatures& features) {
+    const std::vector<double> a = features.as_vector();
+    const std::vector<double> b = query.as_vector();
+    double sum = 0.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double delta = (a[d] - b[d]) / stddev[d];
+      sum += delta * delta;
+    }
+    return std::sqrt(sum);
+  };
+
+  std::vector<std::pair<double, double>> scored;  // (distance, bw)
+  scored.reserve(samples.size());
+  for (const TrainingSample& sample : samples) {
+    scored.emplace_back(distance(sample.features), sample.mean_bw_mib);
+  }
+  std::sort(scored.begin(), scored.end());
+  const std::size_t neighbours = std::min(k, scored.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < neighbours; ++i) {
+    sum += scored[i].second;
+  }
+  return sum / static_cast<double>(neighbours);
+}
+
+}  // namespace iokc::usage

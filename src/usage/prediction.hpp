@@ -1,0 +1,64 @@
+// I/O performance prediction (phase 5 / outlook): turns the knowledge base
+// into training data and predicts the bandwidth of an unseen configuration,
+// via linear regression over pattern features (the outlook's "knowledge
+// objects ... as training data for linear regression analysis") and a k-NN
+// estimator for comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/generators/ior.hpp"
+#include "src/persist/repository.hpp"
+
+namespace iokc::usage {
+
+/// Numeric features of an IOR configuration used for learning.
+struct ConfigFeatures {
+  double log2_transfer = 0.0;
+  double log2_block = 0.0;
+  double log2_segments = 0.0;
+  double tasks = 0.0;
+  double file_per_process = 0.0;  // 0/1
+  double api_mpiio = 0.0;         // one-hot
+  double api_hdf5 = 0.0;
+
+  static ConfigFeatures from_config(const gen::IorConfig& config);
+  static ConfigFeatures from_command(const std::string& command);
+  std::vector<double> as_vector() const;
+};
+
+/// One training sample: features plus the observed mean bandwidth.
+struct TrainingSample {
+  ConfigFeatures features;
+  double mean_bw_mib = 0.0;
+  std::string operation;  // "write" or "read"
+};
+
+/// Extracts training samples for one operation from every IOR knowledge
+/// object in a repository (non-IOR objects are skipped).
+std::vector<TrainingSample> build_training_set(
+    persist::KnowledgeRepository& repository, const std::string& operation);
+
+/// Linear-regression predictor.
+class BandwidthPredictor {
+ public:
+  /// Fits on the sample set (needs >= 8 samples; throws ConfigError below).
+  static BandwidthPredictor fit(const std::vector<TrainingSample>& samples);
+
+  /// Predicted mean bandwidth (MiB/s, floored at 0).
+  double predict(const ConfigFeatures& features) const;
+
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+ private:
+  std::vector<double> coefficients_;  // intercept first
+};
+
+/// k-nearest-neighbour estimate over feature space (Euclidean distance on
+/// standardized features). Throws ConfigError on an empty sample set.
+double knn_predict(const std::vector<TrainingSample>& samples,
+                   const ConfigFeatures& query, std::size_t k = 3);
+
+}  // namespace iokc::usage

@@ -1,0 +1,140 @@
+#include "src/usage/recommendation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/error.hpp"
+#include "src/util/units.hpp"
+
+namespace iokc::usage {
+
+std::string RecommendationReport::render() const {
+  std::string out = "Recommendations (mined from " +
+                    std::to_string(evidence_runs) + " stored runs):\n";
+  if (recommendations.empty()) {
+    out += "  current configuration already matches the best stored run\n";
+    return out;
+  }
+  for (const Recommendation& recommendation : recommendations) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf, "  %-14s %s -> %s  (expected %+.1f%%)  %s\n",
+                  recommendation.tunable.c_str(),
+                  recommendation.current.c_str(),
+                  recommendation.suggested.c_str(),
+                  recommendation.expected_gain * 100.0,
+                  recommendation.rationale.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+struct StoredRun {
+  gen::IorConfig config;
+  double bandwidth = 0.0;
+};
+
+bool similar_scale(const gen::IorConfig& a, const gen::IorConfig& b) {
+  const double ratio = a.num_tasks > 0 && b.num_tasks > 0
+                           ? static_cast<double>(a.num_tasks) /
+                                 static_cast<double>(b.num_tasks)
+                           : 0.0;
+  return ratio >= 0.5 && ratio <= 2.0;
+}
+
+bool same_pattern(const gen::IorConfig& a, const gen::IorConfig& b) {
+  return a.api == b.api && a.transfer_size == b.transfer_size &&
+         a.block_size == b.block_size &&
+         a.file_per_process == b.file_per_process &&
+         a.collective == b.collective;
+}
+
+}  // namespace
+
+RecommendationReport recommend(persist::KnowledgeRepository& repository,
+                               const gen::IorConfig& target,
+                               const std::string& operation) {
+  RecommendationReport report;
+
+  std::vector<StoredRun> candidates;
+  double baseline = 0.0;
+  for (const std::int64_t id : repository.knowledge_ids()) {
+    const knowledge::Knowledge k = repository.load_knowledge(id);
+    if (k.benchmark != "IOR") {
+      continue;
+    }
+    const knowledge::OpSummary* summary = k.find_summary(operation);
+    if (summary == nullptr || summary->mean_bw_mib <= 0.0) {
+      continue;
+    }
+    StoredRun run;
+    try {
+      run.config = gen::parse_ior_command(k.command);
+    } catch (const ParseError&) {
+      continue;
+    }
+    run.bandwidth = summary->mean_bw_mib;
+    if (!similar_scale(run.config, target)) {
+      continue;
+    }
+    if (same_pattern(run.config, target)) {
+      baseline = std::max(baseline, run.bandwidth);
+    }
+    candidates.push_back(std::move(run));
+  }
+  report.evidence_runs = candidates.size();
+  if (candidates.empty()) {
+    return report;
+  }
+  if (baseline <= 0.0) {
+    // No exact match stored: use the median candidate as the baseline.
+    std::vector<double> bws;
+    for (const StoredRun& run : candidates) {
+      bws.push_back(run.bandwidth);
+    }
+    std::nth_element(bws.begin(), bws.begin() + bws.size() / 2, bws.end());
+    baseline = bws[bws.size() / 2];
+  }
+
+  // The best stored run that beats the baseline drives the suggestions.
+  const StoredRun* best = nullptr;
+  for (const StoredRun& run : candidates) {
+    if (run.bandwidth > baseline &&
+        (best == nullptr || run.bandwidth > best->bandwidth)) {
+      best = &run;
+    }
+  }
+  if (best == nullptr) {
+    return report;
+  }
+  const double gain = best->bandwidth / baseline - 1.0;
+  auto suggest = [&](const std::string& tunable, const std::string& current,
+                     const std::string& suggested) {
+    if (current == suggested) {
+      return;
+    }
+    Recommendation recommendation;
+    recommendation.tunable = tunable;
+    recommendation.current = current;
+    recommendation.suggested = suggested;
+    recommendation.expected_gain = gain;
+    recommendation.rationale = "best similar stored run uses this setting";
+    report.recommendations.push_back(std::move(recommendation));
+  };
+
+  suggest("api", iostack::to_string(target.api),
+          iostack::to_string(best->config.api));
+  suggest("transfer_size", util::format_size_token(target.transfer_size),
+          util::format_size_token(best->config.transfer_size));
+  suggest("block_size", util::format_size_token(target.block_size),
+          util::format_size_token(best->config.block_size));
+  suggest("file layout",
+          target.file_per_process ? "file-per-process" : "shared",
+          best->config.file_per_process ? "file-per-process" : "shared");
+  suggest("collective", target.collective ? "collective" : "independent",
+          best->config.collective ? "collective" : "independent");
+  return report;
+}
+
+}  // namespace iokc::usage

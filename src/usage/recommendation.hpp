@@ -1,0 +1,43 @@
+// The recommendation module (phase 5, offline optimization): "the users can
+// be suggested with suitable configurations via a recommendation module,
+// which can be applied manually for individual runs". Recommendations are
+// mined from the knowledge base: among stored runs resembling the user's
+// pattern, which tunables correlate with higher bandwidth?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/generators/ior.hpp"
+#include "src/persist/repository.hpp"
+
+namespace iokc::usage {
+
+/// One actionable suggestion.
+struct Recommendation {
+  std::string tunable;     // e.g. "transfer_size", "api", "stripe width"
+  std::string current;     // the user's current setting
+  std::string suggested;   // the mined better setting
+  double expected_gain = 0.0;  // relative mean-bandwidth gain observed
+  std::string rationale;
+};
+
+/// A set of suggestions plus the evidence base size.
+struct RecommendationReport {
+  std::vector<Recommendation> recommendations;
+  std::size_t evidence_runs = 0;
+
+  bool empty() const { return recommendations.empty(); }
+  std::string render() const;
+};
+
+/// Mines the repository for configurations similar to `target` (same
+/// benchmark, same task count within a factor of two) whose mean write
+/// bandwidth beats the best run matching `target` exactly; emits one
+/// recommendation per differing tunable. `operation` selects the metric
+/// ("write" by default).
+RecommendationReport recommend(persist::KnowledgeRepository& repository,
+                               const gen::IorConfig& target,
+                               const std::string& operation = "write");
+
+}  // namespace iokc::usage

@@ -1,0 +1,119 @@
+#include "src/usage/workload_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace iokc::usage {
+
+std::vector<gen::IorConfig> generate_similar_configs(
+    const knowledge::Knowledge& knowledge, std::size_t count,
+    std::uint64_t seed) {
+  const gen::IorConfig base = gen::parse_ior_command(knowledge.command);
+  util::Rng rng(seed);
+  std::vector<gen::IorConfig> configs;
+  configs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    gen::IorConfig config = base;
+    // Perturb transfer size by a power-of-two step, keeping block a multiple.
+    const int shift = static_cast<int>(rng.uniform_int(-1, 1));
+    if (shift > 0) {
+      config.transfer_size = std::min(config.transfer_size << 1,
+                                      config.block_size);
+    } else if (shift < 0 && config.transfer_size > 4096) {
+      config.transfer_size >>= 1;
+    }
+    // Perturb segments within +/- 50%.
+    const double segment_factor = rng.uniform(0.5, 1.5);
+    config.segments = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::lround(static_cast<double>(base.segments) * segment_factor)));
+    // Tasks within a factor of two, multiples of the original node fill.
+    const double task_factor = rng.uniform(0.5, 2.0);
+    config.num_tasks = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::lround(static_cast<double>(base.num_tasks) * task_factor)));
+    config.test_file = base.test_file + ".gen" + std::to_string(i);
+    config.validate();
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+std::uint64_t SyntheticTrace::total_bytes_written() const {
+  std::uint64_t total = 0;
+  for (const TraceOp& op : ops) {
+    if (op.kind == TraceOp::Kind::kWrite) {
+      total += op.length;
+    }
+  }
+  return total;
+}
+
+std::uint64_t SyntheticTrace::total_bytes_read() const {
+  std::uint64_t total = 0;
+  for (const TraceOp& op : ops) {
+    if (op.kind == TraceOp::Kind::kRead) {
+      total += op.length;
+    }
+  }
+  return total;
+}
+
+SyntheticTrace generate_trace(const knowledge::Knowledge& knowledge,
+                              std::uint64_t seed) {
+  const gen::IorConfig config = gen::parse_ior_command(knowledge.command);
+  util::Rng rng(seed);
+  SyntheticTrace trace;
+  trace.num_tasks = config.num_tasks;
+
+  const bool do_write = knowledge.find_summary("write") != nullptr;
+  const bool do_read = knowledge.find_summary("read") != nullptr;
+
+  for (std::uint32_t rank = 0; rank < config.num_tasks; ++rank) {
+    const std::string file =
+        config.file_per_process
+            ? config.test_file + "." + std::to_string(rank)
+            : config.test_file;
+    trace.ops.push_back({TraceOp::Kind::kOpen, rank, file, 0, 0});
+    std::uint64_t offset =
+        config.file_per_process
+            ? 0
+            : static_cast<std::uint64_t>(rank) * config.bytes_per_rank();
+    std::uint64_t remaining = config.bytes_per_rank();
+    while (remaining > 0 && do_write) {
+      // Lognormal jitter around the configured transfer size keeps the mean
+      // volume while varying individual requests like a real application.
+      const double jitter = rng.lognormal(0.0, 0.35);
+      std::uint64_t length = static_cast<std::uint64_t>(
+          std::max(4096.0, static_cast<double>(config.transfer_size) * jitter));
+      length = std::min(length, remaining);
+      trace.ops.push_back({TraceOp::Kind::kWrite, rank, file, offset, length});
+      offset += length;
+      remaining -= length;
+    }
+    if (do_write && config.fsync) {
+      trace.ops.push_back({TraceOp::Kind::kFsync, rank, file, 0, 0});
+    }
+    if (do_read) {
+      std::uint64_t read_offset =
+          config.file_per_process
+              ? 0
+              : static_cast<std::uint64_t>(rank) * config.bytes_per_rank();
+      std::uint64_t to_read = config.bytes_per_rank();
+      while (to_read > 0) {
+        const std::uint64_t length = std::min(
+            static_cast<std::uint64_t>(config.transfer_size), to_read);
+        trace.ops.push_back(
+            {TraceOp::Kind::kRead, rank, file, read_offset, length});
+        read_offset += length;
+        to_read -= length;
+      }
+    }
+    trace.ops.push_back({TraceOp::Kind::kClose, rank, file, 0, 0});
+  }
+  return trace;
+}
+
+}  // namespace iokc::usage

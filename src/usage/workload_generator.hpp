@@ -1,0 +1,50 @@
+// Workload generation (phase 5): "the knowledge obtained from our generic
+// workflow can be used to, e.g., generate new benchmark configurations, but
+// also synthetic workload for simulation". Produces (a) IOR configurations
+// resembling a stored knowledge object with controlled perturbation, and
+// (b) synthetic rank-level operation traces that can drive the simulator
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/generators/ior.hpp"
+#include "src/knowledge/knowledge.hpp"
+#include "src/util/rng.hpp"
+
+namespace iokc::usage {
+
+/// Derives `count` IOR configurations around a stored knowledge object's
+/// command, perturbing transfer size (half/double steps), segment count, and
+/// task count within a factor of two, deterministically from `seed`.
+std::vector<gen::IorConfig> generate_similar_configs(
+    const knowledge::Knowledge& knowledge, std::size_t count,
+    std::uint64_t seed);
+
+/// One synthetic I/O operation of a trace.
+struct TraceOp {
+  enum class Kind { kOpen, kWrite, kRead, kFsync, kClose };
+  Kind kind = Kind::kWrite;
+  std::uint32_t rank = 0;
+  std::string file;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+/// A synthetic workload trace.
+struct SyntheticTrace {
+  std::vector<TraceOp> ops;
+  std::uint32_t num_tasks = 0;
+
+  std::uint64_t total_bytes_written() const;
+  std::uint64_t total_bytes_read() const;
+};
+
+/// Builds a trace whose volume/op-size distribution matches the knowledge
+/// object's pattern (from its command) with lognormal size jitter.
+SyntheticTrace generate_trace(const knowledge::Knowledge& knowledge,
+                              std::uint64_t seed);
+
+}  // namespace iokc::usage

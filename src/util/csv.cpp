@@ -1,0 +1,111 @@
+#include "src/util/csv.hpp"
+
+#include <fstream>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+
+namespace {
+
+bool needs_quoting(std::string_view cell) {
+  return cell.find_first_of(",\"\r\n") != std::string_view::npos;
+}
+
+std::string quote(std::string_view cell) {
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out += '"';
+  for (const char c : cell) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      text_ += ',';
+    }
+    text_ += needs_quoting(cells[i]) ? quote(cells[i]) : cells[i];
+  }
+  text_ += '\n';
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError("cannot open CSV file for writing: " + path);
+  }
+  out << text_;
+  if (!out) {
+    throw IoError("failed writing CSV file: " + path);
+  }
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_data = false;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_data = true;
+        break;
+      case ',':
+        row.push_back(std::move(cell));
+        cell.clear();
+        row_has_data = true;
+        break;
+      case '\r':
+        break;  // handled by the following '\n'
+      case '\n':
+        if (row_has_data || !cell.empty()) {
+          row.push_back(std::move(cell));
+          cell.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_has_data = false;
+        }
+        break;
+      default:
+        cell += c;
+        row_has_data = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    throw ParseError("unterminated quoted CSV field");
+  }
+  if (row_has_data || !cell.empty()) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace iokc::util

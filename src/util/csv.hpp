@@ -1,0 +1,33 @@
+// RFC-4180-style CSV reading and writing, used for knowledge export and for
+// bench artifact series.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iokc::util {
+
+/// Builds CSV text row by row with correct quoting of commas, quotes, and
+/// newlines.
+class CsvWriter {
+ public:
+  /// Appends one row; every cell is quoted only when necessary.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// The accumulated CSV document.
+  const std::string& text() const { return text_; }
+
+  /// Writes the document to a file. Throws IoError on failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::string text_;
+};
+
+/// Parses CSV text into rows of cells, honoring quoted fields with embedded
+/// separators, escaped quotes (""), and CRLF line endings.
+/// Throws ParseError on unterminated quotes.
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+}  // namespace iokc::util

@@ -1,0 +1,48 @@
+// Error types shared across the iokc library.
+//
+// The library throws exceptions derived from iokc::Error; each subsystem has
+// its own subclass so callers can catch at the granularity they care about.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace iokc {
+
+/// Root of the iokc exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input text (benchmark output, SQL, JSON, CSV, config files).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Violations of database constraints or invalid database usage.
+class DbError : public Error {
+ public:
+  explicit DbError(const std::string& what) : Error("db error: " + what) {}
+};
+
+/// Invalid simulation configuration or internal simulation invariant failure.
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("sim error: " + what) {}
+};
+
+/// Host filesystem I/O failures (reading/writing workspaces, logs, DB files).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// Invalid benchmark or workflow configuration supplied by the caller.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+}  // namespace iokc

@@ -1,0 +1,419 @@
+#include "src/util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+
+bool JsonValue::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) {
+    return *b;
+  }
+  throw ParseError("JSON value is not a bool");
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return *i;
+  }
+  throw ParseError("JSON value is not an integer");
+}
+
+double JsonValue::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) {
+    return *d;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  throw ParseError("JSON value is not a number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) {
+    return *s;
+  }
+  throw ParseError("JSON value is not a string");
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (const auto* a = std::get_if<JsonArray>(&value_)) {
+    return *a;
+  }
+  throw ParseError("JSON value is not an array");
+}
+
+JsonArray& JsonValue::as_array() {
+  if (auto* a = std::get_if<JsonArray>(&value_)) {
+    return *a;
+  }
+  throw ParseError("JSON value is not an array");
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (const auto* o = std::get_if<JsonObject>(&value_)) {
+    return *o;
+  }
+  throw ParseError("JSON value is not an object");
+}
+
+JsonObject& JsonValue::as_object() {
+  if (auto* o = std::get_if<JsonObject>(&value_)) {
+    return *o;
+  }
+  throw ParseError("JSON value is not an object");
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (const JsonValue* v = find(key)) {
+    return *v;
+  }
+  throw ParseError("missing JSON field '" + std::string(key) + "'");
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  const auto* obj = std::get_if<JsonObject>(&value_);
+  if (obj == nullptr) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : *obj) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  if (is_null()) {
+    value_ = JsonObject{};
+  }
+  auto& obj = as_object();
+  for (auto& [k, v] : obj) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj.emplace_back(std::move(key), std::move(value));
+}
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void indent_to(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    if (std::isfinite(*d)) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", *d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no representation for inf/nan
+    }
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    dump_string(out, *s);
+  } else if (const auto* a = std::get_if<JsonArray>(&value_)) {
+    out += '[';
+    for (std::size_t k = 0; k < a->size(); ++k) {
+      if (k != 0) {
+        out += ',';
+      }
+      if (indent > 0) {
+        indent_to(out, indent, depth + 1);
+      }
+      (*a)[k].dump_to(out, indent, depth + 1);
+    }
+    if (indent > 0 && !a->empty()) {
+      indent_to(out, indent, depth);
+    }
+    out += ']';
+  } else if (const auto* o = std::get_if<JsonObject>(&value_)) {
+    out += '{';
+    for (std::size_t k = 0; k < o->size(); ++k) {
+      if (k != 0) {
+        out += ',';
+      }
+      if (indent > 0) {
+        indent_to(out, indent, depth + 1);
+      }
+      dump_string(out, (*o)[k].first);
+      out += indent > 0 ? ": " : ":";
+      (*o)[k].second.dump_to(out, indent, depth + 1);
+    }
+    if (indent > 0 && !o->empty()) {
+      indent_to(out, indent, depth);
+    }
+    out += '}';
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("JSON at offset " + std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') {
+        return JsonValue(std::move(obj));
+      }
+      if (c != ',') {
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') {
+        return JsonValue(std::move(arr));
+      }
+      if (c != ',') {
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          const auto [p, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || p != text_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+          }
+          pos_ += 4;
+          // Encode as UTF-8 (BMP only; surrogate pairs are passed through as
+          // two 3-byte sequences, which is enough for our ASCII-heavy data).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      fail("bad number");
+    }
+    if (!is_double) {
+      std::int64_t value = 0;
+      const auto [p, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && p == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+      // fall through to double on overflow
+    }
+    const std::string buf{token};
+    char* end = nullptr;
+    const double value = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) {
+      fail("bad number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+}  // namespace iokc::util

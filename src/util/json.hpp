@@ -1,0 +1,80 @@
+// A small JSON document model with a strict parser and a pretty/compact
+// writer. Used for knowledge-object serialization, Darshan-like log headers,
+// and machine-readable bench artifacts. Object key order is preserved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace iokc::util {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// Insertion-ordered object representation.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+/// Integers are kept distinct from doubles so round-trips preserve exactness.
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(std::int64_t i) : value_(i) {}
+  JsonValue(int i) : value_(static_cast<std::int64_t>(i)) {}
+  JsonValue(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw ParseError when the type does not match.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  // accepts both int and double
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object field lookup; throws ParseError when absent or not an object.
+  const JsonValue& at(std::string_view key) const;
+  /// Object field lookup; returns nullptr when absent.
+  const JsonValue* find(std::string_view key) const;
+  /// Sets (or replaces) an object field; converts null value_ into an object.
+  void set(std::string key, JsonValue value);
+
+  /// Serializes compactly ({"a":1}) or pretty-printed when indent > 0.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               JsonArray, JsonObject>
+      value_;
+};
+
+/// Parses a complete JSON document; trailing garbage is an error.
+/// Throws ParseError with position information on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace iokc::util

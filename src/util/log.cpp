@@ -1,0 +1,42 @@
+#include "src/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace iokc::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level.load() || level == LogLevel::kOff) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+namespace detail {
+
+LogLine::~LogLine() { log_message(level_, stream_.str()); }
+
+}  // namespace detail
+
+}  // namespace iokc::util

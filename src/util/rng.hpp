@@ -1,0 +1,68 @@
+// Deterministic random number generation for the simulation substrate.
+//
+// All stochastic behaviour in iokc (service-time jitter, interference bursts,
+// workload synthesis) draws from Rng so that a scenario seed reproduces a run
+// bit-for-bit. The engine is xoshiro256** seeded via SplitMix64, which is fast,
+// well distributed, and fully specified here (no reliance on unspecified
+// standard-library distribution internals).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iokc::util {
+
+/// SplitMix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic xoshiro256** generator with explicit distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Lognormal: exp(normal(mu, sigma)). Used for service-time jitter.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with given rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator (stream splitting).
+  Rng split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace iokc::util

@@ -1,0 +1,170 @@
+#include "src/util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      out.emplace_back(text.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      std::size_t end = i;
+      if (end > start && text[end - 1] == '\r') {
+        --end;
+      }
+      lines.emplace_back(text.substr(start, end - start));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) {
+    std::size_t end = text.size();
+    if (end > start && text[end - 1] == '\r') {
+      --end;
+    }
+    lines.emplace_back(text.substr(start, end - start));
+  }
+  return lines;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+std::int64_t parse_i64(std::string_view text) {
+  const std::string_view t = trim(text);
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc() || ptr != t.data() + t.size() || t.empty()) {
+    throw ParseError("bad integer '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_f64(std::string_view text) {
+  // std::from_chars for double is available in libstdc++ 11+, but keep a
+  // strtod fallback path for portability with identical strictness.
+  const std::string t{trim(text)};
+  if (t.empty()) {
+    throw ParseError("bad number ''");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) {
+    throw ParseError("bad number '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  if (text.size() >= width) {
+    return std::string(text);
+  }
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  if (text.size() >= width) {
+    return std::string(text);
+  }
+  return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) {
+    return std::string(text);
+  }
+  std::string out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out += text.substr(start);
+      return out;
+    }
+    out += text.substr(start, pos - start);
+    out += to;
+    start = pos + from.size();
+  }
+}
+
+}  // namespace iokc::util

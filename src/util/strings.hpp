@@ -1,0 +1,52 @@
+// Small string helpers used by parsers, writers, and formatters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iokc::util {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of ASCII whitespace; drops empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Splits into lines, treating both "\n" and "\r\n" as terminators.
+std::vector<std::string> split_lines(std::string_view text);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` contains `needle`.
+bool contains(std::string_view text, std::string_view needle);
+
+/// Strict parse of a signed integer; throws ParseError on failure.
+std::int64_t parse_i64(std::string_view text);
+
+/// Strict parse of a double; throws ParseError on failure.
+double parse_f64(std::string_view text);
+
+/// Left/right padding to a minimum width.
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// printf-style double formatting with fixed precision.
+std::string format_double(double value, int precision);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+}  // namespace iokc::util

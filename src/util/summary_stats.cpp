@@ -1,0 +1,72 @@
+#include "src/util/summary_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+
+SummaryStats summarize(std::span<const double> values) {
+  SummaryStats stats;
+  stats.count = values.size();
+  if (values.empty()) {
+    return stats;
+  }
+  stats.min = values.front();
+  stats.max = values.front();
+  for (const double v : values) {
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+    stats.sum += v;
+  }
+  stats.mean = stats.sum / static_cast<double>(values.size());
+  if (values.size() >= 2) {
+    double ss = 0.0;
+    for (const double v : values) {
+      const double d = v - stats.mean;
+      ss += d * d;
+    }
+    stats.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return stats;
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) {
+    throw ConfigError("percentile of empty sample");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw ConfigError("percentile p must be in [0, 100]");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 50.0);
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) {
+    throw ConfigError("geometric mean of empty sample");
+  }
+  double log_sum = 0.0;
+  for (const double v : values) {
+    if (v <= 0.0) {
+      throw ConfigError("geometric mean requires positive values");
+    }
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace iokc::util

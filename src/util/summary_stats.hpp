@@ -1,0 +1,33 @@
+// Basic descriptive statistics shared by benchmark engines, the knowledge
+// model (per-operation summaries), and the analysis phase.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace iokc::util {
+
+/// Descriptive statistics of a sample.
+struct SummaryStats {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1), 0 for n < 2
+  double sum = 0.0;
+};
+
+/// Computes count/min/max/mean/stddev/sum. Empty input yields all zeros.
+SummaryStats summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile (p in [0, 100]) of an unsorted sample.
+/// Throws ConfigError for empty input or p outside [0, 100].
+double percentile(std::span<const double> values, double p);
+
+/// Median shorthand.
+double median(std::span<const double> values);
+
+/// Geometric mean; requires all values > 0 (throws ConfigError otherwise).
+double geometric_mean(std::span<const double> values);
+
+}  // namespace iokc::util

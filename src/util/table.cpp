@@ -1,0 +1,70 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+
+#include "src/util/strings.hpp"
+
+namespace iokc::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::set_alignment(std::vector<Align> alignment) {
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  const std::size_t columns =
+      std::max(header_.size(),
+               rows_.empty() ? std::size_t{0} : rows_.front().size());
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < columns; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  std::string rule = "+";
+  for (const std::size_t w : widths) {
+    rule += std::string(w + 2, '-');
+    rule += '+';
+  }
+  rule += '\n';
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      const Align align = c < alignment_.size() ? alignment_[c] : Align::kLeft;
+      out += ' ';
+      out += align == Align::kRight ? pad_left(cell, widths[c])
+                                    : pad_right(cell, widths[c]);
+      out += " |";
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out = rule;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += rule;
+  }
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace iokc::util

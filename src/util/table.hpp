@@ -1,0 +1,41 @@
+// Monospace text tables for CLI reports (knowledge viewer output, bench rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iokc::util {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows and renders an aligned, ruled text table:
+///
+///   +------------+---------+
+///   | operation  |  MiB/s  |
+///   +------------+---------+
+///   | write      | 2850.13 |
+///   +------------+---------+
+class TextTable {
+ public:
+  /// Defines the header; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Per-column alignment; defaults to left for every column.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a data row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the full table including rules.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iokc::util

@@ -1,0 +1,113 @@
+#include "src/util/units.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+
+namespace {
+
+std::uint64_t suffix_multiplier(char c) {
+  switch (c) {
+    case 'k': case 'K': return kKiB;
+    case 'm': case 'M': return kMiB;
+    case 'g': case 'G': return kGiB;
+    case 't': case 'T': return kTiB;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+std::uint64_t parse_size(std::string_view text) {
+  if (text.empty()) {
+    throw ParseError("empty size token");
+  }
+  std::uint64_t multiplier = 1;
+  std::string_view digits = text;
+  const char last = text.back();
+  if (!std::isdigit(static_cast<unsigned char>(last))) {
+    multiplier = suffix_multiplier(last);
+    if (multiplier == 0) {
+      throw ParseError("bad size suffix in '" + std::string(text) + "'");
+    }
+    digits.remove_suffix(1);
+  }
+  if (digits.empty()) {
+    throw ParseError("missing digits in size token '" + std::string(text) + "'");
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+    throw ParseError("bad size token '" + std::string(text) + "'");
+  }
+  if (multiplier != 0 && value > UINT64_MAX / multiplier) {
+    throw ParseError("size token overflows 64 bits: '" + std::string(text) + "'");
+  }
+  return value * multiplier;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  struct Unit {
+    std::uint64_t size;
+    const char* name;
+  };
+  static constexpr std::array<Unit, 4> kUnits{{
+      {kTiB, "TiB"}, {kGiB, "GiB"}, {kMiB, "MiB"}, {kKiB, "KiB"}}};
+  for (const auto& unit : kUnits) {
+    if (bytes >= unit.size) {
+      const double value = static_cast<double>(bytes) / static_cast<double>(unit.size);
+      char buf[64];
+      if (bytes % unit.size == 0) {
+        std::snprintf(buf, sizeof buf, "%llu %s",
+                      static_cast<unsigned long long>(bytes / unit.size), unit.name);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.2f %s", value, unit.name);
+      }
+      return buf;
+    }
+  }
+  return std::to_string(bytes) + " B";
+}
+
+std::string format_size_token(std::uint64_t bytes) {
+  struct Unit {
+    std::uint64_t size;
+    char suffix;
+  };
+  static constexpr std::array<Unit, 4> kUnits{{
+      {kTiB, 't'}, {kGiB, 'g'}, {kMiB, 'm'}, {kKiB, 'k'}}};
+  for (const auto& unit : kUnits) {
+    if (bytes >= unit.size && bytes % unit.size == 0) {
+      return std::to_string(bytes / unit.size) + unit.suffix;
+    }
+  }
+  return std::to_string(bytes);
+}
+
+std::string format_mib_per_sec(double mib_per_sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", mib_per_sec);
+  return buf;
+}
+
+double to_mib_per_sec(std::uint64_t bytes, double seconds) {
+  if (seconds <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / static_cast<double>(kMiB) / seconds;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.5f", seconds);
+  return buf;
+}
+
+}  // namespace iokc::util

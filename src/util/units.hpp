@@ -1,0 +1,38 @@
+// Byte-size and rate parsing/formatting in the conventions used by IOR-style
+// benchmark command lines ("4m", "2m", "1g") and reports ("MiB/s").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace iokc::util {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+/// Parses an IOR-style size token: a non-negative integer with an optional
+/// suffix [kKmMgGtT] interpreted as binary units (4m == 4 MiB).
+/// Throws ParseError on malformed input or overflow.
+std::uint64_t parse_size(std::string_view text);
+
+/// Formats a byte count using the largest exact binary unit, e.g.
+/// 4194304 -> "4 MiB", 1536 -> "1.50 KiB", 7 -> "7 B".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a size back into the compact IOR token form when it is an exact
+/// multiple of a binary unit (4 MiB -> "4m"); otherwise plain bytes ("4100").
+std::string format_size_token(std::uint64_t bytes);
+
+/// Formats a bandwidth in MiB/s with two decimals, e.g. "2850.13".
+std::string format_mib_per_sec(double mib_per_sec);
+
+/// Converts bytes + seconds into MiB/s. Returns 0 for non-positive durations.
+double to_mib_per_sec(std::uint64_t bytes, double seconds);
+
+/// Formats a duration in seconds as "12.3456" (IOR report style, 4+ digits).
+std::string format_seconds(double seconds);
+
+}  // namespace iokc::util

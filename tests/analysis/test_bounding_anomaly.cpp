@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/anomaly.hpp"
+#include "src/analysis/bounding_box.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::analysis {
+namespace {
+
+knowledge::Io500Knowledge sample_run() {
+  knowledge::Io500Knowledge k;
+  k.command = "io500 -N 40";
+  k.num_tasks = 40;
+  auto add = [&k](const char* name, double value, const char* unit) {
+    knowledge::Io500Testcase testcase;
+    testcase.name = name;
+    testcase.value = value;
+    testcase.unit = unit;
+    k.testcases.push_back(testcase);
+  };
+  add("ior-easy-write", 2.9, "GiB/s");
+  add("ior-hard-write", 0.1, "GiB/s");
+  add("ior-easy-read", 3.3, "GiB/s");
+  add("ior-hard-read", 0.4, "GiB/s");
+  add("mdtest-easy-write", 4.4, "kIOPS");
+  add("mdtest-hard-write", 2.2, "kIOPS");
+  add("mdtest-easy-stat", 13.3, "kIOPS");
+  add("mdtest-hard-stat", 6.6, "kIOPS");
+  return k;
+}
+
+TEST(BoundingBox, BandwidthBoxFromBoundaryCases) {
+  const BoundingBox1D box = make_bandwidth_box(sample_run(), "write");
+  EXPECT_EQ(box.dimension, "bandwidth-write");
+  EXPECT_DOUBLE_EQ(box.lower, 0.1);
+  EXPECT_DOUBLE_EQ(box.upper, 2.9);
+  EXPECT_TRUE(box.contains(1.0));
+  EXPECT_FALSE(box.contains(0.05));
+  EXPECT_FALSE(box.contains(3.5));
+  EXPECT_NEAR(box.position(1.5), 0.5, 1e-9);
+  EXPECT_LT(box.position(0.05), 0.0);
+  EXPECT_GT(box.position(3.5), 1.0);
+}
+
+TEST(BoundingBox, MetadataBox) {
+  const BoundingBox1D box = make_metadata_box(sample_run(), "stat");
+  EXPECT_DOUBLE_EQ(box.lower, 6.6);
+  EXPECT_DOUBLE_EQ(box.upper, 13.3);
+  EXPECT_EQ(box.unit, "kIOPS");
+}
+
+TEST(BoundingBox, MissingBoundaryCaseThrows) {
+  knowledge::Io500Knowledge k;
+  EXPECT_THROW(make_bandwidth_box(k, "write"), ConfigError);
+}
+
+TEST(BoundingBox, InvertedBoundsAreSwapped) {
+  knowledge::Io500Knowledge k = sample_run();
+  // Easy slower than hard: itself anomalous, but the box stays well-formed.
+  for (auto& testcase : k.testcases) {
+    if (testcase.name == "ior-easy-write") {
+      testcase.value = 0.05;
+    }
+  }
+  const BoundingBox1D box = make_bandwidth_box(k, "write");
+  EXPECT_LE(box.lower, box.upper);
+}
+
+TEST(BoundingBox, PlacementAssessments) {
+  const BoundingBox2D box = make_bounding_box(sample_run());
+  const BoxPlacement inside = place_application(box, 1.5, 3.0);
+  EXPECT_TRUE(inside.within_bandwidth);
+  EXPECT_TRUE(inside.within_metadata);
+  EXPECT_NE(inside.assessment.find("within expectations"), std::string::npos);
+
+  const BoxPlacement below = place_application(box, 0.01, 3.0);
+  EXPECT_FALSE(below.within_bandwidth);
+  EXPECT_NE(below.assessment.find("below the suboptimal bound"),
+            std::string::npos);
+
+  const BoxPlacement above = place_application(box, 5.0, 3.0);
+  EXPECT_FALSE(above.within_bandwidth);
+  EXPECT_NE(above.assessment.find("above the optimized bound"),
+            std::string::npos);
+}
+
+TEST(BoundingBox, RenderShowsBoundsAndPlacement) {
+  const BoundingBox2D box = make_bounding_box(sample_run());
+  const BoxPlacement placement = place_application(box, 1.5, 3.0);
+  const std::string text = render_bounding_box(box, &placement);
+  EXPECT_NE(text.find("bandwidth-write"), std::string::npos);
+  EXPECT_NE(text.find("metadata-write"), std::string::npos);
+  EXPECT_NE(text.find("assessment:"), std::string::npos);
+}
+
+TEST(BoundingBox, SvgRenderingShowsBoxAndMarkers) {
+  const BoundingBox2D box = make_bounding_box(sample_run());
+  const std::string svg = render_svg_bounding_box(
+      box, {{"app-ok", 1.5, 3.0}, {"app-bad", 0.02, 1.0}});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("expectation bounding box"), std::string::npos);
+  EXPECT_NE(svg.find("app-ok"), std::string::npos);
+  EXPECT_NE(svg.find("app-bad"), std::string::npos);
+  EXPECT_NE(svg.find("#59a14f"), std::string::npos);  // inside marker
+  EXPECT_NE(svg.find("#e15759"), std::string::npos);  // outside marker
+  // Renders without application markers too.
+  EXPECT_NE(render_svg_bounding_box(box).find("</svg>"), std::string::npos);
+}
+
+TEST(Anomaly, IqrOutlierDetection) {
+  const std::vector<double> values{2850.0, 1251.0, 2850.0,
+                                   2851.0, 2849.0, 2850.0};
+  const AnomalyReport report = detect_iqr_outliers("write bw", values);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.anomalies[0].location, "iteration 1");
+  EXPECT_DOUBLE_EQ(report.anomalies[0].value, 1251.0);
+  EXPECT_EQ(report.anomalies[0].severity, AnomalySeverity::kCritical);
+}
+
+TEST(Anomaly, IqrNeedsFourSamples) {
+  const std::vector<double> values{1.0, 100.0, 1.0};
+  EXPECT_TRUE(detect_iqr_outliers("x", values).empty());
+}
+
+TEST(Anomaly, ZScoreDetection) {
+  std::vector<double> values(20, 100.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] += static_cast<double>(i % 3);  // small noise
+  }
+  values[7] = 250.0;
+  const AnomalyReport report = detect_zscore("metric", values, 2.5);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.anomalies[0].location, "iteration 7");
+}
+
+TEST(Anomaly, RelativeDropMatchesPaperObservation) {
+  // The paper's Fig. 5: iteration 2 writes at 1251 vs ~2850 MiB/s average,
+  // "less than half the average throughput".
+  const std::vector<double> values{2850.0, 1251.0, 2850.0,
+                                   2850.0, 2850.0, 2850.0};
+  const AnomalyReport report = detect_relative_drop("write bw", values, 0.5);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.anomalies[0].location, "iteration 1");
+  EXPECT_LT(report.anomalies[0].deviation, -0.5);
+}
+
+TEST(Anomaly, TinyRelativeDeviationsAreSuppressed) {
+  // A hyper-tight series makes Tukey fences flag sub-percent wobble; such
+  // findings are immaterial and must be filtered.
+  const std::vector<double> values{3221.0, 3221.5, 3221.2, 3187.0,
+                                   3222.0, 3221.4};
+  EXPECT_TRUE(detect_iqr_outliers("read bw", values).empty());
+  EXPECT_TRUE(detect_zscore("read bw", values).empty());
+}
+
+TEST(Anomaly, NoFalsePositivesOnCleanSeries) {
+  const std::vector<double> values{2850.0, 2851.0, 2849.0,
+                                   2850.5, 2850.2, 2849.8};
+  EXPECT_TRUE(detect_relative_drop("x", values).empty());
+  EXPECT_TRUE(detect_iqr_outliers("x", values).empty());
+}
+
+TEST(Anomaly, KnowledgeLevelDetectionDeduplicates) {
+  knowledge::Knowledge k;
+  knowledge::OpSummary write;
+  write.operation = "write";
+  for (int i = 0; i < 6; ++i) {
+    knowledge::OpResult r;
+    r.iteration = i;
+    r.bw_mib = i == 1 ? 1251.0 : 2850.0;
+    r.iops = i == 1 ? 625.0 : 1425.0;
+    write.results.push_back(r);
+  }
+  write.recompute();
+  k.summaries.push_back(write);
+  const AnomalyReport report = detect_in_knowledge(k);
+  // bw caught by two detectors (deduplicated) + iops drop = 2 findings.
+  EXPECT_EQ(report.size(), 2u);
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("write bw_mib"), std::string::npos);
+  EXPECT_NE(rendered.find("write iops"), std::string::npos);
+}
+
+TEST(Anomaly, EmptyReportRenders) {
+  EXPECT_EQ(AnomalyReport{}.render(), "no anomalies detected\n");
+}
+
+TEST(Anomaly, Io500RunComparison) {
+  const knowledge::Io500Knowledge reference = sample_run();
+  knowledge::Io500Knowledge probe = sample_run();
+  for (auto& testcase : probe.testcases) {
+    if (testcase.name == "ior-easy-read") {
+      testcase.value *= 0.3;  // badly regressed
+    }
+  }
+  const AnomalyReport report = compare_io500_runs(reference, probe, 0.3);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_NE(report.anomalies[0].metric.find("ior-easy-read"),
+            std::string::npos);
+  EXPECT_NE(report.anomalies[0].description.find("regressed"),
+            std::string::npos);
+}
+
+TEST(Anomaly, BoxViolationDetection) {
+  const BoundingBox2D box = make_bounding_box(sample_run());
+  EXPECT_TRUE(detect_box_violation(box, 1.5, 3.0).empty());
+  const AnomalyReport below = detect_box_violation(box, 0.01, 3.0);
+  ASSERT_EQ(below.size(), 1u);
+  EXPECT_EQ(below.anomalies[0].severity, AnomalySeverity::kCritical);
+  const AnomalyReport above = detect_box_violation(box, 5.0, 50.0);
+  EXPECT_EQ(above.size(), 2u);
+  EXPECT_EQ(above.anomalies[0].severity, AnomalySeverity::kInfo);
+}
+
+}  // namespace
+}  // namespace iokc::analysis

@@ -1,0 +1,169 @@
+#include "src/analysis/charts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/util/error.hpp"
+
+namespace iokc::analysis {
+namespace {
+
+Chart sample_chart() {
+  Chart chart;
+  chart.title = "throughput per iteration";
+  chart.x_label = "iteration";
+  chart.y_label = "MiB/s";
+  chart.categories = {"1", "2", "3"};
+  chart.series.push_back(Series{"write", {2850.0, 1251.0, 2850.0}});
+  chart.series.push_back(Series{"read", {3000.0, 3010.0, 2990.0}});
+  return chart;
+}
+
+TEST(Charts, ValidateCatchesLengthMismatch) {
+  Chart chart = sample_chart();
+  chart.series[0].values.pop_back();
+  EXPECT_THROW(chart.validate(), ConfigError);
+  Chart empty;
+  empty.title = "e";
+  EXPECT_THROW(empty.validate(), ConfigError);
+}
+
+TEST(Charts, LineChartSvgStructure) {
+  const std::string svg = render_svg_line(sample_chart());
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("throughput per iteration"), std::string::npos);
+  EXPECT_NE(svg.find("write"), std::string::npos);  // legend
+  EXPECT_NE(svg.find("read"), std::string::npos);
+  // Two series -> two polylines.
+  std::size_t count = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Charts, BarChartSvgStructure) {
+  const std::string svg = render_svg_bar(sample_chart());
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  // 3 categories x 2 series = 6 bars plus background + legend swatches.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_GE(rects, 6u);
+}
+
+TEST(Charts, BoxplotSvgStructure) {
+  BoxplotChart chart;
+  chart.title = "boundary cases";
+  chart.y_label = "GiB/s";
+  BoxplotStats a;
+  a.min = 1.0;
+  a.q1 = 2.0;
+  a.median = 3.0;
+  a.q3 = 4.0;
+  a.max = 5.0;
+  a.outliers = {9.0};
+  chart.boxes.emplace_back("ior-easy-write", a);
+  chart.boxes.emplace_back("ior-hard-write", a);
+  const std::string svg = render_svg_boxplot(chart);
+  EXPECT_NE(svg.find("ior-easy-write"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);  // outlier markers
+  EXPECT_NE(svg.find("<rect"), std::string::npos);    // boxes
+}
+
+TEST(Charts, BoxplotEmptyThrows) {
+  BoxplotChart chart;
+  EXPECT_THROW(render_svg_boxplot(chart), ConfigError);
+}
+
+TEST(Charts, SvgEscapesMarkup) {
+  Chart chart = sample_chart();
+  chart.title = "a < b & c";
+  const std::string svg = render_svg_line(chart);
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b"), std::string::npos);
+}
+
+TEST(Charts, AsciiBarShowsValuesAndBars) {
+  const std::string text = render_ascii_bar(sample_chart());
+  EXPECT_NE(text.find("throughput per iteration"), std::string::npos);
+  EXPECT_NE(text.find("1/write"), std::string::npos);
+  EXPECT_NE(text.find("#"), std::string::npos);
+  EXPECT_NE(text.find("2850"), std::string::npos);
+}
+
+TEST(Charts, HeatmapSvgStructure) {
+  HeatmapChart chart;
+  chart.title = "bw by transfer x tasks";
+  chart.x_label = "tasks";
+  chart.y_label = "transfer";
+  chart.columns = {"40", "80"};
+  chart.rows = {"1m", "2m", "4m"};
+  chart.values = {{100.0, 200.0}, {300.0, 400.0}, {500.0, 600.0}};
+  const std::string svg = render_svg_heatmap(chart);
+  // 6 data cells.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_GE(rects, 6u);
+  EXPECT_NE(svg.find("bw by transfer x tasks"), std::string::npos);
+  EXPECT_NE(svg.find("4m"), std::string::npos);
+  EXPECT_NE(svg.find("600"), std::string::npos);
+}
+
+TEST(Charts, HeatmapValidation) {
+  HeatmapChart chart;
+  chart.title = "x";
+  EXPECT_THROW(chart.validate(), ConfigError);
+  chart.columns = {"a"};
+  chart.rows = {"r"};
+  chart.values = {{1.0, 2.0}};  // ragged vs one column
+  EXPECT_THROW(chart.validate(), ConfigError);
+  chart.values = {{1.0}};
+  EXPECT_NO_THROW(chart.validate());
+}
+
+TEST(Charts, SaveSvgCreatesParentDirs) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("iokc_chart_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  const std::filesystem::path path = dir / "nested" / "chart.svg";
+  save_svg(path.string(), render_svg_line(sample_chart()));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 500u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Charts, NegativeValuesRenderInBarChart) {
+  Chart chart;
+  chart.title = "deviation";
+  chart.categories = {"a", "b"};
+  chart.series.push_back(Series{"delta", {-5.0, 10.0}});
+  const std::string svg = render_svg_bar(chart);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+}
+
+TEST(Charts, SingleCategorySingleSeries) {
+  Chart chart;
+  chart.title = "one";
+  chart.categories = {"only"};
+  chart.series.push_back(Series{"s", {42.0}});
+  EXPECT_NO_THROW(render_svg_line(chart));
+  EXPECT_NO_THROW(render_svg_bar(chart));
+  EXPECT_NO_THROW(render_ascii_bar(chart));
+}
+
+}  // namespace
+}  // namespace iokc::analysis

@@ -1,0 +1,188 @@
+#include "src/analysis/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+
+namespace iokc::analysis {
+namespace {
+
+knowledge::Knowledge make_knowledge(const std::string& command,
+                                    std::uint32_t tasks, double base_bw) {
+  knowledge::Knowledge k;
+  k.command = command;
+  k.benchmark = "IOR";
+  k.api = "MPIIO";
+  k.test_file = "/s/t";
+  k.num_tasks = tasks;
+  k.num_nodes = tasks / 20 + 1;
+  for (const char* op : {"write", "read"}) {
+    knowledge::OpSummary summary;
+    summary.operation = op;
+    summary.api = "MPIIO";
+    for (int i = 0; i < 6; ++i) {
+      knowledge::OpResult r;
+      r.iteration = i;
+      r.bw_mib = base_bw + 10.0 * i + (op == std::string("read") ? 200.0 : 0.0);
+      r.iops = r.bw_mib / 2.0;
+      r.latency_sec = 0.05;
+      r.total_sec = 4.4;
+      summary.results.push_back(r);
+    }
+    summary.recompute();
+    k.summaries.push_back(summary);
+  }
+  return k;
+}
+
+knowledge::Io500Knowledge make_io500(double easy_write) {
+  knowledge::Io500Knowledge k;
+  k.command = "io500 -N 40";
+  k.num_tasks = 40;
+  auto add = [&k](const std::string& name, double value,
+                  const std::string& unit) {
+    knowledge::Io500Testcase testcase;
+    testcase.name = name;
+    testcase.value = value;
+    testcase.unit = unit;
+    testcase.time_sec = 10.0;
+    k.testcases.push_back(testcase);
+  };
+  add("ior-easy-write", easy_write, "GiB/s");
+  add("ior-hard-write", 0.1, "GiB/s");
+  add("ior-easy-read", 3.2, "GiB/s");
+  add("ior-hard-read", 0.4, "GiB/s");
+  k.score_bw_gib = 0.7;
+  k.score_md_kiops = 9.0;
+  k.score_total = 2.5;
+  return k;
+}
+
+class ExplorerTest : public ::testing::Test {
+ protected:
+  ExplorerTest() : explorer_(repo_) {
+    id_a_ = repo_.store(make_knowledge("ior -t 1m -N 40", 40, 2000.0));
+    id_b_ = repo_.store(make_knowledge("ior -t 2m -N 80", 80, 2800.0));
+    io500_a_ = repo_.store(make_io500(2.9));
+    io500_b_ = repo_.store(make_io500(2.5));
+  }
+
+  persist::KnowledgeRepository repo_;
+  KnowledgeExplorer explorer_;
+  std::int64_t id_a_ = 0;
+  std::int64_t id_b_ = 0;
+  std::int64_t io500_a_ = 0;
+  std::int64_t io500_b_ = 0;
+};
+
+TEST_F(ExplorerTest, MetricAccessors) {
+  knowledge::OpResult r;
+  r.bw_mib = 1.0;
+  r.iops = 2.0;
+  r.latency_sec = 3.0;
+  r.open_sec = 4.0;
+  r.wrrd_sec = 5.0;
+  r.close_sec = 6.0;
+  r.total_sec = 7.0;
+  EXPECT_DOUBLE_EQ(op_result_metric(r, "bw_mib"), 1.0);
+  EXPECT_DOUBLE_EQ(op_result_metric(r, "iops"), 2.0);
+  EXPECT_DOUBLE_EQ(op_result_metric(r, "latency_sec"), 3.0);
+  EXPECT_DOUBLE_EQ(op_result_metric(r, "total_sec"), 7.0);
+  EXPECT_THROW(op_result_metric(r, "bogus"), ConfigError);
+
+  knowledge::OpSummary s;
+  s.mean_bw_mib = 8.0;
+  s.max_ops = 9.0;
+  EXPECT_DOUBLE_EQ(op_summary_metric(s, "mean_bw_mib"), 8.0);
+  EXPECT_DOUBLE_EQ(op_summary_metric(s, "max_ops"), 9.0);
+  EXPECT_THROW(op_summary_metric(s, "bogus"), ConfigError);
+}
+
+TEST_F(ExplorerTest, KnowledgeViewShowsEverything) {
+  const std::string view = explorer_.render_knowledge_view(id_a_);
+  EXPECT_NE(view.find("ior -t 1m -N 40"), std::string::npos);
+  EXPECT_NE(view.find("write"), std::string::npos);
+  EXPECT_NE(view.find("read"), std::string::npos);
+  EXPECT_NE(view.find("max(MiB/s)"), std::string::npos);
+}
+
+TEST_F(ExplorerTest, IterationDetailsListEveryIteration) {
+  const std::string details = explorer_.render_iteration_details(id_a_);
+  // 6 iterations x 2 operations = 12 data rows.
+  std::size_t write_rows = 0;
+  std::size_t read_rows = 0;
+  for (std::size_t pos = details.find("| write"); pos != std::string::npos;
+       pos = details.find("| write", pos + 1)) {
+    ++write_rows;
+  }
+  for (std::size_t pos = details.find("| read"); pos != std::string::npos;
+       pos = details.find("| read", pos + 1)) {
+    ++read_rows;
+  }
+  EXPECT_EQ(write_rows, 6u);
+  EXPECT_EQ(read_rows, 6u);
+}
+
+TEST_F(ExplorerTest, IterationChartHasSeriesPerOperation) {
+  const Chart chart = explorer_.iteration_chart(id_a_, "bw_mib");
+  EXPECT_EQ(chart.categories.size(), 6u);
+  ASSERT_EQ(chart.series.size(), 2u);
+  EXPECT_EQ(chart.series[0].label, "write");
+  EXPECT_DOUBLE_EQ(chart.series[0].values[0], 2000.0);
+  EXPECT_DOUBLE_EQ(chart.series[1].values[0], 2200.0);
+  EXPECT_NO_THROW(explorer_.iteration_chart(id_a_, "iops"));
+  EXPECT_THROW(explorer_.iteration_chart(id_a_, "bogus"), ConfigError);
+}
+
+TEST_F(ExplorerTest, ComparisonChartSelectableAxes) {
+  const Chart chart = explorer_.comparison_chart({id_a_, id_b_},
+                                                 "mean_bw_mib", {"write"});
+  ASSERT_EQ(chart.categories.size(), 2u);
+  ASSERT_EQ(chart.series.size(), 1u);
+  EXPECT_LT(chart.series[0].values[0], chart.series[0].values[1]);
+  // Different metric on demand.
+  const Chart ops = explorer_.comparison_chart({id_a_, id_b_}, "mean_ops",
+                                               {"write", "read"});
+  EXPECT_EQ(ops.series.size(), 2u);
+}
+
+TEST_F(ExplorerTest, OverviewBoxplotPerObject) {
+  const BoxplotChart chart =
+      explorer_.overview_boxplot({id_a_, id_b_}, "write");
+  ASSERT_EQ(chart.boxes.size(), 2u);
+  EXPECT_LT(chart.boxes[0].second.median, chart.boxes[1].second.median);
+  EXPECT_THROW(explorer_.overview_boxplot({id_a_}, "bogus-op"), ConfigError);
+}
+
+TEST_F(ExplorerTest, FilterIdsWithSqlTail) {
+  EXPECT_EQ(explorer_.filter_ids("num_tasks = 80"),
+            (std::vector<std::int64_t>{id_b_}));
+  EXPECT_EQ(explorer_.filter_ids("ORDER BY num_tasks DESC").front(), id_b_);
+  EXPECT_EQ(explorer_.filter_ids("").size(), 2u);
+  EXPECT_THROW(explorer_.filter_ids("bogus ="), ParseError);
+}
+
+TEST_F(ExplorerTest, Io500ViewAndChart) {
+  const std::string view = explorer_.render_io500_view(io500_a_);
+  EXPECT_NE(view.find("score"), std::string::npos);
+  EXPECT_NE(view.find("ior-easy-write"), std::string::npos);
+  const Chart chart = explorer_.io500_testcase_chart(io500_a_);
+  EXPECT_EQ(chart.categories.size(), 4u);
+}
+
+TEST_F(ExplorerTest, BoundaryBoxplotAcrossRuns) {
+  const BoxplotChart chart =
+      explorer_.io500_boundary_boxplot({io500_a_, io500_b_});
+  ASSERT_EQ(chart.boxes.size(), 4u);
+  EXPECT_EQ(chart.boxes[0].first, "ior-easy-write");
+  // Two runs with 2.9 / 2.5 -> median 2.7.
+  EXPECT_NEAR(chart.boxes[0].second.median, 2.7, 1e-9);
+}
+
+TEST_F(ExplorerTest, UnknownIdsPropagateDbErrors) {
+  EXPECT_THROW(explorer_.render_knowledge_view(999), DbError);
+  EXPECT_THROW(explorer_.render_io500_view(999), DbError);
+}
+
+}  // namespace
+}  // namespace iokc::analysis

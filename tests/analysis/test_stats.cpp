@@ -1,0 +1,128 @@
+#include "src/analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace iokc::analysis {
+namespace {
+
+TEST(Boxplot, FiveNumberSummary) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  const BoxplotStats box = boxplot(values);
+  EXPECT_DOUBLE_EQ(box.median, 4.5);
+  EXPECT_DOUBLE_EQ(box.q1, 2.75);
+  EXPECT_DOUBLE_EQ(box.q3, 6.25);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.max, 8.0);
+  EXPECT_DOUBLE_EQ(box.mean, 4.5);
+  EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(Boxplot, DetectsTukeyOutliers) {
+  // Five tight values plus one far-away point.
+  const std::vector<double> values{10.0, 10.1, 10.2, 10.3, 10.4, 30.0};
+  const BoxplotStats box = boxplot(values);
+  ASSERT_EQ(box.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(box.outliers[0], 30.0);
+  // Whiskers exclude the outlier.
+  EXPECT_DOUBLE_EQ(box.max, 10.4);
+}
+
+TEST(Boxplot, SingleValue) {
+  const std::vector<double> values{5.0};
+  const BoxplotStats box = boxplot(values);
+  EXPECT_DOUBLE_EQ(box.median, 5.0);
+  EXPECT_DOUBLE_EQ(box.min, 5.0);
+  EXPECT_DOUBLE_EQ(box.max, 5.0);
+}
+
+TEST(Boxplot, EmptyThrows) {
+  EXPECT_THROW(boxplot({}), ConfigError);
+}
+
+TEST(ZScores, KnownValues) {
+  const std::vector<double> values{10.0, 20.0, 30.0};
+  const std::vector<double> scores = z_scores(values);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_NEAR(scores[0], -1.0, 1e-9);
+  EXPECT_NEAR(scores[1], 0.0, 1e-9);
+  EXPECT_NEAR(scores[2], 1.0, 1e-9);
+}
+
+TEST(ZScores, ConstantSampleGivesZeros) {
+  const std::vector<double> values{5.0, 5.0, 5.0};
+  for (const double score : z_scores(values)) {
+    EXPECT_DOUBLE_EQ(score, 0.0);
+  }
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y;
+  for (const double v : x) {
+    y.push_back(3.0 + 2.0 * v);
+  }
+  const LinearModel model = fit_linear(x, y);
+  EXPECT_NEAR(model.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(model.slope, 2.0, 1e-9);
+  EXPECT_NEAR(model.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(model.predict(10.0), 23.0, 1e-9);
+}
+
+TEST(LinearFit, NoisyDataStillClose) {
+  util::Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double v = static_cast<double>(i);
+    x.push_back(v);
+    y.push_back(1.5 * v - 4.0 + rng.normal(0.0, 2.0));
+  }
+  const LinearModel model = fit_linear(x, y);
+  EXPECT_NEAR(model.slope, 1.5, 0.05);
+  EXPECT_NEAR(model.intercept, -4.0, 3.0);
+  EXPECT_GT(model.r_squared, 0.98);
+}
+
+TEST(LinearFit, Errors) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_linear(one, one), ConfigError);
+  const std::vector<double> constant{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_linear(constant, y), ConfigError);
+}
+
+TEST(Multilinear, RecoversPlane) {
+  // y = 1 + 2*a - 3*b
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double a = 0.0; a < 4.0; a += 1.0) {
+    for (double b = 0.0; b < 4.0; b += 1.0) {
+      rows.push_back({a, b});
+      y.push_back(1.0 + 2.0 * a - 3.0 * b);
+    }
+  }
+  const std::vector<double> coefficients = fit_multilinear(rows, y);
+  ASSERT_EQ(coefficients.size(), 3u);
+  EXPECT_NEAR(coefficients[0], 1.0, 1e-9);
+  EXPECT_NEAR(coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(coefficients[2], -3.0, 1e-9);
+}
+
+TEST(Multilinear, Errors) {
+  EXPECT_THROW(fit_multilinear({}, {}), ConfigError);
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(fit_multilinear({{1.0}, {1.0, 2.0}}, y), ConfigError);
+  // Singular: duplicated feature column.
+  std::vector<std::vector<double>> rows{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  const std::vector<double> y3{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_multilinear(rows, y3), ConfigError);
+}
+
+}  // namespace
+}  // namespace iokc::analysis

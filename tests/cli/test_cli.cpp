@@ -1,0 +1,180 @@
+#include "src/cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace iokc::cli {
+namespace {
+
+/// Fixture with a scratch directory for workspace + database files.
+class CliTest : public ::testing::Test {
+ protected:
+  CliTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("iokc_cli_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~CliTest() override { std::filesystem::remove_all(dir_); }
+
+  /// Runs the CLI with persistent db/workspace flags prepended.
+  int cli(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    std::vector<std::string> full{"--db", "file:" + (dir_ / "k.db").string(),
+                                  "--workspace", (dir_ / "ws").string()};
+    for (std::string& arg : args) {
+      full.push_back(std::move(arg));
+    }
+    return run_cli(full, out_, err_);
+  }
+
+  std::string out() const { return out_.str(); }
+  std::string err() const { return err_.str(); }
+
+  std::filesystem::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliTest, HelpAndUsageErrors) {
+  EXPECT_EQ(cli({"help"}), 0);
+  EXPECT_NE(out().find("usage: iokc"), std::string::npos);
+  EXPECT_EQ(cli({}), 1);
+  EXPECT_EQ(cli({"bogus"}), 1);
+  EXPECT_NE(err().find("unknown command"), std::string::npos);
+  EXPECT_EQ(cli({"--bogus", "x", "list"}), 1);
+  EXPECT_EQ(cli({"--db"}), 1);
+  EXPECT_EQ(cli({"view"}), 1);  // missing id
+}
+
+TEST_F(CliTest, RunPersistsAndViews) {
+  ASSERT_EQ(cli({"run", "ior", "-a", "posix", "-b", "1m", "-t", "256k", "-s",
+                 "2", "-F", "-i", "2", "-N", "4", "-o", "/scratch/c", "-k"}),
+            0)
+      << err();
+  EXPECT_NE(out().find("stored 1 knowledge object(s)"), std::string::npos);
+  EXPECT_NE(out().find("Knowledge object #1"), std::string::npos);
+
+  // The database file persists across invocations.
+  ASSERT_EQ(cli({"list"}), 0) << err();
+  EXPECT_NE(out().find("ior -a POSIX"), std::string::npos);
+  ASSERT_EQ(cli({"view", "1"}), 0) << err();
+  EXPECT_NE(out().find("file-per-process"), std::string::npos);
+  ASSERT_EQ(cli({"iters", "1"}), 0) << err();
+  EXPECT_NE(out().find("| write"), std::string::npos);
+}
+
+TEST_F(CliTest, SqlAndCsvAgainstTheDatabase) {
+  ASSERT_EQ(cli({"run", "ior", "-a", "posix", "-b", "1m", "-t", "1m", "-s",
+                 "1", "-F", "-w", "-i", "1", "-N", "2", "-o", "/scratch/q",
+                 "-k"}),
+            0)
+      << err();
+  ASSERT_EQ(cli({"sql", "SELECT", "command", "FROM", "performances"}), 0)
+      << err();
+  EXPECT_NE(out().find("command"), std::string::npos);
+  ASSERT_EQ(cli({"export-csv", "performances"}), 0) << err();
+  EXPECT_NE(out().find("id,command"), std::string::npos);
+  // Bad SQL is a runtime failure, not a crash.
+  EXPECT_EQ(cli({"sql", "SELEKT", "1"}), 2);
+}
+
+TEST_F(CliTest, JsonExportImportRoundTrip) {
+  ASSERT_EQ(cli({"run", "ior", "-a", "posix", "-b", "1m", "-t", "1m", "-s",
+                 "1", "-F", "-w", "-i", "1", "-N", "2", "-o", "/scratch/j",
+                 "-k"}),
+            0)
+      << err();
+  const std::string json_path = (dir_ / "k.json").string();
+  ASSERT_EQ(cli({"export-json", "1", json_path}), 0) << err();
+  ASSERT_EQ(cli({"import-json", json_path}), 0) << err();
+  EXPECT_NE(out().find("imported as #2"), std::string::npos);
+  ASSERT_EQ(cli({"list"}), 0);
+  // Two knowledge rows now.
+  std::size_t rows = 0;
+  for (std::size_t pos = out().find("| knowledge |");
+       pos != std::string::npos; pos = out().find("| knowledge |", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST_F(CliTest, SweepRunsJubeConfigFile) {
+  const std::filesystem::path config = dir_ / "sweep.xml";
+  {
+    std::ofstream file(config);
+    file << "<jube><benchmark name=\"s\" outpath=\"s\">\n"
+            "<parameterset name=\"p\"><parameter name=\"t\">256k,1m"
+            "</parameter></parameterset>\n"
+            "<step name=\"run\">ior -a posix -b 1m -t $t -s 1 -F -w -i 1 "
+            "-N 2 -o /scratch/s_$t</step>\n"
+            "</benchmark></jube>\n";
+  }
+  ASSERT_EQ(cli({"sweep", config.string()}), 0) << err();
+  EXPECT_NE(out().find("executed 2 work package(s), stored 2"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, CompareRendersAsciiChart) {
+  ASSERT_EQ(cli({"run", "ior", "-a", "posix", "-b", "1m", "-t", "256k", "-s",
+                 "2", "-F", "-w", "-i", "1", "-N", "4", "-o", "/scratch/a",
+                 "-k"}),
+            0);
+  ASSERT_EQ(cli({"run", "ior", "-a", "posix", "-b", "1m", "-t", "1m", "-s",
+                 "2", "-F", "-w", "-i", "1", "-N", "4", "-o", "/scratch/b",
+                 "-k"}),
+            0);
+  ASSERT_EQ(cli({"compare", "mean_bw_mib", "write", "1", "2"}), 0) << err();
+  EXPECT_NE(out().find("#1"), std::string::npos);
+  EXPECT_NE(out().find("#2"), std::string::npos);
+  EXPECT_NE(out().find("#"), std::string::npos);
+  EXPECT_EQ(cli({"compare", "mean_bw_mib"}), 1);  // too few args
+}
+
+TEST_F(CliTest, RecommendAndPredictFromTheDatabase) {
+  // Populate with two patterns so the miner has something to say.
+  ASSERT_EQ(cli({"run", "ior", "-a", "posix", "-b", "4m", "-t", "64k", "-s",
+                 "2", "-F", "-C", "-w", "-i", "1", "-N", "4", "-o",
+                 "/scratch/slow", "-k"}),
+            0);
+  ASSERT_EQ(cli({"run", "ior", "-a", "mpiio", "-b", "4m", "-t", "2m", "-s",
+                 "2", "-F", "-C", "-w", "-i", "1", "-N", "4", "-o",
+                 "/scratch/fast", "-k"}),
+            0);
+  ASSERT_EQ(cli({"recommend", "ior", "-a", "posix", "-b", "4m", "-t", "64k",
+                 "-s", "2", "-F", "-C", "-w", "-i", "1", "-N", "4", "-o",
+                 "/scratch/mine"}),
+            0)
+      << err();
+  EXPECT_NE(out().find("Recommendations"), std::string::npos);
+  ASSERT_EQ(cli({"predict", "ior", "-a", "mpiio", "-b", "4m", "-t", "1m",
+                 "-s", "2", "-F", "-N", "4", "-o", "/scratch/p"}),
+            0)
+      << err();
+  EXPECT_NE(out().find("3-NN estimate"), std::string::npos);
+}
+
+TEST_F(CliTest, ExtractWorkspaceCommand) {
+  // Create a workspace by running, against a throwaway database...
+  ASSERT_EQ(run_cli({"--db", "mem:", "--workspace", (dir_ / "ws2").string(),
+                     "run", "ior -a posix -b 1m -t 1m -s 1 -F -w -i 1 -N 2 "
+                            "-o /scratch/x -k"},
+                    out_, err_),
+            0)
+      << err();
+  // ...then extract it into the persistent database.
+  ASSERT_EQ(cli({"extract", (dir_ / "ws2").string()}), 0) << err();
+  EXPECT_NE(out().find("extracted 1 knowledge object(s)"), std::string::npos);
+  ASSERT_EQ(cli({"list"}), 0);
+  EXPECT_NE(out().find("knowledge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iokc::cli

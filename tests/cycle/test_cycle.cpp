@@ -1,0 +1,262 @@
+// End-to-end integration tests: the five phases of the knowledge cycle wired
+// together, including the paper's two use cases (new-knowledge generation and
+// anomaly detection).
+#include "src/cycle/cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/analysis/anomaly.hpp"
+#include "src/analysis/bounding_box.hpp"
+#include "src/cycle/replay.hpp"
+#include "src/usage/config_generator.hpp"
+#include "src/usage/workload_generator.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::cycle {
+namespace {
+
+class CycleTest : public ::testing::Test {
+ protected:
+  CycleTest() {
+    workspace_ = std::filesystem::temp_directory_path() /
+                 ("iokc_cycle_test_" + std::to_string(::getpid()) + "_" +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(workspace_);
+  }
+  ~CycleTest() override { std::filesystem::remove_all(workspace_); }
+
+  std::filesystem::path workspace_;
+};
+
+TEST_F(CycleTest, FullCycleGenerateExtractPersistAnalyze) {
+  SimEnvironment env;
+  KnowledgeCycle cycle(env, workspace_, persist::RepoTarget::parse("mem:"));
+
+  // Phase 1: generation.
+  const jube::JubeRunResult run = cycle.generate_command(
+      "quick", "ior -a mpiio -b 1m -t 256k -s 2 -F -C -i 2 -N 8 -o "
+               "/scratch/q -k");
+  EXPECT_EQ(run.packages.size(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(run.packages[0].stdout_path));
+  EXPECT_TRUE(
+      std::filesystem::exists(run.packages[0].dir / "sysinfo.txt"));
+  EXPECT_TRUE(std::filesystem::exists(run.packages[0].dir / "fsinfo.txt"));
+  EXPECT_TRUE(std::filesystem::exists(run.packages[0].dir / "jobinfo.txt"));
+
+  // Phases 2+3: extraction + persistence.
+  const extract::ExtractionResult extracted = cycle.extract_and_persist();
+  ASSERT_EQ(extracted.knowledge.size(), 1u);
+  ASSERT_EQ(cycle.stored_knowledge_ids().size(), 1u);
+
+  // Phase 4: analysis — knowledge object carries fs + system info.
+  const std::int64_t id = cycle.stored_knowledge_ids().front();
+  const knowledge::Knowledge k = cycle.repository().load_knowledge(id);
+  EXPECT_EQ(k.num_tasks, 8u);
+  ASSERT_TRUE(k.system.has_value());
+  EXPECT_EQ(k.system->total_cores, 20);
+  ASSERT_TRUE(k.filesystem.has_value());
+  EXPECT_EQ(k.filesystem->fs_name, "beegfs-sim");
+  EXPECT_EQ(k.filesystem->num_targets, 4u);
+  ASSERT_TRUE(k.job.has_value());
+  EXPECT_EQ(k.job->job_name, "ior");
+  EXPECT_EQ(k.job->num_tasks, 8u);
+  EXPECT_FALSE(k.job->node_list.empty());
+  const std::string view = cycle.explorer().render_knowledge_view(id);
+  EXPECT_NE(view.find("beegfs-sim"), std::string::npos);
+  EXPECT_NE(view.find("job context (Slurm)"), std::string::npos);
+
+  // Re-extraction is idempotent: nothing new discovered.
+  EXPECT_EQ(cycle.extract_and_persist().total(), 0u);
+}
+
+TEST_F(CycleTest, JubeSweepProducesOneKnowledgePerWorkPackage) {
+  SimEnvironment env;
+  KnowledgeCycle cycle(env, workspace_, persist::RepoTarget::parse("mem:"));
+  jube::JubeBenchmarkConfig config;
+  config.name = "sweep";
+  config.space.add_csv("transfer", "256k,512k,1m");
+  config.steps.push_back(jube::JubeStep{
+      "run", "ior -a posix -b 1m -t $transfer -s 1 -F -w -i 1 -N 4 -o "
+             "/scratch/sw_$transfer"});
+  cycle.generate(config);
+  const extract::ExtractionResult extracted = cycle.extract_and_persist();
+  EXPECT_EQ(extracted.knowledge.size(), 3u);
+  EXPECT_EQ(cycle.repository().knowledge_ids().size(), 3u);
+}
+
+TEST_F(CycleTest, Fig5AnomalyDetectedEndToEnd) {
+  // The paper's Example II: interference during one iteration shows up as a
+  // throughput collapse that the analysis phase flags.
+  SimEnvironment env;
+  env.interference().add_window({4.0, 9.0, 0.7, "competing job"});
+  KnowledgeCycle cycle(env, workspace_, persist::RepoTarget::parse("mem:"));
+  cycle.generate_command(
+      "fig5", "ior -a mpiio -b 2m -t 1m -s 20 -F -C -e -i 4 -N 40 -o "
+              "/scratch/f5 -k");
+  cycle.extract_and_persist();
+  const knowledge::Knowledge k =
+      cycle.repository().load_knowledge(cycle.stored_knowledge_ids().front());
+  const analysis::AnomalyReport report = analysis::with_job_context(
+      analysis::detect_in_knowledge(k), k);
+  ASSERT_FALSE(report.empty());
+  // Findings carry the workload-manager context (anomaly <-> cause).
+  EXPECT_NE(report.anomalies.front().description.find("[job "),
+            std::string::npos);
+  EXPECT_NE(report.anomalies.front().description.find("node["),
+            std::string::npos);
+}
+
+TEST_F(CycleTest, Io500BoundingBoxWithDegradedNode) {
+  // A degraded node drags down the IO500 boundary test cases (Fig. 6 story):
+  // the healthy run's placement is inside the degraded run's... rather,
+  // compare healthy vs degraded run values directly.
+  const std::string command =
+      "io500 -N 40 -o /scratch/box --easy-bytes 32m --hard-bytes 2m "
+      "--easy-files 60 --hard-files 30";
+
+  SimEnvironment healthy_env;
+  KnowledgeCycle healthy(healthy_env, workspace_ / "h",
+                         persist::RepoTarget::parse("mem:"));
+  healthy.generate_command("io500", command);
+  healthy.extract_and_persist();
+  const knowledge::Io500Knowledge healthy_run =
+      healthy.repository().load_io500(healthy.stored_io500_ids().front());
+
+  SimEnvironmentConfig degraded_config;
+  // A nearly-broken NIC (5% of nominal): the resource manager still
+  // schedules onto the node because it looks alive.
+  degraded_config.cluster.degraded_rate_fraction = 0.05;
+  SimEnvironment degraded_env(degraded_config);
+  degraded_env.cluster().set_health(1, sim::NodeHealth::kDegraded);
+  KnowledgeCycle degraded(degraded_env, workspace_ / "d",
+                          persist::RepoTarget::parse("mem:"));
+  degraded.generate_command("io500", command);
+  degraded.extract_and_persist();
+  const knowledge::Io500Knowledge degraded_run =
+      degraded.repository().load_io500(degraded.stored_io500_ids().front());
+
+  // The degraded node caps ior-easy throughput well below the healthy run.
+  EXPECT_LT(degraded_run.find_testcase("ior-easy-write")->value,
+            healthy_run.find_testcase("ior-easy-write")->value * 0.8);
+
+  // Cross-run comparison flags the regression.
+  const analysis::AnomalyReport report =
+      analysis::compare_io500_runs(healthy_run, degraded_run, 0.2);
+  EXPECT_FALSE(report.empty());
+
+  // And the bounding box built from the healthy run is valid.
+  const analysis::BoundingBox2D box =
+      analysis::make_bounding_box(healthy_run);
+  EXPECT_GT(box.bandwidth.upper, box.bandwidth.lower);
+}
+
+TEST_F(CycleTest, NewKnowledgeGenerationLoop) {
+  // The paper's Example I: select a stored command, modify it, re-run the
+  // cycle with the generated configuration.
+  SimEnvironment env;
+  KnowledgeCycle cycle(env, workspace_, persist::RepoTarget::parse("mem:"));
+  cycle.generate_command(
+      "gen0", "ior -a mpiio -b 1m -t 512k -s 2 -F -i 1 -N 8 -o /scratch/g0 -k");
+  cycle.extract_and_persist();
+
+  const auto commands = cycle.repository().list_commands();
+  ASSERT_EQ(commands.size(), 1u);
+  usage::IorOverrides overrides;
+  overrides.transfer_size = 1ull << 20;
+  overrides.test_file = "/scratch/g1";
+  const std::string new_command =
+      usage::create_configuration(commands[0].second, overrides);
+
+  cycle.generate_command("gen1", new_command);
+  cycle.extract_and_persist();
+  EXPECT_EQ(cycle.repository().knowledge_ids().size(), 2u);
+  const knowledge::Knowledge regenerated =
+      cycle.repository().load_knowledge(cycle.stored_knowledge_ids().back());
+  EXPECT_NE(regenerated.command.find("-t 1m"), std::string::npos);
+}
+
+TEST_F(CycleTest, DarshanProfilingFlowsThroughCycle) {
+  SimEnvironment env;
+  ExecutorOptions options;
+  options.with_darshan = true;
+  KnowledgeCycle cycle(env, workspace_, persist::RepoTarget::parse("mem:"),
+                       options);
+  cycle.generate_command(
+      "dar", "ior -a posix -b 1m -t 256k -s 1 -F -i 1 -N 4 -o /scratch/da -k");
+  const extract::ExtractionResult extracted = cycle.extract_and_persist();
+  // IOR report + Darshan log = two knowledge objects.
+  EXPECT_EQ(extracted.knowledge.size(), 2u);
+  bool saw_darshan = false;
+  for (const auto& k : extracted.knowledge) {
+    saw_darshan |= k.benchmark == "darshan";
+  }
+  EXPECT_TRUE(saw_darshan);
+}
+
+TEST_F(CycleTest, TraceReplayClosesTheLoop) {
+  SimEnvironment env;
+  KnowledgeCycle cycle(env, workspace_, persist::RepoTarget::parse("mem:"));
+  cycle.generate_command(
+      "base", "ior -a posix -b 1m -t 512k -s 2 -F -i 1 -N 4 -o /scratch/tr -k");
+  cycle.extract_and_persist();
+  const knowledge::Knowledge k =
+      cycle.repository().load_knowledge(cycle.stored_knowledge_ids().front());
+
+  const usage::SyntheticTrace trace = usage::generate_trace(k, 99);
+  const ReplayResult result = replay_trace(env, trace);
+  EXPECT_GT(result.duration_sec, 0.0);
+  EXPECT_GT(result.write_bw_mib, 0.0);
+  EXPECT_EQ(result.ops_executed, trace.ops.size());
+}
+
+TEST_F(CycleTest, RepositoryPersistsAcrossCycles) {
+  const std::filesystem::path db_path = workspace_ / "knowledge.db";
+  SimEnvironment env;
+  {
+    KnowledgeCycle cycle(env, workspace_,
+                         persist::RepoTarget::parse("file:" + db_path.string()));
+    cycle.generate_command(
+        "p", "ior -a posix -b 1m -t 1m -s 1 -F -w -i 1 -N 2 -o /scratch/p -k");
+    cycle.extract_and_persist();
+    cycle.save();
+  }
+  {
+    KnowledgeCycle cycle(env, workspace_,
+                         persist::RepoTarget::parse("file:" + db_path.string()));
+    EXPECT_EQ(cycle.repository().knowledge_ids().size(), 1u);
+  }
+}
+
+TEST_F(CycleTest, UnknownCommandRejected) {
+  SimEnvironment env;
+  KnowledgeCycle cycle(env, workspace_, persist::RepoTarget::parse("mem:"));
+  EXPECT_THROW(cycle.generate_command("x", "frobnicate --fast"), ConfigError);
+}
+
+TEST_F(CycleTest, MdtestAndHaccThroughTheCycle) {
+  SimEnvironment env;
+  KnowledgeCycle cycle(env, workspace_, persist::RepoTarget::parse("mem:"));
+  cycle.generate_command("mdt", "mdtest -n 20 -u -i 1 -N 8 -d /scratch/mdt");
+  cycle.generate_command("hacc",
+                         "hacc_io -p 100000 -a POSIX -m file-per-process "
+                         "-i 1 -N 8 -o /scratch/hc");
+  const extract::ExtractionResult extracted = cycle.extract_and_persist();
+  ASSERT_EQ(extracted.knowledge.size(), 2u);
+  bool saw_mdtest = false;
+  bool saw_hacc = false;
+  for (const auto& k : extracted.knowledge) {
+    saw_mdtest |= k.benchmark == "mdtest";
+    saw_hacc |= k.benchmark == "HACC-IO";
+  }
+  EXPECT_TRUE(saw_mdtest);
+  EXPECT_TRUE(saw_hacc);
+}
+
+}  // namespace
+}  // namespace iokc::cycle

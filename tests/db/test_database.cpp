@@ -1,0 +1,240 @@
+#include "src/db/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/util/error.hpp"
+
+namespace iokc::db {
+namespace {
+
+Database make_populated() {
+  Database db;
+  db.execute(
+      "CREATE TABLE performances (id INTEGER PRIMARY KEY, command TEXT NOT "
+      "NULL, tasks INTEGER)");
+  db.execute(
+      "CREATE TABLE summaries (id INTEGER PRIMARY KEY, performance_id "
+      "INTEGER NOT NULL REFERENCES performances(id), op TEXT, bw REAL)");
+  db.execute("INSERT INTO performances (command, tasks) VALUES ('ior -a "
+             "posix', 40), ('ior -a mpiio', 80)");
+  db.execute("INSERT INTO summaries (performance_id, op, bw) VALUES "
+             "(1, 'write', 2850.0), (1, 'read', 3000.0), (2, 'write', 1500.0)");
+  return db;
+}
+
+TEST(Database, AutoIncrementPrimaryKey) {
+  Database db;
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x TEXT)");
+  db.execute("INSERT INTO t (x) VALUES ('a')");
+  EXPECT_EQ(db.last_insert_rowid(), 1);
+  db.execute("INSERT INTO t (x) VALUES ('b')");
+  EXPECT_EQ(db.last_insert_rowid(), 2);
+  // Explicit key bumps the counter.
+  db.execute("INSERT INTO t (id, x) VALUES (10, 'c')");
+  db.execute("INSERT INTO t (x) VALUES ('d')");
+  EXPECT_EQ(db.last_insert_rowid(), 11);
+}
+
+TEST(Database, DuplicatePrimaryKeyRejected) {
+  Database db;
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)");
+  db.execute("INSERT INTO t (id) VALUES (1)");
+  EXPECT_THROW(db.execute("INSERT INTO t (id) VALUES (1)"), DbError);
+}
+
+TEST(Database, NotNullEnforced) {
+  Database db;
+  db.execute("CREATE TABLE t (a TEXT NOT NULL)");
+  EXPECT_THROW(db.execute("INSERT INTO t (a) VALUES (NULL)"), DbError);
+  EXPECT_THROW(db.execute("INSERT INTO t VALUES (NULL)"), DbError);
+}
+
+TEST(Database, TypeCheckingOnInsert) {
+  Database db;
+  db.execute("CREATE TABLE t (a INTEGER, b REAL, c TEXT)");
+  db.execute("INSERT INTO t VALUES (1, 2, 'x')");  // int->real coercion ok
+  EXPECT_THROW(db.execute("INSERT INTO t VALUES ('x', 2.0, 'x')"), DbError);
+  EXPECT_THROW(db.execute("INSERT INTO t VALUES (1.5, 2.0, 'x')"), DbError);
+  EXPECT_THROW(db.execute("INSERT INTO t VALUES (1, 2.0, 3)"), DbError);
+}
+
+TEST(Database, ForeignKeyEnforcedOnInsert) {
+  Database db = make_populated();
+  EXPECT_THROW(db.execute("INSERT INTO summaries (performance_id, op, bw) "
+                          "VALUES (99, 'write', 1.0)"),
+               DbError);
+  // The failed insert must not leave a phantom row behind.
+  EXPECT_EQ(db.execute("SELECT * FROM summaries").size(), 3u);
+}
+
+TEST(Database, DeleteRestrictedByReferences) {
+  Database db = make_populated();
+  EXPECT_THROW(db.execute("DELETE FROM performances WHERE id = 1"), DbError);
+  // Remove children first, then the parent delete succeeds.
+  db.execute("DELETE FROM summaries WHERE performance_id = 1");
+  db.execute("DELETE FROM performances WHERE id = 1");
+  EXPECT_EQ(db.execute("SELECT * FROM performances").size(), 1u);
+}
+
+TEST(Database, DropTableRestrictedByReferences) {
+  Database db = make_populated();
+  EXPECT_THROW(db.execute("DROP TABLE performances"), DbError);
+  db.execute("DROP TABLE summaries");
+  db.execute("DROP TABLE performances");
+  EXPECT_FALSE(db.has_table("performances"));
+  EXPECT_THROW(db.execute("DROP TABLE nope"), DbError);
+  db.execute("DROP TABLE IF EXISTS nope");
+}
+
+TEST(Database, SelectWhereAndProjection) {
+  Database db = make_populated();
+  const ResultSet rows = db.execute(
+      "SELECT command FROM performances WHERE tasks >= 80");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.at(0, "command").as_text(), "ior -a mpiio");
+}
+
+TEST(Database, SelectComplexPredicate) {
+  Database db = make_populated();
+  const ResultSet rows = db.execute(
+      "SELECT * FROM summaries WHERE (op = 'write' AND bw > 2000) OR op = "
+      "'read'");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(Database, SelectOrderByAndLimit) {
+  Database db = make_populated();
+  const ResultSet rows =
+      db.execute("SELECT op, bw FROM summaries ORDER BY bw DESC LIMIT 2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows.at(0, "bw").as_real(), 3000.0);
+  EXPECT_DOUBLE_EQ(rows.at(1, "bw").as_real(), 2850.0);
+}
+
+TEST(Database, InnerJoin) {
+  Database db = make_populated();
+  const ResultSet rows = db.execute(
+      "SELECT performances.command, summaries.bw FROM performances "
+      "INNER JOIN summaries ON performances.id = summaries.performance_id "
+      "WHERE summaries.op = 'write' ORDER BY summaries.bw");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.at(0, "performances.command").as_text(), "ior -a mpiio");
+  EXPECT_DOUBLE_EQ(rows.at(1, "summaries.bw").as_real(), 2850.0);
+}
+
+TEST(Database, JoinStarProjectionUsesQualifiedNames) {
+  Database db = make_populated();
+  const ResultSet rows = db.execute(
+      "SELECT * FROM performances INNER JOIN summaries ON "
+      "performances.id = summaries.performance_id");
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows.columns.front(), "performances.id");
+  EXPECT_EQ(rows.columns.back(), "summaries.bw");
+}
+
+TEST(Database, AmbiguousColumnDetected) {
+  Database db = make_populated();
+  EXPECT_THROW(db.execute("SELECT id FROM performances INNER JOIN summaries "
+                          "ON performances.id = summaries.performance_id"),
+               DbError);
+}
+
+TEST(Database, Update) {
+  Database db = make_populated();
+  db.execute("UPDATE summaries SET bw = 9999.0 WHERE op = 'write'");
+  const ResultSet rows =
+      db.execute("SELECT bw FROM summaries WHERE op = 'write'");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_DOUBLE_EQ(rows.at(r, "bw").as_real(), 9999.0);
+  }
+}
+
+TEST(Database, UpdatePrimaryKeyCollisionRejected) {
+  Database db;
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)");
+  db.execute("INSERT INTO t VALUES (1), (2)");
+  EXPECT_THROW(db.execute("UPDATE t SET id = 1 WHERE id = 2"), DbError);
+  db.execute("UPDATE t SET id = 3 WHERE id = 2");  // moving to a free key ok
+}
+
+TEST(Database, IndexLookupMatchesScan) {
+  Database db = make_populated();
+  db.execute("CREATE INDEX idx_op ON summaries (op)");
+  const ResultSet indexed =
+      db.execute("SELECT * FROM summaries WHERE op = 'write'");
+  EXPECT_EQ(indexed.size(), 2u);
+  // Equality through the index composes with further predicates.
+  const ResultSet filtered = db.execute(
+      "SELECT * FROM summaries WHERE op = 'write' AND bw > 2000.0");
+  EXPECT_EQ(filtered.size(), 1u);
+}
+
+TEST(Database, DumpLoadRoundTrip) {
+  Database db = make_populated();
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("iokc_db_test_" + std::to_string(::getpid()) + ".sql");
+  db.save(path.string());
+
+  Database loaded = Database::load(path.string());
+  EXPECT_TRUE(loaded.has_table("performances"));
+  EXPECT_TRUE(loaded.has_table("summaries"));
+  const ResultSet rows = loaded.execute(
+      "SELECT * FROM summaries ORDER BY id");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows.at(2, "bw").as_real(), 1500.0);
+  // Auto-increment continues after the highest loaded key.
+  loaded.execute(
+      "INSERT INTO performances (command, tasks) VALUES ('x', 1)");
+  EXPECT_EQ(loaded.last_insert_rowid(), 3);
+  std::filesystem::remove(path);
+}
+
+TEST(Database, OpenMissingFileGivesEmptyDatabase) {
+  Database db = Database::open("/tmp/iokc_definitely_missing.sql");
+  EXPECT_TRUE(db.table_names().empty());
+}
+
+TEST(Database, LoadRejectsMissingFile) {
+  EXPECT_THROW(Database::load("/tmp/iokc_definitely_missing.sql"), IoError);
+}
+
+TEST(Database, ResultSetRendering) {
+  Database db = make_populated();
+  const ResultSet rows = db.execute("SELECT op, bw FROM summaries");
+  const std::string table = rows.render_table();
+  EXPECT_NE(table.find("| op"), std::string::npos);
+  EXPECT_NE(table.find("write"), std::string::npos);
+  const std::string csv = rows.render_csv();
+  EXPECT_NE(csv.find("op,bw"), std::string::npos);
+  EXPECT_NE(csv.find("write,2850"), std::string::npos);
+}
+
+TEST(Database, CreateTableTwiceHonoursIfNotExists) {
+  Database db;
+  db.execute("CREATE TABLE t (a INTEGER)");
+  EXPECT_THROW(db.execute("CREATE TABLE t (a INTEGER)"), DbError);
+  db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)");
+}
+
+TEST(Database, ForeignKeyToMissingTableRejected) {
+  Database db;
+  EXPECT_THROW(
+      db.execute("CREATE TABLE t (a INTEGER REFERENCES missing(id))"),
+      DbError);
+}
+
+TEST(Database, UnknownEntitiesThrow) {
+  Database db = make_populated();
+  EXPECT_THROW(db.execute("SELECT * FROM nope"), DbError);
+  EXPECT_THROW(db.execute("SELECT nope FROM performances"), DbError);
+  EXPECT_THROW(db.execute("INSERT INTO performances (bogus) VALUES (1)"),
+               DbError);
+}
+
+}  // namespace
+}  // namespace iokc::db

@@ -1,0 +1,157 @@
+#include "src/db/sql.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+
+namespace iokc::db {
+namespace {
+
+TEST(Sql, ParsesCreateTableWithConstraints) {
+  const Statement statement = parse_sql(
+      "CREATE TABLE summaries (id INTEGER PRIMARY KEY, performance_id INTEGER "
+      "NOT NULL REFERENCES performances(id), operation TEXT NOT NULL, "
+      "mean_bw REAL)");
+  const auto& stmt = std::get<CreateTableStmt>(statement);
+  EXPECT_EQ(stmt.schema.name, "summaries");
+  ASSERT_EQ(stmt.schema.columns.size(), 4u);
+  EXPECT_TRUE(stmt.schema.columns[0].primary_key);
+  EXPECT_TRUE(stmt.schema.columns[1].not_null);
+  ASSERT_TRUE(stmt.schema.columns[1].references.has_value());
+  EXPECT_EQ(stmt.schema.columns[1].references->table, "performances");
+  EXPECT_EQ(stmt.schema.columns[1].references->column, "id");
+  EXPECT_EQ(stmt.schema.columns[3].type, ColumnType::kReal);
+}
+
+TEST(Sql, ParsesIfNotExists) {
+  const Statement stmt_stmt = parse_sql("CREATE TABLE IF NOT EXISTS t (a INTEGER)");
+  const auto& stmt = std::get<CreateTableStmt>(stmt_stmt);
+  EXPECT_TRUE(stmt.if_not_exists);
+}
+
+TEST(Sql, ParsesCreateIndex) {
+  const Statement stmt_stmt = parse_sql("CREATE INDEX idx_s_pid ON summaries (performance_id)");
+  const auto& stmt = std::get<CreateIndexStmt>(stmt_stmt);
+  EXPECT_EQ(stmt.index_name, "idx_s_pid");
+  EXPECT_EQ(stmt.table, "summaries");
+  EXPECT_EQ(stmt.column, "performance_id");
+}
+
+TEST(Sql, ParsesInsertMultiRow) {
+  const Statement stmt_stmt = parse_sql(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL), (-3, 'it''s')");
+  const auto& stmt = std::get<InsertStmt>(stmt_stmt);
+  EXPECT_EQ(stmt.table, "t");
+  EXPECT_EQ(stmt.columns, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(stmt.rows.size(), 3u);
+  EXPECT_EQ(stmt.rows[0][1].as_text(), "x");
+  EXPECT_TRUE(stmt.rows[1][1].is_null());
+  EXPECT_EQ(stmt.rows[2][0].as_integer(), -3);
+  EXPECT_EQ(stmt.rows[2][1].as_text(), "it's");
+}
+
+TEST(Sql, ParsesInsertWithoutColumnList) {
+  const Statement statement = parse_sql("INSERT INTO t VALUES (1, 2.5)");
+  const auto& stmt = std::get<InsertStmt>(statement);
+  EXPECT_TRUE(stmt.columns.empty());
+  EXPECT_DOUBLE_EQ(stmt.rows[0][1].as_real(), 2.5);
+}
+
+TEST(Sql, ParsesSelectStar) {
+  const Statement stmt_stmt = parse_sql("SELECT * FROM t");
+  const auto& stmt = std::get<SelectStmt>(stmt_stmt);
+  EXPECT_TRUE(stmt.columns.empty());
+  EXPECT_EQ(stmt.table, "t");
+  EXPECT_EQ(stmt.where, nullptr);
+}
+
+TEST(Sql, ParsesSelectWithEverything) {
+  const Statement stmt_stmt = parse_sql(
+      "SELECT a, t2.b FROM t INNER JOIN t2 ON t.id = t2.t_id "
+      "WHERE a > 3 AND (b = 'x' OR NOT c < 2) ORDER BY a DESC, b LIMIT 10");
+  const auto& stmt = std::get<SelectStmt>(stmt_stmt);
+  EXPECT_EQ(stmt.columns, (std::vector<std::string>{"a", "t2.b"}));
+  ASSERT_TRUE(stmt.join.has_value());
+  EXPECT_EQ(stmt.join->table, "t2");
+  EXPECT_EQ(stmt.join->left_column, "t.id");
+  EXPECT_EQ(stmt.join->right_column, "t2.t_id");
+  ASSERT_NE(stmt.where, nullptr);
+  ASSERT_EQ(stmt.order_by.size(), 2u);
+  EXPECT_TRUE(stmt.order_by[0].descending);
+  EXPECT_FALSE(stmt.order_by[1].descending);
+  EXPECT_EQ(stmt.limit, 10u);
+}
+
+TEST(Sql, JoinWithoutInnerKeyword) {
+  const Statement stmt_stmt = parse_sql("SELECT * FROM a JOIN b ON a.x = b.y");
+  const auto& stmt = std::get<SelectStmt>(stmt_stmt);
+  EXPECT_TRUE(stmt.join.has_value());
+}
+
+TEST(Sql, ParsesUpdate) {
+  const Statement stmt_stmt = parse_sql("UPDATE t SET a = 5, b = 'z' WHERE id = 3");
+  const auto& stmt = std::get<UpdateStmt>(stmt_stmt);
+  EXPECT_EQ(stmt.table, "t");
+  ASSERT_EQ(stmt.assignments.size(), 2u);
+  EXPECT_EQ(stmt.assignments[0].first, "a");
+  EXPECT_EQ(stmt.assignments[0].second.as_integer(), 5);
+  ASSERT_NE(stmt.where, nullptr);
+}
+
+TEST(Sql, ParsesDeleteAndDrop) {
+  const Statement del_stmt = parse_sql("DELETE FROM t WHERE a != 1");
+  const auto& del = std::get<DeleteStmt>(del_stmt);
+  EXPECT_EQ(del.table, "t");
+  const Statement drop_stmt = parse_sql("DROP TABLE t");
+  const auto& drop = std::get<DropTableStmt>(drop_stmt);
+  EXPECT_EQ(drop.table, "t");
+  EXPECT_FALSE(drop.if_exists);
+  const Statement drop_if_stmt = parse_sql("DROP TABLE IF EXISTS t");
+  const auto& drop_if = std::get<DropTableStmt>(drop_if_stmt);
+  EXPECT_TRUE(drop_if.if_exists);
+}
+
+TEST(Sql, KeywordsAreCaseInsensitive) {
+  EXPECT_NO_THROW(parse_sql("select * from t where a = 1 order by a limit 1"));
+  EXPECT_NO_THROW(parse_sql("Insert Into t Values (1)"));
+}
+
+TEST(Sql, TrailingSemicolonAllowed) {
+  EXPECT_NO_THROW(parse_sql("SELECT * FROM t;"));
+}
+
+TEST(Sql, RejectsMalformedStatements) {
+  EXPECT_THROW(parse_sql(""), ParseError);
+  EXPECT_THROW(parse_sql("FROBNICATE t"), ParseError);
+  EXPECT_THROW(parse_sql("SELECT FROM t"), ParseError);
+  EXPECT_THROW(parse_sql("SELECT * FROM"), ParseError);
+  EXPECT_THROW(parse_sql("INSERT INTO t VALUES (1"), ParseError);
+  EXPECT_THROW(parse_sql("CREATE TABLE t ()"), ParseError);
+  EXPECT_THROW(parse_sql("SELECT * FROM t WHERE"), ParseError);
+  EXPECT_THROW(parse_sql("SELECT * FROM t LIMIT -1"), ParseError);
+  EXPECT_THROW(parse_sql("SELECT * FROM t LIMIT 1.5"), ParseError);
+  EXPECT_THROW(parse_sql("SELECT * FROM t extra"), ParseError);
+  EXPECT_THROW(parse_sql("INSERT INTO t VALUES ('unterminated)"), ParseError);
+}
+
+TEST(Sql, ScriptSplitsOnSemicolonsOutsideStrings) {
+  const auto statements = parse_sql_script(
+      "CREATE TABLE t (a TEXT);\n"
+      "INSERT INTO t VALUES ('semi;colon');\n"
+      "  \n"
+      "SELECT * FROM t");
+  ASSERT_EQ(statements.size(), 3u);
+  const auto& insert = std::get<InsertStmt>(statements[1]);
+  EXPECT_EQ(insert.rows[0][0].as_text(), "semi;colon");
+}
+
+TEST(Sql, ComparisonOperators) {
+  for (const char* op : {"=", "!=", "<>", "<", "<=", ">", ">="}) {
+    EXPECT_NO_THROW(parse_sql(std::string("SELECT * FROM t WHERE a ") + op +
+                              " 1"))
+        << op;
+  }
+}
+
+}  // namespace
+}  // namespace iokc::db

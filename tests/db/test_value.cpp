@@ -1,0 +1,71 @@
+#include "src/db/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+
+namespace iokc::db {
+namespace {
+
+TEST(Value, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(42).is_integer());
+  EXPECT_TRUE(Value(3.14).is_real());
+  EXPECT_TRUE(Value("x").is_text());
+}
+
+TEST(Value, TypedAccessors) {
+  EXPECT_EQ(Value(42).as_integer(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.5).as_real(), 3.5);
+  EXPECT_DOUBLE_EQ(Value(7).as_real(), 7.0);  // numeric affinity
+  EXPECT_EQ(Value("hi").as_text(), "hi");
+  EXPECT_THROW(Value("hi").as_integer(), DbError);
+  EXPECT_THROW(Value(3.5).as_integer(), DbError);
+  EXPECT_THROW(Value(1).as_text(), DbError);
+  EXPECT_THROW(Value("x").as_real(), DbError);
+}
+
+TEST(Value, MatchesAndCoerce) {
+  EXPECT_TRUE(Value(1).matches(ColumnType::kInteger));
+  EXPECT_TRUE(Value(1).matches(ColumnType::kReal));
+  EXPECT_FALSE(Value(1.5).matches(ColumnType::kInteger));
+  EXPECT_TRUE(Value().matches(ColumnType::kText));
+  EXPECT_TRUE(Value(7).coerce(ColumnType::kReal).is_real());
+  EXPECT_THROW(Value("x").coerce(ColumnType::kInteger), DbError);
+  EXPECT_TRUE(Value().coerce(ColumnType::kText).is_null());
+}
+
+TEST(Value, Render) {
+  EXPECT_EQ(Value().render(), "NULL");
+  EXPECT_EQ(Value(42).render(), "42");
+  EXPECT_EQ(Value("o'brien").render(), "'o''brien'");
+  EXPECT_EQ(Value("x").render_raw(), "x");
+  EXPECT_EQ(Value().render_raw(), "");
+}
+
+TEST(Value, Ordering) {
+  EXPECT_LT(Value(), Value(0));            // NULL < numbers
+  EXPECT_LT(Value(5), Value("a"));         // numbers < text
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1), Value(1.5));         // cross-type numeric
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(2).hash(), Value(2.0).hash());
+  EXPECT_EQ(Value("x").hash(), Value("x").hash());
+  EXPECT_EQ(Value().hash(), Value().hash());
+}
+
+TEST(ColumnTypes, Strings) {
+  EXPECT_EQ(to_string(ColumnType::kInteger), "INTEGER");
+  EXPECT_EQ(column_type_from_string("integer"), ColumnType::kInteger);
+  EXPECT_EQ(column_type_from_string("REAL"), ColumnType::kReal);
+  EXPECT_EQ(column_type_from_string("TEXT"), ColumnType::kText);
+  EXPECT_THROW(column_type_from_string("BLOB"), DbError);
+}
+
+}  // namespace
+}  // namespace iokc::db

@@ -1,0 +1,155 @@
+#include "src/extract/extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/util/error.hpp"
+
+namespace iokc::extract {
+namespace {
+
+/// A fake workspace with hand-written (but format-correct) outputs, so the
+/// extractor is tested independently of the engines.
+class ExtractorTest : public ::testing::Test {
+ protected:
+  ExtractorTest() {
+    root_ = std::filesystem::temp_directory_path() /
+            ("iokc_extract_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+  }
+  ~ExtractorTest() override { std::filesystem::remove_all(root_); }
+
+  std::filesystem::path make_wp(const std::string& name,
+                                const std::string& stdout_text,
+                                bool done = true) {
+    const std::filesystem::path dir = root_ / "bench" / "000000" / name;
+    std::filesystem::create_directories(dir);
+    write(dir / "stdout", stdout_text);
+    if (done) {
+      write(dir / "done", "");
+    }
+    return dir;
+  }
+
+  static void write(const std::filesystem::path& path,
+                    const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  }
+
+  static std::string ior_output() {
+    return
+        "IOR-3.3.0+sim: MPI Coordinated Test of Parallel I/O\n"
+        "Command line        : ior -a POSIX -b 1m -t 256k -s 2 -i 1 -N 4 -o "
+        "/s/f -k\n"
+        "api                 : POSIX\n"
+        "test filename       : /s/f\n"
+        "access              : single-shared-file\n"
+        "tasks               : 4\n"
+        "nodes               : 2\n"
+        "Results: \n\n"
+        "access    bw(MiB/s)  IOPS  Latency(s) block(KiB) xfer(KiB) open(s) "
+        "wr/rd(s) close(s) total(s) iter\n"
+        "------\n"
+        "write 123.45 61.0 0.01 1024 256 0.001 1.0 0.001 1.01 0\n"
+        "Summary of all tests:\n";
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(ExtractorTest, ExtractsKnowledgeFromFile) {
+  const auto dir = make_wp("000000_run", ior_output());
+  KnowledgeExtractor extractor;
+  const ExtractionResult result = extractor.extract_file(dir / "stdout");
+  ASSERT_EQ(result.knowledge.size(), 1u);
+  EXPECT_EQ(result.knowledge[0].num_tasks, 4u);
+  EXPECT_FALSE(result.knowledge[0].system.has_value());
+  EXPECT_FALSE(result.knowledge[0].filesystem.has_value());
+}
+
+TEST_F(ExtractorTest, AttachesSiblingSnapshots) {
+  const auto dir = make_wp("000000_run", ior_output());
+  write(dir / "sysinfo.txt",
+        "hostname: n0\nos_release: L\ncpu_model: X\nsockets: 2\n"
+        "cores_per_socket: 10\ntotal_cores: 20\nfrequency_mhz: 2500.0\n"
+        "l1d_kib: 32\nl2_kib: 256\nl3_kib: 25600\n"
+        "memory_bytes: 137438953472\ninterconnect: IB\n");
+  write(dir / "fsinfo.txt",
+        "fs: beegfs-sim\nEntry type: file\nEntryID: 1-AB-1\n"
+        "Metadata node: meta1 [ID: 1]\nStripe pattern details:\n"
+        "+ Type: RAID0\n+ Chunksize: 512k\n"
+        "+ Number of storage targets: desired: 4; actual: 4\n"
+        "+ Storage Pool: 1 (Default)\n");
+
+  KnowledgeExtractor extractor;
+  const ExtractionResult result = extractor.extract_file(dir / "stdout");
+  ASSERT_EQ(result.knowledge.size(), 1u);
+  ASSERT_TRUE(result.knowledge[0].system.has_value());
+  EXPECT_EQ(result.knowledge[0].system->hostname, "n0");
+  ASSERT_TRUE(result.knowledge[0].filesystem.has_value());
+  EXPECT_EQ(result.knowledge[0].filesystem->fs_name, "beegfs-sim");
+  EXPECT_EQ(result.knowledge[0].filesystem->chunk_size, 512u * 1024u);
+}
+
+TEST_F(ExtractorTest, WorkspaceAutoDiscovery) {
+  make_wp("000000_a", ior_output());
+  make_wp("000001_b", ior_output());
+  make_wp("000002_incomplete", ior_output(), /*done=*/false);
+  make_wp("000003_unknown", "some unrecognized output\n");
+
+  KnowledgeExtractor extractor;
+  const ExtractionResult result = extractor.extract_workspace(root_);
+  EXPECT_EQ(result.knowledge.size(), 2u);
+  EXPECT_EQ(result.skipped.size(), 1u);
+}
+
+TEST_F(ExtractorTest, DarshanLogBesideStdoutIsExtracted) {
+  const auto dir = make_wp("000000_run", ior_output());
+  write(dir / "darshan.log",
+        "# darshan log version: 3.41-sim\n# exe: ior -N 4\n# nprocs: 4\n"
+        "# module: POSIX\n"
+        "POSIX\t-1\t/s/f\tPOSIX_BYTES_WRITTEN\t1048576\n");
+  KnowledgeExtractor extractor;
+  const ExtractionResult result = extractor.extract_workspace(root_);
+  ASSERT_EQ(result.knowledge.size(), 2u);  // IOR report + Darshan source
+  bool saw_darshan = false;
+  for (const auto& k : result.knowledge) {
+    saw_darshan = saw_darshan || k.benchmark == "darshan";
+  }
+  EXPECT_TRUE(saw_darshan);
+}
+
+TEST_F(ExtractorTest, MissingFileThrows) {
+  KnowledgeExtractor extractor;
+  EXPECT_THROW(extractor.extract_file(root_ / "nope"), IoError);
+}
+
+TEST_F(ExtractorTest, EmptyWorkspaceGivesEmptyResult) {
+  KnowledgeExtractor extractor;
+  const ExtractionResult result = extractor.extract_workspace(root_);
+  EXPECT_EQ(result.total(), 0u);
+  EXPECT_TRUE(result.skipped.empty());
+}
+
+TEST_F(ExtractorTest, MergeCombinesResults) {
+  ExtractionResult a;
+  a.knowledge.resize(2);
+  ExtractionResult b;
+  b.knowledge.resize(1);
+  b.io500.resize(1);
+  b.skipped.emplace_back("/x");
+  a.merge(std::move(b));
+  EXPECT_EQ(a.knowledge.size(), 3u);
+  EXPECT_EQ(a.io500.size(), 1u);
+  EXPECT_EQ(a.skipped.size(), 1u);
+  EXPECT_EQ(a.total(), 4u);
+}
+
+}  // namespace
+}  // namespace iokc::extract

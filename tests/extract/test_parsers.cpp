@@ -1,0 +1,239 @@
+#include "src/extract/parsers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fs/pfs.hpp"
+#include "src/generators/io500.hpp"
+#include "src/generators/ior.hpp"
+#include "src/generators/mdtest.hpp"
+#include "src/iostack/client.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/sim/slurm.hpp"
+#include "src/sim/sysinfo.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::extract {
+namespace {
+
+/// Fixture that generates real engine output to parse (text round trip).
+class ParserRoundTrip : public ::testing::Test {
+ protected:
+  ParserRoundTrip() {
+    sim::ClusterSpec cluster_spec;
+    cluster_spec.node_count = 2;
+    cluster_ = std::make_unique<sim::Cluster>(queue_, cluster_spec, 17);
+    pfs_ = std::make_unique<fs::ParallelFileSystem>(
+        *cluster_, fs::PfsSpec::fuchs_beegfs());
+    client_ = std::make_unique<iostack::IoClient>(*pfs_,
+                                                  iostack::IoApi::kPosix);
+  }
+
+  sim::EventQueue queue_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<fs::ParallelFileSystem> pfs_;
+  std::unique_ptr<iostack::IoClient> client_;
+};
+
+TEST_F(ParserRoundTrip, IorOutputToKnowledge) {
+  const gen::IorConfig config = gen::parse_ior_command(
+      "ior -a posix -b 1m -t 256k -s 2 -F -C -i 3 -N 4 -o /scratch/pt -k");
+  iostack::IoClient client(*pfs_, config.api);
+  gen::IorBenchmark bench(client, config, gen::block_rank_mapping({0, 1}, 4));
+  const gen::IorRunResult run = bench.run();
+
+  const knowledge::Knowledge k = parse_ior_output(run.render_output());
+  EXPECT_EQ(k.benchmark, "IOR");
+  EXPECT_EQ(k.api, "POSIX");
+  EXPECT_EQ(k.test_file, "/scratch/pt");
+  EXPECT_TRUE(k.file_per_process);
+  EXPECT_EQ(k.num_tasks, 4u);
+  EXPECT_EQ(k.num_nodes, 2u);
+  ASSERT_EQ(k.summaries.size(), 2u);
+
+  // Per-iteration numbers survive the text round trip to 2 decimals.
+  const knowledge::OpSummary* write = k.find_summary("write");
+  ASSERT_NE(write, nullptr);
+  ASSERT_EQ(write->results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(write->results[i].bw_mib, run.ops_for("write")[i]->bw_mib,
+                0.01);
+    EXPECT_EQ(write->results[i].iteration, static_cast<int>(i));
+  }
+  // The parsed command re-parses into the same configuration.
+  const gen::IorConfig reparsed = gen::parse_ior_command(k.command);
+  EXPECT_EQ(reparsed.block_size, config.block_size);
+  EXPECT_EQ(reparsed.num_tasks, config.num_tasks);
+}
+
+TEST_F(ParserRoundTrip, MdtestOutputToKnowledge) {
+  gen::MdtestConfig config;
+  config.files_per_rank = 30;
+  config.num_tasks = 4;
+  config.unique_dir_per_task = true;
+  config.base_dir = "/scratch/mdt_parse";
+  gen::MdtestBenchmark bench(*client_, config,
+                             gen::block_rank_mapping({0, 1}, 4));
+  const gen::MdtestRunResult run = bench.run();
+
+  const knowledge::Knowledge k = parse_mdtest_output(run.render_output());
+  EXPECT_EQ(k.benchmark, "mdtest");
+  EXPECT_EQ(k.num_tasks, 4u);
+  EXPECT_EQ(k.num_nodes, 2u);
+  const knowledge::OpSummary* create = k.find_summary("create");
+  ASSERT_NE(create, nullptr);
+  EXPECT_NEAR(create->mean_ops, run.iterations[0].creation_rate, 0.01);
+}
+
+TEST_F(ParserRoundTrip, Io500OutputToKnowledge) {
+  gen::Io500Config config;
+  config.num_tasks = 4;
+  config.ior_easy_bytes_per_rank = 8ull << 20;
+  config.ior_hard_bytes_per_rank = 1ull << 20;
+  config.mdtest_easy_files_per_rank = 20;
+  config.mdtest_hard_files_per_rank = 10;
+  gen::Io500Benchmark bench(*client_, config,
+                            gen::block_rank_mapping({0, 1}, 4));
+  const gen::Io500Result run = bench.run();
+
+  const knowledge::Io500Knowledge k = parse_io500_output(run.render_output());
+  EXPECT_EQ(k.num_tasks, 4u);
+  EXPECT_EQ(k.testcases.size(), 12u);
+  EXPECT_NEAR(k.score_total, run.score_total, 1e-4);
+  const knowledge::Io500Testcase* easy = k.find_testcase("ior-easy-write");
+  ASSERT_NE(easy, nullptr);
+  EXPECT_NEAR(easy->value, run.find_phase("ior-easy-write")->value, 1e-4);
+  EXPECT_EQ(easy->unit, "GiB/s");
+}
+
+TEST(Parsers, SysinfoRoundTrip) {
+  const sim::SystemInfo info =
+      sim::collect_system_info(sim::ClusterSpec::fuchs_csc(), 5);
+  const knowledge::SystemInfoRecord record =
+      parse_sysinfo(sim::render_sysinfo_summary(info));
+  EXPECT_EQ(record.hostname, "FUCHS-CSC-sim-node005");
+  EXPECT_EQ(record.total_cores, 20);
+  EXPECT_EQ(record.memory_bytes, 128ull << 30);
+  EXPECT_EQ(record.interconnect, "InfiniBand FDR");
+  EXPECT_DOUBLE_EQ(record.frequency_mhz, 2500.0);
+}
+
+TEST(Parsers, SysinfoRejectsEmpty) {
+  EXPECT_THROW(parse_sysinfo(""), ParseError);
+  EXPECT_THROW(parse_sysinfo("no colons here\n"), ParseError);
+}
+
+TEST(Parsers, FsinfoParsesBeeGfsEntryText) {
+  const std::string text =
+      "Entry type: file\n"
+      "EntryID: A-12345678-2\n"
+      "Metadata node: meta2 [ID: 2]\n"
+      "Stripe pattern details:\n"
+      "+ Type: RAID0\n"
+      "+ Chunksize: 512k\n"
+      "+ Number of storage targets: desired: 4; actual: 4\n"
+      "+ Storage Pool: 1 (Default)\n";
+  const knowledge::FileSystemInfo info = parse_fsinfo(text, "beegfs-sim");
+  EXPECT_EQ(info.fs_name, "beegfs-sim");
+  EXPECT_EQ(info.entry_type, "file");
+  EXPECT_EQ(info.entry_id, "A-12345678-2");
+  EXPECT_EQ(info.metadata_node, 2u);
+  EXPECT_EQ(info.stripe_pattern, "RAID0");
+  EXPECT_EQ(info.chunk_size, 512u * 1024u);
+  EXPECT_EQ(info.num_targets, 4u);
+  EXPECT_EQ(info.storage_pool, 1u);
+}
+
+TEST(Parsers, FsinfoRejectsMissingEntryId) {
+  EXPECT_THROW(parse_fsinfo("Entry type: file\n", "x"), ParseError);
+}
+
+TEST(Parsers, FsinfoParsesLustreGetstripeText) {
+  const std::string text =
+      "/scratch/f\n"
+      "lmm_stripe_count:  4\n"
+      "lmm_stripe_size:   1048576\n"
+      "lmm_pattern:       raid0\n"
+      "lmm_layout_gen:    0\n"
+      "lmm_stripe_offset: 7\n"
+      "lmm_fid:           [0x200000400:0xA3-0000BEEF-1:0x0]\n"
+      "lmm_pool:          pool1\n";
+  const knowledge::FileSystemInfo info = parse_fsinfo(text, "lustre-sim");
+  EXPECT_EQ(info.fs_name, "lustre-sim");
+  EXPECT_EQ(info.entry_type, "file");
+  EXPECT_EQ(info.entry_id, "A3-0000BEEF-1");
+  EXPECT_EQ(info.stripe_pattern, "RAID0");
+  EXPECT_EQ(info.chunk_size, 1048576u);
+  EXPECT_EQ(info.num_targets, 4u);
+  EXPECT_EQ(info.storage_pool, 1u);
+  EXPECT_EQ(info.metadata_node, 1u);
+}
+
+TEST(Parsers, LustreFsinfoRejectsMissingFid) {
+  EXPECT_THROW(parse_fsinfo("lmm_stripe_count: 4\n", "x"), ParseError);
+}
+
+TEST(Parsers, JobinfoRoundTripThroughScontrolText) {
+  sim::SlurmContext slurm(777);
+  const sim::SlurmJobInfo job = slurm.register_job("ior", {0, 1, 2, 3}, 80,
+                                                   12.5);
+  const knowledge::JobInfoRecord record =
+      parse_jobinfo(job.render_scontrol());
+  EXPECT_EQ(record.job_id, 777u);
+  EXPECT_EQ(record.job_name, "ior");
+  EXPECT_EQ(record.partition, "parallel");
+  EXPECT_EQ(record.user, "iokc");
+  EXPECT_EQ(record.num_nodes, 4u);
+  EXPECT_EQ(record.num_tasks, 80u);
+  EXPECT_EQ(record.node_list, "node[000-003]");
+  EXPECT_DOUBLE_EQ(record.start_time, 12.5);
+}
+
+TEST(Parsers, JobinfoRejectsMissingJobId) {
+  EXPECT_THROW(parse_jobinfo("JobName=ior\n"), ParseError);
+}
+
+TEST(Parsers, MalformedBenchmarkOutputsThrow) {
+  EXPECT_THROW(parse_ior_output("IOR-3.3.0+sim\nnothing else\n"), ParseError);
+  EXPECT_THROW(parse_ior_output(""), ParseError);
+  EXPECT_THROW(parse_mdtest_output("mdtest-3.4.0 was launched\n"), ParseError);
+  EXPECT_THROW(parse_io500_output("IO500 version x\n"), ParseError);
+  EXPECT_THROW(parse_haccio_output("HACC-IO+sim\n"), ParseError);
+  EXPECT_THROW(parse_darshan_log("POSIX -1 f X 1\n"), ParseError);
+}
+
+TEST(Parsers, TruncatedIorResultLineIsSkippedNotFatal) {
+  // A short garbage line inside Results must not crash the parser as long as
+  // at least one valid line exists.
+  const std::string text =
+      "IOR-3.3.0+sim: x\n"
+      "Command line        : ior -N 2\n"
+      "Results: \n\n"
+      "access    bw(MiB/s)  IOPS  Latency(s)  block(KiB) xfer(KiB) open(s) "
+      "wr/rd(s) close(s) total(s) iter\n"
+      "------\n"
+      "write 100.0 50.0 0.01 1024 256 0.001 1.0 0.001 1.01 0\n"
+      "bogus line\n"
+      "Summary of all tests:\n";
+  const knowledge::Knowledge k = parse_ior_output(text);
+  ASSERT_EQ(k.summaries.size(), 1u);
+  EXPECT_DOUBLE_EQ(k.summaries[0].results[0].bw_mib, 100.0);
+}
+
+TEST(Parsers, SniffsAllFormats) {
+  EXPECT_EQ(sniff_format("IOR-3.3.0+sim: x\n"), SourceFormat::kIor);
+  EXPECT_EQ(sniff_format("mdtest-3.4.0+sim was launched\n"),
+            SourceFormat::kMdtest);
+  EXPECT_EQ(sniff_format("IO500 version io500-sim\n"), SourceFormat::kIo500);
+  EXPECT_EQ(sniff_format("HACC-IO+sim kernel\n"), SourceFormat::kHaccIo);
+  EXPECT_EQ(sniff_format("# darshan log version: 3.41\n"),
+            SourceFormat::kDarshan);
+  EXPECT_EQ(sniff_format("random text\n"), SourceFormat::kUnknown);
+  EXPECT_EQ(sniff_format(""), SourceFormat::kUnknown);
+  // Leading blank lines are fine.
+  EXPECT_EQ(sniff_format("\n\nIOR-3.3.0: y\n"), SourceFormat::kIor);
+}
+
+}  // namespace
+}  // namespace iokc::extract

@@ -1,0 +1,80 @@
+#include "src/fs/page_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iokc::fs {
+namespace {
+
+TEST(PageCache, AccumulatesBytesPerNode) {
+  PageCache cache(1000);
+  cache.add_bytes(0, "/f", 300);
+  cache.add_bytes(0, "/f", 200);
+  EXPECT_EQ(cache.bytes_cached(0, "/f"), 500u);
+  EXPECT_EQ(cache.bytes_cached(1, "/f"), 0u);
+}
+
+TEST(PageCache, ResidencyRequiresWholeFile) {
+  PageCache cache(1000);
+  cache.add_bytes(0, "/f", 500);
+  EXPECT_FALSE(cache.resident(0, "/f", 600));
+  EXPECT_TRUE(cache.resident(0, "/f", 500));
+  EXPECT_TRUE(cache.resident(0, "/f", 400));
+}
+
+TEST(PageCache, ZeroSizeFileIsNeverResident) {
+  PageCache cache(1000);
+  EXPECT_FALSE(cache.resident(0, "/f", 0));
+}
+
+TEST(PageCache, CapacityBoundsAdmission) {
+  PageCache cache(100);
+  cache.add_bytes(0, "/a", 80);
+  cache.add_bytes(0, "/b", 80);  // only 20 admitted
+  EXPECT_EQ(cache.bytes_cached(0, "/a"), 80u);
+  EXPECT_EQ(cache.bytes_cached(0, "/b"), 20u);
+  EXPECT_EQ(cache.used_bytes(0), 100u);
+}
+
+TEST(PageCache, InvalidateDropsEverywhere) {
+  PageCache cache(1000);
+  cache.add_bytes(0, "/f", 100);
+  cache.add_bytes(1, "/f", 100);
+  cache.add_bytes(0, "/g", 50);
+  cache.invalidate("/f");
+  EXPECT_EQ(cache.bytes_cached(0, "/f"), 0u);
+  EXPECT_EQ(cache.bytes_cached(1, "/f"), 0u);
+  EXPECT_EQ(cache.bytes_cached(0, "/g"), 50u);
+  EXPECT_EQ(cache.used_bytes(0), 50u);
+}
+
+TEST(PageCache, InvalidateOthersKeepsWriterCopy) {
+  PageCache cache(1000);
+  cache.add_bytes(0, "/f", 100);
+  cache.add_bytes(1, "/f", 100);
+  cache.add_bytes(2, "/f", 100);
+  cache.invalidate_others("/f", 1);
+  EXPECT_EQ(cache.bytes_cached(0, "/f"), 0u);
+  EXPECT_EQ(cache.bytes_cached(1, "/f"), 100u);
+  EXPECT_EQ(cache.bytes_cached(2, "/f"), 0u);
+}
+
+TEST(PageCache, InvalidateNode) {
+  PageCache cache(1000);
+  cache.add_bytes(0, "/f", 100);
+  cache.add_bytes(1, "/f", 100);
+  cache.invalidate_node(0);
+  EXPECT_EQ(cache.bytes_cached(0, "/f"), 0u);
+  EXPECT_EQ(cache.bytes_cached(1, "/f"), 100u);
+  EXPECT_EQ(cache.used_bytes(0), 0u);
+}
+
+TEST(PageCache, FreedCapacityIsReusable) {
+  PageCache cache(100);
+  cache.add_bytes(0, "/a", 100);
+  cache.invalidate("/a");
+  cache.add_bytes(0, "/b", 100);
+  EXPECT_EQ(cache.bytes_cached(0, "/b"), 100u);
+}
+
+}  // namespace
+}  // namespace iokc::fs

@@ -1,0 +1,259 @@
+#include "src/fs/pfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/cluster.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::fs {
+namespace {
+
+/// Fixture: a small deterministic cluster + file system.
+class PfsTest : public ::testing::Test {
+ protected:
+  PfsTest() {
+    sim::ClusterSpec cluster_spec;
+    cluster_spec.node_count = 4;
+    cluster_spec.jitter_sigma = 0.0;  // deterministic service times
+    cluster_ = std::make_unique<sim::Cluster>(queue_, cluster_spec, 7);
+
+    PfsSpec pfs_spec;
+    pfs_spec.targets.assign(4, TargetSpec{100.0e6, 200.0e6, 0.0});
+    pfs_spec.num_metadata_servers = 2;
+    pfs_ = std::make_unique<ParallelFileSystem>(*cluster_, pfs_spec);
+  }
+
+  sim::SimTime run_op(
+      const std::function<void(ParallelFileSystem::Callback)>& op) {
+    sim::SimTime done = -1.0;
+    op([&done](sim::SimTime t) { done = t; });
+    queue_.run();
+    EXPECT_GE(done, 0.0) << "operation never completed";
+    return done;
+  }
+
+  sim::EventQueue queue_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<ParallelFileSystem> pfs_;
+};
+
+TEST_F(PfsTest, CreateThenStatAndUnlink) {
+  run_op([&](auto cb) { pfs_->create("/scratch/f", 0, cb); });
+  EXPECT_TRUE(pfs_->exists("/scratch/f"));
+  const FsEntry* entry = pfs_->find_entry("/scratch/f");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->type, EntryType::kFile);
+  EXPECT_FALSE(entry->entry_id.empty());
+  EXPECT_GE(entry->metadata_node, 1u);
+  EXPECT_FALSE(entry->target_ids.empty());
+
+  run_op([&](auto cb) { pfs_->stat("/scratch/f", 0, cb); });
+  run_op([&](auto cb) { pfs_->unlink("/scratch/f", 0, cb); });
+  EXPECT_FALSE(pfs_->exists("/scratch/f"));
+}
+
+TEST_F(PfsTest, CreateDuplicateThrows) {
+  run_op([&](auto cb) { pfs_->create("/f", 0, cb); });
+  EXPECT_THROW(pfs_->create("/f", 0, [](sim::SimTime) {}), iokc::SimError);
+}
+
+TEST_F(PfsTest, OperationsOnMissingFilesThrow) {
+  EXPECT_THROW(pfs_->open("/missing", 0, [](sim::SimTime) {}), iokc::SimError);
+  EXPECT_THROW(pfs_->stat("/missing", 0, [](sim::SimTime) {}), iokc::SimError);
+  EXPECT_THROW(pfs_->unlink("/missing", 0, [](sim::SimTime) {}),
+               iokc::SimError);
+  EXPECT_THROW(pfs_->write("/missing", 0, 10, 0, [](sim::SimTime) {}),
+               iokc::SimError);
+  EXPECT_THROW(pfs_->read("/missing", 0, 10, 0, [](sim::SimTime) {}),
+               iokc::SimError);
+}
+
+TEST_F(PfsTest, WriteGrowsFileAndReadsBack) {
+  run_op([&](auto cb) { pfs_->create("/f", 0, cb); });
+  run_op([&](auto cb) { pfs_->write("/f", 0, 1024 * 1024, 0, cb); });
+  EXPECT_EQ(pfs_->find_entry("/f")->size, 1024u * 1024u);
+  EXPECT_EQ(pfs_->bytes_written(), 1024u * 1024u);
+  run_op([&](auto cb) { pfs_->read("/f", 0, 1024 * 1024, 1, cb); });
+  EXPECT_EQ(pfs_->bytes_read(), 1024u * 1024u);
+}
+
+TEST_F(PfsTest, ReadBeyondEofThrows) {
+  run_op([&](auto cb) { pfs_->create("/f", 0, cb); });
+  run_op([&](auto cb) { pfs_->write("/f", 0, 1000, 0, cb); });
+  EXPECT_THROW(pfs_->read("/f", 500, 501, 0, [](sim::SimTime) {}),
+               iokc::SimError);
+}
+
+TEST_F(PfsTest, PageCacheMakesLocalRereadsFast) {
+  run_op([&](auto cb) { pfs_->create("/f", 0, cb); });
+  run_op([&](auto cb) { pfs_->write("/f", 0, 64 * 1024 * 1024, 0, cb); });
+
+  const double t0 = queue_.now();
+  run_op([&](auto cb) { pfs_->read("/f", 0, 64 * 1024 * 1024, 0, cb); });
+  const double local_read = queue_.now() - t0;
+
+  const double t1 = queue_.now();
+  run_op([&](auto cb) { pfs_->read("/f", 0, 64 * 1024 * 1024, 1, cb); });
+  const double remote_read = queue_.now() - t1;
+
+  // The writer's node reads from memory; the remote node hits storage.
+  EXPECT_LT(local_read * 5.0, remote_read);
+}
+
+TEST_F(PfsTest, RewriteInvalidatesRemoteCaches) {
+  run_op([&](auto cb) { pfs_->create("/f", 0, cb); });
+  run_op([&](auto cb) { pfs_->write("/f", 0, 16 * 1024 * 1024, 0, cb); });
+  // Node 1 reads the whole file -> now cached on node 1.
+  run_op([&](auto cb) { pfs_->read("/f", 0, 16 * 1024 * 1024, 1, cb); });
+  EXPECT_TRUE(pfs_->page_cache().resident(1, "/f", 16 * 1024 * 1024));
+  // Node 0 rewrites -> node 1's copy must be gone.
+  run_op([&](auto cb) { pfs_->write("/f", 0, 16 * 1024 * 1024, 0, cb); });
+  EXPECT_FALSE(pfs_->page_cache().resident(1, "/f", 16 * 1024 * 1024));
+}
+
+TEST_F(PfsTest, MoreStripeTargetsRaiseSingleFileBandwidth) {
+  StripeConfig narrow;
+  narrow.num_targets = 1;
+  StripeConfig wide;
+  wide.num_targets = 4;
+  run_op([&](auto cb) { pfs_->create("/narrow", 0, cb, narrow); });
+  run_op([&](auto cb) { pfs_->create("/wide", 0, cb, wide); });
+
+  const double t0 = queue_.now();
+  run_op([&](auto cb) { pfs_->write("/narrow", 0, 32 * 1024 * 1024, 0, cb); });
+  const double narrow_time = queue_.now() - t0;
+  const double t1 = queue_.now();
+  run_op([&](auto cb) { pfs_->write("/wide", 0, 32 * 1024 * 1024, 1, cb); });
+  const double wide_time = queue_.now() - t1;
+  EXPECT_LT(wide_time * 2.0, narrow_time);
+}
+
+TEST_F(PfsTest, BuddyMirrorWritesCostMore) {
+  StripeConfig raid0;
+  raid0.num_targets = 2;
+  StripeConfig mirrored = raid0;
+  mirrored.pattern = StripePattern::kBuddyMirror;
+  run_op([&](auto cb) { pfs_->create("/r0", 0, cb, raid0); });
+  run_op([&](auto cb) { pfs_->create("/bm", 0, cb, mirrored); });
+
+  const double t0 = queue_.now();
+  run_op([&](auto cb) { pfs_->write("/r0", 0, 16 * 1024 * 1024, 0, cb); });
+  const double raid0_time = queue_.now() - t0;
+  const double t1 = queue_.now();
+  run_op([&](auto cb) { pfs_->write("/bm", 0, 16 * 1024 * 1024, 0, cb); });
+  const double mirror_time = queue_.now() - t1;
+  EXPECT_GT(mirror_time, raid0_time * 1.5);
+}
+
+TEST_F(PfsTest, UnalignedWritesArePenalized) {
+  run_op([&](auto cb) { pfs_->create("/f", 0, cb); });
+  const double t0 = queue_.now();
+  run_op([&](auto cb) { pfs_->write("/f", 0, 1024 * 1024, 0, cb); });
+  const double aligned_time = queue_.now() - t0;
+  const double t1 = queue_.now();
+  run_op([&](auto cb) { pfs_->write("/f", 47008, 1024 * 1024, 0, cb); });
+  const double unaligned_time = queue_.now() - t1;
+  EXPECT_GT(unaligned_time, aligned_time * 2.0);
+}
+
+TEST_F(PfsTest, DegradedTargetSlowsItsFiles) {
+  StripeConfig one_target;
+  one_target.num_targets = 1;
+  run_op([&](auto cb) { pfs_->create("/f", 0, cb, one_target); });
+  const std::uint32_t target = pfs_->find_entry("/f")->target_ids[0];
+
+  const double t0 = queue_.now();
+  run_op([&](auto cb) { pfs_->write("/f", 0, 8 * 1024 * 1024, 0, cb); });
+  const double healthy_time = queue_.now() - t0;
+
+  pfs_->set_target_degraded(target, 0.25);
+  const double t1 = queue_.now();
+  run_op([&](auto cb) { pfs_->write("/f", 0, 8 * 1024 * 1024, 0, cb); });
+  const double degraded_time = queue_.now() - t1;
+  EXPECT_GT(degraded_time, healthy_time * 3.0);
+}
+
+TEST_F(PfsTest, FsyncTouchesAllStripeTargets) {
+  run_op([&](auto cb) { pfs_->create("/f", 0, cb); });
+  const std::uint64_t before = pfs_->metadata_ops();
+  run_op([&](auto cb) { pfs_->fsync("/f", 0, cb); });
+  EXPECT_GT(pfs_->metadata_ops(), before);
+}
+
+TEST_F(PfsTest, EntryInfoRoundTripShape) {
+  run_op([&](auto cb) { pfs_->create("/scratch/data", 0, cb); });
+  const std::string info = pfs_->render_entry_info("/scratch/data");
+  EXPECT_NE(info.find("Entry type: file"), std::string::npos);
+  EXPECT_NE(info.find("EntryID: "), std::string::npos);
+  EXPECT_NE(info.find("Metadata node: meta"), std::string::npos);
+  EXPECT_NE(info.find("Stripe pattern details:"), std::string::npos);
+  EXPECT_THROW(pfs_->render_entry_info("/nope"), iokc::SimError);
+}
+
+TEST_F(PfsTest, LustreFlavorRendersGetstripeDialect) {
+  PfsSpec spec = PfsSpec::lustre_scratch();
+  spec.targets.assign(4, TargetSpec{100.0e6, 200.0e6, 0.0});
+  ParallelFileSystem lustre(*cluster_, spec);
+  sim::SimTime done = -1.0;
+  lustre.create("/scratch/lf", 0, [&](sim::SimTime t) { done = t; });
+  queue_.run();
+  ASSERT_GE(done, 0.0);
+  const std::string info = lustre.render_entry_info("/scratch/lf");
+  EXPECT_NE(info.find("lmm_stripe_count:  4"), std::string::npos);
+  EXPECT_NE(info.find("lmm_stripe_size:   1048576"), std::string::npos);
+  EXPECT_NE(info.find("lmm_pattern:       raid0"), std::string::npos);
+  EXPECT_NE(info.find("lmm_fid:"), std::string::npos);
+  EXPECT_EQ(info.find("Entry type:"), std::string::npos);
+}
+
+TEST_F(PfsTest, MkdirCreatesDirectoryEntries) {
+  run_op([&](auto cb) { pfs_->mkdir("/dir", 0, cb); });
+  const FsEntry* entry = pfs_->find_entry("/dir");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->type, EntryType::kDirectory);
+  const std::string info = pfs_->render_entry_info("/dir");
+  EXPECT_NE(info.find("Entry type: directory"), std::string::npos);
+  EXPECT_THROW(pfs_->mkdir("/dir", 0, [](sim::SimTime) {}), iokc::SimError);
+}
+
+TEST_F(PfsTest, ZeroLengthWriteCompletes) {
+  run_op([&](auto cb) { pfs_->create("/f", 0, cb); });
+  run_op([&](auto cb) { pfs_->write("/f", 0, 0, 0, cb); });
+  EXPECT_EQ(pfs_->find_entry("/f")->size, 0u);
+}
+
+TEST_F(PfsTest, StoragePoolSelection) {
+  PfsSpec spec;
+  spec.targets.assign(4, TargetSpec{});
+  StoragePoolSpec fast;
+  fast.id = 2;
+  fast.name = "fast";
+  fast.target_ids = {2, 3};
+  StoragePoolSpec slow;
+  slow.id = 1;
+  slow.name = "Default";
+  slow.target_ids = {0, 1};
+  spec.pools = {slow, fast};
+  ParallelFileSystem pfs(*cluster_, spec);
+
+  StripeConfig in_fast;
+  in_fast.storage_pool = 2;
+  in_fast.num_targets = 4;
+  sim::SimTime done = -1.0;
+  pfs.create("/f", 0, [&](sim::SimTime t) { done = t; }, in_fast);
+  queue_.run();
+  ASSERT_GE(done, 0.0);
+  for (const std::uint32_t target : pfs.find_entry("/f")->target_ids) {
+    EXPECT_GE(target, 2u);
+  }
+  // Unknown pool rejected.
+  StripeConfig bad;
+  bad.storage_pool = 9;
+  EXPECT_THROW(pfs.create("/g", 0, [](sim::SimTime) {}, bad),
+               iokc::ConfigError);
+}
+
+}  // namespace
+}  // namespace iokc::fs

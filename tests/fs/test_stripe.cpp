@@ -1,0 +1,128 @@
+#include "src/fs/stripe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+
+namespace iokc::fs {
+namespace {
+
+TEST(Stripe, SplitAlignedRequest) {
+  StripeConfig stripe;
+  stripe.chunk_size = 1024;
+  const auto spans = split_into_chunks(stripe, 0, 4096);
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].chunk_index, i);
+    EXPECT_EQ(spans[i].offset_in_chunk, 0u);
+    EXPECT_EQ(spans[i].length, 1024u);
+  }
+}
+
+TEST(Stripe, SplitUnalignedRequest) {
+  StripeConfig stripe;
+  stripe.chunk_size = 1024;
+  const auto spans = split_into_chunks(stripe, 1000, 100);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].chunk_index, 0u);
+  EXPECT_EQ(spans[0].offset_in_chunk, 1000u);
+  EXPECT_EQ(spans[0].length, 24u);
+  EXPECT_EQ(spans[1].chunk_index, 1u);
+  EXPECT_EQ(spans[1].offset_in_chunk, 0u);
+  EXPECT_EQ(spans[1].length, 76u);
+}
+
+TEST(Stripe, SplitEmptyRequest) {
+  StripeConfig stripe;
+  EXPECT_TRUE(split_into_chunks(stripe, 123, 0).empty());
+}
+
+TEST(Stripe, SplitRejectsZeroChunk) {
+  StripeConfig stripe;
+  stripe.chunk_size = 0;
+  EXPECT_THROW(split_into_chunks(stripe, 0, 10), ConfigError);
+}
+
+/// Property: spans are contiguous, within-chunk, and sum to the request.
+class StripeSplitProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(StripeSplitProperty, SpansTileTheRequest) {
+  const auto [chunk, offset, length] = GetParam();
+  StripeConfig stripe;
+  stripe.chunk_size = chunk;
+  const auto spans = split_into_chunks(stripe, offset, length);
+  std::uint64_t position = offset;
+  std::uint64_t total = 0;
+  for (const ChunkSpan& span : spans) {
+    EXPECT_EQ(span.chunk_index * chunk + span.offset_in_chunk, position);
+    EXPECT_LE(span.offset_in_chunk + span.length, chunk);
+    EXPECT_GT(span.length, 0u);
+    position += span.length;
+    total += span.length;
+  }
+  EXPECT_EQ(total, length);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Requests, StripeSplitProperty,
+    ::testing::Values(
+        std::make_tuple(512ull * 1024, 0ull, 2ull * 1024 * 1024),
+        std::make_tuple(512ull * 1024, 47008ull, 47008ull),
+        std::make_tuple(4096ull, 1ull, 3ull),
+        std::make_tuple(4096ull, 4095ull, 2ull),
+        std::make_tuple(1048576ull, 123456789ull, 98765ull),
+        std::make_tuple(65536ull, 65536ull, 65536ull)));
+
+TEST(Stripe, SlotMappingRoundRobin) {
+  StripeConfig stripe;
+  stripe.num_targets = 4;
+  EXPECT_EQ(chunk_to_stripe_slot(stripe, 0, 4), 0u);
+  EXPECT_EQ(chunk_to_stripe_slot(stripe, 1, 4), 1u);
+  EXPECT_EQ(chunk_to_stripe_slot(stripe, 5, 4), 1u);
+}
+
+TEST(Stripe, SlotMappingClampsToActualTargets) {
+  StripeConfig stripe;
+  stripe.num_targets = 8;
+  // Only 3 actual targets available: width = min(8, 3) = 3.
+  EXPECT_EQ(chunk_to_stripe_slot(stripe, 3, 3), 0u);
+  EXPECT_EQ(chunk_to_stripe_slot(stripe, 4, 3), 1u);
+}
+
+TEST(Stripe, SlotMappingRejectsZeroTargets) {
+  StripeConfig stripe;
+  EXPECT_THROW(chunk_to_stripe_slot(stripe, 0, 0), ConfigError);
+}
+
+TEST(Stripe, PatternStrings) {
+  EXPECT_EQ(to_string(StripePattern::kRaid0), "RAID0");
+  EXPECT_EQ(to_string(StripePattern::kBuddyMirror), "Buddy Mirror");
+  EXPECT_EQ(stripe_pattern_from_string("raid0"), StripePattern::kRaid0);
+  EXPECT_EQ(stripe_pattern_from_string("Buddy Mirror"),
+            StripePattern::kBuddyMirror);
+  EXPECT_THROW(stripe_pattern_from_string("raid6"), ParseError);
+}
+
+TEST(Stripe, RenderDetailsBeeGfsShape) {
+  StripeConfig stripe;
+  stripe.chunk_size = 512 * 1024;
+  stripe.num_targets = 4;
+  const std::string text = render_stripe_details(stripe, 12);
+  EXPECT_NE(text.find("Stripe pattern details:"), std::string::npos);
+  EXPECT_NE(text.find("+ Type: RAID0"), std::string::npos);
+  EXPECT_NE(text.find("+ Chunksize: 512k"), std::string::npos);
+  EXPECT_NE(text.find("desired: 4; actual: 4"), std::string::npos);
+  EXPECT_NE(text.find("+ Storage Pool: 1 (Default)"), std::string::npos);
+}
+
+TEST(Stripe, RenderDetailsClampsActual) {
+  StripeConfig stripe;
+  stripe.num_targets = 16;
+  const std::string text = render_stripe_details(stripe, 12);
+  EXPECT_NE(text.find("desired: 16; actual: 12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iokc::fs

@@ -1,0 +1,107 @@
+#include "src/generators/darshan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/extract/parsers.hpp"
+#include "src/fs/pfs.hpp"
+#include "src/generators/ior.hpp"
+#include "src/iostack/client.hpp"
+#include "src/sim/cluster.hpp"
+
+namespace iokc::gen {
+namespace {
+
+TEST(Darshan, CountsOperations) {
+  DarshanProfiler profiler(iostack::IoApi::kPosix);
+  profiler.record_open(0, "/f");
+  profiler.record_open(1, "/f");
+  profiler.record_transfer(0, "/f", 1024, /*is_write=*/true);
+  profiler.record_transfer(0, "/f", 2048, /*is_write=*/true);
+  profiler.record_transfer(1, "/f", 512, /*is_write=*/false);
+  profiler.record_close(0, "/f");
+  profiler.set_job_metadata("ior -a posix", 2);
+
+  const auto& record = profiler.records().at("/f");
+  EXPECT_EQ(record.opens, 2u);
+  EXPECT_EQ(record.closes, 1u);
+  EXPECT_EQ(record.writes, 2u);
+  EXPECT_EQ(record.reads, 1u);
+  EXPECT_EQ(record.bytes_written, 3072u);
+  EXPECT_EQ(record.bytes_read, 512u);
+  EXPECT_EQ(record.max_write_size, 2048u);
+  EXPECT_EQ(record.max_read_size, 512u);
+}
+
+TEST(Darshan, LogRendersPosixCounters) {
+  DarshanProfiler profiler(iostack::IoApi::kPosix);
+  profiler.record_transfer(0, "/a", 100, true);
+  profiler.set_job_metadata("my_app", 4);
+  const std::string log = profiler.render_log();
+  EXPECT_NE(log.find("# darshan log version: 3.41-sim"), std::string::npos);
+  EXPECT_NE(log.find("# exe: my_app"), std::string::npos);
+  EXPECT_NE(log.find("# nprocs: 4"), std::string::npos);
+  EXPECT_NE(log.find("POSIX\t-1\t/a\tPOSIX_BYTES_WRITTEN\t100"),
+            std::string::npos);
+}
+
+TEST(Darshan, MpiioModuleName) {
+  DarshanProfiler profiler(iostack::IoApi::kMpiio);
+  profiler.record_transfer(0, "/a", 100, false);
+  const std::string log = profiler.render_log();
+  EXPECT_NE(log.find("MPIIO_BYTES_READ"), std::string::npos);
+}
+
+TEST(Darshan, LogRoundTripsThroughParser) {
+  DarshanProfiler profiler(iostack::IoApi::kMpiio);
+  profiler.record_open(0, "/data/x");
+  profiler.record_transfer(0, "/data/x", 4096, true);
+  profiler.record_transfer(0, "/data/y", 1024, false);
+  profiler.record_close(0, "/data/x");
+  profiler.set_job_metadata("ior -a mpiio -N 8", 8);
+
+  const extract::DarshanLog log =
+      extract::parse_darshan_log(profiler.render_log());
+  EXPECT_EQ(log.command, "ior -a mpiio -N 8");
+  EXPECT_EQ(log.nprocs, 8u);
+  EXPECT_EQ(log.module, "MPIIO");
+  ASSERT_EQ(log.files.size(), 2u);
+  EXPECT_EQ(log.files.at("/data/x").bytes_written, 4096u);
+  EXPECT_EQ(log.files.at("/data/y").bytes_read, 1024u);
+  EXPECT_EQ(log.total_bytes_written(), 4096u);
+  EXPECT_EQ(log.total_bytes_read(), 1024u);
+}
+
+TEST(Darshan, IorEngineIntegration) {
+  sim::EventQueue queue;
+  sim::ClusterSpec cluster_spec;
+  cluster_spec.node_count = 2;
+  sim::Cluster cluster(queue, cluster_spec, 3);
+  fs::ParallelFileSystem pfs(cluster, fs::PfsSpec::fuchs_beegfs());
+
+  const IorConfig config = parse_ior_command(
+      "ior -a posix -b 1m -t 256k -s 2 -F -i 1 -N 4 -o /scratch/dar -k");
+  iostack::IoClient client(pfs, config.api);
+  IorBenchmark bench(client, config, block_rank_mapping({0, 1}, 4));
+  DarshanProfiler profiler(config.api);
+  bench.set_profiler(&profiler);
+  bench.run();
+
+  // 4 ranks x 2 segments x 4 transfers, written and read once each.
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t bytes_written = 0;
+  for (const auto& [file, record] : profiler.records()) {
+    writes += record.writes;
+    reads += record.reads;
+    bytes_written += record.bytes_written;
+  }
+  EXPECT_EQ(writes, 4u * 2u * 4u);
+  EXPECT_EQ(reads, 4u * 2u * 4u);
+  EXPECT_EQ(bytes_written, 4u * 2u * 1024u * 1024u);
+  EXPECT_EQ(profiler.nprocs(), 4u);
+}
+
+}  // namespace
+}  // namespace iokc::gen

@@ -1,0 +1,139 @@
+#include "src/generators/io500.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/fs/pfs.hpp"
+#include "src/iostack/client.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::gen {
+namespace {
+
+Io500Config small_config() {
+  Io500Config config;
+  config.num_tasks = 8;
+  config.base_dir = "/scratch/io500";
+  config.ior_easy_bytes_per_rank = 16ull * 1024 * 1024;
+  config.ior_hard_bytes_per_rank = 2ull * 1024 * 1024;
+  config.mdtest_easy_files_per_rank = 40;
+  config.mdtest_hard_files_per_rank = 20;
+  return config;
+}
+
+class Io500Test : public ::testing::Test {
+ protected:
+  Io500Test() {
+    sim::ClusterSpec cluster_spec;
+    cluster_spec.node_count = 4;
+    cluster_ = std::make_unique<sim::Cluster>(queue_, cluster_spec, 21);
+    pfs_ = std::make_unique<fs::ParallelFileSystem>(
+        *cluster_, fs::PfsSpec::fuchs_beegfs());
+    client_ = std::make_unique<iostack::IoClient>(*pfs_,
+                                                  iostack::IoApi::kPosix);
+  }
+
+  Io500Result run(const Io500Config& config) {
+    Io500Benchmark bench(*client_, config,
+                         block_rank_mapping({0, 1}, config.num_tasks));
+    return bench.run();
+  }
+
+  sim::EventQueue queue_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<fs::ParallelFileSystem> pfs_;
+  std::unique_ptr<iostack::IoClient> client_;
+};
+
+TEST_F(Io500Test, RunsAllTwelveOfficialPhases) {
+  const Io500Result result = run(small_config());
+  ASSERT_EQ(result.phases.size(), 12u);
+  const char* expected[] = {
+      "ior-easy-write",  "mdtest-easy-write", "ior-hard-write",
+      "mdtest-hard-write", "find",            "ior-easy-read",
+      "mdtest-easy-stat", "ior-hard-read",    "mdtest-hard-stat",
+      "mdtest-easy-delete", "mdtest-hard-read", "mdtest-hard-delete"};
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(result.phases[i].name, expected[i]);
+    EXPECT_GT(result.phases[i].value, 0.0) << expected[i];
+    EXPECT_GT(result.phases[i].time_sec, 0.0) << expected[i];
+  }
+}
+
+TEST_F(Io500Test, EasyBeatsHardOnBothDimensions) {
+  const Io500Result result = run(small_config());
+  EXPECT_GT(result.find_phase("ior-easy-write")->value,
+            result.find_phase("ior-hard-write")->value * 2.0);
+  EXPECT_GT(result.find_phase("ior-easy-read")->value,
+            result.find_phase("ior-hard-read")->value);
+  EXPECT_GT(result.find_phase("mdtest-easy-write")->value,
+            result.find_phase("mdtest-hard-write")->value);
+}
+
+TEST_F(Io500Test, ScoreIsSqrtOfGeomeans) {
+  const Io500Result result = run(small_config());
+  EXPECT_GT(result.score_bw_gib, 0.0);
+  EXPECT_GT(result.score_md_kiops, 0.0);
+  EXPECT_NEAR(result.score_total,
+              std::sqrt(result.score_bw_gib * result.score_md_kiops), 1e-9);
+}
+
+TEST_F(Io500Test, CleansUpIorFiles) {
+  const Io500Config config = small_config();
+  run(config);
+  EXPECT_FALSE(pfs_->exists(config.base_dir + "/ior_hard/IOR_file"));
+  EXPECT_FALSE(
+      pfs_->exists(config.base_dir + "/ior_easy/ior_file_easy.00000000"));
+}
+
+TEST_F(Io500Test, RepeatedRunsInOneEnvironment) {
+  const Io500Result first = run(small_config());
+  const Io500Result second = run(small_config());
+  // Both must complete with sane values; jitter makes them differ slightly.
+  EXPECT_GT(second.score_total, first.score_total * 0.5);
+  EXPECT_LT(second.score_total, first.score_total * 2.0);
+}
+
+TEST_F(Io500Test, OutputShapeAndParseFields) {
+  const Io500Result result = run(small_config());
+  const std::string text = result.render_output();
+  EXPECT_NE(text.find("IO500 version io500-sim"), std::string::npos);
+  EXPECT_NE(text.find("[CONFIG] tasks 8"), std::string::npos);
+  EXPECT_NE(text.find("[RESULT]"), std::string::npos);
+  EXPECT_NE(text.find("ior-easy-write"), std::string::npos);
+  EXPECT_NE(text.find("GiB/s : time"), std::string::npos);
+  EXPECT_NE(text.find("[SCORE ] Bandwidth"), std::string::npos);
+}
+
+TEST(Io500Config, CommandRoundTrip) {
+  Io500Config config;
+  config.num_tasks = 40;
+  config.base_dir = "/scratch/x";
+  config.ior_easy_bytes_per_rank = 64ull * 1024 * 1024;
+  config.ior_hard_bytes_per_rank = 4ull * 1024 * 1024;
+  config.mdtest_easy_files_per_rank = 100;
+  config.mdtest_hard_files_per_rank = 50;
+  const Io500Config parsed = parse_io500_command(config.render_command());
+  EXPECT_EQ(parsed.num_tasks, 40u);
+  EXPECT_EQ(parsed.base_dir, "/scratch/x");
+  EXPECT_EQ(parsed.ior_easy_bytes_per_rank, 64ull * 1024 * 1024);
+  EXPECT_EQ(parsed.ior_hard_bytes_per_rank, 4ull * 1024 * 1024);
+  EXPECT_EQ(parsed.mdtest_easy_files_per_rank, 100u);
+  EXPECT_EQ(parsed.mdtest_hard_files_per_rank, 50u);
+}
+
+TEST(Io500Config, Validation) {
+  Io500Config config;
+  config.num_tasks = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.num_tasks = 4;
+  config.mdtest_easy_files_per_rank = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  EXPECT_THROW(parse_io500_command("io500 --nope 3"), ParseError);
+}
+
+}  // namespace
+}  // namespace iokc::gen

@@ -1,0 +1,365 @@
+#include "src/generators/ior.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fs/pfs.hpp"
+#include "src/iostack/client.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::gen {
+namespace {
+
+TEST(IorConfig, ParsesThePaperCommand) {
+  const IorConfig config = parse_ior_command(
+      "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o "
+      "/scratch/fuchs/zhuz/test80 -k -N 80");
+  EXPECT_EQ(config.api, iostack::IoApi::kMpiio);
+  EXPECT_EQ(config.block_size, 4ull * 1024 * 1024);
+  EXPECT_EQ(config.transfer_size, 2ull * 1024 * 1024);
+  EXPECT_EQ(config.segments, 40u);
+  EXPECT_TRUE(config.file_per_process);
+  EXPECT_TRUE(config.reorder_tasks);
+  EXPECT_TRUE(config.fsync);
+  EXPECT_EQ(config.iterations, 6);
+  EXPECT_EQ(config.test_file, "/scratch/fuchs/zhuz/test80");
+  EXPECT_TRUE(config.keep_file);
+  EXPECT_EQ(config.num_tasks, 80u);
+  // Neither -w nor -r: both directions run.
+  EXPECT_TRUE(config.do_write());
+  EXPECT_TRUE(config.do_read());
+}
+
+TEST(IorConfig, WriteReadFlagSelection) {
+  EXPECT_FALSE(parse_ior_command("ior -w").do_read());
+  EXPECT_TRUE(parse_ior_command("ior -w").do_write());
+  EXPECT_FALSE(parse_ior_command("ior -r").do_write());
+  EXPECT_TRUE(parse_ior_command("ior -r").do_read());
+  EXPECT_TRUE(parse_ior_command("ior -w -r").do_write());
+  EXPECT_TRUE(parse_ior_command("ior -w -r").do_read());
+}
+
+TEST(IorConfig, RejectsUnknownOptionsAndMissingValues) {
+  EXPECT_THROW(parse_ior_command("ior -Q"), ParseError);
+  EXPECT_THROW(parse_ior_command("ior -b"), ParseError);
+  EXPECT_THROW(parse_ior_command("ior -b xyz"), ParseError);
+}
+
+TEST(IorConfig, ValidationRules) {
+  IorConfig config;
+  config.block_size = 1024;
+  config.transfer_size = 512;
+  config.num_tasks = 4;
+  EXPECT_NO_THROW(config.validate());
+  config.transfer_size = 768;  // not a divisor of block
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.transfer_size = 512;
+  config.segments = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.segments = 1;
+  config.iterations = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.iterations = 1;
+  config.collective = true;
+  config.file_per_process = true;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(IorConfig, DerivedQuantities) {
+  IorConfig config;
+  config.block_size = 4ull * 1024 * 1024;
+  config.transfer_size = 2ull * 1024 * 1024;
+  config.segments = 40;
+  EXPECT_EQ(config.bytes_per_rank(), 160ull * 1024 * 1024);
+  EXPECT_EQ(config.transfers_per_rank(), 80u);
+}
+
+/// Property: render -> parse is the identity on every flag combination.
+class IorCommandRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IorCommandRoundTrip, RoundTrips) {
+  const int bits = GetParam();
+  IorConfig config;
+  config.api = bits % 3 == 0 ? iostack::IoApi::kPosix
+               : bits % 3 == 1 ? iostack::IoApi::kMpiio
+                               : iostack::IoApi::kHdf5;
+  config.block_size = 1ull << (16 + bits % 8);
+  config.transfer_size = config.block_size / (bits % 2 == 0 ? 1 : 4);
+  config.segments = 1 + static_cast<std::uint32_t>(bits);
+  config.file_per_process = bits & 1;
+  config.reorder_tasks = bits & 2;
+  config.fsync = bits & 4;
+  config.keep_file = bits & 8;
+  config.write_file = bits & 16;
+  config.read_file = bits & 32;
+  config.collective = (bits & 64) && !config.file_per_process;
+  config.iterations = 1 + bits % 5;
+  config.num_tasks = 1 + static_cast<std::uint32_t>(bits) * 3;
+  config.test_file = "/scratch/rt" + std::to_string(bits);
+
+  const IorConfig parsed = parse_ior_command(config.render_command());
+  EXPECT_EQ(parsed.api, config.api);
+  EXPECT_EQ(parsed.block_size, config.block_size);
+  EXPECT_EQ(parsed.transfer_size, config.transfer_size);
+  EXPECT_EQ(parsed.segments, config.segments);
+  EXPECT_EQ(parsed.file_per_process, config.file_per_process);
+  EXPECT_EQ(parsed.reorder_tasks, config.reorder_tasks);
+  EXPECT_EQ(parsed.fsync, config.fsync);
+  EXPECT_EQ(parsed.keep_file, config.keep_file);
+  EXPECT_EQ(parsed.write_file, config.write_file);
+  EXPECT_EQ(parsed.read_file, config.read_file);
+  EXPECT_EQ(parsed.collective, config.collective);
+  EXPECT_EQ(parsed.iterations, config.iterations);
+  EXPECT_EQ(parsed.num_tasks, config.num_tasks);
+  EXPECT_EQ(parsed.test_file, config.test_file);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlagCombos, IorCommandRoundTrip,
+                         ::testing::Range(0, 128, 7));
+
+TEST(BlockRankMapping, FillsNodesInOrder) {
+  const auto mapping = block_rank_mapping({10, 11}, 4);
+  EXPECT_EQ(mapping, (std::vector<std::size_t>{10, 10, 11, 11}));
+}
+
+TEST(BlockRankMapping, UnevenCounts) {
+  const auto mapping = block_rank_mapping({0, 1, 2}, 5);
+  ASSERT_EQ(mapping.size(), 5u);
+  EXPECT_EQ(mapping.front(), 0u);
+  EXPECT_EQ(mapping.back(), 2u);
+}
+
+TEST(BlockRankMapping, RejectsEmptyNodeList) {
+  EXPECT_THROW(block_rank_mapping({}, 4), ConfigError);
+}
+
+/// Engine fixture on a small calibrated environment.
+class IorEngineTest : public ::testing::Test {
+ protected:
+  IorEngineTest() {
+    sim::ClusterSpec cluster_spec;
+    cluster_spec.node_count = 4;
+    cluster_ = std::make_unique<sim::Cluster>(queue_, cluster_spec, 99);
+    fs::PfsSpec pfs_spec = fs::PfsSpec::fuchs_beegfs();
+    pfs_ = std::make_unique<fs::ParallelFileSystem>(*cluster_, pfs_spec);
+  }
+
+  IorRunResult run(const std::string& command) {
+    const IorConfig config = parse_ior_command(command);
+    iostack::IoClient client(*pfs_, config.api);
+    IorBenchmark bench(client, config,
+                       block_rank_mapping({0, 1}, config.num_tasks));
+    return bench.run();
+  }
+
+  sim::EventQueue queue_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<fs::ParallelFileSystem> pfs_;
+};
+
+TEST_F(IorEngineTest, ProducesOneResultPerDirectionPerIteration) {
+  const IorRunResult result =
+      run("ior -a posix -b 1m -t 256k -s 4 -F -i 3 -N 8 -o /scratch/t -k");
+  EXPECT_EQ(result.ops.size(), 6u);
+  EXPECT_EQ(result.ops_for("write").size(), 3u);
+  EXPECT_EQ(result.ops_for("read").size(), 3u);
+  for (const IorOpResult& op : result.ops) {
+    EXPECT_GT(op.bw_mib, 0.0);
+    EXPECT_GT(op.iops, 0.0);
+    EXPECT_GT(op.total_sec, 0.0);
+    EXPECT_EQ(op.block_kib, 1024u);
+    EXPECT_EQ(op.xfer_kib, 256u);
+  }
+}
+
+TEST_F(IorEngineTest, WriteOnlyRun) {
+  const IorRunResult result =
+      run("ior -a posix -b 1m -t 256k -s 2 -F -w -i 2 -N 4 -o /scratch/w -k");
+  EXPECT_EQ(result.ops_for("write").size(), 2u);
+  EXPECT_TRUE(result.ops_for("read").empty());
+}
+
+TEST_F(IorEngineTest, ReorderTasksDefeatsPageCache) {
+  // Without -C the re-read is served from the writer's page cache and is
+  // absurdly fast; with -C it must come from storage.
+  const IorRunResult cached =
+      run("ior -a posix -b 4m -t 1m -s 4 -F -i 1 -N 8 -o /scratch/nc -k");
+  const IorRunResult reordered =
+      run("ior -a posix -b 4m -t 1m -s 4 -F -C -i 1 -N 8 -o /scratch/rc -k");
+  const double cached_read = cached.ops_for("read").front()->bw_mib;
+  const double reordered_read = reordered.ops_for("read").front()->bw_mib;
+  EXPECT_GT(cached_read, reordered_read * 3.0);
+}
+
+TEST_F(IorEngineTest, RemovesFilesUnlessKeepFlag) {
+  run("ior -a posix -b 1m -t 1m -s 1 -F -w -i 1 -N 2 -o /scratch/rm");
+  EXPECT_FALSE(pfs_->exists("/scratch/rm.00000000"));
+  run("ior -a posix -b 1m -t 1m -s 1 -F -w -i 1 -N 2 -o /scratch/kp -k");
+  EXPECT_TRUE(pfs_->exists("/scratch/kp.00000000"));
+}
+
+TEST_F(IorEngineTest, SharedFileRun) {
+  const IorRunResult result =
+      run("ior -a mpiio -b 1m -t 256k -s 2 -i 1 -N 8 -o /scratch/sh -k");
+  EXPECT_EQ(result.ops.size(), 2u);
+  EXPECT_TRUE(pfs_->exists("/scratch/sh"));
+  EXPECT_EQ(pfs_->find_entry("/scratch/sh")->size, 16ull * 1024 * 1024);
+}
+
+TEST_F(IorEngineTest, CollectiveSharedFileRun) {
+  const IorRunResult result =
+      run("ior -a mpiio -c -b 1m -t 256k -s 2 -i 1 -N 8 -o /scratch/col -k");
+  EXPECT_EQ(result.ops.size(), 2u);
+  for (const IorOpResult& op : result.ops) {
+    EXPECT_GT(op.bw_mib, 0.0);
+  }
+}
+
+TEST_F(IorEngineTest, FsyncAddsToWriteTime) {
+  const IorRunResult plain =
+      run("ior -a posix -b 1m -t 1m -s 1 -F -w -i 1 -N 2 -o /scratch/p -k");
+  const IorRunResult fsynced =
+      run("ior -a posix -b 1m -t 1m -s 1 -F -w -e -i 1 -N 2 -o /scratch/e -k");
+  EXPECT_GT(fsynced.ops_for("write").front()->wrrd_sec,
+            plain.ops_for("write").front()->wrrd_sec);
+}
+
+TEST_F(IorEngineTest, MismatchedRankMapThrows) {
+  const IorConfig config = parse_ior_command("ior -N 8");
+  iostack::IoClient client(*pfs_, config.api);
+  EXPECT_THROW(IorBenchmark(client, config, {0, 1}), ConfigError);
+}
+
+TEST_F(IorEngineTest, OutputContainsIorReportShape) {
+  const IorRunResult result =
+      run("ior -a mpiio -b 1m -t 256k -s 2 -F -i 2 -N 4 -o /scratch/out -k");
+  const std::string text = result.render_output();
+  EXPECT_NE(text.find("IOR-3.3.0+sim"), std::string::npos);
+  EXPECT_NE(text.find("Command line        : ior -a MPIIO"),
+            std::string::npos);
+  EXPECT_NE(text.find("api                 : MPIIO"), std::string::npos);
+  EXPECT_NE(text.find("Results:"), std::string::npos);
+  EXPECT_NE(text.find("Summary of all tests:"), std::string::npos);
+  EXPECT_NE(text.find("write"), std::string::npos);
+  EXPECT_NE(text.find("read"), std::string::npos);
+}
+
+TEST_F(IorEngineTest, StonewallingCapsThePhase) {
+  // 8 ranks x 512 MiB each need ~1.4 s at full storage speed; a 1 s deadline
+  // must cut the write phase short but report a sane bandwidth.
+  const IorRunResult walled = run(
+      "ior -a posix -b 16m -t 1m -s 32 -F -w -D 1 -i 1 -N 8 -o /scratch/sw -k");
+  const IorOpResult& op = *walled.ops_for("write").front();
+  EXPECT_LE(op.wrrd_sec, 1.35);  // deadline + in-flight transfer drain
+  EXPECT_GT(op.bw_mib, 0.0);
+  // Fewer transfers completed than configured (8 ranks x 512 transfers).
+  EXPECT_LT(op.iops * op.wrrd_sec, 8 * 512.0 * 0.95);
+}
+
+TEST_F(IorEngineTest, StonewalledWriteThenReadReadsOnlyWrittenData) {
+  const IorRunResult result = run(
+      "ior -a posix -b 8m -t 1m -s 8 -F -C -D 1 -i 1 -N 8 -o /scratch/swr -k");
+  const IorOpResult& write = *result.ops_for("write").front();
+  const IorOpResult& read = *result.ops_for("read").front();
+  // The read phase moved at most as many ops as the write phase completed.
+  EXPECT_LE(read.iops * read.wrrd_sec, write.iops * write.wrrd_sec * 1.01);
+  EXPECT_GT(read.bw_mib, 0.0);
+}
+
+TEST_F(IorEngineTest, RandomOffsetsCoverTheSameData) {
+  // -z permutes the order, not the set: the file ends up the same size and
+  // the read phase completes without EOF errors.
+  const IorRunResult result = run(
+      "ior -a posix -b 2m -t 256k -s 2 -F -C -z -i 1 -N 4 -o /scratch/z -k");
+  EXPECT_EQ(result.ops.size(), 2u);
+  EXPECT_EQ(pfs_->find_entry("/scratch/z.00000000")->size, 4ull << 20);
+  const std::string text = result.render_output();
+  EXPECT_NE(text.find("ordering in a file  : random offsets"),
+            std::string::npos);
+}
+
+TEST_F(IorEngineTest, RandomWithCollectiveRejected) {
+  EXPECT_THROW(run("ior -a mpiio -c -z -b 1m -t 256k -N 4 -o /scratch/x"),
+               ConfigError);
+}
+
+TEST(IorConfig, HintsRoundTrip) {
+  IorConfig config;
+  config.hints.cb_nodes = 2;
+  config.hints.cb_buffer_size = 8ull << 20;
+  config.hints.collective_buffering = true;
+  config.hints_set = true;
+  const IorConfig parsed = parse_ior_command(config.render_command());
+  EXPECT_TRUE(parsed.hints_set);
+  EXPECT_EQ(parsed.hints, config.hints);
+  EXPECT_FALSE(parse_ior_command("ior -N 2").hints_set);
+  EXPECT_THROW(parse_ior_command("ior -O bogus=1"), ParseError);
+}
+
+TEST(IorAggregators, MoreAggregatorsHelpWhenNicsAreSlow) {
+  // On a cluster whose NICs are slower than the storage back-end (10GbE vs
+  // ~3 GB/s of targets), collective writes funnel through the aggregator
+  // NICs: doubling cb_nodes must raise bandwidth substantially.
+  auto run_with = [](std::uint32_t cb_nodes) {
+    sim::EventQueue queue;
+    sim::ClusterSpec cluster_spec;
+    cluster_spec.node_count = 2;
+    cluster_spec.node.nic_bytes_per_sec = 1.2e9;  // 10GbE
+    sim::Cluster cluster(queue, cluster_spec, 31);
+    fs::PfsSpec pfs_spec = fs::PfsSpec::fuchs_beegfs();
+    // Stripe the shared file over every target so the back-end outruns a
+    // single aggregator NIC.
+    pfs_spec.default_stripe.num_targets = 12;
+    fs::ParallelFileSystem pfs(cluster, pfs_spec);
+    IorConfig config = parse_ior_command(
+        "ior -a mpiio -c -b 4m -t 4m -s 4 -C -w -i 1 -N 8 -o /scratch/agg");
+    config.hints.cb_nodes = cb_nodes;
+    config.hints.cb_buffer_size = 4ull << 20;
+    config.hints_set = true;
+    iostack::IoClient client(pfs, config.api, config.hints);
+    IorBenchmark bench(client, config, block_rank_mapping({0, 1}, 8));
+    return bench.run().ops_for("write").front()->bw_mib;
+  };
+  const double one_agg = run_with(1);
+  const double two_agg = run_with(2);
+  // The serial shuffle phase bounds the speedup below 2x; 1.3x is the
+  // expected signal for this geometry.
+  EXPECT_GT(two_agg, one_agg * 1.3);
+}
+
+TEST(IorConfig, StonewallAndRandomRoundTrip) {
+  IorConfig config;
+  config.deadline_secs = 30;
+  config.random_offsets = true;
+  const IorConfig parsed = parse_ior_command(config.render_command());
+  EXPECT_EQ(parsed.deadline_secs, 30);
+  EXPECT_TRUE(parsed.random_offsets);
+  EXPECT_THROW(parse_ior_command("ior -D"), ParseError);
+}
+
+TEST(IorEngineDeterminism, SameSeedSameNumbers) {
+  auto run_once = [] {
+    sim::EventQueue queue;
+    sim::ClusterSpec spec;
+    spec.node_count = 2;
+    sim::Cluster cluster(queue, spec, 1234);
+    fs::ParallelFileSystem pfs(cluster, fs::PfsSpec::fuchs_beegfs());
+    const IorConfig config = parse_ior_command(
+        "ior -a posix -b 1m -t 256k -s 2 -F -i 2 -N 4 -o /scratch/d -k");
+    iostack::IoClient client(pfs, config.api);
+    IorBenchmark bench(client, config, block_rank_mapping({0, 1}, 4));
+    return bench.run();
+  };
+  const IorRunResult a = run_once();
+  const IorRunResult b = run_once();
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ops[i].bw_mib, b.ops[i].bw_mib);
+    EXPECT_DOUBLE_EQ(a.ops[i].total_sec, b.ops[i].total_sec);
+  }
+}
+
+}  // namespace
+}  // namespace iokc::gen

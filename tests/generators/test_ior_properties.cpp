@@ -1,0 +1,87 @@
+// Property-style sweep over the IOR pattern space: for every combination of
+// API, transfer size, and file layout, a run must complete, report positive
+// self-consistent numbers, and be bit-reproducible under the same seed.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/fs/pfs.hpp"
+#include "src/generators/ior.hpp"
+#include "src/iostack/client.hpp"
+#include "src/sim/cluster.hpp"
+
+namespace iokc::gen {
+namespace {
+
+using PatternParam = std::tuple<const char* /*api*/, const char* /*transfer*/,
+                                bool /*file_per_process*/>;
+
+class IorPatternSweep : public ::testing::TestWithParam<PatternParam> {
+ protected:
+  static IorRunResult run_pattern(const PatternParam& param,
+                                  std::uint64_t seed) {
+    const auto& [api, transfer, fpp] = param;
+    sim::EventQueue queue;
+    sim::ClusterSpec cluster_spec;
+    cluster_spec.node_count = 2;
+    sim::Cluster cluster(queue, cluster_spec, seed);
+    fs::ParallelFileSystem pfs(cluster, fs::PfsSpec::fuchs_beegfs());
+    std::string command = std::string("ior -a ") + api + " -b 1m -t " +
+                          transfer + " -s 2 -C -i 2 -N 8 -o /scratch/prop -k";
+    if (fpp) {
+      command += " -F";
+    }
+    const IorConfig config = parse_ior_command(command);
+    iostack::IoClient client(pfs, config.api);
+    IorBenchmark bench(client, config, block_rank_mapping({0, 1}, 8));
+    return bench.run();
+  }
+};
+
+TEST_P(IorPatternSweep, ProducesSelfConsistentResults) {
+  const IorRunResult result = run_pattern(GetParam(), 7);
+  ASSERT_EQ(result.ops.size(), 4u);  // 2 iterations x write+read
+  for (const IorOpResult& op : result.ops) {
+    EXPECT_GT(op.bw_mib, 0.0) << op.access;
+    EXPECT_GT(op.iops, 0.0);
+    EXPECT_GT(op.latency_sec, 0.0);
+    EXPECT_GE(op.total_sec, op.wrrd_sec);
+    EXPECT_GE(op.total_sec, op.open_sec + op.close_sec);
+    // Bandwidth and phase time are consistent with the data volume:
+    // 8 ranks x 2 MiB = 16 MiB per phase.
+    EXPECT_NEAR(op.bw_mib * op.total_sec, 16.0, 0.5) << op.access;
+  }
+}
+
+TEST_P(IorPatternSweep, DeterministicUnderSeedReuse) {
+  const IorRunResult a = run_pattern(GetParam(), 13);
+  const IorRunResult b = run_pattern(GetParam(), 13);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ops[i].bw_mib, b.ops[i].bw_mib);
+    EXPECT_DOUBLE_EQ(a.ops[i].latency_sec, b.ops[i].latency_sec);
+  }
+}
+
+TEST_P(IorPatternSweep, OutputTextRoundTripsThroughTheReport) {
+  const IorRunResult result = run_pattern(GetParam(), 21);
+  const std::string text = result.render_output();
+  // Every pattern's report keeps the fields the extractor needs.
+  EXPECT_NE(text.find("Command line"), std::string::npos);
+  EXPECT_NE(text.find("Results:"), std::string::npos);
+  EXPECT_NE(text.find("Summary of all tests:"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, IorPatternSweep,
+    ::testing::Combine(::testing::Values("posix", "mpiio", "hdf5"),
+                       ::testing::Values("64k", "256k", "1m"),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<PatternParam>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param) + "_" +
+             (std::get<2>(info.param) ? "fpp" : "shared");
+    });
+
+}  // namespace
+}  // namespace iokc::gen

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fs/pfs.hpp"
+#include "src/generators/haccio.hpp"
+#include "src/generators/ior.hpp"
+#include "src/generators/mdtest.hpp"
+#include "src/iostack/client.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::gen {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() {
+    sim::ClusterSpec cluster_spec;
+    cluster_spec.node_count = 4;
+    cluster_ = std::make_unique<sim::Cluster>(queue_, cluster_spec, 5);
+    pfs_ = std::make_unique<fs::ParallelFileSystem>(
+        *cluster_, fs::PfsSpec::fuchs_beegfs());
+    client_ = std::make_unique<iostack::IoClient>(*pfs_,
+                                                  iostack::IoApi::kPosix);
+  }
+
+  sim::EventQueue queue_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<fs::ParallelFileSystem> pfs_;
+  std::unique_ptr<iostack::IoClient> client_;
+};
+
+TEST(MdtestConfig, CommandRoundTrip) {
+  MdtestConfig config;
+  config.files_per_rank = 250;
+  config.unique_dir_per_task = true;
+  config.write_bytes = 3901;
+  config.num_tasks = 16;
+  config.iterations = 2;
+  config.base_dir = "/scratch/mdt";
+  const MdtestConfig parsed = parse_mdtest_command(config.render_command());
+  EXPECT_EQ(parsed.files_per_rank, 250u);
+  EXPECT_TRUE(parsed.unique_dir_per_task);
+  EXPECT_EQ(parsed.write_bytes, 3901u);
+  EXPECT_EQ(parsed.num_tasks, 16u);
+  EXPECT_EQ(parsed.iterations, 2);
+  EXPECT_EQ(parsed.base_dir, "/scratch/mdt");
+}
+
+TEST(MdtestConfig, Validation) {
+  MdtestConfig config;
+  config.files_per_rank = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.files_per_rank = 10;
+  config.do_read = true;
+  config.write_bytes = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  EXPECT_THROW(parse_mdtest_command("mdtest --bogus"), ParseError);
+}
+
+TEST_F(EngineTest, MdtestProducesPositiveRates) {
+  MdtestConfig config;
+  config.files_per_rank = 50;
+  config.num_tasks = 8;
+  config.unique_dir_per_task = true;
+  config.base_dir = "/scratch/mdt_rates";
+  MdtestBenchmark bench(*client_, config, block_rank_mapping({0, 1}, 8));
+  const MdtestRunResult result = bench.run();
+  ASSERT_EQ(result.iterations.size(), 1u);
+  EXPECT_GT(result.iterations[0].creation_rate, 0.0);
+  EXPECT_GT(result.iterations[0].stat_rate, 0.0);
+  EXPECT_GT(result.iterations[0].removal_rate, 0.0);
+  // Stat is cheaper than create on any metadata service.
+  EXPECT_GT(result.iterations[0].stat_rate,
+            result.iterations[0].creation_rate);
+}
+
+TEST_F(EngineTest, SharedDirectoryIsSlowerThanUniqueDirs) {
+  // Unique dirs spread create load over both MDSes; one shared directory
+  // serializes on a single MDS (the mdtest-easy vs mdtest-hard contrast).
+  MdtestConfig easy;
+  easy.files_per_rank = 60;
+  easy.num_tasks = 8;
+  easy.unique_dir_per_task = true;
+  easy.base_dir = "/scratch/easy";
+  MdtestBenchmark easy_bench(*client_, easy, block_rank_mapping({0, 1}, 8));
+  const double easy_rate = easy_bench.run().iterations[0].creation_rate;
+
+  MdtestConfig hard = easy;
+  hard.unique_dir_per_task = false;
+  hard.base_dir = "/scratch/hard";
+  hard.write_bytes = 3901;
+  MdtestBenchmark hard_bench(*client_, hard, block_rank_mapping({0, 1}, 8));
+  const double hard_rate = hard_bench.run().iterations[0].creation_rate;
+
+  EXPECT_GT(easy_rate, hard_rate * 1.3);
+}
+
+TEST_F(EngineTest, MdtestFilesRemovedAfterRemovePhase) {
+  MdtestConfig config;
+  config.files_per_rank = 10;
+  config.num_tasks = 4;
+  config.base_dir = "/scratch/mdt_rm";
+  MdtestBenchmark bench(*client_, config, block_rank_mapping({0}, 4));
+  bench.run();
+  EXPECT_FALSE(pfs_->exists(bench.file_path(0, 0)));
+}
+
+TEST_F(EngineTest, MdtestOutputShape) {
+  MdtestConfig config;
+  config.files_per_rank = 10;
+  config.num_tasks = 4;
+  config.base_dir = "/scratch/mdt_out";
+  MdtestBenchmark bench(*client_, config, block_rank_mapping({0, 1}, 4));
+  const std::string text = bench.run().render_output();
+  EXPECT_NE(text.find("mdtest-3.4.0+sim was launched with 4 total task(s)"),
+            std::string::npos);
+  EXPECT_NE(text.find("Command line used: mdtest"), std::string::npos);
+  EXPECT_NE(text.find("SUMMARY rate:"), std::string::npos);
+  EXPECT_NE(text.find("File creation"), std::string::npos);
+  EXPECT_NE(text.find("File removal"), std::string::npos);
+}
+
+TEST(HaccConfig, CommandRoundTrip) {
+  HaccIoConfig config;
+  config.particles_per_rank = 500000;
+  config.api = iostack::IoApi::kMpiio;
+  config.file_mode = iostack::FileMode::kFilePerGroup;
+  config.group_size = 4;
+  config.num_tasks = 16;
+  config.iterations = 2;
+  config.base_path = "/scratch/hacc/part";
+  const HaccIoConfig parsed = parse_haccio_command(config.render_command());
+  EXPECT_EQ(parsed.particles_per_rank, 500000u);
+  EXPECT_EQ(parsed.api, iostack::IoApi::kMpiio);
+  EXPECT_EQ(parsed.file_mode, iostack::FileMode::kFilePerGroup);
+  EXPECT_EQ(parsed.group_size, 4u);
+  EXPECT_EQ(parsed.num_tasks, 16u);
+}
+
+TEST(HaccConfig, RejectsHdf5AndBadValues) {
+  HaccIoConfig config;
+  config.api = iostack::IoApi::kHdf5;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.api = iostack::IoApi::kPosix;
+  config.particles_per_rank = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST_F(EngineTest, HaccIoRunsAllFileModes) {
+  for (const auto mode :
+       {iostack::FileMode::kSharedFile, iostack::FileMode::kFilePerProcess,
+        iostack::FileMode::kFilePerGroup}) {
+    HaccIoConfig config;
+    config.particles_per_rank = 100000;
+    config.num_tasks = 8;
+    config.file_mode = mode;
+    config.group_size = 4;
+    config.base_path =
+        "/scratch/hacc" + std::to_string(static_cast<int>(mode));
+    HaccIoBenchmark bench(*client_, config, block_rank_mapping({0, 1}, 8));
+    const HaccIoRunResult result = bench.run();
+    ASSERT_EQ(result.iterations.size(), 1u);
+    EXPECT_GT(result.iterations[0].write_bw_mib, 0.0)
+        << iostack::to_string(mode);
+    EXPECT_GT(result.iterations[0].read_bw_mib, 0.0);
+  }
+}
+
+TEST_F(EngineTest, HaccIoBytesPerRankUsesParticleSize) {
+  HaccIoConfig config;
+  config.particles_per_rank = 1000;
+  EXPECT_EQ(config.bytes_per_rank(), 38000u);
+}
+
+TEST_F(EngineTest, HaccIoOutputShape) {
+  HaccIoConfig config;
+  config.particles_per_rank = 50000;
+  config.num_tasks = 4;
+  config.base_path = "/scratch/hacc_out";
+  HaccIoBenchmark bench(*client_, config, block_rank_mapping({0}, 4));
+  const std::string text = bench.run().render_output();
+  EXPECT_NE(text.find("HACC-IO+sim"), std::string::npos);
+  EXPECT_NE(text.find("Command line        : hacc_io"), std::string::npos);
+  EXPECT_NE(text.find("iter  write(MiB/s)"), std::string::npos);
+}
+
+TEST_F(EngineTest, HaccIoCleansUpFiles) {
+  HaccIoConfig config;
+  config.particles_per_rank = 10000;
+  config.num_tasks = 4;
+  config.file_mode = iostack::FileMode::kFilePerProcess;
+  config.base_path = "/scratch/hacc_clean";
+  HaccIoBenchmark bench(*client_, config, block_rank_mapping({0}, 4));
+  bench.run();
+  EXPECT_FALSE(pfs_->exists("/scratch/hacc_clean.0"));
+}
+
+}  // namespace
+}  // namespace iokc::gen

@@ -1,0 +1,180 @@
+#include "src/iostack/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/iostack/hints.hpp"
+#include "src/iostack/pattern.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::iostack {
+namespace {
+
+TEST(Pattern, ApiStrings) {
+  EXPECT_EQ(to_string(IoApi::kPosix), "POSIX");
+  EXPECT_EQ(to_string(IoApi::kMpiio), "MPIIO");
+  EXPECT_EQ(to_string(IoApi::kHdf5), "HDF5");
+  EXPECT_EQ(api_from_string("posix"), IoApi::kPosix);
+  EXPECT_EQ(api_from_string("MPIIO"), IoApi::kMpiio);
+  EXPECT_EQ(api_from_string("mpi-io"), IoApi::kMpiio);
+  EXPECT_EQ(api_from_string("hdf5"), IoApi::kHdf5);
+  EXPECT_THROW(api_from_string("netcdf"), ParseError);
+}
+
+TEST(Pattern, AccessAndFileModeStrings) {
+  EXPECT_EQ(access_pattern_from_string("sequential"),
+            AccessPattern::kSequential);
+  EXPECT_EQ(access_pattern_from_string("Random"), AccessPattern::kRandom);
+  EXPECT_THROW(access_pattern_from_string("zigzag"), ParseError);
+  EXPECT_EQ(file_mode_from_string("file-per-process"),
+            FileMode::kFilePerProcess);
+  EXPECT_EQ(file_mode_from_string("single-shared-file"),
+            FileMode::kSharedFile);
+  EXPECT_EQ(file_mode_from_string("fpg"), FileMode::kFilePerGroup);
+  EXPECT_THROW(file_mode_from_string("x"), ParseError);
+  EXPECT_EQ(to_string(FileMode::kFilePerGroup), "file-per-group");
+}
+
+TEST(Hints, RenderParseRoundTrip) {
+  MpiioHints hints;
+  hints.collective_buffering = false;
+  hints.cb_nodes = 4;
+  hints.cb_buffer_size = 8 * 1024 * 1024;
+  const MpiioHints parsed = parse_hints(render_hints(hints));
+  EXPECT_EQ(parsed, hints);
+}
+
+TEST(Hints, EmptyTextGivesDefaults) {
+  EXPECT_EQ(parse_hints(""), MpiioHints{});
+  EXPECT_EQ(parse_hints("   "), MpiioHints{});
+}
+
+TEST(Hints, RejectsUnknownKeys) {
+  EXPECT_THROW(parse_hints("bogus=1"), ParseError);
+  EXPECT_THROW(parse_hints("cb_nodes"), ParseError);
+}
+
+TEST(ApiCosts, Hdf5CostsMoreThanMpiioCostsMoreThanPosix) {
+  const ApiCosts posix = default_api_costs(IoApi::kPosix);
+  const ApiCosts mpiio = default_api_costs(IoApi::kMpiio);
+  const ApiCosts hdf5 = default_api_costs(IoApi::kHdf5);
+  EXPECT_LT(posix.per_op_sec, mpiio.per_op_sec);
+  EXPECT_LT(mpiio.per_op_sec, hdf5.per_op_sec);
+  EXPECT_LT(posix.open_sec, hdf5.open_sec);
+}
+
+/// Fixture with a small environment.
+class IoClientTest : public ::testing::Test {
+ protected:
+  IoClientTest() {
+    sim::ClusterSpec cluster_spec;
+    cluster_spec.node_count = 4;
+    cluster_spec.jitter_sigma = 0.0;
+    cluster_ = std::make_unique<sim::Cluster>(queue_, cluster_spec, 3);
+    fs::PfsSpec pfs_spec;
+    pfs_spec.targets.assign(4, fs::TargetSpec{100.0e6, 150.0e6, 1.0e-4});
+    pfs_ = std::make_unique<fs::ParallelFileSystem>(*cluster_, pfs_spec);
+  }
+
+  double timed(const std::function<void(IoClient::Callback)>& op) {
+    const double start = queue_.now();
+    bool fired = false;
+    op([&fired](sim::SimTime) { fired = true; });
+    queue_.run();
+    EXPECT_TRUE(fired);
+    return queue_.now() - start;
+  }
+
+  sim::EventQueue queue_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<fs::ParallelFileSystem> pfs_;
+};
+
+TEST_F(IoClientTest, OpenCreateWriteReadCloseChain) {
+  IoClient client(*pfs_, IoApi::kPosix);
+  timed([&](auto cb) { client.open("/f", 0, true, cb); });
+  EXPECT_TRUE(pfs_->exists("/f"));
+  timed([&](auto cb) { client.write("/f", 0, 1 << 20, 0, cb); });
+  timed([&](auto cb) { client.read("/f", 0, 1 << 20, 1, cb); });
+  timed([&](auto cb) { client.fsync("/f", 0, cb); });
+  timed([&](auto cb) { client.close("/f", 0, cb); });
+}
+
+TEST_F(IoClientTest, Hdf5CreateWritesSuperblock) {
+  IoClient client(*pfs_, IoApi::kHdf5);
+  timed([&](auto cb) { client.open("/h5", 0, true, cb); });
+  EXPECT_GE(pfs_->find_entry("/h5")->size, 2048u);
+}
+
+TEST_F(IoClientTest, CollectiveBufferingAggregatesSmallWrites) {
+  // 32 ranks each writing 47008 bytes into a shared file: two-phase I/O
+  // should beat independent small writes.
+  MpiioHints buffered;
+  buffered.collective_buffering = true;
+  MpiioHints unbuffered;
+  unbuffered.collective_buffering = false;
+
+  std::vector<CollectiveRequest> requests;
+  for (std::uint32_t r = 0; r < 32; ++r) {
+    requests.push_back(CollectiveRequest{r * 47008ull, 47008, r % 4});
+  }
+
+  IoClient independent(*pfs_, IoApi::kMpiio, unbuffered);
+  timed([&](auto cb) { independent.open("/ind", 0, true, cb); });
+  const double independent_time =
+      timed([&](auto cb) { independent.write_collective("/ind", requests, cb); });
+
+  IoClient collective(*pfs_, IoApi::kMpiio, buffered);
+  timed([&](auto cb) { collective.open("/col", 0, true, cb); });
+  const double collective_time =
+      timed([&](auto cb) { collective.write_collective("/col", requests, cb); });
+
+  EXPECT_LT(collective_time, independent_time);
+}
+
+TEST_F(IoClientTest, CollectiveReadCompletes) {
+  IoClient client(*pfs_, IoApi::kMpiio);
+  timed([&](auto cb) { client.open("/f", 0, true, cb); });
+  std::vector<CollectiveRequest> writes;
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    writes.push_back(CollectiveRequest{r * (1ull << 20), 1 << 20, r % 4});
+  }
+  timed([&](auto cb) { client.write_collective("/f", writes, cb); });
+  timed([&](auto cb) { client.read_collective("/f", writes, cb); });
+}
+
+TEST_F(IoClientTest, CollectiveWithNoRequestsThrows) {
+  IoClient client(*pfs_, IoApi::kMpiio);
+  timed([&](auto cb) { client.open("/f", 0, true, cb); });
+  EXPECT_THROW(client.write_collective("/f", {}, [](sim::SimTime) {}),
+               ConfigError);
+}
+
+TEST_F(IoClientTest, CbNodesLimitsAggregators) {
+  MpiioHints hints;
+  hints.cb_nodes = 1;
+  IoClient client(*pfs_, IoApi::kMpiio, hints);
+  timed([&](auto cb) { client.open("/f", 0, true, cb); });
+  std::vector<CollectiveRequest> requests;
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    requests.push_back(CollectiveRequest{r * (1ull << 20), 1 << 20, r % 4});
+  }
+  // Just exercises the single-aggregator path; must complete.
+  timed([&](auto cb) { client.write_collective("/f", requests, cb); });
+}
+
+TEST_F(IoClientTest, PosixOpsAreCheaperThanHdf5) {
+  IoClient posix(*pfs_, IoApi::kPosix);
+  IoClient hdf5(*pfs_, IoApi::kHdf5);
+  timed([&](auto cb) { posix.open("/p", 0, true, cb); });
+  timed([&](auto cb) { hdf5.open("/h", 0, true, cb); });
+  const double posix_time =
+      timed([&](auto cb) { posix.write("/p", 0, 4096, 0, cb); });
+  const double hdf5_time =
+      timed([&](auto cb) { hdf5.write("/h", 0, 4096, 0, cb); });
+  EXPECT_LT(posix_time, hdf5_time);
+}
+
+}  // namespace
+}  // namespace iokc::iostack

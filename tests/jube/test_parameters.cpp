@@ -1,0 +1,74 @@
+#include "src/jube/parameters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+
+namespace iokc::jube {
+namespace {
+
+TEST(ParameterSpace, ExpandsCartesianProduct) {
+  ParameterSpace space;
+  space.add_csv("t", "1m,2m");
+  space.add_csv("n", "40,80,160");
+  EXPECT_EQ(space.size(), 6u);
+  const auto assignments = space.expand();
+  ASSERT_EQ(assignments.size(), 6u);
+  // First parameter varies slowest.
+  EXPECT_EQ(assignments[0].at("t"), "1m");
+  EXPECT_EQ(assignments[0].at("n"), "40");
+  EXPECT_EQ(assignments[1].at("n"), "80");
+  EXPECT_EQ(assignments[3].at("t"), "2m");
+}
+
+TEST(ParameterSpace, EmptySpaceYieldsOneEmptyAssignment) {
+  ParameterSpace space;
+  const auto assignments = space.expand();
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_TRUE(assignments[0].empty());
+}
+
+TEST(ParameterSpace, CsvValuesAreTrimmed) {
+  ParameterSpace space;
+  space.add_csv("x", " a , b ,c ");
+  EXPECT_EQ(space.parameters()[0].values,
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParameterSpace, RejectsDuplicatesAndEmpties) {
+  ParameterSpace space;
+  space.add_csv("x", "1");
+  EXPECT_THROW(space.add_csv("x", "2"), ConfigError);
+  EXPECT_THROW(space.add(Parameter{"", {"1"}}), ConfigError);
+  EXPECT_THROW(space.add(Parameter{"y", {}}), ConfigError);
+}
+
+TEST(Substitute, ReplacesDollarNames) {
+  const Assignment assignment{{"transfer", "2m"}, {"tasks", "80"}};
+  EXPECT_EQ(substitute("ior -t $transfer -N $tasks", assignment),
+            "ior -t 2m -N 80");
+}
+
+TEST(Substitute, BracedForm) {
+  const Assignment assignment{{"x", "v"}};
+  EXPECT_EQ(substitute("a${x}b", assignment), "avb");
+}
+
+TEST(Substitute, DollarEscape) {
+  EXPECT_EQ(substitute("cost $$5", {}), "cost $5");
+}
+
+TEST(Substitute, Errors) {
+  EXPECT_THROW(substitute("$missing", {}), ConfigError);
+  EXPECT_THROW(substitute("${unterminated", {}), ConfigError);
+  EXPECT_THROW(substitute("$ alone", {}), ConfigError);
+}
+
+TEST(Substitute, NameBoundaryIsNonAlnum) {
+  const Assignment assignment{{"t", "X"}};
+  EXPECT_EQ(substitute("-$t-", assignment), "-X-");
+  EXPECT_EQ(substitute("$t/file", assignment), "X/file");
+}
+
+}  // namespace
+}  // namespace iokc::jube

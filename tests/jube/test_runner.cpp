@@ -1,0 +1,146 @@
+#include "src/jube/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/util/error.hpp"
+
+namespace iokc::jube {
+namespace {
+
+/// Temporary workspace removed at teardown.
+class RunnerTest : public ::testing::Test {
+ protected:
+  RunnerTest() {
+    workspace_ = std::filesystem::temp_directory_path() /
+                 ("iokc_jube_test_" + std::to_string(::getpid()) + "_" +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(workspace_);
+  }
+  ~RunnerTest() override { std::filesystem::remove_all(workspace_); }
+
+  static ExecutorRegistry echo_registry() {
+    ExecutorRegistry registry;
+    registry.register_executor("echo", [](const std::string& command) {
+      ExecutionOutput output;
+      output.stdout_text = command + "\n";
+      output.extra_files.emplace_back("extra.txt", "extra data");
+      return output;
+    });
+    return registry;
+  }
+
+  static std::string read_file(const std::filesystem::path& path) {
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return text;
+  }
+
+  std::filesystem::path workspace_;
+};
+
+TEST_F(RunnerTest, CreatesJubeShapedWorkspace) {
+  JubeRunner runner(workspace_, echo_registry());
+  JubeBenchmarkConfig config;
+  config.name = "sweep";
+  config.outpath = "bench_run";
+  config.space.add_csv("x", "1,2");
+  config.steps.push_back(JubeStep{"run", "echo value $x"});
+
+  const JubeRunResult result = runner.run(config);
+  EXPECT_EQ(result.run_id, 0);
+  ASSERT_EQ(result.packages.size(), 2u);
+  EXPECT_EQ(result.packages[0].command, "echo value 1");
+  EXPECT_EQ(result.packages[1].command, "echo value 2");
+  EXPECT_TRUE(std::filesystem::exists(result.run_dir / "configuration.xml"));
+  for (const WorkPackageResult& package : result.packages) {
+    EXPECT_TRUE(std::filesystem::exists(package.stdout_path));
+    EXPECT_TRUE(std::filesystem::exists(package.dir / "done"));
+    EXPECT_TRUE(std::filesystem::exists(package.dir / "parameters.txt"));
+    EXPECT_TRUE(std::filesystem::exists(package.dir / "command.txt"));
+    EXPECT_TRUE(std::filesystem::exists(package.dir / "extra.txt"));
+  }
+  EXPECT_EQ(read_file(result.packages[0].stdout_path), "echo value 1\n");
+  EXPECT_EQ(read_file(result.packages[0].dir / "parameters.txt"), "x: 1\n");
+}
+
+TEST_F(RunnerTest, RunIdsIncrement) {
+  JubeRunner runner(workspace_, echo_registry());
+  JubeBenchmarkConfig config;
+  config.name = "b";
+  config.steps.push_back(JubeStep{"run", "echo hi"});
+  EXPECT_EQ(runner.run(config).run_id, 0);
+  EXPECT_EQ(runner.run(config).run_id, 1);
+  EXPECT_EQ(runner.run(config).run_id, 2);
+}
+
+TEST_F(RunnerTest, UnknownProgramThrows) {
+  JubeRunner runner(workspace_, echo_registry());
+  JubeBenchmarkConfig config;
+  config.name = "b";
+  config.steps.push_back(JubeStep{"run", "nosuch --flag"});
+  EXPECT_THROW(runner.run(config), ConfigError);
+}
+
+TEST_F(RunnerTest, DiscoverOutputsFindsCompletedSteps) {
+  JubeRunner runner(workspace_, echo_registry());
+  JubeBenchmarkConfig config;
+  config.name = "b";
+  config.space.add_csv("x", "1,2,3");
+  config.steps.push_back(JubeStep{"run", "echo $x"});
+  runner.run(config);
+
+  const auto outputs = JubeRunner::discover_outputs(workspace_);
+  EXPECT_EQ(outputs.size(), 3u);
+
+  // Remove one "done" marker: that output becomes invisible.
+  std::filesystem::remove(outputs[0].parent_path() / "done");
+  EXPECT_EQ(JubeRunner::discover_outputs(workspace_).size(), 2u);
+  // Nonexistent root: empty.
+  EXPECT_TRUE(JubeRunner::discover_outputs(workspace_ / "nope").empty());
+}
+
+TEST_F(RunnerTest, ConfigXmlRoundTrip) {
+  JubeBenchmarkConfig config;
+  config.name = "ior-sweep";
+  config.outpath = "runs";
+  config.space.add_csv("transfer", "1m,2m,4m");
+  config.space.add_csv("tasks", "40,80");
+  config.steps.push_back(
+      JubeStep{"run", "ior -a mpiio -t $transfer -N $tasks"});
+
+  const JubeBenchmarkConfig parsed =
+      JubeBenchmarkConfig::from_xml_text(config.to_xml());
+  EXPECT_EQ(parsed.name, "ior-sweep");
+  EXPECT_EQ(parsed.outpath, "runs");
+  EXPECT_EQ(parsed.space.size(), 6u);
+  ASSERT_EQ(parsed.steps.size(), 1u);
+  EXPECT_EQ(parsed.steps[0].command_template,
+            "ior -a mpiio -t $transfer -N $tasks");
+}
+
+TEST_F(RunnerTest, FromXmlRejectsBadConfigs) {
+  EXPECT_THROW(JubeBenchmarkConfig::from_xml_text("<jube></jube>"),
+               ParseError);
+  EXPECT_THROW(JubeBenchmarkConfig::from_xml_text("<other/>"), ParseError);
+  EXPECT_THROW(JubeBenchmarkConfig::from_xml_text(
+                   "<benchmark name=\"b\"></benchmark>"),
+               ParseError);  // no steps
+}
+
+TEST_F(RunnerTest, RegistryRejectsEmptyExecutor) {
+  ExecutorRegistry registry;
+  EXPECT_THROW(registry.register_executor("x", CommandExecutor{}),
+               ConfigError);
+  EXPECT_EQ(registry.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace iokc::jube

@@ -1,0 +1,81 @@
+#include "src/jube/xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+
+namespace iokc::jube {
+namespace {
+
+TEST(Xml, ParsesElementWithAttributes) {
+  const XmlNode root = parse_xml(R"(<benchmark name="ior" outpath="runs"/>)");
+  EXPECT_EQ(root.name, "benchmark");
+  EXPECT_EQ(root.attribute("name"), "ior");
+  EXPECT_EQ(root.attribute("outpath"), "runs");
+  EXPECT_EQ(root.find_attribute("missing"), nullptr);
+  EXPECT_THROW(root.attribute("missing"), ParseError);
+}
+
+TEST(Xml, ParsesNestedChildrenAndText) {
+  const XmlNode root = parse_xml(R"(
+    <jube>
+      <benchmark name="b">
+        <parameterset name="p">
+          <parameter name="x">1,2</parameter>
+          <parameter name="y">a</parameter>
+        </parameterset>
+        <step name="run">ior -t $x</step>
+      </benchmark>
+    </jube>)");
+  EXPECT_EQ(root.name, "jube");
+  const XmlNode* bench = root.find_child("benchmark");
+  ASSERT_NE(bench, nullptr);
+  const XmlNode* set = bench->find_child("parameterset");
+  ASSERT_NE(set, nullptr);
+  const auto parameters = set->children_named("parameter");
+  ASSERT_EQ(parameters.size(), 2u);
+  EXPECT_EQ(parameters[0]->text, "1,2");
+  const XmlNode* step = bench->find_child("step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->text, "ior -t $x");
+}
+
+TEST(Xml, HandlesDeclarationAndComments) {
+  const XmlNode root = parse_xml(
+      "<?xml version=\"1.0\"?>\n<!-- top comment -->\n"
+      "<a><!-- inner --><b/></a>");
+  EXPECT_EQ(root.name, "a");
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].name, "b");
+}
+
+TEST(Xml, DecodesEntities) {
+  const XmlNode root =
+      parse_xml(R"(<x attr="a&amp;b">1 &lt; 2 &gt; 0 &quot;q&quot;</x>)");
+  EXPECT_EQ(root.attribute("attr"), "a&b");
+  EXPECT_EQ(root.text, "1 < 2 > 0 \"q\"");
+}
+
+TEST(Xml, SingleQuotedAttributes) {
+  const XmlNode root = parse_xml("<x a='v'/>");
+  EXPECT_EQ(root.attribute("a"), "v");
+}
+
+TEST(Xml, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_xml(""), ParseError);
+  EXPECT_THROW(parse_xml("<a>"), ParseError);
+  EXPECT_THROW(parse_xml("<a></b>"), ParseError);
+  EXPECT_THROW(parse_xml("<a b=c/>"), ParseError);
+  EXPECT_THROW(parse_xml("<a>&bogus;</a>"), ParseError);
+  EXPECT_THROW(parse_xml("<a/><b/>"), ParseError);
+  EXPECT_THROW(parse_xml("<a><!-- unterminated </a>"), ParseError);
+}
+
+TEST(Xml, MixedTextAndChildren) {
+  const XmlNode root = parse_xml("<a>pre<b/>post</a>");
+  EXPECT_EQ(root.text, "prepost");
+  EXPECT_EQ(root.children.size(), 1u);
+}
+
+}  // namespace
+}  // namespace iokc::jube

@@ -1,0 +1,182 @@
+#include "src/knowledge/knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/knowledge/io500_knowledge.hpp"
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
+
+namespace iokc::knowledge {
+namespace {
+
+Knowledge sample_knowledge() {
+  Knowledge k;
+  k.command = "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -N 80 -o /s/t -k";
+  k.benchmark = "IOR";
+  k.api = "MPIIO";
+  k.test_file = "/s/t";
+  k.file_per_process = true;
+  k.start_time = 1.5;
+  k.end_time = 50.0;
+  k.num_tasks = 80;
+  k.num_nodes = 4;
+
+  OpSummary write;
+  write.operation = "write";
+  write.api = "MPIIO";
+  for (int i = 0; i < 6; ++i) {
+    OpResult r;
+    r.iteration = i;
+    r.bw_mib = i == 1 ? 1251.0 : 2850.0;
+    r.iops = r.bw_mib / 2.0;
+    r.latency_sec = 0.05;
+    r.open_sec = 0.01;
+    r.wrrd_sec = 4.4;
+    r.close_sec = 0.002;
+    r.total_sec = 4.42;
+    write.results.push_back(r);
+  }
+  write.recompute();
+  k.summaries.push_back(write);
+
+  FileSystemInfo fs;
+  fs.fs_name = "beegfs-sim";
+  fs.entry_type = "file";
+  fs.entry_id = "5-DEADBEEF-1";
+  fs.metadata_node = 1;
+  fs.stripe_pattern = "RAID0";
+  fs.chunk_size = 512 * 1024;
+  fs.num_targets = 4;
+  fs.storage_pool = 1;
+  k.filesystem = fs;
+
+  SystemInfoRecord sys;
+  sys.hostname = "node000";
+  sys.os_release = "Linux sim";
+  sys.cpu_model = "Xeon E5-2670 v2";
+  sys.sockets = 2;
+  sys.cores_per_socket = 10;
+  sys.total_cores = 20;
+  sys.frequency_mhz = 2500.0;
+  sys.l1d_kib = 32;
+  sys.l2_kib = 256;
+  sys.l3_kib = 25600;
+  sys.memory_bytes = 128ull << 30;
+  sys.interconnect = "InfiniBand FDR";
+  k.system = sys;
+
+  JobInfoRecord job;
+  job.job_id = 4242;
+  job.job_name = "ior";
+  job.partition = "parallel";
+  job.user = "zhuz";
+  job.num_nodes = 4;
+  job.num_tasks = 80;
+  job.node_list = "node[000-003]";
+  job.submit_time = 1.0;
+  job.start_time = 1.5;
+  k.job = job;
+  return k;
+}
+
+TEST(OpSummary, RecomputeAggregates) {
+  const Knowledge k = sample_knowledge();
+  const OpSummary& write = k.summaries.front();
+  EXPECT_DOUBLE_EQ(write.max_bw_mib, 2850.0);
+  EXPECT_DOUBLE_EQ(write.min_bw_mib, 1251.0);
+  EXPECT_NEAR(write.mean_bw_mib, (2850.0 * 5 + 1251.0) / 6.0, 1e-9);
+  EXPECT_GT(write.stddev_bw_mib, 0.0);
+  EXPECT_DOUBLE_EQ(write.mean_time_sec, 4.42);
+}
+
+TEST(Knowledge, FindSummary) {
+  const Knowledge k = sample_knowledge();
+  EXPECT_NE(k.find_summary("write"), nullptr);
+  EXPECT_EQ(k.find_summary("read"), nullptr);
+}
+
+TEST(Knowledge, JsonRoundTripIsExact) {
+  const Knowledge original = sample_knowledge();
+  const Knowledge restored = Knowledge::from_json(original.to_json());
+  EXPECT_EQ(restored, original);
+}
+
+TEST(Knowledge, JsonRoundTripWithoutOptionalParts) {
+  Knowledge k = sample_knowledge();
+  k.filesystem.reset();
+  k.system.reset();
+  k.job.reset();
+  const Knowledge restored = Knowledge::from_json(k.to_json());
+  EXPECT_EQ(restored, k);
+  EXPECT_FALSE(restored.filesystem.has_value());
+  EXPECT_FALSE(restored.system.has_value());
+  EXPECT_FALSE(restored.job.has_value());
+}
+
+TEST(JobInfoRecord, StandaloneJsonHelpers) {
+  const JobInfoRecord original = *sample_knowledge().job;
+  const JobInfoRecord restored = job_info_from_json(job_info_to_json(original));
+  EXPECT_EQ(restored, original);
+}
+
+TEST(Knowledge, FromJsonRejectsMissingFields) {
+  EXPECT_THROW(Knowledge::from_json(util::parse_json("{}")), ParseError);
+}
+
+TEST(Knowledge, JsonTextRoundTrip) {
+  const Knowledge original = sample_knowledge();
+  const std::string text = original.to_json().dump(2);
+  const Knowledge restored = Knowledge::from_json(util::parse_json(text));
+  EXPECT_EQ(restored, original);
+}
+
+Io500Knowledge sample_io500() {
+  Io500Knowledge k;
+  k.command = "io500 -N 40";
+  k.num_tasks = 40;
+  k.num_nodes = 2;
+  k.score_bw_gib = 0.78;
+  k.score_md_kiops = 9.1;
+  k.score_total = 2.66;
+  for (const char* name :
+       {"ior-easy-write", "ior-hard-write", "ior-easy-read", "ior-hard-read"}) {
+    Io500Testcase testcase;
+    testcase.name = name;
+    testcase.options = "transferSize=2m";
+    testcase.value = 1.5;
+    testcase.unit = "GiB/s";
+    testcase.time_sec = 30.0;
+    k.testcases.push_back(testcase);
+  }
+  k.system = sample_knowledge().system;
+  return k;
+}
+
+TEST(Io500Knowledge, FindTestcase) {
+  const Io500Knowledge k = sample_io500();
+  EXPECT_NE(k.find_testcase("ior-easy-write"), nullptr);
+  EXPECT_EQ(k.find_testcase("mdtest-easy-write"), nullptr);
+}
+
+TEST(Io500Knowledge, JsonRoundTripIsExact) {
+  const Io500Knowledge original = sample_io500();
+  const Io500Knowledge restored =
+      Io500Knowledge::from_json(original.to_json());
+  EXPECT_EQ(restored, original);
+}
+
+TEST(Io500Knowledge, JsonRoundTripWithoutSystem) {
+  Io500Knowledge k = sample_io500();
+  k.system.reset();
+  EXPECT_EQ(Io500Knowledge::from_json(k.to_json()), k);
+}
+
+TEST(SystemInfoRecord, StandaloneJsonHelpers) {
+  const SystemInfoRecord original = *sample_knowledge().system;
+  const SystemInfoRecord restored =
+      system_info_from_json(system_info_to_json(original));
+  EXPECT_EQ(restored, original);
+}
+
+}  // namespace
+}  // namespace iokc::knowledge

@@ -1,0 +1,247 @@
+#include "src/persist/repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/util/error.hpp"
+
+namespace iokc::persist {
+namespace {
+
+knowledge::Knowledge sample_knowledge(const std::string& command) {
+  knowledge::Knowledge k;
+  k.command = command;
+  k.benchmark = "IOR";
+  k.api = "MPIIO";
+  k.test_file = "/s/t";
+  k.file_per_process = true;
+  k.start_time = 0.0;
+  k.end_time = 50.5;
+  k.num_tasks = 80;
+  k.num_nodes = 4;
+  knowledge::OpSummary write;
+  write.operation = "write";
+  write.api = "MPIIO";
+  for (int i = 0; i < 3; ++i) {
+    knowledge::OpResult r;
+    r.iteration = i;
+    r.bw_mib = 2800.0 + i;
+    r.iops = 1400.0;
+    r.latency_sec = 0.05;
+    r.open_sec = 0.01;
+    r.wrrd_sec = 4.4;
+    r.close_sec = 0.002;
+    r.total_sec = 4.41;
+    write.results.push_back(r);
+  }
+  write.recompute();
+  k.summaries.push_back(write);
+  knowledge::FileSystemInfo fs;
+  fs.fs_name = "beegfs-sim";
+  fs.entry_type = "file";
+  fs.entry_id = "1-AB-1";
+  fs.metadata_node = 1;
+  fs.stripe_pattern = "RAID0";
+  fs.chunk_size = 524288;
+  fs.num_targets = 4;
+  fs.storage_pool = 1;
+  k.filesystem = fs;
+  knowledge::SystemInfoRecord sys;
+  sys.hostname = "n0";
+  sys.os_release = "L";
+  sys.cpu_model = "Xeon";
+  sys.sockets = 2;
+  sys.cores_per_socket = 10;
+  sys.total_cores = 20;
+  sys.frequency_mhz = 2500.0;
+  sys.l1d_kib = 32;
+  sys.l2_kib = 256;
+  sys.l3_kib = 25600;
+  sys.memory_bytes = 137438953472ull;
+  sys.interconnect = "IB";
+  k.system = sys;
+  knowledge::JobInfoRecord job;
+  job.job_id = 4242;
+  job.job_name = "ior";
+  job.partition = "parallel";
+  job.user = "iokc";
+  job.num_nodes = 4;
+  job.num_tasks = 80;
+  job.node_list = "node[000-003]";
+  job.submit_time = 0.5;
+  job.start_time = 0.5;
+  k.job = job;
+  return k;
+}
+
+knowledge::Io500Knowledge sample_io500() {
+  knowledge::Io500Knowledge k;
+  k.command = "io500 -N 40";
+  k.num_tasks = 40;
+  k.num_nodes = 2;
+  k.score_bw_gib = 0.78;
+  k.score_md_kiops = 9.1;
+  k.score_total = 2.66;
+  for (const char* name : {"ior-easy-write", "ior-hard-write", "find"}) {
+    knowledge::Io500Testcase testcase;
+    testcase.name = name;
+    testcase.options = "opts";
+    testcase.value = 1.25;
+    testcase.unit = "GiB/s";
+    testcase.time_sec = 30.0;
+    k.testcases.push_back(testcase);
+  }
+  k.system = sample_knowledge("x").system;
+  return k;
+}
+
+TEST(RepoTarget, ParsesAllForms) {
+  EXPECT_EQ(RepoTarget::parse("mem:").kind, RepoTarget::Kind::kMemory);
+  EXPECT_EQ(RepoTarget::parse("").kind, RepoTarget::Kind::kMemory);
+  const RepoTarget file = RepoTarget::parse("file:/tmp/k.db");
+  EXPECT_EQ(file.kind, RepoTarget::Kind::kFile);
+  EXPECT_EQ(file.path, "/tmp/k.db");
+  EXPECT_EQ(RepoTarget::parse("/tmp/k.db").path, "/tmp/k.db");
+  const RepoTarget remote =
+      RepoTarget::parse("remote://share/global.db", "/mnt/pfs");
+  EXPECT_EQ(remote.path, "/mnt/pfs/share/global.db");
+  EXPECT_THROW(RepoTarget::parse("remote://x/y"), ConfigError);
+  EXPECT_THROW(RepoTarget::parse("http://example.com/db"), ConfigError);
+}
+
+TEST(Repository, SchemaCreatesAllNineTablesPlusSysinfo) {
+  KnowledgeRepository repo;
+  for (const char* table :
+       {"performances", "summaries", "results", "filesystems", "IOFHsRuns",
+        "IOFHsScores", "IOFHsTestcases", "IOFHsOptions", "IOFHsResults",
+        "systeminfos"}) {
+    EXPECT_TRUE(repo.database().has_table(table)) << table;
+  }
+}
+
+TEST(Repository, StoreLoadRoundTripKnowledge) {
+  KnowledgeRepository repo;
+  const knowledge::Knowledge original = sample_knowledge("ior -N 80");
+  const std::int64_t id = repo.store(original);
+  EXPECT_GT(id, 0);
+  const knowledge::Knowledge restored = repo.load_knowledge(id);
+  EXPECT_EQ(restored, original);
+}
+
+TEST(Repository, StoreLoadRoundTripIo500) {
+  KnowledgeRepository repo;
+  const knowledge::Io500Knowledge original = sample_io500();
+  const std::int64_t id = repo.store(original);
+  const knowledge::Io500Knowledge restored = repo.load_io500(id);
+  EXPECT_EQ(restored, original);
+}
+
+TEST(Repository, ListsAndIds) {
+  KnowledgeRepository repo;
+  repo.store(sample_knowledge("cmd A"));
+  repo.store(sample_knowledge("cmd B"));
+  repo.store(sample_io500());
+  EXPECT_EQ(repo.knowledge_ids().size(), 2u);
+  EXPECT_EQ(repo.io500_ids().size(), 1u);
+  const auto commands = repo.list_commands();
+  ASSERT_EQ(commands.size(), 2u);
+  EXPECT_EQ(commands[0].second, "cmd A");
+  EXPECT_EQ(commands[1].second, "cmd B");
+}
+
+TEST(Repository, LoadUnknownIdThrows) {
+  KnowledgeRepository repo;
+  EXPECT_THROW(repo.load_knowledge(77), DbError);
+  EXPECT_THROW(repo.load_io500(77), DbError);
+}
+
+TEST(Repository, RemoveKnowledgeCascades) {
+  KnowledgeRepository repo;
+  const std::int64_t keep = repo.store(sample_knowledge("keep"));
+  const std::int64_t remove = repo.store(sample_knowledge("remove"));
+  repo.remove_knowledge(remove);
+  EXPECT_EQ(repo.knowledge_ids(), std::vector<std::int64_t>{keep});
+  // All children of the removed object are gone.
+  EXPECT_EQ(repo.database()
+                .execute("SELECT * FROM summaries WHERE performance_id = " +
+                         std::to_string(remove))
+                .size(),
+            0u);
+  EXPECT_EQ(repo.load_knowledge(keep).command, "keep");
+}
+
+TEST(Repository, SaveAndReopenFromFile) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("iokc_repo_test_" + std::to_string(::getpid()) + ".db");
+  std::filesystem::remove(path);
+  const knowledge::Knowledge original = sample_knowledge("persisted");
+  std::int64_t id = 0;
+  {
+    KnowledgeRepository repo(RepoTarget::parse("file:" + path.string()));
+    id = repo.store(original);
+    repo.save();
+  }
+  {
+    KnowledgeRepository reopened(RepoTarget::parse("file:" + path.string()));
+    EXPECT_EQ(reopened.load_knowledge(id), original);
+    // New objects continue the id sequence.
+    EXPECT_GT(reopened.store(sample_knowledge("new")), id);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Repository, CsvExportHasHeaderAndRows) {
+  KnowledgeRepository repo;
+  repo.store(sample_knowledge("csv me"));
+  const std::string csv = repo.export_csv("performances");
+  EXPECT_NE(csv.find("id,command"), std::string::npos);
+  EXPECT_NE(csv.find("csv me"), std::string::npos);
+  EXPECT_THROW(repo.export_csv("nope"), DbError);
+}
+
+TEST(Repository, CommandsWithQuotesSurvive) {
+  KnowledgeRepository repo;
+  knowledge::Knowledge k = sample_knowledge("ior -o /tmp/it's a 'test'");
+  const std::int64_t id = repo.store(k);
+  EXPECT_EQ(repo.load_knowledge(id).command, "ior -o /tmp/it's a 'test'");
+}
+
+TEST(Repository, JsonExportImportRoundTrip) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("iokc_repo_json_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  KnowledgeRepository source;
+  const std::int64_t k_id = source.store(sample_knowledge("exported"));
+  const std::int64_t io_id = source.store(sample_io500());
+  source.export_knowledge_json(k_id, (dir / "k.json").string());
+  source.export_io500_json(io_id, (dir / "io.json").string());
+
+  // "Manually upload" both into a different (local) repository.
+  KnowledgeRepository target;
+  const std::int64_t new_k = target.import_json_file((dir / "k.json").string());
+  const std::int64_t new_io =
+      target.import_json_file((dir / "io.json").string());
+  EXPECT_EQ(target.load_knowledge(new_k), source.load_knowledge(k_id));
+  EXPECT_EQ(target.load_io500(new_io), source.load_io500(io_id));
+
+  EXPECT_THROW(target.import_json_file((dir / "missing.json").string()),
+               IoError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Repository, SystemInfoSharedByBothKinds) {
+  KnowledgeRepository repo;
+  repo.store(sample_knowledge("a"));
+  repo.store(sample_io500());
+  const auto rows = repo.database().execute("SELECT * FROM systeminfos");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace iokc::persist

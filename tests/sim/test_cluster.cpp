@@ -1,0 +1,173 @@
+#include "src/sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/interference.hpp"
+#include "src/sim/slurm.hpp"
+#include "src/sim/sysinfo.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::sim {
+namespace {
+
+ClusterSpec small_spec() {
+  ClusterSpec spec;
+  spec.node_count = 4;
+  spec.jitter_sigma = 0.0;
+  return spec;
+}
+
+TEST(Cluster, FuchsSpecMatchesPaper) {
+  const ClusterSpec spec = ClusterSpec::fuchs_csc();
+  EXPECT_EQ(spec.node_count, 198u);
+  EXPECT_EQ(spec.node.cpu.total_cores(), 20);
+  EXPECT_EQ(spec.node.memory_bytes, 128ull * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(spec.fabric_bytes_per_sec, 27.0e9);
+  EXPECT_EQ(spec.interconnect, "InfiniBand FDR");
+}
+
+TEST(Cluster, SkipsBrokenNodesOnly) {
+  EventQueue queue;
+  Cluster cluster(queue, small_spec(), 1);
+  cluster.set_health(0, NodeHealth::kBroken);
+  cluster.set_health(1, NodeHealth::kDegraded);
+  // The degraded node looks healthy to the scheduler and is allocated in id
+  // order; only the drained (broken) node is skipped.
+  const auto nodes = cluster.allocate_nodes(2);
+  EXPECT_EQ(nodes, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Cluster, RefusesBrokenNodes) {
+  EventQueue queue;
+  Cluster cluster(queue, small_spec(), 1);
+  for (std::size_t n = 0; n < 3; ++n) {
+    cluster.set_health(n, NodeHealth::kBroken);
+  }
+  EXPECT_THROW(cluster.allocate_nodes(2), iokc::SimError);
+  EXPECT_EQ(cluster.healthy_node_count(), 1u);
+}
+
+TEST(Cluster, DegradedNodeNicIsSlower) {
+  EventQueue queue;
+  ClusterSpec spec = small_spec();
+  spec.node.nic_bytes_per_sec = 1.0e6;
+  spec.node.nic_op_overhead_sec = 0.0;
+  spec.degraded_rate_fraction = 0.25;
+  Cluster cluster(queue, spec, 1);
+  cluster.set_health(1, NodeHealth::kDegraded);
+
+  SimTime healthy_done = 0.0;
+  SimTime degraded_done = 0.0;
+  cluster.nic(0).transfer(1'000'000, [&](SimTime t) { healthy_done = t; });
+  cluster.nic(1).transfer(1'000'000, [&](SimTime t) { degraded_done = t; });
+  queue.run();
+  EXPECT_DOUBLE_EQ(healthy_done, 1.0);
+  EXPECT_DOUBLE_EQ(degraded_done, 4.0);
+}
+
+TEST(Cluster, NodeIdValidation) {
+  EventQueue queue;
+  Cluster cluster(queue, small_spec(), 1);
+  EXPECT_THROW(cluster.nic(4), iokc::SimError);
+  EXPECT_THROW(cluster.health(99), iokc::SimError);
+  EXPECT_THROW(cluster.set_health(99, NodeHealth::kBroken), iokc::SimError);
+}
+
+TEST(Cluster, JitterIsNearOne) {
+  EventQueue queue;
+  ClusterSpec spec = small_spec();
+  spec.jitter_sigma = 0.02;
+  Cluster cluster(queue, spec, 42);
+  double sum = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double j = cluster.jitter();
+    EXPECT_GT(j, 0.8);
+    EXPECT_LT(j, 1.2);
+    sum += j;
+  }
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.01);
+}
+
+TEST(Cluster, ZeroJitterSigmaGivesExactlyOne) {
+  EventQueue queue;
+  Cluster cluster(queue, small_spec(), 42);
+  EXPECT_DOUBLE_EQ(cluster.jitter(), 1.0);
+}
+
+TEST(Interference, MultiplierComposesActiveWindows) {
+  InterferenceSchedule schedule;
+  schedule.add_window({1.0, 3.0, 0.5, "burst A"});
+  schedule.add_window({2.0, 4.0, 0.5, "burst B"});
+  EXPECT_DOUBLE_EQ(schedule.multiplier_at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.multiplier_at(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.multiplier_at(2.5), 0.25);
+  EXPECT_DOUBLE_EQ(schedule.multiplier_at(3.5), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.multiplier_at(4.0), 1.0);  // end-exclusive
+}
+
+TEST(Interference, RejectsBadWindows) {
+  InterferenceSchedule schedule;
+  EXPECT_THROW(schedule.add_window({2.0, 1.0, 0.5, ""}), iokc::SimError);
+  EXPECT_THROW(schedule.add_window({0.0, 1.0, 1.0, ""}), iokc::SimError);
+  EXPECT_THROW(schedule.add_window({0.0, 1.0, -0.1, ""}), iokc::SimError);
+}
+
+TEST(SysInfo, SnapshotReflectsSpec) {
+  const ClusterSpec spec = ClusterSpec::fuchs_csc();
+  const SystemInfo info = collect_system_info(spec, 3);
+  EXPECT_EQ(info.hostname, "FUCHS-CSC-sim-node003");
+  EXPECT_EQ(info.total_cores, 20);
+  EXPECT_EQ(info.sockets, 2);
+  EXPECT_DOUBLE_EQ(info.frequency_mhz, 2500.0);
+  EXPECT_EQ(info.interconnect, "InfiniBand FDR");
+}
+
+TEST(SysInfo, RendersProcFormats) {
+  const SystemInfo info =
+      collect_system_info(ClusterSpec::fuchs_csc(), 0);
+  const std::string cpuinfo = render_proc_cpuinfo(info);
+  EXPECT_NE(cpuinfo.find("processor\t: 0"), std::string::npos);
+  EXPECT_NE(cpuinfo.find("processor\t: 19"), std::string::npos);
+  EXPECT_NE(cpuinfo.find("E5-2670 v2"), std::string::npos);
+  const std::string meminfo = render_proc_meminfo(info);
+  EXPECT_NE(meminfo.find("MemTotal:"), std::string::npos);
+  const std::string summary = render_sysinfo_summary(info);
+  EXPECT_NE(summary.find("total_cores: 20"), std::string::npos);
+  EXPECT_NE(summary.find("memory_bytes: 137438953472"), std::string::npos);
+}
+
+TEST(Slurm, CompressesNodeLists) {
+  EXPECT_EQ(compress_node_list("node", {0, 1, 2, 3}), "node[000-003]");
+  EXPECT_EQ(compress_node_list("node", {5}), "node[005]");
+  EXPECT_EQ(compress_node_list("node", {0, 1, 2, 5, 7, 8}),
+            "node[000-002,005,007-008]");
+  EXPECT_EQ(compress_node_list("node", {3, 1, 2, 1}), "node[001-003]");
+  EXPECT_EQ(compress_node_list("n", {}), "n[]");
+}
+
+TEST(Slurm, RegistersJobsWithIncreasingIds) {
+  SlurmContext slurm(100);
+  const SlurmJobInfo a = slurm.register_job("ior", {0, 0, 1, 1}, 4, 1.5);
+  const SlurmJobInfo b = slurm.register_job("io500", {2}, 20, 9.0);
+  EXPECT_EQ(a.job_id, 100u);
+  EXPECT_EQ(b.job_id, 101u);
+  EXPECT_EQ(a.num_nodes, 2u);
+  EXPECT_EQ(a.num_tasks, 4u);
+  EXPECT_EQ(a.node_list, "node[000-001]");
+  EXPECT_DOUBLE_EQ(a.start_time, 1.5);
+  EXPECT_EQ(slurm.jobs_registered(), 2u);
+}
+
+TEST(Slurm, ScontrolRenderingShape) {
+  SlurmContext slurm;
+  const SlurmJobInfo job = slurm.register_job("ior", {0, 1}, 40, 2.0);
+  const std::string text = job.render_scontrol();
+  EXPECT_NE(text.find("JobId=4242 JobName=ior"), std::string::npos);
+  EXPECT_NE(text.find("Partition=parallel"), std::string::npos);
+  EXPECT_NE(text.find("NumNodes=2 NumTasks=40"), std::string::npos);
+  EXPECT_NE(text.find("NodeList=node[000-001]"), std::string::npos);
+  EXPECT_NE(text.find("StartTime=t+2.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iokc::sim

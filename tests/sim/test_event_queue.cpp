@@ -1,0 +1,92 @@
+#include "src/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace iokc::sim {
+namespace {
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleFurtherEvents) {
+  EventQueue queue;
+  std::vector<double> times;
+  queue.schedule_in(1.0, [&] {
+    times.push_back(queue.now());
+    queue.schedule_in(1.0, [&] { times.push_back(queue.now()); });
+  });
+  queue.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(EventQueue, PastTimesClampToNow) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.schedule_at(5.0, [&] {
+    queue.schedule_at(1.0, [&] { fired_at = queue.now(); });  // in the past
+  });
+  queue.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, NegativeDelayClampsToZero) {
+  EventQueue queue;
+  bool fired = false;
+  queue.schedule_in(-3.0, [&] { fired = true; });
+  queue.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+TEST(EventQueue, CountsExecutedEvents) {
+  EventQueue queue;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule_in(0.1 * i, [] {});
+  }
+  queue.run();
+  EXPECT_EQ(queue.executed_events(), 10u);
+}
+
+TEST(EventQueue, EventBudgetGuardsRunawayModels) {
+  EventQueue queue;
+  std::function<void()> loop = [&] { queue.schedule_in(1.0, loop); };
+  queue.schedule_in(1.0, loop);
+  EXPECT_THROW(queue.run(/*max_events=*/100), iokc::SimError);
+}
+
+TEST(EventQueue, EmptyAndPending) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  queue.schedule_in(1.0, [] {});
+  EXPECT_FALSE(queue.empty());
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run();
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace iokc::sim

@@ -1,0 +1,124 @@
+#include "src/sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace iokc::sim {
+namespace {
+
+TEST(QueuedResource, SingleSlotSerializesRequests) {
+  EventQueue queue;
+  QueuedResource server(queue, "mds", 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    server.submit(1.0, [&](SimTime t) { completions.push_back(t); });
+  }
+  queue.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 2.0);
+  EXPECT_DOUBLE_EQ(completions[2], 3.0);
+}
+
+TEST(QueuedResource, ParallelSlotsOverlap) {
+  EventQueue queue;
+  QueuedResource server(queue, "mds", 2);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    server.submit(1.0, [&](SimTime t) { completions.push_back(t); });
+  }
+  queue.run();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 1.0);
+  EXPECT_DOUBLE_EQ(completions[2], 2.0);
+  EXPECT_DOUBLE_EQ(completions[3], 2.0);
+}
+
+TEST(QueuedResource, TracksBusyTimeAndOps) {
+  EventQueue queue;
+  QueuedResource server(queue, "mds", 1);
+  server.submit(2.0, [](SimTime) {});
+  server.submit(3.0, [](SimTime) {});
+  queue.run();
+  EXPECT_DOUBLE_EQ(server.busy_time(), 5.0);
+  EXPECT_EQ(server.completed_ops(), 2u);
+}
+
+TEST(QueuedResource, RejectsZeroCapacityAndNegativeService) {
+  EventQueue queue;
+  EXPECT_THROW(QueuedResource(queue, "x", 0), iokc::SimError);
+  QueuedResource server(queue, "x", 1);
+  EXPECT_THROW(server.submit(-1.0, [](SimTime) {}), iokc::SimError);
+}
+
+TEST(BandwidthPipe, TransferTimeMatchesRatePlusOverhead) {
+  EventQueue queue;
+  BandwidthPipe pipe(queue, "nic", /*rate=*/1.0e6, /*overhead=*/0.5);
+  SimTime done = 0.0;
+  pipe.transfer(1'000'000, [&](SimTime t) { done = t; });
+  queue.run();
+  EXPECT_DOUBLE_EQ(done, 1.5);  // 0.5 overhead + 1e6 / 1e6
+}
+
+TEST(BandwidthPipe, BackToBackTransfersQueueUp) {
+  EventQueue queue;
+  BandwidthPipe pipe(queue, "nic", 1.0e6, 0.0);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    pipe.transfer(500'000, [&](SimTime t) { completions.push_back(t); });
+  }
+  queue.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions[2], 1.5);  // aggregate = rate-bound
+  EXPECT_EQ(pipe.transferred_bytes(), 1'500'000u);
+}
+
+TEST(BandwidthPipe, RateMultiplierSlowsServiceAtStartTime) {
+  EventQueue queue;
+  BandwidthPipe pipe(queue, "target", 1.0e6, 0.0);
+  pipe.set_rate_multiplier([](SimTime t) { return t < 1.0 ? 1.0 : 0.5; });
+  std::vector<SimTime> completions;
+  // First transfer starts at t=0 (full rate), second at t=1 (half rate).
+  pipe.transfer(1'000'000, [&](SimTime t) { completions.push_back(t); });
+  pipe.transfer(1'000'000, [&](SimTime t) { completions.push_back(t); });
+  queue.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);
+  EXPECT_DOUBLE_EQ(completions[1], 3.0);  // 1.0 + 1e6 / (1e6 * 0.5)
+}
+
+TEST(BandwidthPipe, JitterScalesServiceTime) {
+  EventQueue queue;
+  BandwidthPipe pipe(queue, "target", 1.0e6, 0.0);
+  SimTime done = 0.0;
+  pipe.transfer(1'000'000, [&](SimTime t) { done = t; }, /*jitter=*/2.0);
+  queue.run();
+  EXPECT_DOUBLE_EQ(done, 2.0);
+}
+
+TEST(BandwidthPipe, MultiLanePipeSharesAggregate) {
+  EventQueue queue;
+  // 2 lanes at 0.5 MB/s each = 1 MB/s aggregate.
+  BandwidthPipe pipe(queue, "fabric", 0.5e6, 0.0, /*capacity=*/2);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    pipe.transfer(500'000, [&](SimTime t) { completions.push_back(t); });
+  }
+  queue.run();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_DOUBLE_EQ(completions[3], 2.0);  // 2 MB total / 1 MB/s
+}
+
+TEST(BandwidthPipe, RejectsNonPositiveRate) {
+  EventQueue queue;
+  EXPECT_THROW(BandwidthPipe(queue, "x", 0.0, 0.0), iokc::SimError);
+  EXPECT_THROW(BandwidthPipe(queue, "x", -5.0, 0.0), iokc::SimError);
+  EXPECT_THROW(BandwidthPipe(queue, "x", 1.0, -0.1), iokc::SimError);
+}
+
+}  // namespace
+}  // namespace iokc::sim

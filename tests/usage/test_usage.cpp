@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/usage/config_generator.hpp"
+#include "src/usage/prediction.hpp"
+#include "src/usage/recommendation.hpp"
+#include "src/usage/workload_generator.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::usage {
+namespace {
+
+constexpr const char* kPaperCommand =
+    "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -N 80 -o /s/test80 -k";
+
+TEST(ConfigGenerator, OverridesApplySelectively) {
+  IorOverrides overrides;
+  overrides.transfer_size = 4ull << 20;
+  overrides.num_tasks = 40;
+  const gen::IorConfig config =
+      apply_overrides(gen::parse_ior_command(kPaperCommand), overrides);
+  EXPECT_EQ(config.transfer_size, 4ull << 20);
+  EXPECT_EQ(config.num_tasks, 40u);
+  // Untouched fields keep stored values.
+  EXPECT_EQ(config.block_size, 4ull << 20);
+  EXPECT_TRUE(config.file_per_process);
+  EXPECT_EQ(config.iterations, 6);
+}
+
+TEST(ConfigGenerator, CreateConfigurationValidates) {
+  IorOverrides overrides;
+  overrides.transfer_size = 3ull << 20;  // 3m does not divide 4m blocks
+  EXPECT_THROW(create_configuration(kPaperCommand, overrides), ConfigError);
+  overrides.transfer_size = 1ull << 20;
+  const std::string command = create_configuration(kPaperCommand, overrides);
+  EXPECT_NE(command.find("-t 1m"), std::string::npos);
+  // The generated command parses back.
+  EXPECT_NO_THROW(gen::parse_ior_command(command).validate());
+}
+
+TEST(ConfigGenerator, JubeSweepPatchesOptions) {
+  const jube::JubeBenchmarkConfig config = generate_jube_config(
+      "transfer-sweep", kPaperCommand,
+      {{"-t", SweepDimension{"transfer", {"1m", "2m", "4m"}}},
+       {"-N", SweepDimension{"tasks", {"40", "80"}}}});
+  EXPECT_EQ(config.space.size(), 6u);
+  ASSERT_EQ(config.steps.size(), 1u);
+  EXPECT_NE(config.steps[0].command_template.find("-t $transfer"),
+            std::string::npos);
+  EXPECT_NE(config.steps[0].command_template.find("-N $tasks"),
+            std::string::npos);
+  // Round-trips through the XML dialect.
+  const auto parsed = jube::JubeBenchmarkConfig::from_xml_text(config.to_xml());
+  EXPECT_EQ(parsed.space.size(), 6u);
+}
+
+TEST(ConfigGenerator, JubeSweepAppendsMissingOption) {
+  const jube::JubeBenchmarkConfig config = generate_jube_config(
+      "sweep", "ior -b 4m -t 2m -N 8 -o /s/f",
+      {{"-i", SweepDimension{"iters", {"1", "3"}}}});
+  EXPECT_NE(config.steps[0].command_template.find("-i $iters"),
+            std::string::npos);
+}
+
+TEST(ConfigGenerator, EmptySweepValuesRejected) {
+  EXPECT_THROW(generate_jube_config("s", kPaperCommand,
+                                    {{"-t", SweepDimension{"t", {}}}}),
+               ConfigError);
+}
+
+TEST(Features, FromCommandEncodesPattern) {
+  const ConfigFeatures features = ConfigFeatures::from_command(kPaperCommand);
+  EXPECT_DOUBLE_EQ(features.log2_transfer, 21.0);
+  EXPECT_DOUBLE_EQ(features.log2_block, 22.0);
+  EXPECT_NEAR(features.log2_segments, std::log2(40.0), 1e-12);
+  EXPECT_DOUBLE_EQ(features.tasks, 80.0);
+  EXPECT_DOUBLE_EQ(features.file_per_process, 1.0);
+  EXPECT_DOUBLE_EQ(features.api_mpiio, 1.0);
+  EXPECT_DOUBLE_EQ(features.api_hdf5, 0.0);
+  EXPECT_EQ(features.as_vector().size(), 7u);
+}
+
+namespace {
+
+std::vector<TrainingSample> synthetic_samples() {
+  // Bandwidth linear in log2(transfer) and tasks: learnable exactly.
+  std::vector<TrainingSample> samples;
+  for (int t = 16; t <= 23; ++t) {
+    for (int n = 1; n <= 4; ++n) {
+      TrainingSample sample;
+      sample.features.log2_transfer = t;
+      sample.features.log2_block = t + 1;
+      sample.features.log2_segments = 3;
+      sample.features.tasks = 20.0 * n;
+      sample.features.file_per_process = n % 2;
+      sample.mean_bw_mib = 100.0 * t + 5.0 * 20.0 * n + 50.0 * (n % 2);
+      sample.operation = "write";
+      samples.push_back(sample);
+    }
+  }
+  return samples;
+}
+
+}  // namespace
+
+TEST(Prediction, LinearPredictorRecoversSyntheticModel) {
+  const std::vector<TrainingSample> samples = synthetic_samples();
+  const BandwidthPredictor predictor = BandwidthPredictor::fit(samples);
+  ConfigFeatures query;
+  query.log2_transfer = 20;
+  query.log2_block = 21;
+  query.log2_segments = 3;
+  query.tasks = 60.0;
+  query.file_per_process = 1.0;
+  const double expected = 100.0 * 20 + 5.0 * 60.0 + 50.0;
+  EXPECT_NEAR(predictor.predict(query), expected, 1.0);
+}
+
+TEST(Prediction, FitNeedsEnoughSamples) {
+  std::vector<TrainingSample> samples(4);
+  EXPECT_THROW(BandwidthPredictor::fit(samples), ConfigError);
+}
+
+TEST(Prediction, KnnAveragesNearestNeighbours) {
+  const std::vector<TrainingSample> samples = synthetic_samples();
+  ConfigFeatures query = samples[5].features;
+  const double predicted = knn_predict(samples, query, 1);
+  EXPECT_NEAR(predicted, samples[5].mean_bw_mib, 1e-9);
+  EXPECT_THROW(knn_predict({}, query), ConfigError);
+}
+
+TEST(Prediction, TrainingSetFromRepository) {
+  persist::KnowledgeRepository repo;
+  for (int i = 0; i < 3; ++i) {
+    knowledge::Knowledge k;
+    k.benchmark = "IOR";
+    k.command = "ior -a posix -b 4m -t 1m -s 4 -N " + std::to_string(8 << i) +
+                " -o /s/f";
+    knowledge::OpSummary write;
+    write.operation = "write";
+    write.mean_bw_mib = 1000.0 + i;
+    k.summaries.push_back(write);
+    repo.store(k);
+  }
+  // One non-IOR object that must be skipped.
+  knowledge::Knowledge other;
+  other.benchmark = "HACC-IO";
+  other.command = "hacc_io -p 10";
+  repo.store(other);
+
+  const auto samples = build_training_set(repo, "write");
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples[0].mean_bw_mib, 1000.0);
+  EXPECT_TRUE(build_training_set(repo, "read").empty());
+}
+
+TEST(Recommendation, SuggestsBetterStoredSettings) {
+  persist::KnowledgeRepository repo;
+  auto store = [&repo](const std::string& command, double bw) {
+    knowledge::Knowledge k;
+    k.benchmark = "IOR";
+    k.command = command;
+    knowledge::OpSummary write;
+    write.operation = "write";
+    write.mean_bw_mib = bw;
+    k.summaries.push_back(write);
+    repo.store(k);
+  };
+  store("ior -a posix -b 4m -t 256k -s 4 -N 40 -o /s/f", 900.0);
+  store("ior -a mpiio -b 4m -t 2m -s 4 -F -N 40 -o /s/f", 2600.0);
+
+  const gen::IorConfig target =
+      gen::parse_ior_command("ior -a posix -b 4m -t 256k -s 4 -N 40 -o /s/f");
+  const RecommendationReport report = recommend(repo, target);
+  EXPECT_EQ(report.evidence_runs, 2u);
+  ASSERT_FALSE(report.empty());
+  bool suggests_transfer = false;
+  bool suggests_api = false;
+  for (const Recommendation& recommendation : report.recommendations) {
+    suggests_transfer |= recommendation.tunable == "transfer_size" &&
+                         recommendation.suggested == "2m";
+    suggests_api |= recommendation.tunable == "api" &&
+                    recommendation.suggested == "MPIIO";
+    EXPECT_GT(recommendation.expected_gain, 1.0);  // ~2.9x - 1
+  }
+  EXPECT_TRUE(suggests_transfer);
+  EXPECT_TRUE(suggests_api);
+  EXPECT_NE(report.render().find("transfer_size"), std::string::npos);
+}
+
+TEST(Recommendation, EmptyRepositoryGivesNoAdvice) {
+  persist::KnowledgeRepository repo;
+  const gen::IorConfig target = gen::parse_ior_command("ior -N 40");
+  const RecommendationReport report = recommend(repo, target);
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(report.evidence_runs, 0u);
+}
+
+TEST(Workload, SimilarConfigsAreValidAndDeterministic) {
+  knowledge::Knowledge k;
+  k.command = kPaperCommand;
+  const auto a = generate_similar_configs(k, 5, 42);
+  const auto b = generate_similar_configs(k, 5, 42);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NO_THROW(a[i].validate());
+    EXPECT_EQ(a[i].render_command(), b[i].render_command());
+    // Stay within a factor of two of the original task count.
+    EXPECT_GE(a[i].num_tasks, 40u);
+    EXPECT_LE(a[i].num_tasks, 160u);
+  }
+  // A different seed explores different configurations.
+  const auto c = generate_similar_configs(k, 5, 43);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_different |= a[i].render_command() != c[i].render_command();
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Workload, TraceMatchesPatternVolume) {
+  knowledge::Knowledge k;
+  k.command = "ior -a posix -b 4m -t 1m -s 2 -F -N 4 -o /s/tr -k";
+  knowledge::OpSummary write;
+  write.operation = "write";
+  k.summaries.push_back(write);
+  knowledge::OpSummary read;
+  read.operation = "read";
+  k.summaries.push_back(read);
+
+  const SyntheticTrace trace = generate_trace(k, 7);
+  EXPECT_EQ(trace.num_tasks, 4u);
+  // Volume is exact: jitter redistributes request sizes, not totals.
+  EXPECT_EQ(trace.total_bytes_written(), 4ull * 8 * 1024 * 1024);
+  EXPECT_EQ(trace.total_bytes_read(), 4ull * 8 * 1024 * 1024);
+  // Per rank: one open and one close.
+  std::size_t opens = 0;
+  std::size_t closes = 0;
+  for (const TraceOp& op : trace.ops) {
+    opens += op.kind == TraceOp::Kind::kOpen ? 1 : 0;
+    closes += op.kind == TraceOp::Kind::kClose ? 1 : 0;
+  }
+  EXPECT_EQ(opens, 4u);
+  EXPECT_EQ(closes, 4u);
+}
+
+TEST(Workload, WriteOnlyTraceHasNoReads) {
+  knowledge::Knowledge k;
+  k.command = "ior -a posix -b 1m -t 1m -s 1 -F -w -N 2 -o /s/w -k -e";
+  knowledge::OpSummary write;
+  write.operation = "write";
+  k.summaries.push_back(write);
+  const SyntheticTrace trace = generate_trace(k, 1);
+  EXPECT_EQ(trace.total_bytes_read(), 0u);
+  EXPECT_GT(trace.total_bytes_written(), 0u);
+  bool has_fsync = false;
+  for (const TraceOp& op : trace.ops) {
+    has_fsync |= op.kind == TraceOp::Kind::kFsync;
+  }
+  EXPECT_TRUE(has_fsync);
+}
+
+}  // namespace
+}  // namespace iokc::usage

@@ -1,0 +1,72 @@
+#include "src/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+namespace {
+
+TEST(Csv, WritesSimpleRows) {
+  CsvWriter writer;
+  writer.add_row({"a", "b", "c"});
+  writer.add_row({"1", "2", "3"});
+  EXPECT_EQ(writer.text(), "a,b,c\n1,2,3\n");
+}
+
+TEST(Csv, QuotesWhenNeeded) {
+  CsvWriter writer;
+  writer.add_row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  EXPECT_EQ(writer.text(),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(Csv, ParsesSimple) {
+  const auto rows = parse_csv("a,b\n1,2\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Csv, ParsesQuotedFields) {
+  const auto rows = parse_csv("\"a,1\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,1");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+  EXPECT_EQ(rows[0][2], "line\nbreak");
+}
+
+TEST(Csv, ParsesCrlfAndMissingFinalNewline) {
+  const auto rows = parse_csv("a,b\r\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(Csv, EmptyFields) {
+  const auto rows = parse_csv("a,,c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(Csv, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv("\"open"), ParseError);
+}
+
+TEST(Csv, RoundTripsArbitraryCells) {
+  CsvWriter writer;
+  const std::vector<std::string> original{"x,y", "\"", "\nmulti\nline\n", "",
+                                          "normal"};
+  writer.add_row(original);
+  const auto rows = parse_csv(writer.text());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+TEST(Csv, SaveRejectsBadPath) {
+  CsvWriter writer;
+  writer.add_row({"x"});
+  EXPECT_THROW(writer.save("/nonexistent-dir/foo.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace iokc::util

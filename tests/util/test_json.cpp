@@ -1,0 +1,106 @@
+#include "src/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_EQ(parse_json("42").as_int(), 42);
+  EXPECT_EQ(parse_json("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(parse_json("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntAndDoubleStayDistinct) {
+  EXPECT_TRUE(parse_json("5").is_int());
+  EXPECT_TRUE(parse_json("5.0").is_double());
+  EXPECT_DOUBLE_EQ(parse_json("5").as_double(), 5.0);  // numeric affinity
+  EXPECT_THROW(parse_json("5.5").as_int(), ParseError);
+}
+
+TEST(Json, ParsesNested) {
+  const JsonValue v =
+      parse_json(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[2].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").at("e").is_null());
+}
+
+TEST(Json, StringEscapes) {
+  const JsonValue v = parse_json(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  const JsonValue v(std::string("a\"b\nc"));
+  EXPECT_EQ(v.dump(), "\"a\\\"b\\nc\"");
+}
+
+TEST(Json, ObjectOrderPreserved) {
+  const JsonValue v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  const JsonObject& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(Json, FindAndAt) {
+  const JsonValue v = parse_json(R"({"x": 1})");
+  EXPECT_NE(v.find("x"), nullptr);
+  EXPECT_EQ(v.find("y"), nullptr);
+  EXPECT_THROW(v.at("y"), ParseError);
+}
+
+TEST(Json, SetInsertsAndReplaces) {
+  JsonValue v;
+  v.set("a", JsonValue(1));
+  v.set("b", JsonValue("x"));
+  v.set("a", JsonValue(2));
+  EXPECT_EQ(v.at("a").as_int(), 2);
+  EXPECT_EQ(v.as_object().size(), 2u);
+}
+
+TEST(Json, CompactAndPrettyRoundTrip) {
+  const std::string doc =
+      R"({"name":"iokc","values":[1,2.5,null,true],"nested":{"k":"v"}})";
+  const JsonValue v = parse_json(doc);
+  EXPECT_EQ(parse_json(v.dump()).dump(), v.dump());
+  EXPECT_EQ(parse_json(v.dump(2)).dump(), v.dump());
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_THROW(parse_json(""), ParseError);
+  EXPECT_THROW(parse_json("{"), ParseError);
+  EXPECT_THROW(parse_json("[1,]"), ParseError);
+  EXPECT_THROW(parse_json("{\"a\":}"), ParseError);
+  EXPECT_THROW(parse_json("\"unterminated"), ParseError);
+  EXPECT_THROW(parse_json("tru"), ParseError);
+  EXPECT_THROW(parse_json("1 2"), ParseError);
+  EXPECT_THROW(parse_json("{'single': 1}"), ParseError);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const JsonValue v = parse_json("[1]");
+  EXPECT_THROW(v.as_object(), ParseError);
+  EXPECT_THROW(v.as_string(), ParseError);
+  EXPECT_THROW(v.as_bool(), ParseError);
+  EXPECT_THROW(v.as_int(), ParseError);
+}
+
+TEST(Json, LargeIntegerPrecision) {
+  const std::int64_t big = 9007199254740993ll;  // 2^53 + 1
+  const JsonValue v = parse_json(std::to_string(big));
+  EXPECT_EQ(v.as_int(), big);
+  EXPECT_EQ(parse_json(v.dump()).as_int(), big);
+}
+
+}  // namespace
+}  // namespace iokc::util

@@ -1,0 +1,88 @@
+#include "src/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Strings, SplitLinesHandlesCrlfAndMissingFinalNewline) {
+  EXPECT_EQ(split_lines("a\nb\n"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_lines("a\r\nb"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_lines(""), (std::vector<std::string>{}));
+  EXPECT_EQ(split_lines("only"), (std::vector<std::string>{"only"}));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, CasePredicates) {
+  EXPECT_EQ(to_lower("MpI-Io"), "mpi-io");
+  EXPECT_TRUE(starts_with("io500 result", "io500"));
+  EXPECT_FALSE(starts_with("io", "io500"));
+  EXPECT_TRUE(contains("hello world", "lo wo"));
+  EXPECT_FALSE(contains("hello", "z"));
+}
+
+TEST(Strings, ParseI64) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64(" -7 "), -7);
+  EXPECT_THROW(parse_i64("4.2"), ParseError);
+  EXPECT_THROW(parse_i64(""), ParseError);
+  EXPECT_THROW(parse_i64("x"), ParseError);
+}
+
+TEST(Strings, ParseF64) {
+  EXPECT_DOUBLE_EQ(parse_f64("2850.13"), 2850.13);
+  EXPECT_DOUBLE_EQ(parse_f64(" 1e3 "), 1000.0);
+  EXPECT_THROW(parse_f64("abc"), ParseError);
+  EXPECT_THROW(parse_f64("1.5x"), ParseError);
+  EXPECT_THROW(parse_f64(""), ParseError);
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("7", 3), "7  ");
+  EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a'b'c", "'", "''"), "a''b''c");
+  EXPECT_EQ(replace_all("xxx", "x", "yy"), "yyyyyy");
+  EXPECT_EQ(replace_all("abc", "", "z"), "abc");
+  EXPECT_EQ(replace_all("abc", "q", "z"), "abc");
+}
+
+}  // namespace
+}  // namespace iokc::util

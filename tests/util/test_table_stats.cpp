@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/strings.hpp"
+#include "src/util/summary_stats.hpp"
+#include "src/util/table.hpp"
+
+namespace iokc::util {
+namespace {
+
+TEST(TextTable, RendersAlignedTable) {
+  TextTable table;
+  table.set_header({"op", "MiB/s"});
+  table.set_alignment({Align::kLeft, Align::kRight});
+  table.add_row({"write", "2850.13"});
+  table.add_row({"read", "3001.2"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| op    |"), std::string::npos);
+  EXPECT_NE(out.find("| write | 2850.13 |"), std::string::npos);
+  EXPECT_NE(out.find("|  3001.2 |"), std::string::npos);
+  // Rules above header, below header, and at the bottom.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '+') % 3, 0);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable table;
+  table.set_header({"a", "b", "c"});
+  table.add_row({"1"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(SummaryStats, Empty) {
+  const SummaryStats stats = summarize({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+TEST(SummaryStats, SingleValue) {
+  const std::vector<double> values{5.0};
+  const SummaryStats stats = summarize(values);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.min, 5.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+TEST(SummaryStats, KnownSample) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const SummaryStats stats = summarize(values);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 9.0);
+  EXPECT_NEAR(stats.stddev, 2.1380899, 1e-6);  // sample stddev (n-1)
+  EXPECT_DOUBLE_EQ(stats.sum, 40.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(values, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(median(values), 2.5);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> values{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(values), 5.0);
+}
+
+TEST(Percentile, Errors) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(percentile({}, 50.0), ConfigError);
+  EXPECT_THROW(percentile(values, -1.0), ConfigError);
+  EXPECT_THROW(percentile(values, 101.0), ConfigError);
+}
+
+TEST(GeometricMean, KnownValues) {
+  const std::vector<double> values{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(values), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  const std::vector<double> zero{1.0, 0.0};
+  const std::vector<double> negative{1.0, -2.0};
+  EXPECT_THROW(geometric_mean({}), ConfigError);
+  EXPECT_THROW(geometric_mean(zero), ConfigError);
+  EXPECT_THROW(geometric_mean(negative), ConfigError);
+}
+
+}  // namespace
+}  // namespace iokc::util

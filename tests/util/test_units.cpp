@@ -1,0 +1,85 @@
+#include "src/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+namespace {
+
+TEST(Units, ParsePlainBytes) {
+  EXPECT_EQ(parse_size("0"), 0u);
+  EXPECT_EQ(parse_size("1"), 1u);
+  EXPECT_EQ(parse_size("4096"), 4096u);
+}
+
+TEST(Units, ParseSuffixes) {
+  EXPECT_EQ(parse_size("1k"), kKiB);
+  EXPECT_EQ(parse_size("1K"), kKiB);
+  EXPECT_EQ(parse_size("4m"), 4 * kMiB);
+  EXPECT_EQ(parse_size("4M"), 4 * kMiB);
+  EXPECT_EQ(parse_size("2g"), 2 * kGiB);
+  EXPECT_EQ(parse_size("1t"), kTiB);
+}
+
+TEST(Units, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_size(""), ParseError);
+  EXPECT_THROW(parse_size("m"), ParseError);
+  EXPECT_THROW(parse_size("4x"), ParseError);
+  EXPECT_THROW(parse_size("4mm"), ParseError);
+  EXPECT_THROW(parse_size("-4m"), ParseError);
+  EXPECT_THROW(parse_size("4 m"), ParseError);
+}
+
+TEST(Units, ParseRejectsOverflow) {
+  EXPECT_THROW(parse_size("99999999999999999999"), ParseError);
+  EXPECT_THROW(parse_size("18446744073709551615k"), ParseError);
+}
+
+TEST(Units, FormatBytesExact) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(kKiB), "1 KiB");
+  EXPECT_EQ(format_bytes(4 * kMiB), "4 MiB");
+  EXPECT_EQ(format_bytes(3 * kGiB), "3 GiB");
+}
+
+TEST(Units, FormatBytesFractional) {
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(kMiB + kMiB / 2), "1.50 MiB");
+}
+
+TEST(Units, FormatSizeTokenPicksLargestExactUnit) {
+  EXPECT_EQ(format_size_token(4 * kMiB), "4m");
+  EXPECT_EQ(format_size_token(2 * kGiB), "2g");
+  EXPECT_EQ(format_size_token(512 * kKiB), "512k");
+  EXPECT_EQ(format_size_token(4100), "4100");
+}
+
+TEST(Units, MibPerSec) {
+  EXPECT_DOUBLE_EQ(to_mib_per_sec(kMiB, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(to_mib_per_sec(10 * kMiB, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(to_mib_per_sec(kMiB, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(to_mib_per_sec(kMiB, -1.0), 0.0);
+}
+
+TEST(Units, FormatHelpers) {
+  EXPECT_EQ(format_mib_per_sec(2850.126), "2850.13");
+  EXPECT_EQ(format_seconds(4.5), "4.50000");
+}
+
+/// Property: parse(format_size_token(x)) == x for exact binary sizes.
+class SizeTokenRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SizeTokenRoundTrip, RoundTrips) {
+  const std::uint64_t bytes = GetParam();
+  EXPECT_EQ(parse_size(format_size_token(bytes)), bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SizeTokenRoundTrip,
+    ::testing::Values(1ull, 17ull, 4096ull, 47008ull, kKiB, 512 * kKiB, kMiB,
+                      2 * kMiB, 47 * kMiB, kGiB, 3 * kGiB, kTiB));
+
+}  // namespace
+}  // namespace iokc::util
