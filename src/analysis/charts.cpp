@@ -201,7 +201,8 @@ std::string render_svg_line(const Chart& chart, int width, int height) {
   out += chart_scaffold(frame, chart.title, chart.x_label, chart.y_label);
 
   const double step =
-      frame.plot_width() / std::max<std::size_t>(chart.categories.size(), 1);
+      frame.plot_width() /
+      static_cast<double>(std::max<std::size_t>(chart.categories.size(), 1));
   for (std::size_t c = 0; c < chart.categories.size(); ++c) {
     const double x = kMarginLeft + step * (static_cast<double>(c) + 0.5);
     out += text_at(x, height - kMarginBottom + 16, chart.categories[c],
@@ -242,9 +243,11 @@ std::string render_svg_bar(const Chart& chart, int width, int height) {
   out += chart_scaffold(frame, chart.title, chart.x_label, chart.y_label);
 
   const double group_step =
-      frame.plot_width() / std::max<std::size_t>(chart.categories.size(), 1);
+      frame.plot_width() /
+      static_cast<double>(std::max<std::size_t>(chart.categories.size(), 1));
   const double bar_width =
-      group_step * 0.8 / std::max<std::size_t>(chart.series.size(), 1);
+      group_step * 0.8 /
+      static_cast<double>(std::max<std::size_t>(chart.series.size(), 1));
   const double baseline = frame.map_y(std::max(frame.y_min, 0.0));
   for (std::size_t c = 0; c < chart.categories.size(); ++c) {
     const double group_x =

@@ -1,5 +1,6 @@
 #include "src/cycle/replay.hpp"
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -38,17 +39,21 @@ ReplayResult replay_trace(SimEnvironment& env,
   const double start = queue.now();
   ReplayResult result;
 
+  // Per-rank chains live in the deque (stable addresses) until queue.run()
+  // drains them; the closures self-reference by reference so no closure owns
+  // itself through a shared_ptr cycle.
+  std::deque<std::function<void(std::size_t)>> chains;
   for (auto& [rank, ops] : programs) {
     const std::size_t node = mapping[rank % mapping.size()];
-    auto issue = std::make_shared<std::function<void(std::size_t)>>();
-    *issue = [&pfs, &result, ops, node, issue](std::size_t index) {
+    std::function<void(std::size_t)>& issue = chains.emplace_back();
+    issue = [&pfs, &result, ops, node, &issue](std::size_t index) {
       if (index == ops.size()) {
         return;
       }
       const TraceOp& op = *ops[index];
-      auto next = [&result, issue, index](sim::SimTime) {
+      auto next = [&result, &issue, index](sim::SimTime) {
         ++result.ops_executed;
-        (*issue)(index + 1);
+        issue(index + 1);
       };
       switch (op.kind) {
         case TraceOp::Kind::kOpen:
@@ -71,7 +76,7 @@ ReplayResult replay_trace(SimEnvironment& env,
           break;
       }
     };
-    (*issue)(0);
+    issue(0);
   }
   queue.run();
   result.duration_sec = queue.now() - start;

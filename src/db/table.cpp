@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/check.hpp"
 #include "src/util/error.hpp"
 
 namespace iokc::db {
@@ -65,6 +66,7 @@ std::int64_t Table::insert(const std::vector<std::string>& columns,
     }
   }
 
+  IOKC_ASSERT(row.size() == schema_.columns.size());
   rows_.push_back(std::move(row));
   index_row(rows_.size() - 1);
   return returned;
@@ -158,10 +160,15 @@ void Table::rebuild_indexes() {
 }
 
 void Table::index_row(std::size_t row) {
+  IOKC_ASSERT(row < rows_.size());
   for (auto& [column, index] : indexes_) {
     const std::size_t col = schema_.column_index(column);
     index.emplace(rows_[row][col], row);
   }
+  // Every index must stay in lockstep with the row store; a mismatch here
+  // corrupts lookup() silently instead of failing fast.
+  IOKC_CHECK(indexes_.empty() || indexes_.begin()->second.size() == rows_.size(),
+             "index out of sync with row store");
 }
 
 }  // namespace iokc::db

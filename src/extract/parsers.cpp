@@ -47,28 +47,29 @@ knowledge::Knowledge parse_ior_output(std::string_view text) {
   bool saw_results_header = false;
   std::map<std::string, knowledge::OpSummary> summaries;
 
+  std::string v;
   for (const std::string& line : split_lines(text)) {
     const std::string_view t = trim(line);
     if (t.empty()) {
       continue;
     }
-    if (std::string v = colon_value(line, "Command line"); !v.empty()) {
+    if (!(v = colon_value(line, "Command line")).empty()) {
       k.command = v;
-    } else if (std::string v = colon_value(line, "api"); !v.empty()) {
+    } else if (!(v = colon_value(line, "api")).empty()) {
       k.api = v;
-    } else if (std::string v = colon_value(line, "test filename"); !v.empty()) {
+    } else if (!(v = colon_value(line, "test filename")).empty()) {
       k.test_file = v;
-    } else if (std::string v = colon_value(line, "access"); !v.empty()) {
+    } else if (!(v = colon_value(line, "access")).empty()) {
       k.file_per_process = v == "file-per-process";
-    } else if (std::string v = colon_value(line, "tasks"); !v.empty()) {
+    } else if (!(v = colon_value(line, "tasks")).empty()) {
       k.num_tasks = static_cast<std::uint32_t>(parse_i64(v));
-    } else if (std::string v = colon_value(line, "nodes"); !v.empty()) {
+    } else if (!(v = colon_value(line, "nodes")).empty()) {
       k.num_nodes = static_cast<std::uint32_t>(parse_i64(v));
-    } else if (std::string v = colon_value(line, "Began"); !v.empty()) {
+    } else if (!(v = colon_value(line, "Began")).empty()) {
       if (starts_with(v, "t+")) {
         k.start_time = parse_f64(v.substr(2));
       }
-    } else if (std::string v = colon_value(line, "Finished"); !v.empty()) {
+    } else if (!(v = colon_value(line, "Finished")).empty()) {
       if (starts_with(v, "t+")) {
         k.end_time = parse_f64(v.substr(2));
       }
@@ -126,6 +127,7 @@ knowledge::Knowledge parse_mdtest_output(std::string_view text) {
   knowledge::Knowledge k;
   k.benchmark = "mdtest";
   k.api = "POSIX";
+  std::string v;
   for (const std::string& line : split_lines(text)) {
     const std::string_view t = trim(line);
     if (starts_with(t, "mdtest-")) {
@@ -139,8 +141,7 @@ knowledge::Knowledge parse_mdtest_output(std::string_view text) {
           k.num_nodes = static_cast<std::uint32_t>(parse_i64(fields[i + 1]));
         }
       }
-    } else if (std::string v = colon_value(line, "Command line used");
-               !v.empty()) {
+    } else if (!(v = colon_value(line, "Command line used")).empty()) {
       k.command = v;
     } else {
       // "   File creation          :      4300.123  4300.123 ..."
@@ -186,6 +187,7 @@ knowledge::Knowledge parse_mdtest_output(std::string_view text) {
 knowledge::Io500Knowledge parse_io500_output(std::string_view text) {
   knowledge::Io500Knowledge k;
   bool saw_score = false;
+  std::string v;
   for (const std::string& line : split_lines(text)) {
     const std::string_view t = trim(line);
     if (starts_with(t, "[CONFIG]")) {
@@ -241,15 +243,16 @@ knowledge::Knowledge parse_haccio_output(std::string_view text) {
   knowledge::OpSummary read_summary;
   read_summary.operation = "read";
   bool in_table = false;
+  std::string v;
   for (const std::string& line : split_lines(text)) {
     const std::string_view t = trim(line);
-    if (std::string v = colon_value(line, "Command line"); !v.empty()) {
+    if (!(v = colon_value(line, "Command line")).empty()) {
       k.command = v;
-    } else if (std::string v = colon_value(line, "API"); !v.empty()) {
+    } else if (!(v = colon_value(line, "API")).empty()) {
       k.api = v;
-    } else if (std::string v = colon_value(line, "Tasks"); !v.empty()) {
+    } else if (!(v = colon_value(line, "Tasks")).empty()) {
       k.num_tasks = static_cast<std::uint32_t>(parse_i64(v));
-    } else if (std::string v = colon_value(line, "Nodes"); !v.empty()) {
+    } else if (!(v = colon_value(line, "Nodes")).empty()) {
       k.num_nodes = static_cast<std::uint32_t>(parse_i64(v));
     } else if (starts_with(t, "iter")) {
       in_table = true;
@@ -307,22 +310,20 @@ std::uint64_t DarshanLog::total_bytes_read() const {
 DarshanLog parse_darshan_log(std::string_view text) {
   DarshanLog log;
   bool saw_header = false;
+  std::string v;
   for (const std::string& line : split_lines(text)) {
     const std::string_view t = trim(line);
     if (t.empty()) {
       continue;
     }
     if (starts_with(t, "#")) {
-      if (std::string v = colon_value(t.substr(1), "darshan log version");
-          !v.empty()) {
+      if (!(v = colon_value(t.substr(1), "darshan log version")).empty()) {
         saw_header = true;
-      } else if (std::string v = colon_value(t.substr(1), "exe"); !v.empty()) {
+      } else if (!(v = colon_value(t.substr(1), "exe")).empty()) {
         log.command = v;
-      } else if (std::string v = colon_value(t.substr(1), "nprocs");
-                 !v.empty()) {
+      } else if (!(v = colon_value(t.substr(1), "nprocs")).empty()) {
         log.nprocs = static_cast<std::uint32_t>(parse_i64(v));
-      } else if (std::string v = colon_value(t.substr(1), "module");
-                 !v.empty()) {
+      } else if (!(v = colon_value(t.substr(1), "module")).empty()) {
         log.module = v;
       }
       continue;
@@ -393,6 +394,7 @@ knowledge::Knowledge darshan_to_knowledge(const DarshanLog& log) {
 knowledge::SystemInfoRecord parse_sysinfo(std::string_view text) {
   knowledge::SystemInfoRecord record;
   bool saw_any = false;
+  std::string v;
   for (const std::string& line : split_lines(text)) {
     const std::size_t colon = line.find(':');
     if (colon == std::string::npos) {
@@ -442,21 +444,22 @@ knowledge::FileSystemInfo parse_lustre_fsinfo(std::string_view text,
   knowledge::FileSystemInfo info;
   info.fs_name = fs_name;
   info.entry_type = "file";
+  std::string v;
   for (const std::string& line : split_lines(text)) {
     const std::string_view t = trim(line);
-    if (std::string v = colon_value(t, "lmm_stripe_count"); !v.empty()) {
+    if (!(v = colon_value(t, "lmm_stripe_count")).empty()) {
       info.num_targets = static_cast<std::uint32_t>(parse_i64(v));
-    } else if (std::string v = colon_value(t, "lmm_stripe_size"); !v.empty()) {
+    } else if (!(v = colon_value(t, "lmm_stripe_size")).empty()) {
       info.chunk_size = static_cast<std::uint64_t>(parse_i64(v));
-    } else if (std::string v = colon_value(t, "lmm_pattern"); !v.empty()) {
+    } else if (!(v = colon_value(t, "lmm_pattern")).empty()) {
       info.stripe_pattern = v == "raid0" ? "RAID0" : v;
-    } else if (std::string v = colon_value(t, "lmm_fid"); !v.empty()) {
+    } else if (!(v = colon_value(t, "lmm_fid")).empty()) {
       // "[0x200000400:0x<entry>:0x0]" -> middle token without the 0x prefix
       const auto fields = split(v, ':');
       if (fields.size() == 3 && fields[1].size() > 2) {
         info.entry_id = fields[1].substr(2);
       }
-    } else if (std::string v = colon_value(t, "lmm_pool"); !v.empty()) {
+    } else if (!(v = colon_value(t, "lmm_pool")).empty()) {
       if (starts_with(v, "pool")) {
         info.storage_pool =
             static_cast<std::uint32_t>(parse_i64(v.substr(4)));
@@ -481,13 +484,14 @@ knowledge::FileSystemInfo parse_fsinfo(std::string_view text,
   }
   knowledge::FileSystemInfo info;
   info.fs_name = fs_name;
+  std::string v;
   for (const std::string& line : split_lines(text)) {
     const std::string_view t = trim(line);
-    if (std::string v = colon_value(t, "Entry type"); !v.empty()) {
+    if (!(v = colon_value(t, "Entry type")).empty()) {
       info.entry_type = v;
-    } else if (std::string v = colon_value(t, "EntryID"); !v.empty()) {
+    } else if (!(v = colon_value(t, "EntryID")).empty()) {
       info.entry_id = v;
-    } else if (std::string v = colon_value(t, "Metadata node"); !v.empty()) {
+    } else if (!(v = colon_value(t, "Metadata node")).empty()) {
       // "meta2 [ID: 2]"
       const std::size_t id = v.find("[ID:");
       if (id != std::string::npos) {
@@ -495,24 +499,23 @@ knowledge::FileSystemInfo parse_fsinfo(std::string_view text,
         info.metadata_node = static_cast<std::uint32_t>(
             parse_i64(trim(v.substr(id + 4, close - id - 4))));
       }
-    } else if (std::string v = colon_value(t, "+ Type"); !v.empty()) {
+    } else if (!(v = colon_value(t, "+ Type")).empty()) {
       info.stripe_pattern = v;
-    } else if (std::string v = colon_value(t, "+ Chunksize"); !v.empty()) {
+    } else if (!(v = colon_value(t, "+ Chunksize")).empty()) {
       // "512K" in IOR token form
       std::string token = v;
       std::transform(token.begin(), token.end(), token.begin(), [](char c) {
         return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
       });
       info.chunk_size = util::parse_size(token);
-    } else if (std::string v = colon_value(t, "+ Number of storage targets");
-               !v.empty()) {
+    } else if (!(v = colon_value(t, "+ Number of storage targets")).empty()) {
       // "desired: 4; actual: 4"
       const std::size_t actual = v.find("actual:");
       if (actual != std::string::npos) {
         info.num_targets = static_cast<std::uint32_t>(
             parse_i64(trim(v.substr(actual + 7))));
       }
-    } else if (std::string v = colon_value(t, "+ Storage Pool"); !v.empty()) {
+    } else if (!(v = colon_value(t, "+ Storage Pool")).empty()) {
       // "1 (Default)"
       const auto fields = split_ws(v);
       if (!fields.empty()) {

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "src/util/check.hpp"
+
 namespace iokc::fs {
 
 void PageCache::add_bytes(std::size_t node, const std::string& path,
                           std::uint64_t bytes) {
   NodeCache& cache = nodes_[node];
+  IOKC_ASSERT(cache.used <= capacity_);
   const std::uint64_t budget = capacity_ - std::min(capacity_, cache.used);
   const std::uint64_t admitted = std::min(bytes, budget);
   if (admitted == 0) {
@@ -14,6 +17,7 @@ void PageCache::add_bytes(std::size_t node, const std::string& path,
   }
   cache.files[path] += admitted;
   cache.used += admitted;
+  IOKC_ASSERT(cache.used <= capacity_);
 }
 
 std::uint64_t PageCache::bytes_cached(std::size_t node,
@@ -35,6 +39,9 @@ void PageCache::invalidate(const std::string& path) {
   for (auto& [node, cache] : nodes_) {
     const auto it = cache.files.find(path);
     if (it != cache.files.end()) {
+      // A per-file count larger than the node total means the bookkeeping
+      // diverged somewhere between add_bytes and the invalidations.
+      IOKC_ASSERT(it->second <= cache.used);
       cache.used -= std::min(cache.used, it->second);
       cache.files.erase(it);
     }

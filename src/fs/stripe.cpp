@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/check.hpp"
 #include "src/util/error.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/units.hpp"
@@ -35,15 +36,19 @@ std::vector<ChunkSpan> split_into_chunks(const StripeConfig& stripe,
   }
   std::vector<ChunkSpan> spans;
   std::uint64_t position = offset;
+  [[maybe_unused]] std::uint64_t covered = 0;
   const std::uint64_t end = offset + length;
   while (position < end) {
     const std::uint64_t chunk_index = position / stripe.chunk_size;
     const std::uint64_t in_chunk = position % stripe.chunk_size;
     const std::uint64_t span =
         std::min(stripe.chunk_size - in_chunk, end - position);
+    IOKC_ASSERT(in_chunk + span <= stripe.chunk_size);
     spans.push_back(ChunkSpan{chunk_index, in_chunk, span});
     position += span;
+    covered += span;
   }
+  IOKC_ASSERT(covered == length);
   return spans;
 }
 

@@ -1,6 +1,7 @@
 #include "src/generators/haccio.hpp"
 
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <set>
@@ -148,20 +149,24 @@ double HaccIoBenchmark::run_transfer_phase(bool is_write) {
   auto& queue = client_.pfs().cluster().queue();
   const double start = queue.now();
   const std::uint64_t bytes = config_.bytes_per_rank();
+  // Per-rank chains live in the deque (stable addresses) until queue.run()
+  // drains them; the closures self-reference by reference so no closure owns
+  // itself through a shared_ptr cycle.
+  std::deque<std::function<void(std::uint64_t)>> chains;
   for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
     const std::string path = file_for_rank(rank);
     const std::uint64_t base = offset_for_rank(rank);
     const std::size_t node = rank_nodes_[rank];
-    auto issue = std::make_shared<std::function<void(std::uint64_t)>>();
-    *issue = [this, path, base, bytes, node, issue,
-              is_write](std::uint64_t done_bytes) {
+    std::function<void(std::uint64_t)>& issue = chains.emplace_back();
+    issue = [this, path, base, bytes, node, &issue,
+             is_write](std::uint64_t done_bytes) {
       if (done_bytes == bytes) {
         return;
       }
       const std::uint64_t len =
           std::min(config_.transfer_size, bytes - done_bytes);
-      auto next = [issue, done_bytes, len](sim::SimTime) {
-        (*issue)(done_bytes + len);
+      auto next = [&issue, done_bytes, len](sim::SimTime) {
+        issue(done_bytes + len);
       };
       if (is_write) {
         client_.write(path, base + done_bytes, len, node, next);
@@ -169,7 +174,7 @@ double HaccIoBenchmark::run_transfer_phase(bool is_write) {
         client_.read(path, base + done_bytes, len, node, next);
       }
     };
-    (*issue)(0);
+    issue(0);
   }
   queue.run();
   return queue.now() - start;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <set>
 #include <utility>
@@ -394,9 +396,12 @@ IorBenchmark::PhaseStats IorBenchmark::run_transfer_phase(bool is_write) {
         is_write || transfers_written_.empty()
             ? transfers
             : std::min<std::uint64_t>(transfers, transfers_written_[0]);
-    auto issue_round = std::make_shared<std::function<void(std::uint64_t)>>();
-    *issue_round = [this, round_limit, per_block, issue_round, &stats,
-                    is_write, deadline](std::uint64_t step) {
+    // The chain closure refers to itself through a reference, not an owning
+    // shared_ptr: `issue_round` outlives the synchronous queue.run() below,
+    // and a self-owning capture would be an unreclaimable reference cycle.
+    std::function<void(std::uint64_t)> issue_round;
+    issue_round = [this, round_limit, per_block, &issue_round, &stats,
+                   is_write, deadline](std::uint64_t step) {
       auto& q = client_.pfs().cluster().queue();
       if (step == round_limit || (deadline > 0.0 && q.now() >= deadline)) {
         if (is_write) {
@@ -420,14 +425,14 @@ IorBenchmark::PhaseStats IorBenchmark::run_transfer_phase(bool is_write) {
         }
       }
       const double round_start = q.now();
-      auto continuation = [this, issue_round, step, &stats,
+      auto continuation = [this, &issue_round, step, &stats,
                            round_start](sim::SimTime t) {
         stats.latency_sum += t - round_start;
         ++stats.op_count;
         stats.bytes_moved +=
             static_cast<std::uint64_t>(config_.num_tasks) *
             config_.transfer_size;
-        (*issue_round)(step + 1);
+        issue_round(step + 1);
       };
       if (is_write) {
         client_.write_collective(config_.test_file, requests, continuation);
@@ -435,7 +440,7 @@ IorBenchmark::PhaseStats IorBenchmark::run_transfer_phase(bool is_write) {
         client_.read_collective(config_.test_file, requests, continuation);
       }
     };
-    (*issue_round)(0);
+    issue_round(0);
     queue.run();
     stats.wall_sec = queue.now() - phase_start;
     return stats;
@@ -443,7 +448,10 @@ IorBenchmark::PhaseStats IorBenchmark::run_transfer_phase(bool is_write) {
 
   // Independent transfers: one sequential chain per rank, visiting transfer
   // steps in the (possibly shuffled) per-source order. A read phase after a
-  // stonewalled write reads back only what its source rank wrote.
+  // stonewalled write reads back only what its source rank wrote. The chains
+  // live here (deque: stable addresses) until queue.run() drains them; their
+  // closures self-reference by reference, never by owning shared_ptr.
+  std::deque<std::function<void(std::uint64_t)>> chains;
   for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
     const std::uint32_t source = is_write ? rank : read_source_rank(rank);
     const std::string path = file_for_rank(source);
@@ -455,9 +463,9 @@ IorBenchmark::PhaseStats IorBenchmark::run_transfer_phase(bool is_write) {
         config_.do_write()) {
       limit = std::min<std::uint64_t>(limit, transfers_written_[source]);
     }
-    auto issue = std::make_shared<std::function<void(std::uint64_t)>>();
-    *issue = [this, path, node, source, limit, per_block, order, issue,
-              &stats, is_write, deadline](std::uint64_t index) {
+    std::function<void(std::uint64_t)>& issue = chains.emplace_back();
+    issue = [this, path, node, source, limit, per_block, order, &issue,
+             &stats, is_write, deadline](std::uint64_t index) {
       auto& q = client_.pfs().cluster().queue();
       if (index == limit || (deadline > 0.0 && q.now() >= deadline)) {
         if (is_write) {
@@ -470,12 +478,12 @@ IorBenchmark::PhaseStats IorBenchmark::run_transfer_phase(bool is_write) {
       const std::uint64_t in_block = step % per_block;
       const std::uint64_t offset = offset_for(source, segment, in_block);
       const double op_start = q.now();
-      auto continuation = [this, issue, index, &stats,
+      auto continuation = [this, &issue, index, &stats,
                            op_start](sim::SimTime t) {
         stats.latency_sum += t - op_start;
         ++stats.op_count;
         stats.bytes_moved += config_.transfer_size;
-        (*issue)(index + 1);
+        issue(index + 1);
       };
       if (profiler_ != nullptr) {
         profiler_->record_transfer(source, path, config_.transfer_size,
@@ -487,7 +495,7 @@ IorBenchmark::PhaseStats IorBenchmark::run_transfer_phase(bool is_write) {
         client_.read(path, offset, config_.transfer_size, node, continuation);
       }
     };
-    (*issue)(0);
+    issue(0);
   }
   queue.run();
   stats.wall_sec = queue.now() - phase_start;

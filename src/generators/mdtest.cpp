@@ -1,6 +1,7 @@
 #include "src/generators/mdtest.hpp"
 
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <set>
@@ -179,15 +180,19 @@ double MdtestBenchmark::run_phase(Phase phase) {
   auto& queue = pfs.cluster().queue();
   const double phase_start = queue.now();
 
+  // Per-rank chains live in the deque (stable addresses) until queue.run()
+  // drains them; the closures self-reference by reference so no closure owns
+  // itself through a shared_ptr cycle.
+  std::deque<std::function<void(std::uint32_t)>> chains;
   for (std::uint32_t rank = 0; rank < config_.num_tasks; ++rank) {
     const std::size_t node = rank_nodes_[rank];
-    auto issue = std::make_shared<std::function<void(std::uint32_t)>>();
-    *issue = [this, &pfs, rank, node, phase, issue](std::uint32_t index) {
+    std::function<void(std::uint32_t)>& issue = chains.emplace_back();
+    issue = [this, &pfs, rank, node, phase, &issue](std::uint32_t index) {
       if (index == config_.files_per_rank) {
         return;
       }
       const std::string path = file_path(rank, index);
-      auto next = [issue, index](sim::SimTime) { (*issue)(index + 1); };
+      auto next = [&issue, index](sim::SimTime) { issue(index + 1); };
       switch (phase) {
         case Phase::kCreate:
           pfs.create(path, node, [this, &pfs, path, node,
@@ -213,7 +218,7 @@ double MdtestBenchmark::run_phase(Phase phase) {
           break;
       }
     };
-    (*issue)(0);
+    issue(0);
   }
   queue.run();
   return queue.now() - phase_start;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/check.hpp"
 #include "src/util/error.hpp"
 #include "src/util/json.hpp"
 #include "src/util/strings.hpp"
@@ -221,6 +222,7 @@ std::int64_t KnowledgeRepository::store(const knowledge::Knowledge& k) {
   sql += ", " + real(k.end_time) + ")";
   db_.execute(sql);
   const std::int64_t performance_id = db_.last_insert_rowid();
+  IOKC_CHECK(performance_id > 0, "INSERT must yield a positive rowid");
 
   for (const knowledge::OpSummary& summary : k.summaries) {
     std::string summary_sql =
@@ -310,6 +312,7 @@ std::int64_t KnowledgeRepository::store(const knowledge::Io500Knowledge& k) {
   sql += ", " + std::to_string(k.num_nodes) + ")";
   db_.execute(sql);
   const std::int64_t iofh_id = db_.last_insert_rowid();
+  IOKC_CHECK(iofh_id > 0, "INSERT must yield a positive rowid");
 
   db_.execute("INSERT INTO IOFHsScores (IOFH_id, score_bw, score_md, "
               "score_total) VALUES (" +

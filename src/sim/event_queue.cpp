@@ -1,20 +1,45 @@
 #include "src/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/util/check.hpp"
 #include "src/util/error.hpp"
 
 namespace iokc::sim {
 
+namespace {
+
+// Heap predicate for a min-heap on (time, seq): earlier time first,
+// insertion order on ties.
+constexpr auto kLater = [](const auto& a, const auto& b) {
+  if (a.time != b.time) {
+    return a.time > b.time;
+  }
+  return a.seq > b.seq;
+};
+
+}  // namespace
+
 void EventQueue::schedule_at(SimTime when, Action action) {
+  IOKC_CHECK(static_cast<bool>(action), "scheduled action must be callable");
   if (when < now_) {
     when = now_;  // clamp: an event can never fire in the past
   }
-  heap_.push(Event{when, next_seq_++, std::move(action)});
+  heap_.push_back(Event{when, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), kLater);
 }
 
 void EventQueue::schedule_in(SimTime delay, Action action) {
   schedule_at(now_ + (delay > 0.0 ? delay : 0.0), std::move(action));
+}
+
+EventQueue::Event EventQueue::pop_next() {
+  IOKC_ASSERT(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), kLater);
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  return event;
 }
 
 void EventQueue::run(std::uint64_t max_events) {
@@ -24,10 +49,8 @@ void EventQueue::run(std::uint64_t max_events) {
                            std::to_string(max_events) +
                            " events); model is likely divergent");
     }
-    // priority_queue::top() is const; move out via const_cast on the action,
-    // which is safe because the element is popped immediately afterwards.
-    Event event = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
+    Event event = pop_next();
+    IOKC_ASSERT(event.time >= now_);
     now_ = event.time;
     ++executed_;
     event.action();

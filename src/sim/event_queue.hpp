@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace iokc::sim {
@@ -45,16 +44,14 @@ class EventQueue {
     std::uint64_t seq;
     Action action;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
-  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Mutable binary heap (std::push_heap/std::pop_heap over a vector) instead
+  // of std::priority_queue: pop_heap moves the minimum to the back, so the
+  // action can be moved out without the const_cast that priority_queue::top()
+  // would force.
+  Event pop_next();
+
+  std::vector<Event> heap_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

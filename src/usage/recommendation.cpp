@@ -93,7 +93,9 @@ RecommendationReport recommend(persist::KnowledgeRepository& repository,
     for (const StoredRun& run : candidates) {
       bws.push_back(run.bandwidth);
     }
-    std::nth_element(bws.begin(), bws.begin() + bws.size() / 2, bws.end());
+    std::nth_element(
+        bws.begin(),
+        bws.begin() + static_cast<std::ptrdiff_t>(bws.size() / 2), bws.end());
     baseline = bws[bws.size() / 2];
   }
 

@@ -1,0 +1,89 @@
+// Runtime invariant macros for the iokc library.
+//
+// Two flavours, both compiled out in Release builds (NDEBUG) so the hot
+// paths carry zero overhead in production:
+//
+//   IOKC_ASSERT(cond)        -- internal invariant; prints `file:line:
+//                               assertion failed: cond` to stderr and aborts.
+//                               Use for conditions that indicate a bug in
+//                               iokc itself, never for input validation.
+//   IOKC_CHECK(cond, msg)    -- recoverable invariant; throws
+//                               iokc::CheckError carrying `file:line` and
+//                               `msg`. Use where a violated invariant should
+//                               surface as a catchable error in debug/test
+//                               builds (sanitizer presets enable these).
+//
+// Gating: the `IOKC_CHECKS` CMake option maps to the override macros below.
+//   -DIOKC_FORCE_CHECKS    -> always on (sanitizer/hardened presets set this)
+//   -DIOKC_DISABLE_CHECKS  -> always off (used by the release-mode test TU)
+//   neither                -> on iff NDEBUG is not defined
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/util/error.hpp"
+
+#if defined(IOKC_DISABLE_CHECKS)
+#define IOKC_CHECKS_ENABLED 0
+#elif defined(IOKC_FORCE_CHECKS)
+#define IOKC_CHECKS_ENABLED 1
+#elif defined(NDEBUG)
+#define IOKC_CHECKS_ENABLED 0
+#else
+#define IOKC_CHECKS_ENABLED 1
+#endif
+
+namespace iokc {
+
+/// Violated IOKC_CHECK invariant. Deliberately distinct from the subsystem
+/// error types: catching it means an iokc bug, not bad input.
+class CheckError : public Error {
+ public:
+  explicit CheckError(const std::string& what) : Error("check failed: " + what) {}
+};
+
+namespace util::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "%s:%d: assertion failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& message) {
+  throw CheckError(std::string(file) + ":" + std::to_string(line) + ": " +
+                   message + " (" + expr + ")");
+}
+
+}  // namespace util::detail
+}  // namespace iokc
+
+#if IOKC_CHECKS_ENABLED
+#define IOKC_ASSERT(cond)                                         \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::iokc::util::detail::assert_fail(#cond, __FILE__, __LINE__); \
+    }                                                             \
+  } while (false)
+#define IOKC_CHECK(cond, msg)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::iokc::util::detail::check_fail(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)
+#else
+// sizeof keeps the operands parsed (so they cannot bit-rot) without
+// evaluating them or triggering unused-variable warnings.
+#define IOKC_ASSERT(cond) \
+  do {                    \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (false)
+#define IOKC_CHECK(cond, msg)     \
+  do {                            \
+    (void)sizeof((cond) ? 1 : 0); \
+    (void)sizeof(msg);            \
+  } while (false)
+#endif

@@ -1,6 +1,7 @@
 #include "src/util/json.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -399,9 +400,17 @@ class JsonParser {
     }
     const std::string buf{token};
     char* end = nullptr;
+    errno = 0;
     const double value = std::strtod(buf.c_str(), &end);
     if (end != buf.c_str() + buf.size()) {
       fail("bad number");
+    }
+    // The JSON grammar has no inf/nan: reject overflow (strtod -> +-HUGE_VAL
+    // with ERANGE) instead of materialising a value dump() cannot round-trip.
+    // Gradual underflow toward zero also sets ERANGE but stays finite and is
+    // accepted.
+    if (!std::isfinite(value)) {
+      fail("number out of range '" + buf + "'");
     }
     return JsonValue(value);
   }

@@ -1,7 +1,9 @@
 #include "src/util/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -121,9 +123,15 @@ double parse_f64(std::string_view text) {
     throw ParseError("bad number ''");
   }
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(t.c_str(), &end);
   if (end != t.c_str() + t.size()) {
     throw ParseError("bad number '" + std::string(text) + "'");
+  }
+  if (errno == ERANGE && !std::isfinite(value)) {
+    // Overflow to +-inf is a caller error; gradual underflow toward zero is
+    // benign and keeps strtod's best-effort denormal result.
+    throw ParseError("number out of range '" + std::string(text) + "'");
   }
   return value;
 }

@@ -78,6 +78,40 @@ TEST(EventQueue, EventBudgetGuardsRunawayModels) {
   EXPECT_THROW(queue.run(/*max_events=*/100), iokc::SimError);
 }
 
+// Regression test for the heap extraction rework: equal-priority events must
+// run in FIFO order even when interleaved with other priorities and when
+// handlers schedule more work at the current time.
+TEST(EventQueue, EqualPriorityFifoUnderInterleavedLoad) {
+  EventQueue queue;
+  std::vector<int> order;
+  // Alternate between t=5 and t=1/t=9 so the heap reshuffles repeatedly.
+  for (int i = 0; i < 20; ++i) {
+    queue.schedule_at(5.0, [&order, i] { order.push_back(i); });
+    queue.schedule_at(i % 2 == 0 ? 1.0 : 9.0, [] {});
+  }
+  queue.run();
+  std::vector<int> expected(20);
+  for (int i = 0; i < 20; ++i) {
+    expected[static_cast<std::size_t>(i)] = i;
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, SameTimeReschedulingKeepsFifo) {
+  EventQueue queue;
+  std::vector<std::string> order;
+  queue.schedule_at(1.0, [&] {
+    order.push_back("first");
+    // Scheduled mid-run at the current time: must run after already-queued
+    // same-time events, not jump the line.
+    queue.schedule_at(1.0, [&] { order.push_back("nested"); });
+  });
+  queue.schedule_at(1.0, [&] { order.push_back("second"); });
+  queue.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"first", "second", "nested"}));
+}
+
 TEST(EventQueue, EmptyAndPending) {
   EventQueue queue;
   EXPECT_TRUE(queue.empty());

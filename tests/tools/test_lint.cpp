@@ -1,0 +1,227 @@
+#include "tools/iokc-lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace iokc::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Builds a throwaway fixture tree under the gtest temp dir; files are given
+// as (relative path, contents).
+class FixtureTree {
+ public:
+  explicit FixtureTree(const std::string& name)
+      : root_(fs::path(testing::TempDir()) / ("iokc_lint_" + name)) {
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~FixtureTree() { fs::remove_all(root_); }
+
+  void add(const std::string& relative, const std::string& contents) {
+    const fs::path path = root_ / relative;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+  }
+
+  std::string root() const { return root_.string(); }
+
+ private:
+  fs::path root_;
+};
+
+std::vector<std::string> rules_of(const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::string> rules;
+  for (const Diagnostic& d : diagnostics) {
+    rules.push_back(d.rule);
+  }
+  return rules;
+}
+
+TEST(Lint, CleanTreePasses) {
+  FixtureTree tree("clean");
+  tree.add("util/thing.hpp", "#pragma once\nint thing();\n");
+  tree.add("util/thing.cpp",
+           "#include \"src/util/thing.hpp\"\n"
+           "int thing() { return 1; }\n");
+  tree.add("fs/stripe.cpp",
+           "#include \"src/util/thing.hpp\"\n"
+           "#include \"src/sim/clock.hpp\"\n"
+           "void f() { throw SimError(\"fs owns SimError\"); }\n");
+  EXPECT_TRUE(lint_tree(tree.root()).empty());
+}
+
+TEST(Lint, UpwardIncludeIsALayeringViolation) {
+  FixtureTree tree("layering");
+  tree.add("sim/engine.cpp", "#include \"src/cli/cli.hpp\"\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "layering");
+  EXPECT_EQ(diagnostics[0].line, 1u);
+  EXPECT_NE(diagnostics[0].message.find("'sim'"), std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("'cli'"), std::string::npos);
+}
+
+TEST(Lint, SameRankSiblingIncludeIsFlagged) {
+  // extract and persist are parallel layer-4 siblings; neither may include
+  // the other.
+  FixtureTree tree("siblings");
+  tree.add("extract/extractor.cpp", "#include \"src/persist/repository.hpp\"\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "layering");
+}
+
+TEST(Lint, DownwardAndSelfIncludesPass) {
+  FixtureTree tree("downward");
+  tree.add("cli/main.cpp",
+           "#include \"src/cli/cli.hpp\"\n"
+           "#include \"src/cycle/cycle.hpp\"\n"
+           "#include \"src/util/log.hpp\"\n");
+  EXPECT_TRUE(lint_tree(tree.root()).empty());
+}
+
+TEST(Lint, MissingPragmaOnceIsFlagged) {
+  FixtureTree tree("pragma");
+  tree.add("util/guarded.hpp", "#pragma once\nint a();\n");
+  tree.add("util/naked.hpp", "int b();\n");
+  tree.add("util/impl.cpp", "int b() { return 2; }\n");  // .cpp exempt
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "pragma-once");
+  EXPECT_NE(diagnostics[0].file.find("naked.hpp"), std::string::npos);
+}
+
+TEST(Lint, ForeignSubsystemThrowIsFlagged) {
+  FixtureTree tree("ownership");
+  tree.add("analysis/stats.cpp",
+           "void f() { throw SimError(\"not ours\"); }\n");
+  tree.add("db/table.cpp",
+           "void g() { throw DbError(\"ours\"); }\n");
+  tree.add("sim/engine.cpp",
+           "void h() { throw iokc::SimError(\"qualified, ours\"); }\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "exception-ownership");
+  EXPECT_NE(diagnostics[0].file.find("stats.cpp"), std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("SimError"), std::string::npos);
+}
+
+TEST(Lint, RootErrorAndStdExceptionsAreFlagged) {
+  FixtureTree tree("rooterror");
+  tree.add("util/a.cpp", "void f() { throw Error(\"too generic\"); }\n");
+  tree.add("util/b.cpp",
+           "#include <stdexcept>\n"
+           "void g() { throw std::runtime_error(\"raw\"); }\n");
+  tree.add("util/c.cpp", "void h() { try { g(); } catch (...) { throw; } }\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].rule, "exception-ownership");
+  EXPECT_EQ(diagnostics[1].rule, "exception-ownership");
+}
+
+TEST(Lint, NonLiteralFormatStringIsFlagged) {
+  FixtureTree tree("format");
+  tree.add("util/log.cpp",
+           "#include <cstdio>\n"
+           "void log_ok(int v) { std::printf(\"%d\", v); }\n"
+           "void log_bad(const char* fmt) { std::printf(fmt); }\n"
+           "void log_f(const char* fmt) { std::fprintf(stderr, fmt); }\n"
+           "void log_n(char* b, const char* fmt) {\n"
+           "  std::snprintf(b, 8, fmt);\n"
+           "}\n");
+  const auto diagnostics = lint_tree(tree.root());
+  EXPECT_EQ(rules_of(diagnostics),
+            (std::vector<std::string>{"format-literal", "format-literal",
+                                      "format-literal"}));
+}
+
+TEST(Lint, ConcatenatedAndWrappedLiteralsPass) {
+  FixtureTree tree("formatok");
+  tree.add("util/log.cpp",
+           "#include <cstdio>\n"
+           "void f(double x) {\n"
+           "  char buf[64];\n"
+           "  std::snprintf(buf, sizeof buf,\n"
+           "                \"%.2f\", x);\n"
+           "  std::printf(\"a\" \"b\");\n"
+           "}\n");
+  EXPECT_TRUE(lint_tree(tree.root()).empty());
+}
+
+TEST(Lint, CommentsAndStringsDoNotTrigger) {
+  FixtureTree tree("scrub");
+  tree.add("sim/engine.cpp",
+           "// #include \"src/cli/cli.hpp\"\n"
+           "/* throw DbError(\"commented\"); */\n"
+           "const char* kDoc = \"throw DbError(not code) printf(fmt)\";\n");
+  EXPECT_TRUE(lint_tree(tree.root()).empty());
+}
+
+TEST(Lint, RawStringsAreScrubbed) {
+  FixtureTree tree("rawstring");
+  tree.add("persist/schema.cpp",
+           "const char* kSql = R\"sql(\n"
+           "  -- throw SimError(\"inside sql\") #include \"src/cli/x.hpp\"\n"
+           ")sql\";\n"
+           "void f() { throw DbError(\"persist owns DbError\"); }\n");
+  EXPECT_TRUE(lint_tree(tree.root()).empty());
+}
+
+TEST(Lint, UnknownModulesSkipLayeringButKeepOtherRules) {
+  FixtureTree tree("unknown");
+  tree.add("scripts/tool.cpp",
+           "#include \"src/cli/cli.hpp\"\n"
+           "void f(const char* fmt) { printf(fmt); }\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "format-literal");
+}
+
+TEST(Lint, OptionsDisableIndividualRules) {
+  FixtureTree tree("options");
+  tree.add("sim/engine.cpp", "#include \"src/cli/cli.hpp\"\n");
+  Options options;
+  options.check_layering = false;
+  EXPECT_TRUE(lint_tree(tree.root(), options).empty());
+}
+
+TEST(Lint, DiagnosticRenderingIsStable) {
+  Diagnostic d{"src/sim/engine.cpp", 12, "layering", "nope"};
+  EXPECT_EQ(to_string(d), "src/sim/engine.cpp:12: [layering] nope");
+}
+
+TEST(Lint, ModuleRanksMatchTheArchitecture) {
+  EXPECT_EQ(module_rank("util"), 0);
+  EXPECT_LT(module_rank("util"), module_rank("sim"));
+  EXPECT_LT(module_rank("sim"), module_rank("fs"));
+  EXPECT_LT(module_rank("fs"), module_rank("iostack"));
+  EXPECT_LT(module_rank("iostack"), module_rank("generators"));
+  EXPECT_EQ(module_rank("extract"), module_rank("persist"));
+  EXPECT_LT(module_rank("persist"), module_rank("analysis"));
+  EXPECT_LT(module_rank("analysis"), module_rank("usage"));
+  EXPECT_LT(module_rank("usage"), module_rank("cycle"));
+  EXPECT_LT(module_rank("cycle"), module_rank("cli"));
+  EXPECT_EQ(module_rank("no_such_module"), -1);
+}
+
+TEST(Lint, TheRepoItselfIsClean) {
+  // Mirrors the standalone `iokc_lint.repo` ctest: the shipped source tree
+  // must satisfy its own lint rules.
+  const fs::path src = fs::path(IOKC_REPO_ROOT) / "src";
+  const fs::path tools = fs::path(IOKC_REPO_ROOT) / "tools";
+  for (const fs::path& root : {src, tools}) {
+    for (const Diagnostic& d : lint_tree(root.string())) {
+      ADD_FAILURE() << to_string(d);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iokc::lint

@@ -1,0 +1,53 @@
+// Exercises the enabled side of the IOKC_ASSERT/IOKC_CHECK macros. This TU
+// forces checks on regardless of build type; test_check_release.cpp compiles
+// the same scenarios with IOKC_DISABLE_CHECKS to prove the macros vanish.
+#undef IOKC_DISABLE_CHECKS
+#ifndef IOKC_FORCE_CHECKS
+#define IOKC_FORCE_CHECKS
+#endif
+#include "src/util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iokc::util {
+namespace {
+
+static_assert(IOKC_CHECKS_ENABLED == 1,
+              "IOKC_FORCE_CHECKS must win over NDEBUG");
+
+TEST(Check, PassingConditionsAreSilent) {
+  int evaluations = 0;
+  IOKC_ASSERT([&] {
+    ++evaluations;
+    return true;
+  }());
+  IOKC_CHECK([&] {
+    ++evaluations;
+    return true;
+  }(), "should not fire");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Check, CheckThrowsCheckErrorWithLocation) {
+  try {
+    IOKC_CHECK(1 == 2, "math is broken");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("check failed"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckErrorIsPartOfTheIokcHierarchy) {
+  EXPECT_THROW(IOKC_CHECK(false, "catchable as iokc::Error"), iokc::Error);
+}
+
+TEST(CheckDeathTest, AssertAbortsWithExpressionText) {
+  EXPECT_DEATH(IOKC_ASSERT(2 + 2 == 5), "assertion failed: 2 \\+ 2 == 5");
+}
+
+}  // namespace
+}  // namespace iokc::util

@@ -1,0 +1,38 @@
+// Exercises the disabled side of the invariant macros: with
+// IOKC_DISABLE_CHECKS the macros must compile out entirely — operands are
+// parsed but never evaluated, so failing conditions neither throw nor abort.
+#undef IOKC_FORCE_CHECKS
+#ifndef IOKC_DISABLE_CHECKS
+#define IOKC_DISABLE_CHECKS
+#endif
+#include "src/util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iokc::util {
+namespace {
+
+static_assert(IOKC_CHECKS_ENABLED == 0,
+              "IOKC_DISABLE_CHECKS must force the macros off");
+
+TEST(CheckDisabled, FailingConditionsAreNoOps) {
+  EXPECT_NO_THROW(IOKC_CHECK(false, "must not fire in release"));
+  IOKC_ASSERT(false);  // would abort if the macro were live
+  SUCCEED();
+}
+
+TEST(CheckDisabled, OperandsAreNotEvaluated) {
+  int evaluations = 0;
+  IOKC_ASSERT([&] {
+    ++evaluations;
+    return false;
+  }());
+  IOKC_CHECK([&] {
+    ++evaluations;
+    return false;
+  }(), "unevaluated");
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace iokc::util

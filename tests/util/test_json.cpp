@@ -87,6 +87,27 @@ TEST(Json, RejectsMalformed) {
   EXPECT_THROW(parse_json("{'single': 1}"), ParseError);
 }
 
+TEST(Json, RejectsNonFiniteNumbers) {
+  // The JSON grammar has no inf/nan: overflowing literals must be rejected
+  // rather than silently becoming values dump() cannot round-trip.
+  EXPECT_THROW(parse_json("1e999"), ParseError);
+  EXPECT_THROW(parse_json("[-1e999]"), ParseError);
+  EXPECT_THROW(parse_json("{\"bw\": 1e400}"), ParseError);
+  EXPECT_THROW(parse_json("Infinity"), ParseError);
+  EXPECT_THROW(parse_json("NaN"), ParseError);
+  // Underflow to zero/denormal stays finite and parses.
+  EXPECT_DOUBLE_EQ(parse_json("1e-999").as_double(), 0.0);
+}
+
+TEST(Json, OverflowErrorsCarryPosition) {
+  try {
+    parse_json("{\"a\": 1e999}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("offset"), std::string::npos);
+  }
+}
+
 TEST(Json, TypeMismatchesThrow) {
   const JsonValue v = parse_json("[1]");
   EXPECT_THROW(v.as_object(), ParseError);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/util/error.hpp"
 
 namespace iokc::util {
@@ -64,6 +66,17 @@ TEST(Strings, ParseF64) {
   EXPECT_THROW(parse_f64("abc"), ParseError);
   EXPECT_THROW(parse_f64("1.5x"), ParseError);
   EXPECT_THROW(parse_f64(""), ParseError);
+}
+
+TEST(Strings, ParseF64RejectsOverflow) {
+  EXPECT_THROW(parse_f64("1e999"), ParseError);
+  EXPECT_THROW(parse_f64("-1e999"), ParseError);
+  // Gradual underflow stays finite and is accepted.
+  EXPECT_GE(parse_f64("1e-400"), 0.0);
+  // Textual inf/nan remain parseable for benchmark-log tolerance; only
+  // overflow is an error.
+  EXPECT_TRUE(std::isinf(parse_f64("inf")));
+  EXPECT_TRUE(std::isnan(parse_f64("nan")));
 }
 
 TEST(Strings, Padding) {

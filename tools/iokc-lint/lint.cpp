@@ -1,0 +1,452 @@
+#include "tools/iokc-lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace iokc::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layering table. Modules may include themselves and strictly lower ranks.
+// Parallel siblings share a rank, so cross-includes between them (e.g.
+// extract <-> persist) are upward edges and rejected.
+// ---------------------------------------------------------------------------
+
+constexpr std::array<std::pair<std::string_view, int>, 14> kModules = {{
+    {"util", 0},
+    {"sim", 1},
+    {"db", 1},
+    {"jube", 1},
+    {"knowledge", 1},
+    {"fs", 2},
+    {"iostack", 3},
+    {"generators", 4},
+    {"extract", 4},
+    {"persist", 4},
+    {"analysis", 5},
+    {"usage", 6},
+    {"cycle", 7},
+    {"cli", 8},
+}};
+
+// ---------------------------------------------------------------------------
+// Exception ownership. Maps each error type from src/util/error.hpp to the
+// modules allowed to throw it. ConfigError is cross-cutting (any module
+// validates caller configuration) and therefore absent from the table.
+// ---------------------------------------------------------------------------
+
+struct ErrorOwners {
+  std::string_view error;
+  std::vector<std::string_view> owners;
+};
+
+const std::vector<ErrorOwners>& exception_owners() {
+  static const std::vector<ErrorOwners> kOwners = {
+      // Malformed input text: the parsing layers.
+      {"ParseError",
+       {"util", "db", "fs", "iostack", "generators", "jube", "knowledge",
+        "extract"}},
+      // Database constraint violations: the store and its persistence layer.
+      {"DbError", {"db", "persist"}},
+      // Simulation invariants: the simulated cluster stack.
+      {"SimError", {"sim", "fs", "iostack", "generators"}},
+      // Host filesystem I/O: only layers that touch the real filesystem.
+      // sim/fs/iostack/generators/knowledge/usage are pure in-memory models.
+      {"IoError",
+       {"util", "db", "jube", "extract", "persist", "analysis", "cycle",
+        "cli"}},
+      // CheckError is reserved for the IOKC_CHECK machinery in util.
+      {"CheckError", {"util"}},
+  };
+  return kOwners;
+}
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t line_of_offset(std::string_view text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(offset, text.size())),
+                            '\n'));
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule scanners. All operate on the scrubbed text; `raw` is consulted
+// only where literal contents matter (include paths).
+// ---------------------------------------------------------------------------
+
+void check_layering(const std::string& path, std::string_view raw,
+                    std::string_view scrubbed, const std::string& module,
+                    std::vector<Diagnostic>& out) {
+  const int rank = module_rank(module);
+  if (rank < 0) {
+    return;
+  }
+  std::size_t pos = 0;
+  while ((pos = scrubbed.find("#include", pos)) != std::string_view::npos) {
+    const std::size_t directive = pos;
+    pos += 8;
+    // Read the include path from the raw text: the scrubber blanks string
+    // bodies, and quoted include paths are lexed as string literals.
+    std::size_t open = directive + 8;
+    while (open < raw.size() && (raw[open] == ' ' || raw[open] == '\t')) {
+      ++open;
+    }
+    if (open >= raw.size() || raw[open] != '"') {
+      continue;  // <system> include or malformed; not our concern
+    }
+    const std::size_t close = raw.find('"', open + 1);
+    if (close == std::string_view::npos) {
+      continue;
+    }
+    const std::string_view target = raw.substr(open + 1, close - open - 1);
+    if (target.substr(0, 4) != "src/") {
+      continue;
+    }
+    const std::size_t slash = target.find('/', 4);
+    if (slash == std::string_view::npos) {
+      continue;
+    }
+    const std::string_view included(target.substr(4, slash - 4));
+    if (included == module) {
+      continue;
+    }
+    const int included_rank = module_rank(included);
+    if (included_rank < 0) {
+      out.push_back({path, line_of_offset(scrubbed, directive), "layering",
+                     "include of unknown module '" + std::string(included) +
+                         "' (" + std::string(target) + ")"});
+      continue;
+    }
+    if (included_rank >= rank) {
+      out.push_back(
+          {path, line_of_offset(scrubbed, directive), "layering",
+           "module '" + module + "' (layer " + std::to_string(rank) +
+               ") must not include '" + std::string(included) + "' (layer " +
+               std::to_string(included_rank) + "): " + std::string(target)});
+    }
+  }
+}
+
+void check_pragma_once(const std::string& path, std::string_view scrubbed,
+                       std::vector<Diagnostic>& out) {
+  if (scrubbed.find("#pragma once") == std::string_view::npos) {
+    out.push_back(
+        {path, 1, "pragma-once", "header is missing '#pragma once'"});
+  }
+}
+
+void check_exceptions(const std::string& path, std::string_view scrubbed,
+                      const std::string& module,
+                      std::vector<Diagnostic>& out) {
+  std::size_t pos = 0;
+  while ((pos = scrubbed.find("throw", pos)) != std::string_view::npos) {
+    const std::size_t keyword = pos;
+    pos += 5;
+    if (keyword > 0 && is_identifier_char(scrubbed[keyword - 1])) {
+      continue;  // e.g. "rethrow"
+    }
+    if (pos < scrubbed.size() && is_identifier_char(scrubbed[pos])) {
+      continue;  // e.g. "throwing"
+    }
+    std::size_t cursor = pos;
+    while (cursor < scrubbed.size() &&
+           std::isspace(static_cast<unsigned char>(scrubbed[cursor]))) {
+      ++cursor;
+    }
+    if (cursor >= scrubbed.size() || scrubbed[cursor] == ';') {
+      continue;  // bare rethrow: `throw;`
+    }
+    // Collect the thrown type name: identifiers and `::`.
+    std::size_t name_end = cursor;
+    while (name_end < scrubbed.size() &&
+           (is_identifier_char(scrubbed[name_end]) ||
+            scrubbed[name_end] == ':')) {
+      ++name_end;
+    }
+    std::string name(scrubbed.substr(cursor, name_end - cursor));
+    const std::size_t line = line_of_offset(scrubbed, keyword);
+    if (name.rfind("std::", 0) == 0) {
+      out.push_back({path, line, "exception-ownership",
+                     "raw '" + name +
+                         "' thrown; use the iokc::Error hierarchy from "
+                         "src/util/error.hpp"});
+      continue;
+    }
+    // Normalise `iokc::X` / `::iokc::X` to `X`.
+    for (const std::string_view prefix : {"::iokc::", "iokc::"}) {
+      if (name.rfind(prefix, 0) == 0) {
+        name = name.substr(prefix.size());
+        break;
+      }
+    }
+    if (name == "Error") {
+      out.push_back({path, line, "exception-ownership",
+                     "the root iokc::Error must not be thrown directly; "
+                     "throw a subsystem-specific subclass"});
+      continue;
+    }
+    for (const ErrorOwners& entry : exception_owners()) {
+      if (name != entry.error) {
+        continue;
+      }
+      const bool owned = module.empty() ||
+                         std::find(entry.owners.begin(), entry.owners.end(),
+                                   module) != entry.owners.end();
+      if (!owned) {
+        std::string owners;
+        for (const std::string_view owner : entry.owners) {
+          owners += owners.empty() ? "" : ", ";
+          owners += owner;
+        }
+        out.push_back({path, line, "exception-ownership",
+                       "module '" + module + "' must not throw " + name +
+                           " (owned by: " + owners + ")"});
+      }
+      break;
+    }
+  }
+}
+
+// Format-string argument position for each printf-family function.
+constexpr std::array<std::pair<std::string_view, std::size_t>, 6> kPrintfLike =
+    {{
+        {"printf", 0},
+        {"vprintf", 0},
+        {"fprintf", 1},
+        {"dprintf", 1},
+        {"sprintf", 1},
+        {"snprintf", 2},
+    }};
+
+// Splits the top-level comma-separated argument list starting at the opening
+// parenthesis. Returns the trimmed arguments, or nullopt-ish empty on
+// unbalanced input.
+std::vector<std::string_view> split_call_args(std::string_view scrubbed,
+                                              std::size_t open_paren) {
+  std::vector<std::string_view> args;
+  int depth = 0;
+  std::size_t arg_start = open_paren + 1;
+  for (std::size_t i = open_paren; i < scrubbed.size(); ++i) {
+    const char c = scrubbed[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) {
+        args.push_back(scrubbed.substr(arg_start, i - arg_start));
+        return args;
+      }
+    } else if (c == ',' && depth == 1) {
+      args.push_back(scrubbed.substr(arg_start, i - arg_start));
+      arg_start = i + 1;
+    }
+  }
+  return {};  // unbalanced; give up quietly
+}
+
+std::string_view trim_view(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+void check_format_literals(const std::string& path, std::string_view scrubbed,
+                           std::vector<Diagnostic>& out) {
+  for (const auto& [function, format_index] : kPrintfLike) {
+    std::size_t pos = 0;
+    while ((pos = scrubbed.find(function, pos)) != std::string_view::npos) {
+      const std::size_t name_start = pos;
+      pos += function.size();
+      // Must be a standalone identifier (allow std:: / :: qualification,
+      // which ends in ':' right before the name).
+      if (name_start > 0 && is_identifier_char(scrubbed[name_start - 1])) {
+        continue;
+      }
+      std::size_t cursor = name_start + function.size();
+      while (cursor < scrubbed.size() &&
+             std::isspace(static_cast<unsigned char>(scrubbed[cursor]))) {
+        ++cursor;
+      }
+      if (cursor >= scrubbed.size() || scrubbed[cursor] != '(') {
+        continue;  // declaration, comment mention, function pointer, ...
+      }
+      const std::vector<std::string_view> args =
+          split_call_args(scrubbed, cursor);
+      if (args.size() <= format_index) {
+        continue;  // wrong arity: not the libc function
+      }
+      const std::string_view format = trim_view(args[format_index]);
+      if (format.empty() || format.front() != '"') {
+        out.push_back(
+            {path, line_of_offset(scrubbed, name_start), "format-literal",
+             "format argument of " + std::string(function) +
+                 " must be a string literal, got '" + std::string(format) +
+                 "'"});
+      }
+    }
+  }
+}
+
+bool has_extension(const std::filesystem::path& path,
+                   std::string_view extension) {
+  return path.extension().string() == extension;
+}
+
+}  // namespace
+
+int module_rank(std::string_view module) {
+  for (const auto& [name, rank] : kModules) {
+    if (name == module) {
+      return rank;
+    }
+  }
+  return -1;
+}
+
+std::string scrub_source(std::string_view text) {
+  std::string out(text);
+  std::size_t i = 0;
+  const auto blank = [&out](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < out.size(); ++k) {
+      if (out[k] != '\n') {
+        out[k] = ' ';
+      }
+    }
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      const std::size_t end = text.find('\n', i);
+      const std::size_t stop = end == std::string_view::npos ? text.size() : end;
+      blank(i, stop);
+      i = stop;
+    } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      const std::size_t end = text.find("*/", i + 2);
+      const std::size_t stop =
+          end == std::string_view::npos ? text.size() : end + 2;
+      blank(i, stop);
+      i = stop;
+    } else if (c == 'R' && i + 1 < text.size() && text[i + 1] == '"' &&
+               (i == 0 || !is_identifier_char(text[i - 1]))) {
+      // Raw string literal: R"delim( ... )delim"
+      const std::size_t open = text.find('(', i + 2);
+      if (open == std::string_view::npos) {
+        ++i;
+        continue;
+      }
+      const std::string closer =
+          ")" + std::string(text.substr(i + 2, open - i - 2)) + "\"";
+      const std::size_t end = text.find(closer, open + 1);
+      const std::size_t stop = end == std::string_view::npos
+                                   ? text.size()
+                                   : end + closer.size();
+      // Keep the opening R" and the final " so the scrubbed text still reads
+      // as a string literal for the format-literal rule.
+      blank(i + 2, stop - 1);
+      i = stop;
+    } else if (c == '\'' && i > 0 && is_identifier_char(text[i - 1])) {
+      ++i;  // digit separator (500'000) or suffix position, not a char literal
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < text.size() && text[j] != quote) {
+        j += text[j] == '\\' ? 2u : 1u;
+      }
+      const std::size_t stop = std::min(j + 1, text.size());
+      blank(i + 1, stop > i + 1 ? stop - 1 : i + 1);
+      i = stop;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string to_string(const Diagnostic& diagnostic) {
+  return diagnostic.file + ":" + std::to_string(diagnostic.line) + ": [" +
+         diagnostic.rule + "] " + diagnostic.message;
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  std::string_view text,
+                                  const std::string& module,
+                                  const Options& options) {
+  std::vector<Diagnostic> out;
+  const std::string scrubbed = scrub_source(text);
+  if (options.check_layering) {
+    check_layering(path, text, scrubbed, module, out);
+  }
+  if (options.check_pragma_once &&
+      has_extension(std::filesystem::path(path), ".hpp")) {
+    check_pragma_once(path, scrubbed, out);
+  }
+  if (options.check_exceptions) {
+    check_exceptions(path, scrubbed, module, out);
+  }
+  if (options.check_format_literals) {
+    check_format_literals(path, scrubbed, out);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> lint_tree(const std::string& root,
+                                  const Options& options) {
+  namespace fs = std::filesystem;
+  std::vector<Diagnostic> out;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) {
+      break;
+    }
+    if (it->is_regular_file() && (has_extension(it->path(), ".hpp") ||
+                                  has_extension(it->path(), ".cpp"))) {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    const fs::path relative = fs::relative(file, root, ec);
+    std::string module;
+    if (!ec && relative.begin() != relative.end()) {
+      const std::string first = relative.begin()->string();
+      if (module_rank(first) >= 0) {
+        module = first;
+      }
+    }
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      out.push_back({file.string(), 0, "io", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    std::vector<Diagnostic> diagnostics =
+        lint_file(file.string(), text, module, options);
+    out.insert(out.end(), std::make_move_iterator(diagnostics.begin()),
+               std::make_move_iterator(diagnostics.end()));
+  }
+  return out;
+}
+
+}  // namespace iokc::lint

@@ -1,0 +1,70 @@
+// iokc-lint: repo-specific static checks that no generic tool knows about.
+//
+// Four rules, each reported as `file:line: [rule] message`:
+//
+//   layering             A module may only include modules from strictly
+//                        lower layers (see kModules in lint.cpp):
+//                          util
+//                          < sim/db/jube/knowledge < fs < iostack
+//                          < generators/extract/persist
+//                          < analysis < usage < cycle < cli
+//   pragma-once          Every .hpp must contain `#pragma once`.
+//   exception-ownership  Exception subclasses from src/util/error.hpp may
+//                        only be thrown by their owning subsystems; the root
+//                        iokc::Error and raw std:: exceptions may not be
+//                        thrown at all.
+//   format-literal       The format argument of printf-family calls must be
+//                        a string literal.
+//
+// The checks operate on a "scrubbed" copy of each source file (comments and
+// string-literal bodies blanked, offsets preserved) so commented-out code and
+// string contents cannot trigger false positives.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iokc::lint {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Renders a diagnostic as `file:line: [rule] message`.
+std::string to_string(const Diagnostic& diagnostic);
+
+struct Options {
+  bool check_layering = true;
+  bool check_pragma_once = true;
+  bool check_exceptions = true;
+  bool check_format_literals = true;
+};
+
+/// Layer rank of a module directory under src/ (0 = lowest). Returns -1 for
+/// unknown modules, which are exempt from the layering rule.
+int module_rank(std::string_view module);
+
+/// Blanks comments and string/char-literal bodies (quotes retained) while
+/// preserving every byte offset and newline, so diagnostics computed on the
+/// scrubbed text map 1:1 onto the original file.
+std::string scrub_source(std::string_view text);
+
+/// Lints one in-memory file. `module` is the layering module the file belongs
+/// to ("" when unknown; layering is then skipped for this file).
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  std::string_view text,
+                                  const std::string& module,
+                                  const Options& options = {});
+
+/// Walks `root` recursively and lints every .hpp/.cpp file. The first
+/// directory component below `root` names the file's module when it matches
+/// a known module.
+std::vector<Diagnostic> lint_tree(const std::string& root,
+                                  const Options& options = {});
+
+}  // namespace iokc::lint

@@ -1,0 +1,65 @@
+// iokc-lint CLI. Usage:
+//
+//   iokc-lint [--no-layering] [--no-pragma-once] [--no-exceptions]
+//             [--no-format-literals] <dir> [<dir>...]
+//
+// Lints every .hpp/.cpp under each directory and prints one diagnostic per
+// line as `file:line: [rule] message`. Exits 0 when clean, 1 when any
+// diagnostic fired, 2 on usage errors.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/iokc-lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  iokc::lint::Options options;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-layering") {
+      options.check_layering = false;
+    } else if (arg == "--no-pragma-once") {
+      options.check_pragma_once = false;
+    } else if (arg == "--no-exceptions") {
+      options.check_exceptions = false;
+    } else if (arg == "--no-format-literals") {
+      options.check_format_literals = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: iokc-lint [--no-layering] [--no-pragma-once] "
+          "[--no-exceptions] [--no-format-literals] <dir> [<dir>...]\n");
+      return 0;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "iokc-lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "iokc-lint: no directories given (try --help)\n");
+    return 2;
+  }
+  for (const std::string& root : roots) {
+    if (!std::filesystem::is_directory(root)) {
+      std::fprintf(stderr, "iokc-lint: not a directory: '%s'\n", root.c_str());
+      return 2;
+    }
+  }
+
+  std::size_t total = 0;
+  for (const std::string& root : roots) {
+    for (const iokc::lint::Diagnostic& diagnostic :
+         iokc::lint::lint_tree(root, options)) {
+      std::printf("%s\n", iokc::lint::to_string(diagnostic).c_str());
+      ++total;
+    }
+  }
+  if (total != 0) {
+    std::fprintf(stderr, "iokc-lint: %zu diagnostic(s)\n", total);
+    return 1;
+  }
+  return 0;
+}
