@@ -5,8 +5,14 @@
 // are produced by real JUBE sweeps through the whole cycle (generate ->
 // extract -> persist), then read back from the knowledge database, so the
 // bench doubles as an end-to-end pipeline exercise.
+//
+// With `--jobs N` (N > 1) every sweep runs twice — serially and on N worker
+// threads — and the two reports are byte-compared: parallel execution must
+// not change a single table cell. The bench exits nonzero on any difference
+// and reports the wall-clock speedup.
 #include <cstdio>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -14,20 +20,24 @@
 #include "src/cycle/cycle.hpp"
 #include "src/fs/stripe.hpp"
 #include "src/usage/config_generator.hpp"
+#include "src/util/error.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
 
 namespace {
 
-/// Runs a one-parameter JUBE sweep and prints mean write/read bandwidth per
+/// Runs a one-parameter JUBE sweep and renders mean write/read bandwidth per
 /// value, pulled back out of the repository.
-void run_sweep(const std::string& title, const std::string& base_command,
-               const std::string& option, const std::string& parameter,
-               const std::vector<std::string>& values,
-               iokc::cycle::SimEnvironment& env) {
+std::string run_sweep(const std::string& title,
+                      const std::string& base_command,
+                      const std::string& option, const std::string& parameter,
+                      const std::vector<std::string>& values,
+                      iokc::cycle::SimEnvironment& env,
+                      const std::string& workspace, int jobs) {
   iokc::cycle::KnowledgeCycle cycle(
-      env, "bench_artifacts/ablation_workspace/" + parameter,
+      env, workspace + "/" + parameter,
       iokc::persist::RepoTarget::parse("mem:"));
+  cycle.set_parallelism(jobs);
   const iokc::jube::JubeBenchmarkConfig config =
       iokc::usage::generate_jube_config(
           parameter + "-sweep", base_command,
@@ -51,46 +61,48 @@ void run_sweep(const std::string& title, const std::string& base_command,
                    iokc::util::format_double(
                        read != nullptr ? read->mean_bw_mib : 0.0, 1)});
   }
-  std::printf("--- %s ---\n%s\n", title.c_str(), table.render().c_str());
+  return "--- " + title + " ---\n" + table.render() + "\n";
 }
 
-}  // namespace
-
-int main() {
+/// Every section of the report, produced end-to-end with `jobs` worker
+/// threads. Identical output for any job count is the whole point.
+std::string run_report(const std::string& workspace, int jobs) {
   // Fresh workspace: stale outputs from earlier invocations must not be
   // re-extracted.
-  std::filesystem::remove_all("bench_artifacts/ablation_workspace");
-  std::printf("=== Ablations: Fig. 3 I/O performance impact factors ===\n\n");
+  std::filesystem::remove_all(workspace);
+  std::string report;
 
   {
     iokc::cycle::SimEnvironment env;
-    run_sweep("transfer size (POSIX, file-per-process, 40 tasks)",
-              "ior -a posix -b 4m -t 2m -s 8 -F -C -i 1 -N 40 -o /scratch/ts",
-              "-t", "transfer", {"64k", "256k", "1m", "2m", "4m"}, env);
+    report += run_sweep(
+        "transfer size (POSIX, file-per-process, 40 tasks)",
+        "ior -a posix -b 4m -t 2m -s 8 -F -C -i 1 -N 40 -o /scratch/ts",
+        "-t", "transfer", {"64k", "256k", "1m", "2m", "4m"}, env, workspace,
+        jobs);
   }
   {
     // Small transfers expose the per-call software cost of each layer.
     iokc::cycle::SimEnvironment env;
-    run_sweep("I/O interface (64k transfers, file-per-process)",
-              "ior -a posix -b 4m -t 64k -s 4 -F -C -i 1 -N 40 -o "
-              "/scratch/api",
-              "-a", "api", {"POSIX", "MPIIO", "HDF5"}, env);
+    report += run_sweep(
+        "I/O interface (64k transfers, file-per-process)",
+        "ior -a posix -b 4m -t 64k -s 4 -F -C -i 1 -N 40 -o /scratch/api",
+        "-a", "api", {"POSIX", "MPIIO", "HDF5"}, env, workspace, jobs);
   }
   {
     // Starting at two nodes: below that, IOR's -C cannot shift ranks off
     // the writing node and re-reads are (faithfully) served by the page
     // cache — a caveat of the real benchmark too.
     iokc::cycle::SimEnvironment env;
-    run_sweep("task scaling (POSIX, file-per-process)",
-              "ior -a posix -b 4m -t 2m -s 8 -F -C -i 1 -N 40 -o /scratch/n",
-              "-N", "tasks", {"40", "80", "160", "320"}, env);
+    report += run_sweep(
+        "task scaling (POSIX, file-per-process)",
+        "ior -a posix -b 4m -t 2m -s 8 -F -C -i 1 -N 40 -o /scratch/n",
+        "-N", "tasks", {"40", "80", "160", "320"}, env, workspace, jobs);
   }
 
   // File layout: shared vs file-per-process vs collective (small strided
   // records — where two-phase I/O pays off).
   {
-    std::printf("--- file layout (MPIIO, 47008-byte records, 40 tasks) "
-                "---\n");
+    report += "--- file layout (MPIIO, 47008-byte records, 40 tasks) ---\n";
     iokc::util::TextTable table;
     table.set_header({"layout", "write MiB/s", "read MiB/s"});
     table.set_alignment({iokc::util::Align::kLeft, iokc::util::Align::kRight,
@@ -108,9 +120,9 @@ int main() {
     for (const auto& [label, command] : layouts) {
       iokc::cycle::SimEnvironment env;
       iokc::cycle::KnowledgeCycle cycle(
-          env, std::string("bench_artifacts/ablation_workspace/layout_") +
-                   label[0] + label[7],
+          env, workspace + "/layout_" + label[0] + label[7],
           iokc::persist::RepoTarget::parse("mem:"));
+      cycle.set_parallelism(jobs);
       cycle.generate_command("layout", command);
       cycle.extract_and_persist();
       const iokc::knowledge::Knowledge k = cycle.repository().load_knowledge(
@@ -121,7 +133,7 @@ int main() {
            iokc::util::format_double(k.find_summary("read")->mean_bw_mib,
                                      1)});
     }
-    std::printf("%s\n", table.render().c_str());
+    report += table.render() + "\n";
   }
 
   // Aggregator count (MPI-IO hint cb_nodes): the SCTuner-style tunable of
@@ -132,21 +144,22 @@ int main() {
     config.cluster.node.nic_bytes_per_sec = 1.2e9;  // 10GbE
     config.pfs.default_stripe.num_targets = 12;     // back-end outruns a NIC
     iokc::cycle::SimEnvironment env(config);
-    run_sweep("aggregators (collective MPIIO on a 10GbE cluster, 40 tasks)",
-              "ior -a mpiio -c -b 1m -t 1m -s 8 -C -w -i 1 -N 40 "
-              "-O romio_cb_write=enable -o /scratch/agg",
-              "-O", "hints",
-              {"romio_cb_write=enable;cb_nodes=1;cb_buffer_size=16777216",
-               "romio_cb_write=enable;cb_nodes=2;cb_buffer_size=16777216",
-               "romio_cb_write=enable;cb_nodes=0;cb_buffer_size=16777216"},
-              env);
+    report += run_sweep(
+        "aggregators (collective MPIIO on a 10GbE cluster, 40 tasks)",
+        "ior -a mpiio -c -b 1m -t 1m -s 8 -C -w -i 1 -N 40 "
+        "-O romio_cb_write=enable -o /scratch/agg",
+        "-O", "hints",
+        {"romio_cb_write=enable;cb_nodes=1;cb_buffer_size=16777216",
+         "romio_cb_write=enable;cb_nodes=2;cb_buffer_size=16777216",
+         "romio_cb_write=enable;cb_nodes=0;cb_buffer_size=16777216"},
+        env, workspace, jobs);
   }
 
   // Stripe width: not an IOR option but a file-system setting, so this sweep
   // reconfigures the default stripe between cycles.
   {
-    std::printf("--- stripe width (PFS default stripe, 2m transfers, 40 "
-                "tasks, shared file) ---\n");
+    report += "--- stripe width (PFS default stripe, 2m transfers, 40 "
+              "tasks, shared file) ---\n";
     iokc::util::TextTable table;
     table.set_header({"stripe targets", "write MiB/s", "read MiB/s"});
     table.set_alignment({iokc::util::Align::kRight, iokc::util::Align::kRight,
@@ -156,9 +169,9 @@ int main() {
       config.pfs.default_stripe.num_targets = width;
       iokc::cycle::SimEnvironment env(config);
       iokc::cycle::KnowledgeCycle cycle(
-          env,
-          "bench_artifacts/ablation_workspace/stripe" + std::to_string(width),
+          env, workspace + "/stripe" + std::to_string(width),
           iokc::persist::RepoTarget::parse("mem:"));
+      cycle.set_parallelism(jobs);
       cycle.generate_command(
           "stripe", "ior -a mpiio -b 4m -t 2m -s 8 -C -i 1 -N 40 -o "
                     "/scratch/st");
@@ -171,13 +184,66 @@ int main() {
            iokc::util::format_double(k.find_summary("read")->mean_bw_mib,
                                      1)});
     }
-    std::printf("%s\n", table.render().c_str());
+    report += table.render() + "\n";
+  }
+  return report;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      try {
+        jobs = static_cast<int>(iokc::util::parse_i64(argv[++i]));
+      } catch (const iokc::ParseError&) {
+        jobs = -1;
+      }
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs needs a value >= 1\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs <n>]\n", argv[0]);
+      return 2;
+    }
   }
 
+  std::printf("=== Ablations: Fig. 3 I/O performance impact factors ===\n\n");
+
+  const auto serial_start = std::chrono::steady_clock::now();
+  const std::string serial =
+      run_report("bench_artifacts/ablation_workspace/serial", 1);
+  const double serial_sec = seconds_since(serial_start);
+  std::printf("%s", serial.c_str());
   std::printf("expected shapes: bandwidth rises with transfer size and "
               "stripe width until the\nback-end saturates; POSIX <= MPIIO "
               "overhead < HDF5 overhead; collective buffering\nwins on tiny "
               "shared-file records; task scaling saturates at the storage "
               "limit.\n");
+
+  if (jobs > 1) {
+    const auto parallel_start = std::chrono::steady_clock::now();
+    const std::string parallel =
+        run_report("bench_artifacts/ablation_workspace/parallel", jobs);
+    const double parallel_sec = seconds_since(parallel_start);
+    std::printf("\n=== parallel check (--jobs %d) ===\n", jobs);
+    if (parallel != serial) {
+      std::printf("FAIL: parallel report differs from serial report\n");
+      return 1;
+    }
+    std::printf("reports byte-identical: yes\n");
+    std::printf("serial %.3fs, parallel %.3fs, speedup %.2fx\n", serial_sec,
+                parallel_sec,
+                parallel_sec > 0.0 ? serial_sec / parallel_sec : 0.0);
+  }
   return 0;
 }

@@ -4,11 +4,14 @@
 // own machinery, independent of any paper figure.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/analysis/stats.hpp"
+#include "src/cycle/cycle.hpp"
 #include "src/db/database.hpp"
 #include "src/extract/parsers.hpp"
 #include "src/fs/pfs.hpp"
@@ -17,6 +20,7 @@
 #include "src/sim/cluster.hpp"
 #include "src/util/json.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace {
 
@@ -153,6 +157,57 @@ void BM_JsonRoundTrip(benchmark::State& state) {
                           static_cast<std::int64_t>(doc.size()));
 }
 BENCHMARK(BM_JsonRoundTrip);
+
+void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
+  // Scheduling overhead of the work-stealing pool for tiny tasks: an upper
+  // bound on what the pool costs per work package (real packages are whole
+  // benchmark runs, orders of magnitude larger).
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    iokc::util::ThreadPool pool(threads);
+    std::atomic<std::uint64_t> sum{0};
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+      pool.submit([&sum, i] { sum += i; });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(1)->Arg(4);
+
+void BM_ParallelSweepCycle(benchmark::State& state) {
+  // The whole pipeline — generate 6 work packages, extract, persist — run
+  // through the cycle facade in isolated mode. Arg is the worker-thread
+  // count: compare Arg(1) vs Arg(hardware) for the end-to-end speedup.
+  const int jobs = static_cast<int>(state.range(0));
+  const std::filesystem::path workspace =
+      std::filesystem::temp_directory_path() /
+      ("iokc_micro_sweep_" + std::to_string(jobs));
+  iokc::jube::JubeBenchmarkConfig config;
+  config.name = "micro";
+  config.space.add_csv("transfer", "256k,512k,1m");
+  config.space.add_csv("tasks", "4,8");
+  config.steps.push_back(iokc::jube::JubeStep{
+      "run", "ior -a posix -b 1m -t $transfer -s 2 -F -w -i 1 -N $tasks "
+             "-o /scratch/m_$transfer"});
+  for (auto _ : state) {
+    std::filesystem::remove_all(workspace);
+    iokc::cycle::SimEnvironment env;
+    iokc::cycle::KnowledgeCycle cycle(
+        env, workspace, iokc::persist::RepoTarget::parse("mem:"));
+    cycle.set_parallelism(jobs);
+    cycle.generate(config);
+    benchmark::DoNotOptimize(cycle.extract_and_persist().total());
+  }
+  std::filesystem::remove_all(workspace);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 6);
+}
+BENCHMARK(BM_ParallelSweepCycle)
+    ->Arg(1)
+    ->Arg(static_cast<int>(iokc::util::ThreadPool::hardware_threads()))
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BoxplotStats(benchmark::State& state) {
   iokc::util::Rng rng(9);

@@ -21,6 +21,10 @@ struct GlobalOptions {
   std::string db = "mem:";
   std::string workspace = "iokc_workspace";
   std::uint64_t seed = 0x10C5EED;
+  /// -1 = flag absent: legacy serial shared-environment execution. >= 0
+  /// switches the cycle to isolated per-work-package environments on that
+  /// many threads (0 = hardware concurrency).
+  int jobs = -1;
 };
 
 /// A CLI invocation's bundle: environment + cycle, built lazily because
@@ -29,7 +33,11 @@ struct Session {
   explicit Session(const GlobalOptions& options)
       : env(make_env_config(options)),
         cycle(env, options.workspace,
-              persist::RepoTarget::parse(options.db)) {}
+              persist::RepoTarget::parse(options.db)) {
+    if (options.jobs >= 0) {
+      cycle.set_parallelism(options.jobs);
+    }
+  }
 
   static cycle::SimEnvironmentConfig make_env_config(
       const GlobalOptions& options) {
@@ -103,20 +111,17 @@ int cmd_sweep(Session& session, const std::string& config_path,
   return 0;
 }
 
-int cmd_extract(Session& session, const std::string& path, std::ostream& out) {
+int cmd_extract(Session& session, const std::string& path, int jobs,
+                std::ostream& out) {
   extract::KnowledgeExtractor extractor;
   extract::ExtractionResult result;
   if (std::filesystem::is_directory(path)) {
-    result = extractor.extract_workspace(path);
+    result = extractor.extract_workspace(path, jobs);
   } else {
     result = extractor.extract_file(path);
   }
-  for (const knowledge::Knowledge& k : result.knowledge) {
-    session.cycle.repository().store(k);
-  }
-  for (const knowledge::Io500Knowledge& k : result.io500) {
-    session.cycle.repository().store(k);
-  }
+  session.cycle.repository().store_batch(result.knowledge);
+  session.cycle.repository().store_batch(result.io500);
   out << "extracted " << result.total() << " knowledge object(s), skipped "
       << result.skipped.size() << " unrecognized source(s)\n";
   session.cycle.save();
@@ -192,7 +197,8 @@ int cmd_predict(Session& session, const std::vector<std::string>& args,
 
 std::string usage_text() {
   return
-      "usage: iokc [--db <url>] [--workspace <dir>] [--seed <n>] <command>\n"
+      "usage: iokc [--db <url>] [--workspace <dir>] [--seed <n>] "
+      "[--jobs <n>] <command>\n"
       "\n"
       "commands:\n"
       "  run <benchmark command...>    run + extract + persist + view\n"
@@ -211,7 +217,11 @@ std::string usage_text() {
       "  predict <ior command...>      bandwidth prediction\n"
       "  help                          this text\n"
       "\n"
-      "database urls: mem: | file:<path> | <path> | remote://<share>/<db>\n";
+      "database urls: mem: | file:<path> | <path> | remote://<share>/<db>\n"
+      "\n"
+      "--jobs <n> runs sweep work packages on <n> threads (0 = all hardware\n"
+      "threads), each in an isolated environment seeded from the scenario\n"
+      "seed and the work-package id; results are identical for any <n>.\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -235,6 +245,12 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       } else if (flag == "--seed") {
         options.seed = static_cast<std::uint64_t>(
             util::parse_i64(need_value()));
+      } else if (flag == "--jobs") {
+        const std::int64_t jobs = util::parse_i64(need_value());
+        if (jobs < 0) {
+          throw ConfigError("--jobs needs a value >= 0");
+        }
+        options.jobs = static_cast<int>(jobs);
       } else {
         throw ConfigError("unknown flag " + flag);
       }
@@ -260,7 +276,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return cmd_sweep(session, need_arg("config path"), out);
     }
     if (command == "extract") {
-      return cmd_extract(session, need_arg("path"), out);
+      return cmd_extract(session, need_arg("path"),
+                         options.jobs < 0 ? 1 : options.jobs, out);
     }
     if (command == "list") {
       return cmd_list(session, out);

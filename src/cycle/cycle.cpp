@@ -1,6 +1,10 @@
 #include "src/cycle/cycle.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "src/util/error.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace iokc::cycle {
 
@@ -10,13 +14,31 @@ KnowledgeCycle::KnowledgeCycle(SimEnvironment& env,
                                ExecutorOptions executor_options)
     : env_(env),
       workspace_(std::move(workspace)),
+      executor_options_(executor_options),
       runner_(workspace_, make_executor_registry(env, executor_options)),
       repository_(target),
       explorer_(repository_) {}
 
+void KnowledgeCycle::set_parallelism(int jobs) {
+  if (jobs < 0) {
+    throw ConfigError("parallelism must be >= 0");
+  }
+  jobs_ = jobs == 0
+              ? static_cast<int>(util::ThreadPool::hardware_threads())
+              : jobs;
+}
+
 jube::JubeRunResult KnowledgeCycle::generate(
     const jube::JubeBenchmarkConfig& config) {
-  return runner_.run(config);
+  if (jobs_ == 0) {
+    return runner_.run(config);
+  }
+  jube::JubeRunner isolated_runner(
+      workspace_,
+      make_isolated_registry_factory(env_.config(), executor_options_));
+  jube::RunOptions options;
+  options.jobs = jobs_;
+  return isolated_runner.run(config, options);
 }
 
 jube::JubeRunResult KnowledgeCycle::generate_command(
@@ -30,7 +52,7 @@ jube::JubeRunResult KnowledgeCycle::generate_command(
 
 extract::ExtractionResult KnowledgeCycle::extract_and_persist() {
   extract::KnowledgeExtractor extractor;
-  extract::ExtractionResult result;
+  std::vector<std::filesystem::path> fresh;
   for (const std::filesystem::path& output :
        jube::JubeRunner::discover_outputs(workspace_)) {
     if (std::find(extracted_outputs_.begin(), extracted_outputs_.end(),
@@ -38,17 +60,33 @@ extract::ExtractionResult KnowledgeCycle::extract_and_persist() {
       continue;
     }
     extracted_outputs_.push_back(output);
-    result.merge(extractor.extract_file(output));
-    const std::filesystem::path darshan = output.parent_path() / "darshan.log";
-    if (std::filesystem::exists(darshan)) {
-      result.merge(extractor.extract_file(darshan));
-    }
+    fresh.push_back(output);
   }
-  for (const knowledge::Knowledge& k : result.knowledge) {
-    knowledge_ids_.push_back(repository_.store(k));
+
+  // Extract in parallel, merge in work-package order (discover_outputs is
+  // sorted), then commit the batch through the repository's single writer —
+  // ids come out in the same order a serial pass would assign them.
+  std::vector<extract::ExtractionResult> extracted(fresh.size());
+  util::parallel_for(
+      fresh.size(), static_cast<std::size_t>(std::max(jobs_, 1)),
+      [&](std::size_t i) {
+        extracted[i] = extractor.extract_file(fresh[i]);
+        const std::filesystem::path darshan =
+            fresh[i].parent_path() / "darshan.log";
+        if (std::filesystem::exists(darshan)) {
+          extracted[i].merge(extractor.extract_file(darshan));
+        }
+      });
+  extract::ExtractionResult result;
+  for (extract::ExtractionResult& part : extracted) {
+    result.merge(std::move(part));
   }
-  for (const knowledge::Io500Knowledge& k : result.io500) {
-    io500_ids_.push_back(repository_.store(k));
+
+  for (const std::int64_t id : repository_.store_batch(result.knowledge)) {
+    knowledge_ids_.push_back(id);
+  }
+  for (const std::int64_t id : repository_.store_batch(result.io500)) {
+    io500_ids_.push_back(id);
   }
   return result;
 }

@@ -31,6 +31,21 @@ class KnowledgeCycle {
                  const persist::RepoTarget& target,
                  ExecutorOptions executor_options = {});
 
+  // -- Parallelism ----------------------------------------------------------
+
+  /// Switches sweep execution to isolated mode on `jobs` worker threads
+  /// (0 = one per hardware thread). In isolated mode every work package runs
+  /// against its own SimEnvironment seeded splitmix64(env seed, wp_id), so a
+  /// sweep's workspace tree and repository contents are bit-identical for
+  /// any job count — including jobs = 1, the serial baseline. The default
+  /// (never calling this) is the legacy mode: all packages share the
+  /// borrowed environment and run serially, which scenarios that mutate the
+  /// environment (interference windows, node health) rely on.
+  void set_parallelism(int jobs);
+
+  /// Resolved worker-thread count; 0 while in legacy shared-environment mode.
+  int parallelism() const { return jobs_; }
+
   // -- Phase 1: generation ------------------------------------------------
 
   /// Runs a JUBE benchmark configuration in the workspace.
@@ -71,6 +86,8 @@ class KnowledgeCycle {
  private:
   SimEnvironment& env_;
   std::filesystem::path workspace_;
+  ExecutorOptions executor_options_;
+  int jobs_ = 0;  // 0 = legacy serial shared-environment mode
   jube::JubeRunner runner_;
   persist::KnowledgeRepository repository_;
   analysis::KnowledgeExplorer explorer_;

@@ -2,12 +2,15 @@
 
 #include <cstdio>
 
+#include <memory>
+
 #include "src/generators/darshan.hpp"
 #include "src/generators/haccio.hpp"
 #include "src/generators/io500.hpp"
 #include "src/generators/ior.hpp"
 #include "src/generators/mdtest.hpp"
 #include "src/util/error.hpp"
+#include "src/util/rng.hpp"
 
 namespace iokc::cycle {
 
@@ -168,6 +171,33 @@ jube::ExecutorRegistry make_executor_registry(SimEnvironment& env,
     return run_haccio_command(env, cmd, options);
   });
   return registry;
+}
+
+jube::RegistryFactory make_isolated_registry_factory(SimEnvironmentConfig base,
+                                                     ExecutorOptions options) {
+  return [base, options](int wp_id) {
+    SimEnvironmentConfig config = base;
+    config.seed =
+        util::splitmix64(base.seed, static_cast<std::uint64_t>(wp_id));
+    auto env = std::make_shared<SimEnvironment>(config);
+    jube::ExecutorRegistry registry;
+    registry.register_executor("ior", [env, options](const std::string& cmd) {
+      return run_ior_command(*env, cmd, options);
+    });
+    registry.register_executor("mdtest",
+                               [env, options](const std::string& cmd) {
+                                 return run_mdtest_command(*env, cmd, options);
+                               });
+    registry.register_executor("io500",
+                               [env, options](const std::string& cmd) {
+                                 return run_io500_command(*env, cmd, options);
+                               });
+    registry.register_executor("hacc_io",
+                               [env, options](const std::string& cmd) {
+                                 return run_haccio_command(*env, cmd, options);
+                               });
+    return registry;
+  };
 }
 
 }  // namespace iokc::cycle

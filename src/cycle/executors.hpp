@@ -44,4 +44,15 @@ jube::ExecutionOutput run_haccio_command(SimEnvironment& env,
 jube::ExecutorRegistry make_executor_registry(SimEnvironment& env,
                                               ExecutorOptions options = {});
 
+/// Registry factory for parallel sweeps: work package `wp_id` gets its own
+/// SimEnvironment built from `base` with seed splitmix64(base.seed, wp_id),
+/// owned by the returned executors. Packages therefore draw from independent
+/// deterministic random streams and the sweep's results depend only on
+/// (base, wp_id) — bit-identical for any job count. Environment state
+/// mutated after construction (interference windows, node health) is not
+/// part of the config and does not carry over; scenarios that need it run in
+/// the shared-environment mode.
+jube::RegistryFactory make_isolated_registry_factory(
+    SimEnvironmentConfig base, ExecutorOptions options = {});
+
 }  // namespace iokc::cycle

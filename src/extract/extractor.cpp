@@ -6,6 +6,7 @@
 #include "src/jube/runner.hpp"
 #include "src/util/error.hpp"
 #include "src/util/log.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace iokc::extract {
 
@@ -107,16 +108,26 @@ ExtractionResult KnowledgeExtractor::extract_file(
 }
 
 ExtractionResult KnowledgeExtractor::extract_workspace(
-    const std::filesystem::path& root) const {
+    const std::filesystem::path& root, int jobs) const {
+  if (jobs < 0) {
+    throw ConfigError("jobs must be >= 0");
+  }
+  const std::vector<std::filesystem::path> outputs =
+      jube::JubeRunner::discover_outputs(root);
+  std::vector<ExtractionResult> extracted(outputs.size());
+  util::parallel_for(
+      outputs.size(), static_cast<std::size_t>(jobs), [&](std::size_t i) {
+        extracted[i] = extract_file(outputs[i]);
+        // A Darshan log captured alongside the benchmark is its own source.
+        const std::filesystem::path darshan =
+            outputs[i].parent_path() / "darshan.log";
+        if (std::filesystem::exists(darshan)) {
+          extracted[i].merge(extract_file(darshan));
+        }
+      });
   ExtractionResult result;
-  for (const std::filesystem::path& output :
-       jube::JubeRunner::discover_outputs(root)) {
-    result.merge(extract_file(output));
-    // A Darshan log captured alongside the benchmark is its own source.
-    const std::filesystem::path darshan = output.parent_path() / "darshan.log";
-    if (std::filesystem::exists(darshan)) {
-      result.merge(extract_file(darshan));
-    }
+  for (ExtractionResult& part : extracted) {
+    result.merge(std::move(part));
   }
   return result;
 }

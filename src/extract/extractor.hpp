@@ -42,9 +42,13 @@ class KnowledgeExtractor {
   /// Extracts one file plus sibling sysinfo.txt / fsinfo.txt snapshots.
   ExtractionResult extract_file(const std::filesystem::path& path) const;
 
-  /// Auto-discovers every completed output under a JUBE workspace tree and
-  /// extracts each.
-  ExtractionResult extract_workspace(const std::filesystem::path& root) const;
+  /// Auto-discovers every completed output under a JUBE workspace tree
+  /// (work packages without a "done" marker — crashed or in-flight — are
+  /// skipped) and extracts each, fanning the parsing out over `jobs`
+  /// threads (1 = serial, 0 = hardware concurrency). Results merge in
+  /// discovery order, so the outcome is identical for any job count.
+  ExtractionResult extract_workspace(const std::filesystem::path& root,
+                                     int jobs = 1) const;
 };
 
 }  // namespace iokc::extract

@@ -6,6 +6,7 @@
 
 #include "src/util/error.hpp"
 #include "src/util/strings.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace iokc::jube {
 
@@ -109,9 +110,26 @@ const CommandExecutor* ExecutorRegistry::find(const std::string& program) const 
   return it == executors_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::string> ExecutorRegistry::programs() const {
+  std::vector<std::string> names;
+  names.reserve(executors_.size());
+  for (const auto& [name, executor] : executors_) {
+    names.push_back(name);
+  }
+  return names;  // std::map iteration is already sorted
+}
+
 JubeRunner::JubeRunner(std::filesystem::path workspace_root,
                        ExecutorRegistry registry)
     : root_(std::move(workspace_root)), registry_(std::move(registry)) {}
+
+JubeRunner::JubeRunner(std::filesystem::path workspace_root,
+                       RegistryFactory factory)
+    : root_(std::move(workspace_root)), factory_(std::move(factory)) {
+  if (!factory_) {
+    throw ConfigError("JUBE runner registry factory is empty");
+  }
+}
 
 int JubeRunner::next_run_id(const std::filesystem::path& bench_dir) const {
   int next = 0;
@@ -131,7 +149,11 @@ int JubeRunner::next_run_id(const std::filesystem::path& bench_dir) const {
   return next;
 }
 
-JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config) {
+JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config,
+                              const RunOptions& options) {
+  if (options.jobs < 0) {
+    throw ConfigError("jobs must be >= 0");
+  }
   const std::filesystem::path bench_dir = root_ / config.outpath;
   std::filesystem::create_directories(bench_dir);
   JubeRunResult result;
@@ -143,51 +165,112 @@ JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config) {
   write_file(result.run_dir / "configuration.xml", config.to_xml());
 
   const std::vector<Assignment> assignments = config.space.expand();
-  int wp_id = 0;
-  for (const Assignment& assignment : assignments) {
-    for (const JubeStep& step : config.steps) {
-      const std::string command =
-          substitute(step.command_template, assignment);
-      const std::vector<std::string> tokens = util::split_ws(command);
-      if (tokens.empty()) {
-        throw ConfigError("step '" + step.name + "' expands to empty command");
-      }
-      const CommandExecutor* executor = registry_.find(tokens.front());
-      if (executor == nullptr) {
-        throw ConfigError("no executor registered for '" + tokens.front() +
-                          "'");
-      }
 
-      char wp_name[64];
-      std::snprintf(wp_name, sizeof wp_name, "%06d_%s", wp_id,
-                    step.name.c_str());
-      const std::filesystem::path wp_dir = result.run_dir / wp_name;
-      std::filesystem::create_directories(wp_dir);
-
-      std::string parameters_text;
-      for (const auto& [key, value] : assignment) {
-        parameters_text += key + ": " + value + "\n";
+  // Expand and validate every command before executing anything, so that
+  // configuration errors surface deterministically and never leave packages
+  // half-run. The factory's wp-0 registry stands in for them all — factories
+  // vary executor state per package, not the program set.
+  struct PlannedStep {
+    std::string command;
+    std::string program;
+  };
+  std::vector<std::vector<PlannedStep>> plan;
+  plan.reserve(assignments.size());
+  {
+    ExecutorRegistry probe_storage;
+    const ExecutorRegistry* probe = &registry_;
+    if (factory_) {
+      probe_storage = factory_(0);
+      probe = &probe_storage;
+    }
+    for (const Assignment& assignment : assignments) {
+      std::vector<PlannedStep> steps;
+      steps.reserve(config.steps.size());
+      for (const JubeStep& step : config.steps) {
+        const std::string command =
+            substitute(step.command_template, assignment);
+        const std::vector<std::string> tokens = util::split_ws(command);
+        if (tokens.empty()) {
+          throw ConfigError("step '" + step.name +
+                            "' expands to empty command");
+        }
+        if (probe->find(tokens.front()) == nullptr) {
+          const std::vector<std::string> programs = probe->programs();
+          throw ConfigError(
+              "no executor registered for '" + tokens.front() +
+              "'; registered programs: " +
+              (programs.empty() ? "(none)" : util::join(programs, ", ")));
+        }
+        steps.push_back(PlannedStep{command, tokens.front()});
       }
-      write_file(wp_dir / "parameters.txt", parameters_text);
-      write_file(wp_dir / "command.txt", command + "\n");
+      plan.push_back(std::move(steps));
+    }
+  }
 
-      const ExecutionOutput output = (*executor)(command);
-      write_file(wp_dir / "stdout", output.stdout_text);
-      for (const auto& [name, data] : output.extra_files) {
-        write_file(wp_dir / name, data);
-      }
-      write_file(wp_dir / "done", "");
+  // One work package = every step of one assignment, executed in order
+  // against one registry. Packages are independent, so a factory-built
+  // runner fans them out; results merge in work-package order below, making
+  // the output identical for any job count.
+  const std::size_t jobs =
+      factory_ ? static_cast<std::size_t>(options.jobs) : 1;
+  std::vector<std::vector<WorkPackageResult>> packages(assignments.size());
+  util::parallel_for(
+      assignments.size(), jobs, [&](std::size_t wp) {
+        ExecutorRegistry owned;
+        const ExecutorRegistry* registry = &registry_;
+        if (factory_) {
+          owned = factory_(static_cast<int>(wp));
+          registry = &owned;
+        }
+        for (std::size_t s = 0; s < config.steps.size(); ++s) {
+          const JubeStep& step = config.steps[s];
+          const PlannedStep& planned = plan[wp][s];
+          const CommandExecutor* executor = registry->find(planned.program);
+          if (executor == nullptr) {
+            const std::vector<std::string> programs = registry->programs();
+            throw ConfigError(
+                "no executor registered for '" + planned.program +
+                "'; registered programs: " +
+                (programs.empty() ? "(none)" : util::join(programs, ", ")));
+          }
 
-      WorkPackageResult package;
-      package.work_package = wp_id;
-      package.parameters = assignment;
-      package.step_name = step.name;
-      package.command = command;
-      package.dir = wp_dir;
-      package.stdout_path = wp_dir / "stdout";
+          char wp_name[64];
+          std::snprintf(wp_name, sizeof wp_name, "%06d_%s",
+                        static_cast<int>(wp), step.name.c_str());
+          const std::filesystem::path wp_dir = result.run_dir / wp_name;
+          std::filesystem::create_directories(wp_dir);
+
+          std::string parameters_text;
+          for (const auto& [key, value] : assignments[wp]) {
+            parameters_text += key + ": " + value + "\n";
+          }
+          write_file(wp_dir / "parameters.txt", parameters_text);
+          write_file(wp_dir / "command.txt", planned.command + "\n");
+
+          const ExecutionOutput output = (*executor)(planned.command);
+          write_file(wp_dir / "stdout", output.stdout_text);
+          for (const auto& [name, data] : output.extra_files) {
+            write_file(wp_dir / name, data);
+          }
+          // The "done" marker must be the very last write: extraction treats
+          // its presence as "every other file is complete", which keeps
+          // crashed or in-flight packages out of the knowledge base.
+          write_file(wp_dir / "done", "");
+
+          WorkPackageResult package;
+          package.work_package = static_cast<int>(wp);
+          package.parameters = assignments[wp];
+          package.step_name = step.name;
+          package.command = planned.command;
+          package.dir = wp_dir;
+          package.stdout_path = wp_dir / "stdout";
+          packages[wp].push_back(std::move(package));
+        }
+      });
+  for (std::vector<WorkPackageResult>& per_wp : packages) {
+    for (WorkPackageResult& package : per_wp) {
       result.packages.push_back(std::move(package));
     }
-    ++wp_id;
   }
   return result;
 }

@@ -59,9 +59,26 @@ class ExecutorRegistry {
   void register_executor(std::string program, CommandExecutor executor);
   /// nullptr when the program is unknown.
   const CommandExecutor* find(const std::string& program) const;
+  /// Registered program names, sorted (for error reporting).
+  std::vector<std::string> programs() const;
 
  private:
   std::map<std::string, CommandExecutor> executors_;
+};
+
+/// Builds the executor registry for one work package. Parallel runs call the
+/// factory once per work package, so each package can execute against its own
+/// isolated state (e.g. a SimEnvironment seeded from splitmix64(scenario
+/// seed, wp_id)); the returned executors own whatever they capture.
+using RegistryFactory = std::function<ExecutorRegistry(int wp_id)>;
+
+/// Per-run execution options.
+struct RunOptions {
+  /// Worker threads for work-package execution: 1 = serial, 0 = one per
+  /// hardware thread. Only factory-constructed runners fan out; a runner
+  /// built around a shared ExecutorRegistry always runs serially because its
+  /// executors may share mutable state.
+  int jobs = 1;
 };
 
 /// One executed work package step.
@@ -84,17 +101,30 @@ struct JubeRunResult {
 /// The runner.
 class JubeRunner {
  public:
+  /// Shared-registry runner: every work package executes through `registry`,
+  /// strictly serially (the executors may share mutable state).
   JubeRunner(std::filesystem::path workspace_root, ExecutorRegistry registry);
 
-  /// Expands, executes, and persists a benchmark. Throws ConfigError when a
-  /// step's program has no registered executor; throws IoError on filesystem
-  /// failures.
-  JubeRunResult run(const JubeBenchmarkConfig& config);
+  /// Factory runner: each work package gets its own registry, so packages
+  /// are independent and run() may fan them out over RunOptions::jobs
+  /// threads. Results are merged in work-package order, so the workspace
+  /// tree and the returned packages are identical for any job count.
+  JubeRunner(std::filesystem::path workspace_root, RegistryFactory factory);
+
+  /// Expands, executes, and persists a benchmark. Every command is validated
+  /// up front (ConfigError names the unknown program and the registered
+  /// set); each work package runs its steps in order and writes its "done"
+  /// marker only after every other file, so a crashed or in-flight package
+  /// is never discovered as a completed result. Throws IoError on
+  /// filesystem failures.
+  JubeRunResult run(const JubeBenchmarkConfig& config,
+                    const RunOptions& options = {});
 
   const std::filesystem::path& workspace_root() const { return root_; }
 
   /// Finds every completed step output ("stdout" beside a "done" marker)
-  /// under a workspace tree — the extractor's automatic search.
+  /// under a workspace tree — the extractor's automatic search. Packages
+  /// without the marker (crashed or still running) are excluded.
   static std::vector<std::filesystem::path> discover_outputs(
       const std::filesystem::path& root);
 
@@ -102,7 +132,8 @@ class JubeRunner {
   int next_run_id(const std::filesystem::path& bench_dir) const;
 
   std::filesystem::path root_;
-  ExecutorRegistry registry_;
+  ExecutorRegistry registry_;    // shared-registry mode
+  RegistryFactory factory_;      // factory mode (empty in shared mode)
 };
 
 }  // namespace iokc::jube

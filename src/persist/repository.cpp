@@ -208,6 +208,38 @@ std::string insert_systeminfo_sql(const knowledge::SystemInfoRecord& s,
 }  // namespace
 
 std::int64_t KnowledgeRepository::store(const knowledge::Knowledge& k) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  return store_unlocked(k);
+}
+
+std::int64_t KnowledgeRepository::store(const knowledge::Io500Knowledge& k) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  return store_unlocked(k);
+}
+
+std::vector<std::int64_t> KnowledgeRepository::store_batch(
+    const std::vector<knowledge::Knowledge>& objects) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  std::vector<std::int64_t> ids;
+  ids.reserve(objects.size());
+  for (const knowledge::Knowledge& k : objects) {
+    ids.push_back(store_unlocked(k));
+  }
+  return ids;
+}
+
+std::vector<std::int64_t> KnowledgeRepository::store_batch(
+    const std::vector<knowledge::Io500Knowledge>& objects) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  std::vector<std::int64_t> ids;
+  ids.reserve(objects.size());
+  for (const knowledge::Io500Knowledge& k : objects) {
+    ids.push_back(store_unlocked(k));
+  }
+  return ids;
+}
+
+std::int64_t KnowledgeRepository::store_unlocked(const knowledge::Knowledge& k) {
   std::string sql =
       "INSERT INTO performances (command, benchmark, api, test_file, "
       "file_per_proc, num_tasks, num_nodes, start_time, end_time) VALUES (";
@@ -305,7 +337,8 @@ std::int64_t KnowledgeRepository::store(const knowledge::Knowledge& k) {
   return performance_id;
 }
 
-std::int64_t KnowledgeRepository::store(const knowledge::Io500Knowledge& k) {
+std::int64_t KnowledgeRepository::store_unlocked(
+    const knowledge::Io500Knowledge& k) {
   std::string sql = "INSERT INTO IOFHsRuns (command, num_tasks, num_nodes) VALUES (";
   sql += quote(k.command);
   sql += ", " + std::to_string(k.num_tasks);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,6 +54,15 @@ class KnowledgeRepository {
   /// Stores an IO500 knowledge object; returns the new IOFHsRuns.id.
   std::int64_t store(const knowledge::Io500Knowledge& knowledge);
 
+  /// Ordered batch commit: stores the objects front to back under one
+  /// writer-lock acquisition, so a parallel producer (the cycle's extraction
+  /// fan-out) persists results in work-package order with ids assigned
+  /// contiguously. Returns one id per object, in input order.
+  std::vector<std::int64_t> store_batch(
+      const std::vector<knowledge::Knowledge>& objects);
+  std::vector<std::int64_t> store_batch(
+      const std::vector<knowledge::Io500Knowledge>& objects);
+
   /// Reassembles a knowledge object from its rows. Throws DbError when the
   /// id is unknown.
   knowledge::Knowledge load_knowledge(std::int64_t performance_id);
@@ -85,8 +95,15 @@ class KnowledgeRepository {
   db::Database& database() { return db_; }
 
  private:
+  std::int64_t store_unlocked(const knowledge::Knowledge& knowledge);
+  std::int64_t store_unlocked(const knowledge::Io500Knowledge& knowledge);
+
   db::Database db_;
   RepoTarget target_;
+  /// Single-writer gate: the embedded database is not thread-safe, so every
+  /// store path serializes here. Readers are not synchronized — load while
+  /// storing is still a caller-side race.
+  std::mutex write_mutex_;
 };
 
 }  // namespace iokc::persist

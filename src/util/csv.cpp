@@ -54,6 +54,7 @@ std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
   std::vector<std::string> row;
   std::string cell;
   bool in_quotes = false;
+  bool after_quote = false;  // just closed a quoted cell; only , \r \n legal
   bool row_has_data = false;
 
   for (std::size_t i = 0; i < text.size(); ++i) {
@@ -65,11 +66,16 @@ std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
           ++i;
         } else {
           in_quotes = false;
+          after_quote = true;
         }
       } else {
         cell += c;
       }
       continue;
+    }
+    if (after_quote && c != ',' && c != '\r' && c != '\n') {
+      throw ParseError("unexpected character after closing quote at offset " +
+                       std::to_string(i));
     }
     switch (c) {
       case '"':
@@ -79,18 +85,21 @@ std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
       case ',':
         row.push_back(std::move(cell));
         cell.clear();
+        after_quote = false;
         row_has_data = true;
         break;
       case '\r':
         break;  // handled by the following '\n'
       case '\n':
-        if (row_has_data || !cell.empty()) {
-          row.push_back(std::move(cell));
-          cell.clear();
-          rows.push_back(std::move(row));
-          row.clear();
-          row_has_data = false;
-        }
+        // Every newline terminates a record. A bare newline is a record with
+        // one empty cell (the closest CSV can come to CsvWriter::add_row({}),
+        // which would otherwise vanish on the round trip).
+        row.push_back(std::move(cell));
+        cell.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+        after_quote = false;
+        row_has_data = false;
         break;
       default:
         cell += c;

@@ -12,7 +12,10 @@ namespace iokc::util {
 /// newlines.
 class CsvWriter {
  public:
-  /// Appends one row; every cell is quoted only when necessary.
+  /// Appends one row; every cell is quoted only when necessary. CSV cannot
+  /// represent a record with zero fields, so an empty `cells` writes a blank
+  /// record that parse_csv reads back as one empty cell — the row itself
+  /// survives the round trip.
   void add_row(const std::vector<std::string>& cells);
 
   /// The accumulated CSV document.
@@ -26,8 +29,9 @@ class CsvWriter {
 };
 
 /// Parses CSV text into rows of cells, honoring quoted fields with embedded
-/// separators, escaped quotes (""), and CRLF line endings.
-/// Throws ParseError on unterminated quotes.
+/// separators, escaped quotes (""), and CRLF line endings. A blank line is a
+/// record with a single empty cell. Throws ParseError on unterminated quotes
+/// and on stray characters between a closing quote and the next separator.
 std::vector<std::vector<std::string>> parse_csv(std::string_view text);
 
 }  // namespace iokc::util

@@ -21,6 +21,15 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t splitmix64(std::uint64_t seed, std::uint64_t stream) {
+  // Offset the state by (stream + 1) golden-ratio increments, then mix twice
+  // so that neighbouring streams land far apart even for small seeds.
+  std::uint64_t state = seed + (stream + 1) * 0x9E3779B97F4A7C15ull;
+  const std::uint64_t first = splitmix64(state);
+  state ^= first;
+  return splitmix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : state_) {

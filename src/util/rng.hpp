@@ -15,6 +15,12 @@ namespace iokc::util {
 /// SplitMix64 step; used for seeding and for cheap stateless hashing.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Stateless stream derivation: mixes `stream` into `seed` and returns the
+/// derived seed. Each (seed, stream) pair yields an independent value, so
+/// parallel work packages can seed their own Rng from a scenario seed and a
+/// work-package id without sharing generator state.
+std::uint64_t splitmix64(std::uint64_t seed, std::uint64_t stream);
+
 /// Deterministic xoshiro256** generator with explicit distributions.
 class Rng {
  public:

@@ -1,0 +1,167 @@
+#include "src/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace iokc::util {
+
+namespace {
+
+/// Which pool/worker the current thread belongs to (nullptr off-pool).
+/// Lets submit() route tasks from a worker onto that worker's own deque.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+
+thread_local WorkerIdentity t_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = hardware_threads();
+  }
+  deques_.resize(threads);
+  threads_.reserve(threads);
+  try {
+    for (std::size_t i = 0; i < threads; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& thread : threads_) {
+      thread.join();
+    }
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t target;
+    if (t_worker.pool == this) {
+      target = t_worker.index;
+    } else {
+      target = next_deque_;
+      next_deque_ = (next_deque_ + 1) % deques_.size();
+    }
+    deques_[target].push_back(std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t ThreadPool::steal_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return steals_;
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool ThreadPool::take_task(std::size_t self, std::function<void()>& task) {
+  // Own work first, newest first: the task most likely still in cache.
+  if (!deques_[self].empty()) {
+    task = std::move(deques_[self].back());
+    deques_[self].pop_back();
+    return true;
+  }
+  // Steal oldest-first from the other workers, scanning round-robin from the
+  // right neighbour so thieves spread over victims.
+  const std::size_t n = deques_.size();
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    std::deque<std::function<void()>>& victim = deques_[(self + offset) % n];
+    if (!victim.empty()) {
+      task = std::move(victim.front());
+      victim.pop_front();
+      ++steals_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_worker = WorkerIdentity{this, self};
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    std::function<void()> task;
+    while (!take_task(self, task)) {
+      if (stop_) {
+        return;
+      }
+      work_cv_.wait(lock);
+    }
+    lock.unlock();
+    task();
+    task = nullptr;  // destroy captures outside the lock
+    lock.lock();
+    --pending_;
+    if (pending_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  if (jobs == 0) {
+    jobs = ThreadPool::hardware_threads();
+  }
+  jobs = std::min(jobs, count);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+  std::vector<std::exception_ptr> errors(count);
+  {
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.submit([&body, &errors, i] {
+        try {
+          body(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+}  // namespace iokc::util

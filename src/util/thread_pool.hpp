@@ -1,0 +1,77 @@
+// A work-stealing thread pool for the parallel phases of the knowledge cycle
+// (JUBE work-package fan-out, workspace extraction). Each worker owns a deque:
+// it pops its own work LIFO (cache-warm) and steals FIFO from the other
+// workers when its deque runs dry, so coarse uneven tasks — one benchmark run
+// per task — balance without a central run queue becoming the bottleneck.
+//
+// Determinism contract: the pool schedules *execution*, never *results*.
+// Callers that need reproducible output hand every task an independent seed
+// and merge results by task index (see util::parallel_for and the JUBE
+// runner), so thread interleaving cannot leak into what is produced.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iokc::util {
+
+/// The pool. Tasks must not throw (wrap them; parallel_for does).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Completes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count.
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueues one task (round-robin over the worker deques; a task submitted
+  /// from inside a worker lands on that worker's own deque).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void wait_idle();
+
+  /// Number of tasks a worker stole from another worker's deque (for tests
+  /// and bench reporting; meaningful once the pool is idle).
+  std::size_t steal_count() const;
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop(std::size_t self);
+  /// Pops the next task for worker `self` (own back, then steal others'
+  /// front). Requires mutex_ held. Returns false when no task is available.
+  bool take_task(std::size_t self, std::function<void()>& task);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::vector<std::deque<std::function<void()>>> deques_;
+  std::vector<std::thread> threads_;
+  std::size_t pending_ = 0;  // queued + running tasks
+  std::size_t next_deque_ = 0;
+  std::size_t steals_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(0) .. body(count - 1) on up to `jobs` threads. jobs == 0 means
+/// hardware_threads(); jobs <= 1 runs inline on the calling thread in index
+/// order (bit-identical to a hand-written loop). Exceptions thrown by `body`
+/// are captured per index; after every task has finished, the one with the
+/// lowest index is rethrown — deterministic regardless of interleaving.
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace iokc::util

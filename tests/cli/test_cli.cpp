@@ -176,5 +176,50 @@ TEST_F(CliTest, ExtractWorkspaceCommand) {
   EXPECT_NE(out().find("knowledge"), std::string::npos);
 }
 
+TEST_F(CliTest, JobsFlagRunsSweepDeterministically) {
+  const std::filesystem::path config = dir_ / "sweep.xml";
+  {
+    std::ofstream file(config);
+    file << "<jube><benchmark name=\"s\" outpath=\"s\">\n"
+            "<parameterset name=\"p\"><parameter name=\"t\">256k,512k,1m,2m"
+            "</parameter></parameterset>\n"
+            "<step name=\"run\">ior -a posix -b 2m -t $t -s 1 -F -w -i 1 "
+            "-N 2 -o /scratch/s_$t</step>\n"
+            "</benchmark></jube>\n";
+  }
+  // The same sweep with --jobs 1 and --jobs 4 (separate workspaces and
+  // databases) must persist identical knowledge.
+  std::string exports[2];
+  const char* jobs[2] = {"1", "4"};
+  for (int i = 0; i < 2; ++i) {
+    const std::string db =
+        "file:" + (dir_ / ("k" + std::to_string(i) + ".db")).string();
+    const std::string ws = (dir_ / ("ws" + std::to_string(i))).string();
+    out_.str("");
+    err_.str("");
+    ASSERT_EQ(run_cli({"--db", db, "--workspace", ws, "--jobs", jobs[i],
+                       "sweep", config.string()},
+                      out_, err_),
+              0)
+        << err();
+    EXPECT_NE(out().find("executed 4 work package(s), stored 4"),
+              std::string::npos);
+    out_.str("");
+    ASSERT_EQ(run_cli({"--db", db, "--workspace", ws, "export-csv",
+                       "performances"},
+                      out_, err_),
+              0);
+    exports[i] = out();
+  }
+  EXPECT_EQ(exports[0], exports[1]);
+}
+
+TEST_F(CliTest, JobsFlagRejectsBadValues) {
+  EXPECT_EQ(cli({"--jobs", "-2", "list"}), 1);
+  EXPECT_NE(err().find("--jobs"), std::string::npos);
+  EXPECT_EQ(cli({"--jobs"}), 1);
+  EXPECT_NE(err().find("--jobs needs a value"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace iokc::cli

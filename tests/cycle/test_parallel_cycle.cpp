@@ -1,0 +1,162 @@
+// Determinism regression suite for parallel sweep execution: the same sweep
+// run with jobs=1 and jobs=8 must produce byte-identical workspace trees and
+// identical repository contents. Thread count may only change scheduling,
+// never results.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cycle/cycle.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::cycle {
+namespace {
+
+class ParallelCycleTest : public ::testing::Test {
+ protected:
+  ParallelCycleTest() {
+    root_ = std::filesystem::temp_directory_path() /
+            ("iokc_par_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+  }
+  ~ParallelCycleTest() override { std::filesystem::remove_all(root_); }
+
+  static jube::JubeBenchmarkConfig sweep_config() {
+    jube::JubeBenchmarkConfig config;
+    config.name = "sweep";
+    config.space.add_csv("transfer", "256k,512k,1m,2m");
+    config.space.add_csv("tasks", "4,8");
+    config.steps.push_back(jube::JubeStep{
+        "run", "ior -a posix -b 2m -t $transfer -s 1 -F -w -i 2 -N $tasks "
+               "-o /scratch/p_$transfer"});
+    return config;
+  }
+
+  /// Every file in the tree as sorted relative path -> exact bytes.
+  static std::map<std::string, std::string> snapshot_tree(
+      const std::filesystem::path& root) {
+    std::map<std::string, std::string> files;
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      files.emplace(entry.path().lexically_relative(root).generic_string(),
+                    std::move(bytes));
+    }
+    return files;
+  }
+
+  /// Runs the sweep in isolated mode on `jobs` threads and returns the
+  /// workspace snapshot plus the repository's full SQL dump.
+  std::pair<std::map<std::string, std::string>, std::string> run_sweep(
+      const std::string& tag, int jobs) {
+    const std::filesystem::path workspace = root_ / tag;
+    SimEnvironment env;
+    KnowledgeCycle cycle(env, workspace, persist::RepoTarget::parse("mem:"));
+    cycle.set_parallelism(jobs);
+    cycle.generate(sweep_config());
+    cycle.extract_and_persist();
+    return {snapshot_tree(workspace), cycle.repository().database().dump()};
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(ParallelCycleTest, SerialAndParallelSweepsAreByteIdentical) {
+  const auto [serial_tree, serial_dump] = run_sweep("serial", 1);
+  const auto [parallel_tree, parallel_dump] = run_sweep("parallel", 8);
+
+  ASSERT_EQ(serial_tree.size(), parallel_tree.size());
+  // 8 work packages x (parameters, command, stdout, sysinfo, jobinfo,
+  // fsinfo, done) + configuration.xml.
+  EXPECT_EQ(serial_tree.size(), 8u * 7u + 1u);
+  auto serial_it = serial_tree.begin();
+  auto parallel_it = parallel_tree.begin();
+  for (; serial_it != serial_tree.end(); ++serial_it, ++parallel_it) {
+    EXPECT_EQ(serial_it->first, parallel_it->first);
+    EXPECT_EQ(serial_it->second, parallel_it->second)
+        << "file " << serial_it->first << " differs between jobs=1 and jobs=8";
+  }
+  EXPECT_EQ(serial_dump, parallel_dump);
+}
+
+TEST_F(ParallelCycleTest, RepeatedParallelRunsAreStable) {
+  const auto [first_tree, first_dump] = run_sweep("first", 8);
+  const auto [second_tree, second_dump] = run_sweep("second", 8);
+  EXPECT_EQ(first_tree, second_tree);
+  EXPECT_EQ(first_dump, second_dump);
+}
+
+TEST_F(ParallelCycleTest, ParallelismZeroMeansHardwareThreads) {
+  SimEnvironment env;
+  KnowledgeCycle cycle(env, root_ / "w", persist::RepoTarget::parse("mem:"));
+  EXPECT_EQ(cycle.parallelism(), 0);
+  cycle.set_parallelism(0);
+  EXPECT_GE(cycle.parallelism(), 1);
+  EXPECT_THROW(cycle.set_parallelism(-1), ConfigError);
+}
+
+TEST_F(ParallelCycleTest, IsolatedModeStoresIdsInWorkPackageOrder) {
+  SimEnvironment env;
+  KnowledgeCycle cycle(env, root_ / "w", persist::RepoTarget::parse("mem:"));
+  cycle.set_parallelism(4);
+  cycle.generate(sweep_config());
+  cycle.extract_and_persist();
+  const std::vector<std::int64_t>& ids = cycle.stored_knowledge_ids();
+  ASSERT_EQ(ids.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  // Work package order == parameter-space expansion order: the first stored
+  // object holds the first assignment's command.
+  const knowledge::Knowledge first =
+      cycle.repository().load_knowledge(ids.front());
+  EXPECT_NE(first.command.find("-t 256k"), std::string::npos);
+}
+
+TEST_F(ParallelCycleTest, LegacySerialModeStillSharesTheEnvironment) {
+  // The default (no set_parallelism call) keeps the pre-parallelism
+  // behavior: runs observe mutations of the borrowed environment.
+  SimEnvironment env;
+  env.interference().add_window({4.0, 9.0, 0.7, "competing job"});
+  KnowledgeCycle cycle(env, root_ / "w", persist::RepoTarget::parse("mem:"));
+  cycle.generate_command(
+      "fig5", "ior -a mpiio -b 2m -t 1m -s 20 -F -C -e -i 4 -N 40 -o "
+              "/scratch/f5 -k");
+  cycle.extract_and_persist();
+
+  SimEnvironment quiet_env;
+  KnowledgeCycle quiet(quiet_env, root_ / "q",
+                       persist::RepoTarget::parse("mem:"));
+  quiet.generate_command(
+      "fig5", "ior -a mpiio -b 2m -t 1m -s 20 -F -C -e -i 4 -N 40 -o "
+              "/scratch/f5 -k");
+  quiet.extract_and_persist();
+
+  const std::string noisy_stdout = [&] {
+    std::ifstream in(jube::JubeRunner::discover_outputs(root_ / "w").front(),
+                     std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }();
+  const std::string quiet_stdout = [&] {
+    std::ifstream in(jube::JubeRunner::discover_outputs(root_ / "q").front(),
+                     std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }();
+  EXPECT_NE(noisy_stdout, quiet_stdout);
+}
+
+}  // namespace
+}  // namespace iokc::cycle

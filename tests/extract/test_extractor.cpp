@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 
@@ -107,6 +108,36 @@ TEST_F(ExtractorTest, WorkspaceAutoDiscovery) {
   const ExtractionResult result = extractor.extract_workspace(root_);
   EXPECT_EQ(result.knowledge.size(), 2u);
   EXPECT_EQ(result.skipped.size(), 1u);
+}
+
+TEST_F(ExtractorTest, ParallelWorkspaceExtractionMatchesSerial) {
+  // Each work package gets a distinct test filename so merge order is
+  // observable in the results.
+  for (int wp = 0; wp < 12; ++wp) {
+    char name[32];
+    std::snprintf(name, sizeof name, "%06d_run", wp);
+    std::string text = ior_output();
+    const std::string tagged = "/s/f" + std::to_string(wp);
+    for (std::size_t at = text.find("/s/f"); at != std::string::npos;
+         at = text.find("/s/f", at + tagged.size())) {
+      text.replace(at, 4, tagged);
+    }
+    make_wp(name, text);
+  }
+  make_wp("000012_incomplete", ior_output(), /*done=*/false);
+
+  KnowledgeExtractor extractor;
+  const ExtractionResult serial = extractor.extract_workspace(root_, 1);
+  const ExtractionResult parallel = extractor.extract_workspace(root_, 8);
+  ASSERT_EQ(serial.knowledge.size(), 12u);
+  ASSERT_EQ(parallel.knowledge.size(), 12u);
+  // Merge order is discovery order (sorted paths), independent of jobs.
+  for (std::size_t i = 0; i < serial.knowledge.size(); ++i) {
+    EXPECT_EQ(serial.knowledge[i].test_file, parallel.knowledge[i].test_file);
+    EXPECT_EQ(serial.knowledge[i].test_file,
+              "/s/f" + std::to_string(i));
+  }
+  EXPECT_THROW(extractor.extract_workspace(root_, -1), ConfigError);
 }
 
 TEST_F(ExtractorTest, DarshanLogBesideStdoutIsExtracted) {

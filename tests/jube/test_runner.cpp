@@ -89,6 +89,50 @@ TEST_F(RunnerTest, UnknownProgramThrows) {
   EXPECT_THROW(runner.run(config), ConfigError);
 }
 
+TEST_F(RunnerTest, UnknownProgramErrorNamesProgramAndRegisteredSet) {
+  ExecutorRegistry registry = echo_registry();
+  registry.register_executor("cat", [](const std::string&) {
+    return ExecutionOutput{};
+  });
+  JubeRunner runner(workspace_, std::move(registry));
+  JubeBenchmarkConfig config;
+  config.name = "b";
+  config.steps.push_back(JubeStep{"run", "nosuch --flag"});
+  try {
+    runner.run(config);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("'nosuch'"), std::string::npos) << what;
+    EXPECT_NE(what.find("cat, echo"), std::string::npos) << what;
+  }
+  // Nothing may have run: validation happens before any package starts.
+  EXPECT_TRUE(JubeRunner::discover_outputs(workspace_).empty());
+}
+
+TEST_F(RunnerTest, UnknownProgramErrorWithEmptyRegistrySaysNone) {
+  JubeRunner runner(workspace_, ExecutorRegistry{});
+  JubeBenchmarkConfig config;
+  config.name = "b";
+  config.steps.push_back(JubeStep{"run", "nosuch"});
+  try {
+    runner.run(config);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("(none)"), std::string::npos);
+  }
+}
+
+TEST_F(RunnerTest, RegistryProgramsAreSorted) {
+  ExecutorRegistry registry;
+  auto noop = [](const std::string&) { return ExecutionOutput{}; };
+  registry.register_executor("zeta", noop);
+  registry.register_executor("alpha", noop);
+  registry.register_executor("mid", noop);
+  EXPECT_EQ(registry.programs(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
 TEST_F(RunnerTest, DiscoverOutputsFindsCompletedSteps) {
   JubeRunner runner(workspace_, echo_registry());
   JubeBenchmarkConfig config;
@@ -133,6 +177,85 @@ TEST_F(RunnerTest, FromXmlRejectsBadConfigs) {
   EXPECT_THROW(JubeBenchmarkConfig::from_xml_text(
                    "<benchmark name=\"b\"></benchmark>"),
                ParseError);  // no steps
+}
+
+TEST_F(RunnerTest, FactoryModeRunsPackagesOnManyThreadsInOrder) {
+  // Each work package's registry tags output with its wp id; the merged
+  // result must come back in work-package order regardless of job count.
+  auto factory = [](int wp_id) {
+    ExecutorRegistry registry;
+    registry.register_executor("echo", [wp_id](const std::string& command) {
+      ExecutionOutput output;
+      output.stdout_text =
+          "wp=" + std::to_string(wp_id) + " " + command + "\n";
+      return output;
+    });
+    return registry;
+  };
+  JubeRunner runner(workspace_, RegistryFactory(factory));
+  JubeBenchmarkConfig config;
+  config.name = "sweep";
+  config.space.add_csv("x", "1,2,3,4,5,6,7,8");
+  config.steps.push_back(JubeStep{"run", "echo $x"});
+
+  RunOptions options;
+  options.jobs = 4;
+  const JubeRunResult result = runner.run(config, options);
+  ASSERT_EQ(result.packages.size(), 8u);
+  for (std::size_t wp = 0; wp < result.packages.size(); ++wp) {
+    EXPECT_EQ(result.packages[wp].work_package, static_cast<int>(wp));
+    EXPECT_EQ(read_file(result.packages[wp].stdout_path),
+              "wp=" + std::to_string(wp) + " echo " +
+                  std::to_string(wp + 1) + "\n");
+  }
+}
+
+TEST_F(RunnerTest, FailingPackageLeavesNoDoneMarker) {
+  auto factory = [](int) {
+    ExecutorRegistry registry;
+    registry.register_executor("echo", [](const std::string& command) {
+      if (command.find("3") != std::string::npos) {
+        throw ConfigError("executor crash on " + command);
+      }
+      ExecutionOutput output;
+      output.stdout_text = command + "\n";
+      return output;
+    });
+    return registry;
+  };
+  JubeRunner runner(workspace_, RegistryFactory(factory));
+  JubeBenchmarkConfig config;
+  config.name = "b";
+  config.space.add_csv("x", "1,2,3,4");
+  config.steps.push_back(JubeStep{"run", "echo $x"});
+
+  RunOptions options;
+  options.jobs = 2;
+  EXPECT_THROW(runner.run(config, options), ConfigError);
+
+  // The crashed package wrote its inputs but never its marker, so discovery
+  // (and therefore extraction) sees only the three packages that finished.
+  const auto outputs = JubeRunner::discover_outputs(workspace_);
+  EXPECT_EQ(outputs.size(), 3u);
+  const std::filesystem::path crashed =
+      workspace_ / "bench_run" / "000000" / "000002_run";
+  EXPECT_TRUE(std::filesystem::exists(crashed / "command.txt"));
+  EXPECT_FALSE(std::filesystem::exists(crashed / "done"));
+}
+
+TEST_F(RunnerTest, SharedRegistryRunnerIgnoresJobs) {
+  // A shared-registry runner must stay serial even if jobs are requested:
+  // its executors may share mutable state.
+  JubeRunner runner(workspace_, echo_registry());
+  JubeBenchmarkConfig config;
+  config.name = "b";
+  config.space.add_csv("x", "1,2,3");
+  config.steps.push_back(JubeStep{"run", "echo $x"});
+  RunOptions options;
+  options.jobs = 8;
+  const JubeRunResult result = runner.run(config, options);
+  EXPECT_EQ(result.packages.size(), 3u);
+  EXPECT_THROW(runner.run(config, RunOptions{-1}), ConfigError);
 }
 
 TEST_F(RunnerTest, RegistryRejectsEmptyExecutor) {

@@ -152,6 +152,41 @@ TEST(Repository, ListsAndIds) {
   EXPECT_EQ(commands[1].second, "cmd B");
 }
 
+TEST(Repository, StoreBatchAssignsIdsInInputOrder) {
+  KnowledgeRepository repo;
+  std::vector<knowledge::Knowledge> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(sample_knowledge("cmd " + std::to_string(i)));
+  }
+  const std::vector<std::int64_t> ids = repo.store_batch(batch);
+  ASSERT_EQ(ids.size(), 5u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GT(ids[i], ids[i - 1]);
+    }
+    EXPECT_EQ(repo.load_knowledge(ids[i]).command,
+              "cmd " + std::to_string(i));
+  }
+  EXPECT_TRUE(repo.store_batch(std::vector<knowledge::Knowledge>{}).empty());
+
+  const std::vector<std::int64_t> io500_ids =
+      repo.store_batch(std::vector<knowledge::Io500Knowledge>{sample_io500()});
+  ASSERT_EQ(io500_ids.size(), 1u);
+  EXPECT_EQ(repo.load_io500(io500_ids[0]), sample_io500());
+}
+
+TEST(Repository, BatchStoreMatchesSerialStores) {
+  KnowledgeRepository serial;
+  KnowledgeRepository batched;
+  std::vector<knowledge::Knowledge> batch;
+  for (int i = 0; i < 3; ++i) {
+    batch.push_back(sample_knowledge("cmd " + std::to_string(i)));
+    serial.store(batch.back());
+  }
+  batched.store_batch(batch);
+  EXPECT_EQ(serial.database().dump(), batched.database().dump());
+}
+
 TEST(Repository, LoadUnknownIdThrows) {
   KnowledgeRepository repo;
   EXPECT_THROW(repo.load_knowledge(77), DbError);

@@ -52,6 +52,38 @@ TEST(Csv, RejectsUnterminatedQuote) {
   EXPECT_THROW(parse_csv("\"open"), ParseError);
 }
 
+TEST(Csv, RejectsStrayCharactersAfterClosingQuote) {
+  // RFC 4180: a closing quote may only be followed by a separator or a
+  // record terminator. "a"b would silently mangle on round trip.
+  EXPECT_THROW(parse_csv("\"a\"b\n"), ParseError);
+  EXPECT_THROW(parse_csv("x,\"a\" ,y\n"), ParseError);
+  // ...whereas separator / CRLF / end-of-text right after the quote are fine.
+  EXPECT_EQ(parse_csv("\"a\",b\n")[0],
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(parse_csv("\"a\"\r\n")[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ(parse_csv("\"a\"")[0], (std::vector<std::string>{"a"}));
+}
+
+TEST(Csv, BlankLineIsARecordWithOneEmptyCell) {
+  const auto rows = parse_csv("a\n\nb\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{""}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"b"}));
+}
+
+TEST(Csv, EmptyRowRoundTrips) {
+  // add_row({""}) writes a bare newline; the parser used to drop that
+  // record entirely, breaking write -> parse round trips.
+  CsvWriter writer;
+  writer.add_row({"before"});
+  writer.add_row({""});
+  writer.add_row({"after"});
+  const auto rows = parse_csv(writer.text());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{""}));
+}
+
 TEST(Csv, RoundTripsArbitraryCells) {
   CsvWriter writer;
   const std::vector<std::string> original{"x,y", "\"", "\nmulti\nline\n", "",

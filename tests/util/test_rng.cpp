@@ -144,6 +144,28 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(SplitMix, SeedStreamDerivationIsDeterministicAndDisjoint) {
+  // The stateless overload derives per-work-package seeds: same (seed,
+  // stream) -> same value, distinct streams -> distinct generators.
+  EXPECT_EQ(splitmix64(42, 0), splitmix64(42, 0));
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 64; ++stream) {
+    seeds.push_back(splitmix64(42, stream));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+  // Stream 0 must differ from the plain seed (the parent's own stream).
+  EXPECT_NE(splitmix64(42, 0), 42u);
+  // Generators seeded from adjacent streams diverge immediately.
+  Rng a(splitmix64(7, 0));
+  Rng b(splitmix64(7, 1));
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
 TEST(SplitMix, KnownSequenceIsStable) {
   std::uint64_t state = 0;
   const std::uint64_t first = splitmix64(state);

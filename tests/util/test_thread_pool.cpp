@@ -1,0 +1,141 @@
+#include "src/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleCoversTasksSubmittedFromTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &counter] {
+      ++counter;
+      pool.submit([&counter] { ++counter; });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, StealsWhenLoadIsUneven) {
+  // All tasks land on the deques round-robin, but one long task pins its
+  // worker; the others must steal to finish the rest.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter, i] {
+      if (i == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      ++counter;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+  EXPECT_GT(pool.steal_count(), 0u);
+}
+
+TEST(ThreadPool, TasksSpreadOverMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&mutex, &seen] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      const std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> visits(257);
+    parallel_for(visits.size(), jobs,
+                 [&visits](std::size_t i) { ++visits[i]; });
+    for (const std::atomic<int>& count : visits) {
+      EXPECT_EQ(count.load(), 1);
+    }
+  }
+}
+
+TEST(ParallelFor, SerialRunsInlineInIndexOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(5, 1, [&order](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroCountIsANoOp) {
+  parallel_for(0, 8, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    try {
+      parallel_for(32, jobs, [](std::size_t i) {
+        if (i == 7 || i == 19) {
+          throw ConfigError("boom " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& error) {
+      EXPECT_STREQ(error.what(), "config error: boom 7");
+    }
+  }
+}
+
+TEST(ParallelFor, RemainingTasksStillRunAfterAThrow) {
+  std::atomic<int> counter{0};
+  EXPECT_THROW(parallel_for(64, 4,
+                            [&counter](std::size_t i) {
+                              ++counter;
+                              if (i == 0) {
+                                throw ConfigError("first fails");
+                              }
+                            }),
+               ConfigError);
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace iokc::util
