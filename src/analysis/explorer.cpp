@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "src/obs/observability.hpp"
 #include "src/util/error.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
@@ -35,6 +36,8 @@ double op_summary_metric(const knowledge::OpSummary& summary,
 }
 
 std::string KnowledgeExplorer::render_knowledge_view(std::int64_t id) {
+  obs::Span span("analysis:knowledge_view",
+                 {.category = "analysis", .phase = "analysis"});
   const knowledge::Knowledge k = repository_.load_knowledge(id);
   std::string out;
   out += "Knowledge object #" + std::to_string(id) + "\n";
@@ -96,6 +99,8 @@ std::string KnowledgeExplorer::render_knowledge_view(std::int64_t id) {
 }
 
 std::string KnowledgeExplorer::render_iteration_details(std::int64_t id) {
+  obs::Span span("analysis:iteration_details",
+                 {.category = "analysis", .phase = "analysis"});
   const knowledge::Knowledge k = repository_.load_knowledge(id);
   util::TextTable table;
   table.set_header({"operation", "iter", "bw(MiB/s)", "IOPS", "latency(s)",
@@ -221,6 +226,8 @@ std::vector<std::int64_t> KnowledgeExplorer::filter_ids(
 }
 
 std::string KnowledgeExplorer::render_io500_view(std::int64_t iofh_id) {
+  obs::Span span("analysis:io500_view",
+                 {.category = "analysis", .phase = "analysis"});
   const knowledge::Io500Knowledge k = repository_.load_io500(iofh_id);
   std::string out;
   out += "IO500 knowledge object #" + std::to_string(iofh_id) + "\n";

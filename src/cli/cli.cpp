@@ -1,12 +1,14 @@
 #include "src/cli/cli.hpp"
 
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
 #include "src/analysis/anomaly.hpp"
 #include "src/analysis/charts.hpp"
 #include "src/cycle/cycle.hpp"
+#include "src/obs/observability.hpp"
 #include "src/usage/prediction.hpp"
 #include "src/usage/recommendation.hpp"
 #include "src/util/error.hpp"
@@ -25,17 +27,23 @@ struct GlobalOptions {
   /// switches the cycle to isolated per-work-package environments on that
   /// many threads (0 = hardware concurrency).
   int jobs = -1;
+  std::string trace;    // --trace: Chrome-trace JSON output path
+  std::string metrics;  // --metrics: metrics CSV output path
 };
 
 /// A CLI invocation's bundle: environment + cycle, built lazily because
 /// database-only commands (sql, list, ...) don't need a simulator.
 struct Session {
-  explicit Session(const GlobalOptions& options)
+  explicit Session(const GlobalOptions& options,
+                   obs::Observability* observability = nullptr)
       : env(make_env_config(options)),
         cycle(env, options.workspace,
               persist::RepoTarget::parse(options.db)) {
     if (options.jobs >= 0) {
       cycle.set_parallelism(options.jobs);
+    }
+    if (observability != nullptr) {
+      cycle.set_observability(observability);
     }
   }
 
@@ -193,12 +201,99 @@ int cmd_predict(Session& session, const std::vector<std::string>& args,
   return 0;
 }
 
+int dispatch_command(const GlobalOptions& options,
+                     obs::Observability* observability,
+                     const std::string& command,
+                     const std::vector<std::string>& args, std::size_t i,
+                     std::ostream& out) {
+  auto need_arg = [&](const char* what) -> const std::string& {
+    if (i >= args.size()) {
+      throw ConfigError(command + ": missing " + what);
+    }
+    return args[i];
+  };
+
+  Session session(options, observability);
+  if (command == "run") {
+    return cmd_run(session, args, i, out);
+  }
+  if (command == "sweep") {
+    return cmd_sweep(session, need_arg("config path"), out);
+  }
+  if (command == "extract") {
+    return cmd_extract(session, need_arg("path"),
+                       options.jobs < 0 ? 1 : options.jobs, out);
+  }
+  if (command == "list") {
+    return cmd_list(session, out);
+  }
+  if (command == "view") {
+    out << session.cycle.explorer().render_knowledge_view(
+               parse_id(need_arg("id")))
+        << "\n";
+    return 0;
+  }
+  if (command == "iters") {
+    out << session.cycle.explorer().render_iteration_details(
+        parse_id(need_arg("id")));
+    return 0;
+  }
+  if (command == "io500") {
+    out << session.cycle.explorer().render_io500_view(
+               parse_id(need_arg("id")))
+        << "\n";
+    return 0;
+  }
+  if (command == "compare") {
+    return cmd_compare(session, args, i, out);
+  }
+  if (command == "sql") {
+    const std::string statement = join_from(args, i);
+    if (util::trim(statement).empty()) {
+      throw ConfigError("sql: missing statement");
+    }
+    const db::ResultSet rows =
+        session.cycle.repository().database().execute(statement);
+    if (!rows.columns.empty()) {
+      out << rows.render_table();
+    }
+    session.cycle.save();
+    return 0;
+  }
+  if (command == "export-csv") {
+    out << session.cycle.repository().export_csv(need_arg("table"));
+    return 0;
+  }
+  if (command == "export-json") {
+    const std::int64_t id = parse_id(need_arg("id"));
+    ++i;
+    session.cycle.repository().export_knowledge_json(id, need_arg("file"));
+    out << "exported knowledge #" << id << "\n";
+    return 0;
+  }
+  if (command == "import-json") {
+    const std::int64_t id =
+        session.cycle.repository().import_json_file(need_arg("file"));
+    out << "imported as #" << id << "\n";
+    session.cycle.save();
+    return 0;
+  }
+  if (command == "recommend") {
+    return cmd_recommend(session, args, i, out);
+  }
+  if (command == "predict") {
+    return cmd_predict(session, args, i, out);
+  }
+  throw ConfigError("unknown command '" + command + "'");
+}
+
 }  // namespace
 
 std::string usage_text() {
   return
       "usage: iokc [--db <url>] [--workspace <dir>] [--seed <n>] "
-      "[--jobs <n>] <command>\n"
+      "[--jobs <n>]\n"
+      "            [--trace <file>] [--metrics <file>] <command>\n"
       "\n"
       "commands:\n"
       "  run <benchmark command...>    run + extract + persist + view\n"
@@ -221,7 +316,12 @@ std::string usage_text() {
       "\n"
       "--jobs <n> runs sweep work packages on <n> threads (0 = all hardware\n"
       "threads), each in an isolated environment seeded from the scenario\n"
-      "seed and the work-package id; results are identical for any <n>.\n";
+      "seed and the work-package id; results are identical for any <n>.\n"
+      "\n"
+      "--trace <file> records one span per cycle phase and work package and\n"
+      "writes Chrome-trace JSON (load in Perfetto or chrome://tracing).\n"
+      "--metrics <file> writes a flat CSV of counters, gauges, and\n"
+      "histograms keyed by metric, phase, and work package.\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -251,6 +351,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           throw ConfigError("--jobs needs a value >= 0");
         }
         options.jobs = static_cast<int>(jobs);
+      } else if (flag == "--trace") {
+        options.trace = need_value();
+      } else if (flag == "--metrics") {
+        options.metrics = need_value();
       } else {
         throw ConfigError("unknown flag " + flag);
       }
@@ -261,85 +365,26 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return i >= args.size() ? 1 : 0;
     }
     const std::string command = args[i++];
-    auto need_arg = [&](const char* what) -> const std::string& {
-      if (i >= args.size()) {
-        throw ConfigError(command + ": missing " + what);
-      }
-      return args[i];
-    };
 
-    Session session(options);
-    if (command == "run") {
-      return cmd_run(session, args, i, out);
+    // Observability is created only when an export was requested, so every
+    // other invocation keeps the zero-overhead disabled path. Exports are
+    // written after the command returns, once all spans have closed.
+    std::optional<obs::Observability> observability;
+    if (!options.trace.empty() || !options.metrics.empty()) {
+      observability.emplace();
     }
-    if (command == "sweep") {
-      return cmd_sweep(session, need_arg("config path"), out);
-    }
-    if (command == "extract") {
-      return cmd_extract(session, need_arg("path"),
-                         options.jobs < 0 ? 1 : options.jobs, out);
-    }
-    if (command == "list") {
-      return cmd_list(session, out);
-    }
-    if (command == "view") {
-      out << session.cycle.explorer().render_knowledge_view(
-                 parse_id(need_arg("id")))
-          << "\n";
-      return 0;
-    }
-    if (command == "iters") {
-      out << session.cycle.explorer().render_iteration_details(
-          parse_id(need_arg("id")));
-      return 0;
-    }
-    if (command == "io500") {
-      out << session.cycle.explorer().render_io500_view(
-                 parse_id(need_arg("id")))
-          << "\n";
-      return 0;
-    }
-    if (command == "compare") {
-      return cmd_compare(session, args, i, out);
-    }
-    if (command == "sql") {
-      const std::string statement = join_from(args, i);
-      if (util::trim(statement).empty()) {
-        throw ConfigError("sql: missing statement");
+    const int status = dispatch_command(
+        options, observability.has_value() ? &*observability : nullptr,
+        command, args, i, out);
+    if (observability.has_value()) {
+      if (!options.trace.empty()) {
+        observability->write_chrome_trace(options.trace);
       }
-      const db::ResultSet rows =
-          session.cycle.repository().database().execute(statement);
-      if (!rows.columns.empty()) {
-        out << rows.render_table();
+      if (!options.metrics.empty()) {
+        observability->write_metrics_csv(options.metrics);
       }
-      session.cycle.save();
-      return 0;
     }
-    if (command == "export-csv") {
-      out << session.cycle.repository().export_csv(need_arg("table"));
-      return 0;
-    }
-    if (command == "export-json") {
-      const std::int64_t id = parse_id(need_arg("id"));
-      ++i;
-      session.cycle.repository().export_knowledge_json(id, need_arg("file"));
-      out << "exported knowledge #" << id << "\n";
-      return 0;
-    }
-    if (command == "import-json") {
-      const std::int64_t id =
-          session.cycle.repository().import_json_file(need_arg("file"));
-      out << "imported as #" << id << "\n";
-      session.cycle.save();
-      return 0;
-    }
-    if (command == "recommend") {
-      return cmd_recommend(session, args, i, out);
-    }
-    if (command == "predict") {
-      return cmd_predict(session, args, i, out);
-    }
-    throw ConfigError("unknown command '" + command + "'");
+    return status;
   } catch (const ConfigError& error) {
     err << "error: " << error.what() << "\n\n" << usage_text();
     return 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/observability.hpp"
 #include "src/util/error.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -19,6 +20,11 @@ KnowledgeCycle::KnowledgeCycle(SimEnvironment& env,
       repository_(target),
       explorer_(repository_) {}
 
+void KnowledgeCycle::set_observability(obs::Observability* observability) {
+  observability_ = observability;
+  obs::set_global(observability);
+}
+
 void KnowledgeCycle::set_parallelism(int jobs) {
   if (jobs < 0) {
     throw ConfigError("parallelism must be >= 0");
@@ -30,6 +36,8 @@ void KnowledgeCycle::set_parallelism(int jobs) {
 
 jube::JubeRunResult KnowledgeCycle::generate(
     const jube::JubeBenchmarkConfig& config) {
+  obs::Span span("phase:generation",
+                 {.category = "cycle", .phase = "generation"});
   if (jobs_ == 0) {
     return runner_.run(config);
   }
@@ -66,22 +74,35 @@ extract::ExtractionResult KnowledgeCycle::extract_and_persist() {
   // Extract in parallel, merge in work-package order (discover_outputs is
   // sorted), then commit the batch through the repository's single writer —
   // ids come out in the same order a serial pass would assign them.
-  std::vector<extract::ExtractionResult> extracted(fresh.size());
-  util::parallel_for(
-      fresh.size(), static_cast<std::size_t>(std::max(jobs_, 1)),
-      [&](std::size_t i) {
-        extracted[i] = extractor.extract_file(fresh[i]);
-        const std::filesystem::path darshan =
-            fresh[i].parent_path() / "darshan.log";
-        if (std::filesystem::exists(darshan)) {
-          extracted[i].merge(extractor.extract_file(darshan));
-        }
-      });
   extract::ExtractionResult result;
-  for (extract::ExtractionResult& part : extracted) {
-    result.merge(std::move(part));
+  {
+    obs::Span phase_span("phase:extraction",
+                         {.category = "cycle", .phase = "extraction"});
+    const obs::SpanContext handoff = phase_span.context();
+    std::vector<extract::ExtractionResult> extracted(fresh.size());
+    util::parallel_for(
+        fresh.size(), static_cast<std::size_t>(std::max(jobs_, 1)),
+        [&](const util::TaskContext& task) {
+          const std::size_t i = task.index;
+          obs::Span file_span("extract",
+                              {.category = "extract",
+                               .work_package = static_cast<int>(i),
+                               .parent = &handoff});
+          obs::count("extract.files");
+          extracted[i] = extractor.extract_file(fresh[i]);
+          const std::filesystem::path darshan =
+              fresh[i].parent_path() / "darshan.log";
+          if (std::filesystem::exists(darshan)) {
+            extracted[i].merge(extractor.extract_file(darshan));
+          }
+        });
+    for (extract::ExtractionResult& part : extracted) {
+      result.merge(std::move(part));
+    }
   }
 
+  obs::Span persist_span("phase:persistence",
+                         {.category = "cycle", .phase = "persistence"});
   for (const std::int64_t id : repository_.store_batch(result.knowledge)) {
     knowledge_ids_.push_back(id);
   }

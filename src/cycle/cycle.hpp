@@ -19,6 +19,7 @@
 #include "src/cycle/executors.hpp"
 #include "src/extract/extractor.hpp"
 #include "src/jube/runner.hpp"
+#include "src/obs/observability.hpp"
 #include "src/persist/repository.hpp"
 
 namespace iokc::cycle {
@@ -45,6 +46,16 @@ class KnowledgeCycle {
 
   /// Resolved worker-thread count; 0 while in legacy shared-environment mode.
   int parallelism() const { return jobs_; }
+
+  // -- Observability --------------------------------------------------------
+
+  /// Installs `observability` as the process-global sink every phase reports
+  /// spans and metrics into (nullptr disables recording again). The sink is
+  /// borrowed: it must outlive the cycle, or be reset before it dies.
+  void set_observability(obs::Observability* observability);
+
+  /// The currently installed sink, or nullptr.
+  obs::Observability* observability() const { return observability_; }
 
   // -- Phase 1: generation ------------------------------------------------
 
@@ -88,6 +99,7 @@ class KnowledgeCycle {
   std::filesystem::path workspace_;
   ExecutorOptions executor_options_;
   int jobs_ = 0;  // 0 = legacy serial shared-environment mode
+  obs::Observability* observability_ = nullptr;
   jube::JubeRunner runner_;
   persist::KnowledgeRepository repository_;
   analysis::KnowledgeExplorer explorer_;

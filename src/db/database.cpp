@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/observability.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/error.hpp"
 #include "src/util/strings.hpp"
@@ -91,6 +92,7 @@ std::vector<std::string> Database::table_names() const {
 }
 
 ResultSet Database::execute_statement(const Statement& statement) {
+  obs::count("db.statements");
   return std::visit(
       [this](const auto& stmt) -> ResultSet {
         using T = std::decay_t<decltype(stmt)>;

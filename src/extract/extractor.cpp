@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/jube/runner.hpp"
+#include "src/obs/observability.hpp"
 #include "src/util/error.hpp"
 #include "src/util/log.hpp"
 #include "src/util/thread_pool.hpp"
@@ -112,11 +113,21 @@ ExtractionResult KnowledgeExtractor::extract_workspace(
   if (jobs < 0) {
     throw ConfigError("jobs must be >= 0");
   }
+  obs::Span workspace_span("extract:workspace",
+                           {.category = "extract", .phase = "extraction"});
+  const obs::SpanContext handoff = workspace_span.context();
   const std::vector<std::filesystem::path> outputs =
       jube::JubeRunner::discover_outputs(root);
   std::vector<ExtractionResult> extracted(outputs.size());
   util::parallel_for(
-      outputs.size(), static_cast<std::size_t>(jobs), [&](std::size_t i) {
+      outputs.size(), static_cast<std::size_t>(jobs),
+      [&](const util::TaskContext& task) {
+        const std::size_t i = task.index;
+        obs::Span file_span("extract",
+                            {.category = "extract",
+                             .work_package = static_cast<int>(i),
+                             .parent = &handoff});
+        obs::count("extract.files");
         extracted[i] = extract_file(outputs[i]);
         // A Darshan log captured alongside the benchmark is its own source.
         const std::filesystem::path darshan =

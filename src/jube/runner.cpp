@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/obs/observability.hpp"
 #include "src/util/error.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/thread_pool.hpp"
@@ -154,6 +155,7 @@ JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config,
   if (options.jobs < 0) {
     throw ConfigError("jobs must be >= 0");
   }
+  obs::Span run_span("jube:" + config.name, {.category = "jube"});
   const std::filesystem::path bench_dir = root_ / config.outpath;
   std::filesystem::create_directories(bench_dir);
   JubeRunResult result;
@@ -214,8 +216,15 @@ JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config,
   const std::size_t jobs =
       factory_ ? static_cast<std::size_t>(options.jobs) : 1;
   std::vector<std::vector<WorkPackageResult>> packages(assignments.size());
+  const obs::SpanContext run_context = run_span.context();
   util::parallel_for(
-      assignments.size(), jobs, [&](std::size_t wp) {
+      assignments.size(), jobs, [&](const util::TaskContext& task) {
+        const std::size_t wp = task.index;
+        obs::Span wp_span("work_package",
+                          {.category = "jube",
+                           .work_package = static_cast<int>(wp),
+                           .parent = &run_context});
+        obs::count("jube.work_packages");
         ExecutorRegistry owned;
         const ExecutorRegistry* registry = &registry_;
         if (factory_) {

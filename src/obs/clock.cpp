@@ -1,0 +1,35 @@
+#include "src/obs/clock.hpp"
+
+#include <chrono>
+
+namespace iokc::obs {
+
+ClockFn steady_clock_fn() {
+  return [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+}
+
+ManualClock::ManualClock(std::uint64_t step_ns)
+    : state_(std::make_shared<State>()) {
+  state_->step = step_ns;
+}
+
+std::uint64_t ManualClock::read() {
+  return state_->now.fetch_add(state_->step, std::memory_order_relaxed);
+}
+
+void ManualClock::advance(std::uint64_t ns) {
+  state_->now.fetch_add(ns, std::memory_order_relaxed);
+}
+
+ClockFn ManualClock::fn() {
+  return [state = state_] {
+    return state->now.fetch_add(state->step, std::memory_order_relaxed);
+  };
+}
+
+}  // namespace iokc::obs

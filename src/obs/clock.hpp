@@ -1,0 +1,49 @@
+// Timestamp sources for the observability layer.
+//
+// Every span start/end and trace export reads time through an injected
+// ClockFn, never through std::chrono directly. Production uses the steady
+// clock; tests and deterministic pipelines inject a ManualClock so exported
+// traces are byte-reproducible. This mirrors the no-wall-clock rule of the
+// simulator: simulated results come from sim time, and pipeline telemetry
+// comes from whatever clock the caller chose.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace iokc::obs {
+
+/// Nanosecond timestamp source.
+using ClockFn = std::function<std::uint64_t()>;
+
+/// std::chrono::steady_clock since its epoch, in nanoseconds.
+ClockFn steady_clock_fn();
+
+/// Deterministic clock: every reading returns the current time and then
+/// advances it by a fixed step, so a serial run produces the same sequence
+/// of timestamps on every execution. Copies of fn() share this object's
+/// state (and keep it alive), so advance() is visible to all readers.
+class ManualClock {
+ public:
+  explicit ManualClock(std::uint64_t step_ns = 1000);
+
+  /// Current time; advances by the step as a side effect.
+  std::uint64_t read();
+
+  /// Moves time forward without producing a reading.
+  void advance(std::uint64_t ns);
+
+  /// A ClockFn sharing (and keeping alive) this clock's state.
+  ClockFn fn();
+
+ private:
+  struct State {
+    std::atomic<std::uint64_t> now{0};
+    std::uint64_t step = 0;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace iokc::obs

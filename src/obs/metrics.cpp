@@ -1,0 +1,267 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "src/util/csv.hpp"
+
+namespace iokc::obs {
+
+namespace {
+
+struct KeyHash {
+  std::size_t operator()(const MetricKey& key) const {
+    std::size_t h = std::hash<std::string>{}(key.name);
+    h ^= std::hash<std::string>{}(key.phase) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    h ^= std::hash<int>{}(key.work_package) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+/// Integral values print without a decimal point so counters stay exact;
+/// everything else uses %.6g. Deterministic across platforms for the value
+/// ranges metrics produce.
+std::string format_value(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+std::string format_bound(double bound) {
+  return format_value(bound);
+}
+
+}  // namespace
+
+bool MetricKey::operator<(const MetricKey& other) const {
+  if (name != other.name) {
+    return name < other.name;
+  }
+  if (phase != other.phase) {
+    return phase < other.phase;
+  }
+  return work_package < other.work_package;
+}
+
+/// One metric series inside one shard. Written only by the shard's owning
+/// thread; read concurrently by snapshot() — hence relaxed atomics (plain
+/// single-writer stores, no RMW contention).
+struct MetricsRegistry::Slot {
+  Slot(MetricKey slot_key, MetricKind slot_kind, std::size_t bucket_count)
+      : key(std::move(slot_key)), kind(slot_kind), buckets(bucket_count) {}
+
+  MetricKey key;
+  MetricKind kind;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> max_bits{0};  // bit-cast double
+  std::atomic<std::uint64_t> sum_bits{0};  // bit-cast double
+  std::vector<std::atomic<std::uint64_t>> buckets;
+  Slot* next = nullptr;  // intrusive shard list, set before publication
+};
+
+/// Per-thread shard. `index` is touched only by the owning thread; `head`
+/// is the publication point snapshot() walks.
+struct MetricsRegistry::Shard {
+  ~Shard() {
+    Slot* slot = head.load(std::memory_order_acquire);
+    while (slot != nullptr) {
+      Slot* next = slot->next;
+      delete slot;
+      slot = next;
+    }
+  }
+
+  std::atomic<Slot*> head{nullptr};
+  std::unordered_map<MetricKey, Slot*, KeyHash> index;  // owner thread only
+};
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+const std::vector<double>& MetricsRegistry::histogram_bounds() {
+  // Powers of four: 1, 4, 16, ..., 4^15 (~1.07e9). With microsecond-scale
+  // recordings this spans 1 us to ~18 minutes before the overflow bucket.
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> bounds;
+    double bound = 1.0;
+    for (int i = 0; i <= 15; ++i) {
+      bounds.push_back(bound);
+      bound *= 4.0;
+    }
+    return bounds;
+  }();
+  return kBounds;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for_current_thread() {
+  // Cache keyed by process-unique registry id, so a registry allocated at a
+  // dead registry's address can never inherit its shard.
+  thread_local std::unordered_map<std::uint64_t, Shard*> t_shards;
+  const auto it = t_shards.find(id_);
+  if (it != t_shards.end()) {
+    return *it->second;
+  }
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  t_shards.emplace(id_, shard);
+  return *shard;
+}
+
+MetricsRegistry::Slot& MetricsRegistry::slot(const MetricKey& key,
+                                             MetricKind kind) {
+  Shard& shard = shard_for_current_thread();
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    return *it->second;
+  }
+  const std::size_t bucket_count =
+      kind == MetricKind::kHistogram ? histogram_bounds().size() + 1 : 0;
+  auto* created = new Slot(key, kind, bucket_count);
+  created->next = shard.head.load(std::memory_order_relaxed);
+  shard.head.store(created, std::memory_order_release);  // publish to readers
+  shard.index.emplace(key, created);
+  return *created;
+}
+
+void MetricsRegistry::add_counter(const MetricKey& key, std::uint64_t delta) {
+  Slot& s = slot(key, MetricKind::kCounter);
+  s.count.store(s.count.load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
+}
+
+void MetricsRegistry::record_gauge_max(const MetricKey& key, double value) {
+  Slot& s = slot(key, MetricKind::kGaugeMax);
+  const double seen = std::bit_cast<double>(
+      s.max_bits.load(std::memory_order_relaxed));
+  if (s.count.load(std::memory_order_relaxed) == 0 || value > seen) {
+    s.max_bits.store(std::bit_cast<std::uint64_t>(value),
+                     std::memory_order_relaxed);
+  }
+  s.count.store(s.count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
+void MetricsRegistry::record_histogram(const MetricKey& key, double value) {
+  Slot& s = slot(key, MetricKind::kHistogram);
+  const std::vector<double>& bounds = histogram_bounds();
+  std::size_t bucket = bounds.size();  // overflow
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  s.buckets[bucket].store(
+      s.buckets[bucket].load(std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  s.sum_bits.store(
+      std::bit_cast<std::uint64_t>(
+          std::bit_cast<double>(s.sum_bits.load(std::memory_order_relaxed)) +
+          value),
+      std::memory_order_relaxed);
+  s.count.store(s.count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::map<MetricKey, MetricSnapshot> merged;
+  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const Slot* s = shard->head.load(std::memory_order_acquire);
+         s != nullptr; s = s->next) {
+      MetricSnapshot& out = merged[s->key];
+      out.key = s->key;
+      out.kind = s->kind;
+      const std::uint64_t count = s->count.load(std::memory_order_relaxed);
+      switch (s->kind) {
+        case MetricKind::kCounter:
+          out.count += count;
+          break;
+        case MetricKind::kGaugeMax: {
+          const double value = std::bit_cast<double>(
+              s->max_bits.load(std::memory_order_relaxed));
+          if (out.count == 0 || value > out.max) {
+            out.max = value;
+          }
+          out.count += count;
+          break;
+        }
+        case MetricKind::kHistogram: {
+          if (out.buckets.empty()) {
+            out.buckets.assign(s->buckets.size(), 0);
+          }
+          for (std::size_t i = 0; i < s->buckets.size(); ++i) {
+            out.buckets[i] += s->buckets[i].load(std::memory_order_relaxed);
+          }
+          out.sum += std::bit_cast<double>(
+              s->sum_bits.load(std::memory_order_relaxed));
+          out.count += count;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<MetricSnapshot> result;
+  result.reserve(merged.size());
+  for (auto& [key, snap] : merged) {
+    result.push_back(std::move(snap));
+  }
+  return result;
+}
+
+std::string MetricsRegistry::render_csv() const {
+  util::CsvWriter writer;
+  writer.add_row({"metric", "phase", "work_package", "kind", "value"});
+  for (const MetricSnapshot& snap : snapshot()) {
+    const std::string wp = snap.key.work_package == kNoWorkPackage
+                               ? std::string()
+                               : std::to_string(snap.key.work_package);
+    switch (snap.kind) {
+      case MetricKind::kCounter:
+        writer.add_row({snap.key.name, snap.key.phase, wp, "counter",
+                        format_value(static_cast<double>(snap.count))});
+        break;
+      case MetricKind::kGaugeMax:
+        writer.add_row({snap.key.name, snap.key.phase, wp, "gauge_max",
+                        format_value(snap.max)});
+        break;
+      case MetricKind::kHistogram: {
+        writer.add_row({snap.key.name + ".count", snap.key.phase, wp,
+                        "histogram",
+                        format_value(static_cast<double>(snap.count))});
+        writer.add_row({snap.key.name + ".sum", snap.key.phase, wp,
+                        "histogram", format_value(snap.sum)});
+        const std::vector<double>& bounds = histogram_bounds();
+        for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+          const std::string suffix =
+              i < bounds.size() ? ".le_" + format_bound(bounds[i]) : ".le_inf";
+          writer.add_row({snap.key.name + suffix, snap.key.phase, wp,
+                          "histogram",
+                          format_value(static_cast<double>(snap.buckets[i]))});
+        }
+        break;
+      }
+    }
+  }
+  return writer.text();
+}
+
+}  // namespace iokc::obs

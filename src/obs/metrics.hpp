@@ -1,0 +1,94 @@
+// Counter / gauge / histogram registries for the observability layer.
+//
+// Recording is designed for the parallel knowledge cycle: each recording
+// thread owns a private shard, so the hot path is a hash lookup plus a
+// relaxed atomic store — no locks, no contention. Readers (flush/export)
+// walk every shard's slot list and merge; slots are published with a
+// release store on an intrusive list head, values are relaxed atomics
+// written only by the owning thread, so concurrent flush is race-free.
+//
+// Keys carry the ambient attribution (phase, work package) resolved by the
+// span machinery, which is what makes the exported CSV answer "where did
+// the DB statements / batch commits / steals happen".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iokc::obs {
+
+/// Work-package value meaning "not attributed to a package".
+inline constexpr int kNoWorkPackage = -1;
+
+/// Identity of one metric series: name plus ambient attribution.
+struct MetricKey {
+  std::string name;
+  std::string phase;
+  int work_package = kNoWorkPackage;
+
+  bool operator==(const MetricKey& other) const = default;
+  /// Export order: by name, then phase, then work package.
+  bool operator<(const MetricKey& other) const;
+};
+
+enum class MetricKind {
+  kCounter,   // monotonically increasing integer
+  kGaugeMax,  // maximum observed value
+  kHistogram  // fixed-bucket distribution with sum and count
+};
+
+/// One merged metric series, as exported.
+struct MetricSnapshot {
+  MetricKey key;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;             // counter total / histogram samples
+  double max = 0.0;                    // gauge-max value
+  double sum = 0.0;                    // histogram sum of samples
+  std::vector<std::uint64_t> buckets;  // histogram; size = bounds + overflow
+};
+
+/// The registry. Thread-safe for recording from any number of threads
+/// concurrently with snapshotting; destruction must not race with recording
+/// (keep the owning Observability alive while instrumented code runs).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void add_counter(const MetricKey& key, std::uint64_t delta);
+  void record_gauge_max(const MetricKey& key, double value);
+  void record_histogram(const MetricKey& key, double value);
+
+  /// Merges every shard and returns one snapshot per key, sorted by key.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Flat CSV of snapshot(); the exact schema is documented in DESIGN.md
+  /// §5c (header `metric,phase,work_package,kind,value`; histograms expand
+  /// to `.count` / `.sum` / `.le_<bound>` / `.le_inf` rows).
+  std::string render_csv() const;
+
+  /// Upper bounds of the fixed histogram buckets (powers of four from 1 to
+  /// 4^15); every histogram gets one extra overflow bucket on top.
+  static const std::vector<double>& histogram_bounds();
+
+ private:
+  struct Slot;
+  struct Shard;
+
+  Slot& slot(const MetricKey& key, MetricKind kind);
+  Shard& shard_for_current_thread();
+
+  const std::uint64_t id_;  // process-unique, keys the thread-local cache
+  mutable std::mutex shards_mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace iokc::obs

@@ -1,0 +1,220 @@
+#include "src/obs/observability.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "src/util/error.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace iokc::obs {
+
+namespace detail {
+std::atomic<Observability*> g_session{nullptr};
+}  // namespace detail
+
+namespace {
+
+/// Process-wide thread ordinal: stable per thread, never reused. Each
+/// Observability maps ordinals to dense tids on first event, so a serial
+/// run always exports tid 0.
+std::uint64_t thread_ordinal() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// Receives aggregate stats from every drained util::ThreadPool and turns
+/// them into metrics on the installed session (ambient attribution applies:
+/// the pool is destroyed on the thread that ran parallel_for, inside
+/// whatever span that caller holds).
+void pool_stats_to_metrics(const util::PoolRunStats& stats) {
+  Observability* obs = global();
+  if (obs == nullptr) {
+    return;
+  }
+  const SpanContext ambient = current_context();
+  const MetricKey base{"", ambient.phase, ambient.work_package};
+  MetricKey key = base;
+  key.name = "pool.tasks";
+  obs->metrics().add_counter(key, stats.tasks);
+  key.name = "pool.steals";
+  obs->metrics().add_counter(key, stats.steals);
+  key.name = "pool.max_queue_depth";
+  obs->metrics().record_gauge_max(key,
+                                  static_cast<double>(stats.max_queue_depth));
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw IoError("cannot write " + path);
+  }
+  out << text;
+  if (!out) {
+    throw IoError("failed writing " + path);
+  }
+}
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Microseconds with nanosecond precision, the unit Chrome trace expects.
+std::string format_us(std::uint64_t ns) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  return buffer;
+}
+
+}  // namespace
+
+Observability::Observability() : Observability(Config{}) {}
+
+Observability::Observability(Config config)
+    : clock_(config.clock ? std::move(config.clock) : steady_clock_fn()) {
+  epoch_ns_ = clock_();
+}
+
+Observability::~Observability() {
+  // Uninstall defensively so a forgotten set_global(nullptr) cannot leave a
+  // dangling session installed.
+  Observability* self = this;
+  if (detail::g_session.compare_exchange_strong(self, nullptr,
+                                                std::memory_order_acq_rel)) {
+    util::set_pool_observer(nullptr);
+  }
+}
+
+std::uint64_t Observability::now_ns() const {
+  const std::uint64_t now = clock_();
+  return now >= epoch_ns_ ? now - epoch_ns_ : 0;
+}
+
+std::uint64_t Observability::next_span_id() {
+  return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int Observability::tid_for_current_thread_locked() {
+  const std::uint64_t ordinal = thread_ordinal();
+  const auto it = tids_.find(ordinal);
+  if (it != tids_.end()) {
+    return it->second;
+  }
+  const int tid = static_cast<int>(tids_.size());
+  tids_.emplace(ordinal, tid);
+  return tid;
+}
+
+void Observability::record_span(SpanEvent event) {
+  const std::lock_guard<std::mutex> lock(trace_mutex_);
+  event.tid = tid_for_current_thread_locked();
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> Observability::trace_events() const {
+  const std::lock_guard<std::mutex> lock(trace_mutex_);
+  return events_;
+}
+
+std::string Observability::render_chrome_trace() const {
+  const std::vector<SpanEvent> events = trace_events();
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const SpanEvent& event : events) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, event.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, event.category.empty() ? std::string("span")
+                                                    : event.category);
+    out += "\",\"ph\":\"X\",\"ts\":" + format_us(event.start_ns);
+    out += ",\"dur\":" + format_us(event.duration_ns);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(event.tid);
+    out += ",\"args\":{\"span_id\":" + std::to_string(event.id);
+    if (event.parent_id != 0) {
+      out += ",\"parent_id\":" + std::to_string(event.parent_id);
+    }
+    if (!event.phase.empty()) {
+      out += ",\"phase\":\"";
+      append_json_escaped(out, event.phase);
+      out += "\"";
+    }
+    if (event.work_package != kNoWorkPackage) {
+      out += ",\"work_package\":" + std::to_string(event.work_package);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void Observability::write_chrome_trace(const std::string& path) const {
+  write_text_file(path, render_chrome_trace());
+}
+
+std::string Observability::render_metrics_csv() const {
+  return metrics_.render_csv();
+}
+
+void Observability::write_metrics_csv(const std::string& path) const {
+  write_text_file(path, render_metrics_csv());
+}
+
+void set_global(Observability* observability) {
+  detail::g_session.store(observability, std::memory_order_release);
+  util::set_pool_observer(observability != nullptr ? &pool_stats_to_metrics
+                                                   : nullptr);
+}
+
+namespace detail {
+
+void count_slow(Observability* obs, std::string_view name,
+                std::uint64_t delta) {
+  const SpanContext ambient = current_context();
+  obs->metrics().add_counter(
+      MetricKey{std::string(name), ambient.phase, ambient.work_package},
+      delta);
+}
+
+void gauge_max_slow(Observability* obs, std::string_view name, double value) {
+  const SpanContext ambient = current_context();
+  obs->metrics().record_gauge_max(
+      MetricKey{std::string(name), ambient.phase, ambient.work_package},
+      value);
+}
+
+void observe_slow(Observability* obs, std::string_view name, double value) {
+  const SpanContext ambient = current_context();
+  obs->metrics().record_histogram(
+      MetricKey{std::string(name), ambient.phase, ambient.work_package},
+      value);
+}
+
+}  // namespace detail
+
+}  // namespace iokc::obs

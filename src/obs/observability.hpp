@@ -1,0 +1,145 @@
+// The observability session: one object owning the trace recorder, the
+// metrics registry, and the clock, plus the process-global installation
+// point the instrumentation hooks read.
+//
+// Off by default: global() starts as nullptr and every instrumentation site
+// — Span construction, count(), gauge_max(), observe() — reduces to one
+// relaxed atomic load and a branch. Installing an Observability (CLI
+// --trace/--metrics, KnowledgeCycle::set_observability, or a
+// ScopedObservability in tests) turns the same sites into real recording.
+//
+// Exported formats (schemas documented in DESIGN.md §5c):
+//   - Chrome trace JSON (chrome://tracing, Perfetto, about:tracing)
+//   - flat metrics CSV keyed by (metric, phase, work package)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/clock.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
+
+namespace iokc::obs {
+
+class Observability {
+ public:
+  struct Config {
+    /// Timestamp source; empty defaults to the steady clock. Inject a
+    /// ManualClock for reproducible traces.
+    ClockFn clock;
+  };
+
+  Observability();
+  explicit Observability(Config config);
+  ~Observability();
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  /// Nanoseconds since this session's epoch (the construction instant).
+  std::uint64_t now_ns() const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Span machinery (called by obs::Span; rarely needed directly).
+  std::uint64_t next_span_id();
+  void record_span(SpanEvent event);
+
+  /// Copy of every recorded span event, in recording order.
+  std::vector<SpanEvent> trace_events() const;
+
+  /// Chrome-trace-format JSON of the recorded spans.
+  std::string render_chrome_trace() const;
+  /// Writes render_chrome_trace() to a file; throws IoError on failure.
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Flat metrics CSV (see MetricsRegistry::render_csv).
+  std::string render_metrics_csv() const;
+  /// Writes render_metrics_csv() to a file; throws IoError on failure.
+  void write_metrics_csv(const std::string& path) const;
+
+ private:
+  int tid_for_current_thread_locked();
+
+  ClockFn clock_;
+  std::uint64_t epoch_ns_ = 0;
+  std::atomic<std::uint64_t> next_span_id_{1};
+  mutable std::mutex trace_mutex_;
+  std::vector<SpanEvent> events_;
+  std::unordered_map<std::uint64_t, int> tids_;  // thread ordinal -> dense tid
+  MetricsRegistry metrics_;
+};
+
+namespace detail {
+/// The installed session. Exposed only so the instrumentation hooks below
+/// can inline their disabled-path check; use global()/set_global().
+extern std::atomic<Observability*> g_session;
+void count_slow(Observability* obs, std::string_view name,
+                std::uint64_t delta);
+void gauge_max_slow(Observability* obs, std::string_view name, double value);
+void observe_slow(Observability* obs, std::string_view name, double value);
+}  // namespace detail
+
+/// The installed session, or nullptr (observability off). Thread-safe.
+inline Observability* global() {
+  return detail::g_session.load(std::memory_order_acquire);
+}
+
+/// Installs `observability` as the process-global session (nullptr turns
+/// observability off). The caller keeps ownership and must keep the object
+/// alive until it is uninstalled. Also wires the util::ThreadPool stats
+/// observer, which is how pool steals / queue depth reach the metrics.
+void set_global(Observability* observability);
+
+/// RAII installation for tests and scoped enablement: installs in the
+/// constructor, restores the previously installed session in the destructor.
+class ScopedObservability {
+ public:
+  explicit ScopedObservability(Observability& observability)
+      : previous_(global()) {
+    set_global(&observability);
+  }
+  ~ScopedObservability() { set_global(previous_); }
+
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+
+ private:
+  Observability* previous_;
+};
+
+// -- Instrumentation entry points -------------------------------------------
+// No-ops when no session is installed: the inline check is one atomic load
+// plus a branch, so calling these from hot loops is free until someone
+// enables observability. Attribution (phase, work package) comes from the
+// calling thread's ambient span context.
+
+/// Increments a counter.
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (Observability* obs = global()) {
+    detail::count_slow(obs, name, delta);
+  }
+}
+
+/// Records a gauge that keeps the maximum observed value.
+inline void gauge_max(std::string_view name, double value) {
+  if (Observability* obs = global()) {
+    detail::gauge_max_slow(obs, name, value);
+  }
+}
+
+/// Records one histogram sample.
+inline void observe(std::string_view name, double value) {
+  if (Observability* obs = global()) {
+    detail::observe_slow(obs, name, value);
+  }
+}
+
+}  // namespace iokc::obs

@@ -1,0 +1,68 @@
+#include "src/obs/span.hpp"
+
+#include <utility>
+
+#include "src/obs/observability.hpp"
+
+namespace iokc::obs {
+
+namespace {
+
+/// The innermost live span's context on this thread. Spans save/restore it
+/// strictly LIFO, so it always describes the current dynamic extent.
+thread_local SpanContext t_ambient;
+
+}  // namespace
+
+SpanContext current_context() {
+  return t_ambient;
+}
+
+Span::Span(std::string_view name, SpanOptions options)
+    : Span(global(), name, options) {}
+
+Span::Span(Observability* obs, std::string_view name, SpanOptions options)
+    : obs_(obs) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  name_ = std::string(name);
+  category_ = std::string(options.category);
+  start_ns_ = obs_->now_ns();
+  // Explicit parent wins (cross-thread handoff); otherwise the thread's
+  // ambient span is the parent. Unset attribution fields inherit from it.
+  const SpanContext& base =
+      options.parent != nullptr ? *options.parent : t_ambient;
+  parent_id_ = base.span_id;
+  self_.span_id = obs_->next_span_id();
+  self_.phase =
+      options.phase.empty() ? base.phase : std::string(options.phase);
+  self_.work_package = options.work_package == kNoWorkPackage
+                           ? base.work_package
+                           : options.work_package;
+  previous_ = std::exchange(t_ambient, self_);
+}
+
+Span::~Span() {
+  if (obs_ == nullptr) {
+    return;
+  }
+  const std::uint64_t end_ns = obs_->now_ns();
+  SpanEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.phase = self_.phase;
+  event.work_package = self_.work_package;
+  event.id = self_.span_id;
+  event.parent_id = parent_id_;
+  event.start_ns = start_ns_;
+  event.duration_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  obs_->record_span(std::move(event));
+  t_ambient = std::move(previous_);
+}
+
+SpanContext Span::context() const {
+  return obs_ == nullptr ? SpanContext{} : self_;
+}
+
+}  // namespace iokc::obs

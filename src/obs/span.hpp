@@ -1,0 +1,95 @@
+// RAII tracing spans with thread-local ambient context and explicit parent
+// handoff across thread-pool tasks.
+//
+// A span marks one timed region of the knowledge cycle (a phase, a work
+// package, a batch commit). Construction pushes the span onto the calling
+// thread's ambient context, so nested spans parent automatically and every
+// metric recorded inside inherits the span's phase / work-package
+// attribution; destruction records the complete event and restores the
+// previous ambient. When no Observability is installed (the default), a
+// span is a null-pointer check and nothing else.
+//
+// Handoff rule: the ambient context is thread-local, so a task running on a
+// util::ThreadPool worker starts with an empty ambient. The code that fans
+// out captures its span's context() *before* submitting and passes it as
+// SpanOptions::parent inside the task — that re-establishes both the trace
+// tree and the attribution on the worker thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.hpp"  // kNoWorkPackage
+
+namespace iokc::obs {
+
+class Observability;
+
+/// What a span hands to tasks it fans out: the parent link plus the
+/// attribution the task's own spans and metrics should inherit.
+struct SpanContext {
+  std::uint64_t span_id = 0;
+  std::string phase;
+  int work_package = kNoWorkPackage;
+};
+
+/// The calling thread's ambient context (innermost live span), or a default
+/// context when no span is live or observability is disabled.
+SpanContext current_context();
+
+/// One finished span, as recorded and exported.
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  std::string phase;
+  int work_package = kNoWorkPackage;
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;
+  int tid = 0;
+  std::uint64_t start_ns = 0;     // relative to the Observability's epoch
+  std::uint64_t duration_ns = 0;
+};
+
+struct SpanOptions {
+  std::string_view category;
+  /// Phase attribution; empty inherits the parent/ambient phase.
+  std::string_view phase;
+  /// Work-package attribution; kNoWorkPackage inherits.
+  int work_package = kNoWorkPackage;
+  /// Explicit parent for cross-thread handoff; nullptr uses the calling
+  /// thread's ambient context.
+  const SpanContext* parent = nullptr;
+};
+
+/// The RAII span. Scoped strictly (LIFO per thread); not copyable or
+/// movable, so the ambient save/restore cannot be reordered.
+class Span {
+ public:
+  /// Records against the process-global Observability (inert when unset).
+  explicit Span(std::string_view name, SpanOptions options = {});
+  /// Records against an explicit Observability (inert when nullptr).
+  Span(Observability* obs, std::string_view name, SpanOptions options = {});
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when attached to an Observability.
+  bool recording() const { return obs_ != nullptr; }
+
+  /// This span's context, for handoff into fanned-out tasks. Valid to copy
+  /// out while the span is alive; a default context when not recording.
+  SpanContext context() const;
+
+ private:
+  Observability* obs_ = nullptr;
+  std::string name_;
+  std::string category_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t parent_id_ = 0;
+  SpanContext self_;      // the ambient installed for this span's extent
+  SpanContext previous_;  // ambient restored on destruction
+};
+
+}  // namespace iokc::obs

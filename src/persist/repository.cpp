@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/observability.hpp"
 #include "src/util/check.hpp"
 #include "src/util/error.hpp"
 #include "src/util/json.hpp"
@@ -219,6 +220,10 @@ std::int64_t KnowledgeRepository::store(const knowledge::Io500Knowledge& k) {
 
 std::vector<std::int64_t> KnowledgeRepository::store_batch(
     const std::vector<knowledge::Knowledge>& objects) {
+  obs::Span span("repo:store_batch", {.category = "persist"});
+  obs::count("repo.batches");
+  obs::count("repo.batch_objects", objects.size());
+  obs::gauge_max("repo.batch_size", static_cast<double>(objects.size()));
   const std::lock_guard<std::mutex> lock(write_mutex_);
   std::vector<std::int64_t> ids;
   ids.reserve(objects.size());
@@ -230,6 +235,10 @@ std::vector<std::int64_t> KnowledgeRepository::store_batch(
 
 std::vector<std::int64_t> KnowledgeRepository::store_batch(
     const std::vector<knowledge::Io500Knowledge>& objects) {
+  obs::Span span("repo:store_batch", {.category = "persist"});
+  obs::count("repo.batches");
+  obs::count("repo.batch_objects", objects.size());
+  obs::gauge_max("repo.batch_size", static_cast<double>(objects.size()));
   const std::lock_guard<std::mutex> lock(write_mutex_);
   std::vector<std::int64_t> ids;
   ids.reserve(objects.size());

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/analysis/stats.hpp"
+#include "src/obs/observability.hpp"
 #include "src/util/error.hpp"
 
 namespace iokc::usage {
@@ -59,6 +60,7 @@ std::vector<TrainingSample> build_training_set(
 
 BandwidthPredictor BandwidthPredictor::fit(
     const std::vector<TrainingSample>& samples) {
+  obs::Span span("usage:fit", {.category = "usage", .phase = "usage"});
   if (samples.size() < 8) {
     throw ConfigError("bandwidth predictor needs >= 8 training samples, got " +
                       std::to_string(samples.size()));
@@ -91,6 +93,7 @@ double BandwidthPredictor::predict(const ConfigFeatures& features) const {
 
 double knn_predict(const std::vector<TrainingSample>& samples,
                    const ConfigFeatures& query, std::size_t k) {
+  obs::Span span("usage:knn_predict", {.category = "usage", .phase = "usage"});
   if (samples.empty()) {
     throw ConfigError("k-NN prediction over an empty sample set");
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/obs/observability.hpp"
 #include "src/util/error.hpp"
 #include "src/util/units.hpp"
 
@@ -55,6 +56,7 @@ bool same_pattern(const gen::IorConfig& a, const gen::IorConfig& b) {
 RecommendationReport recommend(persist::KnowledgeRepository& repository,
                                const gen::IorConfig& target,
                                const std::string& operation) {
+  obs::Span span("usage:recommend", {.category = "usage", .phase = "usage"});
   RecommendationReport report;
 
   std::vector<StoredRun> candidates;

@@ -18,7 +18,13 @@ struct WorkerIdentity {
 
 thread_local WorkerIdentity t_worker;
 
+std::atomic<PoolObserver> g_pool_observer{nullptr};
+
 }  // namespace
+
+void set_pool_observer(PoolObserver observer) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -52,6 +58,11 @@ ThreadPool::~ThreadPool() {
   for (std::thread& thread : threads_) {
     thread.join();
   }
+  // Workers are joined: the stats are final and reading them needs no lock.
+  if (const PoolObserver observer =
+          g_pool_observer.load(std::memory_order_acquire)) {
+    observer(PoolRunStats{threads_.size(), tasks_, steals_, max_pending_});
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -66,6 +77,8 @@ void ThreadPool::submit(std::function<void()> task) {
     }
     deques_[target].push_back(std::move(task));
     ++pending_;
+    ++tasks_;
+    max_pending_ = std::max(max_pending_, pending_);
   }
   work_cv_.notify_one();
 }
@@ -78,6 +91,20 @@ void ThreadPool::wait_idle() {
 std::size_t ThreadPool::steal_count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return steals_;
+}
+
+std::size_t ThreadPool::max_queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_pending_;
+}
+
+std::size_t ThreadPool::task_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_;
+}
+
+std::size_t ThreadPool::current_worker_index() {
+  return t_worker.pool != nullptr ? t_worker.index : 0;
 }
 
 std::size_t ThreadPool::hardware_threads() {
@@ -130,6 +157,12 @@ void ThreadPool::worker_loop(std::size_t self) {
 
 void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& body) {
+  parallel_for(count, jobs,
+               [&body](const TaskContext& task) { body(task.index); });
+}
+
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(const TaskContext&)>& body) {
   if (count == 0) {
     return;
   }
@@ -139,7 +172,7 @@ void parallel_for(std::size_t count, std::size_t jobs,
   jobs = std::min(jobs, count);
   if (jobs <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
-      body(i);
+      body(TaskContext{i, 0});
     }
     return;
   }
@@ -149,7 +182,7 @@ void parallel_for(std::size_t count, std::size_t jobs,
     for (std::size_t i = 0; i < count; ++i) {
       pool.submit([&body, &errors, i] {
         try {
-          body(i);
+          body(TaskContext{i, ThreadPool::current_worker_index()});
         } catch (...) {
           errors[i] = std::current_exception();
         }

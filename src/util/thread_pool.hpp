@@ -20,6 +20,33 @@
 
 namespace iokc::util {
 
+/// Execution context handed to parallel_for task bodies: the logical work
+/// item is carried with the task itself, so per-work-package attribution
+/// (tracing spans, metrics) is exact instead of guessed from the executing
+/// thread, which work stealing makes meaningless.
+struct TaskContext {
+  std::size_t index = 0;   // logical work item (e.g. the JUBE work package)
+  std::size_t worker = 0;  // executing worker within the pool (0 inline)
+};
+
+/// Aggregate statistics of one pool's lifetime, reported to the registered
+/// pool observer when the drained pool is destroyed.
+struct PoolRunStats {
+  std::size_t workers = 0;
+  std::size_t tasks = 0;            // tasks submitted (== executed at drain)
+  std::size_t steals = 0;           // tasks taken from another worker's deque
+  std::size_t max_queue_depth = 0;  // peak queued + running tasks
+};
+
+/// Receives PoolRunStats from every pool as it drains. A plain function
+/// pointer so installation is a single atomic store; util stays independent
+/// of whoever consumes the stats (the observability layer installs here).
+using PoolObserver = void (*)(const PoolRunStats&);
+
+/// Installs the process-wide pool observer; nullptr (the default) disables
+/// reporting.
+void set_pool_observer(PoolObserver observer);
+
 /// The pool. Tasks must not throw (wrap them; parallel_for does).
 class ThreadPool {
  public:
@@ -46,6 +73,16 @@ class ThreadPool {
   /// and bench reporting; meaningful once the pool is idle).
   std::size_t steal_count() const;
 
+  /// Peak queued + running tasks observed so far.
+  std::size_t max_queue_depth() const;
+
+  /// Total tasks submitted so far.
+  std::size_t task_count() const;
+
+  /// Index of the pool worker executing the caller, or 0 when the caller is
+  /// not a pool worker (the inline/serial case).
+  static std::size_t current_worker_index();
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static std::size_t hardware_threads();
 
@@ -63,6 +100,8 @@ class ThreadPool {
   std::size_t pending_ = 0;  // queued + running tasks
   std::size_t next_deque_ = 0;
   std::size_t steals_ = 0;
+  std::size_t tasks_ = 0;
+  std::size_t max_pending_ = 0;
   bool stop_ = false;
 };
 
@@ -73,5 +112,11 @@ class ThreadPool {
 /// lowest index is rethrown — deterministic regardless of interleaving.
 void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& body);
+
+/// Same contract, but the body receives the full TaskContext — use this
+/// when the body needs to attribute work (spans, metrics) to its logical
+/// item rather than to whichever thread happened to run it.
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(const TaskContext&)>& body);
 
 }  // namespace iokc::util

@@ -122,6 +122,48 @@ TEST_F(CliTest, SweepRunsJubeConfigFile) {
             std::string::npos);
 }
 
+TEST_F(CliTest, TraceAndMetricsFlagsWriteExports) {
+  const std::filesystem::path config = dir_ / "sweep.xml";
+  {
+    std::ofstream file(config);
+    file << "<jube><benchmark name=\"s\" outpath=\"s\">\n"
+            "<parameterset name=\"p\"><parameter name=\"t\">256k,1m"
+            "</parameter></parameterset>\n"
+            "<step name=\"run\">ior -a posix -b 1m -t $t -s 1 -F -w -i 1 "
+            "-N 2 -o /scratch/s_$t</step>\n"
+            "</benchmark></jube>\n";
+  }
+  const std::filesystem::path trace = dir_ / "t.json";
+  const std::filesystem::path metrics = dir_ / "m.csv";
+  ASSERT_EQ(cli({"--jobs", "2", "--trace", trace.string(), "--metrics",
+                 metrics.string(), "sweep", config.string()}),
+            0)
+      << err();
+
+  const auto slurp = [](const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  ASSERT_TRUE(std::filesystem::exists(trace));
+  const std::string trace_text = slurp(trace);
+  EXPECT_EQ(trace_text.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+  EXPECT_NE(trace_text.find("\"phase:generation\""), std::string::npos);
+  EXPECT_NE(trace_text.find("\"work_package\":1"), std::string::npos);
+
+  ASSERT_TRUE(std::filesystem::exists(metrics));
+  const std::string metrics_text = slurp(metrics);
+  EXPECT_EQ(metrics_text.rfind("metric,phase,work_package,kind,value", 0),
+            0u);
+  EXPECT_NE(metrics_text.find("db.statements"), std::string::npos);
+  EXPECT_NE(metrics_text.find("repo.batch_objects"), std::string::npos);
+}
+
+TEST_F(CliTest, FlagsWithoutValuesAreRejected) {
+  EXPECT_EQ(cli({"--trace"}), 1);
+  EXPECT_EQ(cli({"--metrics"}), 1);
+}
+
 TEST_F(CliTest, CompareRendersAsciiChart) {
   ASSERT_EQ(cli({"run", "ior", "-a", "posix", "-b", "1m", "-t", "256k", "-s",
                  "2", "-F", "-w", "-i", "1", "-N", "4", "-o", "/scratch/a",

@@ -1,0 +1,296 @@
+// Unit tests for the observability layer: manual clock determinism, span
+// nesting and cross-thread parent handoff, golden trace/CSV exports, and
+// metric shard merging under concurrent recording.
+#include "src/obs/observability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/clock.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace iokc::obs {
+namespace {
+
+TEST(ManualClock, ReturnsThenAdvancesByFixedStep) {
+  ManualClock clock(10);
+  EXPECT_EQ(clock.read(), 0u);
+  EXPECT_EQ(clock.read(), 10u);
+  clock.advance(100);
+  EXPECT_EQ(clock.read(), 120u);
+
+  // fn() shares state with the clock it came from.
+  ClockFn fn = clock.fn();
+  EXPECT_EQ(fn(), 130u);
+  EXPECT_EQ(clock.read(), 140u);
+}
+
+TEST(Span, InertWhenNoObservabilityInstalled) {
+  ASSERT_EQ(global(), nullptr);
+  Span span("noop", {.category = "test", .phase = "generation"});
+  EXPECT_FALSE(span.recording());
+  EXPECT_EQ(span.context().span_id, 0u);
+  // The free-function hooks must be safe no-ops too.
+  count("noop.counter");
+  gauge_max("noop.gauge", 1.0);
+  observe("noop.histogram", 1.0);
+  EXPECT_EQ(current_context().span_id, 0u);
+}
+
+TEST(Span, NestedSpansParentAndInheritAttribution) {
+  Observability obs;
+  ScopedObservability scoped(obs);
+  {
+    Span outer("phase:generation",
+               {.category = "cycle", .phase = "generation"});
+    EXPECT_TRUE(outer.recording());
+    EXPECT_EQ(current_context().phase, "generation");
+    {
+      Span inner("work", {.category = "jube", .work_package = 3});
+      // Phase inherited from the outer span, work package set explicitly.
+      EXPECT_EQ(current_context().phase, "generation");
+      EXPECT_EQ(current_context().work_package, 3);
+      EXPECT_EQ(current_context().span_id, inner.context().span_id);
+    }
+    // Ambient restored LIFO.
+    EXPECT_EQ(current_context().span_id, outer.context().span_id);
+    EXPECT_EQ(current_context().work_package, kNoWorkPackage);
+  }
+  EXPECT_EQ(current_context().span_id, 0u);
+
+  const std::vector<SpanEvent> events = obs.trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Destruction order: inner closes first.
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].parent_id, events[1].id);
+  EXPECT_EQ(events[0].phase, "generation");
+  EXPECT_EQ(events[0].work_package, 3);
+  EXPECT_EQ(events[1].name, "phase:generation");
+  EXPECT_EQ(events[1].parent_id, 0u);
+  EXPECT_EQ(events[1].work_package, kNoWorkPackage);
+}
+
+TEST(Span, ExplicitParentHandoffAcrossThreads) {
+  Observability obs;
+  ScopedObservability scoped(obs);
+  {
+    Span root("phase:generation",
+              {.category = "cycle", .phase = "generation"});
+    const SpanContext handoff = root.context();
+    std::thread worker([&handoff] {
+      // A fresh thread has no ambient span; the explicit parent restores
+      // both the trace tree and the attribution.
+      EXPECT_EQ(current_context().span_id, 0u);
+      Span task("work_package", {.category = "jube",
+                                 .work_package = 7,
+                                 .parent = &handoff});
+      EXPECT_EQ(current_context().phase, "generation");
+      EXPECT_EQ(current_context().work_package, 7);
+    });
+    worker.join();
+  }
+  const std::vector<SpanEvent> events = obs.trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "work_package");
+  EXPECT_EQ(events[0].parent_id, events[1].id);
+  EXPECT_EQ(events[0].phase, "generation");
+  EXPECT_EQ(events[0].work_package, 7);
+  // The worker thread got its own dense tid.
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(Observability, DestructorUninstallsItselfFromGlobal) {
+  {
+    Observability obs;
+    set_global(&obs);
+    EXPECT_EQ(global(), &obs);
+  }
+  EXPECT_EQ(global(), nullptr);
+}
+
+TEST(ChromeTrace, GoldenExportWithManualClock) {
+  ManualClock clock(1000);
+  Observability obs(Observability::Config{clock.fn()});
+  ScopedObservability scoped(obs);
+  {
+    Span outer("phase:generation",
+               {.category = "cycle", .phase = "generation"});
+    Span inner("work", {.category = "jube", .work_package = 3});
+  }
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"work\",\"cat\":\"jube\",\"ph\":\"X\",\"ts\":2.000,"
+      "\"dur\":1.000,\"pid\":1,\"tid\":0,\"args\":{\"span_id\":2,"
+      "\"parent_id\":1,\"phase\":\"generation\",\"work_package\":3}},\n"
+      "{\"name\":\"phase:generation\",\"cat\":\"cycle\",\"ph\":\"X\","
+      "\"ts\":1.000,\"dur\":3.000,\"pid\":1,\"tid\":0,\"args\":{"
+      "\"span_id\":1,\"phase\":\"generation\"}}\n"
+      "]}\n";
+  EXPECT_EQ(obs.render_chrome_trace(), expected);
+}
+
+TEST(ChromeTrace, EscapesSpecialCharactersInNames) {
+  Observability obs;
+  ScopedObservability scoped(obs);
+  { Span span("quote\"back\\slash\nnewline", {.category = "test"}); }
+  const std::string trace = obs.render_chrome_trace();
+  EXPECT_NE(trace.find("quote\\\"back\\\\slash\\nnewline"), std::string::npos);
+}
+
+TEST(MetricsCsv, GoldenExport) {
+  Observability obs;
+  ScopedObservability scoped(obs);
+  {
+    Span phase("phase:persistence",
+               {.category = "cycle", .phase = "persistence"});
+    count("db.statements", 5);
+    gauge_max("repo.batch_size", 8.0);
+    {
+      Span wp("work", {.category = "jube", .work_package = 2});
+      observe("extract.bytes", 3.0);
+      observe("extract.bytes", 20.0);
+    }
+  }
+  const std::string expected =
+      "metric,phase,work_package,kind,value\n"
+      "db.statements,persistence,,counter,5\n"
+      "extract.bytes.count,persistence,2,histogram,2\n"
+      "extract.bytes.sum,persistence,2,histogram,23\n"
+      "extract.bytes.le_1,persistence,2,histogram,0\n"
+      "extract.bytes.le_4,persistence,2,histogram,1\n"
+      "extract.bytes.le_16,persistence,2,histogram,0\n"
+      "extract.bytes.le_64,persistence,2,histogram,1\n"
+      "extract.bytes.le_256,persistence,2,histogram,0\n"
+      "extract.bytes.le_1024,persistence,2,histogram,0\n"
+      "extract.bytes.le_4096,persistence,2,histogram,0\n"
+      "extract.bytes.le_16384,persistence,2,histogram,0\n"
+      "extract.bytes.le_65536,persistence,2,histogram,0\n"
+      "extract.bytes.le_262144,persistence,2,histogram,0\n"
+      "extract.bytes.le_1048576,persistence,2,histogram,0\n"
+      "extract.bytes.le_4194304,persistence,2,histogram,0\n"
+      "extract.bytes.le_16777216,persistence,2,histogram,0\n"
+      "extract.bytes.le_67108864,persistence,2,histogram,0\n"
+      "extract.bytes.le_268435456,persistence,2,histogram,0\n"
+      "extract.bytes.le_1073741824,persistence,2,histogram,0\n"
+      "extract.bytes.le_inf,persistence,2,histogram,0\n"
+      "repo.batch_size,persistence,,gauge_max,8\n";
+  EXPECT_EQ(obs.render_metrics_csv(), expected);
+}
+
+TEST(Metrics, CountersMergeAcrossConcurrentRecorders) {
+  MetricsRegistry registry;
+  const MetricKey key{"hits", "generation", kNoWorkPackage};
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &key] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        registry.add_counter(key, 1);
+      }
+    });
+  }
+  // Concurrent snapshots must be race-free (values may be mid-flight).
+  for (int i = 0; i < 10; ++i) {
+    (void)registry.snapshot();
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const std::vector<MetricSnapshot> merged = registry.snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].count, kThreads * kPerThread);
+}
+
+TEST(Metrics, HistogramsMergeAcrossConcurrentRecorders) {
+  MetricsRegistry registry;
+  const MetricKey key{"latency", "extraction", kNoWorkPackage};
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &key, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Deterministic spread over several buckets plus the overflow.
+        registry.record_histogram(
+            key, static_cast<double>((t + 1)) * (i % 4 == 0 ? 1e10 : 3.0));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const std::vector<MetricSnapshot> merged = registry.snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t bucket : merged[0].buckets) {
+    bucket_total += bucket;
+  }
+  EXPECT_EQ(bucket_total, merged[0].count);
+  // Every fourth sample lands in the overflow bucket (1e10 > 4^15).
+  EXPECT_EQ(merged[0].buckets.back(),
+            static_cast<std::uint64_t>(kThreads) * (kPerThread / 4));
+}
+
+TEST(Metrics, GaugeMaxKeepsTheMaximumAcrossThreads) {
+  MetricsRegistry registry;
+  const MetricKey key{"depth", "", kNoWorkPackage};
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 4; ++t) {
+    threads.emplace_back([&registry, &key, t] {
+      registry.record_gauge_max(key, static_cast<double>(t));
+      registry.record_gauge_max(key, 0.5);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const std::vector<MetricSnapshot> merged = registry.snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].max, 4.0);
+}
+
+TEST(PoolObserver, DrainedPoolsReportStatsAsMetrics) {
+  Observability obs;
+  ScopedObservability scoped(obs);
+  std::atomic<int> executed{0};
+  {
+    Span phase("phase:generation",
+               {.category = "cycle", .phase = "generation"});
+    util::parallel_for(16, 4, [&executed](std::size_t) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(executed.load(), 16);
+  bool saw_tasks = false;
+  for (const MetricSnapshot& snap : obs.metrics().snapshot()) {
+    if (snap.key.name == "pool.tasks") {
+      saw_tasks = true;
+      EXPECT_EQ(snap.key.phase, "generation");
+      EXPECT_EQ(snap.count, 16u);
+    }
+  }
+  EXPECT_TRUE(saw_tasks);
+}
+
+TEST(PoolObserver, InlineParallelForReportsNothing) {
+  Observability obs;
+  ScopedObservability scoped(obs);
+  util::parallel_for(4, 1, [](std::size_t) {});
+  for (const MetricSnapshot& snap : obs.metrics().snapshot()) {
+    EXPECT_NE(snap.key.name, "pool.tasks");
+  }
+}
+
+}  // namespace
+}  // namespace iokc::obs

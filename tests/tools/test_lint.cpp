@@ -199,6 +199,8 @@ TEST(Lint, DiagnosticRenderingIsStable) {
 
 TEST(Lint, ModuleRanksMatchTheArchitecture) {
   EXPECT_EQ(module_rank("util"), 0);
+  EXPECT_LT(module_rank("util"), module_rank("obs"));
+  EXPECT_LT(module_rank("obs"), module_rank("sim"));
   EXPECT_LT(module_rank("util"), module_rank("sim"));
   EXPECT_LT(module_rank("sim"), module_rank("fs"));
   EXPECT_LT(module_rank("fs"), module_rank("iostack"));

@@ -124,6 +124,26 @@ TEST(ParallelFor, RethrowsLowestIndexException) {
   }
 }
 
+TEST(ParallelFor, TaskContextCarriesTheLogicalIndex) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    std::vector<std::atomic<int>> seen(64);
+    parallel_for(seen.size(), jobs, [&seen, jobs](const TaskContext& task) {
+      // The logical index is exact regardless of which worker ran the task.
+      seen[task.index].fetch_add(1, std::memory_order_relaxed);
+      EXPECT_LT(task.worker, jobs);
+    });
+    for (const std::atomic<int>& visits : seen) {
+      EXPECT_EQ(visits.load(), 1);
+    }
+  }
+}
+
+TEST(ParallelFor, InlineTaskContextReportsWorkerZero) {
+  parallel_for(4, 1, [](const TaskContext& task) {
+    EXPECT_EQ(task.worker, 0u);
+  });
+}
+
 TEST(ParallelFor, RemainingTasksStillRunAfterAThrow) {
   std::atomic<int> counter{0};
   EXPECT_THROW(parallel_for(64, 4,

@@ -18,21 +18,22 @@ namespace {
 // extract <-> persist) are upward edges and rejected.
 // ---------------------------------------------------------------------------
 
-constexpr std::array<std::pair<std::string_view, int>, 14> kModules = {{
+constexpr std::array<std::pair<std::string_view, int>, 15> kModules = {{
     {"util", 0},
-    {"sim", 1},
-    {"db", 1},
-    {"jube", 1},
-    {"knowledge", 1},
-    {"fs", 2},
-    {"iostack", 3},
-    {"generators", 4},
-    {"extract", 4},
-    {"persist", 4},
-    {"analysis", 5},
-    {"usage", 6},
-    {"cycle", 7},
-    {"cli", 8},
+    {"obs", 1},
+    {"sim", 2},
+    {"db", 2},
+    {"jube", 2},
+    {"knowledge", 2},
+    {"fs", 3},
+    {"iostack", 4},
+    {"generators", 5},
+    {"extract", 5},
+    {"persist", 5},
+    {"analysis", 6},
+    {"usage", 7},
+    {"cycle", 8},
+    {"cli", 9},
 }};
 
 // ---------------------------------------------------------------------------
@@ -59,8 +60,8 @@ const std::vector<ErrorOwners>& exception_owners() {
       // Host filesystem I/O: only layers that touch the real filesystem.
       // sim/fs/iostack/generators/knowledge/usage are pure in-memory models.
       {"IoError",
-       {"util", "db", "jube", "extract", "persist", "analysis", "cycle",
-        "cli"}},
+       {"util", "obs", "db", "jube", "extract", "persist", "analysis",
+        "cycle", "cli"}},
       // CheckError is reserved for the IOKC_CHECK machinery in util.
       {"CheckError", {"util"}},
   };
