@@ -27,6 +27,7 @@ struct GlobalOptions {
   /// switches the cycle to isolated per-work-package environments on that
   /// many threads (0 = hardware concurrency).
   int jobs = -1;
+  bool resume = false;  // --resume: continue an interrupted sweep
   std::string trace;    // --trace: Chrome-trace JSON output path
   std::string metrics;  // --metrics: metrics CSV output path
 };
@@ -41,6 +42,9 @@ struct Session {
               persist::RepoTarget::parse(options.db)) {
     if (options.jobs >= 0) {
       cycle.set_parallelism(options.jobs);
+    }
+    if (options.resume) {
+      cycle.set_resume(true);
     }
     if (observability != nullptr) {
       cycle.set_observability(observability);
@@ -293,7 +297,7 @@ std::string usage_text() {
   return
       "usage: iokc [--db <url>] [--workspace <dir>] [--seed <n>] "
       "[--jobs <n>]\n"
-      "            [--trace <file>] [--metrics <file>] <command>\n"
+      "            [--resume] [--trace <file>] [--metrics <file>] <command>\n"
       "\n"
       "commands:\n"
       "  run <benchmark command...>    run + extract + persist + view\n"
@@ -317,6 +321,12 @@ std::string usage_text() {
       "--jobs <n> runs sweep work packages on <n> threads (0 = all hardware\n"
       "threads), each in an isolated environment seeded from the scenario\n"
       "seed and the work-package id; results are identical for any <n>.\n"
+      "\n"
+      "--resume continues an interrupted run/sweep: completed work packages\n"
+      "(valid done markers) are skipped and already-persisted outputs are\n"
+      "not stored twice; the database recovers committed transactions from\n"
+      "its write-ahead journal. The restarted run converges to the same\n"
+      "database an uninterrupted run would have produced.\n"
       "\n"
       "--trace <file> records one span per cycle phase and work package and\n"
       "writes Chrome-trace JSON (load in Perfetto or chrome://tracing).\n"
@@ -351,6 +361,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
           throw ConfigError("--jobs needs a value >= 0");
         }
         options.jobs = static_cast<int>(jobs);
+      } else if (flag == "--resume") {
+        options.resume = true;
       } else if (flag == "--trace") {
         options.trace = need_value();
       } else if (flag == "--metrics") {

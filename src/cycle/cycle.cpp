@@ -18,7 +18,16 @@ KnowledgeCycle::KnowledgeCycle(SimEnvironment& env,
       executor_options_(executor_options),
       runner_(workspace_, make_executor_registry(env, executor_options)),
       repository_(target),
-      explorer_(repository_) {}
+      explorer_(repository_) {
+  // A file-backed repository may carry sources persisted by an earlier
+  // (possibly killed) process; seed the skip list from it so extraction is
+  // exactly-once across process lifetimes, not just within one.
+  // Sources are recorded relative to the workspace root, so the database
+  // contents do not depend on where the workspace happens to live.
+  for (const std::string& source : repository_.extracted_sources()) {
+    extracted_outputs_.push_back(workspace_ / source);
+  }
+}
 
 void KnowledgeCycle::set_observability(obs::Observability* observability) {
   observability_ = observability;
@@ -38,13 +47,14 @@ jube::JubeRunResult KnowledgeCycle::generate(
     const jube::JubeBenchmarkConfig& config) {
   obs::Span span("phase:generation",
                  {.category = "cycle", .phase = "generation"});
+  jube::RunOptions options;
+  options.resume = resume_;
   if (jobs_ == 0) {
-    return runner_.run(config);
+    return runner_.run(config, options);
   }
   jube::JubeRunner isolated_runner(
       workspace_,
       make_isolated_registry_factory(env_.config(), executor_options_));
-  jube::RunOptions options;
   options.jobs = jobs_;
   return isolated_runner.run(config, options);
 }
@@ -71,15 +81,16 @@ extract::ExtractionResult KnowledgeCycle::extract_and_persist() {
     fresh.push_back(output);
   }
 
-  // Extract in parallel, merge in work-package order (discover_outputs is
-  // sorted), then commit the batch through the repository's single writer —
-  // ids come out in the same order a serial pass would assign them.
-  extract::ExtractionResult result;
+  // Extract in parallel, keep results per source file (discover_outputs is
+  // sorted, so batches land in work-package order), then commit each source
+  // as one transaction through the repository — ids come out in the same
+  // order a serial pass would assign them, and a crash between sources
+  // never half-persists one.
+  std::vector<extract::ExtractionResult> extracted(fresh.size());
   {
     obs::Span phase_span("phase:extraction",
                          {.category = "cycle", .phase = "extraction"});
     const obs::SpanContext handoff = phase_span.context();
-    std::vector<extract::ExtractionResult> extracted(fresh.size());
     util::parallel_for(
         fresh.size(), static_cast<std::size_t>(std::max(jobs_, 1)),
         [&](const util::TaskContext& task) {
@@ -96,19 +107,26 @@ extract::ExtractionResult KnowledgeCycle::extract_and_persist() {
             extracted[i].merge(extractor.extract_file(darshan));
           }
         });
-    for (extract::ExtractionResult& part : extracted) {
-      result.merge(std::move(part));
-    }
   }
 
   obs::Span persist_span("phase:persistence",
                          {.category = "cycle", .phase = "persistence"});
-  for (const std::int64_t id : repository_.store_batch(result.knowledge)) {
-    knowledge_ids_.push_back(id);
+  extract::ExtractionResult result;
+  std::vector<persist::SourceBatch> batches;
+  batches.reserve(fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    persist::SourceBatch batch;
+    batch.source = fresh[i].lexically_relative(workspace_).generic_string();
+    batch.knowledge = extracted[i].knowledge;
+    batch.io500 = extracted[i].io500;
+    batches.push_back(std::move(batch));
+    result.merge(std::move(extracted[i]));
   }
-  for (const std::int64_t id : repository_.store_batch(result.io500)) {
-    io500_ids_.push_back(id);
-  }
+  persist::StoreOutcome outcome = repository_.store_sources(batches);
+  knowledge_ids_.insert(knowledge_ids_.end(), outcome.knowledge_ids.begin(),
+                        outcome.knowledge_ids.end());
+  io500_ids_.insert(io500_ids_.end(), outcome.io500_ids.begin(),
+                    outcome.io500_ids.end());
   return result;
 }
 

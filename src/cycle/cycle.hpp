@@ -47,6 +47,15 @@ class KnowledgeCycle {
   /// Resolved worker-thread count; 0 while in legacy shared-environment mode.
   int parallelism() const { return jobs_; }
 
+  // -- Resumption -----------------------------------------------------------
+
+  /// Makes generate() resume an interrupted sweep: completed work packages
+  /// (valid "done" markers in a matching run directory) are skipped, and
+  /// extraction already skips sources the repository recorded — so a killed
+  /// run restarted with resume converges to the uninterrupted result.
+  void set_resume(bool resume) { resume_ = resume; }
+  bool resume() const { return resume_; }
+
   // -- Observability --------------------------------------------------------
 
   /// Installs `observability` as the process-global sink every phase reports
@@ -99,6 +108,7 @@ class KnowledgeCycle {
   std::filesystem::path workspace_;
   ExecutorOptions executor_options_;
   int jobs_ = 0;  // 0 = legacy serial shared-environment mode
+  bool resume_ = false;
   obs::Observability* observability_ = nullptr;
   jube::JubeRunner runner_;
   persist::KnowledgeRepository repository_;

@@ -7,6 +7,7 @@
 #include "src/obs/observability.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fsio.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
 
@@ -53,13 +54,160 @@ std::string ResultSet::render_csv() const {
 }
 
 ResultSet Database::execute(std::string_view sql) {
-  return execute_statement(parse_sql(sql));
+  const Statement statement = parse_sql(sql);
+  const bool mutates = statement_mutates(statement);
+  if (in_transaction_) {
+    ResultSet result = execute_statement(statement);
+    if (mutates) {
+      txn_statements_.emplace_back(sql);
+    }
+    return result;
+  }
+  if (!mutates) {
+    return execute_statement(statement);
+  }
+  // Auto-commit: a mutating statement outside an explicit transaction is an
+  // atomic single-statement transaction (a multi-row INSERT that fails on
+  // row 2 must not leave row 1 behind).
+  begin();
+  try {
+    ResultSet result = execute_statement(statement);
+    txn_statements_.emplace_back(sql);
+    commit();
+    return result;
+  } catch (...) {
+    if (in_transaction_) {
+      rollback();
+    }
+    throw;
+  }
 }
 
 void Database::execute_script(std::string_view script) {
-  for (const Statement& statement : parse_sql_script(script)) {
-    execute_statement(statement);
+  for (const std::string& piece : split_sql_script(script)) {
+    execute(piece);
   }
+}
+
+void Database::begin() {
+  if (in_transaction_) {
+    throw DbError("BEGIN inside an open transaction (no nesting)");
+  }
+  in_transaction_ = true;
+  txn_last_insert_rowid_ = last_insert_rowid_;
+}
+
+namespace {
+
+void clear_transaction_state(std::vector<std::string>& statements,
+                             auto& baselines, auto& snapshots,
+                             std::vector<std::string>& created) {
+  statements.clear();
+  baselines.clear();
+  snapshots.clear();
+  created.clear();
+}
+
+}  // namespace
+
+void Database::commit() {
+  if (!in_transaction_) {
+    throw DbError("COMMIT without BEGIN");
+  }
+  if (journal_ != nullptr && !txn_statements_.empty()) {
+    try {
+      journal_->append(txn_statements_);
+    } catch (...) {
+      // The journal is the durability point: if it cannot record the
+      // transaction, undo the in-memory effects so commit() stays
+      // all-or-nothing.
+      rollback();
+      throw;
+    }
+  }
+  clear_transaction_state(txn_statements_, txn_insert_baselines_,
+                          txn_snapshots_, txn_created_tables_);
+  in_transaction_ = false;
+}
+
+void Database::rollback() {
+  if (!in_transaction_) {
+    throw DbError("ROLLBACK without BEGIN");
+  }
+  for (auto& [name, snapshot] : txn_snapshots_) {
+    tables_[name] = std::move(snapshot);
+  }
+  for (const auto& [name, baseline] : txn_insert_baselines_) {
+    if (txn_snapshots_.contains(name)) {
+      continue;  // wholesale restore already covered the inserts
+    }
+    const auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      continue;  // created and dropped within the transaction
+    }
+    it->second->truncate_rows(baseline.rows);
+    it->second->set_next_rowid(baseline.next_rowid);
+  }
+  for (const std::string& name : txn_created_tables_) {
+    tables_.erase(name);
+  }
+  last_insert_rowid_ = txn_last_insert_rowid_;
+  clear_transaction_state(txn_statements_, txn_insert_baselines_,
+                          txn_snapshots_, txn_created_tables_);
+  in_transaction_ = false;
+}
+
+bool Database::statement_mutates(const Statement& statement) const {
+  return std::visit(
+      [this](const auto& stmt) -> bool {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, SelectStmt>) {
+          return false;
+        } else if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          // CREATE TABLE IF NOT EXISTS on an existing table is a no-op and
+          // must not bloat the journal.
+          return !(stmt.if_not_exists && tables_.contains(stmt.schema.name));
+        } else if constexpr (std::is_same_v<T, DropTableStmt>) {
+          return !(stmt.if_exists && !tables_.contains(stmt.table));
+        } else {
+          return true;
+        }
+      },
+      statement);
+}
+
+void Database::note_insert(const std::string& name) {
+  if (!in_transaction_ || txn_snapshots_.contains(name) ||
+      txn_insert_baselines_.contains(name)) {
+    return;
+  }
+  if (std::find(txn_created_tables_.begin(), txn_created_tables_.end(),
+                name) != txn_created_tables_.end()) {
+    return;  // rollback erases the whole table
+  }
+  const Table& table = *tables_.at(name);
+  txn_insert_baselines_[name] =
+      InsertBaseline{table.row_count(), table.next_rowid()};
+}
+
+void Database::note_overwrite(const std::string& name) {
+  if (!in_transaction_ || txn_snapshots_.contains(name)) {
+    return;
+  }
+  if (std::find(txn_created_tables_.begin(), txn_created_tables_.end(),
+                name) != txn_created_tables_.end()) {
+    return;
+  }
+  auto snapshot = std::make_unique<Table>(*tables_.at(name));
+  // The snapshot must be the pre-transaction image: drop any rows this
+  // transaction already appended (inserts only ever append).
+  const auto baseline = txn_insert_baselines_.find(name);
+  if (baseline != txn_insert_baselines_.end()) {
+    snapshot->truncate_rows(baseline->second.rows);
+    snapshot->set_next_rowid(baseline->second.next_rowid);
+    txn_insert_baselines_.erase(baseline);
+  }
+  txn_snapshots_[name] = std::move(snapshot);
 }
 
 bool Database::has_table(const std::string& name) const {
@@ -111,6 +259,9 @@ ResultSet Database::execute_statement(const Statement& statement) {
           }
           tables_.emplace(stmt.schema.name,
                           std::make_unique<Table>(stmt.schema));
+          if (in_transaction_) {
+            txn_created_tables_.push_back(stmt.schema.name);
+          }
           // Index FK columns: joins and referential checks hit them often.
           for (const ColumnDef& column : stmt.schema.columns) {
             if (column.references.has_value()) {
@@ -119,7 +270,9 @@ ResultSet Database::execute_statement(const Statement& statement) {
           }
           return {};
         } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
-          require_table(stmt.table).create_index(stmt.column);
+          Table& table = require_table(stmt.table);
+          note_overwrite(stmt.table);
+          table.create_index(stmt.column);
           return {};
         } else if constexpr (std::is_same_v<T, InsertStmt>) {
           run_insert(stmt);
@@ -153,6 +306,7 @@ ResultSet Database::execute_statement(const Statement& statement) {
               }
             }
           }
+          note_overwrite(stmt.table);
           tables_.erase(stmt.table);
           return ResultSet{};
         }
@@ -193,6 +347,7 @@ void Database::check_no_references(const std::string& table, const Value& key,
 
 void Database::run_insert(const InsertStmt& stmt) {
   Table& table = require_table(stmt.table);
+  note_insert(stmt.table);
   for (const std::vector<Value>& values : stmt.rows) {
     // Build the full row first so FK checks see defaults applied.
     Row row_copy = values;
@@ -402,6 +557,7 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
 
 void Database::run_update(const UpdateStmt& stmt) {
   Table& table = require_table(stmt.table);
+  note_overwrite(stmt.table);
   const Projection projection = make_projection(table, nullptr);
   std::vector<std::size_t> matches;
   for (std::size_t r = 0; r < table.rows().size(); ++r) {
@@ -428,6 +584,7 @@ void Database::run_update(const UpdateStmt& stmt) {
 
 void Database::run_delete(const DeleteStmt& stmt) {
   Table& table = require_table(stmt.table);
+  note_overwrite(stmt.table);
   const Projection projection = make_projection(table, nullptr);
   const auto pk = table.schema().primary_key_index();
   std::vector<std::size_t> matches;
@@ -490,14 +647,23 @@ std::string Database::dump() const {
   return out;
 }
 
-void Database::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw IoError("cannot open database file for writing: " + path);
+void Database::save(const std::string& path) {
+  if (in_transaction_) {
+    throw DbError("cannot save with an open transaction");
   }
-  out << dump();
-  if (!out) {
-    throw IoError("failed writing database file: " + path);
+  std::string content = dump();
+  if (journal_ != nullptr) {
+    // Record the journal epoch right after the header line so open() can
+    // skip journal records this dump already contains (a crash between the
+    // dump rename and the journal truncation must not double-apply them).
+    const std::size_t eol = content.find('\n');
+    content.insert(eol == std::string::npos ? content.size() : eol + 1,
+                   "-- journal-epoch " + std::to_string(journal_->last_seq()) +
+                       "\n");
+  }
+  util::atomic_replace_file(path, content);
+  if (journal_ != nullptr && path == home_path_) {
+    journal_->checkpoint();
   }
 }
 
@@ -522,11 +688,60 @@ Database Database::load(const std::string& path) {
   return database;
 }
 
-Database Database::open(const std::string& path) {
-  if (std::filesystem::exists(path)) {
-    return load(path);
+namespace {
+
+/// The journal epoch recorded in a dump's header comments (0 when absent).
+std::uint64_t read_journal_epoch(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string line;
+  for (int i = 0; i < 8 && std::getline(in, line); ++i) {
+    constexpr std::string_view kPrefix = "-- journal-epoch ";
+    if (util::starts_with(line, kPrefix)) {
+      return static_cast<std::uint64_t>(
+          util::parse_i64(util::trim(line.substr(kPrefix.size()))));
+    }
   }
-  return Database{};
+  return 0;
+}
+
+}  // namespace
+
+Database Database::open(const std::string& path) {
+  Database database;
+  std::uint64_t epoch = 0;
+  if (std::filesystem::exists(path)) {
+    database = load(path);
+    epoch = read_journal_epoch(path);
+  }
+  // Crash recovery: fold committed journal records newer than the dump back
+  // in, each as one atomic transaction. A torn tail (crash mid-append) was
+  // already discarded by read_records.
+  const std::string journal_path = journal_path_for(path);
+  std::uint64_t last_seq = epoch;
+  for (const JournalRecord& record : Journal::read_records(journal_path)) {
+    if (record.seq <= epoch) {
+      continue;
+    }
+    database.begin();
+    try {
+      for (const std::string& statement : record.statements) {
+        database.execute(statement);
+      }
+    } catch (const Error& error) {
+      database.rollback();
+      throw DbError("journal replay failed at transaction " +
+                    std::to_string(record.seq) + ": " + error.what());
+    }
+    database.commit();
+    last_seq = record.seq;
+  }
+  database.home_path_ = path;
+  database.attach_journal(journal_path, last_seq);
+  return database;
+}
+
+void Database::attach_journal(const std::string& path, std::uint64_t last_seq) {
+  journal_ = std::make_unique<Journal>(path, last_seq);
 }
 
 }  // namespace iokc::db

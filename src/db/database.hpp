@@ -3,8 +3,17 @@
 // persists itself as a SQL dump (the same way `sqlite3 .dump` round-trips a
 // database). This is the substrate the paper's persistence phase plugs into
 // in place of SQLite.
+//
+// Durability model: open(path) loads the last saved dump, replays the
+// write-ahead journal (<path>-journal) on top of it, and keeps journaling
+// every committed transaction from then on — so a crash after a commit
+// never loses acknowledged writes. save() writes the dump atomically
+// (sibling temp file + fsync + rename) and checkpoints the journal. Every
+// mutating statement executed outside an explicit transaction is an atomic
+// single-statement transaction of its own.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -12,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/db/journal.hpp"
 #include "src/db/sql.hpp"
 #include "src/db/table.hpp"
 
@@ -43,11 +53,29 @@ class Database {
   Database& operator=(Database&&) = default;
 
   /// Parses and executes one statement. SELECT fills the returned ResultSet;
-  /// other statements return an empty set.
+  /// other statements return an empty set. Outside an explicit transaction
+  /// a mutating statement is atomic: it either applies fully (and is
+  /// journaled, when a journal is attached) or leaves the database unchanged.
   ResultSet execute(std::string_view sql);
 
-  /// Executes a ';'-separated script (errors abort at the failing statement).
+  /// Executes a ';'-separated script (errors abort at the failing statement;
+  /// already-executed statements stay committed).
   void execute_script(std::string_view script);
+
+  // -- Transactions ---------------------------------------------------------
+
+  /// Opens an explicit transaction. Statements executed until commit() apply
+  /// immediately but can be undone wholesale with rollback(). Transactions
+  /// do not nest; begin() inside a transaction throws DbError.
+  void begin();
+  /// Commits: makes the transaction's statements durable (journal append +
+  /// fsync when a journal is attached). On journal failure the transaction
+  /// is rolled back and the error rethrown, so commit() is all-or-nothing.
+  void commit();
+  /// Undoes every statement since begin(). Throws DbError outside a
+  /// transaction.
+  void rollback();
+  bool in_transaction() const { return in_transaction_; }
 
   /// Primary key assigned by the most recent INSERT.
   std::int64_t last_insert_rowid() const { return last_insert_rowid_; }
@@ -59,15 +87,36 @@ class Database {
 
   /// Serializes the database as an executable SQL script.
   std::string dump() const;
-  /// Writes dump() to a file; throws IoError on failure.
-  void save(const std::string& path) const;
+  /// Writes dump() to `path` atomically (temp file + fsync + rename): a
+  /// crash mid-save leaves the previous dump intact, never a torn file.
+  /// When `path` is this database's journaled home, the dump records the
+  /// journal epoch and the journal is checkpointed (truncated). Throws
+  /// IoError on failure.
+  void save(const std::string& path);
   /// Loads a dump written by save(). Throws IoError / ParseError / DbError.
   static Database load(const std::string& path);
-  /// Loads `path` when it exists, otherwise returns an empty database.
+  /// Opens `path` (an empty database when missing), replays any committed
+  /// transactions from the write-ahead journal beside it, and attaches the
+  /// journal so later commits are durable. This is the crash-recovery
+  /// entry point: open() after a crash converges to the last committed
+  /// state.
   static Database open(const std::string& path);
+
+  /// Attaches a write-ahead journal (created lazily on first commit). Older
+  /// records are NOT replayed — use open() for recovery. `last_seq` seeds
+  /// the record sequence counter.
+  void attach_journal(const std::string& path, std::uint64_t last_seq = 0);
+  void detach_journal() { journal_.reset(); }
+  bool journaling() const { return journal_ != nullptr; }
 
  private:
   ResultSet execute_statement(const Statement& statement);
+  bool statement_mutates(const Statement& statement) const;
+  /// Transaction bookkeeping: capture enough pre-image state to undo a
+  /// mutation of `name`. note_insert records an append baseline (cheap);
+  /// note_overwrite snapshots the whole table (update/delete/index/drop).
+  void note_insert(const std::string& name);
+  void note_overwrite(const std::string& name);
   ResultSet run_select(const SelectStmt& stmt);
   void run_insert(const InsertStmt& stmt);
   void run_update(const UpdateStmt& stmt);
@@ -78,6 +127,23 @@ class Database {
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::int64_t last_insert_rowid_ = 0;
+
+  /// Explicit-transaction state. Inserts only append, so they roll back by
+  /// truncating to the baseline; destructive statements snapshot the whole
+  /// table once (first touch) and roll back by restoring it.
+  struct InsertBaseline {
+    std::size_t rows = 0;
+    std::int64_t next_rowid = 1;
+  };
+  bool in_transaction_ = false;
+  std::vector<std::string> txn_statements_;
+  std::map<std::string, InsertBaseline> txn_insert_baselines_;
+  std::map<std::string, std::unique_ptr<Table>> txn_snapshots_;
+  std::vector<std::string> txn_created_tables_;
+  std::int64_t txn_last_insert_rowid_ = 0;
+
+  std::unique_ptr<Journal> journal_;
+  std::string home_path_;  // the file open() loaded; save() there checkpoints
 };
 
 }  // namespace iokc::db

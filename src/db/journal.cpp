@@ -1,0 +1,231 @@
+#include "src/db/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/util/fault.hpp"
+#include "src/util/strings.hpp"
+
+namespace iokc::db {
+
+namespace {
+
+constexpr std::string_view kFileHeader = "#iokc-journal v1\n";
+
+void write_all(int fd, std::string_view data, const std::string& path) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ::ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw IoError("failed writing journal " + path + ": " +
+                    std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+std::string journal_path_for(const std::string& db_path) {
+  return db_path + "-journal";
+}
+
+Journal::Journal(std::string path, std::uint64_t last_seq)
+    : path_(std::move(path)), last_seq_(last_seq) {}
+
+Journal::~Journal() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void Journal::ensure_open() {
+  if (fd_ >= 0) {
+    return;
+  }
+  // The journal lives beside a database file that may not have been saved
+  // yet, so its directory may not exist either.
+  const std::filesystem::path parent =
+      std::filesystem::path(path_).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent);
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw IoError("cannot open journal " + path_ + ": " +
+                  std::strerror(errno));
+  }
+  struct ::stat st {};
+  if (::fstat(fd_, &st) == 0 && st.st_size == 0) {
+    write_all(fd_, kFileHeader, path_);
+  }
+}
+
+void Journal::append(const std::vector<std::string>& statements) {
+  ensure_open();
+  std::string payload;
+  for (const std::string& statement : statements) {
+    payload += statement;
+    payload += ";\n";
+  }
+  const std::uint64_t seq = last_seq_ + 1;
+  char checksum[24];
+  std::snprintf(checksum, sizeof checksum, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  std::string head = "#txn " + std::to_string(seq) + " " +
+                     std::to_string(payload.size()) + " " + checksum + "\n";
+  // Two writes on purpose: a crash between them leaves a record with no end
+  // marker, which read_records treats as a torn tail and discards.
+  write_all(fd_, head + payload, path_);
+  util::fault_point("journal.append.torn");
+  write_all(fd_, "#end " + std::to_string(seq) + "\n", path_);
+  util::fault_point("journal.append.unsynced");
+  if (::fsync(fd_) != 0) {
+    throw IoError("fsync failed for journal " + path_ + ": " +
+                  std::strerror(errno));
+  }
+  last_seq_ = seq;
+  util::fault_point("journal.append.committed");
+}
+
+void Journal::checkpoint() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!std::filesystem::exists(path_)) {
+    return;  // never appended; nothing to truncate
+  }
+  util::fault_point("journal.checkpoint.pre");
+  const int fd =
+      ::open(path_.c_str(), O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw IoError("cannot truncate journal " + path_ + ": " +
+                  std::strerror(errno));
+  }
+  try {
+    write_all(fd, kFileHeader, path_);
+    if (::fsync(fd) != 0) {
+      throw IoError("fsync failed for journal " + path_ + ": " +
+                    std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  util::fault_point("journal.checkpoint.done");
+}
+
+std::vector<JournalRecord> Journal::read_records(const std::string& path) {
+  std::vector<JournalRecord> records;
+  if (!std::filesystem::exists(path)) {
+    return records;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot read journal " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::size_t pos = 0;
+  auto next_line = [&](std::string& line) -> bool {
+    const std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) {
+      return false;  // no terminating newline: torn
+    }
+    line = text.substr(pos, end - pos);
+    pos = end + 1;
+    return true;
+  };
+
+  std::string line;
+  if (!next_line(line) || line != "#iokc-journal v1") {
+    return records;  // empty, torn, or foreign file: no valid records
+  }
+  std::uint64_t previous_seq = 0;
+  while (pos < text.size()) {
+    if (!next_line(line) || !util::starts_with(line, "#txn ")) {
+      break;
+    }
+    std::uint64_t seq = 0;
+    std::size_t nbytes = 0;
+    unsigned long long checksum = 0;
+    {
+      unsigned long long seq_v = 0;
+      unsigned long long nbytes_v = 0;
+      if (std::sscanf(line.c_str(), "#txn %llu %llu %llx", &seq_v, &nbytes_v,
+                      &checksum) != 3) {
+        break;
+      }
+      seq = seq_v;
+      nbytes = static_cast<std::size_t>(nbytes_v);
+    }
+    if (seq <= previous_seq && previous_seq != 0) {
+      break;  // sequence must increase; anything else is corruption
+    }
+    if (pos + nbytes > text.size()) {
+      break;  // torn payload
+    }
+    const std::string_view payload(text.data() + pos, nbytes);
+    pos += nbytes;
+    if (fnv1a64(payload) != checksum) {
+      break;
+    }
+    if (!next_line(line) || line != "#end " + std::to_string(seq)) {
+      break;
+    }
+    JournalRecord record;
+    record.seq = seq;
+    // Statements were written one per line, ';'-terminated; re-split with
+    // the raw text preserved (the SQL layer re-parses on replay).
+    std::string fragment;
+    bool in_string = false;
+    for (const char c : payload) {
+      if (c == '\'') {
+        in_string = !in_string;
+        fragment += c;
+      } else if (c == ';' && !in_string) {
+        if (!util::trim(fragment).empty()) {
+          // Drop the "\n" separators append() wrote between statements.
+          record.statements.emplace_back(util::trim(fragment));
+        }
+        fragment.clear();
+      } else {
+        fragment += c;
+      }
+    }
+    if (!util::trim(fragment).empty()) {
+      record.statements.emplace_back(util::trim(fragment));
+    }
+    previous_seq = seq;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace iokc::db

@@ -1,0 +1,81 @@
+// The write-ahead journal: every committed transaction's statements are
+// appended to a sidecar log file (<db path>-journal) and fsynced before the
+// commit returns, so a crash after commit never loses acknowledged writes.
+// Database::open replays the journal on top of the last saved dump; save()
+// checkpoints (records the replayed sequence number in the dump header and
+// truncates the log).
+//
+// File format (text, length-prefixed and checksummed so a torn tail is
+// detected, never misparsed):
+//
+//   #iokc-journal v1
+//   #txn <seq> <payload bytes> <fnv1a-64 hex>
+//   <payload: one ';'-terminated SQL statement per line>
+//   #end <seq>
+//   ...
+//
+// A record is valid only when the header, full payload, checksum, and end
+// marker are all present and consistent; replay stops at the first invalid
+// record (the torn tail a crash mid-append leaves behind). Sequence numbers
+// are strictly increasing and never reset, so records already folded into a
+// dump (seq <= the dump's journal-epoch) are skipped on replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iokc::db {
+
+/// One committed transaction as recovered from the log.
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  std::vector<std::string> statements;
+};
+
+/// Append-side handle to a journal file. The file is created lazily on the
+/// first append, so read-only databases never leave empty sidecars behind.
+class Journal {
+ public:
+  /// `last_seq` seeds the sequence counter (the highest sequence number
+  /// already durable — from the dump epoch or a replayed record).
+  Journal(std::string path, std::uint64_t last_seq);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::uint64_t last_seq() const { return last_seq_; }
+
+  /// Appends one transaction record and fsyncs; the statements are durable
+  /// when this returns. Throws IoError on failure.
+  void append(const std::vector<std::string>& statements);
+
+  /// Truncates the log after its contents were checkpointed into a dump.
+  /// The sequence counter keeps counting, so a crash that undoes the
+  /// truncation (impossible) or leaves stale records is still safe: stale
+  /// records have seq <= the dump epoch and are skipped on replay.
+  void checkpoint();
+
+  /// Reads every valid record, stopping silently at a torn or corrupt tail.
+  /// A missing file yields no records. Throws IoError when the file exists
+  /// but cannot be read.
+  static std::vector<JournalRecord> read_records(const std::string& path);
+
+ private:
+  void ensure_open();
+
+  std::string path_;
+  std::uint64_t last_seq_;
+  int fd_ = -1;
+};
+
+/// The journal sidecar path for a database file.
+std::string journal_path_for(const std::string& db_path);
+
+/// FNV-1a 64-bit checksum (the record payload checksum).
+std::uint64_t fnv1a64(std::string_view data);
+
+}  // namespace iokc::db

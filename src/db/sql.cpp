@@ -496,8 +496,8 @@ Statement parse_sql(std::string_view sql) {
   return Parser(sql).parse_statement();
 }
 
-std::vector<Statement> parse_sql_script(std::string_view script) {
-  std::vector<Statement> statements;
+std::vector<std::string> split_sql_script(std::string_view script) {
+  std::vector<std::string> pieces;
   std::string fragment;
   bool in_string = false;
   for (std::size_t i = 0; i < script.size(); ++i) {
@@ -507,7 +507,7 @@ std::vector<Statement> parse_sql_script(std::string_view script) {
       fragment += c;
     } else if (c == ';' && !in_string) {
       if (!util::trim(fragment).empty()) {
-        statements.push_back(parse_sql(fragment));
+        pieces.push_back(fragment);
       }
       fragment.clear();
     } else {
@@ -515,7 +515,15 @@ std::vector<Statement> parse_sql_script(std::string_view script) {
     }
   }
   if (!util::trim(fragment).empty()) {
-    statements.push_back(parse_sql(fragment));
+    pieces.push_back(fragment);
+  }
+  return pieces;
+}
+
+std::vector<Statement> parse_sql_script(std::string_view script) {
+  std::vector<Statement> statements;
+  for (const std::string& piece : split_sql_script(script)) {
+    statements.push_back(parse_sql(piece));
   }
   return statements;
 }

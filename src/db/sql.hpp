@@ -89,4 +89,8 @@ Statement parse_sql(std::string_view sql);
 /// parses each; empty fragments are skipped.
 std::vector<Statement> parse_sql_script(std::string_view script);
 
+/// The splitting half of parse_sql_script: raw statement texts, unparsed
+/// (the database's journal records statements at the text level).
+std::vector<std::string> split_sql_script(std::string_view script);
+
 }  // namespace iokc::db

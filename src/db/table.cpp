@@ -135,18 +135,45 @@ void Table::remove_rows(const std::vector<std::size_t>& ascending_indices) {
   if (ascending_indices.empty()) {
     return;
   }
-  for (auto it = ascending_indices.rbegin(); it != ascending_indices.rend();
-       ++it) {
-    if (*it >= rows_.size()) {
+  // Validate up front so a bad index list leaves the table untouched.
+  for (std::size_t i = 0; i < ascending_indices.size(); ++i) {
+    if (ascending_indices[i] >= rows_.size()) {
       throw DbError("remove_rows index out of range on '" + schema_.name + "'");
     }
-    rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(*it));
+    if (i > 0 && ascending_indices[i] <= ascending_indices[i - 1]) {
+      throw DbError("remove_rows indices must be strictly ascending on '" +
+                    schema_.name + "'");
+    }
   }
+  // Single-pass compaction: shift each surviving row left over the gaps
+  // instead of erasing one index at a time (which re-shifts the whole tail
+  // per removal).
+  std::size_t next_removed = 0;
+  std::size_t write = ascending_indices.front();
+  for (std::size_t r = ascending_indices.front(); r < rows_.size(); ++r) {
+    if (next_removed < ascending_indices.size() &&
+        ascending_indices[next_removed] == r) {
+      ++next_removed;
+      continue;
+    }
+    rows_[write] = std::move(rows_[r]);
+    ++write;
+  }
+  rows_.resize(write);
   rebuild_indexes();
 }
 
 bool Table::contains(const std::string& column, const Value& value) const {
   return !lookup(column, value).empty();
+}
+
+void Table::truncate_rows(std::size_t count) {
+  IOKC_CHECK(count <= rows_.size(),
+             "truncate_rows beyond current row count");
+  for (std::size_t r = rows_.size(); r-- > count;) {
+    unindex_row(r);
+    rows_.pop_back();
+  }
 }
 
 void Table::rebuild_indexes() {
@@ -169,6 +196,20 @@ void Table::index_row(std::size_t row) {
   // corrupts lookup() silently instead of failing fast.
   IOKC_CHECK(indexes_.empty() || indexes_.begin()->second.size() == rows_.size(),
              "index out of sync with row store");
+}
+
+void Table::unindex_row(std::size_t row) {
+  IOKC_ASSERT(row < rows_.size());
+  for (auto& [column, index] : indexes_) {
+    const std::size_t col = schema_.column_index(column);
+    auto [begin, end] = index.equal_range(rows_[row][col]);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == row) {
+        index.erase(it);
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace iokc::db

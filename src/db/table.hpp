@@ -44,11 +44,20 @@ class Table {
   /// beyond type coercion (callers re-validate PKs when touching them).
   void update_cell(std::size_t row, std::size_t column, Value value);
 
-  /// Removes rows by ascending indices and rebuilds indexes.
+  /// Removes rows by strictly ascending indices in one compaction pass and
+  /// rebuilds indexes. Throws DbError for out-of-range, unsorted, or
+  /// duplicate indices (nothing is removed in that case).
   void remove_rows(const std::vector<std::size_t>& ascending_indices);
 
   /// True if any row has `value` in `column` (FK existence checks).
   bool contains(const std::string& column, const Value& value) const;
+
+  /// Transaction-rollback support: inserts only ever append, so a
+  /// transaction's inserts are undone by truncating back to the row count
+  /// (and rowid counter) captured at transaction begin.
+  void truncate_rows(std::size_t count);
+  std::int64_t next_rowid() const { return next_rowid_; }
+  void set_next_rowid(std::int64_t next) { next_rowid_ = next; }
 
  private:
   struct ValueHash {
@@ -58,6 +67,7 @@ class Table {
 
   void rebuild_indexes();
   void index_row(std::size_t row);
+  void unindex_row(std::size_t row);
 
   TableSchema schema_;
   std::vector<Row> rows_;

@@ -79,6 +79,13 @@ Value Value::coerce(ColumnType type) const {
     throw DbError("cannot store " + render() + " in a " + to_string(type) +
                   " column");
   }
+  // Non-finite doubles render as "nan"/"inf", which the SQL parser rejects —
+  // a stored one would make the dump unloadable. Refuse at the door so every
+  // dump round-trips.
+  if (is_real() && !std::isfinite(as_real())) {
+    throw DbError("non-finite REAL value (" + render_raw() +
+                  ") cannot be stored");
+  }
   return *this;
 }
 

@@ -4,8 +4,12 @@
 #include <cstdio>
 #include <fstream>
 
+#include <sstream>
+
 #include "src/obs/observability.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fault.hpp"
+#include "src/util/fsio.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -150,6 +154,62 @@ int JubeRunner::next_run_id(const std::filesystem::path& bench_dir) const {
   return next;
 }
 
+int JubeRunner::find_resumable_run(const std::filesystem::path& bench_dir,
+                                   const std::string& config_xml) const {
+  int found = -1;
+  if (!std::filesystem::exists(bench_dir)) {
+    return found;
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(bench_dir)) {
+    if (!entry.is_directory()) {
+      continue;
+    }
+    int id = -1;
+    try {
+      id = static_cast<int>(util::parse_i64(entry.path().filename().string()));
+    } catch (const ParseError&) {
+      continue;
+    }
+    if (id <= found) {
+      continue;
+    }
+    std::ifstream in(entry.path() / "configuration.xml", std::ios::binary);
+    if (!in) {
+      continue;  // no config: a foreign or torn run, never resume into it
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (buffer.str() == config_xml) {
+      found = id;
+    }
+  }
+  return found;
+}
+
+int JubeRunner::find_reclaimable_run(
+    const std::filesystem::path& bench_dir) const {
+  int found = -1;
+  if (!std::filesystem::exists(bench_dir)) {
+    return found;
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(bench_dir)) {
+    if (!entry.is_directory()) {
+      continue;
+    }
+    int id = -1;
+    try {
+      id = static_cast<int>(util::parse_i64(entry.path().filename().string()));
+    } catch (const ParseError&) {
+      continue;
+    }
+    if (id > found &&
+        !std::filesystem::exists(entry.path() / "configuration.xml")) {
+      found = id;
+    }
+  }
+  return found;
+}
+
 JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config,
                               const RunOptions& options) {
   if (options.jobs < 0) {
@@ -158,13 +218,30 @@ JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config,
   obs::Span run_span("jube:" + config.name, {.category = "jube"});
   const std::filesystem::path bench_dir = root_ / config.outpath;
   std::filesystem::create_directories(bench_dir);
+  const std::string config_xml = config.to_xml();
   JubeRunResult result;
-  result.run_id = next_run_id(bench_dir);
+  result.run_id =
+      options.resume ? find_resumable_run(bench_dir, config_xml) : -1;
+  const bool resuming = result.run_id >= 0;
+  if (!resuming) {
+    // A dir without configuration.xml crashed before any package could run;
+    // reclaiming its id keeps resumed runs converging on the same run dir
+    // (and the same source paths) as an uninterrupted run.
+    result.run_id = options.resume ? find_reclaimable_run(bench_dir) : -1;
+    if (result.run_id < 0) {
+      result.run_id = next_run_id(bench_dir);
+    }
+  }
   char run_name[16];
   std::snprintf(run_name, sizeof run_name, "%06d", result.run_id);
   result.run_dir = bench_dir / run_name;
   std::filesystem::create_directories(result.run_dir);
-  write_file(result.run_dir / "configuration.xml", config.to_xml());
+  if (!resuming) {
+    // Atomic so a crash mid-write cannot leave a torn configuration.xml; a
+    // torn config would silently fail the resume match and strand the run.
+    util::atomic_replace_file((result.run_dir / "configuration.xml").string(),
+                              config_xml);
+  }
 
   const std::vector<Assignment> assignments = config.space.expand();
 
@@ -225,6 +302,37 @@ JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config,
                            .work_package = static_cast<int>(wp),
                            .parent = &run_context});
         obs::count("jube.work_packages");
+        // Resume: a package counts as complete only when EVERY step carries
+        // its done marker; a partially executed package re-runs from step 0
+        // (executors are deterministic per package, and step executors may
+        // accumulate state across a package's steps).
+        std::vector<std::filesystem::path> step_dirs(config.steps.size());
+        bool skip_execution = resuming;
+        for (std::size_t s = 0; s < config.steps.size(); ++s) {
+          char wp_name[64];
+          std::snprintf(wp_name, sizeof wp_name, "%06d_%s",
+                        static_cast<int>(wp), config.steps[s].name.c_str());
+          step_dirs[s] = result.run_dir / wp_name;
+          if (!std::filesystem::exists(step_dirs[s] / "done") ||
+              !std::filesystem::exists(step_dirs[s] / "stdout")) {
+            skip_execution = false;
+          }
+        }
+        if (skip_execution) {
+          obs::count("jube.work_packages_resumed");
+          for (std::size_t s = 0; s < config.steps.size(); ++s) {
+            WorkPackageResult package;
+            package.work_package = static_cast<int>(wp);
+            package.parameters = assignments[wp];
+            package.step_name = config.steps[s].name;
+            package.command = plan[wp][s].command;
+            package.dir = step_dirs[s];
+            package.stdout_path = step_dirs[s] / "stdout";
+            packages[wp].push_back(std::move(package));
+          }
+          return;
+        }
+        util::fault_point("jube.wp.begin");
         ExecutorRegistry owned;
         const ExecutorRegistry* registry = &registry_;
         if (factory_) {
@@ -243,10 +351,7 @@ JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config,
                 (programs.empty() ? "(none)" : util::join(programs, ", ")));
           }
 
-          char wp_name[64];
-          std::snprintf(wp_name, sizeof wp_name, "%06d_%s",
-                        static_cast<int>(wp), step.name.c_str());
-          const std::filesystem::path wp_dir = result.run_dir / wp_name;
+          const std::filesystem::path& wp_dir = step_dirs[s];
           std::filesystem::create_directories(wp_dir);
 
           std::string parameters_text;
@@ -265,6 +370,7 @@ JubeRunResult JubeRunner::run(const JubeBenchmarkConfig& config,
           // its presence as "every other file is complete", which keeps
           // crashed or in-flight packages out of the knowledge base.
           write_file(wp_dir / "done", "");
+          util::fault_point("jube.wp.done");
 
           WorkPackageResult package;
           package.work_package = static_cast<int>(wp);

@@ -79,6 +79,12 @@ struct RunOptions {
   /// built around a shared ExecutorRegistry always runs serially because its
   /// executors may share mutable state.
   int jobs = 1;
+  /// Resume an interrupted run instead of starting a fresh one: reuse the
+  /// latest run directory whose configuration.xml matches this config, and
+  /// skip work packages whose every step already has its "done" marker.
+  /// Partially executed packages re-run from their first step (executors are
+  /// deterministic per package, so the re-run reproduces the same outputs).
+  bool resume = false;
 };
 
 /// One executed work package step.
@@ -130,6 +136,14 @@ class JubeRunner {
 
  private:
   int next_run_id(const std::filesystem::path& bench_dir) const;
+  /// Latest numeric run dir under bench_dir whose configuration.xml equals
+  /// `config_xml`, or -1 when none matches (resume support).
+  int find_resumable_run(const std::filesystem::path& bench_dir,
+                         const std::string& config_xml) const;
+  /// Latest numeric run dir with NO configuration.xml at all — a run that
+  /// crashed between mkdir and the config write, and therefore holds no step
+  /// results. Resume reclaims its id instead of stranding it. -1 when none.
+  int find_reclaimable_run(const std::filesystem::path& bench_dir) const;
 
   std::filesystem::path root_;
   ExecutorRegistry registry_;    // shared-registry mode

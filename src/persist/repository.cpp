@@ -1,12 +1,15 @@
 #include "src/persist/repository.hpp"
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "src/obs/observability.hpp"
 #include "src/util/check.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fault.hpp"
 #include "src/util/json.hpp"
 #include "src/util/strings.hpp"
 
@@ -19,6 +22,12 @@ std::string quote(const std::string& text) {
 }
 
 std::string real(double value) {
+  // A non-finite value would render as "nan"/"inf" and fail later with an
+  // opaque SQL parse error; fail here with the actual problem instead. (The
+  // database's Value::coerce guards the same invariant at the storage layer.)
+  if (!std::isfinite(value)) {
+    throw DbError("cannot persist non-finite metric value");
+  }
   return db::Value(value).render_raw().empty()
              ? "0"
              : db::Value(value).render_raw();
@@ -150,6 +159,10 @@ CREATE TABLE IF NOT EXISTS jobinfos (
   submit_time REAL,
   start_time REAL
 );
+CREATE TABLE IF NOT EXISTS sources (
+  id INTEGER PRIMARY KEY,
+  path TEXT NOT NULL
+);
 CREATE TABLE IF NOT EXISTS systeminfos (
   id INTEGER PRIMARY KEY,
   performance_id INTEGER REFERENCES performances(id),
@@ -210,12 +223,28 @@ std::string insert_systeminfo_sql(const knowledge::SystemInfoRecord& s,
 
 std::int64_t KnowledgeRepository::store(const knowledge::Knowledge& k) {
   const std::lock_guard<std::mutex> lock(write_mutex_);
-  return store_unlocked(k);
+  db_.begin();
+  try {
+    const std::int64_t id = store_unlocked(k);
+    db_.commit();
+    return id;
+  } catch (...) {
+    db_.rollback();
+    throw;
+  }
 }
 
 std::int64_t KnowledgeRepository::store(const knowledge::Io500Knowledge& k) {
   const std::lock_guard<std::mutex> lock(write_mutex_);
-  return store_unlocked(k);
+  db_.begin();
+  try {
+    const std::int64_t id = store_unlocked(k);
+    db_.commit();
+    return id;
+  } catch (...) {
+    db_.rollback();
+    throw;
+  }
 }
 
 std::vector<std::int64_t> KnowledgeRepository::store_batch(
@@ -225,10 +254,19 @@ std::vector<std::int64_t> KnowledgeRepository::store_batch(
   obs::count("repo.batch_objects", objects.size());
   obs::gauge_max("repo.batch_size", static_cast<double>(objects.size()));
   const std::lock_guard<std::mutex> lock(write_mutex_);
+  // The whole batch is one transaction: a failure mid-batch (e.g. a
+  // non-finite metric in object 3 of 5) must not leave objects 1-2 behind.
+  db_.begin();
   std::vector<std::int64_t> ids;
   ids.reserve(objects.size());
-  for (const knowledge::Knowledge& k : objects) {
-    ids.push_back(store_unlocked(k));
+  try {
+    for (const knowledge::Knowledge& k : objects) {
+      ids.push_back(store_unlocked(k));
+    }
+    db_.commit();
+  } catch (...) {
+    db_.rollback();
+    throw;
   }
   return ids;
 }
@@ -240,12 +278,83 @@ std::vector<std::int64_t> KnowledgeRepository::store_batch(
   obs::count("repo.batch_objects", objects.size());
   obs::gauge_max("repo.batch_size", static_cast<double>(objects.size()));
   const std::lock_guard<std::mutex> lock(write_mutex_);
+  db_.begin();
   std::vector<std::int64_t> ids;
   ids.reserve(objects.size());
-  for (const knowledge::Io500Knowledge& k : objects) {
-    ids.push_back(store_unlocked(k));
+  try {
+    for (const knowledge::Io500Knowledge& k : objects) {
+      ids.push_back(store_unlocked(k));
+    }
+    db_.commit();
+  } catch (...) {
+    db_.rollback();
+    throw;
   }
   return ids;
+}
+
+StoreOutcome KnowledgeRepository::store_sources(
+    const std::vector<SourceBatch>& batches) {
+  obs::Span span("repo:store_sources", {.category = "persist"});
+  std::size_t objects = 0;
+  for (const SourceBatch& batch : batches) {
+    objects += batch.knowledge.size() + batch.io500.size();
+  }
+  obs::count("repo.batches");
+  obs::count("repo.batch_objects", objects);
+  obs::gauge_max("repo.batch_size", static_cast<double>(objects));
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  std::unordered_set<std::string> recorded;
+  {
+    const db::ResultSet rows = db_.execute("SELECT path FROM sources");
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      recorded.insert(rows.at(r, "path").as_text());
+    }
+  }
+  StoreOutcome outcome;
+  for (const SourceBatch& batch : batches) {
+    if (recorded.contains(batch.source)) {
+      outcome.skipped_sources.push_back(batch.source);
+      continue;
+    }
+    // One transaction per source: the objects and the provenance row land
+    // together or not at all, so a crash cannot produce a source that is
+    // recorded-but-unstored (lost data) or stored-but-unrecorded
+    // (duplicated on resume).
+    db_.begin();
+    const std::size_t k_before = outcome.knowledge_ids.size();
+    const std::size_t io_before = outcome.io500_ids.size();
+    try {
+      for (const knowledge::Knowledge& k : batch.knowledge) {
+        outcome.knowledge_ids.push_back(store_unlocked(k));
+      }
+      for (const knowledge::Io500Knowledge& k : batch.io500) {
+        outcome.io500_ids.push_back(store_unlocked(k));
+      }
+      db_.execute("INSERT INTO sources (path) VALUES (" + quote(batch.source) +
+                  ")");
+      db_.commit();
+    } catch (...) {
+      db_.rollback();
+      outcome.knowledge_ids.resize(k_before);
+      outcome.io500_ids.resize(io_before);
+      throw;
+    }
+    recorded.insert(batch.source);
+    util::fault_point("repo.source_committed");
+  }
+  return outcome;
+}
+
+std::vector<std::string> KnowledgeRepository::extracted_sources() {
+  const db::ResultSet rows =
+      db_.execute("SELECT path FROM sources ORDER BY id");
+  std::vector<std::string> paths;
+  paths.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    paths.push_back(rows.at(r, "path").as_text());
+  }
+  return paths;
 }
 
 std::int64_t KnowledgeRepository::store_unlocked(const knowledge::Knowledge& k) {

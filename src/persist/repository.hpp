@@ -41,6 +41,23 @@ struct RepoTarget {
 /// DDL creating the full knowledge schema (idempotent: IF NOT EXISTS).
 std::string knowledge_schema_sql();
 
+/// All knowledge objects extracted from one source (a benchmark output file).
+/// Stored atomically together with a provenance row, so after a crash a
+/// source is either fully persisted or not at all — the unit of resumption.
+struct SourceBatch {
+  std::string source;  // the path recorded in the sources table
+  std::vector<knowledge::Knowledge> knowledge;
+  std::vector<knowledge::Io500Knowledge> io500;
+};
+
+/// What store_sources did: ids for newly stored objects (input order) and
+/// the sources that were skipped because they were already recorded.
+struct StoreOutcome {
+  std::vector<std::int64_t> knowledge_ids;
+  std::vector<std::int64_t> io500_ids;
+  std::vector<std::string> skipped_sources;
+};
+
 /// The knowledge repository.
 class KnowledgeRepository {
  public:
@@ -62,6 +79,15 @@ class KnowledgeRepository {
       const std::vector<knowledge::Knowledge>& objects);
   std::vector<std::int64_t> store_batch(
       const std::vector<knowledge::Io500Knowledge>& objects);
+
+  /// Transactional, idempotent persistence keyed by source path: each batch
+  /// whose source is not yet in the sources table is stored as ONE
+  /// transaction (all its objects plus the provenance row), so a crash can
+  /// never half-persist a source and a --resume re-run skips it entirely.
+  StoreOutcome store_sources(const std::vector<SourceBatch>& batches);
+
+  /// Source paths already persisted, in first-stored order.
+  std::vector<std::string> extracted_sources();
 
   /// Reassembles a knowledge object from its rows. Throws DbError when the
   /// id is unknown.

@@ -1,0 +1,25 @@
+#include "src/util/fault.hpp"
+
+#include <atomic>
+
+namespace iokc::util {
+
+namespace {
+
+std::atomic<FaultHook> g_hook{nullptr};
+
+}  // namespace
+
+void set_fault_hook(FaultHook hook) {
+  g_hook.store(hook, std::memory_order_release);
+}
+
+FaultHook fault_hook() { return g_hook.load(std::memory_order_acquire); }
+
+void fault_point(const char* site) {
+  if (const FaultHook hook = g_hook.load(std::memory_order_acquire)) {
+    hook(site);
+  }
+}
+
+}  // namespace iokc::util

@@ -1,0 +1,25 @@
+// Fault-injection points for crash-recovery testing. Production code calls
+// fault_point("site") at each step of a durability-critical protocol (journal
+// append, atomic rename, checkpoint, work-package completion); the hook is
+// null in production, so the call is a cheap test-only seam. The crash-test
+// harness installs a hook that counts sites and SIGKILLs (or throws) at a
+// chosen step, simulating a crash between any two consecutive system calls.
+#pragma once
+
+namespace iokc::util {
+
+/// A fault hook: receives the site name; may throw or terminate the process.
+using FaultHook = void (*)(const char* site);
+
+/// Installs `hook` as the process-global fault hook (nullptr disables).
+/// Not thread-safe against concurrent fault_point calls; install hooks
+/// before starting worker threads.
+void set_fault_hook(FaultHook hook);
+
+/// The currently installed hook, or nullptr.
+FaultHook fault_hook();
+
+/// Invokes the installed hook, if any. `site` names the protocol step.
+void fault_point(const char* site);
+
+}  // namespace iokc::util

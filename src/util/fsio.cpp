@@ -1,0 +1,90 @@
+#include "src/util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "src/util/error.hpp"
+#include "src/util/fault.hpp"
+
+namespace iokc::util {
+
+namespace {
+
+void write_all(int fd, std::string_view data, const std::string& path) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ::ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw IoError("failed writing " + path + ": " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void write_file_durable(const std::string& path, std::string_view content) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw IoError("cannot open " + path + " for writing: " +
+                  std::strerror(errno));
+  }
+  try {
+    write_all(fd, content, path);
+    if (::fsync(fd) != 0) {
+      throw IoError("fsync failed for " + path + ": " + std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (::close(fd) != 0) {
+    throw IoError("close failed for " + path + ": " + std::strerror(errno));
+  }
+}
+
+void fsync_directory(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    throw IoError("cannot open directory " + path + ": " +
+                  std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    throw IoError("fsync failed for directory " + path + ": " +
+                  std::strerror(errno));
+  }
+}
+
+void atomic_replace_file(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  try {
+    write_file_durable(tmp, content);
+    fault_point("fsio.replace.staged");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError("cannot rename " + tmp + " to " + path + ": " +
+                    std::strerror(errno));
+    }
+    fault_point("fsio.replace.renamed");
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    fsync_directory(parent.empty() ? "." : parent.string());
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+}
+
+}  // namespace iokc::util

@@ -1,0 +1,26 @@
+// Durable file I/O: fsync-backed writes and atomic replace-by-rename. These
+// are the primitives the database's save/journal protocols build on so that
+// a crash at any point leaves either the old or the new file contents — never
+// a torn mixture, and never a missing file once one existed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace iokc::util {
+
+/// Writes `content` to `path` (truncating) and fsyncs before returning.
+/// Throws IoError on any failure.
+void write_file_durable(const std::string& path, std::string_view content);
+
+/// Atomically replaces `path` with `content`: writes a sibling temp file,
+/// fsyncs it, renames it over `path`, then fsyncs the parent directory. A
+/// crash at any step leaves `path` either untouched or fully replaced.
+/// Throws IoError on failure (the temp file is cleaned up best-effort).
+void atomic_replace_file(const std::string& path, std::string_view content);
+
+/// Fsyncs a directory so a completed rename within it survives a crash.
+/// Throws IoError on failure.
+void fsync_directory(const std::string& path);
+
+}  // namespace iokc::util

@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -254,6 +255,34 @@ TEST_F(CliTest, JobsFlagRunsSweepDeterministically) {
     exports[i] = out();
   }
   EXPECT_EQ(exports[0], exports[1]);
+}
+
+TEST_F(CliTest, ResumeFlagRerunsSweepWithoutDuplicates) {
+  const std::filesystem::path config = dir_ / "sweep.xml";
+  {
+    std::ofstream file(config);
+    file << "<jube><benchmark name=\"s\" outpath=\"s\">\n"
+            "<parameterset name=\"p\"><parameter name=\"t\">256k,1m"
+            "</parameter></parameterset>\n"
+            "<step name=\"run\">ior -a posix -b 1m -t $t -s 1 -F -w -i 1 "
+            "-N 2 -o /scratch/s_$t</step>\n"
+            "</benchmark></jube>\n";
+  }
+  ASSERT_EQ(cli({"sweep", config.string()}), 0) << err();
+  EXPECT_NE(out().find("stored 2"), std::string::npos);
+  // Re-running the same sweep with --resume reuses the completed run and
+  // stores nothing new: same 2 objects, not 4.
+  ASSERT_EQ(cli({"--resume", "sweep", config.string()}), 0) << err();
+  EXPECT_NE(out().find("stored 0"), std::string::npos) << out();
+  ASSERT_EQ(cli({"export-csv", "performances"}), 0);
+  // Header + exactly the 2 originally stored rows.
+  const std::string csv = out();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3) << csv;
+}
+
+TEST_F(CliTest, ResumeFlagAppearsInUsage) {
+  ASSERT_EQ(cli({"help"}), 0);
+  EXPECT_NE(out().find("--resume"), std::string::npos);
 }
 
 TEST_F(CliTest, JobsFlagRejectsBadValues) {

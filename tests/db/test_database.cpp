@@ -4,7 +4,9 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <filesystem>
+#include <limits>
 
 #include "src/util/error.hpp"
 
@@ -234,6 +236,63 @@ TEST(Database, UnknownEntitiesThrow) {
   EXPECT_THROW(db.execute("SELECT nope FROM performances"), DbError);
   EXPECT_THROW(db.execute("INSERT INTO performances (bogus) VALUES (1)"),
                DbError);
+}
+
+TEST(Database, LargeScatteredDeleteCompactsCorrectly) {
+  Database db;
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)");
+  Table& table = db.require_table("t");
+  constexpr int kRows = 20000;
+  for (int i = 0; i < kRows; ++i) {
+    table.insert({"v"}, {Value(i)});
+  }
+  // Delete every third row — the worst case for the old erase-per-index
+  // loop, which re-shifted the whole tail once per removal.
+  std::vector<std::size_t> victims;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(kRows); r += 3) {
+    victims.push_back(r);
+  }
+  table.remove_rows(victims);
+  const ResultSet rows = db.execute("SELECT v FROM t ORDER BY v");
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(kRows - (kRows + 2) / 3));
+  int expected = 1;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(rows.at(r, "v").as_integer(), expected);
+    expected += (expected % 3 == 2) ? 2 : 1;
+  }
+  // Indexes were rebuilt consistently: keyed lookups still work. Row v=0
+  // carried id=1 and was removed; row v=1 carried id=2 and survives.
+  EXPECT_EQ(db.execute("SELECT * FROM t WHERE id = 1").size(), 0u);
+  EXPECT_EQ(db.execute("SELECT * FROM t WHERE id = 2").size(), 1u);
+}
+
+TEST(Database, RemoveRowsValidatesIndices) {
+  Database db;
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)");
+  Table& table = db.require_table("t");
+  for (int i = 0; i < 4; ++i) {
+    table.insert({}, {Value()});
+  }
+  EXPECT_THROW(table.remove_rows({0, 0}), DbError);   // duplicate
+  EXPECT_THROW(table.remove_rows({2, 1}), DbError);   // unsorted
+  EXPECT_THROW(table.remove_rows({99}), DbError);     // out of range
+  EXPECT_EQ(table.row_count(), 4u);  // failed calls removed nothing
+  table.remove_rows({0, 3});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Database, NonFiniteRealRejectedAtInsert) {
+  Database db;
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL)");
+  // Division has no NaN path in this SQL subset, so inject via the Table API
+  // the way a buggy caller would.
+  Table& table = db.require_table("t");
+  EXPECT_THROW(table.insert({"v"}, {Value(std::nan(""))}), DbError);
+  EXPECT_THROW(
+      table.insert({"v"}, {Value(std::numeric_limits<double>::infinity())}),
+      DbError);
+  // Nothing half-inserted.
+  EXPECT_EQ(db.execute("SELECT * FROM t").size(), 0u);
 }
 
 }  // namespace

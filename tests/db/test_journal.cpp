@@ -1,0 +1,255 @@
+// Write-ahead journal and crash-recovery tests: record framing, torn-tail
+// and corruption handling, open()-time replay, checkpointing, the journal
+// epoch that prevents double-apply, and atomic save().
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/db/database.hpp"
+#include "src/db/journal.hpp"
+#include "src/util/error.hpp"
+#include "src/util/fault.hpp"
+
+namespace iokc::db {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  JournalTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("iokc_journal_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    db_path_ = (dir_ / "k.db").string();
+  }
+  ~JournalTest() override {
+    util::set_fault_hook(nullptr);
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string journal_path() const { return journal_path_for(db_path_); }
+
+  std::string read_file(const std::string& path) const {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void append_raw(const std::string& path, const std::string& text) const {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << text;
+  }
+
+  std::filesystem::path dir_;
+  std::string db_path_;
+};
+
+TEST_F(JournalTest, AppendAndReadRoundTrip) {
+  {
+    Journal journal(journal_path(), 0);
+    journal.append({"CREATE TABLE t (id INTEGER PRIMARY KEY)",
+                    "INSERT INTO t (id) VALUES (1)"});
+    journal.append({"INSERT INTO t (id) VALUES (2)"});
+    EXPECT_EQ(journal.last_seq(), 2u);
+  }
+  const std::vector<JournalRecord> records =
+      Journal::read_records(journal_path());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 1u);
+  ASSERT_EQ(records[0].statements.size(), 2u);
+  EXPECT_EQ(records[0].statements[1], "INSERT INTO t (id) VALUES (1)");
+  EXPECT_EQ(records[1].seq, 2u);
+  ASSERT_EQ(records[1].statements.size(), 1u);
+}
+
+TEST_F(JournalTest, MissingFileYieldsNoRecords) {
+  EXPECT_TRUE(Journal::read_records(journal_path()).empty());
+}
+
+TEST_F(JournalTest, StatementsWithSemicolonsInStringsSurvive) {
+  {
+    Journal journal(journal_path(), 0);
+    journal.append({"INSERT INTO t (x) VALUES ('a; b; c')"});
+  }
+  const std::vector<JournalRecord> records =
+      Journal::read_records(journal_path());
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].statements.size(), 1u);
+  EXPECT_EQ(records[0].statements[0], "INSERT INTO t (x) VALUES ('a; b; c')");
+}
+
+TEST_F(JournalTest, TornTailIsDiscarded) {
+  {
+    Journal journal(journal_path(), 0);
+    journal.append({"INSERT INTO t (id) VALUES (1)"});
+  }
+  // A crash mid-append leaves a header + partial payload with no end marker.
+  append_raw(journal_path(), "#txn 2 999 0123456789abcdef\nINSERT INTO t");
+  const std::vector<JournalRecord> records =
+      Journal::read_records(journal_path());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 1u);
+}
+
+TEST_F(JournalTest, CorruptPayloadStopsReplayAtLastGoodRecord) {
+  {
+    Journal journal(journal_path(), 0);
+    journal.append({"INSERT INTO t (id) VALUES (1)"});
+    journal.append({"INSERT INTO t (id) VALUES (2)"});
+  }
+  // Flip one payload byte of the second record: its checksum no longer
+  // matches, so replay must stop after record 1.
+  std::string text = read_file(journal_path());
+  const std::size_t pos = text.rfind("VALUES (2)");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 8] = '3';
+  std::ofstream out(journal_path(), std::ios::binary | std::ios::trunc);
+  out << text;
+  out.close();
+  const std::vector<JournalRecord> records =
+      Journal::read_records(journal_path());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 1u);
+}
+
+TEST_F(JournalTest, CheckpointTruncatesToHeader) {
+  Journal journal(journal_path(), 0);
+  journal.append({"INSERT INTO t (id) VALUES (1)"});
+  journal.checkpoint();
+  EXPECT_TRUE(Journal::read_records(journal_path()).empty());
+  EXPECT_EQ(read_file(journal_path()), "#iokc-journal v1\n");
+  // The sequence counter keeps counting across checkpoints.
+  journal.append({"INSERT INTO t (id) VALUES (2)"});
+  const std::vector<JournalRecord> records =
+      Journal::read_records(journal_path());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 2u);
+}
+
+TEST_F(JournalTest, CommittedWritesSurviveWithoutSave) {
+  {
+    Database db = Database::open(db_path_);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x TEXT)");
+    db.execute("INSERT INTO t (x) VALUES ('durable')");
+    // No save(): the process "crashes" here. The dump file never existed.
+  }
+  EXPECT_FALSE(std::filesystem::exists(db_path_));
+  Database recovered = Database::open(db_path_);
+  const ResultSet rows = recovered.execute("SELECT x FROM t");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.at(0, "x").as_text(), "durable");
+}
+
+TEST_F(JournalTest, RolledBackTransactionIsNotJournaled) {
+  {
+    Database db = Database::open(db_path_);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x TEXT)");
+    db.begin();
+    db.execute("INSERT INTO t (x) VALUES ('discarded')");
+    db.rollback();
+    db.execute("INSERT INTO t (x) VALUES ('kept')");
+  }
+  Database recovered = Database::open(db_path_);
+  const ResultSet rows = recovered.execute("SELECT x FROM t");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.at(0, "x").as_text(), "kept");
+}
+
+TEST_F(JournalTest, SaveCheckpointsAndReopenMatches) {
+  std::string reference;
+  {
+    Database db = Database::open(db_path_);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x TEXT)");
+    db.execute("INSERT INTO t (x) VALUES ('a')");
+    db.save(db_path_);
+    reference = db.dump();
+  }
+  EXPECT_TRUE(Journal::read_records(journal_path()).empty());
+  Database recovered = Database::open(db_path_);
+  EXPECT_EQ(recovered.dump(), reference);
+}
+
+TEST_F(JournalTest, WritesAfterSaveAreReplayedOnTop) {
+  std::string reference;
+  {
+    Database db = Database::open(db_path_);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x TEXT)");
+    db.execute("INSERT INTO t (x) VALUES ('saved')");
+    db.save(db_path_);
+    db.execute("INSERT INTO t (x) VALUES ('journal-only')");
+    reference = db.dump();
+  }
+  Database recovered = Database::open(db_path_);
+  EXPECT_EQ(recovered.dump(), reference);
+  EXPECT_EQ(recovered.execute("SELECT * FROM t").size(), 2u);
+}
+
+// Crash between the dump rename and the journal truncation: the dump already
+// contains the journaled transactions AND the journal still lists them. The
+// epoch header must prevent them from being applied twice.
+TEST_F(JournalTest, EpochPreventsDoubleApplyAfterCheckpointCrash) {
+  std::string reference;
+  {
+    Database db = Database::open(db_path_);
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x TEXT)");
+    db.execute("INSERT INTO t (x) VALUES ('once')");
+    reference = db.dump();
+    util::set_fault_hook([](const char* site) {
+      if (std::string_view(site) == "journal.checkpoint.pre") {
+        throw IoError("injected crash before checkpoint");
+      }
+    });
+    EXPECT_THROW(db.save(db_path_), IoError);
+    util::set_fault_hook(nullptr);
+  }
+  // The dump was written; the journal was NOT truncated.
+  EXPECT_TRUE(std::filesystem::exists(db_path_));
+  EXPECT_FALSE(Journal::read_records(journal_path()).empty());
+  Database recovered = Database::open(db_path_);
+  EXPECT_EQ(recovered.dump(), reference);
+  EXPECT_EQ(recovered.execute("SELECT * FROM t").size(), 1u);
+}
+
+// Regression for the truncate-in-place save(): a failure mid-write must
+// leave the previous dump byte-identical, never truncated or torn.
+TEST_F(JournalTest, InterruptedSaveLeavesPreviousDumpIntact) {
+  Database db = Database::open(db_path_);
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x TEXT)");
+  db.execute("INSERT INTO t (x) VALUES ('first')");
+  db.save(db_path_);
+  const std::string saved = read_file(db_path_);
+
+  db.execute("INSERT INTO t (x) VALUES ('second')");
+  util::set_fault_hook([](const char* site) {
+    if (std::string_view(site) == "fsio.replace.staged") {
+      throw IoError("injected crash before rename");
+    }
+  });
+  EXPECT_THROW(db.save(db_path_), IoError);
+  util::set_fault_hook(nullptr);
+
+  EXPECT_EQ(read_file(db_path_), saved);
+  // The staged temp file must not linger.
+  EXPECT_FALSE(std::filesystem::exists(db_path_ + ".tmp"));
+  // And nothing was lost: recovery still sees both rows via the journal.
+  db.detach_journal();
+  Database recovered = Database::open(db_path_);
+  EXPECT_EQ(recovered.execute("SELECT * FROM t").size(), 2u);
+}
+
+TEST_F(JournalTest, SaveToForeignPathDoesNotCheckpoint) {
+  Database db = Database::open(db_path_);
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)");
+  db.execute("INSERT INTO t (id) VALUES (1)");
+  db.save((dir_ / "elsewhere.db").string());
+  // Journal of the home path still holds the records.
+  EXPECT_FALSE(Journal::read_records(journal_path()).empty());
+}
+
+}  // namespace
+}  // namespace iokc::db

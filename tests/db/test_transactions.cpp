@@ -1,0 +1,164 @@
+// Transaction semantics: begin/commit/rollback, copy-on-touch undo for every
+// statement kind, rowid-counter restoration (required for byte-identical
+// resumed runs), and single-statement atomicity outside explicit
+// transactions.
+#include <gtest/gtest.h>
+
+#include "src/db/database.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::db {
+namespace {
+
+Database make_db() {
+  Database db;
+  db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, x TEXT)");
+  db.execute("INSERT INTO t (x) VALUES ('seed')");
+  return db;
+}
+
+TEST(Transactions, CommitKeepsChanges) {
+  Database db = make_db();
+  db.begin();
+  db.execute("INSERT INTO t (x) VALUES ('a')");
+  db.execute("UPDATE t SET x = 'updated' WHERE id = 1");
+  db.commit();
+  EXPECT_FALSE(db.in_transaction());
+  EXPECT_EQ(db.execute("SELECT * FROM t").size(), 2u);
+  EXPECT_EQ(db.execute("SELECT x FROM t WHERE id = 1").at(0, "x").as_text(),
+            "updated");
+}
+
+TEST(Transactions, RollbackUndoesInserts) {
+  Database db = make_db();
+  const std::string before = db.dump();
+  db.begin();
+  db.execute("INSERT INTO t (x) VALUES ('a')");
+  db.execute("INSERT INTO t (x) VALUES ('b')");
+  EXPECT_EQ(db.execute("SELECT * FROM t").size(), 3u);
+  db.rollback();
+  EXPECT_EQ(db.dump(), before);
+}
+
+TEST(Transactions, RollbackRestoresRowidCounter) {
+  Database db = make_db();
+  db.begin();
+  db.execute("INSERT INTO t (x) VALUES ('discarded')");
+  EXPECT_EQ(db.last_insert_rowid(), 2);
+  db.rollback();
+  // The discarded attempt must not perturb future id assignment, or a
+  // resumed run would diverge from the uninterrupted one.
+  db.execute("INSERT INTO t (x) VALUES ('kept')");
+  EXPECT_EQ(db.last_insert_rowid(), 2);
+}
+
+TEST(Transactions, RollbackRestoresLastInsertRowid) {
+  Database db = make_db();
+  EXPECT_EQ(db.last_insert_rowid(), 1);
+  db.begin();
+  db.execute("INSERT INTO t (x) VALUES ('a')");
+  db.rollback();
+  EXPECT_EQ(db.last_insert_rowid(), 1);
+}
+
+TEST(Transactions, RollbackRestoresUpdatesAndDeletes) {
+  Database db = make_db();
+  db.execute("INSERT INTO t (x) VALUES ('second')");
+  const std::string before = db.dump();
+  db.begin();
+  db.execute("UPDATE t SET x = 'clobbered'");
+  db.execute("DELETE FROM t WHERE id = 1");
+  db.execute("INSERT INTO t (x) VALUES ('third')");
+  db.rollback();
+  EXPECT_EQ(db.dump(), before);
+}
+
+TEST(Transactions, RollbackErasesCreatedTable) {
+  Database db = make_db();
+  db.begin();
+  db.execute("CREATE TABLE created (id INTEGER PRIMARY KEY)");
+  db.execute("INSERT INTO created (id) VALUES (1)");
+  db.rollback();
+  EXPECT_FALSE(db.has_table("created"));
+}
+
+TEST(Transactions, RollbackRestoresDroppedTable) {
+  Database db = make_db();
+  const std::string before = db.dump();
+  db.begin();
+  db.execute("DROP TABLE t");
+  EXPECT_FALSE(db.has_table("t"));
+  db.rollback();
+  EXPECT_EQ(db.dump(), before);
+}
+
+TEST(Transactions, RollbackUndoesIndexCreation) {
+  Database db = make_db();
+  db.begin();
+  db.execute("CREATE INDEX idx_x ON t (x)");
+  EXPECT_TRUE(db.require_table("t").has_index("x"));
+  db.rollback();
+  EXPECT_FALSE(db.require_table("t").has_index("x"));
+}
+
+TEST(Transactions, MixedInsertAndOverwriteOnSameTable) {
+  Database db = make_db();
+  const std::string before = db.dump();
+  db.begin();
+  db.execute("INSERT INTO t (x) VALUES ('a')");   // baseline first
+  db.execute("UPDATE t SET x = 'b' WHERE id = 1");  // then snapshot
+  db.execute("INSERT INTO t (x) VALUES ('c')");
+  db.rollback();
+  EXPECT_EQ(db.dump(), before);
+}
+
+TEST(Transactions, NestedBeginThrows) {
+  Database db = make_db();
+  db.begin();
+  EXPECT_THROW(db.begin(), DbError);
+  db.rollback();
+}
+
+TEST(Transactions, CommitAndRollbackOutsideTransactionThrow) {
+  Database db = make_db();
+  EXPECT_THROW(db.commit(), DbError);
+  EXPECT_THROW(db.rollback(), DbError);
+}
+
+TEST(Transactions, FailedStatementInsideTransactionIsUndoneByRollback) {
+  Database db = make_db();
+  const std::string before = db.dump();
+  db.begin();
+  db.execute("INSERT INTO t (x) VALUES ('a')");
+  EXPECT_THROW(db.execute("INSERT INTO t (id, x) VALUES (1, 'dup')"), DbError);
+  db.rollback();
+  EXPECT_EQ(db.dump(), before);
+}
+
+TEST(Transactions, AutoCommitMultiRowInsertIsAtomic) {
+  Database db = make_db();
+  const std::string before = db.dump();
+  // Row 1 of the statement is fine, row 2 collides with the seed row's key:
+  // the WHOLE statement must be undone, not just the failing row.
+  EXPECT_THROW(db.execute("INSERT INTO t (id, x) VALUES (7, 'ok'), (1, 'dup')"),
+               DbError);
+  EXPECT_EQ(db.dump(), before);
+}
+
+TEST(Transactions, SelectAllowedInsideTransaction) {
+  Database db = make_db();
+  db.begin();
+  db.execute("INSERT INTO t (x) VALUES ('a')");
+  EXPECT_EQ(db.execute("SELECT * FROM t").size(), 2u);
+  db.commit();
+}
+
+TEST(Transactions, SaveInsideTransactionThrows) {
+  Database db = make_db();
+  db.begin();
+  EXPECT_THROW(db.save("/tmp/iokc_txn_save_test.db"), DbError);
+  db.rollback();
+}
+
+}  // namespace
+}  // namespace iokc::db

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/util/error.hpp"
 
 namespace iokc::db {
@@ -33,6 +35,21 @@ TEST(Value, MatchesAndCoerce) {
   EXPECT_TRUE(Value(7).coerce(ColumnType::kReal).is_real());
   EXPECT_THROW(Value("x").coerce(ColumnType::kInteger), DbError);
   EXPECT_TRUE(Value().coerce(ColumnType::kText).is_null());
+}
+
+TEST(Value, CoerceRejectsNonFiniteReals) {
+  // "nan"/"inf" render into a dump the SQL parser cannot read back, so
+  // storage must refuse them up front with a clear error.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Value(nan).coerce(ColumnType::kReal), DbError);
+  EXPECT_THROW(Value(inf).coerce(ColumnType::kReal), DbError);
+  EXPECT_THROW(Value(-inf).coerce(ColumnType::kReal), DbError);
+  // Finite extremes are fine.
+  EXPECT_NO_THROW(Value(std::numeric_limits<double>::max())
+                      .coerce(ColumnType::kReal));
+  EXPECT_NO_THROW(Value(std::numeric_limits<double>::denorm_min())
+                      .coerce(ColumnType::kReal));
 }
 
 TEST(Value, Render) {

@@ -265,5 +265,89 @@ TEST_F(RunnerTest, RegistryRejectsEmptyExecutor) {
   EXPECT_EQ(registry.find("missing"), nullptr);
 }
 
+TEST_F(RunnerTest, ResumeSkipsCompletedPackagesAndRerunsIncomplete) {
+  JubeBenchmarkConfig config;
+  config.name = "sweep";
+  config.space.add_csv("x", "1,2,3");
+  config.steps.push_back(JubeStep{"run", "echo value $x"});
+
+  // Count actual executions with a factory registry (capture-free per run).
+  auto counting_factory = [](int* counter) {
+    return [counter](int) {
+      ExecutorRegistry registry;
+      registry.register_executor("echo", [counter](const std::string& cmd) {
+        ++*counter;
+        ExecutionOutput output;
+        output.stdout_text = cmd + "\n";
+        return output;
+      });
+      return registry;
+    };
+  };
+
+  int first_runs = 0;
+  JubeRunner runner(workspace_, counting_factory(&first_runs));
+  const JubeRunResult first = runner.run(config);
+  EXPECT_EQ(first_runs, 3);
+
+  // Simulate a crash that wiped package 1's done marker mid-write.
+  std::filesystem::remove(first.packages[1].dir / "done");
+
+  int resumed_runs = 0;
+  JubeRunner resumer(workspace_, counting_factory(&resumed_runs));
+  RunOptions options;
+  options.resume = true;
+  const JubeRunResult resumed = resumer.run(config, options);
+  // Same run directory, only the incomplete package re-executed, and the
+  // result still reports every package.
+  EXPECT_EQ(resumed.run_id, first.run_id);
+  EXPECT_EQ(resumed.run_dir, first.run_dir);
+  EXPECT_EQ(resumed_runs, 1);
+  ASSERT_EQ(resumed.packages.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(resumed.packages[i].command, first.packages[i].command);
+    EXPECT_TRUE(std::filesystem::exists(resumed.packages[i].dir / "done"));
+  }
+
+  // A fully complete run resumes as a pure no-op.
+  int noop_runs = 0;
+  JubeRunner noop(workspace_, counting_factory(&noop_runs));
+  const JubeRunResult again = noop.run(config, options);
+  EXPECT_EQ(noop_runs, 0);
+  EXPECT_EQ(again.run_id, first.run_id);
+  EXPECT_EQ(again.packages.size(), 3u);
+}
+
+TEST_F(RunnerTest, ResumeWithChangedConfigStartsFreshRun) {
+  JubeBenchmarkConfig config;
+  config.name = "sweep";
+  config.space.add_csv("x", "1,2");
+  config.steps.push_back(JubeStep{"run", "echo value $x"});
+  JubeRunner runner(workspace_, echo_registry());
+  const JubeRunResult first = runner.run(config);
+
+  // Different parameter space: the old run directory must NOT be reused —
+  // mixing outputs of different sweeps would corrupt extraction.
+  config.space = ParameterSpace{};
+  config.space.add_csv("x", "1,2,3");
+  RunOptions options;
+  options.resume = true;
+  const JubeRunResult second = runner.run(config, options);
+  EXPECT_NE(second.run_id, first.run_id);
+  EXPECT_EQ(second.packages.size(), 3u);
+}
+
+TEST_F(RunnerTest, ResumeWithoutPriorRunStartsFirstRun) {
+  JubeBenchmarkConfig config;
+  config.name = "sweep";
+  config.steps.push_back(JubeStep{"run", "echo hi"});
+  JubeRunner runner(workspace_, echo_registry());
+  RunOptions options;
+  options.resume = true;
+  const JubeRunResult result = runner.run(config, options);
+  EXPECT_EQ(result.run_id, 0);
+  EXPECT_EQ(result.packages.size(), 1u);
+}
+
 }  // namespace
 }  // namespace iokc::jube

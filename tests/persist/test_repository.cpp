@@ -4,7 +4,9 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <filesystem>
+#include <limits>
 
 #include "src/util/error.hpp"
 
@@ -276,6 +278,78 @@ TEST(Repository, SystemInfoSharedByBothKinds) {
   repo.store(sample_io500());
   const auto rows = repo.database().execute("SELECT * FROM systeminfos");
   EXPECT_EQ(rows.size(), 2u);
+}
+
+// Regression: a throw mid-batch (here: a NaN metric in the middle object)
+// used to leave the leading objects and their children half-committed.
+TEST(Repository, FailingBatchLeavesNoOrphans) {
+  KnowledgeRepository repo;
+  const std::string before = repo.database().dump();
+  std::vector<knowledge::Knowledge> batch;
+  batch.push_back(sample_knowledge("first"));
+  batch.push_back(sample_knowledge("second"));
+  batch[1].summaries[0].mean_bw_mib = std::nan("");
+  batch.push_back(sample_knowledge("third"));
+  EXPECT_THROW(repo.store_batch(batch), DbError);
+  // Not just "no performances": no summaries, results, or sysinfos either.
+  EXPECT_EQ(repo.database().dump(), before);
+  // The repository stays usable and id assignment starts where it would
+  // have without the failed attempt.
+  EXPECT_EQ(repo.store(sample_knowledge("retry")), 1);
+}
+
+TEST(Repository, FailingSingleStoreRollsBackChildren) {
+  KnowledgeRepository repo;
+  knowledge::Knowledge bad = sample_knowledge("bad");
+  bad.summaries[0].results[2].bw_mib =
+      std::numeric_limits<double>::infinity();
+  const std::string before = repo.database().dump();
+  EXPECT_THROW(repo.store(bad), DbError);
+  EXPECT_EQ(repo.database().dump(), before);
+}
+
+TEST(Repository, StoreSourcesCommitsPerSourceAndSkipsRecorded) {
+  KnowledgeRepository repo;
+  std::vector<SourceBatch> batches(2);
+  batches[0].source = "sweep/000000/000000_run/stdout";
+  batches[0].knowledge.push_back(sample_knowledge("a"));
+  batches[0].knowledge.push_back(sample_knowledge("b"));
+  batches[1].source = "sweep/000000/000001_run/stdout";
+  batches[1].io500.push_back(sample_io500());
+  const StoreOutcome first = repo.store_sources(batches);
+  EXPECT_EQ(first.knowledge_ids, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(first.io500_ids, (std::vector<std::int64_t>{1}));
+  EXPECT_TRUE(first.skipped_sources.empty());
+  EXPECT_EQ(repo.extracted_sources(),
+            (std::vector<std::string>{batches[0].source, batches[1].source}));
+
+  // Storing the same sources again is a no-op — exactly-once semantics.
+  const std::string dump = repo.database().dump();
+  const StoreOutcome second = repo.store_sources(batches);
+  EXPECT_TRUE(second.knowledge_ids.empty());
+  EXPECT_TRUE(second.io500_ids.empty());
+  EXPECT_EQ(second.skipped_sources.size(), 2u);
+  EXPECT_EQ(repo.database().dump(), dump);
+}
+
+TEST(Repository, StoreSourcesFailureKeepsEarlierSources) {
+  KnowledgeRepository repo;
+  std::vector<SourceBatch> batches(2);
+  batches[0].source = "good";
+  batches[0].knowledge.push_back(sample_knowledge("ok"));
+  batches[1].source = "bad";
+  batches[1].knowledge.push_back(sample_knowledge("broken"));
+  batches[1].knowledge[0].end_time = std::nan("");
+  EXPECT_THROW(repo.store_sources(batches), DbError);
+  // Source 0 committed; source 1 vanished entirely.
+  EXPECT_EQ(repo.extracted_sources(), (std::vector<std::string>{"good"}));
+  EXPECT_EQ(repo.knowledge_ids().size(), 1u);
+  // A retry with the bad source fixed completes idempotently.
+  batches[1].knowledge[0].end_time = 1.0;
+  const StoreOutcome retry = repo.store_sources(batches);
+  EXPECT_EQ(retry.skipped_sources, (std::vector<std::string>{"good"}));
+  EXPECT_EQ(retry.knowledge_ids.size(), 1u);
+  EXPECT_EQ(repo.knowledge_ids().size(), 2u);
 }
 
 }  // namespace

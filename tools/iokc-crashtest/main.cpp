@@ -1,0 +1,203 @@
+// iokc-crashtest: randomized crash-recovery campaign for the durability
+// layer. Each trial repeatedly forks a full sweep (generate + extract +
+// persist + save), SIGKILLs it after a randomly drawn number of fault
+// points, and restarts it in resume mode until one run survives. The
+// recovered database must open cleanly after every kill and its final dump
+// must be byte-identical to an uninterrupted reference run's.
+//
+//   iokc-crashtest [--trials <n>] [--seed <n>] [--workdir <dir>] [--keep]
+//
+// Exits 0 when every trial converges, 1 on any corruption or divergence.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/cycle/cycle.hpp"
+#include "src/db/database.hpp"
+#include "src/util/error.hpp"
+#include "src/util/fault.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+
+namespace {
+
+/// Fault points left before the injected SIGKILL; decremented by the forked
+/// child's fault hook.
+std::atomic<int> g_kill_countdown{0};
+
+void countdown_kill(const char* /*site*/) {
+  if (g_kill_countdown.fetch_sub(1) == 1) {
+    ::kill(::getpid(), SIGKILL);
+  }
+}
+
+iokc::jube::JubeBenchmarkConfig sweep_config() {
+  iokc::jube::JubeBenchmarkConfig config;
+  config.name = "crashtest";
+  config.space.add_csv("transfer", "256k,1m");
+  config.space.add_csv("tasks", "2,4");
+  config.steps.push_back(iokc::jube::JubeStep{
+      "run", "ior -a posix -b 1m -t $transfer -s 1 -F -w -i 1 -N $tasks "
+             "-o /scratch/x_$transfer"});
+  return config;
+}
+
+/// One full sweep against `dir`/ws and `dir`/k.db, resumable and with
+/// isolated per-package environments (the mode resume's byte-identity
+/// guarantee is defined for).
+void run_flow(const std::filesystem::path& dir) {
+  iokc::cycle::SimEnvironment env;
+  iokc::cycle::KnowledgeCycle cycle(
+      env, dir / "ws",
+      iokc::persist::RepoTarget::parse("file:" + (dir / "k.db").string()));
+  cycle.set_parallelism(1);
+  cycle.set_resume(true);
+  cycle.generate(sweep_config());
+  cycle.extract_and_persist();
+  cycle.save();
+}
+
+/// Forks a child running the flow with a SIGKILL `countdown` fault points
+/// in. Returns true when the child completed (countdown never expired).
+bool run_with_kill(const std::filesystem::path& dir, int countdown) {
+  // The child inherits stdio buffers; flush so its exit path (or a runtime
+  // that flushes on _exit) cannot replay the parent's pending output.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const ::pid_t pid = ::fork();
+  if (pid == 0) {
+    g_kill_countdown.store(countdown);
+    iokc::util::set_fault_hook(&countdown_kill);
+    try {
+      run_flow(dir);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "child failed: %s\n", error.what());
+      ::_exit(2);
+    }
+    ::_exit(0);
+  }
+  if (pid < 0) {
+    throw iokc::IoError("fork failed");
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+    return true;
+  }
+  if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+    return false;
+  }
+  throw iokc::IoError("sweep child neither completed nor died by SIGKILL");
+}
+
+struct Options {
+  int trials = 5;
+  std::uint64_t seed = 1;
+  std::filesystem::path workdir;
+  bool keep = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trials <n>] [--seed <n>] [--workdir <dir>] "
+               "[--keep]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  options.workdir = std::filesystem::temp_directory_path() /
+                    ("iokc_crashtest_" + std::to_string(::getpid()));
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--trials" && has_value) {
+      options.trials = static_cast<int>(iokc::util::parse_i64(argv[++i]));
+    } else if (arg == "--seed" && has_value) {
+      options.seed =
+          static_cast<std::uint64_t>(iokc::util::parse_i64(argv[++i]));
+    } else if (arg == "--workdir" && has_value) {
+      options.workdir = argv[++i];
+    } else if (arg == "--keep") {
+      options.keep = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (options.trials < 1) {
+    std::fprintf(stderr, "error: --trials must be >= 1\n");
+    return 1;
+  }
+
+  try {
+    std::filesystem::remove_all(options.workdir);
+    std::filesystem::create_directories(options.workdir);
+
+    // The reference: the same sweep, never interrupted. Its dump is
+    // workspace-location-independent, so one reference serves every trial.
+    const std::filesystem::path reference_dir = options.workdir / "reference";
+    run_flow(reference_dir);
+    const std::string reference =
+        iokc::db::Database::open((reference_dir / "k.db").string()).dump();
+
+    iokc::util::Rng rng(options.seed);
+    int failures = 0;
+    for (int trial = 0; trial < options.trials; ++trial) {
+      const std::filesystem::path dir =
+          options.workdir / ("trial_" + std::to_string(trial));
+      int kills = 0;
+      constexpr int kMaxRestarts = 500;
+      while (!run_with_kill(dir, static_cast<int>(rng.uniform_int(1, 60)))) {
+        ++kills;
+        if (kills > kMaxRestarts) {
+          throw iokc::IoError("sweep never completed after " +
+                              std::to_string(kMaxRestarts) + " restarts");
+        }
+        // Every post-kill state must already be a valid database.
+        try {
+          iokc::db::Database::open((dir / "k.db").string());
+        } catch (const std::exception& error) {
+          std::fprintf(stderr,
+                       "trial %d: database corrupt after kill #%d: %s\n",
+                       trial, kills, error.what());
+          ++failures;
+          break;
+        }
+      }
+      const std::string dump =
+          iokc::db::Database::open((dir / "k.db").string()).dump();
+      const bool identical = dump == reference;
+      std::printf("trial %d: %d kill(s), recovered dump %s\n", trial, kills,
+                  identical ? "identical" : "DIVERGED");
+      if (!identical) {
+        ++failures;
+      }
+    }
+
+    if (!options.keep) {
+      std::filesystem::remove_all(options.workdir);
+    }
+    if (failures > 0) {
+      std::fprintf(stderr, "%d of %d trial(s) failed\n", failures,
+                   options.trials);
+      return 1;
+    }
+    std::printf("all %d trial(s) converged to the reference dump\n",
+                options.trials);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
