@@ -8,10 +8,14 @@
 #include "src/analysis/anomaly.hpp"
 #include "src/analysis/charts.hpp"
 #include "src/cycle/cycle.hpp"
+#include "src/db/sql.hpp"
 #include "src/obs/observability.hpp"
+#include "src/svc/client.hpp"
+#include "src/svc/server.hpp"
 #include "src/usage/prediction.hpp"
 #include "src/usage/recommendation.hpp"
 #include "src/util/error.hpp"
+#include "src/util/json.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
 
@@ -205,6 +209,114 @@ int cmd_predict(Session& session, const std::vector<std::string>& args,
   return 0;
 }
 
+/// `iokc serve`: run the knowledge service daemon against the --db target
+/// until SIGTERM/SIGINT, then drain, save, and report.
+int cmd_serve(const GlobalOptions& options,
+              obs::Observability* observability,
+              const std::vector<std::string>& args, std::size_t i,
+              std::ostream& out) {
+  // Route svc.* spans and counters into --trace/--metrics exports.
+  std::optional<obs::ScopedObservability> scoped;
+  if (observability != nullptr) {
+    scoped.emplace(*observability);
+  }
+  svc::ServerConfig config;
+  std::string port_file;
+  while (i < args.size()) {
+    const std::string& flag = args[i];
+    auto need_value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw ConfigError("serve: " + flag + " needs a value");
+      }
+      return args[++i];
+    };
+    if (flag == "--port") {
+      const std::int64_t port = util::parse_i64(need_value());
+      if (port < 0 || port > 65535) {
+        throw ConfigError("serve: --port needs a value in [0, 65535]");
+      }
+      config.port = static_cast<std::uint16_t>(port);
+    } else if (flag == "--threads") {
+      const std::int64_t threads = util::parse_i64(need_value());
+      if (threads < 0) {
+        throw ConfigError("serve: --threads needs a value >= 0");
+      }
+      config.threads = static_cast<std::size_t>(threads);
+    } else if (flag == "--bind") {
+      config.bind_address = need_value();
+    } else if (flag == "--port-file") {
+      port_file = need_value();
+    } else {
+      throw ConfigError("serve: unknown flag " + flag);
+    }
+    ++i;
+  }
+  persist::KnowledgeRepository repository(
+      persist::RepoTarget::parse(options.db));
+  svc::Server server(repository, config);
+  server.start();
+  out << "iokc-serve listening on " << config.bind_address << ":"
+      << server.port() << " (" << options.db << ")\n";
+  out.flush();
+  if (!port_file.empty()) {
+    std::ofstream port_out(port_file, std::ios::trunc);
+    if (!port_out) {
+      throw IoError("cannot write " + port_file);
+    }
+    port_out << server.port() << "\n";
+  }
+  svc::ShutdownPipe::instance().install_signal_handlers();
+  svc::wait_for_shutdown(server, svc::ShutdownPipe::instance().read_fd());
+  repository.save();
+  const svc::ServerStats stats = server.stats();
+  out << "drained: " << stats.requests << " request(s) on "
+      << stats.connections << " connection(s), " << stats.errors
+      << " error(s)\n";
+  return 0;
+}
+
+/// `iokc query <host:port> <endpoint> [params-json]`: one service round
+/// trip; an error response exits 2 like any other Error.
+int cmd_query(const std::vector<std::string>& args, std::size_t i,
+              std::ostream& out) {
+  if (i >= args.size()) {
+    throw ConfigError("query: missing <host:port>");
+  }
+  const std::string& address = args[i++];
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    throw ConfigError("query: address must be <host>:<port>, got '" +
+                      address + "'");
+  }
+  const std::string host = address.substr(0, colon);
+  const std::int64_t port = util::parse_i64(address.substr(colon + 1));
+  if (port <= 0 || port > 65535) {
+    throw ConfigError("query: port must be in [1, 65535]");
+  }
+  if (i >= args.size()) {
+    throw ConfigError("query: missing <endpoint>");
+  }
+  const std::string& endpoint = args[i++];
+  util::JsonValue params{util::JsonObject{}};
+  if (i < args.size()) {
+    params = util::parse_json(args[i]);
+    if (!params.is_object()) {
+      throw ConfigError("query: params must be a JSON object");
+    }
+  }
+  svc::ClientOptions client_options;
+  client_options.connect_retries = 4;
+  svc::Client client = svc::Client::connect(
+      host, static_cast<std::uint16_t>(port), client_options);
+  const svc::Response response = client.call(endpoint, std::move(params));
+  if (!response.ok) {
+    throw IoError("service error: " + response.error);
+  }
+  out << response.result.dump(2) << "\n";
+  return 0;
+}
+
 int dispatch_command(const GlobalOptions& options,
                      obs::Observability* observability,
                      const std::string& command,
@@ -216,6 +328,16 @@ int dispatch_command(const GlobalOptions& options,
     }
     return args[i];
   };
+
+  // Service verbs run before Session construction: serve needs only the
+  // repository (no simulator environment, no workspace), and query does not
+  // even open a database.
+  if (command == "serve") {
+    return cmd_serve(options, observability, args, i, out);
+  }
+  if (command == "query") {
+    return cmd_query(args, i, out);
+  }
 
   Session session(options, observability);
   if (command == "run") {
@@ -252,9 +374,21 @@ int dispatch_command(const GlobalOptions& options,
     return cmd_compare(session, args, i, out);
   }
   if (command == "sql") {
+    bool allow_write = false;
+    if (i < args.size() && args[i] == "--write") {
+      allow_write = true;
+      ++i;
+    }
     const std::string statement = join_from(args, i);
     if (util::trim(statement).empty()) {
       throw ConfigError("sql: missing statement");
+    }
+    // Same classifier the service's read-only `sql` endpoint uses, so the
+    // CLI and the daemon can never disagree about what counts as a write.
+    if (!allow_write && !db::sql_is_read_only(statement)) {
+      throw ConfigError(
+          "sql: statement would modify the database; rerun as "
+          "`iokc sql --write " + statement + "` to allow it");
     }
     const db::ResultSet rows =
         session.cycle.repository().database().execute(statement);
@@ -308,7 +442,16 @@ std::string usage_text() {
       "  iters <id>                    per-iteration details\n"
       "  io500 <id>                    IO500 viewer\n"
       "  compare <metric> <op> <id..>  comparison chart\n"
-      "  sql <statement...>            query the knowledge database\n"
+      "  sql [--write] <statement...>  query the knowledge database\n"
+      "                                (mutations require --write)\n"
+      "  serve [--port <n>] [--threads <n>] [--bind <addr>]\n"
+      "        [--port-file <file>]    serve the --db knowledge base over\n"
+      "                                TCP until SIGTERM/SIGINT\n"
+      "  query <host:port> <endpoint> [params-json]\n"
+      "                                one knowledge-service request\n"
+      "                                (health, stats, list, sql,\n"
+      "                                knowledge/get, knowledge/store,\n"
+      "                                predict, recommend, anomaly)\n"
       "  export-csv <table>            CSV of one table to stdout\n"
       "  export-json <id> <file>       knowledge object -> JSON file\n"
       "  import-json <file>            JSON file -> knowledge database\n"

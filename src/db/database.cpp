@@ -158,12 +158,15 @@ void Database::rollback() {
 }
 
 bool Database::statement_mutates(const Statement& statement) const {
+  // The shared read-only classifier decides the easy half; what remains is
+  // the state-dependent refinement (IF NOT EXISTS no-ops don't journal).
+  if (statement_is_read_only(statement)) {
+    return false;
+  }
   return std::visit(
       [this](const auto& stmt) -> bool {
         using T = std::decay_t<decltype(stmt)>;
-        if constexpr (std::is_same_v<T, SelectStmt>) {
-          return false;
-        } else if constexpr (std::is_same_v<T, CreateTableStmt>) {
+        if constexpr (std::is_same_v<T, CreateTableStmt>) {
           // CREATE TABLE IF NOT EXISTS on an existing table is a no-op and
           // must not bloat the journal.
           return !(stmt.if_not_exists && tables_.contains(stmt.schema.name));

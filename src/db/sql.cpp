@@ -528,4 +528,12 @@ std::vector<Statement> parse_sql_script(std::string_view script) {
   return statements;
 }
 
+bool statement_is_read_only(const Statement& statement) {
+  return std::holds_alternative<SelectStmt>(statement);
+}
+
+bool sql_is_read_only(std::string_view sql) {
+  return statement_is_read_only(parse_sql(sql));
+}
+
 }  // namespace iokc::db

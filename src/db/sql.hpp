@@ -93,4 +93,13 @@ std::vector<Statement> parse_sql_script(std::string_view script);
 /// (the database's journal records statements at the text level).
 std::vector<std::string> split_sql_script(std::string_view script);
 
+/// True when the statement cannot change database state (today: SELECT).
+/// The read-only gates of the knowledge service's `sql` endpoint and the
+/// CLI `sql` verb both classify through here, so they can never disagree.
+bool statement_is_read_only(const Statement& statement);
+
+/// Parses `sql` and classifies it; ParseError propagates, so a statement
+/// that fails to parse is neither accepted nor silently treated as a write.
+bool sql_is_read_only(std::string_view sql);
+
 }  // namespace iokc::db

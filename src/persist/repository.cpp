@@ -193,6 +193,29 @@ KnowledgeRepository::KnowledgeRepository(const RepoTarget& target)
   db_.execute_script(knowledge_schema_sql());
 }
 
+KnowledgeRepository::KnowledgeRepository(FromDumpTag,
+                                         const std::string& dump_script) {
+  // Strip the dump's `--` header/comment lines (same as Database::load).
+  std::string cleaned;
+  for (const std::string& line : util::split_lines(dump_script)) {
+    if (!util::starts_with(util::trim(line), "--")) {
+      cleaned += line;
+      cleaned += '\n';
+    }
+  }
+  // The dump's own CREATE TABLE statements run first (they carry the row
+  // data); the idempotent schema bootstrap then fills in any table the dump
+  // predates (an empty database dumps to nothing, for instance).
+  db_.execute_script(cleaned);
+  db_.execute_script(knowledge_schema_sql());
+}
+
+std::unique_ptr<KnowledgeRepository> KnowledgeRepository::from_dump(
+    const std::string& dump_script) {
+  return std::unique_ptr<KnowledgeRepository>(
+      new KnowledgeRepository(FromDumpTag{}, dump_script));
+}
+
 namespace {
 
 std::string insert_systeminfo_sql(const knowledge::SystemInfoRecord& s,

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -65,6 +66,13 @@ class KnowledgeRepository {
   explicit KnowledgeRepository(const RepoTarget& target);
   /// In-memory repository.
   KnowledgeRepository();
+
+  /// In-memory repository rebuilt from a Database::dump() script — the
+  /// knowledge service's copy-on-read snapshots. Row ids are preserved, so
+  /// loads against the clone return exactly what the dumped database held.
+  /// The caller must ensure the dump was taken while no writer was active.
+  static std::unique_ptr<KnowledgeRepository> from_dump(
+      const std::string& dump_script);
 
   /// Stores a knowledge object; returns the new performances.id.
   std::int64_t store(const knowledge::Knowledge& knowledge);
@@ -121,6 +129,11 @@ class KnowledgeRepository {
   db::Database& database() { return db_; }
 
  private:
+  /// Tag constructor for from_dump: the dump script carries its own CREATE
+  /// TABLE statements, so the schema bootstrap must not run first.
+  struct FromDumpTag {};
+  KnowledgeRepository(FromDumpTag, const std::string& dump_script);
+
   std::int64_t store_unlocked(const knowledge::Knowledge& knowledge);
   std::int64_t store_unlocked(const knowledge::Io500Knowledge& knowledge);
 

@@ -1,0 +1,50 @@
+#include "src/svc/client.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace iokc::svc {
+
+Client::Client(Socket socket, ClientOptions options)
+    : socket_(std::move(socket)), options_(options) {}
+
+Client Client::connect(const std::string& host, std::uint16_t port,
+                       ClientOptions options) {
+  std::string last_error;
+  for (int attempt = 0; attempt <= options.connect_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.retry_delay_ms));
+    }
+    try {
+      return Client(connect_to(host, port, options.connect_timeout_ms),
+                    options);
+    } catch (const IoError& error) {
+      last_error = error.what();
+    }
+  }
+  throw IoError("connect to " + host + ":" + std::to_string(port) +
+                " failed after " + std::to_string(options.connect_retries + 1) +
+                " attempt(s): " + last_error);
+}
+
+Response Client::call(const std::string& endpoint, util::JsonValue params) {
+  if (!socket_.valid()) {
+    throw IoError("client connection is closed");
+  }
+  Request request;
+  request.endpoint = endpoint;
+  request.params = std::move(params);
+  write_frame(socket_, request.to_json().dump(), options_.max_frame_bytes);
+  const std::optional<std::string> frame =
+      read_frame(socket_, options_.max_frame_bytes, options_.request_timeout_ms);
+  if (!frame.has_value()) {
+    throw IoError("server closed the connection before responding");
+  }
+  return Response::from_json(util::parse_json(*frame));
+}
+
+}  // namespace iokc::svc

@@ -1,0 +1,49 @@
+// Blocking client for the knowledge service: one TCP connection, one
+// request/response exchange per call(), retrying the initial connect so
+// scripts can race `iokc serve` startup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/svc/protocol.hpp"
+#include "src/svc/socket.hpp"
+#include "src/util/json.hpp"
+
+namespace iokc::svc {
+
+struct ClientOptions {
+  int connect_timeout_ms = 2000;  // per connect attempt
+  int request_timeout_ms = 10000;
+  int connect_retries = 0;        // extra attempts after the first
+  int retry_delay_ms = 100;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  /// Connects (with retries per `options`); throws IoError when every
+  /// attempt fails.
+  static Client connect(const std::string& host, std::uint16_t port,
+                        ClientOptions options = {});
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// One request/response round trip. Error *responses* come back as
+  /// Response{ok=false}; transport failures (timeout, server gone) throw
+  /// IoError and leave the connection unusable.
+  Response call(const std::string& endpoint,
+                util::JsonValue params = util::JsonValue(util::JsonObject{}));
+
+  bool connected() const { return socket_.valid(); }
+  void close() { socket_.close(); }
+
+ private:
+  Client(Socket socket, ClientOptions options);
+
+  Socket socket_;
+  ClientOptions options_;
+};
+
+}  // namespace iokc::svc

@@ -1,0 +1,141 @@
+#include "src/svc/protocol.hpp"
+
+#include <utility>
+
+#include "src/svc/socket.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::svc {
+
+std::array<char, kFrameHeaderBytes> encode_frame_header(
+    std::size_t payload_bytes) {
+  if (payload_bytes > 0xFFFFFFFFu) {
+    throw ConfigError("frame payload too large: " +
+                      std::to_string(payload_bytes) + " bytes");
+  }
+  const auto value = static_cast<std::uint32_t>(payload_bytes);
+  return {static_cast<char>((value >> 24) & 0xFF),
+          static_cast<char>((value >> 16) & 0xFF),
+          static_cast<char>((value >> 8) & 0xFF),
+          static_cast<char>(value & 0xFF)};
+}
+
+std::size_t decode_frame_header(
+    const std::array<char, kFrameHeaderBytes>& header, std::size_t max_bytes) {
+  std::uint32_t value = 0;
+  for (const char byte : header) {
+    value = (value << 8) | static_cast<unsigned char>(byte);
+  }
+  if (value > max_bytes) {
+    throw ParseError("frame of " + std::to_string(value) +
+                     " bytes exceeds the " + std::to_string(max_bytes) +
+                     "-byte cap");
+  }
+  return value;
+}
+
+util::JsonValue Request::to_json() const {
+  util::JsonObject object;
+  object.emplace_back("endpoint", util::JsonValue(endpoint));
+  object.emplace_back("params", params);
+  return util::JsonValue(std::move(object));
+}
+
+Request Request::from_json(const util::JsonValue& json) {
+  Request request;
+  request.endpoint = json.at("endpoint").as_string();
+  if (const util::JsonValue* params = json.find("params")) {
+    if (!params->is_object()) {
+      throw ParseError("request 'params' must be a JSON object");
+    }
+    request.params = *params;
+  } else {
+    request.params = util::JsonValue(util::JsonObject{});
+  }
+  return request;
+}
+
+Response Response::success(util::JsonValue result) {
+  Response response;
+  response.ok = true;
+  response.result = std::move(result);
+  return response;
+}
+
+Response Response::failure(std::string error) {
+  Response response;
+  response.ok = false;
+  response.error = std::move(error);
+  return response;
+}
+
+util::JsonValue Response::to_json() const {
+  util::JsonObject object;
+  object.emplace_back("ok", util::JsonValue(ok));
+  if (ok) {
+    object.emplace_back("result", result);
+  } else {
+    object.emplace_back("error", util::JsonValue(error));
+  }
+  return util::JsonValue(std::move(object));
+}
+
+Response Response::from_json(const util::JsonValue& json) {
+  Response response;
+  response.ok = json.at("ok").as_bool();
+  if (response.ok) {
+    response.result = json.at("result");
+  } else {
+    response.error = json.at("error").as_string();
+  }
+  return response;
+}
+
+void write_frame(Socket& socket, const std::string& payload,
+                 std::size_t max_bytes) {
+  if (payload.size() > max_bytes) {
+    throw ConfigError("frame of " + std::to_string(payload.size()) +
+                      " bytes exceeds the " + std::to_string(max_bytes) +
+                      "-byte cap");
+  }
+  const std::array<char, kFrameHeaderBytes> header =
+      encode_frame_header(payload.size());
+  std::string wire(header.data(), header.size());
+  wire += payload;
+  // One send for header + payload: a frame is never visible half-written to
+  // the kernel, and small requests stay in one TCP segment.
+  send_all(socket, wire);
+}
+
+std::optional<std::string> read_frame(Socket& socket, std::size_t max_bytes,
+                                      int timeout_ms) {
+  std::array<char, kFrameHeaderBytes> header{};
+  if (!recv_exact(socket, header.data(), header.size(), timeout_ms)) {
+    return std::nullopt;  // clean EOF at a frame boundary
+  }
+  std::size_t length = 0;
+  try {
+    length = decode_frame_header(header, max_bytes);
+  } catch (const ParseError&) {
+    // Over-cap frame: drain what the peer declared (bounded) before
+    // surfacing the violation. Closing with unread bytes in the receive
+    // buffer would RST the connection and destroy the error response the
+    // server is about to send.
+    std::uint32_t declared = 0;
+    for (const char byte : header) {
+      declared = (declared << 8) | static_cast<unsigned char>(byte);
+    }
+    discard_up_to(socket,
+                  std::min<std::size_t>(declared, kDefaultMaxFrameBytes),
+                  timeout_ms);
+    throw;
+  }
+  std::string payload(length, '\0');
+  if (length > 0 &&
+      !recv_exact(socket, payload.data(), length, timeout_ms)) {
+    throw IoError("recv: peer closed mid-frame");
+  }
+  return payload;
+}
+
+}  // namespace iokc::svc

@@ -1,0 +1,77 @@
+// Wire protocol of the knowledge service (DESIGN.md §5e): length-prefixed
+// JSON frames over TCP. One frame is a 4-byte big-endian payload length
+// followed by exactly that many bytes of UTF-8 JSON. A request names an
+// endpoint and carries a params object; a response is either a result or an
+// error message. Both directions enforce a frame-size cap, so a malicious
+// or corrupt length prefix can never make a peer allocate unbounded memory.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/util/json.hpp"
+
+namespace iokc::svc {
+
+class Socket;
+
+/// Bytes of the frame header (big-endian payload length).
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Default cap on one frame's payload, both directions.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;  // 4 MiB
+
+/// Encodes a payload length as the 4-byte big-endian frame header.
+/// Throws ConfigError when the payload exceeds what the header can carry.
+std::array<char, kFrameHeaderBytes> encode_frame_header(
+    std::size_t payload_bytes);
+
+/// Decodes a frame header. Throws ParseError when the announced length
+/// exceeds `max_bytes` — the reader must drop the connection rather than
+/// allocate.
+std::size_t decode_frame_header(
+    const std::array<char, kFrameHeaderBytes>& header, std::size_t max_bytes);
+
+/// One request: which endpoint, with what parameters.
+struct Request {
+  std::string endpoint;
+  util::JsonValue params;  // always a JSON object (possibly empty)
+
+  util::JsonValue to_json() const;
+  /// Throws ParseError when `json` is not {"endpoint": string, "params"?: obj}.
+  static Request from_json(const util::JsonValue& json);
+};
+
+/// One response: a result on success, an error message on failure.
+struct Response {
+  bool ok = false;
+  std::string error;       // set when !ok
+  util::JsonValue result;  // set when ok
+
+  static Response success(util::JsonValue result);
+  static Response failure(std::string error);
+
+  util::JsonValue to_json() const;
+  /// Throws ParseError on a malformed response document.
+  static Response from_json(const util::JsonValue& json);
+};
+
+// -- Framed I/O over a Socket -----------------------------------------------
+
+/// Writes one frame (header + payload). Throws IoError on transport failure,
+/// ConfigError when the payload exceeds `max_bytes`.
+void write_frame(Socket& socket, const std::string& payload,
+                 std::size_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Reads one complete frame. Returns nullopt on a clean EOF at a frame
+/// boundary (the peer closed between requests). Throws ParseError when the
+/// announced length exceeds `max_bytes`, IoError on timeout, mid-frame EOF,
+/// or transport failure. `timeout_ms` < 0 waits forever.
+std::optional<std::string> read_frame(
+    Socket& socket, std::size_t max_bytes = kDefaultMaxFrameBytes,
+    int timeout_ms = -1);
+
+}  // namespace iokc::svc

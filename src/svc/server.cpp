@@ -1,0 +1,537 @@
+#include "src/svc/server.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "src/analysis/anomaly.hpp"
+#include "src/db/sql.hpp"
+#include "src/generators/ior.hpp"
+#include "src/knowledge/io500_knowledge.hpp"
+#include "src/knowledge/knowledge.hpp"
+#include "src/obs/observability.hpp"
+#include "src/obs/span.hpp"
+#include "src/usage/prediction.hpp"
+#include "src/usage/recommendation.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::svc {
+
+namespace {
+
+util::JsonValue value_to_json(const db::Value& value) {
+  if (value.is_null()) {
+    return util::JsonValue(nullptr);
+  }
+  if (value.is_integer()) {
+    return util::JsonValue(value.as_integer());
+  }
+  if (value.is_real()) {
+    return util::JsonValue(value.as_real());
+  }
+  return util::JsonValue(value.as_text());
+}
+
+util::JsonValue result_set_to_json(const db::ResultSet& rows) {
+  util::JsonArray columns;
+  for (const std::string& column : rows.columns) {
+    columns.emplace_back(column);
+  }
+  util::JsonArray data;
+  for (const db::Row& row : rows.rows) {
+    util::JsonArray cells;
+    for (const db::Value& cell : row) {
+      cells.push_back(value_to_json(cell));
+    }
+    data.emplace_back(std::move(cells));
+  }
+  util::JsonObject object;
+  object.emplace_back("columns", util::JsonValue(std::move(columns)));
+  object.emplace_back("rows", util::JsonValue(std::move(data)));
+  return util::JsonValue(std::move(object));
+}
+
+util::JsonValue anomaly_report_to_json(const analysis::AnomalyReport& report) {
+  util::JsonArray anomalies;
+  for (const analysis::Anomaly& anomaly : report.anomalies) {
+    util::JsonObject entry;
+    entry.emplace_back("metric", util::JsonValue(anomaly.metric));
+    entry.emplace_back("location", util::JsonValue(anomaly.location));
+    entry.emplace_back("value", util::JsonValue(anomaly.value));
+    entry.emplace_back("reference", util::JsonValue(anomaly.reference));
+    entry.emplace_back("deviation", util::JsonValue(anomaly.deviation));
+    entry.emplace_back("severity",
+                       util::JsonValue(analysis::to_string(anomaly.severity)));
+    entry.emplace_back("description", util::JsonValue(anomaly.description));
+    anomalies.emplace_back(std::move(entry));
+  }
+  util::JsonObject object;
+  object.emplace_back("anomalies", util::JsonValue(std::move(anomalies)));
+  return util::JsonValue(std::move(object));
+}
+
+std::string param_string(const util::JsonValue& params, std::string_view key,
+                         const std::string& fallback) {
+  const util::JsonValue* value = params.find(key);
+  return value != nullptr ? value->as_string() : fallback;
+}
+
+}  // namespace
+
+Server::Server(persist::KnowledgeRepository& repository, ServerConfig config)
+    : repository_(repository),
+      config_(std::move(config)),
+      store_(repository_) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    throw ConfigError("server already started");
+  }
+  listener_ = listen_on(config_.bind_address, config_.port);
+  port_ = local_port(listener_);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_ = Socket(pipe_fds[0]);
+  wake_write_ = Socket(pipe_fds[1]);
+  stopping_.store(false, std::memory_order_release);
+  pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  running_.store(true, std::memory_order_release);
+  supervisor_ = std::thread([this] { supervise(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  wake_supervisor();
+  listener_.shutdown_both();
+  if (supervisor_.joinable()) {
+    supervisor_.join();
+  }
+  // Let in-flight request tasks run to completion, then join the workers.
+  pool_->wait_idle();
+  pool_.reset();
+  // Connections handed back after the supervisor exited just get closed.
+  {
+    const std::lock_guard<std::mutex> lock(returning_mutex_);
+    returning_.clear();
+  }
+  listener_.close();
+  wake_read_.close();
+  wake_write_.close();
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  stats.snapshot_rebuilds = store_.rebuilds();
+  return stats;
+}
+
+void Server::wake_supervisor() {
+  if (wake_write_.valid()) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_.fd(), &byte, 1);
+  }
+}
+
+void Server::return_connection(const std::shared_ptr<Socket>& connection) {
+  {
+    const std::lock_guard<std::mutex> lock(returning_mutex_);
+    returning_.push_back(connection);
+  }
+  wake_supervisor();
+}
+
+void Server::supervise() {
+  // fd -> idle connection. Only this thread touches the map.
+  std::unordered_map<int, std::shared_ptr<Socket>> idle;
+  std::vector<pollfd> pfds;
+  std::vector<int> pfd_fds;  // parallel to pfds[2..]: the idle map keys
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfd_fds.clear();
+    pfds.push_back({listener_.fd(), POLLIN, 0});
+    pfds.push_back({wake_read_.fd(), POLLIN, 0});
+    for (const auto& [fd, connection] : idle) {
+      pfds.push_back({fd, POLLIN, 0});
+      pfd_fds.push_back(fd);
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), 100);
+    if (stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // poll failure: give up serving rather than spin
+    }
+    if ((pfds[1].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_read_.fd(), drain, sizeof drain) ==
+             static_cast<ssize_t>(sizeof drain)) {
+      }
+    }
+    // Re-adopt connections whose request finished on a worker.
+    {
+      const std::lock_guard<std::mutex> lock(returning_mutex_);
+      for (std::shared_ptr<Socket>& connection : returning_) {
+        const int fd = connection->fd();
+        idle.emplace(fd, std::move(connection));
+      }
+      returning_.clear();
+    }
+    if ((pfds[0].revents & POLLIN) != 0) {
+      Socket connection = accept_connection(listener_, 0);
+      if (connection.valid()) {
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        auto shared = std::make_shared<Socket>(std::move(connection));
+        const int fd = shared->fd();  // before the move steals it
+        idle.emplace(fd, std::move(shared));
+      }
+    }
+    // Readable idle connections move to the worker pool, one request each.
+    for (std::size_t i = 2; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      const auto it = idle.find(pfd_fds[i - 2]);
+      if (it == idle.end()) {
+        continue;
+      }
+      std::shared_ptr<Socket> connection = it->second;
+      idle.erase(it);
+      pool_->submit([this, connection] {
+        try {
+          serve_one(connection);
+        } catch (...) {
+          // Pool tasks must not throw; a broken connection just drops.
+        }
+      });
+    }
+  }
+  // Drain: close idle connections (no request in flight on them).
+  idle.clear();
+}
+
+void Server::serve_one(const std::shared_ptr<Socket>& connection) {
+  bool keep = false;
+  try {
+    // Data is already pending (the supervisor saw POLLIN), so the timeout
+    // here bounds a slow or malicious sender, not an idle keep-alive.
+    const std::optional<std::string> frame = read_frame(
+        *connection, config_.max_frame_bytes, config_.request_timeout_ms);
+    if (frame.has_value()) {
+      keep = handle_frame(*connection, *frame);
+    }
+  } catch (const Error& error) {
+    // Framing violation (oversized frame, timeout, torn frame): answer with
+    // an error when the socket still works, then drop the connection — the
+    // stream position is unrecoverable.
+    try {
+      write_frame(*connection, Response::failure(error.what()).to_json().dump(),
+                  config_.max_frame_bytes);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const Error&) {
+    }
+  }
+  if (keep && !stopping_.load(std::memory_order_acquire)) {
+    return_connection(connection);
+  }
+}
+
+bool Server::handle_frame(Socket& connection, const std::string& payload) {
+  const auto started = std::chrono::steady_clock::now();
+  bytes_in_.fetch_add(payload.size() + kFrameHeaderBytes,
+                      std::memory_order_relaxed);
+  Response response;
+  try {
+    const Request request = Request::from_json(util::parse_json(payload));
+    obs::Span span("svc:" + request.endpoint,
+                   {.category = "svc", .phase = "svc"});
+    response = dispatch(request);
+  } catch (const Error& error) {
+    response = Response::failure(error.what());
+  }
+  const std::string out = response.to_json().dump();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!response.ok) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bytes_out_.fetch_add(out.size() + kFrameHeaderBytes,
+                       std::memory_order_relaxed);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - started);
+  obs::count("svc.requests");
+  obs::count("svc.bytes_out", out.size() + kFrameHeaderBytes);
+  obs::observe("svc.latency_us", static_cast<double>(elapsed.count()));
+  try {
+    write_frame(connection, out, config_.max_frame_bytes);
+  } catch (const Error&) {
+    return false;
+  }
+  return true;
+}
+
+Response Server::dispatch(const Request& request) {
+  const util::JsonValue& params = request.params;
+  const std::string& endpoint = request.endpoint;
+  try {
+    if (endpoint == "health") {
+      util::JsonObject result;
+      result.emplace_back("status", util::JsonValue("ok"));
+      return Response::success(util::JsonValue(std::move(result)));
+    }
+    if (endpoint == "stats") {
+      const ServerStats stats = this->stats();
+      const std::shared_ptr<persist::KnowledgeRepository> snap =
+          store_.snapshot();
+      util::JsonObject result;
+      result.emplace_back("connections", util::JsonValue(stats.connections));
+      result.emplace_back("requests", util::JsonValue(stats.requests));
+      result.emplace_back("errors", util::JsonValue(stats.errors));
+      result.emplace_back("bytes_in", util::JsonValue(stats.bytes_in));
+      result.emplace_back("bytes_out", util::JsonValue(stats.bytes_out));
+      result.emplace_back("snapshot_rebuilds",
+                          util::JsonValue(stats.snapshot_rebuilds));
+      result.emplace_back(
+          "knowledge_objects",
+          util::JsonValue(static_cast<std::int64_t>(
+              snap->knowledge_ids().size())));
+      result.emplace_back("io500_runs",
+                          util::JsonValue(static_cast<std::int64_t>(
+                              snap->io500_ids().size())));
+      util::JsonArray tables;
+      for (const std::string& table : snap->database().table_names()) {
+        tables.emplace_back(table);
+      }
+      result.emplace_back("tables", util::JsonValue(std::move(tables)));
+      return Response::success(util::JsonValue(std::move(result)));
+    }
+    if (endpoint == "list") {
+      const std::shared_ptr<persist::KnowledgeRepository> snap =
+          store_.snapshot();
+      util::JsonArray knowledge;
+      for (const auto& [id, command] : snap->list_commands()) {
+        util::JsonObject entry;
+        entry.emplace_back("id", util::JsonValue(id));
+        entry.emplace_back("command", util::JsonValue(command));
+        knowledge.emplace_back(std::move(entry));
+      }
+      util::JsonArray io500;
+      for (const std::int64_t id : snap->io500_ids()) {
+        io500.emplace_back(id);
+      }
+      util::JsonObject result;
+      result.emplace_back("knowledge", util::JsonValue(std::move(knowledge)));
+      result.emplace_back("io500", util::JsonValue(std::move(io500)));
+      return Response::success(util::JsonValue(std::move(result)));
+    }
+    if (endpoint == "sql") {
+      const std::string statement = params.at("statement").as_string();
+      if (!db::sql_is_read_only(statement)) {
+        return Response::failure(
+            "sql endpoint is read-only; store knowledge through "
+            "knowledge/store, or run `iokc sql --write` against the "
+            "database file directly");
+      }
+      const std::shared_ptr<persist::KnowledgeRepository> snap =
+          store_.snapshot();
+      return Response::success(
+          result_set_to_json(snap->database().execute(statement)));
+    }
+    if (endpoint == "knowledge/get") {
+      const std::int64_t id = params.at("id").as_int();
+      const std::string kind = param_string(params, "kind", "knowledge");
+      const std::shared_ptr<persist::KnowledgeRepository> snap =
+          store_.snapshot();
+      util::JsonObject result;
+      result.emplace_back("kind", util::JsonValue(kind));
+      if (kind == "io500") {
+        result.emplace_back("object", snap->load_io500(id).to_json());
+      } else if (kind == "knowledge") {
+        result.emplace_back("object", snap->load_knowledge(id).to_json());
+      } else {
+        return Response::failure("knowledge/get: unknown kind '" + kind +
+                                 "' (use 'knowledge' or 'io500')");
+      }
+      return Response::success(util::JsonValue(std::move(result)));
+    }
+    if (endpoint == "knowledge/store") {
+      const util::JsonValue& object = params.at("object");
+      // Sniff the kind the same way import_json_file does, and parse
+      // *before* taking the writer lock.
+      const bool is_io500 = object.find("testcases") != nullptr;
+      std::int64_t id = 0;
+      if (is_io500) {
+        const knowledge::Io500Knowledge parsed =
+            knowledge::Io500Knowledge::from_json(object);
+        store_.with_write([&](persist::KnowledgeRepository& repository) {
+          id = repository.store(parsed);
+        });
+      } else {
+        const knowledge::Knowledge parsed =
+            knowledge::Knowledge::from_json(object);
+        store_.with_write([&](persist::KnowledgeRepository& repository) {
+          id = repository.store(parsed);
+        });
+      }
+      util::JsonObject result;
+      result.emplace_back("id", util::JsonValue(id));
+      result.emplace_back("kind",
+                          util::JsonValue(is_io500 ? "io500" : "knowledge"));
+      return Response::success(util::JsonValue(std::move(result)));
+    }
+    if (endpoint == "predict") {
+      const std::string command = params.at("command").as_string();
+      const std::string operation = param_string(params, "operation", "write");
+      const usage::ConfigFeatures query =
+          usage::ConfigFeatures::from_command(command);
+      const std::shared_ptr<persist::KnowledgeRepository> snap =
+          store_.snapshot();
+      const std::vector<usage::TrainingSample> samples =
+          usage::build_training_set(*snap, operation);
+      if (samples.empty()) {
+        return Response::failure("predict: the knowledge base holds no IOR " +
+                                 operation + " runs");
+      }
+      util::JsonObject result;
+      result.emplace_back(
+          "samples",
+          util::JsonValue(static_cast<std::int64_t>(samples.size())));
+      if (samples.size() >= 8) {
+        const usage::BandwidthPredictor predictor =
+            usage::BandwidthPredictor::fit(samples);
+        result.emplace_back("regression_mib",
+                            util::JsonValue(predictor.predict(query)));
+      } else {
+        result.emplace_back("regression_mib", util::JsonValue(nullptr));
+      }
+      result.emplace_back("knn_mib",
+                          util::JsonValue(usage::knn_predict(samples, query)));
+      return Response::success(util::JsonValue(std::move(result)));
+    }
+    if (endpoint == "recommend") {
+      const std::string command = params.at("command").as_string();
+      const std::string operation = param_string(params, "operation", "write");
+      const gen::IorConfig target = gen::parse_ior_command(command);
+      const std::shared_ptr<persist::KnowledgeRepository> snap =
+          store_.snapshot();
+      const usage::RecommendationReport report =
+          usage::recommend(*snap, target, operation);
+      util::JsonArray recommendations;
+      for (const usage::Recommendation& entry : report.recommendations) {
+        util::JsonObject item;
+        item.emplace_back("tunable", util::JsonValue(entry.tunable));
+        item.emplace_back("current", util::JsonValue(entry.current));
+        item.emplace_back("suggested", util::JsonValue(entry.suggested));
+        item.emplace_back("expected_gain",
+                          util::JsonValue(entry.expected_gain));
+        item.emplace_back("rationale", util::JsonValue(entry.rationale));
+        recommendations.emplace_back(std::move(item));
+      }
+      util::JsonObject result;
+      result.emplace_back(
+          "evidence_runs",
+          util::JsonValue(static_cast<std::int64_t>(report.evidence_runs)));
+      result.emplace_back("recommendations",
+                          util::JsonValue(std::move(recommendations)));
+      return Response::success(util::JsonValue(std::move(result)));
+    }
+    if (endpoint == "anomaly") {
+      const std::int64_t id = params.at("id").as_int();
+      const std::shared_ptr<persist::KnowledgeRepository> snap =
+          store_.snapshot();
+      const knowledge::Knowledge object = snap->load_knowledge(id);
+      const analysis::AnomalyReport report = analysis::with_job_context(
+          analysis::detect_in_knowledge(object), object);
+      return Response::success(anomaly_report_to_json(report));
+    }
+    return Response::failure("unknown endpoint '" + endpoint + "'");
+  } catch (const Error& error) {
+    return Response::failure(error.what());
+  }
+}
+
+// -- ShutdownPipe -----------------------------------------------------------
+
+namespace {
+/// The write end the signal handler uses; mirrors ShutdownPipe::instance().
+std::atomic<int> g_shutdown_write_fd{-1};
+
+extern "C" void shutdown_signal_handler(int) {
+  const int fd = g_shutdown_write_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+}  // namespace
+
+ShutdownPipe::ShutdownPipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+  g_shutdown_write_fd.store(write_fd_, std::memory_order_relaxed);
+}
+
+ShutdownPipe& ShutdownPipe::instance() {
+  static ShutdownPipe pipe;
+  return pipe;
+}
+
+void ShutdownPipe::trigger() {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(write_fd_, &byte, 1);
+}
+
+void ShutdownPipe::install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = shutdown_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+void wait_for_shutdown(Server& server, int stop_fd) {
+  pollfd pfd{};
+  pfd.fd = stop_fd;
+  pfd.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc > 0) {
+      break;
+    }
+    if (rc < 0 && errno != EINTR) {
+      break;  // cannot wait; fall through to a clean stop
+    }
+  }
+  // Drain every pending trigger byte so a later wait starts fresh.
+  char drain[64];
+  while (::read(stop_fd, drain, sizeof drain) ==
+         static_cast<ssize_t>(sizeof drain)) {
+  }
+  server.stop();
+}
+
+}  // namespace iokc::svc

@@ -1,0 +1,154 @@
+// The knowledge service daemon (DESIGN.md §5e): a TCP server exposing the
+// knowledge base over the length-prefixed JSON protocol of protocol.hpp.
+//
+// Concurrency model — listener + workers on the shared util::ThreadPool:
+//   - One supervisor thread owns the listening socket and every *idle*
+//     connection, multiplexing them through poll(2).
+//   - When a connection becomes readable, the supervisor hands it to the
+//     worker pool as one serve-one-request task: read a frame, dispatch,
+//     write the response, hand the connection back to the supervisor. A
+//     connection therefore occupies a worker only while a request is in
+//     flight, so many idle connections share few workers.
+//   - Reads run against SnapshotStore clones (copy-on-read snapshot
+//     isolation); the only write endpoint (knowledge/store) serializes on
+//     the store's writer lock against the primary repository.
+//
+// Limits: per-request read timeout, frame byte cap both directions. Drain:
+// stop() closes the listener, lets in-flight requests finish (bounded by
+// the request timeout), then closes every connection — no request is ever
+// abandoned mid-response.
+//
+// Endpoints (request/response schemas in DESIGN.md §5e):
+//   health, stats, list, sql (read-only), knowledge/get, knowledge/store,
+//   predict, recommend, anomaly
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/persist/repository.hpp"
+#include "src/svc/protocol.hpp"
+#include "src/svc/snapshot.hpp"
+#include "src/svc/socket.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace iokc::svc {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;      // 0 picks an ephemeral port
+  std::size_t threads = 4;     // worker pool size (0 = hardware threads)
+  int request_timeout_ms = 5000;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// Monotonic counters since start().
+struct ServerStats {
+  std::uint64_t connections = 0;  // accepted
+  std::uint64_t requests = 0;     // responses written (ok or error)
+  std::uint64_t errors = 0;       // error responses among them
+  std::uint64_t bytes_in = 0;     // request frames, headers included
+  std::uint64_t bytes_out = 0;    // response frames, headers included
+  std::uint64_t snapshot_rebuilds = 0;
+};
+
+class Server {
+ public:
+  /// Serves `repository`; the caller keeps ownership and must not mutate it
+  /// behind the server's back while the server runs.
+  Server(persist::KnowledgeRepository& repository, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the supervisor + worker pool. Throws
+  /// IoError when the address is unavailable.
+  void start();
+
+  /// The bound port (after start()).
+  std::uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful drain: stop accepting, finish in-flight requests, close every
+  /// connection, join supervisor and workers. Idempotent; safe from any
+  /// thread (the SIGTERM path calls it via wait_for_shutdown).
+  void stop();
+
+  ServerStats stats() const;
+
+  /// One request document -> one response document, exactly as the network
+  /// path dispatches it (exposed so tests can exercise endpoint logic
+  /// without sockets).
+  Response dispatch(const Request& request);
+
+ private:
+  void supervise();
+  void serve_one(const std::shared_ptr<Socket>& connection);
+  /// Reads/handles one request; returns false when the connection must drop.
+  bool handle_frame(Socket& connection, const std::string& payload);
+  void return_connection(const std::shared_ptr<Socket>& connection);
+  void wake_supervisor();
+
+  persist::KnowledgeRepository& repository_;
+  ServerConfig config_;
+  SnapshotStore store_;
+
+  Socket listener_;
+  Socket wake_read_;
+  Socket wake_write_;  // self-pipe (as sockets for uniform RAII)
+  std::uint16_t port_ = 0;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread supervisor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Connections handed back by finished worker tasks, waiting for the
+  /// supervisor to resume polling them.
+  std::mutex returning_mutex_;
+  std::vector<std::shared_ptr<Socket>> returning_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+};
+
+// -- Process shutdown plumbing for `iokc serve` -----------------------------
+
+/// The self-pipe SIGTERM/SIGINT write into. wait_for_shutdown() blocks on
+/// the read end, so signal delivery turns into a normal poll wakeup —
+/// everything after the handler runs on a regular thread.
+class ShutdownPipe {
+ public:
+  static ShutdownPipe& instance();
+
+  int read_fd() const { return read_fd_; }
+  /// Requests shutdown; async-signal-safe (one write(2)). Also callable
+  /// from tests to emulate SIGTERM without killing the test runner.
+  void trigger();
+  /// Routes SIGTERM and SIGINT to trigger().
+  void install_signal_handlers();
+
+  ShutdownPipe(const ShutdownPipe&) = delete;
+  ShutdownPipe& operator=(const ShutdownPipe&) = delete;
+
+ private:
+  ShutdownPipe();
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+};
+
+/// Blocks until `stop_fd` becomes readable (a ShutdownPipe trigger), drains
+/// the pipe, and gracefully stops the server.
+void wait_for_shutdown(Server& server, int stop_fd);
+
+}  // namespace iokc::svc

@@ -1,0 +1,36 @@
+#include "src/svc/snapshot.hpp"
+
+#include "src/obs/observability.hpp"
+
+namespace iokc::svc {
+
+SnapshotStore::SnapshotStore(persist::KnowledgeRepository& primary)
+    : primary_(primary) {}
+
+std::shared_ptr<persist::KnowledgeRepository> SnapshotStore::snapshot() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (snapshot_version_ != version_) {
+    // Copy-on-read: the dump is taken under the writer lock, so it sits
+    // exactly on a transaction boundary of the primary database.
+    cached_ = persist::KnowledgeRepository::from_dump(
+        primary_.database().dump());
+    snapshot_version_ = version_;
+    ++rebuilds_;
+    obs::count("svc.snapshot_rebuilds");
+  }
+  return cached_;
+}
+
+void SnapshotStore::with_write(
+    const std::function<void(persist::KnowledgeRepository&)>& write) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++version_;  // stale even if the write throws after partial effect
+  write(primary_);
+}
+
+std::uint64_t SnapshotStore::rebuilds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rebuilds_;
+}
+
+}  // namespace iokc::svc

@@ -1,0 +1,60 @@
+// Snapshot isolation for the knowledge service: concurrent readers get a
+// frozen copy-on-read clone of the knowledge repository while writers keep
+// mutating the primary.
+//
+// Model: writes serialize on the store's mutex and bump a version counter.
+// The first read after a write rebuilds the cached clone (dump + reload of
+// the embedded database — O(database size), amortized across all readers
+// until the next write); every later read shares the same clone via
+// shared_ptr. Readers therefore
+//   - never block writers: long analytical queries run against the clone
+//     with no lock held, and
+//   - never observe a partially-applied transaction: the dump is taken
+//     under the writer lock, strictly between committed transactions.
+// Concurrent reads of one clone are safe because the SELECT path of
+// db::Database mutates nothing (verified by the tsan suite in
+// tests/svc/test_snapshot.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "src/persist/repository.hpp"
+
+namespace iokc::svc {
+
+class SnapshotStore {
+ public:
+  /// Wraps `primary`; the caller keeps ownership and must route every write
+  /// through with_write() — out-of-band mutation leaves stale snapshots
+  /// visible until the next with_write().
+  explicit SnapshotStore(persist::KnowledgeRepository& primary);
+
+  /// The current snapshot (rebuilt lazily after a write). The returned clone
+  /// is immutable by contract: callers may run any read — SQL SELECTs,
+  /// load_knowledge, training-set extraction — concurrently with writers
+  /// and with other readers.
+  std::shared_ptr<persist::KnowledgeRepository> snapshot();
+
+  /// Runs `write` against the primary under the writer lock and marks the
+  /// snapshot stale. Exceptions propagate; the snapshot is marked stale
+  /// regardless (the write may have partially executed at the repository
+  /// level before throwing, and a fresh dump is always safe).
+  void with_write(
+      const std::function<void(persist::KnowledgeRepository&)>& write);
+
+  /// Snapshot clones built so far (observability for tests and stats).
+  std::uint64_t rebuilds() const;
+
+ private:
+  persist::KnowledgeRepository& primary_;
+  mutable std::mutex mutex_;  // guards primary_ writes + the cache fields
+  std::shared_ptr<persist::KnowledgeRepository> cached_;
+  std::uint64_t version_ = 1;           // bumped by every write
+  std::uint64_t snapshot_version_ = 0;  // version cached_ was built from
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace iokc::svc

@@ -1,0 +1,249 @@
+#include "src/svc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace iokc::svc {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_address(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("invalid IPv4 address '" + address + "'");
+  }
+  return addr;
+}
+
+/// Milliseconds left until `deadline`, floored at 0; -1 for "no deadline".
+int remaining_ms(std::chrono::steady_clock::time_point deadline, bool bounded) {
+  if (!bounded) {
+    return -1;
+  }
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/// Polls `fd` for `events`; returns true when ready, false on timeout.
+/// Throws IoError on poll failure.
+bool poll_fd(int fd, short events, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) {
+      return true;  // readable/writable or error condition to surface below
+    }
+    if (rc == 0) {
+      return false;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    fail_errno("poll");
+  }
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+Socket listen_on(const std::string& address, std::uint16_t port, int backlog) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    fail_errno("socket");
+  }
+  const int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in addr = make_address(address, port);
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    fail_errno("bind " + address + ":" + std::to_string(port));
+  }
+  if (::listen(socket.fd(), backlog) != 0) {
+    fail_errno("listen");
+  }
+  return socket;
+}
+
+std::uint16_t local_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    fail_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket accept_connection(const Socket& listener, int timeout_ms) {
+  if (!listener.valid()) {
+    return Socket();
+  }
+  if (!poll_fd(listener.fd(), POLLIN, timeout_ms)) {
+    return Socket();  // timed out
+  }
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    // EINVAL/EBADF: the listener was shut down or closed under us — the
+    // drain path. ECONNABORTED: the peer gave up; not fatal for the server.
+    if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED) {
+      return Socket();
+    }
+    fail_errno("accept");
+  }
+  return Socket(fd);
+}
+
+Socket connect_to(const std::string& address, std::uint16_t port,
+                  int timeout_ms) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    fail_errno("socket");
+  }
+  // Non-blocking connect so the wait can be bounded.
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  ::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK);
+  const sockaddr_in addr = make_address(address, port);
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      fail_errno("connect " + address + ":" + std::to_string(port));
+    }
+    if (!poll_fd(socket.fd(), POLLOUT, timeout_ms)) {
+      throw IoError("connect " + address + ":" + std::to_string(port) +
+                    ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      throw IoError("connect " + address + ":" + std::to_string(port) + ": " +
+                    std::strerror(err != 0 ? err : errno));
+    }
+  }
+  ::fcntl(socket.fd(), F_SETFL, flags);  // back to blocking
+  const int one = 1;
+  ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return socket;
+}
+
+void send_all(const Socket& socket, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t discard_up_to(const Socket& socket, std::size_t size,
+                          int timeout_ms) {
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  char scratch[4096];
+  std::size_t discarded = 0;
+  try {
+    while (discarded < size) {
+      if (!poll_fd(socket.fd(), POLLIN, remaining_ms(deadline, bounded))) {
+        break;  // timed out: give up draining
+      }
+      const ssize_t n = ::recv(socket.fd(), scratch,
+                               std::min(size - discarded, sizeof scratch), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        break;  // EOF or error: nothing more to drain
+      }
+      discarded += static_cast<std::size_t>(n);
+    }
+  } catch (const IoError&) {
+    // poll failure: best effort only.
+  }
+  return discarded;
+}
+
+bool recv_exact(const Socket& socket, char* buffer, std::size_t size,
+                int timeout_ms) {
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  std::size_t received = 0;
+  while (received < size) {
+    if (!poll_fd(socket.fd(), POLLIN, remaining_ms(deadline, bounded))) {
+      throw IoError("recv: timed out after " + std::to_string(timeout_ms) +
+                    " ms");
+    }
+    const ssize_t n =
+        ::recv(socket.fd(), buffer + received, size - received, 0);
+    if (n == 0) {
+      if (received == 0) {
+        return false;  // clean EOF before the first byte
+      }
+      throw IoError("recv: peer closed mid-message");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail_errno("recv");
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace iokc::svc

@@ -1,0 +1,73 @@
+// Thin RAII layer over POSIX TCP sockets: listen/accept/connect plus
+// deadline-aware send/recv loops. Everything here throws IoError on failure
+// so callers never see raw errno handling; higher layers (protocol framing,
+// server, client) stay free of system-call details.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace iokc::svc {
+
+/// An owned socket file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  void close();
+  /// shutdown(SHUT_RDWR): wakes any thread blocked in poll/recv on this
+  /// socket (the server's drain path uses this to interrupt idle readers).
+  void shutdown_both();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `address:port` (port 0 picks an ephemeral port).
+/// Returns the listening socket; throws IoError on failure.
+Socket listen_on(const std::string& address, std::uint16_t port,
+                 int backlog = 64);
+
+/// The locally bound port (what an ephemeral bind actually got).
+std::uint16_t local_port(const Socket& socket);
+
+/// Accepts one connection. Returns an invalid Socket when the listener was
+/// closed/shut down (the drain path); throws IoError on other failures.
+/// `timeout_ms` >= 0 bounds the wait and returns invalid on expiry.
+Socket accept_connection(const Socket& listener, int timeout_ms = -1);
+
+/// Connects to `address:port` with a bounded wait. Throws IoError on
+/// failure (including timeout).
+Socket connect_to(const std::string& address, std::uint16_t port,
+                  int timeout_ms);
+
+/// Sends the whole buffer. Throws IoError on failure or peer reset.
+void send_all(const Socket& socket, std::string_view data);
+
+/// Reads exactly `size` bytes within the deadline. Returns false when the
+/// peer cleanly closed before the first byte; throws IoError on timeout,
+/// mid-read EOF, or failure. `timeout_ms` < 0 waits forever.
+bool recv_exact(const Socket& socket, char* buffer, std::size_t size,
+                int timeout_ms);
+
+/// Best-effort: reads and discards up to `size` bytes within the deadline,
+/// returning the count actually discarded. Never throws — EOF, reset, or
+/// timeout just end the drain early. Used before answering a protocol
+/// violation, so closing the socket with unread data doesn't turn the error
+/// response into a TCP reset.
+std::size_t discard_up_to(const Socket& socket, std::size_t size,
+                          int timeout_ms);
+
+}  // namespace iokc::svc

@@ -106,23 +106,89 @@ void JsonValue::set(std::string key, JsonValue value) {
 
 namespace {
 
+/// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not valid UTF-8 (truncated sequence, bad continuation,
+/// overlong encoding, surrogate code point, or > U+10FFFF).
+std::size_t utf8_sequence_length(const std::string& s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char lead = byte(i);
+  std::size_t length = 0;
+  unsigned code = 0;
+  if (lead < 0x80) {
+    return 1;
+  } else if ((lead & 0xE0) == 0xC0) {
+    length = 2;
+    code = lead & 0x1Fu;
+  } else if ((lead & 0xF0) == 0xE0) {
+    length = 3;
+    code = lead & 0x0Fu;
+  } else if ((lead & 0xF8) == 0xF0) {
+    length = 4;
+    code = lead & 0x07u;
+  } else {
+    return 0;  // stray continuation byte or invalid lead (0xFE/0xFF)
+  }
+  if (i + length > s.size()) {
+    return 0;  // truncated at end of string
+  }
+  for (std::size_t k = 1; k < length; ++k) {
+    if ((byte(i + k) & 0xC0) != 0x80) {
+      return 0;  // not a continuation byte
+    }
+    code = (code << 6) | (byte(i + k) & 0x3Fu);
+  }
+  static constexpr unsigned kMinCode[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (code < kMinCode[length]) {
+    return 0;  // overlong encoding
+  }
+  if (code >= 0xD800 && code <= 0xDFFF) {
+    return 0;  // surrogate code point
+  }
+  if (code > 0x10FFFF) {
+    return 0;
+  }
+  return length;
+}
+
 void dump_string(std::string& out, const std::string& s) {
   out += '"';
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const unsigned char byte = static_cast<unsigned char>(c);
+    if (byte < 0x20) {
+      // Control characters U+0000–U+001F must be escaped (RFC 8259 §7).
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(byte));
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (byte < 0x80) {
+      out += c;
+      ++i;
+      continue;
+    }
+    // Non-ASCII: emit well-formed UTF-8 sequences verbatim; replace each
+    // invalid byte with U+FFFD so the output is always valid JSON text
+    // (knowledge objects travel over the wire verbatim — a corrupt byte in
+    // a benchmark log must not produce an unparseable frame).
+    const std::size_t length = utf8_sequence_length(s, i);
+    if (length == 0) {
+      out += "\\ufffd";
+      ++i;
+    } else {
+      out.append(s, i, length);
+      i += length;
     }
   }
   out += '"';

@@ -5,9 +5,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+
+#include "src/svc/server.hpp"
 
 namespace iokc::cli {
 namespace {
@@ -290,6 +294,97 @@ TEST_F(CliTest, JobsFlagRejectsBadValues) {
   EXPECT_NE(err().find("--jobs"), std::string::npos);
   EXPECT_EQ(cli({"--jobs"}), 1);
   EXPECT_NE(err().find("--jobs needs a value"), std::string::npos);
+}
+
+TEST_F(CliTest, SqlRefusesWritesWithoutWriteFlag) {
+  ASSERT_EQ(cli({"run", "ior", "-a", "posix", "-b", "1m", "-t", "1m", "-s",
+                 "1", "-F", "-w", "-i", "1", "-N", "2", "-o", "/scratch/g",
+                 "-k"}),
+            0)
+      << err();
+  // A mutating statement without --write is refused and changes nothing.
+  EXPECT_EQ(cli({"sql", "UPDATE", "performances", "SET", "command", "=",
+                 "'patched'"}),
+            1);
+  EXPECT_NE(err().find("--write"), std::string::npos);
+  ASSERT_EQ(cli({"sql", "SELECT", "command", "FROM", "performances"}), 0)
+      << err();
+  EXPECT_EQ(out().find("patched"), std::string::npos) << out();
+  // With --write the same statement runs.
+  ASSERT_EQ(cli({"sql", "--write", "UPDATE", "performances", "SET", "command",
+                 "=", "'patched'"}),
+            0)
+      << err();
+  ASSERT_EQ(cli({"sql", "SELECT", "command", "FROM", "performances"}), 0);
+  EXPECT_NE(out().find("patched"), std::string::npos) << out();
+  // Reads never needed the flag in the first place (and still don't).
+  ASSERT_EQ(cli({"sql", "--write", "SELECT", "id", "FROM", "performances"}),
+            0);
+}
+
+TEST_F(CliTest, ServeAndQueryRoundTrip) {
+  // Populate the database file, then serve it and query over TCP. The
+  // server runs in a thread; ShutdownPipe::trigger() plays the SIGTERM.
+  ASSERT_EQ(cli({"run", "ior", "-a", "posix", "-b", "1m", "-t", "1m", "-s",
+                 "1", "-F", "-w", "-i", "1", "-N", "2", "-o", "/scratch/v",
+                 "-k"}),
+            0)
+      << err();
+  const std::filesystem::path port_file = dir_ / "port";
+  const std::filesystem::path metrics = dir_ / "serve_metrics.csv";
+  std::ostringstream serve_out;
+  std::ostringstream serve_err;
+  std::thread server([&] {
+    run_cli({"--db", "file:" + (dir_ / "k.db").string(), "--metrics",
+             metrics.string(), "serve", "--threads", "2", "--port-file",
+             port_file.string()},
+            serve_out, serve_err);
+  });
+  for (int i = 0; i < 100 && !std::filesystem::exists(port_file); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(std::filesystem::exists(port_file)) << serve_err.str();
+  std::ifstream in(port_file);
+  std::string port;
+  in >> port;
+  ASSERT_FALSE(port.empty());
+
+  ASSERT_EQ(cli({"query", "127.0.0.1:" + port, "health"}), 0) << err();
+  EXPECT_NE(out().find("\"ok\""), std::string::npos);
+  ASSERT_EQ(cli({"query", "127.0.0.1:" + port, "sql",
+                 R"({"statement":"SELECT id FROM performances"})"}),
+            0)
+      << err();
+  EXPECT_NE(out().find("rows"), std::string::npos);
+  // An error response maps to the generic runtime-error exit code.
+  EXPECT_EQ(cli({"query", "127.0.0.1:" + port, "no/such/endpoint"}), 2);
+  EXPECT_NE(err().find("unknown endpoint"), std::string::npos);
+
+  svc::ShutdownPipe::instance().trigger();
+  server.join();
+  EXPECT_NE(serve_out.str().find("drained:"), std::string::npos)
+      << serve_err.str();
+  // svc.* request metrics land in the --metrics CSV.
+  std::ifstream csv(metrics);
+  const std::string csv_text((std::istreambuf_iterator<char>(csv)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_NE(csv_text.find("svc.requests"), std::string::npos) << csv_text;
+  EXPECT_NE(csv_text.find("svc.latency_us"), std::string::npos);
+  EXPECT_NE(csv_text.find("svc.bytes_out"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryValidatesAddress) {
+  EXPECT_EQ(cli({"query"}), 1);
+  EXPECT_EQ(cli({"query", "localhost"}), 1);          // no port
+  EXPECT_EQ(cli({"query", "host:0", "health"}), 1);   // port out of range
+  EXPECT_EQ(cli({"query", "127.0.0.1:1"}), 1);        // missing endpoint
+}
+
+TEST_F(CliTest, ServeVerbAppearsInUsage) {
+  ASSERT_EQ(cli({"help"}), 0);
+  EXPECT_NE(out().find("serve"), std::string::npos);
+  EXPECT_NE(out().find("query <host:port>"), std::string::npos);
+  EXPECT_NE(out().find("--write"), std::string::npos);
 }
 
 }  // namespace

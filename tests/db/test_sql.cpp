@@ -153,5 +153,24 @@ TEST(Sql, ComparisonOperators) {
   }
 }
 
+TEST(Sql, ReadOnlyClassifier) {
+  // The gate shared by the CLI `sql` verb and the service's `sql` endpoint.
+  EXPECT_TRUE(sql_is_read_only("SELECT * FROM t"));
+  EXPECT_TRUE(sql_is_read_only("select id from t where a = 1"));
+  EXPECT_FALSE(sql_is_read_only("INSERT INTO t VALUES (1)"));
+  EXPECT_FALSE(sql_is_read_only("UPDATE t SET a = 2"));
+  EXPECT_FALSE(sql_is_read_only("DELETE FROM t"));
+  EXPECT_FALSE(sql_is_read_only("DELETE FROM t WHERE a = 1"));
+  EXPECT_FALSE(sql_is_read_only(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY)"));
+  EXPECT_FALSE(sql_is_read_only("DROP TABLE t"));
+  // A statement that only *mentions* SELECT-ish text is still a write.
+  EXPECT_FALSE(sql_is_read_only("INSERT INTO t VALUES ('SELECT')"));
+  // Unparseable SQL is neither accepted nor treated as a write: it throws,
+  // so the gate can never silently let a typo through.
+  EXPECT_THROW(sql_is_read_only("SELEKT * FROM t"), ParseError);
+  EXPECT_THROW(sql_is_read_only(""), ParseError);
+}
+
 }  // namespace
 }  // namespace iokc::db

@@ -1,0 +1,134 @@
+#include "src/svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/svc/socket.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::svc {
+namespace {
+
+TEST(Framing, HeaderRoundTrip) {
+  for (const std::size_t size : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{255}, std::size_t{65536},
+                                 std::size_t{0xFFFFFFFF}}) {
+    const auto header = encode_frame_header(size);
+    EXPECT_EQ(decode_frame_header(header, 0xFFFFFFFFu), size);
+  }
+}
+
+TEST(Framing, HeaderIsBigEndian) {
+  const auto header = encode_frame_header(0x01020304u);
+  EXPECT_EQ(static_cast<unsigned char>(header[0]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(header[1]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(header[2]), 0x03);
+  EXPECT_EQ(static_cast<unsigned char>(header[3]), 0x04);
+}
+
+TEST(Framing, OversizedPayloadRejectedOnEncode) {
+  EXPECT_THROW(encode_frame_header(0x100000000ull), ConfigError);
+}
+
+TEST(Framing, OversizedFrameRejectedOnDecode) {
+  const auto header = encode_frame_header(2048);
+  EXPECT_THROW(decode_frame_header(header, 1024), ParseError);
+  EXPECT_EQ(decode_frame_header(header, 2048), 2048u);
+}
+
+TEST(Framing, WriteRefusesPayloadOverCap) {
+  Socket listener = listen_on("127.0.0.1", 0);
+  Socket client = connect_to("127.0.0.1", local_port(listener), 1000);
+  EXPECT_THROW(write_frame(client, std::string(2049, 'x'), 2048), ConfigError);
+}
+
+TEST(Framing, SocketRoundTripAndCleanEof) {
+  Socket listener = listen_on("127.0.0.1", 0);
+  const std::uint16_t port = local_port(listener);
+  std::string received;
+  bool got_eof = false;
+  std::thread server([&] {
+    Socket connection = accept_connection(listener, 2000);
+    ASSERT_TRUE(connection.valid());
+    received = read_frame(connection, kDefaultMaxFrameBytes, 2000).value();
+    // Second read: the peer closed at a frame boundary -> nullopt, no throw.
+    got_eof = !read_frame(connection, kDefaultMaxFrameBytes, 2000).has_value();
+  });
+  {
+    Socket client = connect_to("127.0.0.1", port, 1000);
+    write_frame(client, R"({"endpoint":"health"})", kDefaultMaxFrameBytes);
+  }  // close -> EOF on the server side
+  server.join();
+  EXPECT_EQ(received, R"({"endpoint":"health"})");
+  EXPECT_TRUE(got_eof);
+}
+
+TEST(Framing, MidFrameEofThrows) {
+  Socket listener = listen_on("127.0.0.1", 0);
+  const std::uint16_t port = local_port(listener);
+  std::thread server([&] {
+    Socket connection = accept_connection(listener, 2000);
+    ASSERT_TRUE(connection.valid());
+    EXPECT_THROW(read_frame(connection, kDefaultMaxFrameBytes, 2000), IoError);
+  });
+  {
+    Socket client = connect_to("127.0.0.1", port, 1000);
+    // Header promising 100 bytes, then only 3 delivered before close.
+    const auto header = encode_frame_header(100);
+    send_all(client, std::string_view(header.data(), header.size()));
+    send_all(client, "abc");
+  }
+  server.join();
+}
+
+TEST(Framing, ReadTimesOut) {
+  Socket listener = listen_on("127.0.0.1", 0);
+  Socket client = connect_to("127.0.0.1", local_port(listener), 1000);
+  Socket connection = accept_connection(listener, 2000);
+  ASSERT_TRUE(connection.valid());
+  EXPECT_THROW(read_frame(connection, kDefaultMaxFrameBytes, 50), IoError);
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  Request request;
+  request.endpoint = "knowledge/get";
+  util::JsonObject params;
+  params.emplace_back("id", util::JsonValue(std::int64_t{7}));
+  request.params = util::JsonValue(std::move(params));
+  const Request back =
+      Request::from_json(util::parse_json(request.to_json().dump()));
+  EXPECT_EQ(back.endpoint, "knowledge/get");
+  EXPECT_EQ(back.params.at("id").as_int(), 7);
+}
+
+TEST(Protocol, RequestParamsDefaultToEmptyObject) {
+  const Request request =
+      Request::from_json(util::parse_json(R"({"endpoint":"health"})"));
+  EXPECT_EQ(request.endpoint, "health");
+  EXPECT_TRUE(request.params.is_object());
+  EXPECT_TRUE(request.params.as_object().empty());
+}
+
+TEST(Protocol, RequestRejectsNonObjectParams) {
+  EXPECT_THROW(Request::from_json(util::parse_json(
+                   R"({"endpoint":"health","params":[1]})")),
+               ParseError);
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  const Response ok = Response::success(util::JsonValue(std::int64_t{42}));
+  const Response ok_back =
+      Response::from_json(util::parse_json(ok.to_json().dump()));
+  EXPECT_TRUE(ok_back.ok);
+  EXPECT_EQ(ok_back.result.as_int(), 42);
+
+  const Response err = Response::failure("boom");
+  const Response err_back =
+      Response::from_json(util::parse_json(err.to_json().dump()));
+  EXPECT_FALSE(err_back.ok);
+  EXPECT_EQ(err_back.error, "boom");
+}
+
+}  // namespace
+}  // namespace iokc::svc

@@ -1,0 +1,286 @@
+#include "src/svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/knowledge/knowledge.hpp"
+#include "src/persist/repository.hpp"
+#include "src/svc/client.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::svc {
+namespace {
+
+knowledge::Knowledge make_ior_knowledge(int index) {
+  knowledge::Knowledge object;
+  object.benchmark = "IOR";
+  const int transfer_kib = 256 << (index % 4);
+  object.command = "ior -a posix -b 4m -t " + std::to_string(transfer_kib) +
+                   "k -s 4 -N " + std::to_string(8 << (index % 3)) +
+                   " -o /s/svc" + std::to_string(index);
+  object.num_tasks = static_cast<std::uint32_t>(8 << (index % 3));
+  knowledge::OpSummary write;
+  write.operation = "write";
+  write.mean_bw_mib = 900.0 + 120.0 * index;
+  object.summaries.push_back(write);
+  return object;
+}
+
+util::JsonValue params_of(std::initializer_list<
+                          std::pair<std::string, util::JsonValue>> entries) {
+  util::JsonObject object;
+  for (const auto& [key, value] : entries) {
+    object.emplace_back(key, value);
+  }
+  return util::JsonValue(std::move(object));
+}
+
+/// Repository pre-seeded so predict has enough samples for the regression.
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() {
+    for (int i = 0; i < 9; ++i) {
+      repository_.store(make_ior_knowledge(i));
+    }
+  }
+
+  Request make_request(const std::string& endpoint,
+                       util::JsonValue params =
+                           util::JsonValue(util::JsonObject{})) {
+    Request request;
+    request.endpoint = endpoint;
+    request.params = std::move(params);
+    return request;
+  }
+
+  persist::KnowledgeRepository repository_;
+};
+
+TEST_F(ServiceTest, DispatchHealth) {
+  Server server(repository_);
+  const Response response = server.dispatch(make_request("health"));
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.result.at("status").as_string(), "ok");
+}
+
+TEST_F(ServiceTest, DispatchUnknownEndpointFails) {
+  Server server(repository_);
+  const Response response = server.dispatch(make_request("nope"));
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("unknown endpoint"), std::string::npos);
+}
+
+TEST_F(ServiceTest, DispatchSqlSelectsAndRefusesWrites) {
+  Server server(repository_);
+  const Response rows = server.dispatch(make_request(
+      "sql",
+      params_of({{"statement",
+                  util::JsonValue("SELECT id FROM performances")}})));
+  ASSERT_TRUE(rows.ok) << rows.error;
+  EXPECT_EQ(rows.result.at("rows").as_array().size(), 9u);
+
+  const Response refused = server.dispatch(make_request(
+      "sql",
+      params_of({{"statement",
+                  util::JsonValue("DELETE FROM performances")}})));
+  EXPECT_FALSE(refused.ok);
+  EXPECT_NE(refused.error.find("read-only"), std::string::npos);
+  // Nothing was deleted.
+  EXPECT_EQ(repository_.knowledge_ids().size(), 9u);
+}
+
+TEST_F(ServiceTest, DispatchKnowledgeGetAndStore) {
+  Server server(repository_);
+  const Response stored = server.dispatch(make_request(
+      "knowledge/store",
+      params_of({{"object", make_ior_knowledge(40).to_json()}})));
+  ASSERT_TRUE(stored.ok) << stored.error;
+  const std::int64_t id = stored.result.at("id").as_int();
+  EXPECT_EQ(stored.result.at("kind").as_string(), "knowledge");
+
+  const Response loaded = server.dispatch(make_request(
+      "knowledge/get", params_of({{"id", util::JsonValue(id)}})));
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(knowledge::Knowledge::from_json(loaded.result.at("object")),
+            make_ior_knowledge(40));
+
+  const Response bad_kind = server.dispatch(make_request(
+      "knowledge/get", params_of({{"id", util::JsonValue(id)},
+                                  {"kind", util::JsonValue("tarot")}})));
+  EXPECT_FALSE(bad_kind.ok);
+
+  const Response missing = server.dispatch(make_request(
+      "knowledge/get",
+      params_of({{"id", util::JsonValue(std::int64_t{999999})}})));
+  EXPECT_FALSE(missing.ok);  // DbError surfaced as an error response
+}
+
+TEST_F(ServiceTest, DispatchPredictRecommendAnomaly) {
+  Server server(repository_);
+  const Response predicted = server.dispatch(make_request(
+      "predict",
+      params_of({{"command",
+                  util::JsonValue(
+                      "ior -a posix -b 4m -t 1m -s 4 -N 16 -o /s/q")}})));
+  ASSERT_TRUE(predicted.ok) << predicted.error;
+  EXPECT_EQ(predicted.result.at("samples").as_int(), 9);
+  EXPECT_TRUE(predicted.result.at("regression_mib").is_number());
+  EXPECT_TRUE(predicted.result.at("knn_mib").is_number());
+
+  const Response recommended = server.dispatch(make_request(
+      "recommend",
+      params_of({{"command",
+                  util::JsonValue(
+                      "ior -a posix -b 4m -t 256k -s 4 -N 8 -o /s/q")}})));
+  ASSERT_TRUE(recommended.ok) << recommended.error;
+  EXPECT_GT(recommended.result.at("evidence_runs").as_int(), 0);
+
+  const std::int64_t id = repository_.knowledge_ids().front();
+  const Response anomalies = server.dispatch(make_request(
+      "anomaly", params_of({{"id", util::JsonValue(id)}})));
+  ASSERT_TRUE(anomalies.ok) << anomalies.error;
+  EXPECT_TRUE(anomalies.result.at("anomalies").is_array());
+}
+
+TEST_F(ServiceTest, DispatchPredictWithoutSamplesFails) {
+  persist::KnowledgeRepository empty;
+  Server server(empty);
+  const Response response = server.dispatch(make_request(
+      "predict",
+      params_of({{"command",
+                  util::JsonValue(
+                      "ior -a posix -b 4m -t 1m -s 4 -N 16 -o /s/q")}})));
+  EXPECT_FALSE(response.ok);
+}
+
+TEST_F(ServiceTest, EndToEndRoundTrip) {
+  Server server(repository_);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  Client client = Client::connect("127.0.0.1", server.port());
+  const Response health = client.call("health");
+  ASSERT_TRUE(health.ok) << health.error;
+
+  // Several requests on ONE connection: keep-alive works.
+  for (int i = 0; i < 5; ++i) {
+    const Response listed = client.call("list");
+    ASSERT_TRUE(listed.ok) << listed.error;
+    EXPECT_EQ(listed.result.at("knowledge").as_array().size(), 9u);
+  }
+
+  // A write over the wire becomes visible to subsequent reads.
+  const Response stored = client.call(
+      "knowledge/store",
+      params_of({{"object", make_ior_knowledge(50).to_json()}}));
+  ASSERT_TRUE(stored.ok) << stored.error;
+  const Response listed = client.call("list");
+  ASSERT_TRUE(listed.ok);
+  EXPECT_EQ(listed.result.at("knowledge").as_array().size(), 10u);
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST_F(ServiceTest, MoreConcurrentConnectionsThanWorkers) {
+  ServerConfig config;
+  config.threads = 4;
+  Server server(repository_, config);
+  server.start();
+
+  // 8 concurrent keep-alive connections on 4 workers: the supervisor model
+  // parks idle connections, so this must not deadlock or starve.
+  constexpr int kClients = 8;
+  constexpr int kRequestsEach = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        Client client = Client::connect("127.0.0.1", server.port());
+        for (int i = 0; i < kRequestsEach; ++i) {
+          const std::string endpoint =
+              (c + i) % 3 == 0 ? "stats" : ((c + i) % 3 == 1 ? "list"
+                                                             : "health");
+          if (!client.call(endpoint).ok) {
+            failures.fetch_add(1);
+          }
+        }
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : clients) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(kClients * kRequestsEach));
+}
+
+TEST_F(ServiceTest, OversizedFrameGetsErrorResponse) {
+  ServerConfig config;
+  config.max_frame_bytes = 512;
+  Server server(repository_, config);
+  server.start();
+
+  // The raw socket path: send a frame the server's cap rejects. The client
+  // object can't build it (its own cap would fire first).
+  Socket raw = connect_to("127.0.0.1", server.port(), 1000);
+  write_frame(raw, std::string(1024, ' '), kDefaultMaxFrameBytes);
+  const auto reply = read_frame(raw, kDefaultMaxFrameBytes, 2000);
+  ASSERT_TRUE(reply.has_value());
+  const Response response = Response::from_json(util::parse_json(*reply));
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("cap"), std::string::npos);
+  // The connection is dropped afterwards (stream position unrecoverable).
+  EXPECT_FALSE(read_frame(raw, kDefaultMaxFrameBytes, 2000).has_value());
+  server.stop();
+}
+
+TEST_F(ServiceTest, StopIsIdempotentAndRestartable) {
+  Server server(repository_);
+  server.start();
+  const std::uint16_t port = server.port();
+  server.stop();
+  server.stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+  // The port is released: a fresh server can bind it again.
+  ServerConfig config;
+  config.port = port;
+  Server second(repository_, config);
+  second.start();
+  EXPECT_EQ(second.port(), port);
+  second.stop();
+}
+
+TEST_F(ServiceTest, ShutdownPipeTriggersGracefulDrain) {
+  Server server(repository_);
+  server.start();
+  Client client = Client::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.call("health").ok);
+
+  std::thread waiter([&] {
+    wait_for_shutdown(server, ShutdownPipe::instance().read_fd());
+  });
+  ShutdownPipe::instance().trigger();  // what SIGTERM does, in-process
+  waiter.join();
+  EXPECT_FALSE(server.running());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+}  // namespace
+}  // namespace iokc::svc

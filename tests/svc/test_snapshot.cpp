@@ -1,0 +1,147 @@
+#include "src/svc/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/knowledge/knowledge.hpp"
+#include "src/persist/repository.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::svc {
+namespace {
+
+knowledge::Knowledge make_knowledge(int index) {
+  knowledge::Knowledge object;
+  object.benchmark = "IOR";
+  object.command = "ior -a posix -b 4m -t 1m -s 4 -N " +
+                   std::to_string(8 << (index % 3)) + " -o /s/f" +
+                   std::to_string(index);
+  knowledge::OpSummary write;
+  write.operation = "write";
+  write.mean_bw_mib = 1000.0 + index;
+  object.summaries.push_back(write);
+  return object;
+}
+
+TEST(SnapshotStore, SnapshotIsCachedUntilWrite) {
+  persist::KnowledgeRepository primary;
+  primary.store(make_knowledge(0));
+  SnapshotStore store(primary);
+
+  const auto first = store.snapshot();
+  const auto second = store.snapshot();
+  EXPECT_EQ(first.get(), second.get());  // same clone, no rebuild
+  EXPECT_EQ(store.rebuilds(), 1u);
+
+  store.with_write([](persist::KnowledgeRepository& repository) {
+    repository.store(make_knowledge(1));
+  });
+  const auto third = store.snapshot();
+  EXPECT_NE(second.get(), third.get());
+  EXPECT_EQ(store.rebuilds(), 2u);
+  EXPECT_EQ(third->knowledge_ids().size(), 2u);
+}
+
+TEST(SnapshotStore, SnapshotPreservesIdsAndContent) {
+  persist::KnowledgeRepository primary;
+  const std::int64_t id = primary.store(make_knowledge(3));
+  SnapshotStore store(primary);
+  const auto snapshot = store.snapshot();
+  EXPECT_EQ(snapshot->load_knowledge(id), primary.load_knowledge(id));
+}
+
+TEST(SnapshotStore, OldSnapshotSurvivesLaterWrites) {
+  persist::KnowledgeRepository primary;
+  primary.store(make_knowledge(0));
+  SnapshotStore store(primary);
+  const auto old_snapshot = store.snapshot();
+  store.with_write([](persist::KnowledgeRepository& repository) {
+    repository.store(make_knowledge(1));
+  });
+  // The old clone still serves its frozen state.
+  EXPECT_EQ(old_snapshot->knowledge_ids().size(), 1u);
+  EXPECT_EQ(store.snapshot()->knowledge_ids().size(), 2u);
+}
+
+TEST(SnapshotStore, WriteFailureStillInvalidates) {
+  persist::KnowledgeRepository primary;
+  primary.store(make_knowledge(0));
+  SnapshotStore store(primary);
+  (void)store.snapshot();
+  EXPECT_THROW(store.with_write([](persist::KnowledgeRepository&) {
+    throw DbError("injected");
+  }),
+               DbError);
+  (void)store.snapshot();
+  EXPECT_EQ(store.rebuilds(), 2u);  // conservatively rebuilt
+}
+
+// The concurrency contract behind the service: one writer storing batches
+// while N readers take snapshots and run reads against them. Readers must
+// never observe a partially-applied batch (every snapshot holds a multiple
+// of the batch size), and under tsan this doubles as a data-race proof for
+// the shared-clone SELECT path.
+TEST(SnapshotStore, ConcurrentReadersNeverSeeTornBatches) {
+  constexpr int kBatches = 12;
+  constexpr int kBatchSize = 5;
+  constexpr int kReaders = 4;
+
+  persist::KnowledgeRepository primary;
+  SnapshotStore store(primary);
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (int b = 0; b < kBatches; ++b) {
+      store.with_write([&](persist::KnowledgeRepository& repository) {
+        std::vector<knowledge::Knowledge> batch;
+        for (int i = 0; i < kBatchSize; ++i) {
+          batch.push_back(make_knowledge(b * kBatchSize + i));
+        }
+        repository.store_batch(batch);
+      });
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<int> torn{0};
+  std::atomic<int> reads{0};
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      // do-while: a fast writer may finish before readers start, and each
+      // reader must still take at least one snapshot.
+      do {
+        const auto snapshot = store.snapshot();
+        // Exercise the clone's read paths: id listing, SQL, reassembly.
+        const std::vector<std::int64_t> ids = snapshot->knowledge_ids();
+        if (ids.size() % kBatchSize != 0) {
+          torn.fetch_add(1);
+        }
+        const db::ResultSet rows = snapshot->database().execute(
+            "SELECT id, command FROM performances");
+        if (rows.size() % kBatchSize != 0) {
+          torn.fetch_add(1);
+        }
+        if (!ids.empty()) {
+          (void)snapshot->load_knowledge(ids.back());
+        }
+        reads.fetch_add(1);
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(reads.load(), 0);
+  EXPECT_EQ(store.snapshot()->knowledge_ids().size(),
+            static_cast<std::size_t>(kBatches * kBatchSize));
+}
+
+}  // namespace
+}  // namespace iokc::svc

@@ -209,7 +209,10 @@ TEST(Lint, ModuleRanksMatchTheArchitecture) {
   EXPECT_LT(module_rank("persist"), module_rank("analysis"));
   EXPECT_LT(module_rank("analysis"), module_rank("usage"));
   EXPECT_LT(module_rank("usage"), module_rank("cycle"));
+  EXPECT_EQ(module_rank("svc"), module_rank("cycle"));  // parallel siblings
+  EXPECT_LT(module_rank("usage"), module_rank("svc"));
   EXPECT_LT(module_rank("cycle"), module_rank("cli"));
+  EXPECT_LT(module_rank("svc"), module_rank("cli"));
   EXPECT_EQ(module_rank("no_such_module"), -1);
 }
 

@@ -43,6 +43,59 @@ TEST(Json, DumpEscapesControlCharacters) {
   EXPECT_EQ(v.dump(), "\"a\\\"b\\nc\"");
 }
 
+TEST(Json, DumpEscapesEveryC0ControlCharacter) {
+  // RFC 8259 §7: U+0000 through U+001F must never appear raw in a string.
+  std::string raw;
+  for (char c = 0; c < 0x20; ++c) {
+    raw += c;
+  }
+  const std::string dumped = JsonValue(raw).dump();
+  for (char c = 1; c < 0x20; ++c) {
+    EXPECT_EQ(dumped.find(c), std::string::npos)
+        << "raw control byte " << static_cast<int>(c) << " in " << dumped;
+  }
+  EXPECT_NE(dumped.find("\\u0000"), std::string::npos);  // embedded NUL
+  EXPECT_NE(dumped.find("\\u0008"), std::string::npos);  // \b has no shortcut
+  EXPECT_NE(dumped.find("\\u001f"), std::string::npos);
+  EXPECT_NE(dumped.find("\\n"), std::string::npos);
+  EXPECT_NE(dumped.find("\\r"), std::string::npos);
+  EXPECT_NE(dumped.find("\\t"), std::string::npos);
+  // The escaped form parses back to the original bytes.
+  EXPECT_EQ(parse_json(dumped).as_string(), raw);
+}
+
+TEST(Json, DumpPassesValidUtf8Verbatim) {
+  const std::string two = "h\xC3\xA9llo";              // é
+  const std::string three = "\xE2\x82\xAC" "42";       // €
+  const std::string four = "\xF0\x9D\x84\x9E";         // 𝄞 (U+1D11E)
+  EXPECT_EQ(JsonValue(two).dump(), "\"" + two + "\"");
+  EXPECT_EQ(JsonValue(three).dump(), "\"" + three + "\"");
+  EXPECT_EQ(JsonValue(four).dump(), "\"" + four + "\"");
+}
+
+TEST(Json, DumpReplacesInvalidUtf8) {
+  // Each invalid byte becomes U+FFFD, so the output is always parseable.
+  EXPECT_EQ(JsonValue(std::string("a\x80z")).dump(),  // stray continuation
+            "\"a\\ufffdz\"");
+  EXPECT_EQ(JsonValue(std::string("a\xFFz")).dump(),  // invalid lead
+            "\"a\\ufffdz\"");
+  EXPECT_EQ(JsonValue(std::string("a\xC3")).dump(),   // truncated at end
+            "\"a\\ufffd\"");
+  EXPECT_EQ(JsonValue(std::string("\xC0\xAF")).dump(),  // overlong '/'
+            "\"\\ufffd\\ufffd\"");
+  EXPECT_EQ(JsonValue(std::string("\xED\xA0\x80")).dump(),  // surrogate
+            "\"\\ufffd\\ufffd\\ufffd\"");
+  EXPECT_EQ(JsonValue(std::string("\xF4\x90\x80\x80")).dump(),  // > U+10FFFF
+            "\"\\ufffd\\ufffd\\ufffd\\ufffd\"");
+  // A valid sequence interrupted by a bad continuation byte.
+  EXPECT_EQ(JsonValue(std::string("\xC3\x28")).dump(), "\"\\ufffd(\"");
+  // Everything above survives a parse round trip.
+  for (const std::string& s :
+       {std::string("a\x80z"), std::string("\xED\xA0\x80")}) {
+    EXPECT_NO_THROW(parse_json(JsonValue(s).dump()));
+  }
+}
+
 TEST(Json, ObjectOrderPreserved) {
   const JsonValue v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
   const JsonObject& obj = v.as_object();

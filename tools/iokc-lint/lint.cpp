@@ -18,7 +18,7 @@ namespace {
 // extract <-> persist) are upward edges and rejected.
 // ---------------------------------------------------------------------------
 
-constexpr std::array<std::pair<std::string_view, int>, 15> kModules = {{
+constexpr std::array<std::pair<std::string_view, int>, 16> kModules = {{
     {"util", 0},
     {"obs", 1},
     {"sim", 2},
@@ -33,6 +33,7 @@ constexpr std::array<std::pair<std::string_view, int>, 15> kModules = {{
     {"analysis", 6},
     {"usage", 7},
     {"cycle", 8},
+    {"svc", 8},  // knowledge service; sibling of cycle, never includes it
     {"cli", 9},
 }};
 
@@ -52,7 +53,7 @@ const std::vector<ErrorOwners>& exception_owners() {
       // Malformed input text: the parsing layers.
       {"ParseError",
        {"util", "db", "fs", "iostack", "generators", "jube", "knowledge",
-        "extract"}},
+        "extract", "svc"}},
       // Database constraint violations: the store and its persistence layer.
       {"DbError", {"db", "persist"}},
       // Simulation invariants: the simulated cluster stack.
@@ -61,7 +62,7 @@ const std::vector<ErrorOwners>& exception_owners() {
       // sim/fs/iostack/generators/knowledge/usage are pure in-memory models.
       {"IoError",
        {"util", "obs", "db", "jube", "extract", "persist", "analysis",
-        "cycle", "cli"}},
+        "cycle", "svc", "cli"}},
       // CheckError is reserved for the IOKC_CHECK machinery in util.
       {"CheckError", {"util"}},
   };

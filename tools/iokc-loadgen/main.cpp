@@ -1,0 +1,362 @@
+// iokc-loadgen: drives a knowledge service with N concurrent connections x M
+// requests each, mixing read endpoints with a configurable fraction of
+// knowledge/store writes, and reports latency percentiles and throughput.
+//
+//   iokc-loadgen --addr <host:port> | --self-serve [--threads <n>]
+//                [--connections <n>] [--requests <n>]
+//                [--write-fraction <0..1>] [--seed <n>] [--json <file>]
+//
+// --self-serve starts an in-process server on an ephemeral loopback port over
+// an in-memory repository seeded with synthetic IOR knowledge, which makes
+// the smoke test (and quick benchmarking) a single command with no daemon to
+// manage. Exit status is nonzero when any request failed.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/knowledge/knowledge.hpp"
+#include "src/persist/repository.hpp"
+#include "src/svc/client.hpp"
+#include "src/svc/server.hpp"
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/strings.hpp"
+
+namespace {
+
+using namespace iokc;
+
+struct Options {
+  std::string host;
+  std::uint16_t port = 0;
+  bool self_serve = false;
+  std::size_t server_threads = 4;  // --self-serve worker pool
+  std::size_t connections = 4;
+  std::size_t requests = 50;
+  double write_fraction = 0.1;
+  std::uint64_t seed = 0x10ADF00D;
+  std::string json_path;
+};
+
+struct WorkerResult {
+  std::vector<double> latencies_us;
+  std::uint64_t errors = 0;
+  std::vector<std::string> error_samples;  // first few messages for the log
+};
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw ConfigError(flag + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (flag == "--addr") {
+      const std::string address = need_value();
+      const std::size_t colon = address.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == address.size()) {
+        throw ConfigError("--addr must be <host>:<port>");
+      }
+      options.host = address.substr(0, colon);
+      options.port = static_cast<std::uint16_t>(
+          util::parse_i64(address.substr(colon + 1)));
+    } else if (flag == "--self-serve") {
+      options.self_serve = true;
+    } else if (flag == "--threads") {
+      options.server_threads =
+          static_cast<std::size_t>(util::parse_i64(need_value()));
+    } else if (flag == "--connections") {
+      options.connections =
+          static_cast<std::size_t>(util::parse_i64(need_value()));
+    } else if (flag == "--requests") {
+      options.requests =
+          static_cast<std::size_t>(util::parse_i64(need_value()));
+    } else if (flag == "--write-fraction") {
+      options.write_fraction = std::stod(need_value());
+    } else if (flag == "--seed") {
+      options.seed = static_cast<std::uint64_t>(util::parse_i64(need_value()));
+    } else if (flag == "--json") {
+      options.json_path = need_value();
+    } else {
+      throw ConfigError("unknown flag " + flag);
+    }
+  }
+  if (options.self_serve != options.host.empty()) {
+    throw ConfigError("pass exactly one of --addr <host:port> | --self-serve");
+  }
+  if (options.connections == 0 || options.requests == 0) {
+    throw ConfigError("--connections and --requests must be >= 1");
+  }
+  if (options.write_fraction < 0.0 || options.write_fraction > 1.0) {
+    throw ConfigError("--write-fraction must be within [0, 1]");
+  }
+  return options;
+}
+
+/// A synthetic IOR knowledge object; `index` varies transfer size, task
+/// count, and bandwidth so predict/recommend have a real spread to mine.
+knowledge::Knowledge synthetic_knowledge(std::uint64_t index) {
+  knowledge::Knowledge object;
+  object.benchmark = "IOR";
+  const std::uint64_t transfer_kib = 256u << (index % 4);  // 256k..2m
+  const std::uint32_t tasks = 8u << (index % 3);           // 8/16/32
+  object.command = "ior -a " + std::string(index % 2 == 0 ? "posix" : "mpiio") +
+                   " -b 4m -t " + std::to_string(transfer_kib) + "k -s 4 -N " +
+                   std::to_string(tasks) + " -o /scratch/loadgen" +
+                   std::to_string(index);
+  object.api = index % 2 == 0 ? "POSIX" : "MPIIO";
+  object.num_tasks = tasks;
+  object.num_nodes = 1 + tasks / 16;
+  knowledge::OpSummary write;
+  write.operation = "write";
+  write.mean_bw_mib = 800.0 + 180.0 * static_cast<double>(index % 5);
+  object.summaries.push_back(write);
+  knowledge::OpSummary read;
+  read.operation = "read";
+  read.mean_bw_mib = 1000.0 + 150.0 * static_cast<double>(index % 5);
+  object.summaries.push_back(read);
+  return object;
+}
+
+/// One worker: one connection, `requests` mixed calls, deterministic per
+/// (seed, worker) so reruns replay the same request stream.
+WorkerResult run_worker(const Options& options, std::size_t worker,
+                        const std::vector<std::int64_t>& knowledge_ids) {
+  WorkerResult result;
+  result.latencies_us.reserve(options.requests);
+  svc::ClientOptions client_options;
+  client_options.connect_retries = 9;
+  svc::Client client =
+      svc::Client::connect(options.host, options.port, client_options);
+  const auto write_threshold = static_cast<std::uint64_t>(
+      options.write_fraction * 1e9);
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    const std::uint64_t roll = util::splitmix64(
+        options.seed, worker * 1'000'003 + i);
+    std::string endpoint;
+    util::JsonObject params;
+    if (roll % 1'000'000'000 < write_threshold) {
+      endpoint = "knowledge/store";
+      params.emplace_back(
+          "object", synthetic_knowledge(roll % 97 + worker * 100).to_json());
+    } else {
+      switch ((roll >> 32) % 6) {
+        case 0:
+          endpoint = "health";
+          break;
+        case 1:
+          endpoint = "stats";
+          break;
+        case 2:
+          endpoint = "list";
+          break;
+        case 3:
+          endpoint = "sql";
+          params.emplace_back(
+              "statement",
+              util::JsonValue("SELECT id, command FROM performances"));
+          break;
+        case 4:
+          if (!knowledge_ids.empty()) {
+            endpoint = "anomaly";
+            params.emplace_back(
+                "id", util::JsonValue(
+                          knowledge_ids[(roll >> 16) % knowledge_ids.size()]));
+          } else {
+            endpoint = "health";
+          }
+          break;
+        default:
+          endpoint = "predict";
+          params.emplace_back(
+              "command",
+              util::JsonValue("ior -a posix -b 4m -t 1m -s 4 -N 16 -o /s/f"));
+          break;
+      }
+    }
+    const auto started = std::chrono::steady_clock::now();
+    try {
+      const svc::Response response =
+          client.call(endpoint, util::JsonValue(std::move(params)));
+      if (!response.ok) {
+        ++result.errors;
+        if (result.error_samples.size() < 3) {
+          result.error_samples.push_back(endpoint + ": " + response.error);
+        }
+      }
+    } catch (const Error& error) {
+      ++result.errors;
+      if (result.error_samples.size() < 3) {
+        result.error_samples.push_back(endpoint + ": " + error.what());
+      }
+      client = svc::Client::connect(options.host, options.port,
+                                    client_options);
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - started);
+    result.latencies_us.push_back(static_cast<double>(elapsed.count()));
+  }
+  return result;
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int run(int argc, char** argv) {
+  const Options parsed = parse_args(argc, argv);
+  Options options = parsed;
+
+  // --self-serve: in-process server over a seeded in-memory repository.
+  std::optional<persist::KnowledgeRepository> repository;
+  std::optional<svc::Server> server;
+  if (options.self_serve) {
+    repository.emplace();
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      repository->store(synthetic_knowledge(i));
+    }
+    svc::ServerConfig config;
+    config.threads = options.server_threads;
+    server.emplace(*repository, config);
+    server->start();
+    options.host = "127.0.0.1";
+    options.port = server->port();
+  }
+
+  // Discover knowledge ids once so anomaly requests target real objects.
+  std::vector<std::int64_t> knowledge_ids;
+  {
+    svc::ClientOptions client_options;
+    client_options.connect_retries = 9;
+    svc::Client probe =
+        svc::Client::connect(options.host, options.port, client_options);
+    const svc::Response listed = probe.call("list");
+    if (listed.ok) {
+      for (const util::JsonValue& entry :
+           listed.result.at("knowledge").as_array()) {
+        knowledge_ids.push_back(entry.at("id").as_int());
+      }
+    }
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<WorkerResult> results(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t w = 0; w < options.connections; ++w) {
+    workers.emplace_back([&, w] {
+      try {
+        results[w] = run_worker(options, w, knowledge_ids);
+      } catch (const Error& error) {
+        results[w].errors += 1;
+        results[w].error_samples.push_back(error.what());
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  const double wall_ms =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count()) /
+      1000.0;
+
+  std::vector<double> latencies;
+  std::uint64_t errors = 0;
+  for (const WorkerResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+    errors += result.errors;
+    for (const std::string& sample : result.error_samples) {
+      std::cerr << "request error: " << sample << "\n";
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 0.50);
+  const double p90 = percentile(latencies, 0.90);
+  const double p99 = percentile(latencies, 0.99);
+  const double max = latencies.empty() ? 0.0 : latencies.back();
+  const double throughput =
+      wall_ms > 0.0 ? static_cast<double>(latencies.size()) * 1000.0 / wall_ms
+                    : 0.0;
+
+  if (server.has_value()) {
+    server->stop();  // graceful drain; also validates clean shutdown
+  }
+
+  std::cout << "loadgen: " << options.connections << " connection(s) x "
+            << options.requests << " request(s), write-fraction "
+            << util::format_double(parsed.write_fraction, 2) << "\n"
+            << "  completed " << latencies.size() << " request(s) in "
+            << util::format_double(wall_ms, 1) << " ms ("
+            << util::format_double(throughput, 0) << " req/s), " << errors
+            << " error(s)\n"
+            << "  latency us: p50 " << util::format_double(p50, 0) << ", p90 "
+            << util::format_double(p90, 0) << ", p99 "
+            << util::format_double(p99, 0) << ", max "
+            << util::format_double(max, 0) << "\n";
+
+  if (!options.json_path.empty()) {
+    util::JsonObject artifact;
+    artifact.emplace_back("connections",
+                          util::JsonValue(options.connections));
+    artifact.emplace_back("requests_per_connection",
+                          util::JsonValue(options.requests));
+    artifact.emplace_back(
+        "server_threads",
+        util::JsonValue(options.self_serve
+                            ? static_cast<std::int64_t>(options.server_threads)
+                            : -1));
+    artifact.emplace_back("write_fraction",
+                          util::JsonValue(parsed.write_fraction));
+    artifact.emplace_back("seed", util::JsonValue(options.seed));
+    artifact.emplace_back("total_requests",
+                          util::JsonValue(latencies.size()));
+    artifact.emplace_back("errors", util::JsonValue(errors));
+    artifact.emplace_back("wall_ms", util::JsonValue(wall_ms));
+    artifact.emplace_back("requests_per_sec", util::JsonValue(throughput));
+    util::JsonObject latency;
+    latency.emplace_back("p50", util::JsonValue(p50));
+    latency.emplace_back("p90", util::JsonValue(p90));
+    latency.emplace_back("p99", util::JsonValue(p99));
+    latency.emplace_back("max", util::JsonValue(max));
+    artifact.emplace_back("latency_us", util::JsonValue(std::move(latency)));
+    std::ofstream out(options.json_path, std::ios::trunc);
+    if (!out) {
+      throw IoError("cannot write " + options.json_path);
+    }
+    out << util::JsonValue(std::move(artifact)).dump(2) << "\n";
+  }
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const iokc::Error& error) {
+    std::cerr << "iokc-loadgen: " << error.what() << "\n";
+    return 2;
+  }
+}
