@@ -43,6 +43,14 @@ struct ResultSet {
 };
 
 /// The database.
+///
+/// Concurrency contract: a Database object is *externally synchronized* — it
+/// is movable, so it cannot carry a util::Mutex of its own, and internal
+/// locking would also serialize concurrent SELECTs against the immutable
+/// snapshot clones the service layer hands out. Writers funnel through
+/// persist::KnowledgeRepository's single-writer gate (rank persist.write);
+/// the one shared piece of state, the attached write-ahead Journal, locks
+/// itself (rank db.journal).
 class Database {
  public:
   Database() = default;
@@ -71,7 +79,7 @@ class Database {
   /// Commits: makes the transaction's statements durable (journal append +
   /// fsync when a journal is attached). On journal failure the transaction
   /// is rolled back and the error rethrown, so commit() is all-or-nothing.
-  void commit();
+  void commit();  // iokc-lint: blocking
   /// Undoes every statement since begin(). Throws DbError outside a
   /// transaction.
   void rollback();
@@ -92,7 +100,7 @@ class Database {
   /// When `path` is this database's journaled home, the dump records the
   /// journal epoch and the journal is checkpointed (truncated). Throws
   /// IoError on failure.
-  void save(const std::string& path);
+  void save(const std::string& path);  // iokc-lint: blocking
   /// Loads a dump written by save(). Throws IoError / ParseError / DbError.
   static Database load(const std::string& path);
   /// Opens `path` (an empty database when missing), replays any committed

@@ -31,7 +31,8 @@ void write_all(int fd, std::string_view data, const std::string& path) {
         continue;
       }
       throw IoError("failed writing journal " + path + ": " +
-                    std::strerror(errno));
+                    // NOLINTNEXTLINE(concurrency-mt-unsafe): message formatting
+                  std::strerror(errno));
     }
     written += static_cast<std::size_t>(n);
   }
@@ -75,6 +76,7 @@ void Journal::ensure_open() {
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd_ < 0) {
     throw IoError("cannot open journal " + path_ + ": " +
+                  // NOLINTNEXTLINE(concurrency-mt-unsafe): message formatting
                   std::strerror(errno));
   }
   struct ::stat st {};
@@ -84,6 +86,7 @@ void Journal::ensure_open() {
 }
 
 void Journal::append(const std::vector<std::string>& statements) {
+  const util::LockGuard lock(mutex_);
   ensure_open();
   std::string payload;
   for (const std::string& statement : statements) {
@@ -102,8 +105,12 @@ void Journal::append(const std::vector<std::string>& statements) {
   util::fault_point("journal.append.torn");
   write_all(fd_, "#end " + std::to_string(seq) + "\n", path_);
   util::fault_point("journal.append.unsynced");
+  // iokc-lint: allow(blocking-under-lock): WAL durability contract -- the
+  // commit must not return before its record is on disk. Group commit
+  // (ROADMAP item 1) will amortize this fsync across transactions.
   if (::fsync(fd_) != 0) {
     throw IoError("fsync failed for journal " + path_ + ": " +
+                  // NOLINTNEXTLINE(concurrency-mt-unsafe): message formatting
                   std::strerror(errno));
   }
   last_seq_ = seq;
@@ -111,6 +118,7 @@ void Journal::append(const std::vector<std::string>& statements) {
 }
 
 void Journal::checkpoint() {
+  const util::LockGuard lock(mutex_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -123,13 +131,17 @@ void Journal::checkpoint() {
       ::open(path_.c_str(), O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
     throw IoError("cannot truncate journal " + path_ + ": " +
+                  // NOLINTNEXTLINE(concurrency-mt-unsafe): message formatting
                   std::strerror(errno));
   }
   try {
     write_all(fd, kFileHeader, path_);
+    // iokc-lint: allow(blocking-under-lock): checkpoint truncation must be
+    // durable before save() declares the journal epoch folded into the dump.
     if (::fsync(fd) != 0) {
       throw IoError("fsync failed for journal " + path_ + ": " +
-                    std::strerror(errno));
+                    // NOLINTNEXTLINE(concurrency-mt-unsafe): message formatting
+                  std::strerror(errno));
     }
   } catch (...) {
     ::close(fd);

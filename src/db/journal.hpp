@@ -26,6 +26,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
+
 namespace iokc::db {
 
 /// One committed transaction as recovered from the log.
@@ -36,6 +39,9 @@ struct JournalRecord {
 
 /// Append-side handle to a journal file. The file is created lazily on the
 /// first append, so read-only databases never leave empty sidecars behind.
+/// Thread-safe: appends from concurrent committers serialize on an internal
+/// mutex (the owning Database object is externally synchronized, but shared
+/// snapshot clones funnel into one primary journal).
 class Journal {
  public:
   /// `last_seq` seeds the sequence counter (the highest sequence number
@@ -47,17 +53,21 @@ class Journal {
   Journal& operator=(const Journal&) = delete;
 
   const std::string& path() const { return path_; }
-  std::uint64_t last_seq() const { return last_seq_; }
+  std::uint64_t last_seq() const IOKC_EXCLUDES(mutex_) {
+    const util::LockGuard lock(mutex_);
+    return last_seq_;
+  }
 
   /// Appends one transaction record and fsyncs; the statements are durable
   /// when this returns. Throws IoError on failure.
-  void append(const std::vector<std::string>& statements);
+  void append(const std::vector<std::string>& statements)  // iokc-lint: blocking
+      IOKC_EXCLUDES(mutex_);
 
   /// Truncates the log after its contents were checkpointed into a dump.
   /// The sequence counter keeps counting, so a crash that undoes the
   /// truncation (impossible) or leaves stale records is still safe: stale
   /// records have seq <= the dump epoch and are skipped on replay.
-  void checkpoint();
+  void checkpoint() IOKC_EXCLUDES(mutex_);  // iokc-lint: blocking
 
   /// Reads every valid record, stopping silently at a torn or corrupt tail.
   /// A missing file yields no records. Throws IoError when the file exists
@@ -65,11 +75,12 @@ class Journal {
   static std::vector<JournalRecord> read_records(const std::string& path);
 
  private:
-  void ensure_open();
+  void ensure_open() IOKC_REQUIRES(mutex_);
 
   std::string path_;
-  std::uint64_t last_seq_;
-  int fd_ = -1;
+  mutable util::Mutex mutex_{util::LockRank::kDb, "db.journal"};
+  std::uint64_t last_seq_ IOKC_GUARDED_BY(mutex_);
+  int fd_ IOKC_GUARDED_BY(mutex_) = -1;
 };
 
 /// The journal sidecar path for a database file.

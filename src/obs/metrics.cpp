@@ -118,7 +118,7 @@ MetricsRegistry::Shard& MetricsRegistry::shard_for_current_thread() {
   if (it != t_shards.end()) {
     return *it->second;
   }
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const util::LockGuard lock(shards_mutex_);
   shards_.push_back(std::make_unique<Shard>());
   Shard* shard = shards_.back().get();
   t_shards.emplace(id_, shard);
@@ -183,7 +183,7 @@ void MetricsRegistry::record_histogram(const MetricKey& key, double value) {
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
   std::map<MetricKey, MetricSnapshot> merged;
-  const std::lock_guard<std::mutex> lock(shards_mutex_);
+  const util::LockGuard lock(shards_mutex_);
   for (const std::unique_ptr<Shard>& shard : shards_) {
     for (const Slot* s = shard->head.load(std::memory_order_acquire);
          s != nullptr; s = s->next) {

@@ -15,10 +15,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace iokc::obs {
 
@@ -87,8 +89,9 @@ class MetricsRegistry {
   Shard& shard_for_current_thread();
 
   const std::uint64_t id_;  // process-unique, keys the thread-local cache
-  mutable std::mutex shards_mutex_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // Guards only the shard list; slot recording inside a shard is lock-free.
+  mutable util::Mutex shards_mutex_{util::LockRank::kObs, "obs.metrics_shards"};
+  std::vector<std::unique_ptr<Shard>> shards_ IOKC_GUARDED_BY(shards_mutex_);
 };
 
 }  // namespace iokc::obs

@@ -127,13 +127,13 @@ int Observability::tid_for_current_thread_locked() {
 }
 
 void Observability::record_span(SpanEvent event) {
-  const std::lock_guard<std::mutex> lock(trace_mutex_);
+  const util::LockGuard lock(trace_mutex_);
   event.tid = tid_for_current_thread_locked();
   events_.push_back(std::move(event));
 }
 
 std::vector<SpanEvent> Observability::trace_events() const {
-  const std::lock_guard<std::mutex> lock(trace_mutex_);
+  const util::LockGuard lock(trace_mutex_);
   return events_;
 }
 

@@ -15,7 +15,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -24,6 +23,8 @@
 #include "src/obs/clock.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/span.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace iokc::obs {
 
@@ -66,14 +67,15 @@ class Observability {
   void write_metrics_csv(const std::string& path) const;
 
  private:
-  int tid_for_current_thread_locked();
+  int tid_for_current_thread_locked() IOKC_REQUIRES(trace_mutex_);
 
   ClockFn clock_;
   std::uint64_t epoch_ns_ = 0;
   std::atomic<std::uint64_t> next_span_id_{1};
-  mutable std::mutex trace_mutex_;
-  std::vector<SpanEvent> events_;
-  std::unordered_map<std::uint64_t, int> tids_;  // thread ordinal -> dense tid
+  mutable util::Mutex trace_mutex_{util::LockRank::kObs, "obs.trace"};
+  std::vector<SpanEvent> events_ IOKC_GUARDED_BY(trace_mutex_);
+  // thread ordinal -> dense tid
+  std::unordered_map<std::uint64_t, int> tids_ IOKC_GUARDED_BY(trace_mutex_);
   MetricsRegistry metrics_;
 };
 

@@ -52,9 +52,9 @@ struct SpanEvent {
 };
 
 struct SpanOptions {
-  std::string_view category;
+  std::string_view category = {};
   /// Phase attribution; empty inherits the parent/ambient phase.
-  std::string_view phase;
+  std::string_view phase = {};
   /// Work-package attribution; kNoWorkPackage inherits.
   int work_package = kNoWorkPackage;
   /// Explicit parent for cross-thread handoff; nullptr uses the calling

@@ -245,10 +245,12 @@ std::string insert_systeminfo_sql(const knowledge::SystemInfoRecord& s,
 }  // namespace
 
 std::int64_t KnowledgeRepository::store(const knowledge::Knowledge& k) {
-  const std::lock_guard<std::mutex> lock(write_mutex_);
+  const util::LockGuard lock(write_mutex_);
   db_.begin();
   try {
     const std::int64_t id = store_unlocked(k);
+    // iokc-lint: allow(blocking-under-lock): commit fsyncs the WAL under the
+    // single-writer gate; group commit is ROADMAP item 1.
     db_.commit();
     return id;
   } catch (...) {
@@ -258,10 +260,12 @@ std::int64_t KnowledgeRepository::store(const knowledge::Knowledge& k) {
 }
 
 std::int64_t KnowledgeRepository::store(const knowledge::Io500Knowledge& k) {
-  const std::lock_guard<std::mutex> lock(write_mutex_);
+  const util::LockGuard lock(write_mutex_);
   db_.begin();
   try {
     const std::int64_t id = store_unlocked(k);
+    // iokc-lint: allow(blocking-under-lock): commit fsyncs the WAL under the
+    // single-writer gate; group commit is ROADMAP item 1.
     db_.commit();
     return id;
   } catch (...) {
@@ -276,7 +280,7 @@ std::vector<std::int64_t> KnowledgeRepository::store_batch(
   obs::count("repo.batches");
   obs::count("repo.batch_objects", objects.size());
   obs::gauge_max("repo.batch_size", static_cast<double>(objects.size()));
-  const std::lock_guard<std::mutex> lock(write_mutex_);
+  const util::LockGuard lock(write_mutex_);
   // The whole batch is one transaction: a failure mid-batch (e.g. a
   // non-finite metric in object 3 of 5) must not leave objects 1-2 behind.
   db_.begin();
@@ -286,6 +290,8 @@ std::vector<std::int64_t> KnowledgeRepository::store_batch(
     for (const knowledge::Knowledge& k : objects) {
       ids.push_back(store_unlocked(k));
     }
+    // iokc-lint: allow(blocking-under-lock): commit fsyncs the WAL under the
+    // single-writer gate; group commit is ROADMAP item 1.
     db_.commit();
   } catch (...) {
     db_.rollback();
@@ -300,7 +306,7 @@ std::vector<std::int64_t> KnowledgeRepository::store_batch(
   obs::count("repo.batches");
   obs::count("repo.batch_objects", objects.size());
   obs::gauge_max("repo.batch_size", static_cast<double>(objects.size()));
-  const std::lock_guard<std::mutex> lock(write_mutex_);
+  const util::LockGuard lock(write_mutex_);
   db_.begin();
   std::vector<std::int64_t> ids;
   ids.reserve(objects.size());
@@ -308,6 +314,8 @@ std::vector<std::int64_t> KnowledgeRepository::store_batch(
     for (const knowledge::Io500Knowledge& k : objects) {
       ids.push_back(store_unlocked(k));
     }
+    // iokc-lint: allow(blocking-under-lock): commit fsyncs the WAL under the
+    // single-writer gate; group commit is ROADMAP item 1.
     db_.commit();
   } catch (...) {
     db_.rollback();
@@ -326,7 +334,7 @@ StoreOutcome KnowledgeRepository::store_sources(
   obs::count("repo.batches");
   obs::count("repo.batch_objects", objects);
   obs::gauge_max("repo.batch_size", static_cast<double>(objects));
-  const std::lock_guard<std::mutex> lock(write_mutex_);
+  const util::LockGuard lock(write_mutex_);
   std::unordered_set<std::string> recorded;
   {
     const db::ResultSet rows = db_.execute("SELECT path FROM sources");
@@ -356,6 +364,8 @@ StoreOutcome KnowledgeRepository::store_sources(
       }
       db_.execute("INSERT INTO sources (path) VALUES (" + quote(batch.source) +
                   ")");
+      // iokc-lint: allow(blocking-under-lock): commit fsyncs the WAL under
+      // the single-writer gate; group commit is ROADMAP item 1.
       db_.commit();
     } catch (...) {
       db_.rollback();
@@ -729,6 +739,9 @@ KnowledgeRepository::list_commands() {
 }
 
 void KnowledgeRepository::remove_knowledge(std::int64_t performance_id) {
+  // Missing-lock path surfaced by the thread-safety migration: deletes used
+  // to run unserialized against concurrent stores.
+  const util::LockGuard lock(write_mutex_);
   const std::string id = std::to_string(performance_id);
   const db::ResultSet summaries = db_.execute(
       "SELECT id FROM summaries WHERE performance_id = " + id);
@@ -751,11 +764,16 @@ void KnowledgeRepository::save() {
 }
 
 void KnowledgeRepository::save_as(const std::string& path) {
+  // Missing-lock path surfaced by the thread-safety migration: dumping while
+  // a store is mid-transaction wrote torn dumps.
+  const util::LockGuard lock(write_mutex_);
   const std::filesystem::path parent =
       std::filesystem::path(path).parent_path();
   if (!parent.empty()) {
     std::filesystem::create_directories(parent);
   }
+  // iokc-lint: allow(blocking-under-lock): the dump must be a consistent
+  // point-in-time image, so writers stay excluded while it is written.
   db_.save(path);
 }
 

@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +23,8 @@
 #include "src/db/database.hpp"
 #include "src/knowledge/io500_knowledge.hpp"
 #include "src/knowledge/knowledge.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace iokc::persist {
 
@@ -71,7 +72,7 @@ class KnowledgeRepository {
   /// knowledge service's copy-on-read snapshots. Row ids are preserved, so
   /// loads against the clone return exactly what the dumped database held.
   /// The caller must ensure the dump was taken while no writer was active.
-  static std::unique_ptr<KnowledgeRepository> from_dump(
+  static std::unique_ptr<KnowledgeRepository> from_dump(  // iokc-lint: blocking
       const std::string& dump_script);
 
   /// Stores a knowledge object; returns the new performances.id.
@@ -134,15 +135,18 @@ class KnowledgeRepository {
   struct FromDumpTag {};
   KnowledgeRepository(FromDumpTag, const std::string& dump_script);
 
-  std::int64_t store_unlocked(const knowledge::Knowledge& knowledge);
-  std::int64_t store_unlocked(const knowledge::Io500Knowledge& knowledge);
+  std::int64_t store_unlocked(const knowledge::Knowledge& knowledge)
+      IOKC_REQUIRES(write_mutex_);
+  std::int64_t store_unlocked(const knowledge::Io500Knowledge& knowledge)
+      IOKC_REQUIRES(write_mutex_);
 
   db::Database db_;
   RepoTarget target_;
   /// Single-writer gate: the embedded database is not thread-safe, so every
-  /// store path serializes here. Readers are not synchronized — load while
-  /// storing is still a caller-side race.
-  std::mutex write_mutex_;
+  /// mutating path (store, remove, save) serializes here. Readers are not
+  /// synchronized — load while storing is still a caller-side race (the
+  /// service layer reads through immutable snapshots instead).
+  util::Mutex write_mutex_{util::LockRank::kPersist, "persist.write"};
 };
 
 }  // namespace iokc::persist

@@ -11,6 +11,19 @@ namespace iokc::svc {
 Client::Client(Socket socket, ClientOptions options)
     : socket_(std::move(socket)), options_(options) {}
 
+namespace {
+
+/// Connect failures worth retrying: refusal (the server's listener is not up
+/// yet — the startup window a slow sanitized build can stretch past a
+/// second) and timeouts. Anything else (bad address, resolution failure) is
+/// permanent and retrying would just multiply the latency of the error.
+bool transient_connect_error(const std::string& message) {
+  return message.find("connection refused") != std::string::npos ||
+         message.find("timed out") != std::string::npos;
+}
+
+}  // namespace
+
 Client Client::connect(const std::string& host, std::uint16_t port,
                        ClientOptions options) {
   std::string last_error;
@@ -24,6 +37,9 @@ Client Client::connect(const std::string& host, std::uint16_t port,
                     options);
     } catch (const IoError& error) {
       last_error = error.what();
+      if (!transient_connect_error(last_error)) {
+        throw;
+      }
     }
   }
   throw IoError("connect to " + host + ":" + std::to_string(port) +

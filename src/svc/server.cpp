@@ -99,6 +99,7 @@ void Server::start() {
   port_ = local_port(listener_);
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): strerror only formats the message
     throw IoError(std::string("pipe: ") + std::strerror(errno));
   }
   wake_read_ = Socket(pipe_fds[0]);
@@ -124,7 +125,7 @@ void Server::stop() {
   pool_.reset();
   // Connections handed back after the supervisor exited just get closed.
   {
-    const std::lock_guard<std::mutex> lock(returning_mutex_);
+    const util::LockGuard lock(returning_mutex_);
     returning_.clear();
   }
   listener_.close();
@@ -152,7 +153,7 @@ void Server::wake_supervisor() {
 
 void Server::return_connection(const std::shared_ptr<Socket>& connection) {
   {
-    const std::lock_guard<std::mutex> lock(returning_mutex_);
+    const util::LockGuard lock(returning_mutex_);
     returning_.push_back(connection);
   }
   wake_supervisor();
@@ -190,7 +191,7 @@ void Server::supervise() {
     }
     // Re-adopt connections whose request finished on a worker.
     {
-      const std::lock_guard<std::mutex> lock(returning_mutex_);
+      const util::LockGuard lock(returning_mutex_);
       for (std::shared_ptr<Socket>& connection : returning_) {
         const int fd = connection->fd();
         idle.emplace(fd, std::move(connection));
@@ -487,6 +488,7 @@ extern "C" void shutdown_signal_handler(int) {
 ShutdownPipe::ShutdownPipe() {
   int fds[2];
   if (::pipe(fds) != 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): strerror only formats the message
     throw IoError(std::string("pipe: ") + std::strerror(errno));
   }
   read_fd_ = fds[0];

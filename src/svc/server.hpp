@@ -26,7 +26,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -36,6 +35,8 @@
 #include "src/svc/protocol.hpp"
 #include "src/svc/snapshot.hpp"
 #include "src/svc/socket.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace iokc::svc {
@@ -112,8 +113,9 @@ class Server {
 
   /// Connections handed back by finished worker tasks, waiting for the
   /// supervisor to resume polling them.
-  std::mutex returning_mutex_;
-  std::vector<std::shared_ptr<Socket>> returning_;
+  util::Mutex returning_mutex_{util::LockRank::kSvc, "svc.returning"};
+  std::vector<std::shared_ptr<Socket>> returning_
+      IOKC_GUARDED_BY(returning_mutex_);
 
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> requests_{0};

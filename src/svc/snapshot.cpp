@@ -8,28 +8,49 @@ SnapshotStore::SnapshotStore(persist::KnowledgeRepository& primary)
     : primary_(primary) {}
 
 std::shared_ptr<persist::KnowledgeRepository> SnapshotStore::snapshot() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (snapshot_version_ != version_) {
-    // Copy-on-read: the dump is taken under the writer lock, so it sits
-    // exactly on a transaction boundary of the primary database.
-    cached_ = persist::KnowledgeRepository::from_dump(
-        primary_.database().dump());
-    snapshot_version_ = version_;
-    ++rebuilds_;
+  {
+    // Fast path: the cache is fresh for everyone until the next write, so
+    // readers share the lock and copy out the clone pointer.
+    const util::SharedLockGuard lock(mutex_);
+    if (snapshot_version_ == version_) {
+      return cached_;
+    }
+  }
+  std::shared_ptr<persist::KnowledgeRepository> fresh;
+  bool rebuilt = false;
+  {
+    const util::LockGuard lock(mutex_);
+    if (snapshot_version_ != version_) {
+      // Copy-on-read: the dump is taken under the writer lock, so it sits
+      // exactly on a transaction boundary of the primary database.
+      // iokc-lint: allow(blocking-under-lock): the O(database) rebuild must
+      // exclude writers to dump a transaction-consistent image; epoch-based
+      // snapshots (ROADMAP item 1) will move it off this lock.
+      cached_ = persist::KnowledgeRepository::from_dump(
+          primary_.database().dump());
+      snapshot_version_ = version_;
+      ++rebuilds_;
+      rebuilt = true;
+    }
+    fresh = cached_;
+  }
+  if (rebuilt) {
+    // Outside the lock: metric recording has no business extending the
+    // writer-exclusion window.
     obs::count("svc.snapshot_rebuilds");
   }
-  return cached_;
+  return fresh;
 }
 
 void SnapshotStore::with_write(
     const std::function<void(persist::KnowledgeRepository&)>& write) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   ++version_;  // stale even if the write throws after partial effect
   write(primary_);
 }
 
 std::uint64_t SnapshotStore::rebuilds() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::SharedLockGuard lock(mutex_);
   return rebuilds_;
 }
 

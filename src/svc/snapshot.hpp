@@ -19,9 +19,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "src/persist/repository.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace iokc::svc {
 
@@ -36,25 +37,31 @@ class SnapshotStore {
   /// is immutable by contract: callers may run any read — SQL SELECTs,
   /// load_knowledge, training-set extraction — concurrently with writers
   /// and with other readers.
-  std::shared_ptr<persist::KnowledgeRepository> snapshot();
+  std::shared_ptr<persist::KnowledgeRepository> snapshot() IOKC_EXCLUDES(mutex_);
 
   /// Runs `write` against the primary under the writer lock and marks the
   /// snapshot stale. Exceptions propagate; the snapshot is marked stale
   /// regardless (the write may have partially executed at the repository
   /// level before throwing, and a fresh dump is always safe).
   void with_write(
-      const std::function<void(persist::KnowledgeRepository&)>& write);
+      const std::function<void(persist::KnowledgeRepository&)>& write)
+      IOKC_EXCLUDES(mutex_);
 
   /// Snapshot clones built so far (observability for tests and stats).
-  std::uint64_t rebuilds() const;
+  std::uint64_t rebuilds() const IOKC_EXCLUDES(mutex_);
 
  private:
   persist::KnowledgeRepository& primary_;
-  mutable std::mutex mutex_;  // guards primary_ writes + the cache fields
-  std::shared_ptr<persist::KnowledgeRepository> cached_;
-  std::uint64_t version_ = 1;           // bumped by every write
-  std::uint64_t snapshot_version_ = 0;  // version cached_ was built from
-  std::uint64_t rebuilds_ = 0;
+  /// Guards primary_ writes + the cache fields. Reader-writer: the common
+  /// fresh-cache read takes it shared, so concurrent readers only contend
+  /// when a rebuild is actually due.
+  mutable util::SharedMutex mutex_{util::LockRank::kSvc, "svc.snapshot"};
+  std::shared_ptr<persist::KnowledgeRepository> cached_ IOKC_GUARDED_BY(mutex_);
+  // bumped by every write
+  std::uint64_t version_ IOKC_GUARDED_BY(mutex_) = 1;
+  // version cached_ was built from
+  std::uint64_t snapshot_version_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t rebuilds_ IOKC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace iokc::svc

@@ -21,6 +21,9 @@ namespace iokc::svc {
 namespace {
 
 [[noreturn]] void fail_errno(const std::string& what) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): strerror's static buffer is only
+  // formatted into this exception message; nothing in-process calls
+  // setlocale concurrently, and glibc's strerror is thread-safe anyway.
   throw IoError(what + ": " + std::strerror(errno));
 }
 
@@ -163,7 +166,14 @@ Socket connect_to(const std::string& address, std::uint16_t port,
     socklen_t len = sizeof err;
     if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
         err != 0) {
+      // Refusal gets a stable, locale-independent message: Client::connect
+      // keys its retry-during-startup-window behavior on it.
+      if (err == ECONNREFUSED) {
+        throw IoError("connect " + address + ":" + std::to_string(port) +
+                      ": connection refused");
+      }
       throw IoError("connect " + address + ":" + std::to_string(port) + ": " +
+                    // NOLINTNEXTLINE(concurrency-mt-unsafe): see fail_errno
                     std::strerror(err != 0 ? err : errno));
     }
   }

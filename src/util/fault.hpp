@@ -12,8 +12,11 @@ namespace iokc::util {
 using FaultHook = void (*)(const char* site);
 
 /// Installs `hook` as the process-global fault hook (nullptr disables).
-/// Not thread-safe against concurrent fault_point calls; install hooks
-/// before starting worker threads.
+/// The registry is a single atomic pointer — deliberately lock-free, like
+/// set_pool_observer: fault_point() fires inside durability-critical
+/// sections that already hold ranked locks (e.g. db.journal), so the
+/// registry must never introduce a lock of its own. Hooks may throw or kill
+/// the process but must not acquire util::Mutex locks.
 void set_fault_hook(FaultHook hook);
 
 /// The currently installed hook, or nullptr.

@@ -1,0 +1,67 @@
+#include "src/util/mutex.hpp"
+
+#if IOKC_CHECKS_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace iokc::util::detail {
+
+namespace {
+
+struct HeldLock {
+  const void* tag = nullptr;
+  int rank = 0;
+  const char* name = nullptr;
+};
+
+// Per-thread stack of currently held locks, most recent last. The descending
+// rank rule keeps it strictly decreasing, so back() is always the minimum
+// held rank even after an out-of-LIFO release.
+std::vector<HeldLock>& held_stack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+}  // namespace
+
+void note_acquire(const void* tag, int rank, const char* name) {
+  std::vector<HeldLock>& stack = held_stack();
+  for (const HeldLock& held : stack) {
+    if (held.tag == tag) {
+      std::fprintf(stderr,
+                   "iokc: lock-rank violation: recursive acquisition of "
+                   "\"%s\" (rank %d) on the same thread\n",
+                   name, rank);
+      std::abort();
+    }
+  }
+  if (!stack.empty() && rank >= stack.back().rank) {
+    std::fprintf(stderr,
+                 "iokc: lock-rank violation: acquiring \"%s\" (rank %d) while "
+                 "holding \"%s\" (rank %d); locks must be acquired in "
+                 "strictly descending rank order\n",
+                 name, rank, stack.back().name, stack.back().rank);
+    std::abort();
+  }
+  stack.push_back(HeldLock{tag, rank, name});
+}
+
+void note_release(const void* tag) {
+  std::vector<HeldLock>& stack = held_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->tag == tag) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "iokc: lock-rank violation: releasing a lock this thread does "
+               "not hold\n");
+  std::abort();
+}
+
+}  // namespace iokc::util::detail
+
+#endif  // IOKC_CHECKS_ENABLED

@@ -1,0 +1,203 @@
+// Capability-annotated lock wrappers with a runtime lock-rank detector.
+//
+// Every mutex in the repo outside util/ must be one of these wrappers (the
+// `raw-mutex` iokc-lint pass enforces it). They add two things over the std
+// primitives they wrap:
+//
+//   1. Clang Thread Safety Analysis capabilities (src/util/
+//      thread_annotations.hpp), so `IOKC_GUARDED_BY` / `IOKC_REQUIRES`
+//      contracts are machine-checked under the clang presets.
+//   2. A lock *rank* plus a human-readable name. In IOKC_CHECKS builds a
+//      thread-local held-lock stack enforces that locks are only acquired in
+//      strictly descending rank order (svc -> persist -> db -> obs -> util),
+//      aborting with both lock names on the first out-of-order acquisition —
+//      a deadlock detector that fires on the acquisition pattern itself, not
+//      only when threads actually interleave into a deadlock.
+//
+// Rank order mirrors the module layering: a request enters at the service
+// layer and descends, so higher layers rank higher and may acquire
+// lower-ranked locks while holding their own, never the reverse. Locks of
+// equal rank must never be held together (the detector aborts on `>=`).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "src/util/check.hpp"
+#include "src/util/thread_annotations.hpp"
+
+namespace iokc::util {
+
+/// Static acquisition rank of a Mutex. Gaps leave room for new modules.
+enum class LockRank : int {
+  kUtil = 0,
+  kObs = 10,
+  kDb = 20,
+  kPersist = 30,
+  kSim = 40,
+  kCycle = 50,
+  kSvc = 60,
+};
+
+namespace detail {
+#if IOKC_CHECKS_ENABLED
+/// Aborts (with both lock names) unless `rank` is strictly lower than the
+/// most recently acquired lock still held by this thread. Called *before*
+/// blocking on the lock so a would-be deadlock aborts instead of hanging.
+void note_acquire(const void* tag, int rank, const char* name);
+/// Pops `tag` from the thread-local held stack (out-of-LIFO release is fine).
+void note_release(const void* tag);
+#endif
+}  // namespace detail
+
+/// Annotated std::mutex with a rank and a diagnostic name. Non-movable: the
+/// address is the identity the runtime detector tracks.
+class IOKC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex(LockRank rank, const char* name) : rank_(static_cast<int>(rank)), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IOKC_ACQUIRE() {
+#if IOKC_CHECKS_ENABLED
+    detail::note_acquire(this, rank_, name_);
+#endif
+    mutex_.lock();
+  }
+
+  void unlock() IOKC_RELEASE() {
+    mutex_.unlock();
+#if IOKC_CHECKS_ENABLED
+    detail::note_release(this);
+#endif
+  }
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mutex_;
+  const int rank_;
+  const char* const name_;
+};
+
+/// Annotated std::shared_mutex. Shared (reader) acquisitions obey the same
+/// rank discipline as exclusive ones.
+class IOKC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex(LockRank rank, const char* name)
+      : rank_(static_cast<int>(rank)), name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() IOKC_ACQUIRE() {
+#if IOKC_CHECKS_ENABLED
+    detail::note_acquire(this, rank_, name_);
+#endif
+    mutex_.lock();
+  }
+
+  void unlock() IOKC_RELEASE() {
+    mutex_.unlock();
+#if IOKC_CHECKS_ENABLED
+    detail::note_release(this);
+#endif
+  }
+
+  void lock_shared() IOKC_ACQUIRE_SHARED() {
+#if IOKC_CHECKS_ENABLED
+    detail::note_acquire(this, rank_, name_);
+#endif
+    mutex_.lock_shared();
+  }
+
+  void unlock_shared() IOKC_RELEASE_SHARED() {
+    mutex_.unlock_shared();
+#if IOKC_CHECKS_ENABLED
+    detail::note_release(this);
+#endif
+  }
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mutex_;
+  const int rank_;
+  const char* const name_;
+};
+
+/// Scoped exclusive lock. The `blocking-under-lock` and `lock-order` lint
+/// passes key off the lexical scope of these guards, so prefer a tight block
+/// around the guarded access over a function-wide guard.
+class IOKC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) IOKC_ACQUIRE(mutex) : mutex_(&mutex) {
+    mutex_->lock();
+  }
+  explicit LockGuard(SharedMutex& mutex) IOKC_ACQUIRE(mutex)
+      : shared_mutex_(&mutex) {
+    shared_mutex_->lock();
+  }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+  ~LockGuard() IOKC_RELEASE_GENERIC() {
+    if (mutex_ != nullptr) {
+      mutex_->unlock();
+    } else {
+      shared_mutex_->unlock();
+    }
+  }
+
+ private:
+  Mutex* mutex_ = nullptr;
+  SharedMutex* shared_mutex_ = nullptr;
+};
+
+/// Scoped shared (reader) lock over a SharedMutex.
+class IOKC_SCOPED_CAPABILITY SharedLockGuard {
+ public:
+  explicit SharedLockGuard(SharedMutex& mutex) IOKC_ACQUIRE_SHARED(mutex)
+      : mutex_(&mutex) {
+    mutex_->lock_shared();
+  }
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+  ~SharedLockGuard() IOKC_RELEASE_GENERIC() { mutex_->unlock_shared(); }
+
+ private:
+  SharedMutex* mutex_;
+};
+
+/// Relockable scoped lock for condition-variable waits
+/// (std::condition_variable_any requires only BasicLockable). Starts held.
+class IOKC_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) IOKC_ACQUIRE(mutex) : mutex_(&mutex) {
+    mutex_->lock();
+    held_ = true;
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+  ~UniqueLock() IOKC_RELEASE_GENERIC() {
+    if (held_) {
+      mutex_->unlock();
+    }
+  }
+
+  void lock() IOKC_ACQUIRE() {
+    mutex_->lock();
+    held_ = true;
+  }
+
+  void unlock() IOKC_RELEASE() {
+    held_ = false;
+    mutex_->unlock();
+  }
+
+ private:
+  Mutex* mutex_;
+  bool held_ = false;
+};
+
+}  // namespace iokc::util

@@ -1,0 +1,64 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap the `capability` attribute family so that locking contracts are
+// written once, next to the data they protect, and machine-checked by clang
+// (`-Wthread-safety -Wthread-safety-beta`, promoted to errors in the clang
+// presets). Under gcc — which has no thread-safety analysis — every macro
+// expands to nothing, so annotated code compiles identically as no-ops.
+//
+// The annotated lock types themselves (`util::Mutex`, `util::LockGuard`, ...)
+// live in src/util/mutex.hpp; this header is only the attribute vocabulary.
+//
+// Cheatsheet (see DESIGN.md "Concurrency contracts"):
+//   IOKC_GUARDED_BY(mu)    data member: reads need mu held (shared ok),
+//                          writes need mu held exclusively
+//   IOKC_PT_GUARDED_BY(mu) pointer member: the pointee is guarded by mu
+//   IOKC_REQUIRES(mu)      function: caller must already hold mu
+//   IOKC_ACQUIRE(mu)       function: acquires mu, returns with it held
+//   IOKC_RELEASE(mu)       function: releases mu
+//   IOKC_EXCLUDES(mu)      function: caller must NOT hold mu (anti-deadlock)
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define IOKC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef IOKC_THREAD_ANNOTATION
+#define IOKC_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Type annotations: mark a class as a (scoped) lockable capability.
+#define IOKC_CAPABILITY(name) IOKC_THREAD_ANNOTATION(capability(name))
+#define IOKC_SCOPED_CAPABILITY IOKC_THREAD_ANNOTATION(scoped_lockable)
+
+// Data-member annotations.
+#define IOKC_GUARDED_BY(x) IOKC_THREAD_ANNOTATION(guarded_by(x))
+#define IOKC_PT_GUARDED_BY(x) IOKC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function annotations.
+#define IOKC_REQUIRES(...) \
+  IOKC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IOKC_REQUIRES_SHARED(...) \
+  IOKC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define IOKC_ACQUIRE(...) \
+  IOKC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IOKC_ACQUIRE_SHARED(...) \
+  IOKC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define IOKC_RELEASE(...) \
+  IOKC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IOKC_RELEASE_SHARED(...) \
+  IOKC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define IOKC_RELEASE_GENERIC(...) \
+  IOKC_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define IOKC_TRY_ACQUIRE(...) \
+  IOKC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define IOKC_EXCLUDES(...) IOKC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define IOKC_ASSERT_CAPABILITY(x) \
+  IOKC_THREAD_ANNOTATION(assert_capability(x))
+#define IOKC_RETURN_CAPABILITY(x) IOKC_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function body. Every use must
+// carry a comment explaining why the contract cannot be expressed.
+#define IOKC_NO_THREAD_SAFETY_ANALYSIS \
+  IOKC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -38,7 +38,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
     }
   } catch (...) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       stop_ = true;
     }
     work_cv_.notify_all();
@@ -51,7 +51,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -67,7 +67,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     std::size_t target;
     if (t_worker.pool == this) {
       target = t_worker.index;
@@ -84,22 +84,26 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  UniqueLock lock(mutex_);
+  // Explicit wait loop (not the predicate overload): the predicate lambda
+  // would be analyzed as a separate function, outside the lock's scope.
+  while (pending_ != 0) {
+    idle_cv_.wait(lock);
+  }
 }
 
 std::size_t ThreadPool::steal_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return steals_;
 }
 
 std::size_t ThreadPool::max_queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return max_pending_;
 }
 
 std::size_t ThreadPool::task_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   return tasks_;
 }
 
@@ -135,7 +139,7 @@ bool ThreadPool::take_task(std::size_t self, std::function<void()>& task) {
 
 void ThreadPool::worker_loop(std::size_t self) {
   t_worker = WorkerIdentity{this, self};
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   for (;;) {
     std::function<void()> task;
     while (!take_task(self, task)) {

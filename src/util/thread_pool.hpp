@@ -14,9 +14,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace iokc::util {
 
@@ -64,20 +66,20 @@ class ThreadPool {
 
   /// Enqueues one task (round-robin over the worker deques; a task submitted
   /// from inside a worker lands on that worker's own deque).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) IOKC_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished running.
-  void wait_idle();
+  void wait_idle() IOKC_EXCLUDES(mutex_);
 
   /// Number of tasks a worker stole from another worker's deque (for tests
   /// and bench reporting; meaningful once the pool is idle).
-  std::size_t steal_count() const;
+  std::size_t steal_count() const IOKC_EXCLUDES(mutex_);
 
   /// Peak queued + running tasks observed so far.
-  std::size_t max_queue_depth() const;
+  std::size_t max_queue_depth() const IOKC_EXCLUDES(mutex_);
 
   /// Total tasks submitted so far.
-  std::size_t task_count() const;
+  std::size_t task_count() const IOKC_EXCLUDES(mutex_);
 
   /// Index of the pool worker executing the caller, or 0 when the caller is
   /// not a pool worker (the inline/serial case).
@@ -87,22 +89,25 @@ class ThreadPool {
   static std::size_t hardware_threads();
 
  private:
-  void worker_loop(std::size_t self);
+  void worker_loop(std::size_t self) IOKC_EXCLUDES(mutex_);
   /// Pops the next task for worker `self` (own back, then steal others'
-  /// front). Requires mutex_ held. Returns false when no task is available.
-  bool take_task(std::size_t self, std::function<void()>& task);
+  /// front). Returns false when no task is available.
+  bool take_task(std::size_t self, std::function<void()>& task)
+      IOKC_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::vector<std::deque<std::function<void()>>> deques_;
+  mutable Mutex mutex_{LockRank::kUtil, "util.thread_pool"};
+  // condition_variable_any: util::UniqueLock is BasicLockable, not
+  // std::unique_lock<std::mutex>, which the plain condition_variable needs.
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any idle_cv_;
+  std::vector<std::deque<std::function<void()>>> deques_ IOKC_GUARDED_BY(mutex_);
   std::vector<std::thread> threads_;
-  std::size_t pending_ = 0;  // queued + running tasks
-  std::size_t next_deque_ = 0;
-  std::size_t steals_ = 0;
-  std::size_t tasks_ = 0;
-  std::size_t max_pending_ = 0;
-  bool stop_ = false;
+  std::size_t pending_ IOKC_GUARDED_BY(mutex_) = 0;  // queued + running tasks
+  std::size_t next_deque_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::size_t steals_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::size_t tasks_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::size_t max_pending_ IOKC_GUARDED_BY(mutex_) = 0;
+  bool stop_ IOKC_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs body(0) .. body(count - 1) on up to `jobs` threads. jobs == 0 means

@@ -216,16 +216,227 @@ TEST(Lint, ModuleRanksMatchTheArchitecture) {
   EXPECT_EQ(module_rank("no_such_module"), -1);
 }
 
+// -- blocking-under-lock ----------------------------------------------------
+
+TEST(Lint, BlockingSyscallUnderGuardIsFlagged) {
+  FixtureTree tree("blocking");
+  tree.add("db/wal.cpp",
+           "#include \"src/util/mutex.hpp\"\n"
+           "void flush(int fd, util::Mutex& m) {\n"
+           "  const util::LockGuard lock(m);\n"
+           "  ::fsync(fd);\n"
+           "}\n"
+           "void flush_outside(int fd, util::Mutex& m) {\n"
+           "  { const util::LockGuard lock(m); }\n"
+           "  ::fsync(fd);\n"
+           "}\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "blocking-under-lock");
+  EXPECT_EQ(diagnostics[0].line, 4u);
+  EXPECT_NE(diagnostics[0].message.find("fsync"), std::string::npos);
+}
+
+TEST(Lint, MemberCallSharingABlockingNameIsNotFlagged) {
+  // `.send(...)` is some object's member, not the socket syscall; only free
+  // calls match the builtin list.
+  FixtureTree tree("member");
+  tree.add("svc/conn.cpp",
+           "void f(Channel& ch, util::Mutex& m) {\n"
+           "  const util::LockGuard lock(m);\n"
+           "  ch.send(1);\n"
+           "}\n");
+  EXPECT_TRUE(lint_tree(tree.root()).empty());
+}
+
+TEST(Lint, BlockingMarkerPropagatesAcrossFiles) {
+  // `commit` is declared blocking in db/; the call through a member in
+  // persist/ must still fire because analyze_tree collects markers globally.
+  FixtureTree tree("marker");
+  tree.add("db/database.hpp",
+           "#pragma once\n"
+           "struct Database {\n"
+           "  void commit();  // iokc-lint: blocking\n"
+           "};\n");
+  tree.add("persist/repo.cpp",
+           "#include \"src/db/database.hpp\"\n"
+           "void store(Database& db, util::Mutex& m) {\n"
+           "  const util::LockGuard lock(m);\n"
+           "  db.commit();\n"
+           "}\n");
+  const auto analysis = analyze_tree({tree.root()});
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis.diagnostics[0].rule, "blocking-under-lock");
+  EXPECT_NE(analysis.diagnostics[0].file.find("repo.cpp"), std::string::npos);
+}
+
+TEST(Lint, CollectBlockingMarkersFindsDeclarations) {
+  const auto names = collect_blocking_markers(
+      "void commit();  // iokc-lint: blocking\n"
+      "void read_only() const;\n"
+      "void save(const std::string& p);  // iokc-lint: blocking\n");
+  EXPECT_EQ(names, (std::vector<std::string>{"commit", "save"}));
+}
+
+// -- suppressions -----------------------------------------------------------
+
+TEST(Lint, JustifiedAllowSuppressesTheFinding) {
+  FixtureTree tree("allow");
+  tree.add("db/wal.cpp",
+           "void flush(int fd, util::Mutex& m) {\n"
+           "  const util::LockGuard lock(m);\n"
+           "  // iokc-lint: allow(blocking-under-lock): durability contract --\n"
+           "  // the commit must not return before the record is on disk.\n"
+           "  ::fsync(fd);\n"
+           "}\n");
+  EXPECT_TRUE(lint_tree(tree.root()).empty());
+}
+
+TEST(Lint, AllowWithoutJustificationIsItselfADiagnostic) {
+  FixtureTree tree("allownojust");
+  tree.add("db/wal.cpp",
+           "void flush(int fd, util::Mutex& m) {\n"
+           "  const util::LockGuard lock(m);\n"
+           "  ::fsync(fd);  // iokc-lint: allow(blocking-under-lock)\n"
+           "}\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "suppression");
+  EXPECT_NE(diagnostics[0].message.find("justification"), std::string::npos);
+}
+
+TEST(Lint, AllowForADifferentRuleDoesNotSuppress) {
+  FixtureTree tree("allowwrong");
+  tree.add("db/wal.cpp",
+           "void flush(int fd, util::Mutex& m) {\n"
+           "  const util::LockGuard lock(m);\n"
+           "  // iokc-lint: allow(raw-mutex): wrong rule entirely\n"
+           "  ::fsync(fd);\n"
+           "}\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "blocking-under-lock");
+}
+
+// -- lock-order -------------------------------------------------------------
+
+TEST(Lint, RankInversionInNestedGuardsIsFlagged) {
+  FixtureTree tree("rank");
+  tree.add("svc/state.cpp",
+           "util::Mutex low_{util::LockRank::kObs, \"obs.low\"};\n"
+           "util::Mutex high_{util::LockRank::kSvc, \"svc.high\"};\n"
+           "void inverted() {\n"
+           "  const util::LockGuard outer(low_);\n"
+           "  const util::LockGuard inner(high_);\n"
+           "}\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "lock-order");
+  EXPECT_EQ(diagnostics[0].line, 5u);
+  EXPECT_NE(diagnostics[0].message.find("svc.high"), std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("obs.low"), std::string::npos);
+}
+
+TEST(Lint, AcquisitionCycleIsFlagged) {
+  // Unranked mutexes (no LockRank in scope) still feed the cycle check via
+  // their fallback module:variable names.
+  FixtureTree tree("cycle");
+  tree.add("db/ab.cpp",
+           "void f(util::Mutex& a_, util::Mutex& b_) {\n"
+           "  const util::LockGuard la(a_);\n"
+           "  const util::LockGuard lb(b_);\n"
+           "}\n"
+           "void g(util::Mutex& a_, util::Mutex& b_) {\n"
+           "  const util::LockGuard lb(b_);\n"
+           "  const util::LockGuard la(a_);\n"
+           "}\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "lock-order");
+  EXPECT_NE(diagnostics[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(Lint, LockGraphIsExportedAsDot) {
+  FixtureTree tree("dot");
+  tree.add("svc/state.cpp",
+           "util::Mutex outer_{util::LockRank::kSvc, \"svc.outer\"};\n"
+           "util::Mutex inner_{util::LockRank::kObs, \"obs.inner\"};\n"
+           "void f() {\n"
+           "  const util::LockGuard lo(outer_);\n"
+           "  const util::LockGuard li(inner_);\n"
+           "}\n");
+  const auto analysis = analyze_tree({tree.root()});
+  EXPECT_TRUE(analysis.diagnostics.empty());
+  ASSERT_EQ(analysis.lock_nodes.size(), 2u);
+  ASSERT_EQ(analysis.lock_edges.size(), 1u);
+  EXPECT_EQ(analysis.lock_edges[0].from, "svc.outer");
+  EXPECT_EQ(analysis.lock_edges[0].to, "obs.inner");
+  const std::string dot =
+      lock_graph_dot(analysis.lock_nodes, analysis.lock_edges);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"svc.outer\" -> \"obs.inner\""), std::string::npos);
+  EXPECT_NE(dot.find("rank 60"), std::string::npos);
+}
+
+// -- raw-mutex --------------------------------------------------------------
+
+TEST(Lint, RawStdMutexOutsideUtilIsFlagged) {
+  FixtureTree tree("rawmutex");
+  tree.add("db/state.cpp",
+           "#include <mutex>\n"
+           "std::mutex m;\n"
+           "void f() { std::lock_guard<std::mutex> lock(m); }\n");
+  tree.add("util/wrapper.cpp",
+           "#include <mutex>\n"
+           "std::mutex allowed_here;\n");
+  const auto diagnostics = lint_tree(tree.root());
+  // Line 2 declares std::mutex; line 3 uses std::lock_guard and names
+  // std::mutex again as its template argument. util/ is exempt.
+  ASSERT_EQ(diagnostics.size(), 3u);
+  for (const Diagnostic& d : diagnostics) {
+    EXPECT_EQ(d.rule, "raw-mutex");
+    EXPECT_NE(d.file.find("db"), std::string::npos);
+  }
+}
+
+TEST(Lint, ConditionVariableAnyIsAllowedEverywhere) {
+  // The annotated wrappers are BasicLockable, so condition_variable_any is
+  // the one std synchronization type callers legitimately need.
+  FixtureTree tree("cvany");
+  tree.add("svc/waiter.cpp",
+           "#include <condition_variable>\n"
+           "std::condition_variable_any cv;\n");
+  EXPECT_TRUE(lint_tree(tree.root()).empty());
+}
+
+TEST(Lint, NewPassesCanBeDisabled) {
+  FixtureTree tree("disable");
+  tree.add("db/all.cpp",
+           "#include <mutex>\n"
+           "std::mutex raw;\n"
+           "void f(int fd, util::Mutex& m) {\n"
+           "  const util::LockGuard lock(m);\n"
+           "  ::fsync(fd);\n"
+           "}\n");
+  Options options;
+  options.check_blocking_under_lock = false;
+  options.check_raw_mutex = false;
+  options.check_lock_order = false;
+  EXPECT_TRUE(lint_tree(tree.root(), options).empty());
+}
+
 TEST(Lint, TheRepoItselfIsClean) {
-  // Mirrors the standalone `iokc_lint.repo` ctest: the shipped source tree
-  // must satisfy its own lint rules.
+  // Mirrors the standalone `iokc_lint.repo` ctest and the CI invocation:
+  // src and tools are one analysis, so the blocking markers declared in
+  // src/db apply to tools/ too, and the lock graph is global.
   const fs::path src = fs::path(IOKC_REPO_ROOT) / "src";
   const fs::path tools = fs::path(IOKC_REPO_ROOT) / "tools";
-  for (const fs::path& root : {src, tools}) {
-    for (const Diagnostic& d : lint_tree(root.string())) {
-      ADD_FAILURE() << to_string(d);
-    }
+  const auto analysis = analyze_tree({src.string(), tools.string()});
+  for (const Diagnostic& d : analysis.diagnostics) {
+    ADD_FAILURE() << to_string(d);
   }
+  // The shipped lock graph must know every ranked mutex in the tree.
+  EXPECT_GE(analysis.lock_nodes.size(), 7u);
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+#include "src/util/mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <thread>
+
+#include "src/util/check.hpp"
+
+namespace iokc::util {
+namespace {
+
+// The rank detector aborts the process, so the violation tests are death
+// tests; they only apply when the checks layer is compiled in, and gtest
+// death tests fork(), which ThreadSanitizer does not support.
+#if defined(__SANITIZE_THREAD__)
+#define IOKC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define IOKC_TSAN 1
+#endif
+#endif
+#ifndef IOKC_TSAN
+#define IOKC_TSAN 0
+#endif
+
+TEST(Mutex, DescendingAcquisitionIsAllowed) {
+  Mutex svc(LockRank::kSvc, "svc.test");
+  Mutex db(LockRank::kDb, "db.test");
+  Mutex util(LockRank::kUtil, "util.test");
+  const LockGuard outer(svc);
+  const LockGuard middle(db);
+  const LockGuard inner(util);
+  SUCCEED();
+}
+
+TEST(Mutex, OutOfLifoReleaseIsAllowed) {
+  // UniqueLock can release in any order; the detector tracks the held set,
+  // not a strict stack.
+  Mutex svc(LockRank::kSvc, "svc.test");
+  Mutex db(LockRank::kDb, "db.test");
+  UniqueLock outer(svc);
+  UniqueLock inner(db);
+  outer.unlock();  // released before the lower-ranked inner lock
+  inner.unlock();
+  SUCCEED();
+}
+
+TEST(Mutex, SharedLocksFollowTheSameRankOrder) {
+  SharedMutex svc(LockRank::kSvc, "svc.shared");
+  Mutex db(LockRank::kDb, "db.test");
+  const SharedLockGuard reader(svc);
+  const LockGuard inner(db);
+  SUCCEED();
+}
+
+TEST(Mutex, UniqueLockRelocks) {
+  Mutex m(LockRank::kDb, "db.relock");
+  UniqueLock lock(m);
+  lock.unlock();
+  lock.lock();
+  SUCCEED();
+}
+
+TEST(Mutex, UniqueLockPairsWithConditionVariableAny) {
+  Mutex m(LockRank::kUtil, "util.cv");
+  std::condition_variable_any cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    UniqueLock lock(m);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    UniqueLock lock(m);
+    while (!ready) {
+      cv.wait(lock);
+    }
+  }
+  signaller.join();
+  EXPECT_TRUE(ready);
+}
+
+TEST(Mutex, RanksAreStrictlyOrderedAcrossLayers) {
+  EXPECT_LT(static_cast<int>(LockRank::kUtil), static_cast<int>(LockRank::kObs));
+  EXPECT_LT(static_cast<int>(LockRank::kObs), static_cast<int>(LockRank::kDb));
+  EXPECT_LT(static_cast<int>(LockRank::kDb),
+            static_cast<int>(LockRank::kPersist));
+  EXPECT_LT(static_cast<int>(LockRank::kPersist),
+            static_cast<int>(LockRank::kSim));
+  EXPECT_LT(static_cast<int>(LockRank::kSim),
+            static_cast<int>(LockRank::kCycle));
+  EXPECT_LT(static_cast<int>(LockRank::kCycle),
+            static_cast<int>(LockRank::kSvc));
+}
+
+#if IOKC_CHECKS_ENABLED && !IOKC_TSAN
+
+TEST(MutexDeathTest, InvertedAcquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex db(LockRank::kDb, "db.low");
+        Mutex svc(LockRank::kSvc, "svc.high");
+        const LockGuard outer(db);
+        const LockGuard inner(svc);  // rank 60 while holding rank 20
+      },
+      "lock-rank violation.*svc\\.high.*db\\.low");
+}
+
+TEST(MutexDeathTest, EqualRankNestingAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex a(LockRank::kDb, "db.a");
+        Mutex b(LockRank::kDb, "db.b");
+        const LockGuard outer(a);
+        const LockGuard inner(b);  // equal rank: order would be ambiguous
+      },
+      "lock-rank violation");
+}
+
+TEST(MutexDeathTest, RecursiveAcquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex m(LockRank::kDb, "db.twice");
+        m.lock();
+        m.lock();  // would deadlock; the detector aborts instead of hanging
+      },
+      "lock-rank violation.*recursive");
+}
+
+#endif  // IOKC_CHECKS_ENABLED && !IOKC_TSAN
+
+}  // namespace
+}  // namespace iokc::util

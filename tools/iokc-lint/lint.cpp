@@ -5,6 +5,9 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -312,6 +315,548 @@ bool has_extension(const std::filesystem::path& path,
   return path.extension().string() == extension;
 }
 
+// ---------------------------------------------------------------------------
+// Concurrency passes: blocking-under-lock, lock-order, raw-mutex.
+// ---------------------------------------------------------------------------
+
+// The marker strings are assembled from two pieces so that this file — which
+// the repo check lints too — never contains the full marker sequence itself.
+const std::string& allow_marker() {
+  static const std::string kMarker = std::string("iokc-lint: ") + "allow(";
+  return kMarker;
+}
+
+const std::string& blocking_marker() {
+  static const std::string kMarker = std::string("iokc-lint: ") + "blocking";
+  return kMarker;
+}
+
+// Syscall-ish names that block by nature. Matched as free-function calls
+// (optionally ::-qualified, never behind `.` or `->`), so member functions
+// sharing a name do not collide; repo-specific blocking *methods* are opted
+// in via declaration markers instead, and those do match member calls.
+const std::vector<std::string>& builtin_blocking_functions() {
+  static const std::vector<std::string> kNames = {
+      "fsync",  "fdatasync", "recv",      "send",        "poll",
+      "select", "accept",    "connect",   "system",      "fopen",
+      "fread",  "fwrite",    "fflush",    "fclose",      "sleep",
+      "usleep", "nanosleep", "sleep_for", "sleep_until",
+  };
+  return kNames;
+}
+
+// LockRank values, mirrored from src/util/mutex.hpp.
+constexpr std::array<std::pair<std::string_view, int>, 7> kLockRanks = {{
+    {"kUtil", 0},
+    {"kObs", 10},
+    {"kDb", 20},
+    {"kPersist", 30},
+    {"kSim", 40},
+    {"kCycle", 50},
+    {"kSvc", 60},
+}};
+
+int lock_rank_value(std::string_view token) {
+  for (const auto& [name, value] : kLockRanks) {
+    if (name == token) {
+      return value;
+    }
+  }
+  return -1;
+}
+
+/// True when text[pos, pos + name.size()) is `name` as a whole identifier.
+bool token_at(std::string_view text, std::size_t pos, std::string_view name) {
+  if (text.compare(pos, name.size(), name) != 0) {
+    return false;
+  }
+  if (pos > 0 && is_identifier_char(text[pos - 1])) {
+    return false;
+  }
+  const std::size_t end = pos + name.size();
+  return end >= text.size() || !is_identifier_char(text[end]);
+}
+
+std::size_t skip_spaces(std::string_view text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::size_t scan_identifier(std::string_view text, std::size_t pos) {
+  while (pos < text.size() && is_identifier_char(text[pos])) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Matching closer for the bracket at `open`, tracking (), {} and [].
+std::size_t find_balanced_close(std::string_view text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(' || c == '{' || c == '[') {
+      ++depth;
+    } else if (c == ')' || c == '}' || c == ']') {
+      --depth;
+      if (depth == 0) {
+        return i;
+      }
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// The trailing identifier of an expression: "self->write_mutex_" -> the
+/// member name. Empty when the expression does not end in an identifier.
+std::string trailing_identifier(std::string_view expr) {
+  std::size_t end = expr.size();
+  while (end > 0 &&
+         std::isspace(static_cast<unsigned char>(expr[end - 1]))) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && is_identifier_char(expr[begin - 1])) {
+    --begin;
+  }
+  return std::string(expr.substr(begin, end - begin));
+}
+
+/// One lexical guard scope: from the guard declaration to the end of its
+/// enclosing block.
+struct GuardScope {
+  std::size_t decl = 0;  // offset of the guard type token
+  std::size_t end = 0;   // offset of the enclosing block's closing brace
+  std::string mutex_var;  // trailing identifier of the guarded expression
+};
+
+std::vector<GuardScope> find_guard_scopes(std::string_view scrubbed) {
+  std::vector<GuardScope> scopes;
+  for (const std::string_view token :
+       {std::string_view("LockGuard"), std::string_view("SharedLockGuard"),
+        std::string_view("UniqueLock")}) {
+    std::size_t pos = 0;
+    while ((pos = scrubbed.find(token, pos)) != std::string_view::npos) {
+      const std::size_t start = pos;
+      pos += token.size();
+      if (!token_at(scrubbed, start, token)) {
+        continue;
+      }
+      // A declaration reads `<token> <variable>(<mutex expr>)` (or with
+      // braces). Anything else — the class definition, a deleted copy ctor
+      // parameter — lacks the variable name and is skipped.
+      std::size_t cursor = skip_spaces(scrubbed, start + token.size());
+      const std::size_t var_begin = cursor;
+      cursor = scan_identifier(scrubbed, cursor);
+      if (cursor == var_begin) {
+        continue;
+      }
+      cursor = skip_spaces(scrubbed, cursor);
+      if (cursor >= scrubbed.size() ||
+          (scrubbed[cursor] != '(' && scrubbed[cursor] != '{')) {
+        continue;
+      }
+      const std::size_t close = find_balanced_close(scrubbed, cursor);
+      if (close == std::string_view::npos) {
+        continue;
+      }
+      const std::string mutex_var = trailing_identifier(
+          scrubbed.substr(cursor + 1, close - cursor - 1));
+      if (mutex_var.empty()) {
+        continue;
+      }
+      // The scope runs to the end of the enclosing block: the first '}'
+      // that closes a brace opened *before* the declaration.
+      std::size_t scope_end = scrubbed.size();
+      int depth = 0;
+      for (std::size_t i = close; i < scrubbed.size(); ++i) {
+        const char c = scrubbed[i];
+        if (c == '{') {
+          ++depth;
+        } else if (c == '}') {
+          if (depth == 0) {
+            scope_end = i;
+            break;
+          }
+          --depth;
+        }
+      }
+      scopes.push_back({start, scope_end, mutex_var});
+    }
+  }
+  std::sort(scopes.begin(), scopes.end(),
+            [](const GuardScope& a, const GuardScope& b) {
+              return a.decl < b.decl;
+            });
+  return scopes;
+}
+
+/// One `util::Mutex name_{LockRank::kX, "diag.name"};` declaration.
+struct MutexDecl {
+  std::string var;
+  std::string name;
+  int rank = -1;
+  std::size_t line = 0;
+};
+
+std::vector<MutexDecl> find_mutex_decls(std::string_view raw,
+                                        std::string_view scrubbed) {
+  std::vector<MutexDecl> decls;
+  for (const std::string_view token :
+       {std::string_view("Mutex"), std::string_view("SharedMutex")}) {
+    std::size_t pos = 0;
+    while ((pos = scrubbed.find(token, pos)) != std::string_view::npos) {
+      const std::size_t start = pos;
+      pos += token.size();
+      if (!token_at(scrubbed, start, token)) {
+        continue;
+      }
+      std::size_t cursor = skip_spaces(scrubbed, start + token.size());
+      const std::size_t var_begin = cursor;
+      cursor = scan_identifier(scrubbed, cursor);
+      if (cursor == var_begin) {
+        continue;  // the class definition or a ctor signature, not a variable
+      }
+      const std::string var(scrubbed.substr(var_begin, cursor - var_begin));
+      cursor = skip_spaces(scrubbed, cursor);
+      if (cursor >= scrubbed.size() ||
+          (scrubbed[cursor] != '(' && scrubbed[cursor] != '{')) {
+        continue;
+      }
+      const std::size_t close = find_balanced_close(scrubbed, cursor);
+      if (close == std::string_view::npos) {
+        continue;
+      }
+      // Rank: the LockRank:: token inside the initializer (scrubbed text).
+      const std::string_view init = scrubbed.substr(cursor, close - cursor);
+      const std::size_t rank_pos = init.find("LockRank::");
+      if (rank_pos == std::string_view::npos) {
+        continue;  // not a ranked util mutex (e.g. an unrelated type)
+      }
+      const std::size_t rank_begin = rank_pos + 10;
+      const std::size_t rank_end =
+          scan_identifier(init, rank_begin) + 0;
+      const int rank =
+          lock_rank_value(init.substr(rank_begin, rank_end - rank_begin));
+      // Diagnostic name: the string literal, read from the raw text because
+      // the scrubber blanks literal bodies.
+      std::string name;
+      const std::size_t q1 = raw.find('"', cursor);
+      if (q1 != std::string_view::npos && q1 < close) {
+        const std::size_t q2 = raw.find('"', q1 + 1);
+        if (q2 != std::string_view::npos && q2 <= close) {
+          name = std::string(raw.substr(q1 + 1, q2 - q1 - 1));
+        }
+      }
+      if (name.empty()) {
+        name = var;
+      }
+      decls.push_back({var, name, rank, line_of_offset(scrubbed, start)});
+    }
+  }
+  return decls;
+}
+
+/// var -> (diagnostic name, rank) for resolving guard expressions.
+struct ResolvedMutex {
+  std::string name;
+  int rank = -1;
+};
+using VarMap = std::map<std::string, ResolvedMutex>;
+
+ResolvedMutex resolve_mutex_var(const VarMap& file_vars,
+                                const VarMap& shared_vars,
+                                const std::string& module,
+                                const std::string& var) {
+  if (const auto it = file_vars.find(var); it != file_vars.end()) {
+    return it->second;
+  }
+  if (const auto it = shared_vars.find(var); it != shared_vars.end()) {
+    return it->second;
+  }
+  return {module.empty() ? var : module + ":" + var, -1};
+}
+
+// -- Suppressions -----------------------------------------------------------
+
+/// line -> rule -> justified. An allow marker suppresses matching findings
+/// on its own line and on the first code line after its comment block.
+using AllowMap = std::map<std::size_t, std::map<std::string, bool>>;
+
+AllowMap collect_allows(const std::string& path, std::string_view raw,
+                        std::vector<Diagnostic>& out) {
+  AllowMap allows;
+  std::size_t line_no = 1;
+  std::size_t line_begin = 0;
+  while (line_begin <= raw.size()) {
+    std::size_t line_end = raw.find('\n', line_begin);
+    if (line_end == std::string_view::npos) {
+      line_end = raw.size();
+    }
+    const std::string_view line = raw.substr(line_begin, line_end - line_begin);
+    const std::size_t marker_pos = line.find(allow_marker());
+    if (marker_pos != std::string_view::npos) {
+      const std::size_t rule_begin = marker_pos + allow_marker().size();
+      const std::size_t rule_end = line.find(')', rule_begin);
+      if (rule_end != std::string_view::npos) {
+        const std::string rule(
+            trim_view(line.substr(rule_begin, rule_end - rule_begin)));
+        std::string_view rest = line.substr(rule_end + 1);
+        const bool justified = rest.size() > 1 && rest.front() == ':' &&
+                               !trim_view(rest.substr(1)).empty();
+        if (!justified) {
+          out.push_back({path, line_no, "suppression",
+                         "allow(" + rule +
+                             ") needs a justification: append `: <why this "
+                             "finding is accepted>`"});
+        }
+        allows[line_no][rule] = justified;
+      }
+    }
+    line_no += 1;
+    line_begin = line_end + 1;
+  }
+  return allows;
+}
+
+/// Lines that contain nothing but a // comment (candidates for a multi-line
+/// justification block above a flagged line).
+std::vector<bool> comment_only_lines(std::string_view raw) {
+  std::vector<bool> flags(1, false);  // 1-indexed
+  std::size_t line_begin = 0;
+  while (line_begin <= raw.size()) {
+    std::size_t line_end = raw.find('\n', line_begin);
+    if (line_end == std::string_view::npos) {
+      line_end = raw.size();
+    }
+    const std::string_view line =
+        trim_view(raw.substr(line_begin, line_end - line_begin));
+    flags.push_back(line.size() >= 2 && line.substr(0, 2) == "//");
+    line_begin = line_end + 1;
+  }
+  return flags;
+}
+
+bool is_suppressed(const AllowMap& allows, const std::vector<bool>& comments,
+                   std::size_t line, const std::string& rule) {
+  const auto allowed_at = [&](std::size_t l) {
+    const auto it = allows.find(l);
+    return it != allows.end() && it->second.contains(rule);
+  };
+  if (allowed_at(line)) {
+    return true;
+  }
+  // Walk up through the immediately preceding comment block.
+  for (std::size_t l = line; l > 1;) {
+    --l;
+    if (l >= comments.size() || !comments[l]) {
+      return false;
+    }
+    if (allowed_at(l)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// -- The passes -------------------------------------------------------------
+
+void check_blocking_under_lock(const std::string& path,
+                               std::string_view scrubbed,
+                               const std::vector<GuardScope>& scopes,
+                               const std::vector<std::string>& marked,
+                               std::vector<Diagnostic>& out) {
+  std::set<std::size_t> reported;
+  const auto scan = [&](const std::string& name, bool allow_member_call) {
+    std::size_t pos = 0;
+    while ((pos = scrubbed.find(name, pos)) != std::string_view::npos) {
+      const std::size_t start = pos;
+      pos += name.size();
+      if (!token_at(scrubbed, start, name)) {
+        continue;
+      }
+      const std::size_t after = skip_spaces(scrubbed, start + name.size());
+      if (after >= scrubbed.size() || scrubbed[after] != '(') {
+        continue;  // not a call
+      }
+      if (!allow_member_call && start >= 1) {
+        const char prev = scrubbed[start - 1];
+        const bool member = prev == '.' ||
+                            (start >= 2 && prev == '>' &&
+                             scrubbed[start - 2] == '-');
+        if (member) {
+          continue;  // a member function that merely shares the name
+        }
+      }
+      for (const GuardScope& scope : scopes) {
+        if (start > scope.decl && start < scope.end) {
+          if (reported.insert(start).second) {
+            out.push_back(
+                {path, line_of_offset(scrubbed, start), "blocking-under-lock",
+                 "blocking call '" + name + "' inside the scope of the guard "
+                     "on '" + scope.mutex_var + "' (line " +
+                     std::to_string(line_of_offset(scrubbed, scope.decl)) +
+                     "); hoist it out of the critical section or justify "
+                     "the wait"});
+          }
+          break;
+        }
+      }
+    }
+  };
+  for (const std::string& name : builtin_blocking_functions()) {
+    scan(name, /*allow_member_call=*/false);
+  }
+  for (const std::string& name : marked) {
+    scan(name, /*allow_member_call=*/true);
+  }
+}
+
+void collect_lock_edges(const std::string& path, std::string_view scrubbed,
+                        const std::vector<GuardScope>& scopes,
+                        const VarMap& file_vars, const VarMap& shared_vars,
+                        const std::string& module,
+                        std::vector<LockEdge>& edges) {
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const GuardScope& outer : scopes) {
+    for (const GuardScope& inner : scopes) {
+      if (inner.decl <= outer.decl || inner.decl >= outer.end) {
+        continue;
+      }
+      const ResolvedMutex from =
+          resolve_mutex_var(file_vars, shared_vars, module, outer.mutex_var);
+      const ResolvedMutex to =
+          resolve_mutex_var(file_vars, shared_vars, module, inner.mutex_var);
+      if (seen.insert({from.name, to.name}).second) {
+        edges.push_back({from.name, to.name, path,
+                         line_of_offset(scrubbed, inner.decl)});
+      }
+    }
+  }
+}
+
+void check_raw_mutex(const std::string& path, std::string_view scrubbed,
+                     const std::string& module,
+                     std::vector<Diagnostic>& out) {
+  if (module == "util") {
+    return;  // the wrappers themselves live here
+  }
+  static const std::vector<std::string> kBanned = {
+      "std::mutex",          "std::shared_mutex",    "std::recursive_mutex",
+      "std::timed_mutex",    "std::lock_guard",      "std::unique_lock",
+      "std::shared_lock",    "std::scoped_lock",     "std::condition_variable",
+  };
+  for (const std::string& token : kBanned) {
+    std::size_t pos = 0;
+    while ((pos = scrubbed.find(token, pos)) != std::string_view::npos) {
+      const std::size_t start = pos;
+      pos += token.size();
+      if (start > 0 && (is_identifier_char(scrubbed[start - 1]) ||
+                        scrubbed[start - 1] == ':')) {
+        continue;
+      }
+      if (pos < scrubbed.size() && is_identifier_char(scrubbed[pos])) {
+        continue;  // e.g. std::condition_variable_any
+      }
+      out.push_back({path, line_of_offset(scrubbed, start), "raw-mutex",
+                     "bare '" + token + "' outside util/; use the annotated "
+                         "wrappers from src/util/mutex.hpp so lock ranks and "
+                         "thread-safety analysis apply"});
+    }
+  }
+}
+
+/// Rank-order and cycle check over a lock graph.
+void check_lock_graph(const std::vector<LockNode>& nodes,
+                      const std::vector<LockEdge>& edges,
+                      std::vector<Diagnostic>& out) {
+  std::map<std::string, int> ranks;
+  for (const LockNode& node : nodes) {
+    ranks.emplace(node.name, node.rank);
+  }
+  for (const LockEdge& edge : edges) {
+    const auto from = ranks.find(edge.from);
+    const auto to = ranks.find(edge.to);
+    if (from == ranks.end() || to == ranks.end() || from->second < 0 ||
+        to->second < 0) {
+      continue;  // unranked; the cycle check below still covers it
+    }
+    if (to->second >= from->second) {
+      out.push_back(
+          {edge.file, edge.line, "lock-order",
+           "acquiring '" + edge.to + "' (rank " +
+               std::to_string(to->second) + ") while holding '" + edge.from +
+               "' (rank " + std::to_string(from->second) +
+               "); nested locks must rank strictly lower"});
+    }
+  }
+  // Cycle detection (DFS, three colors). Each cycle is reported once, at
+  // the edge that closes it.
+  std::map<std::string, std::vector<const LockEdge*>> adjacency;
+  std::set<std::string> vertices;
+  for (const LockEdge& edge : edges) {
+    adjacency[edge.from].push_back(&edge);
+    vertices.insert(edge.from);
+    vertices.insert(edge.to);
+  }
+  std::map<std::string, int> color;  // 0 new, 1 on stack, 2 done
+  std::set<std::string> reported_cycles;
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& vertex) {
+        color[vertex] = 1;
+        stack.push_back(vertex);
+        for (const LockEdge* edge : adjacency[vertex]) {
+          const int state = color[edge->to];
+          if (state == 1) {
+            // Reconstruct the cycle from the stack tail.
+            const auto begin =
+                std::find(stack.begin(), stack.end(), edge->to);
+            std::string cycle;
+            for (auto it = begin; it != stack.end(); ++it) {
+              cycle += *it + " -> ";
+            }
+            cycle += edge->to;
+            if (reported_cycles.insert(cycle).second) {
+              out.push_back({edge->file, edge->line, "lock-order",
+                             "lock acquisition cycle: " + cycle});
+            }
+          } else if (state == 0) {
+            visit(edge->to);
+          }
+        }
+        stack.pop_back();
+        color[vertex] = 2;
+      };
+  for (const std::string& vertex : vertices) {
+    if (color[vertex] == 0) {
+      visit(vertex);
+    }
+  }
+}
+
+const std::vector<std::string> kSuppressibleRules = {
+    "blocking-under-lock", "lock-order", "raw-mutex"};
+
+bool rule_suppressible(const std::string& rule) {
+  return std::find(kSuppressibleRules.begin(), kSuppressibleRules.end(),
+                   rule) != kSuppressibleRules.end();
+}
+
+void filter_suppressed(std::vector<Diagnostic>& diagnostics,
+                       const AllowMap& allows,
+                       const std::vector<bool>& comments) {
+  diagnostics.erase(
+      std::remove_if(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return rule_suppressible(d.rule) &&
+                              is_suppressed(allows, comments, d.line, d.rule);
+                     }),
+      diagnostics.end());
+}
+
 }  // namespace
 
 int module_rank(std::string_view module) {
@@ -387,12 +932,80 @@ std::string to_string(const Diagnostic& diagnostic) {
          diagnostic.rule + "] " + diagnostic.message;
 }
 
-std::vector<Diagnostic> lint_file(const std::string& path,
-                                  std::string_view text,
-                                  const std::string& module,
-                                  const Options& options) {
-  std::vector<Diagnostic> out;
-  const std::string scrubbed = scrub_source(text);
+std::vector<std::string> collect_blocking_markers(std::string_view text) {
+  std::vector<std::string> names;
+  std::size_t line_begin = 0;
+  while (line_begin <= text.size()) {
+    std::size_t line_end = text.find('\n', line_begin);
+    if (line_end == std::string_view::npos) {
+      line_end = text.size();
+    }
+    const std::string_view line =
+        text.substr(line_begin, line_end - line_begin);
+    const std::size_t marker_pos = line.find(blocking_marker());
+    line_begin = line_end + 1;
+    if (marker_pos == std::string_view::npos) {
+      continue;
+    }
+    const std::size_t comment = line.rfind("//", marker_pos);
+    if (comment == std::string_view::npos) {
+      continue;  // not in a // comment: ignore
+    }
+    // The marked declaration's name: the identifier before the first '('
+    // of the code part.
+    const std::string_view code = line.substr(0, comment);
+    const std::size_t paren = code.find('(');
+    if (paren == std::string_view::npos) {
+      continue;
+    }
+    std::size_t begin = paren;
+    while (begin > 0 && is_identifier_char(code[begin - 1])) {
+      --begin;
+    }
+    if (begin == paren) {
+      continue;
+    }
+    const std::string name(code.substr(begin, paren - begin));
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+std::string lock_graph_dot(const std::vector<LockNode>& nodes,
+                           const std::vector<LockEdge>& edges) {
+  std::string out = "digraph iokc_locks {\n  rankdir=TB;\n";
+  std::set<std::string> named;
+  for (const LockNode& node : nodes) {
+    if (!named.insert(node.name).second) {
+      continue;
+    }
+    out += "  \"" + node.name + "\" [label=\"" + node.name;
+    if (node.rank >= 0) {
+      out += "\\nrank " + std::to_string(node.rank);
+    }
+    out += "\"];\n";
+  }
+  for (const LockEdge& edge : edges) {
+    out += "  \"" + edge.from + "\" -> \"" + edge.to + "\" [label=\"" +
+           edge.file + ":" + std::to_string(edge.line) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Shared per-file analysis; graph checks and suppression filtering are the
+/// caller's job (file-local in lint_file, global in analyze_tree).
+void analyze_file(const std::string& path, std::string_view text,
+                  std::string_view scrubbed, const std::string& module,
+                  const Options& options,
+                  const std::vector<std::string>& blocking,
+                  const VarMap& file_vars, const VarMap& shared_vars,
+                  std::vector<Diagnostic>& out,
+                  std::vector<LockEdge>& edges) {
   if (options.check_layering) {
     check_layering(path, text, scrubbed, module, out);
   }
@@ -406,49 +1019,187 @@ std::vector<Diagnostic> lint_file(const std::string& path,
   if (options.check_format_literals) {
     check_format_literals(path, scrubbed, out);
   }
+  if (options.check_blocking_under_lock || options.check_lock_order) {
+    const std::vector<GuardScope> scopes = find_guard_scopes(scrubbed);
+    if (options.check_blocking_under_lock) {
+      check_blocking_under_lock(path, scrubbed, scopes, blocking, out);
+    }
+    if (options.check_lock_order) {
+      collect_lock_edges(path, scrubbed, scopes, file_vars, shared_vars,
+                         module, edges);
+    }
+  }
+  if (options.check_raw_mutex) {
+    check_raw_mutex(path, scrubbed, module, out);
+  }
+}
+
+VarMap var_map_of(const std::vector<MutexDecl>& decls) {
+  VarMap map;
+  for (const MutexDecl& decl : decls) {
+    map.emplace(decl.var, ResolvedMutex{decl.name, decl.rank});
+  }
+  return map;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_file(const std::string& path,
+                                  std::string_view text,
+                                  const std::string& module,
+                                  const Options& options) {
+  std::vector<Diagnostic> out;
+  const std::string scrubbed = scrub_source(text);
+  const AllowMap allows = collect_allows(path, text, out);
+  const std::vector<bool> comments = comment_only_lines(text);
+
+  std::vector<std::string> blocking = options.blocking_functions;
+  for (std::string& name : collect_blocking_markers(text)) {
+    if (std::find(blocking.begin(), blocking.end(), name) == blocking.end()) {
+      blocking.push_back(std::move(name));
+    }
+  }
+  const std::vector<MutexDecl> decls = find_mutex_decls(text, scrubbed);
+  const VarMap file_vars = var_map_of(decls);
+
+  std::vector<LockEdge> edges;
+  analyze_file(path, text, scrubbed, module, options, blocking, file_vars,
+               VarMap{}, out, edges);
+  if (options.check_lock_order) {
+    std::vector<LockNode> nodes;
+    for (const MutexDecl& decl : decls) {
+      nodes.push_back({decl.name, decl.rank, path, decl.line});
+    }
+    check_lock_graph(nodes, edges, out);
+  }
+  filter_suppressed(out, allows, comments);
   return out;
+}
+
+TreeAnalysis analyze_tree(const std::vector<std::string>& roots,
+                          const Options& options) {
+  namespace fs = std::filesystem;
+  TreeAnalysis analysis;
+
+  struct FileRecord {
+    std::string path;
+    std::string module;
+    std::string text;
+    std::string scrubbed;
+    AllowMap allows;
+    std::vector<bool> comments;
+    VarMap vars;
+  };
+  std::vector<FileRecord> records;
+  std::error_code ec;
+  for (const std::string& root : roots) {
+    std::vector<fs::path> files;
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        break;
+      }
+      if (it->is_regular_file() && (has_extension(it->path(), ".hpp") ||
+                                    has_extension(it->path(), ".cpp"))) {
+        files.push_back(it->path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      const fs::path relative = fs::relative(file, root, ec);
+      std::string module;
+      if (!ec && relative.begin() != relative.end()) {
+        const std::string first = relative.begin()->string();
+        if (module_rank(first) >= 0) {
+          module = first;
+        }
+      }
+      std::ifstream in(file, std::ios::binary);
+      if (!in) {
+        analysis.diagnostics.push_back(
+            {file.string(), 0, "io", "cannot read file"});
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      records.push_back({file.string(), module, buffer.str(), "", {}, {}, {}});
+    }
+  }
+
+  // Pass 1: collect markers, mutex declarations, and suppression maps
+  // everywhere before linting anywhere — a blocking marker in src/db must
+  // fire on calls in src/persist.
+  std::vector<std::string> blocking = options.blocking_functions;
+  VarMap shared_vars;
+  std::set<std::string> ambiguous_vars;
+  for (FileRecord& record : records) {
+    record.scrubbed = scrub_source(record.text);
+    record.allows =
+        collect_allows(record.path, record.text, analysis.diagnostics);
+    record.comments = comment_only_lines(record.text);
+    for (std::string& name : collect_blocking_markers(record.text)) {
+      if (std::find(blocking.begin(), blocking.end(), name) ==
+          blocking.end()) {
+        blocking.push_back(std::move(name));
+      }
+    }
+    const std::vector<MutexDecl> decls =
+        find_mutex_decls(record.text, record.scrubbed);
+    record.vars = var_map_of(decls);
+    for (const MutexDecl& decl : decls) {
+      analysis.lock_nodes.push_back(
+          {decl.name, decl.rank, record.path, decl.line});
+      const auto [it, inserted] =
+          shared_vars.emplace(decl.var, ResolvedMutex{decl.name, decl.rank});
+      if (!inserted && it->second.name != decl.name) {
+        ambiguous_vars.insert(decl.var);
+      }
+    }
+  }
+  // A member name declared with different diagnostic names in different
+  // classes cannot be resolved across files; fall back to file-local only.
+  for (const std::string& var : ambiguous_vars) {
+    shared_vars.erase(var);
+  }
+
+  // Pass 2: lint with full cross-file knowledge.
+  for (FileRecord& record : records) {
+    std::vector<Diagnostic> file_diagnostics;
+    analyze_file(record.path, record.text, record.scrubbed, record.module,
+                 options, blocking, record.vars, shared_vars,
+                 file_diagnostics, analysis.lock_edges);
+    filter_suppressed(file_diagnostics, record.allows, record.comments);
+    analysis.diagnostics.insert(
+        analysis.diagnostics.end(),
+        std::make_move_iterator(file_diagnostics.begin()),
+        std::make_move_iterator(file_diagnostics.end()));
+  }
+
+  // Global lock graph: rank order + cycles, then per-site suppressions.
+  if (options.check_lock_order) {
+    std::vector<Diagnostic> graph_diagnostics;
+    check_lock_graph(analysis.lock_nodes, analysis.lock_edges,
+                     graph_diagnostics);
+    for (Diagnostic& diagnostic : graph_diagnostics) {
+      const auto record =
+          std::find_if(records.begin(), records.end(),
+                       [&](const FileRecord& r) {
+                         return r.path == diagnostic.file;
+                       });
+      if (record != records.end() &&
+          is_suppressed(record->allows, record->comments, diagnostic.line,
+                        diagnostic.rule)) {
+        continue;
+      }
+      analysis.diagnostics.push_back(std::move(diagnostic));
+    }
+  }
+  return analysis;
 }
 
 std::vector<Diagnostic> lint_tree(const std::string& root,
                                   const Options& options) {
-  namespace fs = std::filesystem;
-  std::vector<Diagnostic> out;
-  std::vector<fs::path> files;
-  std::error_code ec;
-  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
-       it.increment(ec)) {
-    if (ec) {
-      break;
-    }
-    if (it->is_regular_file() && (has_extension(it->path(), ".hpp") ||
-                                  has_extension(it->path(), ".cpp"))) {
-      files.push_back(it->path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& file : files) {
-    const fs::path relative = fs::relative(file, root, ec);
-    std::string module;
-    if (!ec && relative.begin() != relative.end()) {
-      const std::string first = relative.begin()->string();
-      if (module_rank(first) >= 0) {
-        module = first;
-      }
-    }
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      out.push_back({file.string(), 0, "io", "cannot read file"});
-      continue;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
-    std::vector<Diagnostic> diagnostics =
-        lint_file(file.string(), text, module, options);
-    out.insert(out.end(), std::make_move_iterator(diagnostics.begin()),
-               std::make_move_iterator(diagnostics.end()));
-  }
-  return out;
+  return analyze_tree({root}, options).diagnostics;
 }
 
 }  // namespace iokc::lint

@@ -1,6 +1,6 @@
 // iokc-lint: repo-specific static checks that no generic tool knows about.
 //
-// Four rules, each reported as `file:line: [rule] message`:
+// Seven rules, each reported as `file:line: [rule] message`:
 //
 //   layering             A module may only include modules from strictly
 //                        lower layers (see kModules in lint.cpp):
@@ -15,10 +15,28 @@
 //                        thrown at all.
 //   format-literal       The format argument of printf-family calls must be
 //                        a string literal.
+//   blocking-under-lock  No blocking call (fsync/send/recv/poll/..., plus
+//                        any function whose declaration carries an
+//                        `iokc-lint: blocking` marker comment) lexically
+//                        inside a util::LockGuard/UniqueLock scope.
+//   lock-order           The lock-acquisition graph built from nested guard
+//                        scopes must respect the declared LockRank order
+//                        (inner lock strictly lower) and must be acyclic.
+//   raw-mutex            Bare std::mutex / std::lock_guard & friends are
+//                        banned outside util/; use the annotated wrappers
+//                        from src/util/mutex.hpp.
+//
+// blocking-under-lock, lock-order, and raw-mutex findings can be waived with
+// a marker comment on the flagged line or the line above:
+//   `iokc-lint: allow(<rule>): <justification>`
+// (as a `//` comment). The justification is mandatory: an allow() without
+// one is itself a diagnostic. This keeps accepted debt — e.g. the WAL
+// fsync-on-commit — visible and searchable instead of silently waived.
 //
 // The checks operate on a "scrubbed" copy of each source file (comments and
 // string-literal bodies blanked, offsets preserved) so commented-out code and
-// string contents cannot trigger false positives.
+// string contents cannot trigger false positives; the marker comments above
+// are the one thing read from the raw text.
 #pragma once
 
 #include <cstddef>
@@ -43,7 +61,48 @@ struct Options {
   bool check_pragma_once = true;
   bool check_exceptions = true;
   bool check_format_literals = true;
+  bool check_blocking_under_lock = true;
+  bool check_lock_order = true;
+  bool check_raw_mutex = true;
+  /// Function names treated as blocking by blocking-under-lock, in addition
+  /// to the built-in syscall list. analyze_tree seeds this from
+  /// `iokc-lint: blocking` declaration markers across every root.
+  std::vector<std::string> blocking_functions;
 };
+
+/// One declared util::Mutex / util::SharedMutex: its diagnostic name and
+/// LockRank as written in the declaration.
+struct LockNode {
+  std::string name;  // e.g. "db.journal"
+  int rank = -1;     // resolved LockRank value; -1 when unknown
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// One edge of the lock-acquisition graph: a guard on `to` declared
+/// lexically inside the scope of a guard on `from`.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  std::size_t line = 0;  // line acquiring `to`
+};
+
+/// Whole-tree analysis result: diagnostics plus the lock graph (for the
+/// `--lock-graph-dot` export and the CI artifact).
+struct TreeAnalysis {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<LockNode> lock_nodes;
+  std::vector<LockEdge> lock_edges;
+};
+
+/// Names whose declaration line carries an `iokc-lint: blocking` marker.
+std::vector<std::string> collect_blocking_markers(std::string_view text);
+
+/// Renders the lock graph as Graphviz DOT (nodes labelled with their rank,
+/// edges with the acquisition site).
+std::string lock_graph_dot(const std::vector<LockNode>& nodes,
+                           const std::vector<LockEdge>& edges);
 
 /// Layer rank of a module directory under src/ (0 = lowest). Returns -1 for
 /// unknown modules, which are exempt from the layering rule.
@@ -66,5 +125,11 @@ std::vector<Diagnostic> lint_file(const std::string& path,
 /// a known module.
 std::vector<Diagnostic> lint_tree(const std::string& root,
                                   const Options& options = {});
+
+/// Lints every root in one analysis: blocking markers and mutex declarations
+/// collected anywhere apply everywhere, and the lock graph (rank order +
+/// cycle check) is global. This is what the CLI runs.
+TreeAnalysis analyze_tree(const std::vector<std::string>& roots,
+                          const Options& options = {});
 
 }  // namespace iokc::lint

@@ -1,13 +1,20 @@
 // iokc-lint CLI. Usage:
 //
 //   iokc-lint [--no-layering] [--no-pragma-once] [--no-exceptions]
-//             [--no-format-literals] <dir> [<dir>...]
+//             [--no-format-literals] [--no-blocking-under-lock]
+//             [--no-lock-order] [--no-raw-mutex]
+//             [--lock-graph-dot <path>] <dir> [<dir>...]
 //
 // Lints every .hpp/.cpp under each directory and prints one diagnostic per
-// line as `file:line: [rule] message`. Exits 0 when clean, 1 when any
-// diagnostic fired, 2 on usage errors.
+// line as `file:line: [rule] message`. All roots are analyzed as one tree:
+// blocking markers and mutex names declared in one root apply in the others,
+// and the lock-order graph is global. `--lock-graph-dot` writes the
+// acquisition graph as Graphviz DOT (written even when diagnostics fire, so
+// CI can always archive it). Exits 0 when clean, 1 when any diagnostic
+// fired, 2 on usage errors.
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +23,7 @@
 int main(int argc, char** argv) {
   iokc::lint::Options options;
   std::vector<std::string> roots;
+  std::string dot_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-layering") {
@@ -26,10 +34,25 @@ int main(int argc, char** argv) {
       options.check_exceptions = false;
     } else if (arg == "--no-format-literals") {
       options.check_format_literals = false;
+    } else if (arg == "--no-blocking-under-lock") {
+      options.check_blocking_under_lock = false;
+    } else if (arg == "--no-lock-order") {
+      options.check_lock_order = false;
+    } else if (arg == "--no-raw-mutex") {
+      options.check_raw_mutex = false;
+    } else if (arg == "--lock-graph-dot") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "iokc-lint: --lock-graph-dot needs a path\n");
+        return 2;
+      }
+      dot_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: iokc-lint [--no-layering] [--no-pragma-once] "
-          "[--no-exceptions] [--no-format-literals] <dir> [<dir>...]\n");
+          "[--no-exceptions] [--no-format-literals]\n"
+          "                 [--no-blocking-under-lock] [--no-lock-order] "
+          "[--no-raw-mutex]\n"
+          "                 [--lock-graph-dot <path>] <dir> [<dir>...]\n");
       return 0;
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "iokc-lint: unknown option '%s'\n", arg.c_str());
@@ -49,16 +72,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::size_t total = 0;
-  for (const std::string& root : roots) {
-    for (const iokc::lint::Diagnostic& diagnostic :
-         iokc::lint::lint_tree(root, options)) {
-      std::printf("%s\n", iokc::lint::to_string(diagnostic).c_str());
-      ++total;
+  const iokc::lint::TreeAnalysis analysis =
+      iokc::lint::analyze_tree(roots, options);
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "iokc-lint: cannot write '%s'\n", dot_path.c_str());
+      return 2;
     }
+    out << iokc::lint::lock_graph_dot(analysis.lock_nodes,
+                                      analysis.lock_edges);
   }
-  if (total != 0) {
-    std::fprintf(stderr, "iokc-lint: %zu diagnostic(s)\n", total);
+  for (const iokc::lint::Diagnostic& diagnostic : analysis.diagnostics) {
+    std::printf("%s\n", iokc::lint::to_string(diagnostic).c_str());
+  }
+  if (!analysis.diagnostics.empty()) {
+    std::fprintf(stderr, "iokc-lint: %zu diagnostic(s)\n",
+                 analysis.diagnostics.size());
     return 1;
   }
   return 0;

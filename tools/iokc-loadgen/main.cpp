@@ -16,7 +16,6 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -237,6 +236,14 @@ int run(int argc, char** argv) {
     config.threads = options.server_threads;
     server.emplace(*repository, config);
     server->start();
+    // start() returning means the listener socket is bound; prove it before
+    // any worker dials in, so a failed startup dies here with a clear
+    // message instead of as N confusing connect errors later.
+    if (!server->running() || server->port() == 0) {
+      throw IoError("self-serve server failed to start a listener");
+    }
+    std::cout << "loadgen: self-serve listening on 127.0.0.1:"
+              << server->port() << "\n";
     options.host = "127.0.0.1";
     options.port = server->port();
   }
