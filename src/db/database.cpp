@@ -125,9 +125,88 @@ void Database::commit() {
       throw;
     }
   }
+  capture_committed_statements();
   clear_transaction_state(txn_statements_, txn_insert_baselines_,
                           txn_snapshots_, txn_created_tables_);
   in_transaction_ = false;
+}
+
+std::uint64_t Database::commit_buffered() {
+  if (!in_transaction_) {
+    throw DbError("COMMIT without BEGIN");
+  }
+  std::uint64_t ticket = 0;
+  if (journal_ != nullptr && !txn_statements_.empty()) {
+    try {
+      ticket = journal_->stage(txn_statements_);
+    } catch (...) {
+      // Staging only fails when the journal is poisoned; the transaction
+      // was never recorded, so it can still be undone cleanly.
+      rollback();
+      throw;
+    }
+  }
+  capture_committed_statements();
+  clear_transaction_state(txn_statements_, txn_insert_baselines_,
+                          txn_snapshots_, txn_created_tables_);
+  in_transaction_ = false;
+  return ticket;
+}
+
+void Database::wait_journal_durable(std::uint64_t ticket) {
+  if (ticket == 0 || journal_ == nullptr) {
+    return;
+  }
+  journal_->wait_durable(ticket);
+}
+
+void Database::capture_committed_statements() {
+  if (!capture_enabled_ || capture_overflowed_ || txn_statements_.empty()) {
+    return;
+  }
+  for (const std::string& statement : txn_statements_) {
+    captured_bytes_ += statement.size();
+  }
+  if (captured_bytes_ > kCaptureCapBytes) {
+    capture_overflowed_ = true;
+    captured_.clear();
+    captured_bytes_ = 0;
+    return;
+  }
+  captured_.insert(captured_.end(),
+                   std::make_move_iterator(txn_statements_.begin()),
+                   std::make_move_iterator(txn_statements_.end()));
+}
+
+void Database::set_commit_capture(bool enabled) {
+  capture_enabled_ = enabled;
+  if (!enabled) {
+    captured_.clear();
+    captured_bytes_ = 0;
+    capture_overflowed_ = false;
+  }
+}
+
+Database::CapturedCommits Database::drain_captured_commits() {
+  CapturedCommits drained;
+  drained.statements = std::move(captured_);
+  drained.overflowed = capture_overflowed_;
+  captured_.clear();
+  captured_bytes_ = 0;
+  capture_overflowed_ = false;
+  return drained;
+}
+
+Database Database::clone_snapshot() const {
+  if (in_transaction_) {
+    throw DbError("clone_snapshot inside an open transaction");
+  }
+  Database clone;
+  for (const auto& [name, table] : tables_) {
+    clone.tables_.emplace(name, std::make_unique<Table>(*table));
+  }
+  clone.last_insert_rowid_ = last_insert_rowid_;
+  return clone;
 }
 
 void Database::rollback() {
@@ -718,8 +797,12 @@ Database Database::open(const std::string& path) {
   }
   // Crash recovery: fold committed journal records newer than the dump back
   // in, each as one atomic transaction. A torn tail (crash mid-append) was
-  // already discarded by read_records.
+  // already discarded by read_records — and must be CUT OFF, not just
+  // skipped: replay stops at the first invalid record, so appending after a
+  // leftover tear would make every later record unreachable and silently
+  // lose acknowledged writes on the crash after next.
   const std::string journal_path = journal_path_for(path);
+  Journal::truncate_torn_tail(journal_path);
   std::uint64_t last_seq = epoch;
   for (const JournalRecord& record : Journal::read_records(journal_path)) {
     if (record.seq <= epoch) {

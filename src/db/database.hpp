@@ -80,6 +80,21 @@ class Database {
   /// fsync when a journal is attached). On journal failure the transaction
   /// is rolled back and the error rethrown, so commit() is all-or-nothing.
   void commit();  // iokc-lint: blocking
+  /// Commits the transaction in memory and *stages* its journal record
+  /// without waiting for durability. Returns a ticket for
+  /// wait_journal_durable() (0 when nothing was journaled — no journal
+  /// attached or a read-only transaction). The caller must not acknowledge
+  /// the write until wait_journal_durable(ticket) returns; calling it
+  /// *outside* the single-writer gate is what lets the journal's group
+  /// commit amortize one fsync across concurrent committers. On staging
+  /// failure (poisoned journal) the transaction is rolled back and the
+  /// error rethrown, exactly like commit().
+  std::uint64_t commit_buffered();
+  /// Blocks until the journal record behind `ticket` is on disk (no-op for
+  /// ticket 0). Throws IoError if the flush failed; the in-memory effects
+  /// of the transaction remain (snapshots mirror memory), but the write
+  /// must not be acknowledged.
+  void wait_journal_durable(std::uint64_t ticket);  // iokc-lint: blocking
   /// Undoes every statement since begin(). Throws DbError outside a
   /// transaction.
   void rollback();
@@ -117,9 +132,39 @@ class Database {
   void detach_journal() { journal_.reset(); }
   bool journaling() const { return journal_ != nullptr; }
 
+  // -- Commit capture & snapshot clones (the service delta-snapshot hooks) --
+
+  /// The statements committed since the last drain, in commit order.
+  /// `overflowed` reports that the capture buffer hit its cap and was
+  /// discarded — the drained statements are incomplete and the consumer
+  /// must fall back to a full rebuild.
+  struct CapturedCommits {
+    std::vector<std::string> statements;
+    bool overflowed = false;
+  };
+
+  /// Starts (or stops) recording every committed transaction's statements
+  /// into an in-memory capture buffer, drained with
+  /// drain_captured_commits(). Like the rest of Database this is externally
+  /// synchronized: toggle and drain under the same gate that serializes
+  /// commits.
+  void set_commit_capture(bool enabled);
+  /// Returns and clears the capture buffer (statements in commit order).
+  CapturedCommits drain_captured_commits();
+
+  /// Deep-copies the tables and rowid state into a standalone read-only
+  /// snapshot (no journal, no home path, capture off). Statement replay on
+  /// the clone is deterministic against the original — the same property
+  /// WAL replay relies on. Throws DbError inside an open transaction.
+  Database clone_snapshot() const;
+
  private:
   ResultSet execute_statement(const Statement& statement);
   bool statement_mutates(const Statement& statement) const;
+  /// Moves the committed transaction's statements into the capture buffer
+  /// (when capture is on). Call after the journal accepted the record and
+  /// before the transaction state is cleared.
+  void capture_committed_statements();
   /// Transaction bookkeeping: capture enough pre-image state to undo a
   /// mutation of `name`. note_insert records an append baseline (cheap);
   /// note_overwrite snapshots the whole table (update/delete/index/drop).
@@ -152,6 +197,15 @@ class Database {
 
   std::unique_ptr<Journal> journal_;
   std::string home_path_;  // the file open() loaded; save() there checkpoints
+
+  /// Commit-capture state (see set_commit_capture). The cap bounds memory
+  /// when nobody drains; past it the buffer is discarded and `overflowed`
+  /// reported, forcing the consumer to rebuild from a dump.
+  static constexpr std::size_t kCaptureCapBytes = 4u << 20;
+  bool capture_enabled_ = false;
+  bool capture_overflowed_ = false;
+  std::size_t captured_bytes_ = 0;
+  std::vector<std::string> captured_;
 };
 
 }  // namespace iokc::db

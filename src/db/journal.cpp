@@ -9,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "src/util/error.hpp"
@@ -54,7 +55,7 @@ std::string journal_path_for(const std::string& db_path) {
 }
 
 Journal::Journal(std::string path, std::uint64_t last_seq)
-    : path_(std::move(path)), last_seq_(last_seq) {}
+    : path_(std::move(path)), last_seq_(last_seq), durable_seq_(last_seq) {}
 
 Journal::~Journal() {
   if (fd_ >= 0) {
@@ -85,46 +86,124 @@ void Journal::ensure_open() {
   }
 }
 
-void Journal::append(const std::vector<std::string>& statements) {
-  const util::LockGuard lock(mutex_);
-  ensure_open();
+std::uint64_t Journal::stage(const std::vector<std::string>& statements) {
   std::string payload;
   for (const std::string& statement : statements) {
     payload += statement;
     payload += ";\n";
   }
-  const std::uint64_t seq = last_seq_ + 1;
   char checksum[24];
   std::snprintf(checksum, sizeof checksum, "%016llx",
                 static_cast<unsigned long long>(fnv1a64(payload)));
-  std::string head = "#txn " + std::to_string(seq) + " " +
-                     std::to_string(payload.size()) + " " + checksum + "\n";
-  // Two writes on purpose: a crash between them leaves a record with no end
-  // marker, which read_records treats as a torn tail and discards.
-  write_all(fd_, head + payload, path_);
-  util::fault_point("journal.append.torn");
-  write_all(fd_, "#end " + std::to_string(seq) + "\n", path_);
-  util::fault_point("journal.append.unsynced");
-  // iokc-lint: allow(blocking-under-lock): WAL durability contract -- the
-  // commit must not return before its record is on disk. Group commit
-  // (ROADMAP item 1) will amortize this fsync across transactions.
-  if (::fsync(fd_) != 0) {
-    throw IoError("fsync failed for journal " + path_ + ": " +
+  const util::LockGuard lock(mutex_);
+  if (poisoned_) {
+    throw IoError("journal " + path_ +
+                  " is poisoned by an earlier flush failure: " +
+                  poison_error_);
+  }
+  const std::uint64_t seq = ++last_seq_;
+  StagedRecord record;
+  record.seq = seq;
+  record.body = "#txn " + std::to_string(seq) + " " +
+                std::to_string(payload.size()) + " " + checksum + "\n";
+  record.body += payload;
+  record.end_marker = "#end " + std::to_string(seq) + "\n";
+  staged_.push_back(std::move(record));
+  return seq;
+}
+
+void Journal::wait_durable(std::uint64_t seq) {
+  util::UniqueLock lock(mutex_);
+  while (durable_seq_ < seq) {
+    if (poisoned_) {
+      throw IoError("journal " + path_ +
+                    " flush failed; the record may be torn on disk: " +
+                    poison_error_);
+    }
+    if (flush_in_progress_) {
+      // A leader is flushing; it notifies when durable_seq_ advances (or
+      // the journal is poisoned), and the loop re-evaluates.
+      durable_cv_.wait(lock);
+      continue;
+    }
+    if (staged_.empty()) {
+      throw IoError("journal " + path_ + ": waiting for sequence " +
+                    std::to_string(seq) + " which was never staged");
+    }
+    // Become the batch leader: take everything staged so far and flush it
+    // with the mutex released, so later committers can keep staging (they
+    // form the next batch).
+    ensure_open();
+    const int fd = fd_;
+    std::vector<StagedRecord> batch;
+    batch.swap(staged_);
+    const std::uint64_t batch_high = batch.back().seq;
+    flush_in_progress_ = true;
+    lock.unlock();
+    std::string flush_error;
+    try {
+      flush_batch(fd, batch, path_);
+    } catch (const IoError& error) {
+      flush_error = error.what();
+    }
+    lock.lock();
+    flush_in_progress_ = false;
+    if (flush_error.empty()) {
+      durable_seq_ = batch_high;
+    } else {
+      // A torn batch makes every later append unreachable by replay (it
+      // stops at the first invalid record), so fail all current and future
+      // waiters instead of silently acknowledging lost writes.
+      poisoned_ = true;
+      poison_error_ = flush_error;
+    }
+    durable_cv_.notify_all();
+  }
+}
+
+void Journal::append(const std::vector<std::string>& statements) {
+  wait_durable(stage(statements));
+}
+
+// The fault points mirror the per-record crash windows the crashtest kills
+// at: "torn" between a record's body and end marker, "unsynced" after the
+// record is fully written but before the batch fsync, and "committed" once
+// per durable batch.
+void Journal::flush_batch(int fd, const std::vector<StagedRecord>& batch,
+                          const std::string& path) {
+  for (const StagedRecord& record : batch) {
+    // Two writes on purpose: a crash between them leaves a record with no
+    // end marker, which read_records treats as a torn tail and discards.
+    write_all(fd, record.body, path);
+    util::fault_point("journal.append.torn");
+    write_all(fd, record.end_marker, path);
+    util::fault_point("journal.append.unsynced");
+  }
+  if (::fsync(fd) != 0) {
+    throw IoError("fsync failed for journal " + path + ": " +
                   // NOLINTNEXTLINE(concurrency-mt-unsafe): message formatting
                   std::strerror(errno));
   }
-  last_seq_ = seq;
   util::fault_point("journal.append.committed");
 }
 
 void Journal::checkpoint() {
-  const util::LockGuard lock(mutex_);
+  util::UniqueLock lock(mutex_);
+  while (flush_in_progress_) {
+    durable_cv_.wait(lock);
+  }
+  // Staged-but-unflushed records are folded into the dump the caller just
+  // wrote (save() reads last_seq() while holding the single-writer gate),
+  // so they are durable via the dump and must NOT be flushed after the
+  // truncation — their sequence numbers are covered by the new epoch.
+  staged_.clear();
+  durable_seq_ = last_seq_;
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
   if (!std::filesystem::exists(path_)) {
-    return;  // never appended; nothing to truncate
+    return;  // never flushed; nothing to truncate
   }
   util::fault_point("journal.checkpoint.pre");
   const int fd =
@@ -136,8 +215,11 @@ void Journal::checkpoint() {
   }
   try {
     write_all(fd, kFileHeader, path_);
-    // iokc-lint: allow(blocking-under-lock): checkpoint truncation must be
-    // durable before save() declares the journal epoch folded into the dump.
+    // iokc-lint: allow(blocking-under-lock): cold path — checkpoint runs
+    // under save(), not per commit. The truncation must be durable before
+    // save() declares the journal epoch folded into the dump, and it must
+    // be ordered against concurrent flush leaders, so the fsync stays
+    // inside the critical section.
     if (::fsync(fd) != 0) {
       throw IoError("fsync failed for journal " + path_ + ": " +
                     // NOLINTNEXTLINE(concurrency-mt-unsafe): message formatting
@@ -151,19 +233,16 @@ void Journal::checkpoint() {
   util::fault_point("journal.checkpoint.done");
 }
 
-std::vector<JournalRecord> Journal::read_records(const std::string& path) {
-  std::vector<JournalRecord> records;
-  if (!std::filesystem::exists(path)) {
-    return records;
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw IoError("cannot read journal " + path);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
+namespace {
 
+/// Scans journal text into records, stopping at the first invalid record.
+/// `valid_end` receives the byte offset just past the last fully valid
+/// element (end marker, or header line when no record is valid) — the
+/// length the file must be truncated to before it is appended to again.
+std::vector<JournalRecord> scan_records(const std::string& text,
+                                        std::size_t& valid_end) {
+  std::vector<JournalRecord> records;
+  valid_end = 0;
   std::size_t pos = 0;
   auto next_line = [&](std::string& line) -> bool {
     const std::size_t end = text.find('\n', pos);
@@ -179,6 +258,7 @@ std::vector<JournalRecord> Journal::read_records(const std::string& path) {
   if (!next_line(line) || line != "#iokc-journal v1") {
     return records;  // empty, torn, or foreign file: no valid records
   }
+  valid_end = pos;
   std::uint64_t previous_seq = 0;
   while (pos < text.size()) {
     if (!next_line(line) || !util::starts_with(line, "#txn ")) {
@@ -223,7 +303,7 @@ std::vector<JournalRecord> Journal::read_records(const std::string& path) {
         fragment += c;
       } else if (c == ';' && !in_string) {
         if (!util::trim(fragment).empty()) {
-          // Drop the "\n" separators append() wrote between statements.
+          // Drop the "\n" separators stage() wrote between statements.
           record.statements.emplace_back(util::trim(fragment));
         }
         fragment.clear();
@@ -235,9 +315,65 @@ std::vector<JournalRecord> Journal::read_records(const std::string& path) {
       record.statements.emplace_back(util::trim(fragment));
     }
     previous_seq = seq;
+    valid_end = pos;  // this record is whole: the valid prefix grows past it
     records.push_back(std::move(record));
   }
   return records;
+}
+
+/// The whole journal file as a string; empty optional when it is absent.
+std::optional<std::string> read_journal_text(const std::string& path) {
+  if (!std::filesystem::exists(path)) {
+    return std::nullopt;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot read journal " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::vector<JournalRecord> Journal::read_records(const std::string& path) {
+  const std::optional<std::string> text = read_journal_text(path);
+  if (!text.has_value()) {
+    return {};
+  }
+  std::size_t valid_end = 0;
+  return scan_records(*text, valid_end);
+}
+
+void Journal::truncate_torn_tail(const std::string& path) {
+  const std::optional<std::string> text = read_journal_text(path);
+  if (!text.has_value()) {
+    return;
+  }
+  std::size_t valid_end = 0;
+  (void)scan_records(*text, valid_end);
+  if (valid_end >= text->size()) {
+    return;  // the file ends cleanly at a record boundary
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw IoError("cannot open journal " + path + " for tail repair: " +
+                  // NOLINTNEXTLINE(concurrency-mt-unsafe): message formatting
+                  std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<::off_t>(valid_end)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw IoError("cannot truncate torn journal tail of " + path + ": " +
+                  // NOLINTNEXTLINE(concurrency-mt-unsafe): message formatting
+                  std::strerror(saved));
+  }
+  // Make the repair durable before any new record is appended at the cut:
+  // a re-crash must see either the torn tail (repaired again) or the clean
+  // boundary — never a new record beyond a resurrected tear.
+  ::fsync(fd);
+  ::close(fd);
 }
 
 }  // namespace iokc::db

@@ -1,9 +1,25 @@
 // The write-ahead journal: every committed transaction's statements are
-// appended to a sidecar log file (<db path>-journal) and fsynced before the
-// commit returns, so a crash after commit never loses acknowledged writes.
-// Database::open replays the journal on top of the last saved dump; save()
-// checkpoints (records the replayed sequence number in the dump header and
-// truncates the log).
+// appended to a sidecar log file (<db path>-journal) and made durable before
+// the commit is acknowledged, so a crash after commit never loses
+// acknowledged writes. Database::open replays the journal on top of the last
+// saved dump; save() checkpoints (records the replayed sequence number in
+// the dump header and truncates the log).
+//
+// Durability uses *group commit*: stage() assigns a sequence number and
+// buffers the fully formatted record in memory under the mutex (no I/O);
+// wait_durable() blocks until that sequence is on disk. The first waiter to
+// find no flush in progress becomes the batch leader — it takes every staged
+// record, releases the mutex, writes them all, and issues ONE fsync for the
+// whole batch; followers wait on a condition variable keyed by the durable
+// sequence number. Under concurrent commit load the fsync cost is amortized
+// across the batch; a lone committer degenerates to exactly the old
+// fsync-per-commit behavior. append() is stage() + wait_durable().
+//
+// If a flush fails partway, the journal is poisoned: the file may end in a
+// torn record, and replay stops at the first invalid record — appending more
+// records after the tear would make durable-looking records unreachable.
+// Every waiter for a non-durable sequence (and every later stage()) then
+// fails with the original error.
 //
 // File format (text, length-prefixed and checksummed so a torn tail is
 // detected, never misparsed):
@@ -21,6 +37,7 @@
 // dump (seq <= the dump's journal-epoch) are skipped on replay.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -38,10 +55,11 @@ struct JournalRecord {
 };
 
 /// Append-side handle to a journal file. The file is created lazily on the
-/// first append, so read-only databases never leave empty sidecars behind.
-/// Thread-safe: appends from concurrent committers serialize on an internal
+/// first flush, so read-only databases never leave empty sidecars behind.
+/// Thread-safe: staging from concurrent committers serializes on an internal
 /// mutex (the owning Database object is externally synchronized, but shared
-/// snapshot clones funnel into one primary journal).
+/// snapshot clones funnel into one primary journal), and flushing follows
+/// the leader/follower group-commit protocol described above.
 class Journal {
  public:
   /// `last_seq` seeds the sequence counter (the highest sequence number
@@ -53,20 +71,39 @@ class Journal {
   Journal& operator=(const Journal&) = delete;
 
   const std::string& path() const { return path_; }
+
+  /// The highest *assigned* sequence number. Staged-but-unflushed records
+  /// count: callers that fold the journal into a dump (Database::save) hold
+  /// the single-writer gate, so nothing is in flight when they read this.
   std::uint64_t last_seq() const IOKC_EXCLUDES(mutex_) {
     const util::LockGuard lock(mutex_);
     return last_seq_;
   }
 
-  /// Appends one transaction record and fsyncs; the statements are durable
-  /// when this returns. Throws IoError on failure.
+  /// Stages one transaction record in the group-commit buffer and returns
+  /// its sequence number. The record is formatted and sequenced but NOT yet
+  /// durable — pair with wait_durable(seq) before acknowledging the commit.
+  /// Performs no I/O. Throws IoError if the journal is poisoned.
+  std::uint64_t stage(const std::vector<std::string>& statements)
+      IOKC_EXCLUDES(mutex_);
+
+  /// Blocks until every record with sequence <= `seq` is on disk, leading a
+  /// batch flush if none is in progress. Throws IoError if the flush failed
+  /// (the record may be torn on disk; the journal is poisoned).
+  void wait_durable(std::uint64_t seq)  // iokc-lint: blocking
+      IOKC_EXCLUDES(mutex_);
+
+  /// stage() + wait_durable(): the statements are durable when this
+  /// returns. Throws IoError on failure.
   void append(const std::vector<std::string>& statements)  // iokc-lint: blocking
       IOKC_EXCLUDES(mutex_);
 
   /// Truncates the log after its contents were checkpointed into a dump.
-  /// The sequence counter keeps counting, so a crash that undoes the
-  /// truncation (impossible) or leaves stale records is still safe: stale
-  /// records have seq <= the dump epoch and are skipped on replay.
+  /// Waits out any in-flight batch flush first; staged-but-unflushed records
+  /// are dropped (the caller's dump already contains their effects — see
+  /// Database::save). The sequence counter keeps counting, so stale records
+  /// a crash leaves behind have seq <= the dump epoch and are skipped on
+  /// replay.
   void checkpoint() IOKC_EXCLUDES(mutex_);  // iokc-lint: blocking
 
   /// Reads every valid record, stopping silently at a torn or corrupt tail.
@@ -74,12 +111,41 @@ class Journal {
   /// but cannot be read.
   static std::vector<JournalRecord> read_records(const std::string& path);
 
+  /// Cuts a torn/corrupt tail off the journal so it ends exactly at the
+  /// last valid record (durably: ftruncate + fsync). Recovery must run this
+  /// before appending again: replay stops at the first invalid record, so a
+  /// record appended after a leftover tear would be unreachable — the
+  /// journal would acknowledge writes its own replay silently drops on the
+  /// crash after next. No-op when the file is absent or ends cleanly.
+  static void truncate_torn_tail(const std::string& path);  // iokc-lint: blocking
+
  private:
+  /// One staged transaction, pre-formatted. The body (header line + payload)
+  /// and end marker are kept separate so the flusher can place the torn-tail
+  /// fault point between the two writes, mirroring the crash window.
+  struct StagedRecord {
+    std::uint64_t seq = 0;
+    std::string body;
+    std::string end_marker;
+  };
+
   void ensure_open() IOKC_REQUIRES(mutex_);
+
+  /// Writes one group-commit batch and issues a single fsync for all of it.
+  /// Runs with the mutex RELEASED (the fd stays valid because the leader
+  /// holds flush_in_progress_, which checkpoint() waits out).
+  static void flush_batch(int fd, const std::vector<StagedRecord>& batch,
+                          const std::string& path);
 
   std::string path_;
   mutable util::Mutex mutex_{util::LockRank::kDb, "db.journal"};
+  std::condition_variable_any durable_cv_;
   std::uint64_t last_seq_ IOKC_GUARDED_BY(mutex_);
+  std::uint64_t durable_seq_ IOKC_GUARDED_BY(mutex_);
+  std::vector<StagedRecord> staged_ IOKC_GUARDED_BY(mutex_);
+  bool flush_in_progress_ IOKC_GUARDED_BY(mutex_) = false;
+  bool poisoned_ IOKC_GUARDED_BY(mutex_) = false;
+  std::string poison_error_ IOKC_GUARDED_BY(mutex_);
   int fd_ IOKC_GUARDED_BY(mutex_) = -1;
 };
 

@@ -216,6 +216,45 @@ std::unique_ptr<KnowledgeRepository> KnowledgeRepository::from_dump(
       new KnowledgeRepository(FromDumpTag{}, dump_script));
 }
 
+KnowledgeRepository::KnowledgeRepository(CloneTag,
+                                         const KnowledgeRepository& base) {
+  // Deep table copy; no journal, file target, or capture state carries
+  // over. The clone then patches forward via replay_delta.
+  db_ = base.db_.clone_snapshot();
+}
+
+std::unique_ptr<KnowledgeRepository> KnowledgeRepository::clone_of(
+    const KnowledgeRepository& base) {
+  return std::unique_ptr<KnowledgeRepository>(
+      new KnowledgeRepository(CloneTag{}, base));
+}
+
+void KnowledgeRepository::replay_delta(
+    const std::vector<std::string>& statements) {
+  const util::LockGuard lock(write_mutex_);
+  for (const std::string& statement : statements) {
+    db_.execute(statement);
+  }
+}
+
+KnowledgeRepository::ConsistentDump KnowledgeRepository::drain_and_dump() {
+  const util::LockGuard lock(write_mutex_);
+  ConsistentDump consistent;
+  consistent.captured = db_.drain_captured_commits();
+  consistent.dump = db_.dump();
+  return consistent;
+}
+
+void KnowledgeRepository::set_commit_capture(bool enabled) {
+  const util::LockGuard lock(write_mutex_);
+  db_.set_commit_capture(enabled);
+}
+
+db::Database::CapturedCommits KnowledgeRepository::drain_captured_commits() {
+  const util::LockGuard lock(write_mutex_);
+  return db_.drain_captured_commits();
+}
+
 namespace {
 
 std::string insert_systeminfo_sql(const knowledge::SystemInfoRecord& s,
@@ -245,33 +284,42 @@ std::string insert_systeminfo_sql(const knowledge::SystemInfoRecord& s,
 }  // namespace
 
 std::int64_t KnowledgeRepository::store(const knowledge::Knowledge& k) {
-  const util::LockGuard lock(write_mutex_);
-  db_.begin();
-  try {
-    const std::int64_t id = store_unlocked(k);
-    // iokc-lint: allow(blocking-under-lock): commit fsyncs the WAL under the
-    // single-writer gate; group commit is ROADMAP item 1.
-    db_.commit();
-    return id;
-  } catch (...) {
-    db_.rollback();
-    throw;
+  std::uint64_t ticket = 0;
+  std::int64_t id = 0;
+  {
+    const util::LockGuard lock(write_mutex_);
+    db_.begin();
+    try {
+      id = store_unlocked(k);
+      ticket = db_.commit_buffered();
+    } catch (...) {
+      db_.rollback();
+      throw;
+    }
   }
+  // Durability wait OUTSIDE the single-writer gate: concurrent committers
+  // overlap here, so the journal's group commit amortizes one fsync across
+  // all of them instead of serializing fsyncs behind the gate.
+  db_.wait_journal_durable(ticket);
+  return id;
 }
 
 std::int64_t KnowledgeRepository::store(const knowledge::Io500Knowledge& k) {
-  const util::LockGuard lock(write_mutex_);
-  db_.begin();
-  try {
-    const std::int64_t id = store_unlocked(k);
-    // iokc-lint: allow(blocking-under-lock): commit fsyncs the WAL under the
-    // single-writer gate; group commit is ROADMAP item 1.
-    db_.commit();
-    return id;
-  } catch (...) {
-    db_.rollback();
-    throw;
+  std::uint64_t ticket = 0;
+  std::int64_t id = 0;
+  {
+    const util::LockGuard lock(write_mutex_);
+    db_.begin();
+    try {
+      id = store_unlocked(k);
+      ticket = db_.commit_buffered();
+    } catch (...) {
+      db_.rollback();
+      throw;
+    }
   }
+  db_.wait_journal_durable(ticket);
+  return id;
 }
 
 std::vector<std::int64_t> KnowledgeRepository::store_batch(
@@ -280,23 +328,25 @@ std::vector<std::int64_t> KnowledgeRepository::store_batch(
   obs::count("repo.batches");
   obs::count("repo.batch_objects", objects.size());
   obs::gauge_max("repo.batch_size", static_cast<double>(objects.size()));
-  const util::LockGuard lock(write_mutex_);
-  // The whole batch is one transaction: a failure mid-batch (e.g. a
-  // non-finite metric in object 3 of 5) must not leave objects 1-2 behind.
-  db_.begin();
+  std::uint64_t ticket = 0;
   std::vector<std::int64_t> ids;
   ids.reserve(objects.size());
-  try {
-    for (const knowledge::Knowledge& k : objects) {
-      ids.push_back(store_unlocked(k));
+  {
+    const util::LockGuard lock(write_mutex_);
+    // The whole batch is one transaction: a failure mid-batch (e.g. a
+    // non-finite metric in object 3 of 5) must not leave objects 1-2 behind.
+    db_.begin();
+    try {
+      for (const knowledge::Knowledge& k : objects) {
+        ids.push_back(store_unlocked(k));
+      }
+      ticket = db_.commit_buffered();
+    } catch (...) {
+      db_.rollback();
+      throw;
     }
-    // iokc-lint: allow(blocking-under-lock): commit fsyncs the WAL under the
-    // single-writer gate; group commit is ROADMAP item 1.
-    db_.commit();
-  } catch (...) {
-    db_.rollback();
-    throw;
   }
+  db_.wait_journal_durable(ticket);
   return ids;
 }
 
@@ -306,21 +356,23 @@ std::vector<std::int64_t> KnowledgeRepository::store_batch(
   obs::count("repo.batches");
   obs::count("repo.batch_objects", objects.size());
   obs::gauge_max("repo.batch_size", static_cast<double>(objects.size()));
-  const util::LockGuard lock(write_mutex_);
-  db_.begin();
+  std::uint64_t ticket = 0;
   std::vector<std::int64_t> ids;
   ids.reserve(objects.size());
-  try {
-    for (const knowledge::Io500Knowledge& k : objects) {
-      ids.push_back(store_unlocked(k));
+  {
+    const util::LockGuard lock(write_mutex_);
+    db_.begin();
+    try {
+      for (const knowledge::Io500Knowledge& k : objects) {
+        ids.push_back(store_unlocked(k));
+      }
+      ticket = db_.commit_buffered();
+    } catch (...) {
+      db_.rollback();
+      throw;
     }
-    // iokc-lint: allow(blocking-under-lock): commit fsyncs the WAL under the
-    // single-writer gate; group commit is ROADMAP item 1.
-    db_.commit();
-  } catch (...) {
-    db_.rollback();
-    throw;
   }
+  db_.wait_journal_durable(ticket);
   return ids;
 }
 
@@ -364,8 +416,13 @@ StoreOutcome KnowledgeRepository::store_sources(
       }
       db_.execute("INSERT INTO sources (path) VALUES (" + quote(batch.source) +
                   ")");
-      // iokc-lint: allow(blocking-under-lock): commit fsyncs the WAL under
-      // the single-writer gate; group commit is ROADMAP item 1.
+      // iokc-lint: allow(blocking-under-lock): commit waits for WAL
+      // durability under the single-writer gate on purpose — the
+      // fault-point contract below ("repo.source_committed" fires only for
+      // durable sources) is the crashtest's unit of resumption, so each
+      // source must be on disk before the next begins. This is the
+      // bulk-ingest path, not the service hot path; service writes use
+      // commit_buffered + wait_journal_durable outside the gate instead.
       db_.commit();
     } catch (...) {
       db_.rollback();
@@ -739,21 +796,35 @@ KnowledgeRepository::list_commands() {
 }
 
 void KnowledgeRepository::remove_knowledge(std::int64_t performance_id) {
-  // Missing-lock path surfaced by the thread-safety migration: deletes used
-  // to run unserialized against concurrent stores.
-  const util::LockGuard lock(write_mutex_);
-  const std::string id = std::to_string(performance_id);
-  const db::ResultSet summaries = db_.execute(
-      "SELECT id FROM summaries WHERE performance_id = " + id);
-  for (std::size_t s = 0; s < summaries.size(); ++s) {
-    db_.execute("DELETE FROM results WHERE summary_id = " +
-                std::to_string(summaries.at(s, "id").as_integer()));
+  std::uint64_t ticket = 0;
+  {
+    // Missing-lock path surfaced by the thread-safety migration: deletes
+    // used to run unserialized against concurrent stores.
+    const util::LockGuard lock(write_mutex_);
+    const std::string id = std::to_string(performance_id);
+    // One transaction for the whole cascade (it used to be six auto-commit
+    // deletes): a failure partway can no longer leave a half-deleted
+    // object, and the journal/delta stream carries the removal as a unit.
+    db_.begin();
+    try {
+      const db::ResultSet summaries = db_.execute(
+          "SELECT id FROM summaries WHERE performance_id = " + id);
+      for (std::size_t s = 0; s < summaries.size(); ++s) {
+        db_.execute("DELETE FROM results WHERE summary_id = " +
+                    std::to_string(summaries.at(s, "id").as_integer()));
+      }
+      db_.execute("DELETE FROM summaries WHERE performance_id = " + id);
+      db_.execute("DELETE FROM filesystems WHERE performance_id = " + id);
+      db_.execute("DELETE FROM systeminfos WHERE performance_id = " + id);
+      db_.execute("DELETE FROM jobinfos WHERE performance_id = " + id);
+      db_.execute("DELETE FROM performances WHERE id = " + id);
+      ticket = db_.commit_buffered();
+    } catch (...) {
+      db_.rollback();
+      throw;
+    }
   }
-  db_.execute("DELETE FROM summaries WHERE performance_id = " + id);
-  db_.execute("DELETE FROM filesystems WHERE performance_id = " + id);
-  db_.execute("DELETE FROM systeminfos WHERE performance_id = " + id);
-  db_.execute("DELETE FROM jobinfos WHERE performance_id = " + id);
-  db_.execute("DELETE FROM performances WHERE id = " + id);
+  db_.wait_journal_durable(ticket);
 }
 
 void KnowledgeRepository::save() {
@@ -772,8 +843,12 @@ void KnowledgeRepository::save_as(const std::string& path) {
   if (!parent.empty()) {
     std::filesystem::create_directories(parent);
   }
-  // iokc-lint: allow(blocking-under-lock): the dump must be a consistent
-  // point-in-time image, so writers stay excluded while it is written.
+  // iokc-lint: allow(blocking-under-lock): cold path, by design — the dump
+  // must be a consistent point-in-time image and the journal checkpoint
+  // must fold in exactly the committed transactions the dump contains, so
+  // writers stay excluded for the whole save. Per-commit durability no
+  // longer blocks under this gate (see store()); save() is the one
+  // remaining whole-database flush.
   db_.save(path);
 }
 

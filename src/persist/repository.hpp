@@ -75,6 +75,35 @@ class KnowledgeRepository {
   static std::unique_ptr<KnowledgeRepository> from_dump(  // iokc-lint: blocking
       const std::string& dump_script);
 
+  /// In-memory repository deep-copied from another repository's tables —
+  /// the cheap path the delta snapshots start from (no dump serialization,
+  /// no SQL re-parse). `base` must be quiescent (a frozen snapshot clone,
+  /// not a repository with live writers).
+  static std::unique_ptr<KnowledgeRepository> clone_of(
+      const KnowledgeRepository& base);
+
+  /// Replays captured commit statements (see drain_captured_commits) onto
+  /// this repository in order. Used on snapshot clones: replaying a
+  /// delta-captured statement stream is deterministic against the primary —
+  /// the same property WAL recovery relies on.
+  void replay_delta(const std::vector<std::string>& statements);
+
+  /// Atomic pair for full snapshot rebuilds: drains the commit-capture
+  /// buffer and dumps the database under ONE single-writer-gate
+  /// acquisition. Without the atomicity, a commit that landed between the
+  /// two steps would be inside the dump AND inside a later drained delta —
+  /// and be applied twice.
+  struct ConsistentDump {
+    db::Database::CapturedCommits captured;
+    std::string dump;
+  };
+  ConsistentDump drain_and_dump();
+
+  /// Commit-capture passthroughs, serialized on the single-writer gate
+  /// (the underlying Database is externally synchronized).
+  void set_commit_capture(bool enabled);
+  db::Database::CapturedCommits drain_captured_commits();
+
   /// Stores a knowledge object; returns the new performances.id.
   std::int64_t store(const knowledge::Knowledge& knowledge);
   /// Stores an IO500 knowledge object; returns the new IOFHsRuns.id.
@@ -134,6 +163,9 @@ class KnowledgeRepository {
   /// TABLE statements, so the schema bootstrap must not run first.
   struct FromDumpTag {};
   KnowledgeRepository(FromDumpTag, const std::string& dump_script);
+  /// Tag constructor for clone_of.
+  struct CloneTag {};
+  KnowledgeRepository(CloneTag, const KnowledgeRepository& base);
 
   std::int64_t store_unlocked(const knowledge::Knowledge& knowledge)
       IOKC_REQUIRES(write_mutex_);

@@ -63,4 +63,32 @@ Response Client::call(const std::string& endpoint, util::JsonValue params) {
   return Response::from_json(util::parse_json(*frame));
 }
 
+std::vector<Response> Client::call_pipelined(
+    const std::vector<Request>& requests) {
+  if (!socket_.valid()) {
+    throw IoError("client connection is closed");
+  }
+  if (requests.empty()) {
+    return {};
+  }
+  std::string wire;
+  for (const Request& request : requests) {
+    append_frame_to(wire, request.to_json().dump(), options_.max_frame_bytes);
+  }
+  send_all(socket_, wire);
+  std::vector<Response> responses;
+  responses.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::optional<std::string> frame = read_frame(
+        socket_, options_.max_frame_bytes, options_.request_timeout_ms);
+    if (!frame.has_value()) {
+      throw IoError("server closed the connection after " +
+                    std::to_string(i) + " of " +
+                    std::to_string(requests.size()) + " pipelined responses");
+    }
+    responses.push_back(Response::from_json(util::parse_json(*frame)));
+  }
+  return responses;
+}
+
 }  // namespace iokc::svc

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/svc/protocol.hpp"
 #include "src/svc/socket.hpp"
@@ -35,6 +36,15 @@ class Client {
   /// IoError and leave the connection unusable.
   Response call(const std::string& endpoint,
                 util::JsonValue params = util::JsonValue(util::JsonObject{}));
+
+  /// Pipelined batch: encodes every request into one buffer, flushes it
+  /// with a single send, then reads the responses back in order — the
+  /// server dispatches request k+1 without waiting for response k to
+  /// flush. Returns one Response per Request, in request order. Keep
+  /// batches bounded: the whole batch is encoded in memory and both sides
+  /// cap individual frames at max_frame_bytes. Transport failures throw
+  /// IoError and leave the connection unusable.
+  std::vector<Response> call_pipelined(const std::vector<Request>& requests);
 
   bool connected() const { return socket_.valid(); }
   void close() { socket_.close(); }

@@ -1,5 +1,7 @@
 #include "src/svc/protocol.hpp"
 
+#include <algorithm>
+#include <string_view>
 #include <utility>
 
 #include "src/svc/socket.hpp"
@@ -91,8 +93,8 @@ Response Response::from_json(const util::JsonValue& json) {
   return response;
 }
 
-void write_frame(Socket& socket, const std::string& payload,
-                 std::size_t max_bytes) {
+void append_frame_to(std::string& wire, const std::string& payload,
+                     std::size_t max_bytes) {
   if (payload.size() > max_bytes) {
     throw ConfigError("frame of " + std::to_string(payload.size()) +
                       " bytes exceeds the " + std::to_string(max_bytes) +
@@ -100,11 +102,47 @@ void write_frame(Socket& socket, const std::string& payload,
   }
   const std::array<char, kFrameHeaderBytes> header =
       encode_frame_header(payload.size());
-  std::string wire(header.data(), header.size());
+  wire += std::string_view(header.data(), header.size());
   wire += payload;
+}
+
+void write_frame(Socket& socket, const std::string& payload,
+                 std::size_t max_bytes) {
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + payload.size());
+  append_frame_to(wire, payload, max_bytes);
   // One send for header + payload: a frame is never visible half-written to
   // the kernel, and small requests stay in one TCP segment.
   send_all(socket, wire);
+}
+
+std::optional<std::string> extract_frame(std::string& buffer,
+                                         std::size_t max_bytes) {
+  if (buffer.size() < kFrameHeaderBytes) {
+    return std::nullopt;
+  }
+  std::array<char, kFrameHeaderBytes> header{};
+  std::copy_n(buffer.data(), kFrameHeaderBytes, header.data());
+  // Over-cap throws ParseError with the buffer intact — the caller reads
+  // the declared length via buffered_frame_length to bound its drain.
+  const std::size_t length = decode_frame_header(header, max_bytes);
+  if (buffer.size() < kFrameHeaderBytes + length) {
+    return std::nullopt;
+  }
+  std::string payload = buffer.substr(kFrameHeaderBytes, length);
+  buffer.erase(0, kFrameHeaderBytes + length);
+  return payload;
+}
+
+std::optional<std::uint32_t> buffered_frame_length(std::string_view buffer) {
+  if (buffer.size() < kFrameHeaderBytes) {
+    return std::nullopt;
+  }
+  std::uint32_t value = 0;
+  for (std::size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    value = (value << 8) | static_cast<unsigned char>(buffer[i]);
+  }
+  return value;
 }
 
 std::optional<std::string> read_frame(Socket& socket, std::size_t max_bytes,

@@ -66,6 +66,27 @@ struct Response {
 void write_frame(Socket& socket, const std::string& payload,
                  std::size_t max_bytes = kDefaultMaxFrameBytes);
 
+/// Appends one encoded frame (header + payload) to `wire` without sending —
+/// the batching primitive behind pipelining: both sides encode several
+/// frames into one buffer and flush with a single send. Throws ConfigError
+/// when the payload exceeds `max_bytes`.
+void append_frame_to(std::string& wire, const std::string& payload,
+                     std::size_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Extracts one complete frame from the front of `buffer`, consuming its
+/// bytes. Returns nullopt when the buffer does not yet hold a complete
+/// frame (header or payload still in flight). Throws ParseError — with
+/// `buffer` left untouched, so the caller can size a bounded drain — when
+/// the buffered header declares more than `max_bytes`.
+std::optional<std::string> extract_frame(
+    std::string& buffer, std::size_t max_bytes = kDefaultMaxFrameBytes);
+
+/// The payload length the buffered (possibly incomplete) frame at the front
+/// of `buffer` declares — no cap check. nullopt until all header bytes are
+/// buffered. Pairs with extract_frame's over-cap ParseError: the violation
+/// handler drains min(declared, cap) bytes before answering.
+std::optional<std::uint32_t> buffered_frame_length(std::string_view buffer);
+
 /// Reads one complete frame. Returns nullopt on a clean EOF at a frame
 /// boundary (the peer closed between requests). Throws ParseError when the
 /// announced length exceeds `max_bytes`, IoError on timeout, mid-frame EOF,

@@ -6,8 +6,10 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "src/analysis/anomaly.hpp"
@@ -135,12 +137,25 @@ void Server::stop() {
 
 ServerStats Server::stats() const {
   ServerStats stats;
-  stats.connections = connections_.load(std::memory_order_relaxed);
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.errors = errors_.load(std::memory_order_relaxed);
-  stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
-  stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
-  stats.snapshot_rebuilds = store_.rebuilds();
+  {
+    // One acquisition snapshots every request counter from the same
+    // instant — a stats response can no longer pair `requests` from one
+    // moment with `bytes_out` from another.
+    const util::LockGuard lock(stats_mutex_);
+    stats.connections = connections_;
+    stats.requests = requests_;
+    stats.errors = errors_;
+    stats.bytes_in = bytes_in_;
+    stats.bytes_out = bytes_out_;
+  }
+  // svc.stats and svc.snapshot share rank kSvc: equal ranks never nest, so
+  // the store's counters are read after the stats lock is released. The two
+  // counter groups may therefore be an instant apart — each group is
+  // internally coherent.
+  const SnapshotStore::Counters counters = store_.counters();
+  stats.snapshot_full_rebuilds = counters.full_rebuilds;
+  stats.snapshot_delta_applies = counters.delta_applies;
+  stats.snapshot_rebuilds = counters.full_rebuilds + counters.delta_applies;
   return stats;
 }
 
@@ -151,7 +166,7 @@ void Server::wake_supervisor() {
   }
 }
 
-void Server::return_connection(const std::shared_ptr<Socket>& connection) {
+void Server::return_connection(const std::shared_ptr<Connection>& connection) {
   {
     const util::LockGuard lock(returning_mutex_);
     returning_.push_back(connection);
@@ -161,7 +176,7 @@ void Server::return_connection(const std::shared_ptr<Socket>& connection) {
 
 void Server::supervise() {
   // fd -> idle connection. Only this thread touches the map.
-  std::unordered_map<int, std::shared_ptr<Socket>> idle;
+  std::unordered_map<int, std::shared_ptr<Connection>> idle;
   std::vector<pollfd> pfds;
   std::vector<int> pfd_fds;  // parallel to pfds[2..]: the idle map keys
   while (!stopping_.load(std::memory_order_acquire)) {
@@ -189,22 +204,26 @@ void Server::supervise() {
              static_cast<ssize_t>(sizeof drain)) {
       }
     }
-    // Re-adopt connections whose request finished on a worker.
+    // Re-adopt connections whose serve pass finished on a worker.
     {
       const util::LockGuard lock(returning_mutex_);
-      for (std::shared_ptr<Socket>& connection : returning_) {
-        const int fd = connection->fd();
+      for (std::shared_ptr<Connection>& connection : returning_) {
+        const int fd = connection->socket.fd();
         idle.emplace(fd, std::move(connection));
       }
       returning_.clear();
     }
     if ((pfds[0].revents & POLLIN) != 0) {
-      Socket connection = accept_connection(listener_, 0);
-      if (connection.valid()) {
-        connections_.fetch_add(1, std::memory_order_relaxed);
-        auto shared = std::make_shared<Socket>(std::move(connection));
-        const int fd = shared->fd();  // before the move steals it
-        idle.emplace(fd, std::move(shared));
+      Socket accepted = accept_connection(listener_, 0);
+      if (accepted.valid()) {
+        {
+          const util::LockGuard lock(stats_mutex_);
+          ++connections_;
+        }
+        auto connection = std::make_shared<Connection>();
+        connection->socket = std::move(accepted);
+        const int fd = connection->socket.fd();
+        idle.emplace(fd, std::move(connection));
       }
     }
     // Readable idle connections move to the worker pool, one request each.
@@ -216,7 +235,7 @@ void Server::supervise() {
       if (it == idle.end()) {
         continue;
       }
-      std::shared_ptr<Socket> connection = it->second;
+      std::shared_ptr<Connection> connection = it->second;
       idle.erase(it);
       pool_->submit([this, connection] {
         try {
@@ -231,36 +250,102 @@ void Server::supervise() {
   idle.clear();
 }
 
-void Server::serve_one(const std::shared_ptr<Socket>& connection) {
-  bool keep = false;
+void Server::serve_one(const std::shared_ptr<Connection>& connection) {
+  // One serve pass: read whatever arrived, dispatch every complete frame in
+  // arrival order, flush every response with one send. The deadline bounds
+  // the whole pass, so a sender stalling mid-frame cannot pin a worker past
+  // the request timeout.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.request_timeout_ms);
+  const auto remaining = [&deadline] {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+  };
+  std::string& inbuf = connection->inbuf;
+  std::string outbuf;
+  PassTally tally;
+  bool keep = true;
   try {
-    // Data is already pending (the supervisor saw POLLIN), so the timeout
-    // here bounds a slow or malicious sender, not an idle keep-alive.
-    const std::optional<std::string> frame = read_frame(
-        *connection, config_.max_frame_bytes, config_.request_timeout_ms);
-    if (frame.has_value()) {
-      keep = handle_frame(*connection, *frame);
+    char scratch[16 * 1024];
+    std::size_t served = 0;
+    while (true) {
+      // Dispatch every complete frame buffered so far — a later request
+      // never waits on an earlier response's flush. Responses append to one
+      // buffer in dispatch order, which preserves per-connection ordering.
+      while (std::optional<std::string> payload =
+                 extract_frame(inbuf, config_.max_frame_bytes)) {
+        handle_payload(*payload, outbuf, tally);
+        ++served;
+      }
+      if (served > 0) {
+        // A partial trailing frame (if any) stays in inbuf; the supervisor
+        // polls the connection and the next pass completes it.
+        break;
+      }
+      // No complete frame yet: read within the deadline. The supervisor saw
+      // POLLIN, so the first read returns promptly on a healthy peer.
+      const std::size_t n =
+          recv_some(connection->socket, scratch, sizeof scratch, remaining());
+      if (n == 0) {  // peer closed
+        keep = false;
+        if (!inbuf.empty()) {
+          throw IoError("recv: peer closed mid-frame");
+        }
+        break;
+      }
+      inbuf.append(scratch, n);
+    }
+    if (!outbuf.empty()) {
+      send_all(connection->socket, outbuf);
     }
   } catch (const Error& error) {
-    // Framing violation (oversized frame, timeout, torn frame): answer with
-    // an error when the socket still works, then drop the connection — the
-    // stream position is unrecoverable.
+    // Framing violation (oversized frame, timeout, torn frame): flush the
+    // responses already produced, answer with an error when the socket
+    // still works, then drop the connection — the stream position is
+    // unrecoverable.
+    keep = false;
     try {
-      write_frame(*connection, Response::failure(error.what()).to_json().dump(),
-                  config_.max_frame_bytes);
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (const std::optional<std::uint32_t> declared =
+              buffered_frame_length(inbuf);
+          declared.has_value() && *declared > config_.max_frame_bytes) {
+        // Over-cap frame: drain what the peer declared beyond what is
+        // already buffered (bounded) before answering. Closing with unread
+        // bytes in the receive buffer would RST the connection and destroy
+        // the error response below.
+        const std::size_t buffered = inbuf.size() - kFrameHeaderBytes;
+        if (*declared > buffered) {
+          discard_up_to(connection->socket,
+                        std::min<std::size_t>(*declared - buffered,
+                                              kDefaultMaxFrameBytes),
+                        remaining());
+        }
+      }
+      append_frame_to(outbuf, Response::failure(error.what()).to_json().dump(),
+                      config_.max_frame_bytes);
+      send_all(connection->socket, outbuf);
+      ++tally.errors;
     } catch (const Error&) {
     }
+  }
+  if (tally.requests != 0 || tally.errors != 0 || tally.bytes_in != 0) {
+    // Fold the pass totals in under one acquisition: readers of stats()
+    // see all of this pass's counters or none of them.
+    const util::LockGuard lock(stats_mutex_);
+    requests_ += tally.requests;
+    errors_ += tally.errors;
+    bytes_in_ += tally.bytes_in;
+    bytes_out_ += tally.bytes_out;
   }
   if (keep && !stopping_.load(std::memory_order_acquire)) {
     return_connection(connection);
   }
 }
 
-bool Server::handle_frame(Socket& connection, const std::string& payload) {
+void Server::handle_payload(const std::string& payload, std::string& outbuf,
+                            PassTally& tally) {
   const auto started = std::chrono::steady_clock::now();
-  bytes_in_.fetch_add(payload.size() + kFrameHeaderBytes,
-                      std::memory_order_relaxed);
+  tally.bytes_in += payload.size() + kFrameHeaderBytes;
   Response response;
   try {
     const Request request = Request::from_json(util::parse_json(payload));
@@ -271,23 +356,17 @@ bool Server::handle_frame(Socket& connection, const std::string& payload) {
     response = Response::failure(error.what());
   }
   const std::string out = response.to_json().dump();
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  ++tally.requests;
   if (!response.ok) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    ++tally.errors;
   }
-  bytes_out_.fetch_add(out.size() + kFrameHeaderBytes,
-                       std::memory_order_relaxed);
+  tally.bytes_out += out.size() + kFrameHeaderBytes;
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - started);
   obs::count("svc.requests");
   obs::count("svc.bytes_out", out.size() + kFrameHeaderBytes);
   obs::observe("svc.latency_us", static_cast<double>(elapsed.count()));
-  try {
-    write_frame(connection, out, config_.max_frame_bytes);
-  } catch (const Error&) {
-    return false;
-  }
-  return true;
+  append_frame_to(outbuf, out, config_.max_frame_bytes);
 }
 
 Response Server::dispatch(const Request& request) {
@@ -311,6 +390,10 @@ Response Server::dispatch(const Request& request) {
       result.emplace_back("bytes_out", util::JsonValue(stats.bytes_out));
       result.emplace_back("snapshot_rebuilds",
                           util::JsonValue(stats.snapshot_rebuilds));
+      result.emplace_back("snapshot_full_rebuilds",
+                          util::JsonValue(stats.snapshot_full_rebuilds));
+      result.emplace_back("snapshot_delta_applies",
+                          util::JsonValue(stats.snapshot_delta_applies));
       result.emplace_back(
           "knowledge_objects",
           util::JsonValue(static_cast<std::int64_t>(

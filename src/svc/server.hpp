@@ -5,18 +5,24 @@
 //   - One supervisor thread owns the listening socket and every *idle*
 //     connection, multiplexing them through poll(2).
 //   - When a connection becomes readable, the supervisor hands it to the
-//     worker pool as one serve-one-request task: read a frame, dispatch,
-//     write the response, hand the connection back to the supervisor. A
-//     connection therefore occupies a worker only while a request is in
-//     flight, so many idle connections share few workers.
+//     worker pool as one serve *pass*: read whatever bytes arrived, dispatch
+//     every complete frame in the buffer (a pipelining client gets all its
+//     buffered requests handled back-to-back, none waiting for the previous
+//     response to flush), write all responses with a single send, and hand
+//     the connection back to the supervisor. Responses are appended in
+//     dispatch order, so per-connection response ordering always matches
+//     request ordering. A connection occupies a worker only while requests
+//     are in flight, so many idle connections share few workers.
+//   - A partial trailing frame survives between passes in the connection's
+//     receive buffer; the supervisor polls for the rest of it.
 //   - Reads run against SnapshotStore clones (copy-on-read snapshot
 //     isolation); the only write endpoint (knowledge/store) serializes on
 //     the store's writer lock against the primary repository.
 //
-// Limits: per-request read timeout, frame byte cap both directions. Drain:
-// stop() closes the listener, lets in-flight requests finish (bounded by
-// the request timeout), then closes every connection — no request is ever
-// abandoned mid-response.
+// Limits: per-pass read timeout (bounds a sender stalling mid-frame), frame
+// byte cap both directions. Drain: stop() closes the listener, lets
+// in-flight requests finish (bounded by the request timeout), then closes
+// every connection — no request is ever abandoned mid-response.
 //
 // Endpoints (request/response schemas in DESIGN.md §5e):
 //   health, stats, list, sql (read-only), knowledge/get, knowledge/store,
@@ -49,14 +55,21 @@ struct ServerConfig {
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
 };
 
-/// Monotonic counters since start().
+/// Monotonic counters since start(). stats() snapshots the request counters
+/// under one lock acquisition, so the values in one ServerStats are from the
+/// same instant (requests/errors/bytes never mix epochs).
 struct ServerStats {
   std::uint64_t connections = 0;  // accepted
   std::uint64_t requests = 0;     // responses written (ok or error)
   std::uint64_t errors = 0;       // error responses among them
   std::uint64_t bytes_in = 0;     // request frames, headers included
   std::uint64_t bytes_out = 0;    // response frames, headers included
+  /// Snapshot clones built since start(), split by path (snapshot.hpp):
+  /// full dump rebuilds vs. cheap delta applies. snapshot_rebuilds is their
+  /// sum, kept for compatibility with pre-split consumers.
   std::uint64_t snapshot_rebuilds = 0;
+  std::uint64_t snapshot_full_rebuilds = 0;
+  std::uint64_t snapshot_delta_applies = 0;
 };
 
 class Server {
@@ -91,11 +104,35 @@ class Server {
   Response dispatch(const Request& request);
 
  private:
+  /// One client connection: the socket plus bytes received ahead of the
+  /// frames already dispatched. A partial trailing frame waits here between
+  /// serve passes — no worker blocks on it; the supervisor polls for the
+  /// rest. Only one thread touches a Connection at a time (the supervisor
+  /// hands it to exactly one worker and re-adopts it afterwards).
+  struct Connection {
+    Socket socket;
+    std::string inbuf;
+  };
+
+  /// Counters one serve pass accumulates locally, folded into the server
+  /// totals under stats_mutex_ once per pass — one lock acquisition per
+  /// batch of pipelined requests, not one per request.
+  struct PassTally {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+  };
+
   void supervise();
-  void serve_one(const std::shared_ptr<Socket>& connection);
-  /// Reads/handles one request; returns false when the connection must drop.
-  bool handle_frame(Socket& connection, const std::string& payload);
-  void return_connection(const std::shared_ptr<Socket>& connection);
+  void serve_one(const std::shared_ptr<Connection>& connection);
+  /// Parses and dispatches one buffered request payload, appending the
+  /// encoded response frame to `outbuf`. Never throws for request-level
+  /// failures (those become error responses); propagates ConfigError when
+  /// the response itself exceeds the frame cap.
+  void handle_payload(const std::string& payload, std::string& outbuf,
+                      PassTally& tally);
+  void return_connection(const std::shared_ptr<Connection>& connection);
   void wake_supervisor();
 
   persist::KnowledgeRepository& repository_;
@@ -114,14 +151,20 @@ class Server {
   /// Connections handed back by finished worker tasks, waiting for the
   /// supervisor to resume polling them.
   util::Mutex returning_mutex_{util::LockRank::kSvc, "svc.returning"};
-  std::vector<std::shared_ptr<Socket>> returning_
+  std::vector<std::shared_ptr<Connection>> returning_
       IOKC_GUARDED_BY(returning_mutex_);
 
-  std::atomic<std::uint64_t> connections_{0};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> bytes_in_{0};
-  std::atomic<std::uint64_t> bytes_out_{0};
+  /// Guards the request counters as one unit so stats() reads a coherent
+  /// snapshot (the old per-counter relaxed atomics could pair `requests`
+  /// from one instant with `bytes_out` from another). Same rank (kSvc) as
+  /// svc.returning and svc.snapshot: equal ranks never nest, and no path
+  /// here holds two of them together.
+  mutable util::Mutex stats_mutex_{util::LockRank::kSvc, "svc.stats"};
+  std::uint64_t connections_ IOKC_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t requests_ IOKC_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t errors_ IOKC_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t bytes_in_ IOKC_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t bytes_out_ IOKC_GUARDED_BY(stats_mutex_) = 0;
 };
 
 // -- Process shutdown plumbing for `iokc serve` -----------------------------

@@ -1,57 +1,214 @@
 #include "src/svc/snapshot.hpp"
 
+#include <utility>
+
 #include "src/obs/observability.hpp"
 
 namespace iokc::svc {
 
 SnapshotStore::SnapshotStore(persist::KnowledgeRepository& primary)
-    : primary_(primary) {}
+    : primary_(primary) {
+  // Capture every commit's statements so note_write() can record them as
+  // deltas. Single-threaded here: the store is constructed before the
+  // server starts taking traffic.
+  primary_.set_commit_capture(true);
+}
 
 std::shared_ptr<persist::KnowledgeRepository> SnapshotStore::snapshot() {
   {
     // Fast path: the cache is fresh for everyone until the next write, so
     // readers share the lock and copy out the clone pointer.
     const util::SharedLockGuard lock(mutex_);
-    if (snapshot_version_ == version_) {
+    if (snapshot_version_ == version_ && cached_ != nullptr) {
       return cached_;
     }
   }
-  std::shared_ptr<persist::KnowledgeRepository> fresh;
-  bool rebuilt = false;
+
+  // Decision phase: pick the build inputs under the exclusive lock, then
+  // run the expensive build outside it so fast-path readers and writers
+  // are not excluded for the duration.
+  std::shared_ptr<persist::KnowledgeRepository> base;
+  std::vector<std::string> replay;
+  std::string dump;
+  std::uint64_t target = 0;
+  std::uint64_t my_drain = 0;
+  bool use_delta = false;
   {
     const util::LockGuard lock(mutex_);
-    if (snapshot_version_ != version_) {
-      // Copy-on-read: the dump is taken under the writer lock, so it sits
-      // exactly on a transaction boundary of the primary database.
-      // iokc-lint: allow(blocking-under-lock): the O(database) rebuild must
-      // exclude writers to dump a transaction-consistent image; epoch-based
-      // snapshots (ROADMAP item 1) will move it off this lock.
-      cached_ = persist::KnowledgeRepository::from_dump(
-          primary_.database().dump());
-      snapshot_version_ = version_;
-      ++rebuilds_;
-      rebuilt = true;
+    if (snapshot_version_ == version_ && cached_ != nullptr) {
+      return cached_;  // a racing reader already installed it
     }
-    fresh = cached_;
+    target = version_;
+    use_delta = cached_ != nullptr && !deltas_lost_ && delta_covers_locked();
+    if (use_delta) {
+      base = cached_;
+      for (const DeltaEntry& entry : deltas_) {
+        if (entry.version > snapshot_version_) {
+          replay.insert(replay.end(), entry.statements.begin(),
+                        entry.statements.end());
+        }
+      }
+    } else {
+      // Full rebuild. The capture drain and the dump are one atomic step
+      // under the single-writer gate (see ConsistentDump): statements that
+      // already committed are inside this dump, so the drained capture is
+      // discarded — a pending writer's note_write() will record an empty
+      // delta for its version bump, which replays as a no-op.
+      persist::KnowledgeRepository::ConsistentDump consistent =
+          primary_.drain_and_dump();
+      dump = std::move(consistent.dump);
+      if (!consistent.captured.statements.empty() ||
+          consistent.captured.overflowed) {
+        // The discarded statements now exist ONLY in this dump. Until this
+        // dump is installed, the delta log must not count as covering the
+        // pending range: the pending writers' note_write() entries will be
+        // empty, and a delta reader racing ahead of this install would
+        // build a newer snapshot without those statements — which then
+        // wins the install race and loses the writes for good. Mark the
+        // log lost now; only this reader's own install may re-anchor it,
+        // and only if no later full-path drain discarded more in between.
+        deltas_.clear();
+        delta_bytes_ = 0;
+        deltas_lost_ = true;
+      }
+      my_drain = ++drain_epoch_;
+    }
   }
-  if (rebuilt) {
+
+  // Build phase, no locks held.
+  std::shared_ptr<persist::KnowledgeRepository> fresh;
+  if (use_delta) {
+    std::shared_ptr<persist::KnowledgeRepository> built =
+        persist::KnowledgeRepository::clone_of(*base);
+    built->replay_delta(replay);
+    fresh = std::move(built);
+  } else {
+    fresh = persist::KnowledgeRepository::from_dump(dump);
+  }
+
+  // Install phase: publish only if still newer than the cache — racing
+  // readers must never roll the snapshot backwards.
+  std::shared_ptr<persist::KnowledgeRepository> result;
+  bool installed = false;
+  {
+    const util::LockGuard lock(mutex_);
+    if (target > snapshot_version_) {
+      cached_ = std::move(fresh);
+      snapshot_version_ = target;
+      prune_deltas_locked(target);
+      if (use_delta) {
+        ++delta_applies_;
+      } else {
+        ++full_rebuilds_;
+        // The full rebuild re-anchors the delta log: everything pending at
+        // drain time was folded into the dump (entries <= target are pruned
+        // above), so coverage restarts from this version — unless another
+        // full-path reader drained (and discarded) later commits since;
+        // its dump, not ours, carries those, so the log stays lost until
+        // that reader (or a successor) installs.
+        if (drain_epoch_ == my_drain) {
+          deltas_lost_ = false;
+        }
+      }
+      installed = true;
+    }
+    result = cached_;
+  }
+  if (installed) {
     // Outside the lock: metric recording has no business extending the
-    // writer-exclusion window.
+    // exclusion window.
     obs::count("svc.snapshot_rebuilds");
+    obs::count(use_delta ? "svc.snapshot_delta_applies"
+                         : "svc.snapshot_full_rebuilds");
   }
-  return fresh;
+  return result;
 }
 
 void SnapshotStore::with_write(
     const std::function<void(persist::KnowledgeRepository&)>& write) {
+  try {
+    write(primary_);
+  } catch (...) {
+    // Stale even if the write throws after partial effect: whatever DID
+    // commit is in the capture buffer and becomes this version's delta.
+    note_write();
+    throw;
+  }
+  note_write();
+}
+
+void SnapshotStore::note_write() {
+  // Drain outside this store's lock is racy (the capture buffer belongs to
+  // the primary's single-writer gate), but draining *inside* is safe: lock
+  // order svc.snapshot (60) -> persist.write (30) is descending, and the
+  // gate is never held while taking this lock.
   const util::LockGuard lock(mutex_);
-  ++version_;  // stale even if the write throws after partial effect
-  write(primary_);
+  ++version_;
+  db::Database::CapturedCommits captured = primary_.drain_captured_commits();
+  if (captured.overflowed) {
+    // The capture buffer was discarded before we drained: this version's
+    // statements are unrecoverable, so the log cannot cover the pending
+    // range any more.
+    deltas_.clear();
+    delta_bytes_ = 0;
+    deltas_lost_ = true;
+    return;
+  }
+  if (deltas_lost_) {
+    return;  // pointless to accumulate until a full rebuild re-anchors
+  }
+  DeltaEntry entry;
+  entry.version = version_;
+  for (const std::string& statement : captured.statements) {
+    entry.bytes += statement.size();
+  }
+  entry.statements = std::move(captured.statements);
+  delta_bytes_ += entry.bytes;
+  deltas_.push_back(std::move(entry));
+  if (delta_bytes_ > kDeltaCapBytes || deltas_.size() > kDeltaCapEntries) {
+    // Replaying this backlog would cost more than a dump rebuild; drop it.
+    deltas_.clear();
+    delta_bytes_ = 0;
+    deltas_lost_ = true;
+  }
+}
+
+bool SnapshotStore::delta_covers_locked() const {
+  if (version_ <= snapshot_version_) {
+    return false;
+  }
+  // note_write appends exactly one entry per version bump (in order), and
+  // prune keeps only entries newer than the installed snapshot — so the log
+  // covers (snapshot_version_, version_] iff the count matches and the ends
+  // line up. A gap (entries skipped while the log was lost) fails here.
+  if (deltas_.size() != version_ - snapshot_version_) {
+    return false;
+  }
+  return deltas_.front().version == snapshot_version_ + 1 &&
+         deltas_.back().version == version_;
+}
+
+void SnapshotStore::prune_deltas_locked(std::uint64_t up_to) {
+  std::size_t keep_from = 0;
+  while (keep_from < deltas_.size() && deltas_[keep_from].version <= up_to) {
+    delta_bytes_ -= deltas_[keep_from].bytes;
+    ++keep_from;
+  }
+  deltas_.erase(deltas_.begin(),
+                deltas_.begin() + static_cast<std::ptrdiff_t>(keep_from));
 }
 
 std::uint64_t SnapshotStore::rebuilds() const {
   const util::SharedLockGuard lock(mutex_);
-  return rebuilds_;
+  return full_rebuilds_ + delta_applies_;
+}
+
+SnapshotStore::Counters SnapshotStore::counters() const {
+  const util::SharedLockGuard lock(mutex_);
+  Counters counters;
+  counters.full_rebuilds = full_rebuilds_;
+  counters.delta_applies = delta_applies_;
+  return counters;
 }
 
 }  // namespace iokc::svc

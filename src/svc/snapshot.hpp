@@ -2,15 +2,38 @@
 // frozen copy-on-read clone of the knowledge repository while writers keep
 // mutating the primary.
 //
-// Model: writes serialize on the store's mutex and bump a version counter.
-// The first read after a write rebuilds the cached clone (dump + reload of
-// the embedded database — O(database size), amortized across all readers
-// until the next write); every later read shares the same clone via
-// shared_ptr. Readers therefore
+// Model: every write bumps a version counter and appends the statements it
+// committed (drained from the primary's commit capture) to an in-memory
+// delta log, one entry per version. The first read after a write builds a
+// fresh clone:
+//   - Delta path (the common case): deep-copy the *previous* snapshot's
+//     tables and replay only the pending delta entries — O(changed rows),
+//     not O(database).
+//   - Full path (fallback): when there is no previous snapshot or the delta
+//     log is lost/too large, rebuild from a dump. The dump and the capture
+//     drain happen atomically under the single-writer gate, so a commit can
+//     never be both inside the dump and inside a later delta (double
+//     apply). Commits drained here before their writer's version bump exist
+//     only inside this dump, so the drain also marks the delta log lost
+//     until the dump is installed — otherwise a racing delta reader could
+//     install a newer snapshot built without them and lose them for good.
+// Both builds run OUTSIDE the store's lock — only the decision (which path,
+// which target version) and the install are under it — so readers on the
+// fast path and writers are no longer excluded for the O(database) rebuild
+// the baseline served under this lock.
+//
+// Ordering: delta entries are appended under the store's lock in drain
+// order, and each drain empties the primary's capture buffer, so entry
+// order equals global commit order; replay preserves it. A snapshot built
+// for version V is installed only if it is newer than the current cache, so
+// racing readers can never roll the cache backwards.
+//
+// Readers therefore
 //   - never block writers: long analytical queries run against the clone
 //     with no lock held, and
-//   - never observe a partially-applied transaction: the dump is taken
-//     under the writer lock, strictly between committed transactions.
+//   - never observe a partially-applied transaction: deltas are whole
+//     committed transactions, and the fallback dump is taken under the
+//     writer gate, strictly between committed transactions.
 // Concurrent reads of one clone are safe because the SELECT path of
 // db::Database mutates nothing (verified by the tsan suite in
 // tests/svc/test_snapshot.cpp).
@@ -19,6 +42,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/persist/repository.hpp"
 #include "src/util/mutex.hpp"
@@ -28,9 +52,11 @@ namespace iokc::svc {
 
 class SnapshotStore {
  public:
-  /// Wraps `primary`; the caller keeps ownership and must route every write
-  /// through with_write() — out-of-band mutation leaves stale snapshots
-  /// visible until the next with_write().
+  /// Wraps `primary` and enables its commit capture; the caller keeps
+  /// ownership and must route every write through with_write() —
+  /// out-of-band mutation leaves stale snapshots visible until the next
+  /// with_write(). At most one SnapshotStore may wrap a repository (the
+  /// capture buffer has one consumer).
   explicit SnapshotStore(persist::KnowledgeRepository& primary);
 
   /// The current snapshot (rebuilt lazily after a write). The returned clone
@@ -39,29 +65,76 @@ class SnapshotStore {
   /// and with other readers.
   std::shared_ptr<persist::KnowledgeRepository> snapshot() IOKC_EXCLUDES(mutex_);
 
-  /// Runs `write` against the primary under the writer lock and marks the
-  /// snapshot stale. Exceptions propagate; the snapshot is marked stale
-  /// regardless (the write may have partially executed at the repository
-  /// level before throwing, and a fresh dump is always safe).
+  /// Runs `write` against the primary (the repository's single-writer gate
+  /// serializes concurrent writers; this store's lock is NOT held, so
+  /// readers keep reading) and then marks the snapshot stale, recording the
+  /// committed statements as a delta. Exceptions propagate; the snapshot is
+  /// marked stale regardless (the write may have partially committed at the
+  /// repository level before throwing, and staleness is always safe).
   void with_write(
       const std::function<void(persist::KnowledgeRepository&)>& write)
       IOKC_EXCLUDES(mutex_);
 
-  /// Snapshot clones built so far (observability for tests and stats).
+  /// Snapshot clones built so far, by either path (observability for tests
+  /// and stats).
   std::uint64_t rebuilds() const IOKC_EXCLUDES(mutex_);
 
+  /// The rebuild split: `full_rebuilds` counts O(database) dump rebuilds,
+  /// `delta_applies` counts clone-and-replay builds. Their sum is
+  /// rebuilds().
+  struct Counters {
+    std::uint64_t full_rebuilds = 0;
+    std::uint64_t delta_applies = 0;
+  };
+  Counters counters() const IOKC_EXCLUDES(mutex_);
+
  private:
+  /// One write's committed statements, keyed by the version it produced.
+  struct DeltaEntry {
+    std::uint64_t version = 0;
+    std::vector<std::string> statements;
+    std::size_t bytes = 0;
+  };
+
+  /// Bumps the version and absorbs the primary's captured commits into the
+  /// delta log (with_write's post-step, also run when the write throws).
+  void note_write() IOKC_EXCLUDES(mutex_);
+  /// True when the delta log covers every version in
+  /// (snapshot_version_, version_] — one entry per version, in order.
+  bool delta_covers_locked() const IOKC_REQUIRES(mutex_);
+  /// Drops entries already folded into the installed snapshot.
+  void prune_deltas_locked(std::uint64_t up_to) IOKC_REQUIRES(mutex_);
+
+  /// Past these caps a full rebuild is cheaper than replaying the backlog,
+  /// so the log is dropped and the next reader takes the full path.
+  static constexpr std::size_t kDeltaCapBytes = 1u << 20;
+  static constexpr std::size_t kDeltaCapEntries = 512;
+
   persist::KnowledgeRepository& primary_;
-  /// Guards primary_ writes + the cache fields. Reader-writer: the common
+  /// Guards the cache fields and the delta log. Reader-writer: the common
   /// fresh-cache read takes it shared, so concurrent readers only contend
-  /// when a rebuild is actually due.
+  /// when a rebuild is actually due. Primary writes serialize on the
+  /// repository's own gate, not here.
   mutable util::SharedMutex mutex_{util::LockRank::kSvc, "svc.snapshot"};
   std::shared_ptr<persist::KnowledgeRepository> cached_ IOKC_GUARDED_BY(mutex_);
   // bumped by every write
   std::uint64_t version_ IOKC_GUARDED_BY(mutex_) = 1;
   // version cached_ was built from
   std::uint64_t snapshot_version_ IOKC_GUARDED_BY(mutex_) = 0;
-  std::uint64_t rebuilds_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t full_rebuilds_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delta_applies_ IOKC_GUARDED_BY(mutex_) = 0;
+  /// Pending per-version deltas (commit order) and their payload size.
+  std::vector<DeltaEntry> deltas_ IOKC_GUARDED_BY(mutex_);
+  std::size_t delta_bytes_ IOKC_GUARDED_BY(mutex_) = 0;
+  /// Set when delta statements were discarded (capture overflow, log cap,
+  /// or a full-path drain that swallowed not-yet-noted commits): the log no
+  /// longer covers the pending range, so readers must take the full path
+  /// until a full rebuild re-anchors it.
+  bool deltas_lost_ IOKC_GUARDED_BY(mutex_) = false;
+  /// Bumped by every full-path drain. A full rebuild re-anchors the log
+  /// (clears deltas_lost_) only when no other drain happened since its own
+  /// — a later drain's discarded statements live only in that later dump.
+  std::uint64_t drain_epoch_ IOKC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace iokc::svc

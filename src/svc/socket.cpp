@@ -226,6 +226,27 @@ std::size_t discard_up_to(const Socket& socket, std::size_t size,
   return discarded;
 }
 
+std::size_t recv_some(const Socket& socket, char* buffer, std::size_t size,
+                      int timeout_ms) {
+  while (true) {
+    if (!poll_fd(socket.fd(), POLLIN, timeout_ms)) {
+      throw IoError("recv: timed out after " + std::to_string(timeout_ms) +
+                    " ms");
+    }
+    const ssize_t n = ::recv(socket.fd(), buffer, size, 0);
+    if (n == 0) {
+      return 0;  // clean EOF
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail_errno("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
 bool recv_exact(const Socket& socket, char* buffer, std::size_t size,
                 int timeout_ms) {
   const bool bounded = timeout_ms >= 0;

@@ -62,6 +62,13 @@ void send_all(const Socket& socket, std::string_view data);
 bool recv_exact(const Socket& socket, char* buffer, std::size_t size,
                 int timeout_ms);
 
+/// Reads whatever is available — 1..`size` bytes, one recv — within the
+/// deadline. Returns the byte count, 0 on a clean EOF. Throws IoError on
+/// timeout or failure. This is the pipelining read: the caller buffers
+/// whatever arrived and extracts as many complete frames as it holds.
+std::size_t recv_some(const Socket& socket, char* buffer, std::size_t size,
+                      int timeout_ms);
+
 /// Best-effort: reads and discards up to `size` bytes within the deadline,
 /// returning the count actually discarded. Never throws — EOF, reset, or
 /// timeout just end the drain early. Used before answering a protocol

@@ -1,13 +1,25 @@
 // iokc-crashtest: randomized crash-recovery campaign for the durability
-// layer. Each trial repeatedly forks a full sweep (generate + extract +
-// persist + save), SIGKILLs it after a randomly drawn number of fault
-// points, and restarts it in resume mode until one run survives. The
-// recovered database must open cleanly after every kill and its final dump
-// must be byte-identical to an uninterrupted reference run's.
+// layer. Two campaigns:
 //
-//   iokc-crashtest [--trials <n>] [--seed <n>] [--workdir <dir>] [--keep]
+//   Sweep trials: each repeatedly forks a full sweep (generate + extract +
+//   persist + save), SIGKILLs it after a randomly drawn number of fault
+//   points, and restarts it in resume mode until one run survives. The
+//   recovered database must open cleanly after every kill and its final
+//   dump must be byte-identical to an uninterrupted reference run's.
 //
-// Exits 0 when every trial converges, 1 on any corruption or divergence.
+//   Group-commit trials: each forks concurrent writer threads storing
+//   through the repository's group-commit path (stage under the gate, one
+//   leader fsync per batch) and SIGKILLs the child mid-commit. Every store
+//   acknowledged before the kill — recorded write+fsync in an O_APPEND ack
+//   file — must be present after recovery; a missing acked row means the
+//   journal acknowledged a write its own replay cannot see.
+//
+//   iokc-crashtest [--trials <n>] [--group-trials <n>] [--seed <n>]
+//                  [--workdir <dir>] [--keep]
+//
+// Exits 0 when every trial converges, 1 on any corruption, divergence, or
+// lost acknowledged write.
+#include <fcntl.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -17,11 +29,17 @@
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <functional>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/cycle/cycle.hpp"
 #include "src/db/database.hpp"
+#include "src/knowledge/knowledge.hpp"
+#include "src/persist/repository.hpp"
 #include "src/util/error.hpp"
 #include "src/util/fault.hpp"
 #include "src/util/rng.hpp"
@@ -65,9 +83,9 @@ void run_flow(const std::filesystem::path& dir) {
   cycle.save();
 }
 
-/// Forks a child running the flow with a SIGKILL `countdown` fault points
-/// in. Returns true when the child completed (countdown never expired).
-bool run_with_kill(const std::filesystem::path& dir, int countdown) {
+/// Forks a child running `flow` with a SIGKILL `countdown` fault points in.
+/// Returns true when the child completed (countdown never expired).
+bool run_with_kill(const std::function<void()>& flow, int countdown) {
   // The child inherits stdio buffers; flush so its exit path (or a runtime
   // that flushes on _exit) cannot replay the parent's pending output.
   std::fflush(stdout);
@@ -77,7 +95,7 @@ bool run_with_kill(const std::filesystem::path& dir, int countdown) {
     g_kill_countdown.store(countdown);
     iokc::util::set_fault_hook(&countdown_kill);
     try {
-      run_flow(dir);
+      flow();
     } catch (const std::exception& error) {
       std::fprintf(stderr, "child failed: %s\n", error.what());
       ::_exit(2);
@@ -95,11 +113,116 @@ bool run_with_kill(const std::filesystem::path& dir, int countdown) {
   if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
     return false;
   }
-  throw iokc::IoError("sweep child neither completed nor died by SIGKILL");
+  throw iokc::IoError("crashtest child neither completed nor died by SIGKILL");
+}
+
+// -- Group-commit campaign --------------------------------------------------
+
+constexpr int kGroupThreads = 4;
+constexpr int kGroupStoresPerThread = 6;
+
+iokc::knowledge::Knowledge group_object(int trial, int restart, int thread,
+                                        int index) {
+  iokc::knowledge::Knowledge object;
+  object.benchmark = "IOR";
+  // The command doubles as the write's identity across restarts: each
+  // (trial, restart, thread, index) tuple is unique for the campaign.
+  object.command = "ior -a posix -b 1m -t 256k -s 1 -N 4 -o /scratch/g" +
+                   std::to_string(trial) + "_r" + std::to_string(restart) +
+                   "_t" + std::to_string(thread) + "_i" +
+                   std::to_string(index);
+  object.num_tasks = 4;
+  iokc::knowledge::OpSummary write;
+  write.operation = "write";
+  write.mean_bw_mib = 500.0 + index;
+  object.summaries.push_back(write);
+  return object;
+}
+
+/// The group-commit child: concurrent writers storing through one
+/// file-backed repository. Each acknowledged store() is recorded — one
+/// write(2) to an O_APPEND fd, then fsync — in `dir`/acked.txt before the
+/// thread moves on, so the ack file is a durable log of what the journal
+/// claimed to have made durable.
+void run_group_writers(const std::filesystem::path& dir, int trial,
+                       int restart) {
+  iokc::persist::KnowledgeRepository repository(
+      iokc::persist::RepoTarget::parse("file:" + (dir / "k.db").string()));
+  const int acked_fd = ::open((dir / "acked.txt").c_str(),
+                              O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (acked_fd < 0) {
+    throw iokc::IoError("cannot open ack file in " + dir.string());
+  }
+  std::vector<std::thread> writers;
+  writers.reserve(kGroupThreads);
+  for (int t = 0; t < kGroupThreads; ++t) {
+    writers.emplace_back([&repository, acked_fd, trial, restart, t] {
+      for (int i = 0; i < kGroupStoresPerThread; ++i) {
+        const iokc::knowledge::Knowledge object =
+            group_object(trial, restart, t, i);
+        repository.store(object);  // returns only once journal-durable
+        const std::string line = object.command + "\n";
+        // O_APPEND keeps concurrent small writes whole; fsync before the
+        // next store so the ack is at least as durable as the write it
+        // acknowledges.
+        if (::write(acked_fd, line.data(), line.size()) ==
+            static_cast<::ssize_t>(line.size())) {
+          ::fsync(acked_fd);
+        }
+      }
+    });
+  }
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  ::close(acked_fd);
+}
+
+/// Every complete line of the ack file (a torn final line — no newline —
+/// was never acknowledged as written and does not count).
+std::vector<std::string> read_acked(const std::filesystem::path& path) {
+  std::vector<std::string> acked;
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) {
+      break;  // torn tail: the ack write itself was interrupted
+    }
+    acked.push_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return acked;
+}
+
+/// True when every acked command is present in the recovered database.
+bool verify_acked(const std::filesystem::path& dir, int trial, int kills) {
+  const std::vector<std::string> acked = read_acked(dir / "acked.txt");
+  std::set<std::string> present;
+  iokc::db::Database db = iokc::db::Database::open((dir / "k.db").string());
+  const iokc::db::ResultSet rows =
+      db.execute("SELECT command FROM performances");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    present.insert(rows.at(r, "command").as_text());
+  }
+  bool ok = true;
+  for (const std::string& command : acked) {
+    if (present.find(command) == present.end()) {
+      std::fprintf(stderr,
+                   "group trial %d: LOST acknowledged write after kill #%d: "
+                   "%s\n",
+                   trial, kills, command.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 struct Options {
   int trials = 5;
+  int group_trials = 2;
   std::uint64_t seed = 1;
   std::filesystem::path workdir;
   bool keep = false;
@@ -107,8 +230,8 @@ struct Options {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--trials <n>] [--seed <n>] [--workdir <dir>] "
-               "[--keep]\n",
+               "usage: %s [--trials <n>] [--group-trials <n>] [--seed <n>] "
+               "[--workdir <dir>] [--keep]\n",
                argv0);
   return 1;
 }
@@ -124,6 +247,9 @@ int main(int argc, char** argv) {
     const bool has_value = i + 1 < argc;
     if (arg == "--trials" && has_value) {
       options.trials = static_cast<int>(iokc::util::parse_i64(argv[++i]));
+    } else if (arg == "--group-trials" && has_value) {
+      options.group_trials =
+          static_cast<int>(iokc::util::parse_i64(argv[++i]));
     } else if (arg == "--seed" && has_value) {
       options.seed =
           static_cast<std::uint64_t>(iokc::util::parse_i64(argv[++i]));
@@ -137,6 +263,10 @@ int main(int argc, char** argv) {
   }
   if (options.trials < 1) {
     std::fprintf(stderr, "error: --trials must be >= 1\n");
+    return 1;
+  }
+  if (options.group_trials < 0) {
+    std::fprintf(stderr, "error: --group-trials must be >= 0\n");
     return 1;
   }
 
@@ -158,7 +288,8 @@ int main(int argc, char** argv) {
           options.workdir / ("trial_" + std::to_string(trial));
       int kills = 0;
       constexpr int kMaxRestarts = 500;
-      while (!run_with_kill(dir, static_cast<int>(rng.uniform_int(1, 60)))) {
+      while (!run_with_kill([&dir] { run_flow(dir); },
+                            static_cast<int>(rng.uniform_int(1, 60)))) {
         ++kills;
         if (kills > kMaxRestarts) {
           throw iokc::IoError("sweep never completed after " +
@@ -185,16 +316,53 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Group-commit campaign: kill concurrent committers mid-batch-fsync and
+    // prove no acknowledged write is lost. Acked rows accumulate across
+    // restarts of the same trial — every restart re-verifies all of them.
+    for (int trial = 0; trial < options.group_trials; ++trial) {
+      const std::filesystem::path dir =
+          options.workdir / ("group_" + std::to_string(trial));
+      std::filesystem::create_directories(dir);
+      int kills = 0;
+      int restart = 0;
+      constexpr int kMaxRestarts = 500;
+      // A complete child run crosses roughly 50-75 fault points (torn +
+      // unsynced per record, committed per batch, for 24 stores), so this
+      // range mixes kills inside a group flush with runs that finish.
+      while (!run_with_kill([&dir, trial, restart] {
+               run_group_writers(dir, trial, restart);
+             },
+                            static_cast<int>(rng.uniform_int(1, 120)))) {
+        ++kills;
+        ++restart;
+        if (kills > kMaxRestarts) {
+          throw iokc::IoError("group writers never completed after " +
+                              std::to_string(kMaxRestarts) + " restarts");
+        }
+        if (!verify_acked(dir, trial, kills)) {
+          ++failures;
+          break;
+        }
+      }
+      const bool ok = verify_acked(dir, trial, kills);
+      std::printf("group trial %d: %d kill(s), acked writes %s\n", trial,
+                  kills, ok ? "all recovered" : "LOST");
+      if (!ok) {
+        ++failures;
+      }
+    }
+
     if (!options.keep) {
       std::filesystem::remove_all(options.workdir);
     }
     if (failures > 0) {
       std::fprintf(stderr, "%d of %d trial(s) failed\n", failures,
-                   options.trials);
+                   options.trials + options.group_trials);
       return 1;
     }
-    std::printf("all %d trial(s) converged to the reference dump\n",
-                options.trials);
+    std::printf("all %d trial(s) converged (%d sweep, %d group-commit)\n",
+                options.trials + options.group_trials, options.trials,
+                options.group_trials);
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -5,11 +5,22 @@
 //   iokc-loadgen --addr <host:port> | --self-serve [--threads <n>]
 //                [--connections <n>] [--requests <n>]
 //                [--write-fraction <0..1>] [--seed <n>] [--json <file>]
+//                [--sweep-threads <a,b,c>] [--require-scaling <tolerance>]
 //
 // --self-serve starts an in-process server on an ephemeral loopback port over
 // an in-memory repository seeded with synthetic IOR knowledge, which makes
 // the smoke test (and quick benchmarking) a single command with no daemon to
 // manage. Exit status is nonzero when any request failed.
+//
+// --sweep-threads runs one self-serve load per listed server-thread count
+// (fresh repository and server each run, identical client traffic) and emits
+// a combined JSON artifact with per-run stats — the before/after scalability
+// evidence in EXPERIMENTS.md and bench_artifacts/ comes from this mode.
+// --require-scaling T turns the sweep into a regression gate: exit 3 unless
+// the last run's read throughput is >= T x the first run's. T < 1 leaves
+// headroom for single-core CI machines, where extra server threads cannot
+// add parallel CPU and the gate is really checking that throughput no longer
+// *collapses* as threads are added (the pre-fix baseline lost 10-60x on p50).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -44,12 +55,34 @@ struct Options {
   double write_fraction = 0.1;
   std::uint64_t seed = 0x10ADF00D;
   std::string json_path;
+  std::vector<std::size_t> sweep_threads;  // --sweep-threads, implies self-serve
+  double require_scaling = 0.0;            // --require-scaling gate (0 = off)
 };
 
 struct WorkerResult {
   std::vector<double> latencies_us;
+  std::vector<double> read_latencies_us;  // subset: non-store endpoints
+  std::uint64_t write_requests = 0;
   std::uint64_t errors = 0;
   std::vector<std::string> error_samples;  // first few messages for the log
+};
+
+/// Aggregated stats for one complete load run (one server configuration).
+struct RunStats {
+  std::size_t server_threads = 0;
+  std::size_t total_requests = 0;
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_requests = 0;
+  std::uint64_t errors = 0;
+  double wall_ms = 0.0;
+  double requests_per_sec = 0.0;
+  double read_requests_per_sec = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double read_p50 = 0.0;
+  double read_p99 = 0.0;
 };
 
 Options parse_args(int argc, char** argv) {
@@ -89,12 +122,39 @@ Options parse_args(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(util::parse_i64(need_value()));
     } else if (flag == "--json") {
       options.json_path = need_value();
+    } else if (flag == "--sweep-threads") {
+      for (const std::string& item : util::split(need_value(), ',')) {
+        const std::int64_t count = util::parse_i64(item);
+        if (count < 1) {
+          throw ConfigError("--sweep-threads entries must be >= 1");
+        }
+        options.sweep_threads.push_back(static_cast<std::size_t>(count));
+      }
+      if (options.sweep_threads.empty()) {
+        throw ConfigError("--sweep-threads needs at least one thread count");
+      }
+    } else if (flag == "--require-scaling") {
+      options.require_scaling = std::stod(need_value());
+      if (options.require_scaling <= 0.0) {
+        throw ConfigError("--require-scaling must be > 0");
+      }
     } else {
       throw ConfigError("unknown flag " + flag);
     }
   }
+  if (!options.sweep_threads.empty()) {
+    if (!options.host.empty()) {
+      throw ConfigError("--sweep-threads restarts the server per run; it "
+                        "requires --self-serve, not --addr");
+    }
+    options.self_serve = true;
+  }
   if (options.self_serve != options.host.empty()) {
     throw ConfigError("pass exactly one of --addr <host:port> | --self-serve");
+  }
+  if (options.require_scaling > 0.0 && options.sweep_threads.size() < 2) {
+    throw ConfigError("--require-scaling needs --sweep-threads with at least "
+                      "two thread counts to compare");
   }
   if (options.connections == 0 || options.requests == 0) {
     throw ConfigError("--connections and --requests must be >= 1");
@@ -147,8 +207,10 @@ WorkerResult run_worker(const Options& options, std::size_t worker,
         options.seed, worker * 1'000'003 + i);
     std::string endpoint;
     util::JsonObject params;
+    bool is_write = false;
     if (roll % 1'000'000'000 < write_threshold) {
       endpoint = "knowledge/store";
+      is_write = true;
       params.emplace_back(
           "object", synthetic_knowledge(roll % 97 + worker * 100).to_json());
     } else {
@@ -206,7 +268,13 @@ WorkerResult run_worker(const Options& options, std::size_t worker,
     }
     const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - started);
-    result.latencies_us.push_back(static_cast<double>(elapsed.count()));
+    const double latency_us = static_cast<double>(elapsed.count());
+    result.latencies_us.push_back(latency_us);
+    if (is_write) {
+      ++result.write_requests;
+    } else {
+      result.read_latencies_us.push_back(latency_us);
+    }
   }
   return result;
 }
@@ -220,20 +288,20 @@ double percentile(std::vector<double>& sorted, double q) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
-int run(int argc, char** argv) {
-  const Options parsed = parse_args(argc, argv);
-  Options options = parsed;
-
+/// Runs one complete load (optionally self-serving a fresh server), prints a
+/// human summary, and returns the aggregated stats for artifacts/gates.
+RunStats run_load(const Options& options) {
   // --self-serve: in-process server over a seeded in-memory repository.
   std::optional<persist::KnowledgeRepository> repository;
   std::optional<svc::Server> server;
-  if (options.self_serve) {
+  Options live = options;
+  if (live.self_serve) {
     repository.emplace();
     for (std::uint64_t i = 0; i < 12; ++i) {
       repository->store(synthetic_knowledge(i));
     }
     svc::ServerConfig config;
-    config.threads = options.server_threads;
+    config.threads = live.server_threads;
     server.emplace(*repository, config);
     server->start();
     // start() returning means the listener socket is bound; prove it before
@@ -244,8 +312,8 @@ int run(int argc, char** argv) {
     }
     std::cout << "loadgen: self-serve listening on 127.0.0.1:"
               << server->port() << "\n";
-    options.host = "127.0.0.1";
-    options.port = server->port();
+    live.host = "127.0.0.1";
+    live.port = server->port();
   }
 
   // Discover knowledge ids once so anomaly requests target real objects.
@@ -254,7 +322,7 @@ int run(int argc, char** argv) {
     svc::ClientOptions client_options;
     client_options.connect_retries = 9;
     svc::Client probe =
-        svc::Client::connect(options.host, options.port, client_options);
+        svc::Client::connect(live.host, live.port, client_options);
     const svc::Response listed = probe.call("list");
     if (listed.ok) {
       for (const util::JsonValue& entry :
@@ -265,13 +333,13 @@ int run(int argc, char** argv) {
   }
 
   const auto started = std::chrono::steady_clock::now();
-  std::vector<WorkerResult> results(options.connections);
+  std::vector<WorkerResult> results(live.connections);
   std::vector<std::thread> workers;
-  workers.reserve(options.connections);
-  for (std::size_t w = 0; w < options.connections; ++w) {
+  workers.reserve(live.connections);
+  for (std::size_t w = 0; w < live.connections; ++w) {
     workers.emplace_back([&, w] {
       try {
-        results[w] = run_worker(options, w, knowledge_ids);
+        results[w] = run_worker(live, w, knowledge_ids);
       } catch (const Error& error) {
         results[w].errors += 1;
         results[w].error_samples.push_back(error.what());
@@ -289,70 +357,169 @@ int run(int argc, char** argv) {
       1000.0;
 
   std::vector<double> latencies;
-  std::uint64_t errors = 0;
+  std::vector<double> read_latencies;
+  RunStats stats;
+  stats.server_threads = live.self_serve ? live.server_threads : 0;
   for (const WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_us.begin(),
                      result.latencies_us.end());
-    errors += result.errors;
+    read_latencies.insert(read_latencies.end(),
+                          result.read_latencies_us.begin(),
+                          result.read_latencies_us.end());
+    stats.write_requests += result.write_requests;
+    stats.errors += result.errors;
     for (const std::string& sample : result.error_samples) {
       std::cerr << "request error: " << sample << "\n";
     }
   }
   std::sort(latencies.begin(), latencies.end());
-  const double p50 = percentile(latencies, 0.50);
-  const double p90 = percentile(latencies, 0.90);
-  const double p99 = percentile(latencies, 0.99);
-  const double max = latencies.empty() ? 0.0 : latencies.back();
-  const double throughput =
-      wall_ms > 0.0 ? static_cast<double>(latencies.size()) * 1000.0 / wall_ms
-                    : 0.0;
+  std::sort(read_latencies.begin(), read_latencies.end());
+  stats.total_requests = latencies.size();
+  stats.read_requests = read_latencies.size();
+  stats.wall_ms = wall_ms;
+  stats.p50 = percentile(latencies, 0.50);
+  stats.p90 = percentile(latencies, 0.90);
+  stats.p99 = percentile(latencies, 0.99);
+  stats.max = latencies.empty() ? 0.0 : latencies.back();
+  stats.read_p50 = percentile(read_latencies, 0.50);
+  stats.read_p99 = percentile(read_latencies, 0.99);
+  if (wall_ms > 0.0) {
+    stats.requests_per_sec =
+        static_cast<double>(stats.total_requests) * 1000.0 / wall_ms;
+    stats.read_requests_per_sec =
+        static_cast<double>(stats.read_requests) * 1000.0 / wall_ms;
+  }
 
   if (server.has_value()) {
     server->stop();  // graceful drain; also validates clean shutdown
   }
 
-  std::cout << "loadgen: " << options.connections << " connection(s) x "
-            << options.requests << " request(s), write-fraction "
-            << util::format_double(parsed.write_fraction, 2) << "\n"
-            << "  completed " << latencies.size() << " request(s) in "
-            << util::format_double(wall_ms, 1) << " ms ("
-            << util::format_double(throughput, 0) << " req/s), " << errors
-            << " error(s)\n"
-            << "  latency us: p50 " << util::format_double(p50, 0) << ", p90 "
-            << util::format_double(p90, 0) << ", p99 "
-            << util::format_double(p99, 0) << ", max "
-            << util::format_double(max, 0) << "\n";
+  std::cout << "loadgen: " << live.connections << " connection(s) x "
+            << live.requests << " request(s), write-fraction "
+            << util::format_double(options.write_fraction, 2);
+  if (live.self_serve) {
+    std::cout << ", " << live.server_threads << " server thread(s)";
+  }
+  std::cout << "\n"
+            << "  completed " << stats.total_requests << " request(s) in "
+            << util::format_double(stats.wall_ms, 1) << " ms ("
+            << util::format_double(stats.requests_per_sec, 0) << " req/s, "
+            << util::format_double(stats.read_requests_per_sec, 0)
+            << " read req/s), " << stats.errors << " error(s)\n"
+            << "  latency us: p50 " << util::format_double(stats.p50, 0)
+            << ", p90 " << util::format_double(stats.p90, 0) << ", p99 "
+            << util::format_double(stats.p99, 0) << ", max "
+            << util::format_double(stats.max, 0) << " (reads: p50 "
+            << util::format_double(stats.read_p50, 0) << ", p99 "
+            << util::format_double(stats.read_p99, 0) << ")\n";
+  return stats;
+}
 
-  if (!options.json_path.empty()) {
-    util::JsonObject artifact;
-    artifact.emplace_back("connections",
-                          util::JsonValue(options.connections));
-    artifact.emplace_back("requests_per_connection",
-                          util::JsonValue(options.requests));
-    artifact.emplace_back(
-        "server_threads",
-        util::JsonValue(options.self_serve
-                            ? static_cast<std::int64_t>(options.server_threads)
-                            : -1));
-    artifact.emplace_back("write_fraction",
-                          util::JsonValue(parsed.write_fraction));
-    artifact.emplace_back("seed", util::JsonValue(options.seed));
-    artifact.emplace_back("total_requests",
-                          util::JsonValue(latencies.size()));
-    artifact.emplace_back("errors", util::JsonValue(errors));
-    artifact.emplace_back("wall_ms", util::JsonValue(wall_ms));
-    artifact.emplace_back("requests_per_sec", util::JsonValue(throughput));
-    util::JsonObject latency;
-    latency.emplace_back("p50", util::JsonValue(p50));
-    latency.emplace_back("p90", util::JsonValue(p90));
-    latency.emplace_back("p99", util::JsonValue(p99));
-    latency.emplace_back("max", util::JsonValue(max));
-    artifact.emplace_back("latency_us", util::JsonValue(std::move(latency)));
-    std::ofstream out(options.json_path, std::ios::trunc);
-    if (!out) {
-      throw IoError("cannot write " + options.json_path);
+/// One run's JSON object; field names predate the sweep mode, so older
+/// artifact consumers keep working on single-run output.
+util::JsonValue stats_to_json(const Options& options, const RunStats& stats) {
+  util::JsonObject artifact;
+  artifact.emplace_back("connections", util::JsonValue(options.connections));
+  artifact.emplace_back("requests_per_connection",
+                        util::JsonValue(options.requests));
+  artifact.emplace_back(
+      "server_threads",
+      util::JsonValue(options.self_serve
+                          ? static_cast<std::int64_t>(stats.server_threads)
+                          : -1));
+  artifact.emplace_back("write_fraction",
+                        util::JsonValue(options.write_fraction));
+  artifact.emplace_back("seed", util::JsonValue(options.seed));
+  artifact.emplace_back("total_requests",
+                        util::JsonValue(stats.total_requests));
+  artifact.emplace_back("read_requests", util::JsonValue(stats.read_requests));
+  artifact.emplace_back("write_requests",
+                        util::JsonValue(stats.write_requests));
+  artifact.emplace_back("errors", util::JsonValue(stats.errors));
+  artifact.emplace_back("wall_ms", util::JsonValue(stats.wall_ms));
+  artifact.emplace_back("requests_per_sec",
+                        util::JsonValue(stats.requests_per_sec));
+  artifact.emplace_back("read_requests_per_sec",
+                        util::JsonValue(stats.read_requests_per_sec));
+  util::JsonObject latency;
+  latency.emplace_back("p50", util::JsonValue(stats.p50));
+  latency.emplace_back("p90", util::JsonValue(stats.p90));
+  latency.emplace_back("p99", util::JsonValue(stats.p99));
+  latency.emplace_back("max", util::JsonValue(stats.max));
+  artifact.emplace_back("latency_us", util::JsonValue(std::move(latency)));
+  util::JsonObject read_latency;
+  read_latency.emplace_back("p50", util::JsonValue(stats.read_p50));
+  read_latency.emplace_back("p99", util::JsonValue(stats.read_p99));
+  artifact.emplace_back("read_latency_us",
+                        util::JsonValue(std::move(read_latency)));
+  return util::JsonValue(std::move(artifact));
+}
+
+void write_json(const std::string& path, util::JsonValue value) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw IoError("cannot write " + path);
+  }
+  out << value.dump(2) << "\n";
+}
+
+int run(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+
+  if (options.sweep_threads.empty()) {
+    const RunStats stats = run_load(options);
+    if (!options.json_path.empty()) {
+      write_json(options.json_path, stats_to_json(options, stats));
     }
-    out << util::JsonValue(std::move(artifact)).dump(2) << "\n";
+    return stats.errors == 0 ? 0 : 1;
+  }
+
+  // Sweep mode: same client traffic against a fresh self-served server per
+  // thread count, so runs differ only in server-side parallelism.
+  std::vector<RunStats> runs;
+  runs.reserve(options.sweep_threads.size());
+  for (const std::size_t threads : options.sweep_threads) {
+    Options per_run = options;
+    per_run.server_threads = threads;
+    runs.push_back(run_load(per_run));
+  }
+
+  std::uint64_t errors = 0;
+  util::JsonObject artifact;
+  artifact.emplace_back("mode", util::JsonValue("sweep"));
+  util::JsonArray sweep;
+  for (const RunStats& stats : runs) {
+    errors += stats.errors;
+    sweep.push_back(stats_to_json(options, stats));
+  }
+  artifact.emplace_back("sweep", util::JsonValue(std::move(sweep)));
+  const double first_read_rps = runs.front().read_requests_per_sec;
+  const double last_read_rps = runs.back().read_requests_per_sec;
+  const double scaling =
+      first_read_rps > 0.0 ? last_read_rps / first_read_rps : 0.0;
+  artifact.emplace_back("read_scaling_last_vs_first",
+                        util::JsonValue(scaling));
+  if (!options.json_path.empty()) {
+    write_json(options.json_path, util::JsonValue(std::move(artifact)));
+  }
+
+  std::cout << "loadgen: sweep read req/s:";
+  for (const RunStats& stats : runs) {
+    std::cout << " " << stats.server_threads << "t="
+              << util::format_double(stats.read_requests_per_sec, 0);
+  }
+  std::cout << " (scaling x" << util::format_double(scaling, 2) << ")\n";
+
+  if (options.require_scaling > 0.0 &&
+      scaling < options.require_scaling) {
+    std::cerr << "iokc-loadgen: read throughput at "
+              << runs.back().server_threads << " thread(s) is x"
+              << util::format_double(scaling, 2) << " of the "
+              << runs.front().server_threads << "-thread run, below the "
+              << "--require-scaling " <<
+              util::format_double(options.require_scaling, 2)
+              << " gate\n";
+    return 3;
   }
   return errors == 0 ? 0 : 1;
 }
