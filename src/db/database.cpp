@@ -1,12 +1,15 @@
 #include "src/db/database.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
+#include "src/db/planner.hpp"
 #include "src/obs/observability.hpp"
 #include "src/util/csv.hpp"
 #include "src/util/error.hpp"
+#include "src/util/fault.hpp"
 #include "src/util/fsio.hpp"
 #include "src/util/strings.hpp"
 #include "src/util/table.hpp"
@@ -206,7 +209,27 @@ Database Database::clone_snapshot() const {
     clone.tables_.emplace(name, std::make_unique<Table>(*table));
   }
   clone.last_insert_rowid_ = last_insert_rowid_;
+  clone.planning_enabled_ = planning_enabled_;
   return clone;
+}
+
+ResultSet Database::execute_prepared(const Statement& statement,
+                                     const std::vector<Value>& params) {
+  if (!statement_is_read_only(statement)) {
+    throw DbError(
+        "execute_prepared only runs read-only statements (SELECT, EXPLAIN)");
+  }
+  const std::size_t needed = statement_param_count(statement);
+  if (needed > params.size()) {
+    throw DbError("statement needs " + std::to_string(needed) +
+                  " parameters, got " + std::to_string(params.size()));
+  }
+  if (const auto* select = std::get_if<SelectStmt>(&statement)) {
+    obs::count("db.statements");
+    return run_select(*select, params);
+  }
+  obs::count("db.statements");
+  return run_explain(std::get<ExplainStmt>(statement), params);
 }
 
 void Database::rollback() {
@@ -249,6 +272,9 @@ bool Database::statement_mutates(const Statement& statement) const {
           // CREATE TABLE IF NOT EXISTS on an existing table is a no-op and
           // must not bloat the journal.
           return !(stmt.if_not_exists && tables_.contains(stmt.schema.name));
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          return !(stmt.if_not_exists && tables_.contains(stmt.table) &&
+                   tables_.at(stmt.table)->has_index_named(stmt.index_name));
         } else if constexpr (std::is_same_v<T, DropTableStmt>) {
           return !(stmt.if_exists && !tables_.contains(stmt.table));
         } else {
@@ -353,14 +379,31 @@ ResultSet Database::execute_statement(const Statement& statement) {
           return {};
         } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
           Table& table = require_table(stmt.table);
+          if (table.has_index_named(stmt.index_name)) {
+            if (stmt.if_not_exists) {
+              return {};
+            }
+            throw DbError("index '" + stmt.index_name +
+                          "' already exists on '" + stmt.table + "'");
+          }
+          // Crash window: the statement is journaled only at commit, so a
+          // kill here loses the index with its transaction — recovery must
+          // converge either way (iokc-crashtest drives this site).
+          util::fault_point("db.index.create");
           note_overwrite(stmt.table);
-          table.create_index(stmt.column);
+          IndexDef def;
+          def.name = stmt.index_name;
+          def.columns = stmt.columns;
+          def.kind = stmt.kind;
+          table.create_index(std::move(def));
           return {};
         } else if constexpr (std::is_same_v<T, InsertStmt>) {
           run_insert(stmt);
           return {};
         } else if constexpr (std::is_same_v<T, SelectStmt>) {
-          return run_select(stmt);
+          return run_select(stmt, {});
+        } else if constexpr (std::is_same_v<T, ExplainStmt>) {
+          return run_explain(stmt, {});
         } else if constexpr (std::is_same_v<T, UpdateStmt>) {
           run_update(stmt);
           return {};
@@ -495,75 +538,75 @@ EvalContext bind_row(const Projection& projection, const Row& row) {
   return context;
 }
 
+/// Resolves a join's ON operands to (left column, right column) bare names,
+/// whichever way round the statement wrote them.
+std::pair<std::string, std::string> resolve_join_columns(
+    const Table& left, const Table& right, const JoinClause& join) {
+  auto strip = [](const std::string& name) {
+    const std::size_t dot = name.find('.');
+    return dot == std::string::npos ? name : name.substr(dot + 1);
+  };
+  auto belongs_to = [&strip](const Table& table, const std::string& name) {
+    return table.schema().find_column(strip(name)).has_value() &&
+           (name.find('.') == std::string::npos ||
+            name.substr(0, name.find('.')) == table.schema().name);
+  };
+  if (belongs_to(left, join.left_column) &&
+      belongs_to(right, join.right_column)) {
+    return {strip(join.left_column), strip(join.right_column)};
+  }
+  if (belongs_to(left, join.right_column) &&
+      belongs_to(right, join.left_column)) {
+    return {strip(join.right_column), strip(join.left_column)};
+  }
+  throw DbError("cannot resolve join condition " + join.left_column + " = " +
+                join.right_column);
+}
+
+/// The scan access path (used when planning is disabled).
+AccessPath scan_path(const Table& table) {
+  AccessPath path;
+  path.kind = AccessPath::Kind::kScan;
+  path.cost = std::max<double>(static_cast<double>(table.row_count()), 1.0);
+  path.estimated_rows = static_cast<double>(table.row_count());
+  return path;
+}
+
 }  // namespace
 
-ResultSet Database::run_select(const SelectStmt& stmt) {
+ResultSet Database::run_select(const SelectStmt& stmt,
+                               const std::vector<Value>& params) {
   Table& left = require_table(stmt.table);
   Table* right = stmt.join.has_value()
                      ? &require_table(stmt.join->table)
                      : nullptr;
   const Projection projection = make_projection(left, right);
 
+  // Access-path selection: the planner pushes top-level AND conjuncts of
+  // the WHERE down to an index of the (left) table; its candidate set is a
+  // superset of the matches and ascends in row order, so the residual
+  // filter below yields exactly the scan plan's output.
+  const AccessPath path =
+      planning_enabled_
+          ? choose_access(left, stmt.where.get(), params, right)
+          : scan_path(left);
+  const std::vector<std::size_t> candidates = execute_access(left, path);
+
   // Materialize candidate combined rows.
   std::vector<Row> combined;
   if (right == nullptr) {
-    // Single table: try an index shortcut for top-level equality predicates.
-    std::vector<std::size_t> candidates;
-    bool used_index = false;
-    if (stmt.where != nullptr) {
-      for (const ColumnDef& column : left.schema().columns) {
-        if (!left.has_index(column.name)) {
-          continue;
-        }
-        const Value* literal =
-            find_equality_literal(stmt.where.get(), column.name);
-        if (literal == nullptr) {
-          literal = find_equality_literal(
-              stmt.where.get(), left.schema().name + "." + column.name);
-        }
-        if (literal != nullptr) {
-          candidates = left.lookup(column.name, *literal);
-          used_index = true;
-          break;
-        }
-      }
-    }
-    if (used_index) {
-      for (const std::size_t r : candidates) {
-        combined.push_back(left.rows()[r]);
-      }
-    } else {
-      combined = left.rows();
+    combined.reserve(candidates.size());
+    for (const std::size_t r : candidates) {
+      combined.push_back(left.rows()[r]);
     }
   } else {
     // Nested-loop join probing the right table through lookup() (which uses
     // an index when one exists on the join column).
-    const std::string& left_name = stmt.join->left_column;
-    const std::string& right_name = stmt.join->right_column;
-    // Decide which side each ON operand belongs to.
-    auto strip = [](const std::string& name) {
-      const std::size_t dot = name.find('.');
-      return dot == std::string::npos ? name : name.substr(dot + 1);
-    };
-    auto belongs_to = [&strip](const Table& table, const std::string& name) {
-      return table.schema().find_column(strip(name)).has_value() &&
-             (name.find('.') == std::string::npos ||
-              name.substr(0, name.find('.')) == table.schema().name);
-    };
-    std::string left_col;
-    std::string right_col;
-    if (belongs_to(left, left_name) && belongs_to(*right, right_name)) {
-      left_col = strip(left_name);
-      right_col = strip(right_name);
-    } else if (belongs_to(left, right_name) && belongs_to(*right, left_name)) {
-      left_col = strip(right_name);
-      right_col = strip(left_name);
-    } else {
-      throw DbError("cannot resolve join condition " + left_name + " = " +
-                    right_name);
-    }
+    const auto [left_col, right_col] =
+        resolve_join_columns(left, *right, *stmt.join);
     const std::size_t left_idx = left.schema().column_index(left_col);
-    for (const Row& lrow : left.rows()) {
+    for (const std::size_t lr : candidates) {
+      const Row& lrow = left.rows()[lr];
       for (const std::size_t r : right->lookup(right_col, lrow[left_idx])) {
         Row joined = lrow;
         const Row& rrow = right->rows()[r];
@@ -573,11 +616,14 @@ ResultSet Database::run_select(const SelectStmt& stmt) {
     }
   }
 
-  // WHERE filter.
+  // WHERE filter (always the full clause — pushed conjuncts are a superset,
+  // not a replacement).
   std::vector<Row> filtered;
   if (stmt.where != nullptr) {
     for (Row& row : combined) {
-      if (stmt.where->evaluate_bool(bind_row(projection, row))) {
+      EvalContext context = bind_row(projection, row);
+      context.set_params(&params);
+      if (stmt.where->evaluate_bool(context)) {
         filtered.push_back(std::move(row));
       }
     }
@@ -641,8 +687,11 @@ void Database::run_update(const UpdateStmt& stmt) {
   Table& table = require_table(stmt.table);
   note_overwrite(stmt.table);
   const Projection projection = make_projection(table, nullptr);
+  const AccessPath path = planning_enabled_
+                              ? choose_access(table, stmt.where.get(), {})
+                              : scan_path(table);
   std::vector<std::size_t> matches;
-  for (std::size_t r = 0; r < table.rows().size(); ++r) {
+  for (const std::size_t r : execute_access(table, path)) {
     if (stmt.where == nullptr ||
         stmt.where->evaluate_bool(bind_row(projection, table.rows()[r]))) {
       matches.push_back(r);
@@ -669,8 +718,11 @@ void Database::run_delete(const DeleteStmt& stmt) {
   note_overwrite(stmt.table);
   const Projection projection = make_projection(table, nullptr);
   const auto pk = table.schema().primary_key_index();
+  const AccessPath path = planning_enabled_
+                              ? choose_access(table, stmt.where.get(), {})
+                              : scan_path(table);
   std::vector<std::size_t> matches;
-  for (std::size_t r = 0; r < table.rows().size(); ++r) {
+  for (const std::size_t r : execute_access(table, path)) {
     if (stmt.where == nullptr ||
         stmt.where->evaluate_bool(bind_row(projection, table.rows()[r]))) {
       if (pk.has_value()) {
@@ -681,6 +733,74 @@ void Database::run_delete(const DeleteStmt& stmt) {
     }
   }
   table.remove_rows(matches);
+}
+
+ResultSet Database::run_explain(const ExplainStmt& stmt,
+                                const std::vector<Value>& params) {
+  ResultSet result;
+  result.columns = {"step", "table", "access", "index",
+                    "key",  "est_rows", "cost"};
+  auto add_step = [&result](std::int64_t step, const std::string& table_name,
+                            const std::string& access,
+                            const std::string& index_name,
+                            const std::string& key, double est_rows,
+                            double cost) {
+    result.rows.push_back(
+        {Value(step), Value(table_name), Value(access), Value(index_name),
+         Value(key), Value(static_cast<std::int64_t>(std::llround(est_rows))),
+         Value(static_cast<std::int64_t>(std::llround(cost)))});
+  };
+  auto add_access = [&](std::int64_t step, const Table& table,
+                        const AccessPath& path) {
+    add_step(step, table.schema().name, to_string(path.kind), path.index_name,
+             describe_key(path), path.estimated_rows, path.cost);
+  };
+
+  std::visit(
+      [&](const auto& inner) {
+        using T = std::decay_t<decltype(inner)>;
+        if constexpr (std::is_same_v<T, SelectStmt>) {
+          const Table& left = require_table(inner.table);
+          const Table* right = inner.join.has_value()
+                                   ? &require_table(inner.join->table)
+                                   : nullptr;
+          const AccessPath path =
+              planning_enabled_
+                  ? choose_access(left, inner.where.get(), params, right)
+                  : scan_path(left);
+          add_access(1, left, path);
+          if (right != nullptr) {
+            const auto [left_col, right_col] =
+                resolve_join_columns(left, *right, *inner.join);
+            const SecondaryIndex* probe = right->index_for_column(right_col);
+            const double probe_rows =
+                probe == nullptr
+                    ? static_cast<double>(right->row_count())
+                    : static_cast<double>(right->row_count()) /
+                          static_cast<double>(
+                              std::max<std::size_t>(probe->distinct_keys(), 1));
+            add_step(2, right->schema().name,
+                     probe == nullptr
+                         ? "probe_scan"
+                         : std::string("probe_") + to_string(probe->kind()),
+                     probe == nullptr ? "" : probe->def().name,
+                     right_col + " = " + left.schema().name + "." + left_col,
+                     probe_rows, probe_rows);
+          }
+        } else if constexpr (std::is_same_v<T, UpdateStmt> ||
+                             std::is_same_v<T, DeleteStmt>) {
+          const Table& table = require_table(inner.table);
+          const AccessPath path =
+              planning_enabled_
+                  ? choose_access(table, inner.where.get(), params)
+                  : scan_path(table);
+          add_access(1, table, path);
+        } else {
+          throw DbError("EXPLAIN supports SELECT, UPDATE, and DELETE");
+        }
+      },
+      *stmt.inner);
+  return result;
 }
 
 std::string Database::dump() const {
@@ -717,6 +837,14 @@ std::string Database::dump() const {
           out += row[c].render();
         }
         out += ");\n";
+      }
+      // Named indexes are part of the dump (replay rebuilds them over the
+      // rows just inserted); implicit PK/FK indexes are not — CREATE TABLE
+      // recreates those itself.
+      for (const SecondaryIndex& index : table.indexes()) {
+        if (!index.def().implicit) {
+          out += render_create_index(index.def(), table.schema().name) + "\n";
+        }
       }
       emitted.push_back(*it);
       it = pending.erase(it);

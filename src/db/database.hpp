@@ -70,6 +70,20 @@ class Database {
   /// already-executed statements stay committed).
   void execute_script(std::string_view script);
 
+  /// Executes an already-parsed statement with positional values bound to
+  /// its `?` markers. Only read-only statements (SELECT, EXPLAIN) are
+  /// accepted — prepared ASTs are shared across threads by the statement
+  /// cache and bypass the journal, so a write here could never be made
+  /// durable. Throws DbError for a write statement or too few parameters.
+  ResultSet execute_prepared(const Statement& statement,
+                             const std::vector<Value>& params = {});
+
+  /// Toggles index-based access-path selection (on by default). With
+  /// planning off every query runs the scan plan; the property tests
+  /// compare both modes byte-for-byte.
+  void set_index_planning(bool enabled) { planning_enabled_ = enabled; }
+  bool index_planning() const { return planning_enabled_; }
+
   // -- Transactions ---------------------------------------------------------
 
   /// Opens an explicit transaction. Statements executed until commit() apply
@@ -170,7 +184,10 @@ class Database {
   /// note_overwrite snapshots the whole table (update/delete/index/drop).
   void note_insert(const std::string& name);
   void note_overwrite(const std::string& name);
-  ResultSet run_select(const SelectStmt& stmt);
+  ResultSet run_select(const SelectStmt& stmt,
+                       const std::vector<Value>& params);
+  ResultSet run_explain(const ExplainStmt& stmt,
+                        const std::vector<Value>& params);
   void run_insert(const InsertStmt& stmt);
   void run_update(const UpdateStmt& stmt);
   void run_delete(const DeleteStmt& stmt);
@@ -180,6 +197,7 @@ class Database {
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::int64_t last_insert_rowid_ = 0;
+  bool planning_enabled_ = true;
 
   /// Explicit-transaction state. Inserts only append, so they roll back by
   /// truncating to the baseline; destructive statements snapshot the whole

@@ -1,5 +1,6 @@
 #include "src/db/expr.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/error.hpp"
@@ -24,6 +25,14 @@ const Value& EvalContext::lookup(const std::string& name) const {
     throw DbError("unknown column '" + name + "'");
   }
   return *found;
+}
+
+const Value& EvalContext::param(std::size_t ordinal) const {
+  if (params_ == nullptr || ordinal >= params_->size()) {
+    throw DbError("statement parameter ?" + std::to_string(ordinal + 1) +
+                  " is not bound");
+  }
+  return (*params_)[ordinal];
 }
 
 namespace {
@@ -73,6 +82,8 @@ Value Expr::evaluate(const EvalContext& context) const {
       return literal;
     case Kind::kColumn:
       return context.lookup(column);
+    case Kind::kParam:
+      return context.param(param_index);
     case Kind::kNot:
       return Value(static_cast<std::int64_t>(!rhs->evaluate_bool(context)));
     case Kind::kBinary:
@@ -108,6 +119,13 @@ ExprPtr make_column(std::string name) {
   return expr;
 }
 
+ExprPtr make_param(std::size_t ordinal) {
+  auto expr = std::make_unique<Expr>();
+  expr->kind = Expr::Kind::kParam;
+  expr->param_index = ordinal;
+  return expr;
+}
+
 ExprPtr make_binary(Expr::Op op, ExprPtr lhs, ExprPtr rhs) {
   auto expr = std::make_unique<Expr>();
   expr->kind = Expr::Kind::kBinary;
@@ -124,31 +142,16 @@ ExprPtr make_not(ExprPtr operand) {
   return expr;
 }
 
-const Value* find_equality_literal(const Expr* expr,
-                                   const std::string& column) {
-  if (expr == nullptr || expr->kind != Expr::Kind::kBinary) {
-    return nullptr;
+std::size_t expr_param_count(const Expr* expr) {
+  if (expr == nullptr) {
+    return 0;
   }
-  if (expr->op == Expr::Op::kAnd) {
-    if (const Value* v = find_equality_literal(expr->lhs.get(), column)) {
-      return v;
-    }
-    return find_equality_literal(expr->rhs.get(), column);
-  }
-  if (expr->op != Expr::Op::kEq) {
-    return nullptr;
-  }
-  const Expr* l = expr->lhs.get();
-  const Expr* r = expr->rhs.get();
-  if (l->kind == Expr::Kind::kColumn && l->column == column &&
-      r->kind == Expr::Kind::kLiteral) {
-    return &r->literal;
-  }
-  if (r->kind == Expr::Kind::kColumn && r->column == column &&
-      l->kind == Expr::Kind::kLiteral) {
-    return &l->literal;
-  }
-  return nullptr;
+  std::size_t count = expr->kind == Expr::Kind::kParam
+                          ? expr->param_index + 1
+                          : 0;
+  count = std::max(count, expr_param_count(expr->lhs.get()));
+  count = std::max(count, expr_param_count(expr->rhs.get()));
+  return count;
 }
 
 }  // namespace iokc::db

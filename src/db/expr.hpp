@@ -11,7 +11,9 @@ namespace iokc::db {
 
 /// Name -> value binding for one candidate row. Column names may be bare
 /// ("id") or qualified ("performances.id"); both are registered when rows of
-/// joined tables are evaluated.
+/// joined tables are evaluated. Prepared-statement parameters (`?`) resolve
+/// through set_params — the binding is per-execution, not per-row, so one
+/// parameter vector serves every row of a statement.
 class EvalContext {
  public:
   void bind(const std::string& name, const Value* value);
@@ -19,19 +21,28 @@ class EvalContext {
   /// names (a name bound twice with different slots is ambiguous).
   const Value& lookup(const std::string& name) const;
 
+  /// Binds the positional parameter values for this execution (not owned;
+  /// must outlive the context).
+  void set_params(const std::vector<Value>* params) { params_ = params; }
+  /// The value behind parameter `ordinal` (0-based); throws DbError when
+  /// the statement has more `?` markers than bound values.
+  const Value& param(std::size_t ordinal) const;
+
  private:
   std::vector<std::pair<std::string, const Value*>> bindings_;
+  const std::vector<Value>* params_ = nullptr;
 };
 
 /// Expression node.
 struct Expr {
-  enum class Kind { kLiteral, kColumn, kBinary, kNot };
+  enum class Kind { kLiteral, kColumn, kParam, kBinary, kNot };
   enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr };
 
   Kind kind = Kind::kLiteral;
-  Value literal;          // kLiteral
-  std::string column;     // kColumn
-  Op op = Op::kEq;        // kBinary
+  Value literal;                 // kLiteral
+  std::string column;            // kColumn
+  std::size_t param_index = 0;   // kParam: 0-based `?` ordinal
+  Op op = Op::kEq;               // kBinary
   std::unique_ptr<Expr> lhs;
   std::unique_ptr<Expr> rhs;  // also the operand of kNot
 
@@ -45,11 +56,12 @@ using ExprPtr = std::unique_ptr<Expr>;
 
 ExprPtr make_literal(Value value);
 ExprPtr make_column(std::string name);
+ExprPtr make_param(std::size_t ordinal);
 ExprPtr make_binary(Expr::Op op, ExprPtr lhs, ExprPtr rhs);
 ExprPtr make_not(ExprPtr operand);
 
-/// If `expr` is a conjunction containing `column = <literal>` at the top
-/// level, returns the literal (used by the index-lookup planner).
-const Value* find_equality_literal(const Expr* expr, const std::string& column);
+/// Number of positional `?` parameters the expression tree references
+/// (max ordinal + 1; 0 for expr == nullptr or no parameters).
+std::size_t expr_param_count(const Expr* expr);
 
 }  // namespace iokc::db

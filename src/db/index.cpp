@@ -1,0 +1,187 @@
+#include "src/db/index.hpp"
+
+#include <algorithm>
+#include <compare>
+
+#include "src/util/check.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::db {
+
+std::string to_string(IndexKind kind) {
+  return kind == IndexKind::kHash ? "hash" : "ordered";
+}
+
+std::string render_create_index(const IndexDef& def,
+                                const std::string& table) {
+  std::string out = "CREATE INDEX " + def.name + " ON " + table + " (";
+  for (std::size_t i = 0; i < def.columns.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += def.columns[i];
+  }
+  out += ")";
+  if (def.kind == IndexKind::kHash) {
+    out += " USING HASH";
+  }
+  out += ";";
+  return out;
+}
+
+bool SecondaryIndex::KeyLess::operator()(const IndexKey& a,
+                                         const IndexKey& b) const {
+  // Lexicographic over Value's total order (NULL < numbers < text). A
+  // shorter key that is a prefix of a longer one sorts first, which is what
+  // lower_bound with a partial (prefix) key relies on.
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ordering = a[i] <=> b[i];
+    if (ordering == std::partial_ordering::less) {
+      return true;
+    }
+    if (ordering == std::partial_ordering::greater) {
+      return false;
+    }
+  }
+  return a.size() < b.size();
+}
+
+std::size_t SecondaryIndex::KeyHash::operator()(const IndexKey& key) const {
+  std::size_t seed = key.size();
+  for (const Value& value : key) {
+    // boost::hash_combine's mixing constant; Value::hash already normalizes
+    // integral REALs to the INTEGER hash, so 4 and 4.0 probe the same slot.
+    seed ^= value.hash() + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+SecondaryIndex::SecondaryIndex(IndexDef def, std::vector<std::size_t> slots)
+    : def_(std::move(def)), slots_(std::move(slots)) {
+  IOKC_ASSERT(def_.columns.size() == slots_.size());
+  if (def_.columns.empty()) {
+    throw DbError("index '" + def_.name + "' has no columns");
+  }
+}
+
+bool SecondaryIndex::uses_slot(std::size_t slot) const {
+  return std::find(slots_.begin(), slots_.end(), slot) != slots_.end();
+}
+
+IndexKey SecondaryIndex::key_of(const Row& row) const {
+  IndexKey key;
+  key.reserve(slots_.size());
+  for (const std::size_t slot : slots_) {
+    IOKC_ASSERT(slot < row.size());
+    key.push_back(row[slot]);
+  }
+  return key;
+}
+
+void SecondaryIndex::add(const Row& row, std::size_t position) {
+  if (def_.kind == IndexKind::kOrdered) {
+    ordered_[key_of(row)].push_back(position);
+  } else {
+    hashed_[key_of(row)].push_back(position);
+  }
+  ++entries_;
+}
+
+void SecondaryIndex::erase(const Row& row, std::size_t position) {
+  auto drop = [&](auto& container) {
+    const auto it = container.find(key_of(row));
+    IOKC_CHECK(it != container.end(), "erase of unindexed key");
+    auto& postings = it->second;
+    const auto pos = std::find(postings.begin(), postings.end(), position);
+    IOKC_CHECK(pos != postings.end(), "erase of unindexed row position");
+    postings.erase(pos);
+    if (postings.empty()) {
+      container.erase(it);
+    }
+  };
+  if (def_.kind == IndexKind::kOrdered) {
+    drop(ordered_);
+  } else {
+    drop(hashed_);
+  }
+  --entries_;
+}
+
+void SecondaryIndex::clear() {
+  ordered_.clear();
+  hashed_.clear();
+  entries_ = 0;
+}
+
+std::size_t SecondaryIndex::distinct_keys() const {
+  return def_.kind == IndexKind::kOrdered ? ordered_.size() : hashed_.size();
+}
+
+std::vector<std::size_t> SecondaryIndex::equal(const IndexKey& key) const {
+  std::vector<std::size_t> matches;
+  if (def_.kind == IndexKind::kOrdered) {
+    const auto it = ordered_.find(key);
+    if (it != ordered_.end()) {
+      matches = it->second;
+    }
+  } else {
+    const auto it = hashed_.find(key);
+    if (it != hashed_.end()) {
+      matches = it->second;
+    }
+  }
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+std::vector<std::size_t> SecondaryIndex::prefix_scan(
+    const IndexKey& eq_prefix, const Value* lower, bool lower_inclusive,
+    const Value* upper, bool upper_inclusive) const {
+  if (def_.kind != IndexKind::kOrdered) {
+    throw DbError("prefix_scan on hash index '" + def_.name + "'");
+  }
+  if (eq_prefix.size() >= slots_.size() && (lower || upper)) {
+    throw DbError("range bound past the last column of '" + def_.name + "'");
+  }
+  // Seek: stored keys are full-length, so lower_bound with a shorter
+  // (prefix) key lands on the first stored key whose leading columns are
+  // >= the prefix (KeyLess orders a strict prefix before its extensions).
+  IndexKey seek = eq_prefix;
+  if (lower != nullptr) {
+    seek.push_back(*lower);
+  }
+  const std::size_t bound_slot = eq_prefix.size();
+  std::vector<std::size_t> matches;
+  for (auto it = ordered_.lower_bound(seek); it != ordered_.end(); ++it) {
+    const IndexKey& key = it->first;
+    // Past the prefix group: every later key differs too.
+    if (!std::equal(eq_prefix.begin(), eq_prefix.end(), key.begin(),
+                    key.begin() + static_cast<std::ptrdiff_t>(bound_slot),
+                    [](const Value& a, const Value& b) {
+                      return (a <=> b) == std::partial_ordering::equivalent;
+                    })) {
+      break;
+    }
+    if (lower != nullptr || upper != nullptr) {
+      const Value& bound_value = key[bound_slot];
+      if (lower != nullptr && !lower_inclusive &&
+          (bound_value <=> *lower) == std::partial_ordering::equivalent) {
+        continue;  // exclusive lower: skip the boundary group
+      }
+      if (upper != nullptr) {
+        const auto ordering = bound_value <=> *upper;
+        if (ordering == std::partial_ordering::greater ||
+            (!upper_inclusive &&
+             ordering == std::partial_ordering::equivalent)) {
+          break;
+        }
+      }
+    }
+    matches.insert(matches.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+}  // namespace iokc::db

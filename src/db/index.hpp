@@ -1,0 +1,106 @@
+// Secondary indexes over table rows: an ordered (B-tree-style) index for
+// range and prefix scans and a hash index for point lookups, both over
+// composite keys. Indexes map a key (one Value per indexed column) to the
+// positions of the rows holding it; they never own row data.
+//
+// Consistency contract: the owning Table mirrors every row mutation into
+// every index (add on insert, erase-then-add on update, full rebuild on
+// compaction), so an index always holds exactly one entry per row. Indexes
+// are *derived* state — the journal and dumps record the CREATE INDEX
+// statement, not index contents, and replaying the statements rebuilds the
+// same structures (see DESIGN.md §5f).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/schema.hpp"
+#include "src/db/value.hpp"
+
+namespace iokc::db {
+
+using Row = std::vector<Value>;
+/// One composite key: the indexed columns' values in definition order.
+using IndexKey = std::vector<Value>;
+
+enum class IndexKind {
+  kHash,     // equality over the full key only; O(1) probes
+  kOrdered,  // sorted; supports prefix equality and range scans
+};
+
+std::string to_string(IndexKind kind);
+
+/// An index definition as declared by CREATE INDEX (or implied by the
+/// schema). `implicit` marks indexes the schema itself recreates (PRIMARY
+/// KEY / REFERENCES columns); they are excluded from dumps because replaying
+/// CREATE TABLE rebuilds them.
+struct IndexDef {
+  std::string name;
+  std::vector<std::string> columns;
+  IndexKind kind = IndexKind::kOrdered;
+  bool implicit = false;
+};
+
+/// Renders `CREATE INDEX name ON table (c1, c2) [USING HASH];` — the dump
+/// and journal representation of an index.
+std::string render_create_index(const IndexDef& def, const std::string& table);
+
+/// One secondary index over a table's rows.
+class SecondaryIndex {
+ public:
+  /// `slots` are the row positions of def.columns (precomputed by the
+  /// owning table against its schema).
+  SecondaryIndex(IndexDef def, std::vector<std::size_t> slots);
+
+  const IndexDef& def() const { return def_; }
+  IndexKind kind() const { return def_.kind; }
+  /// Row slots of the indexed columns, in key order.
+  const std::vector<std::size_t>& slots() const { return slots_; }
+  bool uses_slot(std::size_t slot) const;
+
+  void add(const Row& row, std::size_t position);
+  void erase(const Row& row, std::size_t position);
+  void clear();
+
+  /// Indexed entries (== the table's row count when in sync).
+  std::size_t entries() const { return entries_; }
+  /// Distinct full keys currently present (the planner's selectivity input).
+  std::size_t distinct_keys() const;
+
+  /// Row positions whose full key equals `key`, ascending. Both kinds.
+  std::vector<std::size_t> equal(const IndexKey& key) const;
+
+  /// Ordered indexes only: row positions matching `eq_prefix` on the
+  /// leading columns and, when given, a bound on the next column. Either
+  /// bound may be null (open end). Positions ascending. Throws DbError on a
+  /// hash index.
+  std::vector<std::size_t> prefix_scan(const IndexKey& eq_prefix,
+                                       const Value* lower,
+                                       bool lower_inclusive,
+                                       const Value* upper,
+                                       bool upper_inclusive) const;
+
+ private:
+  struct KeyLess {
+    bool operator()(const IndexKey& a, const IndexKey& b) const;
+  };
+  struct KeyHash {
+    std::size_t operator()(const IndexKey& key) const;
+  };
+
+  IndexKey key_of(const Row& row) const;
+
+  IndexDef def_;
+  std::vector<std::size_t> slots_;
+  std::size_t entries_ = 0;
+  // Exactly one of these is populated, by kind. Postings are unsorted; the
+  // lookup paths sort before returning (results stay small relative to N).
+  std::map<IndexKey, std::vector<std::size_t>, KeyLess> ordered_;
+  std::unordered_map<IndexKey, std::vector<std::size_t>, KeyHash> hashed_;
+};
+
+}  // namespace iokc::db

@@ -1,0 +1,360 @@
+#include "src/db/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/error.hpp"
+
+namespace iokc::db {
+
+namespace {
+
+/// One pushable conjunct: table column `slot` <op> `value`, already coerced
+/// to the column's type.
+struct Conjunct {
+  std::size_t slot = 0;
+  Expr::Op op = Expr::Op::kEq;  // kEq, kLt, kLe, kGt, kGe
+  Value value;
+};
+
+/// Resolves `name` to a column slot of `table`, or nullopt when it does not
+/// name one unambiguously ("t.col" with the wrong table, or a bare name the
+/// join partner also has).
+std::optional<std::size_t> resolve_slot(const Table& table, const Table* other,
+                                        const std::string& name) {
+  std::string bare = name;
+  const std::size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    if (name.substr(0, dot) != table.schema().name) {
+      return std::nullopt;
+    }
+    bare = name.substr(dot + 1);
+  } else if (other != nullptr && other->schema().find_column(bare)) {
+    // A bare name both tables carry is ambiguous; evaluation will throw, so
+    // pushing it down would mask the error with an empty candidate set.
+    return std::nullopt;
+  }
+  return table.schema().find_column(bare);
+}
+
+Expr::Op flip(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kLt: return Expr::Op::kGt;
+    case Expr::Op::kLe: return Expr::Op::kGe;
+    case Expr::Op::kGt: return Expr::Op::kLt;
+    case Expr::Op::kGe: return Expr::Op::kLe;
+    default: return op;  // kEq is symmetric
+  }
+}
+
+/// The constant an expression side evaluates to without a row: a literal or
+/// a bound parameter. nullptr otherwise.
+const Value* constant_of(const Expr* expr, const std::vector<Value>& params) {
+  if (expr == nullptr) {
+    return nullptr;
+  }
+  if (expr->kind == Expr::Kind::kLiteral) {
+    return &expr->literal;
+  }
+  if (expr->kind == Expr::Kind::kParam && expr->param_index < params.size()) {
+    return &params[expr->param_index];
+  }
+  return nullptr;
+}
+
+/// Collects pushable conjuncts from the top-level AND tree. Conjuncts that
+/// fail to coerce to the column type are dropped (they stay in the residual
+/// filter, so the plan remains a superset).
+void collect_conjuncts(const Expr* expr, const Table& table,
+                       const Table* other, const std::vector<Value>& params,
+                       std::vector<Conjunct>& out) {
+  if (expr == nullptr || expr->kind != Expr::Kind::kBinary) {
+    return;
+  }
+  if (expr->op == Expr::Op::kAnd) {
+    collect_conjuncts(expr->lhs.get(), table, other, params, out);
+    collect_conjuncts(expr->rhs.get(), table, other, params, out);
+    return;
+  }
+  if (expr->op != Expr::Op::kEq && expr->op != Expr::Op::kLt &&
+      expr->op != Expr::Op::kLe && expr->op != Expr::Op::kGt &&
+      expr->op != Expr::Op::kGe) {
+    return;
+  }
+  const Expr* column_side = expr->lhs.get();
+  const Value* constant = constant_of(expr->rhs.get(), params);
+  Expr::Op op = expr->op;
+  if (constant == nullptr) {
+    // Try the flipped orientation: `5 < col` bounds col from below.
+    column_side = expr->rhs.get();
+    constant = constant_of(expr->lhs.get(), params);
+    op = flip(op);
+  }
+  if (constant == nullptr || column_side == nullptr ||
+      column_side->kind != Expr::Kind::kColumn) {
+    return;
+  }
+  const auto slot = resolve_slot(table, other, column_side->column);
+  if (!slot.has_value()) {
+    return;
+  }
+  // Range bounds with NULL never match anything (three-valued logic), and
+  // NULL sorts below every value in the index, so pushing one would change
+  // the scan window semantics. Equality-with-NULL is well-defined (matches
+  // NULL cells) and stays.
+  if (constant->is_null() && op != Expr::Op::kEq) {
+    return;
+  }
+  Conjunct conjunct;
+  conjunct.slot = *slot;
+  conjunct.op = op;
+  try {
+    conjunct.value =
+        constant->coerce(table.schema().columns[*slot].type);
+  } catch (const DbError&) {
+    return;  // incomparable constant; leave it to the residual filter
+  }
+  out.push_back(std::move(conjunct));
+}
+
+struct Bound {
+  Value value;
+  bool inclusive = true;
+};
+
+/// Per-slot predicate summary assembled from the conjuncts.
+struct SlotPredicates {
+  std::vector<std::optional<Value>> eq;     // slot -> equality constant
+  std::vector<std::optional<Bound>> lower;  // slot -> lower range bound
+  std::vector<std::optional<Bound>> upper;  // slot -> upper range bound
+};
+
+SlotPredicates summarize(const std::vector<Conjunct>& conjuncts,
+                         std::size_t columns) {
+  SlotPredicates predicates;
+  predicates.eq.resize(columns);
+  predicates.lower.resize(columns);
+  predicates.upper.resize(columns);
+  for (const Conjunct& conjunct : conjuncts) {
+    switch (conjunct.op) {
+      case Expr::Op::kEq:
+        if (!predicates.eq[conjunct.slot].has_value()) {
+          predicates.eq[conjunct.slot] = conjunct.value;
+        }
+        break;
+      case Expr::Op::kGt:
+      case Expr::Op::kGe:
+        if (!predicates.lower[conjunct.slot].has_value()) {
+          predicates.lower[conjunct.slot] =
+              Bound{conjunct.value, conjunct.op == Expr::Op::kGe};
+        }
+        break;
+      case Expr::Op::kLt:
+      case Expr::Op::kLe:
+        if (!predicates.upper[conjunct.slot].has_value()) {
+          predicates.upper[conjunct.slot] =
+              Bound{conjunct.value, conjunct.op == Expr::Op::kLe};
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return predicates;
+}
+
+double log2_cost(std::size_t rows) {
+  return std::log2(static_cast<double>(rows) + 1.0);
+}
+
+/// Estimated rows matching an equality over `prefix` of an index's
+/// `columns`, from the distinct-full-key count: N/D for the full key,
+/// widened 2x per unconstrained trailing column (full-key distincts
+/// under-count prefix groups).
+double prefix_estimate(std::size_t rows, std::size_t distinct,
+                       std::size_t columns, std::size_t prefix) {
+  const double n = static_cast<double>(rows);
+  double estimate = n / static_cast<double>(std::max<std::size_t>(distinct, 1));
+  for (std::size_t i = prefix; i < columns; ++i) {
+    estimate *= 2.0;
+  }
+  return std::min(n, std::max(estimate, 1.0));
+}
+
+/// Builds the best path this index supports under `predicates`, or a path
+/// with cost > `scan_cost` when unusable.
+std::optional<AccessPath> plan_index(const SecondaryIndex& index,
+                                     const Table& table,
+                                     const SlotPredicates& predicates) {
+  const std::vector<std::size_t>& slots = index.slots();
+  const std::size_t rows = table.row_count();
+  const std::size_t distinct = index.distinct_keys();
+
+  // Longest equality prefix in key order.
+  std::size_t prefix = 0;
+  while (prefix < slots.size() &&
+         predicates.eq[slots[prefix]].has_value()) {
+    ++prefix;
+  }
+
+  AccessPath path;
+  path.index_name = index.def().name;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    path.key_columns.push_back(index.def().columns[i]);
+    path.key_values.push_back(*predicates.eq[slots[i]]);
+  }
+
+  if (index.kind() == IndexKind::kHash) {
+    // Hash answers full-key equality only.
+    if (prefix != slots.size()) {
+      return std::nullopt;
+    }
+    path.kind = AccessPath::Kind::kHashEq;
+    path.estimated_rows = prefix_estimate(rows, distinct, slots.size(),
+                                          slots.size());
+    path.cost = 1.0 + path.estimated_rows;
+    return path;
+  }
+
+  const bool has_range =
+      prefix < slots.size() &&
+      (predicates.lower[slots[prefix]].has_value() ||
+       predicates.upper[slots[prefix]].has_value());
+  if (prefix == 0 && !has_range) {
+    return std::nullopt;
+  }
+  if (has_range) {
+    path.kind = AccessPath::Kind::kOrderedRange;
+    path.range_column = index.def().columns[prefix];
+    if (const auto& lower = predicates.lower[slots[prefix]]) {
+      path.range_lower = lower->value;
+      path.range_lower_inclusive = lower->inclusive;
+    }
+    if (const auto& upper = predicates.upper[slots[prefix]]) {
+      path.range_upper = upper->value;
+      path.range_upper_inclusive = upper->inclusive;
+    }
+    // Fixed 25% range selectivity within the equality-prefix group.
+    const double group = prefix == 0
+                             ? static_cast<double>(rows)
+                             : prefix_estimate(rows, distinct, slots.size(),
+                                               prefix);
+    path.estimated_rows = std::max(group * 0.25, 1.0);
+  } else {
+    path.kind = AccessPath::Kind::kOrderedEq;
+    path.estimated_rows = prefix_estimate(rows, distinct, slots.size(),
+                                          prefix);
+  }
+  path.cost = log2_cost(rows) + path.estimated_rows;
+  return path;
+}
+
+}  // namespace
+
+std::string to_string(AccessPath::Kind kind) {
+  switch (kind) {
+    case AccessPath::Kind::kScan: return "scan";
+    case AccessPath::Kind::kHashEq: return "hash_eq";
+    case AccessPath::Kind::kOrderedEq: return "ordered_eq";
+    case AccessPath::Kind::kOrderedRange: return "ordered_range";
+  }
+  throw DbError("corrupt access-path kind");
+}
+
+std::string describe_key(const AccessPath& path) {
+  std::string out;
+  auto append = [&out](const std::string& term) {
+    if (!out.empty()) {
+      out += " AND ";
+    }
+    out += term;
+  };
+  for (std::size_t i = 0; i < path.key_columns.size(); ++i) {
+    append(path.key_columns[i] + " = " + path.key_values[i].render());
+  }
+  if (path.kind == AccessPath::Kind::kOrderedRange) {
+    if (path.range_lower.has_value()) {
+      append(path.range_column +
+             (path.range_lower_inclusive ? " >= " : " > ") +
+             path.range_lower->render());
+    }
+    if (path.range_upper.has_value()) {
+      append(path.range_column +
+             (path.range_upper_inclusive ? " <= " : " < ") +
+             path.range_upper->render());
+    }
+  }
+  return out;
+}
+
+AccessPath choose_access(const Table& table, const Expr* where,
+                         const std::vector<Value>& params,
+                         const Table* other) {
+  AccessPath scan;
+  scan.kind = AccessPath::Kind::kScan;
+  scan.cost = std::max<double>(static_cast<double>(table.row_count()), 1.0);
+  scan.estimated_rows = static_cast<double>(table.row_count());
+  if (where == nullptr || table.indexes().empty()) {
+    return scan;
+  }
+
+  std::vector<Conjunct> conjuncts;
+  collect_conjuncts(where, table, other, params, conjuncts);
+  if (conjuncts.empty()) {
+    return scan;
+  }
+  const SlotPredicates predicates =
+      summarize(conjuncts, table.schema().columns.size());
+
+  AccessPath best = scan;
+  for (const SecondaryIndex& index : table.indexes()) {
+    const auto path = plan_index(index, table, predicates);
+    if (path.has_value() && path->cost < best.cost) {
+      best = *path;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> execute_access(const Table& table,
+                                        const AccessPath& path) {
+  if (path.kind == AccessPath::Kind::kScan) {
+    std::vector<std::size_t> all(table.row_count());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  const SecondaryIndex* index = nullptr;
+  for (const SecondaryIndex& candidate : table.indexes()) {
+    if (candidate.def().name == path.index_name) {
+      index = &candidate;
+      break;
+    }
+  }
+  if (index == nullptr) {
+    throw DbError("access path references unknown index '" + path.index_name +
+                  "' on '" + table.schema().name + "'");
+  }
+  switch (path.kind) {
+    case AccessPath::Kind::kHashEq:
+      return index->equal(path.key_values);
+    case AccessPath::Kind::kOrderedEq:
+      if (path.key_values.size() == index->def().columns.size()) {
+        return index->equal(path.key_values);
+      }
+      return index->prefix_scan(path.key_values, nullptr, true, nullptr,
+                                true);
+    case AccessPath::Kind::kOrderedRange:
+      return index->prefix_scan(
+          path.key_values,
+          path.range_lower.has_value() ? &*path.range_lower : nullptr,
+          path.range_lower_inclusive,
+          path.range_upper.has_value() ? &*path.range_upper : nullptr,
+          path.range_upper_inclusive);
+    case AccessPath::Kind::kScan:
+      break;
+  }
+  throw DbError("corrupt access path");
+}
+
+}  // namespace iokc::db

@@ -1,0 +1,70 @@
+// Cost-based access-path selection for single-table predicates.
+//
+// The planner looks only at top-level AND conjuncts of the WHERE clause of
+// the shape `column <op> literal` (or `literal <op> column`, or a bound `?`
+// parameter): equality conjuncts can probe a hash or ordered index, a
+// </>/<=/>= conjunct can bound an ordered range scan. Everything else —
+// OR trees, NOT, column-to-column comparisons — stays in the residual
+// filter, so the candidate set an access path produces is always a
+// *superset* of the matching rows and the executor re-applies the full
+// WHERE to every candidate. Candidates come back in ascending row order,
+// which makes an indexed plan's output byte-identical to the scan plan's
+// (the property tests in tests/db/test_planner.cpp pin this down).
+//
+// Cost model (unit: rows visited; N = table rows, D = distinct index keys):
+//   scan            N
+//   hash equality   1 + N/D
+//   ordered eq      log2(N+1) + N/D      (full key or leading prefix)
+//   ordered range   log2(N+1) + max(1, N/4)  (fixed 25% selectivity)
+// The cheapest path wins; ties break toward the earlier-created index.
+// Selection rules and worked EXPLAIN examples live in DESIGN.md §5f.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/db/expr.hpp"
+#include "src/db/table.hpp"
+#include "src/db/value.hpp"
+
+namespace iokc::db {
+
+/// The chosen way to produce candidate rows for one table.
+struct AccessPath {
+  enum class Kind { kScan, kHashEq, kOrderedEq, kOrderedRange };
+
+  Kind kind = Kind::kScan;
+  std::string index_name;                 // empty for kScan
+  std::vector<std::string> key_columns;   // equality prefix, key order
+  std::vector<Value> key_values;          // bound values (coerced)
+  std::string range_column;               // kOrderedRange only
+  std::optional<Value> range_lower;
+  std::optional<Value> range_upper;
+  bool range_lower_inclusive = true;
+  bool range_upper_inclusive = true;
+  double cost = 0.0;            // estimated rows visited
+  double estimated_rows = 0.0;  // estimated candidates produced
+};
+
+std::string to_string(AccessPath::Kind kind);
+
+/// Renders the pushed-down predicate for EXPLAIN's `key` column, e.g.
+/// "benchmark = 'IOR' AND num_nodes >= 4" (empty for kScan).
+std::string describe_key(const AccessPath& path);
+
+/// Chooses the cheapest access path for `table` under `where` (null = scan).
+/// Column references may be bare or qualified with the table name; a bare
+/// name that also exists in `other` (the join partner, may be null) is
+/// ambiguous and never pushed down. `params` binds `?` markers so prepared
+/// point lookups plan exactly like literal ones.
+AccessPath choose_access(const Table& table, const Expr* where,
+                         const std::vector<Value>& params,
+                         const Table* other = nullptr);
+
+/// Candidate row positions for `path`, strictly ascending (kScan = every
+/// row). The caller still applies the full WHERE to each candidate.
+std::vector<std::size_t> execute_access(const Table& table,
+                                        const AccessPath& path);
+
+}  // namespace iokc::db

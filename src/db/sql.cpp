@@ -1,6 +1,7 @@
 #include "src/db/sql.hpp"
 
 #include <cctype>
+#include <utility>
 
 #include "src/util/error.hpp"
 #include "src/util/strings.hpp"
@@ -136,30 +137,16 @@ class Parser {
   explicit Parser(std::string_view sql) : lexer_(sql) {}
 
   Statement parse_statement() {
-    const Token& token = lexer_.current();
-    if (token.kind != TokenKind::kKeywordOrIdent) {
-      lexer_.fail("expected a statement keyword");
-    }
     Statement statement = [&]() -> Statement {
-      if (token.upper == "CREATE") {
-        return parse_create();
+      if (lexer_.current().kind == TokenKind::kKeywordOrIdent &&
+          lexer_.current().upper == "EXPLAIN") {
+        lexer_.take();
+        ExplainStmt stmt;
+        stmt.inner =
+            std::make_shared<const Statement>(parse_statement_body());
+        return stmt;
       }
-      if (token.upper == "INSERT") {
-        return parse_insert();
-      }
-      if (token.upper == "SELECT") {
-        return parse_select();
-      }
-      if (token.upper == "UPDATE") {
-        return parse_update();
-      }
-      if (token.upper == "DELETE") {
-        return parse_delete();
-      }
-      if (token.upper == "DROP") {
-        return parse_drop();
-      }
-      lexer_.fail("unsupported statement '" + token.text + "'");
+      return parse_statement_body();
     }();
     accept_symbol(";");
     if (lexer_.current().kind != TokenKind::kEnd) {
@@ -169,6 +156,32 @@ class Parser {
   }
 
  private:
+  Statement parse_statement_body() {
+    const Token& token = lexer_.current();
+    if (token.kind != TokenKind::kKeywordOrIdent) {
+      lexer_.fail("expected a statement keyword");
+    }
+    if (token.upper == "CREATE") {
+      return parse_create();
+    }
+    if (token.upper == "INSERT") {
+      return parse_insert();
+    }
+    if (token.upper == "SELECT") {
+      return parse_select();
+    }
+    if (token.upper == "UPDATE") {
+      return parse_update();
+    }
+    if (token.upper == "DELETE") {
+      return parse_delete();
+    }
+    if (token.upper == "DROP") {
+      return parse_drop();
+    }
+    lexer_.fail("unsupported statement '" + token.text + "'");
+  }
+
   bool accept_keyword(std::string_view keyword) {
     if (lexer_.current().kind == TokenKind::kKeywordOrIdent &&
         lexer_.current().upper == keyword) {
@@ -231,12 +244,38 @@ class Parser {
     expect_keyword("CREATE");
     if (accept_keyword("INDEX")) {
       CreateIndexStmt stmt;
+      if (accept_keyword("IF")) {
+        expect_keyword("NOT");
+        expect_keyword("EXISTS");
+        stmt.if_not_exists = true;
+      }
       stmt.index_name = expect_identifier("index name");
       expect_keyword("ON");
       stmt.table = expect_identifier("table name");
       expect_symbol("(");
-      stmt.column = expect_identifier("column name");
-      expect_symbol(")");
+      while (true) {
+        stmt.columns.push_back(expect_identifier("column name"));
+        if (accept_symbol(",")) {
+          continue;
+        }
+        expect_symbol(")");
+        break;
+      }
+      if (accept_keyword("USING")) {
+        const std::string method = expect_identifier("index method");
+        std::string upper = method;
+        for (char& ch : upper) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+        if (upper == "HASH") {
+          stmt.kind = IndexKind::kHash;
+        } else if (upper == "ORDERED" || upper == "BTREE") {
+          stmt.kind = IndexKind::kOrdered;
+        } else {
+          lexer_.fail("unknown index method '" + method +
+                      "' (expected HASH or ORDERED)");
+        }
+      }
       return stmt;
     }
     expect_keyword("TABLE");
@@ -414,7 +453,8 @@ class Parser {
 
   // expr := or_term; or_term := and_term (OR and_term)*;
   // and_term := unary (AND unary)*; unary := NOT unary | comparison;
-  // comparison := primary (op primary)?; primary := literal | column | (expr)
+  // comparison := primary (op primary)?;
+  // primary := literal | ? | column | (expr)
   ExprPtr parse_expr() { return parse_or(); }
 
   ExprPtr parse_or() {
@@ -471,6 +511,10 @@ class Parser {
     if (token.kind == TokenKind::kNumber || token.kind == TokenKind::kString) {
       return make_literal(lexer_.take().value);
     }
+    if (token.kind == TokenKind::kSymbol && token.text == "?") {
+      lexer_.take();
+      return make_param(next_param_++);
+    }
     if (token.kind == TokenKind::kSymbol && token.text == "(") {
       lexer_.take();
       ExprPtr inner = parse_expr();
@@ -488,6 +532,7 @@ class Parser {
   }
 
   Lexer lexer_;
+  std::size_t next_param_ = 0;  // ordinal of the next `?` marker
 };
 
 }  // namespace
@@ -529,11 +574,68 @@ std::vector<Statement> parse_sql_script(std::string_view script) {
 }
 
 bool statement_is_read_only(const Statement& statement) {
-  return std::holds_alternative<SelectStmt>(statement);
+  // EXPLAIN never executes its inner statement — it only plans it — so it
+  // is read-only even over UPDATE/DELETE.
+  return std::holds_alternative<SelectStmt>(statement) ||
+         std::holds_alternative<ExplainStmt>(statement);
 }
 
 bool sql_is_read_only(std::string_view sql) {
   return statement_is_read_only(parse_sql(sql));
+}
+
+std::size_t statement_param_count(const Statement& statement) {
+  return std::visit(
+      [](const auto& stmt) -> std::size_t {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, SelectStmt> ||
+                      std::is_same_v<T, UpdateStmt> ||
+                      std::is_same_v<T, DeleteStmt>) {
+          return expr_param_count(stmt.where.get());
+        } else if constexpr (std::is_same_v<T, ExplainStmt>) {
+          return statement_param_count(*stmt.inner);
+        } else {
+          return 0;
+        }
+      },
+      statement);
+}
+
+StatementCache::StatementCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const Statement> StatementCache::get(const std::string& sql) {
+  {
+    const util::LockGuard lock(mutex_);
+    const auto it = by_text_.find(sql);
+    if (it != by_text_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+      ++stats_.hits;
+      return it->second->second;
+    }
+    ++stats_.misses;
+  }
+  // Parse outside the lock: ParseError must not poison the cache, and a
+  // slow parse must not serialize concurrent cache hits. Two threads racing
+  // on the same miss both parse; the second insert below is a no-op.
+  auto parsed = std::make_shared<const Statement>(parse_sql(sql));
+  const util::LockGuard lock(mutex_);
+  const auto it = by_text_.find(sql);
+  if (it != by_text_.end()) {
+    return it->second->second;  // lost the race; reuse the winner's AST
+  }
+  lru_.emplace_front(sql, parsed);
+  by_text_[sql] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    by_text_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return parsed;
+}
+
+StatementCache::Stats StatementCache::stats() const {
+  const util::LockGuard lock(mutex_);
+  return stats_;
 }
 
 }  // namespace iokc::db

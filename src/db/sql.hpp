@@ -1,27 +1,40 @@
-// The SQL subset: lexer, statement AST, and recursive-descent parser.
+// The SQL subset: lexer, statement AST, recursive-descent parser, and a
+// bounded parse cache for prepared statements.
 //
 // Supported statements (enough to host the paper's nine-table schema and the
 // knowledge explorer's queries):
 //   CREATE TABLE [IF NOT EXISTS] t (col TYPE [PRIMARY KEY] [NOT NULL]
 //                                   [REFERENCES t2(col)], ...)
-//   CREATE INDEX idx ON t (col)
+//   CREATE INDEX [IF NOT EXISTS] idx ON t (col, ...) [USING HASH|ORDERED]
 //   INSERT INTO t [(cols)] VALUES (v, ...) [, (v, ...) ...]
 //   SELECT *|cols FROM t [INNER JOIN t2 ON a = b] [WHERE expr]
 //          [ORDER BY col [ASC|DESC], ...] [LIMIT n]
 //   UPDATE t SET col = value, ... [WHERE expr]
 //   DELETE FROM t [WHERE expr]
 //   DROP TABLE [IF EXISTS] t
+//   EXPLAIN <SELECT|UPDATE|DELETE>
+//
+// WHERE expressions may hold positional `?` parameters (prepared
+// statements); values are bound at execution time through
+// Database::execute_prepared.
 #pragma once
 
+#include <cstdint>
+#include <list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
 #include "src/db/expr.hpp"
+#include "src/db/index.hpp"
 #include "src/db/schema.hpp"
 #include "src/db/value.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace iokc::db {
 
@@ -33,7 +46,9 @@ struct CreateTableStmt {
 struct CreateIndexStmt {
   std::string index_name;
   std::string table;
-  std::string column;
+  std::vector<std::string> columns;
+  IndexKind kind = IndexKind::kOrdered;
+  bool if_not_exists = false;
 };
 
 struct InsertStmt {
@@ -78,9 +93,19 @@ struct DropTableStmt {
   bool if_exists = false;
 };
 
+struct ExplainStmt;
+
 using Statement = std::variant<CreateTableStmt, CreateIndexStmt, InsertStmt,
                                SelectStmt, UpdateStmt, DeleteStmt,
-                               DropTableStmt>;
+                               DropTableStmt, ExplainStmt>;
+
+/// EXPLAIN <stmt>: runs the planner over the inner statement and returns the
+/// chosen plan as a result set instead of executing it (schema in DESIGN.md
+/// §5f). The indirection is required — a variant cannot contain itself by
+/// value — and shared because Statement is move-only (ExprPtr).
+struct ExplainStmt {
+  std::shared_ptr<const Statement> inner;
+};
 
 /// Parses exactly one statement (a trailing ';' is allowed).
 Statement parse_sql(std::string_view sql);
@@ -93,13 +118,54 @@ std::vector<Statement> parse_sql_script(std::string_view script);
 /// (the database's journal records statements at the text level).
 std::vector<std::string> split_sql_script(std::string_view script);
 
-/// True when the statement cannot change database state (today: SELECT).
-/// The read-only gates of the knowledge service's `sql` endpoint and the
-/// CLI `sql` verb both classify through here, so they can never disagree.
+/// True when the statement cannot change database state (SELECT and
+/// EXPLAIN). The read-only gates of the knowledge service's `sql` endpoint
+/// and the CLI `sql` verb both classify through here, so they can never
+/// disagree.
 bool statement_is_read_only(const Statement& statement);
 
 /// Parses `sql` and classifies it; ParseError propagates, so a statement
 /// that fails to parse is neither accepted nor silently treated as a write.
 bool sql_is_read_only(std::string_view sql);
+
+/// Number of positional `?` parameters the statement needs bound.
+std::size_t statement_param_count(const Statement& statement);
+
+/// Bounded LRU cache of parsed statements, keyed by statement text. This is
+/// the "prepare" half of prepared statements: the service's hot `sql` and
+/// `knowledge get` endpoints fetch the parsed AST here and execute it with
+/// Database::execute_prepared, skipping the parser on repeats. Thread-safe
+/// (the service dispatches from several connection handlers); parsing runs
+/// outside the lock so a slow parse never blocks concurrent hits.
+class StatementCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit StatementCache(std::size_t capacity = kDefaultCapacity);
+
+  /// The parsed statement for `sql`, parsing and inserting on miss.
+  /// ParseError propagates (never cached). The returned AST is shared and
+  /// immutable — safe to execute from any number of threads.
+  std::shared_ptr<const Statement> get(const std::string& sql)
+      IOKC_EXCLUDES(mutex_);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const IOKC_EXCLUDES(mutex_);
+
+ private:
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const Statement>>>;
+
+  mutable util::Mutex mutex_{util::LockRank::kDb, "db.statement_cache"};
+  std::size_t capacity_;
+  LruList lru_ IOKC_GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> by_text_
+      IOKC_GUARDED_BY(mutex_);
+  Stats stats_ IOKC_GUARDED_BY(mutex_);
+};
 
 }  // namespace iokc::db

@@ -72,32 +72,87 @@ std::int64_t Table::insert(const std::vector<std::string>& columns,
   return returned;
 }
 
-void Table::create_index(const std::string& column) {
-  schema_.column_index(column);  // validates the name
-  indexes_[column] = HashIndex{};
-  const std::size_t col = schema_.column_index(column);
-  HashIndex& index = indexes_[column];
-  for (std::size_t r = 0; r < rows_.size(); ++r) {
-    index.emplace(rows_[r][col], r);
+void Table::create_index(IndexDef def) {
+  if (def.columns.empty()) {
+    throw DbError("CREATE INDEX on '" + schema_.name + "' needs columns");
   }
+  if (has_index_named(def.name)) {
+    throw DbError("index '" + def.name + "' already exists on '" +
+                  schema_.name + "'");
+  }
+  std::vector<std::size_t> slots;
+  slots.reserve(def.columns.size());
+  for (const std::string& column : def.columns) {
+    const std::size_t slot = schema_.column_index(column);  // validates
+    if (std::find(slots.begin(), slots.end(), slot) != slots.end()) {
+      throw DbError("index '" + def.name + "' lists column '" + column +
+                    "' twice");
+    }
+    slots.push_back(slot);
+  }
+  SecondaryIndex index(std::move(def), std::move(slots));
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    index.add(rows_[r], r);
+  }
+  indexes_.push_back(std::move(index));
+}
+
+void Table::create_index(const std::string& column) {
+  if (has_index(column)) {
+    return;  // an existing leading-column index already serves lookups
+  }
+  IndexDef def;
+  def.name = "auto_" + schema_.name + "_" + column;
+  def.columns = {column};
+  def.kind = IndexKind::kHash;
+  def.implicit = true;
+  create_index(std::move(def));
 }
 
 bool Table::has_index(const std::string& column) const {
-  return indexes_.contains(column);
+  return index_for_column(column) != nullptr;
+}
+
+bool Table::has_index_named(const std::string& name) const {
+  for (const SecondaryIndex& index : indexes_) {
+    if (index.def().name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const SecondaryIndex* Table::index_for_column(const std::string& column) const {
+  const SecondaryIndex* best = nullptr;
+  for (const SecondaryIndex& index : indexes_) {
+    if (index.def().columns.front() != column) {
+      continue;
+    }
+    // A single-column index answers equality exactly; a composite one only
+    // yields a prefix group (still correct, more postings to merge).
+    if (index.def().columns.size() == 1) {
+      return &index;
+    }
+    if (best == nullptr) {
+      best = &index;
+    }
+  }
+  return best;
 }
 
 std::vector<std::size_t> Table::lookup(const std::string& column,
                                        const Value& value) const {
-  std::vector<std::size_t> matches;
-  const auto index_it = indexes_.find(column);
-  if (index_it != indexes_.end()) {
-    const auto [begin, end] = index_it->second.equal_range(value);
-    for (auto it = begin; it != end; ++it) {
-      matches.push_back(it->second);
+  if (const SecondaryIndex* index = index_for_column(column)) {
+    if (index->def().columns.size() == 1) {
+      return index->equal({value});
     }
-    std::sort(matches.begin(), matches.end());
-    return matches;
+    // Composite ordered index: scan the leading-column prefix group. (A
+    // composite *hash* index cannot answer a prefix probe.)
+    if (index->kind() == IndexKind::kOrdered) {
+      return index->prefix_scan({value}, nullptr, true, nullptr, true);
+    }
   }
+  std::vector<std::size_t> matches;
   const std::size_t col = schema_.column_index(column);
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     if (rows_[r][col] == value) {
@@ -117,18 +172,19 @@ void Table::update_cell(std::size_t row, std::size_t column, Value value) {
     throw DbError("column '" + def.name + "' of '" + schema_.name +
                   "' must not be NULL");
   }
-  const auto index_it = indexes_.find(def.name);
-  if (index_it != indexes_.end()) {
-    auto [begin, end] = index_it->second.equal_range(rows_[row][column]);
-    for (auto it = begin; it != end; ++it) {
-      if (it->second == row) {
-        index_it->second.erase(it);
-        break;
-      }
+  // Re-key every index touching this column: erase under the old key while
+  // the row still holds it, mutate, then add under the new key.
+  for (SecondaryIndex& index : indexes_) {
+    if (index.uses_slot(column)) {
+      index.erase(rows_[row], row);
     }
-    index_it->second.emplace(value, row);
   }
   rows_[row][column] = std::move(value);
+  for (SecondaryIndex& index : indexes_) {
+    if (index.uses_slot(column)) {
+      index.add(rows_[row], row);
+    }
+  }
 }
 
 void Table::remove_rows(const std::vector<std::size_t>& ascending_indices) {
@@ -177,38 +233,29 @@ void Table::truncate_rows(std::size_t count) {
 }
 
 void Table::rebuild_indexes() {
-  for (auto& [column, index] : indexes_) {
+  for (SecondaryIndex& index : indexes_) {
     index.clear();
-    const std::size_t col = schema_.column_index(column);
     for (std::size_t r = 0; r < rows_.size(); ++r) {
-      index.emplace(rows_[r][col], r);
+      index.add(rows_[r], r);
     }
   }
 }
 
 void Table::index_row(std::size_t row) {
   IOKC_ASSERT(row < rows_.size());
-  for (auto& [column, index] : indexes_) {
-    const std::size_t col = schema_.column_index(column);
-    index.emplace(rows_[row][col], row);
+  for (SecondaryIndex& index : indexes_) {
+    index.add(rows_[row], row);
   }
   // Every index must stay in lockstep with the row store; a mismatch here
   // corrupts lookup() silently instead of failing fast.
-  IOKC_CHECK(indexes_.empty() || indexes_.begin()->second.size() == rows_.size(),
+  IOKC_CHECK(indexes_.empty() || indexes_.front().entries() == rows_.size(),
              "index out of sync with row store");
 }
 
 void Table::unindex_row(std::size_t row) {
   IOKC_ASSERT(row < rows_.size());
-  for (auto& [column, index] : indexes_) {
-    const std::size_t col = schema_.column_index(column);
-    auto [begin, end] = index.equal_range(rows_[row][col]);
-    for (auto it = begin; it != end; ++it) {
-      if (it->second == row) {
-        index.erase(it);
-        break;
-      }
-    }
+  for (SecondaryIndex& index : indexes_) {
+    index.erase(rows_[row], row);
   }
 }
 

@@ -1,19 +1,17 @@
 // In-memory table storage: typed rows, auto-increment INTEGER PRIMARY KEY,
-// uniqueness enforcement, and secondary hash indexes for equality lookups.
+// uniqueness enforcement, and named secondary indexes (hash and ordered)
+// kept in lockstep with every row mutation.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/db/index.hpp"
 #include "src/db/schema.hpp"
 #include "src/db/value.hpp"
 
 namespace iokc::db {
-
-using Row = std::vector<Value>;
 
 /// One table.
 class Table {
@@ -31,12 +29,26 @@ class Table {
   /// uniqueness; foreign keys are enforced by the Database.
   std::int64_t insert(const std::vector<std::string>& columns, Row values);
 
-  /// Creates (or re-creates) a hash index on `column`.
+  /// Creates a named index from a CREATE INDEX definition and builds it
+  /// over the existing rows. Throws DbError for unknown/duplicate columns
+  /// or a name already used on this table.
+  void create_index(IndexDef def);
+  /// Creates an *implicit* single-column hash index (PRIMARY KEY and
+  /// REFERENCES columns; excluded from dumps). No-op when an index already
+  /// leads with `column`.
   void create_index(const std::string& column);
+  /// True when any index's leading column is `column` (so equality lookups
+  /// on it are indexed).
   bool has_index(const std::string& column) const;
+  bool has_index_named(const std::string& name) const;
+  const std::vector<SecondaryIndex>& indexes() const { return indexes_; }
+  /// The index equality lookups on `column` resolve through (leading
+  /// column == `column`), or nullptr. Single-column indexes win over
+  /// composite ones.
+  const SecondaryIndex* index_for_column(const std::string& column) const;
 
-  /// Row indices whose `column` equals `value`; uses the index when present,
-  /// otherwise scans.
+  /// Row indices whose `column` equals `value`, ascending; uses an index
+  /// when one leads with the column, otherwise scans.
   std::vector<std::size_t> lookup(const std::string& column,
                                   const Value& value) const;
 
@@ -60,18 +72,13 @@ class Table {
   void set_next_rowid(std::int64_t next) { next_rowid_ = next; }
 
  private:
-  struct ValueHash {
-    std::size_t operator()(const Value& v) const { return v.hash(); }
-  };
-  using HashIndex = std::unordered_multimap<Value, std::size_t, ValueHash>;
-
   void rebuild_indexes();
   void index_row(std::size_t row);
   void unindex_row(std::size_t row);
 
   TableSchema schema_;
   std::vector<Row> rows_;
-  std::map<std::string, HashIndex> indexes_;  // column name -> index
+  std::vector<SecondaryIndex> indexes_;  // creation order
   std::int64_t next_rowid_ = 1;
 };
 

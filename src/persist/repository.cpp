@@ -183,18 +183,34 @@ CREATE TABLE IF NOT EXISTS systeminfos (
 )sql";
 }
 
+std::string knowledge_index_sql() {
+  // The read paths these serve: the explorer's point/range queries over
+  // performances(benchmark, num_nodes) use the ordered composite; exact
+  // command lookups (the viewer's selector) use the hash index. Child-table
+  // foreign-key probes (summaries by performance_id, ...) already hit the
+  // implicit per-column hash indexes every table builds for its FK columns.
+  return R"sql(
+CREATE INDEX IF NOT EXISTS idx_performances_benchmark_nodes
+  ON performances (benchmark, num_nodes);
+CREATE INDEX IF NOT EXISTS idx_performances_command
+  ON performances (command) USING HASH;
+)sql";
+}
+
 KnowledgeRepository::KnowledgeRepository() : KnowledgeRepository(RepoTarget{}) {}
 
 KnowledgeRepository::KnowledgeRepository(const RepoTarget& target)
-    : target_(target) {
+    : target_(target), statements_(std::make_shared<db::StatementCache>()) {
   if (target_.kind == RepoTarget::Kind::kFile) {
     db_ = db::Database::open(target_.path);
   }
   db_.execute_script(knowledge_schema_sql());
+  db_.execute_script(knowledge_index_sql());
 }
 
 KnowledgeRepository::KnowledgeRepository(FromDumpTag,
-                                         const std::string& dump_script) {
+                                         const std::string& dump_script)
+    : statements_(std::make_shared<db::StatementCache>()) {
   // Strip the dump's `--` header/comment lines (same as Database::load).
   std::string cleaned;
   for (const std::string& line : util::split_lines(dump_script)) {
@@ -205,9 +221,12 @@ KnowledgeRepository::KnowledgeRepository(FromDumpTag,
   }
   // The dump's own CREATE TABLE statements run first (they carry the row
   // data); the idempotent schema bootstrap then fills in any table the dump
-  // predates (an empty database dumps to nothing, for instance).
+  // predates (an empty database dumps to nothing, for instance). The dump
+  // also carries its CREATE INDEX lines, so the index bootstrap only builds
+  // what a pre-index dump lacks.
   db_.execute_script(cleaned);
   db_.execute_script(knowledge_schema_sql());
+  db_.execute_script(knowledge_index_sql());
 }
 
 std::unique_ptr<KnowledgeRepository> KnowledgeRepository::from_dump(
@@ -217,9 +236,11 @@ std::unique_ptr<KnowledgeRepository> KnowledgeRepository::from_dump(
 }
 
 KnowledgeRepository::KnowledgeRepository(CloneTag,
-                                         const KnowledgeRepository& base) {
+                                         const KnowledgeRepository& base)
+    : statements_(base.statements_) {
   // Deep table copy; no journal, file target, or capture state carries
-  // over. The clone then patches forward via replay_delta.
+  // over. The clone then patches forward via replay_delta. The prepared-
+  // statement cache IS shared — clones answer the same fixed query texts.
   db_ = base.db_.clone_snapshot();
 }
 
@@ -604,10 +625,15 @@ knowledge::SystemInfoRecord system_from_row(const db::ResultSet& rows,
 
 }  // namespace
 
+db::ResultSet KnowledgeRepository::query(const std::string& sql,
+                                         std::vector<db::Value> params) {
+  return db_.execute_prepared(*statements_->get(sql), params);
+}
+
 knowledge::Knowledge KnowledgeRepository::load_knowledge(
     std::int64_t performance_id) {
-  const db::ResultSet perf = db_.execute(
-      "SELECT * FROM performances WHERE id = " + std::to_string(performance_id));
+  const db::ResultSet perf =
+      query("SELECT * FROM performances WHERE id = ?", {performance_id});
   if (perf.empty()) {
     throw DbError("no knowledge object with id " +
                   std::to_string(performance_id));
@@ -626,8 +652,8 @@ knowledge::Knowledge KnowledgeRepository::load_knowledge(
   k.end_time = perf.at(0, "end_time").as_real();
 
   const db::ResultSet summaries =
-      db_.execute("SELECT * FROM summaries WHERE performance_id = " +
-                  std::to_string(performance_id) + " ORDER BY id");
+      query("SELECT * FROM summaries WHERE performance_id = ? ORDER BY id",
+            {performance_id});
   for (std::size_t s = 0; s < summaries.size(); ++s) {
     knowledge::OpSummary summary;
     const std::int64_t summary_id = summaries.at(s, "id").as_integer();
@@ -644,8 +670,8 @@ knowledge::Knowledge KnowledgeRepository::load_knowledge(
     summary.mean_time_sec = summaries.at(s, "mean_time_sec").as_real();
 
     const db::ResultSet results =
-        db_.execute("SELECT * FROM results WHERE summary_id = " +
-                    std::to_string(summary_id) + " ORDER BY iteration");
+        query("SELECT * FROM results WHERE summary_id = ? ORDER BY iteration",
+              {summary_id});
     for (std::size_t r = 0; r < results.size(); ++r) {
       knowledge::OpResult result;
       result.iteration =
@@ -662,9 +688,8 @@ knowledge::Knowledge KnowledgeRepository::load_knowledge(
     k.summaries.push_back(std::move(summary));
   }
 
-  const db::ResultSet fs =
-      db_.execute("SELECT * FROM filesystems WHERE performance_id = " +
-                  std::to_string(performance_id));
+  const db::ResultSet fs = query(
+      "SELECT * FROM filesystems WHERE performance_id = ?", {performance_id});
   if (!fs.empty()) {
     knowledge::FileSystemInfo info;
     info.fs_name = fs.at(0, "fs_name").as_text();
@@ -682,16 +707,14 @@ knowledge::Knowledge KnowledgeRepository::load_knowledge(
     k.filesystem = info;
   }
 
-  const db::ResultSet sys =
-      db_.execute("SELECT * FROM systeminfos WHERE performance_id = " +
-                  std::to_string(performance_id));
+  const db::ResultSet sys = query(
+      "SELECT * FROM systeminfos WHERE performance_id = ?", {performance_id});
   if (!sys.empty()) {
     k.system = system_from_row(sys, 0);
   }
 
-  const db::ResultSet job =
-      db_.execute("SELECT * FROM jobinfos WHERE performance_id = " +
-                  std::to_string(performance_id));
+  const db::ResultSet job = query(
+      "SELECT * FROM jobinfos WHERE performance_id = ?", {performance_id});
   if (!job.empty()) {
     knowledge::JobInfoRecord j;
     j.job_id = static_cast<std::uint64_t>(job.at(0, "job_id").as_integer());
@@ -710,8 +733,8 @@ knowledge::Knowledge KnowledgeRepository::load_knowledge(
 
 knowledge::Io500Knowledge KnowledgeRepository::load_io500(
     std::int64_t iofh_id) {
-  const db::ResultSet run = db_.execute("SELECT * FROM IOFHsRuns WHERE id = " +
-                                        std::to_string(iofh_id));
+  const db::ResultSet run =
+      query("SELECT * FROM IOFHsRuns WHERE id = ?", {iofh_id});
   if (run.empty()) {
     throw DbError("no IO500 knowledge object with id " +
                   std::to_string(iofh_id));
@@ -721,30 +744,27 @@ knowledge::Io500Knowledge KnowledgeRepository::load_io500(
   k.num_tasks = static_cast<std::uint32_t>(run.at(0, "num_tasks").as_integer());
   k.num_nodes = static_cast<std::uint32_t>(run.at(0, "num_nodes").as_integer());
 
-  const db::ResultSet scores = db_.execute(
-      "SELECT * FROM IOFHsScores WHERE IOFH_id = " + std::to_string(iofh_id));
+  const db::ResultSet scores =
+      query("SELECT * FROM IOFHsScores WHERE IOFH_id = ?", {iofh_id});
   if (!scores.empty()) {
     k.score_bw_gib = scores.at(0, "score_bw").as_real();
     k.score_md_kiops = scores.at(0, "score_md").as_real();
     k.score_total = scores.at(0, "score_total").as_real();
   }
 
-  const db::ResultSet cases =
-      db_.execute("SELECT * FROM IOFHsTestcases WHERE IOFH_id = " +
-                  std::to_string(iofh_id) + " ORDER BY id");
+  const db::ResultSet cases = query(
+      "SELECT * FROM IOFHsTestcases WHERE IOFH_id = ? ORDER BY id", {iofh_id});
   for (std::size_t c = 0; c < cases.size(); ++c) {
     knowledge::Io500Testcase testcase;
     const std::int64_t testcase_id = cases.at(c, "id").as_integer();
     testcase.name = cases.at(c, "name").as_text();
-    const db::ResultSet options =
-        db_.execute("SELECT * FROM IOFHsOptions WHERE testcase_id = " +
-                    std::to_string(testcase_id));
+    const db::ResultSet options = query(
+        "SELECT * FROM IOFHsOptions WHERE testcase_id = ?", {testcase_id});
     if (!options.empty()) {
       testcase.options = options.at(0, "options").as_text();
     }
-    const db::ResultSet results =
-        db_.execute("SELECT * FROM IOFHsResults WHERE testcase_id = " +
-                    std::to_string(testcase_id));
+    const db::ResultSet results = query(
+        "SELECT * FROM IOFHsResults WHERE testcase_id = ?", {testcase_id});
     if (!results.empty()) {
       testcase.value = results.at(0, "value").as_real();
       testcase.unit = results.at(0, "unit").as_text();
@@ -753,8 +773,8 @@ knowledge::Io500Knowledge KnowledgeRepository::load_io500(
     k.testcases.push_back(std::move(testcase));
   }
 
-  const db::ResultSet sys = db_.execute(
-      "SELECT * FROM systeminfos WHERE IOFH_id = " + std::to_string(iofh_id));
+  const db::ResultSet sys =
+      query("SELECT * FROM systeminfos WHERE IOFH_id = ?", {iofh_id});
   if (!sys.empty()) {
     k.system = system_from_row(sys, 0);
   }
@@ -762,8 +782,7 @@ knowledge::Io500Knowledge KnowledgeRepository::load_io500(
 }
 
 std::vector<std::int64_t> KnowledgeRepository::knowledge_ids() {
-  const db::ResultSet rows =
-      db_.execute("SELECT id FROM performances ORDER BY id");
+  const db::ResultSet rows = query("SELECT id FROM performances ORDER BY id", {});
   std::vector<std::int64_t> ids;
   ids.reserve(rows.size());
   for (std::size_t r = 0; r < rows.size(); ++r) {
@@ -773,7 +792,7 @@ std::vector<std::int64_t> KnowledgeRepository::knowledge_ids() {
 }
 
 std::vector<std::int64_t> KnowledgeRepository::io500_ids() {
-  const db::ResultSet rows = db_.execute("SELECT id FROM IOFHsRuns ORDER BY id");
+  const db::ResultSet rows = query("SELECT id FROM IOFHsRuns ORDER BY id", {});
   std::vector<std::int64_t> ids;
   ids.reserve(rows.size());
   for (std::size_t r = 0; r < rows.size(); ++r) {
@@ -785,7 +804,7 @@ std::vector<std::int64_t> KnowledgeRepository::io500_ids() {
 std::vector<std::pair<std::int64_t, std::string>>
 KnowledgeRepository::list_commands() {
   const db::ResultSet rows =
-      db_.execute("SELECT id, command FROM performances ORDER BY id");
+      query("SELECT id, command FROM performances ORDER BY id", {});
   std::vector<std::pair<std::int64_t, std::string>> commands;
   commands.reserve(rows.size());
   for (std::size_t r = 0; r < rows.size(); ++r) {

@@ -43,6 +43,12 @@ struct RepoTarget {
 /// DDL creating the full knowledge schema (idempotent: IF NOT EXISTS).
 std::string knowledge_schema_sql();
 
+/// DDL creating the secondary indexes the repository's read paths lean on
+/// (idempotent: IF NOT EXISTS). Kept separate from the schema DDL so dumps —
+/// which already carry their own CREATE INDEX lines — bootstrap without
+/// redundant index rebuilds.
+std::string knowledge_index_sql();
+
 /// All knowledge objects extracted from one source (a benchmark output file).
 /// Stored atomically together with a provenance row, so after a crash a
 /// source is either fully persisted or not at all — the unit of resumption.
@@ -172,8 +178,17 @@ class KnowledgeRepository {
   std::int64_t store_unlocked(const knowledge::Io500Knowledge& knowledge)
       IOKC_REQUIRES(write_mutex_);
 
+  /// Runs a read-only statement through the prepared-statement cache with
+  /// positional `?` parameters bound — the repository's hot load paths skip
+  /// reparsing their (fixed) query texts on every call.
+  db::ResultSet query(const std::string& sql, std::vector<db::Value> params);
+
   db::Database db_;
   RepoTarget target_;
+  /// Shared across snapshot clones (clone_of): the clones run the same fixed
+  /// query texts as the base, so one cache serves them all. The cache hands
+  /// out immutable ASTs and locks itself, making the sharing safe.
+  std::shared_ptr<db::StatementCache> statements_;
   /// Single-writer gate: the embedded database is not thread-safe, so every
   /// mutating path (store, remove, save) serializes here. Readers are not
   /// synchronized — load while storing is still a caller-side race (the

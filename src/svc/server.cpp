@@ -156,6 +156,9 @@ ServerStats Server::stats() const {
   stats.snapshot_full_rebuilds = counters.full_rebuilds;
   stats.snapshot_delta_applies = counters.delta_applies;
   stats.snapshot_rebuilds = counters.full_rebuilds + counters.delta_applies;
+  const db::StatementCache::Stats cache = sql_statements_.stats();
+  stats.sql_cache_hits = cache.hits;
+  stats.sql_cache_misses = cache.misses;
   return stats;
 }
 
@@ -394,6 +397,10 @@ Response Server::dispatch(const Request& request) {
                           util::JsonValue(stats.snapshot_full_rebuilds));
       result.emplace_back("snapshot_delta_applies",
                           util::JsonValue(stats.snapshot_delta_applies));
+      result.emplace_back("sql_cache_hits",
+                          util::JsonValue(stats.sql_cache_hits));
+      result.emplace_back("sql_cache_misses",
+                          util::JsonValue(stats.sql_cache_misses));
       result.emplace_back(
           "knowledge_objects",
           util::JsonValue(static_cast<std::int64_t>(
@@ -429,7 +436,12 @@ Response Server::dispatch(const Request& request) {
     }
     if (endpoint == "sql") {
       const std::string statement = params.at("statement").as_string();
-      if (!db::sql_is_read_only(statement)) {
+      // Parse through the prepared-statement cache: a repeated query text
+      // (pipelining clients, dashboards polling the same SELECT) reuses the
+      // cached AST. ParseError propagates to the catch below unchanged.
+      const std::shared_ptr<const db::Statement> parsed =
+          sql_statements_.get(statement);
+      if (!db::statement_is_read_only(*parsed)) {
         return Response::failure(
             "sql endpoint is read-only; store knowledge through "
             "knowledge/store, or run `iokc sql --write` against the "
@@ -438,7 +450,7 @@ Response Server::dispatch(const Request& request) {
       const std::shared_ptr<persist::KnowledgeRepository> snap =
           store_.snapshot();
       return Response::success(
-          result_set_to_json(snap->database().execute(statement)));
+          result_set_to_json(snap->database().execute_prepared(*parsed)));
     }
     if (endpoint == "knowledge/get") {
       const std::int64_t id = params.at("id").as_int();

@@ -70,6 +70,10 @@ struct ServerStats {
   std::uint64_t snapshot_rebuilds = 0;
   std::uint64_t snapshot_full_rebuilds = 0;
   std::uint64_t snapshot_delta_applies = 0;
+  /// Prepared-statement cache traffic on the sql endpoint: hits are requests
+  /// that skipped reparsing their statement text.
+  std::uint64_t sql_cache_hits = 0;
+  std::uint64_t sql_cache_misses = 0;
 };
 
 class Server {
@@ -138,6 +142,11 @@ class Server {
   persist::KnowledgeRepository& repository_;
   ServerConfig config_;
   SnapshotStore store_;
+  /// Parsed-statement cache for the sql endpoint: pipelining clients and
+  /// dashboards repeat the same query texts, so repeated requests execute
+  /// the cached AST against the current snapshot instead of reparsing. The
+  /// cache locks itself (rank db.statement_cache, below every svc lock).
+  db::StatementCache sql_statements_;
 
   Socket listener_;
   Socket wake_read_;

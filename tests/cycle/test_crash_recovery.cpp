@@ -11,8 +11,11 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <filesystem>
+#include <set>
 #include <string>
+#include <string_view>
 
 #include "src/cycle/cycle.hpp"
 #include "src/db/database.hpp"
@@ -27,6 +30,14 @@ std::atomic<int> g_kill_countdown{0};
 
 void countdown_kill(const char* /*site*/) {
   if (g_kill_countdown.fetch_sub(1) == 1) {
+    ::kill(::getpid(), SIGKILL);
+  }
+}
+
+/// Kills at the first index-build fault point, leaving every other site
+/// untouched — the targeted crash for the index-maintenance tests.
+void kill_at_index_create(const char* site) {
+  if (std::string_view(site) == "db.index.create") {
     ::kill(::getpid(), SIGKILL);
   }
 }
@@ -100,6 +111,67 @@ class CrashRecoveryTest : public ::testing::Test {
     return false;
   }
 
+  /// A journaled-database flow exercising index maintenance directly: bulk
+  /// rows, then two CREATE INDEX IF NOT EXISTS builds (the db.index.create
+  /// fault point fires inside each genuine build), then a checkpointing
+  /// save. Re-running it against a half-finished database must converge.
+  void run_index_flow(const std::string& tag) {
+    db::Database db = db::Database::open(db_path(tag));
+    db.execute(
+        "CREATE TABLE IF NOT EXISTS performances (id INTEGER PRIMARY KEY, "
+        "benchmark TEXT, num_nodes INTEGER)");
+    // Explicit ids make the bulk load idempotent row by row: a rerun after
+    // a mid-load kill fills in exactly the missing rows (the same unit-of-
+    // resumption discipline store_sources uses).
+    std::set<std::int64_t> present;
+    const db::ResultSet existing = db.execute("SELECT id FROM performances");
+    for (std::size_t r = 0; r < existing.size(); ++r) {
+      present.insert(existing.at(r, "id").as_integer());
+    }
+    const char* benchmarks[] = {"IOR", "IO500", "mdtest"};
+    for (int i = 0; i < 12; ++i) {
+      if (present.contains(i + 1)) {
+        continue;
+      }
+      db.execute("INSERT INTO performances (id, benchmark, num_nodes) VALUES "
+                 "(" +
+                 std::to_string(i + 1) + ", '" +
+                 std::string(benchmarks[i % 3]) + "', " +
+                 std::to_string(1 + i % 4) + ")");
+    }
+    db.execute("CREATE INDEX IF NOT EXISTS idx_bench_nodes ON performances "
+               "(benchmark, num_nodes)");
+    db.execute("CREATE INDEX IF NOT EXISTS idx_bench_hash ON performances "
+               "(benchmark) USING HASH");
+    db.save(db_path(tag));
+  }
+
+  /// Forks a child running the index flow with `hook` installed as the
+  /// fault hook (countdown_kill reads g_kill_countdown = `countdown`).
+  /// Same contract as run_with_kill: true = finished cleanly.
+  bool run_index_with_kill(const std::string& tag, void (*hook)(const char*),
+                           int countdown = 0) {
+    const ::pid_t pid = ::fork();
+    if (pid == 0) {
+      g_kill_countdown.store(countdown);
+      util::set_fault_hook(hook);
+      try {
+        run_index_flow(tag);
+      } catch (...) {
+        ::_exit(2);
+      }
+      ::_exit(0);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFEXITED(status)) {
+      EXPECT_EQ(WEXITSTATUS(status), 0);
+      return true;
+    }
+    EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+    return false;
+  }
+
   std::filesystem::path root_;
 };
 
@@ -136,6 +208,56 @@ TEST_F(CrashRecoveryTest, ResumeAfterSingleMidSweepKillMatchesReference) {
   if (!completed_first_try) {
     run_flow("victim");
   }
+  EXPECT_EQ(db::Database::open(db_path("victim")).dump(), reference);
+}
+
+TEST_F(CrashRecoveryTest, KillDuringIndexBuildLeavesTableIntactAndConverges) {
+  run_index_flow("reference");
+  const std::string reference =
+      db::Database::open(db_path("reference")).dump();
+  ASSERT_NE(reference.find("CREATE INDEX idx_bench_nodes"),
+            std::string::npos);
+
+  // The targeted kill lands inside the first genuine index build — after
+  // the rows committed, before the CREATE INDEX could commit.
+  ASSERT_FALSE(run_index_with_kill("victim", &kill_at_index_create))
+      << "db.index.create never fired";
+  {
+    db::Database recovered = db::Database::open(db_path("victim"));
+    const db::Table& table = recovered.require_table("performances");
+    EXPECT_EQ(table.rows().size(), 12u) << "committed rows lost";
+    // The interrupted CREATE INDEX never reached the journal, so recovery
+    // must not resurrect a half-built index.
+    EXPECT_FALSE(table.has_index_named("idx_bench_nodes"));
+    // Table and (implicit PK) index still answer queries consistently.
+    recovered.set_index_planning(true);
+    const std::string indexed =
+        recovered.execute("SELECT * FROM performances WHERE benchmark = "
+                          "'IOR'").render_csv();
+    recovered.set_index_planning(false);
+    EXPECT_EQ(recovered.execute("SELECT * FROM performances WHERE benchmark "
+                                "= 'IOR'").render_csv(),
+              indexed);
+  }
+  // A clean re-run converges to the uninterrupted reference byte for byte.
+  run_index_flow("victim");
+  EXPECT_EQ(db::Database::open(db_path("victim")).dump(), reference);
+}
+
+TEST_F(CrashRecoveryTest, IndexFlowSurvivesKillsAtEveryFaultPoint) {
+  run_index_flow("reference");
+  const std::string reference =
+      db::Database::open(db_path("reference")).dump();
+
+  constexpr int kMaxAttempts = 120;
+  int attempts = 0;
+  while (!run_index_with_kill("victim", &countdown_kill, attempts + 1)) {
+    ++attempts;
+    ASSERT_LT(attempts, kMaxAttempts) << "index flow never completed";
+    EXPECT_NO_THROW(db::Database::open(db_path("victim")))
+        << "database corrupt after kill #" << attempts;
+  }
+  EXPECT_GT(attempts, 0) << "no kill ever fired; fault points missing";
   EXPECT_EQ(db::Database::open(db_path("victim")).dump(), reference);
 }
 

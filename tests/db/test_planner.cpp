@@ -1,0 +1,249 @@
+#include "src/db/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/db/database.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::db {
+namespace {
+
+// A performances-shaped table with the same secondary indexes the knowledge
+// repository bootstraps: an ordered composite over (benchmark, num_nodes)
+// and a hash index over command.
+Database make_indexed(std::size_t rows, std::uint32_t seed) {
+  Database db;
+  db.execute(
+      "CREATE TABLE performances (id INTEGER PRIMARY KEY, command TEXT NOT "
+      "NULL, benchmark TEXT, num_nodes INTEGER, bw REAL)");
+  db.execute(
+      "CREATE INDEX idx_perf_bench_nodes ON performances "
+      "(benchmark, num_nodes)");
+  db.execute(
+      "CREATE INDEX idx_perf_command ON performances (command) USING HASH");
+  const char* benchmarks[] = {"IOR", "IO500", "mdtest", "fio"};
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> bench(0, 3);
+  std::uniform_int_distribution<int> nodes(1, 16);
+  std::uniform_int_distribution<int> cmd(0, 9);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::string benchmark = benchmarks[bench(rng)];
+    const int node_count = nodes(rng);
+    db.execute("INSERT INTO performances (command, benchmark, num_nodes, bw) "
+               "VALUES ('ior -v " +
+               std::to_string(cmd(rng)) + "', '" + benchmark + "', " +
+               std::to_string(node_count) + ", " +
+               std::to_string(100.0 * node_count) + ")");
+  }
+  return db;
+}
+
+std::string access_of(Database& db, const std::string& statement) {
+  const ResultSet plan = db.execute("EXPLAIN " + statement);
+  EXPECT_FALSE(plan.empty());
+  return plan.at(0, "access").as_text();
+}
+
+TEST(Planner, ExplainShowsIndexPlansForPointAndRange) {
+  Database db = make_indexed(64, 1);
+  // Point lookup on the composite's full key: the ordered index serves it.
+  EXPECT_EQ(access_of(db,
+                      "SELECT * FROM performances WHERE benchmark = 'IOR' "
+                      "AND num_nodes = 4"),
+            "ordered_eq");
+  // Range over the second column with the first pinned.
+  EXPECT_EQ(access_of(db,
+                      "SELECT * FROM performances WHERE benchmark = 'IOR' "
+                      "AND num_nodes >= 4 AND num_nodes <= 8"),
+            "ordered_range");
+  // Exact command: the hash index wins the point lookup.
+  EXPECT_EQ(access_of(db,
+                      "SELECT * FROM performances WHERE command = 'ior -v 3'"),
+            "hash_eq");
+  // No index covers bw: scan fallback.
+  EXPECT_EQ(access_of(db, "SELECT * FROM performances WHERE bw > 500"),
+            "scan");
+}
+
+TEST(Planner, ExplainReportsIndexNameKeyAndEstimates) {
+  Database db = make_indexed(64, 2);
+  const ResultSet plan = db.execute(
+      "EXPLAIN SELECT * FROM performances WHERE benchmark = 'IOR' AND "
+      "num_nodes = 4");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.at(0, "table").as_text(), "performances");
+  EXPECT_EQ(plan.at(0, "index").as_text(), "idx_perf_bench_nodes");
+  EXPECT_NE(plan.at(0, "key").as_text().find("benchmark = 'IOR'"),
+            std::string::npos);
+  EXPECT_LT(plan.at(0, "cost").as_integer(), 64);
+}
+
+TEST(Planner, ExplainCoversUpdateAndDelete) {
+  Database db = make_indexed(64, 3);
+  EXPECT_EQ(access_of(db,
+                      "UPDATE performances SET bw = 0 WHERE benchmark = "
+                      "'IOR' AND num_nodes = 4"),
+            "ordered_eq");
+  EXPECT_EQ(access_of(db, "DELETE FROM performances WHERE command = 'x'"),
+            "hash_eq");
+  // EXPLAIN never executes the inner statement.
+  const ResultSet before = db.execute("SELECT * FROM performances");
+  db.execute("EXPLAIN DELETE FROM performances WHERE num_nodes >= 0");
+  const ResultSet after = db.execute("SELECT * FROM performances");
+  EXPECT_EQ(before.render_csv(), after.render_csv());
+  EXPECT_THROW(db.execute("EXPLAIN CREATE TABLE t (id INTEGER PRIMARY KEY)"),
+               DbError);
+}
+
+// The core property: for every query shape, the indexed plan returns
+// byte-identical results to the scan-only plan, across randomized workloads
+// and after interleaved mutations.
+TEST(Planner, IndexedResultsMatchScanResultsOnRandomizedWorkloads) {
+  for (std::uint32_t seed = 1; seed <= 5; ++seed) {
+    Database db = make_indexed(200, seed);
+    std::mt19937 rng(seed * 977);
+    std::uniform_int_distribution<int> nodes(0, 18);
+    std::uniform_int_distribution<int> pick(0, 3);
+    const char* benchmarks[] = {"IOR", "IO500", "mdtest", "none"};
+    for (int round = 0; round < 40; ++round) {
+      // Mutate a slice so the indexes see churn, not just bulk load.
+      if (round % 7 == 3) {
+        db.execute("DELETE FROM performances WHERE num_nodes = " +
+                   std::to_string(nodes(rng)));
+      }
+      if (round % 5 == 2) {
+        db.execute("UPDATE performances SET num_nodes = " +
+                   std::to_string(nodes(rng)) + " WHERE num_nodes = " +
+                   std::to_string(nodes(rng)));
+      }
+      const std::string benchmark = benchmarks[pick(rng)];
+      const int lo = nodes(rng);
+      const std::vector<std::string> queries = {
+          "SELECT * FROM performances WHERE benchmark = '" + benchmark +
+              "' AND num_nodes = " + std::to_string(lo),
+          "SELECT * FROM performances WHERE benchmark = '" + benchmark +
+              "' AND num_nodes >= " + std::to_string(lo) +
+              " AND num_nodes <= " + std::to_string(lo + 4),
+          "SELECT * FROM performances WHERE command = 'ior -v " +
+              std::to_string(pick(rng)) + "'",
+          "SELECT * FROM performances WHERE benchmark = '" + benchmark +
+              "' AND bw > " + std::to_string(lo * 100),
+      };
+      for (const std::string& query : queries) {
+        db.set_index_planning(true);
+        const std::string indexed = db.execute(query).render_csv();
+        db.set_index_planning(false);
+        const std::string scanned = db.execute(query).render_csv();
+        db.set_index_planning(true);
+        EXPECT_EQ(indexed, scanned) << "seed " << seed << ": " << query;
+      }
+    }
+  }
+}
+
+TEST(Planner, JoinResultsMatchWithPlanningOnAndOff) {
+  Database db = make_indexed(48, 7);
+  db.execute(
+      "CREATE TABLE summaries (id INTEGER PRIMARY KEY, performance_id "
+      "INTEGER NOT NULL REFERENCES performances(id), op TEXT)");
+  for (int i = 1; i <= 48; ++i) {
+    db.execute("INSERT INTO summaries (performance_id, op) VALUES (" +
+               std::to_string(i) + ", 'write'), (" + std::to_string(i) +
+               ", 'read')");
+  }
+  const std::string query =
+      "SELECT * FROM performances JOIN summaries ON "
+      "performances.id = summaries.performance_id WHERE benchmark = 'IOR'";
+  db.set_index_planning(true);
+  const std::string indexed = db.execute(query).render_csv();
+  db.set_index_planning(false);
+  const std::string scanned = db.execute(query).render_csv();
+  EXPECT_EQ(indexed, scanned);
+  EXPECT_FALSE(indexed.empty());
+}
+
+TEST(Planner, CreateIndexRollsBackCleanly) {
+  Database db = make_indexed(32, 9);
+  db.begin();
+  db.execute(
+      "CREATE INDEX idx_perf_bw ON performances (bw)");
+  EXPECT_TRUE(db.require_table("performances").has_index_named("idx_perf_bw"));
+  db.rollback();
+  EXPECT_FALSE(
+      db.require_table("performances").has_index_named("idx_perf_bw"));
+  // The table still answers queries consistently after the undo.
+  db.set_index_planning(true);
+  const std::string indexed =
+      db.execute("SELECT * FROM performances WHERE benchmark = 'IOR'")
+          .render_csv();
+  db.set_index_planning(false);
+  const std::string scanned =
+      db.execute("SELECT * FROM performances WHERE benchmark = 'IOR'")
+          .render_csv();
+  EXPECT_EQ(indexed, scanned);
+}
+
+TEST(Planner, CreateIndexIsDurableAcrossDumpReload) {
+  Database db = make_indexed(16, 11);
+  const std::string dump = db.dump();
+  EXPECT_NE(dump.find("CREATE INDEX idx_perf_bench_nodes"), std::string::npos);
+  EXPECT_NE(dump.find("USING HASH"), std::string::npos);
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("iokc_planner_dump_" + std::to_string(::getpid()) + ".db");
+  db.save(path.string());
+  Database loaded = Database::load(path.string());
+  std::filesystem::remove(path);
+  std::filesystem::remove(path.string() + "-journal");
+  EXPECT_TRUE(loaded.require_table("performances")
+                  .has_index_named("idx_perf_bench_nodes"));
+  EXPECT_EQ(loaded.dump(), dump);
+}
+
+TEST(Planner, PreparedStatementsBindParameters) {
+  Database db = make_indexed(64, 13);
+  StatementCache cache(8);
+  const auto statement = cache.get(
+      "SELECT * FROM performances WHERE benchmark = ? AND num_nodes = ?");
+  const ResultSet via_params =
+      db.execute_prepared(*statement, {Value("IOR"), Value(4)});
+  const ResultSet direct = db.execute(
+      "SELECT * FROM performances WHERE benchmark = 'IOR' AND num_nodes = 4");
+  EXPECT_EQ(via_params.render_csv(), direct.render_csv());
+  // Too few parameters and write statements are rejected.
+  EXPECT_THROW(db.execute_prepared(*statement, {Value("IOR")}), DbError);
+  const auto write = cache.get("DELETE FROM performances WHERE num_nodes = ?");
+  EXPECT_THROW(db.execute_prepared(*write, {Value(1)}), DbError);
+}
+
+TEST(Planner, ParameterizedQueriesUseIndexPlans) {
+  Database db = make_indexed(64, 17);
+  StatementCache cache(8);
+  const auto statement = cache.get(
+      "EXPLAIN SELECT * FROM performances WHERE benchmark = ? AND "
+      "num_nodes = ?");
+  const ResultSet plan =
+      db.execute_prepared(*statement, {Value("IOR"), Value(4)});
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan.at(0, "access").as_text(), "ordered_eq");
+}
+
+TEST(Planner, ChooseAccessFallsBackToScanWithoutUsableIndex) {
+  Database db = make_indexed(32, 19);
+  const Table& table = db.require_table("performances");
+  const AccessPath path = choose_access(table, nullptr, {});
+  EXPECT_EQ(path.kind, AccessPath::Kind::kScan);
+  const std::vector<std::size_t> rows = execute_access(table, path);
+  EXPECT_EQ(rows.size(), table.rows().size());
+}
+
+}  // namespace
+}  // namespace iokc::db

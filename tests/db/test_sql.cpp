@@ -34,7 +34,60 @@ TEST(Sql, ParsesCreateIndex) {
   const auto& stmt = std::get<CreateIndexStmt>(stmt_stmt);
   EXPECT_EQ(stmt.index_name, "idx_s_pid");
   EXPECT_EQ(stmt.table, "summaries");
-  EXPECT_EQ(stmt.column, "performance_id");
+  EXPECT_EQ(stmt.columns, (std::vector<std::string>{"performance_id"}));
+  EXPECT_EQ(stmt.kind, IndexKind::kOrdered);
+  EXPECT_FALSE(stmt.if_not_exists);
+}
+
+TEST(Sql, ParsesCompositeHashIndexIfNotExists) {
+  const Statement stmt_stmt = parse_sql(
+      "CREATE INDEX IF NOT EXISTS idx_perf ON performances "
+      "(benchmark, num_nodes) USING HASH");
+  const auto& stmt = std::get<CreateIndexStmt>(stmt_stmt);
+  EXPECT_EQ(stmt.index_name, "idx_perf");
+  EXPECT_EQ(stmt.table, "performances");
+  EXPECT_EQ(stmt.columns,
+            (std::vector<std::string>{"benchmark", "num_nodes"}));
+  EXPECT_EQ(stmt.kind, IndexKind::kHash);
+  EXPECT_TRUE(stmt.if_not_exists);
+}
+
+TEST(Sql, ParsesExplainAndClassifiesReadOnly) {
+  const Statement stmt_stmt =
+      parse_sql("EXPLAIN SELECT * FROM t WHERE a = 1");
+  const auto& stmt = std::get<ExplainStmt>(stmt_stmt);
+  ASSERT_NE(stmt.inner, nullptr);
+  EXPECT_TRUE(std::holds_alternative<SelectStmt>(*stmt.inner));
+  EXPECT_TRUE(statement_is_read_only(stmt_stmt));
+  // EXPLAIN never executes the inner statement, so planning a DELETE is
+  // still read-only.
+  EXPECT_TRUE(sql_is_read_only("EXPLAIN DELETE FROM t WHERE a = 1"));
+  EXPECT_FALSE(sql_is_read_only("DELETE FROM t WHERE a = 1"));
+}
+
+TEST(Sql, ParsesPositionalParameters) {
+  const Statement stmt_stmt =
+      parse_sql("SELECT * FROM t WHERE a = ? AND b > ?");
+  EXPECT_EQ(statement_param_count(stmt_stmt), 2u);
+  EXPECT_EQ(statement_param_count(parse_sql("SELECT * FROM t")), 0u);
+  EXPECT_EQ(statement_param_count(
+                parse_sql("EXPLAIN SELECT * FROM t WHERE a = ?")),
+            1u);
+}
+
+TEST(Sql, StatementCacheHitsAndEvicts) {
+  StatementCache cache(2);
+  const auto first = cache.get("SELECT * FROM t WHERE a = ?");
+  const auto again = cache.get("SELECT * FROM t WHERE a = ?");
+  EXPECT_EQ(first.get(), again.get());  // same parsed AST, no reparse
+  cache.get("SELECT * FROM u");
+  cache.get("SELECT * FROM v");  // evicts the LRU entry ("...t...")
+  const StatementCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // Parse failures propagate and are never cached.
+  EXPECT_THROW(cache.get("SELEC nonsense"), ParseError);
 }
 
 TEST(Sql, ParsesInsertMultiRow) {

@@ -101,6 +101,21 @@ TEST(Transactions, RollbackUndoesIndexCreation) {
   EXPECT_FALSE(db.require_table("t").has_index("x"));
 }
 
+TEST(Transactions, RollbackUndoesCompositeAndHashIndexCreation) {
+  Database db = make_db();
+  const std::string before = db.dump();
+  db.begin();
+  db.execute("CREATE INDEX idx_xid ON t (x, id)");
+  db.execute("CREATE INDEX idx_hx ON t (x) USING HASH");
+  db.execute("INSERT INTO t (x) VALUES ('in-txn')");
+  EXPECT_TRUE(db.require_table("t").has_index_named("idx_xid"));
+  EXPECT_TRUE(db.require_table("t").has_index_named("idx_hx"));
+  db.rollback();
+  EXPECT_FALSE(db.require_table("t").has_index_named("idx_xid"));
+  EXPECT_FALSE(db.require_table("t").has_index_named("idx_hx"));
+  EXPECT_EQ(db.dump(), before);
+}
+
 TEST(Transactions, MixedInsertAndOverwriteOnSameTable) {
   Database db = make_db();
   const std::string before = db.dump();

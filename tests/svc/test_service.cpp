@@ -93,6 +93,40 @@ TEST_F(ServiceTest, DispatchSqlSelectsAndRefusesWrites) {
   EXPECT_EQ(repository_.knowledge_ids().size(), 9u);
 }
 
+TEST_F(ServiceTest, DispatchSqlExplainAndStatementCache) {
+  // Spread num_nodes so the composite key is selective — with every row on
+  // one key the planner would (correctly) prefer the scan.
+  for (int i = 0; i < 8; ++i) {
+    knowledge::Knowledge object = make_ior_knowledge(20 + i);
+    object.num_nodes = static_cast<std::uint32_t>(1 + i);
+    repository_.store(object);
+  }
+  Server server(repository_);
+  // EXPLAIN is read-only and must show the repository's bootstrapped
+  // composite index serving a (benchmark, num_nodes) point query.
+  const std::string explain =
+      "EXPLAIN SELECT * FROM performances WHERE benchmark = 'IOR' AND "
+      "num_nodes = 8";
+  const Response plan = server.dispatch(make_request(
+      "sql", params_of({{"statement", util::JsonValue(explain)}})));
+  ASSERT_TRUE(plan.ok) << plan.error;
+  // Cells are positional under "columns": {step, table, access, index, ...}.
+  EXPECT_EQ(plan.result.at("columns").as_array().at(2).as_string(), "access");
+  const util::JsonValue& row = plan.result.at("rows").as_array().at(0);
+  EXPECT_EQ(row.as_array().at(2).as_string(), "ordered_eq");
+  EXPECT_EQ(row.as_array().at(3).as_string(),
+            "idx_performances_benchmark_nodes");
+
+  // A repeated statement text hits the prepared-statement cache; the stats
+  // endpoint reports the traffic.
+  server.dispatch(make_request(
+      "sql", params_of({{"statement", util::JsonValue(explain)}})));
+  const Response stats = server.dispatch(make_request("stats"));
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.result.at("sql_cache_misses").as_int(), 1);
+  EXPECT_EQ(stats.result.at("sql_cache_hits").as_int(), 1);
+}
+
 TEST_F(ServiceTest, DispatchKnowledgeGetAndStore) {
   Server server(repository_);
   const Response stored = server.dispatch(make_request(

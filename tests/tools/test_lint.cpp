@@ -87,6 +87,44 @@ TEST(Lint, DownwardAndSelfIncludesPass) {
   EXPECT_TRUE(lint_tree(tree.root()).empty());
 }
 
+TEST(Lint, IntraDbUpwardIncludeIsFlagged) {
+  // src/db is itself layered: index (layer 3) must not reach up to the
+  // planner (layer 6).
+  FixtureTree tree("db_intra_up");
+  tree.add("db/index.cpp",
+           "#include \"src/db/index.hpp\"\n"
+           "#include \"src/db/planner.hpp\"\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "layering");
+  EXPECT_EQ(diagnostics[0].line, 2u);
+  EXPECT_NE(diagnostics[0].message.find("'index'"), std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("'planner'"), std::string::npos);
+}
+
+TEST(Lint, IntraDbDownwardAndOwnHeaderPass) {
+  FixtureTree tree("db_intra_ok");
+  tree.add("db/planner.cpp",
+           "#include \"src/db/planner.hpp\"\n"
+           "#include \"src/db/table.hpp\"\n"
+           "#include \"src/db/expr.hpp\"\n"
+           "#include \"src/util/log.hpp\"\n");
+  EXPECT_TRUE(lint_tree(tree.root()).empty());
+}
+
+TEST(Lint, DbFileMissingFromTheIntraDbTableIsFlagged) {
+  // A new src/db file must be placed in the intra-db layering table before
+  // it may include db siblings — adding a file IS a layering decision.
+  FixtureTree tree("db_intra_unknown");
+  tree.add("db/cursor.cpp", "#include \"src/db/value.hpp\"\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "layering");
+  EXPECT_NE(diagnostics[0].message.find("'cursor'"), std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("intra-db layering table"),
+            std::string::npos);
+}
+
 TEST(Lint, MissingPragmaOnceIsFlagged) {
   FixtureTree tree("pragma");
   tree.add("util/guarded.hpp", "#pragma once\nint a();\n");

@@ -41,6 +41,48 @@ constexpr std::array<std::pair<std::string_view, int>, 16> kModules = {{
 }};
 
 // ---------------------------------------------------------------------------
+// Intra-db file layering. src/db is itself a layered stack — the planner
+// consults indexes but indexes never see the planner, and only database.cpp
+// ties everything together. A db file may include its own header and
+// strictly lower-ranked db files. Every src/db file must appear here, so
+// adding a file without deciding its layer is itself a diagnostic.
+// ---------------------------------------------------------------------------
+
+constexpr std::array<std::pair<std::string_view, int>, 9> kDbFiles = {{
+    {"value", 0},
+    {"schema", 1},
+    {"expr", 2},
+    {"index", 3},
+    {"table", 4},
+    {"sql", 5},
+    {"planner", 6},
+    {"journal", 7},
+    {"database", 8},
+}};
+
+int db_file_rank(std::string_view stem) {
+  for (const auto& [name, rank] : kDbFiles) {
+    if (name == stem) {
+      return rank;
+    }
+  }
+  return -1;
+}
+
+/// "src/db/sql.hpp" -> "sql"; "src/db/table.cpp" -> "table".
+std::string_view file_stem(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash != std::string_view::npos) {
+    path.remove_prefix(slash + 1);
+  }
+  const std::size_t dot = path.rfind('.');
+  if (dot != std::string_view::npos) {
+    path = path.substr(0, dot);
+  }
+  return path;
+}
+
+// ---------------------------------------------------------------------------
 // Exception ownership. Maps each error type from src/util/error.hpp to the
 // modules allowed to throw it. ConfigError is cross-cutting (any module
 // validates caller configuration) and therefore absent from the table.
@@ -123,6 +165,30 @@ void check_layering(const std::string& path, std::string_view raw,
     }
     const std::string_view included(target.substr(4, slash - 4));
     if (included == module) {
+      if (module == "db") {
+        // db-internal include: enforce the intra-db file ranks (own header
+        // always allowed).
+        const std::string_view own_stem = file_stem(path);
+        const std::string_view target_stem = file_stem(target);
+        if (own_stem != target_stem) {
+          const int own = db_file_rank(own_stem);
+          const int dep = db_file_rank(target_stem);
+          if (own < 0 || dep < 0) {
+            out.push_back(
+                {path, line_of_offset(scrubbed, directive), "layering",
+                 "db file '" +
+                     std::string(own < 0 ? own_stem : target_stem) +
+                     "' is not in the intra-db layering table"});
+          } else if (dep >= own) {
+            out.push_back(
+                {path, line_of_offset(scrubbed, directive), "layering",
+                 "db file '" + std::string(own_stem) + "' (layer " +
+                     std::to_string(own) + ") must not include '" +
+                     std::string(target_stem) + "' (layer " +
+                     std::to_string(dep) + "): " + std::string(target)});
+          }
+        }
+      }
       continue;
     }
     const int included_rank = module_rank(included);
