@@ -1,0 +1,561 @@
+// JSON fast-path microbench (src/util two-stage parser + JsonWriter).
+//
+// The contract being checked: the structural-index parser (parse_json) must
+// beat the parser it replaced by a set ratio on a knowledge-shaped corpus —
+// the two-stage rebuild earns its complexity in throughput or not at all.
+// The "old" side of that quotient is the pre-rewrite parser, kept verbatim
+// in this file (seed namespace below): deleted code cannot be benchmarked,
+// so the bench carries its own copy, compiled with the same flags as the
+// fast path. parse_json_scalar — the conformance-FIXED byte-at-a-time
+// parser that serves as the differential oracle — is measured and reported
+// too, but the gate is old-vs-new.
+//
+// The corpus mirrors the repo's bulk-parse workload:
+// persist::Repository::import_json_file reading the indent-2 files
+// export_knowledge_json writes (nested summaries, metric numbers, long
+// command/environment/stdout strings, indentation). For each --bytes size
+// the harness measures
+//   1. parse GB/s, fast / scalar / seed — parse only, tree destruction
+//      excluded (it is identical shared work, not parser cost), min over
+//      iterations so a background blip cannot sink the ratio,
+//   2. dump GB/s into a reused JsonWriter buffer,
+// and emits the series as text plus an optional JSON artifact for CI.
+//
+// Exit codes: 0 ok, 3 the --require-parse-ratio floor was missed.
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
+#include "src/util/json_writer.hpp"
+#include "src/util/padded_string.hpp"
+#include "src/util/rng.hpp"
+
+namespace seed {
+
+// The parser the two-stage rewrite replaced, kept byte-for-byte from the
+// pre-rewrite src/util/json.cpp (locale-sensitive isspace/isdigit, one
+// take() per character, strtod on a copied token, no container reserves,
+// CESU-8 surrogate passthrough). It exists so the old-vs-new ratio below
+// measures against the real old cost profile rather than a stand-in; it is
+// NOT the differential oracle (that is parse_json_scalar, which shares
+// escape/number semantics with the fast path).
+using iokc::util::JsonArray;
+using iokc::util::JsonObject;
+using iokc::util::JsonValue;
+using iokc::ParseError;
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("JSON at offset " + std::to_string(pos_) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') {
+        return JsonValue(std::move(obj));
+      }
+      if (c != ',') {
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') {
+        return JsonValue(std::move(arr));
+      }
+      if (c != ',') {
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          const auto [p, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || p != text_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+          }
+          pos_ += 4;
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      fail("bad number");
+    }
+    if (!is_double) {
+      std::int64_t value = 0;
+      const auto [p, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && p == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+    }
+    const std::string buf{token};
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) {
+      fail("bad number");
+    }
+    if (!std::isfinite(value)) {
+      fail("number out of range '" + buf + "'");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+}  // namespace seed
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* kMetrics[6] = {"write_bw_mib", "read_bw_mib", "iops",
+                           "open_latency_us", "close_latency_us", "mdtest"};
+const char* kPhrases[4] = {
+    "posix write phase saturated the ost pool while collective buffering "
+    "stayed engaged on the aggregator set; stonewall hit before the "
+    "stonewallingTime limit (open latency in µs)",
+    "ior -a POSIX -t 1m -b 16m -s 64 -F -C -e -vv -o /mnt/lustre/ior-file "
+    "with 8 ranks per node and stripe count -1 across all osts",
+    "mdtest-easy-write degraded after the mds failover; metadata operations "
+    "queued behind the journal flush and iops fell by half until recovery",
+    "read phase hit page cache on the second iteration; figures reflect "
+    "cold-cache reruns with posix_fadvise DONTNEED between repetitions"};
+
+/// One knowledge-export-shaped document of roughly `target_bytes` bytes
+/// once pretty-printed: nested summaries with metric numbers (integers and
+/// doubles), long command/note strings, and literal-bearing tag arrays —
+/// the content mix of export_knowledge_json output. Synthesized compact,
+/// then re-serialized at indent 2 by the caller to match the on-disk form
+/// import_json_file actually reads.
+std::string synthesize_document(std::size_t target_bytes,
+                                iokc::util::Rng& rng) {
+  std::string out;
+  out.reserve(target_bytes + 1024);
+  out += "{\"command\":\"ior -a POSIX -t 1m -b 16m -s 64\",\"summaries\":[";
+  bool first = true;
+  while (out.size() < target_bytes) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"operation\":\"";
+    out += rng.uniform_int(0, 1) != 0 ? "write" : "read";
+    out += "\",\"metrics\":{";
+    for (int m = 0; m < 6; ++m) {
+      if (m != 0) {
+        out += ',';
+      }
+      out += '"';
+      out += kMetrics[m];
+      out += "\":";
+      if (m % 3 == 0) {
+        out += std::to_string(rng.uniform(0.5, 20000.0));
+      } else {
+        out += std::to_string(rng.uniform_int(1, 1 << 20));
+      }
+    }
+    out += "},\"note\":\"";
+    out += kPhrases[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+    // Knowledge objects carry the run's environment and a stdout excerpt —
+    // long strings (with escaped newlines) are a real part of the corpus,
+    // not an artifact of this generator.
+    out += "\",\"environment\":\"SLURM_JOB_NUM_NODES=" +
+           std::to_string(rng.uniform_int(1, 512));
+    out += " LUSTRE_STRIPE_COUNT=-1 LUSTRE_STRIPE_SIZE=1m OMP_NUM_THREADS=8 "
+           "ROMIO_HINTS=/etc/romio_hints MPICH_MPIIO_HINTS=*:romio_cb_"
+           "write=enable DARSHAN_LOGPATH=/var/log/darshan PATH=/opt/cray/"
+           "pe/mpich/8.1/bin:/usr/lib64/mpi/bin:/usr/bin LD_LIBRARY_PATH=/"
+           "opt/cray/pe/lib64:/usr/lib64\",";
+    out += "\"stdout_tail\":\"access    bw(MiB/s)  IOPS  block(KiB) "
+           "xfer(KiB)  open(s)  wr/rd(s)  close(s)  total(s)  iter\\n";
+    out += "write     " + std::to_string(rng.uniform(100.0, 20000.0)) +
+           "  " + std::to_string(rng.uniform_int(100, 100000));
+    out += "  16384      1024     0.00" + std::to_string(rng.uniform_int(10, 99));
+    out += "    1.2" + std::to_string(rng.uniform_int(0, 9)) +
+           "     0.000" + std::to_string(rng.uniform_int(1, 9));
+    out += "    1.3" + std::to_string(rng.uniform_int(0, 9)) + "      0\\n"
+           "Max Write: ";
+    out += std::to_string(rng.uniform(100.0, 20000.0));
+    out += " MiB/sec (" + std::to_string(rng.uniform(100.0, 20971.0)) +
+           " MB/sec)\",";
+    out += "\"tags\":[\"io500\",\"ior\",null,true,false],";
+    // Per-iteration bandwidth series — the iteration-variability data the
+    // cycle analyzes (fig5); at indent 2 each sample lands on its own
+    // deeply-indented line, the dominant line shape of real exports.
+    out += "\"iteration_bw_mib\":[";
+    for (int s = 0; s < 32; ++s) {
+      if (s != 0) {
+        out += ',';
+      }
+      out += std::to_string(rng.uniform(100.0, 20000.0));
+    }
+    out += "],";
+    out += "\"num_nodes\":" + std::to_string(rng.uniform_int(1, 4096));
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+/// Best (minimum) seconds for one run of `fn` over `iterations` tries —
+/// the ratio gate compares two best-case runs, so transient background
+/// load cannot sink one side of the quotient.
+template <typename Fn>
+double best_seconds(std::size_t iterations, Fn&& fn) {
+  double best = 1e100;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const Clock::time_point start = Clock::now();
+    fn();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (seconds < best) {
+      best = seconds;
+    }
+  }
+  return best;
+}
+
+/// Parse-only best time: the tree is destroyed outside the timed window.
+/// Destruction is byte-identical shared work, not parser cost.
+template <typename ParseFn>
+double best_parse_seconds(std::size_t iterations, ParseFn&& parse) {
+  double best = 1e100;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    std::optional<iokc::util::JsonValue> tree;
+    const Clock::time_point start = Clock::now();
+    tree.emplace(parse());
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (!tree->is_object()) {
+      std::exit(1);
+    }
+    tree.reset();  // untimed
+    if (seconds < best) {
+      best = seconds;
+    }
+  }
+  return best;
+}
+
+struct SizeResult {
+  std::size_t bytes = 0;
+  double parse_fast_gbps = 0;
+  double parse_scalar_gbps = 0;
+  double parse_seed_gbps = 0;
+  double parse_ratio = 0;         // old vs new: seed_seconds / fast_seconds
+  double parse_ratio_scalar = 0;  // context: fixed-scalar vs fast
+  double dump_gbps = 0;
+};
+
+SizeResult measure_size(std::size_t bytes) {
+  iokc::util::Rng rng(0x10CC + bytes);
+  // Pretty-print at indent 2 — the exact on-disk shape import_json_file
+  // parses. dump(2) grows the text ~4/3 (every array sample moves onto its
+  // own indented line), so synthesize to 3/4 of target.
+  const iokc::util::PaddedString corpus(
+      iokc::util::parse_json(synthesize_document(bytes * 3 / 4, rng))
+          .dump(2));
+  // Iterations scale inversely with size so every point costs roughly the
+  // same wall clock; floors keep every size's minimum meaningful on a
+  // machine whose co-tenants come and go.
+  const std::size_t iters =
+      std::max<std::size_t>(6, (128u << 20) / std::max<std::size_t>(bytes, 1));
+
+  SizeResult result;
+  result.bytes = corpus.size();
+  // Warm both paths once (page in the corpus, size the thread-local index).
+  iokc::util::JsonValue tree = iokc::util::parse_json(corpus);
+  (void)iokc::util::parse_json_scalar(corpus.view());
+
+  const double fast_s = best_parse_seconds(
+      iters, [&] { return iokc::util::parse_json(corpus); });
+  const double scalar_s = best_parse_seconds(
+      iters, [&] { return iokc::util::parse_json_scalar(corpus.view()); });
+  const double seed_s = best_parse_seconds(
+      iters, [&] { return seed::parse_json(corpus.view()); });
+  result.parse_fast_gbps = static_cast<double>(corpus.size()) / fast_s / 1e9;
+  result.parse_scalar_gbps =
+      static_cast<double>(corpus.size()) / scalar_s / 1e9;
+  result.parse_seed_gbps = static_cast<double>(corpus.size()) / seed_s / 1e9;
+  result.parse_ratio = seed_s / fast_s;
+  result.parse_ratio_scalar = scalar_s / fast_s;
+
+  iokc::util::JsonWriter writer;
+  tree.dump_to(writer);  // size the buffer once
+  const std::size_t dump_bytes = writer.size();
+  const double dump_s = best_seconds(iters, [&] {
+    writer.clear();
+    tree.dump_to(writer);
+    if (writer.size() != dump_bytes) {
+      std::exit(1);
+    }
+  });
+  result.dump_gbps = static_cast<double>(dump_bytes) / dump_s / 1e9;
+  return result;
+}
+
+std::vector<std::size_t> parse_bytes_list(const std::string& csv) {
+  std::vector<std::size_t> sizes;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::string item =
+        csv.substr(begin, comma == std::string::npos ? comma : comma - begin);
+    if (!item.empty()) {
+      sizes.push_back(static_cast<std::size_t>(std::stoull(item)));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  return sizes;
+}
+
+void write_json(const std::string& path,
+                const std::vector<SizeResult>& results, double floor_ratio) {
+  std::ofstream out(path, std::ios::binary);
+  out << "{\n  \"benchmark\": \"micro_json\",\n  \"sizes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    out << "    {\"bytes\": " << r.bytes
+        << ", \"parse_fast_gbps\": " << r.parse_fast_gbps
+        << ", \"parse_scalar_gbps\": " << r.parse_scalar_gbps
+        << ", \"parse_seed_gbps\": " << r.parse_seed_gbps
+        << ", \"parse_ratio\": " << r.parse_ratio
+        << ", \"parse_ratio_scalar\": " << r.parse_ratio_scalar
+        << ", \"dump_gbps\": " << r.dump_gbps << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"parse_ratio_floor\": " << floor_ratio << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> sizes = {1u << 20, 64u << 20};  // 1 MB, 64 MB
+  std::string json_path;
+  double require_ratio = 0;  // 0 = report only
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--bytes" && i + 1 < argc) {
+      sizes = parse_bytes_list(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--require-parse-ratio" && i + 1 < argc) {
+      require_ratio = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_json [--bytes N,N,...] [--json FILE] "
+                   "[--require-parse-ratio RATIO]\n");
+      return 2;
+    }
+  }
+  if (sizes.empty()) {
+    std::fprintf(stderr, "micro_json: --bytes needs at least one size\n");
+    return 2;
+  }
+
+  std::vector<SizeResult> results;
+  for (const std::size_t bytes : sizes) {
+    const SizeResult r = measure_size(bytes);
+    std::printf("bytes %9zu  parse fast %6.3f GB/s  seed %6.3f GB/s  "
+                "scalar %6.3f GB/s  ratio %5.2fx (vs scalar %5.2fx)  |  "
+                "dump %6.3f GB/s\n",
+                r.bytes, r.parse_fast_gbps, r.parse_seed_gbps,
+                r.parse_scalar_gbps, r.parse_ratio, r.parse_ratio_scalar,
+                r.dump_gbps);
+    results.push_back(r);
+  }
+
+  // The headline ratio is taken at the largest corpus, where the structural
+  // scan's bandwidth advantage is least polluted by tree-construction cost
+  // shared between both parsers.
+  const double headline = results.back().parse_ratio;
+  std::printf("parse ratio (fast vs seed, %zu bytes): %.2fx\n",
+              results.back().bytes, headline);
+  if (!json_path.empty()) {
+    write_json(json_path, results, require_ratio);
+    std::printf("json artifact: %s\n", json_path.c_str());
+  }
+  if (require_ratio > 0 && headline < require_ratio) {
+    std::fprintf(stderr,
+                 "micro_json: parse-ratio floor missed: %.2fx < %.2fx\n",
+                 headline, require_ratio);
+    return 3;
+  }
+  return 0;
+}

@@ -804,7 +804,13 @@ ResultSet Database::run_explain(const ExplainStmt& stmt,
 }
 
 std::string Database::dump() const {
-  std::string out = "-- iokc database dump v1\n";
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+void Database::dump_to(std::string& out) const {
+  out += "-- iokc database dump v1\n";
   // Emit parents before children so FK checks pass on reload: repeatedly
   // emit tables whose references are already emitted.
   std::vector<std::string> pending = table_names();
@@ -854,7 +860,6 @@ std::string Database::dump() const {
       throw DbError("cyclic foreign-key dependencies; cannot dump");
     }
   }
-  return out;
 }
 
 void Database::save(const std::string& path) {

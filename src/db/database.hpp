@@ -124,6 +124,10 @@ class Database {
 
   /// Serializes the database as an executable SQL script.
   std::string dump() const;
+  /// Appends dump() to `out` — the buffer-reuse path: a caller dumping
+  /// repeatedly (snapshot rebuilds, periodic saves) clears and reuses one
+  /// string instead of reallocating the full image each time.
+  void dump_to(std::string& out) const;
   /// Writes dump() to `path` atomically (temp file + fsync + rename): a
   /// crash mid-save leaves the previous dump intact, never a torn file.
   /// When `path` is this database's journaled home, the dump records the

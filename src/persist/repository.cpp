@@ -11,6 +11,8 @@
 #include "src/util/error.hpp"
 #include "src/util/fault.hpp"
 #include "src/util/json.hpp"
+#include "src/util/json_writer.hpp"
+#include "src/util/padded_string.hpp"
 #include "src/util/strings.hpp"
 
 namespace iokc::persist {
@@ -262,7 +264,7 @@ KnowledgeRepository::ConsistentDump KnowledgeRepository::drain_and_dump() {
   const util::LockGuard lock(write_mutex_);
   ConsistentDump consistent;
   consistent.captured = db_.drain_captured_commits();
-  consistent.dump = db_.dump();
+  db_.dump_to(consistent.dump);
   return consistent;
 }
 
@@ -877,16 +879,6 @@ std::string KnowledgeRepository::export_csv(const std::string& table) {
 
 namespace {
 
-std::string read_text_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw IoError("cannot read " + path);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
 void write_text_file(const std::string& path, const std::string& text) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
@@ -901,7 +893,9 @@ void write_text_file(const std::string& path, const std::string& text) {
 }  // namespace
 
 std::int64_t KnowledgeRepository::import_json_file(const std::string& path) {
-  const util::JsonValue json = util::parse_json(read_text_file(path));
+  // A padded load keeps even the parser's final block a full-width read.
+  const util::PaddedString text = util::PaddedString::load(path);
+  const util::JsonValue json = util::parse_json(text);
   // IO500 objects carry "testcases"; IOR-style objects carry "summaries".
   if (json.find("testcases") != nullptr) {
     return store(knowledge::Io500Knowledge::from_json(json));
@@ -911,12 +905,18 @@ std::int64_t KnowledgeRepository::import_json_file(const std::string& path) {
 
 void KnowledgeRepository::export_knowledge_json(std::int64_t performance_id,
                                                 const std::string& path) {
-  write_text_file(path, load_knowledge(performance_id).to_json().dump(2) + "\n");
+  util::JsonWriter writer;
+  load_knowledge(performance_id).to_json().dump_to(writer, 2);
+  writer.raw('\n');
+  write_text_file(path, writer.str());
 }
 
 void KnowledgeRepository::export_io500_json(std::int64_t iofh_id,
                                             const std::string& path) {
-  write_text_file(path, load_io500(iofh_id).to_json().dump(2) + "\n");
+  util::JsonWriter writer;
+  load_io500(iofh_id).to_json().dump_to(writer, 2);
+  writer.raw('\n');
+  write_text_file(path, writer.str());
 }
 
 }  // namespace iokc::persist

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/util/error.hpp"
+#include "src/util/json_writer.hpp"
 
 namespace iokc::svc {
 
@@ -54,7 +55,12 @@ Response Client::call(const std::string& endpoint, util::JsonValue params) {
   Request request;
   request.endpoint = endpoint;
   request.params = std::move(params);
-  write_frame(socket_, request.to_json().dump(), options_.max_frame_bytes);
+  // Encode into the connection's reusable buffer (stops allocating after
+  // warm-up) and gather header + payload into one send.
+  dump_buf_.clear();
+  util::JsonWriter writer(dump_buf_);
+  request.dump_to(writer);
+  send_frame_v(socket_, writer.view(), options_.max_frame_bytes);
   const std::optional<std::string> frame =
       read_frame(socket_, options_.max_frame_bytes, options_.request_timeout_ms);
   if (!frame.has_value()) {
@@ -71,9 +77,14 @@ std::vector<Response> Client::call_pipelined(
   if (requests.empty()) {
     return {};
   }
+  // Each request dumps straight into the wire buffer behind its header
+  // placeholder — one encode per request, no per-frame payload strings.
   std::string wire;
+  util::JsonWriter writer(wire);
   for (const Request& request : requests) {
-    append_frame_to(wire, request.to_json().dump(), options_.max_frame_bytes);
+    const std::size_t header_at = begin_frame(wire);
+    request.dump_to(writer);
+    end_frame(wire, header_at, options_.max_frame_bytes);
   }
   send_all(socket_, wire);
   std::vector<Response> responses;

@@ -54,6 +54,8 @@ class Client {
 
   Socket socket_;
   ClientOptions options_;
+  /// Request-encoding buffer reused across call()s; capacity survives.
+  std::string dump_buf_;
 };
 
 }  // namespace iokc::svc

@@ -6,6 +6,7 @@
 
 #include "src/svc/socket.hpp"
 #include "src/util/error.hpp"
+#include "src/util/json_writer.hpp"
 
 namespace iokc::svc {
 
@@ -41,6 +42,14 @@ util::JsonValue Request::to_json() const {
   object.emplace_back("endpoint", util::JsonValue(endpoint));
   object.emplace_back("params", params);
   return util::JsonValue(std::move(object));
+}
+
+void Request::dump_to(util::JsonWriter& writer) const {
+  writer.raw(std::string_view("{\"endpoint\":"));
+  writer.string(endpoint);
+  writer.raw(std::string_view(",\"params\":"));
+  params.dump_to(writer);
+  writer.raw('}');
 }
 
 Request Request::from_json(const util::JsonValue& json) {
@@ -82,6 +91,19 @@ util::JsonValue Response::to_json() const {
   return util::JsonValue(std::move(object));
 }
 
+void Response::dump_to(util::JsonWriter& writer) const {
+  writer.raw(std::string_view("{\"ok\":"));
+  writer.boolean(ok);
+  if (ok) {
+    writer.raw(std::string_view(",\"result\":"));
+    result.dump_to(writer);
+  } else {
+    writer.raw(std::string_view(",\"error\":"));
+    writer.string(error);
+  }
+  writer.raw('}');
+}
+
 Response Response::from_json(const util::JsonValue& json) {
   Response response;
   response.ok = json.at("ok").as_bool();
@@ -93,12 +115,21 @@ Response Response::from_json(const util::JsonValue& json) {
   return response;
 }
 
-void append_frame_to(std::string& wire, const std::string& payload,
+namespace {
+
+[[noreturn]] void fail_over_cap(std::size_t payload_bytes,
+                                std::size_t max_bytes) {
+  throw ConfigError("frame of " + std::to_string(payload_bytes) +
+                    " bytes exceeds the " + std::to_string(max_bytes) +
+                    "-byte cap");
+}
+
+}  // namespace
+
+void append_frame_to(std::string& wire, std::string_view payload,
                      std::size_t max_bytes) {
   if (payload.size() > max_bytes) {
-    throw ConfigError("frame of " + std::to_string(payload.size()) +
-                      " bytes exceeds the " + std::to_string(max_bytes) +
-                      "-byte cap");
+    fail_over_cap(payload.size(), max_bytes);
   }
   const std::array<char, kFrameHeaderBytes> header =
       encode_frame_header(payload.size());
@@ -106,31 +137,73 @@ void append_frame_to(std::string& wire, const std::string& payload,
   wire += payload;
 }
 
-void write_frame(Socket& socket, const std::string& payload,
-                 std::size_t max_bytes) {
-  std::string wire;
-  wire.reserve(kFrameHeaderBytes + payload.size());
-  append_frame_to(wire, payload, max_bytes);
-  // One send for header + payload: a frame is never visible half-written to
-  // the kernel, and small requests stay in one TCP segment.
-  send_all(socket, wire);
+std::size_t begin_frame(std::string& wire) {
+  const std::size_t header_offset = wire.size();
+  wire.append(kFrameHeaderBytes, '\0');
+  return header_offset;
 }
 
-std::optional<std::string> extract_frame(std::string& buffer,
-                                         std::size_t max_bytes) {
+std::size_t end_frame(std::string& wire, std::size_t header_offset,
+                      std::size_t max_bytes) {
+  const std::size_t payload_bytes =
+      wire.size() - header_offset - kFrameHeaderBytes;
+  if (payload_bytes > max_bytes) {
+    // Roll the half-built frame back out so the buffer stays a clean frame
+    // sequence the caller can still flush or extend.
+    wire.resize(header_offset);
+    fail_over_cap(payload_bytes, max_bytes);
+  }
+  const std::array<char, kFrameHeaderBytes> header =
+      encode_frame_header(payload_bytes);
+  std::copy_n(header.data(), header.size(), wire.data() + header_offset);
+  return payload_bytes;
+}
+
+void send_frame_v(Socket& socket, std::string_view payload,
+                  std::size_t max_bytes) {
+  if (payload.size() > max_bytes) {
+    fail_over_cap(payload.size(), max_bytes);
+  }
+  const std::array<char, kFrameHeaderBytes> header =
+      encode_frame_header(payload.size());
+  // One gathered send for header + payload: a frame is never visible
+  // half-written to the kernel, small requests stay in one TCP segment, and
+  // the payload is not copied into a scratch buffer on the way out.
+  send_all_v(socket, std::string_view(header.data(), header.size()), payload);
+}
+
+void write_frame(Socket& socket, const std::string& payload,
+                 std::size_t max_bytes) {
+  send_frame_v(socket, payload, max_bytes);
+}
+
+std::optional<FrameView> peek_frame(std::string_view buffer,
+                                    std::size_t max_bytes) {
   if (buffer.size() < kFrameHeaderBytes) {
     return std::nullopt;
   }
   std::array<char, kFrameHeaderBytes> header{};
   std::copy_n(buffer.data(), kFrameHeaderBytes, header.data());
-  // Over-cap throws ParseError with the buffer intact — the caller reads
-  // the declared length via buffered_frame_length to bound its drain.
+  // Over-cap throws ParseError — the caller reads the declared length via
+  // buffered_frame_length to bound its drain.
   const std::size_t length = decode_frame_header(header, max_bytes);
   if (buffer.size() < kFrameHeaderBytes + length) {
     return std::nullopt;
   }
-  std::string payload = buffer.substr(kFrameHeaderBytes, length);
-  buffer.erase(0, kFrameHeaderBytes + length);
+  FrameView view;
+  view.payload = buffer.substr(kFrameHeaderBytes, length);
+  view.frame_bytes = kFrameHeaderBytes + length;
+  return view;
+}
+
+std::optional<std::string> extract_frame(std::string& buffer,
+                                         std::size_t max_bytes) {
+  const std::optional<FrameView> frame = peek_frame(buffer, max_bytes);
+  if (!frame.has_value()) {
+    return std::nullopt;
+  }
+  std::string payload(frame->payload);
+  buffer.erase(0, frame->frame_bytes);
   return payload;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/util/json.hpp"
 
@@ -41,6 +42,10 @@ struct Request {
   util::JsonValue params;  // always a JSON object (possibly empty)
 
   util::JsonValue to_json() const;
+  /// Serializes compactly into `writer` without building the intermediate
+  /// document tree to_json() would copy `params` into. Byte-identical to
+  /// to_json().dump().
+  void dump_to(util::JsonWriter& writer) const;
   /// Throws ParseError when `json` is not {"endpoint": string, "params"?: obj}.
   static Request from_json(const util::JsonValue& json);
 };
@@ -55,27 +60,67 @@ struct Response {
   static Response failure(std::string error);
 
   util::JsonValue to_json() const;
+  /// Serializes compactly into `writer` without copying `result` into an
+  /// intermediate tree. Byte-identical to to_json().dump().
+  void dump_to(util::JsonWriter& writer) const;
   /// Throws ParseError on a malformed response document.
   static Response from_json(const util::JsonValue& json);
 };
 
 // -- Framed I/O over a Socket -----------------------------------------------
 
-/// Writes one frame (header + payload). Throws IoError on transport failure,
-/// ConfigError when the payload exceeds `max_bytes`.
+/// Writes one frame (header + payload) as a single gathered send — the
+/// payload is never copied into a header-prefixed scratch buffer. Throws
+/// IoError on transport failure, ConfigError when the payload exceeds
+/// `max_bytes`.
+void send_frame_v(Socket& socket, std::string_view payload,
+                  std::size_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Writes one frame (header + payload). Equivalent to send_frame_v; kept
+/// for call sites holding an owned payload string.
 void write_frame(Socket& socket, const std::string& payload,
                  std::size_t max_bytes = kDefaultMaxFrameBytes);
 
 /// Appends one encoded frame (header + payload) to `wire` without sending —
 /// the batching primitive behind pipelining: both sides encode several
 /// frames into one buffer and flush with a single send. Throws ConfigError
-/// when the payload exceeds `max_bytes`.
-void append_frame_to(std::string& wire, const std::string& payload,
+/// when the payload exceeds `max_bytes` (with `wire` unchanged).
+void append_frame_to(std::string& wire, std::string_view payload,
                      std::size_t max_bytes = kDefaultMaxFrameBytes);
 
+/// Opens a frame directly in `wire`: appends a header placeholder and
+/// returns its offset. The caller then appends the payload bytes (e.g. by
+/// dumping JSON straight into `wire`) and closes with end_frame — the
+/// payload is encoded exactly once, in place, behind its header.
+std::size_t begin_frame(std::string& wire);
+
+/// Closes the frame begin_frame opened at `header_offset`: patches the
+/// placeholder with the big-endian length of everything appended since.
+/// Returns the payload length. Throws ConfigError when the payload exceeds
+/// `max_bytes` — with `wire` rolled back to `header_offset`, so the buffer
+/// never holds a half-built frame.
+std::size_t end_frame(std::string& wire, std::size_t header_offset,
+                      std::size_t max_bytes = kDefaultMaxFrameBytes);
+
+/// One complete frame seen in place at the front of a receive buffer: the
+/// payload view aliases the buffer (valid until the buffer mutates) and
+/// `frame_bytes` is what the caller must consume (header + payload).
+struct FrameView {
+  std::string_view payload;
+  std::size_t frame_bytes = 0;
+};
+
+/// Views one complete frame at the front of `buffer` without copying or
+/// consuming — the zero-copy read path: parse the payload in place, then
+/// advance past `frame_bytes`. Returns nullopt when the buffer does not yet
+/// hold a complete frame (header or payload still in flight). Throws
+/// ParseError when the buffered header declares more than `max_bytes`.
+std::optional<FrameView> peek_frame(
+    std::string_view buffer, std::size_t max_bytes = kDefaultMaxFrameBytes);
+
 /// Extracts one complete frame from the front of `buffer`, consuming its
-/// bytes. Returns nullopt when the buffer does not yet hold a complete
-/// frame (header or payload still in flight). Throws ParseError — with
+/// bytes (a copying convenience over peek_frame). Returns nullopt when the
+/// buffer does not yet hold a complete frame. Throws ParseError — with
 /// `buffer` left untouched, so the caller can size a bounded drain — when
 /// the buffered header declares more than `max_bytes`.
 std::optional<std::string> extract_frame(

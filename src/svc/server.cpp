@@ -22,6 +22,7 @@
 #include "src/usage/prediction.hpp"
 #include "src/usage/recommendation.hpp"
 #include "src/util/error.hpp"
+#include "src/util/json_writer.hpp"
 
 namespace iokc::svc {
 
@@ -276,10 +277,23 @@ void Server::serve_one(const std::shared_ptr<Connection>& connection) {
       // Dispatch every complete frame buffered so far — a later request
       // never waits on an earlier response's flush. Responses append to one
       // buffer in dispatch order, which preserves per-connection ordering.
-      while (std::optional<std::string> payload =
-                 extract_frame(inbuf, config_.max_frame_bytes)) {
-        handle_payload(*payload, outbuf, tally);
-        ++served;
+      // Frames are parsed in place from inbuf (peek_frame views, no substr
+      // copies) and the consumed prefix is erased once per batch.
+      std::size_t consumed = 0;
+      try {
+        while (const std::optional<FrameView> frame = peek_frame(
+                   std::string_view(inbuf).substr(consumed),
+                   config_.max_frame_bytes)) {
+          handle_payload(frame->payload, outbuf, tally);
+          consumed += frame->frame_bytes;
+          ++served;
+        }
+        inbuf.erase(0, consumed);
+      } catch (...) {
+        // Keep the offending frame at the front: the over-cap handler below
+        // reads its declared length from inbuf to bound the drain.
+        inbuf.erase(0, consumed);
+        throw;
       }
       if (served > 0) {
         // A partial trailing frame (if any) stays in inbuf; the supervisor
@@ -324,8 +338,12 @@ void Server::serve_one(const std::shared_ptr<Connection>& connection) {
                         remaining());
         }
       }
-      append_frame_to(outbuf, Response::failure(error.what()).to_json().dump(),
-                      config_.max_frame_bytes);
+      {
+        const std::size_t header_at = begin_frame(outbuf);
+        util::JsonWriter writer(outbuf);
+        Response::failure(error.what()).dump_to(writer);
+        end_frame(outbuf, header_at, config_.max_frame_bytes);
+      }
       send_all(connection->socket, outbuf);
       ++tally.errors;
     } catch (const Error&) {
@@ -345,12 +363,14 @@ void Server::serve_one(const std::shared_ptr<Connection>& connection) {
   }
 }
 
-void Server::handle_payload(const std::string& payload, std::string& outbuf,
+void Server::handle_payload(std::string_view payload, std::string& outbuf,
                             PassTally& tally) {
   const auto started = std::chrono::steady_clock::now();
   tally.bytes_in += payload.size() + kFrameHeaderBytes;
   Response response;
   try {
+    // `payload` views the connection's receive buffer; the parser builds
+    // the tree directly from it — no per-request payload copy.
     const Request request = Request::from_json(util::parse_json(payload));
     obs::Span span("svc:" + request.endpoint,
                    {.category = "svc", .phase = "svc"});
@@ -358,18 +378,25 @@ void Server::handle_payload(const std::string& payload, std::string& outbuf,
   } catch (const Error& error) {
     response = Response::failure(error.what());
   }
-  const std::string out = response.to_json().dump();
+  // Encode the response exactly once, in place behind its frame header:
+  // open the frame in outbuf, dump the document straight into it, patch the
+  // header. end_frame rolls the frame back out before throwing over-cap, so
+  // outbuf stays a clean frame sequence for the violation path.
+  const std::size_t header_at = begin_frame(outbuf);
+  util::JsonWriter writer(outbuf);
+  response.dump_to(writer);
+  const std::size_t out_bytes =
+      end_frame(outbuf, header_at, config_.max_frame_bytes);
   ++tally.requests;
   if (!response.ok) {
     ++tally.errors;
   }
-  tally.bytes_out += out.size() + kFrameHeaderBytes;
+  tally.bytes_out += out_bytes + kFrameHeaderBytes;
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - started);
   obs::count("svc.requests");
-  obs::count("svc.bytes_out", out.size() + kFrameHeaderBytes);
+  obs::count("svc.bytes_out", out_bytes + kFrameHeaderBytes);
   obs::observe("svc.latency_us", static_cast<double>(elapsed.count()));
-  append_frame_to(outbuf, out, config_.max_frame_bytes);
 }
 
 Response Server::dispatch(const Request& request) {

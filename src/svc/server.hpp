@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -130,11 +131,13 @@ class Server {
 
   void supervise();
   void serve_one(const std::shared_ptr<Connection>& connection);
-  /// Parses and dispatches one buffered request payload, appending the
-  /// encoded response frame to `outbuf`. Never throws for request-level
-  /// failures (those become error responses); propagates ConfigError when
-  /// the response itself exceeds the frame cap.
-  void handle_payload(const std::string& payload, std::string& outbuf,
+  /// Parses and dispatches one buffered request payload (a view into the
+  /// connection's receive buffer — parsed in place, never copied), encoding
+  /// the response frame directly into `outbuf`. Never throws for
+  /// request-level failures (those become error responses); propagates
+  /// ConfigError when the response itself exceeds the frame cap (with the
+  /// partial frame rolled back out of `outbuf`).
+  void handle_payload(std::string_view payload, std::string& outbuf,
                       PassTally& tally);
   void return_connection(const std::shared_ptr<Connection>& connection);
   void wake_supervisor();

@@ -8,6 +8,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -195,6 +196,41 @@ void send_all(const Socket& socket, std::string_view data) {
       fail_errno("send");
     }
     sent += static_cast<std::size_t>(n);
+  }
+}
+
+void send_all_v(const Socket& socket, std::string_view first,
+                std::string_view second) {
+  iovec iov[2];
+  iov[0].iov_base = const_cast<char*>(first.data());
+  iov[0].iov_len = first.size();
+  iov[1].iov_base = const_cast<char*>(second.data());
+  iov[1].iov_len = second.size();
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = 2;
+  std::size_t total = first.size() + second.size();
+  while (total > 0) {
+    const ssize_t n = ::sendmsg(socket.fd(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail_errno("sendmsg");
+    }
+    std::size_t sent = static_cast<std::size_t>(n);
+    total -= sent;
+    // Advance past fully-sent iovecs, then within the partial one.
+    while (sent > 0 && sent >= msg.msg_iov[0].iov_len) {
+      sent -= msg.msg_iov[0].iov_len;
+      ++msg.msg_iov;
+      --msg.msg_iovlen;
+    }
+    if (sent > 0) {
+      msg.msg_iov[0].iov_base =
+          static_cast<char*>(msg.msg_iov[0].iov_base) + sent;
+      msg.msg_iov[0].iov_len -= sent;
+    }
   }
 }
 

@@ -56,6 +56,13 @@ Socket connect_to(const std::string& address, std::uint16_t port,
 /// Sends the whole buffer. Throws IoError on failure or peer reset.
 void send_all(const Socket& socket, std::string_view data);
 
+/// Sends `first` then `second` as one gathered write (sendmsg with two
+/// iovecs): a frame header and its payload leave in a single syscall and a
+/// single TCP segment without being concatenated into a scratch buffer
+/// first. Throws IoError on failure or peer reset.
+void send_all_v(const Socket& socket, std::string_view first,
+                std::string_view second);
+
 /// Reads exactly `size` bytes within the deadline. Returns false when the
 /// peer cleanly closed before the first byte; throws IoError on timeout,
 /// mid-read EOF, or failure. `timeout_ms` < 0 waits forever.

@@ -4,10 +4,15 @@
 #include <cerrno>
 #include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <optional>
 
 #include "src/util/error.hpp"
+#include "src/util/json_index.hpp"
+#include "src/util/json_writer.hpp"
+#include "src/util/padded_string.hpp"
 
 namespace iokc::util {
 
@@ -104,170 +109,682 @@ void JsonValue::set(std::string key, JsonValue value) {
   obj.emplace_back(std::move(key), std::move(value));
 }
 
+// -- Serialization ----------------------------------------------------------
+
 namespace {
 
-/// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when the
-/// bytes there are not valid UTF-8 (truncated sequence, bad continuation,
-/// overlong encoding, surrogate code point, or > U+10FFFF).
-std::size_t utf8_sequence_length(const std::string& s, std::size_t i) {
-  const auto byte = [&](std::size_t k) {
-    return static_cast<unsigned char>(s[k]);
-  };
-  const unsigned char lead = byte(i);
-  std::size_t length = 0;
-  unsigned code = 0;
-  if (lead < 0x80) {
-    return 1;
-  } else if ((lead & 0xE0) == 0xC0) {
-    length = 2;
-    code = lead & 0x1Fu;
-  } else if ((lead & 0xF0) == 0xE0) {
-    length = 3;
-    code = lead & 0x0Fu;
-  } else if ((lead & 0xF8) == 0xF0) {
-    length = 4;
-    code = lead & 0x07u;
-  } else {
-    return 0;  // stray continuation byte or invalid lead (0xFE/0xFF)
+void indent_to(JsonWriter& writer, int indent, int depth) {
+  writer.raw('\n');
+  for (int k = 0; k < indent * depth; ++k) {
+    writer.raw(' ');
   }
-  if (i + length > s.size()) {
-    return 0;  // truncated at end of string
-  }
-  for (std::size_t k = 1; k < length; ++k) {
-    if ((byte(i + k) & 0xC0) != 0x80) {
-      return 0;  // not a continuation byte
-    }
-    code = (code << 6) | (byte(i + k) & 0x3Fu);
-  }
-  static constexpr unsigned kMinCode[5] = {0, 0, 0x80, 0x800, 0x10000};
-  if (code < kMinCode[length]) {
-    return 0;  // overlong encoding
-  }
-  if (code >= 0xD800 && code <= 0xDFFF) {
-    return 0;  // surrogate code point
-  }
-  if (code > 0x10FFFF) {
-    return 0;
-  }
-  return length;
-}
-
-void dump_string(std::string& out, const std::string& s) {
-  out += '"';
-  for (std::size_t i = 0; i < s.size();) {
-    const char c = s[i];
-    switch (c) {
-      case '"': out += "\\\""; ++i; continue;
-      case '\\': out += "\\\\"; ++i; continue;
-      case '\n': out += "\\n"; ++i; continue;
-      case '\r': out += "\\r"; ++i; continue;
-      case '\t': out += "\\t"; ++i; continue;
-      default: break;
-    }
-    const unsigned char byte = static_cast<unsigned char>(c);
-    if (byte < 0x20) {
-      // Control characters U+0000–U+001F must be escaped (RFC 8259 §7).
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(byte));
-      out += buf;
-      ++i;
-      continue;
-    }
-    if (byte < 0x80) {
-      out += c;
-      ++i;
-      continue;
-    }
-    // Non-ASCII: emit well-formed UTF-8 sequences verbatim; replace each
-    // invalid byte with U+FFFD so the output is always valid JSON text
-    // (knowledge objects travel over the wire verbatim — a corrupt byte in
-    // a benchmark log must not produce an unparseable frame).
-    const std::size_t length = utf8_sequence_length(s, i);
-    if (length == 0) {
-      out += "\\ufffd";
-      ++i;
-    } else {
-      out.append(s, i, length);
-      i += length;
-    }
-  }
-  out += '"';
-}
-
-void indent_to(std::string& out, int indent, int depth) {
-  out += '\n';
-  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
-             ' ');
 }
 
 }  // namespace
 
-void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+void JsonValue::dump_value(JsonWriter& writer, int indent, int depth) const {
   if (is_null()) {
-    out += "null";
+    writer.null();
   } else if (const auto* b = std::get_if<bool>(&value_)) {
-    out += *b ? "true" : "false";
+    writer.boolean(*b);
   } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
-    out += std::to_string(*i);
+    writer.number(*i);
   } else if (const auto* d = std::get_if<double>(&value_)) {
-    if (std::isfinite(*d)) {
-      char buf[64];
-      std::snprintf(buf, sizeof buf, "%.17g", *d);
-      out += buf;
-    } else {
-      out += "null";  // JSON has no representation for inf/nan
-    }
+    writer.number(*d);
   } else if (const auto* s = std::get_if<std::string>(&value_)) {
-    dump_string(out, *s);
+    writer.string(*s);
   } else if (const auto* a = std::get_if<JsonArray>(&value_)) {
-    out += '[';
+    writer.raw('[');
     for (std::size_t k = 0; k < a->size(); ++k) {
       if (k != 0) {
-        out += ',';
+        writer.raw(',');
       }
       if (indent > 0) {
-        indent_to(out, indent, depth + 1);
+        indent_to(writer, indent, depth + 1);
       }
-      (*a)[k].dump_to(out, indent, depth + 1);
+      (*a)[k].dump_value(writer, indent, depth + 1);
     }
     if (indent > 0 && !a->empty()) {
-      indent_to(out, indent, depth);
+      indent_to(writer, indent, depth);
     }
-    out += ']';
+    writer.raw(']');
   } else if (const auto* o = std::get_if<JsonObject>(&value_)) {
-    out += '{';
+    writer.raw('{');
     for (std::size_t k = 0; k < o->size(); ++k) {
       if (k != 0) {
-        out += ',';
+        writer.raw(',');
       }
       if (indent > 0) {
-        indent_to(out, indent, depth + 1);
+        indent_to(writer, indent, depth + 1);
       }
-      dump_string(out, (*o)[k].first);
-      out += indent > 0 ? ": " : ":";
-      (*o)[k].second.dump_to(out, indent, depth + 1);
+      writer.string((*o)[k].first);
+      writer.raw(indent > 0 ? std::string_view(": ") : std::string_view(":"));
+      (*o)[k].second.dump_value(writer, indent, depth + 1);
     }
     if (indent > 0 && !o->empty()) {
-      indent_to(out, indent, depth);
+      indent_to(writer, indent, depth);
     }
-    out += '}';
+    writer.raw('}');
   }
 }
 
-std::string JsonValue::dump(int indent) const {
-  std::string out;
-  dump_to(out, indent, 0);
-  return out;
+void JsonValue::dump_to(JsonWriter& writer, int indent) const {
+  dump_value(writer, indent, 0);
 }
+
+std::string JsonValue::dump(int indent) const {
+  JsonWriter writer;
+  dump_to(writer, indent);
+  return writer.take();
+}
+
+// -- Shared token decoding (both parsers route through these, so accept /
+//    reject behavior and produced bytes are identical by construction) ------
 
 namespace {
 
-class JsonParser {
+[[noreturn]] void fail_at(std::size_t offset, const std::string& message) {
+  throw ParseError("JSON at offset " + std::to_string(offset) + ": " +
+                   message);
+}
+
+inline bool is_json_ws(char c) {
+  // RFC 8259 §2: exactly space, tab, line feed, carriage return. Never
+  // std::isspace — that is locale-sensitive and admits \v/\f.
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+inline bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+/// RFC 8259 §6 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+/// Rejects what the pre-fix parser accepted: leading '+', leading zeros,
+/// bare trailing '.' or exponent.
+bool is_valid_json_number(std::string_view token, bool& is_double) {
+  is_double = false;
+  std::size_t i = 0;
+  if (i < token.size() && token[i] == '-') {
+    ++i;
+  }
+  if (i >= token.size()) {
+    return false;
+  }
+  if (token[i] == '0') {
+    ++i;  // a leading zero must stand alone before '.'/'e'
+  } else if (token[i] >= '1' && token[i] <= '9') {
+    do {
+      ++i;
+    } while (i < token.size() && is_digit(token[i]));
+  } else {
+    return false;
+  }
+  if (i < token.size() && token[i] == '.') {
+    is_double = true;
+    ++i;
+    if (i >= token.size() || !is_digit(token[i])) {
+      return false;
+    }
+    while (i < token.size() && is_digit(token[i])) {
+      ++i;
+    }
+  }
+  if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+    is_double = true;
+    ++i;
+    if (i < token.size() && (token[i] == '+' || token[i] == '-')) {
+      ++i;
+    }
+    if (i >= token.size() || !is_digit(token[i])) {
+      return false;
+    }
+    while (i < token.size() && is_digit(token[i])) {
+      ++i;
+    }
+  }
+  return i == token.size();
+}
+
+/// strtod over a NUL-terminated copy — the conversion the pre-rewrite parser
+/// used (and the ScalarParser keeps, so the bench compares real old against
+/// real new). Assumes a C-locale decimal point, as the old parser did.
+double strtod_token(std::string_view token, std::size_t offset) {
+  const std::string buf{token};
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    fail_at(offset, "bad number '" + buf + "'");
+  }
+  return value;
+}
+
+/// Finite-value gate shared by both conversions: the JSON grammar has no
+/// inf/nan, so overflow (-> +-inf) is rejected instead of materialising a
+/// value dump() cannot round-trip. Gradual underflow toward zero stays
+/// finite and is accepted.
+JsonValue finite_or_fail(double value, std::string_view token,
+                         std::size_t offset) {
+  if (!std::isfinite(value)) {
+    fail_at(offset, "number out of range '" + std::string(token) + "'");
+  }
+  return JsonValue(value);
+}
+
+/// Shared by both parsers: grammar validation plus the exact-int64 path.
+/// Returns empty when the token needs a double conversion (fraction,
+/// exponent, or int64 overflow) — the caller picks its converter.
+std::optional<JsonValue> parse_int_or_validate(std::string_view token,
+                                               std::size_t offset) {
+  bool is_double = false;
+  if (!is_valid_json_number(token, is_double)) {
+    fail_at(offset, "bad number '" + std::string(token) + "'");
+  }
+  if (!is_double) {
+    std::int64_t value = 0;
+    const auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc() && p == token.data() + token.size()) {
+      return JsonValue(value);
+    }
+    // fall through to double on int64 overflow
+  }
+  return std::nullopt;
+}
+
+/// Double conversion for the fast path: from_chars is locale-independent
+/// and ~5x faster than strtod — number conversion is a large share of
+/// parse time on metric-heavy knowledge corpora. Call only on tokens that
+/// already passed the RFC 8259 grammar.
+JsonValue convert_double(std::string_view token, std::size_t offset) {
+  double value = 0;
+  bool out_of_range = false;
+#if defined(__cpp_lib_to_chars)
+  const auto [p, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (p != token.data() + token.size() ||
+      ec == std::errc::invalid_argument) {
+    fail_at(offset, "bad number '" + std::string(token) + "'");
+  }
+  out_of_range = ec == std::errc::result_out_of_range;
+#else
+  out_of_range = true;  // route everything through the strtod path below
+#endif
+  if (out_of_range) {
+    // Rare path: from_chars leaves `value` untouched out of range, so
+    // overflow vs. harmless underflow must be told apart the old way.
+    // glibc's strtod and from_chars are both correctly rounded, so the two
+    // conversions agree bit-for-bit wherever both succeed.
+    value = strtod_token(token, offset);
+  }
+  return finite_or_fail(value, token, offset);
+}
+
+/// Fast-path number parse: one fused pass validates the RFC 8259 grammar
+/// AND accumulates the integer magnitude, so the common all-digit token
+/// (most of a metrics corpus) converts without a second from_chars walk.
+/// The grammar accepted here is exactly is_valid_json_number's, and the
+/// int64/double split matches parse_int_or_validate: fractions, exponents,
+/// and int64 overflow take the double conversion.
+JsonValue parse_number_token(std::string_view token, std::size_t offset) {
+  std::size_t i = 0;
+  const bool negative = !token.empty() && token[0] == '-';
+  if (negative) {
+    ++i;
+  }
+  if (i >= token.size()) {
+    fail_at(offset, "bad number '" + std::string(token) + "'");
+  }
+  std::uint64_t magnitude = 0;
+  bool int_overflow = false;
+  if (token[i] == '0') {
+    ++i;  // a leading zero must stand alone before '.'/'e'
+    if (i < token.size() && is_digit(token[i])) {
+      fail_at(offset, "bad number '" + std::string(token) + "'");
+    }
+  } else if (is_digit(token[i])) {
+    do {
+      if (magnitude > (std::numeric_limits<std::uint64_t>::max() - 9) / 10) {
+        int_overflow = true;
+      }
+      magnitude = magnitude * 10 +
+                  static_cast<std::uint64_t>(token[i] - '0');
+      ++i;
+    } while (i < token.size() && is_digit(token[i]));
+  } else {
+    fail_at(offset, "bad number '" + std::string(token) + "'");
+  }
+  if (i == token.size()) {
+    constexpr std::uint64_t kInt64Max =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+    if (!int_overflow && magnitude <= kInt64Max + (negative ? 1 : 0)) {
+      return JsonValue(negative
+                           ? -static_cast<std::int64_t>(magnitude - 1) - 1
+                           : static_cast<std::int64_t>(magnitude));
+    }
+    return convert_double(token, offset);  // int64 overflow -> double
+  }
+  std::int64_t fraction_digits = 0;
+  if (token[i] == '.') {
+    ++i;
+    if (i >= token.size() || !is_digit(token[i])) {
+      fail_at(offset, "bad number '" + std::string(token) + "'");
+    }
+    while (i < token.size() && is_digit(token[i])) {
+      if (magnitude > (std::numeric_limits<std::uint64_t>::max() - 9) / 10) {
+        int_overflow = true;
+      }
+      magnitude =
+          magnitude * 10 + static_cast<std::uint64_t>(token[i] - '0');
+      ++fraction_digits;
+      ++i;
+    }
+  }
+  std::int64_t exponent = 0;
+  if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+    ++i;
+    bool exp_negative = false;
+    if (i < token.size() && (token[i] == '+' || token[i] == '-')) {
+      exp_negative = token[i] == '-';
+      ++i;
+    }
+    if (i >= token.size() || !is_digit(token[i])) {
+      fail_at(offset, "bad number '" + std::string(token) + "'");
+    }
+    while (i < token.size() && is_digit(token[i])) {
+      exponent = exponent * 10 + (token[i] - '0');
+      if (exponent > 100000) {
+        exponent = 100000;  // clamp: anything this big falls back anyway
+      }
+      ++i;
+    }
+    if (exp_negative) {
+      exponent = -exponent;
+    }
+  }
+  if (i != token.size()) {
+    fail_at(offset, "bad number '" + std::string(token) + "'");
+  }
+  // Clinger fast path: when the full digit string fits a 53-bit integer
+  // exactly and the decimal point moves at most 22 places, one IEEE
+  // multiply or divide by an exactly-representable power of ten rounds
+  // once from the exact value — bit-identical to strtod/from_chars
+  // (Clinger, "How to read floating point numbers accurately", PLDI '90).
+  // Metric corpora live entirely in this range; the fallback conversion
+  // re-parses the token, which keeps this pass pure validation + digits.
+  const std::int64_t q = exponent - fraction_digits;
+  if (!int_overflow && magnitude < (std::uint64_t{1} << 53) && q >= -22 &&
+      q <= 22) {
+    static constexpr double kPow10[23] = {
+        1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,  1e7,
+        1e8,  1e9,  1e10, 1e11, 1e12, 1e13, 1e14, 1e15,
+        1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22};
+    const double scaled = q < 0
+                              ? static_cast<double>(magnitude) / kPow10[-q]
+                              : static_cast<double>(magnitude) * kPow10[q];
+    return JsonValue(negative ? -scaled : scaled);
+  }
+  return convert_double(token, offset);
+}
+
+/// Reference conversion: the strtod path verbatim from the pre-rewrite
+/// parser. Verdicts match parse_number_token exactly (shared grammar gate,
+/// shared finite gate); values match because both converters round
+/// correctly.
+JsonValue parse_number_token_reference(std::string_view token,
+                                       std::size_t offset) {
+  if (std::optional<JsonValue> exact = parse_int_or_validate(token, offset)) {
+    return *std::move(exact);
+  }
+  return finite_or_fail(strtod_token(token, offset), token, offset);
+}
+
+void append_utf8(unsigned code, std::string& out) {
+  if (code < 0x80) {
+    out += static_cast<char>(code);
+  } else if (code < 0x800) {
+    out += static_cast<char>(0xC0 | (code >> 6));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else if (code < 0x10000) {
+    out += static_cast<char>(0xE0 | (code >> 12));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (code >> 18));
+    out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  }
+}
+
+unsigned read_hex4(std::string_view body, std::size_t& i,
+                   std::size_t doc_offset) {
+  if (i + 4 > body.size()) {
+    fail_at(doc_offset + i, "truncated \\u escape");
+  }
+  unsigned code = 0;
+  for (int k = 0; k < 4; ++k) {
+    const char c = body[i];
+    unsigned digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<unsigned>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<unsigned>(c - 'A') + 10;
+    } else {
+      fail_at(doc_offset + i, "bad \\u escape");
+    }
+    code = (code << 4) | digit;
+    ++i;
+  }
+  return code;
+}
+
+/// High bit set per byte of `word` that needs attention in a string body:
+/// backslash (escape) or a C0 control byte (RFC violation).
+inline std::uint64_t special_string_bytes(std::uint64_t word) {
+  constexpr std::uint64_t kOnes = 0x0101010101010101ull;
+  constexpr std::uint64_t kHighs = 0x8080808080808080ull;
+  const std::uint64_t bs = word ^ (kOnes * static_cast<unsigned char>('\\'));
+  const std::uint64_t bs_hit = (bs - kOnes) & ~bs & kHighs;
+  // A byte is a C0 control iff its top three bits are all clear.
+  const std::uint64_t masked = word & (kOnes * 0xE0u);
+  const std::uint64_t ctrl_hit = (masked - kOnes) & ~masked & kHighs;
+  return bs_hit | ctrl_hit;
+}
+
+/// Decodes one escape sequence. `i` indexes the escape character (just past
+/// the backslash) and is advanced past the whole sequence — including the
+/// paired low surrogate of a \uD800-\uDBFF high surrogate, which combines
+/// into one supplementary code point (one 4-byte UTF-8 sequence, not two
+/// CESU-8 triples). Unpaired surrogates are rejected either way. Both
+/// parsers decode through here, so escape semantics cannot diverge.
+void decode_escape(std::string_view body, std::size_t& i,
+                   std::size_t doc_offset, std::string& out) {
+  if (i >= body.size()) {
+    fail_at(doc_offset + i, "truncated escape");
+  }
+  const char esc = body[i];
+  ++i;
+  switch (esc) {
+    case '"': out += '"'; break;
+    case '\\': out += '\\'; break;
+    case '/': out += '/'; break;
+    case 'b': out += '\b'; break;
+    case 'f': out += '\f'; break;
+    case 'n': out += '\n'; break;
+    case 'r': out += '\r'; break;
+    case 't': out += '\t'; break;
+    case 'u': {
+      const std::size_t escape_offset = doc_offset + i - 2;
+      unsigned code = read_hex4(body, i, doc_offset);
+      if (code >= 0xDC00 && code <= 0xDFFF) {
+        fail_at(escape_offset, "unpaired low surrogate in \\u escape");
+      }
+      if (code >= 0xD800 && code <= 0xDBFF) {
+        if (i + 2 > body.size() || body[i] != '\\' || body[i + 1] != 'u') {
+          fail_at(escape_offset, "unpaired high surrogate in \\u escape");
+        }
+        i += 2;
+        const unsigned low = read_hex4(body, i, doc_offset);
+        if (low < 0xDC00 || low > 0xDFFF) {
+          fail_at(escape_offset, "unpaired high surrogate in \\u escape");
+        }
+        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+      }
+      append_utf8(code, out);
+      break;
+    }
+    default:
+      fail_at(doc_offset + i - 1, "bad escape character");
+  }
+}
+
+/// Decodes the raw bytes between a string's quotes into `out` (appended) —
+/// the fast path's string materialization. Clean runs are detected a word
+/// at a time and copied in bulk; escapes route through decode_escape; raw
+/// C0 control bytes are rejected (RFC 8259 §7). `doc_offset` is the body's
+/// offset in the document, for error positions.
+void unescape_string_body(std::string_view body, std::size_t doc_offset,
+                          std::string& out) {
+  out.reserve(out.size() + body.size());
+  std::size_t run_start = 0;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    // Fast-forward over clean bytes a word at a time.
+    while (i + 8 <= body.size()) {
+      std::uint64_t word;
+      std::memcpy(&word, body.data() + i, 8);
+      if (special_string_bytes(word) != 0) {
+        break;
+      }
+      i += 8;
+    }
+    while (i < body.size()) {
+      const unsigned char c = static_cast<unsigned char>(body[i]);
+      if (c == '\\' || c < 0x20) {
+        break;
+      }
+      ++i;
+    }
+    if (i >= body.size()) {
+      break;
+    }
+    out.append(body.data() + run_start, i - run_start);
+    if (static_cast<unsigned char>(body[i]) < 0x20) {
+      fail_at(doc_offset + i,
+              "raw control character in string (must be \\u-escaped)");
+    }
+    ++i;  // past the backslash
+    decode_escape(body, i, doc_offset, out);
+    run_start = i;
+  }
+  out.append(body.data() + run_start, body.size() - run_start);
+}
+
+// -- Stage 2: tree building over the structural index -----------------------
+
+class FastParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  FastParser(std::string_view text, StructuralScanner& scanner,
+             std::size_t max_depth)
+      : text_(text), scanner_(scanner), max_depth_(max_depth) {}
 
   JsonValue parse_document() {
-    JsonValue value = parse_value();
+    JsonValue value = parse_value(0);
+    if (!at_end()) {
+      fail_at(scanner_.at(cursor_),
+              "trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  // Scans further input on demand; the scanner streams stage 1 in chunks
+  // just ahead of this walk, so the bytes stage 2 touches are still hot.
+  bool at_end() { return !scanner_.has(cursor_); }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (at_end()) {
+      fail_at(text_.size(), "unexpected end of input");
+    }
+    const std::size_t p = scanner_.at(cursor_);
+    switch (text_[p]) {
+      case '{':
+        if (depth >= max_depth_) {
+          fail_at(p, "nesting exceeds the depth limit of " +
+                         std::to_string(max_depth_));
+        }
+        ++cursor_;
+        return parse_object(depth + 1);
+      case '[':
+        if (depth >= max_depth_) {
+          fail_at(p, "nesting exceeds the depth limit of " +
+                         std::to_string(max_depth_));
+        }
+        ++cursor_;
+        return parse_array(depth + 1);
+      case '"':
+        return JsonValue(parse_string());
+      case '}':
+      case ']':
+      case ':':
+      case ',':
+        fail_at(p, std::string("unexpected '") + text_[p] + "'");
+      default:
+        return parse_scalar_token();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    JsonObject obj;
+    if (at_end()) {
+      fail_at(text_.size(), "unterminated object");
+    }
+    if (text_[scanner_.at(cursor_)] == '}') {
+      ++cursor_;
+      return JsonValue(std::move(obj));
+    }
+    // Knowledge objects typically carry 4-8 members; one up-front block
+    // replaces the 1->2->4->8 realloc ladder (each step moves every
+    // key/value pair) that dominated stage-2 cost on metric-heavy corpora.
+    obj.reserve(8);
+    while (true) {
+      if (at_end()) {
+        fail_at(text_.size(), "unterminated object");
+      }
+      const std::size_t key_pos = scanner_.at(cursor_);
+      if (text_[key_pos] != '"') {
+        fail_at(key_pos, "expected string key in object");
+      }
+      std::string key = parse_string();
+      if (at_end() || text_[scanner_.at(cursor_)] != ':') {
+        fail_at(at_end() ? text_.size() : scanner_.at(cursor_),
+                "expected ':' after object key");
+      }
+      ++cursor_;
+      obj.emplace_back(std::move(key), parse_value(depth));
+      if (at_end()) {
+        fail_at(text_.size(), "expected ',' or '}' in object");
+      }
+      const std::size_t p = scanner_.at(cursor_);
+      ++cursor_;
+      if (text_[p] == '}') {
+        return JsonValue(std::move(obj));
+      }
+      if (text_[p] != ',') {
+        fail_at(p, "expected ',' or '}' in object");
+      }
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    JsonArray arr;
+    if (at_end()) {
+      fail_at(text_.size(), "unterminated array");
+    }
+    if (text_[scanner_.at(cursor_)] == ']') {
+      ++cursor_;
+      return JsonValue(std::move(arr));
+    }
+    arr.reserve(flat_array_reserve());
+    while (true) {
+      arr.push_back(parse_value(depth));
+      if (at_end()) {
+        fail_at(text_.size(), "expected ',' or ']' in array");
+      }
+      const std::size_t p = scanner_.at(cursor_);
+      ++cursor_;
+      if (text_[p] == ']') {
+        return JsonValue(std::move(arr));
+      }
+      if (text_[p] != ',') {
+        fail_at(p, "expected ',' or ']' in array");
+      }
+    }
+  }
+
+  /// Exact element count when the array closes inside the already-scanned
+  /// index window with no nested container — the per-iteration sample
+  /// arrays of knowledge exports, whose 8→16→32 reserve ladder was a
+  /// measurable share of stage-2 allocator traffic. Anything else (nested,
+  /// window-crossing, oversized) gets the ladder floor of 8. Peeking reads
+  /// bytes stage 2 is about to touch anyway and never advances the scan.
+  std::size_t flat_array_reserve() {
+    const std::size_t limit =
+        std::min(scanner_.scanned_end(), cursor_ + 512);
+    std::size_t commas = 0;
+    for (std::size_t k = cursor_; k < limit; ++k) {
+      const char c = text_[scanner_.at(k)];
+      if (c == ']') {
+        return commas + 1;
+      }
+      if (c == ',') {
+        ++commas;
+      } else if (c == '[' || c == '{') {
+        break;
+      }
+    }
+    return 8;
+  }
+
+  /// Cursor at an opening-quote entry. Stage 1 records both quotes of every
+  /// string and nothing between them, so the very next entry is the closing
+  /// quote — the body range is known without scanning.
+  std::string parse_string() {
+    const std::size_t open = scanner_.at(cursor_);
+    if (!scanner_.has(cursor_ + 1)) {
+      fail_at(open, "unterminated string");
+    }
+    const std::size_t close = scanner_.at(cursor_ + 1);
+    if (text_[close] != '"') {
+      fail_at(open, "unterminated string");
+    }
+    cursor_ += 2;
+    std::string out;
+    unescape_string_body(text_.substr(open + 1, close - open - 1), open + 1,
+                         out);
+    return out;
+  }
+
+  /// Cursor at a scalar-start entry: the token runs to the next structural
+  /// entry (or end of text) minus trailing whitespace — everything between
+  /// a scalar run and the next structural is whitespace by construction.
+  JsonValue parse_scalar_token() {
+    const std::size_t p = scanner_.at(cursor_);
+    std::size_t end =
+        scanner_.has(cursor_ + 1) ? scanner_.at(cursor_ + 1) : text_.size();
+    ++cursor_;
+    while (end > p && is_json_ws(text_[end - 1])) {
+      --end;
+    }
+    const std::string_view token = text_.substr(p, end - p);
+    if (token == "true") {
+      return JsonValue(true);
+    }
+    if (token == "false") {
+      return JsonValue(false);
+    }
+    if (token == "null") {
+      return JsonValue(nullptr);
+    }
+    return parse_number_token(token, p);
+  }
+
+  std::string_view text_;
+  StructuralScanner& scanner_;
+  std::size_t cursor_ = 0;
+  std::size_t max_depth_;
+};
+
+// -- The byte-at-a-time reference parser ------------------------------------
+
+class ScalarParser {
+ public:
+  ScalarParser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
     skip_ws();
     if (pos_ != text_.size()) {
       fail("trailing characters after JSON document");
@@ -277,12 +794,11 @@ class JsonParser {
 
  private:
   [[noreturn]] void fail(const std::string& message) const {
-    throw ParseError("JSON at offset " + std::to_string(pos_) + ": " + message);
+    fail_at(pos_, message);
   }
 
   void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    while (pos_ < text_.size() && is_json_ws(text_[pos_])) {
       ++pos_;
     }
   }
@@ -314,12 +830,22 @@ class JsonParser {
     return false;
   }
 
-  JsonValue parse_value() {
+  JsonValue parse_value(std::size_t depth) {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{':
+        if (depth >= max_depth_) {
+          fail("nesting exceeds the depth limit of " +
+               std::to_string(max_depth_));
+        }
+        return parse_object(depth + 1);
+      case '[':
+        if (depth >= max_depth_) {
+          fail("nesting exceeds the depth limit of " +
+               std::to_string(max_depth_));
+        }
+        return parse_array(depth + 1);
       case '"': return JsonValue(parse_string());
       case 't':
         if (consume_literal("true")) return JsonValue(true);
@@ -335,7 +861,7 @@ class JsonParser {
     }
   }
 
-  JsonValue parse_object() {
+  JsonValue parse_object(std::size_t depth) {
     expect('{');
     JsonObject obj;
     skip_ws();
@@ -348,7 +874,7 @@ class JsonParser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
-      obj.emplace_back(std::move(key), parse_value());
+      obj.emplace_back(std::move(key), parse_value(depth));
       skip_ws();
       const char c = take();
       if (c == '}') {
@@ -360,7 +886,7 @@ class JsonParser {
     }
   }
 
-  JsonValue parse_array() {
+  JsonValue parse_array(std::size_t depth) {
     expect('[');
     JsonArray arr;
     skip_ws();
@@ -369,7 +895,7 @@ class JsonParser {
       return JsonValue(std::move(arr));
     }
     while (true) {
-      arr.push_back(parse_value());
+      arr.push_back(parse_value(depth));
       skip_ws();
       const char c = take();
       if (c == ']') {
@@ -383,112 +909,83 @@ class JsonParser {
 
   std::string parse_string() {
     expect('"');
+    const std::size_t body_start = pos_;
+    // Byte-at-a-time decode — the reference shape this parser exists to
+    // preserve. Escape and surrogate semantics are decode_escape's, shared
+    // with the fast path, so the two parsers produce identical bytes and
+    // identical verdicts.
     std::string out;
     while (true) {
-      const char c = take();
+      if (pos_ >= text_.size()) {
+        fail_at(body_start - 1, "unterminated string");
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
       if (c == '"') {
+        ++pos_;
         return out;
       }
-      if (c != '\\') {
-        out += c;
+      if (c == '\\') {
+        ++pos_;
+        decode_escape(text_, pos_, 0, out);
         continue;
       }
-      const char esc = take();
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            fail("truncated \\u escape");
-          }
-          unsigned code = 0;
-          const auto [p, ec] = std::from_chars(
-              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
-          if (ec != std::errc() || p != text_.data() + pos_ + 4) {
-            fail("bad \\u escape");
-          }
-          pos_ += 4;
-          // Encode as UTF-8 (BMP only; surrogate pairs are passed through as
-          // two 3-byte sequences, which is enough for our ASCII-heavy data).
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default:
-          fail("bad escape character");
+      if (c < 0x20) {
+        fail_at(pos_, "raw control character in string (must be \\u-escaped)");
       }
+      out += static_cast<char>(c);
+      ++pos_;
     }
   }
 
   JsonValue parse_number() {
     const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') {
-      ++pos_;
-    }
-    bool is_double = false;
+    // The pre-rewrite token scan, kept verbatim (locale isdigit and all):
+    // this parser is the old implementation's stand-in, so it keeps the old
+    // cost profile. Only the grammar/range verdicts are shared with the
+    // fast path (via parse_number_token_reference).
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        is_double = true;
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.' || c == 'e' || c == 'E') {
         ++pos_;
       } else {
         break;
       }
     }
-    const std::string_view token = text_.substr(start, pos_ - start);
-    if (token.empty() || token == "-") {
+    if (pos_ == start) {
       fail("bad number");
     }
-    if (!is_double) {
-      std::int64_t value = 0;
-      const auto [p, ec] =
-          std::from_chars(token.data(), token.data() + token.size(), value);
-      if (ec == std::errc() && p == token.data() + token.size()) {
-        return JsonValue(value);
-      }
-      // fall through to double on overflow
-    }
-    const std::string buf{token};
-    char* end = nullptr;
-    errno = 0;
-    const double value = std::strtod(buf.c_str(), &end);
-    if (end != buf.c_str() + buf.size()) {
-      fail("bad number");
-    }
-    // The JSON grammar has no inf/nan: reject overflow (strtod -> +-HUGE_VAL
-    // with ERANGE) instead of materialising a value dump() cannot round-trip.
-    // Gradual underflow toward zero also sets ERANGE but stays finite and is
-    // accepted.
-    if (!std::isfinite(value)) {
-      fail("number out of range '" + buf + "'");
-    }
-    return JsonValue(value);
+    return parse_number_token_reference(text_.substr(start, pos_ - start),
+                                        start);
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t max_depth_;
 };
+
+/// Reused stage-1 scratch: the scanner's live window allocates once per
+/// thread and its capacity survives across requests. Streaming keeps the
+/// window chunk-sized regardless of document size (worst case one chunk of
+/// all-structural bytes, ~1 MiB of offsets), so the scratch never needs to
+/// be given back.
+thread_local StructuralIndex tl_index;
 
 }  // namespace
 
-JsonValue parse_json(std::string_view text) {
-  return JsonParser(text).parse_document();
+JsonValue parse_json(std::string_view text, const JsonParseOptions& options) {
+  StructuralScanner scanner(text, tl_index);
+  return FastParser(text, scanner, options.max_depth).parse_document();
+}
+
+JsonValue parse_json(const PaddedString& text,
+                     const JsonParseOptions& options) {
+  return parse_json(text.view(), options);
+}
+
+JsonValue parse_json_scalar(std::string_view text,
+                            const JsonParseOptions& options) {
+  return ScalarParser(text, options.max_depth).parse_document();
 }
 
 }  // namespace iokc::util

@@ -1,6 +1,13 @@
-// A small JSON document model with a strict parser and a pretty/compact
-// writer. Used for knowledge-object serialization, Darshan-like log headers,
-// and machine-readable bench artifacts. Object key order is preserved.
+// A small JSON document model with a strict RFC 8259 parser and a
+// pretty/compact writer. Used for knowledge-object serialization,
+// Darshan-like log headers, service request/response payloads, and
+// machine-readable bench artifacts. Object key order is preserved.
+//
+// Parsing is two-stage (json_index.hpp): stage 1 classifies the document
+// with wide loads and records a structural index; stage 2 builds the tree
+// by walking that index instead of dispatching per byte. parse_json_scalar
+// is the byte-at-a-time reference parser with identical accept/reject
+// behavior — the differential suite holds the two to byte-identical trees.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +22,21 @@
 namespace iokc::util {
 
 class JsonValue;
+class JsonWriter;
+class PaddedString;
 
 using JsonArray = std::vector<JsonValue>;
 /// Insertion-ordered object representation.
 using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Default cap on container nesting. Network frames are attacker-controlled
+/// input: without a cap, a few kilobytes of '[' overflow the parser's stack
+/// inside the service worker. 256 is far above any knowledge object.
+inline constexpr std::size_t kDefaultJsonMaxDepth = 256;
+
+struct JsonParseOptions {
+  std::size_t max_depth = kDefaultJsonMaxDepth;
+};
 
 /// A JSON value: null, bool, integer, double, string, array, or object.
 /// Integers are kept distinct from doubles so round-trips preserve exactness.
@@ -64,17 +82,32 @@ class JsonValue {
 
   /// Serializes compactly ({"a":1}) or pretty-printed when indent > 0.
   std::string dump(int indent = 0) const;
+  /// Serializes into `writer`'s buffer (appending) — the reusable-buffer
+  /// path: a writer cleared and reused across dumps stops allocating, and a
+  /// writer wrapping a wire buffer encodes the document exactly once.
+  void dump_to(JsonWriter& writer, int indent = 0) const;
 
  private:
-  void dump_to(std::string& out, int indent, int depth) const;
+  void dump_value(JsonWriter& writer, int indent, int depth) const;
 
   std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
                JsonArray, JsonObject>
       value_;
 };
 
-/// Parses a complete JSON document; trailing garbage is an error.
-/// Throws ParseError with position information on malformed input.
-JsonValue parse_json(std::string_view text);
+/// Parses a complete JSON document (two-stage fast path); trailing garbage
+/// is an error. Throws ParseError with position information on malformed
+/// input, including container nesting beyond options.max_depth.
+JsonValue parse_json(std::string_view text, const JsonParseOptions& options = {});
+/// Same, over a padded buffer (the corpus-loading path — stage 1's wide
+/// loads stay in-bounds without tail handling).
+JsonValue parse_json(const PaddedString& text,
+                     const JsonParseOptions& options = {});
+
+/// The byte-at-a-time reference parser. Identical accept/reject behavior
+/// and identical trees to parse_json by contract; kept as the differential
+/// baseline and for the old-vs-new microbench comparison (bench/micro_json).
+JsonValue parse_json_scalar(std::string_view text,
+                            const JsonParseOptions& options = {});
 
 }  // namespace iokc::util

@@ -1,0 +1,369 @@
+#include "src/util/json_index.hpp"
+
+#include <cstring>
+#include <limits>
+
+#include "src/util/error.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace iokc::util {
+
+namespace {
+
+/// Per-64-byte-block classification masks; bit i describes byte i.
+///
+/// `op` uses a collapsed brace test: '{' '}' '[' ']' all satisfy
+/// (c | 0x26) == 0x7F, one compare instead of four. The false positives —
+/// 'Y' '_' 'y' 0x7F — never occur outside strings in valid JSON (inside
+/// strings every op bit is discarded), and in invalid documents they turn
+/// into parse errors exactly where the byte-at-a-time parser errors too.
+struct BlockMasks {
+  std::uint64_t op = 0;         // { } [ ] : , (plus harmless Y _ y DEL)
+  std::uint64_t ws = 0;         // space \t \n \r (the four JSON ws bytes)
+  std::uint64_t quote = 0;      // " — escapes not yet removed
+  std::uint64_t backslash = 0;
+};
+
+// -- SWAR classifier (always compiled; the non-SSE2 fallback and the
+//    cross-check target for the differential tests) -------------------------
+
+/// High bit of each byte equal to `c` set, other bits clear. Must be exact
+/// per lane: the classic `(x - 0x01..) & ~x & 0x80..` zero test borrows
+/// across byte lanes, falsely flagging the byte above a match when the two
+/// values differ by exactly one — under that test ",-" classified the '-'
+/// as a second comma (breaking every negative number on non-SSE2 builds)
+/// and "\]" read as two backslashes (flipping escape parity). This form
+/// keeps all arithmetic inside each lane: (b&0x7F)+0x7F sets the high bit
+/// iff the low seven bits are nonzero, |x folds in the eighth bit, and the
+/// final complement leaves 0x80 exactly on matching bytes.
+inline std::uint64_t swar_eq(std::uint64_t word, char c) {
+  const std::uint64_t pattern =
+      0x0101010101010101ull * static_cast<unsigned char>(c);
+  const std::uint64_t x = word ^ pattern;
+  constexpr std::uint64_t kLow7 = 0x7F7F7F7F7F7F7F7Full;
+  return ~(((x & kLow7) + kLow7) | x | kLow7);
+}
+
+/// Compresses the per-byte high-bit flags of `r` into 8 consecutive bits
+/// (byte k's flag -> bit k): the SWAR movemask.
+inline std::uint64_t swar_movemask(std::uint64_t r) {
+  return (r * 0x0002040810204081ull) >> 56;
+}
+
+BlockMasks classify_block_swar(const char* block) {
+  BlockMasks m;
+  for (int word_index = 0; word_index < 8; ++word_index) {
+    std::uint64_t word;
+    std::memcpy(&word, block + word_index * 8, 8);
+    const std::uint64_t op_bytes =
+        swar_eq(word | 0x2626262626262626ull, '\x7F') | swar_eq(word, ':') |
+        swar_eq(word, ',');
+    const std::uint64_t ws_bytes = swar_eq(word, ' ') | swar_eq(word, '\t') |
+                                   swar_eq(word, '\n') | swar_eq(word, '\r');
+    const int shift = word_index * 8;
+    m.op |= swar_movemask(op_bytes) << shift;
+    m.ws |= swar_movemask(ws_bytes) << shift;
+    m.quote |= swar_movemask(swar_eq(word, '"')) << shift;
+    m.backslash |= swar_movemask(swar_eq(word, '\\')) << shift;
+  }
+  return m;
+}
+
+#if defined(__SSE2__)
+
+BlockMasks classify_block(const char* block) {
+  BlockMasks m;
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(block + chunk * 16));
+    const auto eq = [&v](char c) {
+      return _mm_cmpeq_epi8(v, _mm_set1_epi8(c));
+    };
+    const __m128i braces = _mm_cmpeq_epi8(
+        _mm_or_si128(v, _mm_set1_epi8(0x26)), _mm_set1_epi8(0x7F));
+    const __m128i op =
+        _mm_or_si128(braces, _mm_or_si128(eq(':'), eq(',')));
+    const __m128i ws = _mm_or_si128(_mm_or_si128(eq(' '), eq('\t')),
+                                    _mm_or_si128(eq('\n'), eq('\r')));
+    const int shift = chunk * 16;
+    m.op |= static_cast<std::uint64_t>(
+                static_cast<unsigned>(_mm_movemask_epi8(op)))
+            << shift;
+    m.ws |= static_cast<std::uint64_t>(
+                static_cast<unsigned>(_mm_movemask_epi8(ws)))
+            << shift;
+    m.quote |= static_cast<std::uint64_t>(
+                   static_cast<unsigned>(_mm_movemask_epi8(eq('"'))))
+               << shift;
+    m.backslash |= static_cast<std::uint64_t>(
+                       static_cast<unsigned>(_mm_movemask_epi8(eq('\\'))))
+                   << shift;
+  }
+  return m;
+}
+
+#else
+
+BlockMasks classify_block(const char* block) {
+  return classify_block_swar(block);
+}
+
+#endif
+
+/// Bits whose byte is preceded by an odd-length backslash run — the
+/// "escaped" positions (the simdjson find_odd_backslash_sequences trick).
+/// `prev_ends_odd` carries run parity across blocks (0 or 1).
+std::uint64_t find_escaped(std::uint64_t bs_bits,
+                           std::uint64_t& prev_ends_odd) {
+  constexpr std::uint64_t kEvenBits = 0x5555555555555555ull;
+  constexpr std::uint64_t kOddBits = ~kEvenBits;
+  const std::uint64_t start_edges = bs_bits & ~(bs_bits << 1);
+  const std::uint64_t even_start_mask = kEvenBits ^ prev_ends_odd;
+  const std::uint64_t even_starts = start_edges & even_start_mask;
+  const std::uint64_t odd_starts = start_edges & ~even_start_mask;
+  const std::uint64_t even_carries = bs_bits + even_starts;
+  std::uint64_t odd_carries = 0;
+  const bool ends_odd =
+      __builtin_add_overflow(bs_bits, odd_starts, &odd_carries);
+  odd_carries |= prev_ends_odd;
+  prev_ends_odd = ends_odd ? 1u : 0u;
+  const std::uint64_t even_carry_ends = even_carries & ~bs_bits;
+  const std::uint64_t odd_carry_ends = odd_carries & ~bs_bits;
+  const std::uint64_t even_start_odd_end = even_carry_ends & kOddBits;
+  const std::uint64_t odd_start_even_end = odd_carry_ends & kEvenBits;
+  return even_start_odd_end | odd_start_even_end;
+}
+
+/// Trailing-zero count that is defined (and harmless) for 0: setting the
+/// top bit caps the answer at 63 without disturbing any nonzero input's
+/// count. Lets the emission loop run unconditionally 8 wide.
+inline std::uint32_t ctz64(std::uint64_t x) {
+  return static_cast<std::uint32_t>(
+      __builtin_ctzll(x | 0x8000000000000000ull));
+}
+
+/// Prefix XOR over the 64 bits (bit i of the result is the XOR of bits
+/// 0..i): turns quote bits into the in-string mask.
+inline std::uint64_t prefix_xor(std::uint64_t x) {
+  x ^= x << 1;
+  x ^= x << 2;
+  x ^= x << 4;
+  x ^= x << 8;
+  x ^= x << 16;
+  x ^= x << 32;
+  return x;
+}
+
+/// Block-to-block carries of the structural scan, so a document can be
+/// scanned range by range (streaming) with results identical to one pass.
+struct ScanState {
+  std::uint64_t escape_parity = 0;  // odd-backslash-run carry (0/1)
+  std::uint64_t in_string = 0;      // ~0 when the next block starts in-string
+  std::uint64_t scalar_carry = 0;   // last scalar-candidate bit carried
+};
+
+/// Scans text[begin, end) appending entries at positions[count...] and
+/// returns the new count. `begin` must be 64-aligned and `end` either
+/// 64-aligned or text.size() — interior ranges use full-block loads, only
+/// the document's final partial block takes the zero-padded stack copy.
+/// Entries are written through a raw cursor — 8 unconditional slots per dip
+/// below — so `positions` is grown ahead of writes and holds garbage past
+/// the returned count.
+template <BlockMasks (*Classify)(const char*)>
+std::size_t scan_range(std::string_view text, std::size_t begin,
+                       std::size_t end,
+                       std::vector<std::uint32_t>& positions,
+                       std::size_t count, ScanState& st) {
+  std::uint64_t prev_escape_parity = st.escape_parity;
+  std::uint64_t prev_in_string = st.in_string;
+  std::uint64_t prev_scalar = st.scalar_carry;
+  std::size_t base = begin;
+  while (base < end) {
+    const std::size_t remaining = end - base;
+    const char* block = text.data() + base;
+    std::uint64_t valid = ~0ull;
+    char tail[64];
+    if (remaining < 64) {
+      // Final partial block: classify a zero-padded stack copy so the wide
+      // loads never touch bytes past the caller's buffer.
+      std::memset(tail, 0, sizeof tail);
+      std::memcpy(tail, block, remaining);
+      block = tail;
+      valid = (1ull << remaining) - 1;
+    }
+    BlockMasks m = Classify(block);
+    m.op &= valid;
+    m.ws &= valid;
+    m.quote &= valid;
+    m.backslash &= valid;
+    // Escape resolution and the quote prefix-xor are the most expensive
+    // per-block steps; blocks with no backslash (almost all of a numeric
+    // corpus) and no quote (indentation runs) skip them. The carries still
+    // update: no backslash forces even run-parity, no quote leaves the
+    // in-string state unchanged.
+    std::uint64_t quote = m.quote;
+    if (m.backslash != 0) {
+      quote &= ~find_escaped(m.backslash, prev_escape_parity);
+    } else {
+      quote &= ~prev_escape_parity;  // a run ending last block escapes bit 0
+      prev_escape_parity = 0;
+    }
+    // In-string covers the opening quote through the byte before the
+    // closing quote; the carry extends an unclosed string into this block.
+    const std::uint64_t in_string =
+        quote != 0 ? prefix_xor(quote) ^ prev_in_string : prev_in_string;
+    prev_in_string = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(in_string) >> 63);
+    std::uint64_t structural = (m.op & ~in_string) | quote;
+    // Scalar-token starts: the first byte of each run of non-structural,
+    // non-whitespace bytes outside strings (numbers and literals).
+    const std::uint64_t scalar =
+        valid & ~(m.op | m.ws | quote) & ~in_string;
+    const std::uint64_t follows_scalar = (scalar << 1) | prev_scalar;
+    prev_scalar = scalar >> 63;
+    structural |= scalar & ~follows_scalar;
+    // Emit positions through a raw cursor, 8 unconditional slots per round:
+    // slots past the real count hold garbage (ctz64 of an emptied mask) but
+    // only `count` advances, so the next round overwrites them. Avoids one
+    // branch per structural — at knowledge-corpus density (~16 entries per
+    // block) the branchy pop-loop was stage 1's largest cost.
+    if (structural == 0) {  // indentation and string-interior blocks
+      base += 64;
+      continue;
+    }
+    if (positions.size() < count + 64) {
+      positions.resize(positions.size() * 2 + 64);
+    }
+    const int found = __builtin_popcountll(structural);
+    std::uint32_t* dst = positions.data() + count;
+    const auto b = static_cast<std::uint32_t>(base);
+    for (int k = 0; k < 8; ++k) {
+      dst[k] = b + ctz64(structural);
+      structural &= structural - 1;
+    }
+    if (found > 8) {
+      for (int k = 8; k < 16; ++k) {
+        dst[k] = b + ctz64(structural);
+        structural &= structural - 1;
+      }
+      if (found > 16) {
+        int k = 16;
+        while (structural != 0) {
+          dst[k++] = b + ctz64(structural);
+          structural &= structural - 1;
+        }
+      }
+    }
+    count += static_cast<std::size_t>(found);
+    base += 64;
+  }
+  st.escape_parity = prev_escape_parity;
+  st.in_string = prev_in_string;
+  st.scalar_carry = prev_scalar;
+  return count;
+}
+
+[[noreturn]] void fail_unterminated(std::size_t offset) {
+  throw ParseError("JSON at offset " + std::to_string(offset) +
+                   ": unterminated string");
+}
+
+void check_document_size(std::string_view text) {
+  if (text.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw ParseError("JSON document exceeds the 4 GiB structural-index limit");
+  }
+}
+
+template <BlockMasks (*Classify)(const char*)>
+void scan(std::string_view text, StructuralIndex& index) {
+  check_document_size(text);
+  // Size for the ~1/4 structural density of knowledge corpora (grown in
+  // the range scan if a denser document needs it); an index reused across
+  // parses keeps whatever capacity it already earned. The vector is trimmed
+  // to the real count at the end.
+  if (index.positions.size() < text.size() / 4 + 64) {
+    index.positions.resize(text.size() / 4 + 64);
+  }
+  ScanState st;
+  const std::size_t count =
+      scan_range<Classify>(text, 0, text.size(), index.positions, 0, st);
+  index.positions.resize(count);
+  if (st.in_string != 0) {
+    fail_unterminated(text.size());
+  }
+}
+
+/// Streamed chunk size: big enough that per-chunk overhead vanishes, small
+/// enough that the chunk (plus its index entries) sits in L2 when stage 2
+/// walks it right behind the scan.
+constexpr std::size_t kScanChunkBytes = std::size_t{1} << 18;  // 256 KiB
+static_assert(kScanChunkBytes % 64 == 0);
+
+}  // namespace
+
+void build_structural_index(std::string_view text, StructuralIndex& index) {
+  scan<classify_block>(text, index);
+}
+
+StructuralScanner::StructuralScanner(std::string_view text,
+                                     StructuralIndex& scratch)
+    : text_(text), scratch_(&scratch) {
+  check_document_size(text);
+  // Room for a typical chunk's entries without mid-scan growth; a denser
+  // chunk grows the vector inside scan_range (bounded by one chunk of
+  // all-structural bytes, ~1 MiB of offsets).
+  if (scratch_->positions.size() < kScanChunkBytes / 8 + 64) {
+    scratch_->positions.resize(kScanChunkBytes / 8 + 64);
+  }
+}
+
+bool StructuralScanner::scan_until(std::size_t k) {
+  while (k >= first_entry_ + count_ && base_ < text_.size()) {
+    // Entries more than two behind the requested number can never be asked
+    // for again (stage 2 walks forward with lookahead 1); dropping them
+    // keeps the live window — and the scratch vector — chunk-sized.
+    std::size_t keep = k >= 2 ? k - 2 : 0;
+    if (keep < first_entry_) {
+      keep = first_entry_;
+    }
+    std::size_t drop = keep - first_entry_;
+    if (drop > count_) {
+      drop = count_;
+    }
+    if (drop > 0) {
+      std::uint32_t* data = scratch_->positions.data();
+      std::memmove(data, data + drop,
+                   (count_ - drop) * sizeof(std::uint32_t));
+      first_entry_ += drop;
+      count_ -= drop;
+    }
+    const std::size_t end = std::min(text_.size(), base_ + kScanChunkBytes);
+    ScanState st{escape_parity_, in_string_, scalar_carry_};
+    count_ = scan_range<classify_block>(text_, base_, end,
+                                        scratch_->positions, count_, st);
+    escape_parity_ = st.escape_parity;
+    in_string_ = st.in_string;
+    scalar_carry_ = st.scalar_carry;
+    base_ = end;
+    if (base_ == text_.size() && in_string_ != 0) {
+      fail_unterminated(text_.size());
+    }
+  }
+  return k < first_entry_ + count_;
+}
+
+namespace detail {
+
+// SWAR-only scan, exposed so tests can cross-check the SIMD build against
+// the portable classifier on the same inputs.
+void build_structural_index_swar(std::string_view text,
+                                 StructuralIndex& index) {
+  scan<classify_block_swar>(text, index);
+}
+
+}  // namespace detail
+
+}  // namespace iokc::util

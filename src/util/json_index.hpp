@@ -1,0 +1,99 @@
+// Stage 1 of the two-stage JSON parser (simdjson-style): one linear scan
+// over the document that classifies every byte with wide loads (SSE2 where
+// available, SWAR otherwise) and records the offset of each *structural*
+// character — { } [ ] : , both string quotes, and the first byte of every
+// scalar token (number / true / false / null). Stage 2 (json.cpp) then
+// builds the tree by walking this index instead of dispatching per byte.
+//
+// Quote state is tracked block-wise: escaped quotes are masked out with the
+// odd-length-backslash-run trick, and the in-string mask is the prefix XOR
+// of the remaining quote bits, carried across blocks. Structural characters
+// inside strings are therefore never recorded, and string contents are
+// skipped at memory bandwidth.
+//
+// Inputs need no padding: full 64-byte blocks use wide loads directly and
+// the final partial block is classified from a zero-padded copy on the
+// stack, so the scan never reads past the buffer (a util::PaddedString
+// makes even the tail a full-block load, which the corpus loaders use).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace iokc::util {
+
+/// Offsets of structural characters and scalar-token starts, in document
+/// order. Reused across parses: clear() keeps capacity.
+struct StructuralIndex {
+  std::vector<std::uint32_t> positions;
+
+  void clear() { positions.clear(); }
+  bool empty() const { return positions.empty(); }
+  std::size_t size() const { return positions.size(); }
+};
+
+/// Scans `text` and fills `index`. Throws ParseError when a string is
+/// unterminated at end of input or the document exceeds 4 GiB (offsets are
+/// 32-bit). Purely lexical: bracket matching, token grammar, and depth are
+/// stage 2's job.
+void build_structural_index(std::string_view text, StructuralIndex& index);
+
+/// Streaming stage 1: the same entry sequence as build_structural_index,
+/// produced lazily in ~256 KiB chunks as the consumer walks forward. The
+/// parse stays cache-resident — stage 2 re-reads each chunk while it is
+/// still hot in L2 instead of streaming the whole document from DRAM twice
+/// — and scratch memory is O(chunk), not O(document) (a multi-GB ingest no
+/// longer materializes a gigabyte-scale index).
+///
+/// The consumer contract matches stage 2's walk: entry numbers are
+/// requested in non-decreasing order with bounded lookahead; entries more
+/// than two behind the highest number passed to has() may be discarded.
+/// Throws ParseError from has() when the scan reaches end of input inside
+/// an unterminated string, or from the constructor for documents over the
+/// 4 GiB offset limit.
+class StructuralScanner {
+ public:
+  StructuralScanner(std::string_view text, StructuralIndex& scratch);
+
+  /// True when entry `k` exists, scanning further input on demand.
+  bool has(std::size_t k) {
+    if (k < first_entry_ + count_) {
+      return true;
+    }
+    return scan_until(k);
+  }
+
+  /// Byte offset of entry `k`. Pre: has(k) returned true and no has(k')
+  /// with k' > k + 2 has been issued since.
+  std::uint32_t at(std::size_t k) const {
+    return scratch_->positions[k - first_entry_];
+  }
+
+  /// Entry number just past the scanned window. Entries below it may be
+  /// peeked freely via at() — peeking never advances the scan or discards
+  /// anything (stage 2 uses this to size flat arrays exactly).
+  std::size_t scanned_end() const { return first_entry_ + count_; }
+
+ private:
+  bool scan_until(std::size_t k);
+
+  std::string_view text_;
+  StructuralIndex* scratch_;
+  std::size_t base_ = 0;         // next unscanned byte
+  std::size_t first_entry_ = 0;  // entry number of scratch_->positions[0]
+  std::size_t count_ = 0;        // live entries in scratch_
+  std::uint64_t escape_parity_ = 0;
+  std::uint64_t in_string_ = 0;
+  std::uint64_t scalar_carry_ = 0;
+};
+
+namespace detail {
+/// The portable SWAR scan regardless of SIMD availability — identical
+/// results to build_structural_index by contract; tests cross-check the
+/// SIMD build against it on randomized documents.
+void build_structural_index_swar(std::string_view text,
+                                 StructuralIndex& index);
+}  // namespace detail
+
+}  // namespace iokc::util

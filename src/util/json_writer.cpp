@@ -1,0 +1,137 @@
+#include "src/util/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <system_error>
+
+namespace iokc::util {
+
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at text[i], or 0 when
+/// the bytes there are not valid UTF-8 (truncated sequence, bad
+/// continuation, overlong encoding, surrogate code point, or > U+10FFFF).
+std::size_t utf8_sequence_length(std::string_view text, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(text[k]);
+  };
+  const unsigned char lead = byte(i);
+  std::size_t length = 0;
+  unsigned code = 0;
+  if (lead < 0x80) {
+    return 1;
+  } else if ((lead & 0xE0) == 0xC0) {
+    length = 2;
+    code = lead & 0x1Fu;
+  } else if ((lead & 0xF0) == 0xE0) {
+    length = 3;
+    code = lead & 0x0Fu;
+  } else if ((lead & 0xF8) == 0xF0) {
+    length = 4;
+    code = lead & 0x07u;
+  } else {
+    return 0;  // stray continuation byte or invalid lead (0xFE/0xFF)
+  }
+  if (i + length > text.size()) {
+    return 0;  // truncated at end of string
+  }
+  for (std::size_t k = 1; k < length; ++k) {
+    if ((byte(i + k) & 0xC0) != 0x80) {
+      return 0;  // not a continuation byte
+    }
+    code = (code << 6) | (byte(i + k) & 0x3Fu);
+  }
+  static constexpr unsigned kMinCode[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (code < kMinCode[length]) {
+    return 0;  // overlong encoding
+  }
+  if (code >= 0xD800 && code <= 0xDFFF) {
+    return 0;  // surrogate code point
+  }
+  if (code > 0x10FFFF) {
+    return 0;
+  }
+  return length;
+}
+
+}  // namespace
+
+void JsonWriter::string(std::string_view text) {
+  std::string& out = *out_;
+  out += '"';
+  std::size_t run_start = 0;
+  std::size_t i = 0;
+  const auto flush_run = [&](std::size_t end) {
+    if (end > run_start) {
+      out.append(text.data() + run_start, end - run_start);
+    }
+  };
+  while (i < text.size()) {
+    const unsigned char byte = static_cast<unsigned char>(text[i]);
+    if (byte >= 0x20 && byte < 0x80 && byte != '"' && byte != '\\') {
+      ++i;  // clean ASCII: extend the run
+      continue;
+    }
+    if (byte >= 0x80) {
+      const std::size_t length = utf8_sequence_length(text, i);
+      if (length != 0) {
+        i += length;  // well-formed UTF-8 travels verbatim inside the run
+        continue;
+      }
+      flush_run(i);
+      out += "\\ufffd";  // invalid byte: keep the output parseable
+      ++i;
+      run_start = i;
+      continue;
+    }
+    flush_run(i);
+    switch (byte) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        // Remaining C0 controls (RFC 8259 §7 requires escaping them all).
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x",
+                      static_cast<unsigned>(byte));
+        out += buf;
+        break;
+      }
+    }
+    ++i;
+    run_start = i;
+  }
+  flush_run(text.size());
+  out += '"';
+}
+
+void JsonWriter::number(std::int64_t value) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  out_->append(buf, static_cast<std::size_t>(end - buf));
+}
+
+void JsonWriter::number(double value) {
+  if (!std::isfinite(value)) {
+    null();
+    return;
+  }
+  char buf[64];
+#if defined(__cpp_lib_to_chars)
+  // Shortest round-trip form: the fewest digits that re-parse to exactly
+  // this double (and an order of magnitude faster than snprintf %.17g,
+  // which dominated dumps of metric-heavy knowledge objects).
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  out_->append(buf, static_cast<std::size_t>(end - buf));
+#else
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", value);
+  out_->append(buf, static_cast<std::size_t>(n));
+#endif
+}
+
+}  // namespace iokc::util

@@ -1,0 +1,67 @@
+// Reusable JSON serialization buffer. A JsonWriter either owns its storage
+// (default) or appends to a caller-provided std::string — the zero-copy wire
+// path points it at the connection's output buffer so a response is encoded
+// exactly once, directly behind its frame header. clear() keeps capacity, so
+// a writer reused across requests stops allocating after warm-up.
+//
+// String escaping is a scan-and-memcpy loop: clean runs (printable ASCII and
+// well-formed UTF-8) are copied in one append; only escape-needing bytes and
+// invalid UTF-8 (replaced by U+FFFD so output is always valid JSON) break
+// the run. This is where the dump path's byte-at-a-time cost went.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace iokc::util {
+
+class JsonWriter {
+ public:
+  /// Owns its buffer.
+  JsonWriter() : out_(&owned_) {}
+  /// Appends to `external` (not owned; must outlive the writer). clear()
+  /// clears the external buffer too — point the writer at a sub-range by
+  /// appending to the external string directly instead.
+  explicit JsonWriter(std::string& external) : out_(&external) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  /// Drops content, keeps capacity.
+  void clear() { out_->clear(); }
+  void reserve(std::size_t bytes) { out_->reserve(bytes); }
+  std::size_t size() const { return out_->size(); }
+  std::string_view view() const { return *out_; }
+  const std::string& str() const { return *out_; }
+  /// Moves the buffer out (owned writers only — asserts otherwise in
+  /// spirit; an external writer returns a copy to stay safe).
+  std::string take() {
+    if (out_ == &owned_) {
+      std::string result = std::move(owned_);
+      owned_.clear();
+      return result;
+    }
+    return *out_;
+  }
+
+  // -- append primitives the dump path is built from --------------------
+
+  void raw(char c) { *out_ += c; }
+  void raw(std::string_view text) { out_->append(text); }
+  /// Quoted, escaped JSON string (RFC 8259 §7): C0 controls, '"', '\\'
+  /// escaped; invalid UTF-8 replaced with U+FFFD; clean runs memcpy'd.
+  void string(std::string_view text);
+  void number(std::int64_t value);
+  /// Finite doubles print in shortest round-trip form (std::to_chars);
+  /// non-finite values dump as null — the JSON grammar has no inf/nan.
+  void number(double value);
+  void boolean(bool value) { raw(value ? std::string_view("true") : std::string_view("false")); }
+  void null() { raw(std::string_view("null")); }
+
+ private:
+  std::string owned_;
+  std::string* out_;
+};
+
+}  // namespace iokc::util

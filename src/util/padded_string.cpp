@@ -1,0 +1,45 @@
+#include "src/util/padded_string.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/util/error.hpp"
+
+namespace iokc::util {
+
+namespace {
+
+std::unique_ptr<char[]> allocate_padded(std::size_t size) {
+  auto data = std::make_unique<char[]>(size + PaddedString::kPadding);
+  std::memset(data.get() + size, 0, PaddedString::kPadding);
+  return data;
+}
+
+}  // namespace
+
+PaddedString::PaddedString(std::string_view text) : size_(text.size()) {
+  data_ = allocate_padded(size_);
+  std::memcpy(data_.get(), text.data(), size_);
+}
+
+PaddedString PaddedString::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw IoError("cannot read " + path);
+  }
+  const std::streamoff end = in.tellg();
+  if (end < 0) {
+    throw IoError("cannot size " + path);
+  }
+  PaddedString result;
+  result.size_ = static_cast<std::size_t>(end);
+  result.data_ = allocate_padded(result.size_);
+  in.seekg(0);
+  in.read(result.data_.get(), end);
+  if (!in) {
+    throw IoError("failed reading " + path);
+  }
+  return result;
+}
+
+}  // namespace iokc::util

@@ -1,0 +1,44 @@
+// An owned byte buffer with kPadding zero bytes past the logical end, so
+// wide (16/64-byte) loads issued by the structural JSON indexer never read
+// unmapped memory (simdjson's padded_string contract). The persistence and
+// bench corpus loaders read files straight into one of these, letting
+// parse_json run its fast path without re-copying the document.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace iokc::util {
+
+class PaddedString {
+ public:
+  /// Bytes of zeroed slack past size(). One full SIMD block, so a 64-byte
+  /// load at any offset < size() stays inside the allocation.
+  static constexpr std::size_t kPadding = 64;
+
+  PaddedString() = default;
+  /// Copies `text` into a fresh padded allocation.
+  explicit PaddedString(std::string_view text);
+
+  PaddedString(const PaddedString&) = delete;
+  PaddedString& operator=(const PaddedString&) = delete;
+  PaddedString(PaddedString&& other) noexcept = default;
+  PaddedString& operator=(PaddedString&& other) noexcept = default;
+
+  /// Reads the whole file at `path` into a padded buffer (the corpus-loading
+  /// path: one read, no intermediate std::string). Throws IoError.
+  static PaddedString load(const std::string& path);
+
+  const char* data() const { return data_ ? data_.get() : ""; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::string_view view() const { return {data(), size_}; }
+
+ private:
+  std::unique_ptr<char[]> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace iokc::util

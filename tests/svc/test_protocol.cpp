@@ -6,6 +6,7 @@
 
 #include "src/svc/socket.hpp"
 #include "src/util/error.hpp"
+#include "src/util/json_writer.hpp"
 
 namespace iokc::svc {
 namespace {
@@ -88,6 +89,108 @@ TEST(Framing, ReadTimesOut) {
   Socket connection = accept_connection(listener, 2000);
   ASSERT_TRUE(connection.valid());
   EXPECT_THROW(read_frame(connection, kDefaultMaxFrameBytes, 50), IoError);
+}
+
+TEST(Framing, PeekFrameSeesCompleteFramesInPlace) {
+  std::string wire;
+  append_frame_to(wire, "first");
+  append_frame_to(wire, "second");
+
+  const auto first = peek_frame(wire);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->payload, "first");
+  EXPECT_EQ(first->frame_bytes, kFrameHeaderBytes + 5);
+  // Zero copy: the view aliases the wire buffer itself.
+  EXPECT_EQ(first->payload.data(), wire.data() + kFrameHeaderBytes);
+
+  const auto second =
+      peek_frame(std::string_view(wire).substr(first->frame_bytes));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->payload, "second");
+}
+
+TEST(Framing, PeekFrameReportsIncompleteFrames) {
+  std::string wire;
+  append_frame_to(wire, "payload");
+  // Nothing buffered, a split header, and a split payload: all "not yet".
+  EXPECT_FALSE(peek_frame(std::string_view()).has_value());
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{3},
+                                kFrameHeaderBytes, wire.size() - 1}) {
+    EXPECT_FALSE(peek_frame(std::string_view(wire).substr(0, cut)).has_value())
+        << cut;
+  }
+  EXPECT_TRUE(peek_frame(wire).has_value());
+}
+
+TEST(Framing, PeekFrameRejectsOversizedHeaderBeforeBuffering) {
+  const auto header = encode_frame_header(4096);
+  // The length alone is enough to convict: no payload bytes needed.
+  EXPECT_THROW(
+      peek_frame(std::string_view(header.data(), header.size()), 1024),
+      ParseError);
+}
+
+TEST(Framing, BeginEndFrameEncodesInPlace) {
+  std::string wire = "prior";
+  const std::size_t header_offset = begin_frame(wire);
+  wire += "{\"a\":1}";
+  const std::size_t payload_bytes = end_frame(wire, header_offset);
+  EXPECT_EQ(payload_bytes, 7u);
+  // The result is byte-identical to the copying primitive.
+  std::string expected = "prior";
+  append_frame_to(expected, "{\"a\":1}");
+  EXPECT_EQ(wire, expected);
+  const auto view = peek_frame(std::string_view(wire).substr(5));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->payload, "{\"a\":1}");
+}
+
+TEST(Framing, EndFrameRollsBackOversizedPayloads) {
+  std::string wire = "keep";
+  const std::size_t header_offset = begin_frame(wire);
+  wire += std::string(2049, 'x');
+  EXPECT_THROW(end_frame(wire, header_offset, 2048), ConfigError);
+  EXPECT_EQ(wire, "keep");  // no half-built frame left behind
+}
+
+TEST(Framing, SendFrameVRoundTripsLargePayloads) {
+  // The gathered header+payload send must land as one well-formed frame,
+  // including when the payload spans many socket-level writes.
+  Socket listener = listen_on("127.0.0.1", 0);
+  const std::uint16_t port = local_port(listener);
+  const std::string big(1u << 20, 'k');
+  std::string received;
+  std::thread server([&] {
+    Socket connection = accept_connection(listener, 2000);
+    ASSERT_TRUE(connection.valid());
+    received = read_frame(connection, kDefaultMaxFrameBytes, 5000).value();
+  });
+  {
+    Socket client = connect_to("127.0.0.1", port, 1000);
+    send_frame_v(client, big);
+  }
+  server.join();
+  EXPECT_EQ(received, big);
+}
+
+TEST(Protocol, DumpToMatchesToJsonDump) {
+  Request request;
+  request.endpoint = "knowledge/put";
+  util::JsonObject params;
+  params.emplace_back("name", util::JsonValue("ior-c16"));
+  params.emplace_back("bw", util::JsonValue(1234.5));
+  request.params = util::JsonValue(std::move(params));
+
+  std::string direct;
+  util::JsonWriter writer(direct);
+  request.dump_to(writer);
+  EXPECT_EQ(direct, request.to_json().dump());
+
+  const Response response = Response::success(util::parse_json(direct));
+  std::string response_direct;
+  util::JsonWriter response_writer(response_direct);
+  response.dump_to(response_writer);
+  EXPECT_EQ(response_direct, response.to_json().dump());
 }
 
 TEST(Protocol, RequestRoundTrip) {

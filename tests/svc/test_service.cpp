@@ -401,6 +401,31 @@ TEST_F(ServiceTest, OversizedFrameGetsErrorResponse) {
   server.stop();
 }
 
+TEST_F(ServiceTest, DeeplyNestedFrameGetsErrorResponseNotStackOverflow) {
+  // A few kilobytes of '[' used to recurse the parser once per byte on the
+  // worker stack; the depth cap turns the attack into an ordinary error
+  // response. The frame is well-formed at the framing layer, so the
+  // connection survives and keeps serving.
+  Server server(repository_);
+  server.start();
+
+  Socket raw = connect_to("127.0.0.1", server.port(), 1000);
+  std::string bomb(4096, '[');
+  write_frame(raw, bomb, kDefaultMaxFrameBytes);
+  const auto reply = read_frame(raw, kDefaultMaxFrameBytes, 2000);
+  ASSERT_TRUE(reply.has_value());
+  const Response response = Response::from_json(util::parse_json(*reply));
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("depth"), std::string::npos) << response.error;
+
+  // Same connection, next frame: a normal request still answers.
+  write_frame(raw, R"({"endpoint":"health"})", kDefaultMaxFrameBytes);
+  const auto health = read_frame(raw, kDefaultMaxFrameBytes, 2000);
+  ASSERT_TRUE(health.has_value());
+  EXPECT_TRUE(Response::from_json(util::parse_json(*health)).ok);
+  server.stop();
+}
+
 TEST_F(ServiceTest, StopIsIdempotentAndRestartable) {
   Server server(repository_);
   server.start();

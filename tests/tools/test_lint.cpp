@@ -125,6 +125,36 @@ TEST(Lint, DbFileMissingFromTheIntraDbTableIsFlagged) {
             std::string::npos);
 }
 
+TEST(Lint, UtilJsonUpwardIncludeIsFlagged) {
+  // The JSON stack inside util is layered: the stage-1 scanner (json_index,
+  // layer 2) must not reach up into the tree parser (json, layer 3).
+  FixtureTree tree("util_json_up");
+  tree.add("util/json_index.cpp",
+           "#include \"src/util/json_index.hpp\"\n"
+           "#include \"src/util/json.hpp\"\n");
+  const auto diagnostics = lint_tree(tree.root());
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "layering");
+  EXPECT_EQ(diagnostics[0].line, 2u);
+  EXPECT_NE(diagnostics[0].message.find("'json_index'"), std::string::npos);
+  EXPECT_NE(diagnostics[0].message.find("'json'"), std::string::npos);
+}
+
+TEST(Lint, UtilJsonDownwardAndUnrankedUtilIncludesPass) {
+  // json (layer 3) may include everything below it, and util files outside
+  // the JSON table — error.hpp here, csv.cpp as an includer — stay
+  // unconstrained in both directions.
+  FixtureTree tree("util_json_ok");
+  tree.add("util/json.cpp",
+           "#include \"src/util/json.hpp\"\n"
+           "#include \"src/util/json_index.hpp\"\n"
+           "#include \"src/util/json_writer.hpp\"\n"
+           "#include \"src/util/padded_string.hpp\"\n"
+           "#include \"src/util/error.hpp\"\n");
+  tree.add("util/csv.cpp", "#include \"src/util/json.hpp\"\n");
+  EXPECT_TRUE(lint_tree(tree.root()).empty());
+}
+
 TEST(Lint, MissingPragmaOnceIsFlagged) {
   FixtureTree tree("pragma");
   tree.add("util/guarded.hpp", "#pragma once\nint a();\n");

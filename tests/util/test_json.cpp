@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <string_view>
+
 #include "src/util/error.hpp"
+#include "src/util/json_index.hpp"
+#include "src/util/rng.hpp"
 
 namespace iokc::util {
 namespace {
@@ -174,6 +180,182 @@ TEST(Json, LargeIntegerPrecision) {
   const JsonValue v = parse_json(std::to_string(big));
   EXPECT_EQ(v.as_int(), big);
   EXPECT_EQ(parse_json(v.dump()).as_int(), big);
+}
+
+TEST(Json, SurrogatePairsDecodeToFourByteUtf8) {
+  // \uD834\uDD1E is U+1D11E (𝄞). The seed parser emitted each half as a
+  // separate 3-byte sequence (CESU-8) — which dump() then replaced with
+  // U+FFFD as invalid UTF-8, corrupting the round trip.
+  const JsonValue v = parse_json("\"\\uD834\\uDD1E\"");
+  EXPECT_EQ(v.as_string(), "\xF0\x9D\x84\x9E");
+  // Round trip: the decoded astral character dumps verbatim and re-parses.
+  EXPECT_EQ(parse_json(v.dump()).as_string(), "\xF0\x9D\x84\x9E");
+  // Lowercase hex and mixed case are equally valid.
+  EXPECT_EQ(parse_json("\"\\ud834\\udd1e\"").as_string(), "\xF0\x9D\x84\x9E");
+  // Highest code point: U+10FFFF.
+  EXPECT_EQ(parse_json("\"\\uDBFF\\uDFFF\"").as_string(), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(Json, LoneAndMisorderedSurrogatesAreRejected) {
+  EXPECT_THROW(parse_json("\"\\uD834\""), ParseError);        // lone high
+  EXPECT_THROW(parse_json("\"\\uDD1E\""), ParseError);        // lone low
+  EXPECT_THROW(parse_json("\"\\uDD1E\\uD834\""), ParseError); // reversed
+  EXPECT_THROW(parse_json("\"\\uD834x\""), ParseError);       // high then text
+  EXPECT_THROW(parse_json("\"\\uD834\\n\""), ParseError);     // high then esc
+  EXPECT_THROW(parse_json("\"\\uD834\\u0041\""), ParseError); // high then BMP
+}
+
+TEST(Json, NumberGrammarAcceptsRfc8259Forms) {
+  EXPECT_EQ(parse_json("0").as_int(), 0);
+  EXPECT_EQ(parse_json("-0").as_int(), 0);  // RFC allows a signed zero
+  EXPECT_TRUE(std::signbit(parse_json("-0.0").as_double()));
+  EXPECT_DOUBLE_EQ(parse_json("0.5").as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e+10").as_double(), 1e10);
+  EXPECT_DOUBLE_EQ(parse_json("1E-2").as_double(), 0.01);
+  EXPECT_DOUBLE_EQ(parse_json("0e0").as_double(), 0.0);
+}
+
+TEST(Json, NumberGrammarRejectsNonRfc8259Forms) {
+  // RFC 8259 §6: no leading zeros, no bare '.', no sign-only, no hex. The
+  // seed parser's strtod accepted several of these.
+  for (const char* doc : {"01", "-01", "00", "+1", "1.", ".5", "-.5", "1e",
+                          "1e+", "1E-", "0x10", "1.2.3", "--1", "-", "1.e3",
+                          "+0", "01.5", "1e1.5"}) {
+    EXPECT_THROW(parse_json(doc), ParseError) << doc;
+    EXPECT_THROW(parse_json_scalar(doc), ParseError) << doc;
+  }
+}
+
+TEST(Json, WhitespaceIsExactlyTheFourRfc8259Bytes) {
+  EXPECT_EQ(parse_json(" \t\r\n 1 \t\r\n").as_int(), 1);
+  // The seed parser used locale isspace(), which also accepted \f and \v.
+  EXPECT_THROW(parse_json("\f1"), ParseError);
+  EXPECT_THROW(parse_json("\v1"), ParseError);
+  EXPECT_THROW(parse_json("1\f"), ParseError);
+  EXPECT_THROW(parse_json("[1,\v2]"), ParseError);
+  EXPECT_THROW(parse_json_scalar("\f1"), ParseError);
+  EXPECT_THROW(parse_json_scalar("1\v"), ParseError);
+}
+
+namespace {
+std::string nested_arrays(std::size_t depth) {
+  std::string doc(depth, '[');
+  doc += "1";
+  doc.append(depth, ']');
+  return doc;
+}
+}  // namespace
+
+TEST(Json, DepthCapDefaultsTo256OnBothParsers) {
+  EXPECT_NO_THROW(parse_json(nested_arrays(kDefaultJsonMaxDepth)));
+  EXPECT_THROW(parse_json(nested_arrays(kDefaultJsonMaxDepth + 1)),
+               ParseError);
+  EXPECT_NO_THROW(parse_json_scalar(nested_arrays(kDefaultJsonMaxDepth)));
+  EXPECT_THROW(parse_json_scalar(nested_arrays(kDefaultJsonMaxDepth + 1)),
+               ParseError);
+}
+
+TEST(Json, DepthCapIsConfigurable) {
+  JsonParseOptions options;
+  options.max_depth = 4;
+  EXPECT_NO_THROW(parse_json(nested_arrays(4), options));
+  EXPECT_THROW(parse_json(nested_arrays(5), options), ParseError);
+  // Objects count toward the same budget.
+  EXPECT_THROW(parse_json(R"({"a":{"b":{"c":{"d":{"e":1}}}}})", options),
+               ParseError);
+  EXPECT_THROW(parse_json_scalar(nested_arrays(5), options), ParseError);
+}
+
+TEST(JsonIndex, SimdAndSwarScansAgreeOnRandomizedDocuments) {
+  // build_structural_index dispatches to SSE2 when available; the SWAR
+  // fallback must produce the identical entry sequence. Fuzz with documents
+  // that exercise escapes, quotes inside strings, and unaligned tails.
+  Rng rng(0x5eedu);
+  StructuralIndex simd_index;
+  StructuralIndex swar_index;
+  // Regression: adjacent bytes whose values differ by one. A borrow-based
+  // SWAR equality test flags the byte above a match — ",-1" classified the
+  // '-' as a comma and "\]" as a double backslash — so negative numbers and
+  // bracket escapes diverged from the SSE2 scan on non-SIMD builds.
+  for (const std::string_view doc :
+       {std::string_view("[-1,-2,-3]"), std::string_view("[\"a\\]z\",-4]"),
+        std::string_view("[\"#\",\"\\\\]\"]"), std::string_view("[1,-0.5]")}) {
+    build_structural_index(doc, simd_index);
+    detail::build_structural_index_swar(doc, swar_index);
+    ASSERT_EQ(simd_index.positions, swar_index.positions) << doc;
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::string doc = "{\"k\":[";
+    const int items = static_cast<int>(rng.uniform_int(0, 12));
+    for (int i = 0; i < items; ++i) {
+      if (i != 0) doc += ',';
+      switch (rng.uniform_int(0, 3)) {
+        case 0: doc += std::to_string(rng.uniform_int(-1000, 1000)); break;
+        case 1: doc += "\"s\\\\\\\"q\\u0041"
+                       + std::string(rng.uniform_int(0, 70), 'x') + "\"";
+                break;
+        case 2: doc += "true"; break;
+        default: doc += "{\"n\":null}"; break;
+      }
+    }
+    doc += "]}";
+    doc.append(rng.uniform_int(0, 63), ' ');  // vary tail-block alignment
+    build_structural_index(doc, simd_index);
+    detail::build_structural_index_swar(doc, swar_index);
+    ASSERT_EQ(simd_index.positions, swar_index.positions) << doc;
+  }
+}
+
+TEST(Json, StreamingScanHandlesMultiChunkDocuments) {
+  // Stage 1 scans lazily in 256 KiB chunks; build a document several chunks
+  // long and verify the tree matches the scalar parser element for element.
+  std::string doc = "[";
+  for (int i = 0; i < 120000; ++i) {
+    if (i != 0) doc += ',';
+    doc += std::to_string(i);
+  }
+  doc += "]";
+  ASSERT_GT(doc.size(), 512u * 1024u);  // at least three chunks
+  const JsonValue fast = parse_json(doc);
+  const JsonValue scalar = parse_json_scalar(doc);
+  ASSERT_EQ(fast.as_array().size(), 120000u);
+  EXPECT_EQ(fast.as_array()[119999].as_int(), 119999);
+  EXPECT_EQ(fast.dump(), scalar.dump());
+}
+
+TEST(Json, StreamingScanHandlesStringsAcrossChunkBoundaries) {
+  // A single string longer than the scan chunk: the in-string state must
+  // carry across chunk refills and the closing quote must still pair up.
+  const std::string long_string(600'000, 'a');
+  const std::string doc = "{\"blob\":\"" + long_string + "\",\"tail\":7}";
+  const JsonValue v = parse_json(doc);
+  EXPECT_EQ(v.at("blob").as_string(), long_string);
+  EXPECT_EQ(v.at("tail").as_int(), 7);
+}
+
+TEST(Json, StreamingScanReportsUnterminatedStringInLateChunk) {
+  // The unterminated-string diagnosis happens lazily when the scan reaches
+  // end of input — including when the open quote sits chunks deep.
+  std::string doc = "[";
+  for (int i = 0; i < 100000; ++i) {
+    doc += std::to_string(i);
+    doc += ',';
+  }
+  doc += "\"never closed";
+  ASSERT_GT(doc.size(), 512u * 1024u);
+  EXPECT_THROW(parse_json(doc), ParseError);
+  EXPECT_THROW(parse_json_scalar(doc), ParseError);
+}
+
+TEST(Json, StreamingScanRejectsTrailingGarbageInLateChunk) {
+  std::string doc = "[";
+  for (int i = 0; i < 100000; ++i) {
+    if (i != 0) doc += ',';
+    doc += "1";
+  }
+  doc += "] []";
+  EXPECT_THROW(parse_json(doc), ParseError);
+  EXPECT_THROW(parse_json_scalar(doc), ParseError);
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+// Differential suite: the two-stage fast parser (parse_json) and the
+// byte-at-a-time reference parser (parse_json_scalar) must be externally
+// indistinguishable — identical accept/reject verdicts on every input and
+// byte-identical trees (compared through dump()) on every accepted one.
+// Cases follow the JSONTestSuite convention: y_ must accept, n_ must
+// reject, i_ is implementation-defined but the two parsers must agree.
+// A randomized section fuzzes generated trees and byte-level mutations.
+// The asan-ubsan preset runs this binary like any other test, so parser
+// disagreements AND memory bugs on adversarial input surface here.
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.hpp"
+#include "src/util/json.hpp"
+#include "src/util/rng.hpp"
+
+namespace iokc::util {
+namespace {
+
+/// Parse verdict: the dump of the tree when accepted, nullopt when the
+/// parser threw ParseError. Anything else (other exception, crash) fails
+/// the test outright.
+std::optional<std::string> fast_verdict(std::string_view doc) {
+  try {
+    return parse_json(doc).dump();
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::string> scalar_verdict(std::string_view doc) {
+  try {
+    return parse_json_scalar(doc).dump();
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+/// The core differential check. Returns the common verdict so callers can
+/// additionally pin the expected outcome.
+std::optional<std::string> agree(std::string_view doc) {
+  const std::optional<std::string> fast = fast_verdict(doc);
+  const std::optional<std::string> scalar = scalar_verdict(doc);
+  EXPECT_EQ(fast.has_value(), scalar.has_value())
+      << "verdict split on: " << doc;
+  if (fast && scalar) {
+    EXPECT_EQ(*fast, *scalar) << "tree split on: " << doc;
+  }
+  return fast;
+}
+
+TEST(JsonDifferential, AcceptCases) {
+  const std::vector<std::string> y_cases = {
+      // y_structure
+      "null", "true", "false", "0", "-0", "42", "\"\"", "[]", "{}",
+      "[null]", "{\"\":0}", " \t\r\n[1]\n\r\t ",
+      // y_number
+      "0e1", "0e+1", "-0.0", "1.5e300", "1.5e-300", "123456789012345678901",
+      "-9223372036854775808", "9223372036854775807", "2.2250738585072014e-308",
+      "1e-999",  // underflows to zero, stays finite
+      "20e1", "[123e65]", "[1E22]", "[1E-2]", "[0.4e5]",
+      // y_string
+      "\"a\"", "\"\\\"\"", "\"\\\\\"", "\"\\/\"", "\"\\b\\f\\n\\r\\t\"",
+      "\"\\u0041\"", "\"\\u005C\"", "\"\\u0000\"",  // escaped NUL is legal
+      "\"\\uD834\\uDD1E\"",                         // surrogate pair
+      "\"\\uDBFF\\uDFFF\"",                         // highest code point
+      "\"h\xC3\xA9llo\"",                           // raw UTF-8
+      "\"\xF0\x9D\x84\x9E\"",                       // raw astral UTF-8
+      "\"\\u0964\"",                                // 3-byte BMP escape
+      // y_object / y_array
+      "{\"a\":[1,2.5,null,true,false,\"s\"],\"b\":{\"c\":{}}}",
+      "[[[[[[[[[[1]]]]]]]]]]",
+      "{\"dup\":1,\"dup\":2}",  // duplicate keys: order-preserving accept
+  };
+  for (const std::string& doc : y_cases) {
+    EXPECT_TRUE(agree(doc).has_value()) << "expected accept: " << doc;
+  }
+}
+
+TEST(JsonDifferential, RejectCases) {
+  const std::vector<std::string> n_cases = {
+      // n_structure
+      "", " ", "[", "]", "{", "}", "[1,", "[1,]", "[,1]", "{\"a\":}",
+      "{\"a\"}", "{\"a\":1,}", "{:1}", "[1]]", "[1] [2]", "nul", "tru",
+      "falsee", "nulll", "truefalse", "[1}", "{\"a\":1]",
+      "\x00[1]",  // NUL before document (std::string keeps the byte)
+      // n_number
+      "01", "-01", "+1", "1.", ".5", "-", "--1", "1e", "1e+", "0x10",
+      "1.2.3", "Infinity", "-Infinity", "NaN", "1e999", "-1e999",
+      "[1.e3]", "[+0]", "[0e]", "[.e1]", "[1eE2]", "[1 000]",
+      // n_string
+      "\"unterminated", "\"\\", "\"\\q\"", "\"\\u12\"", "\"\\uZZZZ\"",
+      "\"\\uD834\"", "\"\\uDD1E\"", "\"\\uD834\\uD834\"", "\"\\uD834x\"",
+      "'single'", "\"tab\there\"",        // raw control byte in string
+      std::string("\"nul\x00here\"", 10),  // raw NUL in string
+      // n_whitespace (locale isspace regressions)
+      "\f1", "\v1", "1\f", "[1,\v2]", "\xA0[1]",
+  };
+  for (const std::string& doc : n_cases) {
+    EXPECT_FALSE(agree(doc).has_value()) << "expected reject: " << doc;
+  }
+}
+
+TEST(JsonDifferential, ImplementationDefinedCasesAgree) {
+  // i_ cases: RFC 8259 leaves these open (precision loss, huge magnitudes,
+  // raw invalid UTF-8 in strings). Whatever this implementation does, both
+  // parsers must do the same thing.
+  const std::vector<std::string> i_cases = {
+      "[123123e100000]", "[-123123e100000]", "[0.4e00669999]",
+      "[1.0000000000000002]", "[9007199254740993]",
+      "[0.00000000000000000000000000000001]",
+      "\"a\x80z\"", "\"\xC3(\"", "\"\xED\xA0\x80\"",  // invalid raw UTF-8
+      "[" + std::string(400, '[') + "1" + std::string(400, ']') + "]",
+  };
+  for (const std::string& doc : i_cases) {
+    agree(doc);
+  }
+}
+
+/// Generates a random JSON tree, biased toward the shapes knowledge
+/// objects take (string-keyed objects of metrics arrays).
+JsonValue random_tree(Rng& rng, int depth) {
+  const std::int64_t kind = rng.uniform_int(0, depth >= 4 ? 4 : 6);
+  switch (kind) {
+    case 0: return JsonValue(nullptr);
+    case 1: return JsonValue(rng.uniform_int(0, 1) == 0);
+    case 2: return JsonValue(rng.uniform_int(-1000000, 1000000));
+    case 3: return JsonValue(rng.uniform(-1e6, 1e6));
+    case 4: {
+      std::string s;
+      const std::int64_t len = rng.uniform_int(0, 24);
+      for (std::int64_t i = 0; i < len; ++i) {
+        switch (rng.uniform_int(0, 9)) {
+          case 0: s += '"'; break;
+          case 1: s += '\\'; break;
+          case 2: s += '\n'; break;
+          case 3: s += "\xC3\xA9"; break;          // é
+          case 4: s += "\xF0\x9D\x84\x9E"; break;  // 𝄞
+          default:
+            s += static_cast<char>('a' + rng.uniform_int(0, 25));
+            break;
+        }
+      }
+      return JsonValue(std::move(s));
+    }
+    case 5: {
+      JsonArray arr;
+      const std::int64_t n = rng.uniform_int(0, 8);
+      for (std::int64_t i = 0; i < n; ++i) {
+        arr.push_back(random_tree(rng, depth + 1));
+      }
+      return JsonValue(std::move(arr));
+    }
+    default: {
+      JsonObject obj;
+      const std::int64_t n = rng.uniform_int(0, 6);
+      for (std::int64_t i = 0; i < n; ++i) {
+        obj.emplace_back("k" + std::to_string(i), random_tree(rng, depth + 1));
+      }
+      return JsonValue(std::move(obj));
+    }
+  }
+}
+
+TEST(JsonDifferential, RandomizedTreesRoundTripIdentically) {
+  Rng rng(0xD1FFu);
+  for (int round = 0; round < 300; ++round) {
+    const JsonValue tree = random_tree(rng, 0);
+    for (const std::string& doc : {tree.dump(), tree.dump(2)}) {
+      const std::optional<std::string> verdict = agree(doc);
+      ASSERT_TRUE(verdict.has_value()) << doc;
+      EXPECT_EQ(*verdict, tree.dump()) << doc;  // dump is a fixed point
+    }
+  }
+}
+
+TEST(JsonDifferential, RandomizedMutationsKeepVerdictsAligned) {
+  // Corrupt valid documents one byte at a time: whatever a flipped quote,
+  // bracket, or control byte does to one parser, it must do to the other.
+  Rng rng(0xFA22u);
+  static constexpr char kNoise[] = {'"', '\\', '{', '}',  '[',  ']',
+                                    ',', ':', '0', 'e',  '-',  '.',
+                                    ' ', 'x', '\n', '\t', '\f', '\x1f'};
+  for (int round = 0; round < 300; ++round) {
+    std::string doc = random_tree(rng, 0).dump();
+    if (doc.empty()) {
+      continue;
+    }
+    const std::int64_t edits = rng.uniform_int(1, 3);
+    for (std::int64_t e = 0; e < edits; ++e) {
+      const std::size_t pos =
+          static_cast<std::size_t>(rng.uniform_int(0, doc.size() - 1));
+      const char noise =
+          kNoise[rng.uniform_int(0, std::size(kNoise) - 1)];
+      if (rng.uniform_int(0, 1) == 0) {
+        doc[pos] = noise;
+      } else {
+        doc.insert(pos, 1, noise);
+      }
+    }
+    agree(doc);
+  }
+}
+
+}  // namespace
+}  // namespace iokc::util

@@ -69,6 +69,27 @@ int db_file_rank(std::string_view stem) {
   return -1;
 }
 
+/// The JSON stack inside src/util is itself layered: the buffer primitive
+/// under the writer, the writer under the stage-1 scanner, the scanner
+/// under the tree parser. Unlike kDbFiles this table is not exhaustive for
+/// its directory — util files outside it are unconstrained — so only pairs
+/// where BOTH stems appear are ranked.
+constexpr std::array<std::pair<std::string_view, int>, 4> kUtilJsonFiles = {{
+    {"padded_string", 0},
+    {"json_writer", 1},
+    {"json_index", 2},
+    {"json", 3},
+}};
+
+int util_json_file_rank(std::string_view stem) {
+  for (const auto& [name, rank] : kUtilJsonFiles) {
+    if (name == stem) {
+      return rank;
+    }
+  }
+  return -1;
+}
+
 /// "src/db/sql.hpp" -> "sql"; "src/db/table.cpp" -> "table".
 std::string_view file_stem(std::string_view path) {
   const std::size_t slash = path.rfind('/');
@@ -183,6 +204,24 @@ void check_layering(const std::string& path, std::string_view raw,
             out.push_back(
                 {path, line_of_offset(scrubbed, directive), "layering",
                  "db file '" + std::string(own_stem) + "' (layer " +
+                     std::to_string(own) + ") must not include '" +
+                     std::string(target_stem) + "' (layer " +
+                     std::to_string(dep) + "): " + std::string(target)});
+          }
+        }
+      } else if (module == "util") {
+        // util-internal include: enforce the JSON-stack file ranks when
+        // both ends are in the table (own header always allowed; util
+        // files outside the table are unconstrained).
+        const std::string_view own_stem = file_stem(path);
+        const std::string_view target_stem = file_stem(target);
+        if (own_stem != target_stem) {
+          const int own = util_json_file_rank(own_stem);
+          const int dep = util_json_file_rank(target_stem);
+          if (own >= 0 && dep >= 0 && dep >= own) {
+            out.push_back(
+                {path, line_of_offset(scrubbed, directive), "layering",
+                 "util json file '" + std::string(own_stem) + "' (layer " +
                      std::to_string(own) + ") must not include '" +
                      std::string(target_stem) + "' (layer " +
                      std::to_string(dep) + "): " + std::string(target)});
