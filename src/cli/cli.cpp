@@ -5,11 +5,17 @@
 #include <ostream>
 #include <sstream>
 
+#include <poll.h>
+#include <unistd.h>
+
 #include "src/analysis/anomaly.hpp"
 #include "src/analysis/charts.hpp"
 #include "src/cycle/cycle.hpp"
 #include "src/db/sql.hpp"
 #include "src/obs/observability.hpp"
+#include "src/repl/node.hpp"
+#include "src/repl/router.hpp"
+#include "src/repl/wire.hpp"
 #include "src/svc/client.hpp"
 #include "src/svc/server.hpp"
 #include "src/usage/prediction.hpp"
@@ -209,8 +215,46 @@ int cmd_predict(Session& session, const std::vector<std::string>& args,
   return 0;
 }
 
+/// Blocks until `stop_fd` becomes readable (a ShutdownPipe trigger) and
+/// drains it — the shutdown wait for cluster modes whose node types
+/// svc::wait_for_shutdown (Server-shaped) cannot stop.
+void wait_for_stop_fd(int stop_fd) {
+  pollfd pfd{};
+  pfd.fd = stop_fd;
+  pfd.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc > 0) {
+      break;
+    }
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+  }
+  char drain[64];
+  while (::read(stop_fd, drain, sizeof drain) ==
+         static_cast<ssize_t>(sizeof drain)) {
+  }
+}
+
+/// Writes the bound port to `path` (the scripts' rendezvous with an
+/// ephemeral --port 0).
+void write_port_file(const std::string& path, std::uint16_t port) {
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream port_out(path, std::ios::trunc);
+  if (!port_out) {
+    throw IoError("cannot write " + path);
+  }
+  port_out << port << "\n";
+}
+
 /// `iokc serve`: run the knowledge service daemon against the --db target
-/// until SIGTERM/SIGINT, then drain, save, and report.
+/// until SIGTERM/SIGINT, then drain, save, and report. Cluster flags select
+/// the node shape: --primary/--ack/--repl-port ship the WAL to replicas,
+/// --replica-of follows a primary read-only, --router --shards proxies a
+/// consistent-hash sharded cluster.
 int cmd_serve(const GlobalOptions& options,
               obs::Observability* observability,
               const std::vector<std::string>& args, std::size_t i,
@@ -222,6 +266,14 @@ int cmd_serve(const GlobalOptions& options,
   }
   svc::ServerConfig config;
   std::string port_file;
+  bool primary = false;
+  repl::ShipperConfig ship;
+  std::string repl_port_file;
+  std::string replica_of;     // the primary's replication listener
+  std::string primary_addr;   // the primary's SERVICE address (redirects)
+  std::string marker_path;
+  bool router = false;
+  std::vector<std::string> shard_addresses;
   while (i < args.size()) {
     const std::string& flag = args[i];
     auto need_value = [&]() -> const std::string& {
@@ -246,25 +298,137 @@ int cmd_serve(const GlobalOptions& options,
       config.bind_address = need_value();
     } else if (flag == "--port-file") {
       port_file = need_value();
+    } else if (flag == "--primary") {
+      primary = true;
+    } else if (flag == "--repl-port") {
+      const std::int64_t port = util::parse_i64(need_value());
+      if (port < 0 || port > 65535) {
+        throw ConfigError("serve: --repl-port needs a value in [0, 65535]");
+      }
+      ship.port = static_cast<std::uint16_t>(port);
+      primary = true;
+    } else if (flag == "--repl-port-file") {
+      repl_port_file = need_value();
+    } else if (flag == "--ack") {
+      ship.ack_policy = repl::parse_ack_policy(need_value());
+      primary = true;
+    } else if (flag == "--replicas") {
+      const std::int64_t count = util::parse_i64(need_value());
+      if (count < 0) {
+        throw ConfigError("serve: --replicas needs a value >= 0");
+      }
+      ship.expected_replicas = static_cast<std::size_t>(count);
+      primary = true;
+    } else if (flag == "--replica-of") {
+      replica_of = need_value();
+    } else if (flag == "--primary-addr") {
+      primary_addr = need_value();
+    } else if (flag == "--marker") {
+      marker_path = need_value();
+    } else if (flag == "--router") {
+      router = true;
+    } else if (flag == "--shards") {
+      for (const std::string& address :
+           util::split(need_value(), ',')) {
+        if (!address.empty()) {
+          shard_addresses.push_back(address);
+        }
+      }
     } else {
       throw ConfigError("serve: unknown flag " + flag);
     }
     ++i;
   }
+  if ((primary ? 1 : 0) + (replica_of.empty() ? 0 : 1) + (router ? 1 : 0) >
+      1) {
+    throw ConfigError(
+        "serve: --primary/--ack, --replica-of, and --router are mutually "
+        "exclusive");
+  }
+
+  if (router) {
+    // The router owns no repository — it proxies to the shard primaries.
+    repl::RouterConfig router_config;
+    router_config.bind_address = config.bind_address;
+    router_config.port = config.port;
+    router_config.shards = shard_addresses;
+    router_config.upstream.connect_retries = 4;
+    repl::Router node(std::move(router_config));
+    node.start();
+    out << "iokc-router listening on " << config.bind_address << ":"
+        << node.port() << " fronting " << shard_addresses.size()
+        << " shard(s)\n";
+    out.flush();
+    write_port_file(port_file, node.port());
+    svc::ShutdownPipe::instance().install_signal_handlers();
+    wait_for_stop_fd(svc::ShutdownPipe::instance().read_fd());
+    node.stop();
+    out << "router drained\n";
+    return 0;
+  }
+
   persist::KnowledgeRepository repository(
       persist::RepoTarget::parse(options.db));
+
+  if (!replica_of.empty()) {
+    const auto [host, port] = repl::parse_host_port(replica_of);
+    repl::ReplicaConfig replica_config;
+    replica_config.primary_host = host;
+    replica_config.primary_port = port;
+    if (marker_path.empty()) {
+      const persist::RepoTarget target = persist::RepoTarget::parse(options.db);
+      if (target.kind == persist::RepoTarget::Kind::kFile) {
+        marker_path = target.path + ".synced";
+      }
+    }
+    replica_config.marker_path = marker_path;
+    config.primary_address = primary_addr;
+    repl::ReplicaNode node(repository, config, replica_config);
+    node.start();
+    out << "iokc-replica listening on " << config.bind_address << ":"
+        << node.server().port() << " (" << options.db << ") following "
+        << replica_of << "\n";
+    out.flush();
+    write_port_file(port_file, node.server().port());
+    svc::ShutdownPipe::instance().install_signal_handlers();
+    wait_for_stop_fd(svc::ShutdownPipe::instance().read_fd());
+    node.stop();
+    repository.save();
+    const svc::ServerStats stats = node.server().stats();
+    out << "drained: " << stats.requests << " request(s) on "
+        << stats.connections << " connection(s), " << stats.errors
+        << " error(s)\n";
+    return 0;
+  }
+
+  if (primary) {
+    ship.bind_address = config.bind_address;
+    repl::PrimaryNode node(repository, config, ship);
+    node.start();
+    out << "iokc-primary listening on " << config.bind_address << ":"
+        << node.server().port() << " (" << options.db << "), shipping WAL on "
+        << config.bind_address << ":" << node.shipper().port() << " (ack "
+        << repl::to_string(ship.ack_policy) << ")\n";
+    out.flush();
+    write_port_file(port_file, node.server().port());
+    write_port_file(repl_port_file, node.shipper().port());
+    svc::ShutdownPipe::instance().install_signal_handlers();
+    wait_for_stop_fd(svc::ShutdownPipe::instance().read_fd());
+    node.stop();
+    repository.save();
+    const svc::ServerStats stats = node.server().stats();
+    out << "drained: " << stats.requests << " request(s) on "
+        << stats.connections << " connection(s), " << stats.errors
+        << " error(s)\n";
+    return 0;
+  }
+
   svc::Server server(repository, config);
   server.start();
   out << "iokc-serve listening on " << config.bind_address << ":"
       << server.port() << " (" << options.db << ")\n";
   out.flush();
-  if (!port_file.empty()) {
-    std::ofstream port_out(port_file, std::ios::trunc);
-    if (!port_out) {
-      throw IoError("cannot write " + port_file);
-    }
-    port_out << server.port() << "\n";
-  }
+  write_port_file(port_file, server.port());
   svc::ShutdownPipe::instance().install_signal_handlers();
   svc::wait_for_shutdown(server, svc::ShutdownPipe::instance().read_fd());
   repository.save();
@@ -272,6 +436,71 @@ int cmd_serve(const GlobalOptions& options,
   out << "drained: " << stats.requests << " request(s) on "
       << stats.connections << " connection(s), " << stats.errors
       << " error(s)\n";
+  return 0;
+}
+
+/// `iokc cluster-status <addr[,addr...]>`: one health probe per node,
+/// rendered as a role/position table — the operator's view of replication
+/// lag and who is primary.
+int cmd_cluster_status(const std::vector<std::string>& args, std::size_t i,
+                       std::ostream& out) {
+  if (i >= args.size()) {
+    throw ConfigError("cluster-status: missing <host:port[,host:port...]>");
+  }
+  std::vector<std::string> addresses;
+  for (const std::string& address : util::split(args[i], ',')) {
+    if (!address.empty()) {
+      addresses.push_back(address);
+    }
+  }
+  if (addresses.empty()) {
+    throw ConfigError("cluster-status: no addresses given");
+  }
+  util::TextTable table;
+  table.set_header({"node", "role", "epoch", "offset", "detail"});
+  for (const std::string& address : addresses) {
+    const auto [host, port] = repl::parse_host_port(address);
+    std::string role = "unreachable";
+    std::string epoch = "-";
+    std::string offset = "-";
+    std::string detail;
+    try {
+      svc::ClientOptions client_options;
+      client_options.connect_retries = 2;
+      svc::Client client = svc::Client::connect(host, port, client_options);
+      const svc::Response health = client.call("health");
+      if (health.ok) {
+        if (const util::JsonValue* field = health.result.find("role")) {
+          role = field->as_string();
+        }
+        if (const util::JsonValue* field =
+                health.result.find("journal_epoch")) {
+          epoch = std::to_string(field->as_int());
+        }
+        if (const util::JsonValue* field =
+                health.result.find("journal_offset")) {
+          offset = std::to_string(field->as_int());
+        }
+        if (const util::JsonValue* replicas =
+                health.result.find("replicas")) {
+          detail = std::to_string(replicas->as_array().size()) +
+                   " replica(s) connected";
+        } else if (const util::JsonValue* connected =
+                       health.result.find("connected")) {
+          detail = connected->as_bool() ? "streaming" : "disconnected";
+        } else if (const util::JsonValue* shards =
+                       health.result.find("shards")) {
+          detail = std::to_string(shards->as_int()) + " shard(s)";
+        }
+      } else {
+        detail = health.error;
+      }
+    } catch (const IoError& error) {
+      detail = error.what();
+    }
+    table.add_row({address, role, epoch, offset, detail});
+  }
+  out << table.render();
   return 0;
 }
 
@@ -337,6 +566,9 @@ int dispatch_command(const GlobalOptions& options,
   }
   if (command == "query") {
     return cmd_query(args, i, out);
+  }
+  if (command == "cluster-status") {
+    return cmd_cluster_status(args, i, out);
   }
 
   Session session(options, observability);
@@ -447,6 +679,20 @@ std::string usage_text() {
       "  serve [--port <n>] [--threads <n>] [--bind <addr>]\n"
       "        [--port-file <file>]    serve the --db knowledge base over\n"
       "                                TCP until SIGTERM/SIGINT\n"
+      "        cluster shapes (DESIGN.md 5h):\n"
+      "        --primary [--repl-port <n>] [--repl-port-file <file>]\n"
+      "          [--ack none|one|quorum] [--replicas <n>]\n"
+      "                                ship the WAL to subscribed replicas;\n"
+      "                                the ack policy gates write acks\n"
+      "        --replica-of <host:replport> [--primary-addr <host:port>]\n"
+      "          [--marker <file>]     follow a primary read-only; writes\n"
+      "                                redirect to --primary-addr\n"
+      "        --router --shards <addr,addr,...>\n"
+      "                                consistent-hash router over shard\n"
+      "                                primaries (no --db needed)\n"
+      "  cluster-status <addr[,addr...]>\n"
+      "                                role/epoch/offset table, one health\n"
+      "                                probe per node\n"
       "  query <host:port> <endpoint> [params-json]\n"
       "                                one knowledge-service request\n"
       "                                (health, stats, list, sql,\n"

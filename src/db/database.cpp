@@ -878,9 +878,26 @@ void Database::save(const std::string& path) {
   }
   util::atomic_replace_file(path, content);
   if (journal_ != nullptr && path == home_path_) {
+    journal_epoch_ = journal_->last_seq();
     journal_->checkpoint();
   }
 }
+
+namespace {
+
+/// A dump script with its `--` comment lines (header, epoch marker) removed.
+std::string strip_sql_comments(std::string_view script) {
+  std::string cleaned;
+  for (const std::string& line : util::split_lines(std::string(script))) {
+    if (!util::starts_with(util::trim(line), "--")) {
+      cleaned += line;
+      cleaned += '\n';
+    }
+  }
+  return cleaned;
+}
+
+}  // namespace
 
 Database Database::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -889,17 +906,8 @@ Database Database::load(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  std::string script = buffer.str();
-  // Strip comment lines.
-  std::string cleaned;
-  for (const std::string& line : util::split_lines(script)) {
-    if (!util::starts_with(util::trim(line), "--")) {
-      cleaned += line;
-      cleaned += '\n';
-    }
-  }
   Database database;
-  database.execute_script(cleaned);
+  database.execute_script(strip_sql_comments(buffer.str()));
   return database;
 }
 
@@ -955,12 +963,51 @@ Database Database::open(const std::string& path) {
     last_seq = record.seq;
   }
   database.home_path_ = path;
+  database.journal_epoch_ = epoch;
   database.attach_journal(journal_path, last_seq);
   return database;
 }
 
 void Database::attach_journal(const std::string& path, std::uint64_t last_seq) {
   journal_ = std::make_unique<Journal>(path, last_seq);
+}
+
+void Database::set_journal_ship_sink(Journal::ShipSink sink) {
+  if (journal_ == nullptr) {
+    throw DbError("cannot install a ship sink without an attached journal");
+  }
+  journal_->set_ship_sink(std::move(sink));
+}
+
+void Database::reset_from_script(const std::string& script,
+                                 std::uint64_t epoch) {
+  if (in_transaction_) {
+    throw DbError("cannot reset inside an open transaction");
+  }
+  // Build the replacement aside first: a parse error must leave the live
+  // database untouched. The scratch database has no journal, so nothing in
+  // the script is journaled (or captured) while it executes.
+  Database fresh;
+  fresh.execute_script(strip_sql_comments(script));
+  tables_ = std::move(fresh.tables_);
+  last_insert_rowid_ = fresh.last_insert_rowid_;
+  if (capture_enabled_) {
+    // The capture buffer no longer describes a statement-prefix of this
+    // state; flag overflow so drain_captured_commits() forces consumers
+    // into their full-rebuild path.
+    capture_overflowed_ = true;
+    captured_.clear();
+    captured_bytes_ = 0;
+  }
+  journal_epoch_ = epoch;
+  if (journal_ != nullptr) {
+    const std::string journal_path = journal_->path();
+    journal_ = std::make_unique<Journal>(journal_path, epoch);
+    journal_->checkpoint();
+  }
+  if (!home_path_.empty()) {
+    save(home_path_);
+  }
 }
 
 }  // namespace iokc::db

@@ -150,6 +150,35 @@ class Database {
   void detach_journal() { journal_.reset(); }
   bool journaling() const { return journal_ != nullptr; }
 
+  /// The highest assigned journal sequence number (0 with no journal). This
+  /// is the replication *offset*; together with journal_epoch() it names a
+  /// position in the WAL stream.
+  std::uint64_t last_journal_seq() const {
+    return journal_ != nullptr ? journal_->last_seq() : 0;
+  }
+  /// The checkpoint epoch: the sequence number folded into the last dump
+  /// (from open() or a home-path save()). Records with seq <= epoch live in
+  /// the dump, not the journal sidecar.
+  std::uint64_t journal_epoch() const { return journal_epoch_; }
+  const std::string& home_path() const { return home_path_; }
+
+  /// Forwards to Journal::set_ship_sink (see journal.hpp for the delivery
+  /// contract). Throws DbError when no journal is attached — a primary
+  /// without a WAL has nothing to ship.
+  void set_journal_ship_sink(Journal::ShipSink sink);
+
+  /// Replaces the entire database in place from a dump script (the
+  /// replication bootstrap / fence-recovery path). The replacement is built
+  /// aside first, so a parse error leaves the live database untouched. The
+  /// attached journal (if any) restarts its sequence counter at `epoch` on a
+  /// truncated sidecar — stale records from the old timeline can never
+  /// replay on top of the installed state — and a journaled home database
+  /// is re-saved so the dump on disk records the new epoch. The commit
+  /// capture buffer is invalidated (overflow-flagged) so delta consumers
+  /// fall back to a full rebuild instead of replaying across the reset.
+  void reset_from_script(const std::string& script,
+                         std::uint64_t epoch);  // iokc-lint: blocking
+
   // -- Commit capture & snapshot clones (the service delta-snapshot hooks) --
 
   /// The statements committed since the last drain, in commit order.
@@ -219,6 +248,7 @@ class Database {
 
   std::unique_ptr<Journal> journal_;
   std::string home_path_;  // the file open() loaded; save() there checkpoints
+  std::uint64_t journal_epoch_ = 0;  // seq folded into the last dump
 
   /// Commit-capture state (see set_commit_capture). The cap bounds memory
   /// when nobody drains; past it the buffer is discarded and `overflowed`

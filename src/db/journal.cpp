@@ -108,8 +108,16 @@ std::uint64_t Journal::stage(const std::vector<std::string>& statements) {
                 std::to_string(payload.size()) + " " + checksum + "\n";
   record.body += payload;
   record.end_marker = "#end " + std::to_string(seq) + "\n";
+  if (ship_sink_) {
+    record.statements = statements;
+  }
   staged_.push_back(std::move(record));
   return seq;
+}
+
+void Journal::set_ship_sink(ShipSink sink) {
+  const util::LockGuard lock(mutex_);
+  ship_sink_ = std::move(sink);
 }
 
 void Journal::wait_durable(std::uint64_t seq) {
@@ -138,6 +146,7 @@ void Journal::wait_durable(std::uint64_t seq) {
     std::vector<StagedRecord> batch;
     batch.swap(staged_);
     const std::uint64_t batch_high = batch.back().seq;
+    const ShipSink ship = ship_sink_;
     flush_in_progress_ = true;
     lock.unlock();
     std::string flush_error;
@@ -145,6 +154,27 @@ void Journal::wait_durable(std::uint64_t seq) {
       flush_batch(fd, batch, path_);
     } catch (const IoError& error) {
       flush_error = error.what();
+    }
+    if (flush_error.empty() && ship) {
+      // Hand the durable batch to replication while the flush window is
+      // still held: the next leader cannot start until flush_in_progress_
+      // clears, so sink calls are serialized and strictly seq-ordered
+      // without holding the journal mutex. Shipping failures must not
+      // poison the journal — a replica that misses a batch resubscribes
+      // and catches up from a dump.
+      std::vector<JournalRecord> shipped;
+      shipped.reserve(batch.size());
+      for (StagedRecord& record : batch) {
+        JournalRecord out;
+        out.seq = record.seq;
+        out.statements = std::move(record.statements);
+        shipped.push_back(std::move(out));
+      }
+      try {
+        ship(shipped);
+      } catch (...) {
+        // Swallowed by design; see above.
+      }
     }
     lock.lock();
     flush_in_progress_ = false;

@@ -39,6 +39,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -98,6 +99,19 @@ class Journal {
   void append(const std::vector<std::string>& statements)  // iokc-lint: blocking
       IOKC_EXCLUDES(mutex_);
 
+  /// Receives every durable group-commit batch, in sequence order, exactly
+  /// once. Called by the batch flush leader AFTER the batch fsync succeeded
+  /// and with the journal mutex released — but while the flush window is
+  /// still held, so deliveries never overlap or reorder. The sink must not
+  /// re-enter the journal and must not block on replica acks (replication
+  /// enqueues and returns; ack gating happens at the service layer).
+  using ShipSink = std::function<void(const std::vector<JournalRecord>&)>;
+
+  /// Installs (or clears) the ship sink. Install before the first commit is
+  /// staged: records staged earlier carry no statement text and are never
+  /// delivered (subscribers cover them via a dump bootstrap instead).
+  void set_ship_sink(ShipSink sink) IOKC_EXCLUDES(mutex_);
+
   /// Truncates the log after its contents were checkpointed into a dump.
   /// Waits out any in-flight batch flush first; staged-but-unflushed records
   /// are dropped (the caller's dump already contains their effects — see
@@ -122,11 +136,14 @@ class Journal {
  private:
   /// One staged transaction, pre-formatted. The body (header line + payload)
   /// and end marker are kept separate so the flusher can place the torn-tail
-  /// fault point between the two writes, mirroring the crash window.
+  /// fault point between the two writes, mirroring the crash window. When a
+  /// ship sink is installed the raw statement text rides along so the leader
+  /// can hand durable batches to replication without re-parsing the payload.
   struct StagedRecord {
     std::uint64_t seq = 0;
     std::string body;
     std::string end_marker;
+    std::vector<std::string> statements;
   };
 
   void ensure_open() IOKC_REQUIRES(mutex_);
@@ -144,6 +161,7 @@ class Journal {
   std::uint64_t durable_seq_ IOKC_GUARDED_BY(mutex_);
   std::vector<StagedRecord> staged_ IOKC_GUARDED_BY(mutex_);
   bool flush_in_progress_ IOKC_GUARDED_BY(mutex_) = false;
+  ShipSink ship_sink_ IOKC_GUARDED_BY(mutex_);
   bool poisoned_ IOKC_GUARDED_BY(mutex_) = false;
   std::string poison_error_ IOKC_GUARDED_BY(mutex_);
   int fd_ IOKC_GUARDED_BY(mutex_) = -1;

@@ -278,6 +278,73 @@ db::Database::CapturedCommits KnowledgeRepository::drain_captured_commits() {
   return db_.drain_captured_commits();
 }
 
+void KnowledgeRepository::set_journal_ship_sink(db::Journal::ShipSink sink) {
+  const util::LockGuard lock(write_mutex_);
+  db_.set_journal_ship_sink(std::move(sink));
+}
+
+std::uint64_t KnowledgeRepository::applied_seq() {
+  const util::LockGuard lock(write_mutex_);
+  return db_.journaling() ? db_.last_journal_seq() : replicated_seq_;
+}
+
+std::uint64_t KnowledgeRepository::journal_epoch() {
+  const util::LockGuard lock(write_mutex_);
+  return db_.journal_epoch();
+}
+
+KnowledgeRepository::EpochDump KnowledgeRepository::dump_with_epoch() {
+  const util::LockGuard lock(write_mutex_);
+  EpochDump out;
+  out.seq = db_.journaling() ? db_.last_journal_seq() : replicated_seq_;
+  db_.dump_to(out.dump);
+  return out;
+}
+
+void KnowledgeRepository::install_dump(const std::string& dump,
+                                       std::uint64_t epoch) {
+  const util::LockGuard lock(write_mutex_);
+  // iokc-lint: allow(blocking-under-lock): cold path — a bootstrap replaces
+  // the whole database and must exclude writers end to end (like save()).
+  db_.reset_from_script(dump, epoch);
+  // Fill in whatever the dump predates, exactly like the from_dump
+  // bootstrap. A repository-written dump always carries the full schema, so
+  // these are IF NOT EXISTS no-ops and journal nothing: the local sequence
+  // counter stays at `epoch`, aligned with the primary's stream.
+  db_.execute_script(knowledge_schema_sql());
+  db_.execute_script(knowledge_index_sql());
+  replicated_seq_ = epoch;
+}
+
+std::uint64_t KnowledgeRepository::apply_replicated(
+    const db::JournalRecord& record) {
+  const util::LockGuard lock(write_mutex_);
+  const std::uint64_t applied =
+      db_.journaling() ? db_.last_journal_seq() : replicated_seq_;
+  if (record.seq != applied + 1) {
+    throw DbError("replicated record out of order: got seq " +
+                      std::to_string(record.seq) + ", expected " +
+                      std::to_string(applied + 1));
+  }
+  db_.begin();
+  std::uint64_t ticket = 0;
+  try {
+    for (const std::string& statement : record.statements) {
+      db_.execute(statement);
+    }
+    ticket = db_.commit_buffered();
+  } catch (...) {
+    db_.rollback();
+    throw;
+  }
+  replicated_seq_ = record.seq;
+  return ticket;
+}
+
+void KnowledgeRepository::wait_journal_durable(std::uint64_t ticket) {
+  db_.wait_journal_durable(ticket);
+}
+
 namespace {
 
 std::string insert_systeminfo_sql(const knowledge::SystemInfoRecord& s,

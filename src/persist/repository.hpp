@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -110,6 +111,51 @@ class KnowledgeRepository {
   void set_commit_capture(bool enabled);
   db::Database::CapturedCommits drain_captured_commits();
 
+  // -- Replication hooks (the src/repl WAL-shipping substrate) --------------
+
+  /// Installs the journal ship sink under the single-writer gate. File-backed
+  /// repositories only (an in-memory primary has no WAL to ship).
+  void set_journal_ship_sink(db::Journal::ShipSink sink);
+
+  /// The replication position this repository has applied/committed up to:
+  /// the journal sequence number for file-backed repositories, a local
+  /// counter maintained by install_dump/apply_replicated for in-memory ones.
+  std::uint64_t applied_seq();
+
+  /// The journal checkpoint epoch (db::Database::journal_epoch) — what
+  /// health/stats report alongside applied_seq() as the WAL position.
+  std::uint64_t journal_epoch();
+
+  /// A point-in-time dump paired with the journal sequence it covers — what
+  /// a primary sends to bootstrap a replica. A shipper registering the
+  /// subscriber BEFORE calling this cannot miss a record: staging requires
+  /// the single-writer gate, so every record with seq > the returned epoch
+  /// is staged — and therefore shipped — after registration.
+  struct EpochDump {
+    std::string dump;
+    std::uint64_t seq = 0;
+  };
+  EpochDump dump_with_epoch();
+
+  /// Replaces the whole repository from a primary's bootstrap dump at
+  /// `epoch` (see db::Database::reset_from_script). The idempotent schema/
+  /// index bootstrap re-runs afterwards; IF NOT EXISTS no-ops are not
+  /// journaled, so the local sequence counter stays exactly at `epoch`.
+  void install_dump(const std::string& dump,  // iokc-lint: blocking
+                    std::uint64_t epoch);
+
+  /// Applies one shipped journal record as a single local transaction and
+  /// returns its durability ticket (pass to wait_journal_durable before
+  /// acking; 0 when nothing was journaled). Throws DbError when
+  /// record.seq is not exactly applied_seq()+1 — the caller must resync
+  /// instead of applying out of order — and rolls back on any statement
+  /// failure.
+  std::uint64_t apply_replicated(const db::JournalRecord& record);
+
+  /// Database::wait_journal_durable passthrough, callable OUTSIDE the gate
+  /// so replica batch applies amortize one fsync like primary commits do.
+  void wait_journal_durable(std::uint64_t ticket);  // iokc-lint: blocking
+
   /// Stores a knowledge object; returns the new performances.id.
   std::int64_t store(const knowledge::Knowledge& knowledge);
   /// Stores an IO500 knowledge object; returns the new IOFHsRuns.id.
@@ -185,6 +231,9 @@ class KnowledgeRepository {
 
   db::Database db_;
   RepoTarget target_;
+  /// Replication position for repositories without a journal (in-memory
+  /// replicas in tests); file-backed ones read the journal counter instead.
+  std::uint64_t replicated_seq_ IOKC_GUARDED_BY(write_mutex_) = 0;
   /// Shared across snapshot clones (clone_of): the clones run the same fixed
   /// query texts as the base, so one cache serves them all. The cache hands
   /// out immutable ASTs and locks itself, making the sharing safe.

@@ -1,0 +1,157 @@
+#include "src/repl/cluster_client.hpp"
+
+#include <utility>
+
+#include "src/repl/wire.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::repl {
+
+ClusterClient::ClusterClient(std::vector<std::string> targets,
+                             ClusterClientOptions options)
+    : options_(std::move(options)) {
+  if (targets.empty()) {
+    throw ConfigError("cluster client needs at least one target");
+  }
+  for (std::string& address : targets) {
+    Target target;
+    const auto [host, port] = parse_host_port(address);
+    target.address = std::move(address);
+    target.host = host;
+    target.port = port;
+    targets_.push_back(std::move(target));
+  }
+  reads_per_target_.assign(targets_.size(), 0);
+}
+
+svc::Client& ClusterClient::connected(Target& target) {
+  if (!target.client) {
+    target.client = std::make_unique<svc::Client>(
+        svc::Client::connect(target.host, target.port, options_.client));
+  }
+  return *target.client;
+}
+
+svc::Response ClusterClient::call_target(Target& target,
+                                         const std::string& endpoint,
+                                         const util::JsonValue& params) {
+  try {
+    return connected(target).call(endpoint, params);
+  } catch (const IoError&) {
+    // One redial covers a restarted server behind a stale connection; a
+    // second failure propagates to the caller's rotation logic.
+    target.client.reset();
+    return connected(target).call(endpoint, params);
+  }
+}
+
+bool ClusterClient::fresh_enough(Target& target) {
+  if (options_.max_epoch_lag == 0) {
+    return true;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (!target.offset_known ||
+      now - target.last_probe >
+          std::chrono::milliseconds(options_.probe_interval_ms)) {
+    target.last_probe = now;
+    try {
+      const svc::Response health = call_target(
+          target, "health", util::JsonValue(util::JsonObject{}));
+      if (health.ok) {
+        if (const util::JsonValue* offset =
+                health.result.find("journal_offset")) {
+          target.journal_offset =
+              static_cast<std::uint64_t>(offset->as_int());
+          target.offset_known = true;
+        } else {
+          // No replication stats (standalone node): never stale.
+          target.journal_offset = 0;
+          target.offset_known = false;
+          return true;
+        }
+      }
+    } catch (const IoError&) {
+      return false;  // unreachable counts as stale; the caller rotates on
+    }
+  }
+  if (!target.offset_known) {
+    return true;
+  }
+  // The primary's own offset is the freshness reference; its cache refreshes
+  // on the same cadence through its own fresh_enough/probe calls.
+  Target& primary = targets_[0];
+  if (!primary.offset_known) {
+    return true;
+  }
+  const std::uint64_t primary_offset = primary.journal_offset;
+  const std::uint64_t lag = primary_offset > target.journal_offset
+                                ? primary_offset - target.journal_offset
+                                : 0;
+  return lag <= options_.max_epoch_lag;
+}
+
+svc::Response ClusterClient::call_primary(const std::string& endpoint,
+                                          util::JsonValue params) {
+  svc::Response response = call_target(targets_[0], endpoint, params);
+  if (!response.ok) {
+    // A refused write names the real primary when this target is (now) a
+    // replica — follow once and remember the promotion.
+    if (const std::optional<std::string> redirect =
+            parse_primary_redirect(response.error)) {
+      const auto [host, port] = parse_host_port(*redirect);
+      Target moved;
+      moved.address = *redirect;
+      moved.host = host;
+      moved.port = port;
+      response = call_target(moved, endpoint, params);
+      if (response.ok) {
+        targets_[0] = std::move(moved);
+      }
+    }
+  }
+  return response;
+}
+
+svc::Response ClusterClient::call_read(const std::string& endpoint,
+                                       util::JsonValue params) {
+  // Probe the primary's position first when a staleness bound is active, so
+  // replica lag compares against a current reference.
+  if (options_.max_epoch_lag > 0) {
+    fresh_enough(targets_[0]);
+  }
+  IoError last_error("no targets");
+  for (std::size_t tried = 0; tried < targets_.size(); ++tried) {
+    const std::size_t index = next_read_ % targets_.size();
+    next_read_ = (next_read_ + 1) % targets_.size();
+    Target& target = targets_[index];
+    if (index != 0 && !fresh_enough(target)) {
+      continue;
+    }
+    try {
+      svc::Response response = call_target(target, endpoint, params);
+      ++reads_per_target_[index];
+      return response;
+    } catch (const IoError& error) {
+      last_error = error;
+    }
+  }
+  // Every candidate was stale or unreachable; the primary is the fallback
+  // of last resort (it is never stale by definition).
+  try {
+    svc::Response response = call_target(targets_[0], endpoint, params);
+    ++reads_per_target_[0];
+    return response;
+  } catch (const IoError&) {
+    throw last_error;
+  }
+}
+
+svc::Response ClusterClient::call(const std::string& endpoint,
+                                  util::JsonValue params) {
+  if (endpoint == "knowledge/store") {
+    return call_primary(endpoint, std::move(params));
+  }
+  return call_read(endpoint, std::move(params));
+}
+
+}  // namespace iokc::repl

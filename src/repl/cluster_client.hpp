@@ -1,0 +1,94 @@
+// Multi-endpoint client with read/write splitting (DESIGN.md §5h): writes
+// go to the primary (the first target), reads round-robin across every
+// target — primary plus replicas — so read throughput scales with the
+// replica count.
+//
+// Staleness bound: with max_epoch_lag > 0 the client periodically probes
+// each replica's health for its journal offset and skips replicas lagging
+// the primary by more than the bound. 0 means reads accept any staleness
+// (the replicas are typically one group-commit flush behind).
+//
+// Redirects: a write that lands on a replica (e.g. after a failover moved
+// the primary) comes back as a "write to primary at <addr>" refusal; the
+// client follows the redirect once and adopts the new primary address.
+//
+// NOT thread-safe: one ClusterClient per thread (same contract as
+// svc::Client; the load generator gives each worker its own).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/svc/client.hpp"
+#include "src/svc/protocol.hpp"
+#include "src/util/json.hpp"
+
+namespace iokc::repl {
+
+struct ClusterClientOptions {
+  svc::ClientOptions client;
+  /// Maximum journal-sequence lag a replica may show (vs. the primary)
+  /// before reads skip it; 0 disables the bound and the probes.
+  std::uint64_t max_epoch_lag = 0;
+  /// How often the lag probe refreshes per target.
+  int probe_interval_ms = 500;
+};
+
+class ClusterClient {
+ public:
+  /// `targets` are "host:port" service addresses; targets[0] is the
+  /// primary. Throws ConfigError on an empty list or a malformed address.
+  ClusterClient(std::vector<std::string> targets,
+                ClusterClientOptions options = {});
+
+  /// Routed call: knowledge/store goes to the primary (following one
+  /// redirect if the primary moved); everything else round-robins across
+  /// fresh-enough, reachable targets. Transport failures rotate to the next
+  /// target; IoError only escapes when every candidate failed.
+  svc::Response call(const std::string& endpoint,
+                     util::JsonValue params = util::JsonValue(util::JsonObject{}));
+
+  /// Direct routes (exposed for tests and the load generator's split
+  /// accounting).
+  svc::Response call_primary(const std::string& endpoint,
+                             util::JsonValue params);
+  svc::Response call_read(const std::string& endpoint, util::JsonValue params);
+
+  std::size_t targets() const { return targets_.size(); }
+  const std::string& primary_address() const { return targets_[0].address; }
+
+  /// Reads served per target index since construction — how the read
+  /// fan-out actually distributed (exposed for tests/loadgen).
+  const std::vector<std::uint64_t>& reads_per_target() const {
+    return reads_per_target_;
+  }
+
+ private:
+  struct Target {
+    std::string address;
+    std::string host;
+    std::uint16_t port = 0;
+    std::unique_ptr<svc::Client> client;  // lazily dialed, redialed on error
+    std::uint64_t journal_offset = 0;
+    bool offset_known = false;
+    std::chrono::steady_clock::time_point last_probe{};
+  };
+
+  svc::Client& connected(Target& target);
+  svc::Response call_target(Target& target, const std::string& endpoint,
+                            const util::JsonValue& params);
+  /// Whether reads may use `target` under the staleness bound, probing
+  /// health when the cached offset is older than probe_interval_ms.
+  bool fresh_enough(Target& target);
+
+  ClusterClientOptions options_;
+  std::vector<Target> targets_;
+  std::size_t next_read_ = 0;  // round-robin cursor
+  std::vector<std::uint64_t> reads_per_target_;
+};
+
+}  // namespace iokc::repl

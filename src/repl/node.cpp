@@ -1,0 +1,62 @@
+#include "src/repl/node.hpp"
+
+#include <utility>
+
+#include "src/util/json.hpp"
+
+namespace iokc::repl {
+
+PrimaryNode::PrimaryNode(persist::KnowledgeRepository& repository,
+                         svc::ServerConfig server_config,
+                         ShipperConfig ship_config)
+    : shipper_(repository, std::move(ship_config)),
+      server_(repository,
+              [&server_config] {
+                server_config.role = svc::ServerConfig::Role::kPrimary;
+                return std::move(server_config);
+              }()) {
+  server_.set_commit_gate(
+      [this](std::uint64_t seq) { return shipper_.wait_for_acks(seq); });
+  server_.set_stats_extension(
+      [this](util::JsonObject& result) { shipper_.extend_stats(result); });
+}
+
+void PrimaryNode::start() {
+  shipper_.start();
+  server_.start();
+}
+
+void PrimaryNode::stop() {
+  server_.stop();
+  shipper_.stop();
+}
+
+ReplicaNode::ReplicaNode(persist::KnowledgeRepository& repository,
+                         svc::ServerConfig server_config,
+                         ReplicaConfig replica_config)
+    : server_(repository,
+              [&server_config] {
+                server_config.role = svc::ServerConfig::Role::kReplica;
+                return std::move(server_config);
+              }()),
+      replication_(repository, std::move(replica_config),
+                   [this](const std::function<void(
+                              persist::KnowledgeRepository&)>& write) {
+                     server_.with_repository_write(write);
+                   }) {
+  server_.set_stats_extension([this](util::JsonObject& result) {
+    replication_.extend_stats(result);
+  });
+}
+
+void ReplicaNode::start() {
+  server_.start();
+  replication_.start();
+}
+
+void ReplicaNode::stop() {
+  replication_.stop();
+  server_.stop();
+}
+
+}  // namespace iokc::repl

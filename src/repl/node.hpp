@@ -1,0 +1,62 @@
+// Cluster node composition (DESIGN.md §5h): glues a svc::Server to the
+// replication substrate so `iokc serve` can run one of three shapes.
+//
+//   PrimaryNode  = Server(role=primary) + Shipper. The shipper's ack policy
+//                  becomes the server's commit gate: knowledge/store blocks
+//                  until enough replicas hold the write durably.
+//   ReplicaNode  = Server(role=replica) + ReplicationClient. Shipped batches
+//                  apply through the server's snapshot-store write path so
+//                  read snapshots advance; client writes are refused with a
+//                  redirect to the primary's service address.
+//
+// (The third shape, the router, lives in router.hpp — it owns no repository.)
+#pragma once
+
+#include <memory>
+
+#include "src/persist/repository.hpp"
+#include "src/repl/replica.hpp"
+#include "src/repl/ship.hpp"
+#include "src/svc/server.hpp"
+
+namespace iokc::repl {
+
+/// A primary: serves reads and writes, ships its WAL to replicas.
+class PrimaryNode {
+ public:
+  PrimaryNode(persist::KnowledgeRepository& repository,
+              svc::ServerConfig server_config, ShipperConfig ship_config);
+
+  /// Starts the replication listener first (so replicas can subscribe the
+  /// moment the service port answers), then the service itself.
+  void start();
+  void stop();
+
+  svc::Server& server() { return server_; }
+  Shipper& shipper() { return shipper_; }
+
+ private:
+  Shipper shipper_;
+  svc::Server server_;
+};
+
+/// A replica: serves reads from its own WAL-fed copy, refuses writes.
+class ReplicaNode {
+ public:
+  ReplicaNode(persist::KnowledgeRepository& repository,
+              svc::ServerConfig server_config, ReplicaConfig replica_config);
+
+  /// Starts the service first (the apply path routes through its snapshot
+  /// store), then the replication client.
+  void start();
+  void stop();
+
+  svc::Server& server() { return server_; }
+  ReplicationClient& replication() { return replication_; }
+
+ private:
+  svc::Server server_;
+  ReplicationClient replication_;
+};
+
+}  // namespace iokc::repl

@@ -1,0 +1,249 @@
+#include "src/repl/replica.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "src/obs/observability.hpp"
+#include "src/repl/wire.hpp"
+#include "src/svc/protocol.hpp"
+#include "src/svc/socket.hpp"
+#include "src/util/error.hpp"
+#include "src/util/fault.hpp"
+#include "src/util/fsio.hpp"
+
+namespace iokc::repl {
+
+ReplicationClient::ReplicationClient(persist::KnowledgeRepository& repository,
+                                     ReplicaConfig config, ApplyFn apply)
+    : repository_(repository),
+      config_(std::move(config)),
+      apply_(std::move(apply)) {}
+
+ReplicationClient::~ReplicationClient() { stop(); }
+
+void ReplicationClient::start() {
+  if (running_.exchange(true)) {
+    throw ConfigError("replication client already started");
+  }
+  stopping_.store(false);
+  thread_ = std::thread([this] { run(); });
+}
+
+void ReplicationClient::stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  stopping_.store(true);
+  // The replication thread blocks in read_frame with no timeout; shutting
+  // the socket down unblocks it immediately.
+  const int fd = live_fd_.load();
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  connected_.store(false);
+}
+
+void ReplicationClient::run() {
+  bool first_attempt = true;
+  while (!stopping_.load()) {
+    if (!first_attempt) {
+      {
+        const util::LockGuard lock(mutex_);
+        ++reconnects_;
+      }
+      obs::count("repl.replica_reconnects");
+      // Sleep in slices so stop() stays responsive.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(config_.reconnect_delay_ms);
+      while (!stopping_.load() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      if (stopping_.load()) {
+        break;
+      }
+    }
+    first_attempt = false;
+    try {
+      session();
+    } catch (const std::exception&) {
+      // Connection refused, primary death mid-stream, out-of-order record,
+      // fence — every path reconnects and renegotiates from local state.
+    }
+    connected_.store(false);
+    live_fd_.store(-1);
+  }
+}
+
+void ReplicationClient::session() {
+  svc::Socket socket = svc::connect_to(
+      config_.primary_host, config_.primary_port, config_.io_timeout_ms);
+  live_fd_.store(socket.fd());
+  if (stopping_.load()) {
+    return;
+  }
+
+  SubscribeMsg sub;
+  sub.last_seq = repository_.applied_seq();
+  sub.synced = marker_present();
+  svc::write_frame(socket, encode_subscribe(sub), config_.max_frame_bytes);
+  const std::optional<std::string> hello =
+      svc::read_frame(socket, config_.max_frame_bytes, config_.io_timeout_ms);
+  if (!hello) {
+    throw IoError("primary closed during replication handshake");
+  }
+  const HandshakeReply reply = parse_handshake_reply(*hello);
+  switch (reply.kind) {
+    case HandshakeReply::Kind::kFence: {
+      // This database has records the primary never acknowledged — a stale
+      // ex-primary's unreplicated tail. Drop the synced marker so the next
+      // attempt requests a full snapshot of the NEW timeline.
+      clear_marker();
+      {
+        const util::LockGuard lock(mutex_);
+        ++fences_;
+      }
+      obs::count("repl.replica_fenced");
+      throw IoError("fenced by primary; re-bootstrapping");
+    }
+    case HandshakeReply::Kind::kSnapshot: {
+      apply_through([&](persist::KnowledgeRepository& repository) {
+        repository.install_dump(reply.dump, reply.seq);
+      });
+      util::fault_point("repl.bootstrap.installed");
+      write_marker();
+      {
+        const util::LockGuard lock(mutex_);
+        applied_seq_ = reply.seq;
+        ++bootstraps_;
+      }
+      applied_cv_.notify_all();
+      obs::count("repl.bootstraps");
+      svc::write_frame(socket, encode_ack(reply.seq), config_.max_frame_bytes);
+      break;
+    }
+    case HandshakeReply::Kind::kUpToDate: {
+      write_marker();
+      const util::LockGuard lock(mutex_);
+      applied_seq_ = reply.seq;
+      applied_cv_.notify_all();
+      break;
+    }
+  }
+  connected_.store(true);
+
+  while (!stopping_.load()) {
+    // Block until the primary ships a batch; stop() shuts the socket down.
+    const std::optional<std::string> frame =
+        svc::read_frame(socket, config_.max_frame_bytes, /*timeout_ms=*/-1);
+    if (!frame) {
+      throw IoError("primary closed the replication stream");
+    }
+    const BatchMsg batch = parse_batch(*frame);
+    if (batch.records.empty()) {
+      continue;
+    }
+    util::fault_point("repl.apply.batch");
+    apply_through([&](persist::KnowledgeRepository& repository) {
+      std::uint64_t last_ticket = 0;
+      for (const db::JournalRecord& record : batch.records) {
+        last_ticket = repository.apply_replicated(record);
+      }
+      // One fsync per shipped batch — the replica-side mirror of the
+      // primary's group commit.
+      repository.wait_journal_durable(last_ticket);
+    });
+    const std::uint64_t last_seq = batch.records.back().seq;
+    {
+      const util::LockGuard lock(mutex_);
+      applied_seq_ = last_seq;
+      applied_records_ += batch.records.size();
+      ++applied_batches_;
+    }
+    applied_cv_.notify_all();
+    obs::count("repl.batches_applied");
+    obs::count("repl.records_applied", batch.records.size());
+    util::fault_point("repl.ack.send");
+    svc::write_frame(socket, encode_ack(last_seq), config_.max_frame_bytes);
+  }
+}
+
+void ReplicationClient::apply_through(
+    const std::function<void(persist::KnowledgeRepository&)>& write) {
+  if (apply_) {
+    apply_(write);
+  } else {
+    write(repository_);
+  }
+}
+
+bool ReplicationClient::marker_present() const {
+  if (config_.marker_path.empty()) {
+    return false;
+  }
+  return ::access(config_.marker_path.c_str(), F_OK) == 0;
+}
+
+void ReplicationClient::write_marker() {
+  if (config_.marker_path.empty()) {
+    return;
+  }
+  util::atomic_replace_file(config_.marker_path, "synced\n");
+}
+
+void ReplicationClient::clear_marker() {
+  if (config_.marker_path.empty()) {
+    return;
+  }
+  ::unlink(config_.marker_path.c_str());
+}
+
+bool ReplicationClient::wait_applied(std::uint64_t seq, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  util::UniqueLock lock(mutex_);
+  while (applied_seq_ < seq) {
+    if (applied_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return applied_seq_ >= seq;
+    }
+  }
+  return true;
+}
+
+std::uint64_t ReplicationClient::applied_seq() const {
+  const util::LockGuard lock(mutex_);
+  return applied_seq_;
+}
+
+void ReplicationClient::extend_stats(util::JsonObject& result) const {
+  result.emplace_back(
+      "journal_epoch",
+      util::JsonValue(static_cast<std::int64_t>(repository_.journal_epoch())));
+  result.emplace_back("connected", util::JsonValue(connected_.load()));
+  const util::LockGuard lock(mutex_);
+  result.emplace_back(
+      "journal_offset",
+      util::JsonValue(static_cast<std::int64_t>(applied_seq_)));
+  result.emplace_back(
+      "applied_records",
+      util::JsonValue(static_cast<std::int64_t>(applied_records_)));
+  result.emplace_back(
+      "applied_batches",
+      util::JsonValue(static_cast<std::int64_t>(applied_batches_)));
+  result.emplace_back(
+      "bootstraps", util::JsonValue(static_cast<std::int64_t>(bootstraps_)));
+  result.emplace_back("fences",
+                      util::JsonValue(static_cast<std::int64_t>(fences_)));
+  result.emplace_back(
+      "reconnects", util::JsonValue(static_cast<std::int64_t>(reconnects_)));
+}
+
+}  // namespace iokc::repl

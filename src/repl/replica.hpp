@@ -1,0 +1,106 @@
+// The replica side of WAL shipping (DESIGN.md §5h): a ReplicationClient
+// connects to the primary's replication port, bootstraps from a snapshot
+// when needed, then applies shipped journal batches through the normal
+// repository write path and acks each batch once it is durable locally.
+//
+// Position tracking: a replica accepts NO client writes, so its journal
+// sequence advances in lockstep with the primary's — one shipped record is
+// one local transaction. After a restart the replica announces its own
+// last_seq; the primary replies uptodate (stream from there), snapshot
+// (re-bootstrap), or fence (the replica has a diverged tail — a stale
+// ex-primary — and must discard its state).
+//
+// The "synced" marker: a sidecar file recording that this database was
+// bootstrapped from (or caught up with) the primary's timeline. A fresh
+// database has a journal of its own creation, not of the primary's history,
+// so without the marker the replica always requests a snapshot. Fencing
+// removes the marker before re-bootstrapping.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "src/db/journal.hpp"
+#include "src/persist/repository.hpp"
+#include "src/util/json.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
+
+namespace iokc::repl {
+
+struct ReplicaConfig {
+  std::string primary_host = "127.0.0.1";
+  std::uint16_t primary_port = 0;  // the primary's REPLICATION port
+  int reconnect_delay_ms = 500;    // pause between connection attempts
+  int io_timeout_ms = 10000;       // handshake/ack frame bound
+  std::size_t max_frame_bytes = 256u << 20;
+  /// Where the synced marker lives. Empty disables persistence of the
+  /// marker (in-memory replicas always re-bootstrap — correct, if slower).
+  std::string marker_path;
+};
+
+class ReplicationClient {
+ public:
+  /// Replicates into `repository`, which must outlive the client and must
+  /// not receive writes from anyone else (they would diverge the timeline).
+  /// Every repository mutation goes through `apply`, so the owner can wrap
+  /// it (the replica node routes through SnapshotStore::with_write to keep
+  /// read snapshots fresh). `apply` runs on the replication thread.
+  using ApplyFn =
+      std::function<void(const std::function<void(persist::KnowledgeRepository&)>&)>;
+  ReplicationClient(persist::KnowledgeRepository& repository,
+                    ReplicaConfig config, ApplyFn apply = nullptr);
+  ~ReplicationClient();
+
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+
+  /// Starts the replication loop: connect, handshake, apply, ack; reconnect
+  /// with a fixed delay on any error. Idempotent stop() disconnects/joins.
+  void start();
+  void stop();
+
+  /// Blocks until the replica has applied at least `seq` or `timeout_ms`
+  /// elapsed; returns whether it got there. Test/promotion helper.
+  bool wait_applied(std::uint64_t seq, int timeout_ms);  // iokc-lint: blocking
+
+  std::uint64_t applied_seq() const;
+  bool connected() const { return connected_.load(); }
+
+  /// Merges replication state into a health/stats response object:
+  /// applied position, bootstrap/fence/reconnect counters, link state.
+  void extend_stats(util::JsonObject& result) const;
+
+ private:
+  void run();
+  /// One connect-handshake-stream cycle; throws on any error.
+  void session();
+  void apply_through(const std::function<void(persist::KnowledgeRepository&)>& write);
+  bool marker_present() const;
+  void write_marker();
+  void clear_marker();
+
+  persist::KnowledgeRepository& repository_;
+  ReplicaConfig config_;
+  ApplyFn apply_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<int> live_fd_{-1};  // socket of the active session, for stop()
+
+  mutable util::Mutex mutex_{util::LockRank::kRepl, "repl.replica"};
+  std::condition_variable_any applied_cv_;
+  std::uint64_t applied_seq_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t applied_records_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t applied_batches_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t bootstraps_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t fences_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t reconnects_ IOKC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace iokc::repl

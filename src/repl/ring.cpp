@@ -1,0 +1,65 @@
+#include "src/repl/ring.hpp"
+
+#include <algorithm>
+
+#include "src/db/journal.hpp"  // fnv1a64
+#include "src/util/error.hpp"
+
+namespace iokc::repl {
+
+namespace {
+
+/// FNV-1a avalanches poorly in the high bits for short inputs (vnode labels
+/// are 3-5 bytes), which skews ring arc lengths badly — one shard can own
+/// most of the keyspace. A splitmix64-style finalizer fixes the spread
+/// without changing determinism.
+std::uint64_t ring_hash(std::string_view text) {
+  std::uint64_t z = db::fnv1a64(text);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes) : shards_(shards) {
+  points_.reserve(shards * vnodes);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    for (std::size_t vnode = 0; vnode < vnodes; ++vnode) {
+      const std::string label =
+          std::to_string(shard) + ":" + std::to_string(vnode);
+      points_.push_back(Point{ring_hash(label),
+                              static_cast<std::uint32_t>(shard)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Shard index breaks hash ties so the ring order is total and
+              // independent of construction order.
+              return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+            });
+}
+
+std::size_t HashRing::shard_for(std::string_view key) const {
+  if (points_.empty()) {
+    throw ConfigError("hash ring has no shards");
+  }
+  const std::uint64_t hash = ring_hash(key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const Point& point, std::uint64_t h) { return point.hash < h; });
+  // Wrap around: a key past the last point lands on the first one.
+  return it != points_.end() ? it->shard : points_.front().shard;
+}
+
+std::string HashRing::knowledge_key(std::string_view benchmark,
+                                    std::string_view system) {
+  std::string key;
+  key.reserve(benchmark.size() + 1 + system.size());
+  key += benchmark;
+  key += '\x1f';  // unit separator: cannot appear in either field
+  key += system;
+  return key;
+}
+
+}  // namespace iokc::repl

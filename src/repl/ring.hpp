@@ -1,0 +1,45 @@
+// Consistent hashing for the sharded knowledge service (DESIGN.md §5h): the
+// router maps a knowledge key (benchmark + system) onto one of N shard
+// primaries through a ring of virtual nodes, so adding or removing a shard
+// remaps only ~1/N of the keyspace instead of reshuffling everything the way
+// `hash % N` would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iokc::repl {
+
+/// A ring of `vnodes` virtual points per shard, each placed by FNV-1a of
+/// "shard:replica"; a key lands on the first point clockwise of its own
+/// hash. Immutable after construction — lookups are lock-free and safe from
+/// any thread.
+class HashRing {
+ public:
+  explicit HashRing(std::size_t shards, std::size_t vnodes = 64);
+
+  std::size_t shards() const { return shards_; }
+
+  /// The shard index `key` maps to. Throws ConfigError on an empty ring.
+  std::size_t shard_for(std::string_view key) const;
+
+  /// The routing key for a knowledge object: benchmark and system hostname
+  /// joined with a separator neither field can contain. The same
+  /// (benchmark, system) pair always lands on the same shard, so all runs
+  /// of one workload on one machine stay queryable together.
+  static std::string knowledge_key(std::string_view benchmark,
+                                   std::string_view system);
+
+ private:
+  struct Point {
+    std::uint64_t hash = 0;
+    std::uint32_t shard = 0;
+  };
+
+  std::size_t shards_ = 0;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace iokc::repl

@@ -1,0 +1,374 @@
+#include "src/repl/router.hpp"
+
+#include <utility>
+
+#include "src/obs/observability.hpp"
+#include "src/repl/wire.hpp"
+#include "src/util/error.hpp"
+#include "src/util/json_writer.hpp"
+
+namespace iokc::repl {
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      ring_(config_.shards.size(), config_.vnodes) {
+  if (config_.shards.empty()) {
+    throw ConfigError("router needs at least one shard address");
+  }
+  for (const std::string& address : config_.shards) {
+    parse_host_port(address);  // validate eagerly, before serving
+    shards_.push_back(std::make_unique<Shard>(address));
+  }
+}
+
+Router::~Router() { stop(); }
+
+void Router::start() {
+  if (running_.exchange(true)) {
+    throw ConfigError("router already started");
+  }
+  stopping_.store(false);
+  listener_ = svc::listen_on(config_.bind_address, config_.port);
+  port_ = svc::local_port(listener_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Router::stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  stopping_.store(true);
+  listener_.shutdown_both();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> threads;
+  {
+    const util::LockGuard lock(mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const util::LockGuard lock(shard->mutex);
+    shard->client.reset();
+  }
+  listener_ = svc::Socket();
+}
+
+void Router::accept_loop() {
+  while (!stopping_.load()) {
+    svc::Socket accepted = svc::accept_connection(listener_, 200);
+    if (!accepted.valid()) {
+      continue;
+    }
+    if (stopping_.load()) {
+      break;
+    }
+    const util::LockGuard lock(mutex_);
+    connection_threads_.emplace_back(
+        [this, socket = std::move(accepted)]() mutable {
+          serve_connection(std::move(socket));
+        });
+  }
+}
+
+void Router::serve_connection(svc::Socket socket) {
+  try {
+    while (!stopping_.load()) {
+      const std::optional<std::string> frame = svc::read_frame(
+          socket, config_.max_frame_bytes, config_.request_timeout_ms);
+      if (!frame) {
+        break;  // clean close between requests
+      }
+      svc::Response response;
+      try {
+        const svc::Request request =
+            svc::Request::from_json(util::parse_json(*frame));
+        response = dispatch(request);
+      } catch (const Error& error) {
+        response = svc::Response::failure(error.what());
+      }
+      util::JsonWriter writer;
+      response.dump_to(writer);
+      svc::write_frame(socket, writer.take(), config_.max_frame_bytes);
+    }
+  } catch (const std::exception&) {
+    // Drop the connection; the client sees the transport error.
+  }
+}
+
+svc::Response Router::call_shard(std::size_t index,
+                                 const std::string& endpoint,
+                                 const util::JsonValue& params) {
+  Shard& shard = *shards_[index];
+  const auto [host, port] = parse_host_port(shard.address);
+  const util::LockGuard lock(shard.mutex);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    try {
+      if (!shard.client) {
+        // iokc-lint: allow(blocking-under-lock): the per-shard mutex exists
+        // to serialize use of this one upstream connection; dialing it is
+        // part of that serialized use, and no other lock is held here.
+        auto dialed = svc::Client::connect(host, port, config_.upstream);
+        shard.client = std::make_unique<svc::Client>(std::move(dialed));
+      }
+      return shard.client->call(endpoint, params);
+    } catch (const IoError& error) {
+      // Stale connection (shard restarted) or shard down: redial once,
+      // then report the failure as a response, never a throw — one dead
+      // shard must not poison a fan-out.
+      shard.client.reset();
+      if (attempt == 1) {
+        upstream_errors_.fetch_add(1);
+        obs::count("repl.router_upstream_errors");
+        return svc::Response::failure("shard " + std::to_string(index) + " (" +
+                                      shard.address +
+                                      ") unreachable: " + error.what());
+      }
+    }
+  }
+  return svc::Response::failure("unreachable");
+}
+
+std::size_t Router::shard_for_object(const util::JsonValue& object) const {
+  const bool is_io500 = object.find("testcases") != nullptr;
+  std::string benchmark = is_io500 ? "io500" : "ior";
+  if (const util::JsonValue* field = object.find("benchmark")) {
+    benchmark = field->as_string();
+  }
+  std::string hostname;
+  if (const util::JsonValue* system = object.find("system")) {
+    if (const util::JsonValue* field = system->find("hostname")) {
+      hostname = field->as_string();
+    }
+  }
+  return ring_.shard_for(HashRing::knowledge_key(benchmark, hostname));
+}
+
+svc::Response Router::route_store(const util::JsonValue& params) {
+  const util::JsonValue* object = params.find("object");
+  if (object == nullptr) {
+    return svc::Response::failure("knowledge/store: missing 'object'");
+  }
+  const std::size_t index = shard_for_object(*object);
+  store_routed_.fetch_add(1);
+  obs::count("repl.router_stores");
+  svc::Response response = call_shard(index, "knowledge/store", params);
+  if (response.ok && response.result.find("shard") == nullptr) {
+    util::JsonObject result;
+    for (auto& [key, value] : response.result.as_object()) {
+      result.emplace_back(key, std::move(value));
+    }
+    result.emplace_back("shard",
+                        util::JsonValue(static_cast<std::int64_t>(index)));
+    response.result = util::JsonValue(std::move(result));
+  }
+  return response;
+}
+
+svc::Response Router::scan_shards(const svc::Request& request) {
+  scans_.fetch_add(1);
+  // An explicit shard param skips the scan — clients that remembered the
+  // "shard" a store response reported go straight to the owner.
+  if (const util::JsonValue* directed = request.params.find("shard")) {
+    const auto index = static_cast<std::size_t>(directed->as_int());
+    if (index >= shards_.size()) {
+      return svc::Response::failure("shard index out of range");
+    }
+    return call_shard(index, request.endpoint, request.params);
+  }
+  svc::Response last = svc::Response::failure("no shards");
+  for (std::size_t index = 0; index < shards_.size(); ++index) {
+    last = call_shard(index, request.endpoint, request.params);
+    if (last.ok) {
+      return last;
+    }
+  }
+  return last;
+}
+
+svc::Response Router::fan_out_merge(const svc::Request& request) {
+  fan_outs_.fetch_add(1);
+  obs::count("repl.router_fanouts");
+  std::vector<svc::Response> responses;
+  responses.reserve(shards_.size());
+  for (std::size_t index = 0; index < shards_.size(); ++index) {
+    responses.push_back(call_shard(index, request.endpoint, request.params));
+  }
+
+  if (request.endpoint == "list") {
+    // Concatenate, tagging every entry with its shard: ids are shard-local,
+    // so (shard, id) is the cluster-wide identity.
+    util::JsonArray knowledge;
+    util::JsonArray io500;
+    for (std::size_t index = 0; index < responses.size(); ++index) {
+      if (!responses[index].ok) {
+        continue;
+      }
+      const auto shard_tag = static_cast<std::int64_t>(index);
+      if (const util::JsonValue* entries =
+              responses[index].result.find("knowledge")) {
+        for (const util::JsonValue& entry : entries->as_array()) {
+          util::JsonObject tagged;
+          for (const auto& [key, value] : entry.as_object()) {
+            tagged.emplace_back(key, value);
+          }
+          tagged.emplace_back("shard", util::JsonValue(shard_tag));
+          knowledge.emplace_back(std::move(tagged));
+        }
+      }
+      if (const util::JsonValue* entries =
+              responses[index].result.find("io500")) {
+        for (const util::JsonValue& entry : entries->as_array()) {
+          util::JsonObject tagged;
+          tagged.emplace_back("id", util::JsonValue(entry.as_int()));
+          tagged.emplace_back("shard", util::JsonValue(shard_tag));
+          io500.emplace_back(std::move(tagged));
+        }
+      }
+    }
+    util::JsonObject result;
+    result.emplace_back("knowledge", util::JsonValue(std::move(knowledge)));
+    result.emplace_back("io500", util::JsonValue(std::move(io500)));
+    result.emplace_back(
+        "shards", util::JsonValue(static_cast<std::int64_t>(shards_.size())));
+    return svc::Response::success(util::JsonValue(std::move(result)));
+  }
+
+  if (request.endpoint == "sql") {
+    // Scatter-gather append: per-shard row sets concatenate. Aggregates
+    // (COUNT, AVG...) come back one row per shard — the caller combines.
+    util::JsonArray columns;
+    util::JsonArray rows;
+    bool have_columns = false;
+    std::string first_error;
+    for (const svc::Response& response : responses) {
+      if (!response.ok) {
+        if (first_error.empty()) {
+          first_error = response.error;
+        }
+        continue;
+      }
+      if (!have_columns) {
+        columns = response.result.at("columns").as_array();
+        have_columns = true;
+      }
+      for (const util::JsonValue& row : response.result.at("rows").as_array()) {
+        rows.emplace_back(row);
+      }
+    }
+    if (!have_columns) {
+      return svc::Response::failure(
+          first_error.empty() ? "sql: no shard answered" : first_error);
+    }
+    util::JsonObject result;
+    result.emplace_back("columns", util::JsonValue(std::move(columns)));
+    result.emplace_back("rows", util::JsonValue(std::move(rows)));
+    return svc::Response::success(util::JsonValue(std::move(result)));
+  }
+
+  // health / stats: the router's own identity plus per-shard results.
+  util::JsonObject result;
+  if (request.endpoint == "health") {
+    result.emplace_back("status", util::JsonValue("ok"));
+  }
+  result.emplace_back("role", util::JsonValue("router"));
+  result.emplace_back(
+      "shards", util::JsonValue(static_cast<std::int64_t>(shards_.size())));
+  if (request.endpoint == "stats") {
+    result.emplace_back(
+        "requests",
+        util::JsonValue(static_cast<std::int64_t>(requests_.load())));
+    result.emplace_back(
+        "stores_routed",
+        util::JsonValue(static_cast<std::int64_t>(store_routed_.load())));
+    result.emplace_back(
+        "fan_outs",
+        util::JsonValue(static_cast<std::int64_t>(fan_outs_.load())));
+    result.emplace_back(
+        "id_scans",
+        util::JsonValue(static_cast<std::int64_t>(scans_.load())));
+    result.emplace_back(
+        "upstream_errors",
+        util::JsonValue(static_cast<std::int64_t>(upstream_errors_.load())));
+  }
+  util::JsonArray shard_results;
+  for (std::size_t index = 0; index < responses.size(); ++index) {
+    util::JsonObject entry;
+    entry.emplace_back("shard",
+                       util::JsonValue(static_cast<std::int64_t>(index)));
+    entry.emplace_back("address", util::JsonValue(shards_[index]->address));
+    entry.emplace_back("ok", util::JsonValue(responses[index].ok));
+    if (responses[index].ok) {
+      entry.emplace_back("result", responses[index].result);
+    } else {
+      entry.emplace_back("error", util::JsonValue(responses[index].error));
+    }
+    shard_results.emplace_back(std::move(entry));
+  }
+  result.emplace_back("shard_results",
+                      util::JsonValue(std::move(shard_results)));
+  return svc::Response::success(util::JsonValue(std::move(result)));
+}
+
+svc::Response Router::best_evidence(const svc::Request& request,
+                                    std::string_view evidence_key) {
+  fan_outs_.fetch_add(1);
+  // Per-shard models never mix samples across shards; answer from the shard
+  // with the most evidence for this query — the one whose model the full
+  // dataset would weight most heavily anyway.
+  svc::Response best = svc::Response::failure("no shard answered");
+  std::int64_t best_evidence_count = -1;
+  for (std::size_t index = 0; index < shards_.size(); ++index) {
+    svc::Response response =
+        call_shard(index, request.endpoint, request.params);
+    if (!response.ok) {
+      if (best_evidence_count < 0) {
+        best = std::move(response);
+      }
+      continue;
+    }
+    std::int64_t evidence = 0;
+    if (const util::JsonValue* field = response.result.find(evidence_key)) {
+      evidence = field->as_int();
+    }
+    if (evidence > best_evidence_count) {
+      best_evidence_count = evidence;
+      best = std::move(response);
+    }
+  }
+  return best;
+}
+
+svc::Response Router::dispatch(const svc::Request& request) {
+  requests_.fetch_add(1);
+  obs::count("repl.router_requests");
+  try {
+    const std::string& endpoint = request.endpoint;
+    if (endpoint == "knowledge/store") {
+      return route_store(request.params);
+    }
+    if (endpoint == "knowledge/get" || endpoint == "anomaly") {
+      return scan_shards(request);
+    }
+    if (endpoint == "predict") {
+      return best_evidence(request, "samples");
+    }
+    if (endpoint == "recommend") {
+      return best_evidence(request, "evidence_runs");
+    }
+    if (endpoint == "health" || endpoint == "stats" || endpoint == "list" ||
+        endpoint == "sql") {
+      return fan_out_merge(request);
+    }
+    return svc::Response::failure("unknown endpoint '" + endpoint + "'");
+  } catch (const Error& error) {
+    return svc::Response::failure(error.what());
+  }
+}
+
+}  // namespace iokc::repl

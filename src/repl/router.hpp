@@ -1,0 +1,112 @@
+// The shard router (DESIGN.md §5h): a thin proxy speaking the service
+// protocol on the front and fanning out to N shard primaries on the back.
+// It owns no repository — every byte of knowledge lives on exactly one
+// shard, placed by consistent-hashing the knowledge key (benchmark + system
+// hostname, ring.hpp).
+//
+// Routing plans per endpoint:
+//   knowledge/store    -> the owning shard (hash of the stored object's key)
+//   knowledge/get,     -> first-success scan: ids are shard-local, so the
+//   anomaly               router tries shards in order until one has the id
+//                         (an explicit "shard" param skips the scan)
+//   list, sql, stats   -> fan out to all shards, merge (list/sql concatenate
+//                         with a "shard" tag; stats nests per-shard results)
+//   predict, recommend -> fan out, answer from the shard with the most
+//                         evidence (per-shard models never mix samples)
+//   health             -> router's own role plus each shard's health
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/repl/ring.hpp"
+#include "src/svc/client.hpp"
+#include "src/svc/protocol.hpp"
+#include "src/svc/socket.hpp"
+#include "src/util/json.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
+
+namespace iokc::repl {
+
+struct RouterConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 picks ephemeral
+  /// Shard primaries as "host:port" service addresses; index order IS the
+  /// ring's shard numbering and must be identical across routers.
+  std::vector<std::string> shards;
+  std::size_t vnodes = 64;
+  svc::ClientOptions upstream;  // per-shard connection options
+  std::size_t max_frame_bytes = svc::kDefaultMaxFrameBytes;
+  int request_timeout_ms = 10000;  // per client connection read bound
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  void start();
+  void stop();
+  std::uint16_t port() const { return port_; }
+
+  /// One request -> one routed/merged response, exactly as the network path
+  /// dispatches it (exposed so tests can exercise routing without a second
+  /// socket hop).
+  svc::Response dispatch(const svc::Request& request);
+
+  /// The shard index a stored object routes to (exposed for tests).
+  std::size_t shard_for_object(const util::JsonValue& object) const;
+
+ private:
+  /// One upstream shard: a lazily connected, serially used client. The
+  /// per-shard mutex serializes calls; a transport error drops the
+  /// connection and the next call redials.
+  struct Shard {
+    explicit Shard(std::string address_in)
+        : address(std::move(address_in)) {}
+    std::string address;
+    util::Mutex mutex{util::LockRank::kRepl, "repl.router.shard"};
+    std::unique_ptr<svc::Client> client IOKC_GUARDED_BY(mutex);
+  };
+
+  void accept_loop();
+  void serve_connection(svc::Socket socket);
+  /// One proxied call to shard `index`; redials once on transport failure.
+  /// Transport failures come back as Response{ok=false}, never throw.
+  svc::Response call_shard(std::size_t index, const std::string& endpoint,
+                           const util::JsonValue& params);
+  svc::Response route_store(const util::JsonValue& params);
+  svc::Response scan_shards(const svc::Request& request);
+  svc::Response fan_out_merge(const svc::Request& request);
+  svc::Response best_evidence(const svc::Request& request,
+                              std::string_view evidence_key);
+
+  RouterConfig config_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  svc::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  mutable util::Mutex mutex_{util::LockRank::kRepl, "repl.router"};
+  std::vector<std::thread> connection_threads_ IOKC_GUARDED_BY(mutex_);
+  // Counters are atomics, not guarded: call_shard bumps upstream_errors_
+  // while holding a shard mutex of the same rank (equal ranks never nest).
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> store_routed_{0};
+  std::atomic<std::uint64_t> fan_outs_{0};
+  std::atomic<std::uint64_t> scans_{0};
+  std::atomic<std::uint64_t> upstream_errors_{0};
+};
+
+}  // namespace iokc::repl

@@ -1,0 +1,384 @@
+#include "src/repl/ship.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/obs/observability.hpp"
+#include "src/repl/wire.hpp"
+#include "src/svc/protocol.hpp"
+#include "src/util/error.hpp"
+#include "src/util/fault.hpp"
+
+namespace iokc::repl {
+
+AckPolicy parse_ack_policy(std::string_view text) {
+  if (text == "none") {
+    return AckPolicy::kNone;
+  }
+  if (text == "one") {
+    return AckPolicy::kOne;
+  }
+  if (text == "quorum") {
+    return AckPolicy::kQuorum;
+  }
+  throw ConfigError("unknown ack policy '" + std::string(text) +
+                    "' (expected none, one, or quorum)");
+}
+
+std::string_view to_string(AckPolicy policy) {
+  switch (policy) {
+    case AckPolicy::kNone:
+      return "none";
+    case AckPolicy::kOne:
+      return "one";
+    case AckPolicy::kQuorum:
+      return "quorum";
+  }
+  return "none";
+}
+
+Shipper::Shipper(persist::KnowledgeRepository& repository, ShipperConfig config)
+    : repository_(repository), config_(std::move(config)) {}
+
+Shipper::~Shipper() { stop(); }
+
+void Shipper::start() {
+  if (running_.exchange(true)) {
+    throw ConfigError("replication shipper already started");
+  }
+  stopping_.store(false);
+  listener_ = svc::listen_on(config_.bind_address, config_.port);
+  port_ = svc::local_port(listener_);
+  // The sink must be live before any replica registers: on_batch buffers for
+  // every streaming session, and serve_replica registers the session before
+  // taking the bootstrap dump so nothing falls between dump and stream.
+  repository_.set_journal_ship_sink(
+      [this](const std::vector<db::JournalRecord>& records) {
+        on_batch(records);
+      });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Shipper::stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  stopping_.store(true);
+  repository_.set_journal_ship_sink(nullptr);
+  listener_.shutdown_both();
+  {
+    const util::LockGuard lock(mutex_);
+    for (const std::shared_ptr<Session>& session : sessions_) {
+      session->dead = true;
+      session->socket.shutdown_both();
+      session->cv.notify_all();
+    }
+  }
+  ack_cv_.notify_all();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> threads;
+  {
+    const util::LockGuard lock(mutex_);
+    threads.swap(session_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  {
+    const util::LockGuard lock(mutex_);
+    sessions_.clear();
+  }
+  listener_ = svc::Socket();
+}
+
+void Shipper::accept_loop() {
+  while (!stopping_.load()) {
+    svc::Socket accepted = svc::accept_connection(listener_, 200);
+    if (!accepted.valid()) {
+      continue;  // poll timeout, or the listener was shut down
+    }
+    if (stopping_.load()) {
+      break;
+    }
+    auto session = std::make_shared<Session>();
+    session->socket = std::move(accepted);
+    {
+      const util::LockGuard lock(mutex_);
+      session->peer = "replica-" + std::to_string(sessions_.size() + 1) +
+                      "/fd" + std::to_string(session->socket.fd());
+      sessions_.push_back(session);
+      session_threads_.emplace_back(
+          [this, session] { serve_replica(session); });
+    }
+  }
+}
+
+void Shipper::serve_replica(std::shared_ptr<Session> session) {
+  try {
+    const std::optional<std::string> hello = svc::read_frame(
+        session->socket, config_.max_frame_bytes, config_.io_timeout_ms);
+    if (!hello) {
+      throw IoError("replica disconnected during handshake");
+    }
+    const SubscribeMsg sub = parse_subscribe(*hello);
+
+    // Register BEFORE dumping: every record staged after the dump's gate
+    // acquisition has seq > the dump's epoch and lands in this queue, so
+    // nothing between "dump taken" and "stream live" can be missed. Records
+    // the dump already covers may race in; the epoch prune below drops them.
+    {
+      const util::LockGuard lock(mutex_);
+      session->streaming = true;
+      session->queue.clear();
+    }
+    const persist::KnowledgeRepository::EpochDump dump =
+        repository_.dump_with_epoch();
+    {
+      const util::LockGuard lock(mutex_);
+      session->epoch = dump.seq;
+      session->queue.erase(
+          std::remove_if(session->queue.begin(), session->queue.end(),
+                         [&](const db::JournalRecord& record) {
+                           return record.seq <= dump.seq;
+                         }),
+          session->queue.end());
+    }
+
+    if (sub.synced && sub.last_seq == dump.seq) {
+      svc::write_frame(session->socket, encode_uptodate(dump.seq),
+                       config_.max_frame_bytes);
+      const util::LockGuard lock(mutex_);
+      session->acked_seq = dump.seq;  // it already holds everything durably
+      ack_cv_.notify_all();
+    } else if (sub.synced && sub.last_seq > dump.seq) {
+      // The subscriber holds records this primary never had: a stale
+      // ex-primary rejoining after failover. Fence it — it must discard its
+      // diverged tail and re-bootstrap as an unsynced replica. Only synced
+      // subscribers are fenced: an unsynced one already knows its history
+      // is not this timeline (whatever its own journal seq says) and falls
+      // through to the snapshot, which is what lets a fenced replica's
+      // reconnect converge instead of being fenced forever.
+      {
+        const util::LockGuard lock(mutex_);
+        ++fences_;
+      }
+      obs::count("repl.fences");
+      svc::write_frame(session->socket, encode_fence(),
+                       config_.max_frame_bytes);
+      throw IoError("fenced diverged subscriber at seq " +
+                         std::to_string(sub.last_seq) + " (primary at " +
+                         std::to_string(dump.seq) + ")");
+    } else {
+      {
+        const util::LockGuard lock(mutex_);
+        ++snapshots_sent_;
+      }
+      obs::count("repl.snapshots_sent");
+      util::fault_point("repl.snapshot.send");
+      svc::write_frame(session->socket, encode_snapshot(dump.seq, dump.dump),
+                       config_.max_frame_bytes);
+      // The replica acks the epoch once the installed dump is durable; read
+      // it here so the stream loop below stays strictly one-ack-per-batch.
+      const std::optional<std::string> frame = svc::read_frame(
+          session->socket, config_.max_frame_bytes, config_.io_timeout_ms);
+      if (!frame) {
+        throw IoError("replica disconnected during bootstrap");
+      }
+      const AckMsg ack = parse_ack(*frame);
+      const util::LockGuard lock(mutex_);
+      session->acked_seq = std::max(session->acked_seq, ack.seq);
+      ack_cv_.notify_all();
+    }
+
+    while (true) {
+      std::vector<db::JournalRecord> batch;
+      {
+        util::UniqueLock lock(mutex_);
+        while (session->queue.empty() && !session->dead && !stopping_.load()) {
+          session->cv.wait(lock);
+        }
+        if (session->dead || stopping_.load()) {
+          break;
+        }
+        batch.swap(session->queue);
+      }
+      util::fault_point("repl.ship.batch");
+      svc::write_frame(session->socket, encode_batch(batch),
+                       config_.max_frame_bytes);
+      // Synchronous per-frame ack: group commit already coalesces writes
+      // into batches, so the round trip amortizes across the whole batch,
+      // and the 1:1 pairing keeps session state trivial.
+      const std::optional<std::string> frame = svc::read_frame(
+          session->socket, config_.max_frame_bytes, config_.io_timeout_ms);
+      if (!frame) {
+        throw IoError("replica disconnected before ack");
+      }
+      const AckMsg ack = parse_ack(*frame);
+      obs::count("repl.batches_acked");
+      const util::LockGuard lock(mutex_);
+      session->acked_seq = std::max(session->acked_seq, ack.seq);
+      ack_cv_.notify_all();
+    }
+  } catch (const std::exception&) {
+    // Session teardown below; a failed replica simply stops acking.
+  }
+  {
+    const util::LockGuard lock(mutex_);
+    session->dead = true;
+    sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), session),
+                    sessions_.end());
+  }
+  ack_cv_.notify_all();
+}
+
+void Shipper::on_batch(const std::vector<db::JournalRecord>& records) {
+  if (records.empty()) {
+    return;
+  }
+  util::fault_point("repl.ship.enqueue");
+  const util::LockGuard lock(mutex_);
+  ++shipped_batches_;
+  shipped_records_ += records.size();
+  last_shipped_seq_ = std::max(last_shipped_seq_, records.back().seq);
+  for (const std::shared_ptr<Session>& session : sessions_) {
+    if (!session->streaming || session->dead) {
+      continue;
+    }
+    for (const db::JournalRecord& record : records) {
+      // Records at or below the session epoch are inside its bootstrap dump
+      // (a commit staged before the dump can flush — and therefore ship —
+      // after it); epoch is 0 until the dump returns, and the prune in
+      // serve_replica handles anything queued in that window.
+      if (record.seq > session->epoch) {
+        session->queue.push_back(record);
+      }
+    }
+    session->cv.notify_all();
+  }
+  obs::count("repl.batches_shipped");
+  obs::count("repl.records_shipped", records.size());
+}
+
+std::size_t Shipper::replica_acks_needed() const {
+  switch (config_.ack_policy) {
+    case AckPolicy::kNone:
+      return 0;
+    case AckPolicy::kOne:
+      return 1;
+    case AckPolicy::kQuorum:
+      // The primary's own durable copy counts toward the majority of the
+      // expected_replicas + 1 node cluster.
+      return (config_.expected_replicas + 1) / 2;
+  }
+  return 0;
+}
+
+bool Shipper::wait_for_acks(std::uint64_t seq) {
+  const std::size_t needed = replica_acks_needed();
+  if (needed == 0) {
+    return true;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.ack_timeout_ms);
+  util::UniqueLock lock(mutex_);
+  while (true) {
+    std::size_t acked = 0;
+    for (const std::shared_ptr<Session>& session : sessions_) {
+      if (!session->dead && session->acked_seq >= seq) {
+        ++acked;
+      }
+    }
+    if (acked >= needed) {
+      return true;
+    }
+    if (stopping_.load()) {
+      return false;
+    }
+    if (ack_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      ++ack_timeouts_;
+      obs::count("repl.ack_timeouts");
+      return false;
+    }
+  }
+}
+
+std::size_t Shipper::acked_replicas(std::uint64_t seq) const {
+  const util::LockGuard lock(mutex_);
+  std::size_t acked = 0;
+  for (const std::shared_ptr<Session>& session : sessions_) {
+    if (!session->dead && session->acked_seq >= seq) {
+      ++acked;
+    }
+  }
+  return acked;
+}
+
+std::size_t Shipper::connected_replicas() const {
+  const util::LockGuard lock(mutex_);
+  std::size_t live = 0;
+  for (const std::shared_ptr<Session>& session : sessions_) {
+    if (!session->dead) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void Shipper::extend_stats(util::JsonObject& result) const {
+  // Repository positions first: sequential lock use, never nested with the
+  // shipper mutex (persist ranks below kRepl anyway).
+  result.emplace_back(
+      "journal_epoch",
+      util::JsonValue(static_cast<std::int64_t>(repository_.journal_epoch())));
+  result.emplace_back(
+      "journal_offset",
+      util::JsonValue(static_cast<std::int64_t>(repository_.applied_seq())));
+  result.emplace_back("ack_policy",
+                      util::JsonValue(std::string(to_string(config_.ack_policy))));
+  result.emplace_back(
+      "expected_replicas",
+      util::JsonValue(static_cast<std::int64_t>(config_.expected_replicas)));
+  const util::LockGuard lock(mutex_);
+  result.emplace_back(
+      "shipped_batches",
+      util::JsonValue(static_cast<std::int64_t>(shipped_batches_)));
+  result.emplace_back(
+      "shipped_records",
+      util::JsonValue(static_cast<std::int64_t>(shipped_records_)));
+  result.emplace_back(
+      "last_shipped_seq",
+      util::JsonValue(static_cast<std::int64_t>(last_shipped_seq_)));
+  result.emplace_back(
+      "snapshots_sent",
+      util::JsonValue(static_cast<std::int64_t>(snapshots_sent_)));
+  result.emplace_back("fences",
+                      util::JsonValue(static_cast<std::int64_t>(fences_)));
+  result.emplace_back(
+      "ack_timeouts",
+      util::JsonValue(static_cast<std::int64_t>(ack_timeouts_)));
+  util::JsonArray replicas;
+  for (const std::shared_ptr<Session>& session : sessions_) {
+    if (session->dead) {
+      continue;
+    }
+    util::JsonObject entry;
+    entry.emplace_back("peer", util::JsonValue(session->peer));
+    entry.emplace_back(
+        "acked_seq",
+        util::JsonValue(static_cast<std::int64_t>(session->acked_seq)));
+    const std::uint64_t lag = last_shipped_seq_ > session->acked_seq
+                                  ? last_shipped_seq_ - session->acked_seq
+                                  : 0;
+    entry.emplace_back("ack_lag",
+                       util::JsonValue(static_cast<std::int64_t>(lag)));
+    replicas.push_back(util::JsonValue(std::move(entry)));
+  }
+  result.emplace_back("replicas", util::JsonValue(std::move(replicas)));
+}
+
+}  // namespace iokc::repl

@@ -1,0 +1,137 @@
+// The primary side of WAL shipping (DESIGN.md §5h): a Shipper owns the
+// replication listener, one session per connected replica, and the journal
+// ship sink. Committed group-commit batches fan out to every subscribed
+// replica; replicas acknowledge by journal sequence once the batch is
+// durable on THEIR disk, and the configured ack policy turns those acks
+// into the commit gate the serving layer blocks on.
+//
+// Threading: the journal flush leader calls the ship sink (holding no
+// locks — see Journal::set_ship_sink); it only enqueues under the shipper
+// mutex and returns. Each replica session runs its own sender thread:
+// dequeue, send one batch frame, block for the ack, repeat. Service workers
+// block in wait_for_acks() on the same mutex's condition variable. The
+// shipper mutex ranks kRepl, above every lock the code it calls into can
+// take — sessions call down into persist (dump) holding nothing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/db/journal.hpp"
+#include "src/persist/repository.hpp"
+#include "src/svc/socket.hpp"
+#include "src/util/json.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
+
+namespace iokc::repl {
+
+/// How many replica acks gate a write's durability acknowledgment.
+///   kNone:   local durability only (async replication).
+///   kOne:    at least one replica has the write on disk.
+///   kQuorum: a majority of the cluster has it — (expected_replicas + 1) / 2
+///            replica acks, because the primary's own copy counts toward the
+///            majority of expected_replicas + 1 nodes. This is the promotion
+///            safety bound: the most-caught-up replica is then always a
+///            superset of every quorum-acked write (streams are contiguous
+///            prefixes of one WAL order).
+enum class AckPolicy { kNone, kOne, kQuorum };
+
+/// Parses "none" | "one" | "quorum"; throws ConfigError otherwise.
+AckPolicy parse_ack_policy(std::string_view text);
+std::string_view to_string(AckPolicy policy);
+
+struct ShipperConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // replication listener; 0 picks ephemeral
+  AckPolicy ack_policy = AckPolicy::kNone;
+  /// Cluster sizing for the quorum computation — how many replicas are
+  /// *supposed* to exist, not how many are currently connected (a quorum
+  /// against a shrunken live set would defeat the point).
+  std::size_t expected_replicas = 0;
+  int ack_timeout_ms = 5000;  // wait_for_acks bound
+  int io_timeout_ms = 10000;  // per-frame send/recv bound per session
+  /// Frame cap for replication traffic. Bootstrap snapshots carry a whole
+  /// database dump, so this is far above the service protocol default.
+  std::size_t max_frame_bytes = 256u << 20;
+};
+
+class Shipper {
+ public:
+  /// Ships `repository`'s WAL. The repository must be file-backed (it needs
+  /// a journal) and outlive the shipper.
+  Shipper(persist::KnowledgeRepository& repository, ShipperConfig config);
+  ~Shipper();
+
+  Shipper(const Shipper&) = delete;
+  Shipper& operator=(const Shipper&) = delete;
+
+  /// Binds the replication listener, installs the journal ship sink, and
+  /// starts accepting replicas. Throws IoError when the address is taken.
+  void start();
+  /// Disconnects every replica and joins all threads. Idempotent.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until the ack policy is satisfied for `seq` or ack_timeout_ms
+  /// elapsed; returns whether it was satisfied. Policy kNone returns true
+  /// immediately. The svc::Server commit gate binds here.
+  bool wait_for_acks(std::uint64_t seq);  // iokc-lint: blocking
+
+  /// Replica acks at or beyond `seq` among live sessions (test/monitoring).
+  std::size_t acked_replicas(std::uint64_t seq) const;
+  std::size_t connected_replicas() const;
+
+  /// Merges replication state into a health/stats response object: role
+  /// details, journal epoch+offset, shipped-batch counters, per-replica ack
+  /// lag. The svc::Server stats extension binds here.
+  void extend_stats(util::JsonObject& result) const;
+
+ private:
+  /// One connected replica. The session thread owns the socket; everything
+  /// else is under the shipper mutex.
+  struct Session {
+    svc::Socket socket;
+    std::string peer;
+    std::vector<db::JournalRecord> queue;  // pending, seq-ordered
+    std::uint64_t epoch = 0;      // records <= epoch came via the dump
+    std::uint64_t acked_seq = 0;  // durable on the replica
+    bool streaming = false;       // handshake done; queue is live
+    bool dead = false;
+    std::condition_variable_any cv;  // queue became non-empty / stopping
+  };
+
+  void accept_loop();
+  void serve_replica(std::shared_ptr<Session> session);
+  /// The journal ship sink: enqueue the batch for every streaming session.
+  void on_batch(const std::vector<db::JournalRecord>& records);
+  std::size_t replica_acks_needed() const;
+
+  persist::KnowledgeRepository& repository_;
+  ShipperConfig config_;
+  svc::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> session_threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  mutable util::Mutex mutex_{util::LockRank::kRepl, "repl.shipper"};
+  std::condition_variable_any ack_cv_;
+  std::vector<std::shared_ptr<Session>> sessions_ IOKC_GUARDED_BY(mutex_);
+  std::uint64_t shipped_batches_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shipped_records_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t last_shipped_seq_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t snapshots_sent_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t fences_ IOKC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t ack_timeouts_ IOKC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace iokc::repl

@@ -1,0 +1,196 @@
+#include "src/repl/wire.hpp"
+
+#include <utility>
+
+#include "src/util/error.hpp"
+#include "src/util/json_writer.hpp"
+
+namespace iokc::repl {
+
+namespace {
+
+/// The "type" field of a replication message; throws when absent.
+std::string message_type(const util::JsonValue& doc) {
+  const util::JsonValue* type = doc.find("type");
+  if (type == nullptr) {
+    throw ParseError("replication message without a type field");
+  }
+  return type->as_string();
+}
+
+std::uint64_t u64_field(const util::JsonValue& doc, std::string_view key) {
+  return static_cast<std::uint64_t>(doc.at(key).as_int());
+}
+
+}  // namespace
+
+std::string encode_subscribe(const SubscribeMsg& msg) {
+  util::JsonObject obj;
+  obj.emplace_back("type", util::JsonValue("subscribe"));
+  obj.emplace_back("last_seq",
+                   util::JsonValue(static_cast<std::int64_t>(msg.last_seq)));
+  obj.emplace_back("synced", util::JsonValue(msg.synced));
+  return util::JsonValue(std::move(obj)).dump();
+}
+
+std::string encode_snapshot(std::uint64_t epoch, const std::string& dump) {
+  util::JsonObject obj;
+  obj.emplace_back("type", util::JsonValue("snapshot"));
+  obj.emplace_back("epoch", util::JsonValue(static_cast<std::int64_t>(epoch)));
+  obj.emplace_back("dump", util::JsonValue(dump));
+  return util::JsonValue(std::move(obj)).dump();
+}
+
+std::string encode_uptodate(std::uint64_t seq) {
+  util::JsonObject obj;
+  obj.emplace_back("type", util::JsonValue("uptodate"));
+  obj.emplace_back("seq", util::JsonValue(static_cast<std::int64_t>(seq)));
+  return util::JsonValue(std::move(obj)).dump();
+}
+
+std::string encode_fence() {
+  util::JsonObject obj;
+  obj.emplace_back("type", util::JsonValue("fence"));
+  return util::JsonValue(std::move(obj)).dump();
+}
+
+std::string encode_batch(const std::vector<db::JournalRecord>& records) {
+  // Encoded with the streaming writer: batches are the replication hot path
+  // and the statements are already strings — no intermediate tree.
+  util::JsonWriter writer;
+  writer.raw(std::string_view(R"({"type":"batch","records":[)"));
+  bool first_record = true;
+  for (const db::JournalRecord& record : records) {
+    if (!first_record) {
+      writer.raw(',');
+    }
+    first_record = false;
+    writer.raw(std::string_view(R"({"seq":)"));
+    writer.number(static_cast<std::int64_t>(record.seq));
+    writer.raw(std::string_view(R"(,"statements":[)"));
+    bool first_statement = true;
+    for (const std::string& statement : record.statements) {
+      if (!first_statement) {
+        writer.raw(',');
+      }
+      first_statement = false;
+      writer.string(statement);
+    }
+    writer.raw(std::string_view("]}"));
+  }
+  writer.raw(std::string_view("]}"));
+  return writer.take();
+}
+
+std::string encode_ack(std::uint64_t seq) {
+  util::JsonObject obj;
+  obj.emplace_back("type", util::JsonValue("ack"));
+  obj.emplace_back("seq", util::JsonValue(static_cast<std::int64_t>(seq)));
+  return util::JsonValue(std::move(obj)).dump();
+}
+
+SubscribeMsg parse_subscribe(const std::string& payload) {
+  const util::JsonValue doc = util::parse_json(payload);
+  if (message_type(doc) != "subscribe") {
+    throw ParseError("expected a subscribe message");
+  }
+  SubscribeMsg msg;
+  msg.last_seq = u64_field(doc, "last_seq");
+  if (const util::JsonValue* synced = doc.find("synced")) {
+    msg.synced = synced->as_bool();
+  }
+  return msg;
+}
+
+HandshakeReply parse_handshake_reply(const std::string& payload) {
+  const util::JsonValue doc = util::parse_json(payload);
+  const std::string type = message_type(doc);
+  HandshakeReply reply;
+  if (type == "snapshot") {
+    reply.kind = HandshakeReply::Kind::kSnapshot;
+    reply.seq = u64_field(doc, "epoch");
+    reply.dump = doc.at("dump").as_string();
+  } else if (type == "uptodate") {
+    reply.kind = HandshakeReply::Kind::kUpToDate;
+    reply.seq = u64_field(doc, "seq");
+  } else if (type == "fence") {
+    reply.kind = HandshakeReply::Kind::kFence;
+  } else {
+    throw ParseError("unexpected replication handshake reply '" + type + "'");
+  }
+  return reply;
+}
+
+BatchMsg parse_batch(const std::string& payload) {
+  const util::JsonValue doc = util::parse_json(payload);
+  if (message_type(doc) != "batch") {
+    throw ParseError("expected a batch message");
+  }
+  BatchMsg msg;
+  for (const util::JsonValue& entry : doc.at("records").as_array()) {
+    db::JournalRecord record;
+    record.seq = u64_field(entry, "seq");
+    const util::JsonArray& statements = entry.at("statements").as_array();
+    record.statements.reserve(statements.size());
+    for (const util::JsonValue& statement : statements) {
+      record.statements.push_back(statement.as_string());
+    }
+    msg.records.push_back(std::move(record));
+  }
+  return msg;
+}
+
+AckMsg parse_ack(const std::string& payload) {
+  const util::JsonValue doc = util::parse_json(payload);
+  if (message_type(doc) != "ack") {
+    throw ParseError("expected an ack message");
+  }
+  AckMsg msg;
+  msg.seq = u64_field(doc, "seq");
+  return msg;
+}
+
+std::optional<std::string> parse_primary_redirect(const std::string& error) {
+  constexpr std::string_view kMarker = "write to primary at ";
+  const std::size_t at = error.find(kMarker);
+  if (at == std::string::npos) {
+    return std::nullopt;
+  }
+  std::string address = error.substr(at + kMarker.size());
+  // Trim trailing punctuation/whitespace a wrapping layer may have added.
+  while (!address.empty() &&
+         (address.back() == ' ' || address.back() == '.' ||
+          address.back() == '\n')) {
+    address.pop_back();
+  }
+  if (address.empty() || address == "unknown") {
+    return std::nullopt;
+  }
+  return address;
+}
+
+std::pair<std::string, std::uint16_t> parse_host_port(
+    const std::string& address) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw ConfigError("expected host:port, got '" + address + "'");
+  }
+  const std::string host = address.substr(0, colon);
+  const std::string port_text = address.substr(colon + 1);
+  if (port_text.empty() || port_text.size() > 5) {
+    throw ConfigError("invalid port in '" + address + "'");
+  }
+  unsigned long port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      throw ConfigError("invalid port in '" + address + "'");
+    }
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+  }
+  if (port == 0 || port > 65535) {
+    throw ConfigError("port out of range in '" + address + "'");
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace iokc::repl

@@ -1,0 +1,90 @@
+// Replication wire messages (DESIGN.md §5h), carried as JSON documents over
+// the same length-prefixed framing as the service protocol (svc/protocol.hpp).
+//
+// Handshake (replica -> primary):
+//   {"type":"subscribe", "last_seq":N, "synced":bool}
+// Primary reply, one of:
+//   {"type":"snapshot", "epoch":N, "dump":"<sql script>"}   bootstrap
+//   {"type":"uptodate", "seq":N}                            stream directly
+//   {"type":"fence"}                                        diverged: discard
+// Stream (primary -> replica, repeated):
+//   {"type":"batch", "records":[{"seq":N, "statements":[...]}, ...]}
+// Ack (replica -> primary, after the batch is locally durable):
+//   {"type":"ack", "seq":N}
+//
+// Epoch semantics: `epoch` is the journal sequence the bootstrap dump
+// covers; the stream then carries exactly seq epoch+1, epoch+2, ... A
+// replica's position IS its own journal sequence — applies are the only
+// writes a replica accepts, so the counters advance in lockstep. A
+// subscriber announcing last_seq greater than the primary's current
+// sequence has writes the primary never acknowledged (a stale ex-primary
+// rejoining after failover) and is fenced: it must discard its state and
+// re-bootstrap from a snapshot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/db/journal.hpp"
+#include "src/util/json.hpp"
+
+namespace iokc::repl {
+
+struct SubscribeMsg {
+  std::uint64_t last_seq = 0;
+  /// False until the replica's first successful bootstrap: a fresh database
+  /// has a journal history of its own creation, not of the primary's
+  /// timeline, so an unsynced subscriber always receives a snapshot.
+  bool synced = false;
+};
+
+struct SnapshotMsg {
+  std::uint64_t epoch = 0;
+  std::string dump;
+};
+
+struct BatchMsg {
+  std::vector<db::JournalRecord> records;
+};
+
+struct AckMsg {
+  std::uint64_t seq = 0;
+};
+
+/// Primary handshake replies, discriminated by "type".
+struct HandshakeReply {
+  enum class Kind { kSnapshot, kUpToDate, kFence };
+  Kind kind = Kind::kFence;
+  std::uint64_t seq = 0;  // epoch (snapshot) or current seq (uptodate)
+  std::string dump;       // snapshot only
+};
+
+std::string encode_subscribe(const SubscribeMsg& msg);
+std::string encode_snapshot(std::uint64_t epoch, const std::string& dump);
+std::string encode_uptodate(std::uint64_t seq);
+std::string encode_fence();
+std::string encode_batch(const std::vector<db::JournalRecord>& records);
+std::string encode_ack(std::uint64_t seq);
+
+/// Each parse throws ParseError on a malformed or differently-typed message.
+SubscribeMsg parse_subscribe(const std::string& payload);
+HandshakeReply parse_handshake_reply(const std::string& payload);
+/// Parses either a batch (returned) or tolerated keep-alive noise; throws
+/// ParseError on anything else.
+BatchMsg parse_batch(const std::string& payload);
+AckMsg parse_ack(const std::string& payload);
+
+/// The primary address out of a replica's write-refusal message
+/// ("... write to primary at <host:port>"), or nullopt when the message is
+/// not a redirect. The client side of read/write splitting uses this to
+/// follow a misdirected write.
+std::optional<std::string> parse_primary_redirect(const std::string& error);
+
+/// Splits "host:port" on the last colon. Throws ConfigError on a missing
+/// colon, empty host, or non-numeric/out-of-range port.
+std::pair<std::string, std::uint16_t> parse_host_port(const std::string& address);
+
+}  // namespace iokc::repl

@@ -1,5 +1,6 @@
 #include "src/svc/client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -14,24 +15,57 @@ Client::Client(Socket socket, ClientOptions options)
 
 namespace {
 
+/// Refusal: the listener is not up (a restart window a fast retry wins).
+bool refused_connect_error(const std::string& message) {
+  return message.find("connection refused") != std::string::npos;
+}
+
 /// Connect failures worth retrying: refusal (the server's listener is not up
 /// yet — the startup window a slow sanitized build can stretch past a
 /// second) and timeouts. Anything else (bad address, resolution failure) is
 /// permanent and retrying would just multiply the latency of the error.
 bool transient_connect_error(const std::string& message) {
-  return message.find("connection refused") != std::string::npos ||
+  return refused_connect_error(message) ||
          message.find("timed out") != std::string::npos;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
 
+int connect_retry_delay_ms(const ClientOptions& options, int attempt,
+                           const std::string& error,
+                           std::uint64_t& jitter_state) {
+  if (refused_connect_error(error)) {
+    return options.retry_delay_ms;
+  }
+  // Timeout class: exponential backoff from the base, capped, plus jitter
+  // in [0, delay/2] so synchronized retriers spread out.
+  std::int64_t delay = options.retry_delay_ms;
+  for (int i = 1; i < attempt && delay < options.max_retry_delay_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min<std::int64_t>(delay, options.max_retry_delay_ms);
+  const std::int64_t jitter_span = delay / 2 + 1;
+  delay += static_cast<std::int64_t>(splitmix64(jitter_state) %
+                                     static_cast<std::uint64_t>(jitter_span));
+  return static_cast<int>(
+      std::min<std::int64_t>(delay, options.max_retry_delay_ms));
+}
+
 Client Client::connect(const std::string& host, std::uint16_t port,
                        ClientOptions options) {
   std::string last_error;
+  std::uint64_t jitter_state = options.backoff_seed ^ port;
   for (int attempt = 0; attempt <= options.connect_retries; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options.retry_delay_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          connect_retry_delay_ms(options, attempt, last_error, jitter_state)));
     }
     try {
       return Client(connect_to(host, port, options.connect_timeout_ms),

@@ -17,9 +17,31 @@ struct ClientOptions {
   int connect_timeout_ms = 2000;  // per connect attempt
   int request_timeout_ms = 10000;
   int connect_retries = 0;        // extra attempts after the first
+  /// Base retry pacing. "Connection refused" failures retry at exactly this
+  /// fixed pace — the listener is simply not up yet (a restart window) and a
+  /// fast retry is what wins the race. Timeout-class failures back off
+  /// exponentially from this base instead: the peer is saturated or
+  /// unreachable, and a fleet of fixed-interval retriers would hammer a
+  /// recovering primary in lockstep.
   int retry_delay_ms = 100;
+  /// Cap on the exponential backoff for timeout-class failures.
+  int max_retry_delay_ms = 2000;
+  /// Seed for the deterministic backoff jitter (splitmix64); jitter spreads
+  /// retriers that failed at the same instant, determinism keeps tests and
+  /// crash campaigns reproducible.
+  std::uint64_t backoff_seed = 0x9E3779B97F4A7C15ull;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
 };
+
+/// The delay before retry number `attempt` (1-based) given the failure
+/// message of the attempt that just failed. Refusals pace at the fixed
+/// retry_delay_ms; timeouts grow retry_delay_ms * 2^(attempt-1) (capped at
+/// max_retry_delay_ms) plus jitter in [0, delay/2] drawn deterministically
+/// from `jitter_state`. Exposed so the policy is unit-testable without
+/// sleeping.
+int connect_retry_delay_ms(const ClientOptions& options, int attempt,
+                           const std::string& error,
+                           std::uint64_t& jitter_state);
 
 class Client {
  public:

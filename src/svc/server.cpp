@@ -87,6 +87,18 @@ std::string param_string(const util::JsonValue& params, std::string_view key,
 
 }  // namespace
 
+std::string_view to_string(ServerConfig::Role role) {
+  switch (role) {
+    case ServerConfig::Role::kPrimary:
+      return "primary";
+    case ServerConfig::Role::kReplica:
+      return "replica";
+    case ServerConfig::Role::kStandalone:
+      break;
+  }
+  return "standalone";
+}
+
 Server::Server(persist::KnowledgeRepository& repository, ServerConfig config)
     : repository_(repository),
       config_(std::move(config)),
@@ -406,6 +418,14 @@ Response Server::dispatch(const Request& request) {
     if (endpoint == "health") {
       util::JsonObject result;
       result.emplace_back("status", util::JsonValue("ok"));
+      result.emplace_back("role",
+                          util::JsonValue(std::string(to_string(config_.role))));
+      if (!config_.primary_address.empty()) {
+        result.emplace_back("primary", util::JsonValue(config_.primary_address));
+      }
+      if (stats_extension_) {
+        stats_extension_(result);
+      }
       return Response::success(util::JsonValue(std::move(result)));
     }
     if (endpoint == "stats") {
@@ -440,6 +460,11 @@ Response Server::dispatch(const Request& request) {
         tables.emplace_back(table);
       }
       result.emplace_back("tables", util::JsonValue(std::move(tables)));
+      result.emplace_back("role",
+                          util::JsonValue(std::string(to_string(config_.role))));
+      if (stats_extension_) {
+        stats_extension_(result);
+      }
       return Response::success(util::JsonValue(std::move(result)));
     }
     if (endpoint == "list") {
@@ -497,6 +522,15 @@ Response Server::dispatch(const Request& request) {
       return Response::success(util::JsonValue(std::move(result)));
     }
     if (endpoint == "knowledge/store") {
+      if (config_.role == ServerConfig::Role::kReplica) {
+        // The message shape is part of the protocol: clients parse the
+        // primary address out of the "write to primary at <addr>" suffix
+        // (see repl::parse_primary_redirect).
+        return Response::failure(
+            "read-only replica; write to primary at " +
+            (config_.primary_address.empty() ? std::string("unknown")
+                                             : config_.primary_address));
+      }
       const util::JsonValue& object = params.at("object");
       // Sniff the kind the same way import_json_file does, and parse
       // *before* taking the writer lock.
@@ -519,6 +553,14 @@ Response Server::dispatch(const Request& request) {
       result.emplace_back("id", util::JsonValue(id));
       result.emplace_back("kind",
                           util::JsonValue(is_io500 ? "io500" : "knowledge"));
+      if (commit_gate_) {
+        // The store is locally durable; now wait out the replication ack
+        // policy. Any sequence >= this write's covers it (the stream is
+        // contiguous), so the post-store position is a safe gate target.
+        const bool acked = commit_gate_(repository_.applied_seq());
+        result.emplace_back("replication",
+                            util::JsonValue(acked ? "acked" : "ack-timeout"));
+      }
       return Response::success(util::JsonValue(std::move(result)));
     }
     if (endpoint == "predict") {

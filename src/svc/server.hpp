@@ -49,12 +49,24 @@
 namespace iokc::svc {
 
 struct ServerConfig {
+  /// Cluster role, for reporting and write gating. A replica serves every
+  /// read endpoint from its snapshots but refuses knowledge/store with a
+  /// redirect to `primary_address` — replicas apply writes only through the
+  /// WAL stream (src/repl), never from clients, or their journal sequence
+  /// would diverge from the primary's.
+  enum class Role { kStandalone, kPrimary, kReplica };
+
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;      // 0 picks an ephemeral port
   std::size_t threads = 4;     // worker pool size (0 = hardware threads)
   int request_timeout_ms = 5000;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  Role role = Role::kStandalone;
+  std::string primary_address;  // "host:port" writes redirect to (replica)
 };
+
+/// The role as health/stats report it.
+std::string_view to_string(ServerConfig::Role role);
 
 /// Monotonic counters since start(). stats() snapshots the request counters
 /// under one lock acquisition, so the values in one ServerStats are from the
@@ -108,6 +120,33 @@ class Server {
   /// without sockets).
   Response dispatch(const Request& request);
 
+  // -- Replication hooks (install before start(); read lock-free by
+  // -- workers, so they must not change while the server runs) --------------
+
+  /// Runs after a locally durable knowledge/store with the repository's
+  /// post-store journal sequence; a primary's shipper blocks here until its
+  /// ack policy is met. Returns false on ack timeout — the store response
+  /// then reports "replication": "ack-timeout" instead of "acked".
+  using CommitGate = std::function<bool(std::uint64_t)>;
+  void set_commit_gate(CommitGate gate) { commit_gate_ = std::move(gate); }
+
+  /// Extra key/values merged into the health and stats response objects
+  /// (role details, journal epoch/offset, per-replica ack lag).
+  using StatsExtension = std::function<void(util::JsonObject&)>;
+  void set_stats_extension(StatsExtension extension) {
+    stats_extension_ = std::move(extension);
+  }
+
+  /// Mutates the served repository through the snapshot store's write path,
+  /// so snapshot versions advance and readers see the change — the replica
+  /// WAL-apply and bootstrap-install entry point.
+  void with_repository_write(
+      const std::function<void(persist::KnowledgeRepository&)>& write) {
+    store_.with_write(write);
+  }
+
+  const ServerConfig& config() const { return config_; }
+
  private:
   /// One client connection: the socket plus bytes received ahead of the
   /// frames already dispatched. A partial trailing frame waits here between
@@ -145,6 +184,8 @@ class Server {
   persist::KnowledgeRepository& repository_;
   ServerConfig config_;
   SnapshotStore store_;
+  CommitGate commit_gate_;          // set before start(); see above
+  StatsExtension stats_extension_;  // set before start(); see above
   /// Parsed-statement cache for the sql endpoint: pipelining clients and
   /// dashboards repeat the same query texts, so repeated requests execute
   /// the cached AST against the current snapshot instead of reparsing. The

@@ -37,6 +37,7 @@ enum class LockRank : int {
   kSim = 40,
   kCycle = 50,
   kSvc = 60,
+  kRepl = 70,  // replication sits above svc: it drives servers/repositories
 };
 
 namespace detail {

@@ -1,0 +1,436 @@
+// End-to-end WAL shipping over real sockets: bootstrap snapshots, the
+// batch/ack stream, commit-gate ack policies, fencing of diverged
+// subscribers, the replica's write refusal + redirect, and the wire codecs
+// everything rides on.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/knowledge/knowledge.hpp"
+#include "src/persist/repository.hpp"
+#include "src/repl/cluster_client.hpp"
+#include "src/repl/node.hpp"
+#include "src/repl/wire.hpp"
+#include "src/svc/client.hpp"
+#include "src/util/error.hpp"
+
+namespace iokc::repl {
+namespace {
+
+knowledge::Knowledge make_ior_knowledge(int index) {
+  knowledge::Knowledge object;
+  object.benchmark = "IOR";
+  object.command = "ior -a posix -b 4m -t 1m -s 4 -N " +
+                   std::to_string(8 << (index % 3)) + " -o /s/repl" +
+                   std::to_string(index);
+  object.num_tasks = static_cast<std::uint32_t>(8 << (index % 3));
+  knowledge::OpSummary write;
+  write.operation = "write";
+  write.mean_bw_mib = 700.0 + 90.0 * index;
+  object.summaries.push_back(write);
+  return object;
+}
+
+util::JsonValue store_params(int index) {
+  util::JsonObject object;
+  object.emplace_back("object", make_ior_knowledge(index).to_json());
+  return util::JsonValue(std::move(object));
+}
+
+TEST(ReplWireTest, SubscribeRoundTrip) {
+  SubscribeMsg msg;
+  msg.last_seq = 42;
+  msg.synced = true;
+  const SubscribeMsg parsed = parse_subscribe(encode_subscribe(msg));
+  EXPECT_EQ(parsed.last_seq, 42u);
+  EXPECT_TRUE(parsed.synced);
+  EXPECT_THROW(parse_subscribe(encode_ack(1)), ParseError);
+}
+
+TEST(ReplWireTest, HandshakeReplyRoundTrips) {
+  const HandshakeReply snapshot =
+      parse_handshake_reply(encode_snapshot(7, "CREATE TABLE t (x INTEGER)"));
+  EXPECT_EQ(snapshot.kind, HandshakeReply::Kind::kSnapshot);
+  EXPECT_EQ(snapshot.seq, 7u);
+  EXPECT_EQ(snapshot.dump, "CREATE TABLE t (x INTEGER)");
+
+  const HandshakeReply uptodate = parse_handshake_reply(encode_uptodate(9));
+  EXPECT_EQ(uptodate.kind, HandshakeReply::Kind::kUpToDate);
+  EXPECT_EQ(uptodate.seq, 9u);
+
+  EXPECT_EQ(parse_handshake_reply(encode_fence()).kind,
+            HandshakeReply::Kind::kFence);
+  EXPECT_THROW(parse_handshake_reply(encode_ack(3)), ParseError);
+}
+
+TEST(ReplWireTest, BatchRoundTripPreservesOrderAndEscapes) {
+  std::vector<db::JournalRecord> records;
+  db::JournalRecord first;
+  first.seq = 5;
+  first.statements = {"INSERT INTO t VALUES ('it''s \"quoted\"')",
+                      "UPDATE t SET x = 2"};
+  db::JournalRecord second;
+  second.seq = 6;
+  second.statements = {"DELETE FROM t"};
+  records.push_back(first);
+  records.push_back(second);
+
+  const BatchMsg parsed = parse_batch(encode_batch(records));
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[0].seq, 5u);
+  EXPECT_EQ(parsed.records[0].statements, first.statements);
+  EXPECT_EQ(parsed.records[1].seq, 6u);
+  EXPECT_EQ(parsed.records[1].statements, second.statements);
+
+  const AckMsg ack = parse_ack(encode_ack(6));
+  EXPECT_EQ(ack.seq, 6u);
+}
+
+TEST(ReplWireTest, ParseHostPort) {
+  const auto [host, port] = parse_host_port("127.0.0.1:8042");
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8042);
+  // IPv6-ish and hostname forms split on the LAST colon.
+  EXPECT_EQ(parse_host_port("node-a.cluster:1").second, 1);
+
+  EXPECT_THROW(parse_host_port("no-port"), ConfigError);
+  EXPECT_THROW(parse_host_port(":80"), ConfigError);
+  EXPECT_THROW(parse_host_port("h:"), ConfigError);
+  EXPECT_THROW(parse_host_port("h:abc"), ConfigError);
+  EXPECT_THROW(parse_host_port("h:0"), ConfigError);
+  EXPECT_THROW(parse_host_port("h:70000"), ConfigError);
+}
+
+TEST(ReplWireTest, ParsePrimaryRedirect) {
+  EXPECT_EQ(parse_primary_redirect(
+                "read-only replica; write to primary at 10.0.0.1:9000"),
+            "10.0.0.1:9000");
+  EXPECT_EQ(parse_primary_redirect("write to primary at h:1.\n"), "h:1");
+  EXPECT_FALSE(parse_primary_redirect("some other error").has_value());
+  EXPECT_FALSE(
+      parse_primary_redirect("write to primary at unknown").has_value());
+}
+
+// The retry pacing contract behind svc::Client::connect: refusal retries at
+// the fixed base (the listener is just not up yet), timeouts back off
+// exponentially with bounded jitter so fleets don't retry in lockstep.
+TEST(ReplWireTest, ConnectRetryDelayPolicy) {
+  svc::ClientOptions options;
+  options.retry_delay_ms = 100;
+  options.max_retry_delay_ms = 2000;
+  std::uint64_t jitter = 12345;
+
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_EQ(svc::connect_retry_delay_ms(
+                  options, attempt, "connect: connection refused", jitter),
+              100);
+  }
+
+  int previous = 0;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const int delay = svc::connect_retry_delay_ms(
+        options, attempt, "connect to 10.0.0.1:1 timed out", jitter);
+    // Exponential base doubling, jitter adds at most half on top, and the
+    // cap bounds everything.
+    const int base = std::min(100 << (attempt - 1), 2000);
+    EXPECT_GE(delay, base) << "attempt " << attempt;
+    EXPECT_LE(delay, 2000) << "attempt " << attempt;
+    if (attempt > 1 && previous < 1000) {
+      EXPECT_GT(delay, previous / 2);  // trend upward despite jitter
+    }
+    previous = delay;
+  }
+}
+
+/// Spins up a file-backed primary (service + WAL shipper) and N file-backed
+/// replicas in one process, all talking over loopback sockets.
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest() {
+    root_ = std::filesystem::temp_directory_path() /
+            ("iokc_repl_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+
+  ~ReplicationTest() override {
+    replicas_.clear();
+    primary_.reset();
+    std::filesystem::remove_all(root_);
+  }
+
+  persist::RepoTarget file_target(const std::string& name) const {
+    return persist::RepoTarget::parse("file:" + (root_ / name).string());
+  }
+
+  void start_primary(AckPolicy policy, std::size_t expected_replicas,
+                     int ack_timeout_ms = 3000) {
+    primary_repo_ = std::make_unique<persist::KnowledgeRepository>(
+        file_target("primary.db"));
+    ShipperConfig ship;
+    ship.ack_policy = policy;
+    ship.expected_replicas = expected_replicas;
+    ship.ack_timeout_ms = ack_timeout_ms;
+    primary_ = std::make_unique<PrimaryNode>(*primary_repo_,
+                                             svc::ServerConfig{}, ship);
+    primary_->start();
+  }
+
+  std::string primary_service_address() const {
+    return "127.0.0.1:" + std::to_string(primary_->server().port());
+  }
+
+  struct Replica {
+    std::unique_ptr<persist::KnowledgeRepository> repo;
+    std::unique_ptr<ReplicaNode> node;
+  };
+
+  Replica& start_replica(const std::string& name) {
+    auto replica = std::make_unique<Replica>();
+    replica->repo = std::make_unique<persist::KnowledgeRepository>(
+        file_target(name + ".db"));
+    svc::ServerConfig server;
+    server.primary_address = primary_service_address();
+    ReplicaConfig config;
+    config.primary_host = "127.0.0.1";
+    config.primary_port = primary_->shipper().port();
+    config.reconnect_delay_ms = 100;
+    config.marker_path = (root_ / (name + ".synced")).string();
+    replica->node = std::make_unique<ReplicaNode>(*replica->repo,
+                                                  std::move(server), config);
+    replica->node->start();
+    replicas_.push_back(std::move(replica));
+    return *replicas_.back();
+  }
+
+  /// Blocks until `replica` has applied the primary's current position.
+  void wait_caught_up(Replica& replica, int timeout_ms = 10000) {
+    ASSERT_TRUE(replica.node->replication().wait_applied(
+        primary_repo_->applied_seq(), timeout_ms))
+        << "replica stuck at "
+        << replica.node->replication().applied_seq() << ", primary at "
+        << primary_repo_->applied_seq();
+  }
+
+  std::filesystem::path root_;
+  std::unique_ptr<persist::KnowledgeRepository> primary_repo_;
+  std::unique_ptr<PrimaryNode> primary_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+TEST_F(ReplicationTest, BootstrapThenStreamThenCatchUpAfterRestart) {
+  start_primary(AckPolicy::kOne, 1);
+  for (int i = 0; i < 3; ++i) {
+    primary_repo_->store(make_ior_knowledge(i));
+  }
+
+  // The replica joins AFTER the writes: it must bootstrap from a snapshot.
+  Replica& replica = start_replica("r1");
+  wait_caught_up(replica);
+  EXPECT_EQ(replica.repo->knowledge_ids().size(), 3u);
+
+  // A write over the service wire now streams to the replica and the ack
+  // policy (one) confirms remote durability in the response.
+  svc::Client client =
+      svc::Client::connect("127.0.0.1", primary_->server().port());
+  const svc::Response stored = client.call("knowledge/store", store_params(3));
+  ASSERT_TRUE(stored.ok) << stored.error;
+  EXPECT_EQ(stored.result.at("replication").as_string(), "acked");
+  wait_caught_up(replica);
+  EXPECT_EQ(replica.repo->knowledge_ids().size(), 4u);
+
+  // Replicated state is byte-identical, not just same-cardinality.
+  EXPECT_EQ(primary_repo_->dump_with_epoch().dump,
+            replica.repo->dump_with_epoch().dump);
+
+  // Restart the replica: the synced marker short-circuits re-bootstrap
+  // bookkeeping, and writes made while it was down stream across on rejoin.
+  replica.node->stop();
+  client.call("knowledge/store", store_params(4));
+  replica.node->start();
+  wait_caught_up(replica);
+  EXPECT_EQ(replica.repo->knowledge_ids().size(), 5u);
+  EXPECT_EQ(primary_repo_->dump_with_epoch().dump,
+            replica.repo->dump_with_epoch().dump);
+}
+
+TEST_F(ReplicationTest, ReplicaRefusesWritesWithRedirect) {
+  start_primary(AckPolicy::kNone, 1);
+  primary_repo_->store(make_ior_knowledge(0));
+  Replica& replica = start_replica("r1");
+  wait_caught_up(replica);
+
+  svc::Client client =
+      svc::Client::connect("127.0.0.1", replica.node->server().port());
+  const svc::Response refused = client.call("knowledge/store", store_params(9));
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(parse_primary_redirect(refused.error), primary_service_address());
+  // Reads keep working on the same connection.
+  EXPECT_TRUE(client.call("list").ok);
+
+  // The replica's health carries its role and replication position.
+  const svc::Response health = client.call("health");
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(health.result.at("role").as_string(), "replica");
+  EXPECT_TRUE(health.result.at("connected").as_bool());
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                health.result.at("journal_offset").as_int()),
+            primary_repo_->applied_seq());
+}
+
+TEST_F(ReplicationTest, QuorumGateAcksAndTimesOutWithoutReplicas) {
+  // expected_replicas=2 -> quorum of the 3-node cluster needs 1 replica ack.
+  start_primary(AckPolicy::kQuorum, 2, /*ack_timeout_ms=*/300);
+  Replica& r1 = start_replica("r1");
+  Replica& r2 = start_replica("r2");
+
+  svc::Client client =
+      svc::Client::connect("127.0.0.1", primary_->server().port());
+  const svc::Response acked = client.call("knowledge/store", store_params(0));
+  ASSERT_TRUE(acked.ok) << acked.error;
+  EXPECT_EQ(acked.result.at("replication").as_string(), "acked");
+  wait_caught_up(r1);
+  wait_caught_up(r2);
+
+  // With every replica gone the quorum can't form: the write is still
+  // locally durable (it succeeds) but the response reports the ack timeout.
+  r1.node->stop();
+  r2.node->stop();
+  const svc::Response lonely = client.call("knowledge/store", store_params(1));
+  ASSERT_TRUE(lonely.ok) << lonely.error;
+  EXPECT_EQ(lonely.result.at("replication").as_string(), "ack-timeout");
+
+  // Primary stats expose the shipping counters and ack accounting.
+  const svc::Response stats = client.call("stats");
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.result.at("role").as_string(), "primary");
+  EXPECT_EQ(stats.result.at("ack_policy").as_string(), "quorum");
+  EXPECT_GE(stats.result.at("shipped_batches").as_int(), 1);
+  EXPECT_GE(stats.result.at("ack_timeouts").as_int(), 1);
+}
+
+TEST_F(ReplicationTest, DivergedSubscriberIsFencedAndReBootstraps) {
+  start_primary(AckPolicy::kNone, 1);
+  primary_repo_->store(make_ior_knowledge(0));
+  Replica& replica = start_replica("r1");
+  wait_caught_up(replica);
+
+  // Simulate a stale ex-primary: while disconnected, the replica's database
+  // grows records the real primary never saw.
+  replica.node->stop();
+  db::JournalRecord rogue;
+  rogue.seq = replica.repo->applied_seq() + 1;
+  rogue.statements = {
+      "INSERT INTO performances (benchmark, command) VALUES ('IOR', 'rogue')"};
+  replica.repo->wait_journal_durable(replica.repo->apply_replicated(rogue));
+  ASSERT_GT(replica.repo->applied_seq(), primary_repo_->applied_seq());
+
+  // On rejoin the primary fences it; the replica drops its synced marker,
+  // re-bootstraps from a fresh snapshot, and converges on the primary's
+  // timeline — the rogue write is gone. wait_applied can't express "moved
+  // BACK to the primary's position", so poll for convergence.
+  replica.node->start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (replica.repo->applied_seq() != primary_repo_->applied_seq() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(replica.repo->applied_seq(), primary_repo_->applied_seq());
+  EXPECT_EQ(primary_repo_->dump_with_epoch().dump,
+            replica.repo->dump_with_epoch().dump);
+
+  // The repo position converges before the client's counters update (the
+  // synced-marker fsync sits in between), so poll the stats too.
+  svc::Client client =
+      svc::Client::connect("127.0.0.1", replica.node->server().port());
+  svc::Response stats = client.call("stats");
+  while ((!stats.ok || stats.result.at("bootstraps").as_int() < 2) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stats = client.call("stats");
+  }
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_GE(stats.result.at("fences").as_int(), 1);
+  EXPECT_GE(stats.result.at("bootstraps").as_int(), 2);
+}
+
+TEST_F(ReplicationTest, ClusterClientSplitsReadsAndFollowsWriteRedirect) {
+  start_primary(AckPolicy::kOne, 2);
+  Replica& r1 = start_replica("r1");
+  Replica& r2 = start_replica("r2");
+
+  const std::string primary_addr = primary_service_address();
+  const std::string r1_addr =
+      "127.0.0.1:" + std::to_string(r1.node->server().port());
+  const std::string r2_addr =
+      "127.0.0.1:" + std::to_string(r2.node->server().port());
+
+  ClusterClient cluster({primary_addr, r1_addr, r2_addr});
+  const svc::Response stored =
+      cluster.call("knowledge/store", store_params(0));
+  ASSERT_TRUE(stored.ok) << stored.error;
+  wait_caught_up(r1);
+  wait_caught_up(r2);
+
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(cluster.call("list").ok);
+  }
+  // Round-robin: every target served some reads.
+  const std::vector<std::uint64_t>& reads = cluster.reads_per_target();
+  ASSERT_EQ(reads.size(), 3u);
+  for (std::size_t target = 0; target < reads.size(); ++target) {
+    EXPECT_GE(reads[target], 3u) << "target " << target;
+  }
+
+  // A client configured with a replica as its "primary" follows the
+  // redirect, lands the write, and adopts the real primary address.
+  ClusterClient misconfigured({r1_addr, r2_addr});
+  const svc::Response redirected =
+      misconfigured.call("knowledge/store", store_params(1));
+  ASSERT_TRUE(redirected.ok) << redirected.error;
+  EXPECT_EQ(misconfigured.primary_address(), primary_addr);
+  wait_caught_up(r1);
+  EXPECT_EQ(r1.repo->knowledge_ids().size(), 2u);
+}
+
+TEST_F(ReplicationTest, StaleReadBoundSkipsLaggingReplica) {
+  start_primary(AckPolicy::kNone, 1);
+  primary_repo_->store(make_ior_knowledge(0));
+  Replica& replica = start_replica("r1");
+  wait_caught_up(replica);
+
+  // Stop the replica's replication (its service keeps answering) and write
+  // more on the primary: the replica now lags by > 0 sequences.
+  replica.node->replication().stop();
+  svc::Client direct =
+      svc::Client::connect("127.0.0.1", primary_->server().port());
+  ASSERT_TRUE(direct.call("knowledge/store", store_params(1)).ok);
+  ASSERT_TRUE(direct.call("knowledge/store", store_params(2)).ok);
+
+  ClusterClientOptions options;
+  options.max_epoch_lag = 1;
+  options.probe_interval_ms = 0;  // probe every read; no caching window
+  ClusterClient cluster(
+      {primary_service_address(),
+       "127.0.0.1:" + std::to_string(replica.node->server().port())},
+      options);
+  for (int i = 0; i < 6; ++i) {
+    const svc::Response listed = cluster.call("list");
+    ASSERT_TRUE(listed.ok) << listed.error;
+    // Every bounded read must see all 3 objects — the lagging replica
+    // (still at 1 object) is skipped.
+    EXPECT_EQ(listed.result.at("knowledge").as_array().size(), 3u);
+  }
+  EXPECT_EQ(cluster.reads_per_target()[1], 0u);
+}
+
+}  // namespace
+}  // namespace iokc::repl

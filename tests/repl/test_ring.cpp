@@ -1,0 +1,91 @@
+#include "src/repl/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace iokc::repl {
+namespace {
+
+std::vector<std::string> sample_keys(int count) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    keys.push_back(HashRing::knowledge_key(
+        i % 2 == 0 ? "ior" : "io500", "node" + std::to_string(i) + ".hpc"));
+  }
+  return keys;
+}
+
+TEST(HashRingTest, MappingIsDeterministicAcrossInstances) {
+  const HashRing a(5), b(5);
+  for (const std::string& key : sample_keys(500)) {
+    EXPECT_EQ(a.shard_for(key), b.shard_for(key)) << key;
+  }
+}
+
+TEST(HashRingTest, SingleShardTakesEverything) {
+  const HashRing ring(1);
+  for (const std::string& key : sample_keys(100)) {
+    EXPECT_EQ(ring.shard_for(key), 0u);
+  }
+}
+
+TEST(HashRingTest, EmptyRingThrows) {
+  const HashRing ring(0);
+  EXPECT_THROW(ring.shard_for("anything"), ConfigError);
+}
+
+TEST(HashRingTest, KeysSpreadAcrossShards) {
+  constexpr std::size_t kShards = 3;
+  constexpr int kKeys = 3000;
+  const HashRing ring(kShards);
+  std::vector<int> counts(kShards, 0);
+  for (const std::string& key : sample_keys(kKeys)) {
+    ++counts[ring.shard_for(key)];
+  }
+  // Perfect balance would be ~1000 each; 64 vnodes per shard keeps every
+  // shard within a loose band of that.
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    EXPECT_GT(counts[shard], kKeys / 10) << "shard " << shard << " starved";
+    EXPECT_LT(counts[shard], kKeys * 6 / 10) << "shard " << shard << " hot";
+  }
+}
+
+TEST(HashRingTest, GrowingTheRingRemapsRoughlyOneOverN) {
+  const HashRing before(3), after(4);
+  const std::vector<std::string> keys = sample_keys(4000);
+  int moved = 0;
+  for (const std::string& key : keys) {
+    if (before.shard_for(key) != after.shard_for(key)) {
+      ++moved;
+    }
+  }
+  const double fraction = static_cast<double>(moved) /
+                          static_cast<double>(keys.size());
+  // Consistent hashing moves ~1/4 of the keyspace to the new shard; modulo
+  // hashing would move ~3/4. The band is generous for vnode placement noise.
+  EXPECT_GT(fraction, 0.10);
+  EXPECT_LT(fraction, 0.45);
+  // Keys that moved all moved TO the new shard — nothing shuffles between
+  // surviving shards.
+  for (const std::string& key : keys) {
+    if (before.shard_for(key) != after.shard_for(key)) {
+      EXPECT_EQ(after.shard_for(key), 3u) << key;
+    }
+  }
+}
+
+TEST(HashRingTest, KnowledgeKeySeparatesFields) {
+  // The separator keeps ("ab", "c") and ("a", "bc") distinct.
+  EXPECT_NE(HashRing::knowledge_key("ab", "c"),
+            HashRing::knowledge_key("a", "bc"));
+  EXPECT_EQ(HashRing::knowledge_key("ior", "n1"),
+            HashRing::knowledge_key("ior", "n1"));
+}
+
+}  // namespace
+}  // namespace iokc::repl

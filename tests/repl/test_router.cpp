@@ -1,0 +1,288 @@
+// The shard router: consistent placement of stored objects, first-success id
+// scans, fan-out merges, best-evidence model queries, and one dead shard not
+// poisoning the rest.
+#include "src/repl/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/knowledge/knowledge.hpp"
+#include "src/persist/repository.hpp"
+#include "src/repl/ring.hpp"
+#include "src/svc/client.hpp"
+#include "src/svc/server.hpp"
+#include "src/util/json.hpp"
+
+namespace iokc::repl {
+namespace {
+
+knowledge::Knowledge make_knowledge(const std::string& hostname, int index) {
+  knowledge::Knowledge object;
+  object.benchmark = "IOR";
+  object.command = "ior -a posix -b 4m -t 1m -s 4 -N " +
+                   std::to_string(8 << (index % 3)) + " -o /s/rt" +
+                   std::to_string(index);
+  object.num_tasks = static_cast<std::uint32_t>(8 << (index % 3));
+  knowledge::SystemInfoRecord system;
+  system.hostname = hostname;
+  object.system = system;
+  knowledge::OpSummary write;
+  write.operation = "write";
+  write.mean_bw_mib = 800.0 + 110.0 * index;
+  object.summaries.push_back(write);
+  return object;
+}
+
+util::JsonValue store_params(const knowledge::Knowledge& object) {
+  util::JsonObject params;
+  params.emplace_back("object", object.to_json());
+  return util::JsonValue(std::move(params));
+}
+
+svc::Request make_request(const std::string& endpoint,
+                          util::JsonValue params =
+                              util::JsonValue(util::JsonObject{})) {
+  svc::Request request;
+  request.endpoint = endpoint;
+  request.params = std::move(params);
+  return request;
+}
+
+TEST(RouterPlacementTest, ShardForObjectIsStableAndKeyDriven) {
+  RouterConfig config;
+  config.shards = {"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"};
+  const Router router(config);
+
+  const util::JsonValue object = make_knowledge("nodeA", 0).to_json();
+  const std::size_t shard = router.shard_for_object(object);
+  EXPECT_EQ(router.shard_for_object(object), shard);
+  // Placement matches the ring applied to the knowledge key directly.
+  const HashRing ring(3, config.vnodes);
+  EXPECT_EQ(shard, ring.shard_for(HashRing::knowledge_key("IOR", "nodeA")));
+
+  // Different hostnames spread across shards.
+  std::set<std::size_t> used;
+  for (int i = 0; i < 64; ++i) {
+    used.insert(router.shard_for_object(
+        make_knowledge("host" + std::to_string(i), i).to_json()));
+  }
+  EXPECT_EQ(used.size(), 3u);
+}
+
+/// Two live in-memory shard servers fronted by one router.
+class RouterTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kShards = 2;
+
+  void SetUp() override {
+    RouterConfig config;
+    for (std::size_t shard = 0; shard < kShards; ++shard) {
+      repos_.push_back(std::make_unique<persist::KnowledgeRepository>());
+      servers_.push_back(
+          std::make_unique<svc::Server>(*repos_.back()));
+      servers_.back()->start();
+      config.shards.push_back("127.0.0.1:" +
+                              std::to_string(servers_.back()->port()));
+    }
+    router_ = std::make_unique<Router>(std::move(config));
+    router_->start();
+  }
+
+  void TearDown() override {
+    router_->stop();
+    for (auto& server : servers_) {
+      server->stop();
+    }
+  }
+
+  std::vector<std::unique_ptr<persist::KnowledgeRepository>> repos_;
+  std::vector<std::unique_ptr<svc::Server>> servers_;
+  std::unique_ptr<Router> router_;
+};
+
+TEST_F(RouterTest, StoreRoutesToOwningShardAndTagsResponse) {
+  int stored = 0;
+  std::set<std::size_t> used;
+  for (int i = 0; i < 12; ++i) {
+    const knowledge::Knowledge object =
+        make_knowledge("host" + std::to_string(i), i);
+    const std::size_t expected = router_->shard_for_object(object.to_json());
+    const svc::Response response =
+        router_->dispatch(make_request("knowledge/store",
+                                       store_params(object)));
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(static_cast<std::size_t>(response.result.at("shard").as_int()),
+              expected);
+    used.insert(expected);
+    ++stored;
+  }
+  EXPECT_EQ(used.size(), kShards) << "placement never used one of the shards";
+
+  // Every object landed on exactly one shard.
+  std::size_t total = 0;
+  for (const auto& repo : repos_) {
+    total += repo->knowledge_ids().size();
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(stored));
+}
+
+TEST_F(RouterTest, ListMergesShardsWithTags) {
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(router_
+                    ->dispatch(make_request(
+                        "knowledge/store",
+                        store_params(make_knowledge("h" + std::to_string(i),
+                                                    i))))
+                    .ok);
+  }
+  const svc::Response listed = router_->dispatch(make_request("list"));
+  ASSERT_TRUE(listed.ok) << listed.error;
+  EXPECT_EQ(listed.result.at("shards").as_int(),
+            static_cast<std::int64_t>(kShards));
+  const util::JsonArray& entries = listed.result.at("knowledge").as_array();
+  EXPECT_EQ(entries.size(), 8u);
+  std::set<std::int64_t> tags;
+  for (const util::JsonValue& entry : entries) {
+    tags.insert(entry.at("shard").as_int());
+  }
+  EXPECT_EQ(tags.size(), kShards);
+}
+
+TEST_F(RouterTest, SqlConcatenatesRowsAcrossShards) {
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(router_
+                    ->dispatch(make_request(
+                        "knowledge/store",
+                        store_params(make_knowledge("q" + std::to_string(i),
+                                                    i))))
+                    .ok);
+  }
+  util::JsonObject params;
+  params.emplace_back(
+      "statement", util::JsonValue("SELECT command FROM performances"));
+  const svc::Response rows = router_->dispatch(
+      make_request("sql", util::JsonValue(std::move(params))));
+  ASSERT_TRUE(rows.ok) << rows.error;
+  EXPECT_EQ(rows.result.at("rows").as_array().size(), 6u);
+}
+
+TEST_F(RouterTest, GetScansShardsForShardLocalIds) {
+  const knowledge::Knowledge object = make_knowledge("scan-host", 1);
+  const svc::Response stored = router_->dispatch(
+      make_request("knowledge/store", store_params(object)));
+  ASSERT_TRUE(stored.ok) << stored.error;
+  const std::int64_t id = stored.result.at("id").as_int();
+  const std::int64_t shard = stored.result.at("shard").as_int();
+
+  // Undirected: the router scans shards until one has the id.
+  util::JsonObject lookup;
+  lookup.emplace_back("id", util::JsonValue(id));
+  const svc::Response scanned = router_->dispatch(
+      make_request("knowledge/get", util::JsonValue(lookup)));
+  ASSERT_TRUE(scanned.ok) << scanned.error;
+  EXPECT_EQ(knowledge::Knowledge::from_json(scanned.result.at("object")),
+            object);
+
+  // Directed: the remembered shard tag skips the scan.
+  lookup.emplace_back("shard", util::JsonValue(shard));
+  const svc::Response directed = router_->dispatch(
+      make_request("knowledge/get", util::JsonValue(std::move(lookup))));
+  ASSERT_TRUE(directed.ok) << directed.error;
+
+  util::JsonObject missing;
+  missing.emplace_back("id", util::JsonValue(std::int64_t{424242}));
+  EXPECT_FALSE(router_
+                   ->dispatch(make_request("knowledge/get",
+                                           util::JsonValue(missing)))
+                   .ok);
+}
+
+TEST_F(RouterTest, PredictAnswersFromShardWithMostEvidence) {
+  // All samples share one hostname, so one shard holds every IOR run and
+  // the other stays empty — predict must come from the populated model.
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(router_
+                    ->dispatch(make_request(
+                        "knowledge/store",
+                        store_params(make_knowledge("evidence-host", i))))
+                    .ok);
+  }
+  util::JsonObject params;
+  params.emplace_back(
+      "command",
+      util::JsonValue("ior -a posix -b 4m -t 1m -s 4 -N 16 -o /s/q"));
+  const svc::Response predicted = router_->dispatch(
+      make_request("predict", util::JsonValue(std::move(params))));
+  ASSERT_TRUE(predicted.ok) << predicted.error;
+  EXPECT_EQ(predicted.result.at("samples").as_int(), 9);
+}
+
+TEST_F(RouterTest, HealthAndStatsReportRouterRoleAndShardResults) {
+  svc::Client client = svc::Client::connect("127.0.0.1", router_->port());
+  const svc::Response health = client.call("health");
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(health.result.at("role").as_string(), "router");
+  const util::JsonArray& results =
+      health.result.at("shard_results").as_array();
+  ASSERT_EQ(results.size(), kShards);
+  for (const util::JsonValue& entry : results) {
+    EXPECT_TRUE(entry.at("ok").as_bool());
+    EXPECT_EQ(entry.at("result").at("status").as_string(), "ok");
+  }
+
+  const svc::Response stats = client.call("stats");
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.result.at("role").as_string(), "router");
+  EXPECT_GE(stats.result.at("requests").as_int(), 1);
+}
+
+TEST(RouterFaultTest, DeadShardDoesNotPoisonTheFanOut) {
+  persist::KnowledgeRepository repo;
+  svc::Server live(repo);
+  live.start();
+  // Reserve a port with a listener, then close it: connecting is refused.
+  std::uint16_t dead_port = 0;
+  {
+    persist::KnowledgeRepository scratch;
+    svc::Server placeholder(scratch);
+    placeholder.start();
+    dead_port = placeholder.port();
+    placeholder.stop();
+  }
+
+  RouterConfig config;
+  config.shards = {"127.0.0.1:" + std::to_string(live.port()),
+                   "127.0.0.1:" + std::to_string(dead_port)};
+  Router router(std::move(config));
+  router.start();
+
+  svc::Request request;
+  request.endpoint = "health";
+  request.params = util::JsonValue(util::JsonObject{});
+  const svc::Response health = router.dispatch(request);
+  ASSERT_TRUE(health.ok) << health.error;
+  const util::JsonArray& results =
+      health.result.at("shard_results").as_array();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].at("ok").as_bool());
+  EXPECT_FALSE(results[1].at("ok").as_bool());
+  EXPECT_NE(results[1].at("error").as_string().find("unreachable"),
+            std::string::npos);
+
+  // list still answers from the live shard.
+  svc::Request list;
+  list.endpoint = "list";
+  list.params = util::JsonValue(util::JsonObject{});
+  EXPECT_TRUE(router.dispatch(list).ok);
+
+  router.stop();
+  live.stop();
+}
+
+}  // namespace
+}  // namespace iokc::repl

@@ -14,8 +14,18 @@
 //   file — must be present after recovery; a missing acked row means the
 //   journal acknowledged a write its own replay cannot see.
 //
-//   iokc-crashtest [--trials <n>] [--group-trials <n>] [--seed <n>]
-//                  [--workdir <dir>] [--keep]
+//   Replica trials: each forks a whole in-process cluster — a file-backed
+//   primary shipping its WAL under a quorum ack policy to two file-backed
+//   replicas — drives client writes through the service port, and SIGKILLs
+//   the cluster mid-flight (group commit, ship, apply, and bootstrap fault
+//   points included). After every kill the most-caught-up replica is
+//   "promoted" and must hold every quorum-acked write. Once a run survives,
+//   a failover is exercised for real: the old primary is diverged with an
+//   extra local write, rejoins the promoted replica's timeline, must be
+//   fenced, and every node must converge to byte-identical dumps.
+//
+//   iokc-crashtest [--trials <n>] [--group-trials <n>] [--replica-trials <n>]
+//                  [--seed <n>] [--workdir <dir>] [--keep]
 //
 // Exits 0 when every trial converges, 1 on any corruption, divergence, or
 // lost acknowledged write.
@@ -25,12 +35,15 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -40,8 +53,14 @@
 #include "src/db/database.hpp"
 #include "src/knowledge/knowledge.hpp"
 #include "src/persist/repository.hpp"
+#include "src/repl/node.hpp"
+#include "src/repl/replica.hpp"
+#include "src/repl/ship.hpp"
+#include "src/svc/client.hpp"
 #include "src/util/error.hpp"
 #include "src/util/fault.hpp"
+#include "src/util/fsio.hpp"
+#include "src/util/json.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/strings.hpp"
 
@@ -220,9 +239,288 @@ bool verify_acked(const std::filesystem::path& dir, int trial, int kills) {
   return ok;
 }
 
+// -- Replica campaign -------------------------------------------------------
+
+constexpr int kReplicaCount = 2;
+constexpr int kReplicaWriters = 2;
+constexpr int kReplicaStoresPerWriter = 5;
+
+iokc::knowledge::Knowledge replica_object(int trial, int restart, int thread,
+                                          int index) {
+  iokc::knowledge::Knowledge object;
+  object.benchmark = "IOR";
+  object.command = "ior -a posix -b 1m -t 256k -s 1 -N 4 -o /scratch/repl" +
+                   std::to_string(trial) + "_r" + std::to_string(restart) +
+                   "_t" + std::to_string(thread) + "_i" +
+                   std::to_string(index);
+  object.num_tasks = 4;
+  iokc::knowledge::OpSummary write;
+  write.operation = "write";
+  write.mean_bw_mib = 600.0 + index;
+  object.summaries.push_back(write);
+  return object;
+}
+
+std::filesystem::path replica_db(const std::filesystem::path& dir, int r) {
+  return dir / ("replica" + std::to_string(r) + ".db");
+}
+
+/// The replica-campaign child: a whole cluster in one process. A quorum-ack
+/// primary (1 of the 2 expected replicas must hold each write durably
+/// before the commit gate releases) plus two replicas, with writer threads
+/// storing through the service port. Only responses that came back
+/// `replication: acked` are recorded — those are the cluster's durability
+/// promises, and the promoted replica must honor all of them after a kill.
+void run_replica_cluster(const std::filesystem::path& dir, int trial,
+                         int restart) {
+  iokc::persist::KnowledgeRepository primary(
+      iokc::persist::RepoTarget::parse("file:" +
+                                       (dir / "primary.db").string()));
+  iokc::repl::ShipperConfig ship;
+  ship.ack_policy = iokc::repl::AckPolicy::kQuorum;
+  ship.expected_replicas = kReplicaCount;
+  ship.ack_timeout_ms = 10000;
+  iokc::repl::PrimaryNode node(primary, iokc::svc::ServerConfig{}, ship);
+  node.start();
+
+  std::vector<std::unique_ptr<iokc::persist::KnowledgeRepository>> repos;
+  std::vector<std::unique_ptr<iokc::repl::ReplicaNode>> replicas;
+  for (int r = 0; r < kReplicaCount; ++r) {
+    repos.push_back(std::make_unique<iokc::persist::KnowledgeRepository>(
+        iokc::persist::RepoTarget::parse("file:" +
+                                         replica_db(dir, r).string())));
+    iokc::svc::ServerConfig server;
+    server.primary_address =
+        "127.0.0.1:" + std::to_string(node.server().port());
+    iokc::repl::ReplicaConfig config;
+    config.primary_host = "127.0.0.1";
+    config.primary_port = node.shipper().port();
+    config.reconnect_delay_ms = 100;
+    config.marker_path =
+        (dir / ("replica" + std::to_string(r) + ".synced")).string();
+    replicas.push_back(std::make_unique<iokc::repl::ReplicaNode>(
+        *repos.back(), std::move(server), config));
+    replicas.back()->start();
+  }
+
+  const int acked_fd = ::open((dir / "acked.txt").c_str(),
+                              O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (acked_fd < 0) {
+    throw iokc::IoError("cannot open ack file in " + dir.string());
+  }
+  std::vector<std::thread> writers;
+  writers.reserve(kReplicaWriters);
+  const std::uint16_t port = node.server().port();
+  for (int t = 0; t < kReplicaWriters; ++t) {
+    writers.emplace_back([acked_fd, port, trial, restart, t] {
+      iokc::svc::Client client = iokc::svc::Client::connect("127.0.0.1", port);
+      for (int i = 0; i < kReplicaStoresPerWriter; ++i) {
+        const iokc::knowledge::Knowledge object =
+            replica_object(trial, restart, t, i);
+        iokc::util::JsonObject params;
+        params.emplace_back("object", object.to_json());
+        const iokc::svc::Response response = client.call(
+            "knowledge/store", iokc::util::JsonValue(std::move(params)));
+        if (!response.ok) {
+          continue;  // a refused write promises nothing
+        }
+        const iokc::util::JsonValue* replication =
+            response.result.find("replication");
+        if (replication == nullptr || replication->as_string() != "acked") {
+          continue;  // locally durable only; the quorum never confirmed
+        }
+        const std::string line = object.command + "\n";
+        if (::write(acked_fd, line.data(), line.size()) ==
+            static_cast<::ssize_t>(line.size())) {
+          ::fsync(acked_fd);
+        }
+      }
+    });
+  }
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  ::close(acked_fd);
+  for (auto& replica : replicas) {
+    replica->stop();
+  }
+  node.stop();
+}
+
+/// Post-kill verification: promote the most-caught-up replica (the failover
+/// rule) and require every quorum-acked write to be present in it. Quorum
+/// means SOME replica held each write durably; replica streams are
+/// contiguous prefixes of one WAL order, so the max-sequence replica is a
+/// superset of every replica's acked writes.
+bool verify_replica_acked(const std::filesystem::path& dir, int trial,
+                          int kills) {
+  // Every post-kill primary state must already be a valid database.
+  iokc::db::Database::open((dir / "primary.db").string());
+
+  const std::vector<std::string> acked = read_acked(dir / "acked.txt");
+  int promoted = -1;
+  std::uint64_t promoted_seq = 0;
+  for (int r = 0; r < kReplicaCount; ++r) {
+    if (!std::filesystem::exists(replica_db(dir, r))) {
+      continue;  // killed before this replica ever bootstrapped
+    }
+    iokc::persist::KnowledgeRepository repo(
+        iokc::persist::RepoTarget::parse("file:" +
+                                         replica_db(dir, r).string()));
+    const std::uint64_t seq = repo.applied_seq();
+    if (promoted < 0 || seq > promoted_seq) {
+      promoted = r;
+      promoted_seq = seq;
+    }
+  }
+  if (acked.empty()) {
+    return true;  // nothing was promised yet
+  }
+  if (promoted < 0) {
+    std::fprintf(stderr,
+                 "replica trial %d: %zu acked write(s) but no replica "
+                 "database after kill #%d\n",
+                 trial, acked.size(), kills);
+    return false;
+  }
+
+  iokc::persist::KnowledgeRepository repo(iokc::persist::RepoTarget::parse(
+      "file:" + replica_db(dir, promoted).string()));
+  std::set<std::string> present;
+  const iokc::db::ResultSet rows =
+      repo.database().execute("SELECT command FROM performances");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    present.insert(rows.at(r, "command").as_text());
+  }
+  bool ok = true;
+  for (const std::string& command : acked) {
+    if (present.find(command) == present.end()) {
+      std::fprintf(stderr,
+                   "replica trial %d: promoted replica %d LOST quorum-acked "
+                   "write after kill #%d: %s\n",
+                   trial, promoted, kills, command.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// The failover epilogue, run in-process once a cluster run survives: the
+/// most-caught-up replica becomes the new primary, the old primary diverges
+/// with a local write its timeline never replicated, rejoins, and must be
+/// fenced into discarding it. Every node then has to converge to a
+/// byte-identical dump of the new timeline.
+bool run_failover(const std::filesystem::path& dir, int trial) {
+  int promoted = 0;
+  {
+    std::uint64_t best = 0;
+    for (int r = 0; r < kReplicaCount; ++r) {
+      iokc::persist::KnowledgeRepository repo(
+          iokc::persist::RepoTarget::parse("file:" +
+                                           replica_db(dir, r).string()));
+      if (repo.applied_seq() > best) {
+        best = repo.applied_seq();
+        promoted = r;
+      }
+    }
+  }
+  const int other = 1 - promoted;
+
+  iokc::persist::KnowledgeRepository old_primary(
+      iokc::persist::RepoTarget::parse("file:" +
+                                       (dir / "primary.db").string()));
+  // Diverge the old primary: a write on the dead timeline, never shipped.
+  old_primary.store(replica_object(trial, /*restart=*/9999, /*thread=*/9, 0));
+  // It believes it is synced (it WAS the authority); the fence must break
+  // that belief.
+  const std::string old_marker = (dir / "primary.synced").string();
+  iokc::util::atomic_replace_file(old_marker, "synced\n");
+
+  iokc::persist::KnowledgeRepository new_primary(
+      iokc::persist::RepoTarget::parse("file:" +
+                                       replica_db(dir, promoted).string()));
+  iokc::persist::KnowledgeRepository survivor(
+      iokc::persist::RepoTarget::parse("file:" +
+                                       replica_db(dir, other).string()));
+  const std::uint64_t target_seq = new_primary.applied_seq();
+
+  iokc::repl::ShipperConfig ship;  // ack policy irrelevant: no new writes
+  iokc::repl::Shipper shipper(new_primary, ship);
+  shipper.start();
+
+  iokc::repl::ReplicaConfig rejoin;
+  rejoin.primary_host = "127.0.0.1";
+  rejoin.primary_port = shipper.port();
+  rejoin.reconnect_delay_ms = 100;
+  rejoin.marker_path = old_marker;
+  iokc::repl::ReplicationClient rejoined(old_primary, rejoin);
+  rejoined.start();
+
+  iokc::repl::ReplicaConfig follow;
+  follow.primary_host = "127.0.0.1";
+  follow.primary_port = shipper.port();
+  follow.reconnect_delay_ms = 100;
+  follow.marker_path =
+      (dir / ("replica" + std::to_string(other) + ".synced")).string();
+  iokc::repl::ReplicationClient follower(survivor, follow);
+  follower.start();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((old_primary.applied_seq() != target_seq ||
+          survivor.applied_seq() != target_seq) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  iokc::util::JsonObject rejoin_stats;
+  rejoined.extend_stats(rejoin_stats);
+  const iokc::util::JsonValue fences(rejoin_stats);
+  const std::int64_t fence_count = fences.at("fences").as_int();
+
+  follower.stop();
+  rejoined.stop();
+  shipper.stop();
+
+  bool ok = true;
+  if (fence_count < 1) {
+    std::fprintf(stderr,
+                 "replica trial %d: diverged ex-primary rejoined WITHOUT "
+                 "being fenced\n",
+                 trial);
+    ok = false;
+  }
+  const std::string reference = new_primary.dump_with_epoch().dump;
+  if (old_primary.dump_with_epoch().dump != reference ||
+      survivor.dump_with_epoch().dump != reference) {
+    std::fprintf(stderr,
+                 "replica trial %d: dumps DIVERGED after failover catch-up\n",
+                 trial);
+    ok = false;
+  }
+  // Every quorum-acked write from the kill phase survived the failover.
+  std::set<std::string> present;
+  const iokc::db::ResultSet rows =
+      new_primary.database().execute("SELECT command FROM performances");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    present.insert(rows.at(r, "command").as_text());
+  }
+  for (const std::string& command : read_acked(dir / "acked.txt")) {
+    if (present.find(command) == present.end()) {
+      std::fprintf(stderr,
+                   "replica trial %d: promoted primary LOST quorum-acked "
+                   "write across failover: %s\n",
+                   trial, command.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 struct Options {
   int trials = 5;
   int group_trials = 2;
+  int replica_trials = 2;
   std::uint64_t seed = 1;
   std::filesystem::path workdir;
   bool keep = false;
@@ -230,8 +528,9 @@ struct Options {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--trials <n>] [--group-trials <n>] [--seed <n>] "
-               "[--workdir <dir>] [--keep]\n",
+               "usage: %s [--trials <n>] [--group-trials <n>] "
+               "[--replica-trials <n>] [--seed <n>] [--workdir <dir>] "
+               "[--keep]\n",
                argv0);
   return 1;
 }
@@ -250,6 +549,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--group-trials" && has_value) {
       options.group_trials =
           static_cast<int>(iokc::util::parse_i64(argv[++i]));
+    } else if (arg == "--replica-trials" && has_value) {
+      options.replica_trials =
+          static_cast<int>(iokc::util::parse_i64(argv[++i]));
     } else if (arg == "--seed" && has_value) {
       options.seed =
           static_cast<std::uint64_t>(iokc::util::parse_i64(argv[++i]));
@@ -267,6 +569,10 @@ int main(int argc, char** argv) {
   }
   if (options.group_trials < 0) {
     std::fprintf(stderr, "error: --group-trials must be >= 0\n");
+    return 1;
+  }
+  if (options.replica_trials < 0) {
+    std::fprintf(stderr, "error: --replica-trials must be >= 0\n");
     return 1;
   }
 
@@ -352,17 +658,67 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Replica campaign: kill a whole quorum-replicated cluster mid-flight
+    // and prove promotion of the most-caught-up replica never loses a
+    // quorum-acked write; then exercise a real failover with a diverged
+    // ex-primary that must be fenced.
+    for (int trial = 0; trial < options.replica_trials; ++trial) {
+      const std::filesystem::path dir =
+          options.workdir / ("replica_" + std::to_string(trial));
+      std::filesystem::create_directories(dir);
+      int kills = 0;
+      int restart = 0;
+      constexpr int kMaxRestarts = 500;
+      bool trial_failed = false;
+      // A complete cluster run crosses far more fault points than the group
+      // campaign: every store commits on the primary AND applies on both
+      // replicas in the same process, plus bootstrap snapshot installs. The
+      // wide range mixes kills during bootstrap, mid-ship, and mid-apply
+      // with runs that finish.
+      while (!run_with_kill([&dir, trial, restart] {
+               run_replica_cluster(dir, trial, restart);
+             },
+                            static_cast<int>(rng.uniform_int(1, 200)))) {
+        ++kills;
+        ++restart;
+        if (kills > kMaxRestarts) {
+          throw iokc::IoError("replica cluster never completed after " +
+                              std::to_string(kMaxRestarts) + " restarts");
+        }
+        if (!verify_replica_acked(dir, trial, kills)) {
+          ++failures;
+          trial_failed = true;
+          break;
+        }
+      }
+      if (trial_failed) {
+        std::printf("replica trial %d: %d kill(s), quorum-acked writes LOST\n",
+                    trial, kills);
+        continue;
+      }
+      const bool acked_ok = verify_replica_acked(dir, trial, kills);
+      const bool failover_ok = acked_ok && run_failover(dir, trial);
+      std::printf(
+          "replica trial %d: %d kill(s), acked writes %s, failover %s\n",
+          trial, kills, acked_ok ? "all recovered" : "LOST",
+          failover_ok ? "converged" : "FAILED");
+      if (!acked_ok || !failover_ok) {
+        ++failures;
+      }
+    }
+
+    const int total =
+        options.trials + options.group_trials + options.replica_trials;
     if (!options.keep) {
       std::filesystem::remove_all(options.workdir);
     }
     if (failures > 0) {
-      std::fprintf(stderr, "%d of %d trial(s) failed\n", failures,
-                   options.trials + options.group_trials);
+      std::fprintf(stderr, "%d of %d trial(s) failed\n", failures, total);
       return 1;
     }
-    std::printf("all %d trial(s) converged (%d sweep, %d group-commit)\n",
-                options.trials + options.group_trials, options.trials,
-                options.group_trials);
+    std::printf(
+        "all %d trial(s) converged (%d sweep, %d group-commit, %d replica)\n",
+        total, options.trials, options.group_trials, options.replica_trials);
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

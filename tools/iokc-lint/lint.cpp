@@ -21,7 +21,7 @@ namespace {
 // extract <-> persist) are upward edges and rejected.
 // ---------------------------------------------------------------------------
 
-constexpr std::array<std::pair<std::string_view, int>, 16> kModules = {{
+constexpr std::array<std::pair<std::string_view, int>, 17> kModules = {{
     {"util", 0},
     {"obs", 1},
     {"sim", 2},
@@ -36,8 +36,9 @@ constexpr std::array<std::pair<std::string_view, int>, 16> kModules = {{
     {"analysis", 6},
     {"usage", 7},
     {"cycle", 8},
-    {"svc", 8},  // knowledge service; sibling of cycle, never includes it
-    {"cli", 9},
+    {"svc", 8},   // knowledge service; sibling of cycle, never includes it
+    {"repl", 9},  // replication/sharding drives servers, repositories
+    {"cli", 10},
 }};
 
 // ---------------------------------------------------------------------------
@@ -119,7 +120,7 @@ const std::vector<ErrorOwners>& exception_owners() {
       // Malformed input text: the parsing layers.
       {"ParseError",
        {"util", "db", "fs", "iostack", "generators", "jube", "knowledge",
-        "extract", "svc"}},
+        "extract", "svc", "repl"}},
       // Database constraint violations: the store and its persistence layer.
       {"DbError", {"db", "persist"}},
       // Simulation invariants: the simulated cluster stack.
@@ -128,7 +129,7 @@ const std::vector<ErrorOwners>& exception_owners() {
       // sim/fs/iostack/generators/knowledge/usage are pure in-memory models.
       {"IoError",
        {"util", "obs", "db", "jube", "extract", "persist", "analysis",
-        "cycle", "svc", "cli"}},
+        "cycle", "svc", "repl", "cli"}},
       // CheckError is reserved for the IOKC_CHECK machinery in util.
       {"CheckError", {"util"}},
   };

@@ -2,15 +2,26 @@
 // requests each, mixing read endpoints with a configurable fraction of
 // knowledge/store writes, and reports latency percentiles and throughput.
 //
-//   iokc-loadgen --addr <host:port> | --self-serve [--threads <n>]
-//                [--connections <n>] [--requests <n>]
+//   iokc-loadgen --addr <host:port> | --self-serve | --self-cluster
+//                | --targets <host:port,...>
+//                [--threads <n>] [--connections <n>] [--requests <n>]
 //                [--write-fraction <0..1>] [--seed <n>] [--json <file>]
 //                [--sweep-threads <a,b,c>] [--require-scaling <tolerance>]
+//                [--replicas <n>] [--max-epoch-lag <n>] [--require-fanout]
 //
 // --self-serve starts an in-process server on an ephemeral loopback port over
 // an in-memory repository seeded with synthetic IOR knowledge, which makes
 // the smoke test (and quick benchmarking) a single command with no daemon to
 // manage. Exit status is nonzero when any request failed.
+//
+// --targets drives a replicated cluster: each worker uses a
+// repl::ClusterClient, so writes go to the primary (the first target) and
+// reads round-robin across every target. --self-cluster spawns the cluster
+// in-process — a file-backed primary shipping its WAL under a quorum ack
+// policy to --replicas replica nodes — which makes the replication smoke
+// test a single command too. --require-fanout exits 3 unless every target
+// served at least one read (the read-split regression gate; it is
+// deliberately insensitive to machine speed, unlike a throughput bar).
 //
 // --sweep-threads runs one self-serve load per listed server-thread count
 // (fresh repository and server each run, identical client traffic) and emits
@@ -21,9 +32,12 @@
 // headroom for single-core CI machines, where extra server threads cannot
 // add parallel CPU and the gate is really checking that throughput no longer
 // *collapses* as threads are added (the pre-fix baseline lost 10-60x on p50).
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -34,6 +48,8 @@
 
 #include "src/knowledge/knowledge.hpp"
 #include "src/persist/repository.hpp"
+#include "src/repl/cluster_client.hpp"
+#include "src/repl/node.hpp"
 #include "src/svc/client.hpp"
 #include "src/svc/server.hpp"
 #include "src/util/error.hpp"
@@ -57,6 +73,11 @@ struct Options {
   std::string json_path;
   std::vector<std::size_t> sweep_threads;  // --sweep-threads, implies self-serve
   double require_scaling = 0.0;            // --require-scaling gate (0 = off)
+  std::vector<std::string> targets;        // --targets, cluster mode
+  bool self_cluster = false;               // spawn the cluster in-process
+  std::size_t replicas = 2;                // --self-cluster replica count
+  std::uint64_t max_epoch_lag = 0;         // ClusterClient staleness bound
+  bool require_fanout = false;             // every target must serve a read
 };
 
 struct WorkerResult {
@@ -65,6 +86,7 @@ struct WorkerResult {
   std::uint64_t write_requests = 0;
   std::uint64_t errors = 0;
   std::vector<std::string> error_samples;  // first few messages for the log
+  std::vector<std::uint64_t> reads_per_target;  // cluster mode only
 };
 
 /// Aggregated stats for one complete load run (one server configuration).
@@ -83,6 +105,7 @@ struct RunStats {
   double max = 0.0;
   double read_p50 = 0.0;
   double read_p99 = 0.0;
+  std::vector<std::uint64_t> reads_per_target;  // cluster mode only
 };
 
 Options parse_args(int argc, char** argv) {
@@ -138,19 +161,55 @@ Options parse_args(int argc, char** argv) {
       if (options.require_scaling <= 0.0) {
         throw ConfigError("--require-scaling must be > 0");
       }
+    } else if (flag == "--targets") {
+      for (const std::string& target : util::split(need_value(), ',')) {
+        const std::size_t colon = target.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == target.size()) {
+          throw ConfigError("--targets entries must be <host>:<port>");
+        }
+        options.targets.push_back(target);
+      }
+      if (options.targets.empty()) {
+        throw ConfigError("--targets needs at least one address");
+      }
+    } else if (flag == "--self-cluster") {
+      options.self_cluster = true;
+    } else if (flag == "--replicas") {
+      options.replicas = static_cast<std::size_t>(
+          util::parse_i64(need_value()));
+      if (options.replicas < 1) {
+        throw ConfigError("--replicas must be >= 1");
+      }
+    } else if (flag == "--max-epoch-lag") {
+      options.max_epoch_lag =
+          static_cast<std::uint64_t>(util::parse_i64(need_value()));
+    } else if (flag == "--require-fanout") {
+      options.require_fanout = true;
     } else {
       throw ConfigError("unknown flag " + flag);
     }
   }
   if (!options.sweep_threads.empty()) {
-    if (!options.host.empty()) {
+    if (!options.host.empty() || options.self_cluster ||
+        !options.targets.empty()) {
       throw ConfigError("--sweep-threads restarts the server per run; it "
-                        "requires --self-serve, not --addr");
+                        "requires --self-serve, not --addr or cluster modes");
     }
     options.self_serve = true;
   }
-  if (options.self_serve != options.host.empty()) {
-    throw ConfigError("pass exactly one of --addr <host:port> | --self-serve");
+  const int modes = (options.host.empty() ? 0 : 1) +
+                    (options.self_serve ? 1 : 0) +
+                    (options.self_cluster ? 1 : 0) +
+                    (options.targets.empty() ? 0 : 1);
+  if (modes != 1) {
+    throw ConfigError("pass exactly one of --addr <host:port> | --self-serve "
+                      "| --self-cluster | --targets <host:port,...>");
+  }
+  if (options.require_fanout && !options.self_cluster &&
+      options.targets.empty()) {
+    throw ConfigError("--require-fanout needs a cluster mode (--self-cluster "
+                      "or --targets)");
   }
   if (options.require_scaling > 0.0 && options.sweep_threads.size() < 2) {
     throw ConfigError("--require-scaling needs --sweep-threads with at least "
@@ -191,15 +250,26 @@ knowledge::Knowledge synthetic_knowledge(std::uint64_t index) {
 }
 
 /// One worker: one connection, `requests` mixed calls, deterministic per
-/// (seed, worker) so reruns replay the same request stream.
+/// (seed, worker) so reruns replay the same request stream. In cluster mode
+/// (non-empty targets) the connection is a ClusterClient — writes go to the
+/// primary, reads round-robin across every target.
 WorkerResult run_worker(const Options& options, std::size_t worker,
                         const std::vector<std::int64_t>& knowledge_ids) {
   WorkerResult result;
   result.latencies_us.reserve(options.requests);
   svc::ClientOptions client_options;
   client_options.connect_retries = 9;
-  svc::Client client =
-      svc::Client::connect(options.host, options.port, client_options);
+  std::optional<svc::Client> client;
+  std::optional<repl::ClusterClient> cluster;
+  if (!options.targets.empty()) {
+    repl::ClusterClientOptions cluster_options;
+    cluster_options.client = client_options;
+    cluster_options.max_epoch_lag = options.max_epoch_lag;
+    cluster.emplace(options.targets, cluster_options);
+  } else {
+    client.emplace(
+        svc::Client::connect(options.host, options.port, client_options));
+  }
   const auto write_threshold = static_cast<std::uint64_t>(
       options.write_fraction * 1e9);
   for (std::size_t i = 0; i < options.requests; ++i) {
@@ -251,7 +321,8 @@ WorkerResult run_worker(const Options& options, std::size_t worker,
     const auto started = std::chrono::steady_clock::now();
     try {
       const svc::Response response =
-          client.call(endpoint, util::JsonValue(std::move(params)));
+          cluster ? cluster->call(endpoint, util::JsonValue(std::move(params)))
+                  : client->call(endpoint, util::JsonValue(std::move(params)));
       if (!response.ok) {
         ++result.errors;
         if (result.error_samples.size() < 3) {
@@ -263,8 +334,12 @@ WorkerResult run_worker(const Options& options, std::size_t worker,
       if (result.error_samples.size() < 3) {
         result.error_samples.push_back(endpoint + ": " + error.what());
       }
-      client = svc::Client::connect(options.host, options.port,
-                                    client_options);
+      // The ClusterClient redials internally; only the plain client needs a
+      // fresh connection after a transport failure.
+      if (!cluster) {
+        client = svc::Client::connect(options.host, options.port,
+                                      client_options);
+      }
     }
     const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - started);
@@ -275,6 +350,9 @@ WorkerResult run_worker(const Options& options, std::size_t worker,
     } else {
       result.read_latencies_us.push_back(latency_us);
     }
+  }
+  if (cluster) {
+    result.reads_per_target = cluster->reads_per_target();
   }
   return result;
 }
@@ -316,14 +394,79 @@ RunStats run_load(const Options& options) {
     live.port = server->port();
   }
 
+  // --self-cluster: in-process primary + replicas over file-backed
+  // repositories (the shipper needs a journal to ship). The primary is
+  // seeded before the cluster starts, so replicas bootstrap the seed via
+  // snapshot; traffic waits until every replica holds it.
+  std::filesystem::path cluster_dir;
+  std::optional<persist::KnowledgeRepository> primary_repo;
+  std::optional<repl::PrimaryNode> primary_node;
+  std::vector<std::unique_ptr<persist::KnowledgeRepository>> replica_repos;
+  std::vector<std::unique_ptr<repl::ReplicaNode>> replica_nodes;
+  if (live.self_cluster) {
+    cluster_dir = std::filesystem::temp_directory_path() /
+                  ("iokc_loadgen_cluster_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(cluster_dir);
+    std::filesystem::create_directories(cluster_dir);
+    primary_repo.emplace(persist::RepoTarget::parse(
+        "file:" + (cluster_dir / "primary.db").string()));
+    for (std::uint64_t i = 0; i < 12; ++i) {
+      primary_repo->store(synthetic_knowledge(i));
+    }
+    repl::ShipperConfig ship;
+    ship.ack_policy = repl::AckPolicy::kQuorum;
+    ship.expected_replicas = live.replicas;
+    svc::ServerConfig primary_config;
+    primary_config.threads = live.server_threads;
+    primary_node.emplace(*primary_repo, primary_config, ship);
+    primary_node->start();
+    live.targets.push_back("127.0.0.1:" +
+                           std::to_string(primary_node->server().port()));
+    for (std::size_t r = 0; r < live.replicas; ++r) {
+      const std::string name = "replica" + std::to_string(r);
+      replica_repos.push_back(std::make_unique<persist::KnowledgeRepository>(
+          persist::RepoTarget::parse(
+              "file:" + (cluster_dir / (name + ".db")).string())));
+      svc::ServerConfig replica_config;
+      replica_config.threads = live.server_threads;
+      replica_config.primary_address = live.targets[0];
+      repl::ReplicaConfig replication;
+      replication.primary_port = primary_node->shipper().port();
+      replication.reconnect_delay_ms = 100;
+      replication.marker_path = (cluster_dir / (name + ".synced")).string();
+      replica_nodes.push_back(std::make_unique<repl::ReplicaNode>(
+          *replica_repos.back(), std::move(replica_config), replication));
+      replica_nodes.back()->start();
+      live.targets.push_back(
+          "127.0.0.1:" + std::to_string(replica_nodes.back()->server().port()));
+    }
+    const std::uint64_t seed_seq = primary_repo->applied_seq();
+    for (auto& node : replica_nodes) {
+      if (!node->replication().wait_applied(seed_seq, 10000)) {
+        throw IoError("self-cluster replica never caught up with the seed");
+      }
+    }
+    std::cout << "loadgen: self-cluster primary + " << live.replicas
+              << " replica(s) on " << util::join(live.targets, ",") << "\n";
+  }
+
   // Discover knowledge ids once so anomaly requests target real objects.
   std::vector<std::int64_t> knowledge_ids;
   {
     svc::ClientOptions client_options;
     client_options.connect_retries = 9;
-    svc::Client probe =
-        svc::Client::connect(live.host, live.port, client_options);
-    const svc::Response listed = probe.call("list");
+    svc::Response listed;
+    if (!live.targets.empty()) {
+      repl::ClusterClientOptions cluster_options;
+      cluster_options.client = client_options;
+      repl::ClusterClient probe(live.targets, cluster_options);
+      listed = probe.call_primary("list",
+                                  util::JsonValue(util::JsonObject{}));
+    } else {
+      svc::Client probe =
+          svc::Client::connect(live.host, live.port, client_options);
+      listed = probe.call("list");
+    }
     if (listed.ok) {
       for (const util::JsonValue& entry :
            listed.result.at("knowledge").as_array()) {
@@ -371,6 +514,14 @@ RunStats run_load(const Options& options) {
     for (const std::string& sample : result.error_samples) {
       std::cerr << "request error: " << sample << "\n";
     }
+    if (!result.reads_per_target.empty()) {
+      if (stats.reads_per_target.size() < result.reads_per_target.size()) {
+        stats.reads_per_target.resize(result.reads_per_target.size(), 0);
+      }
+      for (std::size_t t = 0; t < result.reads_per_target.size(); ++t) {
+        stats.reads_per_target[t] += result.reads_per_target[t];
+      }
+    }
   }
   std::sort(latencies.begin(), latencies.end());
   std::sort(read_latencies.begin(), read_latencies.end());
@@ -393,6 +544,15 @@ RunStats run_load(const Options& options) {
   if (server.has_value()) {
     server->stop();  // graceful drain; also validates clean shutdown
   }
+  for (auto& node : replica_nodes) {
+    node->stop();
+  }
+  if (primary_node.has_value()) {
+    primary_node->stop();
+  }
+  if (!cluster_dir.empty()) {
+    std::filesystem::remove_all(cluster_dir);
+  }
 
   std::cout << "loadgen: " << live.connections << " connection(s) x "
             << live.requests << " request(s), write-fraction "
@@ -412,6 +572,13 @@ RunStats run_load(const Options& options) {
             << util::format_double(stats.max, 0) << " (reads: p50 "
             << util::format_double(stats.read_p50, 0) << ", p99 "
             << util::format_double(stats.read_p99, 0) << ")\n";
+  if (!stats.reads_per_target.empty()) {
+    std::cout << "  cluster read fan-out:";
+    for (std::size_t t = 0; t < stats.reads_per_target.size(); ++t) {
+      std::cout << " " << live.targets[t] << "=" << stats.reads_per_target[t];
+    }
+    std::cout << "\n";
+  }
   return stats;
 }
 
@@ -452,6 +619,17 @@ util::JsonValue stats_to_json(const Options& options, const RunStats& stats) {
   read_latency.emplace_back("p99", util::JsonValue(stats.read_p99));
   artifact.emplace_back("read_latency_us",
                         util::JsonValue(std::move(read_latency)));
+  if (!stats.reads_per_target.empty()) {
+    artifact.emplace_back(
+        "targets", util::JsonValue(static_cast<std::int64_t>(
+                       stats.reads_per_target.size())));
+    util::JsonArray fanout;
+    for (const std::uint64_t count : stats.reads_per_target) {
+      fanout.push_back(util::JsonValue(static_cast<std::int64_t>(count)));
+    }
+    artifact.emplace_back("reads_per_target",
+                          util::JsonValue(std::move(fanout)));
+  }
   return util::JsonValue(std::move(artifact));
 }
 
@@ -470,6 +648,15 @@ int run(int argc, char** argv) {
     const RunStats stats = run_load(options);
     if (!options.json_path.empty()) {
       write_json(options.json_path, stats_to_json(options, stats));
+    }
+    if (options.require_fanout) {
+      for (std::size_t t = 0; t < stats.reads_per_target.size(); ++t) {
+        if (stats.reads_per_target[t] == 0) {
+          std::cerr << "iokc-loadgen: target " << t << " served no reads; "
+                    << "the read split is not fanning out\n";
+          return 3;
+        }
+      }
     }
     return stats.errors == 0 ? 0 : 1;
   }
